@@ -1,0 +1,36 @@
+//! A1 — ablation: dense bitset vs sparse hash-set cylinder backends for
+//! the `FO^k` evaluator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_core::BoundedEvaluator;
+use bvq_logic::{patterns, Query, Var};
+use bvq_workload::graphs::{graph_db, GraphKind};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_backend");
+    g.sample_size(10);
+    for n in [10usize, 20, 40] {
+        let db = graph_db(GraphKind::Sparse(3), n, 61);
+        let q = Query::new(vec![Var(0), Var(1)], patterns::path_bounded(12));
+        g.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+            b.iter(|| {
+                BoundedEvaluator::new(&db, 3).without_stats().eval_query(&q).unwrap().0.len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("sparse", n), &n, |b, _| {
+            b.iter(|| {
+                BoundedEvaluator::new(&db, 3)
+                    .without_stats()
+                    .force_sparse()
+                    .eval_query(&q)
+                    .unwrap()
+                    .0
+                    .len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! A2 — ablation: naive vs semi-naive Datalog evaluation (transitive
+//! closure over paths, where semi-naive's delta joins matter most).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_datalog::{eval_naive, eval_seminaive, AtomTerm, Program};
+use bvq_relation::Database;
+use bvq_workload::graphs::{edges, GraphKind};
+
+fn tc() -> Program {
+    use AtomTerm::Var as V;
+    Program::new()
+        .rule("T", &[0, 1], &[("E", &[V(0), V(1)])])
+        .rule("T", &[0, 1], &[("T", &[V(0), V(2)]), ("E", &[V(2), V(1)])])
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_seminaive");
+    g.sample_size(10);
+    let prog = tc();
+    for n in [16usize, 32, 64] {
+        let db = Database::builder(n).relation_from("E", edges(GraphKind::Path, n, 0)).build();
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| eval_naive(&prog, &db).unwrap().get("T").unwrap().len())
+        });
+        g.bench_with_input(BenchmarkId::new("seminaive", n), &n, |b, _| {
+            b.iter(|| eval_seminaive(&prog, &db).unwrap().get("T").unwrap().len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E9 — Theorem 4.4 direction: the Boolean formula value problem through
+//! its FO reduction over the fixed database, against direct evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_core::BoundedEvaluator;
+use bvq_reductions::boolean_value::{bool_database, to_fo_sentence};
+use bvq_sat::BoolExpr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_closed(size: usize, rng: &mut StdRng) -> BoolExpr {
+    if size <= 1 {
+        return BoolExpr::Const(rng.gen_bool(0.5));
+    }
+    let left = rng.gen_range(1..size);
+    let a = random_closed(left, rng);
+    let b = random_closed(size - left, rng);
+    match rng.gen_range(0..3) {
+        0 => a.and(b),
+        1 => a.or(b),
+        _ => a.and(b).not(),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("boolean_value");
+    g.sample_size(10);
+    let db = bool_database();
+    for size in [64usize, 256, 1024, 4096] {
+        let mut rng = StdRng::seed_from_u64(size as u64);
+        let e = random_closed(size, &mut rng);
+        g.bench_with_input(BenchmarkId::new("direct_eval", size), &size, |b, _| {
+            b.iter(|| e.eval(&[]))
+        });
+        let q = to_fo_sentence(&e);
+        g.bench_with_input(BenchmarkId::new("fo_reduction", size), &size, |b, _| {
+            b.iter(|| {
+                BoundedEvaluator::new(&db, 1)
+                    .without_stats()
+                    .eval_query(&q)
+                    .unwrap()
+                    .0
+                    .as_boolean()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E12 — the §1 application: μ-calculus model checking directly, via the
+//! `FP²` translation, and with Theorem 3.5 certificates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_core::{CertifiedChecker, FpEvaluator};
+use bvq_logic::Query;
+use bvq_mucalc::{check_states, parse_mu, to_fp2, CheckStrategy};
+use bvq_workload::kripke_gen::random_kripke;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mucalc");
+    g.sample_size(10);
+    // Alternation-depth-2: "some path visits p infinitely often".
+    let f = parse_mu("nu Z. mu Y. <>((p & Z) | Y)").unwrap();
+    for n in [16usize, 32, 64] {
+        let k = random_kripke(n, 3, 41);
+        g.bench_with_input(BenchmarkId::new("direct_naive", n), &n, |b, _| {
+            b.iter(|| check_states(&k, &f, CheckStrategy::Naive).unwrap().count())
+        });
+        g.bench_with_input(BenchmarkId::new("direct_emerson_lei", n), &n, |b, _| {
+            b.iter(|| check_states(&k, &f, CheckStrategy::EmersonLei).unwrap().count())
+        });
+        let db = k.to_database();
+        let q = Query::new(vec![bvq_logic::Var(0)], to_fp2(&f).unwrap());
+        g.bench_with_input(BenchmarkId::new("via_fp2", n), &n, |b, _| {
+            b.iter(|| FpEvaluator::new(&db, 2).without_stats().eval_query(&q).unwrap().0.len())
+        });
+        let checker = CertifiedChecker::new(&db, 2);
+        let (cert, _) = checker.extract(&q).unwrap();
+        g.bench_with_input(BenchmarkId::new("certificate_verify", n), &n, |b, _| {
+            b.iter(|| checker.verify(&q, &cert, &[0]).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E4 — Proposition 3.2: Path Systems through its `FO³` reduction, against
+//! the direct fixpoint solver and the Datalog engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_core::BoundedEvaluator;
+use bvq_datalog::eval_seminaive;
+use bvq_workload::instances::random_path_system;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("path_systems");
+    g.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let ps = random_path_system(n, 3 * n, 2, 13);
+        let db = ps.to_database();
+        let q = ps.to_fo3_query();
+        let prog = ps.to_datalog();
+        g.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {
+            b.iter(|| ps.solve_direct())
+        });
+        g.bench_with_input(BenchmarkId::new("datalog_seminaive", n), &n, |b, _| {
+            b.iter(|| eval_seminaive(&prog, &db).unwrap().get("Reach").unwrap().len())
+        });
+        g.bench_with_input(BenchmarkId::new("fo3_reduction", n), &n, |b, _| {
+            b.iter(|| {
+                BoundedEvaluator::new(&db, 3)
+                    .without_stats()
+                    .eval_query(&q)
+                    .unwrap()
+                    .0
+                    .as_boolean()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E2 — Table 1, FO row: the exponential gap between data complexity and
+//! combined complexity for unrestricted FO.
+//!
+//! * `combined_naive`: the cross-product family `∃x₂…x_m ⋀ P(xᵢ)` against
+//!   a fixed database — time exponential in the formula width `m`.
+//! * `data_fixed_formula`: a fixed small formula against growing
+//!   databases — time polynomial in `n`.
+//! * `combined_bounded`: the same growing formulas after bounding the
+//!   evaluation (each conjunct handled within `FO¹` cylinders is the
+//!   degenerate contrast; we use the FO³ path family for a fairer one).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_core::{BoundedEvaluator, NaiveEvaluator};
+use bvq_logic::{patterns, Query, Var};
+use bvq_workload::formulas::cross_product_family;
+use bvq_workload::graphs::{graph_db, GraphKind};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_gap");
+    g.sample_size(10);
+
+    // Combined complexity, unrestricted: m grows, database fixed.
+    let db = graph_db(GraphKind::Sparse(3), 14, 3);
+    for m in [2usize, 3, 4, 5] {
+        let q = Query::new(vec![Var(0)], cross_product_family(m));
+        g.bench_with_input(BenchmarkId::new("combined_naive", m), &m, |b, _| {
+            b.iter(|| NaiveEvaluator::new(&db).without_stats().eval_query(&q).unwrap().0.len())
+        });
+    }
+
+    // Data complexity: formula fixed (m = 3), database grows.
+    let q3 = Query::new(vec![Var(0)], cross_product_family(3));
+    for n in [10usize, 20, 40, 80] {
+        let dbn = graph_db(GraphKind::Sparse(3), n, 3);
+        g.bench_with_input(BenchmarkId::new("data_fixed_formula", n), &n, |b, _| {
+            b.iter(|| NaiveEvaluator::new(&dbn).without_stats().eval_query(&q3).unwrap().0.len())
+        });
+    }
+
+    // Combined complexity after variable-bounding: FO³ path formulas of
+    // growing size over the fixed database — polynomial in |φ|.
+    for len in [4usize, 8, 16, 32] {
+        let q = Query::new(vec![Var(0), Var(1)], patterns::path_bounded(len));
+        g.bench_with_input(BenchmarkId::new("combined_bounded_fo3", len), &len, |b, _| {
+            b.iter(|| {
+                BoundedEvaluator::new(&db, 3).without_stats().eval_query(&q).unwrap().0.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

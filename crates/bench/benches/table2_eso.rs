@@ -1,0 +1,50 @@
+//! E6 — Table 2, ESO^k row (Lemma 3.6 / Corollary 3.7): 3-colorability as
+//! an `ESO²` query.
+//!
+//! * `naive_enumeration` — guess whole relations (`2^{3n}` for three unary
+//!   colours): exponential, only run at tiny sizes;
+//! * `sat_grounding` — the polynomial-size grounding + CDCL.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_core::EsoEvaluator;
+use bvq_logic::patterns::three_coloring;
+use bvq_relation::{Database, Relation, Tuple};
+use bvq_workload::graphs::{edges, GraphKind};
+
+fn sym_db(n: usize, seed: u64) -> Database {
+    let e = edges(GraphKind::Sparse(3), n, seed);
+    let mut sym = Relation::new(2);
+    for t in e.iter() {
+        if t[0] != t[1] {
+            sym.insert(t.clone());
+            sym.insert(Tuple::from_slice(&[t[1], t[0]]));
+        }
+    }
+    Database::builder(n).relation_from("E", sym).build()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_eso");
+    g.sample_size(10);
+    let eso = three_coloring();
+    // Naive enumeration: 2^(3n) relation assignments — n ≤ 4 only.
+    for n in [2usize, 3, 4] {
+        let db = sym_db(n, 23);
+        g.bench_with_input(BenchmarkId::new("naive_enumeration", n), &n, |b, _| {
+            let ev = EsoEvaluator::new(&db, 2);
+            b.iter(|| ev.eval_naive(&eso, &[]).unwrap().as_boolean())
+        });
+    }
+    // SAT grounding scales to real sizes.
+    for n in [8usize, 16, 32, 64] {
+        let db = sym_db(n, 23);
+        g.bench_with_input(BenchmarkId::new("sat_grounding", n), &n, |b, _| {
+            let ev = EsoEvaluator::new(&db, 2);
+            b.iter(|| ev.check(&eso, &[], &[]).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E3 — Table 2, FO^k row (Proposition 3.1): combined complexity of
+//! `FO^k` is polynomial — time scales polynomially when the database and
+//! the formula grow *together*.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_core::BoundedEvaluator;
+use bvq_logic::{Query, Var};
+use bvq_workload::formulas::random_fo;
+use bvq_workload::graphs::{graph_db, GraphKind};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_fo");
+    g.sample_size(10);
+    // Combined sweep: database size and formula size grow in lockstep.
+    for scale in [1usize, 2, 4, 8] {
+        let n = 12 * scale;
+        let size = 12 * scale;
+        let db = graph_db(GraphKind::Sparse(3), n, 11);
+        let q = Query::new(vec![Var(0), Var(1), Var(2)], random_fo(3, size, 5));
+        g.bench_with_input(BenchmarkId::new("combined_fo3", scale), &scale, |b, _| {
+            b.iter(|| {
+                BoundedEvaluator::new(&db, 3).without_stats().eval_query(&q).unwrap().0.len()
+            })
+        });
+    }
+    // Expression-size sweep at fixed database.
+    let db = graph_db(GraphKind::Sparse(3), 24, 11);
+    for size in [8usize, 16, 32, 64, 128] {
+        let q = Query::new(vec![Var(0), Var(1), Var(2)], random_fo(3, size, 9));
+        g.bench_with_input(BenchmarkId::new("formula_size", size), &size, |b, _| {
+            b.iter(|| {
+                BoundedEvaluator::new(&db, 3).without_stats().eval_query(&q).unwrap().0.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

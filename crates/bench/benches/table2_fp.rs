@@ -1,0 +1,56 @@
+//! E5 / A3 — Table 2, FP^k row (Theorem 3.5): evaluating alternating
+//! fixpoints.
+//!
+//! * `naive_nested` — restart-everything evaluation (`n^{kl}` behaviour);
+//! * `emerson_lei` — warm-started evaluation (A3 ablation);
+//! * `certificate_verify` — the Theorem 3.5 verifier on an extracted
+//!   certificate: single body applications only (`l·n^k` flavour).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_core::{CertifiedChecker, FpEvaluator, FpStrategy, TraceChecker};
+use bvq_logic::{patterns, Query, Term};
+use bvq_workload::graphs::{graph_db, GraphKind};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_fp");
+    g.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let db = graph_db(GraphKind::Sparse(2), n, 17);
+        // The paper's alternation-depth-2 fairness sentence.
+        let q = Query::sentence(patterns::fairness(Term::Const(0)));
+        g.bench_with_input(BenchmarkId::new("naive_nested", n), &n, |b, _| {
+            b.iter(|| {
+                FpEvaluator::new(&db, 3)
+                    .with_strategy(FpStrategy::Naive)
+                    .without_stats()
+                    .eval_query(&q)
+                    .unwrap()
+                    .0
+                    .as_boolean()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("emerson_lei", n), &n, |b, _| {
+            b.iter(|| {
+                FpEvaluator::new(&db, 3).without_stats().eval_query(&q).unwrap().0.as_boolean()
+            })
+        });
+        let checker = CertifiedChecker::new(&db, 3);
+        let (cert, _) = checker.extract(&q).unwrap();
+        g.bench_with_input(BenchmarkId::new("certificate_verify", n), &n, |b, _| {
+            b.iter(|| checker.verify(&q, &cert, &[]).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("certificate_extract", n), &n, |b, _| {
+            b.iter(|| checker.extract(&q).unwrap().0.size_tuples())
+        });
+        // The paper's shared-sequence (trace) certificates.
+        let tchecker = TraceChecker::new(&db, 3);
+        let (tcert, _) = tchecker.extract(&q).unwrap();
+        g.bench_with_input(BenchmarkId::new("trace_verify", n), &n, |b, _| {
+            b.iter(|| tchecker.verify(&q, &tcert, &[]).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E7 — Table 2, PFP^k row (Theorem 3.8): partial-fixpoint iteration with
+//! Brent cycle detection, convergent and divergent cases.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_core::PfpEvaluator;
+use bvq_logic::{patterns, Query, Var};
+use bvq_workload::graphs::{graph_db, GraphKind};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_pfp");
+    g.sample_size(10);
+    for n in [8usize, 16, 32, 64] {
+        let db = graph_db(GraphKind::Path, n, 0);
+        let reach = Query::new(vec![Var(0)], patterns::pfp_reach(0));
+        g.bench_with_input(BenchmarkId::new("convergent_reach", n), &n, |b, _| {
+            b.iter(|| {
+                PfpEvaluator::new(&db, 2).without_stats().eval_query(&reach).unwrap().0.len()
+            })
+        });
+        let flip = Query::new(vec![Var(0)], patterns::pfp_parity_flip());
+        g.bench_with_input(BenchmarkId::new("divergent_flip", n), &n, |b, _| {
+            b.iter(|| {
+                PfpEvaluator::new(&db, 1).without_stats().eval_query(&flip).unwrap().0.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

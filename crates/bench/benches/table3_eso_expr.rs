@@ -1,0 +1,30 @@
+//! E10 — Theorem 4.5: SAT instances as `ESO^k` queries over a fixed
+//! database; solving cost tracks the SAT instance, not the database.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_core::EsoEvaluator;
+use bvq_reductions::sat_to_eso::to_eso_sentence;
+use bvq_relation::Database;
+use bvq_sat::solver;
+use bvq_workload::instances::random_3cnf;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_eso_expr");
+    g.sample_size(10);
+    let db = Database::builder(2).relation("P", 1, [[0u32]]).build();
+    for vars in [10usize, 20, 40] {
+        let cnf = random_3cnf(vars, vars * 4, 31);
+        let eso = to_eso_sentence(&cnf);
+        g.bench_with_input(BenchmarkId::new("eso_reduction", vars), &vars, |b, _| {
+            let ev = EsoEvaluator::new(&db, 1);
+            b.iter(|| ev.check(&eso, &[], &[]).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("raw_sat", vars), &vars, |b, _| {
+            b.iter(|| solver::solve(&cnf).is_sat())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E11 — Theorem 4.6: QBF instances as nested-PFP queries over the fixed
+//! database `B₀`, against the recursive QBF solver. Both are exponential
+//! in the number of quantifiers (the problem is PSPACE-hard); the point is
+//! the *reduction*: query size linear, database constant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_core::PfpEvaluator;
+use bvq_reductions::qbf_to_pfp::{b0, to_pfp_query};
+use bvq_sat::qbf;
+use bvq_workload::instances::random_qbf;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_pfp_expr");
+    g.sample_size(10);
+    let db = b0();
+    for l in [2usize, 3, 4, 5] {
+        let instance = random_qbf(l, 2 * l, 37);
+        let query = to_pfp_query(&instance);
+        g.bench_with_input(BenchmarkId::new("pfp_reduction", l), &l, |b, _| {
+            b.iter(|| {
+                PfpEvaluator::new(&db, 2)
+                    .without_stats()
+                    .eval_query(&query)
+                    .unwrap()
+                    .0
+                    .as_boolean()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("qbf_solver", l), &l, |b, _| {
+            b.iter(|| qbf::solve(&instance))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

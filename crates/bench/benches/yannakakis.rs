@@ -1,0 +1,52 @@
+//! E13 — acyclic joins [BFMY83, Yan81]: Yannakakis vs the naive
+//! all-columns plan on chain queries over graphs with many partial
+//! matches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_core::BoundedEvaluator;
+use bvq_optimizer::{
+    eval_eliminated, eval_yannakakis, greedy_order, to_bounded_query, ConjunctiveQuery, CqTerm,
+};
+use bvq_relation::Database;
+use bvq_workload::graphs::{edges, GraphKind};
+
+fn chain(len: usize) -> ConjunctiveQuery {
+    use CqTerm::Var as V;
+    let mut cq = ConjunctiveQuery::new(&[0, len as u32]);
+    for i in 0..len {
+        cq = cq.atom("E", &[V(i as u32), V(i as u32 + 1)]);
+    }
+    cq
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("yannakakis");
+    g.sample_size(10);
+    let db = Database::builder(40)
+        .relation_from("E", edges(GraphKind::DensePercent(12), 40, 53))
+        .build();
+    for len in [2usize, 3, 4, 5] {
+        let cq = chain(len);
+        let order = greedy_order(&cq);
+        g.bench_with_input(BenchmarkId::new("naive_plan", len), &len, |b, _| {
+            b.iter(|| cq.eval_naive_plan(&db).unwrap().0.len())
+        });
+        g.bench_with_input(BenchmarkId::new("yannakakis", len), &len, |b, _| {
+            b.iter(|| eval_yannakakis(&cq, &db).unwrap().0.len())
+        });
+        g.bench_with_input(BenchmarkId::new("elimination", len), &len, |b, _| {
+            b.iter(|| eval_eliminated(&cq, &db, &order).unwrap().0.len())
+        });
+        // The formula-level compilation: CQ → FO^k, evaluated cylindrically.
+        let (q, k) = to_bounded_query(&cq).unwrap();
+        g.bench_with_input(BenchmarkId::new("compiled_bounded", len), &len, |b, _| {
+            b.iter(|| {
+                BoundedEvaluator::new(&db, k).without_stats().eval_query(&q).unwrap().0.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Regenerates the paper's introduction example as a measured table:
+//! naive plan (arity-6 intermediates, the paper's 10-column spirit) vs the
+//! variable-minimised elimination plan (arity ≤ 4) vs Yannakakis on the
+//! acyclic core, reporting times *and* maximum intermediate sizes — the
+//! quantity the paper's argument is about.
+//!
+//! Run with `cargo run --release -p bvq-bench --bin report_intro`.
+
+use std::time::Duration;
+
+use bvq_bench::harness::{fmt_duration, time_mean};
+use bvq_optimizer::{eval_eliminated, eval_yannakakis, greedy_order, induced_width};
+use bvq_workload::employee::{
+    employee_database, employee_query, employee_scy_query, EmployeeConfig,
+};
+
+fn main() {
+    println!("bvq — the PODS'95 introduction example");
+    println!("query: employees earning less than their manager's secretary");
+    println!();
+    let q = employee_query();
+    let order = greedy_order(&q);
+    println!(
+        "variables: 6; elimination order width: {} (⇒ bounded plan arity ≤ {})",
+        induced_width(&q, &order),
+        induced_width(&q, &order) + 1
+    );
+    println!();
+    // The paper's literal naive approach — the 10-ary cross product —
+    // only survives tiny instances.
+    println!("cross-product plan (the paper's naive approach), small instances:");
+    for employees in [6usize, 9, 12] {
+        let cfg =
+            EmployeeConfig { employees, departments: 2, salary_levels: 4 };
+        let db = employee_database(cfg, 42);
+        let (_, cps) = q.eval_cross_product_plan(&db).unwrap();
+        let t = time_mean(Duration::from_millis(20), || {
+            q.eval_cross_product_plan(&db).unwrap();
+        });
+        println!(
+            "  employees={employees:>3}: time {:>9}, max arity {}, max card {}",
+            fmt_duration(t),
+            cps.max_arity,
+            cps.max_cardinality
+        );
+    }
+    println!();
+    println!(
+        "{:>10} | {:>9} {:>7} {:>9} | {:>9} {:>7} {:>9} | {:>9} {:>7}",
+        "employees", "join", "arity", "max card", "elim", "arity", "max card", "yannakakis", "time"
+    );
+    for employees in [40usize, 80, 160, 320] {
+        let cfg = EmployeeConfig {
+            employees,
+            departments: (employees / 8).max(1),
+            salary_levels: 12,
+        };
+        let db = employee_database(cfg, 42);
+        let core = employee_scy_query();
+
+        let (_, ns) = q.eval_naive_plan(&db).unwrap();
+        let naive_t = time_mean(Duration::from_millis(40), || {
+            q.eval_naive_plan(&db).unwrap();
+        });
+        let (_, es) = eval_eliminated(&q, &db, &order).unwrap();
+        let elim_t = time_mean(Duration::from_millis(40), || {
+            eval_eliminated(&q, &db, &order).unwrap();
+        });
+        let yann_t = time_mean(Duration::from_millis(40), || {
+            eval_yannakakis(&core, &db).unwrap();
+        });
+        println!(
+            "{:>10} | {:>9} {:>7} {:>9} | {:>9} {:>7} {:>9} | {:>9} {:>7}",
+            employees,
+            fmt_duration(naive_t),
+            ns.max_arity,
+            ns.max_cardinality,
+            fmt_duration(elim_t),
+            es.max_arity,
+            es.max_cardinality,
+            "",
+            fmt_duration(yann_t),
+        );
+    }
+    println!();
+    println!("paper's claim: the naive cross-product plan materialises an arity-12");
+    println!("relation (arity 10 in the paper, which leaves the comparison out of");
+    println!("the product) of astronomically many tuples, while the bounded plan's");
+    println!("intermediates stay at arity ≤ 4 — variable minimization as a query");
+    println!("optimization methodology.");
+}

@@ -1,0 +1,227 @@
+//! Regenerates the paper's Tables 1–3 as *measured shapes*: for each table
+//! entry we run the corresponding parameter sweep, classify the growth
+//! curve (polynomial vs exponential), and print it next to the paper's
+//! complexity-class entry. Absolute classes (PTIME, NP, …) are not
+//! measurable; the *shape and the orderings between rows* are.
+//!
+//! Run with `cargo run --release -p bvq-bench --bin report_tables`.
+
+use std::time::Duration;
+
+use bvq_bench::harness::{classify, fmt_duration, time_mean, Growth, SweepPoint};
+use bvq_core::{BoundedEvaluator, CertifiedChecker, EsoEvaluator, FpEvaluator, NaiveEvaluator, PfpEvaluator};
+use bvq_logic::{patterns, Query, Term, Var};
+use bvq_reductions::qbf_to_pfp::{b0, to_pfp_query};
+use bvq_reductions::sat_to_eso::to_eso_sentence;
+use bvq_reductions::FiniteAlgebra;
+use bvq_relation::Database;
+use bvq_workload::formulas::{cross_product_family, random_fo};
+use bvq_workload::graphs::{graph_db, GraphKind};
+use bvq_workload::instances::{random_3cnf, random_qbf};
+
+const BUDGET: Duration = Duration::from_millis(30);
+
+fn sweep(params: &[usize], mut run: impl FnMut(usize) -> u64) -> Vec<SweepPoint> {
+    params
+        .iter()
+        .map(|&p| {
+            let mut size = 0;
+            let time = time_mean(BUDGET, || {
+                size = run(p);
+            });
+            SweepPoint { param: p, time, size }
+        })
+        .collect()
+}
+
+fn print_row(table: &str, row: &str, paper: &str, points: &[SweepPoint]) {
+    let shape = classify(points);
+    let series: Vec<String> = points
+        .iter()
+        .map(|p| format!("{}→{}", p.param, fmt_duration(p.time)))
+        .collect();
+    println!("  [{table}] {row:<38} paper: {paper:<18} measured: {shape:<4}  {}", series.join("  "));
+    let _ = shape;
+}
+
+fn expect(table: &str, row: &str, points: &[SweepPoint], expected: Growth) {
+    let got = classify(points);
+    if got != expected {
+        println!("  [{table}] !! {row}: expected {expected}, measured {got}");
+    }
+}
+
+fn main() {
+    println!("bvq — empirical reproduction of Vardi (PODS'95), Tables 1–3");
+    println!("(times are means; 'poly'/'exp' classify the measured growth curve)");
+    println!();
+
+    // ---------------- Table 1: unrestricted languages ----------------
+    println!("Table 1 — complexity of (unrestricted) query evaluation:");
+    {
+        // FO combined complexity: cross-product family, naive evaluation,
+        // width m grows ⇒ exponential.
+        let db = graph_db(GraphKind::Sparse(4), 12, 3);
+        let pts = sweep(&[2, 3, 4, 5], |m| {
+            let q = Query::new(vec![Var(0)], cross_product_family(m));
+            NaiveEvaluator::new(&db).without_stats().eval_query(&q).unwrap().0.len() as u64
+        });
+        print_row("T1", "FO combined (naive, width m)", "PSPACE-complete", &pts);
+        expect("T1", "FO combined", &pts, Growth::Exponential);
+
+        // FO data complexity: fixed formula, growing database ⇒ polynomial.
+        let q3 = Query::new(vec![Var(0)], cross_product_family(3));
+        let pts = sweep(&[10, 20, 40, 80], |n| {
+            let dbn = graph_db(GraphKind::Sparse(4), n, 3);
+            NaiveEvaluator::new(&dbn).without_stats().eval_query(&q3).unwrap().0.len() as u64
+        });
+        print_row("T1", "FO data (fixed query)", "AC0 (⊆ PTIME)", &pts);
+        expect("T1", "FO data", &pts, Growth::Polynomial);
+    }
+    println!();
+
+    // ---------------- Table 2: combined complexity of L^k ----------------
+    println!("Table 2 — combined complexity of bounded-variable queries:");
+    {
+        // FO^k: database and formula grow together ⇒ polynomial.
+        let pts = sweep(&[1, 2, 4, 8], |scale| {
+            let n = 12 * scale;
+            let db = graph_db(GraphKind::Sparse(3), n, 11);
+            let q = Query::new(vec![Var(0), Var(1), Var(2)], random_fo(3, 12 * scale, 5));
+            BoundedEvaluator::new(&db, 3).without_stats().eval_query(&q).unwrap().0.len() as u64
+        });
+        print_row("T2", "FO^k combined (Prop 3.1)", "PTIME-complete", &pts);
+        expect("T2", "FO^k combined", &pts, Growth::Polynomial);
+
+        // FP^k: certificate verification (Thm 3.5) ⇒ polynomial.
+        let pts = sweep(&[8, 16, 32, 64], |n| {
+            let db = graph_db(GraphKind::Sparse(2), n, 17);
+            let q = Query::sentence(patterns::fairness(Term::Const(0)));
+            let checker = CertifiedChecker::new(&db, 3);
+            let (cert, _) = checker.extract(&q).unwrap();
+            let (_, stats) = checker.verify(&q, &cert, &[]).unwrap();
+            stats.fixpoint_iterations
+        });
+        print_row("T2", "FP^k extract+verify (Thm 3.5)", "NP ∩ co-NP", &pts);
+        expect("T2", "FP^k certify", &pts, Growth::Polynomial);
+
+        // FP^k trace certificates: the paper's l·n^k shared-sequence form.
+        let pts = sweep(&[8, 16, 32, 64], |n| {
+            let db = graph_db(GraphKind::Sparse(2), n, 17);
+            let q = Query::sentence(patterns::fairness(Term::Const(0)));
+            let checker = bvq_core::TraceChecker::new(&db, 3);
+            let (cert, _) = checker.extract(&q).unwrap();
+            let (_, stats) = checker.verify(&q, &cert, &[]).unwrap();
+            stats.fixpoint_iterations
+        });
+        print_row("T2", "FP^k trace verify (l·n^k form)", "NP ∩ co-NP", &pts);
+        expect("T2", "FP^k trace", &pts, Growth::Polynomial);
+
+        // ESO^k: grounding size polynomial (the NP certificate).
+        let eso = patterns::three_coloring();
+        let pts = sweep(&[8, 16, 32, 64], |n| {
+            let db = graph_db(GraphKind::Sparse(3), n, 23);
+            let ev = EsoEvaluator::new(&db, 2);
+            let (_, info) = ev.check_with_info(&eso, &[], &[]).unwrap();
+            info.clauses as u64
+        });
+        print_row("T2", "ESO^k ground+SAT (Cor 3.7)", "NP-complete", &pts);
+        expect("T2", "ESO^k ground", &pts, Growth::Polynomial);
+
+        // PFP^k: convergent iteration, time polynomial in n.
+        let pts = sweep(&[8, 16, 32, 64], |n| {
+            let db = graph_db(GraphKind::Path, n, 0);
+            let q = Query::new(vec![Var(0)], patterns::pfp_reach(0));
+            PfpEvaluator::new(&db, 2).without_stats().eval_query(&q).unwrap().0.len() as u64
+        });
+        print_row("T2", "PFP^k iteration (Thm 3.8)", "PSPACE-complete", &pts);
+        expect("T2", "PFP^k iteration", &pts, Growth::Polynomial);
+
+        // Contrast: FP^k naive nested evaluation is the slow path the
+        // paper's technique avoids.
+        let pts_naive = sweep(&[8, 16, 32], |n| {
+            let db = graph_db(GraphKind::Sparse(2), n, 17);
+            let q = Query::sentence(patterns::fairness(Term::Const(0)));
+            let (_, s) = FpEvaluator::new(&db, 3)
+                .with_strategy(bvq_core::FpStrategy::Naive)
+                .eval_query(&q)
+                .unwrap();
+            s.fixpoint_iterations
+        });
+        print_row("T2", "FP^k naive nested (n^(kl) path)", "— (baseline)", &pts_naive);
+    }
+    println!();
+
+    // ---------------- Table 3: expression complexity of L^k --------------
+    println!("Table 3 — expression complexity of bounded-variable queries:");
+    {
+        // FO^k over a fixed database: finite-algebra evaluation, warm
+        // tables ⇒ near-linear in |φ| with tiny constants.
+        let db = graph_db(GraphKind::Cycle, 20, 0);
+        let mut alg = FiniteAlgebra::new(&db, 3);
+        let pts = sweep(&[64, 256, 1024], |len| {
+            let q = Query::new(vec![Var(0), Var(1)], patterns::path_bounded(len));
+            alg.eval_query(&q).unwrap().len() as u64
+        });
+        print_row("T3", "FO^k fixed-DB algebra (Cor 4.3)", "ALOGTIME", &pts);
+        expect("T3", "FO^k algebra", &pts, Growth::Polynomial);
+
+        // ESO^k over a fixed DB is NP-hard: random 3-SAT near threshold
+        // through the Thm 4.5 reduction (time grows with instance).
+        let fixed_db = Database::builder(2).relation("P", 1, [[0u32]]).build();
+        let pts = sweep(&[10, 20, 40], |v| {
+            let cnf = random_3cnf(v, v * 4, 31);
+            let eso = to_eso_sentence(&cnf);
+            u64::from(EsoEvaluator::new(&fixed_db, 1).check(&eso, &[], &[]).unwrap())
+        });
+        print_row("T3", "ESO^k fixed-DB = SAT (Thm 4.5)", "NP-complete", &pts);
+
+        // PFP^k over B0 is PSPACE-hard: QBF through the Thm 4.6 reduction
+        // (time exponential in the number of quantifiers — as it must be).
+        let db0 = b0();
+        let pts = sweep(&[2, 3, 4, 5], |l| {
+            let inst = random_qbf(l, 2 * l, 37);
+            let q = to_pfp_query(&inst);
+            u64::from(
+                PfpEvaluator::new(&db0, 2)
+                    .without_stats()
+                    .eval_query(&q)
+                    .unwrap()
+                    .0
+                    .as_boolean(),
+            )
+        });
+        print_row("T3", "PFP^k over B0 = QBF (Thm 4.6)", "PSPACE-complete", &pts);
+    }
+    println!();
+
+    // ---------------- The methodology, automated ----------------
+    println!("Variable minimization (§5 suggestion), automated on ψ_n:");
+    {
+        let db = graph_db(GraphKind::DensePercent(20), 24, 7);
+        for n in [3usize, 5, 7] {
+            let naive = bvq_logic::patterns::path_naive(n);
+            let slim = naive.minimize_width().expect("FO");
+            let q_naive = Query::new(vec![Var(0), Var(1)], naive.clone());
+            let q_slim = Query::new(vec![Var(0), Var(1)], slim.clone());
+            let t_naive = time_mean(BUDGET, || {
+                NaiveEvaluator::new(&db).without_stats().eval_query(&q_naive).unwrap();
+            });
+            let t_slim = time_mean(BUDGET, || {
+                BoundedEvaluator::new(&db, slim.width())
+                    .without_stats()
+                    .eval_query(&q_slim)
+                    .unwrap();
+            });
+            println!(
+                "  ψ_{n}: width {} → {}, naive eval {} → bounded eval {}",
+                naive.width(),
+                slim.width(),
+                fmt_duration(t_naive),
+                fmt_duration(t_slim)
+            );
+        }
+    }
+    println!();
+    println!("done.");
+}

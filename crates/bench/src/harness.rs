@@ -1,0 +1,160 @@
+//! Shared measurement helpers for the report binaries: timed sweeps and
+//! growth-shape classification (polynomial vs exponential), the empirical
+//! stand-in for the paper's complexity-class table entries.
+
+use std::time::{Duration, Instant};
+
+/// One measured point of a parameter sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    /// The swept parameter (database size, formula size, …).
+    pub param: usize,
+    /// Wall-clock time for the measured operation.
+    pub time: Duration,
+    /// An operation-specific size (max intermediate cardinality, clauses,
+    /// iterations, …).
+    pub size: u64,
+}
+
+/// Times `f()` once and returns its duration together with its output.
+pub fn time_one<T>(f: impl FnOnce() -> T) -> (Duration, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed(), out)
+}
+
+/// Times `f()` with enough repetitions to exceed `min_total`, returning the
+/// mean duration.
+pub fn time_mean(min_total: Duration, mut f: impl FnMut()) -> Duration {
+    // Warm-up run.
+    f();
+    let mut reps: u32 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= min_total || reps >= 1 << 20 {
+            return elapsed / reps;
+        }
+        reps = reps.saturating_mul(4);
+    }
+}
+
+/// Classification of a growth curve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Growth {
+    /// Time grows at most polynomially in the parameter (log-log slope
+    /// bounded).
+    Polynomial,
+    /// Time grows exponentially (log-linear in the parameter).
+    Exponential,
+}
+
+impl std::fmt::Display for Growth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Growth::Polynomial => write!(f, "poly"),
+            Growth::Exponential => write!(f, "exp"),
+        }
+    }
+}
+
+/// Classifies a sweep as polynomial or exponential growth.
+///
+/// Heuristic: fit the last few points. If successive ratios
+/// `t(p+step)/t(p)` keep *growing* (super-polynomial) or exceed a hard
+/// multiple while the parameter grows additively, call it exponential;
+/// otherwise polynomial. Designed for the clear-cut separations the paper
+/// predicts (n^k vs 2^n shapes), not for marginal cases.
+pub fn classify(points: &[SweepPoint]) -> Growth {
+    let usable: Vec<&SweepPoint> =
+        points.iter().filter(|p| p.time > Duration::from_micros(5)).collect();
+    if usable.len() < 3 {
+        return Growth::Polynomial;
+    }
+    // Compute per-step time ratios normalised by parameter ratios:
+    // for polynomial t = c·p^d, log t is linear in log p, so
+    // (log t2 - log t1)/(log p2 - log p1) ≈ d is stable and modest.
+    // For exponential t = c·2^{αp}, that quotient grows without bound.
+    let mut slopes = Vec::new();
+    for w in usable.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let dt = (b.time.as_secs_f64() / a.time.as_secs_f64()).ln();
+        let dp = (b.param as f64 / a.param as f64).ln();
+        if dp > 0.0 {
+            slopes.push(dt / dp);
+        }
+    }
+    if slopes.is_empty() {
+        return Growth::Polynomial;
+    }
+    let last = *slopes.last().expect("nonempty");
+    // Exponential growth shows an effective log-log slope that keeps
+    // climbing; we flag it when the tail slope is both large and clearly
+    // above the head slope.
+    let first = slopes[0];
+    if last > 8.0 || (last > 2.0 * first.max(0.5) && last > 4.0) {
+        Growth::Exponential
+    } else {
+        Growth::Polynomial
+    }
+}
+
+/// Formats a duration compactly for table output.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(param: usize, micros: u64) -> SweepPoint {
+        SweepPoint { param, time: Duration::from_micros(micros), size: 0 }
+    }
+
+    #[test]
+    fn classifies_polynomial() {
+        // t = p²: 100, 400, 900, 1600, 2500 µs.
+        let pts: Vec<SweepPoint> =
+            (1..=5).map(|p| pt(p * 10, (p * p * 100) as u64)).collect();
+        assert_eq!(classify(&pts), Growth::Polynomial);
+    }
+
+    #[test]
+    fn classifies_exponential() {
+        // t = 2^p with p additive: 100, 200, 400, …, parameter 10,11,12…
+        let pts: Vec<SweepPoint> =
+            (0..8).map(|i| pt(10 + i, 100u64 << i)).collect();
+        assert_eq!(classify(&pts), Growth::Exponential);
+    }
+
+    #[test]
+    fn too_few_points_defaults_poly() {
+        assert_eq!(classify(&[pt(1, 10)]), Growth::Polynomial);
+    }
+
+    #[test]
+    fn fmt_duration_ranges() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00ms");
+        assert_eq!(fmt_duration(Duration::from_micros(7)), "7.0µs");
+    }
+
+    #[test]
+    fn time_mean_returns_positive() {
+        let d = time_mean(Duration::from_millis(1), || {
+            std::hint::black_box((0..100).sum::<u64>());
+        });
+        assert!(d > Duration::ZERO);
+    }
+}

@@ -1,0 +1,9 @@
+//! # bvq-bench
+//!
+//! Benchmark harness for the `bvq` reproduction. The Criterion benchmarks
+//! live in `benches/`; the table-reproducing report binaries live in
+//! `src/bin/`. This library crate hosts shared sweep/reporting helpers.
+
+#![forbid(unsafe_code)]
+
+pub mod harness;

@@ -1,0 +1,34 @@
+//! # bvq-cli
+//!
+//! The library behind the `bvq` command-line tool: a text format for
+//! relational databases and the command dispatch used by `main`.
+//!
+//! Database text format (`#` starts a comment):
+//!
+//! ```text
+//! domain 6
+//! rel E/2
+//! 0 1
+//! 1 2
+//! end
+//! rel P/1
+//! 2
+//! end
+//! ```
+//!
+//! Usage:
+//!
+//! ```text
+//! bvq eval <db-file> '<query>' [--k N] [--naive] [--certify t1,t2,…]
+//! bvq eso  <db-file> '<eso sentence>' [--k N]
+//! bvq repl <db-file>
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dbtext;
+pub mod run;
+
+pub use dbtext::{parse_database, DbTextError};
+pub use run::{run_eso, run_eval, EvalOptions};

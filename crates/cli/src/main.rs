@@ -1,0 +1,115 @@
+//! The `bvq` command-line tool.
+//!
+//! ```text
+//! bvq eval <db-file> '<query>' [--k N] [--naive] [--certify t1,t2;u1,u2]
+//! bvq eso  <db-file> '<eso sentence>' [--k N]
+//! bvq repl <db-file>
+//! ```
+
+use std::io::{BufRead, Write};
+
+use bvq_cli::{parse_database, run_eso, run_eval, EvalOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => {}
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  bvq eval <db-file> '<query>' [--k N] [--naive] [--certify T]");
+            eprintln!("  bvq eso  <db-file> '<eso sentence>' [--k N]");
+            eprintln!("  bvq repl <db-file>");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing command")?;
+    let db_path = args.get(1).ok_or("missing database file")?;
+    let text = std::fs::read_to_string(db_path)
+        .map_err(|e| format!("cannot read `{db_path}`: {e}"))?;
+    let db = parse_database(&text).map_err(|e| e.to_string())?;
+
+    match cmd.as_str() {
+        "eval" => {
+            let query = args.get(2).ok_or("missing query")?;
+            let opts = parse_opts(&args[3..])?;
+            print!("{}", run_eval(&db, query, &opts)?);
+            Ok(())
+        }
+        "eso" => {
+            let query = args.get(2).ok_or("missing query")?;
+            let opts = parse_opts(&args[3..])?;
+            print!("{}", run_eso(&db, query, opts.k)?);
+            Ok(())
+        }
+        "repl" => {
+            println!(
+                "bvq repl — database `{db_path}` (n = {}); enter queries, `:eso <sentence>`, or `:quit`",
+                db.domain_size()
+            );
+            let stdin = std::io::stdin();
+            loop {
+                print!("bvq> ");
+                std::io::stdout().flush().ok();
+                let mut line = String::new();
+                if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+                    break;
+                }
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                if line == ":quit" || line == ":q" {
+                    break;
+                }
+                let result = if let Some(eso) = line.strip_prefix(":eso ") {
+                    run_eso(&db, eso, None)
+                } else {
+                    run_eval(&db, line, &EvalOptions::default())
+                };
+                match result {
+                    Ok(out) => print!("{out}"),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Parses `--k N`, `--naive`, `--certify a,b;c,d`.
+fn parse_opts(rest: &[String]) -> Result<EvalOptions, String> {
+    let mut opts = EvalOptions::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--k" => {
+                let v = it.next().ok_or("--k needs a value")?;
+                opts.k = Some(v.parse().map_err(|_| format!("bad --k value `{v}`"))?);
+            }
+            "--naive" => opts.naive = true,
+            "--minimize" => opts.minimize = true,
+            "--certify" => {
+                let v = it.next().ok_or("--certify needs tuples")?;
+                for group in v.split(';') {
+                    if group.is_empty() {
+                        opts.certify.push(Vec::new());
+                        continue;
+                    }
+                    let tuple: Vec<u32> = group
+                        .split(',')
+                        .map(|t| t.parse().map_err(|_| format!("bad tuple element `{t}`")))
+                        .collect::<Result<_, _>>()?;
+                    opts.certify.push(tuple);
+                }
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}

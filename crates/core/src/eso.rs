@@ -1,0 +1,772 @@
+//! `ESO^k` evaluation (Lemma 3.6 and Corollary 3.7).
+//!
+//! The difficulty with existential second-order queries is that bounding
+//! the *individual* variables does not bound the arity of the quantified
+//! relations — guessing them naively costs `2^{n^a}`. The paper's key
+//! observation: an `ESO^k` body contains only linearly many atoms over the
+//! quantified relations, and each atom's argument tuple is built from the
+//! `k` individual variables, so only `O(|ψ|·n^k)` ground tuples of the
+//! quantified relations are ever *referenced*.
+//!
+//! Two artefacts implement this:
+//!
+//! * [`reduce_arity`] — the literal Lemma 3.6 transform: one `k`-ary "view"
+//!   symbol per atom pattern, plus consistency assertions between views
+//!   whose patterns unify; the result is an equivalent `ESO^k` formula
+//!   whose quantified relations have arity ≤ `k`.
+//! * [`EsoEvaluator::check`] — the Corollary 3.7 decision procedure: ground
+//!   the body over the cylindrical assignment space `D^k` (one definitional
+//!   SAT variable per subformula × assignment, one decision variable per
+//!   referenced ground tuple) and hand the polynomial-size CNF to the CDCL
+//!   solver.
+//!
+//! [`EsoEvaluator::eval_naive`] is the exponential enumerate-and-check
+//! oracle used for differential testing and as the Table-2 baseline.
+
+use bvq_logic::{Atom, Eso, Formula, Query, RelRef, Term, Var};
+use bvq_relation::{
+    Database, Elem, FxHashMap, PointIndex, Relation, Tuple,
+};
+use bvq_sat::{Cnf, Lit, SatResult, Solver, VarId};
+
+use crate::env::RelEnv;
+use crate::fo::BoundedEvaluator;
+use crate::EvalError;
+
+/// Information about one grounding, reported for the Table-2 measurements.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GroundingInfo {
+    /// SAT variables introduced (definitional + tuple variables).
+    pub sat_vars: usize,
+    /// Clauses in the grounded CNF.
+    pub clauses: usize,
+    /// Distinct ground tuples of quantified relations referenced.
+    pub referenced_tuples: usize,
+}
+
+/// The `ESO^k` evaluator.
+pub struct EsoEvaluator<'d> {
+    db: &'d Database,
+    k: usize,
+}
+
+impl<'d> EsoEvaluator<'d> {
+    /// Creates an evaluator with variable bound `k`.
+    pub fn new(db: &'d Database, k: usize) -> Self {
+        EsoEvaluator { db, k }
+    }
+
+    /// Decides whether the (sentence or tuple-bound) query holds: is there
+    /// an assignment of the quantified relations making the body true with
+    /// the output variables bound to `t`?
+    ///
+    /// Polynomial-size grounding + SAT (Corollary 3.7).
+    pub fn check(&self, eso: &Eso, output: &[Var], t: &[Elem]) -> Result<bool, EvalError> {
+        Ok(self.check_with_info(eso, output, t)?.0)
+    }
+
+    /// Like [`check`](Self::check) but also reports grounding sizes.
+    pub fn check_with_info(
+        &self,
+        eso: &Eso,
+        output: &[Var],
+        t: &[Elem],
+    ) -> Result<(bool, GroundingInfo), EvalError> {
+        if t.len() != output.len() {
+            return Ok((false, GroundingInfo::default()));
+        }
+        eso.validate()
+            .map_err(|_| EvalError::UnsupportedConstruct("invalid ESO formula"))?;
+        let width = eso
+            .width()
+            .max(output.iter().map(|v| v.index() + 1).max().unwrap_or(0))
+            .max(1);
+        if width > self.k.max(1) {
+            return Err(EvalError::WidthExceeded { k: self.k, width });
+        }
+        let k = self.k.max(1);
+        let n = self.db.domain_size();
+        let index = PointIndex::new(n, k)
+            .ok_or(EvalError::UnsupportedConstruct("assignment space too large to ground"))?;
+        // Base assignment: output variables pinned to t, others 0.
+        let mut base = vec![0 as Elem; k];
+        for (v, &val) in output.iter().zip(t) {
+            if val as usize >= n {
+                return Ok((false, GroundingInfo::default()));
+            }
+            base[v.index()] = val;
+        }
+        let mut g = Grounder {
+            db: self.db,
+            eso,
+            index,
+            cnf: Cnf::new(0),
+            memo: FxHashMap::default(),
+            tuple_vars: FxHashMap::default(),
+        };
+        let root = g.glit(&eso.body, g.index.rank(&base))?;
+        match root {
+            GLit::Const(b) => Ok((
+                b,
+                GroundingInfo {
+                    sat_vars: g.cnf.num_vars,
+                    clauses: g.cnf.clauses.len(),
+                    referenced_tuples: g.tuple_vars.len(),
+                },
+            )),
+            GLit::Lit(l) => {
+                g.cnf.add_clause([l]);
+                let info = GroundingInfo {
+                    sat_vars: g.cnf.num_vars,
+                    clauses: g.cnf.clauses.len(),
+                    referenced_tuples: g.tuple_vars.len(),
+                };
+                let sat = Solver::new(&g.cnf).solve().is_sat();
+                Ok((sat, info))
+            }
+        }
+    }
+
+    /// Evaluates the query `(output)(∃S̄)body` by deciding each candidate
+    /// output tuple with the SAT-based procedure.
+    pub fn eval_query(&self, eso: &Eso, output: &[Var]) -> Result<Relation, EvalError> {
+        let n = self.db.domain_size();
+        let arity = output.len();
+        let mut result = Relation::new(arity);
+        let full = Relation::full(arity, n);
+        for t in full.iter() {
+            if self.check(eso, output, t.as_slice())? {
+                result.insert(t.clone());
+            }
+        }
+        Ok(result)
+    }
+
+    /// Like [`check`](Self::check) but additionally returns witnessing
+    /// relations for the quantified symbols when satisfiable. Tuples never
+    /// referenced by the grounding are left out (any completion works).
+    pub fn check_with_witness(
+        &self,
+        eso: &Eso,
+        output: &[Var],
+        t: &[Elem],
+    ) -> Result<Option<RelEnv>, EvalError> {
+        if t.len() != output.len() {
+            return Ok(None);
+        }
+        eso.validate()
+            .map_err(|_| EvalError::UnsupportedConstruct("invalid ESO formula"))?;
+        let width = eso
+            .width()
+            .max(output.iter().map(|v| v.index() + 1).max().unwrap_or(0))
+            .max(1);
+        if width > self.k.max(1) {
+            return Err(EvalError::WidthExceeded { k: self.k, width });
+        }
+        let k = self.k.max(1);
+        let n = self.db.domain_size();
+        let index = PointIndex::new(n, k)
+            .ok_or(EvalError::UnsupportedConstruct("assignment space too large to ground"))?;
+        let mut base = vec![0 as Elem; k];
+        for (v, &val) in output.iter().zip(t) {
+            if val as usize >= n {
+                return Ok(None);
+            }
+            base[v.index()] = val;
+        }
+        let mut g = Grounder {
+            db: self.db,
+            eso,
+            index,
+            cnf: Cnf::new(0),
+            memo: FxHashMap::default(),
+            tuple_vars: FxHashMap::default(),
+        };
+        let root = g.glit(&eso.body, g.index.rank(&base))?;
+        let model = match root {
+            GLit::Const(false) => return Ok(None),
+            GLit::Const(true) => Vec::new(),
+            GLit::Lit(l) => {
+                g.cnf.add_clause([l]);
+                match Solver::new(&g.cnf).solve() {
+                    SatResult::Unsat => return Ok(None),
+                    SatResult::Sat(m) => m,
+                }
+            }
+        };
+        let mut env = RelEnv::new();
+        for (slot, (name, arity)) in eso.rels.iter().enumerate() {
+            let mut rel = Relation::new(*arity);
+            for ((s, tuple), var) in &g.tuple_vars {
+                if *s == slot && model.get(*var as usize).copied().unwrap_or(false) {
+                    rel.insert(tuple.clone());
+                }
+            }
+            env.bind(name, rel);
+        }
+        Ok(Some(env))
+    }
+
+    /// The exponential enumerate-and-check oracle: tries every assignment
+    /// of the quantified relations. Only usable when `Σ 2^(n^arity)` is
+    /// tiny; used for differential testing and the Table-2 baseline.
+    ///
+    /// # Panics
+    /// Panics if any quantified relation has more than
+    /// [`Self::NAIVE_LIMIT`] candidate tuples.
+    pub fn eval_naive(&self, eso: &Eso, output: &[Var]) -> Result<Relation, EvalError> {
+        eso.validate()
+            .map_err(|_| EvalError::UnsupportedConstruct("invalid ESO formula"))?;
+        let n = self.db.domain_size();
+        // Candidate tuple lists per quantified relation.
+        let mut spaces: Vec<Vec<Tuple>> = Vec::new();
+        for (_, arity) in &eso.rels {
+            let space: Vec<Tuple> = Relation::full(*arity, n).sorted();
+            assert!(
+                space.len() <= Self::NAIVE_LIMIT,
+                "naive ESO enumeration over 2^{} relations",
+                space.len()
+            );
+            spaces.push(space);
+        }
+        let fo = BoundedEvaluator::new(self.db, self.k.max(1));
+        let q = Query::new(output.to_vec(), eso.body.clone());
+        let mut result = Relation::new(output.len());
+        let mut masks = vec![0u64; eso.rels.len()];
+        loop {
+            // Build the environment for the current masks.
+            let mut env = RelEnv::new();
+            for (slot, (name, arity)) in eso.rels.iter().enumerate() {
+                let mut rel = Relation::new(*arity);
+                for (bit, tuple) in spaces[slot].iter().enumerate() {
+                    if masks[slot] >> bit & 1 == 1 {
+                        rel.insert(tuple.clone());
+                    }
+                }
+                env.bind(name, rel);
+            }
+            let (answer, _) = fo.eval_query_with_env(&q, &env)?;
+            result = result.union(&answer);
+            // Odometer over relation masks.
+            let mut i = 0;
+            loop {
+                if i == masks.len() {
+                    return Ok(result);
+                }
+                masks[i] += 1;
+                if masks[i] < (1u64 << spaces[i].len()) {
+                    break;
+                }
+                masks[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    /// Candidate-tuple limit for the naive oracle (2^limit assignments per
+    /// relation).
+    pub const NAIVE_LIMIT: usize = 16;
+}
+
+/// A grounded literal: a constant or a CNF literal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum GLit {
+    Const(bool),
+    Lit(Lit),
+}
+
+impl GLit {
+    fn negated(self) -> GLit {
+        match self {
+            GLit::Const(b) => GLit::Const(!b),
+            GLit::Lit(l) => GLit::Lit(l.negated()),
+        }
+    }
+}
+
+struct Grounder<'a> {
+    db: &'a Database,
+    eso: &'a Eso,
+    index: PointIndex,
+    cnf: Cnf,
+    /// Memo: (subformula address, assignment rank) → literal.
+    memo: FxHashMap<(usize, usize), GLit>,
+    /// Decision variables per referenced ground tuple of each quantified
+    /// relation: (slot, tuple) → SAT var.
+    tuple_vars: FxHashMap<(usize, Tuple), VarId>,
+}
+
+impl Grounder<'_> {
+    fn term_value(&self, t: &Term, rank: usize) -> Result<Elem, EvalError> {
+        match t {
+            Term::Var(v) => Ok(self.index.digit(rank, v.index())),
+            Term::Const(c) => {
+                if *c as usize >= self.db.domain_size() {
+                    Err(EvalError::ConstOutOfDomain(*c))
+                } else {
+                    Ok(*c)
+                }
+            }
+        }
+    }
+
+    /// Grounds one subformula at one assignment.
+    fn glit(&mut self, f: &Formula, rank: usize) -> Result<GLit, EvalError> {
+        let key = (f as *const Formula as usize, rank);
+        if let Some(&g) = self.memo.get(&key) {
+            return Ok(g);
+        }
+        let out = match f {
+            Formula::Const(b) => GLit::Const(*b),
+            Formula::Eq(a, b) => {
+                GLit::Const(self.term_value(a, rank)? == self.term_value(b, rank)?)
+            }
+            Formula::Atom(Atom { rel: RelRef::Db(name), args }) => {
+                let relation = self
+                    .db
+                    .relation_by_name(name)
+                    .ok_or_else(|| EvalError::UnknownRelation(name.clone()))?;
+                if relation.arity() != args.len() {
+                    return Err(EvalError::ArityMismatch {
+                        name: name.clone(),
+                        expected: relation.arity(),
+                        found: args.len(),
+                    });
+                }
+                let tuple: Vec<Elem> = args
+                    .iter()
+                    .map(|t| self.term_value(t, rank))
+                    .collect::<Result<_, _>>()?;
+                GLit::Const(relation.contains(&tuple))
+            }
+            Formula::Atom(Atom { rel: RelRef::Bound(name), args }) => {
+                let slot = self
+                    .eso
+                    .rels
+                    .iter()
+                    .position(|(n, _)| n == name)
+                    .ok_or_else(|| EvalError::UnboundRelVar(name.clone()))?;
+                let tuple: Tuple = args
+                    .iter()
+                    .map(|t| self.term_value(t, rank))
+                    .collect::<Result<Vec<_>, _>>()?
+                    .into();
+                let cnf = &mut self.cnf;
+                let var = *self
+                    .tuple_vars
+                    .entry((slot, tuple))
+                    .or_insert_with(|| cnf.fresh_var());
+                GLit::Lit(Lit::pos(var))
+            }
+            Formula::Not(g) => self.glit(g, rank)?.negated(),
+            Formula::And(a, b) => {
+                let (ga, gb) = (self.glit(a, rank)?, self.glit(b, rank)?);
+                self.combine(&[ga, gb], true)
+            }
+            Formula::Or(a, b) => {
+                let (ga, gb) = (self.glit(a, rank)?, self.glit(b, rank)?);
+                self.combine(&[ga, gb], false)
+            }
+            Formula::Exists(v, g) => {
+                let mut lits = Vec::with_capacity(self.db.domain_size());
+                for b in 0..self.db.domain_size() {
+                    let r = self.index.with_digit(rank, v.index(), b as Elem);
+                    lits.push(self.glit(g, r)?);
+                }
+                self.combine(&lits, false)
+            }
+            Formula::Forall(v, g) => {
+                let mut lits = Vec::with_capacity(self.db.domain_size());
+                for b in 0..self.db.domain_size() {
+                    let r = self.index.with_digit(rank, v.index(), b as Elem);
+                    lits.push(self.glit(g, r)?);
+                }
+                self.combine(&lits, true)
+            }
+            Formula::Fix { .. } => {
+                return Err(EvalError::UnsupportedConstruct("fixpoint in an ESO body"))
+            }
+        };
+        self.memo.insert(key, out);
+        Ok(out)
+    }
+
+    /// Combines literals conjunctively (`and = true`) or disjunctively,
+    /// with constant folding and a Tseitin definition when needed.
+    fn combine(&mut self, lits: &[GLit], and: bool) -> GLit {
+        let (absorb, neutral) = if and { (false, true) } else { (true, false) };
+        let mut real: Vec<Lit> = Vec::with_capacity(lits.len());
+        for l in lits {
+            match l {
+                GLit::Const(b) if *b == absorb => return GLit::Const(absorb),
+                GLit::Const(_) => {} // neutral: drop
+                GLit::Lit(l) => real.push(*l),
+            }
+        }
+        match real.len() {
+            0 => GLit::Const(neutral),
+            1 => GLit::Lit(real[0]),
+            _ => {
+                let out = Lit::pos(self.cnf.fresh_var());
+                if and {
+                    // out → lᵢ ; (⋀ lᵢ) → out
+                    for &l in &real {
+                        self.cnf.add_clause([out.negated(), l]);
+                    }
+                    let mut big: Vec<Lit> = real.iter().map(|l| l.negated()).collect();
+                    big.push(out);
+                    self.cnf.add_clause(big);
+                } else {
+                    for &l in &real {
+                        self.cnf.add_clause([l.negated(), out]);
+                    }
+                    let mut big = real;
+                    big.push(out.negated());
+                    self.cnf.add_clause(big);
+                }
+                GLit::Lit(out)
+            }
+        }
+    }
+}
+
+/// The Lemma 3.6 arity-reduction transform: returns an equivalent `ESO^k`
+/// formula whose quantified relations all have arity ≤ `k`.
+///
+/// Every atom `S(u₁,…,u_l)` over a quantified relation (whose arguments
+/// must be variables among `x₁,…,x_k`) is replaced by `S^{ū}(x₁,…,x_k)`
+/// for a fresh `k`-ary view symbol per distinct argument pattern `ū`, and
+/// consistency assertions are added between views whose patterns unify
+/// (universally quantified over `x₁,…,x_k`, so the result stays in `L^k`).
+pub fn reduce_arity(eso: &Eso, k: usize) -> Result<Eso, EvalError> {
+    eso.validate().map_err(|_| EvalError::UnsupportedConstruct("invalid ESO formula"))?;
+    let width = eso.width().max(1);
+    if width > k {
+        return Err(EvalError::WidthExceeded { k, width });
+    }
+    // Collect the atom patterns per quantified relation. A pattern is the
+    // vector of variable indices of the atom's arguments.
+    let mut patterns: Vec<Vec<Vec<usize>>> = vec![Vec::new(); eso.rels.len()];
+    let mut pattern_error = None;
+    eso.body.visit(&mut |f| {
+        if pattern_error.is_some() {
+            return;
+        }
+        if let Formula::Atom(Atom { rel: RelRef::Bound(name), args }) = f {
+            let slot = eso.rels.iter().position(|(n, _)| n == name).expect("validated");
+            let mut pat = Vec::with_capacity(args.len());
+            for t in args {
+                match t {
+                    Term::Var(v) => pat.push(v.index()),
+                    Term::Const(_) => {
+                        pattern_error = Some(EvalError::UnsupportedConstruct(
+                            "constants in quantified-relation atoms are not supported by the \
+                             Lemma 3.6 transform",
+                        ));
+                        return;
+                    }
+                }
+            }
+            if !patterns[slot].contains(&pat) {
+                patterns[slot].push(pat);
+            }
+        }
+    });
+    if let Some(e) = pattern_error {
+        return Err(e);
+    }
+
+    let view_name = |slot: usize, pat: &[usize]| -> String {
+        let ids: Vec<String> = pat.iter().map(|i| (i + 1).to_string()).collect();
+        format!("{}@{}", eso.rels[slot].0, ids.join("_"))
+    };
+
+    // Rewrite the body.
+    fn rewrite(
+        f: &Formula,
+        eso: &Eso,
+        view_name: &dyn Fn(usize, &[usize]) -> String,
+        k: usize,
+    ) -> Formula {
+        match f {
+            Formula::Atom(Atom { rel: RelRef::Bound(name), args }) => {
+                let slot = eso.rels.iter().position(|(n, _)| n == name).expect("validated");
+                let pat: Vec<usize> =
+                    args.iter().map(|t| t.as_var().expect("checked").index()).collect();
+                Formula::rel_var(
+                    &view_name(slot, &pat),
+                    (0..k as u32).map(|i| Term::Var(Var(i))),
+                )
+            }
+            Formula::Const(_) | Formula::Atom(_) | Formula::Eq(..) => f.clone(),
+            Formula::Not(g) => rewrite(g, eso, view_name, k).not(),
+            Formula::And(a, b) => {
+                rewrite(a, eso, view_name, k).and(rewrite(b, eso, view_name, k))
+            }
+            Formula::Or(a, b) => {
+                rewrite(a, eso, view_name, k).or(rewrite(b, eso, view_name, k))
+            }
+            Formula::Exists(v, g) => rewrite(g, eso, view_name, k).exists(*v),
+            Formula::Forall(v, g) => rewrite(g, eso, view_name, k).forall(*v),
+            Formula::Fix { .. } => unreachable!("ESO bodies are first-order"),
+        }
+    }
+    let mut body = rewrite(&eso.body, eso, &view_name, k);
+
+    // Consistency assertions. For each relation, each ordered pair of
+    // patterns (p, q), and each k-sequence ū of variables: the occurrence
+    // S^p(ū) denotes the ground atom S(u_{p₁},…,u_{p_l}); if a k-sequence
+    // v̄ exists with v_{q_m} = u_{p_m} for all m (consistent where q
+    // repeats), the canonical such v̄ must agree:
+    //     ∀x̄ (S^p(ū) ↔ S^q(v̄)).
+    let mut assertions: Vec<Formula> = Vec::new();
+    for (slot, pats) in patterns.iter().enumerate() {
+        for p in pats {
+            for q in pats {
+                // Enumerate ū ∈ {x1..xk}^k.
+                let mut u = vec![0usize; k];
+                loop {
+                    // Induced ground pattern g_m = u[p_m].
+                    // Solve v[q_m] = g_m; consistent iff repeated q indices
+                    // agree.
+                    let mut v: Vec<Option<usize>> = vec![None; k];
+                    let mut ok = true;
+                    for (m, &qm) in q.iter().enumerate() {
+                        let want = u[p[m]];
+                        match v[qm] {
+                            None => v[qm] = Some(want),
+                            Some(have) if have == want => {}
+                            Some(_) => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok {
+                        let vfull: Vec<usize> =
+                            v.into_iter().map(|o| o.unwrap_or(0)).collect();
+                        // Skip trivial self-equalities.
+                        let lhs_id = (p.clone(), u.clone());
+                        let rhs_id = (q.clone(), vfull.clone());
+                        if lhs_id != rhs_id {
+                            let lhs = Formula::rel_var(
+                                &view_name(slot, p),
+                                u.iter().map(|&i| Term::Var(Var(i as u32))),
+                            );
+                            let rhs = Formula::rel_var(
+                                &view_name(slot, q),
+                                vfull.iter().map(|&i| Term::Var(Var(i as u32))),
+                            );
+                            let mut assertion = lhs.iff(rhs);
+                            for i in (0..k as u32).rev() {
+                                assertion = assertion.forall(Var(i));
+                            }
+                            assertions.push(assertion);
+                        }
+                    }
+                    // Odometer over ū.
+                    let mut i = 0;
+                    loop {
+                        if i == k {
+                            break;
+                        }
+                        u[i] += 1;
+                        if u[i] < k {
+                            break;
+                        }
+                        u[i] = 0;
+                        i += 1;
+                    }
+                    if u.iter().all(|&d| d == 0) {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    for a in assertions {
+        body = body.and(a);
+    }
+
+    let rels: Vec<(String, usize)> = patterns
+        .iter()
+        .enumerate()
+        .flat_map(|(slot, pats)| pats.iter().map(move |p| (view_name(slot, p), k)))
+        .collect();
+    let out = Eso { rels, body };
+    debug_assert!(out.validate().is_ok());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvq_logic::parser::parse_eso;
+    use bvq_logic::patterns;
+
+    fn tri_db(edges: &[[u32; 2]], n: usize) -> Database {
+        // Symmetric closure for undirected-graph colouring tests.
+        let mut all: Vec<[u32; 2]> = Vec::new();
+        for e in edges {
+            all.push(*e);
+            all.push([e[1], e[0]]);
+        }
+        Database::builder(n).relation("E", 2, all).build()
+    }
+
+    #[test]
+    fn three_coloring_sat_and_unsat() {
+        let eso = patterns::three_coloring();
+        // A triangle is 3-colourable.
+        let tri = tri_db(&[[0, 1], [1, 2], [2, 0]], 3);
+        let ev = EsoEvaluator::new(&tri, 2);
+        assert!(ev.check(&eso, &[], &[]).unwrap());
+        // K4 is not.
+        let k4 = tri_db(&[[0, 1], [0, 2], [0, 3], [1, 2], [1, 3], [2, 3]], 4);
+        let ev4 = EsoEvaluator::new(&k4, 2);
+        assert!(!ev4.check(&eso, &[], &[]).unwrap());
+    }
+
+    #[test]
+    fn witness_is_a_proper_coloring() {
+        let eso = patterns::three_coloring();
+        let c5 = tri_db(&[[0, 1], [1, 2], [2, 3], [3, 4], [4, 0]], 5);
+        let ev = EsoEvaluator::new(&c5, 2);
+        let env = ev.check_with_witness(&eso, &[], &[]).unwrap().expect("C5 is 3-colourable");
+        // Every edge bichromatic under the witnessed classes.
+        let e = c5.relation_by_name("E").unwrap();
+        for t in e.iter() {
+            for i in 1..=3 {
+                let c = env.get(&format!("C{i}")).unwrap();
+                assert!(
+                    !(c.contains(&[t[0]]) && c.contains(&[t[1]])),
+                    "edge {t} monochromatic in C{i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn naive_agrees_with_sat_on_small_instances() {
+        // ∃S ∀x1 (S(x1) ↔ ¬P(x1)) — always satisfiable.
+        let eso = parse_eso("exists2 S/1. forall x1. (S(x1) <-> ~P(x1))").unwrap();
+        let db = Database::builder(2).relation("P", 1, [[0u32]]).build();
+        let ev = EsoEvaluator::new(&db, 1);
+        assert!(ev.check(&eso, &[], &[]).unwrap());
+        let naive = ev.eval_naive(&eso, &[]).unwrap();
+        assert!(naive.as_boolean());
+
+        // ∃S (∀x1 S(x1)) ∧ (∃x1 ¬S(x1)) — unsatisfiable.
+        let bad =
+            parse_eso("exists2 S/1. (forall x1. S(x1) & exists x1. ~S(x1))").unwrap();
+        assert!(!ev.check(&bad, &[], &[]).unwrap());
+        assert!(!ev.eval_naive(&bad, &[]).unwrap().as_boolean());
+    }
+
+    #[test]
+    fn eval_query_with_free_variables() {
+        // (x1) ∃S (S(x1) ∧ ∀x2 (S(x2) → P(x2))): holds iff P(x1).
+        let eso = parse_eso("exists2 S/1. (S(x1) & forall x2. (S(x2) -> P(x2)))").unwrap();
+        let db = Database::builder(3).relation("P", 1, [[0u32], [2]]).build();
+        let ev = EsoEvaluator::new(&db, 2);
+        let r = ev.eval_query(&eso, &[Var(0)]).unwrap();
+        assert_eq!(r.sorted(), Relation::from_tuples(1, [[0u32], [2]]).sorted());
+        let naive = ev.eval_naive(&eso, &[Var(0)]).unwrap();
+        assert_eq!(naive.sorted(), r.sorted());
+    }
+
+    #[test]
+    fn binary_quantified_relation() {
+        // ∃S/2: S is a "successor-like" matching: ∀x1∃x2 S(x1,x2) and
+        // S ⊆ E. Satisfiable iff every node has an out-edge.
+        let eso = parse_eso(
+            "exists2 S/2. forall x1. exists x2. (S(x1,x2) & E(x1,x2))",
+        )
+        .unwrap();
+        let good = Database::builder(3).relation("E", 2, [[0u32, 1], [1, 2], [2, 0]]).build();
+        assert!(EsoEvaluator::new(&good, 2).check(&eso, &[], &[]).unwrap());
+        let bad = Database::builder(3).relation("E", 2, [[0u32, 1], [1, 2]]).build();
+        assert!(!EsoEvaluator::new(&bad, 2).check(&eso, &[], &[]).unwrap());
+    }
+
+    #[test]
+    fn grounding_size_is_polynomial() {
+        let eso = patterns::three_coloring();
+        let mut sizes = Vec::new();
+        for n in [4usize, 8, 16] {
+            let edges: Vec<[u32; 2]> = (0..n as u32 - 1).map(|i| [i, i + 1]).collect();
+            let db = tri_db(&edges, n);
+            let ev = EsoEvaluator::new(&db, 2);
+            let (sat, info) = ev.check_with_info(&eso, &[], &[]).unwrap();
+            assert!(sat, "paths are 3-colourable");
+            sizes.push(info.clauses);
+            assert!(info.referenced_tuples <= 3 * n, "tuple vars are O(n)");
+        }
+        // Clauses grow polynomially (roughly quadratically here): doubling
+        // n must not produce an astronomical jump.
+        assert!(sizes[2] < sizes[0] * 64, "grounding not polynomial: {sizes:?}");
+    }
+
+    #[test]
+    fn arity_reduction_preserves_semantics() {
+        // High-arity quantified relation with repeated-variable patterns:
+        // ∃T/3: ∀x1∀x2 (T(x1,x2,x1) ↔ E(x1,x2)) ∧ ∃x1 T(x1,x1,x1).
+        // Satisfiable iff some node has a self-loop… through the views.
+        let eso = parse_eso(
+            "exists2 T/3. (forall x1. forall x2. (T(x1,x2,x1) <-> E(x1,x2)) \
+             & exists x1. T(x1,x1,x1))",
+        )
+        .unwrap();
+        assert_eq!(eso.max_rel_arity(), 3);
+        let reduced = reduce_arity(&eso, 2).unwrap();
+        assert!(reduced.max_rel_arity() <= 2, "views must be k-ary");
+        for (loops, expect) in [(vec![[0u32, 0]], true), (vec![[0u32, 1]], false)] {
+            let mut edges = vec![[1u32, 2]];
+            edges.extend(loops);
+            let db = Database::builder(3).relation("E", 2, edges).build();
+            let ev = EsoEvaluator::new(&db, 2);
+            let orig = ev.check(&eso, &[], &[]).unwrap();
+            let red = ev.check(&reduced, &[], &[]).unwrap();
+            assert_eq!(orig, expect);
+            assert_eq!(red, expect, "reduced formula disagrees");
+        }
+    }
+
+    #[test]
+    fn arity_reduction_consistency_links_views() {
+        // Two patterns of the same relation must be forced consistent:
+        // ∃S/2: S(x1,x2) ∧ ¬S(x2,x1) with x1 = x2 forced — unsatisfiable
+        // because S(a,a) cannot differ from itself.
+        let eso = parse_eso(
+            "exists2 S/2. exists x1. exists x2. (x1 = x2 & S(x1,x2) & ~S(x2,x1))",
+        )
+        .unwrap();
+        let db = Database::builder(2).relation("P", 1, [[0u32]]).build();
+        let ev = EsoEvaluator::new(&db, 2);
+        assert!(!ev.check(&eso, &[], &[]).unwrap());
+        let reduced = reduce_arity(&eso, 2).unwrap();
+        assert!(!ev.check(&reduced, &[], &[]).unwrap(), "views must stay consistent");
+        // And the satisfiable variant stays satisfiable.
+        let sat_eso = parse_eso(
+            "exists2 S/2. exists x1. exists x2. (~(x1 = x2) & S(x1,x2) & ~S(x2,x1))",
+        )
+        .unwrap();
+        let reduced_sat = reduce_arity(&sat_eso, 2).unwrap();
+        assert!(ev.check(&sat_eso, &[], &[]).unwrap());
+        assert!(ev.check(&reduced_sat, &[], &[]).unwrap());
+    }
+
+    #[test]
+    fn reduce_arity_rejects_constant_args() {
+        let eso = parse_eso("exists2 S/1. S(x1)").unwrap();
+        assert!(reduce_arity(&eso, 1).is_ok());
+        let with_const = Eso {
+            rels: vec![("S".into(), 1)],
+            body: Formula::rel_var("S", [Term::Const(0)]),
+        };
+        assert!(matches!(
+            reduce_arity(&with_const, 1),
+            Err(EvalError::UnsupportedConstruct(_))
+        ));
+    }
+}

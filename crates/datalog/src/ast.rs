@@ -1,0 +1,278 @@
+//! Datalog programs: positive Horn rules over EDB and IDB predicates.
+
+use std::fmt;
+
+use bvq_relation::{Arity, Elem};
+
+/// A term in a Datalog atom: a rule variable or a constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AtomTerm {
+    /// A rule variable, identified by index (scoped to one rule).
+    Var(u32),
+    /// A constant domain element.
+    Const(Elem),
+}
+
+impl fmt::Display for AtomTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtomTerm::Var(v) => write!(f, "V{v}"),
+            AtomTerm::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A body atom `pred(t₁,…,t_m)`; `pred` names either an EDB relation of
+/// the database or an IDB predicate of the program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BodyAtom {
+    /// Predicate name.
+    pub pred: String,
+    /// Argument terms.
+    pub args: Vec<AtomTerm>,
+}
+
+/// A rule head `idb(v₁,…,v_m)` — arguments must be distinct variables
+/// (checked by [`Program::validate`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Head {
+    /// IDB predicate name.
+    pub pred: String,
+    /// Head variables.
+    pub vars: Vec<u32>,
+}
+
+/// A positive Horn rule `head :- body₁, …, body_m`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rule {
+    /// The head atom.
+    pub head: Head,
+    /// The body atoms (conjunction; empty body = unconditional fact rule).
+    pub body: Vec<BodyAtom>,
+}
+
+impl Rule {
+    /// All variables of the rule, sorted.
+    pub fn variables(&self) -> Vec<u32> {
+        let mut vs: Vec<u32> = self.head.vars.clone();
+        for atom in &self.body {
+            for t in &atom.args {
+                if let AtomTerm::Var(v) = t {
+                    vs.push(*v);
+                }
+            }
+        }
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// Whether the rule is *range-restricted*: every head variable occurs
+    /// in the body.
+    pub fn is_range_restricted(&self) -> bool {
+        self.head.vars.iter().all(|v| {
+            self.body
+                .iter()
+                .any(|a| a.args.iter().any(|t| matches!(t, AtomTerm::Var(w) if w == v)))
+        })
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.head.pred)?;
+        for (i, v) in self.head.vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "V{v}")?;
+        }
+        write!(f, ")")?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, a) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}(", a.pred)?;
+                for (j, t) in a.args.iter().enumerate() {
+                    if j > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// Errors in Datalog programs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DatalogError {
+    /// A head argument is repeated or not a variable.
+    InvalidHead(String),
+    /// A head variable does not occur in the body.
+    NotRangeRestricted(String),
+    /// A predicate is used with inconsistent arities.
+    ArityMismatch {
+        /// Predicate name.
+        pred: String,
+        /// One observed arity.
+        expected: Arity,
+        /// A conflicting observed arity.
+        found: Arity,
+    },
+    /// A body predicate is neither an IDB of the program nor an EDB of the
+    /// database.
+    UnknownPredicate(String),
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::InvalidHead(p) => {
+                write!(f, "rule head for `{p}` must have distinct variable arguments")
+            }
+            DatalogError::NotRangeRestricted(p) => {
+                write!(f, "rule for `{p}` is not range-restricted")
+            }
+            DatalogError::ArityMismatch { pred, expected, found } => {
+                write!(f, "predicate `{pred}` used with arities {expected} and {found}")
+            }
+            DatalogError::UnknownPredicate(p) => write!(f, "unknown predicate `{p}`"),
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+/// A Datalog program: a list of rules. IDB predicates are those appearing
+/// in some head; every other predicate must resolve to a database (EDB)
+/// relation at evaluation time.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// The rules.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Adds a rule (builder style).
+    #[must_use]
+    pub fn rule(
+        mut self,
+        head_pred: &str,
+        head_vars: &[u32],
+        body: &[(&str, &[AtomTerm])],
+    ) -> Self {
+        self.rules.push(Rule {
+            head: Head { pred: head_pred.to_string(), vars: head_vars.to_vec() },
+            body: body
+                .iter()
+                .map(|(p, args)| BodyAtom { pred: p.to_string(), args: args.to_vec() })
+                .collect(),
+        });
+        self
+    }
+
+    /// The IDB predicate names with their arities, sorted by name.
+    pub fn idb_predicates(&self) -> Vec<(String, Arity)> {
+        let mut out: Vec<(String, Arity)> = Vec::new();
+        for r in &self.rules {
+            let entry = (r.head.pred.clone(), r.head.vars.len());
+            if !out.contains(&entry) {
+                out.push(entry);
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Structural validation: distinct-variable heads, range restriction,
+    /// consistent arities across all uses.
+    pub fn validate(&self) -> Result<(), DatalogError> {
+        let mut arities: Vec<(String, Arity)> = Vec::new();
+        let mut check_arity = |pred: &str, arity: Arity| -> Result<(), DatalogError> {
+            match arities.iter().find(|(p, _)| p == pred) {
+                Some((_, a)) if *a != arity => Err(DatalogError::ArityMismatch {
+                    pred: pred.to_string(),
+                    expected: *a,
+                    found: arity,
+                }),
+                Some(_) => Ok(()),
+                None => {
+                    arities.push((pred.to_string(), arity));
+                    Ok(())
+                }
+            }
+        };
+        for r in &self.rules {
+            let mut seen = r.head.vars.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            if seen.len() != r.head.vars.len() {
+                return Err(DatalogError::InvalidHead(r.head.pred.clone()));
+            }
+            if !r.is_range_restricted() {
+                return Err(DatalogError::NotRangeRestricted(r.head.pred.clone()));
+            }
+            check_arity(&r.head.pred, r.head.vars.len())?;
+            for a in &r.body {
+                check_arity(&a.pred, a.args.len())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> AtomTerm {
+        AtomTerm::Var(i)
+    }
+
+    #[test]
+    fn builder_and_display() {
+        let p = Program::new()
+            .rule("T", &[0, 1], &[("E", &[v(0), v(1)])])
+            .rule("T", &[0, 1], &[("T", &[v(0), v(2)]), ("E", &[v(2), v(1)])]);
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.idb_predicates(), vec![("T".to_string(), 2)]);
+        assert_eq!(p.rules[1].to_string(), "T(V0,V1) :- T(V0,V2), E(V2,V1).");
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_duplicate_head_vars() {
+        let p = Program::new().rule("Q", &[0, 0], &[("E", &[v(0), v(0)])]);
+        assert!(matches!(p.validate(), Err(DatalogError::InvalidHead(_))));
+    }
+
+    #[test]
+    fn validation_catches_unrestricted() {
+        let p = Program::new().rule("Q", &[0], &[("E", &[v(1), v(1)])]);
+        assert!(matches!(p.validate(), Err(DatalogError::NotRangeRestricted(_))));
+    }
+
+    #[test]
+    fn validation_catches_arity_conflicts() {
+        let p = Program::new()
+            .rule("Q", &[0], &[("E", &[v(0), v(0)])])
+            .rule("R", &[0], &[("E", &[v(0)])]);
+        assert!(matches!(p.validate(), Err(DatalogError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn rule_variables_sorted() {
+        let p = Program::new().rule("T", &[3], &[("E", &[v(3), v(1)]), ("E", &[v(1), v(2)])]);
+        assert_eq!(p.rules[0].variables(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,363 @@
+//! Naive and semi-naive Datalog evaluation.
+//!
+//! Both compute the least model of the program over the database's EDB
+//! relations. The naive evaluator re-derives everything each round; the
+//! semi-naive evaluator joins each rule once per IDB body atom against
+//! that atom's *delta* (tuples new in the previous round), the classical
+//! optimisation whose effect the `ablation_seminaive` bench measures.
+
+use bvq_relation::{Database, Elem, EvalStats, Relation, StatsRecorder};
+
+use crate::ast::{AtomTerm, BodyAtom, DatalogError, Program, Rule};
+
+/// The result of evaluating a program.
+#[derive(Clone, Debug)]
+pub struct EvalOutput {
+    /// Computed IDB relations, keyed by predicate name (sorted).
+    pub idb: Vec<(String, Relation)>,
+    /// Rounds until fixpoint and intermediate-size statistics.
+    pub stats: EvalStats,
+}
+
+impl EvalOutput {
+    /// Looks up a computed IDB relation.
+    pub fn get(&self, pred: &str) -> Option<&Relation> {
+        self.idb.iter().find(|(p, _)| p == pred).map(|(_, r)| r)
+    }
+}
+
+/// Evaluates `program` naively: every round recomputes every rule against
+/// the full current IDB state, until no new tuples appear.
+pub fn eval_naive(program: &Program, db: &Database) -> Result<EvalOutput, DatalogError> {
+    program.validate()?;
+    let mut state = State::new(program, db)?;
+    let mut rec = StatsRecorder::new();
+    loop {
+        rec.iteration();
+        let mut changed = false;
+        for rule in &program.rules {
+            let derived = state.eval_rule(rule, None, &mut rec)?;
+            changed |= state.absorb(&rule.head.pred, derived);
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok(state.finish(rec))
+}
+
+/// Evaluates `program` semi-naively, joining each rule against the deltas
+/// of the previous round.
+pub fn eval_seminaive(program: &Program, db: &Database) -> Result<EvalOutput, DatalogError> {
+    program.validate()?;
+    let mut state = State::new(program, db)?;
+    let mut rec = StatsRecorder::new();
+    // Round 0: rules evaluated in full (deltas = everything derived).
+    let mut deltas: Vec<(String, Relation)> = state
+        .idb
+        .iter()
+        .map(|(p, r)| (p.clone(), Relation::new(r.arity())))
+        .collect();
+    rec.iteration();
+    for rule in &program.rules {
+        let derived = state.eval_rule(rule, None, &mut rec)?;
+        let fresh = state.fresh_tuples(&rule.head.pred, &derived);
+        let slot = deltas.iter_mut().find(|(p, _)| *p == rule.head.pred).expect("idb");
+        slot.1 = slot.1.union(&fresh);
+    }
+    for (p, d) in &deltas {
+        state.absorb(p, d.clone());
+    }
+    // Subsequent rounds: once per IDB body atom, with that atom bound to
+    // the delta.
+    loop {
+        if deltas.iter().all(|(_, d)| d.is_empty()) {
+            break;
+        }
+        rec.iteration();
+        let mut new_deltas: Vec<(String, Relation)> = state
+            .idb
+            .iter()
+            .map(|(p, r)| (p.clone(), Relation::new(r.arity())))
+            .collect();
+        for rule in &program.rules {
+            for (pos, atom) in rule.body.iter().enumerate() {
+                if !state.is_idb(&atom.pred) {
+                    continue;
+                }
+                let delta = deltas
+                    .iter()
+                    .find(|(p, _)| *p == atom.pred)
+                    .map(|(_, d)| d.clone())
+                    .expect("idb delta");
+                if delta.is_empty() {
+                    continue;
+                }
+                let derived = state.eval_rule(rule, Some((pos, &delta)), &mut rec)?;
+                let fresh = state.fresh_tuples(&rule.head.pred, &derived);
+                let slot =
+                    new_deltas.iter_mut().find(|(p, _)| *p == rule.head.pred).expect("idb");
+                slot.1 = slot.1.union(&fresh);
+            }
+            // Rules with no IDB body atoms contribute only in round 0.
+        }
+        for (p, d) in &new_deltas {
+            state.absorb(p, d.clone());
+        }
+        deltas = new_deltas;
+    }
+    Ok(state.finish(rec))
+}
+
+struct State<'d> {
+    db: &'d Database,
+    idb: Vec<(String, Relation)>,
+}
+
+impl<'d> State<'d> {
+    fn new(program: &Program, db: &'d Database) -> Result<Self, DatalogError> {
+        let idb: Vec<(String, Relation)> = program
+            .idb_predicates()
+            .into_iter()
+            .map(|(p, a)| (p, Relation::new(a)))
+            .collect();
+        // Every body predicate must be IDB or EDB.
+        for rule in &program.rules {
+            for atom in &rule.body {
+                let is_idb = idb.iter().any(|(p, _)| *p == atom.pred);
+                let edb = db.relation_by_name(&atom.pred);
+                if !is_idb && edb.is_none() {
+                    return Err(DatalogError::UnknownPredicate(atom.pred.clone()));
+                }
+                if let Some(r) = edb {
+                    if !is_idb && r.arity() != atom.args.len() {
+                        return Err(DatalogError::ArityMismatch {
+                            pred: atom.pred.clone(),
+                            expected: r.arity(),
+                            found: atom.args.len(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(State { db, idb })
+    }
+
+    fn is_idb(&self, pred: &str) -> bool {
+        self.idb.iter().any(|(p, _)| p == pred)
+    }
+
+    fn relation_of(&self, pred: &str) -> &Relation {
+        if let Some((_, r)) = self.idb.iter().find(|(p, _)| p == pred) {
+            r
+        } else {
+            self.db.relation_by_name(pred).expect("validated predicate")
+        }
+    }
+
+    /// Tuples of `derived` not already present in the IDB relation.
+    fn fresh_tuples(&self, pred: &str, derived: &Relation) -> Relation {
+        let current = self.idb.iter().find(|(p, _)| p == pred).map(|(_, r)| r).expect("idb");
+        derived.difference(current)
+    }
+
+    /// Adds tuples; returns whether anything was new.
+    fn absorb(&mut self, pred: &str, derived: Relation) -> bool {
+        let slot = self.idb.iter_mut().find(|(p, _)| p == pred).expect("idb");
+        let before = slot.1.len();
+        slot.1 = slot.1.union(&derived);
+        slot.1.len() > before
+    }
+
+    /// Evaluates one rule body as a conjunctive query; `delta_at` pins one
+    /// body position to a delta relation instead of the full predicate.
+    /// Returns the derived head relation.
+    fn eval_rule(
+        &self,
+        rule: &Rule,
+        delta_at: Option<(usize, &Relation)>,
+        rec: &mut StatsRecorder,
+    ) -> Result<Relation, DatalogError> {
+        // Running join state: columns = sorted rule variables bound so far.
+        let mut cols: Vec<u32> = Vec::new();
+        let mut rel = Relation::boolean(true); // unit: the empty join
+        for (pos, atom) in rule.body.iter().enumerate() {
+            let source: Relation = match delta_at {
+                Some((dpos, delta)) if dpos == pos => (*delta).clone(),
+                _ => self.relation_of(&atom.pred).clone(),
+            };
+            let (acols, arel) = normalise_atom(&source, atom);
+            // Natural join on shared variables.
+            let mut pairs = Vec::new();
+            for (i, c) in cols.iter().enumerate() {
+                if let Some(j) = acols.iter().position(|d| d == c) {
+                    pairs.push((i, j));
+                }
+            }
+            let joined = rel.join_on(&arel, &pairs);
+            // Merge columns.
+            let mut new_cols = cols.clone();
+            for c in &acols {
+                if !new_cols.contains(c) {
+                    new_cols.push(*c);
+                }
+            }
+            let positions: Vec<usize> = new_cols
+                .iter()
+                .map(|c| {
+                    cols.iter().position(|d| d == c).unwrap_or_else(|| {
+                        cols.len() + acols.iter().position(|d| d == c).expect("col")
+                    })
+                })
+                .collect();
+            rel = joined.project(&positions);
+            cols = new_cols;
+            rec.intermediate(rel.arity(), rel.len());
+        }
+        // Project to head variables.
+        let positions: Vec<usize> = rule
+            .head
+            .vars
+            .iter()
+            .map(|v| cols.iter().position(|c| c == v).expect("range-restricted"))
+            .collect();
+        Ok(rel.project(&positions))
+    }
+}
+
+/// Normalises one atom: applies constant selections and repeated-variable
+/// equalities, returning (distinct variable columns, relation).
+fn normalise_atom(rel: &Relation, atom: &BodyAtom) -> (Vec<u32>, Relation) {
+    let mut filtered = rel.clone();
+    let mut first: Vec<(u32, usize)> = Vec::new();
+    for (i, t) in atom.args.iter().enumerate() {
+        match t {
+            AtomTerm::Const(c) => filtered = filtered.select_const(i, *c as Elem),
+            AtomTerm::Var(v) => match first.iter().find(|(w, _)| w == v) {
+                Some(&(_, j)) => filtered = filtered.select_eq(j, i),
+                None => first.push((*v, i)),
+            },
+        }
+    }
+    let cols: Vec<u32> = first.iter().map(|(v, _)| *v).collect();
+    let positions: Vec<usize> = first.iter().map(|(_, p)| *p).collect();
+    (cols, filtered.project(&positions))
+}
+
+impl State<'_> {
+    fn finish(self, rec: StatsRecorder) -> EvalOutput {
+        let mut idb = self.idb;
+        idb.sort_by(|a, b| a.0.cmp(&b.0));
+        EvalOutput { idb, stats: rec.stats() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::AtomTerm::{Const, Var};
+    use bvq_relation::Tuple;
+
+    fn tc_program() -> Program {
+        Program::new()
+            .rule("T", &[0, 1], &[("E", &[Var(0), Var(1)])])
+            .rule("T", &[0, 1], &[("T", &[Var(0), Var(2)]), ("E", &[Var(2), Var(1)])])
+    }
+
+    fn chain_db(n: u32) -> Database {
+        Database::builder(n as usize)
+            .relation("E", 2, (0..n - 1).map(|i| Tuple::from_slice(&[i, i + 1])))
+            .build()
+    }
+
+    #[test]
+    fn transitive_closure_naive() {
+        let db = chain_db(5);
+        let out = eval_naive(&tc_program(), &db).unwrap();
+        let t = out.get("T").unwrap();
+        assert_eq!(t.len(), 4 + 3 + 2 + 1);
+        assert!(t.contains(&[0, 4]));
+        assert!(!t.contains(&[4, 0]));
+    }
+
+    #[test]
+    fn seminaive_agrees_with_naive() {
+        let db = chain_db(7);
+        let a = eval_naive(&tc_program(), &db).unwrap();
+        let b = eval_seminaive(&tc_program(), &db).unwrap();
+        assert_eq!(a.get("T").unwrap().sorted(), b.get("T").unwrap().sorted());
+    }
+
+    #[test]
+    fn seminaive_materialises_less() {
+        let db = chain_db(16);
+        let a = eval_naive(&tc_program(), &db).unwrap();
+        let b = eval_seminaive(&tc_program(), &db).unwrap();
+        assert!(
+            b.stats.total_tuples < a.stats.total_tuples,
+            "semi-naive {} ≥ naive {}",
+            b.stats.total_tuples,
+            a.stats.total_tuples
+        );
+    }
+
+    #[test]
+    fn constants_in_bodies() {
+        // Reach(x) :- E(0, x);  Reach(x) :- Reach(y), E(y, x).
+        let p = Program::new()
+            .rule("Reach", &[0], &[("E", &[Const(0), Var(0)])])
+            .rule("Reach", &[0], &[("Reach", &[Var(1)]), ("E", &[Var(1), Var(0)])]);
+        let db = chain_db(4);
+        let out = eval_seminaive(&p, &db).unwrap();
+        let r = out.get("Reach").unwrap();
+        assert_eq!(r.sorted(), Relation::from_tuples(1, [[1u32], [2], [3]]).sorted());
+    }
+
+    #[test]
+    fn mutual_recursion() {
+        // Even/Odd distance from node 0 along the chain.
+        let p = Program::new()
+            .rule("Even", &[0], &[("Z", &[Var(0)])])
+            .rule("Even", &[0], &[("Odd", &[Var(1)]), ("E", &[Var(1), Var(0)])])
+            .rule("Odd", &[0], &[("Even", &[Var(1)]), ("E", &[Var(1), Var(0)])]);
+        let db = Database::builder(5)
+            .relation("E", 2, (0u32..4).map(|i| [i, i + 1]))
+            .relation("Z", 1, [[0u32]])
+            .build();
+        for eval in [eval_naive, eval_seminaive] {
+            let out = eval(&p, &db).unwrap();
+            assert_eq!(
+                out.get("Even").unwrap().sorted(),
+                Relation::from_tuples(1, [[0u32], [2], [4]]).sorted()
+            );
+            assert_eq!(
+                out.get("Odd").unwrap().sorted(),
+                Relation::from_tuples(1, [[1u32], [3]]).sorted()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_predicate_rejected() {
+        let p = Program::new().rule("Q", &[0], &[("Nope", &[Var(0)])]);
+        let db = chain_db(3);
+        assert!(matches!(eval_naive(&p, &db), Err(DatalogError::UnknownPredicate(_))));
+    }
+
+    #[test]
+    fn repeated_variables_in_atom() {
+        // Loop(x) :- E(x, x).
+        let p = Program::new().rule("Loop", &[0], &[("E", &[Var(0), Var(0)])]);
+        let db = Database::builder(3).relation("E", 2, [[0u32, 1], [2, 2]]).build();
+        let out = eval_seminaive(&p, &db).unwrap();
+        assert_eq!(out.get("Loop").unwrap().sorted(), Relation::from_tuples(1, [[2u32]]).sorted());
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = Program::new();
+        let db = chain_db(3);
+        let out = eval_naive(&p, &db).unwrap();
+        assert!(out.idb.is_empty());
+    }
+}

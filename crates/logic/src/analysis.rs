@@ -1,0 +1,656 @@
+//! Static analyses on formulas.
+//!
+//! The two quantities the paper's bounds revolve around are implemented
+//! here: the **variable width** `k` (a formula is in `L^k` iff its
+//! individual variables are among `x₁,…,x_k`, i.e. `width() ≤ k`) and the
+//! **alternation depth** `l` of least/greatest fixpoints (the exponent in
+//! the naive `n^{kl}` bound of §3.2 and the multiplier in the certified
+//! `l·n^k` bound of Theorem 3.5).
+
+use std::collections::BTreeSet;
+
+use crate::error::LogicError;
+use crate::formula::{Atom, Eso, FixKind, Formula, RelRef, Term, Var};
+
+impl Formula {
+    /// The width of the formula: the least `k` such that the formula is in
+    /// `L^k`, i.e. one plus the largest variable index used (bound or
+    /// free). Constants do not count.
+    pub fn width(&self) -> usize {
+        let mut w = 0;
+        self.visit(&mut |f| {
+            let bump = |w: &mut usize, t: &Term| {
+                if let Term::Var(v) = t {
+                    *w = (*w).max(v.index() + 1);
+                }
+            };
+            match f {
+                Formula::Atom(Atom { args, .. }) => args.iter().for_each(|t| bump(&mut w, t)),
+                Formula::Eq(a, b) => {
+                    bump(&mut w, a);
+                    bump(&mut w, b);
+                }
+                Formula::Exists(v, _) | Formula::Forall(v, _) => w = w.max(v.index() + 1),
+                Formula::Fix { bound, args, .. } => {
+                    for v in bound {
+                        w = w.max(v.index() + 1);
+                    }
+                    args.iter().for_each(|t| bump(&mut w, t));
+                }
+                _ => {}
+            }
+        });
+        w
+    }
+
+    /// The number of *distinct* variables actually used. Always `≤ width()`.
+    pub fn distinct_vars(&self) -> usize {
+        let mut seen = BTreeSet::new();
+        self.visit(&mut |f| {
+            let bump = |seen: &mut BTreeSet<Var>, t: &Term| {
+                if let Term::Var(v) = t {
+                    seen.insert(*v);
+                }
+            };
+            match f {
+                Formula::Atom(Atom { args, .. }) => args.iter().for_each(|t| bump(&mut seen, t)),
+                Formula::Eq(a, b) => {
+                    bump(&mut seen, a);
+                    bump(&mut seen, b);
+                }
+                Formula::Exists(v, _) | Formula::Forall(v, _) => {
+                    seen.insert(*v);
+                }
+                Formula::Fix { bound, args, .. } => {
+                    seen.extend(bound.iter().copied());
+                    args.iter().for_each(|t| bump(&mut seen, t));
+                }
+                _ => {}
+            }
+        });
+        seen.len()
+    }
+
+    /// Expression size: the number of AST nodes, the `|e|` against which
+    /// expression and combined complexity are measured.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Quantifier rank: maximum nesting depth of ∃/∀.
+    pub fn quantifier_rank(&self) -> usize {
+        match self {
+            Formula::Const(_) | Formula::Atom(_) | Formula::Eq(..) => 0,
+            Formula::Not(f) => f.quantifier_rank(),
+            Formula::And(a, b) | Formula::Or(a, b) => a.quantifier_rank().max(b.quantifier_rank()),
+            Formula::Exists(_, f) | Formula::Forall(_, f) => 1 + f.quantifier_rank(),
+            Formula::Fix { body, .. } => body.quantifier_rank(),
+        }
+    }
+
+    /// Whether the formula is first-order (contains no fixpoint operators).
+    pub fn is_first_order(&self) -> bool {
+        let mut fo = true;
+        self.visit(&mut |f| {
+            if matches!(f, Formula::Fix { .. }) {
+                fo = false;
+            }
+        });
+        fo
+    }
+
+    /// Whether the formula uses only `Lfp`/`Gfp` (never `Pfp` or `Ifp`).
+    pub fn is_fp(&self) -> bool {
+        let mut ok = true;
+        self.visit(&mut |f| {
+            if let Formula::Fix { kind: FixKind::Pfp | FixKind::Ifp, .. } = f {
+                ok = false;
+            }
+        });
+        ok
+    }
+
+    /// The free individual variables, sorted.
+    pub fn free_vars(&self) -> Vec<Var> {
+        fn go(f: &Formula, bound: &mut Vec<Var>, out: &mut BTreeSet<Var>) {
+            let term = |t: &Term, bound: &Vec<Var>, out: &mut BTreeSet<Var>| {
+                if let Term::Var(v) = t {
+                    if !bound.contains(v) {
+                        out.insert(*v);
+                    }
+                }
+            };
+            match f {
+                Formula::Const(_) => {}
+                Formula::Atom(Atom { args, .. }) => args.iter().for_each(|t| term(t, bound, out)),
+                Formula::Eq(a, b) => {
+                    term(a, bound, out);
+                    term(b, bound, out);
+                }
+                Formula::Not(g) => go(g, bound, out),
+                Formula::And(a, b) | Formula::Or(a, b) => {
+                    go(a, bound, out);
+                    go(b, bound, out);
+                }
+                Formula::Exists(v, g) | Formula::Forall(v, g) => {
+                    bound.push(*v);
+                    go(g, bound, out);
+                    bound.pop();
+                }
+                Formula::Fix { bound: bvs, body, args, .. } => {
+                    // The fixpoint's bound variables are bound in the body…
+                    let depth = bound.len();
+                    bound.extend(bvs.iter().copied());
+                    go(body, bound, out);
+                    bound.truncate(depth);
+                    // …but the application arguments are free occurrences.
+                    args.iter().for_each(|t| term(t, bound, out));
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut Vec::new(), &mut out);
+        out.into_iter().collect()
+    }
+
+    /// The free (unbound) relation-variable names, sorted. Fixpoint
+    /// operators bind their recursion variable; ESO quantifiers bind theirs
+    /// at the [`Eso`] level.
+    pub fn free_rel_vars(&self) -> Vec<String> {
+        fn go(f: &Formula, bound: &mut Vec<String>, out: &mut BTreeSet<String>) {
+            match f {
+                Formula::Atom(Atom { rel: RelRef::Bound(name), .. }) => {
+                    if !bound.iter().any(|b| b == name) {
+                        out.insert(name.clone());
+                    }
+                }
+                Formula::Atom(_) | Formula::Const(_) | Formula::Eq(..) => {}
+                Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => {
+                    go(g, bound, out)
+                }
+                Formula::And(a, b) | Formula::Or(a, b) => {
+                    go(a, bound, out);
+                    go(b, bound, out);
+                }
+                Formula::Fix { rel, body, .. } => {
+                    bound.push(rel.clone());
+                    go(body, bound, out);
+                    bound.pop();
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut Vec::new(), &mut out);
+        out.into_iter().collect()
+    }
+
+    /// The names of database relations referenced, sorted.
+    pub fn db_relations(&self) -> Vec<(String, usize)> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |f| {
+            if let Formula::Atom(Atom { rel: RelRef::Db(name), args }) = f {
+                out.insert((name.clone(), args.len()));
+            }
+        });
+        out.into_iter().collect()
+    }
+
+    /// Whether every occurrence of the relation variable `name` is
+    /// *positive*: under an even number of negations. (Our AST has no
+    /// implication — it is desugared — so negation is the only
+    /// polarity-flipping construct.)
+    ///
+    /// Occurrences shadowed by an inner fixpoint binding of the same name
+    /// are not occurrences of `name`.
+    pub fn is_positive_in(&self, name: &str) -> bool {
+        fn go(f: &Formula, name: &str, positive: bool) -> bool {
+            match f {
+                Formula::Atom(Atom { rel: RelRef::Bound(n), .. }) if n == name => positive,
+                Formula::Atom(_) | Formula::Const(_) | Formula::Eq(..) => true,
+                Formula::Not(g) => go(g, name, !positive),
+                Formula::And(a, b) | Formula::Or(a, b) => {
+                    go(a, name, positive) && go(b, name, positive)
+                }
+                Formula::Exists(_, g) | Formula::Forall(_, g) => go(g, name, positive),
+                Formula::Fix { rel, body, .. } => {
+                    if rel == name {
+                        true // shadowed
+                    } else {
+                        go(body, name, positive)
+                    }
+                }
+            }
+        }
+        go(self, name, true)
+    }
+
+    /// Validates the fixpoint structure:
+    ///
+    /// * every `Lfp`/`Gfp` body is positive in its recursion variable
+    ///   (§2.2: "in which an m-ary relation symbol S occurs positively");
+    /// * `|args| == |bound|` at every fixpoint, and bound variables are
+    ///   distinct;
+    /// * every bound-relation atom has the arity of its binder (fixpoint
+    ///   arity = number of bound variables).
+    ///
+    /// `Pfp` bodies are exempt from positivity (§2.2: "not necessarily
+    /// positively").
+    pub fn validate_fp(&self) -> Result<(), LogicError> {
+        fn go(f: &Formula, arities: &mut Vec<(String, usize)>) -> Result<(), LogicError> {
+            match f {
+                Formula::Atom(Atom { rel: RelRef::Bound(name), args }) => {
+                    if let Some((_, a)) =
+                        arities.iter().rev().find(|(n, _)| n == name)
+                    {
+                        if *a != args.len() {
+                            return Err(LogicError::RelArityMismatch {
+                                name: name.clone(),
+                                expected: *a,
+                                found: args.len(),
+                            });
+                        }
+                    }
+                    Ok(())
+                }
+                Formula::Atom(_) | Formula::Const(_) | Formula::Eq(..) => Ok(()),
+                Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => go(g, arities),
+                Formula::And(a, b) | Formula::Or(a, b) => {
+                    go(a, arities)?;
+                    go(b, arities)
+                }
+                Formula::Fix { kind, rel, bound, body, args } => {
+                    if args.len() != bound.len() {
+                        return Err(LogicError::RelArityMismatch {
+                            name: rel.clone(),
+                            expected: bound.len(),
+                            found: args.len(),
+                        });
+                    }
+                    let mut sorted: Vec<Var> = bound.clone();
+                    sorted.sort();
+                    sorted.dedup();
+                    if sorted.len() != bound.len() {
+                        return Err(LogicError::DuplicateBoundVariable(rel.clone()));
+                    }
+                    if matches!(kind, FixKind::Lfp | FixKind::Gfp)
+                        && !body.is_positive_in(rel)
+                    {
+                        return Err(LogicError::NotPositive(rel.clone()));
+                    }
+                    arities.push((rel.clone(), bound.len()));
+                    let r = go(body, arities);
+                    arities.pop();
+                    r
+                }
+            }
+        }
+        go(self, &mut Vec::new())
+    }
+
+    /// Niwiński alternation depth of μ/ν: the length of the longest chain
+    /// of nested fixpoints of strictly alternating kind in which each inner
+    /// fixpoint's recursion *depends on* (mentions) the outer recursion
+    /// variable. This is the `l` of the paper's §3.2 discussion. A formula
+    /// with no fixpoints has depth 0; `Pfp` nodes count as depth-1 blocks
+    /// (they cannot alternate — PFP is evaluated by plain iteration).
+    pub fn alternation_depth(&self) -> usize {
+        // Emerson–Lei style: ad(σS.φ) = max(1, ad over subformulas of φ,
+        // 1 + max{ad(σ'S'.φ') : σ'S'.φ' a fixpoint subformula of φ with
+        // σ' ≠ σ and S occurring free in it}).
+        fn ad(f: &Formula) -> usize {
+            match f {
+                Formula::Const(_) | Formula::Atom(_) | Formula::Eq(..) => 0,
+                Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => ad(g),
+                Formula::And(a, b) | Formula::Or(a, b) => ad(a).max(ad(b)),
+                Formula::Fix { kind, rel, body, .. } => {
+                    let mut d = ad(body).max(1);
+                    if let Some(m) = max_dependent_alt(body, *kind, rel) {
+                        d = d.max(m + 1);
+                    }
+                    d
+                }
+            }
+        }
+        // Max ad over fixpoint subformulas of `f` with kind ≠ outer_kind
+        // whose body mentions outer_rel free; None if there is none.
+        fn max_dependent_alt(f: &Formula, outer_kind: FixKind, outer_rel: &str) -> Option<usize> {
+            match f {
+                Formula::Const(_) | Formula::Atom(_) | Formula::Eq(..) => None,
+                Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => {
+                    max_dependent_alt(g, outer_kind, outer_rel)
+                }
+                Formula::And(a, b) | Formula::Or(a, b) => {
+                    match (
+                        max_dependent_alt(a, outer_kind, outer_rel),
+                        max_dependent_alt(b, outer_kind, outer_rel),
+                    ) {
+                        (Some(x), Some(y)) => Some(x.max(y)),
+                        (x, y) => x.or(y),
+                    }
+                }
+                Formula::Fix { kind, rel, body, .. } => {
+                    if rel == outer_rel {
+                        return None; // outer variable shadowed below here
+                    }
+                    let own = if *kind != outer_kind && mentions(body, outer_rel) {
+                        Some(ad(f))
+                    } else {
+                        None
+                    };
+                    let deeper = max_dependent_alt(body, outer_kind, outer_rel);
+                    match (own, deeper) {
+                        (Some(x), Some(y)) => Some(x.max(y)),
+                        (x, y) => x.or(y),
+                    }
+                }
+            }
+        }
+        fn mentions(f: &Formula, name: &str) -> bool {
+            match f {
+                Formula::Atom(Atom { rel: RelRef::Bound(n), .. }) => n == name,
+                Formula::Atom(_) | Formula::Const(_) | Formula::Eq(..) => false,
+                Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => {
+                    mentions(g, name)
+                }
+                Formula::And(a, b) | Formula::Or(a, b) => mentions(a, name) || mentions(b, name),
+                Formula::Fix { rel, body, args: _, .. } => rel != name && mentions(body, name),
+            }
+        }
+        ad(self)
+    }
+
+    /// The number of fixpoint operators (nesting or not).
+    pub fn fixpoint_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |f| {
+            if matches!(f, Formula::Fix { .. }) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Maximum nesting depth of fixpoint operators (alternating or not).
+    pub fn fixpoint_nesting(&self) -> usize {
+        match self {
+            Formula::Const(_) | Formula::Atom(_) | Formula::Eq(..) => 0,
+            Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => {
+                g.fixpoint_nesting()
+            }
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.fixpoint_nesting().max(b.fixpoint_nesting())
+            }
+            Formula::Fix { body, .. } => 1 + body.fixpoint_nesting(),
+        }
+    }
+
+    /// Pre-order traversal calling `f` on every subformula.
+    pub fn visit(&self, f: &mut impl FnMut(&Formula)) {
+        f(self);
+        match self {
+            Formula::Const(_) | Formula::Atom(_) | Formula::Eq(..) => {}
+            Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => g.visit(f),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Formula::Fix { body, .. } => body.visit(f),
+        }
+    }
+}
+
+impl Eso {
+    /// Width of an ESO formula: the width of its first-order body (the
+    /// second-order quantifiers bind no individual variables).
+    pub fn width(&self) -> usize {
+        self.body.width()
+    }
+
+    /// Expression size: body size plus one node per quantified relation.
+    pub fn size(&self) -> usize {
+        self.rels.len() + self.body.size()
+    }
+
+    /// Validates: the body must be first-order; every bound-relation atom
+    /// must refer to a quantified relation with matching arity.
+    pub fn validate(&self) -> Result<(), LogicError> {
+        if !self.body.is_first_order() {
+            return Err(LogicError::EsoBodyNotFirstOrder);
+        }
+        let mut err = None;
+        self.body.visit(&mut |f| {
+            if err.is_some() {
+                return;
+            }
+            if let Formula::Atom(Atom { rel: RelRef::Bound(name), args }) = f {
+                match self.rels.iter().find(|(n, _)| n == name) {
+                    None => err = Some(LogicError::UnboundRelVar(name.clone())),
+                    Some((_, a)) if *a != args.len() => {
+                        err = Some(LogicError::RelArityMismatch {
+                            name: name.clone(),
+                            expected: *a,
+                            found: args.len(),
+                        })
+                    }
+                    _ => {}
+                }
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// The maximum arity among the quantified relations — the quantity
+    /// Lemma 3.6 reduces to `k`.
+    pub fn max_rel_arity(&self) -> usize {
+        self.rels.iter().map(|(_, a)| *a).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::vars;
+
+    fn v(i: u32) -> Term {
+        Term::Var(Var(i))
+    }
+
+    #[test]
+    fn width_counts_max_index() {
+        let f = Formula::atom("E", [v(0), v(2)]);
+        assert_eq!(f.width(), 3);
+        assert_eq!(f.distinct_vars(), 2);
+        assert_eq!(Formula::tt().width(), 0);
+    }
+
+    #[test]
+    fn width_sees_quantifiers_and_fixpoints() {
+        let f = Formula::atom("P", [v(0)]).exists(Var(4));
+        assert_eq!(f.width(), 5);
+        let g = Formula::lfp("S", vec![Var(3)], Formula::rel_var("S", [v(3)]), vec![v(0)]);
+        assert_eq!(g.width(), 4);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        // E(x1,x2) ∧ ¬P(x1): And, Atom, Not, Atom = 4.
+        let f = Formula::atom("E", [v(0), v(1)]).and(Formula::atom("P", [v(0)]).not());
+        assert_eq!(f.size(), 4);
+    }
+
+    #[test]
+    fn free_vars_respects_binders() {
+        let f = Formula::atom("E", [v(0), v(1)]).exists(Var(1));
+        assert_eq!(f.free_vars(), vec![Var(0)]);
+        // Fixpoint args are free; bound vars are not.
+        let g = Formula::lfp(
+            "S",
+            vec![Var(0)],
+            Formula::rel_var("S", [v(0)]).or(Formula::atom("P", [v(0)])),
+            vec![v(2)],
+        );
+        assert_eq!(g.free_vars(), vec![Var(2)]);
+    }
+
+    #[test]
+    fn rebinding_same_variable_is_not_free() {
+        // ∃x1 (E(x1,x2) ∧ ∃x2 E(x2,x1)): free = {x2}.
+        let inner = Formula::atom("E", [v(1), v(0)]).exists(Var(1));
+        let f = Formula::atom("E", [v(0), v(1)]).and(inner).exists(Var(0));
+        assert_eq!(f.free_vars(), vec![Var(1)]);
+    }
+
+    #[test]
+    fn positivity() {
+        let pos = Formula::rel_var("S", [v(0)]).or(Formula::atom("P", [v(0)]));
+        assert!(pos.is_positive_in("S"));
+        let neg = Formula::rel_var("S", [v(0)]).not();
+        assert!(!neg.is_positive_in("S"));
+        let double = Formula::rel_var("S", [v(0)]).not().not();
+        assert!(double.is_positive_in("S"));
+        // Implication flips polarity on the left.
+        let imp = Formula::rel_var("S", [v(0)]).implies(Formula::tt());
+        assert!(!imp.is_positive_in("S"));
+        let imp2 = Formula::tt().implies(Formula::rel_var("S", [v(0)]));
+        assert!(imp2.is_positive_in("S"));
+    }
+
+    #[test]
+    fn shadowing_fixpoint_hides_occurrences() {
+        // μS. ¬[μS. S(x1)](x1) — the inner S is bound by the inner μ, so the
+        // outer body is (vacuously) positive in the outer S.
+        let inner = Formula::lfp("S", vec![Var(0)], Formula::rel_var("S", [v(0)]), vec![v(0)]);
+        let outer = Formula::lfp("S", vec![Var(0)], inner.not(), vec![v(0)]);
+        assert!(outer.validate_fp().is_ok());
+    }
+
+    #[test]
+    fn validate_fp_rejects_negative_recursion() {
+        let bad = Formula::lfp("S", vec![Var(0)], Formula::rel_var("S", [v(0)]).not(), vec![v(0)]);
+        assert!(matches!(bad.validate_fp(), Err(LogicError::NotPositive(_))));
+        // PFP is exempt.
+        let ok = Formula::pfp("S", vec![Var(0)], Formula::rel_var("S", [v(0)]).not(), vec![v(0)]);
+        assert!(ok.validate_fp().is_ok());
+    }
+
+    #[test]
+    fn validate_fp_checks_arities() {
+        let bad = Formula::lfp("S", vec![Var(0)], Formula::rel_var("S", [v(0), v(1)]), vec![v(0)]);
+        assert!(matches!(bad.validate_fp(), Err(LogicError::RelArityMismatch { .. })));
+        let bad2 =
+            Formula::lfp("S", vec![Var(0)], Formula::rel_var("S", [v(0)]), vec![v(0), v(1)]);
+        assert!(bad2.validate_fp().is_err());
+        let bad3 = Formula::lfp(
+            "S",
+            vec![Var(0), Var(0)],
+            Formula::rel_var("S", [v(0), v(0)]),
+            vec![v(0), v(1)],
+        );
+        assert!(matches!(bad3.validate_fp(), Err(LogicError::DuplicateBoundVariable(_))));
+    }
+
+    #[test]
+    fn alternation_depth_basics() {
+        let fo = Formula::atom("P", [v(0)]);
+        assert_eq!(fo.alternation_depth(), 0);
+        let single = Formula::lfp("S", vec![Var(0)], Formula::rel_var("S", [v(0)]), vec![v(0)]);
+        assert_eq!(single.alternation_depth(), 1);
+        // ν P. body containing μ Q. (… P …): depth 2.
+        let inner = Formula::lfp(
+            "Q",
+            vec![Var(0)],
+            Formula::rel_var("Q", [v(0)]).or(Formula::rel_var("P", [v(0)])),
+            vec![v(0)],
+        );
+        let nested = Formula::gfp("P", vec![Var(0)], inner, vec![v(0)]);
+        assert_eq!(nested.alternation_depth(), 2);
+    }
+
+    #[test]
+    fn alternation_depth_ignores_independent_nesting() {
+        // ν P. body containing μ Q that does NOT mention P: depth 1.
+        let inner =
+            Formula::lfp("Q", vec![Var(0)], Formula::rel_var("Q", [v(0)]), vec![v(0)]);
+        let nested = Formula::gfp("P", vec![Var(0)], inner, vec![v(0)]);
+        assert_eq!(nested.alternation_depth(), 1);
+        // Same-kind nesting also stays at 1.
+        let inner2 = Formula::lfp(
+            "Q",
+            vec![Var(0)],
+            Formula::rel_var("Q", [v(0)]).or(Formula::rel_var("P", [v(0)])),
+            vec![v(0)],
+        );
+        let nested2 = Formula::lfp("P", vec![Var(0)], inner2, vec![v(0)]);
+        assert_eq!(nested2.alternation_depth(), 1);
+    }
+
+    #[test]
+    fn triple_alternation() {
+        // The paper's §3.2 example shape: ν P. φ(P, μ Q. ψ(Q, P, ν R. θ(R, P, Q))).
+        let theta = Formula::and_all([
+            Formula::rel_var("R", [v(0)]),
+            Formula::rel_var("P", [v(0)]),
+            Formula::rel_var("Q", [v(0)]),
+        ]);
+        let nu_r = Formula::gfp("R", vec![Var(0)], theta, vec![v(0)]);
+        let psi = Formula::rel_var("Q", [v(0)]).or(Formula::rel_var("P", [v(0)])).or(nu_r);
+        let mu_q = Formula::lfp("Q", vec![Var(0)], psi, vec![v(0)]);
+        let phi = Formula::rel_var("P", [v(0)]).and(mu_q);
+        let nu_p = Formula::gfp("P", vec![Var(0)], phi, vec![v(0)]);
+        assert!(nu_p.validate_fp().is_ok());
+        assert_eq!(nu_p.alternation_depth(), 3);
+        assert_eq!(nu_p.fixpoint_nesting(), 3);
+        assert_eq!(nu_p.fixpoint_count(), 3);
+    }
+
+    #[test]
+    fn language_classification() {
+        let fo = Formula::atom("E", [v(0), v(1)]);
+        assert!(fo.is_first_order() && fo.is_fp());
+        let fp = Formula::lfp("S", vec![Var(0)], Formula::rel_var("S", [v(0)]), vec![v(0)]);
+        assert!(!fp.is_first_order() && fp.is_fp());
+        let pfp = Formula::pfp("S", vec![Var(0)], Formula::rel_var("S", [v(0)]), vec![v(0)]);
+        assert!(!pfp.is_fp());
+    }
+
+    #[test]
+    fn eso_validation() {
+        let ok = Eso {
+            rels: vec![("S".into(), 1)],
+            body: Formula::rel_var("S", [v(0)]),
+        };
+        assert!(ok.validate().is_ok());
+        assert_eq!(ok.max_rel_arity(), 1);
+
+        let unbound = Eso { rels: vec![], body: Formula::rel_var("S", [v(0)]) };
+        assert!(matches!(unbound.validate(), Err(LogicError::UnboundRelVar(_))));
+
+        let wrong_arity = Eso {
+            rels: vec![("S".into(), 2)],
+            body: Formula::rel_var("S", [v(0)]),
+        };
+        assert!(matches!(wrong_arity.validate(), Err(LogicError::RelArityMismatch { .. })));
+
+        let not_fo = Eso {
+            rels: vec![("S".into(), 1)],
+            body: Formula::lfp("T", vec![Var(0)], Formula::rel_var("T", [v(0)]), vec![v(0)]),
+        };
+        assert!(matches!(not_fo.validate(), Err(LogicError::EsoBodyNotFirstOrder)));
+    }
+
+    #[test]
+    fn db_relations_collected() {
+        let f = Formula::atom("E", [v(0), v(1)]).and(Formula::atom("P", [v(0)]));
+        assert_eq!(f.db_relations(), vec![("E".into(), 2), ("P".into(), 1)]);
+    }
+
+    #[test]
+    fn vars_helper() {
+        assert_eq!(vars(3), vec![Var(0), Var(1), Var(2)]);
+    }
+}

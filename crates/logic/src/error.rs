@@ -1,0 +1,87 @@
+//! Error types for the logic front end.
+
+use std::fmt;
+
+use crate::formula::Var;
+
+/// Errors from formula validation, substitution and parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogicError {
+    /// A least/greatest fixpoint body is not positive in its recursion
+    /// variable.
+    NotPositive(String),
+    /// A relation variable is used with the wrong arity.
+    RelArityMismatch {
+        /// Symbol name.
+        name: String,
+        /// Arity at the binder.
+        expected: usize,
+        /// Arity at the offending occurrence.
+        found: usize,
+    },
+    /// A fixpoint binds the same individual variable twice.
+    DuplicateBoundVariable(String),
+    /// A bound-relation atom has no binder.
+    UnboundRelVar(String),
+    /// An ESO body contains fixpoint operators.
+    EsoBodyNotFirstOrder,
+    /// A query formula has a free variable not listed among the outputs.
+    FreeVariableNotOutput(Var),
+    /// A substitution would capture a variable.
+    WouldCapture(Var),
+    /// Dualization was requested for a PFP formula (undefined).
+    CannotDualizePfp,
+    /// Parse error with position and message.
+    Parse {
+        /// Byte offset in the input.
+        position: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::NotPositive(name) => {
+                write!(f, "recursion variable `{name}` occurs negatively in a μ/ν body")
+            }
+            LogicError::RelArityMismatch { name, expected, found } => {
+                write!(f, "relation `{name}` used with arity {found}, bound with arity {expected}")
+            }
+            LogicError::DuplicateBoundVariable(name) => {
+                write!(f, "fixpoint `{name}` binds a variable twice")
+            }
+            LogicError::UnboundRelVar(name) => write!(f, "unbound relation variable `{name}`"),
+            LogicError::EsoBodyNotFirstOrder => write!(f, "ESO body must be first-order"),
+            LogicError::FreeVariableNotOutput(v) => {
+                write!(f, "free variable {v} is not among the query outputs")
+            }
+            LogicError::WouldCapture(v) => {
+                write!(f, "substitution would capture variable {v}")
+            }
+            LogicError::CannotDualizePfp => {
+                write!(f, "partial fixpoints have no De Morgan dual")
+            }
+            LogicError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = LogicError::RelArityMismatch { name: "S".into(), expected: 2, found: 3 };
+        assert!(e.to_string().contains("arity 3"));
+        assert!(LogicError::Parse { position: 7, message: "expected `)`".into() }
+            .to_string()
+            .contains("byte 7"));
+    }
+}

@@ -1,0 +1,386 @@
+//! The formula AST.
+//!
+//! A single [`Formula`] type covers FO, FP and PFP; which language a given
+//! formula belongs to is a property checked by the analyses in
+//! [`analysis`](crate::analysis):
+//!
+//! * FO: no [`Formula::Fix`] nodes;
+//! * FP: only `Lfp`/`Gfp` fixpoints, each body *positive* in its recursion
+//!   variable;
+//! * PFP: `Pfp` fixpoints allowed (no positivity requirement).
+//!
+//! ESO formulas ([`Eso`]) prepend existential second-order quantifiers to a
+//! first-order body. Queries ([`Query`]) are the paper's `(x̄)φ(x̄)`
+//! notation: a formula together with the tuple of output variables.
+
+use std::fmt;
+
+use crate::printer;
+
+/// An individual variable `x₁, x₂, …` — stored 0-indexed, displayed
+/// 1-indexed to match the paper.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The 0-based index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0 + 1)
+    }
+}
+
+/// A term: an individual variable or a domain constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A variable.
+    Var(Var),
+    /// A constant domain element.
+    Const(u32),
+}
+
+impl Term {
+    /// The variable, if this term is one.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Term {
+        Term::Var(v)
+    }
+}
+
+/// What a relation atom refers to.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum RelRef {
+    /// A database relation (an EDB symbol).
+    Db(String),
+    /// A bound relation variable: a fixpoint recursion variable, or an
+    /// existentially quantified relation of an [`Eso`] formula.
+    Bound(String),
+}
+
+impl RelRef {
+    /// The symbol name.
+    pub fn name(&self) -> &str {
+        match self {
+            RelRef::Db(s) | RelRef::Bound(s) => s,
+        }
+    }
+}
+
+/// A relational atom `R(t₁,…,t_m)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Atom {
+    /// The relation symbol.
+    pub rel: RelRef,
+    /// The argument terms; the relation's arity is `args.len()`.
+    pub args: Vec<Term>,
+}
+
+/// The fixpoint operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FixKind {
+    /// Least fixpoint `μ` (requires positivity).
+    Lfp,
+    /// Greatest fixpoint `ν` (requires positivity).
+    Gfp,
+    /// Partial fixpoint (PFP; no positivity requirement; a divergent
+    /// iteration denotes the empty relation).
+    Pfp,
+    /// Inflationary fixpoint (IFP; `Sᵢ₊₁ = Sᵢ ∪ φ(Sᵢ)`, no positivity
+    /// requirement, always convergent). The paper notes (§3.2) that FP and
+    /// IFP have the same expressive power [GS86] but that the Theorem 3.5
+    /// certificate technique does not apply to `IFP^k` — its best known
+    /// combined-complexity bound is the PSPACE bound inherited from
+    /// `PFP^k`.
+    Ifp,
+}
+
+impl FixKind {
+    /// The dual operator (μ ↔ ν). PFP and IFP have no De Morgan dual in
+    /// this sense; [`Formula::dual`] rejects them.
+    pub fn dual(self) -> FixKind {
+        match self {
+            FixKind::Lfp => FixKind::Gfp,
+            FixKind::Gfp => FixKind::Lfp,
+            FixKind::Pfp => FixKind::Pfp,
+            FixKind::Ifp => FixKind::Ifp,
+        }
+    }
+}
+
+/// A formula of FO / FP / PFP.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Formula {
+    /// Logical constant.
+    Const(bool),
+    /// A relational atom.
+    Atom(Atom),
+    /// Equality of terms.
+    Eq(Term, Term),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Existential quantification.
+    Exists(Var, Box<Formula>),
+    /// Universal quantification.
+    Forall(Var, Box<Formula>),
+    /// A fixpoint subformula `[fix S(x̄). φ](t̄)`:
+    /// the operator binds the relation variable `rel` of arity `bound.len()`
+    /// and the individual variables `bound` within `body`, and the result
+    /// is applied to the argument terms `args`.
+    Fix {
+        /// Which fixpoint.
+        kind: FixKind,
+        /// The recursion variable's name.
+        rel: String,
+        /// The bound individual variables `x̄` (distinct).
+        bound: Vec<Var>,
+        /// The operator body `φ(x̄, S)`.
+        body: Box<Formula>,
+        /// The terms the fixpoint relation is applied to (`|args| = |bound|`).
+        args: Vec<Term>,
+    },
+}
+
+impl Formula {
+    /// `true`.
+    pub fn tt() -> Formula {
+        Formula::Const(true)
+    }
+
+    /// `false`.
+    pub fn ff() -> Formula {
+        Formula::Const(false)
+    }
+
+    /// An atom over a database relation.
+    pub fn atom(name: &str, args: impl IntoIterator<Item = Term>) -> Formula {
+        Formula::Atom(Atom { rel: RelRef::Db(name.to_string()), args: args.into_iter().collect() })
+    }
+
+    /// An atom over a bound relation variable.
+    pub fn rel_var(name: &str, args: impl IntoIterator<Item = Term>) -> Formula {
+        Formula::Atom(Atom {
+            rel: RelRef::Bound(name.to_string()),
+            args: args.into_iter().collect(),
+        })
+    }
+
+    /// Negation (with double-negation collapse).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        match self {
+            Formula::Not(inner) => *inner,
+            Formula::Const(b) => Formula::Const(!b),
+            f => Formula::Not(Box::new(f)),
+        }
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Formula) -> Formula {
+        Formula::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Implication, desugared to `¬self ∨ other`.
+    pub fn implies(self, other: Formula) -> Formula {
+        self.not().or(other)
+    }
+
+    /// Biconditional, desugared to `(self → other) ∧ (other → self)`.
+    pub fn iff(self, other: Formula) -> Formula {
+        self.clone().implies(other.clone()).and(other.implies(self))
+    }
+
+    /// `∃v. self`.
+    pub fn exists(self, v: Var) -> Formula {
+        Formula::Exists(v, Box::new(self))
+    }
+
+    /// `∀v. self`.
+    pub fn forall(self, v: Var) -> Formula {
+        Formula::Forall(v, Box::new(self))
+    }
+
+    /// Conjunction of all formulas (`true` if empty).
+    pub fn and_all(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut it = fs.into_iter();
+        match it.next() {
+            None => Formula::tt(),
+            Some(first) => it.fold(first, Formula::and),
+        }
+    }
+
+    /// Disjunction of all formulas (`false` if empty).
+    pub fn or_all(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut it = fs.into_iter();
+        match it.next() {
+            None => Formula::ff(),
+            Some(first) => it.fold(first, Formula::or),
+        }
+    }
+
+    /// A least fixpoint `[lfp S(x̄). body](args)`.
+    pub fn lfp(rel: &str, bound: Vec<Var>, body: Formula, args: Vec<Term>) -> Formula {
+        Formula::Fix { kind: FixKind::Lfp, rel: rel.to_string(), bound, body: Box::new(body), args }
+    }
+
+    /// A greatest fixpoint `[gfp S(x̄). body](args)`.
+    pub fn gfp(rel: &str, bound: Vec<Var>, body: Formula, args: Vec<Term>) -> Formula {
+        Formula::Fix { kind: FixKind::Gfp, rel: rel.to_string(), bound, body: Box::new(body), args }
+    }
+
+    /// A partial fixpoint `[pfp S(x̄). body](args)`.
+    pub fn pfp(rel: &str, bound: Vec<Var>, body: Formula, args: Vec<Term>) -> Formula {
+        Formula::Fix { kind: FixKind::Pfp, rel: rel.to_string(), bound, body: Box::new(body), args }
+    }
+
+    /// An inflationary fixpoint `[ifp S(x̄). body](args)`.
+    pub fn ifp(rel: &str, bound: Vec<Var>, body: Formula, args: Vec<Term>) -> Formula {
+        Formula::Fix { kind: FixKind::Ifp, rel: rel.to_string(), bound, body: Box::new(body), args }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        printer::fmt_formula(self, f)
+    }
+}
+
+/// An existential second-order formula `∃S₁…∃S_m. φ` with `φ` first-order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Eso {
+    /// The quantified relation symbols with their arities. Arity 0 gives
+    /// quantified propositions (used by the Theorem 4.5 reduction).
+    pub rels: Vec<(String, usize)>,
+    /// The first-order body; bound relation symbols appear as
+    /// [`RelRef::Bound`] atoms.
+    pub body: Formula,
+}
+
+impl fmt::Display for Eso {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        printer::fmt_eso(self, f)
+    }
+}
+
+/// A query `(y̆)φ`: a formula plus the tuple of output variables, denoting
+/// `{t̄ : B ⊨ φ[y̆ := t̄]}` (paper §2.2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Query {
+    /// Output variables (may repeat, may be a permutation).
+    pub output: Vec<Var>,
+    /// The formula. Its free variables must be among `output`.
+    pub formula: Formula,
+}
+
+impl Query {
+    /// Creates a query. The formula's free variables must be among the
+    /// output variables (checked by [`Query::validate`]).
+    pub fn new(output: Vec<Var>, formula: Formula) -> Query {
+        Query { output, formula }
+    }
+
+    /// A Boolean (sentence) query.
+    pub fn sentence(formula: Formula) -> Query {
+        Query { output: Vec::new(), formula }
+    }
+
+    /// Checks that the free variables of the formula are among the output
+    /// variables.
+    pub fn validate(&self) -> Result<(), crate::LogicError> {
+        let free = self.formula.free_vars();
+        for v in &free {
+            if !self.output.contains(v) {
+                return Err(crate::LogicError::FreeVariableNotOutput(*v));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.output.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ") {}", self.formula)
+    }
+}
+
+/// Convenience: the variables `x₁,…,x_k` (0-indexed `Var(0)..Var(k-1)`).
+pub fn vars(k: usize) -> Vec<Var> {
+    (0..k as u32).map(Var).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_indices_are_one_based() {
+        assert_eq!(Var(0).to_string(), "x1");
+        assert_eq!(Term::Const(5).to_string(), "5");
+    }
+
+    #[test]
+    fn double_negation_collapses() {
+        let a = Formula::atom("P", [Term::Var(Var(0))]);
+        assert_eq!(a.clone().not().not(), a);
+        assert_eq!(Formula::tt().not(), Formula::ff());
+    }
+
+    #[test]
+    fn and_all_empty_is_true() {
+        assert_eq!(Formula::and_all([]), Formula::tt());
+        assert_eq!(Formula::or_all([]), Formula::ff());
+        let p = Formula::atom("P", []);
+        assert_eq!(Formula::and_all([p.clone()]), p);
+    }
+
+    #[test]
+    fn query_validate_catches_stray_free_vars() {
+        let f = Formula::atom("E", [Term::Var(Var(0)), Term::Var(Var(1))]);
+        assert!(Query::new(vec![Var(0), Var(1)], f.clone()).validate().is_ok());
+        assert!(Query::new(vec![Var(0)], f.clone()).validate().is_err());
+        assert!(Query::sentence(f.clone().exists(Var(1)).exists(Var(0))).validate().is_ok());
+    }
+
+    #[test]
+    fn fixkind_duality() {
+        assert_eq!(FixKind::Lfp.dual(), FixKind::Gfp);
+        assert_eq!(FixKind::Gfp.dual(), FixKind::Lfp);
+    }
+}

@@ -1,0 +1,46 @@
+//! # bvq-logic
+//!
+//! The query-language front end of the `bvq` reproduction of Vardi,
+//! *On the Complexity of Bounded-Variable Queries* (PODS 1995).
+//!
+//! The paper studies four query languages — first-order logic (FO),
+//! least-fixpoint logic (FP), existential second-order logic (ESO) and
+//! partial-fixpoint logic (PFP) — and their bounded-variable fragments
+//! `L^k`, obtained by restricting the individual variables to `x₁,…,x_k`.
+//! This crate provides:
+//!
+//! * [`Formula`] — a unified AST covering FO, FP (μ and ν fixpoints) and
+//!   PFP; [`Eso`] wraps a first-order body in second-order existential
+//!   quantifiers; [`Query`] pairs a formula with its output variables,
+//!   matching the paper's `(x̄)φ(x̄)` notation;
+//! * analyses: [`Formula::width`] (the `k` such that the formula is in
+//!   `L^k`), size, free variables, positivity of recursion variables
+//!   ([`Formula::is_positive_in`]), well-formedness
+//!   ([`Formula::validate_fp`]), and Niwiński alternation depth
+//!   ([`Formula::alternation_depth`]) — the `l` in the paper's `n^{kl}`
+//!   bound;
+//! * transformations: negation normal form ([`Formula::nnf`]),
+//!   formula dualization ([`Formula::dual`], the co-NP half of Theorem
+//!   3.5), variable and relation substitution (the engines behind the
+//!   reductions of Propositions 3.2 and Theorems 4.4–4.6);
+//! * a recursive-descent [`parser`](parse) and a [pretty-printer]
+//!   (`Formula::to_string`) that round-trip;
+//! * [`patterns`] — the formula families used in the paper's own examples
+//!   (the `FO³` path formula of §2.2, chain joins, the fairness sentence).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod error;
+pub mod formula;
+pub mod minimize;
+pub mod parser;
+pub mod patterns;
+pub mod printer;
+pub mod subst;
+pub mod transform;
+
+pub use error::LogicError;
+pub use formula::{Atom, Eso, FixKind, Formula, Query, RelRef, Term, Var};
+pub use parser::parse;

@@ -1,0 +1,355 @@
+//! Variable minimization for first-order formulas.
+//!
+//! The paper's closing suggestion made fully general: given *any* FO
+//! formula, [`Formula::minimize_width`] renames its bound variables so
+//! that slots are reused whenever the scopes permit, producing an
+//! equivalent formula of (weakly) smaller width. On the §2.2 path family
+//! this turns the naive `ψ_n` (width n+1) into a width-3 formula —
+//! mechanically, the rewriting the paper performs by hand.
+//!
+//! The algorithm is greedy interference-aware slot allocation: walking
+//! the syntax tree top-down, a quantifier's bound variable needs a slot
+//! different from the slots of the variables *free in its scope*; the
+//! smallest such slot is chosen. Free variables of the whole formula keep
+//! their original indices (they are the query's interface).
+//!
+//! [`Formula::simplify`] is the constant-folding companion pass
+//! (`true ∧ φ → φ`, `∃x c → c`, fixpoints of constant bodies, …), applied
+//! before width analysis so degenerate subformulas don't pin slots.
+
+use crate::formula::{Atom, Formula, Term, Var};
+
+impl Formula {
+    /// Constant folding and trivial-identity simplification. Preserves
+    /// semantics over every database with a nonempty domain (the paper's
+    /// setting; quantifier elimination over constants uses it).
+    pub fn simplify(&self) -> Formula {
+        match self {
+            Formula::Const(_) | Formula::Atom(_) => self.clone(),
+            Formula::Eq(a, b) => match (a, b) {
+                (Term::Var(x), Term::Var(y)) if x == y => Formula::tt(),
+                (Term::Const(c), Term::Const(d)) => Formula::Const(c == d),
+                _ => self.clone(),
+            },
+            Formula::Not(g) => match g.simplify() {
+                Formula::Const(b) => Formula::Const(!b),
+                Formula::Not(inner) => *inner,
+                g => Formula::Not(Box::new(g)),
+            },
+            Formula::And(a, b) => match (a.simplify(), b.simplify()) {
+                (Formula::Const(false), _) | (_, Formula::Const(false)) => Formula::ff(),
+                (Formula::Const(true), g) | (g, Formula::Const(true)) => g,
+                (a, b) if a == b => a,
+                (a, b) => a.and(b),
+            },
+            Formula::Or(a, b) => match (a.simplify(), b.simplify()) {
+                (Formula::Const(true), _) | (_, Formula::Const(true)) => Formula::tt(),
+                (Formula::Const(false), g) | (g, Formula::Const(false)) => g,
+                (a, b) if a == b => a,
+                (a, b) => a.or(b),
+            },
+            Formula::Exists(v, g) => match g.simplify() {
+                Formula::Const(b) => Formula::Const(b), // nonempty domain
+                g if !g.free_vars().contains(v) => g,
+                g => g.exists(*v),
+            },
+            Formula::Forall(v, g) => match g.simplify() {
+                Formula::Const(b) => Formula::Const(b),
+                g if !g.free_vars().contains(v) => g,
+                g => g.forall(*v),
+            },
+            Formula::Fix { kind, rel, bound, body, args } => {
+                let body = body.simplify();
+                if let Formula::Const(b) = body {
+                    // lfp/gfp/pfp/ifp of a constant operator is that
+                    // constant relation (∅ or D^m) — hence the constant.
+                    return Formula::Const(b);
+                }
+                Formula::Fix {
+                    kind: *kind,
+                    rel: rel.clone(),
+                    bound: bound.clone(),
+                    body: Box::new(body),
+                    args: args.clone(),
+                }
+            }
+        }
+    }
+
+    /// Pushes quantifiers inward (miniscoping): `∃v(A ∧ B) = A ∧ ∃v B`
+    /// when `v ∉ free(A)`, `∃` distributes over `∨`, and dually for `∀`.
+    /// Shrinking quantifier scopes is what makes slot reuse possible —
+    /// a prefix-form formula keeps all its variables live simultaneously
+    /// no matter how they are named.
+    pub fn miniscope(&self) -> Formula {
+        match self {
+            Formula::Const(_) | Formula::Atom(_) | Formula::Eq(..) => self.clone(),
+            Formula::Not(g) => g.miniscope().not(),
+            Formula::And(a, b) => a.miniscope().and(b.miniscope()),
+            Formula::Or(a, b) => a.miniscope().or(b.miniscope()),
+            Formula::Exists(v, g) => push_quantifier(*v, g.miniscope(), true),
+            Formula::Forall(v, g) => push_quantifier(*v, g.miniscope(), false),
+            Formula::Fix { kind, rel, bound, body, args } => Formula::Fix {
+                kind: *kind,
+                rel: rel.clone(),
+                bound: bound.clone(),
+                body: Box::new(body.miniscope()),
+                args: args.clone(),
+            },
+        }
+    }
+
+    /// Rewrites the formula to use as few distinct variables as the
+    /// greedy pass can manage (simplify → miniscope → interference-aware
+    /// renaming), preserving semantics. First-order formulas only —
+    /// returns `None` when a fixpoint operator is present (their recursion
+    /// arities pin variables in ways this local pass does not model).
+    ///
+    /// On the §2.2 path family this mechanically reproduces the paper's
+    /// hand rewriting:
+    ///
+    /// ```
+    /// use bvq_logic::patterns;
+    /// let naive = patterns::path_naive(7); // width 8
+    /// let slim = naive.minimize_width().unwrap();
+    /// assert!(slim.width() <= 3, "width {}", slim.width());
+    /// assert_eq!(slim.free_vars(), naive.free_vars());
+    /// ```
+    pub fn minimize_width(&self) -> Option<Formula> {
+        if !self.is_first_order() {
+            return None;
+        }
+        let f = self.simplify().miniscope();
+        // Free variables keep their identities; their slots are pinned.
+        let free = f.free_vars();
+        let mut mapping: Vec<(Var, Var)> = free.iter().map(|v| (*v, *v)).collect();
+        Some(go(&f, &mut mapping))
+    }
+}
+
+/// Pushes one quantifier over `v` into `g` as far as it will go.
+/// `exists` selects ∃ (distributes over ∨, commutes past v-free ∧-parts)
+/// or ∀ (dually).
+fn push_quantifier(v: Var, g: Formula, exists: bool) -> Formula {
+    if !g.free_vars().contains(&v) {
+        return g; // vacuous quantifier (nonempty domain)
+    }
+    match (&g, exists) {
+        (Formula::Or(..), true) | (Formula::And(..), false) => {
+            // Distribute over the matching connective.
+            let (a, b) = match g {
+                Formula::Or(a, b) | Formula::And(a, b) => (*a, *b),
+                _ => unreachable!(),
+            };
+            let pa = push_quantifier(v, a, exists);
+            let pb = push_quantifier(v, b, exists);
+            if exists {
+                pa.or(pb)
+            } else {
+                pa.and(pb)
+            }
+        }
+        (Formula::And(..), true) | (Formula::Or(..), false) => {
+            // Split the flattened juncts into those mentioning v and not.
+            let mut with_v = Vec::new();
+            let mut without = Vec::new();
+            collect_juncts(g, exists, &mut with_v, &mut without, v);
+            let combine = |fs: Vec<Formula>| {
+                if exists {
+                    Formula::and_all(fs)
+                } else {
+                    Formula::or_all(fs)
+                }
+            };
+            let inner = combine(with_v);
+            // Recurse once more: the v-part may itself expose structure.
+            let pushed = match &inner {
+                Formula::And(..) | Formula::Or(..) => {
+                    if exists {
+                        inner.exists(v)
+                    } else {
+                        inner.forall(v)
+                    }
+                }
+                _ => push_quantifier(v, inner, exists),
+            };
+            if without.is_empty() {
+                pushed
+            } else {
+                let rest = combine(without);
+                if exists {
+                    rest.and(pushed)
+                } else {
+                    rest.or(pushed)
+                }
+            }
+        }
+        _ => {
+            if exists {
+                g.exists(v)
+            } else {
+                g.forall(v)
+            }
+        }
+    }
+}
+
+/// Flattens an ∧-chain (for ∃) or ∨-chain (for ∀) into juncts, split by
+/// whether they mention `v`.
+fn collect_juncts(
+    f: Formula,
+    exists: bool,
+    with_v: &mut Vec<Formula>,
+    without: &mut Vec<Formula>,
+    v: Var,
+) {
+    match (f, exists) {
+        (Formula::And(a, b), true) | (Formula::Or(a, b), false) => {
+            collect_juncts(*a, exists, with_v, without, v);
+            collect_juncts(*b, exists, with_v, without, v);
+        }
+        (f, _) => {
+            if f.free_vars().contains(&v) {
+                with_v.push(f);
+            } else {
+                without.push(f);
+            }
+        }
+    }
+}
+
+fn map_term(t: &Term, mapping: &[(Var, Var)]) -> Term {
+    match t {
+        Term::Const(_) => *t,
+        Term::Var(v) => Term::Var(
+            mapping
+                .iter()
+                .rev()
+                .find(|(w, _)| w == v)
+                .map(|(_, s)| *s)
+                .expect("every free variable is mapped"),
+        ),
+    }
+}
+
+fn go(f: &Formula, mapping: &mut Vec<(Var, Var)>) -> Formula {
+    match f {
+        Formula::Const(_) => f.clone(),
+        Formula::Eq(a, b) => Formula::Eq(map_term(a, mapping), map_term(b, mapping)),
+        Formula::Atom(Atom { rel, args }) => Formula::Atom(Atom {
+            rel: rel.clone(),
+            args: args.iter().map(|t| map_term(t, mapping)).collect(),
+        }),
+        Formula::Not(g) => go(g, mapping).not(),
+        Formula::And(a, b) => go(a, mapping).and(go(b, mapping)),
+        Formula::Or(a, b) => go(a, mapping).or(go(b, mapping)),
+        Formula::Exists(v, g) | Formula::Forall(v, g) => {
+            let is_exists = matches!(f, Formula::Exists(..));
+            // The bound variable needs a slot distinct from those of the
+            // *other* variables free in g.
+            let inner_free: Vec<Var> =
+                g.free_vars().into_iter().filter(|w| w != v).collect();
+            let mut busy = Vec::new();
+            for w in &inner_free {
+                if let Some((_, s)) = mapping.iter().rev().find(|(x, _)| x == w) {
+                    if !busy.contains(&s.0) {
+                        busy.push(s.0);
+                    }
+                }
+            }
+            let mut slot = 0u32;
+            while busy.contains(&slot) {
+                slot += 1;
+            }
+            mapping.push((*v, Var(slot)));
+            let inner = go(g, mapping);
+            mapping.pop();
+            if is_exists {
+                inner.exists(Var(slot))
+            } else {
+                inner.forall(Var(slot))
+            }
+        }
+        Formula::Fix { .. } => unreachable!("guarded by is_first_order"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::patterns;
+
+    #[test]
+    fn simplify_folds_constants() {
+        let cases = [
+            ("(P(x1) & true)", "P(x1)"),
+            ("(P(x1) & false)", "false"),
+            ("(P(x1) | true)", "true"),
+            ("~~P(x1)", "P(x1)"),
+            ("x1 = x1", "true"),
+            ("2 = 3", "false"),
+            ("exists x2. P(x1)", "P(x1)"),
+            ("exists x2. true", "true"),
+            ("forall x2. false", "false"),
+            ("(P(x1) | P(x1))", "P(x1)"),
+        ];
+        for (src, expect) in cases {
+            let f = parse(src).unwrap().simplify();
+            let e = parse(expect).unwrap();
+            assert_eq!(f, e, "simplify({src})");
+        }
+    }
+
+    #[test]
+    fn simplify_constant_fixpoints() {
+        let f = parse("[lfp S(x1). true](x1)").unwrap().simplify();
+        assert_eq!(f, Formula::tt());
+        let g = parse("[gfp S(x1). false](x1)").unwrap().simplify();
+        assert_eq!(g, Formula::ff());
+    }
+
+    #[test]
+    fn minimize_width_on_path_family() {
+        for n in 2..10 {
+            let naive = patterns::path_naive(n);
+            assert_eq!(naive.width(), n + 1);
+            let slim = naive.minimize_width().unwrap();
+            assert!(slim.width() <= 3, "n={n}: width {}", slim.width());
+            assert_eq!(slim.free_vars(), naive.free_vars());
+        }
+    }
+
+    #[test]
+    fn minimize_keeps_free_variables_fixed() {
+        let f = parse("exists x5. (E(x2, x5) & P(x5))").unwrap();
+        let slim = f.minimize_width().unwrap();
+        assert_eq!(slim.free_vars(), f.free_vars());
+        // x5 is renamed to a small slot ≠ x2's slot.
+        assert!(slim.width() <= 3);
+    }
+
+    #[test]
+    fn minimize_handles_parallel_scopes() {
+        // Two sibling quantifiers can share a slot.
+        let f = parse("(exists x3. E(x1,x3) & exists x4. E(x4,x2))").unwrap();
+        let slim = f.minimize_width().unwrap();
+        assert!(slim.width() <= 3, "width {}", slim.width());
+    }
+
+    #[test]
+    fn minimize_rejects_fixpoints() {
+        let f = patterns::reach_from_const(0);
+        assert!(f.minimize_width().is_none());
+    }
+
+    #[test]
+    fn minimize_never_increases_width() {
+        for seed in 0..5 {
+            // Reuse the pattern generators for deterministic inputs.
+            let f = patterns::path_naive(4 + seed % 3);
+            let slim = f.minimize_width().unwrap();
+            assert!(slim.width() <= f.width());
+        }
+    }
+}

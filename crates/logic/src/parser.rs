@@ -1,0 +1,525 @@
+//! A recursive-descent parser for the concrete formula syntax.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query    := '(' varlist ')' formula            (* the paper's (x̄)φ *)
+//! eso      := 'exists2' name '/' nat (',' name '/' nat)* '.' formula
+//! formula  := iff
+//! iff      := imp ('<->' imp)*                   (* left-assoc *)
+//! imp      := or ('->' imp)?                     (* right-assoc *)
+//! or       := and ('|' and)*
+//! and      := unary ('&' unary)*
+//! unary    := '~' unary
+//!           | ('exists' | 'forall') var '.' unary
+//!           | primary
+//! primary  := 'true' | 'false'
+//!           | '(' formula ')'
+//!           | '[' ('lfp'|'gfp'|'pfp'|'mu'|'nu') name '(' varlist ')' '.'
+//!                 formula ']' '(' termlist ')'
+//!           | name '(' termlist ')'              (* atom *)
+//!           | term '=' term
+//! term     := var | nat
+//! var      := 'x' nat                            (* x1, x2, … *)
+//! ```
+//!
+//! A quantifier's body is a `unary`, so `exists x1. P(x1) & Q(x1)` parses
+//! as `(∃x1 P(x1)) ∧ Q(x1)`; write `exists x1. (P(x1) & Q(x1))` for the
+//! wider scope (the printer always emits the parentheses).
+//!
+//! An atom's relation symbol is resolved as [`RelRef::Bound`] when a
+//! fixpoint binder or `exists2` quantifier of that name is in scope, and as
+//! [`RelRef::Db`] otherwise.
+
+use crate::error::LogicError;
+use crate::formula::{Atom, Eso, FixKind, Formula, Query, RelRef, Term, Var};
+
+/// Parses a formula.
+pub fn parse(input: &str) -> Result<Formula, LogicError> {
+    let mut p = Parser::new(input);
+    let f = p.formula()?;
+    p.expect_eof()?;
+    Ok(f)
+}
+
+/// Parses a query `(x1,x2) φ`.
+pub fn parse_query(input: &str) -> Result<Query, LogicError> {
+    let mut p = Parser::new(input);
+    p.expect_sym('(')?;
+    let mut output = Vec::new();
+    if !p.try_sym(')') {
+        loop {
+            output.push(p.variable()?);
+            if !p.try_sym(',') {
+                break;
+            }
+        }
+        p.expect_sym(')')?;
+    }
+    let f = p.formula()?;
+    p.expect_eof()?;
+    let q = Query::new(output, f);
+    q.validate()?;
+    Ok(q)
+}
+
+/// Parses an ESO formula `exists2 S/2. φ` (or a plain FO formula, giving an
+/// [`Eso`] with no quantified relations).
+pub fn parse_eso(input: &str) -> Result<Eso, LogicError> {
+    let mut p = Parser::new(input);
+    let mut rels = Vec::new();
+    if p.try_keyword("exists2") {
+        loop {
+            let name = p.ident()?;
+            p.expect_sym('/')?;
+            let arity = p.nat()? as usize;
+            rels.push((name, arity));
+            if !p.try_sym(',') {
+                break;
+            }
+        }
+        p.expect_sym('.')?;
+    }
+    for (name, _) in &rels {
+        p.bound_rels.push(name.clone());
+    }
+    let body = p.formula()?;
+    p.expect_eof()?;
+    let e = Eso { rels, body };
+    e.validate()?;
+    Ok(e)
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    /// Relation names currently bound (fixpoint binders / exists2).
+    bound_rels: Vec<String>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { src: input.as_bytes(), pos: 0, bound_rels: Vec::new() }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, LogicError> {
+        Err(LogicError::Parse { position: self.pos, message: message.into() })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn try_sym(&mut self, c: char) -> bool {
+        if self.peek() == Some(c as u8) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<(), LogicError> {
+        if self.try_sym(c) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{c}`"))
+        }
+    }
+
+    /// Matches a multi-character operator like `->` or `<->`.
+    fn try_op(&mut self, op: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(op.as_bytes()) {
+            self.pos += op.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_ident(&mut self) -> Option<String> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut end = start;
+        while end < self.src.len()
+            && (self.src[end].is_ascii_alphanumeric() || self.src[end] == b'_' || self.src[end] == b'\'')
+        {
+            end += 1;
+        }
+        if end == start || !self.src[start].is_ascii_alphabetic() && self.src[start] != b'_' {
+            return None;
+        }
+        Some(String::from_utf8_lossy(&self.src[start..end]).into_owned())
+    }
+
+    fn ident(&mut self) -> Result<String, LogicError> {
+        match self.peek_ident() {
+            Some(s) => {
+                self.pos += s.len();
+                Ok(s)
+            }
+            None => self.err("expected identifier"),
+        }
+    }
+
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_ident().as_deref() == Some(kw) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn nat(&mut self) -> Result<u32, LogicError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected number");
+        }
+        let s = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
+        s.parse().or_else(|_| self.err("number too large"))
+    }
+
+    /// Is `name` of the shape `x<nat>` with nat ≥ 1 (a variable)?
+    fn var_of_ident(name: &str) -> Option<Var> {
+        let rest = name.strip_prefix('x')?;
+        if rest.is_empty() || !rest.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let n: u32 = rest.parse().ok()?;
+        if n == 0 {
+            None
+        } else {
+            Some(Var(n - 1))
+        }
+    }
+
+    fn variable(&mut self) -> Result<Var, LogicError> {
+        let id = self.ident()?;
+        match Self::var_of_ident(&id) {
+            Some(v) => Ok(v),
+            None => self.err(format!("expected variable (x1, x2, …), found `{id}`")),
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, LogicError> {
+        if let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                return Ok(Term::Const(self.nat()?));
+            }
+        }
+        let id = self.ident()?;
+        match Self::var_of_ident(&id) {
+            Some(v) => Ok(Term::Var(v)),
+            None => self.err(format!("expected term, found `{id}`")),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), LogicError> {
+        self.skip_ws();
+        if self.pos == self.src.len() {
+            Ok(())
+        } else {
+            self.err("unexpected trailing input")
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula, LogicError> {
+        self.iff()
+    }
+
+    fn iff(&mut self) -> Result<Formula, LogicError> {
+        let mut f = self.imp()?;
+        while self.try_op("<->") {
+            let g = self.imp()?;
+            f = f.iff(g);
+        }
+        Ok(f)
+    }
+
+    fn imp(&mut self) -> Result<Formula, LogicError> {
+        let f = self.or()?;
+        // `->` but not `<->` (or() has consumed everything before `->`).
+        if self.try_op("->") {
+            let g = self.imp()?;
+            return Ok(f.implies(g));
+        }
+        Ok(f)
+    }
+
+    fn or(&mut self) -> Result<Formula, LogicError> {
+        let mut f = self.and()?;
+        while self.peek() == Some(b'|') {
+            self.pos += 1;
+            f = f.or(self.and()?);
+        }
+        Ok(f)
+    }
+
+    fn and(&mut self) -> Result<Formula, LogicError> {
+        let mut f = self.unary()?;
+        while self.peek() == Some(b'&') {
+            self.pos += 1;
+            f = f.and(self.unary()?);
+        }
+        Ok(f)
+    }
+
+    fn unary(&mut self) -> Result<Formula, LogicError> {
+        if self.try_sym('~') {
+            return Ok(Formula::Not(Box::new(self.unary()?)));
+        }
+        if self.try_keyword("exists") {
+            let v = self.variable()?;
+            self.expect_sym('.')?;
+            return Ok(self.unary()?.exists(v));
+        }
+        if self.try_keyword("forall") {
+            let v = self.variable()?;
+            self.expect_sym('.')?;
+            return Ok(self.unary()?.forall(v));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Formula, LogicError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let f = self.formula()?;
+                self.expect_sym(')')?;
+                Ok(f)
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                self.fixpoint()
+            }
+            Some(c) if c.is_ascii_digit() => {
+                // Constant on the left of an equality.
+                let t = self.term()?;
+                self.expect_sym('=')?;
+                let u = self.term()?;
+                Ok(Formula::Eq(t, u))
+            }
+            _ => {
+                if self.try_keyword("true") {
+                    return Ok(Formula::tt());
+                }
+                if self.try_keyword("false") {
+                    return Ok(Formula::ff());
+                }
+                let id = self.ident()?;
+                if let Some(v) = Self::var_of_ident(&id) {
+                    // A variable must begin an equality.
+                    self.expect_sym('=')?;
+                    let u = self.term()?;
+                    return Ok(Formula::Eq(Term::Var(v), u));
+                }
+                // An atom.
+                self.expect_sym('(')?;
+                let mut args = Vec::new();
+                if !self.try_sym(')') {
+                    loop {
+                        args.push(self.term()?);
+                        if !self.try_sym(',') {
+                            break;
+                        }
+                    }
+                    self.expect_sym(')')?;
+                }
+                let rel = if self.bound_rels.iter().any(|r| *r == id) {
+                    RelRef::Bound(id)
+                } else {
+                    RelRef::Db(id)
+                };
+                Ok(Formula::Atom(Atom { rel, args }))
+            }
+        }
+    }
+
+    fn fixpoint(&mut self) -> Result<Formula, LogicError> {
+        let kind = if self.try_keyword("lfp") || self.try_keyword("mu") {
+            FixKind::Lfp
+        } else if self.try_keyword("gfp") || self.try_keyword("nu") {
+            FixKind::Gfp
+        } else if self.try_keyword("pfp") {
+            FixKind::Pfp
+        } else if self.try_keyword("ifp") {
+            FixKind::Ifp
+        } else {
+            return self.err("expected `lfp`, `gfp`, `pfp`, `ifp`, `mu` or `nu`");
+        };
+        let rel = self.ident()?;
+        self.expect_sym('(')?;
+        let mut bound = Vec::new();
+        if !self.try_sym(')') {
+            loop {
+                bound.push(self.variable()?);
+                if !self.try_sym(',') {
+                    break;
+                }
+            }
+            self.expect_sym(')')?;
+        }
+        self.expect_sym('.')?;
+        self.bound_rels.push(rel.clone());
+        let body = self.formula();
+        self.bound_rels.pop();
+        let body = body?;
+        self.expect_sym(']')?;
+        self.expect_sym('(')?;
+        let mut args = Vec::new();
+        if !self.try_sym(')') {
+            loop {
+                args.push(self.term()?);
+                if !self.try_sym(',') {
+                    break;
+                }
+            }
+            self.expect_sym(')')?;
+        }
+        let f = Formula::Fix { kind, rel, bound, body: Box::new(body), args };
+        // Validate the fixpoint we just closed (positivity, arities).
+        f.validate_fp()?;
+        Ok(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Term {
+        Term::Var(Var(i))
+    }
+
+    #[test]
+    fn parses_atoms_and_connectives() {
+        let f = parse("P(x1) & ~Q(x2)").unwrap();
+        assert_eq!(f, Formula::atom("P", [v(0)]).and(Formula::atom("Q", [v(1)]).not()));
+    }
+
+    #[test]
+    fn parses_quantifiers_narrow_scope() {
+        let f = parse("exists x1. P(x1) & Q(x2)").unwrap();
+        assert_eq!(f, Formula::atom("P", [v(0)]).exists(Var(0)).and(Formula::atom("Q", [v(1)])));
+        let g = parse("exists x1. (P(x1) & Q(x2))").unwrap();
+        assert_eq!(g, Formula::atom("P", [v(0)]).and(Formula::atom("Q", [v(1)])).exists(Var(0)));
+    }
+
+    #[test]
+    fn parses_equality_and_constants() {
+        assert_eq!(parse("x1 = x2").unwrap(), Formula::Eq(v(0), v(1)));
+        assert_eq!(parse("x1 = 4").unwrap(), Formula::Eq(v(0), Term::Const(4)));
+        assert_eq!(parse("3 = x1").unwrap(), Formula::Eq(Term::Const(3), v(0)));
+    }
+
+    #[test]
+    fn parses_implication_right_assoc() {
+        let f = parse("P() -> Q() -> R()").unwrap();
+        let expected =
+            Formula::atom("P", []).implies(Formula::atom("Q", []).implies(Formula::atom("R", [])));
+        assert_eq!(f, expected);
+    }
+
+    #[test]
+    fn parses_iff_as_two_implications() {
+        let f = parse("P() <-> Q()").unwrap();
+        assert_eq!(f, Formula::atom("P", []).iff(Formula::atom("Q", [])));
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let f = parse("P() | Q() & R()").unwrap();
+        let expected = Formula::atom("P", []).or(Formula::atom("Q", []).and(Formula::atom("R", [])));
+        assert_eq!(f, expected);
+    }
+
+    #[test]
+    fn parses_fixpoints_and_binds_rel() {
+        let f = parse("[lfp S(x1). (P(x1) | S(x1))](x2)").unwrap();
+        if let Formula::Fix { kind, rel, bound, body, args } = &f {
+            assert_eq!(*kind, FixKind::Lfp);
+            assert_eq!(rel, "S");
+            assert_eq!(bound, &vec![Var(0)]);
+            assert_eq!(args, &vec![v(1)]);
+            // The S atom inside must be Bound, the P atom Db.
+            let expected =
+                Formula::atom("P", [v(0)]).or(Formula::rel_var("S", [v(0)]));
+            assert_eq!(**body, expected);
+        } else {
+            panic!("not a fixpoint: {f:?}");
+        }
+        // mu/nu synonyms.
+        assert_eq!(parse("[mu S(x1). S(x1)](x1)").unwrap(), parse("[lfp S(x1). S(x1)](x1)").unwrap());
+    }
+
+    #[test]
+    fn parser_rejects_negative_recursion() {
+        let r = parse("[lfp S(x1). ~S(x1)](x1)");
+        assert!(matches!(r, Err(LogicError::NotPositive(_))), "{r:?}");
+        // pfp allows it.
+        assert!(parse("[pfp S(x1). ~S(x1)](x1)").is_ok());
+    }
+
+    #[test]
+    fn parse_query_roundtrip() {
+        let q = parse_query("(x1,x2) E(x1,x2)").unwrap();
+        assert_eq!(q.output, vec![Var(0), Var(1)]);
+        let bad = parse_query("(x1) E(x1,x2)");
+        assert!(matches!(bad, Err(LogicError::FreeVariableNotOutput(_))));
+    }
+
+    #[test]
+    fn parse_eso_binds_relations() {
+        let e = parse_eso("exists2 S/1. forall x1. (S(x1) | P(x1))").unwrap();
+        assert_eq!(e.rels, vec![("S".to_string(), 1)]);
+        let mut found_bound = false;
+        e.body.visit(&mut |f| {
+            if let Formula::Atom(Atom { rel: RelRef::Bound(n), .. }) = f {
+                assert_eq!(n, "S");
+                found_bound = true;
+            }
+        });
+        assert!(found_bound);
+        // Arity mismatch caught by validation.
+        assert!(parse_eso("exists2 S/2. S(x1)").is_err());
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        match parse("P(x1") {
+            Err(LogicError::Parse { position, .. }) => assert_eq!(position, 4),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(parse("").is_err());
+        assert!(parse("P(x1) Q(x2)").is_err(), "trailing input must be rejected");
+    }
+
+    #[test]
+    fn x0_is_not_a_variable() {
+        // x0 does not exist (variables are 1-based); it is an atom name,
+        // so `x0 = x1` fails to parse as an atom application.
+        assert!(parse("x0(x1)").is_ok()); // relation named x0 — allowed
+        assert!(parse("x0 = x1").is_err());
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let a = parse("  P( x1 ,x2 )&Q(x1)  ").unwrap();
+        let b = parse("P(x1,x2) & Q(x1)").unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,250 @@
+//! Formula families from the paper and standard query patterns.
+//!
+//! These are the concrete queries the experiments sweep over:
+//!
+//! * [`path_naive`] / [`path_bounded`] — the §2.2 example: "x and y are
+//!   connected by a path of length n", written naively with `n+1` variables
+//!   and rewritten into `FO³` by reusing variables;
+//! * [`fairness`] — the §2.2 FP³ sentence "there is no infinite E-path
+//!   starting at u on which P fails infinitely often" (alternation depth 2);
+//! * [`reach_from_const`] — reachability as an `FP²` least fixpoint;
+//! * [`three_coloring`] — graph 3-colorability as an `ESO²` formula;
+//! * [`pfp_parity_flip`] — a deliberately divergent PFP iteration (its
+//!   partial fixpoint is the empty relation by the paper's convention);
+//! * [`pfp_reach`] — converging PFP computing reachability.
+
+use crate::formula::{Eso, Formula, Term, Var};
+
+/// `ψ_n(x1, x2)`: a path of length `n ≥ 1` from `x1` to `x2`, written with
+/// `n+1` distinct variables (`x1`, `x2` and chain variables `x3,…,x_{n+1}`):
+///
+/// ```text
+/// ∃z₁…z_{n-1} (E(x1,z₁) ∧ E(z₁,z₂) ∧ … ∧ E(z_{n-1},x2))
+/// ```
+///
+/// Its width is `n+1`; the naive bottom-up evaluation materialises a
+/// relation of arity `n+1` — the exponential intermediate result of the
+/// paper's introduction.
+pub fn path_naive(n: usize) -> Formula {
+    assert!(n >= 1, "paths have length ≥ 1");
+    let x = Term::Var(Var(0));
+    let y = Term::Var(Var(1));
+    if n == 1 {
+        return Formula::atom("E", [x, y]);
+    }
+    // Chain variables z_i = Var(i + 1), i = 1..n-1.
+    let z = |i: usize| Term::Var(Var(i as u32 + 1));
+    let mut conj = vec![Formula::atom("E", [x, z(1)])];
+    for i in 1..n - 1 {
+        conj.push(Formula::atom("E", [z(i), z(i + 1)]));
+    }
+    conj.push(Formula::atom("E", [z(n - 1), y]));
+    let mut f = Formula::and_all(conj);
+    for i in (1..n).rev() {
+        f = f.exists(Var(i as u32 + 1));
+    }
+    f
+}
+
+/// `φ_n(x1, x2)`: the same path-of-length-`n` property in `FO³`, exactly as
+/// in §2.2 of the paper:
+///
+/// ```text
+/// φ₁(x,y)     = E(x,y)
+/// φ_{n+1}(x,y) = ∃z (E(x,z) ∧ ∃x (x = z ∧ φ_n(x,y)))
+/// ```
+///
+/// with `x = x1`, `y = x2`, `z = x3`. Width 3 for every `n ≥ 2`, size Θ(n).
+pub fn path_bounded(n: usize) -> Formula {
+    assert!(n >= 1, "paths have length ≥ 1");
+    let x = Term::Var(Var(0));
+    let y = Term::Var(Var(1));
+    let z = Term::Var(Var(2));
+    let mut f = Formula::atom("E", [x, y]);
+    for _ in 1..n {
+        // φ_{m+1} = ∃x3 (E(x1,x3) ∧ ∃x1 (x1 = x3 ∧ φ_m))
+        let rebind = Formula::Eq(x, z).and(f).exists(Var(0));
+        f = Formula::atom("E", [x, z]).and(rebind).exists(Var(2));
+    }
+    f
+}
+
+/// The §2.2 FP example: "there is no infinite E-path starting at `u` on
+/// which P fails infinitely often":
+///
+/// ```text
+/// [lfp S(x1). [gfp T(x3). ∀x2 (E(x3,x2) → (S(x2) ∨ (P(x2) ∧ T(x2))))](x1)](u)
+/// ```
+///
+/// Width 3, alternation depth 2 (the inner ν depends on the outer μ).
+///
+/// Reading: a point is in the inner ν iff along every step either we escape
+/// into `S` (strictly smaller μ-rank — this can happen only finitely often
+/// on any path) or `P` holds and we continue coinductively; so the least
+/// fixpoint `S` holds exactly where every infinite `E`-path has only
+/// finitely many `¬P` positions. (The PODS text drops the fixpoint symbols
+/// in this example; the μ-outside-ν-inside assignment is the one matching
+/// its English statement.)
+pub fn fairness(u: Term) -> Formula {
+    let x1 = Term::Var(Var(0));
+    let x2 = Term::Var(Var(1));
+    let x3 = Term::Var(Var(2));
+    let body_t = Formula::atom("E", [x3, x2])
+        .implies(
+            Formula::rel_var("S", [x2])
+                .or(Formula::atom("P", [x2]).and(Formula::rel_var("T", [x2]))),
+        )
+        .forall(Var(1));
+    let gfp_t = Formula::gfp("T", vec![Var(2)], body_t, vec![x1]);
+    Formula::lfp("S", vec![Var(0)], gfp_t, vec![u])
+}
+
+/// Reachability from the constant `c` as an `FP²` query in `x1`:
+///
+/// ```text
+/// [lfp S(x1). (x1 = c ∨ ∃x2 (S(x2) ∧ E(x2,x1)))](x1)
+/// ```
+pub fn reach_from_const(c: u32) -> Formula {
+    let x1 = Term::Var(Var(0));
+    let x2 = Term::Var(Var(1));
+    let body = Formula::Eq(x1, Term::Const(c)).or(
+        Formula::rel_var("S", [x2]).and(Formula::atom("E", [x2, x1])).exists(Var(1)),
+    );
+    Formula::lfp("S", vec![Var(0)], body, vec![x1])
+}
+
+/// Graph 3-colorability as an `ESO²` sentence:
+///
+/// ```text
+/// ∃C₁C₂C₃ ( ∀x1 (C₁(x1) ∨ C₂(x1) ∨ C₃(x1))
+///         ∧ ∀x1∀x2 (E(x1,x2) → ⋀ᵢ ¬(Cᵢ(x1) ∧ Cᵢ(x2))) )
+/// ```
+pub fn three_coloring() -> Eso {
+    let x1 = Term::Var(Var(0));
+    let x2 = Term::Var(Var(1));
+    let cover = Formula::or_all(
+        (1..=3).map(|i| Formula::rel_var(&format!("C{i}"), [x1])),
+    )
+    .forall(Var(0));
+    let proper = Formula::atom("E", [x1, x2])
+        .implies(Formula::and_all((1..=3).map(|i| {
+            Formula::rel_var(&format!("C{i}"), [x1])
+                .and(Formula::rel_var(&format!("C{i}"), [x2]))
+                .not()
+        })))
+        .forall(Var(1))
+        .forall(Var(0));
+    Eso {
+        rels: (1..=3).map(|i| (format!("C{i}"), 1)).collect(),
+        body: cover.and(proper),
+    }
+}
+
+/// A deliberately divergent PFP query: `[pfp S(x1). ¬S(x1)](x1)` flips
+/// between `∅` and `D` forever, so its partial fixpoint is the empty
+/// relation (paper §2.2 convention).
+pub fn pfp_parity_flip() -> Formula {
+    let x1 = Term::Var(Var(0));
+    Formula::pfp("S", vec![Var(0)], Formula::rel_var("S", [x1]).not(), vec![x1])
+}
+
+/// Reachability from constant `c` written as a PFP query (the monotone
+/// iteration converges, so PFP and LFP agree here):
+///
+/// ```text
+/// [pfp S(x1). (x1 = c ∨ S(x1) ∨ ∃x2 (S(x2) ∧ E(x2,x1)))](x1)
+/// ```
+///
+/// The explicit `S(x1)` disjunct makes the operator inflationary, so the
+/// sequence is increasing and reaches its fixpoint.
+pub fn pfp_reach(c: u32) -> Formula {
+    let x1 = Term::Var(Var(0));
+    let x2 = Term::Var(Var(1));
+    let body = Formula::Eq(x1, Term::Const(c))
+        .or(Formula::rel_var("S", [x1]))
+        .or(Formula::rel_var("S", [x2]).and(Formula::atom("E", [x2, x1])).exists(Var(1)));
+    Formula::pfp("S", vec![Var(0)], body, vec![x1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_naive_width_grows() {
+        assert_eq!(path_naive(1).width(), 2);
+        assert_eq!(path_naive(2).width(), 3);
+        assert_eq!(path_naive(5).width(), 6);
+        assert_eq!(path_naive(5).free_vars(), vec![Var(0), Var(1)]);
+    }
+
+    #[test]
+    fn path_bounded_width_is_three() {
+        assert_eq!(path_bounded(1).width(), 2);
+        for n in 2..10 {
+            let f = path_bounded(n);
+            assert_eq!(f.width(), 3, "φ_{n} must stay in FO³");
+            assert_eq!(f.free_vars(), vec![Var(0), Var(1)]);
+        }
+    }
+
+    #[test]
+    fn path_bounded_size_is_linear() {
+        let s5 = path_bounded(5).size();
+        let s10 = path_bounded(10).size();
+        let s20 = path_bounded(20).size();
+        assert_eq!(s20 - s10, 2 * (s10 - s5), "size must grow linearly in n");
+    }
+
+    #[test]
+    fn fairness_is_valid_fp3_with_alternation_2() {
+        let f = fairness(Term::Const(0));
+        assert!(f.validate_fp().is_ok());
+        assert_eq!(f.width(), 3);
+        assert_eq!(f.alternation_depth(), 2);
+        assert!(f.is_fp());
+        assert!(f.free_vars().is_empty());
+    }
+
+    #[test]
+    fn reach_is_valid_fp2() {
+        let f = reach_from_const(0);
+        assert!(f.validate_fp().is_ok());
+        assert_eq!(f.width(), 2);
+        assert_eq!(f.alternation_depth(), 1);
+        assert_eq!(f.free_vars(), vec![Var(0)]);
+    }
+
+    #[test]
+    fn three_coloring_is_valid_eso2() {
+        let e = three_coloring();
+        assert!(e.validate().is_ok());
+        assert_eq!(e.width(), 2);
+        assert_eq!(e.max_rel_arity(), 1);
+        assert_eq!(e.rels.len(), 3);
+    }
+
+    #[test]
+    fn pfp_patterns_validate() {
+        assert!(pfp_parity_flip().validate_fp().is_ok());
+        assert!(pfp_reach(0).validate_fp().is_ok());
+        assert!(!pfp_parity_flip().is_fp());
+    }
+
+    #[test]
+    fn patterns_roundtrip_through_parser() {
+        for f in [
+            path_naive(4),
+            path_bounded(6),
+            fairness(Term::Const(1)),
+            reach_from_const(2),
+            pfp_parity_flip(),
+            pfp_reach(0),
+        ] {
+            let printed = f.to_string();
+            let reparsed = crate::parse(&printed)
+                .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+            assert_eq!(reparsed, f, "round-trip mismatch for `{printed}`");
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Pretty-printing of formulas in the concrete syntax accepted by
+//! [`parse`](crate::parse).
+//!
+//! The printer is conservative with parentheses (every binary connective is
+//! parenthesized), which makes the output unambiguous and guarantees the
+//! parse/print round-trip checked by the property tests.
+
+use std::fmt;
+
+use crate::formula::{Atom, Eso, FixKind, Formula, Term};
+
+/// Writes `f` in concrete syntax.
+pub fn fmt_formula(f: &Formula, w: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match f {
+        Formula::Const(true) => write!(w, "true"),
+        Formula::Const(false) => write!(w, "false"),
+        Formula::Atom(Atom { rel, args }) => {
+            write!(w, "{}", rel.name())?;
+            write!(w, "(")?;
+            fmt_terms(args, w)?;
+            write!(w, ")")
+        }
+        Formula::Eq(a, b) => write!(w, "{a} = {b}"),
+        Formula::Not(g) => {
+            write!(w, "~")?;
+            fmt_atomic(g, w)
+        }
+        Formula::And(a, b) => {
+            write!(w, "(")?;
+            fmt_formula(a, w)?;
+            write!(w, " & ")?;
+            fmt_formula(b, w)?;
+            write!(w, ")")
+        }
+        Formula::Or(a, b) => {
+            write!(w, "(")?;
+            fmt_formula(a, w)?;
+            write!(w, " | ")?;
+            fmt_formula(b, w)?;
+            write!(w, ")")
+        }
+        Formula::Exists(v, g) => {
+            write!(w, "exists {v}. ")?;
+            fmt_atomic(g, w)
+        }
+        Formula::Forall(v, g) => {
+            write!(w, "forall {v}. ")?;
+            fmt_atomic(g, w)
+        }
+        Formula::Fix { kind, rel, bound, body, args } => {
+            let kw = match kind {
+                FixKind::Lfp => "lfp",
+                FixKind::Gfp => "gfp",
+                FixKind::Pfp => "pfp",
+                FixKind::Ifp => "ifp",
+            };
+            write!(w, "[{kw} {rel}(")?;
+            for (i, v) in bound.iter().enumerate() {
+                if i > 0 {
+                    write!(w, ",")?;
+                }
+                write!(w, "{v}")?;
+            }
+            write!(w, "). ")?;
+            fmt_formula(body, w)?;
+            write!(w, "](")?;
+            fmt_terms(args, w)?;
+            write!(w, ")")
+        }
+    }
+}
+
+/// Prints `g` parenthesized unless it is self-delimiting.
+fn fmt_atomic(g: &Formula, w: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let self_delimiting = matches!(
+        g,
+        Formula::Const(_)
+            | Formula::Atom(_)
+            | Formula::And(..)
+            | Formula::Or(..)
+            | Formula::Fix { .. }
+            | Formula::Not(_)
+    );
+    if self_delimiting {
+        fmt_formula(g, w)
+    } else {
+        write!(w, "(")?;
+        fmt_formula(g, w)?;
+        write!(w, ")")
+    }
+}
+
+fn fmt_terms(ts: &[Term], w: &mut fmt::Formatter<'_>) -> fmt::Result {
+    for (i, t) in ts.iter().enumerate() {
+        if i > 0 {
+            write!(w, ",")?;
+        }
+        write!(w, "{t}")?;
+    }
+    Ok(())
+}
+
+/// Writes an ESO formula: `exists2 S/2, T/1. body`.
+pub fn fmt_eso(e: &Eso, w: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if e.rels.is_empty() {
+        return fmt_formula(&e.body, w);
+    }
+    write!(w, "exists2 ")?;
+    for (i, (name, arity)) in e.rels.iter().enumerate() {
+        if i > 0 {
+            write!(w, ", ")?;
+        }
+        write!(w, "{name}/{arity}")?;
+    }
+    write!(w, ". ")?;
+    fmt_atomic(&e.body, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::formula::{Eso, Formula, Term, Var};
+
+    fn v(i: u32) -> Term {
+        Term::Var(Var(i))
+    }
+
+    #[test]
+    fn prints_connectives() {
+        let f = Formula::atom("P", [v(0)]).and(Formula::atom("Q", [v(1)]).not());
+        assert_eq!(f.to_string(), "(P(x1) & ~Q(x2))");
+    }
+
+    #[test]
+    fn prints_quantifiers_with_dot() {
+        let f = Formula::atom("E", [v(0), v(1)]).exists(Var(1)).forall(Var(0));
+        assert_eq!(f.to_string(), "forall x1. (exists x2. E(x1,x2))");
+    }
+
+    #[test]
+    fn prints_fixpoints() {
+        let body = Formula::atom("P", [v(0)]).or(Formula::rel_var("S", [v(0)]));
+        let f = Formula::lfp("S", vec![Var(0)], body, vec![v(1)]);
+        assert_eq!(f.to_string(), "[lfp S(x1). (P(x1) | S(x1))](x2)");
+    }
+
+    #[test]
+    fn prints_equality_and_constants() {
+        let f = Formula::Eq(v(0), Term::Const(3));
+        assert_eq!(f.to_string(), "x1 = 3");
+        assert_eq!(Formula::tt().to_string(), "true");
+    }
+
+    #[test]
+    fn prints_eso() {
+        let e = Eso {
+            rels: vec![("S".into(), 2), ("T".into(), 0)],
+            body: Formula::rel_var("T", []),
+        };
+        assert_eq!(e.to_string(), "exists2 S/2, T/0. T()");
+    }
+}

@@ -1,0 +1,263 @@
+//! Substitution.
+//!
+//! Two substitutions drive the paper's reductions:
+//!
+//! * **Variable substitution** ([`Formula::substitute_var`]) — replacing
+//!   free occurrences of a variable by a term. In a bounded-variable
+//!   setting we *cannot* rename bound variables apart (fresh variables
+//!   would leave `L^k`), so the substitution fails with
+//!   [`LogicError::WouldCapture`] instead of silently α-renaming. All the
+//!   paper's constructions are capture-free by design (they substitute a
+//!   variable for itself or a constant), so this is a soundness check, not
+//!   a limitation.
+//!
+//! * **Relation unfolding** ([`Formula::substitute_rel`]) — replacing every
+//!   atom `P(t̄)` over a relation symbol by a formula with designated
+//!   parameter variables. This is the engine behind Proposition 3.2
+//!   (`φ_n(x) = φ(x; P := φ_{n-1})`) and the μ-calculus unfolding law.
+
+use crate::error::LogicError;
+use crate::formula::{Atom, Formula, RelRef, Term, Var};
+
+impl Formula {
+    /// Replaces free occurrences of `var` by `replacement`, failing if a
+    /// quantifier or fixpoint binder would capture the replacement.
+    pub fn substitute_var(&self, var: Var, replacement: Term) -> Result<Formula, LogicError> {
+        let sub_term = |t: &Term| -> Term {
+            match t {
+                Term::Var(v) if *v == var => replacement,
+                other => *other,
+            }
+        };
+        match self {
+            Formula::Const(_) => Ok(self.clone()),
+            Formula::Atom(Atom { rel, args }) => Ok(Formula::Atom(Atom {
+                rel: rel.clone(),
+                args: args.iter().map(sub_term).collect(),
+            })),
+            Formula::Eq(a, b) => Ok(Formula::Eq(sub_term(a), sub_term(b))),
+            Formula::Not(g) => Ok(g.substitute_var(var, replacement)?.not()),
+            Formula::And(a, b) => {
+                Ok(a.substitute_var(var, replacement)?.and(b.substitute_var(var, replacement)?))
+            }
+            Formula::Or(a, b) => {
+                Ok(a.substitute_var(var, replacement)?.or(b.substitute_var(var, replacement)?))
+            }
+            Formula::Exists(v, g) | Formula::Forall(v, g) => {
+                let is_exists = matches!(self, Formula::Exists(..));
+                if *v == var {
+                    // `var` is shadowed: nothing to substitute below.
+                    return Ok(self.clone());
+                }
+                if Term::Var(*v) == replacement && g.free_vars().contains(&var) {
+                    return Err(LogicError::WouldCapture(*v));
+                }
+                let inner = g.substitute_var(var, replacement)?;
+                Ok(if is_exists { inner.exists(*v) } else { inner.forall(*v) })
+            }
+            Formula::Fix { kind, rel, bound, body, args } => {
+                let new_args: Vec<Term> = args.iter().map(sub_term).collect();
+                let new_body = if bound.contains(&var) {
+                    // Shadowed inside the body.
+                    (**body).clone()
+                } else {
+                    if let Term::Var(rv) = replacement {
+                        if bound.contains(&rv) && body.free_vars().contains(&var) {
+                            return Err(LogicError::WouldCapture(rv));
+                        }
+                    }
+                    body.substitute_var(var, replacement)?
+                };
+                Ok(Formula::Fix {
+                    kind: *kind,
+                    rel: rel.clone(),
+                    bound: bound.clone(),
+                    body: Box::new(new_body),
+                    args: new_args,
+                })
+            }
+        }
+    }
+
+    /// Replaces every free atom `name(t₁,…,t_m)` by
+    /// `template[params[0] := t₁, …, params[m-1] := t_m]`.
+    ///
+    /// `params` are the template's formal parameters (distinct variables of
+    /// the atom's arity). The per-atom parameter substitutions must be
+    /// capture-free, and the template's free variables other than the
+    /// parameters must not be captured at the occurrence — both are checked.
+    ///
+    /// Occurrences under a fixpoint that rebinds `name` are left alone.
+    pub fn substitute_rel(
+        &self,
+        name: &str,
+        params: &[Var],
+        template: &Formula,
+    ) -> Result<Formula, LogicError> {
+        match self {
+            Formula::Atom(Atom { rel: RelRef::Bound(n), args }) if n == name => {
+                assert_eq!(args.len(), params.len(), "template parameter count mismatch");
+                // Simultaneous substitution via a two-phase rename is not
+                // needed: the paper's uses have args that are plain
+                // variables/constants and params that are the leading
+                // variables. We substitute sequentially but guard against
+                // parameter/argument collisions that would make sequential
+                // differ from simultaneous.
+                let mut result = template.clone();
+                for (i, (p, a)) in params.iter().zip(args).enumerate() {
+                    // A later parameter equal to an earlier substituted
+                    // argument variable would be rewritten twice.
+                    if let Term::Var(av) = a {
+                        if params[i + 1..].contains(av) {
+                            return Err(LogicError::WouldCapture(*av));
+                        }
+                    }
+                    if Term::Var(*p) != *a {
+                        result = result.substitute_var(*p, *a)?;
+                    }
+                }
+                Ok(result)
+            }
+            Formula::Const(_) | Formula::Atom(_) | Formula::Eq(..) => Ok(self.clone()),
+            Formula::Not(g) => Ok(g.substitute_rel(name, params, template)?.not()),
+            Formula::And(a, b) => Ok(a
+                .substitute_rel(name, params, template)?
+                .and(b.substitute_rel(name, params, template)?)),
+            Formula::Or(a, b) => Ok(a
+                .substitute_rel(name, params, template)?
+                .or(b.substitute_rel(name, params, template)?)),
+            Formula::Exists(v, g) => {
+                Ok(g.substitute_rel(name, params, template)?.exists(*v))
+            }
+            Formula::Forall(v, g) => {
+                Ok(g.substitute_rel(name, params, template)?.forall(*v))
+            }
+            Formula::Fix { kind, rel, bound, body, args } => {
+                let new_body = if rel == name {
+                    (**body).clone()
+                } else {
+                    body.substitute_rel(name, params, template)?
+                };
+                Ok(Formula::Fix {
+                    kind: *kind,
+                    rel: rel.clone(),
+                    bound: bound.clone(),
+                    body: Box::new(new_body),
+                    args: args.clone(),
+                })
+            }
+        }
+    }
+
+    /// Renames a bound relation variable throughout (free occurrences of
+    /// `from` become `to`). Used by transformations that need fresh
+    /// recursion-variable names.
+    pub fn rename_rel(&self, from: &str, to: &str) -> Formula {
+        match self {
+            Formula::Atom(Atom { rel: RelRef::Bound(n), args }) if n == from => {
+                Formula::Atom(Atom { rel: RelRef::Bound(to.to_string()), args: args.clone() })
+            }
+            Formula::Const(_) | Formula::Atom(_) | Formula::Eq(..) => self.clone(),
+            Formula::Not(g) => g.rename_rel(from, to).not(),
+            Formula::And(a, b) => a.rename_rel(from, to).and(b.rename_rel(from, to)),
+            Formula::Or(a, b) => a.rename_rel(from, to).or(b.rename_rel(from, to)),
+            Formula::Exists(v, g) => g.rename_rel(from, to).exists(*v),
+            Formula::Forall(v, g) => g.rename_rel(from, to).forall(*v),
+            Formula::Fix { kind, rel, bound, body, args } => {
+                let new_body =
+                    if rel == from { (**body).clone() } else { body.rename_rel(from, to) };
+                Formula::Fix {
+                    kind: *kind,
+                    rel: rel.clone(),
+                    bound: bound.clone(),
+                    body: Box::new(new_body),
+                    args: args.clone(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Term {
+        Term::Var(Var(i))
+    }
+
+    #[test]
+    fn substitute_free_occurrences() {
+        let f = Formula::atom("E", [v(0), v(1)]);
+        let g = f.substitute_var(Var(0), v(1)).unwrap();
+        assert_eq!(g, Formula::atom("E", [v(1), v(1)]));
+        let c = f.substitute_var(Var(1), Term::Const(3)).unwrap();
+        assert_eq!(c, Formula::atom("E", [v(0), Term::Const(3)]));
+    }
+
+    #[test]
+    fn substitution_stops_at_binder() {
+        // ∃x1 E(x1, x2): substituting x1 does nothing.
+        let f = Formula::atom("E", [v(0), v(1)]).exists(Var(0));
+        assert_eq!(f.substitute_var(Var(0), Term::Const(9)).unwrap(), f);
+    }
+
+    #[test]
+    fn capture_detected() {
+        // ∃x2 E(x1, x2): substituting x1 := x2 would capture.
+        let f = Formula::atom("E", [v(0), v(1)]).exists(Var(1));
+        assert_eq!(f.substitute_var(Var(0), v(1)), Err(LogicError::WouldCapture(Var(1))));
+        // Substituting a constant is always fine.
+        assert!(f.substitute_var(Var(0), Term::Const(0)).is_ok());
+    }
+
+    #[test]
+    fn capture_by_fixpoint_binder_detected() {
+        // [lfp S(x2). E(x1,x2) ∨ S(x2)](x3): substituting x1 := x2 captures.
+        let body = Formula::atom("E", [v(0), v(1)]).or(Formula::rel_var("S", [v(1)]));
+        let f = Formula::lfp("S", vec![Var(1)], body, vec![v(2)]);
+        assert_eq!(f.substitute_var(Var(0), v(1)), Err(LogicError::WouldCapture(Var(1))));
+        // But substituting into the args is fine.
+        let g = f.substitute_var(Var(2), v(0)).unwrap();
+        if let Formula::Fix { args, .. } = &g {
+            assert_eq!(args, &vec![v(0)]);
+        } else {
+            panic!("not a fixpoint");
+        }
+    }
+
+    #[test]
+    fn substitute_rel_unfolds() {
+        // φ(x1) = P(x1) ∨ E(x1,x1); replace P(t) by template T(t).
+        let f = Formula::rel_var("P", [v(0)]).or(Formula::atom("E", [v(0), v(0)]));
+        let template = Formula::atom("T", [v(0)]);
+        let g = f.substitute_rel("P", &[Var(0)], &template).unwrap();
+        assert_eq!(g, Formula::atom("T", [v(0)]).or(Formula::atom("E", [v(0), v(0)])));
+    }
+
+    #[test]
+    fn substitute_rel_applies_parameters() {
+        // Atom P(x2) with template E(x1, x1) over parameter x1 yields E(x2, x2).
+        let f = Formula::rel_var("P", [v(1)]);
+        let template = Formula::atom("E", [v(0), v(0)]);
+        let g = f.substitute_rel("P", &[Var(0)], &template).unwrap();
+        assert_eq!(g, Formula::atom("E", [v(1), v(1)]));
+    }
+
+    #[test]
+    fn substitute_rel_respects_shadowing() {
+        // Occurrence inside [lfp P…] must not be replaced.
+        let inner = Formula::lfp("P", vec![Var(0)], Formula::rel_var("P", [v(0)]), vec![v(0)]);
+        let f = Formula::rel_var("P", [v(0)]).and(inner.clone());
+        let g = f.substitute_rel("P", &[Var(0)], &Formula::tt()).unwrap();
+        assert_eq!(g, Formula::tt().and(inner));
+    }
+
+    #[test]
+    fn rename_rel_renames_free_only() {
+        let inner = Formula::lfp("S", vec![Var(0)], Formula::rel_var("S", [v(0)]), vec![v(0)]);
+        let f = Formula::rel_var("S", [v(0)]).and(inner.clone());
+        let g = f.rename_rel("S", "T");
+        assert_eq!(g, Formula::rel_var("T", [v(0)]).and(inner));
+    }
+}

@@ -1,0 +1,211 @@
+//! Negation normal form and dualization.
+//!
+//! The co-NP half of Theorem 3.5 rests on the observation that
+//! `t ∉ (x̄)φ(x̄)(B)` iff `t ∈ (x̄)¬φ(x̄)(B)`, and `¬φ` can be rewritten so
+//! that negations sit only on atoms by dualizing connectives, quantifiers
+//! and fixpoints:
+//!
+//! ```text
+//! ¬[μS(x̄). φ](t̄)  ≡  [νS(x̄). ¬φ[S := ¬S]](t̄)
+//! ```
+//!
+//! The rewrite preserves positivity (each `S` in `φ` picks up exactly two
+//! negations: one from `¬φ`, one from `S := ¬S`), so the dual of an FP
+//! formula is again an FP formula — with the same width and the same
+//! alternation depth, kinds swapped. Partial fixpoints have no such dual;
+//! [`Formula::dual`] reports [`LogicError::CannotDualizePfp`].
+
+use crate::error::LogicError;
+use crate::formula::{Atom, FixKind, Formula, RelRef};
+
+impl Formula {
+    /// Wraps every free occurrence of the relation variable `name` in a
+    /// negation (the `S := ¬S` step of fixpoint dualization).
+    fn negate_rel(&self, name: &str) -> Formula {
+        match self {
+            Formula::Atom(Atom { rel: RelRef::Bound(n), .. }) if n == name => self.clone().not(),
+            Formula::Const(_) | Formula::Atom(_) | Formula::Eq(..) => self.clone(),
+            Formula::Not(g) => Formula::Not(Box::new(g.negate_rel(name))),
+            Formula::And(a, b) => a.negate_rel(name).and(b.negate_rel(name)),
+            Formula::Or(a, b) => a.negate_rel(name).or(b.negate_rel(name)),
+            Formula::Exists(v, g) => g.negate_rel(name).exists(*v),
+            Formula::Forall(v, g) => g.negate_rel(name).forall(*v),
+            Formula::Fix { kind, rel, bound, body, args } => {
+                let new_body =
+                    if rel == name { (**body).clone() } else { body.negate_rel(name) };
+                Formula::Fix {
+                    kind: *kind,
+                    rel: rel.clone(),
+                    bound: bound.clone(),
+                    body: Box::new(new_body),
+                    args: args.clone(),
+                }
+            }
+        }
+    }
+
+    /// Negation normal form: negations pushed down to atoms and equalities,
+    /// fixpoints dualized as needed.
+    ///
+    /// # Errors
+    /// Fails with [`LogicError::CannotDualizePfp`] if a negation must pass
+    /// through a partial fixpoint.
+    pub fn nnf(&self) -> Result<Formula, LogicError> {
+        self.nnf_signed(false)
+    }
+
+    fn nnf_signed(&self, negate: bool) -> Result<Formula, LogicError> {
+        match self {
+            Formula::Const(b) => Ok(Formula::Const(*b != negate)),
+            Formula::Atom(_) | Formula::Eq(..) => {
+                Ok(if negate { self.clone().not() } else { self.clone() })
+            }
+            Formula::Not(g) => g.nnf_signed(!negate),
+            Formula::And(a, b) => {
+                let (a, b) = (a.nnf_signed(negate)?, b.nnf_signed(negate)?);
+                Ok(if negate { a.or(b) } else { a.and(b) })
+            }
+            Formula::Or(a, b) => {
+                let (a, b) = (a.nnf_signed(negate)?, b.nnf_signed(negate)?);
+                Ok(if negate { a.and(b) } else { a.or(b) })
+            }
+            Formula::Exists(v, g) => {
+                let g = g.nnf_signed(negate)?;
+                Ok(if negate { g.forall(*v) } else { g.exists(*v) })
+            }
+            Formula::Forall(v, g) => {
+                let g = g.nnf_signed(negate)?;
+                Ok(if negate { g.exists(*v) } else { g.forall(*v) })
+            }
+            Formula::Fix { kind, rel, bound, body, args } => {
+                if !negate {
+                    let new_body = body.nnf_signed(false)?;
+                    return Ok(Formula::Fix {
+                        kind: *kind,
+                        rel: rel.clone(),
+                        bound: bound.clone(),
+                        body: Box::new(new_body),
+                        args: args.clone(),
+                    });
+                }
+                if matches!(kind, FixKind::Pfp | FixKind::Ifp) {
+                    return Err(LogicError::CannotDualizePfp);
+                }
+                // ¬[σS.φ](t̄) = [σ̄S. ¬φ[S := ¬S]](t̄)
+                let negated_rel_body = body.negate_rel(rel);
+                let new_body = negated_rel_body.nnf_signed(true)?;
+                Ok(Formula::Fix {
+                    kind: kind.dual(),
+                    rel: rel.clone(),
+                    bound: bound.clone(),
+                    body: Box::new(new_body),
+                    args: args.clone(),
+                })
+            }
+        }
+    }
+
+    /// The De Morgan dual: an NNF formula equivalent to `¬self`.
+    ///
+    /// For FP formulas the dual is again FP (positivity is preserved), so a
+    /// *non-membership* certificate for `self` is a membership certificate
+    /// for `self.dual()` — the co-NP direction of Theorem 3.5.
+    pub fn dual(&self) -> Result<Formula, LogicError> {
+        self.nnf_signed(true)
+    }
+
+    /// Whether the formula is in negation normal form (negations only on
+    /// atoms and equalities).
+    pub fn is_nnf(&self) -> bool {
+        match self {
+            Formula::Const(_) | Formula::Atom(_) | Formula::Eq(..) => true,
+            Formula::Not(g) => matches!(**g, Formula::Atom(_) | Formula::Eq(..)),
+            Formula::And(a, b) | Formula::Or(a, b) => a.is_nnf() && b.is_nnf(),
+            Formula::Exists(_, g) | Formula::Forall(_, g) => g.is_nnf(),
+            Formula::Fix { body, .. } => body.is_nnf(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::{Term, Var};
+
+    fn v(i: u32) -> Term {
+        Term::Var(Var(i))
+    }
+
+    #[test]
+    fn nnf_pushes_negation() {
+        // ¬(P(x1) ∧ ∃x2 E(x1,x2)) → ¬P(x1) ∨ ∀x2 ¬E(x1,x2)
+        let f = Formula::atom("P", [v(0)])
+            .and(Formula::atom("E", [v(0), v(1)]).exists(Var(1)))
+            .not();
+        let g = f.nnf().unwrap();
+        assert!(g.is_nnf());
+        let expected = Formula::atom("P", [v(0)])
+            .not()
+            .or(Formula::atom("E", [v(0), v(1)]).not().forall(Var(1)));
+        assert_eq!(g, expected);
+    }
+
+    #[test]
+    fn nnf_of_nnf_is_identity() {
+        let f = Formula::atom("P", [v(0)]).not().or(Formula::atom("Q", [v(0)]));
+        assert_eq!(f.nnf().unwrap(), f);
+    }
+
+    #[test]
+    fn dual_of_lfp_is_gfp_and_positive() {
+        // μS(x1). P(x1) ∨ ∃x2(E(x1,x2) ∧ S(x2)) — reachability into P.
+        let body = Formula::atom("P", [v(0)]).or(
+            Formula::atom("E", [v(0), v(1)])
+                .and(Formula::rel_var("S", [v(1)]))
+                .exists(Var(1)),
+        );
+        let f = Formula::lfp("S", vec![Var(0)], body, vec![v(0)]);
+        assert!(f.validate_fp().is_ok());
+        let d = f.dual().unwrap();
+        // Dual: νS(x1). ¬P(x1) ∧ ∀x2(¬E(x1,x2) ∨ S(x2)).
+        assert!(d.validate_fp().is_ok(), "dual must remain positive");
+        assert!(d.is_nnf());
+        if let Formula::Fix { kind, .. } = &d {
+            assert_eq!(*kind, FixKind::Gfp);
+        } else {
+            panic!("dual of a fixpoint must be a fixpoint");
+        }
+        assert_eq!(d.alternation_depth(), f.alternation_depth());
+        assert_eq!(d.width(), f.width());
+    }
+
+    #[test]
+    fn double_dual_roundtrips_semantically() {
+        // dual(dual(f)) need not be syntactically f, but must be NNF-stable
+        // and have the same shape metrics.
+        let body = Formula::atom("P", [v(0)]).or(Formula::rel_var("S", [v(0)]));
+        let f = Formula::lfp("S", vec![Var(0)], body, vec![v(0)]);
+        let dd = f.dual().unwrap().dual().unwrap();
+        assert!(dd.validate_fp().is_ok());
+        if let Formula::Fix { kind, .. } = &dd {
+            assert_eq!(*kind, FixKind::Lfp);
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn pfp_cannot_be_dualized() {
+        let f = Formula::pfp("S", vec![Var(0)], Formula::rel_var("S", [v(0)]).not(), vec![v(0)]);
+        assert_eq!(f.dual(), Err(LogicError::CannotDualizePfp));
+        // But an un-negated PFP passes through nnf.
+        assert!(f.nnf().is_ok());
+    }
+
+    #[test]
+    fn negated_equality_allowed_in_nnf() {
+        let f = Formula::Eq(v(0), v(1)).not();
+        assert!(f.is_nnf());
+        assert_eq!(f.nnf().unwrap(), f);
+    }
+}

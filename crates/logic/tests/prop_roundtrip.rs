@@ -1,0 +1,115 @@
+//! Property tests: random formulas round-trip through print → parse, and
+//! the analyses are consistent with each other and preserved by NNF.
+
+use bvq_logic::{parse, FixKind, Formula, Term, Var};
+use proptest::prelude::*;
+
+/// Strategy for random FO/FP formulas of bounded width and depth.
+///
+/// `rels` gives the pool of (db-relation, arity) symbols; recursion
+/// variables are introduced by generated fixpoints with positive bodies
+/// (we simply never generate a bound-rel atom under a Not).
+fn arb_term(width: u32) -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0..width).prop_map(|i| Term::Var(Var(i))),
+        (0u32..4).prop_map(Term::Const),
+    ]
+}
+
+fn arb_formula(width: u32, depth: u32) -> BoxedStrategy<Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::tt()),
+        Just(Formula::ff()),
+        (arb_term(width), arb_term(width)).prop_map(|(a, b)| Formula::Eq(a, b)),
+        prop::collection::vec(arb_term(width), 0..3)
+            .prop_map(|args| Formula::atom("R", args.clone())),
+        arb_term(width).prop_map(|t| Formula::atom("P", [t])),
+    ];
+    leaf.prop_recursive(depth, 64, 3, move |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), 0..width).prop_map(|(f, v)| f.exists(Var(v))),
+            (inner.clone(), 0..width).prop_map(|(f, v)| f.forall(Var(v))),
+            // A μ-fixpoint over variable x1 whose body is `inner ∨ S(x1)`,
+            // positive by construction.
+            (inner, 0..width).prop_map(|(f, v)| {
+                Formula::lfp(
+                    "S",
+                    vec![Var(0)],
+                    f.or(Formula::rel_var("S", [Term::Var(Var(0))])),
+                    vec![Term::Var(Var(v))],
+                )
+            }),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(f in arb_formula(3, 4)) {
+        let printed = f.to_string();
+        let reparsed = parse(&printed);
+        prop_assert_eq!(reparsed.as_ref(), Ok(&f), "printed: {}", printed);
+    }
+
+    #[test]
+    fn nnf_is_nnf_and_preserves_width(f in arb_formula(3, 4)) {
+        let g = f.nnf().unwrap();
+        prop_assert!(g.is_nnf());
+        prop_assert!(g.width() <= f.width().max(1));
+        // NNF of NNF is stable.
+        prop_assert_eq!(g.nnf().unwrap(), g.clone());
+    }
+
+    #[test]
+    fn dual_is_involutive_on_metrics(f in arb_formula(3, 4)) {
+        let d = f.dual().unwrap();
+        prop_assert!(d.is_nnf());
+        // Duals validate whenever the original did.
+        if f.validate_fp().is_ok() {
+            prop_assert!(d.validate_fp().is_ok());
+            prop_assert_eq!(d.alternation_depth(), f.alternation_depth());
+        }
+        let dd = d.dual().unwrap();
+        prop_assert_eq!(dd.alternation_depth(), f.alternation_depth());
+        prop_assert_eq!(dd.free_vars(), f.free_vars());
+    }
+
+    #[test]
+    fn distinct_vars_bounded_by_width(f in arb_formula(4, 4)) {
+        prop_assert!(f.distinct_vars() <= f.width());
+    }
+
+    #[test]
+    fn substituting_var_for_itself_is_identity(f in arb_formula(3, 4)) {
+        let g = f.substitute_var(Var(0), Term::Var(Var(0))).unwrap();
+        prop_assert_eq!(g, f);
+    }
+
+    #[test]
+    fn substituting_constant_never_captures(f in arb_formula(3, 4)) {
+        // Constants cannot be captured, so this must always succeed, and
+        // the result must not have the substituted variable free.
+        let g = f.substitute_var(Var(1), Term::Const(0)).unwrap();
+        prop_assert!(!g.free_vars().contains(&Var(1)));
+    }
+}
+
+#[test]
+fn fixkind_synonyms_parse_identically() {
+    for (a, b) in [("lfp", "mu"), ("gfp", "nu")] {
+        let fa = parse(&format!("[{a} S(x1). S(x1)](x1)")).unwrap();
+        let fb = parse(&format!("[{b} S(x1). S(x1)](x1)")).unwrap();
+        assert_eq!(fa, fb);
+    }
+    if let Formula::Fix { kind, .. } = parse("[nu S(x1). S(x1)](x1)").unwrap() {
+        assert_eq!(kind, FixKind::Gfp);
+    } else {
+        panic!();
+    }
+}

@@ -1,0 +1,518 @@
+//! The propositional μ-calculus AST.
+
+use std::fmt;
+
+/// A μ-calculus formula.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Mu {
+    /// Constant.
+    Const(bool),
+    /// An atomic proposition.
+    Prop(String),
+    /// A fixpoint variable occurrence.
+    Var(String),
+    /// Negation (must not cross fixpoint variables oddly —
+    /// [`Mu::validate`]).
+    Not(Box<Mu>),
+    /// Conjunction.
+    And(Box<Mu>, Box<Mu>),
+    /// Disjunction.
+    Or(Box<Mu>, Box<Mu>),
+    /// `◇φ`: some successor satisfies φ.
+    Diamond(Box<Mu>),
+    /// `□φ`: every successor satisfies φ.
+    Box_(Box<Mu>),
+    /// Least fixpoint `μZ.φ`.
+    Mu(String, Box<Mu>),
+    /// Greatest fixpoint `νZ.φ`.
+    Nu(String, Box<Mu>),
+}
+
+/// Errors for μ-calculus formulas.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MuError {
+    /// A fixpoint variable occurs under an odd number of negations.
+    NotPositive(String),
+    /// A fixpoint variable occurs free.
+    UnboundVariable(String),
+    /// Parse error.
+    Parse {
+        /// Byte position.
+        position: usize,
+        /// Message.
+        message: String,
+    },
+}
+
+impl fmt::Display for MuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MuError::NotPositive(z) => write!(f, "variable `{z}` occurs negatively"),
+            MuError::UnboundVariable(z) => write!(f, "unbound fixpoint variable `{z}`"),
+            MuError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MuError {}
+
+impl Mu {
+    /// `true`.
+    pub fn tt() -> Mu {
+        Mu::Const(true)
+    }
+
+    /// `false`.
+    pub fn ff() -> Mu {
+        Mu::Const(false)
+    }
+
+    /// A proposition.
+    pub fn prop(name: &str) -> Mu {
+        Mu::Prop(name.to_string())
+    }
+
+    /// A fixpoint variable.
+    pub fn var(name: &str) -> Mu {
+        Mu::Var(name.to_string())
+    }
+
+    /// Negation (collapses double negations).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Mu {
+        match self {
+            Mu::Const(b) => Mu::Const(!b),
+            Mu::Not(inner) => *inner,
+            f => Mu::Not(Box::new(f)),
+        }
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Mu) -> Mu {
+        Mu::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Mu) -> Mu {
+        Mu::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Implication.
+    pub fn implies(self, other: Mu) -> Mu {
+        self.not().or(other)
+    }
+
+    /// `◇self`.
+    pub fn diamond(self) -> Mu {
+        Mu::Diamond(Box::new(self))
+    }
+
+    /// `□self`.
+    pub fn boxed(self) -> Mu {
+        Mu::Box_(Box::new(self))
+    }
+
+    /// `μz. self`.
+    pub fn mu(z: &str, body: Mu) -> Mu {
+        Mu::Mu(z.to_string(), Box::new(body))
+    }
+
+    /// `νz. self`.
+    pub fn nu(z: &str, body: Mu) -> Mu {
+        Mu::Nu(z.to_string(), Box::new(body))
+    }
+
+    /// Formula size (AST nodes).
+    pub fn size(&self) -> usize {
+        match self {
+            Mu::Const(_) | Mu::Prop(_) | Mu::Var(_) => 1,
+            Mu::Not(g) | Mu::Diamond(g) | Mu::Box_(g) | Mu::Mu(_, g) | Mu::Nu(_, g) => {
+                1 + g.size()
+            }
+            Mu::And(a, b) | Mu::Or(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Alternation depth (Emerson–Lei style), matching
+    /// `bvq_logic::Formula::alternation_depth` on the translation.
+    pub fn alternation_depth(&self) -> usize {
+        fn ad(f: &Mu) -> usize {
+            match f {
+                Mu::Const(_) | Mu::Prop(_) | Mu::Var(_) => 0,
+                Mu::Not(g) | Mu::Diamond(g) | Mu::Box_(g) => ad(g),
+                Mu::And(a, b) | Mu::Or(a, b) => ad(a).max(ad(b)),
+                Mu::Mu(z, g) | Mu::Nu(z, g) => {
+                    let least = matches!(f, Mu::Mu(..));
+                    let mut d = ad(g).max(1);
+                    if let Some(m) = max_alt(g, least, z) {
+                        d = d.max(m + 1);
+                    }
+                    d
+                }
+            }
+        }
+        fn max_alt(f: &Mu, outer_least: bool, z: &str) -> Option<usize> {
+            match f {
+                Mu::Const(_) | Mu::Prop(_) | Mu::Var(_) => None,
+                Mu::Not(g) | Mu::Diamond(g) | Mu::Box_(g) => max_alt(g, outer_least, z),
+                Mu::And(a, b) | Mu::Or(a, b) => {
+                    match (max_alt(a, outer_least, z), max_alt(b, outer_least, z)) {
+                        (Some(x), Some(y)) => Some(x.max(y)),
+                        (x, y) => x.or(y),
+                    }
+                }
+                Mu::Mu(w, g) | Mu::Nu(w, g) => {
+                    if w == z {
+                        return None;
+                    }
+                    let this_least = matches!(f, Mu::Mu(..));
+                    let own = if this_least != outer_least && mentions(g, z) {
+                        Some(ad(f))
+                    } else {
+                        None
+                    };
+                    match (own, max_alt(g, outer_least, z)) {
+                        (Some(x), Some(y)) => Some(x.max(y)),
+                        (x, y) => x.or(y),
+                    }
+                }
+            }
+        }
+        fn mentions(f: &Mu, z: &str) -> bool {
+            match f {
+                Mu::Var(w) => w == z,
+                Mu::Const(_) | Mu::Prop(_) => false,
+                Mu::Not(g) | Mu::Diamond(g) | Mu::Box_(g) => mentions(g, z),
+                Mu::And(a, b) | Mu::Or(a, b) => mentions(a, z) || mentions(b, z),
+                Mu::Mu(w, g) | Mu::Nu(w, g) => w != z && mentions(g, z),
+            }
+        }
+        ad(self)
+    }
+
+    /// Validates: all fixpoint variables bound, and each occurs under an
+    /// even number of negations within its binder.
+    pub fn validate(&self) -> Result<(), MuError> {
+        fn go(f: &Mu, bound: &mut Vec<String>, positive: bool) -> Result<(), MuError> {
+            match f {
+                Mu::Const(_) | Mu::Prop(_) => Ok(()),
+                Mu::Var(z) => {
+                    if !bound.iter().any(|b| b == z) {
+                        Err(MuError::UnboundVariable(z.clone()))
+                    } else if !positive {
+                        Err(MuError::NotPositive(z.clone()))
+                    } else {
+                        Ok(())
+                    }
+                }
+                Mu::Not(g) => go(g, bound, !positive),
+                Mu::And(a, b) | Mu::Or(a, b) => {
+                    go(a, bound, positive)?;
+                    go(b, bound, positive)
+                }
+                Mu::Diamond(g) | Mu::Box_(g) => go(g, bound, positive),
+                Mu::Mu(z, g) | Mu::Nu(z, g) => {
+                    // Polarity resets per binder: occurrences of z must be
+                    // positive relative to this binder. We check by
+                    // requiring the body to be positive in z from here,
+                    // tracked via the `positive` flag relative to each
+                    // binder — conservatively, we require global positive
+                    // polarity, which the NNF establishes.
+                    bound.push(z.clone());
+                    let r = go(g, bound, positive);
+                    bound.pop();
+                    r
+                }
+            }
+        }
+        go(&self.nnf(), &mut Vec::new(), true)
+    }
+
+    /// Negation normal form: negations pushed to propositions, fixpoints
+    /// dualized (`¬μZ.φ ≡ νZ.¬φ[Z:=¬Z]`).
+    pub fn nnf(&self) -> Mu {
+        fn neg_var(f: &Mu, z: &str) -> Mu {
+            match f {
+                Mu::Var(w) if w == z => f.clone().not(),
+                Mu::Const(_) | Mu::Prop(_) | Mu::Var(_) => f.clone(),
+                Mu::Not(g) => Mu::Not(Box::new(neg_var(g, z))),
+                Mu::And(a, b) => neg_var(a, z).and(neg_var(b, z)),
+                Mu::Or(a, b) => neg_var(a, z).or(neg_var(b, z)),
+                Mu::Diamond(g) => neg_var(g, z).diamond(),
+                Mu::Box_(g) => neg_var(g, z).boxed(),
+                Mu::Mu(w, g) | Mu::Nu(w, g) => {
+                    let body = if w == z { (**g).clone() } else { neg_var(g, z) };
+                    if matches!(f, Mu::Mu(..)) {
+                        Mu::mu(w, body)
+                    } else {
+                        Mu::nu(w, body)
+                    }
+                }
+            }
+        }
+        fn go(f: &Mu, neg: bool) -> Mu {
+            match f {
+                Mu::Const(b) => Mu::Const(*b != neg),
+                Mu::Prop(_) | Mu::Var(_) => {
+                    if neg {
+                        f.clone().not()
+                    } else {
+                        f.clone()
+                    }
+                }
+                Mu::Not(g) => go(g, !neg),
+                Mu::And(a, b) => {
+                    let (a, b) = (go(a, neg), go(b, neg));
+                    if neg {
+                        a.or(b)
+                    } else {
+                        a.and(b)
+                    }
+                }
+                Mu::Or(a, b) => {
+                    let (a, b) = (go(a, neg), go(b, neg));
+                    if neg {
+                        a.and(b)
+                    } else {
+                        a.or(b)
+                    }
+                }
+                Mu::Diamond(g) => {
+                    let g = go(g, neg);
+                    if neg {
+                        g.boxed()
+                    } else {
+                        g.diamond()
+                    }
+                }
+                Mu::Box_(g) => {
+                    let g = go(g, neg);
+                    if neg {
+                        g.diamond()
+                    } else {
+                        g.boxed()
+                    }
+                }
+                Mu::Mu(z, g) => {
+                    if neg {
+                        Mu::nu(z, go(&neg_var(g, z), true))
+                    } else {
+                        Mu::mu(z, go(g, false))
+                    }
+                }
+                Mu::Nu(z, g) => {
+                    if neg {
+                        Mu::mu(z, go(&neg_var(g, z), true))
+                    } else {
+                        Mu::nu(z, go(g, false))
+                    }
+                }
+            }
+        }
+        go(self, false)
+    }
+}
+
+impl fmt::Display for Mu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mu::Const(true) => write!(f, "true"),
+            Mu::Const(false) => write!(f, "false"),
+            Mu::Prop(p) => write!(f, "{p}"),
+            Mu::Var(z) => write!(f, "{z}"),
+            Mu::Not(g) => write!(f, "!{g}"),
+            Mu::And(a, b) => write!(f, "({a} & {b})"),
+            Mu::Or(a, b) => write!(f, "({a} | {b})"),
+            Mu::Diamond(g) => write!(f, "<>{g}"),
+            Mu::Box_(g) => write!(f, "[]{g}"),
+            Mu::Mu(z, g) => write!(f, "(mu {z}. {g})"),
+            Mu::Nu(z, g) => write!(f, "(nu {z}. {g})"),
+        }
+    }
+}
+
+/// Parses a μ-calculus formula.
+///
+/// Grammar: `imp := or ('->' imp)?` (right-assoc, desugared to `¬a ∨ b`),
+/// `or := and ('|' and)*`, `and := unary ('&' unary)*`,
+/// `unary := '!' unary | '<>' unary | '[]' unary | ('mu'|'nu') ident '.'
+/// unary | 'true' | 'false' | ident | '(' formula ')'`.
+/// An identifier is a variable when a binder of that name is in scope,
+/// otherwise a proposition.
+pub fn parse_mu(input: &str) -> Result<Mu, MuError> {
+    let mut p = MuParser { src: input.as_bytes(), pos: 0, scope: Vec::new() };
+    let f = p.imp_level()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(MuError::Parse { position: p.pos, message: "trailing input".into() });
+    }
+    f.validate()?;
+    Ok(f)
+}
+
+struct MuParser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    scope: Vec<String>,
+}
+
+impl MuParser<'_> {
+    fn err<T>(&self, message: &str) -> Result<T, MuError> {
+        Err(MuError::Parse { position: self.pos, message: message.to_string() })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn try_str(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, MuError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start || self.src[start].is_ascii_digit() {
+            return self.err("expected identifier");
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn imp_level(&mut self) -> Result<Mu, MuError> {
+        let f = self.or_level()?;
+        if self.try_str("->") {
+            let g = self.imp_level()?;
+            return Ok(f.implies(g));
+        }
+        Ok(f)
+    }
+
+    fn or_level(&mut self) -> Result<Mu, MuError> {
+        let mut f = self.and_level()?;
+        while self.try_str("|") {
+            f = f.or(self.and_level()?);
+        }
+        Ok(f)
+    }
+
+    fn and_level(&mut self) -> Result<Mu, MuError> {
+        let mut f = self.unary()?;
+        while self.try_str("&") {
+            f = f.and(self.unary()?);
+        }
+        Ok(f)
+    }
+
+    fn unary(&mut self) -> Result<Mu, MuError> {
+        if self.try_str("!") {
+            return Ok(self.unary()?.not());
+        }
+        if self.try_str("<>") {
+            return Ok(self.unary()?.diamond());
+        }
+        if self.try_str("[]") {
+            return Ok(self.unary()?.boxed());
+        }
+        if self.try_str("(") {
+            let f = self.imp_level()?;
+            if !self.try_str(")") {
+                return self.err("expected `)`");
+            }
+            return Ok(f);
+        }
+        let id = self.ident()?;
+        match id.as_str() {
+            "true" => Ok(Mu::tt()),
+            "false" => Ok(Mu::ff()),
+            "mu" | "nu" => {
+                let z = self.ident()?;
+                if !self.try_str(".") {
+                    return self.err("expected `.` after fixpoint variable");
+                }
+                self.scope.push(z.clone());
+                let body = self.unary();
+                self.scope.pop();
+                let body = body?;
+                Ok(if id == "mu" { Mu::mu(&z, body) } else { Mu::nu(&z, body) })
+            }
+            _ => {
+                if self.scope.iter().any(|s| *s == id) {
+                    Ok(Mu::var(&id))
+                } else {
+                    Ok(Mu::prop(&id))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let f = parse_mu("mu Z. (p | <>Z)").unwrap();
+        assert_eq!(f, Mu::mu("Z", Mu::prop("p").or(Mu::var("Z").diamond())));
+        assert_eq!(f.to_string(), "(mu Z. (p | <>Z))");
+        // Round-trip.
+        assert_eq!(parse_mu(&f.to_string()).unwrap(), f);
+    }
+
+    #[test]
+    fn scope_determines_prop_vs_var() {
+        let f = parse_mu("mu Z. (Z | Y)").unwrap();
+        // Y is a proposition (unbound name), Z a variable.
+        assert_eq!(f, Mu::mu("Z", Mu::var("Z").or(Mu::prop("Y"))));
+    }
+
+    #[test]
+    fn validation_rejects_negative_variables() {
+        assert!(matches!(parse_mu("mu Z. !Z"), Err(MuError::NotPositive(_))));
+        assert!(parse_mu("mu Z. !!Z").is_ok());
+        assert!(parse_mu("mu Z. !p & Z").is_ok());
+    }
+
+    #[test]
+    fn nnf_dualizes_fixpoints() {
+        let f = parse_mu("mu Z. (p | <>Z)").unwrap();
+        let neg = f.clone().not().nnf();
+        // ¬μZ.(p ∨ ◇Z) = νZ.(¬p ∧ □Z)
+        let expected = Mu::nu("Z", Mu::prop("p").not().and(Mu::var("Z").boxed()));
+        assert_eq!(neg, expected);
+        assert!(neg.validate().is_ok());
+    }
+
+    #[test]
+    fn alternation_depth_examples() {
+        assert_eq!(parse_mu("p").unwrap().alternation_depth(), 0);
+        assert_eq!(parse_mu("mu Z. (p | <>Z)").unwrap().alternation_depth(), 1);
+        // νZ.μY.□((p ∧ Z) ∨ Y): alternation 2.
+        let f = parse_mu("nu Z. mu Y. []((p & Z) | Y)").unwrap();
+        assert_eq!(f.alternation_depth(), 2);
+        // Independent nesting stays at 1.
+        let g = parse_mu("nu Z. (Z & mu Y. (p | <>Y))").unwrap();
+        assert_eq!(g.alternation_depth(), 1);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(parse_mu("p & q").unwrap().size(), 3);
+        assert_eq!(parse_mu("<>p").unwrap().size(), 2);
+    }
+}

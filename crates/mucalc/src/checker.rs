@@ -1,0 +1,278 @@
+//! Direct μ-calculus model checkers.
+//!
+//! Semantics over state sets (bitsets). Two strategies, mirroring
+//! `bvq-core`'s fixpoint strategies:
+//!
+//! * [`CheckStrategy::Naive`] — every fixpoint restarts from ⊥/⊤ at each
+//!   application: `O(n^l)` iterations for nesting depth `l`;
+//! * [`CheckStrategy::EmersonLei`] — same-polarity fixpoints warm-start
+//!   across enclosing iterations, opposite-polarity ones reset.
+
+use bvq_relation::BitSet;
+
+use crate::ast::{Mu, MuError};
+use crate::kripke::Kripke;
+
+/// Fixpoint evaluation strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckStrategy {
+    /// Restart nested fixpoints every time.
+    Naive,
+    /// Emerson–Lei warm-starting.
+    EmersonLei,
+}
+
+/// Model checks `f` on `k`: does `state` satisfy `f`?
+pub fn check(k: &Kripke, f: &Mu, state: u32) -> Result<bool, MuError> {
+    Ok(check_states(k, f, CheckStrategy::EmersonLei)?.contains(state as usize))
+}
+
+/// Computes the set of states satisfying `f`.
+pub fn check_states(k: &Kripke, f: &Mu, strategy: CheckStrategy) -> Result<BitSet, MuError> {
+    let nnf = f.nnf();
+    nnf.validate()?;
+    let mut env: Vec<(String, BitSet)> = Vec::new();
+    let mut counter = IterCounter::default();
+    eval(k, &nnf, &mut env, strategy, &mut counter)
+}
+
+/// Computes the satisfying set and reports fixpoint iteration counts.
+pub fn check_states_counting(
+    k: &Kripke,
+    f: &Mu,
+    strategy: CheckStrategy,
+) -> Result<(BitSet, u64), MuError> {
+    let nnf = f.nnf();
+    nnf.validate()?;
+    let mut env: Vec<(String, BitSet)> = Vec::new();
+    let mut counter = IterCounter::default();
+    let s = eval(k, &nnf, &mut env, strategy, &mut counter)?;
+    Ok((s, counter.iterations))
+}
+
+#[derive(Default)]
+struct IterCounter {
+    iterations: u64,
+    /// Warm-start storage for Emerson–Lei: formula-identity keyed by the
+    /// binder pointer path is impractical here, so we key on the formula
+    /// structure address within the NNF tree, which is stable during one
+    /// `check_states` call.
+    warm: Vec<(usize, BitSet)>,
+}
+
+fn pre_diamond(k: &Kripke, target: &BitSet) -> BitSet {
+    let mut out = BitSet::new(k.num_states());
+    for s in 0..k.num_states() {
+        if k.successors(s as u32).iter().any(|&t| target.contains(t as usize)) {
+            out.insert(s);
+        }
+    }
+    out
+}
+
+fn pre_box(k: &Kripke, target: &BitSet) -> BitSet {
+    let mut out = BitSet::new(k.num_states());
+    for s in 0..k.num_states() {
+        if k.successors(s as u32).iter().all(|&t| target.contains(t as usize)) {
+            out.insert(s);
+        }
+    }
+    out
+}
+
+fn eval(
+    k: &Kripke,
+    f: &Mu,
+    env: &mut Vec<(String, BitSet)>,
+    strategy: CheckStrategy,
+    counter: &mut IterCounter,
+) -> Result<BitSet, MuError> {
+    let n = k.num_states();
+    Ok(match f {
+        Mu::Const(true) => BitSet::full(n),
+        Mu::Const(false) => BitSet::new(n),
+        Mu::Prop(p) => k.states_with(p),
+        Mu::Var(z) => env
+            .iter()
+            .rev()
+            .find(|(w, _)| w == z)
+            .map(|(_, s)| s.clone())
+            .ok_or_else(|| MuError::UnboundVariable(z.clone()))?,
+        Mu::Not(g) => {
+            let mut s = eval(k, g, env, strategy, counter)?;
+            s.complement();
+            s
+        }
+        Mu::And(a, b) => {
+            let mut sa = eval(k, a, env, strategy, counter)?;
+            let sb = eval(k, b, env, strategy, counter)?;
+            sa.intersect_with(&sb);
+            sa
+        }
+        Mu::Or(a, b) => {
+            let mut sa = eval(k, a, env, strategy, counter)?;
+            let sb = eval(k, b, env, strategy, counter)?;
+            sa.union_with(&sb);
+            sa
+        }
+        Mu::Diamond(g) => pre_diamond(k, &eval(k, g, env, strategy, counter)?),
+        Mu::Box_(g) => pre_box(k, &eval(k, g, env, strategy, counter)?),
+        Mu::Mu(z, g) | Mu::Nu(z, g) => {
+            let least = matches!(f, Mu::Mu(..));
+            let node_id = f as *const Mu as usize;
+            let mut cur = match strategy {
+                CheckStrategy::EmersonLei => counter
+                    .warm
+                    .iter()
+                    .find(|(id, _)| *id == node_id)
+                    .map(|(_, s)| s.clone())
+                    .unwrap_or_else(|| if least { BitSet::new(n) } else { BitSet::full(n) }),
+                CheckStrategy::Naive => {
+                    if least {
+                        BitSet::new(n)
+                    } else {
+                        BitSet::full(n)
+                    }
+                }
+            };
+            loop {
+                counter.iterations += 1;
+                env.push((z.clone(), cur.clone()));
+                let next = eval(k, g, env, strategy, counter);
+                env.pop();
+                let next = next?;
+                if next == cur {
+                    break;
+                }
+                cur = next;
+                if strategy == CheckStrategy::EmersonLei {
+                    // Reset warm values of opposite-polarity sub-fixpoints.
+                    reset_opposite(g, least, counter);
+                }
+            }
+            if strategy == CheckStrategy::EmersonLei {
+                match counter.warm.iter_mut().find(|(id, _)| *id == node_id) {
+                    Some(slot) => slot.1 = cur.clone(),
+                    None => counter.warm.push((node_id, cur.clone())),
+                }
+            }
+            cur
+        }
+    })
+}
+
+/// Removes warm entries for top-level sub-fixpoints of `g` with polarity
+/// opposite to `outer_least`.
+fn reset_opposite(g: &Mu, outer_least: bool, counter: &mut IterCounter) {
+    match g {
+        Mu::Const(_) | Mu::Prop(_) | Mu::Var(_) => {}
+        Mu::Not(h) | Mu::Diamond(h) | Mu::Box_(h) => reset_opposite(h, outer_least, counter),
+        Mu::And(a, b) | Mu::Or(a, b) => {
+            reset_opposite(a, outer_least, counter);
+            reset_opposite(b, outer_least, counter);
+        }
+        Mu::Mu(_, _) | Mu::Nu(_, _) => {
+            let this_least = matches!(g, Mu::Mu(..));
+            if this_least != outer_least {
+                let id = g as *const Mu as usize;
+                counter.warm.retain(|(w, _)| *w != id);
+            }
+            // Same-polarity children keep their values; their own updates
+            // will reset deeper opposite-polarity descendants.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse_mu;
+
+    /// 0 → 1 → 2 → 0 cycle plus a dead-end 3 reachable from 0; `goal` at 2.
+    fn model() -> Kripke {
+        let mut k = Kripke::new(4);
+        k.add_transition(0, 1);
+        k.add_transition(1, 2);
+        k.add_transition(2, 0);
+        k.add_transition(0, 3);
+        k.label(2, "goal");
+        k
+    }
+
+    #[test]
+    fn reachability_mu() {
+        // μZ. goal ∨ ◇Z — "goal reachable".
+        let k = model();
+        let f = parse_mu("mu Z. (goal | <>Z)").unwrap();
+        let s = check_states(&k, &f, CheckStrategy::Naive).unwrap();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(check(&k, &f, 1).unwrap());
+        assert!(!check(&k, &f, 3).unwrap());
+    }
+
+    #[test]
+    fn safety_nu() {
+        // νZ. ¬goal ∧ □Z — "goal never reached" (on all paths).
+        let k = model();
+        let f = parse_mu("nu Z. (!goal & []Z)").unwrap();
+        let s = check_states(&k, &f, CheckStrategy::Naive).unwrap();
+        // Only state 3 (dead end, no goal) satisfies it: 0 can reach goal…
+        // □ on a dead end is vacuous.
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn infinite_path_nu() {
+        // νZ. ◇Z — "some infinite path".
+        let k = model();
+        let f = parse_mu("nu Z. <>Z").unwrap();
+        let s = check_states(&k, &f, CheckStrategy::Naive).unwrap();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn strategies_agree() {
+        let k = model();
+        for src in [
+            "mu Z. (goal | <>Z)",
+            "nu Z. mu Y. (((goal & <>Z)) | <>Y)", // infinitely often goal
+            "nu Z. (mu Y. (goal | []Y) & []Z)",
+            "mu Z. (goal | !<>true | <>Z)",
+        ] {
+            let f = parse_mu(src).unwrap();
+            let a = check_states(&k, &f, CheckStrategy::Naive).unwrap();
+            let b = check_states(&k, &f, CheckStrategy::EmersonLei).unwrap();
+            assert_eq!(a, b, "formula {src}");
+        }
+    }
+
+    #[test]
+    fn infinitely_often_on_cycle() {
+        // νZ.μY.◇((goal ∧ Z) ∨ Y): some path visiting goal infinitely often.
+        let k = model();
+        let f = parse_mu("nu Z. mu Y. <>((goal & Z) | Y)").unwrap();
+        let s = check_states(&k, &f, CheckStrategy::Naive).unwrap();
+        // The cycle 0→1→2→0 visits goal (state 2) infinitely often.
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn emerson_lei_uses_fewer_iterations() {
+        // Longer chain into a cycle; alternating formula.
+        let n = 24;
+        let mut k = Kripke::new(n);
+        for i in 0..n - 2 {
+            k.add_transition(i as u32, i as u32 + 1);
+        }
+        k.add_transition(n as u32 - 2, n as u32 - 3);
+        k.label(n as u32 - 2, "goal");
+        let f = parse_mu("nu Z. mu Y. <>((goal & Z) | Y)").unwrap();
+        let (a, naive_iters) = check_states_counting(&k, &f, CheckStrategy::Naive).unwrap();
+        let (b, el_iters) = check_states_counting(&k, &f, CheckStrategy::EmersonLei).unwrap();
+        assert_eq!(a, b);
+        assert!(
+            el_iters <= naive_iters,
+            "EL {el_iters} > naive {naive_iters}"
+        );
+    }
+}

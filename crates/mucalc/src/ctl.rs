@@ -1,0 +1,135 @@
+//! CTL operators as μ-calculus derived forms.
+//!
+//! The standard embeddings; model checking CTL through these is how the
+//! examples and benchmarks phrase their specifications. Alternation depth
+//! is 1 throughout (CTL is alternation-free).
+
+use crate::ast::Mu;
+
+/// `EX φ` — some successor satisfies φ.
+pub fn ex(phi: Mu) -> Mu {
+    phi.diamond()
+}
+
+/// `AX φ` — all successors satisfy φ.
+pub fn ax(phi: Mu) -> Mu {
+    phi.boxed()
+}
+
+/// `EF φ` — φ reachable: `μZ. φ ∨ ◇Z`.
+pub fn ef(phi: Mu) -> Mu {
+    Mu::mu("Zef", phi.or(Mu::var("Zef").diamond()))
+}
+
+/// `AF φ` — φ inevitable: `μZ. φ ∨ (◇true ∧ □Z)`.
+///
+/// The `◇true` conjunct makes dead-end states *not* inevitably reach φ
+/// unless they satisfy it, matching the total-path reading on structures
+/// with deadlocks.
+pub fn af(phi: Mu) -> Mu {
+    Mu::mu("Zaf", phi.or(Mu::tt().diamond().and(Mu::var("Zaf").boxed())))
+}
+
+/// `EG φ` — some path where φ always holds: `νZ. φ ∧ (◇Z ∨ ¬◇true)`.
+///
+/// Dead ends count as (finite, maximal) paths.
+pub fn eg(phi: Mu) -> Mu {
+    Mu::nu("Zeg", phi.clone().and(Mu::var("Zeg").diamond().or(Mu::tt().diamond().not())))
+}
+
+/// `AG φ` — φ holds on all reachable states: `νZ. φ ∧ □Z`.
+pub fn ag(phi: Mu) -> Mu {
+    Mu::nu("Zag", phi.and(Mu::var("Zag").boxed()))
+}
+
+/// `E[φ U ψ]` — `μZ. ψ ∨ (φ ∧ ◇Z)`.
+pub fn eu(phi: Mu, psi: Mu) -> Mu {
+    Mu::mu("Zeu", psi.or(phi.and(Mu::var("Zeu").diamond())))
+}
+
+/// `A[φ U ψ]` — `μZ. ψ ∨ (φ ∧ ◇true ∧ □Z)`.
+pub fn au(phi: Mu, psi: Mu) -> Mu {
+    Mu::mu("Zau", psi.or(phi.and(Mu::tt().diamond()).and(Mu::var("Zau").boxed())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check_states, CheckStrategy};
+    use crate::kripke::Kripke;
+
+    /// 0 → 1 → 2(goal) → 2 (self-loop); 0 → 3 (dead end).
+    fn model() -> Kripke {
+        let mut k = Kripke::new(4);
+        k.add_transition(0, 1);
+        k.add_transition(1, 2);
+        k.add_transition(2, 2);
+        k.add_transition(0, 3);
+        k.label(2, "goal");
+        k
+    }
+
+    fn sat(k: &Kripke, f: &Mu) -> Vec<usize> {
+        check_states(k, f, CheckStrategy::Naive).unwrap().iter().collect()
+    }
+
+    #[test]
+    fn ef_reachability() {
+        let k = model();
+        assert_eq!(sat(&k, &ef(Mu::prop("goal"))), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ag_safety() {
+        let k = model();
+        // AG ¬goal: states from which goal is never reachable.
+        assert_eq!(sat(&k, &ag(Mu::prop("goal").not())), vec![3]);
+    }
+
+    #[test]
+    fn af_inevitability() {
+        let k = model();
+        // From 1, every path reaches goal; from 0 the path to 3 avoids it.
+        assert_eq!(sat(&k, &af(Mu::prop("goal"))), vec![1, 2]);
+    }
+
+    #[test]
+    fn eg_invariance() {
+        let k = model();
+        // EG goal: the self-loop at 2.
+        assert_eq!(sat(&k, &eg(Mu::prop("goal"))), vec![2]);
+        // EG true: everything (dead ends are maximal paths).
+        assert_eq!(sat(&k, &eg(Mu::tt())), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn until_operators() {
+        let k = model();
+        // E[¬goal U goal] = EF goal here.
+        assert_eq!(sat(&k, &eu(Mu::prop("goal").not(), Mu::prop("goal"))), vec![0, 1, 2]);
+        // A[true U goal] = AF goal.
+        assert_eq!(sat(&k, &au(Mu::tt(), Mu::prop("goal"))), vec![1, 2]);
+    }
+
+    #[test]
+    fn ctl_is_alternation_free() {
+        for f in [
+            ef(Mu::prop("p")),
+            ag(ef(Mu::prop("p"))),
+            au(Mu::prop("p"), eg(Mu::prop("q"))),
+        ] {
+            assert!(f.alternation_depth() <= 1, "{f}");
+            assert!(f.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn ex_ax_duality() {
+        let k = model();
+        let p = Mu::prop("goal");
+        let exs = sat(&k, &ex(p.clone()));
+        assert_eq!(exs, vec![1, 2]);
+        // AX goal: all successors goal — dead end 3 vacuously satisfies.
+        assert_eq!(sat(&k, &ax(p)), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Kripke structures (labelled transition systems).
+//!
+//! Per the paper's §1, "a finite-state program can be viewed as a
+//! relational database consisting of unary and binary relations": the
+//! states form the domain, each atomic proposition is a unary relation,
+//! and the transition relation is binary. [`Kripke::to_database`] is that
+//! viewing, and [`Kripke::from_database`] the inverse.
+
+use bvq_relation::{BitSet, Database, Relation, Tuple};
+
+/// A Kripke structure: states `0..n`, named atomic propositions, and a
+/// transition relation.
+#[derive(Clone, Debug)]
+pub struct Kripke {
+    n: usize,
+    props: Vec<(String, BitSet)>,
+    /// Successor lists, indexed by state.
+    succ: Vec<Vec<u32>>,
+}
+
+impl Kripke {
+    /// A structure with `n` states and no propositions or transitions.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "Kripke structures need at least one state");
+        Kripke { n, props: Vec::new(), succ: vec![Vec::new(); n] }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.n
+    }
+
+    /// Number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.succ.iter().map(Vec::len).sum()
+    }
+
+    /// Declares a proposition (idempotent) and returns its index.
+    pub fn add_prop(&mut self, name: &str) -> usize {
+        if let Some(i) = self.props.iter().position(|(p, _)| p == name) {
+            return i;
+        }
+        self.props.push((name.to_string(), BitSet::new(self.n)));
+        self.props.len() - 1
+    }
+
+    /// Labels `state` with proposition `name`.
+    pub fn label(&mut self, state: u32, name: &str) {
+        let i = self.add_prop(name);
+        self.props[i].1.insert(state as usize);
+    }
+
+    /// Whether `state` is labelled with `name`.
+    pub fn has_label(&self, state: u32, name: &str) -> bool {
+        self.props
+            .iter()
+            .find(|(p, _)| p == name)
+            .is_some_and(|(_, s)| s.contains(state as usize))
+    }
+
+    /// The set of states labelled `name` (empty if undeclared).
+    pub fn states_with(&self, name: &str) -> BitSet {
+        self.props
+            .iter()
+            .find(|(p, _)| p == name)
+            .map(|(_, s)| s.clone())
+            .unwrap_or_else(|| BitSet::new(self.n))
+    }
+
+    /// Declared proposition names.
+    pub fn prop_names(&self) -> Vec<&str> {
+        self.props.iter().map(|(p, _)| p.as_str()).collect()
+    }
+
+    /// Adds a transition.
+    pub fn add_transition(&mut self, from: u32, to: u32) {
+        assert!((from as usize) < self.n && (to as usize) < self.n, "state out of range");
+        if !self.succ[from as usize].contains(&to) {
+            self.succ[from as usize].push(to);
+        }
+    }
+
+    /// The successors of a state.
+    pub fn successors(&self, state: u32) -> &[u32] {
+        &self.succ[state as usize]
+    }
+
+    /// Views the structure as a relational database: one unary relation
+    /// per proposition, one binary relation `E` for the transitions.
+    ///
+    /// # Panics
+    /// Panics if a proposition is named `E`.
+    pub fn to_database(&self) -> Database {
+        let mut db = Database::new(self.n);
+        let mut e = Relation::new(2);
+        for (from, tos) in self.succ.iter().enumerate() {
+            for &to in tos {
+                e.insert(Tuple::from_slice(&[from as u32, to]));
+            }
+        }
+        db.add_relation("E", e).expect("fresh database");
+        for (name, states) in &self.props {
+            let rel = Relation::from_tuples(1, states.iter().map(|s| [s as u32]));
+            db.add_relation(name, rel)
+                .unwrap_or_else(|e| panic!("proposition `{name}`: {e}"));
+        }
+        db
+    }
+
+    /// Reconstructs a structure from a database with a binary `E` and
+    /// unary proposition relations (other relations are ignored).
+    pub fn from_database(db: &Database) -> Self {
+        let mut k = Kripke::new(db.domain_size());
+        if let Some(e) = db.relation_by_name("E") {
+            for t in e.iter() {
+                k.add_transition(t[0], t[1]);
+            }
+        }
+        for (id, name, arity) in db.schema().iter() {
+            if arity == 1 {
+                for t in db.relation(id).iter() {
+                    k.label(t[0], name);
+                }
+            }
+        }
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut k = Kripke::new(3);
+        k.add_transition(0, 1);
+        k.add_transition(1, 2);
+        k.add_transition(1, 2); // duplicate ignored
+        k.label(2, "goal");
+        assert_eq!(k.num_transitions(), 2);
+        assert_eq!(k.successors(1), &[2]);
+        assert!(k.has_label(2, "goal"));
+        assert!(!k.has_label(0, "goal"));
+        assert!(k.states_with("missing").is_empty());
+    }
+
+    #[test]
+    fn database_roundtrip() {
+        let mut k = Kripke::new(4);
+        k.add_transition(0, 1);
+        k.add_transition(1, 0);
+        k.add_transition(2, 3);
+        k.label(0, "init");
+        k.label(3, "goal");
+        let db = k.to_database();
+        assert_eq!(db.relation_by_name("E").unwrap().len(), 3);
+        assert!(db.relation_by_name("init").unwrap().contains(&[0]));
+        let k2 = Kripke::from_database(&db);
+        assert_eq!(k2.num_states(), 4);
+        assert_eq!(k2.num_transitions(), 3);
+        assert!(k2.has_label(3, "goal"));
+        assert!(k2.has_label(0, "init"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn transition_bounds_checked() {
+        Kripke::new(2).add_transition(0, 5);
+    }
+}

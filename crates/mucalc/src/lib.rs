@@ -1,0 +1,33 @@
+//! # bvq-mucalc
+//!
+//! Propositional μ-calculus model checking as the verification application
+//! of Vardi, *On the Complexity of Bounded-Variable Queries* (PODS 1995),
+//! §1: a finite-state program is a relational database of unary and binary
+//! relations, the specification language Lμ is a fragment of `FP²`, and
+//! therefore the Theorem 3.5 bound (`FP^k` ∈ NP ∩ co-NP) re-proves the
+//! best known bound for μ-calculus model checking [EJS93] directly from
+//! fixpoint principles.
+//!
+//! * [`Kripke`] — labelled transition systems, convertible to/from
+//!   [`Database`](bvq_relation::Database)s of unary + binary relations;
+//! * [`Mu`] — the μ-calculus AST with parser, NNF, and CTL-operator sugar;
+//! * [`checker`] — direct model checkers (naive Kleene iteration and an
+//!   Emerson–Lei variant);
+//! * [`translate`] — the embedding Lμ → `FP²` (the variable-reuse trick of
+//!   §2.2), differentially tested against the direct checkers;
+//! * model checking *with certificates* by running
+//!   [`CertifiedChecker`](bvq_core::CertifiedChecker) on the translation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod checker;
+pub mod ctl;
+pub mod kripke;
+pub mod translate;
+
+pub use ast::{parse_mu, Mu, MuError};
+pub use checker::{check, check_states, CheckStrategy};
+pub use kripke::Kripke;
+pub use translate::to_fp2;

@@ -1,0 +1,125 @@
+//! The embedding Lμ → `FP²` (§1 of the paper).
+//!
+//! States are database elements, propositions unary relations, transitions
+//! the binary relation `E`. A μ-calculus formula becomes an `FP²` formula
+//! with free variable `x₁` ("the current state"), using the §2.2
+//! variable-reuse trick for the modalities:
+//!
+//! ```text
+//! ⟦◇φ⟧ = ∃x₂ (E(x₁,x₂) ∧ ∃x₁ (x₁ = x₂ ∧ ⟦φ⟧))
+//! ⟦□φ⟧ = ∀x₂ (E(x₁,x₂) → ∃x₁ (x₁ = x₂ ∧ ⟦φ⟧))
+//! ⟦μZ.φ⟧ = [lfp Z(x₁). ⟦φ⟧](x₁)
+//! ```
+//!
+//! Only two individual variables ever appear, so Theorem 3.5's
+//! `NP ∩ co-NP` bound for `FP²` applies to μ-calculus model checking —
+//! the paper's re-proof of the [EJS93] bound.
+
+use bvq_logic::{Formula, Term, Var};
+
+use crate::ast::{Mu, MuError};
+
+/// Translates a μ-calculus formula into an `FP²` formula with free
+/// variable `x₁` denoting the current state.
+///
+/// The input is normalised to NNF first (the FP embedding needs recursion
+/// variables positive, which NNF guarantees).
+pub fn to_fp2(f: &Mu) -> Result<Formula, MuError> {
+    let nnf = f.nnf();
+    nnf.validate()?;
+    Ok(tr(&nnf))
+}
+
+fn tr(f: &Mu) -> Formula {
+    let x1 = Term::Var(Var(0));
+    let x2 = Term::Var(Var(1));
+    match f {
+        Mu::Const(b) => Formula::Const(*b),
+        Mu::Prop(p) => Formula::atom(p, [x1]),
+        Mu::Var(z) => Formula::rel_var(z, [x1]),
+        Mu::Not(g) => tr(g).not(),
+        Mu::And(a, b) => tr(a).and(tr(b)),
+        Mu::Or(a, b) => tr(a).or(tr(b)),
+        Mu::Diamond(g) => {
+            // ∃x2 (E(x1,x2) ∧ ∃x1 (x1 = x2 ∧ ⟦g⟧))
+            let rebound = Formula::Eq(x1, x2).and(tr(g)).exists(Var(0));
+            Formula::atom("E", [x1, x2]).and(rebound).exists(Var(1))
+        }
+        Mu::Box_(g) => {
+            let rebound = Formula::Eq(x1, x2).and(tr(g)).exists(Var(0));
+            Formula::atom("E", [x1, x2]).implies(rebound).forall(Var(1))
+        }
+        Mu::Mu(z, g) => Formula::lfp(z, vec![Var(0)], tr(g), vec![x1]),
+        Mu::Nu(z, g) => Formula::gfp(z, vec![Var(0)], tr(g), vec![x1]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse_mu;
+    use crate::checker::{check_states, CheckStrategy};
+    use crate::kripke::Kripke;
+    use bvq_core::FpEvaluator;
+    use bvq_logic::Query;
+
+    fn model() -> Kripke {
+        let mut k = Kripke::new(4);
+        k.add_transition(0, 1);
+        k.add_transition(1, 2);
+        k.add_transition(2, 0);
+        k.add_transition(0, 3);
+        k.label(2, "goal");
+        k.label(0, "init");
+        k
+    }
+
+    #[test]
+    fn translation_is_fp2() {
+        let f = parse_mu("nu Z. mu Y. <>((goal & Z) | Y)").unwrap();
+        let t = to_fp2(&f).unwrap();
+        assert_eq!(t.width(), 2, "Lμ must land in FP²");
+        assert!(t.validate_fp().is_ok());
+        assert_eq!(t.alternation_depth(), f.alternation_depth());
+    }
+
+    #[test]
+    fn translation_agrees_with_direct_checker() {
+        let k = model();
+        let db = k.to_database();
+        for src in [
+            "goal",
+            "<>goal",
+            "[]goal",
+            "mu Z. (goal | <>Z)",
+            "nu Z. (!goal & []Z)",
+            "nu Z. <>Z",
+            "nu Z. mu Y. <>((goal & Z) | Y)",
+            "mu Y. (init | <>true & []Y)",
+        ] {
+            let f = parse_mu(src).unwrap();
+            let direct = check_states(&k, &f, CheckStrategy::Naive).unwrap();
+            let q = Query::new(vec![bvq_logic::Var(0)], to_fp2(&f).unwrap());
+            let (rel, _) = FpEvaluator::new(&db, 2).eval_query(&q).unwrap();
+            let via_fp: Vec<usize> =
+                rel.sorted().iter().map(|t| t[0] as usize).collect();
+            assert_eq!(direct.iter().collect::<Vec<_>>(), via_fp, "formula {src}");
+        }
+    }
+
+    #[test]
+    fn certified_model_checking() {
+        // The NP ∩ co-NP pipeline end to end: translate, certify, decide.
+        let k = model();
+        let db = k.to_database();
+        let f = parse_mu("nu Z. mu Y. <>((goal & Z) | Y)").unwrap();
+        let direct = check_states(&k, &f, CheckStrategy::Naive).unwrap();
+        let q = Query::new(vec![bvq_logic::Var(0)], to_fp2(&f).unwrap());
+        let checker = bvq_core::CertifiedChecker::new(&db, 2);
+        for s in 0..4u32 {
+            let (member, size, _) = checker.decide(&q, &[s]).unwrap();
+            assert_eq!(member, direct.contains(s as usize), "state {s}");
+            assert!(size > 0);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Property test: on random Kripke structures and random μ-calculus
+//! formulas, the direct model checker and the `FP²` translation agree —
+//! the executable content of the paper's claim that Lμ is a fragment of
+//! `FP²`.
+
+use bvq_core::{CertifiedChecker, FpEvaluator};
+use bvq_logic::Query;
+use bvq_mucalc::{check_states, to_fp2, CheckStrategy, Kripke, Mu};
+use proptest::prelude::*;
+
+fn arb_kripke(max_n: usize) -> impl Strategy<Value = Kripke> {
+    (2..=max_n).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n, 0..n), 0..2 * n);
+        let labels = prop::collection::vec((0..n, 0..2usize), 0..n);
+        (Just(n), edges, labels).prop_map(|(n, edges, labels)| {
+            let mut k = Kripke::new(n);
+            // Always declare both props so the database schema is stable.
+            k.add_prop("p");
+            k.add_prop("q");
+            for (a, b) in edges {
+                k.add_transition(a as u32, b as u32);
+            }
+            for (s, which) in labels {
+                k.label(s as u32, if which == 0 { "p" } else { "q" });
+            }
+            k
+        })
+    })
+}
+
+fn arb_mu(depth: u32) -> BoxedStrategy<Mu> {
+    let leaf = prop_oneof![
+        Just(Mu::tt()),
+        Just(Mu::ff()),
+        Just(Mu::prop("p")),
+        Just(Mu::prop("q")),
+    ];
+    leaf.prop_recursive(depth, 32, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Mu::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(Mu::diamond),
+            inner.clone().prop_map(Mu::boxed),
+            // Fixpoints: ensure the variable occurs positively by
+            // disjoining/conjoining it after a modality.
+            inner.clone().prop_map(|f| Mu::mu("Z", f.or(Mu::var("Z").diamond()))),
+            inner.prop_map(|f| Mu::nu("W", f.and(Mu::var("W").boxed()))),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn direct_checker_matches_fp2(k in arb_kripke(5), f in arb_mu(3)) {
+        let direct = check_states(&k, &f, CheckStrategy::Naive).unwrap();
+        let el = check_states(&k, &f, CheckStrategy::EmersonLei).unwrap();
+        prop_assert_eq!(&direct, &el, "strategies disagree on {}", f);
+        let db = k.to_database();
+        let q = Query::new(vec![bvq_logic::Var(0)], to_fp2(&f).unwrap());
+        let (rel, _) = FpEvaluator::new(&db, 2).eval_query(&q).unwrap();
+        let via_fp: Vec<usize> = rel.sorted().iter().map(|t| t[0] as usize).collect();
+        prop_assert_eq!(direct.iter().collect::<Vec<_>>(), via_fp, "formula {}", f);
+    }
+
+    #[test]
+    fn certified_decisions_match(k in arb_kripke(4), f in arb_mu(2)) {
+        let direct = check_states(&k, &f, CheckStrategy::Naive).unwrap();
+        let db = k.to_database();
+        let q = Query::new(vec![bvq_logic::Var(0)], to_fp2(&f).unwrap());
+        let checker = CertifiedChecker::new(&db, 2);
+        for s in 0..k.num_states() as u32 {
+            let (member, _, _) = checker.decide(&q, &[s]).unwrap();
+            prop_assert_eq!(member, direct.contains(s as usize), "formula {} state {}", f, s);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Compiling acyclic conjunctive queries into bounded-variable formulas —
+//! the paper's "variable minimization" performed at the *formula* level,
+//! generalising the §2.2 rewriting of the path formula into `FO³`.
+//!
+//! Walking the GYO join tree top-down, each query variable is assigned a
+//! *slot* `xᵢ`; a slot whose variable does not occur in the remainder of a
+//! subtree is dead there and can be re-bound (shadowed) by a fresh `∃` —
+//! the reuse that keeps chains at O(1) variables no matter their length.
+//! Head variables get reserved slots and are never closed.
+//!
+//! The resulting width is `O(max atom arity + tree overlap)`, independent
+//! of the query length; evaluating the compiled query with
+//! [`BoundedEvaluator`](bvq_core::BoundedEvaluator) therefore keeps every
+//! intermediate at that arity — the `FO^k` story end to end.
+
+use bvq_logic::{Formula, Query, Term, Var};
+
+use crate::cq::{ConjunctiveQuery, CqTerm, PlanError};
+use crate::gyo::join_tree;
+
+/// Compiles an acyclic conjunctive query into a bounded-variable query.
+/// Returns the query and its width `k`.
+///
+/// # Errors
+/// [`PlanError::Cyclic`] for cyclic hypergraphs,
+/// [`PlanError::HeadVariableNotInBody`] for unsafe heads.
+pub fn to_bounded_query(cq: &ConjunctiveQuery) -> Result<(Query, usize), PlanError> {
+    let tree = join_tree(cq).ok_or(PlanError::Cyclic)?;
+    let m = cq.atoms.len();
+
+    // children[i] = atoms whose join-tree parent is i.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for (i, p) in tree.parent.iter().enumerate() {
+        if let Some(p) = p {
+            children[*p].push(i);
+        }
+    }
+    // subtree_vars[i]: variables occurring anywhere in i's subtree.
+    let mut subtree_vars: Vec<Vec<u32>> = vec![Vec::new(); m];
+    for &e in &tree.order {
+        // children removed before parents, so children are complete here.
+        let mut vs = cq.atoms[e].vars();
+        for &c in &children[e] {
+            for v in &subtree_vars[c] {
+                if !vs.contains(v) {
+                    vs.push(*v);
+                }
+            }
+        }
+        subtree_vars[e] = vs;
+    }
+
+    // Reserve slots for head variables.
+    let mut head_slots: Vec<(u32, u32)> = Vec::new();
+    for (i, &v) in cq.head.iter().enumerate() {
+        if !head_slots.iter().any(|(w, _)| *w == v) {
+            head_slots.push((v, i as u32));
+        }
+        // Head variables must occur in the body.
+        if !cq.atoms.iter().any(|a| a.vars().contains(&v)) {
+            return Err(PlanError::HeadVariableNotInBody(v));
+        }
+    }
+    let reserved = head_slots.len() as u32;
+    let mut max_slots = reserved;
+
+    // Compile each root; roots are variable-disjoint except for heads.
+    let mut conjuncts = Vec::new();
+    for r in tree.roots() {
+        let slot_of: Vec<(u32, u32)> = head_slots
+            .iter()
+            .copied()
+            .filter(|(v, _)| subtree_vars[r].contains(v))
+            .collect();
+        conjuncts.push(compile(
+            cq,
+            &children,
+            &subtree_vars,
+            r,
+            slot_of,
+            reserved,
+            &mut max_slots,
+        ));
+    }
+    let formula = Formula::and_all(conjuncts);
+    let output: Vec<Var> = cq
+        .head
+        .iter()
+        .map(|v| {
+            Var(head_slots.iter().find(|(w, _)| w == v).expect("reserved").1)
+        })
+        .collect();
+    let q = Query::new(output, formula);
+    debug_assert!(q.validate().is_ok());
+    Ok((q, max_slots as usize))
+}
+
+/// Compiles the subtree rooted at `node`. `slot_of` maps the live query
+/// variables (those shared with the context) to their slots; slots below
+/// `reserved` belong to head variables and are never re-bound.
+fn compile(
+    cq: &ConjunctiveQuery,
+    children: &[Vec<usize>],
+    subtree_vars: &[Vec<u32>],
+    node: usize,
+    mut slot_of: Vec<(u32, u32)>,
+    reserved: u32,
+    max_slots: &mut u32,
+) -> Formula {
+    let atom = &cq.atoms[node];
+    // Assign slots to this atom's unassigned variables: the smallest
+    // non-reserved slot not used by any *live* variable.
+    let mut newly: Vec<u32> = Vec::new();
+    for v in atom.vars() {
+        if !slot_of.iter().any(|(w, _)| *w == v) {
+            let mut s = reserved;
+            while slot_of.iter().any(|(_, t)| *t == s) {
+                s += 1;
+            }
+            slot_of.push((v, s));
+            newly.push(v);
+            *max_slots = (*max_slots).max(s + 1);
+        }
+    }
+    let term = |t: &CqTerm, slot_of: &Vec<(u32, u32)>| -> Term {
+        match t {
+            CqTerm::Const(c) => Term::Const(*c),
+            CqTerm::Var(v) => Term::Var(Var(
+                slot_of.iter().find(|(w, _)| w == v).expect("assigned").1,
+            )),
+        }
+    };
+    let mut f = Formula::atom(&atom.rel, atom.args.iter().map(|t| term(t, &slot_of)));
+    for &c in &children[node] {
+        // The child sees only the variables its subtree actually uses
+        // (plus their slots); everything else is dead and re-bindable.
+        let child_env: Vec<(u32, u32)> = slot_of
+            .iter()
+            .copied()
+            .filter(|(v, _)| subtree_vars[c].contains(v))
+            .collect();
+        f = f.and(compile(cq, children, subtree_vars, c, child_env, reserved, max_slots));
+    }
+    // Close this node's fresh non-head variables (head slots are
+    // pre-reserved, so `newly` never contains head variables' slots…
+    // unless a head variable first occurs here — leave those open).
+    for v in newly.into_iter().rev() {
+        if cq.head.contains(&v) {
+            continue;
+        }
+        let slot = slot_of.iter().find(|(w, _)| *w == v).expect("assigned").1;
+        f = f.exists(Var(slot));
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::CqTerm::{Const, Var as V};
+    use bvq_core::BoundedEvaluator;
+    use bvq_relation::Database;
+
+    fn db() -> Database {
+        Database::builder(6)
+            .relation("E", 2, [[0u32, 1], [1, 2], [2, 3], [3, 4], [4, 5], [1, 4]])
+            .relation("P", 1, [[2u32], [4]])
+            .build()
+    }
+
+    fn chain(len: usize) -> ConjunctiveQuery {
+        let mut cq = ConjunctiveQuery::new(&[0, len as u32]);
+        for i in 0..len {
+            cq = cq.atom("E", &[V(i as u32), V(i as u32 + 1)]);
+        }
+        cq
+    }
+
+    #[test]
+    fn chains_compile_to_constant_width() {
+        for len in 1..8 {
+            let (q, k) = to_bounded_query(&chain(len)).unwrap();
+            assert!(k <= 4, "chain {len}: width {k}");
+            assert_eq!(q.formula.width(), k);
+        }
+        // And the width does NOT grow with the chain.
+        let (_, k8) = to_bounded_query(&chain(8)).unwrap();
+        let (_, k3) = to_bounded_query(&chain(3)).unwrap();
+        assert_eq!(k8, k3.max(k8)); // both capped at the same constant
+    }
+
+    #[test]
+    fn compiled_query_agrees_with_plans() {
+        let db = db();
+        for len in 1..6 {
+            let cq = chain(len);
+            let (q, k) = to_bounded_query(&cq).unwrap();
+            let (bounded, stats) = BoundedEvaluator::new(&db, k).eval_query(&q).unwrap();
+            let (naive, _) = cq.eval_naive_plan(&db).unwrap();
+            assert_eq!(bounded.sorted(), naive.sorted(), "chain {len}");
+            assert!(stats.max_arity <= k);
+        }
+    }
+
+    #[test]
+    fn stars_and_mixed_shapes() {
+        let db = db();
+        let star = ConjunctiveQuery::new(&[0])
+            .atom("E", &[V(0), V(1)])
+            .atom("E", &[V(0), V(2)])
+            .atom("P", &[V(1)])
+            .atom("E", &[V(2), V(3)]);
+        let (q, k) = to_bounded_query(&star).unwrap();
+        let (bounded, _) = BoundedEvaluator::new(&db, k).eval_query(&q).unwrap();
+        let (naive, _) = star.eval_naive_plan(&db).unwrap();
+        assert_eq!(bounded.sorted(), naive.sorted());
+        assert!(k < 5, "star uses fewer slots than variables, got {k}");
+    }
+
+    #[test]
+    fn constants_pass_through() {
+        let db = db();
+        let cq = ConjunctiveQuery::new(&[1])
+            .atom("E", &[Const(1), V(1)])
+            .atom("P", &[V(1)]);
+        let (q, k) = to_bounded_query(&cq).unwrap();
+        let (bounded, _) = BoundedEvaluator::new(&db, k).eval_query(&q).unwrap();
+        let (naive, _) = cq.eval_naive_plan(&db).unwrap();
+        assert_eq!(bounded.sorted(), naive.sorted());
+    }
+
+    #[test]
+    fn cyclic_rejected() {
+        let tri = ConjunctiveQuery::new(&[0])
+            .atom("E", &[V(0), V(1)])
+            .atom("E", &[V(1), V(2)])
+            .atom("E", &[V(2), V(0)]);
+        assert_eq!(to_bounded_query(&tri), Err(PlanError::Cyclic));
+    }
+
+    #[test]
+    fn boolean_query_forest() {
+        // Two disconnected sentences: ∃ edge with P-source and ∃ P node.
+        let db = db();
+        let cq = ConjunctiveQuery::new(&[])
+            .atom("E", &[V(0), V(1)])
+            .atom("P", &[V(2)]);
+        let (q, k) = to_bounded_query(&cq).unwrap();
+        assert!(q.output.is_empty());
+        let (ans, _) = BoundedEvaluator::new(&db, k).eval_query(&q).unwrap();
+        assert!(ans.as_boolean());
+    }
+
+    #[test]
+    fn repeated_head_variables() {
+        let db = db();
+        let cq = ConjunctiveQuery::new(&[1, 1]).atom("E", &[V(0), V(1)]);
+        let (q, k) = to_bounded_query(&cq).unwrap();
+        let (bounded, _) = BoundedEvaluator::new(&db, k).eval_query(&q).unwrap();
+        let (naive, _) = cq.eval_naive_plan(&db).unwrap();
+        assert_eq!(bounded.sorted(), naive.sorted());
+        assert_eq!(bounded.arity(), 2);
+    }
+}

@@ -1,0 +1,369 @@
+//! Conjunctive queries and the naive join plan.
+
+use bvq_logic::{Formula, Query, Term, Var};
+use bvq_relation::{Database, EvalStats, Relation, StatsRecorder};
+
+/// A term in a conjunctive-query atom.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CqTerm {
+    /// A query variable (0-based, query-scoped).
+    Var(u32),
+    /// A constant.
+    Const(u32),
+}
+
+/// An atom `rel(t₁,…,t_m)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CqAtom {
+    /// Relation name (must exist in the database).
+    pub rel: String,
+    /// Argument terms.
+    pub args: Vec<CqTerm>,
+}
+
+impl CqAtom {
+    /// The distinct variables of the atom, in order of first occurrence.
+    pub fn vars(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for t in &self.args {
+            if let CqTerm::Var(v) = t {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A conjunctive query `head(v̄) :- atom₁, …, atom_m`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConjunctiveQuery {
+    /// Output variables.
+    pub head: Vec<u32>,
+    /// Body atoms.
+    pub atoms: Vec<CqAtom>,
+}
+
+/// Plan-execution statistics (wraps [`EvalStats`]).
+pub type PlanStats = EvalStats;
+
+impl ConjunctiveQuery {
+    /// Builder: creates a query with the given head variables.
+    pub fn new(head: &[u32]) -> Self {
+        ConjunctiveQuery { head: head.to_vec(), atoms: Vec::new() }
+    }
+
+    /// Builder: adds an atom.
+    #[must_use]
+    pub fn atom(mut self, rel: &str, args: &[CqTerm]) -> Self {
+        self.atoms.push(CqAtom { rel: rel.to_string(), args: args.to_vec() });
+        self
+    }
+
+    /// All distinct variables, sorted.
+    pub fn variables(&self) -> Vec<u32> {
+        let mut vs: Vec<u32> = self.atoms.iter().flat_map(|a| a.vars()).collect();
+        vs.extend(self.head.iter().copied());
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// The query as an FO formula with *all distinct* variables — width =
+    /// number of query variables (the unoptimised form whose naive
+    /// evaluation exhibits the arity blow-up).
+    pub fn to_fo_query(&self) -> Query {
+        let term = |t: &CqTerm| match t {
+            CqTerm::Var(v) => Term::Var(Var(*v)),
+            CqTerm::Const(c) => Term::Const(*c),
+        };
+        let body = Formula::and_all(
+            self.atoms
+                .iter()
+                .map(|a| Formula::atom(&a.rel, a.args.iter().map(term))),
+        );
+        let mut f = body;
+        for v in self.variables().into_iter().rev() {
+            if !self.head.contains(&v) {
+                f = f.exists(Var(v));
+            }
+        }
+        Query::new(self.head.iter().map(|&v| Var(v)).collect(), f)
+    }
+
+    /// The naive plan of the paper's introduction: join every atom in
+    /// order, keeping **all** columns (one per distinct variable) until a
+    /// final projection. Intermediate arity equals the number of query
+    /// variables — for the employee query, the 10-column cross product.
+    pub fn eval_naive_plan(&self, db: &Database) -> Result<(Relation, PlanStats), PlanError> {
+        let mut rec = StatsRecorder::new();
+        let mut cols: Vec<u32> = Vec::new();
+        let mut rel = Relation::boolean(true);
+        for atom in &self.atoms {
+            let (acols, arel) = load_atom(db, atom)?;
+            let mut pairs = Vec::new();
+            for (i, c) in cols.iter().enumerate() {
+                if let Some(j) = acols.iter().position(|d| d == c) {
+                    pairs.push((i, j));
+                }
+            }
+            let joined = rel.join_on(&arel, &pairs);
+            // Keep every column (dedup repeated join columns only).
+            let mut new_cols = cols.clone();
+            for c in &acols {
+                if !new_cols.contains(c) {
+                    new_cols.push(*c);
+                }
+            }
+            let positions: Vec<usize> = new_cols
+                .iter()
+                .map(|c| {
+                    cols.iter().position(|d| d == c).unwrap_or_else(|| {
+                        cols.len() + acols.iter().position(|d| d == c).expect("col")
+                    })
+                })
+                .collect();
+            rel = joined.project(&positions);
+            cols = new_cols;
+            rec.intermediate(rel.arity(), rel.len());
+        }
+        let positions: Vec<usize> = self
+            .head
+            .iter()
+            .map(|v| {
+                cols.iter()
+                    .position(|c| c == v)
+                    .ok_or(PlanError::HeadVariableNotInBody(*v))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok((rel.project(&positions), rec.stats()))
+    }
+}
+
+impl ConjunctiveQuery {
+    /// The paper's *literal* naive approach: "start by taking the cross
+    /// product of EMP, MGR, SCY, SAL, and SAL, yielding a 10-ary relation,
+    /// and then select and project appropriately." One column per atom
+    /// *position* — arity is the sum of the atom arities — with all
+    /// selections applied only at the end. Exponentially large
+    /// intermediates; only run on small inputs.
+    pub fn eval_cross_product_plan(
+        &self,
+        db: &Database,
+    ) -> Result<(Relation, PlanStats), PlanError> {
+        let mut rec = StatsRecorder::new();
+        // Columns: (atom index, position). The cross product first.
+        let mut acc = Relation::boolean(true);
+        for atom in &self.atoms {
+            let rel = db
+                .relation_by_name(&atom.rel)
+                .ok_or_else(|| PlanError::UnknownRelation(atom.rel.clone()))?;
+            if rel.arity() != atom.args.len() {
+                return Err(PlanError::ArityMismatch {
+                    rel: atom.rel.clone(),
+                    expected: rel.arity(),
+                    found: atom.args.len(),
+                });
+            }
+            acc = acc.product(rel);
+            rec.intermediate(acc.arity(), acc.len());
+        }
+        // Now the selections: equal variables across positions, constants.
+        let mut col = 0usize;
+        let mut first_of_var: Vec<(u32, usize)> = Vec::new();
+        for atom in &self.atoms {
+            for t in &atom.args {
+                match t {
+                    CqTerm::Const(c) => {
+                        acc = acc.select_const(col, *c);
+                        rec.intermediate(acc.arity(), acc.len());
+                    }
+                    CqTerm::Var(v) => {
+                        if let Some(&(_, j)) = first_of_var.iter().find(|(w, _)| w == v) {
+                            acc = acc.select_eq(j, col);
+                            rec.intermediate(acc.arity(), acc.len());
+                        } else {
+                            first_of_var.push((*v, col));
+                        }
+                    }
+                }
+                col += 1;
+            }
+        }
+        // Finally the projection onto the head.
+        let positions: Vec<usize> = self
+            .head
+            .iter()
+            .map(|v| {
+                first_of_var
+                    .iter()
+                    .find(|(w, _)| w == v)
+                    .map(|(_, j)| *j)
+                    .ok_or(PlanError::HeadVariableNotInBody(*v))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok((acc.project(&positions), rec.stats()))
+    }
+}
+
+/// Errors when executing conjunctive-query plans.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// An atom references a relation the database lacks.
+    UnknownRelation(String),
+    /// An atom's arity differs from its relation's.
+    ArityMismatch {
+        /// Relation name.
+        rel: String,
+        /// Relation arity.
+        expected: usize,
+        /// Atom arity.
+        found: usize,
+    },
+    /// A head variable does not occur in the body.
+    HeadVariableNotInBody(u32),
+    /// The query is cyclic (Yannakakis requires acyclicity).
+    Cyclic,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            PlanError::ArityMismatch { rel, expected, found } => {
+                write!(f, "`{rel}` has arity {expected}, atom has {found} arguments")
+            }
+            PlanError::HeadVariableNotInBody(v) => {
+                write!(f, "head variable V{v} does not occur in the body")
+            }
+            PlanError::Cyclic => write!(f, "query hypergraph is cyclic"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Loads an atom: constant selections and repeated-variable equalities
+/// applied; returns (distinct variable columns, relation).
+pub(crate) fn load_atom(
+    db: &Database,
+    atom: &CqAtom,
+) -> Result<(Vec<u32>, Relation), PlanError> {
+    let rel = db
+        .relation_by_name(&atom.rel)
+        .ok_or_else(|| PlanError::UnknownRelation(atom.rel.clone()))?;
+    if rel.arity() != atom.args.len() {
+        return Err(PlanError::ArityMismatch {
+            rel: atom.rel.clone(),
+            expected: rel.arity(),
+            found: atom.args.len(),
+        });
+    }
+    let mut filtered = rel.clone();
+    let mut first: Vec<(u32, usize)> = Vec::new();
+    for (i, t) in atom.args.iter().enumerate() {
+        match t {
+            CqTerm::Const(c) => filtered = filtered.select_const(i, *c),
+            CqTerm::Var(v) => match first.iter().find(|(w, _)| w == v) {
+                Some(&(_, j)) => filtered = filtered.select_eq(j, i),
+                None => first.push((*v, i)),
+            },
+        }
+    }
+    let cols: Vec<u32> = first.iter().map(|(v, _)| *v).collect();
+    let positions: Vec<usize> = first.iter().map(|(_, p)| *p).collect();
+    Ok((cols, filtered.project(&positions)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvq_core::BoundedEvaluator;
+    use CqTerm::{Const, Var as V};
+
+    fn db() -> Database {
+        Database::builder(5)
+            .relation("E", 2, [[0u32, 1], [1, 2], [2, 3], [3, 4]])
+            .relation("P", 1, [[2u32], [4]])
+            .build()
+    }
+
+    fn path3() -> ConjunctiveQuery {
+        ConjunctiveQuery::new(&[0, 3])
+            .atom("E", &[V(0), V(1)])
+            .atom("E", &[V(1), V(2)])
+            .atom("E", &[V(2), V(3)])
+    }
+
+    #[test]
+    fn naive_plan_computes_paths() {
+        let db = db();
+        let (r, stats) = path3().eval_naive_plan(&db).unwrap();
+        assert_eq!(r.sorted(), Relation::from_tuples(2, [[0u32, 3], [1, 4]]).sorted());
+        assert_eq!(stats.max_arity, 4, "naive plan keeps all 4 variables");
+    }
+
+    #[test]
+    fn to_fo_query_agrees() {
+        let db = db();
+        let cq = path3();
+        let q = cq.to_fo_query();
+        assert_eq!(q.formula.width(), 4);
+        let (fo, _) = BoundedEvaluator::new(&db, 4).eval_query(&q).unwrap();
+        let (plan, _) = cq.eval_naive_plan(&db).unwrap();
+        assert_eq!(fo.sorted(), plan.sorted());
+    }
+
+    #[test]
+    fn constants_and_repeats() {
+        let db = db();
+        let cq = ConjunctiveQuery::new(&[0])
+            .atom("E", &[Const(1), V(0)])
+            .atom("P", &[V(0)]);
+        let (r, _) = cq.eval_naive_plan(&db).unwrap();
+        assert_eq!(r.sorted(), Relation::from_tuples(1, [[2u32]]).sorted());
+        // Self-loop pattern (none in the chain).
+        let cq2 = ConjunctiveQuery::new(&[0]).atom("E", &[V(0), V(0)]);
+        assert!(cq2.eval_naive_plan(&db).unwrap().0.is_empty());
+    }
+
+    #[test]
+    fn cross_product_plan_agrees_and_blows_up() {
+        let db = db();
+        let cq = path3();
+        let (cp, cps) = cq.eval_cross_product_plan(&db).unwrap();
+        let (naive, ns) = cq.eval_naive_plan(&db).unwrap();
+        assert_eq!(cp.sorted(), naive.sorted());
+        // Cross product materialises arity 6 (three binary atoms) and
+        // |E|³ tuples before selecting.
+        assert_eq!(cps.max_arity, 6);
+        assert_eq!(cps.max_cardinality, 4 * 4 * 4);
+        assert!(cps.max_cardinality > ns.max_cardinality);
+    }
+
+    #[test]
+    fn cross_product_with_constants() {
+        let db = db();
+        let cq = ConjunctiveQuery::new(&[0])
+            .atom("E", &[Const(1), V(0)])
+            .atom("P", &[V(0)]);
+        let (cp, _) = cq.eval_cross_product_plan(&db).unwrap();
+        let (naive, _) = cq.eval_naive_plan(&db).unwrap();
+        assert_eq!(cp.sorted(), naive.sorted());
+    }
+
+    #[test]
+    fn errors_reported() {
+        let db = db();
+        let bad = ConjunctiveQuery::new(&[0]).atom("Nope", &[V(0)]);
+        assert!(matches!(bad.eval_naive_plan(&db), Err(PlanError::UnknownRelation(_))));
+        let wrong = ConjunctiveQuery::new(&[0]).atom("E", &[V(0)]);
+        assert!(matches!(wrong.eval_naive_plan(&db), Err(PlanError::ArityMismatch { .. })));
+        let unsafe_head = ConjunctiveQuery::new(&[7]).atom("P", &[V(0)]);
+        assert!(matches!(
+            unsafe_head.eval_naive_plan(&db),
+            Err(PlanError::HeadVariableNotInBody(7))
+        ));
+    }
+}

@@ -1,0 +1,308 @@
+//! Variable-elimination orderings: variable minimization made operational.
+//!
+//! Evaluating a conjunctive query along an elimination ordering — at each
+//! step joining exactly the atoms containing the eliminated variable and
+//! projecting it away — keeps the number of *live* variables, and hence
+//! the arity of every intermediate relation, bounded by the ordering's
+//! induced width + 1. That bound is exactly the `k` for which the query
+//! behaves like an `FO^k` query: the paper's "variable minimization as a
+//! query optimization methodology" in algorithmic form.
+//!
+//! [`greedy_order`] computes a min-degree ordering on the query's primal
+//! graph; [`induced_width`] reports its width; [`eval_eliminated`]
+//! executes the plan.
+
+use bvq_relation::{Database, Relation, StatsRecorder};
+
+use crate::cq::{load_atom, ConjunctiveQuery, PlanError, PlanStats};
+
+/// Computes a greedy min-degree elimination ordering over the non-head
+/// variables (head variables are never eliminated).
+pub fn greedy_order(cq: &ConjunctiveQuery) -> Vec<u32> {
+    let vars = cq.variables();
+    let eliminable: Vec<u32> =
+        vars.iter().copied().filter(|v| !cq.head.contains(v)).collect();
+    // Primal graph: vertices = variables, edge when co-occurring in an atom.
+    let mut adj: Vec<(u32, Vec<u32>)> =
+        vars.iter().map(|&v| (v, Vec::new())).collect();
+    let connect = |a: u32, b: u32, adj: &mut Vec<(u32, Vec<u32>)>| {
+        if a == b {
+            return;
+        }
+        for (v, ns) in adj.iter_mut() {
+            if *v == a && !ns.contains(&b) {
+                ns.push(b);
+            }
+            if *v == b && !ns.contains(&a) {
+                ns.push(a);
+            }
+        }
+    };
+    for atom in &cq.atoms {
+        let avs = atom.vars();
+        for (i, &a) in avs.iter().enumerate() {
+            for &b in &avs[i + 1..] {
+                connect(a, b, &mut adj);
+            }
+        }
+    }
+    let mut remaining: Vec<u32> = eliminable;
+    let mut order = Vec::new();
+    while !remaining.is_empty() {
+        // Min-degree among remaining (degree counts all live neighbours,
+        // including head variables).
+        let alive = |v: u32, order: &Vec<u32>| !order.contains(&v);
+        let (idx, &best) = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &v)| {
+                adj.iter()
+                    .find(|(w, _)| *w == v)
+                    .map(|(_, ns)| ns.iter().filter(|&&n| alive(n, &order)).count())
+                    .unwrap_or(0)
+            })
+            .expect("nonempty");
+        // Connect best's live neighbours pairwise (fill-in).
+        let neighbours: Vec<u32> = adj
+            .iter()
+            .find(|(w, _)| *w == best)
+            .map(|(_, ns)| ns.iter().copied().filter(|&n| alive(n, &order)).collect())
+            .unwrap_or_default();
+        for (i, &a) in neighbours.iter().enumerate() {
+            for &b in &neighbours[i + 1..] {
+                connect(a, b, &mut adj);
+            }
+        }
+        order.push(best);
+        remaining.remove(idx);
+    }
+    order
+}
+
+/// The induced width of the ordering: the largest number of variables
+/// live together while eliminating (max over steps of |bucket scope| − 1,
+/// where the scope is the eliminated variable plus everything it is still
+/// joined with). `induced_width + 1` is the `k` of the bounded-variable
+/// evaluation.
+pub fn induced_width(cq: &ConjunctiveQuery, order: &[u32]) -> usize {
+    // Simulate bucket elimination over variable scopes.
+    let mut scopes: Vec<Vec<u32>> = cq.atoms.iter().map(|a| a.vars()).collect();
+    let mut width = 0;
+    for &v in order {
+        let mut merged: Vec<u32> = Vec::new();
+        let mut rest: Vec<Vec<u32>> = Vec::new();
+        for s in scopes {
+            if s.contains(&v) {
+                for w in s {
+                    if !merged.contains(&w) {
+                        merged.push(w);
+                    }
+                }
+            } else {
+                rest.push(s);
+            }
+        }
+        if !merged.is_empty() {
+            width = width.max(merged.len().saturating_sub(1));
+            merged.retain(|&w| w != v);
+            if !merged.is_empty() {
+                rest.push(merged);
+            }
+        }
+        scopes = rest;
+    }
+    // Remaining (head) scopes also bound the arity.
+    for s in &scopes {
+        width = width.max(s.len().saturating_sub(1));
+    }
+    width
+}
+
+/// Evaluates the query by bucket elimination along `order`: for each
+/// eliminated variable, join the relations mentioning it and project it
+/// out. Intermediate arity ≤ `induced_width(cq, order) + 1`.
+pub fn eval_eliminated(
+    cq: &ConjunctiveQuery,
+    db: &Database,
+    order: &[u32],
+) -> Result<(Relation, PlanStats), PlanError> {
+    let mut rec = StatsRecorder::new();
+    // Working set of tagged relations.
+    let mut pool: Vec<(Vec<u32>, Relation)> = Vec::new();
+    for atom in &cq.atoms {
+        let (c, r) = load_atom(db, atom)?;
+        rec.intermediate(r.arity(), r.len());
+        pool.push((c, r));
+    }
+    for &v in order {
+        // Gather the bucket.
+        let (bucket, rest): (Vec<_>, Vec<_>) =
+            pool.into_iter().partition(|(c, _)| c.contains(&v));
+        pool = rest;
+        if bucket.is_empty() {
+            continue;
+        }
+        // Join the bucket.
+        let mut it = bucket.into_iter();
+        let (mut cols, mut rel) = it.next().expect("nonempty bucket");
+        for (acols, arel) in it {
+            let pairs: Vec<(usize, usize)> = cols
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| acols.iter().position(|d| d == c).map(|j| (i, j)))
+                .collect();
+            let joined = rel.join_on(&arel, &pairs);
+            let mut new_cols = cols.clone();
+            for c in &acols {
+                if !new_cols.contains(c) {
+                    new_cols.push(*c);
+                }
+            }
+            let positions: Vec<usize> = new_cols
+                .iter()
+                .map(|c| {
+                    cols.iter().position(|d| d == c).unwrap_or_else(|| {
+                        cols.len() + acols.iter().position(|d| d == c).expect("col")
+                    })
+                })
+                .collect();
+            rel = joined.project(&positions);
+            cols = new_cols;
+            rec.intermediate(rel.arity(), rel.len());
+        }
+        // Project out v — the "minimize variables early" step.
+        let keep: Vec<usize> =
+            (0..cols.len()).filter(|&i| cols[i] != v).collect();
+        rel = rel.project(&keep);
+        cols.retain(|&c| c != v);
+        rec.intermediate(rel.arity(), rel.len());
+        pool.push((cols, rel));
+    }
+    // Join whatever remains (scopes over head variables only).
+    let mut acc_cols: Vec<u32> = Vec::new();
+    let mut acc = Relation::boolean(true);
+    for (acols, arel) in pool {
+        let pairs: Vec<(usize, usize)> = acc_cols
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| acols.iter().position(|d| d == c).map(|j| (i, j)))
+            .collect();
+        let joined = acc.join_on(&arel, &pairs);
+        let mut new_cols = acc_cols.clone();
+        for c in &acols {
+            if !new_cols.contains(c) {
+                new_cols.push(*c);
+            }
+        }
+        let positions: Vec<usize> = new_cols
+            .iter()
+            .map(|c| {
+                acc_cols.iter().position(|d| d == c).unwrap_or_else(|| {
+                    acc_cols.len() + acols.iter().position(|d| d == c).expect("col")
+                })
+            })
+            .collect();
+        acc = joined.project(&positions);
+        acc_cols = new_cols;
+        rec.intermediate(acc.arity(), acc.len());
+    }
+    let positions: Vec<usize> = cq
+        .head
+        .iter()
+        .map(|v| {
+            acc_cols.iter().position(|c| c == v).ok_or(PlanError::HeadVariableNotInBody(*v))
+        })
+        .collect::<Result<_, _>>()?;
+    Ok((acc.project(&positions), rec.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::CqTerm::Var as V;
+
+    fn db() -> Database {
+        Database::builder(6)
+            .relation("E", 2, [[0u32, 1], [1, 2], [2, 3], [3, 4], [4, 5], [1, 4]])
+            .build()
+    }
+
+    fn chain(len: usize) -> ConjunctiveQuery {
+        let mut cq = ConjunctiveQuery::new(&[0, len as u32]);
+        for i in 0..len {
+            cq = cq.atom("E", &[V(i as u32), V(i as u32 + 1)]);
+        }
+        cq
+    }
+
+    #[test]
+    fn chain_has_width_one() {
+        let cq = chain(5);
+        let order = greedy_order(&cq);
+        assert_eq!(order.len(), 4, "four internal variables");
+        assert!(induced_width(&cq, &order) <= 2, "chains have small width");
+    }
+
+    #[test]
+    fn eliminated_agrees_with_naive() {
+        let db = db();
+        for len in 1..6 {
+            let cq = chain(len);
+            let order = greedy_order(&cq);
+            let (elim, es) = eval_eliminated(&cq, &db, &order).unwrap();
+            let (naive, ns) = cq.eval_naive_plan(&db).unwrap();
+            assert_eq!(elim.sorted(), naive.sorted(), "chain {len}");
+            assert!(es.max_arity <= ns.max_arity);
+        }
+    }
+
+    #[test]
+    fn elimination_bounds_arity_on_long_chains() {
+        let db = db();
+        let cq = chain(5);
+        let order = greedy_order(&cq);
+        let w = induced_width(&cq, &order);
+        let (_, stats) = eval_eliminated(&cq, &db, &order).unwrap();
+        assert!(
+            stats.max_arity <= w + 1,
+            "max arity {} exceeds width+1 = {}",
+            stats.max_arity,
+            w + 1
+        );
+        // The naive plan, by contrast, reaches arity 6.
+        let (_, ns) = cq.eval_naive_plan(&db).unwrap();
+        assert_eq!(ns.max_arity, 6);
+    }
+
+    #[test]
+    fn triangle_width_two() {
+        let cq = ConjunctiveQuery::new(&[0])
+            .atom("E", &[V(0), V(1)])
+            .atom("E", &[V(1), V(2)])
+            .atom("E", &[V(2), V(0)]);
+        let order = greedy_order(&cq);
+        let w = induced_width(&cq, &order);
+        assert_eq!(w, 2, "triangles need three simultaneous variables");
+        let db = db();
+        let (elim, _) = eval_eliminated(&cq, &db, &order).unwrap();
+        let (naive, _) = cq.eval_naive_plan(&db).unwrap();
+        assert_eq!(elim.sorted(), naive.sorted());
+    }
+
+    #[test]
+    fn empty_order_is_naive_like() {
+        let db = db();
+        let cq = chain(2);
+        let (elim, _) = eval_eliminated(&cq, &db, &[]).unwrap();
+        let (naive, _) = cq.eval_naive_plan(&db).unwrap();
+        assert_eq!(elim.sorted(), naive.sorted());
+    }
+
+    #[test]
+    fn order_skips_head_variables() {
+        let cq = chain(3);
+        let order = greedy_order(&cq);
+        assert!(!order.contains(&0));
+        assert!(!order.contains(&3));
+    }
+}

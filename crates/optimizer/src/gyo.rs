@@ -1,0 +1,193 @@
+//! GYO ear removal: acyclicity of query hypergraphs and join trees.
+//!
+//! The paper attributes the tractability of acyclic joins to the absence
+//! of large intermediate results [BFMY83, Yan81]; the GYO reduction
+//! decides acyclicity and, on success, produces the join tree that
+//! Yannakakis's algorithm walks.
+//!
+//! An *ear* is a hyperedge `e` such that some other edge `w` (a witness)
+//! contains every vertex of `e` that is shared with any other edge.
+//! Repeatedly removing ears empties the hypergraph iff it is α-acyclic.
+
+use crate::cq::ConjunctiveQuery;
+
+/// A join tree over a conjunctive query's atoms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinTree {
+    /// `parent[i]` is the parent atom index of atom `i` (`None` for the
+    /// root). Exactly one root exists for a connected query; disconnected
+    /// queries form a forest.
+    pub parent: Vec<Option<usize>>,
+    /// Atom indices in the *elimination order* (ears first): processing
+    /// this order backwards visits parents before children.
+    pub order: Vec<usize>,
+}
+
+impl JoinTree {
+    /// The children of atom `i`.
+    pub fn children(&self, i: usize) -> Vec<usize> {
+        (0..self.parent.len()).filter(|&j| self.parent[j] == Some(i)).collect()
+    }
+
+    /// The root atoms (one per connected component).
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.parent.len()).filter(|&j| self.parent[j].is_none()).collect()
+    }
+}
+
+/// Whether the query's hypergraph is α-acyclic.
+pub fn is_acyclic(cq: &ConjunctiveQuery) -> bool {
+    join_tree(cq).is_some()
+}
+
+/// Runs the GYO reduction; returns the join tree if acyclic, else `None`.
+pub fn join_tree(cq: &ConjunctiveQuery) -> Option<JoinTree> {
+    let m = cq.atoms.len();
+    let edges: Vec<Vec<u32>> = cq.atoms.iter().map(|a| a.vars()).collect();
+    let mut alive: Vec<bool> = vec![true; m];
+    let mut parent: Vec<Option<usize>> = vec![None; m];
+    let mut order: Vec<usize> = Vec::new();
+    let mut remaining = m;
+
+    while remaining > 0 {
+        let mut removed_this_round = false;
+        for e in 0..m {
+            if !alive[e] {
+                continue;
+            }
+            // Vertices of e shared with some other live edge.
+            let shared: Vec<u32> = edges[e]
+                .iter()
+                .copied()
+                .filter(|v| {
+                    (0..m).any(|w| w != e && alive[w] && edges[w].contains(v))
+                })
+                .collect();
+            if shared.is_empty() {
+                // Isolated edge: an ear with no witness (a tree root).
+                alive[e] = false;
+                remaining -= 1;
+                order.push(e);
+                removed_this_round = true;
+                continue;
+            }
+            // A witness: a live edge containing all shared vertices.
+            let witness = (0..m)
+                .find(|&w| w != e && alive[w] && shared.iter().all(|v| edges[w].contains(v)));
+            if let Some(w) = witness {
+                alive[e] = false;
+                remaining -= 1;
+                parent[e] = Some(w);
+                order.push(e);
+                removed_this_round = true;
+            }
+        }
+        if !removed_this_round {
+            return None; // stuck: cyclic
+        }
+    }
+    Some(JoinTree { parent, order })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::CqTerm::Var as V;
+
+    fn chain(len: usize) -> ConjunctiveQuery {
+        let mut cq = ConjunctiveQuery::new(&[0, len as u32]);
+        for i in 0..len {
+            cq = cq.atom("E", &[V(i as u32), V(i as u32 + 1)]);
+        }
+        cq
+    }
+
+    fn triangle() -> ConjunctiveQuery {
+        ConjunctiveQuery::new(&[0])
+            .atom("E", &[V(0), V(1)])
+            .atom("E", &[V(1), V(2)])
+            .atom("E", &[V(2), V(0)])
+    }
+
+    #[test]
+    fn chains_are_acyclic() {
+        for len in 1..6 {
+            assert!(is_acyclic(&chain(len)), "chain of length {len}");
+        }
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        assert!(!is_acyclic(&triangle()));
+    }
+
+    #[test]
+    fn star_is_acyclic() {
+        let star = ConjunctiveQuery::new(&[0])
+            .atom("E", &[V(0), V(1)])
+            .atom("E", &[V(0), V(2)])
+            .atom("E", &[V(0), V(3)]);
+        let t = join_tree(&star).unwrap();
+        assert_eq!(t.order.len(), 3);
+        assert_eq!(t.roots().len(), 1);
+    }
+
+    #[test]
+    fn join_tree_structure_is_consistent() {
+        let t = join_tree(&chain(4)).unwrap();
+        assert_eq!(t.parent.len(), 4);
+        assert_eq!(t.order.len(), 4);
+        // Every non-root's parent is a valid index, no self-parents.
+        for (i, p) in t.parent.iter().enumerate() {
+            if let Some(p) = p {
+                assert_ne!(*p, i);
+                assert!(*p < 4);
+            }
+        }
+        // Parents appear later in the removal order than children.
+        for (pos, &e) in t.order.iter().enumerate() {
+            if let Some(p) = t.parent[e] {
+                let ppos = t.order.iter().position(|&x| x == p).unwrap();
+                assert!(ppos > pos, "parent removed before child");
+            }
+        }
+    }
+
+    #[test]
+    fn acyclic_plus_pendant_triangle_is_cyclic() {
+        let cq = ConjunctiveQuery::new(&[0])
+            .atom("E", &[V(0), V(1)])
+            .atom("E", &[V(1), V(2)])
+            .atom("E", &[V(2), V(3)])
+            .atom("E", &[V(3), V(1)]);
+        assert!(!is_acyclic(&cq));
+    }
+
+    #[test]
+    fn covering_edge_makes_triangle_acyclic() {
+        // Adding a ternary atom covering the triangle's vertices restores
+        // α-acyclicity.
+        let cq = ConjunctiveQuery::new(&[0])
+            .atom("E", &[V(0), V(1)])
+            .atom("E", &[V(1), V(2)])
+            .atom("E", &[V(2), V(0)])
+            .atom("T", &[V(0), V(1), V(2)]);
+        assert!(is_acyclic(&cq));
+    }
+
+    #[test]
+    fn disconnected_queries_form_forest() {
+        let cq = ConjunctiveQuery::new(&[0, 2])
+            .atom("E", &[V(0), V(1)])
+            .atom("E", &[V(2), V(3)]);
+        let t = join_tree(&cq).unwrap();
+        assert_eq!(t.roots().len(), 2);
+    }
+
+    #[test]
+    fn single_atom() {
+        let cq = ConjunctiveQuery::new(&[0]).atom("P", &[V(0)]);
+        let t = join_tree(&cq).unwrap();
+        assert_eq!(t.roots(), vec![0]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # bvq-optimizer
+//!
+//! "These results … suggest variable minimization as a query optimization
+//! methodology" — the closing argument of Vardi, *On the Complexity of
+//! Bounded-Variable Queries* (PODS 1995). This crate implements that
+//! methodology for conjunctive queries:
+//!
+//! * [`cq`] — conjunctive queries and the naive all-columns join plan
+//!   (arity = total variables; the introduction's cross-product plan);
+//! * [`gyo`] — the GYO ear-removal acyclicity test and join trees
+//!   [BFMY83];
+//! * [`yannakakis`] — Yannakakis's semijoin algorithm for acyclic queries
+//!   [Yan81], whose intermediates never exceed the input+output sizes;
+//! * [`elimination`] — greedy variable-elimination orderings; the number
+//!   of *live* variables along the ordering is exactly the `k` for which
+//!   the query evaluates in `FO^k` fashion, and
+//!   [`elimination::eval_eliminated`] evaluates with early projection so
+//!   intermediate arity is bounded by that `k`.
+//!
+//! The introduction's employee/manager/secretary query is the worked
+//! example throughout (`bvq-workload` generates the database; the
+//! `intro_example` bench compares the plans).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounded_formula;
+pub mod cq;
+pub mod elimination;
+pub mod gyo;
+pub mod yannakakis;
+
+pub use bounded_formula::to_bounded_query;
+pub use cq::{CqAtom, CqTerm, ConjunctiveQuery, PlanStats};
+pub use elimination::{eval_eliminated, greedy_order, induced_width};
+pub use gyo::{is_acyclic, join_tree, JoinTree};
+pub use yannakakis::eval_yannakakis;

@@ -1,0 +1,235 @@
+//! Yannakakis's algorithm for acyclic conjunctive queries [Yan81].
+//!
+//! Three phases over the GYO join tree:
+//!
+//! 1. **upward semijoin sweep** (leaves → roots): each parent is reduced
+//!    by each child;
+//! 2. **downward semijoin sweep** (roots → leaves): each child is reduced
+//!    by its parent (after which every remaining tuple participates in
+//!    some answer — the *full reducer* property);
+//! 3. **join sweep**: join up the tree, projecting onto the head
+//!    variables plus whatever the remaining joins still need.
+//!
+//! Intermediate sizes stay polynomial in input + output — the structural
+//! reason the paper cites for acyclic joins being easy, and the ancestor
+//! of its bounded-variable thesis.
+
+use bvq_relation::{Database, Relation, StatsRecorder};
+
+use crate::cq::{load_atom, ConjunctiveQuery, PlanError, PlanStats};
+use crate::gyo::join_tree;
+
+/// Evaluates an acyclic conjunctive query by Yannakakis's algorithm.
+///
+/// # Errors
+/// [`PlanError::Cyclic`] if the query hypergraph is not α-acyclic.
+pub fn eval_yannakakis(
+    cq: &ConjunctiveQuery,
+    db: &Database,
+) -> Result<(Relation, PlanStats), PlanError> {
+    let tree = join_tree(cq).ok_or(PlanError::Cyclic)?;
+    let mut rec = StatsRecorder::new();
+
+    // Load the atoms.
+    let mut cols: Vec<Vec<u32>> = Vec::with_capacity(cq.atoms.len());
+    let mut rels: Vec<Relation> = Vec::with_capacity(cq.atoms.len());
+    for atom in &cq.atoms {
+        let (c, r) = load_atom(db, atom)?;
+        rec.intermediate(r.arity(), r.len());
+        cols.push(c);
+        rels.push(r);
+    }
+
+    let shared_pairs = |a: &[u32], b: &[u32]| -> Vec<(usize, usize)> {
+        a.iter()
+            .enumerate()
+            .filter_map(|(i, v)| b.iter().position(|w| w == v).map(|j| (i, j)))
+            .collect()
+    };
+
+    // Phase 1: upward sweep — `order` lists children before parents.
+    for &e in &tree.order {
+        if let Some(p) = tree.parent[e] {
+            let pairs = shared_pairs(&cols[p], &cols[e]);
+            rels[p] = rels[p].semijoin(&rels[e], &pairs);
+            rec.intermediate(rels[p].arity(), rels[p].len());
+        }
+    }
+    // Phase 2: downward sweep — parents before children.
+    for &e in tree.order.iter().rev() {
+        if let Some(p) = tree.parent[e] {
+            let pairs = shared_pairs(&cols[e], &cols[p]);
+            rels[e] = rels[e].semijoin(&rels[p], &pairs);
+            rec.intermediate(rels[e].arity(), rels[e].len());
+        }
+    }
+
+    // Phase 3: join children into parents (children before parents), at
+    // each step projecting to head variables + variables still shared
+    // with the not-yet-joined part of the tree.
+    let head = &cq.head;
+    let mut joined: Vec<bool> = vec![false; cq.atoms.len()];
+    for &e in &tree.order {
+        joined[e] = true;
+        if let Some(p) = tree.parent[e] {
+            let pairs = shared_pairs(&cols[p], &cols[e]);
+            let j = rels[p].join_on(&rels[e], &pairs);
+            // New columns: parent's then child's novel ones.
+            let mut new_cols = cols[p].clone();
+            for c in &cols[e] {
+                if !new_cols.contains(c) {
+                    new_cols.push(*c);
+                }
+            }
+            // Keep: head vars + vars occurring in any *unjoined* atom.
+            let keep: Vec<u32> = new_cols
+                .iter()
+                .copied()
+                .filter(|v| {
+                    head.contains(v)
+                        || (0..cq.atoms.len())
+                            .any(|w| !joined[w] && w != p && cols[w].contains(v))
+                })
+                .collect();
+            let positions: Vec<usize> = keep
+                .iter()
+                .map(|v| {
+                    cols[p].iter().position(|c| c == v).unwrap_or_else(|| {
+                        cols[p].len() + cols[e].iter().position(|c| c == v).expect("col")
+                    })
+                })
+                .collect();
+            rels[p] = j.project(&positions);
+            cols[p] = keep;
+            rec.intermediate(rels[p].arity(), rels[p].len());
+        }
+    }
+
+    // Combine the roots (cross product across connected components).
+    let mut acc_cols: Vec<u32> = Vec::new();
+    let mut acc = Relation::boolean(true);
+    for r in tree.roots() {
+        let pairs = shared_pairs(&acc_cols, &cols[r]);
+        debug_assert!(pairs.is_empty(), "roots are variable-disjoint");
+        acc = acc.product(&rels[r]);
+        acc_cols.extend(cols[r].iter().copied());
+        rec.intermediate(acc.arity(), acc.len());
+    }
+    let positions: Vec<usize> = head
+        .iter()
+        .map(|v| {
+            acc_cols.iter().position(|c| c == v).ok_or(PlanError::HeadVariableNotInBody(*v))
+        })
+        .collect::<Result<_, _>>()?;
+    Ok((acc.project(&positions), rec.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::CqTerm::{Const, Var as V};
+    use proptest::prelude::*;
+
+    fn db() -> Database {
+        Database::builder(6)
+            .relation("E", 2, [[0u32, 1], [1, 2], [2, 3], [3, 4], [1, 4], [4, 5]])
+            .relation("P", 1, [[2u32], [4]])
+            .build()
+    }
+
+    fn chain(len: usize) -> ConjunctiveQuery {
+        let mut cq = ConjunctiveQuery::new(&[0, len as u32]);
+        for i in 0..len {
+            cq = cq.atom("E", &[V(i as u32), V(i as u32 + 1)]);
+        }
+        cq
+    }
+
+    #[test]
+    fn agrees_with_naive_plan_on_chains() {
+        let db = db();
+        for len in 1..5 {
+            let cq = chain(len);
+            let (yann, ys) = eval_yannakakis(&cq, &db).unwrap();
+            let (naive, ns) = cq.eval_naive_plan(&db).unwrap();
+            assert_eq!(yann.sorted(), naive.sorted(), "chain {len}");
+            assert!(ys.max_arity <= ns.max_arity);
+        }
+    }
+
+    #[test]
+    fn star_and_mixed_queries() {
+        let db = db();
+        let star = ConjunctiveQuery::new(&[0])
+            .atom("E", &[V(0), V(1)])
+            .atom("E", &[V(0), V(2)])
+            .atom("P", &[V(1)]);
+        let (yann, _) = eval_yannakakis(&star, &db).unwrap();
+        let (naive, _) = star.eval_naive_plan(&db).unwrap();
+        assert_eq!(yann.sorted(), naive.sorted());
+    }
+
+    #[test]
+    fn constants_handled() {
+        let db = db();
+        let cq = ConjunctiveQuery::new(&[1])
+            .atom("E", &[Const(1), V(1)])
+            .atom("P", &[V(1)]);
+        let (yann, _) = eval_yannakakis(&cq, &db).unwrap();
+        let (naive, _) = cq.eval_naive_plan(&db).unwrap();
+        assert_eq!(yann.sorted(), naive.sorted());
+        assert!(yann.contains(&[2]));
+        assert!(yann.contains(&[4]));
+    }
+
+    #[test]
+    fn cyclic_rejected() {
+        let db = db();
+        let tri = ConjunctiveQuery::new(&[0])
+            .atom("E", &[V(0), V(1)])
+            .atom("E", &[V(1), V(2)])
+            .atom("E", &[V(2), V(0)]);
+        assert_eq!(eval_yannakakis(&tri, &db), Err(PlanError::Cyclic));
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let db = db();
+        let cq = ConjunctiveQuery::new(&[0, 2])
+            .atom("P", &[V(0)])
+            .atom("P", &[V(2)]);
+        let (yann, _) = eval_yannakakis(&cq, &db).unwrap();
+        assert_eq!(yann.len(), 4); // {2,4} × {2,4}
+    }
+
+    /// Random acyclic (chain/star mix) queries against the naive plan.
+    fn arb_acyclic_cq() -> impl Strategy<Value = ConjunctiveQuery> {
+        // A random tree shape over 2..5 atoms: atom i (i ≥ 1) shares one
+        // variable with a previous atom.
+        (2usize..5).prop_flat_map(|m| {
+            let attach = prop::collection::vec(0usize..m, m - 1);
+            attach.prop_map(move |attach| {
+                // atom 0: E(v0, v1); atom i: E(shared_i, v_{i+1}).
+                let mut cq = ConjunctiveQuery::new(&[0]).atom("E", &[V(0), V(1)]);
+                for (i, &a) in attach.iter().enumerate() {
+                    let shared = (a.min(i) as u32) + 1; // a var introduced earlier
+                    cq = cq.atom("E", &[V(shared), V(i as u32 + 2)]);
+                }
+                cq
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn yannakakis_agrees_with_naive(cq in arb_acyclic_cq()) {
+            let db = db();
+            prop_assume!(crate::gyo::is_acyclic(&cq));
+            let (yann, _) = eval_yannakakis(&cq, &db).unwrap();
+            let (naive, _) = cq.eval_naive_plan(&db).unwrap();
+            prop_assert_eq!(yann.sorted(), naive.sorted());
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests: all conjunctive-query plans (cross product, join,
+//! elimination, Yannakakis where applicable, and the bounded-variable
+//! formula compilation) agree on random tree-shaped queries, and the
+//! compiled width never exceeds the variable count.
+
+use bvq_core::BoundedEvaluator;
+use bvq_optimizer::{
+    eval_eliminated, eval_yannakakis, greedy_order, induced_width, is_acyclic,
+    to_bounded_query, ConjunctiveQuery, CqTerm,
+};
+use bvq_relation::{Database, Tuple};
+use proptest::prelude::*;
+
+fn arb_db(n: u32) -> impl Strategy<Value = Database> {
+    (
+        prop::collection::vec((0..n, 0..n), 0..(2 * n) as usize),
+        prop::collection::vec(0..n, 0..n as usize),
+    )
+        .prop_map(move |(edges, nodes)| {
+            Database::builder(n as usize)
+                .relation("E", 2, edges.iter().map(|&(a, b)| Tuple::from_slice(&[a, b])))
+                .relation("P", 1, nodes.iter().map(|&a| Tuple::from_slice(&[a])))
+                .build()
+        })
+}
+
+/// Random tree-shaped CQ: atom i > 0 shares one variable with an earlier
+/// atom (always acyclic), occasionally with a unary P atom mixed in.
+fn arb_tree_cq() -> impl Strategy<Value = ConjunctiveQuery> {
+    use CqTerm::Var as V;
+    (1usize..6).prop_flat_map(|m| {
+        let attach = prop::collection::vec((0usize..m.max(1), any::<bool>()), m - 1);
+        let head_pick = any::<bool>();
+        (Just(m), attach, head_pick).prop_map(|(m, attach, two_heads)| {
+            let mut head = vec![0u32];
+            if two_heads && m > 1 {
+                head.push(1);
+            }
+            let mut cq = ConjunctiveQuery::new(&head).atom("E", &[V(0), V(1)]);
+            let mut next_var = 2u32;
+            for (i, (a, unary)) in attach.into_iter().enumerate() {
+                // Attach to a variable introduced by an earlier atom.
+                let limit = (i as u32) + 2;
+                let shared = (a as u32) % limit;
+                if unary {
+                    cq = cq.atom("P", &[V(shared)]);
+                } else {
+                    cq = cq.atom("E", &[V(shared), V(next_var)]);
+                    next_var += 1;
+                }
+            }
+            let _ = m;
+            cq
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn all_plans_agree(db in arb_db(5), cq in arb_tree_cq()) {
+        let (expected, naive_stats) = cq.eval_naive_plan(&db).unwrap();
+
+        let order = greedy_order(&cq);
+        let (elim, elim_stats) = eval_eliminated(&cq, &db, &order).unwrap();
+        prop_assert_eq!(elim.sorted(), expected.sorted(), "elimination");
+        prop_assert!(elim_stats.max_arity <= naive_stats.max_arity.max(1));
+
+        if is_acyclic(&cq) {
+            let (yann, _) = eval_yannakakis(&cq, &db).unwrap();
+            prop_assert_eq!(yann.sorted(), expected.sorted(), "yannakakis");
+
+            let (q, k) = to_bounded_query(&cq).unwrap();
+            prop_assert_eq!(q.formula.width(), k);
+            prop_assert!(k <= cq.variables().len().max(1) + cq.head.len());
+            let (bounded, bstats) =
+                BoundedEvaluator::new(&db, k).eval_query(&q).unwrap();
+            prop_assert_eq!(bounded.sorted(), expected.sorted(), "bounded formula (k={})", k);
+            prop_assert!(bstats.max_arity <= k);
+        }
+    }
+
+    #[test]
+    fn induced_width_bounds_elimination_arity(db in arb_db(4), cq in arb_tree_cq()) {
+        let order = greedy_order(&cq);
+        let w = induced_width(&cq, &order);
+        let (_, stats) = eval_eliminated(&cq, &db, &order).unwrap();
+        prop_assert!(
+            stats.max_arity <= w + 1,
+            "arity {} exceeds width+1 = {}",
+            stats.max_arity, w + 1
+        );
+    }
+
+    #[test]
+    fn cross_product_plan_agrees_on_tiny_inputs(db in arb_db(3), cq in arb_tree_cq()) {
+        prop_assume!(cq.atoms.len() <= 3);
+        let (expected, _) = cq.eval_naive_plan(&db).unwrap();
+        let (cross, cstats) = cq.eval_cross_product_plan(&db).unwrap();
+        prop_assert_eq!(cross.sorted(), expected.sorted());
+        // Cross-product arity = total atom positions' variables… at least
+        // the sum of atom arities.
+        let total: usize = cq.atoms.iter().map(|a| a.args.len()).sum();
+        prop_assert!(cstats.max_arity <= total);
+    }
+}

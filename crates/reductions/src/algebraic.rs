@@ -1,0 +1,418 @@
+//! Lemma 4.2 / Corollary 4.3: `FO^k` expression evaluation over a *fixed*
+//! database is algebraic-expression evaluation over a finite algebra.
+//!
+//! For a fixed database `B` with domain `D` there are only finitely many
+//! `k`-ary relations over `D`. Lemma 4.2 turns this into a parenthesis
+//! grammar whose nonterminals are those relations and whose productions
+//! are the connectives' operation tables; parenthesis languages are
+//! LOGSPACE- (indeed ALOGTIME-) recognisable.
+//!
+//! [`FiniteAlgebra`] is the executable counterpart: cylindrical values are
+//! *interned* (each distinct `k`-ary relation gets a small id — a grammar
+//! nonterminal) and every connective application is memoized in an
+//! operation table (a production). After warm-up, evaluating a formula
+//! node costs one table lookup, independent of `n^k` — the machine-level
+//! shadow of the ALOGTIME bound, measured by the `table3_fo_expr` bench.
+
+use bvq_core::EvalError;
+use bvq_logic::{Atom, Formula, Query, RelRef, Term};
+use bvq_relation::{
+    BitSet, CylCtx, CylinderOps, Database, DenseCylinder, FxHashMap, Relation,
+};
+
+/// An interned `k`-ary relation id (a "nonterminal" of Lemma 4.2).
+pub type ValueId = u32;
+
+/// Hit/miss statistics for the operation tables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AlgebraStats {
+    /// Operator applications answered from a table.
+    pub table_hits: u64,
+    /// Operator applications computed (and then tabled).
+    pub table_misses: u64,
+    /// Number of distinct interned relations.
+    pub distinct_values: usize,
+}
+
+/// The finite algebra of `k`-ary relations over a fixed database.
+pub struct FiniteAlgebra<'d> {
+    db: &'d Database,
+    ctx: CylCtx,
+    values: Vec<DenseCylinder>,
+    interner: FxHashMap<BitSet, ValueId>,
+    and_table: FxHashMap<(ValueId, ValueId), ValueId>,
+    or_table: FxHashMap<(ValueId, ValueId), ValueId>,
+    not_table: FxHashMap<ValueId, ValueId>,
+    exists_table: FxHashMap<(ValueId, usize), ValueId>,
+    atom_table: FxHashMap<(String, Vec<Term>), ValueId>,
+    eq_table: FxHashMap<(Term, Term), ValueId>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<'d> FiniteAlgebra<'d> {
+    /// Prepares the algebra for width `k` over `db`.
+    ///
+    /// # Panics
+    /// Panics if the dense space `n^k` is infeasible.
+    pub fn new(db: &'d Database, k: usize) -> Self {
+        let ctx = CylCtx::new(db.domain_size(), k.max(1));
+        assert!(ctx.dense_feasible(), "fixed-database algebra needs a dense value space");
+        FiniteAlgebra {
+            db,
+            ctx,
+            values: Vec::new(),
+            interner: FxHashMap::default(),
+            and_table: FxHashMap::default(),
+            or_table: FxHashMap::default(),
+            not_table: FxHashMap::default(),
+            exists_table: FxHashMap::default(),
+            atom_table: FxHashMap::default(),
+            eq_table: FxHashMap::default(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The variable bound `k`.
+    pub fn k(&self) -> usize {
+        self.ctx.width()
+    }
+
+    /// Table statistics so far.
+    pub fn stats(&self) -> AlgebraStats {
+        AlgebraStats {
+            table_hits: self.hits,
+            table_misses: self.misses,
+            distinct_values: self.values.len(),
+        }
+    }
+
+    fn intern(&mut self, c: DenseCylinder) -> ValueId {
+        if let Some(&id) = self.interner.get(c.bits()) {
+            return id;
+        }
+        let id = self.values.len() as ValueId;
+        self.interner.insert(c.bits().clone(), id);
+        self.values.push(c);
+        id
+    }
+
+    /// The interned cylinder for an id.
+    pub fn value(&self, id: ValueId) -> &DenseCylinder {
+        &self.values[id as usize]
+    }
+
+    /// Converts an interned value to a relation over the given coordinates.
+    pub fn to_relation(&self, id: ValueId, coords: &[usize]) -> Relation {
+        self.values[id as usize].to_relation(&self.ctx, coords)
+    }
+
+    /// Evaluates a first-order formula to an interned value id.
+    pub fn eval(&mut self, f: &Formula) -> Result<ValueId, EvalError> {
+        let width = f.width();
+        if width > self.ctx.width() {
+            return Err(EvalError::WidthExceeded { k: self.ctx.width(), width });
+        }
+        self.go(f)
+    }
+
+    /// Evaluates a query to its answer relation.
+    pub fn eval_query(&mut self, q: &Query) -> Result<Relation, EvalError> {
+        let id = self.eval(&q.formula)?;
+        let coords: Vec<usize> = q.output.iter().map(|v| v.index()).collect();
+        for &c in &coords {
+            if c >= self.ctx.width() {
+                return Err(EvalError::WidthExceeded { k: self.ctx.width(), width: c + 1 });
+            }
+        }
+        Ok(self.to_relation(id, &coords))
+    }
+
+    fn go(&mut self, f: &Formula) -> Result<ValueId, EvalError> {
+        match f {
+            Formula::Const(b) => {
+                let c = if *b {
+                    DenseCylinder::full(&self.ctx)
+                } else {
+                    DenseCylinder::empty(&self.ctx)
+                };
+                Ok(self.intern(c))
+            }
+            Formula::Eq(a, b) => {
+                if let Some(&id) = self.eq_table.get(&(*a, *b)) {
+                    self.hits += 1;
+                    return Ok(id);
+                }
+                self.misses += 1;
+                let c = match (*a, *b) {
+                    (Term::Var(x), Term::Var(y)) => {
+                        DenseCylinder::equality(&self.ctx, x.index(), y.index())
+                    }
+                    (Term::Var(x), Term::Const(v)) | (Term::Const(v), Term::Var(x)) => {
+                        DenseCylinder::const_eq(&self.ctx, x.index(), v)
+                    }
+                    (Term::Const(u), Term::Const(v)) => {
+                        if u == v {
+                            DenseCylinder::full(&self.ctx)
+                        } else {
+                            DenseCylinder::empty(&self.ctx)
+                        }
+                    }
+                };
+                let id = self.intern(c);
+                self.eq_table.insert((*a, *b), id);
+                Ok(id)
+            }
+            Formula::Atom(Atom { rel, args }) => {
+                let name = match rel {
+                    RelRef::Db(n) => n.clone(),
+                    RelRef::Bound(n) => return Err(EvalError::UnboundRelVar(n.clone())),
+                };
+                let key = (name.clone(), args.clone());
+                if let Some(&id) = self.atom_table.get(&key) {
+                    self.hits += 1;
+                    return Ok(id);
+                }
+                self.misses += 1;
+                let relation = self
+                    .db
+                    .relation_by_name(&name)
+                    .ok_or_else(|| EvalError::UnknownRelation(name.clone()))?;
+                if relation.arity() != args.len() {
+                    return Err(EvalError::ArityMismatch {
+                        name,
+                        expected: relation.arity(),
+                        found: args.len(),
+                    });
+                }
+                // Constants: select them out first (mirrors core::load_atom).
+                let mut filtered = relation.clone();
+                let mut var_positions = Vec::new();
+                let mut vars = Vec::new();
+                for (i, t) in args.iter().enumerate() {
+                    match t {
+                        Term::Const(c) => {
+                            if *c as usize >= self.db.domain_size() {
+                                return Err(EvalError::ConstOutOfDomain(*c));
+                            }
+                            filtered = filtered.select_const(i, *c);
+                        }
+                        Term::Var(v) => {
+                            var_positions.push(i);
+                            vars.push(v.index());
+                        }
+                    }
+                }
+                let projected = filtered.project(&var_positions);
+                let c = DenseCylinder::from_atom(&self.ctx, &projected, &vars);
+                let id = self.intern(c);
+                self.atom_table.insert(key, id);
+                Ok(id)
+            }
+            Formula::Not(g) => {
+                let a = self.go(g)?;
+                if let Some(&id) = self.not_table.get(&a) {
+                    self.hits += 1;
+                    return Ok(id);
+                }
+                self.misses += 1;
+                let mut c = self.values[a as usize].clone();
+                c.not(&self.ctx);
+                let id = self.intern(c);
+                self.not_table.insert(a, id);
+                Ok(id)
+            }
+            Formula::And(x, y) | Formula::Or(x, y) => {
+                let is_and = matches!(f, Formula::And(..));
+                let a = self.go(x)?;
+                let b = self.go(y)?;
+                let table = if is_and { &self.and_table } else { &self.or_table };
+                if let Some(&id) = table.get(&(a, b)) {
+                    self.hits += 1;
+                    return Ok(id);
+                }
+                self.misses += 1;
+                let mut c = self.values[a as usize].clone();
+                if is_and {
+                    c.and_with(&self.ctx, &self.values[b as usize]);
+                } else {
+                    c.or_with(&self.ctx, &self.values[b as usize]);
+                }
+                let id = self.intern(c);
+                if is_and {
+                    self.and_table.insert((a, b), id);
+                } else {
+                    self.or_table.insert((a, b), id);
+                }
+                Ok(id)
+            }
+            Formula::Exists(v, g) | Formula::Forall(v, g) => {
+                let is_exists = matches!(f, Formula::Exists(..));
+                let a = self.go(g)?;
+                if is_exists {
+                    self.exists_id(a, v.index())
+                } else {
+                    // ∀ = ¬∃¬, through the tables.
+                    let na = self.not_id(a);
+                    let ex = self.exists_id(na, v.index())?;
+                    Ok(self.not_id(ex))
+                }
+            }
+            Formula::Fix { .. } => Err(EvalError::UnsupportedConstruct(
+                "fixpoints in the finite-algebra FO evaluator",
+            )),
+        }
+    }
+
+    // --- table snapshots for the Lemma 4.2 grammar harvest ---
+
+    pub(crate) fn atom_table_snapshot(&self) -> FxHashMap<(String, Vec<Term>), ValueId> {
+        self.atom_table.clone()
+    }
+
+    pub(crate) fn eq_table_snapshot(&self) -> FxHashMap<(Term, Term), ValueId> {
+        self.eq_table.clone()
+    }
+
+    pub(crate) fn not_table_snapshot(&self) -> FxHashMap<ValueId, ValueId> {
+        self.not_table.clone()
+    }
+
+    pub(crate) fn and_table_snapshot(&self) -> FxHashMap<(ValueId, ValueId), ValueId> {
+        self.and_table.clone()
+    }
+
+    pub(crate) fn or_table_snapshot(&self) -> FxHashMap<(ValueId, ValueId), ValueId> {
+        self.or_table.clone()
+    }
+
+    pub(crate) fn exists_table_snapshot(&self) -> FxHashMap<(ValueId, usize), ValueId> {
+        self.exists_table.clone()
+    }
+
+    fn not_id(&mut self, a: ValueId) -> ValueId {
+        if let Some(&id) = self.not_table.get(&a) {
+            self.hits += 1;
+            return id;
+        }
+        self.misses += 1;
+        let mut c = self.values[a as usize].clone();
+        c.not(&self.ctx);
+        let id = self.intern(c);
+        self.not_table.insert(a, id);
+        id
+    }
+
+    fn exists_id(&mut self, a: ValueId, coord: usize) -> Result<ValueId, EvalError> {
+        if let Some(&id) = self.exists_table.get(&(a, coord)) {
+            self.hits += 1;
+            return Ok(id);
+        }
+        self.misses += 1;
+        let c = self.values[a as usize].exists(&self.ctx, coord);
+        let id = self.intern(c);
+        self.exists_table.insert((a, coord), id);
+        Ok(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvq_core::BoundedEvaluator;
+    use bvq_logic::parser::parse_query;
+    use bvq_logic::patterns;
+    use bvq_logic::{Query, Var};
+
+    fn db() -> Database {
+        Database::builder(4)
+            .relation("E", 2, [[0u32, 1], [1, 2], [2, 3], [3, 0]])
+            .relation("P", 1, [[1u32], [2]])
+            .build()
+    }
+
+    #[test]
+    fn agrees_with_general_evaluator() {
+        let db = db();
+        let mut alg = FiniteAlgebra::new(&db, 3);
+        let general = BoundedEvaluator::new(&db, 3);
+        for src in [
+            "(x1,x2) E(x1,x2)",
+            "(x1) exists x2. (E(x1,x2) & P(x2))",
+            "(x1,x2) forall x3. (E(x1,x3) -> E(x3,x2))",
+            "() exists x1. ~P(x1)",
+        ] {
+            let q = parse_query(src).unwrap();
+            let a = alg.eval_query(&q).unwrap();
+            let g = general.eval_query(&q).unwrap().0;
+            assert_eq!(a.sorted(), g.sorted(), "query {src}");
+        }
+    }
+
+    #[test]
+    fn tables_amortize_repeated_structure() {
+        // The FO³ path formulas reuse the same subformula values over and
+        // over; the operation tables must turn the repeats into hits.
+        let db = db();
+        let mut alg = FiniteAlgebra::new(&db, 3);
+        let q = Query::new(vec![Var(0), Var(1)], patterns::path_bounded(30));
+        alg.eval_query(&q).unwrap();
+        let warm = alg.stats();
+        // Evaluate a longer one: almost everything should come from tables.
+        let q2 = Query::new(vec![Var(0), Var(1)], patterns::path_bounded(60));
+        alg.eval_query(&q2).unwrap();
+        let after = alg.stats();
+        let new_misses = after.table_misses - warm.table_misses;
+        let new_hits = after.table_hits - warm.table_hits;
+        assert!(
+            new_hits > 4 * new_misses,
+            "expected mostly table hits, got {new_hits} hits / {new_misses} misses"
+        );
+    }
+
+    #[test]
+    fn distinct_values_are_bounded() {
+        // On a 4-cycle, path_bounded(n) cycles through at most 4 distinct
+        // path relations; the interner must stay small.
+        let db = db();
+        let mut alg = FiniteAlgebra::new(&db, 3);
+        for n in 1..=20 {
+            let q = Query::new(vec![Var(0), Var(1)], patterns::path_bounded(n));
+            alg.eval_query(&q).unwrap();
+        }
+        assert!(
+            alg.stats().distinct_values < 64,
+            "interner exploded: {} values",
+            alg.stats().distinct_values
+        );
+    }
+
+    #[test]
+    fn matches_paper_example_semantics() {
+        // path_bounded over the 4-cycle: every (a, (a+n) mod 4).
+        let db = db();
+        let mut alg = FiniteAlgebra::new(&db, 3);
+        for n in 1..=8 {
+            let q = Query::new(vec![Var(0), Var(1)], patterns::path_bounded(n));
+            let r = alg.eval_query(&q).unwrap();
+            for a in 0..4u32 {
+                assert!(r.contains(&[a, (a + n as u32) % 4]), "n={n} a={a}");
+            }
+            assert_eq!(r.len(), 4, "exactly one endpoint per start on a cycle");
+        }
+    }
+
+    #[test]
+    fn rejects_fixpoints_and_width_overflow() {
+        let db = db();
+        let mut alg = FiniteAlgebra::new(&db, 2);
+        let fix = Query::new(vec![Var(0)], patterns::reach_from_const(0));
+        assert!(matches!(
+            alg.eval_query(&fix),
+            Err(EvalError::UnsupportedConstruct(_))
+        ));
+        let wide = parse_query("(x1,x2,x3) (E(x1,x2) & E(x2,x3))").unwrap();
+        assert!(matches!(alg.eval_query(&wide), Err(EvalError::WidthExceeded { .. })));
+    }
+}

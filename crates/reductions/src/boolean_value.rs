@@ -1,0 +1,100 @@
+//! Theorem 4.4 direction: the Boolean formula value problem reduces to
+//! `FO^k` expression complexity over a fixed database.
+//!
+//! The fixed database is `B_bool = ({0,1}, True = {1})`. A variable-free
+//! Boolean expression maps node-for-node into an `FO` sentence over
+//! `B_bool` using only constants (width 0, hence in `FO^k` for every `k`),
+//! so evaluating the growing expressions against the fixed database is
+//! exactly the ALOGTIME-complete Boolean-value problem [Bus87].
+
+use bvq_logic::{Formula, Query, Term};
+use bvq_relation::Database;
+use bvq_sat::BoolExpr;
+
+/// The fixed database `B_bool`.
+pub fn bool_database() -> Database {
+    Database::builder(2).relation("True", 1, [[1u32]]).build()
+}
+
+/// Maps a variable-free Boolean expression to an FO sentence over
+/// [`bool_database`].
+///
+/// # Panics
+/// Panics if the expression contains variables (the Boolean *value*
+/// problem is about closed expressions).
+pub fn to_fo_sentence(e: &BoolExpr) -> Query {
+    Query::sentence(tr(e))
+}
+
+fn tr(e: &BoolExpr) -> Formula {
+    match e {
+        BoolExpr::Const(b) => Formula::atom("True", [Term::Const(u32::from(*b))]),
+        BoolExpr::Var(v) => panic!("Boolean value problem is variable-free (found v{v})"),
+        BoolExpr::Not(g) => tr(g).not(),
+        BoolExpr::And(es) => Formula::and_all(es.iter().map(tr)),
+        BoolExpr::Or(es) => Formula::or_all(es.iter().map(tr)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvq_core::BoundedEvaluator;
+    use proptest::prelude::*;
+
+    fn closed_expr(depth: u32) -> BoxedStrategy<BoolExpr> {
+        let leaf = any::<bool>().prop_map(BoolExpr::Const);
+        leaf.prop_recursive(depth, 48, 3, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(BoolExpr::not),
+                prop::collection::vec(inner.clone(), 0..3).prop_map(BoolExpr::And),
+                prop::collection::vec(inner, 0..3).prop_map(BoolExpr::Or),
+            ]
+        })
+        .boxed()
+    }
+
+    #[test]
+    fn simple_cases() {
+        let db = bool_database();
+        let ev = BoundedEvaluator::new(&db, 1);
+        let t = BoolExpr::Const(true);
+        let f = BoolExpr::Const(false);
+        for (e, expect) in [
+            (t.clone(), true),
+            (f.clone(), false),
+            (t.clone().and(f.clone()), false),
+            (t.clone().or(f.clone()), true),
+            (f.clone().not(), true),
+            (t.clone().iff(t.clone()), true),
+        ] {
+            let q = to_fo_sentence(&e);
+            assert_eq!(ev.eval_query(&q).unwrap().0.as_boolean(), expect, "{e:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn reduction_matches_direct_evaluation(e in closed_expr(5)) {
+            let db = bool_database();
+            let ev = BoundedEvaluator::new(&db, 1);
+            let q = to_fo_sentence(&e);
+            prop_assert_eq!(ev.eval_query(&q).unwrap().0.as_boolean(), e.eval(&[]));
+        }
+
+        #[test]
+        fn reduction_size_is_linear(e in closed_expr(5)) {
+            let q = to_fo_sentence(&e);
+            prop_assert!(q.formula.size() <= 4 * e.size() + 2);
+            prop_assert_eq!(q.formula.width(), 0, "no individual variables needed");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "variable-free")]
+    fn variables_rejected() {
+        to_fo_sentence(&BoolExpr::Var(0));
+    }
+}

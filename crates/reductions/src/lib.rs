@@ -1,0 +1,31 @@
+//! # bvq-reductions
+//!
+//! The paper's lower-bound constructions, executable and tested:
+//!
+//! * [`path_systems`] — Proposition 3.2: Cook's Path Systems problem
+//!   (PTIME-complete) reduces to `FO³` combined complexity;
+//! * [`boolean_value`] — Theorem 4.4 direction: the Boolean formula value
+//!   problem (ALOGTIME-complete) reduces to `FO^k` expression complexity
+//!   over a fixed database;
+//! * [`sat_to_eso`] — Theorem 4.5: propositional satisfiability reduces to
+//!   `ESO^k` expression complexity over *any* fixed database;
+//! * [`qbf_to_pfp`] — Theorem 4.6: QBF reduces to `PFP²` expression
+//!   complexity over the fixed two-element database `B₀`;
+//! * [`algebraic`] — Lemma 4.2 / Corollary 4.3: over a fixed database the
+//!   `k`-ary relations form a finite algebra, so `FO^k` expressions
+//!   evaluate like parenthesis-language words — implemented as an
+//!   interning evaluator with memoized operator tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algebraic;
+pub mod boolean_value;
+pub mod grammar;
+pub mod path_systems;
+pub mod qbf_to_pfp;
+pub mod sat_to_eso;
+
+pub use algebraic::FiniteAlgebra;
+pub use grammar::{ParenGrammar, Production};
+pub use path_systems::PathSystem;

@@ -1,0 +1,228 @@
+//! Proposition 3.2: Path Systems ≤ `FO³` (combined complexity).
+//!
+//! A *path system* [Coo74] is a database with one ternary relation `Q` and
+//! unary relations `S` (axioms) and `T` (targets); the reachable elements
+//! are the least set `P` with
+//!
+//! ```text
+//! P(x) ← S(x)
+//! P(x) ← Q(x,y,z), P(y), P(z)
+//! ```
+//!
+//! and the question is whether `T` contains a reachable element. Deciding
+//! this is PTIME-complete. The paper reduces it to `FO³` evaluation by
+//! unfolding the recursion `m` times (`m` = domain size):
+//!
+//! ```text
+//! φ(x)   = S(x) ∨ ∃y∃z (Q(x,y,z) ∧ ∀x ((x = y ∨ x = z) → P(x)))
+//! φ₁     = φ[P := false],   φ_n = φ[P := φ_{n-1}]
+//! ψ_n    = ∃x (T(x) ∧ φ_n(x))
+//! ```
+//!
+//! Each `φ_n` has size O(n) and stays within the three variables
+//! `x = x₁, y = x₂, z = x₃`.
+
+use bvq_datalog::{AtomTerm, Program};
+use bvq_logic::{Formula, Query, Term, Var};
+use bvq_relation::{Database, Relation, Tuple};
+
+/// A Path Systems instance.
+#[derive(Clone, Debug)]
+pub struct PathSystem {
+    /// Domain size.
+    pub n: usize,
+    /// The ternary implication relation: `(x, y, z)` means `y ∧ z → x`.
+    pub q: Vec<(u32, u32, u32)>,
+    /// Axioms.
+    pub s: Vec<u32>,
+    /// Targets.
+    pub t: Vec<u32>,
+}
+
+impl PathSystem {
+    /// Direct solver: iterates the closure rules to a fixpoint and checks
+    /// whether a target is reachable.
+    pub fn solve_direct(&self) -> bool {
+        let mut reachable = vec![false; self.n];
+        for &a in &self.s {
+            reachable[a as usize] = true;
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &(x, y, z) in &self.q {
+                if !reachable[x as usize] && reachable[y as usize] && reachable[z as usize] {
+                    reachable[x as usize] = true;
+                    changed = true;
+                }
+            }
+        }
+        self.t.iter().any(|&a| reachable[a as usize])
+    }
+
+    /// The instance as a relational database (relations `Q/3`, `S/1`,
+    /// `T/1`).
+    pub fn to_database(&self) -> Database {
+        Database::builder(self.n)
+            .relation_from(
+                "Q",
+                Relation::from_tuples(
+                    3,
+                    self.q.iter().map(|&(x, y, z)| Tuple::from_slice(&[x, y, z])),
+                ),
+            )
+            .relation_from("S", Relation::from_tuples(1, self.s.iter().map(|&a| [a])))
+            .relation_from("T", Relation::from_tuples(1, self.t.iter().map(|&a| [a])))
+            .build()
+    }
+
+    /// The instance as the paper's Datalog program (IDB `Reach`).
+    pub fn to_datalog(&self) -> Program {
+        use AtomTerm::Var as V;
+        Program::new()
+            .rule("Reach", &[0], &[("S", &[V(0)])])
+            .rule(
+                "Reach",
+                &[0],
+                &[("Q", &[V(0), V(1), V(2)]), ("Reach", &[V(1)]), ("Reach", &[V(2)])],
+            )
+    }
+
+    /// The one-step formula `φ(x₁)` with `P` a free relation variable.
+    pub fn step_formula() -> Formula {
+        let x = Term::Var(Var(0));
+        let y = Term::Var(Var(1));
+        let z = Term::Var(Var(2));
+        let guard = Formula::Eq(x, y)
+            .or(Formula::Eq(x, z))
+            .implies(Formula::rel_var("P", [x]))
+            .forall(Var(0));
+        Formula::atom("S", [x])
+            .or(Formula::atom("Q", [x, y, z]).and(guard).exists(Var(2)).exists(Var(1)))
+    }
+
+    /// The unfolded formula `φ_n(x₁)` (no free relation variables).
+    pub fn unfolded(n: usize) -> Formula {
+        let phi = Self::step_formula();
+        let mut cur = phi
+            .substitute_rel("P", &[Var(0)], &Formula::ff())
+            .expect("substitution is capture-free");
+        for _ in 1..n {
+            cur = phi
+                .substitute_rel("P", &[Var(0)], &cur)
+                .expect("substitution is capture-free");
+        }
+        cur
+    }
+
+    /// The reduction: the `FO³` sentence `ψ_m` (with `m` = domain size)
+    /// that holds on [`to_database`](Self::to_database) iff the instance
+    /// is solvable.
+    pub fn to_fo3_query(&self) -> Query {
+        let x = Term::Var(Var(0));
+        let body = Formula::atom("T", [x]).and(Self::unfolded(self.n)).exists(Var(0));
+        Query::sentence(body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvq_core::{BoundedEvaluator, NaiveEvaluator};
+    use bvq_datalog::eval_seminaive;
+
+    fn sample(solvable: bool) -> PathSystem {
+        // 0,1 axioms; 2 needs 0∧1; 3 needs 2∧0; target 3 (solvable) or 4.
+        PathSystem {
+            n: 5,
+            q: vec![(2, 0, 1), (3, 2, 0)],
+            s: vec![0, 1],
+            t: vec![if solvable { 3 } else { 4 }],
+        }
+    }
+
+    #[test]
+    fn direct_solver() {
+        assert!(sample(true).solve_direct());
+        assert!(!sample(false).solve_direct());
+    }
+
+    #[test]
+    fn datalog_agrees_with_direct() {
+        for solvable in [true, false] {
+            let ps = sample(solvable);
+            let db = ps.to_database();
+            let out = eval_seminaive(&ps.to_datalog(), &db).unwrap();
+            let reach = out.get("Reach").unwrap();
+            let hit = ps.t.iter().any(|&a| reach.contains(&[a]));
+            assert_eq!(hit, solvable);
+        }
+    }
+
+    #[test]
+    fn unfolded_formula_is_fo3_and_linear() {
+        let f5 = PathSystem::unfolded(5);
+        assert_eq!(f5.width(), 3, "φ_n must stay in FO³");
+        assert!(f5.is_first_order());
+        let s5 = f5.size();
+        let s10 = PathSystem::unfolded(10).size();
+        let s20 = PathSystem::unfolded(20).size();
+        assert_eq!(s20 - s10, 2 * (s10 - s5), "φ_n must grow linearly");
+    }
+
+    #[test]
+    fn reduction_is_correct() {
+        for solvable in [true, false] {
+            let ps = sample(solvable);
+            let db = ps.to_database();
+            let q = ps.to_fo3_query();
+            let (ans, stats) = BoundedEvaluator::new(&db, 3).eval_query(&q).unwrap();
+            assert_eq!(ans.as_boolean(), solvable, "solvable={solvable}");
+            assert!(stats.max_arity <= 3);
+        }
+    }
+
+    #[test]
+    fn reduction_matches_naive_evaluator() {
+        let ps = sample(true);
+        let db = ps.to_database();
+        let q = ps.to_fo3_query();
+        let naive = NaiveEvaluator::new(&db).eval_query(&q).unwrap().0;
+        assert!(naive.as_boolean());
+    }
+
+    #[test]
+    fn unfolding_depth_matters() {
+        // A chain needing many derivation steps: i needs (i-1) ∧ (i-1).
+        let n = 6;
+        let ps = PathSystem {
+            n,
+            q: (1..n as u32).map(|i| (i, i - 1, i - 1)).collect(),
+            s: vec![0],
+            t: vec![n as u32 - 1],
+        };
+        assert!(ps.solve_direct());
+        let db = ps.to_database();
+        // Insufficient unfolding misses the target…
+        let x = Term::Var(Var(0));
+        let shallow = Query::sentence(
+            Formula::atom("T", [x])
+                .and(PathSystem::unfolded(2))
+                .exists(Var(0)),
+        );
+        let (ans, _) = BoundedEvaluator::new(&db, 3).eval_query(&shallow).unwrap();
+        assert!(!ans.as_boolean(), "2 unfoldings cannot reach depth 5");
+        // …while m = n suffices.
+        let (full, _) = BoundedEvaluator::new(&db, 3).eval_query(&ps.to_fo3_query()).unwrap();
+        assert!(full.as_boolean());
+    }
+
+    #[test]
+    fn empty_axioms_unsolvable() {
+        let ps = PathSystem { n: 3, q: vec![(1, 0, 0)], s: vec![], t: vec![1] };
+        assert!(!ps.solve_direct());
+        let db = ps.to_database();
+        let (ans, _) = BoundedEvaluator::new(&db, 3).eval_query(&ps.to_fo3_query()).unwrap();
+        assert!(!ans.as_boolean());
+    }
+}

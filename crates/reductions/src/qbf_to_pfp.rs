@@ -1,0 +1,200 @@
+//! Theorem 4.6: QBF reduces to `PFP²` expression complexity over the
+//! fixed database `B₀ = ({0,1}, P = {0})`.
+//!
+//! The paper's sketch: use unary relation variables `X₁,…,X_l`, one per
+//! quantified Boolean variable, with `Xᵢ`'s contents encoding `Yᵢ`'s truth
+//! value, and iterate through the assignments. This module implements a
+//! concrete such construction with **nested partial fixpoints**, one per
+//! quantifier, each a four-state machine over the 2-element domain:
+//!
+//! ```text
+//! state ∅      — start
+//! state {0}    — trying Yᵢ = false
+//! state {1}    — trying Yᵢ = true
+//! state {0,1}  — accept (stable)
+//! ```
+//!
+//! One body application moves the machine one step; while the machine sits
+//! in `{0}` or `{1}`, the nested subformula `Ψᵢ₊₁` (the rest of the
+//! quantifier prefix, itself a nested PFP) is evaluated with `Yᵢ` readable
+//! as `∃x₂(¬P(x₂) ∧ Xᵢ(x₂))`. Success transitions reach the stable accept
+//! state `{0,1}`; failure transitions re-enter the start state, producing
+//! a cycle of length > 1 — and a *divergent* PFP denotes the empty
+//! relation (§2.2), so "reject" is exactly `0 ∉ limit`:
+//!
+//! ```text
+//! ∃Yᵢ: ∅→{0};  {0}→(Ψ ? {0,1} : {1});  {1}→(Ψ ? {0,1} : ∅);  {0,1}→{0,1}
+//! ∀Yᵢ: ∅→{0};  {0}→(Ψ ? {1} : ∅);      {1}→(Ψ ? {0,1} : ∅);  {0,1}→{0,1}
+//! ```
+//!
+//! Only two individual variables appear (`x₁` bound by every `pfp`, `x₂`
+//! for the state tests), so the reduction lands in `PFP²`, and evaluating
+//! the growing queries against the fixed `B₀` is PSPACE-hard.
+
+use bvq_logic::{Formula, Query, Term, Var};
+use bvq_relation::Database;
+use bvq_sat::{BoolExpr, Qbf, Quantifier};
+
+/// The fixed database `B₀ = ({0,1}, P = {0})` of Theorem 4.6.
+pub fn b0() -> Database {
+    Database::builder(2).relation("P", 1, [[0u32]]).build()
+}
+
+fn x1() -> Term {
+    Term::Var(Var(0))
+}
+
+fn x2() -> Term {
+    Term::Var(Var(1))
+}
+
+/// `∃x₂ (P(x₂) ∧ X(x₂))` — the state contains 0.
+fn has0(x: &str) -> Formula {
+    Formula::atom("P", [x2()]).and(Formula::rel_var(x, [x2()])).exists(Var(1))
+}
+
+/// `∃x₂ (¬P(x₂) ∧ X(x₂))` — the state contains 1. Doubles as "Yᵢ = true".
+fn has1(x: &str) -> Formula {
+    Formula::atom("P", [x2()]).not().and(Formula::rel_var(x, [x2()])).exists(Var(1))
+}
+
+/// Translates the quantifier-free matrix, reading variable `i` as
+/// `has1(Xᵢ₊₁)`.
+fn tr_matrix(e: &BoolExpr) -> Formula {
+    match e {
+        BoolExpr::Const(b) => Formula::Const(*b),
+        BoolExpr::Var(v) => has1(&format!("X{}", v + 1)),
+        BoolExpr::Not(g) => tr_matrix(g).not(),
+        BoolExpr::And(es) => Formula::and_all(es.iter().map(tr_matrix)),
+        BoolExpr::Or(es) => Formula::or_all(es.iter().map(tr_matrix)),
+    }
+}
+
+/// Builds `Ψᵢ` for quantifier position `i` (0-based); `Ψ_l` is the matrix.
+fn psi(qbf: &Qbf, i: usize) -> Formula {
+    if i == qbf.prefix.len() {
+        return tr_matrix(&qbf.matrix);
+    }
+    let x = format!("X{}", i + 1);
+    let st_empty = has0(&x).not().and(has1(&x).not());
+    let st0 = has0(&x).and(has1(&x).not());
+    let st1 = has0(&x).not().and(has1(&x));
+    let st01 = has0(&x).and(has1(&x));
+    let inner = psi(qbf, i + 1);
+    let body = match qbf.prefix[i] {
+        Quantifier::Exists => {
+            // {0,1} stays; ∅ → {0}; Ψ at {0}/{1} → {0,1}; ¬Ψ at {0} → {1}.
+            st01.or(st_empty.and(Formula::atom("P", [x1()])))
+                .or(inner.and(st0.clone().or(st1)))
+                .or(st0.and(Formula::atom("P", [x1()]).not()))
+        }
+        Quantifier::Forall => {
+            // {0,1} stays; ∅ → {0}; Ψ at {0} → {1}; Ψ at {1} → {0,1}.
+            st01.or(st_empty.and(Formula::atom("P", [x1()])))
+                .or(inner.and(st0.and(Formula::atom("P", [x1()]).not()).or(st1)))
+        }
+    };
+    Formula::pfp(&x, vec![Var(0)], body, vec![Term::Const(0)])
+}
+
+/// The Theorem 4.6 reduction: a `PFP²` sentence over [`b0`] that holds iff
+/// the QBF is true.
+pub fn to_pfp_query(qbf: &Qbf) -> Query {
+    Query::sentence(psi(qbf, 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvq_core::PfpEvaluator;
+    use bvq_sat::qbf;
+    use proptest::prelude::*;
+    use Quantifier::{Exists, Forall};
+
+    fn decide(q: &Qbf) -> bool {
+        let db = b0();
+        let query = to_pfp_query(q);
+        assert!(query.formula.width() <= 2, "reduction must stay in PFP²");
+        let (ans, _) = PfpEvaluator::new(&db, 2).eval_query(&query).unwrap();
+        ans.as_boolean()
+    }
+
+    fn v(i: u32) -> BoolExpr {
+        BoolExpr::Var(i)
+    }
+
+    #[test]
+    fn single_quantifier() {
+        assert!(decide(&Qbf::new(vec![Exists], v(0))));
+        assert!(decide(&Qbf::new(vec![Exists], v(0).not())));
+        assert!(!decide(&Qbf::new(vec![Forall], v(0))));
+        assert!(decide(&Qbf::new(vec![Forall], v(0).or(v(0).not()))));
+    }
+
+    #[test]
+    fn classic_alternations() {
+        // ∀y₁∃y₂ (y₁ ↔ y₂) true; ∃y₁∀y₂ (y₁ ↔ y₂) false.
+        let m = v(0).iff(v(1));
+        assert!(decide(&Qbf::new(vec![Forall, Exists], m.clone())));
+        assert!(!decide(&Qbf::new(vec![Exists, Forall], m)));
+    }
+
+    #[test]
+    fn quantifier_free() {
+        assert!(decide(&Qbf::new(vec![], BoolExpr::Const(true))));
+        assert!(!decide(&Qbf::new(vec![], BoolExpr::Const(false))));
+    }
+
+    #[test]
+    fn deeper_prefixes() {
+        // ∀y₁∃y₂∀y₃∃y₄ ((y₁↔y₂) ∧ (y₃↔y₄)).
+        let m = v(0).iff(v(1)).and(v(2).iff(v(3)));
+        assert!(decide(&Qbf::new(vec![Forall, Exists, Forall, Exists], m.clone())));
+        // Swapping the inner pair breaks it.
+        let m2 = v(0).iff(v(1)).and(v(3).iff(v(2)));
+        assert!(!decide(&Qbf::new(vec![Forall, Exists, Exists, Forall], m2)));
+    }
+
+    fn arb_qbf(max_vars: usize) -> impl Strategy<Value = Qbf> {
+        (1..=max_vars).prop_flat_map(|l| {
+            let prefix = prop::collection::vec(
+                prop_oneof![Just(Exists), Just(Forall)],
+                l..=l,
+            );
+            let matrix = arb_matrix(l as u32, 3);
+            (prefix, matrix).prop_map(|(p, m)| Qbf::new(p, m))
+        })
+    }
+
+    fn arb_matrix(nv: u32, depth: u32) -> BoxedStrategy<BoolExpr> {
+        let leaf = prop_oneof![
+            (0..nv).prop_map(BoolExpr::Var),
+            any::<bool>().prop_map(BoolExpr::Const),
+        ];
+        leaf.prop_recursive(depth, 24, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(BoolExpr::not),
+                prop::collection::vec(inner.clone(), 0..3).prop_map(BoolExpr::And),
+                prop::collection::vec(inner, 0..3).prop_map(BoolExpr::Or),
+            ]
+        })
+        .boxed()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn reduction_agrees_with_qbf_solver(q in arb_qbf(4)) {
+            prop_assert_eq!(decide(&q), qbf::solve(&q));
+        }
+
+        #[test]
+        fn reduction_size_linear(q in arb_qbf(5)) {
+            let query = to_pfp_query(&q);
+            // Each quantifier contributes O(1) formula nodes; the matrix
+            // contributes O(1) per node.
+            prop_assert!(query.formula.size() <= 60 * (q.num_vars() + q.matrix.size() + 1));
+        }
+    }
+}

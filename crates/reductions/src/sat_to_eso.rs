@@ -1,0 +1,101 @@
+//! Theorem 4.5: SAT reduces to `ESO^k` expression complexity over *any*
+//! fixed database.
+//!
+//! A propositional CNF over variables `p₁,…,p_l` becomes the `ESO⁰`
+//! sentence `∃P₁…∃P_l ⋀clauses` where each `Pᵢ` is an arity-0 quantified
+//! relation (a proposition: `{}` = false, `{⟨⟩}` = true) and a literal
+//! `pᵢ` / `¬pᵢ` becomes `Pᵢ()` / `¬Pᵢ()`. The database is irrelevant —
+//! "regardless what B is" — which the tests check by running the same
+//! query over several databases.
+
+use bvq_logic::{Eso, Formula};
+use bvq_sat::{Cnf, Lit};
+
+/// Maps a CNF to the ESO sentence of Theorem 4.5.
+pub fn to_eso_sentence(cnf: &Cnf) -> Eso {
+    let prop = |l: Lit| -> Formula {
+        let atom = Formula::rel_var(&format!("P{}", l.var()), []);
+        if l.is_positive() {
+            atom
+        } else {
+            atom.not()
+        }
+    };
+    let clauses = cnf
+        .clauses
+        .iter()
+        .map(|c| Formula::or_all(c.iter().map(|&l| prop(l))));
+    let body = Formula::and_all(clauses);
+    Eso {
+        rels: (0..cnf.num_vars as u32).map(|v| (format!("P{v}"), 0)).collect(),
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvq_core::EsoEvaluator;
+    use bvq_relation::Database;
+    use bvq_sat::solver;
+    use proptest::prelude::*;
+
+    fn dbs() -> Vec<Database> {
+        vec![
+            Database::builder(1).build(),
+            Database::builder(3).relation("E", 2, [[0u32, 1]]).build(),
+            Database::builder(2).relation("P", 1, [[0u32], [1]]).build(),
+        ]
+    }
+
+    fn arb_cnf() -> impl Strategy<Value = Cnf> {
+        prop::collection::vec(
+            prop::collection::vec((0u32..5, any::<bool>()), 1..=3),
+            0..12,
+        )
+        .prop_map(|clauses| {
+            let mut cnf = Cnf::new(5);
+            for c in clauses {
+                cnf.add_clause(c.into_iter().map(|(v, s)| Lit::new(v, s)));
+            }
+            cnf
+        })
+    }
+
+    #[test]
+    fn fixed_examples() {
+        let mut sat = Cnf::new(2);
+        sat.add_clause([Lit::pos(0), Lit::pos(1)]);
+        sat.add_clause([Lit::neg(0)]);
+        let mut unsat = Cnf::new(1);
+        unsat.add_clause([Lit::pos(0)]);
+        unsat.add_clause([Lit::neg(0)]);
+        for db in dbs() {
+            let ev = EsoEvaluator::new(&db, 1);
+            assert!(ev.check(&to_eso_sentence(&sat), &[], &[]).unwrap());
+            assert!(!ev.check(&to_eso_sentence(&unsat), &[], &[]).unwrap());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn reduction_agrees_with_sat_solver(cnf in arb_cnf()) {
+            let expected = solver::solve(&cnf).is_sat();
+            // "regardless what B is":
+            for db in dbs() {
+                let ev = EsoEvaluator::new(&db, 1);
+                let eso = to_eso_sentence(&cnf);
+                prop_assert_eq!(ev.check(&eso, &[], &[]).unwrap(), expected);
+            }
+        }
+
+        #[test]
+        fn reduction_size_linear(cnf in arb_cnf()) {
+            let eso = to_eso_sentence(&cnf);
+            prop_assert!(eso.size() <= 3 * (cnf.num_literals() + cnf.num_vars + 2));
+            prop_assert_eq!(eso.width(), 0);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! A fixed-capacity bit set.
+//!
+//! [`BitSet`] is the storage backing [`DenseCylinder`](crate::DenseCylinder):
+//! a subset of `D^k` is a subset of `{0, …, n^k - 1}` under the mixed-radix
+//! point index, and the Boolean connectives of `FO^k` become word-parallel
+//! bit operations.
+
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A set of integers in `0..capacity`, stored one bit each.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    capacity: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set over `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet { capacity, words: vec![0; capacity.div_ceil(WORD_BITS)] }
+    }
+
+    /// The full set `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = BitSet::new(capacity);
+        for w in &mut s.words {
+            *w = !0;
+        }
+        s.clear_tail();
+        s
+    }
+
+    /// The number of representable elements.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Zeroes the bits beyond `capacity` in the last word, maintaining the
+    /// invariant that tail bits are always clear (so `PartialEq`, `count`
+    /// and `is_empty` can operate word-wise).
+    fn clear_tail(&mut self) {
+        let tail = self.capacity % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Tests whether `i` is in the set.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.capacity);
+        self.words[i / WORD_BITS] & (1 << (i % WORD_BITS)) != 0
+    }
+
+    /// Inserts `i`. Returns whether it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1 << (i % WORD_BITS);
+        let fresh = *w & mask == 0;
+        *w |= mask;
+        fresh
+    }
+
+    /// Removes `i`. Returns whether it was present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.capacity);
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1 << (i % WORD_BITS);
+        let present = *w & mask != 0;
+        *w &= !mask;
+        present
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// The number of elements in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union. Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection. Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`). Panics if capacities differ.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// In-place complement with respect to `0..capacity`.
+    pub fn complement(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.clear_tail();
+    }
+
+    /// Whether `self ⊆ other`. Panics if capacities differ.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { set: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+}
+
+/// Iterator over set bits, lowest first.
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * WORD_BITS + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn full_respects_capacity() {
+        let s = BitSet::full(70);
+        assert_eq!(s.count(), 70);
+        assert!(s.contains(69));
+    }
+
+    #[test]
+    fn full_of_word_multiple() {
+        let s = BitSet::full(128);
+        assert_eq!(s.count(), 128);
+    }
+
+    #[test]
+    fn complement_twice_is_identity() {
+        let mut s = BitSet::new(100);
+        s.insert(3);
+        s.insert(77);
+        let orig = s.clone();
+        s.complement();
+        assert_eq!(s.count(), 98);
+        assert!(!s.contains(3));
+        s.complement();
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = BitSet::new(10);
+        a.insert(1);
+        a.insert(2);
+        let mut b = BitSet::new(10);
+        b.insert(2);
+        b.insert(3);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2]);
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1]);
+
+        assert!(i.is_subset(&a));
+        assert!(i.is_subset(&b));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn iter_crosses_word_boundaries() {
+        let mut s = BitSet::new(200);
+        for i in [0, 63, 64, 127, 128, 199] {
+            s.insert(i);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 127, 128, 199]);
+    }
+
+    #[test]
+    fn empty_capacity_zero() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        let f = BitSet::full(0);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn mismatched_capacity_panics() {
+        let mut a = BitSet::new(10);
+        let b = BitSet::new(11);
+        a.union_with(&b);
+    }
+}

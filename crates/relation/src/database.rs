@@ -1,0 +1,324 @@
+//! Databases: named relations over a common domain.
+//!
+//! Following the paper (§2.1), a database is a tuple `B = (D, R₁, …, R_ℓ)`
+//! where `D` is a finite set and each `Rᵢ ⊆ D^{aᵢ}`. We normalise `D` to
+//! `{0, …, n-1}`; examples that need meaningful constants attach labels.
+//! [`Database::encoded_len`] computes the length of the paper's standard
+//! string encoding (elements written in binary), the input-size measure for
+//! data and combined complexity.
+
+use std::fmt;
+
+use crate::hasher::FxHashMap;
+use crate::{Arity, Relation, RelationError, Tuple};
+
+/// Identifier of a relation within a database schema.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RelId(pub u32);
+
+/// A database schema: relation names and arities.
+#[derive(Clone, Debug, Default)]
+pub struct Schema {
+    names: Vec<String>,
+    arities: Vec<Arity>,
+    by_name: FxHashMap<String, RelId>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Adds a relation symbol; returns its id.
+    ///
+    /// # Errors
+    /// Fails if the name is already taken.
+    pub fn add(&mut self, name: &str, arity: Arity) -> Result<RelId, RelationError> {
+        if self.by_name.contains_key(name) {
+            return Err(RelationError::DuplicateRelation(name.to_string()));
+        }
+        let id = RelId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.arities.push(arity);
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Looks up a relation by name.
+    pub fn resolve(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a relation.
+    pub fn name(&self, id: RelId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// The arity of a relation.
+    pub fn arity(&self, id: RelId) -> Arity {
+        self.arities[id.0 as usize]
+    }
+
+    /// Number of relation symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the schema is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name, arity)`.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &str, Arity)> + '_ {
+        (0..self.names.len()).map(|i| (RelId(i as u32), self.names[i].as_str(), self.arities[i]))
+    }
+}
+
+/// A relational database: a domain `{0,…,n-1}` plus relations per schema.
+#[derive(Clone)]
+pub struct Database {
+    domain_size: usize,
+    schema: Schema,
+    relations: Vec<Relation>,
+    /// Optional human-readable labels for domain elements (examples only).
+    labels: Option<Vec<String>>,
+}
+
+impl Database {
+    /// Creates a database with an empty schema.
+    ///
+    /// # Panics
+    /// Panics if `domain_size` is 0 — the paper's databases have nonempty
+    /// domains, and several constructions (e.g. Theorem 4.6's `B₀`) rely on
+    /// at least one element existing.
+    pub fn new(domain_size: usize) -> Self {
+        assert!(domain_size > 0, "domain must be nonempty");
+        Database { domain_size, schema: Schema::new(), relations: Vec::new(), labels: None }
+    }
+
+    /// The builder interface.
+    pub fn builder(domain_size: usize) -> DatabaseBuilder {
+        DatabaseBuilder { db: Database::new(domain_size) }
+    }
+
+    /// Domain size `n`.
+    pub fn domain_size(&self) -> usize {
+        self.domain_size
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Adds a relation. Tuples must be within the domain.
+    ///
+    /// # Errors
+    /// Fails on duplicate names or out-of-domain elements.
+    pub fn add_relation(&mut self, name: &str, rel: Relation) -> Result<RelId, RelationError> {
+        for t in rel.iter() {
+            for &e in t.as_slice() {
+                if e as usize >= self.domain_size {
+                    return Err(RelationError::OutOfDomain { element: e, domain_size: self.domain_size });
+                }
+            }
+        }
+        let id = self.schema.add(name, rel.arity())?;
+        self.relations.push(rel);
+        Ok(id)
+    }
+
+    /// The relation with the given id.
+    pub fn relation(&self, id: RelId) -> &Relation {
+        &self.relations[id.0 as usize]
+    }
+
+    /// The relation with the given name, if any.
+    pub fn relation_by_name(&self, name: &str) -> Option<&Relation> {
+        self.schema.resolve(name).map(|id| self.relation(id))
+    }
+
+    /// Replaces the contents of relation `id` (same arity required).
+    ///
+    /// # Errors
+    /// Fails on arity mismatch or out-of-domain elements.
+    pub fn set_relation(&mut self, id: RelId, rel: Relation) -> Result<(), RelationError> {
+        if rel.arity() != self.schema.arity(id) {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.arity(id),
+                found: rel.arity(),
+            });
+        }
+        for t in rel.iter() {
+            for &e in t.as_slice() {
+                if e as usize >= self.domain_size {
+                    return Err(RelationError::OutOfDomain { element: e, domain_size: self.domain_size });
+                }
+            }
+        }
+        self.relations[id.0 as usize] = rel;
+        Ok(())
+    }
+
+    /// Attaches human-readable labels to domain elements.
+    ///
+    /// # Panics
+    /// Panics if the label count differs from the domain size.
+    pub fn set_labels(&mut self, labels: Vec<String>) {
+        assert_eq!(labels.len(), self.domain_size, "one label per domain element");
+        self.labels = Some(labels);
+    }
+
+    /// The label of element `e`, or its number if unlabelled.
+    pub fn label(&self, e: u32) -> String {
+        match &self.labels {
+            Some(l) => l[e as usize].clone(),
+            None => e.to_string(),
+        }
+    }
+
+    /// The length (in bits) of the paper's standard string encoding: every
+    /// element is written in binary using `⌈log₂ n⌉` bits (at least 1), and
+    /// we charge that for every position of every tuple plus once per
+    /// domain element. This is the `|B|` against which data and combined
+    /// complexity are measured.
+    pub fn encoded_len(&self) -> usize {
+        let bits = usize::BITS as usize - (self.domain_size.max(2) - 1).leading_zeros() as usize;
+        let mut len = self.domain_size * bits;
+        for r in &self.relations {
+            len += r.len() * r.arity() * bits;
+        }
+        len
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Database(n={})", self.domain_size)?;
+        for (id, name, arity) in self.schema.iter() {
+            writeln!(f, "  {name}/{arity}: {} tuples", self.relation(id).len())?;
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`Database`].
+pub struct DatabaseBuilder {
+    db: Database,
+}
+
+impl DatabaseBuilder {
+    /// Adds a relation from explicit tuples.
+    ///
+    /// # Panics
+    /// Panics on duplicate names or out-of-domain elements — the builder is
+    /// for statically-known test/example data; use
+    /// [`Database::add_relation`] for fallible construction.
+    #[must_use]
+    pub fn relation<I, T>(mut self, name: &str, arity: Arity, tuples: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<Tuple>,
+    {
+        let rel = Relation::from_tuples(arity, tuples);
+        self.db.add_relation(name, rel).unwrap_or_else(|e| panic!("builder: {e}"));
+        self
+    }
+
+    /// Adds an already-built relation.
+    #[must_use]
+    pub fn relation_from(mut self, name: &str, rel: Relation) -> Self {
+        self.db.add_relation(name, rel).unwrap_or_else(|e| panic!("builder: {e}"));
+        self
+    }
+
+    /// Attaches element labels.
+    #[must_use]
+    pub fn labels<S: Into<String>>(mut self, labels: impl IntoIterator<Item = S>) -> Self {
+        self.db.set_labels(labels.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Finishes building.
+    pub fn build(self) -> Database {
+        self.db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let db = Database::builder(4)
+            .relation("E", 2, [[0u32, 1], [1, 2], [2, 3]])
+            .relation("P", 1, [[0u32]])
+            .build();
+        assert_eq!(db.domain_size(), 4);
+        assert_eq!(db.relation_by_name("E").unwrap().len(), 3);
+        assert_eq!(db.schema().arity(db.schema().resolve("P").unwrap()), 1);
+        assert!(db.relation_by_name("Q").is_none());
+    }
+
+    #[test]
+    fn rejects_out_of_domain() {
+        let mut db = Database::new(2);
+        let r = Relation::from_tuples(1, [[5u32]]);
+        assert!(matches!(db.add_relation("P", r), Err(RelationError::OutOfDomain { .. })));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut db = Database::new(2);
+        db.add_relation("P", Relation::new(1)).unwrap();
+        assert!(matches!(
+            db.add_relation("P", Relation::new(2)),
+            Err(RelationError::DuplicateRelation(_))
+        ));
+    }
+
+    #[test]
+    fn set_relation_checks_arity() {
+        let mut db = Database::new(3);
+        let id = db.add_relation("E", Relation::new(2)).unwrap();
+        assert!(db.set_relation(id, Relation::from_tuples(2, [[0u32, 1]])).is_ok());
+        assert!(matches!(
+            db.set_relation(id, Relation::new(3)),
+            Err(RelationError::ArityMismatch { .. })
+        ));
+        assert_eq!(db.relation(id).len(), 1);
+    }
+
+    #[test]
+    fn encoded_len_grows_with_data() {
+        let small = Database::builder(4).relation("E", 2, [[0u32, 1]]).build();
+        let big = Database::builder(4)
+            .relation("E", 2, (0u32..3).map(|i| [i, i + 1]))
+            .build();
+        assert!(big.encoded_len() > small.encoded_len());
+        // 4 elements × 2 bits + 1 tuple × 2 positions × 2 bits = 12.
+        assert_eq!(small.encoded_len(), 12);
+    }
+
+    #[test]
+    fn labels() {
+        let mut db = Database::new(2);
+        assert_eq!(db.label(1), "1");
+        db.set_labels(vec!["alice".into(), "bob".into()]);
+        assert_eq!(db.label(1), "bob");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_domain_rejected() {
+        Database::new(0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error types for the relational substrate.
+
+use std::fmt;
+
+/// Errors arising when constructing or manipulating relations and databases.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RelationError {
+    /// A relation name was registered twice in one schema.
+    DuplicateRelation(String),
+    /// A tuple element lies outside the database domain.
+    OutOfDomain {
+        /// The offending element.
+        element: u32,
+        /// The domain size `n` (domain is `0..n`).
+        domain_size: usize,
+    },
+    /// A relation of one arity was used where another was required.
+    ArityMismatch {
+        /// Expected arity.
+        expected: usize,
+        /// Actual arity.
+        found: usize,
+    },
+    /// A relation name was not found in the schema.
+    UnknownRelation(String),
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` already exists in the schema")
+            }
+            RelationError::OutOfDomain { element, domain_size } => {
+                write!(f, "element {element} outside domain of size {domain_size}")
+            }
+            RelationError::ArityMismatch { expected, found } => {
+                write!(f, "arity mismatch: expected {expected}, found {found}")
+            }
+            RelationError::UnknownRelation(name) => {
+                write!(f, "unknown relation `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            RelationError::DuplicateRelation("E".into()).to_string(),
+            "relation `E` already exists in the schema"
+        );
+        assert_eq!(
+            RelationError::OutOfDomain { element: 9, domain_size: 4 }.to_string(),
+            "element 9 outside domain of size 4"
+        );
+        assert_eq!(
+            RelationError::ArityMismatch { expected: 2, found: 3 }.to_string(),
+            "arity mismatch: expected 2, found 3"
+        );
+        assert_eq!(RelationError::UnknownRelation("X".into()).to_string(), "unknown relation `X`");
+    }
+}

@@ -1,0 +1,61 @@
+//! # bvq-relation
+//!
+//! The relational substrate underlying the `bvq` reproduction of
+//! Vardi, *On the Complexity of Bounded-Variable Queries* (PODS 1995).
+//!
+//! The paper's central quantity is the **size of intermediate relations**
+//! arising during query evaluation: evaluating an unrestricted relational
+//! query may build relations whose arity is linear in the length of the
+//! query (hence of exponential size), while bounded-variable queries only
+//! ever build relations of arity at most `k` (hence of size at most `n^k`).
+//! This crate provides everything needed to make that quantity concrete and
+//! measurable:
+//!
+//! * [`Tuple`] — a compact tuple of domain elements with inline storage for
+//!   the small arities that dominate bounded-variable evaluation;
+//! * [`Relation`] — a sparse (hash-set backed) finite relation with a full
+//!   relational algebra (selection, projection, permutation, joins,
+//!   semijoins, set operations, complement);
+//! * [`DenseCylinder`] and [`SparseCylinder`] — two implementations of the
+//!   [`CylinderOps`] interface used by the cylindrical `FO^k` evaluator, in
+//!   which every subformula denotes a subset of `D^k`;
+//! * [`Database`] — a named collection of relations over a common domain,
+//!   with the paper's string-encoding length as the input-size measure;
+//! * [`EvalStats`] — instrumentation recording maximum intermediate arity
+//!   and cardinality, operator applications, and fixpoint iterations.
+//!
+//! All code is safe Rust (`#![forbid(unsafe_code)]`) and deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod cylinder;
+pub mod database;
+pub mod dense;
+pub mod error;
+pub mod hasher;
+pub mod index;
+pub mod relation;
+pub mod sparse;
+pub mod stats;
+pub mod tuple;
+
+pub use bitset::BitSet;
+pub use cylinder::{CoordSource, CylCtx, CylinderOps};
+pub use database::{Database, DatabaseBuilder, RelId, Schema};
+pub use dense::DenseCylinder;
+pub use error::RelationError;
+pub use hasher::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use index::PointIndex;
+pub use relation::Relation;
+pub use sparse::SparseCylinder;
+pub use stats::{EvalStats, StatsRecorder};
+pub use tuple::Tuple;
+
+/// A domain element. Domains are always `0..n` for some size `n`; examples
+/// that need meaningful values attach labels at the [`Database`] level.
+pub type Elem = u32;
+
+/// The arity of a relation or tuple.
+pub type Arity = usize;

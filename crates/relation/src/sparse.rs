@@ -1,0 +1,279 @@
+//! Sparse cylinder backend: an explicit set of `k`-tuples.
+//!
+//! Used when `n^k` is too large to materialise as a bitset, or when the
+//! sets involved are known to stay small (e.g. negation-free queries over
+//! sparse data). Negation and the cylindrical broadcast of atoms still cost
+//! up to `n^k` — that bound is inherent to the representation of Prop 3.1 —
+//! but positive connectives cost only the number of tuples present.
+
+use crate::cylinder::{CoordSource, CylCtx, CylinderOps};
+use crate::hasher::FxHashSet;
+use crate::{Elem, Relation, Tuple};
+
+/// A subset of `D^k` stored as a hash set of `k`-tuples.
+#[derive(Clone, Debug)]
+pub struct SparseCylinder {
+    tuples: FxHashSet<Tuple>,
+}
+
+impl PartialEq for SparseCylinder {
+    fn eq(&self, other: &Self) -> bool {
+        self.tuples == other.tuples
+    }
+}
+
+/// Enumerates all `k`-tuples over a domain of size `n`, calling `f` on each.
+fn for_each_point(n: usize, k: usize, mut f: impl FnMut(&[Elem])) {
+    let mut t = vec![0 as Elem; k];
+    loop {
+        f(&t);
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            t[i] += 1;
+            if (t[i] as usize) < n {
+                break;
+            }
+            t[i] = 0;
+        }
+    }
+}
+
+impl CylinderOps for SparseCylinder {
+    fn empty(_ctx: &CylCtx) -> Self {
+        SparseCylinder { tuples: FxHashSet::default() }
+    }
+
+    fn full(ctx: &CylCtx) -> Self {
+        let mut s = Self::empty(ctx);
+        for_each_point(ctx.domain_size(), ctx.width(), |t| {
+            s.tuples.insert(Tuple::from_slice(t));
+        });
+        s
+    }
+
+    fn from_atom(ctx: &CylCtx, rel: &Relation, vars: &[usize]) -> Self {
+        assert_eq!(rel.arity(), vars.len(), "atom variable count ≠ relation arity");
+        let k = ctx.width();
+        let n = ctx.domain_size();
+        let mut out = Self::empty(ctx);
+        let mut mentioned = vec![false; k];
+        for &v in vars {
+            assert!(v < k, "atom variable index {v} out of width {k}");
+            mentioned[v] = true;
+        }
+        let free: Vec<usize> = (0..k).filter(|&i| !mentioned[i]).collect();
+        for t in rel.iter() {
+            let mut point = vec![0 as Elem; k];
+            let mut assigned = vec![false; k];
+            let mut consistent = true;
+            for (j, &v) in vars.iter().enumerate() {
+                if t[j] as usize >= n || (assigned[v] && point[v] != t[j]) {
+                    consistent = false;
+                    break;
+                }
+                point[v] = t[j];
+                assigned[v] = true;
+            }
+            if !consistent {
+                continue;
+            }
+            // Broadcast over the free coordinates.
+            let mut stack = vec![(0usize, point)];
+            while let Some((fi, p)) = stack.pop() {
+                if fi == free.len() {
+                    out.tuples.insert(Tuple::from_slice(&p));
+                    continue;
+                }
+                for b in 0..n {
+                    let mut q = p.clone();
+                    q[free[fi]] = b as Elem;
+                    stack.push((fi + 1, q));
+                }
+            }
+        }
+        out
+    }
+
+    fn equality(ctx: &CylCtx, i: usize, j: usize) -> Self {
+        if i == j {
+            return Self::full(ctx);
+        }
+        let mut out = Self::empty(ctx);
+        for_each_point(ctx.domain_size(), ctx.width(), |t| {
+            if t[i] == t[j] {
+                out.tuples.insert(Tuple::from_slice(t));
+            }
+        });
+        out
+    }
+
+    fn const_eq(ctx: &CylCtx, i: usize, c: Elem) -> Self {
+        let mut out = Self::empty(ctx);
+        if (c as usize) >= ctx.domain_size() {
+            return out;
+        }
+        for_each_point(ctx.domain_size(), ctx.width(), |t| {
+            if t[i] == c {
+                out.tuples.insert(Tuple::from_slice(t));
+            }
+        });
+        out
+    }
+
+    fn and_with(&mut self, _ctx: &CylCtx, other: &Self) {
+        self.tuples.retain(|t| other.tuples.contains(t));
+    }
+
+    fn or_with(&mut self, _ctx: &CylCtx, other: &Self) {
+        for t in &other.tuples {
+            self.tuples.insert(t.clone());
+        }
+    }
+
+    fn not(&mut self, ctx: &CylCtx) {
+        let mut out = FxHashSet::default();
+        for_each_point(ctx.domain_size(), ctx.width(), |t| {
+            if !self.tuples.contains(t) {
+                out.insert(Tuple::from_slice(t));
+            }
+        });
+        self.tuples = out;
+    }
+
+    fn exists(&self, ctx: &CylCtx, i: usize) -> Self {
+        let n = ctx.domain_size();
+        // Collapse: the set of tuples with coordinate i zeroed.
+        let mut collapsed: FxHashSet<Tuple> = FxHashSet::default();
+        for t in &self.tuples {
+            collapsed.insert(t.with(i, 0));
+        }
+        // Broadcast coordinate i back over the domain.
+        let mut out = Self::empty(ctx);
+        for t in collapsed {
+            for b in 0..n {
+                out.tuples.insert(t.with(i, b as Elem));
+            }
+        }
+        out
+    }
+
+    fn preimage(&self, ctx: &CylCtx, map: &[CoordSource]) -> Self {
+        let k = ctx.width();
+        let n = ctx.domain_size();
+        assert_eq!(map.len(), k, "preimage map must cover all {k} coordinates");
+        let mut out = Self::empty(ctx);
+        for m in map {
+            if let CoordSource::Const(c) = m {
+                if *c as usize >= n {
+                    return out;
+                }
+            }
+        }
+        let mut source = vec![0 as Elem; k];
+        for_each_point(n, k, |target| {
+            for (i, m) in map.iter().enumerate() {
+                source[i] = match m {
+                    CoordSource::Coord(j) => target[*j],
+                    CoordSource::Const(c) => *c,
+                };
+            }
+            if self.tuples.contains(source.as_slice()) {
+                out.tuples.insert(Tuple::from_slice(target));
+            }
+        });
+        out
+    }
+
+    fn contains(&self, _ctx: &CylCtx, point: &[Elem]) -> bool {
+        self.tuples.contains(point)
+    }
+
+    fn count(&self, _ctx: &CylCtx) -> usize {
+        self.tuples.len()
+    }
+
+    fn is_empty(&self, _ctx: &CylCtx) -> bool {
+        self.tuples.is_empty()
+    }
+
+    fn is_subset(&self, _ctx: &CylCtx, other: &Self) -> bool {
+        self.tuples.iter().all(|t| other.tuples.contains(t))
+    }
+
+    fn to_relation(&self, _ctx: &CylCtx, coords: &[usize]) -> Relation {
+        let mut r = Relation::new(coords.len());
+        for t in &self.tuples {
+            r.insert(t.select(coords));
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> CylCtx {
+        CylCtx::new(3, 2)
+    }
+
+    #[test]
+    fn sparse_matches_expected_sizes() {
+        let c = ctx();
+        assert_eq!(SparseCylinder::empty(&c).count(&c), 0);
+        assert_eq!(SparseCylinder::full(&c).count(&c), 9);
+        assert_eq!(SparseCylinder::equality(&c, 0, 1).count(&c), 3);
+    }
+
+    #[test]
+    fn not_complements() {
+        let c = ctx();
+        let mut s = SparseCylinder::equality(&c, 0, 1);
+        s.not(&c);
+        assert_eq!(s.count(&c), 6);
+        assert!(!s.contains(&c, &[1, 1]));
+        assert!(s.contains(&c, &[1, 2]));
+    }
+
+    #[test]
+    fn exists_broadcasts() {
+        let c = ctx();
+        let e = Relation::from_tuples(2, [[2u32, 0]]);
+        let cyl = SparseCylinder::from_atom(&c, &e, &[0, 1]);
+        let ex = cyl.exists(&c, 1);
+        assert_eq!(ex.count(&c), 3);
+        assert!(ex.contains(&c, &[2, 1]));
+    }
+
+    #[test]
+    fn sparse_agrees_with_dense_on_random_ops() {
+        use crate::DenseCylinder;
+        // A miniature differential test; the full property-based version
+        // lives in bvq-core where the evaluator drives both backends.
+        let c = CylCtx::new(4, 3);
+        let r = Relation::from_tuples(3, [[0u32, 1, 2], [1, 1, 1], [3, 0, 3]]);
+        let s = SparseCylinder::from_atom(&c, &r, &[2, 0, 1]);
+        let d = DenseCylinder::from_atom(&c, &r, &[2, 0, 1]);
+        assert_eq!(s.count(&c), d.count(&c));
+        for i in 0..3 {
+            let se = s.exists(&c, i);
+            let de = d.exists(&c, i);
+            assert_eq!(
+                se.to_relation(&c, &[0, 1, 2]).sorted(),
+                de.to_relation(&c, &[0, 1, 2]).sorted()
+            );
+        }
+        let mut sn = s.clone();
+        sn.not(&c);
+        let mut dn = d.clone();
+        dn.not(&c);
+        assert_eq!(
+            sn.to_relation(&c, &[0, 1, 2]).sorted(),
+            dn.to_relation(&c, &[0, 1, 2]).sorted()
+        );
+    }
+}

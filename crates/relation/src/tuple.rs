@@ -1,0 +1,320 @@
+//! Compact tuples of domain elements.
+//!
+//! Bounded-variable evaluation manipulates enormous numbers of short tuples
+//! (arity at most `k`, typically 2–5), so [`Tuple`] stores up to
+//! [`Tuple::INLINE`] elements inline and only spills to the heap for the
+//! wide tuples produced by *unrestricted* query plans — exactly the plans
+//! whose cost the paper analyses.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+
+use crate::Elem;
+
+/// A tuple of domain elements.
+///
+/// Tuples of arity up to [`Tuple::INLINE`] are stored without allocation.
+/// `Tuple` dereferences to `[Elem]`, so all slice methods are available.
+///
+/// ```
+/// use bvq_relation::Tuple;
+/// let t = Tuple::from_slice(&[3, 5, 7]);
+/// assert_eq!(t.arity(), 3);
+/// assert_eq!(t[1], 5);
+/// let wide = Tuple::from_slice(&[0; 12]); // heap-allocated
+/// assert_eq!(wide.arity(), 12);
+/// ```
+#[derive(Clone)]
+pub enum Tuple {
+    /// Inline storage: `data[..len]` are the elements.
+    Inline {
+        /// Number of valid elements.
+        len: u8,
+        /// Element storage; positions `>= len` are zero.
+        data: [Elem; Tuple::INLINE],
+    },
+    /// Heap storage for tuples wider than [`Tuple::INLINE`].
+    Heap(Box<[Elem]>),
+}
+
+impl Tuple {
+    /// Maximum arity stored inline.
+    pub const INLINE: usize = 7;
+
+    /// The empty (arity-0) tuple. Arity-0 relations are Boolean values:
+    /// the empty relation is *false*, the relation `{()}` is *true*.
+    pub fn unit() -> Self {
+        Tuple::Inline { len: 0, data: [0; Tuple::INLINE] }
+    }
+
+    /// Builds a tuple from a slice of elements.
+    pub fn from_slice(elems: &[Elem]) -> Self {
+        if elems.len() <= Tuple::INLINE {
+            let mut data = [0; Tuple::INLINE];
+            data[..elems.len()].copy_from_slice(elems);
+            Tuple::Inline { len: elems.len() as u8, data }
+        } else {
+            Tuple::Heap(elems.to_vec().into_boxed_slice())
+        }
+    }
+
+    /// Builds a tuple by evaluating `f` at each position.
+    pub fn from_fn(arity: usize, mut f: impl FnMut(usize) -> Elem) -> Self {
+        if arity <= Tuple::INLINE {
+            let mut data = [0; Tuple::INLINE];
+            for (i, slot) in data[..arity].iter_mut().enumerate() {
+                *slot = f(i);
+            }
+            Tuple::Inline { len: arity as u8, data }
+        } else {
+            Tuple::Heap((0..arity).map(f).collect())
+        }
+    }
+
+    /// The number of elements in the tuple.
+    pub fn arity(&self) -> usize {
+        match self {
+            Tuple::Inline { len, .. } => *len as usize,
+            Tuple::Heap(v) => v.len(),
+        }
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[Elem] {
+        match self {
+            Tuple::Inline { len, data } => &data[..*len as usize],
+            Tuple::Heap(v) => v,
+        }
+    }
+
+    /// A copy of this tuple with position `i` replaced by `value`.
+    #[must_use]
+    pub fn with(&self, i: usize, value: Elem) -> Self {
+        let mut t = self.clone();
+        t.set(i, value);
+        t
+    }
+
+    /// Replaces position `i` by `value` in place.
+    pub fn set(&mut self, i: usize, value: Elem) {
+        match self {
+            Tuple::Inline { len, data } => {
+                assert!(i < *len as usize, "tuple index {i} out of range");
+                data[i] = value;
+            }
+            Tuple::Heap(v) => v[i] = value,
+        }
+    }
+
+    /// The tuple `(self[positions[0]], self[positions[1]], …)`.
+    ///
+    /// This is simultaneously projection and permutation; `positions` may
+    /// repeat and may omit positions.
+    #[must_use]
+    pub fn select(&self, positions: &[usize]) -> Self {
+        let s = self.as_slice();
+        Tuple::from_fn(positions.len(), |i| s[positions[i]])
+    }
+
+    /// Concatenates two tuples.
+    #[must_use]
+    pub fn concat(&self, other: &Tuple) -> Self {
+        let a = self.as_slice();
+        let b = other.as_slice();
+        Tuple::from_fn(a.len() + b.len(), |i| {
+            if i < a.len() {
+                a[i]
+            } else {
+                b[i - a.len()]
+            }
+        })
+    }
+}
+
+impl Deref for Tuple {
+    type Target = [Elem];
+    fn deref(&self) -> &[Elem] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[Elem]> for Tuple {
+    fn borrow(&self) -> &[Elem] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Tuple {}
+
+impl PartialOrd for Tuple {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Tuple {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Tuple {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash as a slice so `Borrow<[Elem]>` lookups agree.
+        self.as_slice().hash(state);
+    }
+}
+
+fn fmt_tuple(t: &Tuple, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "⟨")?;
+    for (i, e) in t.as_slice().iter().enumerate() {
+        if i > 0 {
+            write!(f, ",")?;
+        }
+        write!(f, "{e}")?;
+    }
+    write!(f, "⟩")
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_tuple(self, f)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_tuple(self, f)
+    }
+}
+
+impl From<&[Elem]> for Tuple {
+    fn from(v: &[Elem]) -> Self {
+        Tuple::from_slice(v)
+    }
+}
+
+impl From<Vec<Elem>> for Tuple {
+    fn from(v: Vec<Elem>) -> Self {
+        Tuple::from_slice(&v)
+    }
+}
+
+impl<const N: usize> From<[Elem; N]> for Tuple {
+    fn from(v: [Elem; N]) -> Self {
+        Tuple::from_slice(&v)
+    }
+}
+
+impl FromIterator<Elem> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Elem>>(iter: I) -> Self {
+        let v: Vec<Elem> = iter.into_iter().collect();
+        Tuple::from_slice(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(t: &Tuple) -> u64 {
+        let mut h = DefaultHasher::new();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn unit_tuple_has_arity_zero() {
+        assert_eq!(Tuple::unit().arity(), 0);
+        assert_eq!(Tuple::unit().as_slice(), &[] as &[Elem]);
+    }
+
+    #[test]
+    fn inline_and_heap_agree() {
+        let small = Tuple::from_slice(&[1, 2, 3]);
+        assert!(matches!(small, Tuple::Inline { .. }));
+        let wide = Tuple::from_slice(&(0..10).collect::<Vec<_>>());
+        assert!(matches!(wide, Tuple::Heap(_)));
+        assert_eq!(wide.arity(), 10);
+        assert_eq!(wide[9], 9);
+    }
+
+    #[test]
+    fn boundary_arity_is_inline() {
+        let t = Tuple::from_slice(&[0; Tuple::INLINE]);
+        assert!(matches!(t, Tuple::Inline { .. }));
+        let t = Tuple::from_slice(&[0; Tuple::INLINE + 1]);
+        assert!(matches!(t, Tuple::Heap(_)));
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        // An inline tuple and a heap tuple can never have the same arity,
+        // but padding must not leak into equality for inline tuples.
+        let a = Tuple::from_slice(&[5, 6]);
+        let mut b = Tuple::from_slice(&[5, 7]);
+        b.set(1, 6);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn with_and_set() {
+        let t = Tuple::from_slice(&[1, 2, 3]);
+        let u = t.with(0, 9);
+        assert_eq!(u.as_slice(), &[9, 2, 3]);
+        assert_eq!(t.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        let mut t = Tuple::from_slice(&[1]);
+        t.set(1, 0);
+    }
+
+    #[test]
+    fn select_projects_and_permutes() {
+        let t = Tuple::from_slice(&[10, 20, 30, 40]);
+        assert_eq!(t.select(&[3, 0]).as_slice(), &[40, 10]);
+        assert_eq!(t.select(&[1, 1, 1]).as_slice(), &[20, 20, 20]);
+        assert_eq!(t.select(&[]).as_slice(), &[] as &[Elem]);
+    }
+
+    #[test]
+    fn concat_joins_tuples() {
+        let a = Tuple::from_slice(&[1, 2]);
+        let b = Tuple::from_slice(&[3]);
+        assert_eq!(a.concat(&b).as_slice(), &[1, 2, 3]);
+        assert_eq!(b.concat(&a).as_slice(), &[3, 1, 2]);
+        // Crossing the inline boundary.
+        let long = Tuple::from_slice(&[0; 5]);
+        assert_eq!(long.concat(&long).arity(), 10);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Tuple::from_slice(&[1, 2]);
+        let b = Tuple::from_slice(&[1, 3]);
+        let c = Tuple::from_slice(&[1, 2, 0]);
+        assert!(a < b);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn borrow_slice_lookup() {
+        use std::collections::HashSet;
+        let mut s: HashSet<Tuple> = HashSet::new();
+        s.insert(Tuple::from_slice(&[4, 4]));
+        assert!(s.contains(&[4u32, 4u32] as &[Elem]));
+    }
+}

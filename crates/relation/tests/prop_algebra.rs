@@ -1,0 +1,179 @@
+//! Property-based tests for the relational substrate: algebraic laws of the
+//! relation operations and agreement of the dense and sparse cylinder
+//! backends on random inputs.
+
+use bvq_relation::{
+    BitSet, CylCtx, CylinderOps, DenseCylinder, PointIndex, Relation, SparseCylinder, Tuple,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random relation of the given arity over `0..n`.
+fn arb_relation(arity: usize, n: u32, max_tuples: usize) -> impl Strategy<Value = Relation> {
+    prop::collection::vec(prop::collection::vec(0..n, arity), 0..=max_tuples).prop_map(
+        move |rows| {
+            Relation::from_tuples(arity, rows.into_iter().map(Tuple::from))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn union_commutes(a in arb_relation(2, 5, 20), b in arb_relation(2, 5, 20)) {
+        prop_assert_eq!(a.union(&b).sorted(), b.union(&a).sorted());
+    }
+
+    #[test]
+    fn intersect_commutes(a in arb_relation(2, 5, 20), b in arb_relation(2, 5, 20)) {
+        prop_assert_eq!(a.intersect(&b).sorted(), b.intersect(&a).sorted());
+    }
+
+    #[test]
+    fn de_morgan(a in arb_relation(2, 4, 16), b in arb_relation(2, 4, 16)) {
+        // ¬(A ∪ B) = ¬A ∩ ¬B over D².
+        let lhs = a.union(&b).complement(4);
+        let rhs = a.complement(4).intersect(&b.complement(4));
+        prop_assert_eq!(lhs.sorted(), rhs.sorted());
+    }
+
+    #[test]
+    fn difference_via_complement(a in arb_relation(2, 4, 16), b in arb_relation(2, 4, 16)) {
+        let lhs = a.difference(&b);
+        let rhs = a.intersect(&b.complement(4));
+        prop_assert_eq!(lhs.sorted(), rhs.sorted());
+    }
+
+    #[test]
+    fn join_subsumed_by_product(a in arb_relation(2, 4, 12), b in arb_relation(2, 4, 12)) {
+        let j = a.join_on(&b, &[(1, 0)]);
+        let p = a.product(&b).select_eq(1, 2);
+        prop_assert_eq!(j.sorted(), p.sorted());
+    }
+
+    #[test]
+    fn semijoin_is_join_projection(a in arb_relation(2, 4, 12), b in arb_relation(2, 4, 12)) {
+        let s = a.semijoin(&b, &[(0, 1)]);
+        let via_join = a.join_on(&b, &[(0, 1)]).project(&[0, 1]);
+        prop_assert_eq!(s.sorted(), via_join.sorted());
+    }
+
+    #[test]
+    fn antijoin_complements_semijoin(a in arb_relation(2, 4, 12), b in arb_relation(2, 4, 12)) {
+        let s = a.semijoin(&b, &[(0, 1)]);
+        let t = a.antijoin(&b, &[(0, 1)]);
+        prop_assert_eq!(s.union(&t).sorted(), a.sorted());
+        prop_assert!(s.intersect(&t).is_empty());
+    }
+
+    #[test]
+    fn project_select_consistency(a in arb_relation(3, 4, 20)) {
+        // Projecting [0,1,2] is the identity.
+        prop_assert_eq!(a.project(&[0, 1, 2]).sorted(), a.sorted());
+        // Double-permutation returns to the original.
+        prop_assert_eq!(a.project(&[2, 0, 1]).project(&[1, 2, 0]).sorted(), a.sorted());
+    }
+
+    #[test]
+    fn rank_unrank_random(n in 1usize..8, k in 0usize..4, seed in any::<u64>()) {
+        let ix = PointIndex::new(n, k).unwrap();
+        let idx = (seed as usize) % ix.size();
+        prop_assert_eq!(ix.rank(&ix.unrank(idx)), idx);
+    }
+
+    #[test]
+    fn bitset_complement_count(cap in 1usize..300, bits in prop::collection::vec(any::<u64>(), 0..40)) {
+        let mut s = BitSet::new(cap);
+        for b in &bits {
+            s.insert((*b as usize) % cap);
+        }
+        let c = s.count();
+        let mut t = s.clone();
+        t.complement();
+        prop_assert_eq!(t.count(), cap - c);
+    }
+}
+
+/// Runs the same cylindrical pipeline on both backends and compares.
+fn check_backends_agree(n: usize, k: usize, rel: &Relation, vars: &[usize]) {
+    let ctx = CylCtx::new(n, k);
+    let d = DenseCylinder::from_atom(&ctx, rel, vars);
+    let s = SparseCylinder::from_atom(&ctx, rel, vars);
+    let coords: Vec<usize> = (0..k).collect();
+    assert_eq!(
+        d.to_relation(&ctx, &coords).sorted(),
+        s.to_relation(&ctx, &coords).sorted(),
+        "from_atom disagrees"
+    );
+    for i in 0..k {
+        assert_eq!(
+            d.exists(&ctx, i).to_relation(&ctx, &coords).sorted(),
+            s.exists(&ctx, i).to_relation(&ctx, &coords).sorted(),
+            "exists({i}) disagrees"
+        );
+        assert_eq!(
+            d.forall(&ctx, i).to_relation(&ctx, &coords).sorted(),
+            s.forall(&ctx, i).to_relation(&ctx, &coords).sorted(),
+            "forall({i}) disagrees"
+        );
+    }
+    let mut dn = d.clone();
+    dn.not(&ctx);
+    let mut sn = s.clone();
+    sn.not(&ctx);
+    assert_eq!(
+        dn.to_relation(&ctx, &coords).sorted(),
+        sn.to_relation(&ctx, &coords).sorted(),
+        "not disagrees"
+    );
+    assert_eq!(d.count(&ctx), s.count(&ctx));
+    // Preimage under a rotation map with one pinned constant.
+    use bvq_relation::CoordSource;
+    let map: Vec<CoordSource> = (0..k)
+        .map(|i| if i == 0 { CoordSource::Const(1) } else { CoordSource::Coord((i + 1) % k) })
+        .collect();
+    assert_eq!(
+        d.preimage(&ctx, &map).to_relation(&ctx, &coords).sorted(),
+        s.preimage(&ctx, &map).to_relation(&ctx, &coords).sorted(),
+        "preimage disagrees"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dense_sparse_agree(
+        n in 2usize..5,
+        rel in arb_relation(2, 4, 10),
+        v0 in 0usize..3,
+        v1 in 0usize..3,
+    ) {
+        // Relation elements may exceed the domain; from_atom must drop them
+        // identically in both backends.
+        check_backends_agree(n, 3, &rel, &[v0, v1]);
+    }
+
+    #[test]
+    fn dense_sparse_agree_unary(n in 2usize..6, rel in arb_relation(1, 5, 6), v in 0usize..2) {
+        check_backends_agree(n, 2, &rel, &[v]);
+    }
+
+    #[test]
+    fn exists_idempotent_dense(n in 2usize..5, rel in arb_relation(2, 4, 10)) {
+        let ctx = CylCtx::new(n, 2);
+        let d = DenseCylinder::from_atom(&ctx, &rel, &[0, 1]);
+        let e1 = d.exists(&ctx, 0);
+        let e2 = e1.exists(&ctx, 0);
+        prop_assert!(e1 == e2, "∃x∃x φ must equal ∃x φ");
+    }
+
+    #[test]
+    fn exists_monotone_dense(n in 2usize..5, a in arb_relation(2, 4, 10), b in arb_relation(2, 4, 10)) {
+        let ctx = CylCtx::new(n, 2);
+        let da = DenseCylinder::from_atom(&ctx, &a, &[0, 1]);
+        let mut dab = da.clone();
+        dab.or_with(&ctx, &DenseCylinder::from_atom(&ctx, &b, &[0, 1]));
+        prop_assert!(da.exists(&ctx, 1).is_subset(&ctx, &dab.exists(&ctx, 1)));
+    }
+}

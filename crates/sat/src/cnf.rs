@@ -1,0 +1,177 @@
+//! CNF formulas: literals, clauses, and instances.
+
+use std::fmt;
+
+/// A propositional variable, identified by a 0-based index.
+pub type VarId = u32;
+
+/// A literal: a variable with a sign, packed as `2·var + (negated ? 1 : 0)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn pos(var: VarId) -> Lit {
+        Lit(var << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn neg(var: VarId) -> Lit {
+        Lit((var << 1) | 1)
+    }
+
+    /// Builds a literal with an explicit sign (`true` = positive).
+    pub fn new(var: VarId, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(var)
+        } else {
+            Lit::neg(var)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> VarId {
+        self.0 >> 1
+    }
+
+    /// Whether the literal is positive.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    #[must_use]
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// The packed code (useful as an index into per-literal tables).
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The value of this literal under an assignment to its variable.
+    pub fn eval(self, var_value: bool) -> bool {
+        var_value == self.is_positive()
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "v{}", self.var())
+        } else {
+            write!(f, "¬v{}", self.var())
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A disjunction of literals.
+pub type Clause = Vec<Lit>;
+
+/// A CNF instance.
+#[derive(Clone, Debug, Default)]
+pub struct Cnf {
+    /// Number of variables (`0..num_vars`).
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// An empty (trivially satisfiable) instance over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Cnf {
+        Cnf { num_vars, clauses: Vec::new() }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn fresh_var(&mut self) -> VarId {
+        let v = self.num_vars as VarId;
+        self.num_vars += 1;
+        v
+    }
+
+    /// Adds a clause, growing `num_vars` if the clause mentions new ones.
+    pub fn add_clause(&mut self, clause: impl IntoIterator<Item = Lit>) {
+        let clause: Clause = clause.into_iter().collect();
+        for l in &clause {
+            self.num_vars = self.num_vars.max(l.var() as usize + 1);
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Evaluates the instance under a full assignment.
+    ///
+    /// # Panics
+    /// Panics if the assignment is shorter than `num_vars`.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert!(assignment.len() >= self.num_vars, "assignment too short");
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.eval(assignment[l.var() as usize])))
+    }
+
+    /// Total number of literal occurrences.
+    pub fn num_literals(&self) -> usize {
+        self.clauses.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_packing() {
+        let p = Lit::pos(3);
+        let n = Lit::neg(3);
+        assert_eq!(p.var(), 3);
+        assert_eq!(n.var(), 3);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(p.negated(), n);
+        assert_eq!(n.negated(), p);
+        assert_eq!(Lit::new(3, true), p);
+        assert_eq!(Lit::new(3, false), n);
+    }
+
+    #[test]
+    fn literal_eval() {
+        assert!(Lit::pos(0).eval(true));
+        assert!(!Lit::pos(0).eval(false));
+        assert!(Lit::neg(0).eval(false));
+    }
+
+    #[test]
+    fn cnf_eval() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([Lit::pos(0), Lit::pos(1)]);
+        cnf.add_clause([Lit::neg(0)]);
+        assert!(cnf.eval(&[false, true]));
+        assert!(!cnf.eval(&[true, true])); // second clause violated
+        assert!(!cnf.eval(&[false, false])); // first clause violated
+    }
+
+    #[test]
+    fn add_clause_grows_vars() {
+        let mut cnf = Cnf::new(0);
+        cnf.add_clause([Lit::pos(5)]);
+        assert_eq!(cnf.num_vars, 6);
+        assert_eq!(cnf.num_literals(), 1);
+    }
+
+    #[test]
+    fn empty_cnf_is_sat_empty_clause_is_not() {
+        let cnf = Cnf::new(1);
+        assert!(cnf.eval(&[false]));
+        let mut bad = Cnf::new(1);
+        bad.add_clause([]);
+        assert!(!bad.eval(&[true]));
+    }
+}

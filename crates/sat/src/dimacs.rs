@@ -1,0 +1,159 @@
+//! DIMACS CNF input/output.
+//!
+//! The de-facto exchange format for SAT instances, so the solver (and the
+//! ESO^k grounding pipeline that feeds it) can interoperate with standard
+//! benchmark files.
+
+use std::fmt::Write as _;
+
+use crate::cnf::{Cnf, Lit};
+
+/// Errors parsing DIMACS text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DimacsError {
+    /// The `p cnf <vars> <clauses>` header is missing or malformed.
+    BadHeader(String),
+    /// A literal token is not an integer.
+    BadLiteral(String),
+    /// A literal references a variable beyond the declared count.
+    VariableOutOfRange(i64),
+    /// A clause is not terminated by `0`.
+    UnterminatedClause,
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DimacsError::BadHeader(l) => write!(f, "bad DIMACS header: `{l}`"),
+            DimacsError::BadLiteral(t) => write!(f, "bad literal token: `{t}`"),
+            DimacsError::VariableOutOfRange(v) => {
+                write!(f, "literal {v} outside the declared variable range")
+            }
+            DimacsError::UnterminatedClause => write!(f, "final clause not terminated by 0"),
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses DIMACS CNF text. Comment (`c …`) lines are skipped; the
+/// declared clause count is not enforced (common in the wild), but the
+/// variable range is.
+pub fn parse(input: &str) -> Result<Cnf, DimacsError> {
+    let mut declared_vars: Option<usize> = None;
+    let mut cnf = Cnf::new(0);
+    let mut current: Vec<Lit> = Vec::new();
+    let mut saw_literal = false;
+    for line in input.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if line.starts_with('p') {
+            let mut it = line.split_whitespace();
+            let (_p, fmt, nv) = (it.next(), it.next(), it.next());
+            if fmt != Some("cnf") {
+                return Err(DimacsError::BadHeader(line.to_string()));
+            }
+            let nv: usize = nv
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| DimacsError::BadHeader(line.to_string()))?;
+            declared_vars = Some(nv);
+            cnf.num_vars = nv;
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let v: i64 =
+                tok.parse().map_err(|_| DimacsError::BadLiteral(tok.to_string()))?;
+            if v == 0 {
+                cnf.clauses.push(std::mem::take(&mut current));
+                continue;
+            }
+            saw_literal = true;
+            let var = v.unsigned_abs() - 1;
+            if let Some(nv) = declared_vars {
+                if var as usize >= nv {
+                    return Err(DimacsError::VariableOutOfRange(v));
+                }
+            } else {
+                cnf.num_vars = cnf.num_vars.max(var as usize + 1);
+            }
+            current.push(Lit::new(var as u32, v > 0));
+        }
+    }
+    if !current.is_empty() {
+        return Err(DimacsError::UnterminatedClause);
+    }
+    let _ = saw_literal;
+    Ok(cnf)
+}
+
+/// Writes a CNF in DIMACS format.
+pub fn write(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars, cnf.clauses.len());
+    for clause in &cnf.clauses {
+        for l in clause {
+            let v = l.var() as i64 + 1;
+            let _ = write!(out, "{} ", if l.is_positive() { v } else { -v });
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver;
+
+    #[test]
+    fn parses_standard_instance() {
+        let text = "c example\np cnf 3 2\n1 -2 0\n2 3 -1 0\n";
+        let cnf = parse(text).unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        assert_eq!(cnf.clauses[0], vec![Lit::pos(0), Lit::neg(1)]);
+        assert!(solver::solve(&cnf).is_sat());
+    }
+
+    #[test]
+    fn clause_spanning_lines() {
+        let text = "p cnf 2 1\n1\n-2 0\n";
+        let cnf = parse(text).unwrap();
+        assert_eq!(cnf.clauses, vec![vec![Lit::pos(0), Lit::neg(1)]]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut cnf = Cnf::new(4);
+        cnf.add_clause([Lit::pos(0), Lit::neg(3)]);
+        cnf.add_clause([Lit::neg(1)]);
+        cnf.add_clause([]);
+        let text = write(&cnf);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.num_vars, cnf.num_vars);
+        assert_eq!(back.clauses, cnf.clauses);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(parse("p sat 3 1\n1 0"), Err(DimacsError::BadHeader(_))));
+        assert!(matches!(parse("p cnf 1 1\n2 0\n"), Err(DimacsError::VariableOutOfRange(2))));
+        assert!(matches!(parse("p cnf 2 1\n1 -2\n"), Err(DimacsError::UnterminatedClause)));
+        assert!(matches!(parse("p cnf 2 1\nx 0\n"), Err(DimacsError::BadLiteral(_))));
+    }
+
+    #[test]
+    fn headerless_instances_infer_vars() {
+        let cnf = parse("1 -5 0\n").unwrap();
+        assert_eq!(cnf.num_vars, 5);
+    }
+
+    #[test]
+    fn empty_clause_roundtrips() {
+        let cnf = parse("p cnf 1 1\n0\n").unwrap();
+        assert_eq!(cnf.clauses, vec![Vec::<Lit>::new()]);
+        assert!(!solver::solve(&cnf).is_sat());
+    }
+}

@@ -1,0 +1,128 @@
+//! A plain DPLL solver, used as the differential-testing oracle for the
+//! CDCL solver and as the "naive baseline" in benchmark ablations.
+//!
+//! Recursive unit propagation + branching, no learning, no heuristics
+//! beyond first-unassigned-variable. Exponential, but transparent.
+
+use crate::cnf::{Cnf, Lit};
+use crate::solver::SatResult;
+
+/// Solves `cnf` by DPLL.
+pub fn solve(cnf: &Cnf) -> SatResult {
+    let mut assign: Vec<Option<bool>> = vec![None; cnf.num_vars];
+    if go(cnf, &mut assign) {
+        SatResult::Sat(assign.into_iter().map(|a| a.unwrap_or(false)).collect())
+    } else {
+        SatResult::Unsat
+    }
+}
+
+/// Clause status under a partial assignment.
+enum Status {
+    Satisfied,
+    Conflicting,
+    /// Unit with the given forced literal.
+    Unit(Lit),
+    Unresolved,
+}
+
+fn clause_status(clause: &[Lit], assign: &[Option<bool>]) -> Status {
+    let mut unassigned = None;
+    let mut unassigned_count = 0;
+    for &l in clause {
+        match assign[l.var() as usize] {
+            Some(v) if l.eval(v) => return Status::Satisfied,
+            Some(_) => {}
+            None => {
+                unassigned = Some(l);
+                unassigned_count += 1;
+            }
+        }
+    }
+    match unassigned_count {
+        0 => Status::Conflicting,
+        1 => Status::Unit(unassigned.expect("one unassigned literal")),
+        _ => Status::Unresolved,
+    }
+}
+
+fn go(cnf: &Cnf, assign: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation to saturation.
+    let mut changed = true;
+    let mut trail: Vec<usize> = Vec::new();
+    let mut failed = false;
+    while changed && !failed {
+        changed = false;
+        for clause in &cnf.clauses {
+            match clause_status(clause, assign) {
+                Status::Conflicting => {
+                    failed = true;
+                    break;
+                }
+                Status::Unit(l) => {
+                    assign[l.var() as usize] = Some(l.is_positive());
+                    trail.push(l.var() as usize);
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if failed {
+        for v in trail {
+            assign[v] = None;
+        }
+        return false;
+    }
+    // Branch on the first unassigned variable.
+    match assign.iter().position(Option::is_none) {
+        None => true, // every clause satisfied or unresolved-free: full assignment
+        Some(v) => {
+            for value in [true, false] {
+                assign[v] = Some(value);
+                if go(cnf, assign) {
+                    return true;
+                }
+                assign[v] = None;
+            }
+            for v in trail {
+                assign[v] = None;
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Lit;
+
+    #[test]
+    fn agrees_on_small_instances() {
+        let mut c = Cnf::new(3);
+        c.add_clause([Lit::pos(0), Lit::neg(1)]);
+        c.add_clause([Lit::pos(1), Lit::pos(2)]);
+        c.add_clause([Lit::neg(0)]);
+        let r = solve(&c);
+        assert!(c.eval(r.model().expect("sat")));
+    }
+
+    #[test]
+    fn detects_unsat() {
+        let mut c = Cnf::new(2);
+        c.add_clause([Lit::pos(0), Lit::pos(1)]);
+        c.add_clause([Lit::pos(0), Lit::neg(1)]);
+        c.add_clause([Lit::neg(0), Lit::pos(1)]);
+        c.add_clause([Lit::neg(0), Lit::neg(1)]);
+        assert_eq!(solve(&c), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert!(solve(&Cnf::new(0)).is_sat());
+        let mut c = Cnf::new(0);
+        c.add_clause([]);
+        assert_eq!(solve(&c), SatResult::Unsat);
+    }
+}

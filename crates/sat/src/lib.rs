@@ -1,0 +1,36 @@
+//! # bvq-sat
+//!
+//! A from-scratch SAT/QBF substrate for the `bvq` reproduction of Vardi,
+//! *On the Complexity of Bounded-Variable Queries* (PODS 1995).
+//!
+//! Three of the paper's results are NP/PSPACE bounds that this crate makes
+//! executable:
+//!
+//! * **Corollary 3.7** (`ESO^k` ∈ NP): the `bvq-core` ESO evaluator grounds
+//!   a bounded-variable query into a polynomial-size CNF and calls the
+//!   [`Solver`] here;
+//! * **Theorem 4.5** (NP-hardness of `ESO^k` expression complexity):
+//!   `bvq-reductions` maps CNF instances into `ESO^k` queries and uses this
+//!   solver as the ground truth;
+//! * **Theorem 4.6** (PSPACE-hardness of `PFP^k` expression complexity):
+//!   the QBF reduction is cross-checked against [`qbf::solve`].
+//!
+//! The main solver is a CDCL solver (two-watched-literal propagation,
+//! first-UIP clause learning, VSIDS-style activities, Luby restarts); a
+//! plain DPLL solver ([`dpll::solve`]) serves as the differential-testing
+//! oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cnf;
+pub mod dimacs;
+pub mod dpll;
+pub mod qbf;
+pub mod solver;
+pub mod tseitin;
+
+pub use cnf::{Clause, Cnf, Lit, VarId};
+pub use qbf::{Qbf, Quantifier};
+pub use solver::{SatResult, Solver};
+pub use tseitin::BoolExpr;

@@ -1,0 +1,133 @@
+//! Quantified Boolean formulas and a recursive solver.
+//!
+//! Theorem 4.6 reduces QBF to `PFP^k` expression evaluation over the fixed
+//! database `B₀`. This module provides the QBF side: a prenex
+//! representation (quantifier prefix over a [`BoolExpr`] matrix) and a
+//! straightforward PSPACE solver (recursive expansion with constant
+//! simplification), used as the reduction's ground truth.
+
+use crate::tseitin::BoolExpr;
+
+/// A quantifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Quantifier {
+    /// Universal.
+    Forall,
+    /// Existential.
+    Exists,
+}
+
+/// A prenex QBF: `Q₁y₁ Q₂y₂ … Q_ℓ y_ℓ. matrix`, where the prefix binds
+/// variables `0..prefix.len()` in order and the matrix mentions only those.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Qbf {
+    /// One quantifier per variable, outermost first; variable `i` is bound
+    /// by `prefix[i]`.
+    pub prefix: Vec<Quantifier>,
+    /// The quantifier-free matrix.
+    pub matrix: BoolExpr,
+}
+
+impl Qbf {
+    /// Creates a QBF, checking the matrix mentions only prefix variables.
+    ///
+    /// # Panics
+    /// Panics if the matrix mentions an unbound variable.
+    pub fn new(prefix: Vec<Quantifier>, matrix: BoolExpr) -> Qbf {
+        assert!(
+            matrix.num_vars() <= prefix.len(),
+            "matrix mentions variable beyond the prefix"
+        );
+        Qbf { prefix, matrix }
+    }
+
+    /// The number of quantifiers.
+    pub fn num_vars(&self) -> usize {
+        self.prefix.len()
+    }
+}
+
+/// Decides the truth of a QBF by recursive expansion.
+pub fn solve(qbf: &Qbf) -> bool {
+    let mut assignment = vec![false; qbf.prefix.len()];
+    go(&qbf.prefix, &qbf.matrix, 0, &mut assignment)
+}
+
+fn go(prefix: &[Quantifier], matrix: &BoolExpr, i: usize, assignment: &mut Vec<bool>) -> bool {
+    if i == prefix.len() {
+        return matrix.eval(assignment);
+    }
+    match prefix[i] {
+        Quantifier::Exists => {
+            for value in [false, true] {
+                assignment[i] = value;
+                if go(prefix, matrix, i + 1, assignment) {
+                    return true;
+                }
+            }
+            false
+        }
+        Quantifier::Forall => {
+            for value in [false, true] {
+                assignment[i] = value;
+                if !go(prefix, matrix, i + 1, assignment) {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Quantifier::{Exists, Forall};
+
+    fn v(i: u32) -> BoolExpr {
+        BoolExpr::Var(i)
+    }
+
+    #[test]
+    fn forall_exists_equal_is_true() {
+        // ∀y₁ ∃y₂ (y₁ ↔ y₂)
+        let q = Qbf::new(vec![Forall, Exists], v(0).iff(v(1)));
+        assert!(solve(&q));
+    }
+
+    #[test]
+    fn exists_forall_equal_is_false() {
+        // ∃y₁ ∀y₂ (y₁ ↔ y₂)
+        let q = Qbf::new(vec![Exists, Forall], v(0).iff(v(1)));
+        assert!(!solve(&q));
+    }
+
+    #[test]
+    fn quantifier_free_matrix() {
+        assert!(solve(&Qbf::new(vec![], BoolExpr::Const(true))));
+        assert!(!solve(&Qbf::new(vec![], BoolExpr::Const(false))));
+    }
+
+    #[test]
+    fn pure_existential_matches_sat() {
+        // ∃y₁y₂ ((y₁ ∨ y₂) ∧ ¬y₁) is satisfiable.
+        let m = v(0).or(v(1)).and(v(0).not());
+        assert!(solve(&Qbf::new(vec![Exists, Exists], m.clone())));
+        // ∀ version is false.
+        assert!(!solve(&Qbf::new(vec![Forall, Forall], m)));
+    }
+
+    #[test]
+    fn alternation_chain() {
+        // ∀y₁∃y₂∀y₃∃y₄ ((y₁↔y₂) ∧ (y₃↔y₄)): inner players can copy.
+        let m = v(0).iff(v(1)).and(v(2).iff(v(3)));
+        let q = Qbf::new(vec![Forall, Exists, Forall, Exists], m);
+        assert!(solve(&q));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the prefix")]
+    fn unbound_variable_rejected() {
+        Qbf::new(vec![Exists], v(1));
+    }
+}

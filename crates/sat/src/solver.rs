@@ -1,0 +1,542 @@
+//! A CDCL SAT solver.
+//!
+//! Standard architecture: two-watched-literal unit propagation, first-UIP
+//! conflict analysis with clause learning, VSIDS-style variable activities
+//! with exponential decay, phase saving, and Luby-sequence restarts. The
+//! instance sizes produced by the ESO^k grounding (Corollary 3.7) are
+//! modest — tens of thousands of variables — so the decision heuristic uses
+//! a straightforward activity scan rather than a heap.
+
+use crate::cnf::{Clause, Cnf, Lit, VarId};
+
+/// The outcome of solving.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a witnessing assignment (`model[v]` = value of v).
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// Whether the result is SAT.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// The model, if SAT.
+    pub fn model(&self) -> Option<&[bool]> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            SatResult::Unsat => None,
+        }
+    }
+}
+
+/// Index of a clause in the solver's clause arena.
+type ClauseRef = u32;
+
+const UNASSIGNED: u8 = 2;
+
+/// Solver statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations.
+    pub propagations: u64,
+    /// Number of conflicts analysed.
+    pub conflicts: u64,
+    /// Number of learned clauses.
+    pub learned: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+}
+
+/// A CDCL SAT solver. Construct with [`Solver::new`], solve with
+/// [`Solver::solve`].
+pub struct Solver {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+    /// `watches[lit.code()]`: clauses watching `lit`.
+    watches: Vec<Vec<ClauseRef>>,
+    /// Assignment per variable: 0 = false, 1 = true, 2 = unassigned.
+    assign: Vec<u8>,
+    /// Decision level per variable.
+    level: Vec<u32>,
+    /// The clause that implied each variable (propagations only).
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    /// Trail indices where each decision level starts.
+    trail_lim: Vec<usize>,
+    /// Next trail position to propagate from.
+    qhead: usize,
+    activity: Vec<f64>,
+    act_inc: f64,
+    /// Saved phases for phase-saving.
+    phase: Vec<bool>,
+    /// False if the instance is already unsatisfiable at level 0.
+    ok: bool,
+    stats: SolverStats,
+}
+
+impl Solver {
+    /// Builds a solver from a CNF instance.
+    pub fn new(cnf: &Cnf) -> Solver {
+        let num_vars = cnf.num_vars;
+        let mut s = Solver {
+            num_vars,
+            clauses: Vec::with_capacity(cnf.clauses.len()),
+            watches: vec![Vec::new(); 2 * num_vars],
+            assign: vec![UNASSIGNED; num_vars],
+            level: vec![0; num_vars],
+            reason: vec![None; num_vars],
+            trail: Vec::with_capacity(num_vars),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0; num_vars],
+            act_inc: 1.0,
+            phase: vec![false; num_vars],
+            ok: true,
+            stats: SolverStats::default(),
+        };
+        for clause in &cnf.clauses {
+            if !s.add_clause_internal(clause.clone()) {
+                s.ok = false;
+                break;
+            }
+        }
+        s
+    }
+
+    /// Solver statistics after (or during) a run.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Adds a clause; returns false if it makes the instance unsatisfiable
+    /// at level 0.
+    fn add_clause_internal(&mut self, mut clause: Clause) -> bool {
+        debug_assert!(self.trail_lim.is_empty(), "add clauses at level 0 only");
+        clause.sort_unstable();
+        clause.dedup();
+        // A clause with complementary literals is a tautology.
+        if clause.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return true;
+        }
+        // Drop literals already false at level 0; a true literal satisfies
+        // the clause.
+        let mut simplified: Clause = Vec::with_capacity(clause.len());
+        for &l in &clause {
+            match self.value(l) {
+                Some(true) => return true,
+                Some(false) => {}
+                None => simplified.push(l),
+            }
+        }
+        match simplified.len() {
+            0 => false,
+            1 => {
+                self.enqueue(simplified[0], None);
+                self.propagate().is_none()
+            }
+            _ => {
+                self.attach_clause(simplified);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, clause: Clause) -> ClauseRef {
+        let cref = self.clauses.len() as ClauseRef;
+        self.watches[clause[0].code()].push(cref);
+        self.watches[clause[1].code()].push(cref);
+        self.clauses.push(clause);
+        cref
+    }
+
+    /// Current value of a literal: `Some(bool)` or `None` if unassigned.
+    fn value(&self, l: Lit) -> Option<bool> {
+        match self.assign[l.var() as usize] {
+            UNASSIGNED => None,
+            v => Some(l.eval(v == 1)),
+        }
+    }
+
+    fn current_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Puts a literal on the trail as true.
+    fn enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.value(l), None, "enqueue of assigned literal");
+        let v = l.var() as usize;
+        self.assign[v] = l.is_positive() as u8;
+        self.level[v] = self.current_level();
+        self.reason[v] = reason;
+        self.phase[v] = l.is_positive();
+        self.trail.push(l);
+    }
+
+    /// Unit propagation. Returns the conflicting clause, if any.
+    ///
+    /// Invariant maintained: while a variable is assigned by propagation,
+    /// its reason clause keeps the asserted literal at position 0 (the
+    /// watch-swap below never moves a true watch).
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = p.negated();
+            let mut watchers = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            let mut conflict: Option<ClauseRef> = None;
+            while i < watchers.len() {
+                let cref = watchers[i];
+                // Ensure the false literal is at position 1.
+                if self.clauses[cref as usize][0] == false_lit {
+                    self.clauses[cref as usize].swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[cref as usize][1], false_lit);
+                let first = self.clauses[cref as usize][0];
+                if self.value(first) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut moved = false;
+                for j in 2..self.clauses[cref as usize].len() {
+                    let l = self.clauses[cref as usize][j];
+                    if self.value(l) != Some(false) {
+                        self.clauses[cref as usize].swap(1, j);
+                        self.watches[l.code()].push(cref);
+                        watchers.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.value(first) == Some(false) {
+                    conflict = Some(cref);
+                    break;
+                }
+                self.stats.propagations += 1;
+                self.enqueue(first, Some(cref));
+                i += 1;
+            }
+            self.watches[false_lit.code()] = watchers;
+            if conflict.is_some() {
+                self.qhead = self.trail.len();
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: VarId) {
+        self.activity[v as usize] += self.act_inc;
+        if self.activity[v as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.act_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first, a maximal-level literal second) and the backtrack
+    /// level. Must be called with `current_level() > 0`.
+    fn analyze(&mut self, confl: ClauseRef) -> (Clause, u32) {
+        let mut learned: Clause = Vec::new();
+        let mut seen = vec![false; self.num_vars];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut confl = confl;
+        let mut trail_idx = self.trail.len();
+        let cur_level = self.current_level();
+
+        loop {
+            // Copy out the literals to resolve on (skipping the asserted
+            // literal of a reason clause, which sits at position 0).
+            let start = usize::from(p.is_some());
+            let lits: Vec<Lit> = self.clauses[confl as usize][start..].to_vec();
+            for q in lits {
+                let v = q.var() as usize;
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] == cur_level {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Walk the trail back to the next marked literal of this level.
+            loop {
+                trail_idx -= 1;
+                let l = self.trail[trail_idx];
+                if seen[l.var() as usize] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("literal found").var() as usize;
+            seen[pv] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[pv].expect("non-decision literal has a reason");
+        }
+        let uip = p.expect("first UIP").negated();
+        let bt = learned.iter().map(|l| self.level[l.var() as usize]).max().unwrap_or(0);
+        let mut clause = vec![uip];
+        learned.sort_by_key(|l| std::cmp::Reverse(self.level[l.var() as usize]));
+        clause.extend(learned);
+        (clause, bt)
+    }
+
+    /// Undoes assignments above `level`.
+    fn backtrack(&mut self, level: u32) {
+        if self.current_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for &l in &self.trail[lim..] {
+            self.assign[l.var() as usize] = UNASSIGNED;
+            self.reason[l.var() as usize] = None;
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = lim;
+    }
+
+    /// Picks the unassigned variable with the highest activity.
+    fn pick_branch_var(&self) -> Option<VarId> {
+        let mut best: Option<(VarId, f64)> = None;
+        for v in 0..self.num_vars {
+            if self.assign[v] == UNASSIGNED {
+                let a = self.activity[v];
+                if best.map_or(true, |(_, ba)| a > ba) {
+                    best = Some((v as VarId, a));
+                }
+            }
+        }
+        best.map(|(v, _)| v)
+    }
+
+    /// The Luby sequence 1,1,2,1,1,2,4,… (0-indexed), following the
+    /// standard reluctant-doubling recurrence.
+    fn luby(x: u64) -> u64 {
+        let mut size: u64 = 1;
+        let mut seq: u32 = 0;
+        while size < x + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        let mut x = x;
+        while size - 1 != x {
+            size = (size - 1) >> 1;
+            seq -= 1;
+            x %= size;
+        }
+        1u64 << seq
+    }
+
+    /// Solves the instance.
+    pub fn solve(&mut self) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        if self.propagate().is_some() {
+            return SatResult::Unsat;
+        }
+        let mut restart_idx: u64 = 0;
+        let mut next_restart = 64 * Self::luby(restart_idx);
+        loop {
+            match self.propagate() {
+                Some(confl) => {
+                    self.stats.conflicts += 1;
+                    if self.current_level() == 0 {
+                        return SatResult::Unsat;
+                    }
+                    let (clause, bt) = self.analyze(confl);
+                    self.backtrack(bt);
+                    self.act_inc /= 0.95;
+                    self.stats.learned += 1;
+                    if clause.len() == 1 {
+                        self.enqueue(clause[0], None);
+                    } else {
+                        let cref = self.attach_clause(clause.clone());
+                        self.enqueue(clause[0], Some(cref));
+                    }
+                    if self.stats.conflicts >= next_restart {
+                        restart_idx += 1;
+                        next_restart = self.stats.conflicts + 64 * Self::luby(restart_idx);
+                        self.stats.restarts += 1;
+                        self.backtrack(0);
+                    }
+                }
+                None => match self.pick_branch_var() {
+                    None => {
+                        let model: Vec<bool> = self.assign.iter().map(|&a| a == 1).collect();
+                        return SatResult::Sat(model);
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(Lit::new(v, self.phase[v as usize]), None);
+                    }
+                },
+            }
+        }
+    }
+}
+
+/// Convenience: solve a CNF directly.
+pub fn solve(cnf: &Cnf) -> SatResult {
+    Solver::new(cnf).solve()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(x: i32) -> Lit {
+        if x > 0 {
+            Lit::pos((x - 1) as VarId)
+        } else {
+            Lit::neg((-x - 1) as VarId)
+        }
+    }
+
+    fn cnf(clauses: &[&[i32]]) -> Cnf {
+        let mut c = Cnf::new(0);
+        for cl in clauses {
+            c.add_clause(cl.iter().map(|&x| lit(x)));
+        }
+        c
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(Solver::luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let c = cnf(&[&[1], &[2, -1]]);
+        let r = solve(&c);
+        let m = r.model().expect("sat");
+        assert!(c.eval(m));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let c = cnf(&[&[1], &[-1]]);
+        assert_eq!(solve(&c), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut c = Cnf::new(1);
+        c.add_clause([]);
+        assert_eq!(solve(&c), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_cnf_sat() {
+        assert!(solve(&Cnf::new(3)).is_sat());
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p_{i,j}: pigeon i in hole j; i in 0..3, j in 0..2.
+        let var = |i: u32, j: u32| i * 2 + j;
+        let mut c = Cnf::new(6);
+        for i in 0..3 {
+            c.add_clause([Lit::pos(var(i, 0)), Lit::pos(var(i, 1))]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    c.add_clause([Lit::neg(var(i1, j)), Lit::neg(var(i2, j))]);
+                }
+            }
+        }
+        assert_eq!(solve(&c), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_unsat() {
+        let holes = 4u32;
+        let var = |i: u32, j: u32| i * holes + j;
+        let mut c = Cnf::new(5 * holes as usize);
+        for i in 0..5 {
+            c.add_clause((0..holes).map(|j| Lit::pos(var(i, j))));
+        }
+        for j in 0..holes {
+            for i1 in 0..5 {
+                for i2 in (i1 + 1)..5 {
+                    c.add_clause([Lit::neg(var(i1, j)), Lit::neg(var(i2, j))]);
+                }
+            }
+        }
+        let mut s = Solver::new(&c);
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(s.stats().conflicts > 0, "PHP needs real search");
+    }
+
+    #[test]
+    fn chain_implications_sat() {
+        // x1 ∧ (x1→x2) ∧ … ∧ (x_{n-1}→x_n): model must set all true.
+        let n = 50;
+        let mut c = Cnf::new(n);
+        c.add_clause([Lit::pos(0)]);
+        for v in 0..(n - 1) as u32 {
+            c.add_clause([Lit::neg(v), Lit::pos(v + 1)]);
+        }
+        let r = solve(&c);
+        let m = r.model().expect("sat");
+        assert!(m.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn tautological_clause_ignored() {
+        let c = cnf(&[&[1, -1], &[2]]);
+        let r = solve(&c);
+        assert!(c.eval(r.model().unwrap()));
+    }
+
+    #[test]
+    fn duplicate_literals_handled() {
+        let c = cnf(&[&[1, 1, 1], &[-1, 2, 2]]);
+        let r = solve(&c);
+        assert!(c.eval(r.model().unwrap()));
+    }
+
+    #[test]
+    fn at_most_one_constraints() {
+        // Exactly-one over 8 variables, plus forcing v3: unique model.
+        let n = 8u32;
+        let mut c = Cnf::new(n as usize);
+        c.add_clause((0..n).map(Lit::pos));
+        for a in 0..n {
+            for b in (a + 1)..n {
+                c.add_clause([Lit::neg(a), Lit::neg(b)]);
+            }
+        }
+        c.add_clause([Lit::pos(3)]);
+        let r = solve(&c);
+        let m = r.model().unwrap();
+        assert!(m[3]);
+        assert_eq!(m.iter().filter(|&&b| b).count(), 1);
+    }
+}

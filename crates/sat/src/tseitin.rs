@@ -1,0 +1,207 @@
+//! Boolean expressions and the Tseitin transformation.
+//!
+//! [`BoolExpr`] is a propositional formula DAG-free tree. It serves two
+//! roles in the reproduction:
+//!
+//! * the **Boolean formula value problem** of Theorem 4.4 (evaluate a
+//!   variable-free expression) — [`BoolExpr::eval`];
+//! * the front end for CNF conversion: the ESO^k grounding builds one
+//!   `BoolExpr` per cylindrical assignment node and runs [`tseitin`] to get
+//!   an equisatisfiable CNF of linear size.
+
+use crate::cnf::{Cnf, Lit, VarId};
+
+/// A propositional formula.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoolExpr {
+    /// A constant.
+    Const(bool),
+    /// A propositional variable.
+    Var(VarId),
+    /// Negation.
+    Not(Box<BoolExpr>),
+    /// Conjunction (n-ary; empty = true).
+    And(Vec<BoolExpr>),
+    /// Disjunction (n-ary; empty = false).
+    Or(Vec<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// Negation with double-negation collapse.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> BoolExpr {
+        match self {
+            BoolExpr::Const(b) => BoolExpr::Const(!b),
+            BoolExpr::Not(e) => *e,
+            e => BoolExpr::Not(Box::new(e)),
+        }
+    }
+
+    /// Binary conjunction.
+    pub fn and(self, other: BoolExpr) -> BoolExpr {
+        BoolExpr::And(vec![self, other])
+    }
+
+    /// Binary disjunction.
+    pub fn or(self, other: BoolExpr) -> BoolExpr {
+        BoolExpr::Or(vec![self, other])
+    }
+
+    /// Implication `¬self ∨ other`.
+    pub fn implies(self, other: BoolExpr) -> BoolExpr {
+        self.not().or(other)
+    }
+
+    /// Biconditional.
+    pub fn iff(self, other: BoolExpr) -> BoolExpr {
+        self.clone().implies(other.clone()).and(other.implies(self))
+    }
+
+    /// Evaluates under an assignment (`assignment[v]` = value of `v`).
+    /// Variable-free expressions may pass an empty slice.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        match self {
+            BoolExpr::Const(b) => *b,
+            BoolExpr::Var(v) => assignment[*v as usize],
+            BoolExpr::Not(e) => !e.eval(assignment),
+            BoolExpr::And(es) => es.iter().all(|e| e.eval(assignment)),
+            BoolExpr::Or(es) => es.iter().any(|e| e.eval(assignment)),
+        }
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            BoolExpr::Const(_) | BoolExpr::Var(_) => 1,
+            BoolExpr::Not(e) => 1 + e.size(),
+            BoolExpr::And(es) | BoolExpr::Or(es) => {
+                1 + es.iter().map(BoolExpr::size).sum::<usize>()
+            }
+        }
+    }
+
+    /// The largest variable index used, plus one.
+    pub fn num_vars(&self) -> usize {
+        match self {
+            BoolExpr::Const(_) => 0,
+            BoolExpr::Var(v) => *v as usize + 1,
+            BoolExpr::Not(e) => e.num_vars(),
+            BoolExpr::And(es) | BoolExpr::Or(es) => {
+                es.iter().map(BoolExpr::num_vars).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+/// Tseitin-transforms `expr` into `cnf`, returning a literal equivalent to
+/// the expression's value. The caller typically asserts it as a unit
+/// clause. Input variables of the expression map to the same variable ids
+/// in `cnf` (which is grown as needed); definition variables are fresh.
+pub fn tseitin(expr: &BoolExpr, cnf: &mut Cnf) -> Lit {
+    cnf.num_vars = cnf.num_vars.max(expr.num_vars());
+    encode(expr, cnf)
+}
+
+fn encode(expr: &BoolExpr, cnf: &mut Cnf) -> Lit {
+    match expr {
+        BoolExpr::Const(b) => {
+            // A fresh variable pinned to the constant.
+            let v = cnf.fresh_var();
+            cnf.add_clause([Lit::new(v, *b)]);
+            Lit::pos(v)
+        }
+        BoolExpr::Var(v) => Lit::pos(*v),
+        BoolExpr::Not(e) => encode(e, cnf).negated(),
+        BoolExpr::And(es) => {
+            let lits: Vec<Lit> = es.iter().map(|e| encode(e, cnf)).collect();
+            let out = Lit::pos(cnf.fresh_var());
+            // out → lᵢ for each i; (⋀lᵢ) → out.
+            for &l in &lits {
+                cnf.add_clause([out.negated(), l]);
+            }
+            let mut big: Vec<Lit> = lits.iter().map(|l| l.negated()).collect();
+            big.push(out);
+            cnf.add_clause(big);
+            out
+        }
+        BoolExpr::Or(es) => {
+            let lits: Vec<Lit> = es.iter().map(|e| encode(e, cnf)).collect();
+            let out = Lit::pos(cnf.fresh_var());
+            // lᵢ → out for each i; out → ⋁lᵢ.
+            for &l in &lits {
+                cnf.add_clause([l.negated(), out]);
+            }
+            let mut big = lits;
+            big.push(out.negated());
+            cnf.add_clause(big);
+            out
+        }
+    }
+}
+
+/// Converts a `BoolExpr` to an equisatisfiable CNF asserting the expression
+/// is true. Returns the CNF; model positions `0..expr.num_vars()` are the
+/// original variables.
+pub fn to_cnf(expr: &BoolExpr) -> Cnf {
+    let mut cnf = Cnf::new(expr.num_vars());
+    let root = tseitin(expr, &mut cnf);
+    cnf.add_clause([root]);
+    cnf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver;
+
+    fn exhaustively_equivalent(expr: &BoolExpr) {
+        // For every assignment to the original variables, expr is true iff
+        // the CNF is satisfiable with those values pinned.
+        let n = expr.num_vars();
+        for bits in 0..(1u32 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            let mut cnf = to_cnf(expr);
+            for (i, &b) in assignment.iter().enumerate() {
+                cnf.add_clause([Lit::new(i as VarId, b)]);
+            }
+            let sat = solver::solve(&cnf).is_sat();
+            assert_eq!(sat, expr.eval(&assignment), "assignment {assignment:?}");
+        }
+    }
+
+    #[test]
+    fn tseitin_preserves_semantics() {
+        let x = BoolExpr::Var(0);
+        let y = BoolExpr::Var(1);
+        let z = BoolExpr::Var(2);
+        exhaustively_equivalent(&x.clone().and(y.clone()).or(z.clone().not()));
+        exhaustively_equivalent(&x.clone().iff(y.clone()));
+        exhaustively_equivalent(&x.clone().implies(y.clone()).and(z.clone()));
+        exhaustively_equivalent(&BoolExpr::And(vec![]).or(BoolExpr::Or(vec![])));
+        exhaustively_equivalent(&BoolExpr::Const(false).or(x));
+    }
+
+    #[test]
+    fn eval_variable_free() {
+        let e = BoolExpr::Const(true).and(BoolExpr::Const(false)).not();
+        assert!(e.eval(&[]));
+        assert_eq!(e.size(), 4);
+    }
+
+    #[test]
+    fn nary_semantics() {
+        assert!(BoolExpr::And(vec![]).eval(&[]));
+        assert!(!BoolExpr::Or(vec![]).eval(&[]));
+    }
+
+    #[test]
+    fn cnf_size_is_linear() {
+        // Chain of n conjunctions → O(n) clauses.
+        let mut e = BoolExpr::Var(0);
+        for i in 1..100 {
+            e = e.and(BoolExpr::Var(i));
+        }
+        let cnf = to_cnf(&e);
+        assert!(cnf.clauses.len() < 100 * 4, "got {} clauses", cnf.clauses.len());
+    }
+}

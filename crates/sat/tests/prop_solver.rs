@@ -1,0 +1,74 @@
+//! Differential property tests: the CDCL solver must agree with the DPLL
+//! oracle on random instances, and every SAT model must actually satisfy
+//! the formula.
+
+use bvq_sat::{dpll, solver, tseitin, BoolExpr, Cnf, Lit};
+use proptest::prelude::*;
+
+/// Random CNF: `nv` variables, clauses of length 1–4.
+fn arb_cnf(nv: u32, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    prop::collection::vec(
+        prop::collection::vec((0..nv, any::<bool>()), 1..=4),
+        0..=max_clauses,
+    )
+    .prop_map(move |clauses| {
+        let mut cnf = Cnf::new(nv as usize);
+        for cl in clauses {
+            cnf.add_clause(cl.into_iter().map(|(v, s)| Lit::new(v, s)));
+        }
+        cnf
+    })
+}
+
+fn arb_bool_expr(nv: u32, depth: u32) -> BoxedStrategy<BoolExpr> {
+    let leaf = prop_oneof![
+        (0..nv).prop_map(BoolExpr::Var),
+        any::<bool>().prop_map(BoolExpr::Const),
+    ];
+    leaf.prop_recursive(depth, 32, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(BoolExpr::not),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(BoolExpr::And),
+            prop::collection::vec(inner, 0..3).prop_map(BoolExpr::Or),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cdcl_agrees_with_dpll(cnf in arb_cnf(8, 30)) {
+        let cdcl = solver::solve(&cnf);
+        let oracle = dpll::solve(&cnf);
+        prop_assert_eq!(cdcl.is_sat(), oracle.is_sat());
+        if let Some(m) = cdcl.model() {
+            prop_assert!(cnf.eval(m), "CDCL returned a non-model");
+        }
+        if let Some(m) = oracle.model() {
+            prop_assert!(cnf.eval(m), "DPLL returned a non-model");
+        }
+    }
+
+    #[test]
+    fn tseitin_sat_iff_expr_satisfiable(e in arb_bool_expr(4, 4)) {
+        // Brute-force satisfiability of the expression.
+        let n = e.num_vars();
+        let brute = (0..(1u32 << n)).any(|bits| {
+            let a: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            e.eval(&a)
+        });
+        let cnf = tseitin::to_cnf(&e);
+        prop_assert_eq!(solver::solve(&cnf).is_sat(), brute);
+    }
+
+    #[test]
+    fn model_restriction_satisfies_expr(e in arb_bool_expr(4, 4)) {
+        let cnf = tseitin::to_cnf(&e);
+        if let Some(m) = solver::solve(&cnf).model() {
+            // Model positions 0..e.num_vars() are the original variables.
+            prop_assert!(e.eval(m));
+        }
+    }
+}

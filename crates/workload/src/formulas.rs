@@ -1,0 +1,131 @@
+//! Seeded random formula generators for the benchmark sweeps.
+//!
+//! Unlike the proptest strategies used in tests, these produce formulas of
+//! a *controlled size* from a `u64` seed, so benchmark points are
+//! comparable across runs.
+
+use bvq_logic::{Formula, Term, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random `FO^k` formula over `E/2` and `P/1` with roughly `size`
+/// connective nodes. All variables are among `x₁,…,x_k`.
+pub fn random_fo(k: usize, size: usize, seed: u64) -> Formula {
+    let mut rng = StdRng::seed_from_u64(seed);
+    grow_fo(k, size, &mut rng)
+}
+
+fn rand_var(k: usize, rng: &mut StdRng) -> Term {
+    Term::Var(Var(rng.gen_range(0..k as u32)))
+}
+
+fn leaf(k: usize, rng: &mut StdRng) -> Formula {
+    match rng.gen_range(0..4) {
+        0 => Formula::atom("P", [rand_var(k, rng)]),
+        1 | 2 => Formula::atom("E", [rand_var(k, rng), rand_var(k, rng)]),
+        _ => Formula::Eq(rand_var(k, rng), rand_var(k, rng)),
+    }
+}
+
+fn grow_fo(k: usize, size: usize, rng: &mut StdRng) -> Formula {
+    if size <= 1 {
+        return leaf(k, rng);
+    }
+    match rng.gen_range(0..6) {
+        0 => grow_fo(k, size - 1, rng).not(),
+        1 | 2 => {
+            let left = rng.gen_range(1..size.max(2));
+            grow_fo(k, left, rng).and(grow_fo(k, size - left, rng))
+        }
+        3 => {
+            let left = rng.gen_range(1..size.max(2));
+            grow_fo(k, left, rng).or(grow_fo(k, size - left, rng))
+        }
+        4 => grow_fo(k, size - 1, rng).exists(Var(rng.gen_range(0..k as u32))),
+        _ => grow_fo(k, size - 1, rng).forall(Var(rng.gen_range(0..k as u32))),
+    }
+}
+
+/// A random positive `FP^k` formula: an FO skeleton sprinkled with μ/ν
+/// fixpoints (recursion variable occurring positively), `fixpoints` of
+/// them, nested.
+pub fn random_fp(k: usize, size: usize, fixpoints: usize, seed: u64) -> Formula {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut f = grow_fo(k, size, &mut rng);
+    for i in 0..fixpoints {
+        let name = format!("S{i}");
+        let bv = Var(rng.gen_range(0..k as u32));
+        let body = f.or(Formula::rel_var(&name, [Term::Var(bv)]));
+        let av = Term::Var(Var(rng.gen_range(0..k as u32)));
+        f = if rng.gen_bool(0.5) {
+            Formula::lfp(&name, vec![bv], body, vec![av])
+        } else {
+            Formula::gfp(&name, vec![bv], body, vec![av])
+        };
+        // Optionally wrap with more FO structure between fixpoints.
+        if rng.gen_bool(0.5) {
+            f = f.and(leaf(k, &mut rng));
+        }
+    }
+    f
+}
+
+/// The cross-product family: `∃x₂…x_m (P(x₁) ∧ P(x₂) ∧ … ∧ P(x_m))`.
+/// Its naive evaluation materialises `|P|^m` tuples — the cleanest
+/// exhibition of the Table-1 exponential combined complexity.
+pub fn cross_product_family(m: usize) -> Formula {
+    assert!(m >= 1);
+    let conj = Formula::and_all(
+        (0..m as u32).map(|i| Formula::atom("P", [Term::Var(Var(i))])),
+    );
+    let mut f = conj;
+    for i in (1..m as u32).rev() {
+        f = f.exists(Var(i));
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_fo_respects_width() {
+        for seed in 0..20 {
+            let f = random_fo(3, 12, seed);
+            assert!(f.width() <= 3, "seed {seed}: width {}", f.width());
+            assert!(f.is_first_order());
+        }
+    }
+
+    #[test]
+    fn random_fo_is_deterministic() {
+        assert_eq!(random_fo(2, 10, 5), random_fo(2, 10, 5));
+        assert_ne!(random_fo(2, 10, 5), random_fo(2, 10, 6));
+    }
+
+    #[test]
+    fn random_fp_is_valid() {
+        for seed in 0..20 {
+            let f = random_fp(2, 6, 3, seed);
+            assert!(f.validate_fp().is_ok(), "seed {seed}");
+            assert!(f.width() <= 2);
+            assert_eq!(f.fixpoint_count(), 3);
+        }
+    }
+
+    #[test]
+    fn cross_product_width_is_m() {
+        let f = cross_product_family(5);
+        assert_eq!(f.width(), 5);
+        assert_eq!(f.free_vars(), vec![Var(0)]);
+        assert_eq!(cross_product_family(1).width(), 1);
+    }
+
+    #[test]
+    fn size_parameter_tracks() {
+        let small = random_fo(3, 5, 1).size();
+        let large = random_fo(3, 50, 1).size();
+        assert!(large > 2 * small);
+    }
+}

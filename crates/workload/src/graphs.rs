@@ -1,0 +1,122 @@
+//! Random and structured graph databases.
+
+use bvq_relation::{Database, Relation, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Graph families used by the benchmarks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphKind {
+    /// A simple path `0 → 1 → … → n-1`.
+    Path,
+    /// A directed cycle.
+    Cycle,
+    /// Erdős–Rényi `G(n, p)` with `p = c/n` (expected out-degree `c`).
+    Sparse(u32),
+    /// Erdős–Rényi with constant probability `p` (percent).
+    DensePercent(u32),
+    /// A √n × √n grid with right/down edges.
+    Grid,
+}
+
+/// Generates a graph of the given kind as an edge relation.
+pub fn edges(kind: GraphKind, n: usize, seed: u64) -> Relation {
+    let mut rel = Relation::new(2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    match kind {
+        GraphKind::Path => {
+            for i in 0..n.saturating_sub(1) {
+                rel.insert(Tuple::from_slice(&[i as u32, i as u32 + 1]));
+            }
+        }
+        GraphKind::Cycle => {
+            for i in 0..n {
+                rel.insert(Tuple::from_slice(&[i as u32, ((i + 1) % n) as u32]));
+            }
+        }
+        GraphKind::Sparse(c) => {
+            let p = (c as f64 / n as f64).min(1.0);
+            for a in 0..n {
+                for b in 0..n {
+                    if rng.gen_bool(p) {
+                        rel.insert(Tuple::from_slice(&[a as u32, b as u32]));
+                    }
+                }
+            }
+        }
+        GraphKind::DensePercent(pct) => {
+            let p = f64::from(pct.min(100)) / 100.0;
+            for a in 0..n {
+                for b in 0..n {
+                    if rng.gen_bool(p) {
+                        rel.insert(Tuple::from_slice(&[a as u32, b as u32]));
+                    }
+                }
+            }
+        }
+        GraphKind::Grid => {
+            let side = (n as f64).sqrt() as usize;
+            let id = |r: usize, c: usize| (r * side + c) as u32;
+            for r in 0..side {
+                for c in 0..side {
+                    if c + 1 < side {
+                        rel.insert(Tuple::from_slice(&[id(r, c), id(r, c + 1)]));
+                    }
+                    if r + 1 < side {
+                        rel.insert(Tuple::from_slice(&[id(r, c), id(r + 1, c)]));
+                    }
+                }
+            }
+        }
+    }
+    rel
+}
+
+/// A graph database with edge relation `E` and a random unary relation `P`
+/// (each node labelled with probability 1/3).
+pub fn graph_db(kind: GraphKind, n: usize, seed: u64) -> Database {
+    let e = edges(kind, n, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let p = Relation::from_tuples(
+        1,
+        (0..n as u32).filter(|_| rng.gen_ratio(1, 3)).map(|i| [i]),
+    );
+    Database::builder(n).relation_from("E", e).relation_from("P", p).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structured_graphs() {
+        assert_eq!(edges(GraphKind::Path, 5, 0).len(), 4);
+        assert_eq!(edges(GraphKind::Cycle, 5, 0).len(), 5);
+        let g = edges(GraphKind::Grid, 9, 0);
+        assert_eq!(g.len(), 2 * 3 * 2); // 3×3 grid: 6 right + 6 down
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let a = edges(GraphKind::Sparse(3), 20, 42);
+        let b = edges(GraphKind::Sparse(3), 20, 42);
+        assert_eq!(a.sorted(), b.sorted());
+        let c = edges(GraphKind::Sparse(3), 20, 43);
+        assert_ne!(a.sorted(), c.sorted(), "different seeds should differ");
+    }
+
+    #[test]
+    fn graph_db_has_schema() {
+        let db = graph_db(GraphKind::Path, 10, 7);
+        assert_eq!(db.domain_size(), 10);
+        assert!(db.relation_by_name("E").is_some());
+        assert!(db.relation_by_name("P").is_some());
+    }
+
+    #[test]
+    fn density_scales() {
+        let sparse = edges(GraphKind::DensePercent(5), 30, 1).len();
+        let dense = edges(GraphKind::DensePercent(60), 30, 1).len();
+        assert!(dense > sparse * 3);
+    }
+}

@@ -1,0 +1,107 @@
+//! Random Path Systems, CNF, and QBF instances.
+
+use bvq_reductions::PathSystem;
+use bvq_sat::{BoolExpr, Cnf, Lit, Qbf, Quantifier};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random Path Systems instance: `n` elements, `rules` random ternary
+/// implications, `axioms` axioms, one target.
+pub fn random_path_system(n: usize, rules: usize, axioms: usize, seed: u64) -> PathSystem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rnd = |rng: &mut StdRng| rng.gen_range(0..n as u32);
+    PathSystem {
+        n,
+        q: (0..rules).map(|_| (rnd(&mut rng), rnd(&mut rng), rnd(&mut rng))).collect(),
+        s: (0..axioms.max(1)).map(|_| rnd(&mut rng)).collect(),
+        t: vec![rnd(&mut rng)],
+    }
+}
+
+/// A random 3-CNF with the given clause/variable ratio characteristics.
+pub fn random_3cnf(vars: usize, clauses: usize, seed: u64) -> Cnf {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cnf = Cnf::new(vars);
+    for _ in 0..clauses {
+        let mut clause = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let v = rng.gen_range(0..vars as u32);
+            clause.push(Lit::new(v, rng.gen_bool(0.5)));
+        }
+        cnf.add_clause(clause);
+    }
+    cnf
+}
+
+/// A random QBF: alternating `∀∃∀∃…` prefix over `vars` variables, with a
+/// random small matrix.
+pub fn random_qbf(vars: usize, matrix_size: usize, seed: u64) -> Qbf {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prefix: Vec<Quantifier> = (0..vars)
+        .map(|i| if i % 2 == 0 { Quantifier::Forall } else { Quantifier::Exists })
+        .collect();
+    let matrix = random_matrix(vars as u32, matrix_size, &mut rng);
+    Qbf::new(prefix, matrix)
+}
+
+fn random_matrix(nv: u32, size: usize, rng: &mut StdRng) -> BoolExpr {
+    if size <= 1 || nv == 0 {
+        return if nv == 0 {
+            BoolExpr::Const(rng.gen_bool(0.5))
+        } else {
+            let v = BoolExpr::Var(rng.gen_range(0..nv));
+            if rng.gen_bool(0.5) {
+                v.not()
+            } else {
+                v
+            }
+        };
+    }
+    let left = rng.gen_range(1..size);
+    let a = random_matrix(nv, left, rng);
+    let b = random_matrix(nv, size - left, rng);
+    match rng.gen_range(0..3) {
+        0 => a.and(b),
+        1 => a.or(b),
+        _ => a.and(b).not(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_system_shape() {
+        let ps = random_path_system(10, 15, 2, 3);
+        assert_eq!(ps.n, 10);
+        assert_eq!(ps.q.len(), 15);
+        assert_eq!(ps.s.len(), 2);
+        assert!(ps.q.iter().all(|&(x, y, z)| (x as usize) < 10 && (y as usize) < 10 && (z as usize) < 10));
+    }
+
+    #[test]
+    fn cnf_shape() {
+        let cnf = random_3cnf(8, 20, 1);
+        assert_eq!(cnf.num_vars, 8);
+        assert_eq!(cnf.clauses.len(), 20);
+        assert!(cnf.clauses.iter().all(|c| c.len() <= 3));
+    }
+
+    #[test]
+    fn qbf_alternates() {
+        let q = random_qbf(4, 6, 9);
+        assert_eq!(q.prefix.len(), 4);
+        assert_eq!(q.prefix[0], Quantifier::Forall);
+        assert_eq!(q.prefix[1], Quantifier::Exists);
+        assert!(q.matrix.num_vars() <= 4);
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(random_3cnf(5, 10, 2).clauses, random_3cnf(5, 10, 2).clauses);
+        let a = random_qbf(3, 5, 4);
+        let b = random_qbf(3, 5, 4);
+        assert_eq!(a.matrix, b.matrix);
+    }
+}

@@ -1,0 +1,20 @@
+//! # bvq-workload
+//!
+//! Deterministic, seeded workload generators for the `bvq` experiments:
+//! random graphs and databases, formula families, Path Systems / CNF / QBF
+//! instances, Kripke structures, and the paper's employee database.
+//!
+//! Everything is driven by explicit `u64` seeds so benchmark runs are
+//! reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod employee;
+pub mod formulas;
+pub mod graphs;
+pub mod instances;
+pub mod kripke_gen;
+
+pub use employee::{employee_database, employee_query, EmployeeConfig};
+pub use graphs::GraphKind;

@@ -1,0 +1,111 @@
+//! Cross-crate integration: the paper's quantitative claims as assertions
+//! over real runs — the "intermediate results stay small" thesis, the
+//! width analyses, and the Lemma 3.6 transform.
+
+use bvq_core::{reduce_arity, BoundedEvaluator, CertifiedChecker, EsoEvaluator, NaiveEvaluator};
+use bvq_logic::parser::parse_eso;
+use bvq_logic::{patterns, Query, Term, Var};
+use bvq_relation::Database;
+use bvq_workload::formulas::cross_product_family;
+use bvq_workload::graphs::{graph_db, GraphKind};
+
+#[test]
+fn bounded_evaluation_caps_intermediate_arity() {
+    // The structural claim behind Table 2: whatever FO³ formula we run,
+    // max intermediate arity is exactly k.
+    let db = graph_db(GraphKind::Sparse(3), 20, 9);
+    for seed in 0..10 {
+        let f = bvq_workload::formulas::random_fo(3, 25, seed);
+        let q = Query::new(vec![Var(0), Var(1), Var(2)], f);
+        let (_, stats) = BoundedEvaluator::new(&db, 3).eval_query(&q).unwrap();
+        assert_eq!(stats.max_arity, 3, "seed {seed}");
+        assert!(stats.max_cardinality <= 20usize.pow(3));
+    }
+}
+
+#[test]
+fn naive_evaluation_arity_tracks_formula_width() {
+    let db = graph_db(GraphKind::Sparse(3), 10, 9);
+    for m in 2..6 {
+        let q = Query::new(vec![Var(0)], cross_product_family(m));
+        let (_, stats) = NaiveEvaluator::new(&db).eval_query(&q).unwrap();
+        assert_eq!(stats.max_arity, m, "cross-product family width");
+    }
+}
+
+#[test]
+fn certificate_sizes_stay_polynomial() {
+    // Theorem 3.5's "NP" needs polynomial-size certificates: check the
+    // bound |cert| ≤ (iterations+1)·n^k across database sizes.
+    for n in [6usize, 12, 24] {
+        let db = graph_db(GraphKind::Path, n, 0);
+        let q = Query::new(vec![Var(0)], patterns::reach_from_const(0));
+        let checker = CertifiedChecker::new(&db, 2);
+        let (cert, _) = checker.extract(&q).unwrap();
+        let bound = (n + 2) * n * n;
+        assert!(
+            cert.size_tuples() <= bound,
+            "n={n}: certificate {} > bound {bound}",
+            cert.size_tuples()
+        );
+    }
+}
+
+#[test]
+fn fairness_example_is_stable_across_evaluators() {
+    // The §2.2 FP³ sentence over a graph with both a fair and an unfair
+    // cycle: only the P-labelled cycle admits "no unfair path".
+    //   unfair cycle: 0 ↔ 1 (no P); fair cycle: 2 ↔ 3 (both P); 4 → 0.
+    let db = Database::builder(5)
+        .relation("E", 2, [[0u32, 1], [1, 0], [2, 3], [3, 2], [4, 0]])
+        .relation("P", 1, [[2u32], [3]])
+        .build();
+    for (u, expected) in [(0u32, false), (2, true), (4, false)] {
+        let q = Query::sentence(patterns::fairness(Term::Const(u)));
+        let (ans, _) = bvq_core::FpEvaluator::new(&db, 3).eval_query(&q).unwrap();
+        assert_eq!(ans.as_boolean(), expected, "u = {u}");
+        let checker = CertifiedChecker::new(&db, 3);
+        let (member, _, _) = checker.decide(&q, &[]).unwrap();
+        assert_eq!(member, expected, "certified, u = {u}");
+    }
+}
+
+#[test]
+fn lemma_3_6_transform_end_to_end() {
+    // A 4-ary quantified relation with two patterns, as in the paper's own
+    // Lemma 3.6 illustration (S(x1,x1,x2,x2) and S(x1,x2,x1,x2)).
+    let eso = parse_eso(
+        "exists2 S/4. (exists x1. exists x2. S(x1,x1,x2,x2) \
+         & forall x1. ~S(x1,x2,x1,x2))",
+    )
+    .unwrap();
+    assert_eq!(eso.max_rel_arity(), 4);
+    let reduced = reduce_arity(&eso, 2).unwrap();
+    assert!(reduced.max_rel_arity() <= 2);
+    // Semantics preserved over several databases; note the formula has a
+    // free variable x2, so evaluate as a unary query.
+    for n in [2usize, 3] {
+        let db = Database::builder(n).relation("P", 1, [[0u32]]).build();
+        let ev = EsoEvaluator::new(&db, 2);
+        let orig = ev.eval_query(&eso, &[Var(1)]).unwrap();
+        let red = ev.eval_query(&reduced, &[Var(1)]).unwrap();
+        assert_eq!(orig.sorted(), red.sorted(), "n = {n}");
+    }
+}
+
+#[test]
+fn naive_vs_bounded_gap_is_measurable() {
+    // Not a timing assertion (CI-safe): compare materialised tuple counts.
+    let db = graph_db(GraphKind::DensePercent(30), 12, 5);
+    let naive_q = Query::new(vec![Var(0), Var(1)], patterns::path_naive(5));
+    let bounded_q = Query::new(vec![Var(0), Var(1)], patterns::path_bounded(5));
+    let (a1, s1) = NaiveEvaluator::new(&db).eval_query(&naive_q).unwrap();
+    let (a2, s2) = BoundedEvaluator::new(&db, 3).eval_query(&bounded_q).unwrap();
+    assert_eq!(a1.sorted(), a2.sorted());
+    assert!(
+        s1.max_cardinality > 4 * s2.max_cardinality,
+        "naive {} vs bounded {}",
+        s1.max_cardinality,
+        s2.max_cardinality
+    );
+}

@@ -1,0 +1,171 @@
+//! Cross-crate edge cases: tiny domains, arity-0 relations, deeply nested
+//! operators, and the degenerate corners every module must agree on.
+
+use bvq_core::{
+    fo_k_equivalent, BoundedEvaluator, CertifiedChecker, FpEvaluator, NaiveEvaluator,
+    PfpEvaluator, TraceChecker,
+};
+use bvq_logic::parser::{parse_query, parse};
+use bvq_logic::{Formula, Query, Term, Var};
+use bvq_relation::{Database, Relation};
+
+#[test]
+fn singleton_domain() {
+    // n = 1: every quantifier is trivial, every cylinder is {()}-ish.
+    let db = Database::builder(1)
+        .relation("E", 2, [[0u32, 0]])
+        .relation("P", 1, Vec::<[u32; 1]>::new())
+        .build();
+    let q = parse_query("() forall x1. exists x2. E(x1,x2)").unwrap();
+    for result in [
+        BoundedEvaluator::new(&db, 2).eval_query(&q).unwrap().0,
+        NaiveEvaluator::new(&db).eval_query(&q).unwrap().0,
+    ] {
+        assert!(result.as_boolean());
+    }
+    // Reachability on the self-loop.
+    let r = parse_query("(x1) [lfp S(x1). (x1 = 0 | exists x2. (S(x2) & E(x2,x1)))](x1)")
+        .unwrap();
+    assert_eq!(FpEvaluator::new(&db, 2).eval_query(&r).unwrap().0.len(), 1);
+}
+
+#[test]
+fn empty_relations_everywhere() {
+    let db = Database::builder(3)
+        .relation_from("E", Relation::new(2))
+        .relation_from("P", Relation::new(1))
+        .build();
+    // ∃ over an empty relation is false; ∀ is vacuously true.
+    let q1 = parse_query("() exists x1. exists x2. E(x1,x2)").unwrap();
+    let q2 = parse_query("() forall x1. forall x2. ~E(x1,x2)").unwrap();
+    assert!(!BoundedEvaluator::new(&db, 2).eval_query(&q1).unwrap().0.as_boolean());
+    assert!(BoundedEvaluator::new(&db, 2).eval_query(&q2).unwrap().0.as_boolean());
+    // gfp over an empty edge relation is empty.
+    let g = parse_query("(x1) [gfp S(x1). exists x2. (E(x1,x2) & S(x2))](x1)").unwrap();
+    assert!(FpEvaluator::new(&db, 2).eval_query(&g).unwrap().0.is_empty());
+}
+
+#[test]
+fn deep_fixpoint_nesting_stays_consistent() {
+    // Five nested alternating fixpoints, each depending on the previous.
+    let x1 = Term::Var(Var(0));
+    let mut f = Formula::atom("P", [x1]);
+    for i in 0..5 {
+        let name = format!("S{i}");
+        let body = f.or(Formula::rel_var(&name, [x1]));
+        f = if i % 2 == 0 {
+            Formula::lfp(&name, vec![Var(0)], body, vec![x1])
+        } else {
+            Formula::gfp(&name, vec![Var(0)], body, vec![x1])
+        };
+    }
+    assert!(f.validate_fp().is_ok());
+    let db = Database::builder(4)
+        .relation("E", 2, [[0u32, 1]])
+        .relation("P", 1, [[2u32]])
+        .build();
+    let q = Query::new(vec![Var(0)], f);
+    let el = FpEvaluator::new(&db, 1).eval_query(&q).unwrap().0;
+    let naive = FpEvaluator::new(&db, 1)
+        .with_strategy(bvq_core::FpStrategy::Naive)
+        .eval_query(&q)
+        .unwrap()
+        .0;
+    assert_eq!(el.sorted(), naive.sorted());
+    // Certificates handle the nesting.
+    let checker = CertifiedChecker::new(&db, 1);
+    let trace = TraceChecker::new(&db, 1);
+    for t in 0..4u32 {
+        let (m1, _, _) = checker.decide(&q, &[t]).unwrap();
+        assert_eq!(m1, el.contains(&[t]), "nested cert, t={t}");
+        let (cert, _) = trace.extract(&q).unwrap();
+        let (out, _) = trace.verify(&q, &cert, &[t]).unwrap();
+        assert_eq!(
+            out,
+            bvq_core::VerifyOutcome::Valid { member: el.contains(&[t]) },
+            "trace cert, t={t}"
+        );
+    }
+}
+
+#[test]
+fn minimize_width_on_hand_written_wide_formulas() {
+    // A hand-written formula with gratuitous distinct variables.
+    let f = parse(
+        "exists x4. exists x5. exists x6. ((E(x1,x4) & P(x4)) & (E(x5,x6) & P(x6)))",
+    )
+    .unwrap();
+    let slim = f.minimize_width().unwrap();
+    assert!(slim.width() <= 3, "width {}", slim.width());
+    let db = Database::builder(5)
+        .relation("E", 2, [[0u32, 1], [1, 2], [3, 4]])
+        .relation("P", 1, [[1u32], [4]])
+        .build();
+    let out = vec![Var(0)];
+    let a = BoundedEvaluator::new(&db, f.width())
+        .eval_query(&Query::new(out.clone(), f))
+        .unwrap()
+        .0;
+    let b = BoundedEvaluator::new(&db, slim.width().max(1))
+        .eval_query(&Query::new(out, slim))
+        .unwrap()
+        .0;
+    assert_eq!(a.sorted(), b.sorted());
+}
+
+#[test]
+fn pfp_with_nested_lfp_composes() {
+    // PFP whose body contains an LFP: the engine recomputes the inner lfp
+    // per PFP step.
+    let db = Database::builder(4).relation("E", 2, [[0u32, 1], [1, 2], [2, 3]]).build();
+    let q = parse_query(
+        "(x1) [pfp T(x1). (T(x1) | [lfp S(x1). (x1 = 0 | exists x2. (S(x2) & E(x2,x1)))](x1))](x1)",
+    )
+    .unwrap();
+    let (r, _) = PfpEvaluator::new(&db, 2).eval_query(&q).unwrap();
+    assert_eq!(r.len(), 4, "inflationary wrapper of reachability = reachability");
+}
+
+#[test]
+fn pebble_game_matches_evaluator_on_labelled_paths() {
+    // Paths with different labellings must be separated at k = 1 already
+    // (different counts are invisible, but presence/absence is not).
+    let a = Database::builder(3)
+        .relation("E", 2, [[0u32, 1], [1, 2]])
+        .relation("P", 1, [[1u32]])
+        .build();
+    let b = Database::builder(3)
+        .relation("E", 2, [[0u32, 1], [1, 2]])
+        .relation_from("P", Relation::new(1))
+        .build();
+    assert!(!fo_k_equivalent(&a, &b, 1).unwrap());
+    // And identical structures of different presentation are equivalent.
+    let c = Database::builder(3)
+        .relation("E", 2, [[1u32, 2], [0, 1]])
+        .relation("P", 1, [[1u32]])
+        .build();
+    assert!(fo_k_equivalent(&a, &c, 3).unwrap());
+}
+
+#[test]
+fn query_output_permutations_and_repeats() {
+    let db = Database::builder(3).relation("E", 2, [[0u32, 1], [1, 2]]).build();
+    // Outputs (x2, x1): transposed edge relation.
+    let q = parse_query("(x2,x1) E(x1,x2)").unwrap();
+    let (r, _) = BoundedEvaluator::new(&db, 2).eval_query(&q).unwrap();
+    assert!(r.contains(&[1, 0]));
+    assert!(r.contains(&[2, 1]));
+    assert!(!r.contains(&[0, 1]));
+    // Repeated outputs (x1, x1).
+    let q2 = parse_query("(x1,x1) exists x2. E(x1,x2)").unwrap();
+    let (r2, _) = BoundedEvaluator::new(&db, 2).eval_query(&q2).unwrap();
+    assert!(r2.contains(&[0, 0]));
+    assert!(r2.contains(&[1, 1]));
+    assert_eq!(r2.len(), 2);
+    // Naive evaluator agrees on both.
+    for q in [&q, &q2] {
+        let (n, _) = NaiveEvaluator::new(&db).eval_query(q).unwrap();
+        let (b, _) = BoundedEvaluator::new(&db, 2).eval_query(q).unwrap();
+        assert_eq!(n.sorted(), b.sorted());
+    }
+}

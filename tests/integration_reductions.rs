@@ -1,0 +1,74 @@
+//! Cross-crate integration: every lower-bound reduction checked against
+//! its ground-truth solver on randomized instances (seeded, deterministic).
+
+use bvq_core::{BoundedEvaluator, EsoEvaluator, PfpEvaluator};
+use bvq_datalog::eval_seminaive;
+use bvq_reductions::boolean_value::{bool_database, to_fo_sentence};
+use bvq_reductions::qbf_to_pfp::{b0, to_pfp_query};
+use bvq_reductions::sat_to_eso::to_eso_sentence;
+use bvq_sat::{dpll, qbf, solver, BoolExpr};
+use bvq_workload::instances::{random_3cnf, random_path_system, random_qbf};
+
+#[test]
+fn path_systems_reduction_on_random_instances() {
+    for seed in 0..20 {
+        let ps = random_path_system(6, 8, 1, seed);
+        let db = ps.to_database();
+        let expected = ps.solve_direct();
+        // Datalog route.
+        let out = eval_seminaive(&ps.to_datalog(), &db).unwrap();
+        let datalog = ps.t.iter().any(|&t| out.get("Reach").unwrap().contains(&[t]));
+        assert_eq!(datalog, expected, "datalog disagrees on seed {seed}");
+        // FO³ route (Proposition 3.2).
+        let q = ps.to_fo3_query();
+        assert_eq!(q.formula.width(), 3);
+        let (ans, stats) = BoundedEvaluator::new(&db, 3).eval_query(&q).unwrap();
+        assert_eq!(ans.as_boolean(), expected, "FO³ disagrees on seed {seed}");
+        assert!(stats.max_arity <= 3);
+    }
+}
+
+#[test]
+fn sat_to_eso_on_random_instances() {
+    let db = bool_database();
+    for seed in 0..15 {
+        let cnf = random_3cnf(6, 14 + (seed as usize % 12), seed);
+        let expected = solver::solve(&cnf).is_sat();
+        assert_eq!(dpll::solve(&cnf).is_sat(), expected, "solvers disagree, seed {seed}");
+        let eso = to_eso_sentence(&cnf);
+        let got = EsoEvaluator::new(&db, 1).check(&eso, &[], &[]).unwrap();
+        assert_eq!(got, expected, "ESO reduction disagrees on seed {seed}");
+    }
+}
+
+#[test]
+fn qbf_to_pfp_on_random_instances() {
+    let db = b0();
+    for seed in 0..12 {
+        let instance = random_qbf(3 + (seed as usize % 2), 5, seed);
+        let expected = qbf::solve(&instance);
+        let query = to_pfp_query(&instance);
+        assert!(query.formula.width() <= 2, "reduction must stay in PFP²");
+        let (ans, _) = PfpEvaluator::new(&db, 2).eval_query(&query).unwrap();
+        assert_eq!(ans.as_boolean(), expected, "PFP reduction disagrees on seed {seed}");
+    }
+}
+
+#[test]
+fn boolean_value_reduction() {
+    let db = bool_database();
+    // A syntactically deep closed expression.
+    let mut e = BoolExpr::Const(true);
+    for i in 0..200 {
+        e = if i % 3 == 0 {
+            e.and(BoolExpr::Const(i % 2 == 0))
+        } else if i % 3 == 1 {
+            e.or(BoolExpr::Const(false))
+        } else {
+            e.not()
+        };
+    }
+    let q = to_fo_sentence(&e);
+    let (ans, _) = BoundedEvaluator::new(&db, 1).eval_query(&q).unwrap();
+    assert_eq!(ans.as_boolean(), e.eval(&[]));
+}
