@@ -1,7 +1,7 @@
 //! A1 — ablation: dense bitset vs sparse hash-set cylinder backends for
 //! the `FO^k` evaluator.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bvq_core::BoundedEvaluator;
 use bvq_logic::{patterns, Query, Var};
 use bvq_workload::graphs::{graph_db, GraphKind};
@@ -14,7 +14,12 @@ fn bench(c: &mut Criterion) {
         let q = Query::new(vec![Var(0), Var(1)], patterns::path_bounded(12));
         g.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
             b.iter(|| {
-                BoundedEvaluator::new(&db, 3).without_stats().eval_query(&q).unwrap().0.len()
+                BoundedEvaluator::new(&db, 3)
+                    .without_stats()
+                    .eval_query(&q)
+                    .unwrap()
+                    .0
+                    .len()
             })
         });
         g.bench_with_input(BenchmarkId::new("sparse", n), &n, |b, _| {

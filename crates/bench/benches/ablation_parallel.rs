@@ -1,0 +1,89 @@
+//! A5 — ablation: thread-count scaling of the parallel evaluation engine
+//! on Table 2 workloads.
+//!
+//! Each workload runs at 1, 2, 4 and 8 worker threads; 1 thread is the
+//! exact sequential engine, so the ratio of the 1-thread point to a
+//! multi-thread point is the parallel speedup. Answers are identical at
+//! every thread count (see `tests/integration_threads.rs`); only wall
+//! time may differ. On a single-core host all points coincide — the
+//! sub-threshold guards keep the scoped-thread overhead negligible.
+
+use bvq_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_core::{BoundedEvaluator, FpEvaluator};
+use bvq_datalog::eval_seminaive_with;
+use bvq_logic::{patterns, Query, Var};
+use bvq_relation::EvalConfig;
+use bvq_workload::graphs::{graph_db, GraphKind};
+use bvq_workload::instances::random_path_system;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_parallel");
+    g.sample_size(10);
+
+    // FP² transitive closure on a sparse random graph, n ≥ 200: the
+    // Table 2 FP row at a size where the n^k point space dominates.
+    for n in [200usize, 320] {
+        let db = graph_db(GraphKind::Sparse(3), n, 17);
+        let q = Query::new(vec![Var(0)], patterns::reach_from_const(0));
+        for t in THREADS {
+            let cfg = EvalConfig::with_threads(t);
+            g.bench_with_input(
+                BenchmarkId::new(format!("fp2_reach_t{t}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        FpEvaluator::new(&db, 2)
+                            .with_config(cfg)
+                            .without_stats()
+                            .eval_query(&q)
+                            .unwrap()
+                            .0
+                            .len()
+                    })
+                },
+            );
+        }
+    }
+
+    // FO³ bounded-length path query (Table 2 FO row).
+    for n in [80usize, 160] {
+        let db = graph_db(GraphKind::Sparse(3), n, 61);
+        let q = Query::new(vec![Var(0), Var(1)], patterns::path_bounded(12));
+        for t in THREADS {
+            let cfg = EvalConfig::with_threads(t);
+            g.bench_with_input(BenchmarkId::new(format!("fo3_path_t{t}"), n), &n, |b, _| {
+                b.iter(|| {
+                    BoundedEvaluator::new(&db, 3)
+                        .with_config(cfg)
+                        .without_stats()
+                        .eval_query(&q)
+                        .unwrap()
+                        .0
+                        .len()
+                })
+            });
+        }
+    }
+
+    // Semi-naive Datalog on random Path Systems (Proposition 3.2).
+    for n in [150usize, 300] {
+        let ps = random_path_system(n, 8 * n, 4, 5);
+        let db = ps.to_database();
+        let prog = ps.to_datalog();
+        for t in THREADS {
+            let cfg = EvalConfig::with_threads(t);
+            g.bench_with_input(
+                BenchmarkId::new(format!("datalog_seminaive_t{t}"), n),
+                &n,
+                |b, _| b.iter(|| eval_seminaive_with(&prog, &db, &cfg).unwrap().idb.len()),
+            );
+        }
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! A2 — ablation: naive vs semi-naive Datalog evaluation (transitive
 //! closure over paths, where semi-naive's delta joins matter most).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bvq_datalog::{eval_naive, eval_seminaive, AtomTerm, Program};
 use bvq_relation::Database;
 use bvq_workload::graphs::{edges, GraphKind};
@@ -18,7 +18,9 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     let prog = tc();
     for n in [16usize, 32, 64] {
-        let db = Database::builder(n).relation_from("E", edges(GraphKind::Path, n, 0)).build();
+        let db = Database::builder(n)
+            .relation_from("E", edges(GraphKind::Path, n, 0))
+            .build();
         g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
             b.iter(|| eval_naive(&prog, &db).unwrap().get("T").unwrap().len())
         });

@@ -1,14 +1,13 @@
 //! E9 — Theorem 4.4 direction: the Boolean formula value problem through
 //! its FO reduction over the fixed database, against direct evaluation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bvq_core::BoundedEvaluator;
+use bvq_prng::Rng;
 use bvq_reductions::boolean_value::{bool_database, to_fo_sentence};
 use bvq_sat::BoolExpr;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-fn random_closed(size: usize, rng: &mut StdRng) -> BoolExpr {
+fn random_closed(size: usize, rng: &mut Rng) -> BoolExpr {
     if size <= 1 {
         return BoolExpr::Const(rng.gen_bool(0.5));
     }
@@ -27,7 +26,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     let db = bool_database();
     for size in [64usize, 256, 1024, 4096] {
-        let mut rng = StdRng::seed_from_u64(size as u64);
+        let mut rng = Rng::seed_from_u64(size as u64);
         let e = random_closed(size, &mut rng);
         g.bench_with_input(BenchmarkId::new("direct_eval", size), &size, |b, _| {
             b.iter(|| e.eval(&[]))

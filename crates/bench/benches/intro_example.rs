@@ -6,28 +6,40 @@
 //! against the variable-minimised elimination plan (arity ≤ 4) and
 //! Yannakakis on the acyclic core, sweeping the number of employees.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bvq_optimizer::{eval_eliminated, eval_yannakakis, greedy_order};
-use bvq_workload::employee::{employee_database, employee_query, employee_scy_query, EmployeeConfig};
+use bvq_workload::employee::{
+    employee_database, employee_query, employee_scy_query, EmployeeConfig,
+};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("intro_example");
     g.sample_size(10);
     for employees in [40usize, 80, 160] {
-        let cfg = EmployeeConfig { employees, departments: employees / 8, salary_levels: 12 };
+        let cfg = EmployeeConfig {
+            employees,
+            departments: employees / 8,
+            salary_levels: 12,
+        };
         let db = employee_database(cfg, 42);
         let q = employee_query();
         let order = greedy_order(&q);
         let core = employee_scy_query();
 
-        g.bench_with_input(BenchmarkId::new("naive_plan", employees), &employees, |b, _| {
-            b.iter(|| q.eval_naive_plan(&db).unwrap().0.len())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("naive_plan", employees),
+            &employees,
+            |b, _| b.iter(|| q.eval_naive_plan(&db).unwrap().0.len()),
+        );
         if employees <= 40 {
             // The paper's literal cross-product plan only survives tiny
             // inputs; bench it at a reduced size for the record.
             let small = employee_database(
-                EmployeeConfig { employees: 10, departments: 2, salary_levels: 4 },
+                EmployeeConfig {
+                    employees: 10,
+                    departments: 2,
+                    salary_levels: 4,
+                },
                 42,
             );
             g.bench_with_input(

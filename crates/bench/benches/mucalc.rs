@@ -1,7 +1,7 @@
 //! E12 — the §1 application: μ-calculus model checking directly, via the
 //! `FP²` translation, and with Theorem 3.5 certificates.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bvq_core::{CertifiedChecker, FpEvaluator};
 use bvq_logic::Query;
 use bvq_mucalc::{check_states, parse_mu, to_fp2, CheckStrategy};
@@ -18,12 +18,23 @@ fn bench(c: &mut Criterion) {
             b.iter(|| check_states(&k, &f, CheckStrategy::Naive).unwrap().count())
         });
         g.bench_with_input(BenchmarkId::new("direct_emerson_lei", n), &n, |b, _| {
-            b.iter(|| check_states(&k, &f, CheckStrategy::EmersonLei).unwrap().count())
+            b.iter(|| {
+                check_states(&k, &f, CheckStrategy::EmersonLei)
+                    .unwrap()
+                    .count()
+            })
         });
         let db = k.to_database();
         let q = Query::new(vec![bvq_logic::Var(0)], to_fp2(&f).unwrap());
         g.bench_with_input(BenchmarkId::new("via_fp2", n), &n, |b, _| {
-            b.iter(|| FpEvaluator::new(&db, 2).without_stats().eval_query(&q).unwrap().0.len())
+            b.iter(|| {
+                FpEvaluator::new(&db, 2)
+                    .without_stats()
+                    .eval_query(&q)
+                    .unwrap()
+                    .0
+                    .len()
+            })
         });
         let checker = CertifiedChecker::new(&db, 2);
         let (cert, _) = checker.extract(&q).unwrap();

@@ -3,7 +3,7 @@
 //! cylindrical evaluation). On dense-ish graphs the naive intermediates
 //! blow up with n; the bounded evaluator stays flat.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bvq_core::{BoundedEvaluator, NaiveEvaluator};
 use bvq_logic::{patterns, Query, Var};
 use bvq_workload::graphs::{graph_db, GraphKind};
@@ -16,7 +16,14 @@ fn bench(c: &mut Criterion) {
         let naive_q = Query::new(vec![Var(0), Var(1)], patterns::path_naive(n));
         let bounded_q = Query::new(vec![Var(0), Var(1)], patterns::path_bounded(n));
         g.bench_with_input(BenchmarkId::new("naive_n_plus_1_vars", n), &n, |b, _| {
-            b.iter(|| NaiveEvaluator::new(&db).without_stats().eval_query(&naive_q).unwrap().0.len())
+            b.iter(|| {
+                NaiveEvaluator::new(&db)
+                    .without_stats()
+                    .eval_query(&naive_q)
+                    .unwrap()
+                    .0
+                    .len()
+            })
         });
         g.bench_with_input(BenchmarkId::new("bounded_fo3", n), &n, |b, _| {
             b.iter(|| {

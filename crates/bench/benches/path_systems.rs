@@ -1,7 +1,7 @@
 //! E4 — Proposition 3.2: Path Systems through its `FO³` reduction, against
 //! the direct fixpoint solver and the Datalog engine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bvq_core::BoundedEvaluator;
 use bvq_datalog::eval_seminaive;
 use bvq_workload::instances::random_path_system;
@@ -18,7 +18,13 @@ fn bench(c: &mut Criterion) {
             b.iter(|| ps.solve_direct())
         });
         g.bench_with_input(BenchmarkId::new("datalog_seminaive", n), &n, |b, _| {
-            b.iter(|| eval_seminaive(&prog, &db).unwrap().get("Reach").unwrap().len())
+            b.iter(|| {
+                eval_seminaive(&prog, &db)
+                    .unwrap()
+                    .get("Reach")
+                    .unwrap()
+                    .len()
+            })
         });
         g.bench_with_input(BenchmarkId::new("fo3_reduction", n), &n, |b, _| {
             b.iter(|| {

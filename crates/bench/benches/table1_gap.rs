@@ -9,7 +9,7 @@
 //!   evaluation (each conjunct handled within `FO¹` cylinders is the
 //!   degenerate contrast; we use the FO³ path family for a fairer one).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bvq_core::{BoundedEvaluator, NaiveEvaluator};
 use bvq_logic::{patterns, Query, Var};
 use bvq_workload::formulas::cross_product_family;
@@ -24,7 +24,14 @@ fn bench(c: &mut Criterion) {
     for m in [2usize, 3, 4, 5] {
         let q = Query::new(vec![Var(0)], cross_product_family(m));
         g.bench_with_input(BenchmarkId::new("combined_naive", m), &m, |b, _| {
-            b.iter(|| NaiveEvaluator::new(&db).without_stats().eval_query(&q).unwrap().0.len())
+            b.iter(|| {
+                NaiveEvaluator::new(&db)
+                    .without_stats()
+                    .eval_query(&q)
+                    .unwrap()
+                    .0
+                    .len()
+            })
         });
     }
 
@@ -33,7 +40,14 @@ fn bench(c: &mut Criterion) {
     for n in [10usize, 20, 40, 80] {
         let dbn = graph_db(GraphKind::Sparse(3), n, 3);
         g.bench_with_input(BenchmarkId::new("data_fixed_formula", n), &n, |b, _| {
-            b.iter(|| NaiveEvaluator::new(&dbn).without_stats().eval_query(&q3).unwrap().0.len())
+            b.iter(|| {
+                NaiveEvaluator::new(&dbn)
+                    .without_stats()
+                    .eval_query(&q3)
+                    .unwrap()
+                    .0
+                    .len()
+            })
         });
     }
 
@@ -41,11 +55,20 @@ fn bench(c: &mut Criterion) {
     // growing size over the fixed database — polynomial in |φ|.
     for len in [4usize, 8, 16, 32] {
         let q = Query::new(vec![Var(0), Var(1)], patterns::path_bounded(len));
-        g.bench_with_input(BenchmarkId::new("combined_bounded_fo3", len), &len, |b, _| {
-            b.iter(|| {
-                BoundedEvaluator::new(&db, 3).without_stats().eval_query(&q).unwrap().0.len()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("combined_bounded_fo3", len),
+            &len,
+            |b, _| {
+                b.iter(|| {
+                    BoundedEvaluator::new(&db, 3)
+                        .without_stats()
+                        .eval_query(&q)
+                        .unwrap()
+                        .0
+                        .len()
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -5,7 +5,7 @@
 //!   colours): exponential, only run at tiny sizes;
 //! * `sat_grounding` — the polynomial-size grounding + CDCL.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bvq_core::EsoEvaluator;
 use bvq_logic::patterns::three_coloring;
 use bvq_relation::{Database, Relation, Tuple};

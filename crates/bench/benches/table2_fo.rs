@@ -2,7 +2,7 @@
 //! `FO^k` is polynomial — time scales polynomially when the database and
 //! the formula grow *together*.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bvq_core::BoundedEvaluator;
 use bvq_logic::{Query, Var};
 use bvq_workload::formulas::random_fo;
@@ -19,7 +19,12 @@ fn bench(c: &mut Criterion) {
         let q = Query::new(vec![Var(0), Var(1), Var(2)], random_fo(3, size, 5));
         g.bench_with_input(BenchmarkId::new("combined_fo3", scale), &scale, |b, _| {
             b.iter(|| {
-                BoundedEvaluator::new(&db, 3).without_stats().eval_query(&q).unwrap().0.len()
+                BoundedEvaluator::new(&db, 3)
+                    .without_stats()
+                    .eval_query(&q)
+                    .unwrap()
+                    .0
+                    .len()
             })
         });
     }
@@ -29,7 +34,12 @@ fn bench(c: &mut Criterion) {
         let q = Query::new(vec![Var(0), Var(1), Var(2)], random_fo(3, size, 9));
         g.bench_with_input(BenchmarkId::new("formula_size", size), &size, |b, _| {
             b.iter(|| {
-                BoundedEvaluator::new(&db, 3).without_stats().eval_query(&q).unwrap().0.len()
+                BoundedEvaluator::new(&db, 3)
+                    .without_stats()
+                    .eval_query(&q)
+                    .unwrap()
+                    .0
+                    .len()
             })
         });
     }

@@ -6,7 +6,7 @@
 //! * `certificate_verify` — the Theorem 3.5 verifier on an extracted
 //!   certificate: single body applications only (`l·n^k` flavour).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bvq_core::{CertifiedChecker, FpEvaluator, FpStrategy, TraceChecker};
 use bvq_logic::{patterns, Query, Term};
 use bvq_workload::graphs::{graph_db, GraphKind};
@@ -31,7 +31,12 @@ fn bench(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("emerson_lei", n), &n, |b, _| {
             b.iter(|| {
-                FpEvaluator::new(&db, 3).without_stats().eval_query(&q).unwrap().0.as_boolean()
+                FpEvaluator::new(&db, 3)
+                    .without_stats()
+                    .eval_query(&q)
+                    .unwrap()
+                    .0
+                    .as_boolean()
             })
         });
         let checker = CertifiedChecker::new(&db, 3);

@@ -1,7 +1,7 @@
 //! E7 — Table 2, PFP^k row (Theorem 3.8): partial-fixpoint iteration with
 //! Brent cycle detection, convergent and divergent cases.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bvq_core::PfpEvaluator;
 use bvq_logic::{patterns, Query, Var};
 use bvq_workload::graphs::{graph_db, GraphKind};
@@ -14,13 +14,23 @@ fn bench(c: &mut Criterion) {
         let reach = Query::new(vec![Var(0)], patterns::pfp_reach(0));
         g.bench_with_input(BenchmarkId::new("convergent_reach", n), &n, |b, _| {
             b.iter(|| {
-                PfpEvaluator::new(&db, 2).without_stats().eval_query(&reach).unwrap().0.len()
+                PfpEvaluator::new(&db, 2)
+                    .without_stats()
+                    .eval_query(&reach)
+                    .unwrap()
+                    .0
+                    .len()
             })
         });
         let flip = Query::new(vec![Var(0)], patterns::pfp_parity_flip());
         g.bench_with_input(BenchmarkId::new("divergent_flip", n), &n, |b, _| {
             b.iter(|| {
-                PfpEvaluator::new(&db, 1).without_stats().eval_query(&flip).unwrap().0.len()
+                PfpEvaluator::new(&db, 1)
+                    .without_stats()
+                    .eval_query(&flip)
+                    .unwrap()
+                    .0
+                    .len()
             })
         });
     }

@@ -1,7 +1,7 @@
 //! E10 — Theorem 4.5: SAT instances as `ESO^k` queries over a fixed
 //! database; solving cost tracks the SAT instance, not the database.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bvq_core::EsoEvaluator;
 use bvq_reductions::sat_to_eso::to_eso_sentence;
 use bvq_relation::Database;

@@ -4,7 +4,7 @@
 //! (near-constant per node); the general evaluator recomputes cylinder
 //! operations at every node.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bvq_core::BoundedEvaluator;
 use bvq_logic::{patterns, Query, Var};
 use bvq_reductions::FiniteAlgebra;
@@ -18,7 +18,12 @@ fn bench(c: &mut Criterion) {
         let q = Query::new(vec![Var(0), Var(1)], patterns::path_bounded(len));
         g.bench_with_input(BenchmarkId::new("general_evaluator", len), &len, |b, _| {
             b.iter(|| {
-                BoundedEvaluator::new(&db, 3).without_stats().eval_query(&q).unwrap().0.len()
+                BoundedEvaluator::new(&db, 3)
+                    .without_stats()
+                    .eval_query(&q)
+                    .unwrap()
+                    .0
+                    .len()
             })
         });
         g.bench_with_input(BenchmarkId::new("finite_algebra", len), &len, |b, _| {
@@ -28,12 +33,16 @@ fn bench(c: &mut Criterion) {
             alg.eval_query(&q).unwrap();
             b.iter(|| alg.eval_query(&q).unwrap().len())
         });
-        g.bench_with_input(BenchmarkId::new("finite_algebra_cold", len), &len, |b, _| {
-            b.iter(|| {
-                let mut alg = FiniteAlgebra::new(&db, 3);
-                alg.eval_query(&q).unwrap().len()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("finite_algebra_cold", len),
+            &len,
+            |b, _| {
+                b.iter(|| {
+                    let mut alg = FiniteAlgebra::new(&db, 3);
+                    alg.eval_query(&q).unwrap().len()
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -3,7 +3,7 @@
 //! in the number of quantifiers (the problem is PSPACE-hard); the point is
 //! the *reduction*: query size linear, database constant.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bvq_core::PfpEvaluator;
 use bvq_reductions::qbf_to_pfp::{b0, to_pfp_query};
 use bvq_sat::qbf;

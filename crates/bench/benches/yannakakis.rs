@@ -2,7 +2,7 @@
 //! all-columns plan on chain queries over graphs with many partial
 //! matches.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bvq_core::BoundedEvaluator;
 use bvq_optimizer::{
     eval_eliminated, eval_yannakakis, greedy_order, to_bounded_query, ConjunctiveQuery, CqTerm,
@@ -41,7 +41,12 @@ fn bench(c: &mut Criterion) {
         let (q, k) = to_bounded_query(&cq).unwrap();
         g.bench_with_input(BenchmarkId::new("compiled_bounded", len), &len, |b, _| {
             b.iter(|| {
-                BoundedEvaluator::new(&db, k).without_stats().eval_query(&q).unwrap().0.len()
+                BoundedEvaluator::new(&db, k)
+                    .without_stats()
+                    .eval_query(&q)
+                    .unwrap()
+                    .0
+                    .len()
             })
         });
     }

@@ -30,8 +30,11 @@ fn main() {
     // only survives tiny instances.
     println!("cross-product plan (the paper's naive approach), small instances:");
     for employees in [6usize, 9, 12] {
-        let cfg =
-            EmployeeConfig { employees, departments: 2, salary_levels: 4 };
+        let cfg = EmployeeConfig {
+            employees,
+            departments: 2,
+            salary_levels: 4,
+        };
         let db = employee_database(cfg, 42);
         let (_, cps) = q.eval_cross_product_plan(&db).unwrap();
         let t = time_mean(Duration::from_millis(20), || {

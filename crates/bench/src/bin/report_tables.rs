@@ -9,7 +9,9 @@
 use std::time::Duration;
 
 use bvq_bench::harness::{classify, fmt_duration, time_mean, Growth, SweepPoint};
-use bvq_core::{BoundedEvaluator, CertifiedChecker, EsoEvaluator, FpEvaluator, NaiveEvaluator, PfpEvaluator};
+use bvq_core::{
+    BoundedEvaluator, CertifiedChecker, EsoEvaluator, FpEvaluator, NaiveEvaluator, PfpEvaluator,
+};
 use bvq_logic::{patterns, Query, Term, Var};
 use bvq_reductions::qbf_to_pfp::{b0, to_pfp_query};
 use bvq_reductions::sat_to_eso::to_eso_sentence;
@@ -29,7 +31,11 @@ fn sweep(params: &[usize], mut run: impl FnMut(usize) -> u64) -> Vec<SweepPoint>
             let time = time_mean(BUDGET, || {
                 size = run(p);
             });
-            SweepPoint { param: p, time, size }
+            SweepPoint {
+                param: p,
+                time,
+                size,
+            }
         })
         .collect()
 }
@@ -40,7 +46,10 @@ fn print_row(table: &str, row: &str, paper: &str, points: &[SweepPoint]) {
         .iter()
         .map(|p| format!("{}→{}", p.param, fmt_duration(p.time)))
         .collect();
-    println!("  [{table}] {row:<38} paper: {paper:<18} measured: {shape:<4}  {}", series.join("  "));
+    println!(
+        "  [{table}] {row:<38} paper: {paper:<18} measured: {shape:<4}  {}",
+        series.join("  ")
+    );
     let _ = shape;
 }
 
@@ -64,16 +73,31 @@ fn main() {
         let db = graph_db(GraphKind::Sparse(4), 12, 3);
         let pts = sweep(&[2, 3, 4, 5], |m| {
             let q = Query::new(vec![Var(0)], cross_product_family(m));
-            NaiveEvaluator::new(&db).without_stats().eval_query(&q).unwrap().0.len() as u64
+            NaiveEvaluator::new(&db)
+                .without_stats()
+                .eval_query(&q)
+                .unwrap()
+                .0
+                .len() as u64
         });
-        print_row("T1", "FO combined (naive, width m)", "PSPACE-complete", &pts);
+        print_row(
+            "T1",
+            "FO combined (naive, width m)",
+            "PSPACE-complete",
+            &pts,
+        );
         expect("T1", "FO combined", &pts, Growth::Exponential);
 
         // FO data complexity: fixed formula, growing database ⇒ polynomial.
         let q3 = Query::new(vec![Var(0)], cross_product_family(3));
         let pts = sweep(&[10, 20, 40, 80], |n| {
             let dbn = graph_db(GraphKind::Sparse(4), n, 3);
-            NaiveEvaluator::new(&dbn).without_stats().eval_query(&q3).unwrap().0.len() as u64
+            NaiveEvaluator::new(&dbn)
+                .without_stats()
+                .eval_query(&q3)
+                .unwrap()
+                .0
+                .len() as u64
         });
         print_row("T1", "FO data (fixed query)", "AC0 (⊆ PTIME)", &pts);
         expect("T1", "FO data", &pts, Growth::Polynomial);
@@ -88,7 +112,12 @@ fn main() {
             let n = 12 * scale;
             let db = graph_db(GraphKind::Sparse(3), n, 11);
             let q = Query::new(vec![Var(0), Var(1), Var(2)], random_fo(3, 12 * scale, 5));
-            BoundedEvaluator::new(&db, 3).without_stats().eval_query(&q).unwrap().0.len() as u64
+            BoundedEvaluator::new(&db, 3)
+                .without_stats()
+                .eval_query(&q)
+                .unwrap()
+                .0
+                .len() as u64
         });
         print_row("T2", "FO^k combined (Prop 3.1)", "PTIME-complete", &pts);
         expect("T2", "FO^k combined", &pts, Growth::Polynomial);
@@ -132,7 +161,12 @@ fn main() {
         let pts = sweep(&[8, 16, 32, 64], |n| {
             let db = graph_db(GraphKind::Path, n, 0);
             let q = Query::new(vec![Var(0)], patterns::pfp_reach(0));
-            PfpEvaluator::new(&db, 2).without_stats().eval_query(&q).unwrap().0.len() as u64
+            PfpEvaluator::new(&db, 2)
+                .without_stats()
+                .eval_query(&q)
+                .unwrap()
+                .0
+                .len() as u64
         });
         print_row("T2", "PFP^k iteration (Thm 3.8)", "PSPACE-complete", &pts);
         expect("T2", "PFP^k iteration", &pts, Growth::Polynomial);
@@ -148,7 +182,12 @@ fn main() {
                 .unwrap();
             s.fixpoint_iterations
         });
-        print_row("T2", "FP^k naive nested (n^(kl) path)", "— (baseline)", &pts_naive);
+        print_row(
+            "T2",
+            "FP^k naive nested (n^(kl) path)",
+            "— (baseline)",
+            &pts_naive,
+        );
     }
     println!();
 
@@ -172,7 +211,11 @@ fn main() {
         let pts = sweep(&[10, 20, 40], |v| {
             let cnf = random_3cnf(v, v * 4, 31);
             let eso = to_eso_sentence(&cnf);
-            u64::from(EsoEvaluator::new(&fixed_db, 1).check(&eso, &[], &[]).unwrap())
+            u64::from(
+                EsoEvaluator::new(&fixed_db, 1)
+                    .check(&eso, &[], &[])
+                    .unwrap(),
+            )
         });
         print_row("T3", "ESO^k fixed-DB = SAT (Thm 4.5)", "NP-complete", &pts);
 
@@ -191,7 +234,12 @@ fn main() {
                     .as_boolean(),
             )
         });
-        print_row("T3", "PFP^k over B0 = QBF (Thm 4.6)", "PSPACE-complete", &pts);
+        print_row(
+            "T3",
+            "PFP^k over B0 = QBF (Thm 4.6)",
+            "PSPACE-complete",
+            &pts,
+        );
     }
     println!();
 
@@ -205,7 +253,10 @@ fn main() {
             let q_naive = Query::new(vec![Var(0), Var(1)], naive.clone());
             let q_slim = Query::new(vec![Var(0), Var(1)], slim.clone());
             let t_naive = time_mean(BUDGET, || {
-                NaiveEvaluator::new(&db).without_stats().eval_query(&q_naive).unwrap();
+                NaiveEvaluator::new(&db)
+                    .without_stats()
+                    .eval_query(&q_naive)
+                    .unwrap();
             });
             let t_slim = time_mean(BUDGET, || {
                 BoundedEvaluator::new(&db, slim.width())

@@ -69,8 +69,10 @@ impl std::fmt::Display for Growth {
 /// otherwise polynomial. Designed for the clear-cut separations the paper
 /// predicts (n^k vs 2^n shapes), not for marginal cases.
 pub fn classify(points: &[SweepPoint]) -> Growth {
-    let usable: Vec<&SweepPoint> =
-        points.iter().filter(|p| p.time > Duration::from_micros(5)).collect();
+    let usable: Vec<&SweepPoint> = points
+        .iter()
+        .filter(|p| p.time > Duration::from_micros(5))
+        .collect();
     if usable.len() < 3 {
         return Growth::Polynomial;
     }
@@ -119,22 +121,24 @@ mod tests {
     use super::*;
 
     fn pt(param: usize, micros: u64) -> SweepPoint {
-        SweepPoint { param, time: Duration::from_micros(micros), size: 0 }
+        SweepPoint {
+            param,
+            time: Duration::from_micros(micros),
+            size: 0,
+        }
     }
 
     #[test]
     fn classifies_polynomial() {
         // t = p²: 100, 400, 900, 1600, 2500 µs.
-        let pts: Vec<SweepPoint> =
-            (1..=5).map(|p| pt(p * 10, (p * p * 100) as u64)).collect();
+        let pts: Vec<SweepPoint> = (1..=5).map(|p| pt(p * 10, (p * p * 100) as u64)).collect();
         assert_eq!(classify(&pts), Growth::Polynomial);
     }
 
     #[test]
     fn classifies_exponential() {
         // t = 2^p with p additive: 100, 200, 400, …, parameter 10,11,12…
-        let pts: Vec<SweepPoint> =
-            (0..8).map(|i| pt(10 + i, 100u64 << i)).collect();
+        let pts: Vec<SweepPoint> = (0..8).map(|i| pt(10 + i, 100u64 << i)).collect();
         assert_eq!(classify(&pts), Growth::Exponential);
     }
 

@@ -1,9 +1,11 @@
 //! # bvq-bench
 //!
-//! Benchmark harness for the `bvq` reproduction. The Criterion benchmarks
-//! live in `benches/`; the table-reproducing report binaries live in
+//! Benchmark harness for the `bvq` reproduction. The micro-benchmarks
+//! live in `benches/` (driven by the in-tree [`microbench`] shim so the
+//! build stays offline); the table-reproducing report binaries live in
 //! `src/bin/`. This library crate hosts shared sweep/reporting helpers.
 
 #![forbid(unsafe_code)]
 
 pub mod harness;
+pub mod microbench;

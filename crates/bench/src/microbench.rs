@@ -1,0 +1,224 @@
+//! A dependency-free micro-benchmark driver with a criterion-shaped API.
+//!
+//! The bench files were written against the small slice of `criterion`
+//! they actually use — `Criterion::benchmark_group`, `sample_size`,
+//! `bench_with_input`, `BenchmarkId::new`, `Bencher::iter` and the
+//! `criterion_group!`/`criterion_main!` macros. Pulling the real crate
+//! requires registry access, which the hermetic build forbids, so this
+//! module implements that slice over `std::time::Instant`: each benchmark
+//! runs a warm-up pass, then timed batches until both a minimum batch
+//! count and a minimum total measuring time are reached, and reports the
+//! mean wall-clock time per iteration.
+//!
+//! Environment knobs:
+//! * `BVQ_BENCH_MIN_MS` — minimum measuring time per benchmark in
+//!   milliseconds (default 300).
+//! * `BVQ_BENCH_FILTER` — substring filter on `group/function/param` ids;
+//!   non-matching benchmarks are skipped.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level driver handed to every registered benchmark function.
+pub struct Criterion {
+    min_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let min_ms = std::env::var("BVQ_BENCH_MIN_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Criterion {
+            min_time: Duration::from_millis(min_ms),
+            filter: std::env::var("BVQ_BENCH_FILTER")
+                .ok()
+                .filter(|f| !f.is_empty()),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter (typically the instance size).
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Sets the minimum number of timed iterations (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark. The routine receives a [`Bencher`] and the
+    /// input and must call [`Bencher::iter`] exactly once.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut routine: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}/{}", self.name, id.function, id.parameter);
+        if let Some(f) = &self.criterion.filter {
+            if !full_id.contains(f.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            min_iters: self.sample_size as u64,
+            min_time: self.criterion.min_time,
+            report: None,
+        };
+        routine(&mut b, input);
+        match b.report {
+            Some((iters, mean)) => println!("{full_id:<52} {:>12}  ({iters} iters)", fmt(mean)),
+            None => println!("{full_id:<52} (no measurement: Bencher::iter not called)"),
+        }
+    }
+
+    /// Ends the group (output is already flushed; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Timing context passed to each benchmark routine.
+pub struct Bencher {
+    min_iters: u64,
+    min_time: Duration,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Measures `routine`, running it repeatedly until both the group's
+    /// sample size and the global minimum measuring time are met.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up: populate caches, traps lazy setup
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        let mut batch: u64 = 1;
+        while iters < self.min_iters || elapsed < self.min_time {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            elapsed += start.elapsed();
+            iters += batch;
+            // Grow batches so fast routines aren't dominated by timer reads.
+            if elapsed < self.min_time / 10 {
+                batch = batch.saturating_mul(2);
+            }
+        }
+        self.report = Some((iters, elapsed / iters as u32));
+    }
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Registers a benchmark group: `criterion_group!(benches, f, g)` defines
+/// `fn benches()` running `f` and `g` against a default [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::microbench::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `fn main()` invoking each registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+// Make `use bvq_bench::microbench::{criterion_group, criterion_main, ...}`
+// work: `#[macro_export]` places the macros at the crate root; re-export
+// them here so the bench files' single import line covers everything.
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_mean() {
+        let mut b = Bencher {
+            min_iters: 5,
+            min_time: Duration::from_millis(1),
+            report: None,
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            std::hint::black_box(count)
+        });
+        let (iters, mean) = b.report.expect("iter records a measurement");
+        assert!(iters >= 5);
+        assert!(mean > Duration::ZERO || iters > 0);
+        // warm-up ran once on top of the timed iterations
+        assert!(count > iters);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("join", 32);
+        assert_eq!(id.function, "join");
+        assert_eq!(id.parameter, "32");
+    }
+
+    #[test]
+    fn fmt_duration_units() {
+        assert_eq!(fmt(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt(Duration::from_micros(2)), "2.00 µs");
+        assert_eq!(fmt(Duration::from_millis(3)), "3.00 ms");
+        assert_eq!(fmt(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -72,10 +72,9 @@ pub fn parse_database(input: &str) -> Result<Database, DbTextError> {
                 .map_err(|_| DbTextError::BadRelHeader(line.to_string()))?;
             current = Some((name.trim().to_string(), arity, Relation::new(arity)));
         } else if line == "end" {
-            let (name, _, rel) =
-                current.take().ok_or_else(|| {
-                    DbTextError::Structure("`end` without an open relation".into())
-                })?;
+            let (name, _, rel) = current
+                .take()
+                .ok_or_else(|| DbTextError::Structure("`end` without an open relation".into()))?;
             db.add_relation(&name, rel)
                 .map_err(|e| DbTextError::Database(e.to_string()))?;
         } else {
@@ -84,7 +83,10 @@ pub fn parse_database(input: &str) -> Result<Database, DbTextError> {
             })?;
             let elems: Vec<u32> = line
                 .split_whitespace()
-                .map(|t| t.parse().map_err(|_| DbTextError::BadElement(t.to_string())))
+                .map(|t| {
+                    t.parse()
+                        .map_err(|_| DbTextError::BadElement(t.to_string()))
+                })
                 .collect::<Result<_, _>>()?;
             if elems.len() != *arity {
                 return Err(DbTextError::BadTuple {
@@ -96,7 +98,9 @@ pub fn parse_database(input: &str) -> Result<Database, DbTextError> {
         }
     }
     if current.is_some() {
-        return Err(DbTextError::Structure("unterminated relation at EOF".into()));
+        return Err(DbTextError::Structure(
+            "unterminated relation at EOF".into(),
+        ));
     }
     Ok(db)
 }
@@ -156,8 +160,14 @@ end
 
     #[test]
     fn error_cases() {
-        assert!(matches!(parse_database(""), Err(DbTextError::MissingDomain)));
-        assert!(matches!(parse_database("domain 0"), Err(DbTextError::MissingDomain)));
+        assert!(matches!(
+            parse_database(""),
+            Err(DbTextError::MissingDomain)
+        ));
+        assert!(matches!(
+            parse_database("domain 0"),
+            Err(DbTextError::MissingDomain)
+        ));
         assert!(matches!(
             parse_database("domain 2\nrel E\n0 1\nend"),
             Err(DbTextError::BadRelHeader(_))

@@ -1,7 +1,7 @@
 //! The `bvq` command-line tool.
 //!
 //! ```text
-//! bvq eval <db-file> '<query>' [--k N] [--naive] [--certify t1,t2;u1,u2]
+//! bvq eval <db-file> '<query>' [--k N] [--naive] [--threads N] [--certify t1,t2;u1,u2]
 //! bvq eso  <db-file> '<eso sentence>' [--k N]
 //! bvq repl <db-file>
 //! ```
@@ -18,7 +18,9 @@ fn main() {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("usage:");
-            eprintln!("  bvq eval <db-file> '<query>' [--k N] [--naive] [--certify T]");
+            eprintln!(
+                "  bvq eval <db-file> '<query>' [--k N] [--naive] [--threads N] [--certify T]"
+            );
             eprintln!("  bvq eso  <db-file> '<eso sentence>' [--k N]");
             eprintln!("  bvq repl <db-file>");
             std::process::exit(1);
@@ -29,8 +31,8 @@ fn main() {
 fn dispatch(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing command")?;
     let db_path = args.get(1).ok_or("missing database file")?;
-    let text = std::fs::read_to_string(db_path)
-        .map_err(|e| format!("cannot read `{db_path}`: {e}"))?;
+    let text =
+        std::fs::read_to_string(db_path).map_err(|e| format!("cannot read `{db_path}`: {e}"))?;
     let db = parse_database(&text).map_err(|e| e.to_string())?;
 
     match cmd.as_str() {
@@ -82,7 +84,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Parses `--k N`, `--naive`, `--certify a,b;c,d`.
+/// Parses `--k N`, `--naive`, `--threads N`, `--certify a,b;c,d`.
 fn parse_opts(rest: &[String]) -> Result<EvalOptions, String> {
     let mut opts = EvalOptions::default();
     let mut it = rest.iter();
@@ -94,6 +96,16 @@ fn parse_opts(rest: &[String]) -> Result<EvalOptions, String> {
             }
             "--naive" => opts.naive = true,
             "--minimize" => opts.minimize = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let t: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --threads value `{v}`"))?;
+                if t == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                opts.threads = Some(t);
+            }
             "--certify" => {
                 let v = it.next().ok_or("--certify needs tuples")?;
                 for group in v.split(';') {

@@ -6,7 +6,7 @@ use bvq_core::{
 };
 use bvq_logic::parser::{parse_eso, parse_query};
 use bvq_logic::Query;
-use bvq_relation::{Database, Relation};
+use bvq_relation::{Database, EvalConfig, Relation};
 
 /// Options for `bvq eval`.
 #[derive(Clone, Debug, Default)]
@@ -19,6 +19,19 @@ pub struct EvalOptions {
     pub minimize: bool,
     /// Tuples to certify via Theorem 3.5 (FP queries only).
     pub certify: Vec<Vec<u32>>,
+    /// Worker threads (`--threads N`); default = `BVQ_THREADS` else the
+    /// machine's available parallelism. Results are identical either way.
+    pub threads: Option<usize>,
+}
+
+impl EvalOptions {
+    /// The parallel-evaluation configuration these options select.
+    pub fn config(&self) -> EvalConfig {
+        match self.threads {
+            Some(t) => EvalConfig::with_threads(t),
+            None => EvalConfig::from_env(),
+        }
+    }
 }
 
 /// Evaluates a query string against the database, returning the rendered
@@ -32,8 +45,11 @@ pub fn run_eval(db: &Database, query: &str, opts: &EvalOptions) -> Result<String
             .minimize_width()
             .ok_or("--minimize applies to first-order queries only")?;
         if slim.width() < q.formula.width() {
-            minimized_note =
-                Some(format!("minimized width {} → {}", q.formula.width(), slim.width()));
+            minimized_note = Some(format!(
+                "minimized width {} → {}",
+                q.formula.width(),
+                slim.width()
+            ));
         }
         q = Query::new(q.output, slim);
     }
@@ -61,17 +77,30 @@ pub fn run_eval(db: &Database, query: &str, opts: &EvalOptions) -> Result<String
         push(&mut out, note);
     }
 
+    let cfg = opts.config();
     let (answer, stats) = if opts.naive {
         if !q.formula.is_first_order() {
             return Err("--naive applies to first-order queries only".into());
         }
-        NaiveEvaluator::new(db).eval_query(&q).map_err(|e| e.to_string())?
+        NaiveEvaluator::new(db)
+            .with_config(cfg)
+            .eval_query(&q)
+            .map_err(|e| e.to_string())?
     } else if q.formula.is_first_order() {
-        BoundedEvaluator::new(db, k).eval_query(&q).map_err(|e| e.to_string())?
+        BoundedEvaluator::new(db, k)
+            .with_config(cfg)
+            .eval_query(&q)
+            .map_err(|e| e.to_string())?
     } else if q.formula.is_fp() {
-        FpEvaluator::new(db, k).eval_query(&q).map_err(|e| e.to_string())?
+        FpEvaluator::new(db, k)
+            .with_config(cfg)
+            .eval_query(&q)
+            .map_err(|e| e.to_string())?
     } else {
-        PfpEvaluator::new(db, k).eval_query(&q).map_err(|e| e.to_string())?
+        PfpEvaluator::new(db, k)
+            .with_config(cfg)
+            .eval_query(&q)
+            .map_err(|e| e.to_string())?
     };
 
     render_answer(&mut out, &q, &answer);
@@ -82,8 +111,7 @@ pub fn run_eval(db: &Database, query: &str, opts: &EvalOptions) -> Result<String
             return Err("--certify applies to FP (lfp/gfp) queries only".into());
         }
         let checker = CertifiedChecker::new(db, k);
-        let (member, size, vstats) =
-            checker.decide(&q, t).map_err(|e| e.to_string())?;
+        let (member, size, vstats) = checker.decide(&q, t).map_err(|e| e.to_string())?;
         push(
             &mut out,
             format!(
@@ -103,14 +131,17 @@ pub fn run_eso(db: &Database, query: &str, k: Option<usize>) -> Result<String, S
     let free = eso.body.free_vars();
     let mut out = String::new();
     if free.is_empty() {
-        let (sat, info) = ev.check_with_info(&eso, &[], &[]).map_err(|e| e.to_string())?;
+        let (sat, info) = ev
+            .check_with_info(&eso, &[], &[])
+            .map_err(|e| e.to_string())?;
         out.push_str(&format!(
             "ESO^{k} sentence: {sat}\ngrounding: {} vars, {} clauses, {} quantified tuples\n",
             info.sat_vars, info.clauses, info.referenced_tuples
         ));
         if sat {
-            if let Some(env) =
-                ev.check_with_witness(&eso, &[], &[]).map_err(|e| e.to_string())?
+            if let Some(env) = ev
+                .check_with_witness(&eso, &[], &[])
+                .map_err(|e| e.to_string())?
             {
                 for (name, rel) in env.iter() {
                     out.push_str(&format!("witness {name} = {:?}\n", rel.sorted()));
@@ -154,9 +185,12 @@ mod tests {
 
     #[test]
     fn eval_fo_query() {
-        let out =
-            run_eval(&db(), "(x1) exists x2. (E(x1,x2) & P(x2))", &EvalOptions::default())
-                .unwrap();
+        let out = run_eval(
+            &db(),
+            "(x1) exists x2. (E(x1,x2) & P(x2))",
+            &EvalOptions::default(),
+        )
+        .unwrap();
         assert!(out.contains("language: FO^2"));
         assert!(out.contains("answer: 1 tuples"));
         assert!(out.contains("⟨1⟩"));
@@ -181,7 +215,10 @@ mod tests {
 
     #[test]
     fn eval_with_minimize() {
-        let opts = EvalOptions { minimize: true, ..Default::default() };
+        let opts = EvalOptions {
+            minimize: true,
+            ..Default::default()
+        };
         // A width-4 chain formula minimizes to width ≤ 3.
         let out = run_eval(
             &db(),
@@ -197,16 +234,26 @@ mod tests {
 
     #[test]
     fn eval_rejects_bad_flags() {
-        let opts = EvalOptions { naive: true, ..Default::default() };
+        let opts = EvalOptions {
+            naive: true,
+            ..Default::default()
+        };
         assert!(run_eval(&db(), "(x1) [pfp S(x1). ~S(x1)](x1)", &opts).is_err());
-        let opts = EvalOptions { certify: vec![vec![0]], ..Default::default() };
+        let opts = EvalOptions {
+            certify: vec![vec![0]],
+            ..Default::default()
+        };
         assert!(run_eval(&db(), "(x1) P(x1)", &opts).is_err());
     }
 
     #[test]
     fn eval_sentence() {
-        let out = run_eval(&db(), "() forall x1. exists x2. (E(x1,x2) | P(x1) | x1 = 3)",
-            &EvalOptions::default()).unwrap();
+        let out = run_eval(
+            &db(),
+            "() forall x1. exists x2. (E(x1,x2) | P(x1) | x1 = 3)",
+            &EvalOptions::default(),
+        )
+        .unwrap();
         assert!(out.contains("answer: true"));
     }
 

@@ -82,9 +82,10 @@ impl Certificate {
     pub fn size_tuples(&self) -> usize {
         match self {
             Certificate::Gfp { witness, body } => witness.len() + body.size_tuples(),
-            Certificate::Lfp { steps } => {
-                steps.iter().map(|s| s.value.len() + s.body.size_tuples()).sum()
-            }
+            Certificate::Lfp { steps } => steps
+                .iter()
+                .map(|s| s.value.len() + s.body.size_tuples())
+                .sum(),
         }
     }
 }
@@ -119,7 +120,11 @@ pub struct CertifiedChecker<'d> {
 impl<'d> CertifiedChecker<'d> {
     /// Creates a checker with variable bound `k`.
     pub fn new(db: &'d Database, k: usize) -> Self {
-        CertifiedChecker { db, k, force_sparse: false }
+        CertifiedChecker {
+            db,
+            k,
+            force_sparse: false,
+        }
     }
 
     /// Forces the sparse cylinder backend.
@@ -130,14 +135,19 @@ impl<'d> CertifiedChecker<'d> {
     }
 
     fn prepare(&self, q: &Query) -> Result<(Formula, Program, CylCtx), EvalError> {
-        let nnf = q.formula.nnf().map_err(|_| {
-            EvalError::UnsupportedConstruct("PFP operators cannot be certified")
-        })?;
+        let nnf = q
+            .formula
+            .nnf()
+            .map_err(|_| EvalError::UnsupportedConstruct("PFP operators cannot be certified"))?;
         let prog = ir::compile(
             &nnf,
             self.db,
             &[],
-            CompileOpts { k: self.k, allow_pfp: false, allow_fix: true },
+            CompileOpts {
+                k: self.k,
+                allow_pfp: false,
+                allow_fix: true,
+            },
         )?;
         let width = q
             .output
@@ -229,9 +239,7 @@ impl<'d> CertifiedChecker<'d> {
         if answer.contains(t) {
             let (out, stats) = self.verify(q, &cert, t)?;
             match out {
-                VerifyOutcome::Valid { member: true } => {
-                    Ok((true, cert.size_tuples(), stats))
-                }
+                VerifyOutcome::Valid { member: true } => Ok((true, cert.size_tuples(), stats)),
                 other => Err(verification_bug(other)),
             }
         } else {
@@ -398,7 +406,13 @@ impl<C: CylinderOps> Extractor<'_, '_, C> {
                 let witness = cur.to_relation(&self.ctx, &coords);
                 let map = fix_read_map(self.ctx.width(), &info.bound, &info.args)?;
                 let value = cur.preimage(&self.ctx, &map);
-                Ok((value, Certificate::Gfp { witness, body: AppCert { certs } }))
+                Ok((
+                    value,
+                    Certificate::Gfp {
+                        witness,
+                        body: AppCert { certs },
+                    },
+                ))
             }
             FixKind::Lfp => {
                 // Record the whole Kleene chain, with per-step inner certs.
@@ -463,7 +477,9 @@ impl<C: CylinderOps> Verifier<'_, '_, C> {
             Err(VerifyError::Eval(e)) => return Err(e),
         };
         if cursor.next().is_some() {
-            return Ok(VerifyOutcome::Invalid("certificate has extra entries".into()));
+            return Ok(VerifyOutcome::Invalid(
+                "certificate has extra entries".into(),
+            ));
         }
         let member = under.to_relation(&self.ctx, coords).contains(t);
         Ok(VerifyOutcome::Valid { member })
@@ -573,7 +589,9 @@ impl<C: CylinderOps> Verifier<'_, '_, C> {
                     .map_err(VerifyError::Eval)?;
                 Ok(prev.preimage(&self.ctx, &map))
             }
-            _ => Err(invalid("certificate kind does not match the fixpoint operator")),
+            _ => Err(invalid(
+                "certificate kind does not match the fixpoint operator",
+            )),
         }
     }
 }
@@ -636,7 +654,13 @@ mod tests {
         assert_eq!(answer.sorted(), exact.sorted());
         for t in 0..5u32 {
             let (out, _) = checker.verify(&q, &cert, &[t]).unwrap();
-            assert_eq!(out, VerifyOutcome::Valid { member: exact.contains(&[t]) }, "t={t}");
+            assert_eq!(
+                out,
+                VerifyOutcome::Valid {
+                    member: exact.contains(&[t])
+                },
+                "t={t}"
+            );
         }
     }
 
@@ -684,10 +708,9 @@ mod tests {
         // post-fixpoint check must fail.
         let db = path_db();
         // Nodes with an infinite outgoing path: none on a finite path.
-        let q = bvq_logic::parser::parse_query(
-            "(x1) [gfp S(x1). exists x2. (E(x1,x2) & S(x2))](x1)",
-        )
-        .unwrap();
+        let q =
+            bvq_logic::parser::parse_query("(x1) [gfp S(x1). exists x2. (E(x1,x2) & S(x2))](x1)")
+                .unwrap();
         let checker = CertifiedChecker::new(&db, 2);
         let (cert, answer) = checker.extract(&q).unwrap();
         assert!(answer.is_empty());
@@ -702,7 +725,10 @@ mod tests {
             panic!("expected a ν certificate");
         }
         let (out, _) = checker.verify(&q, &forged, &[0]).unwrap();
-        assert!(matches!(out, VerifyOutcome::Invalid(_)), "forged witness accepted: {out:?}");
+        assert!(
+            matches!(out, VerifyOutcome::Invalid(_)),
+            "forged witness accepted: {out:?}"
+        );
     }
 
     #[test]
@@ -721,7 +747,10 @@ mod tests {
             panic!("expected a μ certificate");
         }
         let (out, _) = checker.verify(&q, &forged, &[4]).unwrap();
-        assert!(matches!(out, VerifyOutcome::Invalid(_)), "forged chain accepted: {out:?}");
+        assert!(
+            matches!(out, VerifyOutcome::Invalid(_)),
+            "forged chain accepted: {out:?}"
+        );
     }
 
     #[test]
@@ -737,9 +766,17 @@ mod tests {
             steps.truncate(1);
         }
         let (out0, _) = checker.verify(&q, &shrunk, &[0]).unwrap();
-        assert_eq!(out0, VerifyOutcome::Valid { member: true }, "0 enters at step 1");
+        assert_eq!(
+            out0,
+            VerifyOutcome::Valid { member: true },
+            "0 enters at step 1"
+        );
         let (out3, _) = checker.verify(&q, &shrunk, &[3]).unwrap();
-        assert_eq!(out3, VerifyOutcome::Valid { member: false }, "3 needs more steps");
+        assert_eq!(
+            out3,
+            VerifyOutcome::Valid { member: false },
+            "3 needs more steps"
+        );
     }
 
     #[test]
@@ -748,7 +785,9 @@ mod tests {
         // step ≤ n^k tuples.
         let n = 8u32;
         let edges: Vec<[u32; 2]> = (0..n - 1).map(|i| [i, i + 1]).collect();
-        let db = Database::builder(n as usize).relation("E", 2, edges).build();
+        let db = Database::builder(n as usize)
+            .relation("E", 2, edges)
+            .build();
         let q = Query::new(vec![Var(0)], patterns::reach_from_const(0));
         let (cert, _) = CertifiedChecker::new(&db, 2).extract(&q).unwrap();
         let nk = (n as usize).pow(2);

@@ -89,9 +89,7 @@ impl TraceCertificate {
         self.events
             .iter()
             .map(|e| match e {
-                TraceEvent::Step { value, .. } | TraceEvent::Witness { value, .. } => {
-                    value.len()
-                }
+                TraceEvent::Step { value, .. } | TraceEvent::Witness { value, .. } => value.len(),
                 TraceEvent::Check { .. } => 0,
             })
             .sum()
@@ -108,7 +106,11 @@ pub struct TraceChecker<'d> {
 impl<'d> TraceChecker<'d> {
     /// Creates a checker with variable bound `k`.
     pub fn new(db: &'d Database, k: usize) -> Self {
-        TraceChecker { db, k, force_sparse: false }
+        TraceChecker {
+            db,
+            k,
+            force_sparse: false,
+        }
     }
 
     /// Forces the sparse cylinder backend.
@@ -126,7 +128,11 @@ impl<'d> TraceChecker<'d> {
             &nnf,
             self.db,
             &[],
-            CompileOpts { k: self.k, allow_pfp: false, allow_fix: true },
+            CompileOpts {
+                k: self.k,
+                allow_pfp: false,
+                allow_fix: true,
+            },
         )?;
         let width = q
             .output
@@ -201,7 +207,10 @@ fn extract_impl<C: CylinderOps>(
         events: Vec::new(),
     };
     let c = ex.record(prog.root)?;
-    Ok((TraceCertificate { events: ex.events }, c.to_relation(ctx, coords)))
+    Ok((
+        TraceCertificate { events: ex.events },
+        c.to_relation(ctx, coords),
+    ))
 }
 
 impl<C: CylinderOps> TraceExtractor<'_, '_, C> {
@@ -242,8 +251,7 @@ impl<C: CylinderOps> TraceExtractor<'_, '_, C> {
                 match info.kind {
                     FixKind::Lfp => {
                         // Extend the global chain from its recorded value.
-                        let mut cur =
-                            self.env[fix].clone().unwrap_or_else(|| C::empty(&self.ctx));
+                        let mut cur = self.env[fix].clone().unwrap_or_else(|| C::empty(&self.ctx));
                         loop {
                             self.env[fix] = Some(cur.clone());
                             let next = self.record(info.body)?;
@@ -257,8 +265,7 @@ impl<C: CylinderOps> TraceExtractor<'_, '_, C> {
                             cur = next;
                         }
                         self.env[fix] = Some(cur.clone());
-                        let map =
-                            fix_read_map(self.ctx.width(), &info.bound, &info.args)?;
+                        let map = fix_read_map(self.ctx.width(), &info.bound, &info.args)?;
                         Ok(cur.preimage(&self.ctx, &map))
                     }
                     FixKind::Gfp => {
@@ -281,8 +288,7 @@ impl<C: CylinderOps> TraceExtractor<'_, '_, C> {
                         // Unchanged witness: the earlier Witness/Check pair
                         // still covers it (the environment only grew).
                         if self.env[fix].as_ref() == Some(&w) {
-                            let map =
-                                fix_read_map(self.ctx.width(), &info.bound, &info.args)?;
+                            let map = fix_read_map(self.ctx.width(), &info.bound, &info.args)?;
                             return Ok(w.preimage(&self.ctx, &map));
                         }
                         self.events.push(TraceEvent::Witness {
@@ -293,8 +299,7 @@ impl<C: CylinderOps> TraceExtractor<'_, '_, C> {
                         let body_val = self.record(info.body)?;
                         debug_assert!(w.is_subset(&self.ctx, &body_val));
                         self.events.push(TraceEvent::Check { fix });
-                        let map =
-                            fix_read_map(self.ctx.width(), &info.bound, &info.args)?;
+                        let map = fix_read_map(self.ctx.width(), &info.bound, &info.args)?;
                         Ok(w.preimage(&self.ctx, &map))
                     }
                     FixKind::Pfp | FixKind::Ifp => Err(EvalError::UnsupportedConstruct(
@@ -313,7 +318,9 @@ impl<C: CylinderOps> TraceExtractor<'_, '_, C> {
             )),
             AtomSource::Fix(fix) => {
                 let map = fix_read_map(self.ctx.width(), &self.prog.fixes[*fix].bound, args)?;
-                let cur = self.env[*fix].clone().unwrap_or_else(|| C::empty(&self.ctx));
+                let cur = self.env[*fix]
+                    .clone()
+                    .unwrap_or_else(|| C::empty(&self.ctx));
                 Ok(cur.preimage(&self.ctx, &map))
             }
         }
@@ -361,9 +368,7 @@ fn verify_impl<C: CylinderOps>(
                 rec.iteration();
                 let body_val = eval_env(prog, db, ctx, &env, info.body, &mut rec)?;
                 if !v.is_subset(ctx, &body_val) {
-                    return invalid(format!(
-                        "event {i}: μ step exceeds one body application"
-                    ));
+                    return invalid(format!("event {i}: μ step exceeds one body application"));
                 }
                 env[*fix] = Some(v);
             }
@@ -388,9 +393,7 @@ fn verify_impl<C: CylinderOps>(
             }
             TraceEvent::Check { fix } => {
                 if pending.pop() != Some(*fix) {
-                    return invalid(format!(
-                        "event {i}: ν checks must close innermost-first"
-                    ));
+                    return invalid(format!("event {i}: ν checks must close innermost-first"));
                 }
                 let info = &prog.fixes[*fix];
                 rec.iteration();
@@ -524,7 +527,13 @@ mod tests {
         assert!(!cert.is_empty());
         for t in 0..5u32 {
             let (out, _) = checker.verify(&q, &cert, &[t]).unwrap();
-            assert_eq!(out, VerifyOutcome::Valid { member: exact.contains(&[t]) }, "t={t}");
+            assert_eq!(
+                out,
+                VerifyOutcome::Valid {
+                    member: exact.contains(&[t])
+                },
+                "t={t}"
+            );
         }
     }
 
@@ -559,18 +568,18 @@ mod tests {
         let x2 = Term::Var(Var(1));
         // Inner: C = nodes reachable from 0 (an n-step chain, independent
         // of A), guarded by a trivial ν for the μνμ shape.
-        let body_c = Formula::Eq(x1, Term::Const(0))
-            .or(Formula::rel_var("C", [x2]).and(Formula::atom("E", [x2, x1])).exists(Var(1)));
+        let body_c = Formula::Eq(x1, Term::Const(0)).or(Formula::rel_var("C", [x2])
+            .and(Formula::atom("E", [x2, x1]))
+            .exists(Var(1)));
         let mu_c = Formula::lfp("C", vec![Var(0)], body_c, vec![x1]);
         let body_b = Formula::rel_var("B", [x1]).and(mu_c);
         let nu_b = Formula::gfp("B", vec![Var(0)], body_b, vec![x1]);
         // Outer: A also walks the path one node per step — Θ(n) steps —
         // and each step's body contains the nested ν/μ.
         let body_a = nu_b.and(
-            Formula::Eq(x1, Term::Const(0))
-                .or(Formula::rel_var("A", [x2])
-                    .and(Formula::atom("E", [x2, x1]))
-                    .exists(Var(1))),
+            Formula::Eq(x1, Term::Const(0)).or(Formula::rel_var("A", [x2])
+                .and(Formula::atom("E", [x2, x1]))
+                .exists(Var(1))),
         );
         Formula::lfp("A", vec![Var(0)], body_a, vec![x1])
     }
@@ -590,14 +599,23 @@ mod tests {
         let (trace, ta) = trace_checker.extract(&q).unwrap();
         let nested_checker = crate::cert::CertifiedChecker::new(&db, 2);
         let (nested, na) = nested_checker.extract(&q).unwrap();
-        assert_eq!(ta.sorted(), na.sorted(), "both extractors agree on the answer");
+        assert_eq!(
+            ta.sorted(),
+            na.sorted(),
+            "both extractors agree on the answer"
+        );
         let (exact, _) = FpEvaluator::new(&db, 2).eval_query(&q).unwrap();
         assert_eq!(ta.sorted(), exact.sorted());
 
         // Both verify correctly; the trace needs fewer body applications.
         let (out_t, st) = trace_checker.verify(&q, &trace, &[n - 1]).unwrap();
         let (out_n, sn) = nested_checker.verify(&q, &nested, &[n - 1]).unwrap();
-        assert_eq!(out_t, VerifyOutcome::Valid { member: exact.contains(&[n - 1]) });
+        assert_eq!(
+            out_t,
+            VerifyOutcome::Valid {
+                member: exact.contains(&[n - 1])
+            }
+        );
         assert_eq!(out_n, out_t);
         assert!(
             st.fixpoint_iterations < sn.fixpoint_iterations,
@@ -652,16 +670,17 @@ mod tests {
         let db = Database::builder(3)
             .relation("E", 2, [[0u32, 1], [1, 2], [2, 0]])
             .build();
-        let q = bvq_logic::parser::parse_query(
-            "(x1) [gfp S(x1). exists x2. (E(x1,x2) & S(x2))](x1)",
-        )
-        .unwrap();
+        let q =
+            bvq_logic::parser::parse_query("(x1) [gfp S(x1). exists x2. (E(x1,x2) & S(x2))](x1)")
+                .unwrap();
         let checker = TraceChecker::new(&db, 2);
         let (cert, answer) = checker.extract(&q).unwrap();
         assert_eq!(answer.len(), 3, "the cycle has infinite paths everywhere");
         // Drop the Check event: must be rejected.
         let mut forged = cert.clone();
-        forged.events.retain(|e| !matches!(e, TraceEvent::Check { .. }));
+        forged
+            .events
+            .retain(|e| !matches!(e, TraceEvent::Check { .. }));
         let (out, _) = checker.verify(&q, &forged, &[0]).unwrap();
         assert!(matches!(out, VerifyOutcome::Invalid(_)));
         // And the original verifies.
@@ -677,6 +696,11 @@ mod tests {
         let (cert, answer) = checker.extract(&q).unwrap();
         assert!(cert.is_empty());
         let (out, _) = checker.verify(&q, &cert, &[0]).unwrap();
-        assert_eq!(out, VerifyOutcome::Valid { member: answer.contains(&[0]) });
+        assert_eq!(
+            out,
+            VerifyOutcome::Valid {
+                member: answer.contains(&[0])
+            }
+        );
     }
 }

@@ -33,7 +33,11 @@ impl RelEnv {
 
     /// Looks up the most recent binding of `name`.
     pub fn get(&self, name: &str) -> Option<&Relation> {
-        self.bindings.iter().rev().find(|(n, _)| n == name).map(|(_, r)| r)
+        self.bindings
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| r)
     }
 
     /// Removes the most recent binding of `name`.
@@ -78,7 +82,9 @@ mod tests {
 
     #[test]
     fn with_builder() {
-        let env = RelEnv::new().with("A", Relation::new(2)).with("B", Relation::new(3));
+        let env = RelEnv::new()
+            .with("A", Relation::new(2))
+            .with("B", Relation::new(3));
         assert_eq!(env.len(), 2);
         assert_eq!(env.get("B").unwrap().arity(), 3);
     }

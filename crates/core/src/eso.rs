@@ -24,9 +24,7 @@
 //! oracle used for differential testing and as the Table-2 baseline.
 
 use bvq_logic::{Atom, Eso, Formula, Query, RelRef, Term, Var};
-use bvq_relation::{
-    Database, Elem, FxHashMap, PointIndex, Relation, Tuple,
-};
+use bvq_relation::{Database, Elem, FxHashMap, PointIndex, Relation, Tuple};
 use bvq_sat::{Cnf, Lit, SatResult, Solver, VarId};
 
 use crate::env::RelEnv;
@@ -86,8 +84,9 @@ impl<'d> EsoEvaluator<'d> {
         }
         let k = self.k.max(1);
         let n = self.db.domain_size();
-        let index = PointIndex::new(n, k)
-            .ok_or(EvalError::UnsupportedConstruct("assignment space too large to ground"))?;
+        let index = PointIndex::new(n, k).ok_or(EvalError::UnsupportedConstruct(
+            "assignment space too large to ground",
+        ))?;
         // Base assignment: output variables pinned to t, others 0.
         let mut base = vec![0 as Elem; k];
         for (v, &val) in output.iter().zip(t) {
@@ -165,8 +164,9 @@ impl<'d> EsoEvaluator<'d> {
         }
         let k = self.k.max(1);
         let n = self.db.domain_size();
-        let index = PointIndex::new(n, k)
-            .ok_or(EvalError::UnsupportedConstruct("assignment space too large to ground"))?;
+        let index = PointIndex::new(n, k).ok_or(EvalError::UnsupportedConstruct(
+            "assignment space too large to ground",
+        ))?;
         let mut base = vec![0 as Elem; k];
         for (v, &val) in output.iter().zip(t) {
             if val as usize >= n {
@@ -321,7 +321,10 @@ impl Grounder<'_> {
             Formula::Eq(a, b) => {
                 GLit::Const(self.term_value(a, rank)? == self.term_value(b, rank)?)
             }
-            Formula::Atom(Atom { rel: RelRef::Db(name), args }) => {
+            Formula::Atom(Atom {
+                rel: RelRef::Db(name),
+                args,
+            }) => {
                 let relation = self
                     .db
                     .relation_by_name(name)
@@ -339,7 +342,10 @@ impl Grounder<'_> {
                     .collect::<Result<_, _>>()?;
                 GLit::Const(relation.contains(&tuple))
             }
-            Formula::Atom(Atom { rel: RelRef::Bound(name), args }) => {
+            Formula::Atom(Atom {
+                rel: RelRef::Bound(name),
+                args,
+            }) => {
                 let slot = self
                     .eso
                     .rels
@@ -439,7 +445,8 @@ impl Grounder<'_> {
 /// consistency assertions are added between views whose patterns unify
 /// (universally quantified over `x₁,…,x_k`, so the result stays in `L^k`).
 pub fn reduce_arity(eso: &Eso, k: usize) -> Result<Eso, EvalError> {
-    eso.validate().map_err(|_| EvalError::UnsupportedConstruct("invalid ESO formula"))?;
+    eso.validate()
+        .map_err(|_| EvalError::UnsupportedConstruct("invalid ESO formula"))?;
     let width = eso.width().max(1);
     if width > k {
         return Err(EvalError::WidthExceeded { k, width });
@@ -452,8 +459,16 @@ pub fn reduce_arity(eso: &Eso, k: usize) -> Result<Eso, EvalError> {
         if pattern_error.is_some() {
             return;
         }
-        if let Formula::Atom(Atom { rel: RelRef::Bound(name), args }) = f {
-            let slot = eso.rels.iter().position(|(n, _)| n == name).expect("validated");
+        if let Formula::Atom(Atom {
+            rel: RelRef::Bound(name),
+            args,
+        }) = f
+        {
+            let slot = eso
+                .rels
+                .iter()
+                .position(|(n, _)| n == name)
+                .expect("validated");
             let mut pat = Vec::with_capacity(args.len());
             for t in args {
                 match t {
@@ -489,10 +504,19 @@ pub fn reduce_arity(eso: &Eso, k: usize) -> Result<Eso, EvalError> {
         k: usize,
     ) -> Formula {
         match f {
-            Formula::Atom(Atom { rel: RelRef::Bound(name), args }) => {
-                let slot = eso.rels.iter().position(|(n, _)| n == name).expect("validated");
-                let pat: Vec<usize> =
-                    args.iter().map(|t| t.as_var().expect("checked").index()).collect();
+            Formula::Atom(Atom {
+                rel: RelRef::Bound(name),
+                args,
+            }) => {
+                let slot = eso
+                    .rels
+                    .iter()
+                    .position(|(n, _)| n == name)
+                    .expect("validated");
+                let pat: Vec<usize> = args
+                    .iter()
+                    .map(|t| t.as_var().expect("checked").index())
+                    .collect();
                 Formula::rel_var(
                     &view_name(slot, &pat),
                     (0..k as u32).map(|i| Term::Var(Var(i))),
@@ -500,12 +524,8 @@ pub fn reduce_arity(eso: &Eso, k: usize) -> Result<Eso, EvalError> {
             }
             Formula::Const(_) | Formula::Atom(_) | Formula::Eq(..) => f.clone(),
             Formula::Not(g) => rewrite(g, eso, view_name, k).not(),
-            Formula::And(a, b) => {
-                rewrite(a, eso, view_name, k).and(rewrite(b, eso, view_name, k))
-            }
-            Formula::Or(a, b) => {
-                rewrite(a, eso, view_name, k).or(rewrite(b, eso, view_name, k))
-            }
+            Formula::And(a, b) => rewrite(a, eso, view_name, k).and(rewrite(b, eso, view_name, k)),
+            Formula::Or(a, b) => rewrite(a, eso, view_name, k).or(rewrite(b, eso, view_name, k)),
             Formula::Exists(v, g) => rewrite(g, eso, view_name, k).exists(*v),
             Formula::Forall(v, g) => rewrite(g, eso, view_name, k).forall(*v),
             Formula::Fix { .. } => unreachable!("ESO bodies are first-order"),
@@ -543,8 +563,7 @@ pub fn reduce_arity(eso: &Eso, k: usize) -> Result<Eso, EvalError> {
                         }
                     }
                     if ok {
-                        let vfull: Vec<usize> =
-                            v.into_iter().map(|o| o.unwrap_or(0)).collect();
+                        let vfull: Vec<usize> = v.into_iter().map(|o| o.unwrap_or(0)).collect();
                         // Skip trivial self-equalities.
                         let lhs_id = (p.clone(), u.clone());
                         let rhs_id = (q.clone(), vfull.clone());
@@ -632,7 +651,10 @@ mod tests {
         let eso = patterns::three_coloring();
         let c5 = tri_db(&[[0, 1], [1, 2], [2, 3], [3, 4], [4, 0]], 5);
         let ev = EsoEvaluator::new(&c5, 2);
-        let env = ev.check_with_witness(&eso, &[], &[]).unwrap().expect("C5 is 3-colourable");
+        let env = ev
+            .check_with_witness(&eso, &[], &[])
+            .unwrap()
+            .expect("C5 is 3-colourable");
         // Every edge bichromatic under the witnessed classes.
         let e = c5.relation_by_name("E").unwrap();
         for t in e.iter() {
@@ -657,8 +679,7 @@ mod tests {
         assert!(naive.as_boolean());
 
         // ∃S (∀x1 S(x1)) ∧ (∃x1 ¬S(x1)) — unsatisfiable.
-        let bad =
-            parse_eso("exists2 S/1. (forall x1. S(x1) & exists x1. ~S(x1))").unwrap();
+        let bad = parse_eso("exists2 S/1. (forall x1. S(x1) & exists x1. ~S(x1))").unwrap();
         assert!(!ev.check(&bad, &[], &[]).unwrap());
         assert!(!ev.eval_naive(&bad, &[]).unwrap().as_boolean());
     }
@@ -679,13 +700,14 @@ mod tests {
     fn binary_quantified_relation() {
         // ∃S/2: S is a "successor-like" matching: ∀x1∃x2 S(x1,x2) and
         // S ⊆ E. Satisfiable iff every node has an out-edge.
-        let eso = parse_eso(
-            "exists2 S/2. forall x1. exists x2. (S(x1,x2) & E(x1,x2))",
-        )
-        .unwrap();
-        let good = Database::builder(3).relation("E", 2, [[0u32, 1], [1, 2], [2, 0]]).build();
+        let eso = parse_eso("exists2 S/2. forall x1. exists x2. (S(x1,x2) & E(x1,x2))").unwrap();
+        let good = Database::builder(3)
+            .relation("E", 2, [[0u32, 1], [1, 2], [2, 0]])
+            .build();
         assert!(EsoEvaluator::new(&good, 2).check(&eso, &[], &[]).unwrap());
-        let bad = Database::builder(3).relation("E", 2, [[0u32, 1], [1, 2]]).build();
+        let bad = Database::builder(3)
+            .relation("E", 2, [[0u32, 1], [1, 2]])
+            .build();
         assert!(!EsoEvaluator::new(&bad, 2).check(&eso, &[], &[]).unwrap());
     }
 
@@ -704,7 +726,10 @@ mod tests {
         }
         // Clauses grow polynomially (roughly quadratically here): doubling
         // n must not produce an astronomical jump.
-        assert!(sizes[2] < sizes[0] * 64, "grounding not polynomial: {sizes:?}");
+        assert!(
+            sizes[2] < sizes[0] * 64,
+            "grounding not polynomial: {sizes:?}"
+        );
     }
 
     #[test]
@@ -737,20 +762,20 @@ mod tests {
         // Two patterns of the same relation must be forced consistent:
         // ∃S/2: S(x1,x2) ∧ ¬S(x2,x1) with x1 = x2 forced — unsatisfiable
         // because S(a,a) cannot differ from itself.
-        let eso = parse_eso(
-            "exists2 S/2. exists x1. exists x2. (x1 = x2 & S(x1,x2) & ~S(x2,x1))",
-        )
-        .unwrap();
+        let eso = parse_eso("exists2 S/2. exists x1. exists x2. (x1 = x2 & S(x1,x2) & ~S(x2,x1))")
+            .unwrap();
         let db = Database::builder(2).relation("P", 1, [[0u32]]).build();
         let ev = EsoEvaluator::new(&db, 2);
         assert!(!ev.check(&eso, &[], &[]).unwrap());
         let reduced = reduce_arity(&eso, 2).unwrap();
-        assert!(!ev.check(&reduced, &[], &[]).unwrap(), "views must stay consistent");
+        assert!(
+            !ev.check(&reduced, &[], &[]).unwrap(),
+            "views must stay consistent"
+        );
         // And the satisfiable variant stays satisfiable.
-        let sat_eso = parse_eso(
-            "exists2 S/2. exists x1. exists x2. (~(x1 = x2) & S(x1,x2) & ~S(x2,x1))",
-        )
-        .unwrap();
+        let sat_eso =
+            parse_eso("exists2 S/2. exists x1. exists x2. (~(x1 = x2) & S(x1,x2) & ~S(x2,x1))")
+                .unwrap();
         let reduced_sat = reduce_arity(&sat_eso, 2).unwrap();
         assert!(ev.check(&sat_eso, &[], &[]).unwrap());
         assert!(ev.check(&reduced_sat, &[], &[]).unwrap());

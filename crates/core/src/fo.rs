@@ -3,7 +3,7 @@
 //! exhibit the exponential gap of Table 1.
 
 use bvq_logic::{Atom, Formula, Query, RelRef, Term, Var};
-use bvq_relation::{Database, EvalStats, Relation, StatsRecorder, Tuple};
+use bvq_relation::{parallel, Database, EvalConfig, EvalStats, Relation, StatsRecorder, Tuple};
 
 use crate::env::RelEnv;
 use crate::fp::FpEvaluator;
@@ -38,7 +38,9 @@ pub struct BoundedEvaluator<'d> {
 impl<'d> BoundedEvaluator<'d> {
     /// Creates an `FO^k` evaluator.
     pub fn new(db: &'d Database, k: usize) -> Self {
-        BoundedEvaluator { inner: FpEvaluator::new(db, k).forbid_fix() }
+        BoundedEvaluator {
+            inner: FpEvaluator::new(db, k).forbid_fix(),
+        }
     }
 
     /// Disables statistics collection.
@@ -52,6 +54,13 @@ impl<'d> BoundedEvaluator<'d> {
     #[must_use]
     pub fn force_sparse(mut self) -> Self {
         self.inner = self.inner.force_sparse();
+        self
+    }
+
+    /// Sets the parallel-evaluation configuration (thread count).
+    #[must_use]
+    pub fn with_config(mut self, config: EvalConfig) -> Self {
+        self.inner = self.inner.with_config(config);
         self
     }
 
@@ -85,6 +94,7 @@ impl<'d> BoundedEvaluator<'d> {
 pub struct NaiveEvaluator<'d> {
     db: &'d Database,
     collect_stats: bool,
+    config: EvalConfig,
 }
 
 /// A relation tagged with its column variables (sorted ascending).
@@ -95,15 +105,26 @@ struct Tagged {
 }
 
 impl<'d> NaiveEvaluator<'d> {
-    /// Creates a naive evaluator.
+    /// Creates a naive evaluator (thread count from [`EvalConfig::default`]).
     pub fn new(db: &'d Database) -> Self {
-        NaiveEvaluator { db, collect_stats: true }
+        NaiveEvaluator {
+            db,
+            collect_stats: true,
+            config: EvalConfig::default(),
+        }
     }
 
     /// Disables statistics collection.
     #[must_use]
     pub fn without_stats(mut self) -> Self {
         self.collect_stats = false;
+        self
+    }
+
+    /// Sets the parallel-evaluation configuration (thread count).
+    #[must_use]
+    pub fn with_config(mut self, config: EvalConfig) -> Self {
+        self.config = config;
         self
     }
 
@@ -118,14 +139,21 @@ impl<'d> NaiveEvaluator<'d> {
         q: &Query,
         env: &RelEnv,
     ) -> Result<(Relation, EvalStats), EvalError> {
-        let mut rec =
-            if self.collect_stats { StatsRecorder::new() } else { StatsRecorder::disabled() };
+        let mut rec = if self.collect_stats {
+            StatsRecorder::new()
+        } else {
+            StatsRecorder::disabled()
+        };
         let t = self.eval(&q.formula, env, &mut rec)?;
         // Adjust to the query's output columns. Free variables of the
         // formula must be among the outputs; outputs not free in the
         // formula range over the whole domain.
-        let missing: Vec<Var> =
-            q.output.iter().copied().filter(|v| !t.cols.contains(v)).collect();
+        let missing: Vec<Var> = q
+            .output
+            .iter()
+            .copied()
+            .filter(|v| !t.cols.contains(v))
+            .collect();
         let mut extended = t;
         for v in missing {
             extended = extend_with_domain(extended, v, self.db.domain_size());
@@ -141,7 +169,7 @@ impl<'d> NaiveEvaluator<'d> {
                     .expect("output variable present after extension")
             })
             .collect();
-        let result = extended.rel.project(&positions);
+        let result = parallel::project(&extended.rel, &positions, &self.config);
         Ok((result, rec.stats()))
     }
 
@@ -165,7 +193,10 @@ impl<'d> NaiveEvaluator<'d> {
         rec: &mut StatsRecorder,
     ) -> Result<Tagged, EvalError> {
         let out = match f {
-            Formula::Const(b) => Tagged { cols: Vec::new(), rel: Relation::boolean(*b) },
+            Formula::Const(b) => Tagged {
+                cols: Vec::new(),
+                rel: Relation::boolean(*b),
+            },
             Formula::Eq(a, b) => self.eval_eq(*a, *b)?,
             Formula::Atom(Atom { rel, args }) => {
                 let relation = match rel {
@@ -173,9 +204,9 @@ impl<'d> NaiveEvaluator<'d> {
                         .db
                         .relation_by_name(name)
                         .ok_or_else(|| EvalError::UnknownRelation(name.clone()))?,
-                    RelRef::Bound(name) => {
-                        env.get(name).ok_or_else(|| EvalError::UnboundRelVar(name.clone()))?
-                    }
+                    RelRef::Bound(name) => env
+                        .get(name)
+                        .ok_or_else(|| EvalError::UnboundRelVar(name.clone()))?,
                 };
                 if relation.arity() != args.len() {
                     return Err(EvalError::ArityMismatch {
@@ -189,32 +220,44 @@ impl<'d> NaiveEvaluator<'d> {
             Formula::Not(g) => {
                 let t = self.eval(g, env, rec)?;
                 // Complement w.r.t. D^{|cols|}: the exponential operation.
-                Tagged { rel: t.rel.complement(self.db.domain_size()), cols: t.cols }
+                Tagged {
+                    rel: t.rel.complement(self.db.domain_size()),
+                    cols: t.cols,
+                }
             }
             Formula::And(a, b) => {
                 let ta = self.eval(a, env, rec)?;
                 let tb = self.eval(b, env, rec)?;
-                join_tagged(ta, tb)
+                join_tagged(ta, tb, &self.config)
             }
             Formula::Or(a, b) => {
                 let ta = self.eval(a, env, rec)?;
                 let tb = self.eval(b, env, rec)?;
                 let n = self.db.domain_size();
                 let (ta, tb) = align_columns(ta, tb, n);
-                Tagged { rel: ta.rel.union(&tb.rel), cols: ta.cols }
+                Tagged {
+                    rel: parallel::union(&ta.rel, &tb.rel, &self.config),
+                    cols: ta.cols,
+                }
             }
             Formula::Exists(v, g) => {
                 let t = self.eval(g, env, rec)?;
-                project_out(t, *v)
+                project_out(t, *v, &self.config)
             }
             Formula::Forall(v, g) => {
                 // ∀v φ = ¬∃v ¬φ over the columns of φ.
                 let t = self.eval(g, env, rec)?;
                 let n = self.db.domain_size();
-                let neg = Tagged { rel: t.rel.complement(n), cols: t.cols };
+                let neg = Tagged {
+                    rel: t.rel.complement(n),
+                    cols: t.cols,
+                };
                 self.record(rec, &neg);
-                let ex = project_out(neg, *v);
-                Tagged { rel: ex.rel.complement(n), cols: ex.cols }
+                let ex = project_out(neg, *v, &self.config);
+                Tagged {
+                    rel: ex.rel.complement(n),
+                    cols: ex.cols,
+                }
             }
             Formula::Fix { .. } => {
                 return Err(EvalError::UnsupportedConstruct(
@@ -238,22 +281,34 @@ impl<'d> NaiveEvaluator<'d> {
         Ok(match (a, b) {
             (Term::Var(x), Term::Var(y)) if x == y => {
                 // x = x: all of D over one column.
-                Tagged { cols: vec![x], rel: Relation::full(1, n) }
+                Tagged {
+                    cols: vec![x],
+                    rel: Relation::full(1, n),
+                }
             }
             (Term::Var(x), Term::Var(y)) => {
                 let (lo, hi) = if x < y { (x, y) } else { (y, x) };
                 let diag =
                     Relation::from_tuples(2, (0..n as u32).map(|e| Tuple::from_slice(&[e, e])));
-                Tagged { cols: vec![lo, hi], rel: diag }
+                Tagged {
+                    cols: vec![lo, hi],
+                    rel: diag,
+                }
             }
             (Term::Var(x), Term::Const(c)) | (Term::Const(c), Term::Var(x)) => {
                 check(c)?;
-                Tagged { cols: vec![x], rel: Relation::from_tuples(1, [[c]]) }
+                Tagged {
+                    cols: vec![x],
+                    rel: Relation::from_tuples(1, [[c]]),
+                }
             }
             (Term::Const(c), Term::Const(d)) => {
                 check(c)?;
                 check(d)?;
-                Tagged { cols: Vec::new(), rel: Relation::boolean(c == d) }
+                Tagged {
+                    cols: Vec::new(),
+                    rel: Relation::boolean(c == d),
+                }
             }
         })
     }
@@ -281,19 +336,21 @@ impl<'d> NaiveEvaluator<'d> {
         first_pos.sort_by_key(|(v, _)| *v);
         let cols: Vec<Var> = first_pos.iter().map(|(v, _)| *v).collect();
         let positions: Vec<usize> = first_pos.iter().map(|(_, p)| *p).collect();
-        Ok(Tagged { rel: filtered.project(&positions), cols })
+        Ok(Tagged {
+            rel: filtered.project(&positions),
+            cols,
+        })
     }
 }
 
 /// Projects out one column (if present).
-fn project_out(t: Tagged, v: Var) -> Tagged {
+fn project_out(t: Tagged, v: Var, cfg: &EvalConfig) -> Tagged {
     match t.cols.iter().position(|c| *c == v) {
         None => t,
         Some(i) => {
-            let keep: Vec<usize> =
-                (0..t.cols.len()).filter(|&j| j != i).collect();
+            let keep: Vec<usize> = (0..t.cols.len()).filter(|&j| j != i).collect();
             Tagged {
-                rel: t.rel.project(&keep),
+                rel: parallel::project(&t.rel, &keep, cfg),
                 cols: t.cols.iter().copied().filter(|c| *c != v).collect(),
             }
         }
@@ -319,18 +376,21 @@ fn extend_with_domain(t: Tagged, v: Var, n: usize) -> Tagged {
         };
         positions.push(p);
     }
-    Tagged { rel: crossed.project(&positions), cols }
+    Tagged {
+        rel: crossed.project(&positions),
+        cols,
+    }
 }
 
 /// Natural join on shared columns; result columns sorted.
-fn join_tagged(a: Tagged, b: Tagged) -> Tagged {
+fn join_tagged(a: Tagged, b: Tagged, cfg: &EvalConfig) -> Tagged {
     let mut pairs: Vec<(usize, usize)> = Vec::new();
     for (i, c) in a.cols.iter().enumerate() {
         if let Some(j) = b.cols.iter().position(|d| d == c) {
             pairs.push((i, j));
         }
     }
-    let joined = a.rel.join_on(&b.rel, &pairs);
+    let joined = parallel::join_on(&a.rel, &b.rel, &pairs, cfg);
     // Columns of `joined`: a.cols ++ b.cols. Keep a's columns plus b's
     // non-shared ones, sorted.
     let mut cols: Vec<Var> = a.cols.clone();
@@ -350,19 +410,30 @@ fn join_tagged(a: Tagged, b: Tagged) -> Tagged {
             }
         })
         .collect();
-    Tagged { rel: joined.project(&positions), cols }
+    Tagged {
+        rel: parallel::project(&joined, &positions, cfg),
+        cols,
+    }
 }
 
 /// Brings two tagged relations to the same (union) column set, extending
 /// each with domain columns as needed.
 fn align_columns(mut a: Tagged, mut b: Tagged, n: usize) -> (Tagged, Tagged) {
-    let missing_in_a: Vec<Var> =
-        b.cols.iter().copied().filter(|c| !a.cols.contains(c)).collect();
+    let missing_in_a: Vec<Var> = b
+        .cols
+        .iter()
+        .copied()
+        .filter(|c| !a.cols.contains(c))
+        .collect();
     for v in missing_in_a {
         a = extend_with_domain(a, v, n);
     }
-    let missing_in_b: Vec<Var> =
-        a.cols.iter().copied().filter(|c| !b.cols.contains(c)).collect();
+    let missing_in_b: Vec<Var> = a
+        .cols
+        .iter()
+        .copied()
+        .filter(|c| !b.cols.contains(c))
+        .collect();
     for v in missing_in_b {
         b = extend_with_domain(b, v, n);
     }
@@ -471,10 +542,26 @@ mod tests {
     fn boolean_sentences() {
         let db = db();
         let q = parse_query("() exists x1. P(x1)").unwrap();
-        assert!(NaiveEvaluator::new(&db).eval_query(&q).unwrap().0.as_boolean());
+        assert!(NaiveEvaluator::new(&db)
+            .eval_query(&q)
+            .unwrap()
+            .0
+            .as_boolean());
         let q2 = parse_query("() forall x1. P(x1)").unwrap();
-        assert!(!NaiveEvaluator::new(&db).eval_query(&q2).unwrap().0.as_boolean());
-        assert!(BoundedEvaluator::new(&db, 1).eval_query(&q).unwrap().0.as_boolean());
-        assert!(!BoundedEvaluator::new(&db, 1).eval_query(&q2).unwrap().0.as_boolean());
+        assert!(!NaiveEvaluator::new(&db)
+            .eval_query(&q2)
+            .unwrap()
+            .0
+            .as_boolean());
+        assert!(BoundedEvaluator::new(&db, 1)
+            .eval_query(&q)
+            .unwrap()
+            .0
+            .as_boolean());
+        assert!(!BoundedEvaluator::new(&db, 1)
+            .eval_query(&q2)
+            .unwrap()
+            .0
+            .as_boolean());
     }
 }

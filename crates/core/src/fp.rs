@@ -26,7 +26,7 @@
 
 use bvq_logic::{FixKind, Formula, Query, Term};
 use bvq_relation::{
-    CoordSource, CylCtx, CylinderOps, Database, DenseCylinder, EvalStats, Relation,
+    CoordSource, CylCtx, CylinderOps, Database, DenseCylinder, EvalConfig, EvalStats, Relation,
     SparseCylinder, StatsRecorder,
 };
 
@@ -119,7 +119,11 @@ impl<'p, 'd, C: CylinderOps> Engine<'p, 'd, C> {
             ctx,
             ext,
             strategy,
-            rec: if collect_stats { StatsRecorder::new() } else { StatsRecorder::disabled() },
+            rec: if collect_stats {
+                StatsRecorder::new()
+            } else {
+                StatsRecorder::disabled()
+            },
         }
     }
 
@@ -140,8 +144,7 @@ impl<'p, 'd, C: CylinderOps> Engine<'p, 'd, C> {
                 AtomSource::Db(id) => load_atom(&self.ctx, self.db.relation(id), &args)?,
                 AtomSource::External(slot) => load_atom(&self.ctx, &self.ext[slot], &args)?,
                 AtomSource::Fix(fix) => {
-                    let map =
-                        fix_read_map(self.ctx.width(), &self.prog.fixes[fix].bound, &args)?;
+                    let map = fix_read_map(self.ctx.width(), &self.prog.fixes[fix].bound, &args)?;
                     let cur = self.fix_values[fix]
                         .as_ref()
                         .expect("recursion variable read outside its fixpoint");
@@ -354,10 +357,16 @@ pub struct FpEvaluator<'d> {
     force_sparse: bool,
     allow_pfp: bool,
     allow_fix: bool,
+    config: EvalConfig,
 }
 
 impl<'d> FpEvaluator<'d> {
     /// Creates an evaluator with variable bound `k` (Emerson–Lei strategy).
+    ///
+    /// The thread count comes from [`EvalConfig::default`] (the
+    /// `BVQ_THREADS` environment variable, else the machine's available
+    /// parallelism); override with [`FpEvaluator::with_config`]. Results
+    /// are identical for every thread count.
     pub fn new(db: &'d Database, k: usize) -> Self {
         FpEvaluator {
             db,
@@ -367,6 +376,7 @@ impl<'d> FpEvaluator<'d> {
             force_sparse: false,
             allow_pfp: false,
             allow_fix: true,
+            config: EvalConfig::default(),
         }
     }
 
@@ -374,6 +384,13 @@ impl<'d> FpEvaluator<'d> {
     #[must_use]
     pub fn with_strategy(mut self, strategy: FpStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Sets the parallel-evaluation configuration (thread count).
+    #[must_use]
+    pub fn with_config(mut self, config: EvalConfig) -> Self {
+        self.config = config;
         self
     }
 
@@ -416,7 +433,11 @@ impl<'d> FpEvaluator<'d> {
             formula,
             self.db,
             externals,
-            CompileOpts { k: self.k, allow_pfp: self.allow_pfp, allow_fix: self.allow_fix },
+            CompileOpts {
+                k: self.k,
+                allow_pfp: self.allow_pfp,
+                allow_fix: self.allow_fix,
+            },
         )
     }
 
@@ -432,8 +453,10 @@ impl<'d> FpEvaluator<'d> {
         q: &Query,
         env: &RelEnv,
     ) -> Result<(Relation, EvalStats), EvalError> {
-        let externals: Vec<(String, usize)> =
-            env.iter().map(|(n, r)| (n.to_string(), r.arity())).collect();
+        let externals: Vec<(String, usize)> = env
+            .iter()
+            .map(|(n, r)| (n.to_string(), r.arity()))
+            .collect();
         let prog = self.compile_with_externals(&q.formula, &externals)?;
         // Output variables must fit within k too.
         let width = q
@@ -447,7 +470,8 @@ impl<'d> FpEvaluator<'d> {
         if width > self.k.max(1) {
             return Err(EvalError::WidthExceeded { k: self.k, width });
         }
-        let ctx = CylCtx::new(self.db.domain_size(), self.k.max(1));
+        let ctx =
+            CylCtx::new(self.db.domain_size(), self.k.max(1)).with_threads(self.config.threads());
         let ext: Vec<Relation> = env.iter().map(|(_, r)| r.clone()).collect();
         let coords: Vec<usize> = q.output.iter().map(|v| v.index()).collect();
         if ctx.dense_feasible() && !self.force_sparse {
@@ -507,7 +531,10 @@ mod tests {
         let q = parse_query("(x1,x2) exists x3. (E(x1,x3) & E(x3,x2))").unwrap();
         let ev = FpEvaluator::new(&db, 3);
         let (r, stats) = ev.eval_query(&q).unwrap();
-        assert_eq!(r.sorted(), Relation::from_tuples(2, [[0u32, 2], [1, 3]]).sorted());
+        assert_eq!(
+            r.sorted(),
+            Relation::from_tuples(2, [[0u32, 2], [1, 3]]).sorted()
+        );
         assert_eq!(stats.max_arity, 3);
     }
 
@@ -517,7 +544,10 @@ mod tests {
         let q = Query::new(vec![Var(0)], patterns::reach_from_const(1));
         let ev = FpEvaluator::new(&db, 2);
         let (r, _) = ev.eval_query(&q).unwrap();
-        assert_eq!(r.sorted(), Relation::from_tuples(1, [[1u32], [2], [3]]).sorted());
+        assert_eq!(
+            r.sorted(),
+            Relation::from_tuples(1, [[1u32], [2], [3]]).sorted()
+        );
     }
 
     #[test]
@@ -566,7 +596,9 @@ mod tests {
         let db = path_db();
         let (r, _) = FpEvaluator::new(&db, 2).eval_query(&q).unwrap();
         assert!(r.is_empty());
-        let cyc = Database::builder(3).relation("E", 2, [[0u32, 1], [1, 2], [2, 0]]).build();
+        let cyc = Database::builder(3)
+            .relation("E", 2, [[0u32, 1], [1, 2], [2, 0]])
+            .build();
         let (r2, _) = FpEvaluator::new(&cyc, 2).eval_query(&q).unwrap();
         assert_eq!(r2.len(), 3);
     }
@@ -576,10 +608,8 @@ mod tests {
         // Connectivity as a binary query with a parameter: the fixpoint is
         // over x2 with x1 as a free parameter.
         // (x1,x2) [lfp S(x2). (x2 = x1 ∨ ∃x3 (S(x3) ∧ E(x3,x2)))](x2)
-        let q = parse_query(
-            "(x1,x2) [lfp S(x2). (x2 = x1 | exists x3. (S(x3) & E(x3,x2)))](x2)",
-        )
-        .unwrap();
+        let q = parse_query("(x1,x2) [lfp S(x2). (x2 = x1 | exists x3. (S(x3) & E(x3,x2)))](x2)")
+            .unwrap();
         let db = path_db();
         let (r, _) = FpEvaluator::new(&db, 3).eval_query(&q).unwrap();
         // (a,b) iff b reachable from a (including a itself).
@@ -595,7 +625,10 @@ mod tests {
         let db = path_db();
         let q = Query::new(vec![Var(0)], patterns::pfp_parity_flip());
         let ev = FpEvaluator::new(&db, 2);
-        assert!(matches!(ev.eval_query(&q), Err(EvalError::UnsupportedConstruct(_))));
+        assert!(matches!(
+            ev.eval_query(&q),
+            Err(EvalError::UnsupportedConstruct(_))
+        ));
     }
 
     #[test]
@@ -605,16 +638,17 @@ mod tests {
         let ev = FpEvaluator::new(&db, 2);
         assert!(ev.check(&q, &[3]).unwrap());
         assert!(!ev.check(&q, &[4]).unwrap());
-        assert!(!ev.check(&q, &[0, 1]).unwrap(), "wrong arity is non-membership");
+        assert!(
+            !ev.check(&q, &[0, 1]).unwrap(),
+            "wrong arity is non-membership"
+        );
     }
 
     #[test]
     fn sparse_backend_agrees() {
         let db = path_db();
-        let q = parse_query(
-            "(x1,x2) [lfp S(x2). (x2 = x1 | exists x3. (S(x3) & E(x3,x2)))](x2)",
-        )
-        .unwrap();
+        let q = parse_query("(x1,x2) [lfp S(x2). (x2 = x1 | exists x3. (S(x3) & E(x3,x2)))](x2)")
+            .unwrap();
         let dense = FpEvaluator::new(&db, 3);
         let sparse = FpEvaluator::new(&db, 3).force_sparse();
         assert_eq!(
@@ -652,6 +686,9 @@ mod tests {
         let db = path_db();
         let q = parse_query("(x1,x2) exists x3. (E(x1,x3) & E(x3,x2))").unwrap();
         let ev = FpEvaluator::new(&db, 2);
-        assert!(matches!(ev.eval_query(&q), Err(EvalError::WidthExceeded { .. })));
+        assert!(matches!(
+            ev.eval_query(&q),
+            Err(EvalError::WidthExceeded { .. })
+        ));
     }
 }

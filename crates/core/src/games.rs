@@ -44,14 +44,18 @@ pub fn fo_k_equivalent(a: &Database, b: &Database, k: usize) -> Result<bool, Eva
     let k = k.max(1);
     let na = a.domain_size();
     let nb = b.domain_size();
-    let ia = PointIndex::new(na, k)
-        .ok_or(EvalError::UnsupportedConstruct("pebble-game position space too large"))?;
-    let ib = PointIndex::new(nb, k)
-        .ok_or(EvalError::UnsupportedConstruct("pebble-game position space too large"))?;
+    let ia = PointIndex::new(na, k).ok_or(EvalError::UnsupportedConstruct(
+        "pebble-game position space too large",
+    ))?;
+    let ib = PointIndex::new(nb, k).ok_or(EvalError::UnsupportedConstruct(
+        "pebble-game position space too large",
+    ))?;
     ia.size()
         .checked_mul(ib.size())
         .filter(|&s| s <= PointIndex::MAX_SIZE)
-        .ok_or(EvalError::UnsupportedConstruct("pebble-game position space too large"))?;
+        .ok_or(EvalError::UnsupportedConstruct(
+            "pebble-game position space too large",
+        ))?;
 
     // S as a bitset over ra * |B^k| + rb.
     let mut s = BitSet::new(ia.size() * ib.size());
@@ -154,8 +158,8 @@ fn position_survives(
         // Spoiler replaces pebble i in A.
         for av in 0..na as u32 {
             let ra2 = ia.with_digit(ra, i, av);
-            let ok = (0..nb as u32)
-                .any(|bv| s.contains(ra2 * ib.size() + ib.with_digit(rb, i, bv)));
+            let ok =
+                (0..nb as u32).any(|bv| s.contains(ra2 * ib.size() + ib.with_digit(rb, i, bv)));
             if !ok {
                 return false;
             }
@@ -163,8 +167,8 @@ fn position_survives(
         // Spoiler replaces pebble i in B.
         for bv in 0..nb as u32 {
             let rb2 = ib.with_digit(rb, i, bv);
-            let ok = (0..na as u32)
-                .any(|av| s.contains(ia.with_digit(ra, i, av) * ib.size() + rb2));
+            let ok =
+                (0..na as u32).any(|av| s.contains(ia.with_digit(ra, i, av) * ib.size() + rb2));
             if !ok {
                 return false;
             }
@@ -217,8 +221,16 @@ mod tests {
                 .exists(Var(1))
                 .exists(Var(0)),
         );
-        let on5 = BoundedEvaluator::new(&c5, 3).eval_query(&refl5).unwrap().0.as_boolean();
-        let on6 = BoundedEvaluator::new(&c6, 3).eval_query(&refl5).unwrap().0.as_boolean();
+        let on5 = BoundedEvaluator::new(&c5, 3)
+            .eval_query(&refl5)
+            .unwrap()
+            .0
+            .as_boolean();
+        let on6 = BoundedEvaluator::new(&c6, 3)
+            .eval_query(&refl5)
+            .unwrap()
+            .0
+            .as_boolean();
         assert!(on5 && !on6, "the separating sentence behaves as predicted");
     }
 
@@ -239,8 +251,12 @@ mod tests {
     fn domain_size_alone_is_invisible_without_equality_budget() {
         // Two edgeless structures of different sizes: FO¹ cannot count
         // beyond "∃x", FO² separates |A|=1 from |A|=2 (∃x∃y x≠y).
-        let one = Database::builder(1).relation_from("E", Relation::new(2)).build();
-        let two = Database::builder(2).relation_from("E", Relation::new(2)).build();
+        let one = Database::builder(1)
+            .relation_from("E", Relation::new(2))
+            .build();
+        let two = Database::builder(2)
+            .relation_from("E", Relation::new(2))
+            .build();
         assert!(fo_k_equivalent(&one, &two, 1).unwrap());
         assert!(!fo_k_equivalent(&one, &two, 2).unwrap());
     }
@@ -262,8 +278,16 @@ mod tests {
         for seed in 0..30 {
             // Close random FO² formulas into sentences.
             let f = random_sentence(seed);
-            let a = BoundedEvaluator::new(&c5, 2).eval_query(&f).unwrap().0.as_boolean();
-            let b = BoundedEvaluator::new(&c6, 2).eval_query(&f).unwrap().0.as_boolean();
+            let a = BoundedEvaluator::new(&c5, 2)
+                .eval_query(&f)
+                .unwrap()
+                .0
+                .as_boolean();
+            let b = BoundedEvaluator::new(&c6, 2)
+                .eval_query(&f)
+                .unwrap()
+                .0
+                .as_boolean();
             assert_eq!(a, b, "seed {seed}: FO² sentence disagrees: {}", f.formula);
         }
     }

@@ -120,9 +120,15 @@ pub(crate) fn compile(
     // Positivity / arity validation once, via the logic crate.
     formula.validate_fp().map_err(|e| match e {
         bvq_logic::LogicError::NotPositive(n) => EvalError::NotPositive(n),
-        bvq_logic::LogicError::RelArityMismatch { name, expected, found } => {
-            EvalError::ArityMismatch { name, expected, found }
-        }
+        bvq_logic::LogicError::RelArityMismatch {
+            name,
+            expected,
+            found,
+        } => EvalError::ArityMismatch {
+            name,
+            expected,
+            found,
+        },
         other => EvalError::UnsupportedConstruct(match other {
             bvq_logic::LogicError::DuplicateBoundVariable(_) => "duplicate bound variable",
             _ => "invalid fixpoint structure",
@@ -137,7 +143,13 @@ pub(crate) fn compile(
         opts,
     };
     let root = c.go(formula)?;
-    Ok(Program { nodes: c.nodes, root, fixes: c.fixes, externals: c.externals, width })
+    Ok(Program {
+        nodes: c.nodes,
+        root,
+        fixes: c.fixes,
+        externals: c.externals,
+        width,
+    })
 }
 
 impl Compiler<'_> {
@@ -170,9 +182,7 @@ impl Compiler<'_> {
                         AtomSource::Db(id)
                     }
                     RelRef::Bound(name) => {
-                        if let Some((_, fix)) =
-                            self.scope.iter().rev().find(|(n, _)| n == name)
-                        {
+                        if let Some((_, fix)) = self.scope.iter().rev().find(|(n, _)| n == name) {
                             let fix = *fix;
                             if self.fixes[fix].bound.len() != args.len() {
                                 return Err(EvalError::ArityMismatch {
@@ -198,7 +208,10 @@ impl Compiler<'_> {
                         }
                     }
                 };
-                Ok(self.push(Node::Atom { source, args: args.clone() }))
+                Ok(self.push(Node::Atom {
+                    source,
+                    args: args.clone(),
+                }))
             }
             Formula::Not(g) => {
                 let c = self.go(g)?;
@@ -220,7 +233,13 @@ impl Compiler<'_> {
                 let c = self.go(g)?;
                 Ok(self.push(Node::Forall(v.index(), c)))
             }
-            Formula::Fix { kind, rel, bound, body, args } => {
+            Formula::Fix {
+                kind,
+                rel,
+                bound,
+                body,
+                args,
+            } => {
                 if !self.opts.allow_fix {
                     return Err(EvalError::UnsupportedConstruct(
                         "fixpoint operator in a first-order evaluator",
@@ -290,7 +309,11 @@ mod tests {
     }
 
     fn opts(k: usize) -> CompileOpts {
-        CompileOpts { k, allow_pfp: true, allow_fix: true }
+        CompileOpts {
+            k,
+            allow_pfp: true,
+            allow_fix: true,
+        }
     }
 
     #[test]
@@ -307,9 +330,15 @@ mod tests {
     fn rejects_unknown_relation_and_arity() {
         let db = db();
         let f = Formula::atom("Z", [v(0)]);
-        assert!(matches!(compile(&f, &db, &[], opts(2)), Err(EvalError::UnknownRelation(_))));
+        assert!(matches!(
+            compile(&f, &db, &[], opts(2)),
+            Err(EvalError::UnknownRelation(_))
+        ));
         let g = Formula::atom("E", [v(0)]);
-        assert!(matches!(compile(&g, &db, &[], opts(2)), Err(EvalError::ArityMismatch { .. })));
+        assert!(matches!(
+            compile(&g, &db, &[], opts(2)),
+            Err(EvalError::ArityMismatch { .. })
+        ));
     }
 
     #[test]
@@ -371,14 +400,27 @@ mod tests {
     #[test]
     fn pfp_gating() {
         let db = db();
-        let f = Formula::pfp("S", vec![Var(0)], Formula::rel_var("S", [v(0)]).not(), vec![v(0)]);
+        let f = Formula::pfp(
+            "S",
+            vec![Var(0)],
+            Formula::rel_var("S", [v(0)]).not(),
+            vec![v(0)],
+        );
         assert!(compile(&f, &db, &[], opts(2)).is_ok());
-        let no_pfp = CompileOpts { k: 2, allow_pfp: false, allow_fix: true };
+        let no_pfp = CompileOpts {
+            k: 2,
+            allow_pfp: false,
+            allow_fix: true,
+        };
         assert!(matches!(
             compile(&f, &db, &[], no_pfp),
             Err(EvalError::UnsupportedConstruct(_))
         ));
-        let no_fix = CompileOpts { k: 2, allow_pfp: false, allow_fix: false };
+        let no_fix = CompileOpts {
+            k: 2,
+            allow_pfp: false,
+            allow_fix: false,
+        };
         assert!(matches!(
             compile(&f, &db, &[], no_fix),
             Err(EvalError::UnsupportedConstruct(_))
@@ -388,7 +430,15 @@ mod tests {
     #[test]
     fn rejects_negative_recursion() {
         let db = db();
-        let f = Formula::lfp("S", vec![Var(0)], Formula::rel_var("S", [v(0)]).not(), vec![v(0)]);
-        assert!(matches!(compile(&f, &db, &[], opts(2)), Err(EvalError::NotPositive(_))));
+        let f = Formula::lfp(
+            "S",
+            vec![Var(0)],
+            Formula::rel_var("S", [v(0)]).not(),
+            vec![v(0)],
+        );
+        assert!(matches!(
+            compile(&f, &db, &[], opts(2)),
+            Err(EvalError::NotPositive(_))
+        ));
     }
 }

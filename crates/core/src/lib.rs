@@ -76,7 +76,11 @@ impl std::fmt::Display for EvalError {
         match self {
             EvalError::UnknownRelation(n) => write!(f, "unknown database relation `{n}`"),
             EvalError::UnboundRelVar(n) => write!(f, "unbound relation variable `{n}`"),
-            EvalError::ArityMismatch { name, expected, found } => {
+            EvalError::ArityMismatch {
+                name,
+                expected,
+                found,
+            } => {
                 write!(f, "`{name}` used with arity {found}, bound with {expected}")
             }
             EvalError::WidthExceeded { k, width } => {

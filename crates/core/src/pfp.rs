@@ -43,7 +43,9 @@ impl<'d> PfpEvaluator<'d> {
         // Emerson–Lei warm-start argument assumes monotone outer updates,
         // which PFP iterations do not provide.
         PfpEvaluator {
-            inner: FpEvaluator::new(db, k).allow_pfp().with_strategy(FpStrategy::Naive),
+            inner: FpEvaluator::new(db, k)
+                .allow_pfp()
+                .with_strategy(FpStrategy::Naive),
         }
     }
 
@@ -58,6 +60,13 @@ impl<'d> PfpEvaluator<'d> {
     #[must_use]
     pub fn force_sparse(mut self) -> Self {
         self.inner = self.inner.force_sparse();
+        self
+    }
+
+    /// Sets the parallel-evaluation configuration (thread count).
+    #[must_use]
+    pub fn with_config(mut self, config: bvq_relation::EvalConfig) -> Self {
+        self.inner = self.inner.with_config(config);
         self
     }
 
@@ -89,7 +98,9 @@ mod tests {
     use bvq_relation::Relation;
 
     fn db() -> Database {
-        Database::builder(4).relation("E", 2, [[0u32, 1], [1, 2], [2, 3]]).build()
+        Database::builder(4)
+            .relation("E", 2, [[0u32, 1], [1, 2], [2, 3]])
+            .build()
     }
 
     #[test]
@@ -98,7 +109,10 @@ mod tests {
         let q = Query::new(vec![Var(0)], patterns::pfp_parity_flip());
         let (r, stats) = PfpEvaluator::new(&db, 1).eval_query(&q).unwrap();
         assert!(r.is_empty());
-        assert!(stats.fixpoint_iterations >= 2, "must have iterated to detect the flip");
+        assert!(
+            stats.fixpoint_iterations >= 2,
+            "must have iterated to detect the flip"
+        );
     }
 
     #[test]
@@ -110,7 +124,10 @@ mod tests {
         let (rp, _) = pfp.eval_query(&pfp_q).unwrap();
         let (rl, _) = FpEvaluator::new(&db, 2).eval_query(&lfp_q).unwrap();
         assert_eq!(rp.sorted(), rl.sorted());
-        assert_eq!(rp.sorted(), Relation::from_tuples(1, [[0u32], [1], [2], [3]]).sorted());
+        assert_eq!(
+            rp.sorted(),
+            Relation::from_tuples(1, [[0u32], [1], [2], [3]]).sorted()
+        );
     }
 
     #[test]
@@ -152,14 +169,10 @@ mod tests {
         // For positive operators, inflationary and least fixpoints agree
         // [GS86]: reachability both ways.
         let db = db();
-        let ifp_q = parse_query(
-            "(x1) [ifp S(x1). (x1 = 0 | exists x2. (S(x2) & E(x2,x1)))](x1)",
-        )
-        .unwrap();
-        let lfp_q = parse_query(
-            "(x1) [lfp S(x1). (x1 = 0 | exists x2. (S(x2) & E(x2,x1)))](x1)",
-        )
-        .unwrap();
+        let ifp_q =
+            parse_query("(x1) [ifp S(x1). (x1 = 0 | exists x2. (S(x2) & E(x2,x1)))](x1)").unwrap();
+        let lfp_q =
+            parse_query("(x1) [lfp S(x1). (x1 = 0 | exists x2. (S(x2) & E(x2,x1)))](x1)").unwrap();
         let ev = PfpEvaluator::new(&db, 2);
         let (ri, _) = ev.eval_query(&ifp_q).unwrap();
         let (rl, _) = FpEvaluator::new(&db, 2).eval_query(&lfp_q).unwrap();

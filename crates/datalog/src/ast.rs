@@ -71,9 +71,11 @@ impl Rule {
     /// in the body.
     pub fn is_range_restricted(&self) -> bool {
         self.head.vars.iter().all(|v| {
-            self.body
-                .iter()
-                .any(|a| a.args.iter().any(|t| matches!(t, AtomTerm::Var(w) if w == v)))
+            self.body.iter().any(|a| {
+                a.args
+                    .iter()
+                    .any(|t| matches!(t, AtomTerm::Var(w) if w == v))
+            })
         })
     }
 }
@@ -133,13 +135,23 @@ impl fmt::Display for DatalogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DatalogError::InvalidHead(p) => {
-                write!(f, "rule head for `{p}` must have distinct variable arguments")
+                write!(
+                    f,
+                    "rule head for `{p}` must have distinct variable arguments"
+                )
             }
             DatalogError::NotRangeRestricted(p) => {
                 write!(f, "rule for `{p}` is not range-restricted")
             }
-            DatalogError::ArityMismatch { pred, expected, found } => {
-                write!(f, "predicate `{pred}` used with arities {expected} and {found}")
+            DatalogError::ArityMismatch {
+                pred,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "predicate `{pred}` used with arities {expected} and {found}"
+                )
             }
             DatalogError::UnknownPredicate(p) => write!(f, "unknown predicate `{p}`"),
         }
@@ -172,10 +184,16 @@ impl Program {
         body: &[(&str, &[AtomTerm])],
     ) -> Self {
         self.rules.push(Rule {
-            head: Head { pred: head_pred.to_string(), vars: head_vars.to_vec() },
+            head: Head {
+                pred: head_pred.to_string(),
+                vars: head_vars.to_vec(),
+            },
             body: body
                 .iter()
-                .map(|(p, args)| BodyAtom { pred: p.to_string(), args: args.to_vec() })
+                .map(|(p, args)| BodyAtom {
+                    pred: p.to_string(),
+                    args: args.to_vec(),
+                })
                 .collect(),
         });
         self
@@ -259,7 +277,10 @@ mod tests {
     #[test]
     fn validation_catches_unrestricted() {
         let p = Program::new().rule("Q", &[0], &[("E", &[v(1), v(1)])]);
-        assert!(matches!(p.validate(), Err(DatalogError::NotRangeRestricted(_))));
+        assert!(matches!(
+            p.validate(),
+            Err(DatalogError::NotRangeRestricted(_))
+        ));
     }
 
     #[test]
@@ -267,7 +288,10 @@ mod tests {
         let p = Program::new()
             .rule("Q", &[0], &[("E", &[v(0), v(0)])])
             .rule("R", &[0], &[("E", &[v(0)])]);
-        assert!(matches!(p.validate(), Err(DatalogError::ArityMismatch { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(DatalogError::ArityMismatch { .. })
+        ));
     }
 
     #[test]

@@ -5,8 +5,16 @@
 //! semi-naive evaluator joins each rule once per IDB body atom against
 //! that atom's *delta* (tuples new in the previous round), the classical
 //! optimisation whose effect the `ablation_seminaive` bench measures.
+//!
+//! With an [`EvalConfig`] of more than one thread (`eval_naive_with` /
+//! `eval_seminaive_with`), the independent (rule × delta-position) bodies
+//! of each round evaluate on scoped worker threads, and the joins inside a
+//! body use the partitioned relational kernels. Derived tuples are
+//! absorbed in rule order after the round's barrier, and all merges are
+//! set unions, so the computed least model — and the statistics — are
+//! identical for every thread count.
 
-use bvq_relation::{Database, Elem, EvalStats, Relation, StatsRecorder};
+use bvq_relation::{parallel, Database, Elem, EvalConfig, EvalStats, Relation, StatsRecorder};
 
 use crate::ast::{AtomTerm, BodyAtom, DatalogError, Program, Rule};
 
@@ -27,17 +35,28 @@ impl EvalOutput {
 }
 
 /// Evaluates `program` naively: every round recomputes every rule against
-/// the full current IDB state, until no new tuples appear.
+/// the full current IDB state, until no new tuples appear. Thread count
+/// from [`EvalConfig::default`].
 pub fn eval_naive(program: &Program, db: &Database) -> Result<EvalOutput, DatalogError> {
+    eval_naive_with(program, db, &EvalConfig::default())
+}
+
+/// [`eval_naive`] with an explicit parallel-evaluation configuration.
+pub fn eval_naive_with(
+    program: &Program,
+    db: &Database,
+    cfg: &EvalConfig,
+) -> Result<EvalOutput, DatalogError> {
     program.validate()?;
     let mut state = State::new(program, db)?;
     let mut rec = StatsRecorder::new();
     loop {
         rec.iteration();
+        let items: Vec<RoundItem<'_>> = program.rules.iter().map(|r| (r, None)).collect();
+        let derived = eval_round(&state, &items, cfg, &mut rec)?;
         let mut changed = false;
-        for rule in &program.rules {
-            let derived = state.eval_rule(rule, None, &mut rec)?;
-            changed |= state.absorb(&rule.head.pred, derived);
+        for ((rule, _), d) in items.iter().zip(derived) {
+            changed |= state.absorb(&rule.head.pred, d);
         }
         if !changed {
             break;
@@ -47,8 +66,17 @@ pub fn eval_naive(program: &Program, db: &Database) -> Result<EvalOutput, Datalo
 }
 
 /// Evaluates `program` semi-naively, joining each rule against the deltas
-/// of the previous round.
+/// of the previous round. Thread count from [`EvalConfig::default`].
 pub fn eval_seminaive(program: &Program, db: &Database) -> Result<EvalOutput, DatalogError> {
+    eval_seminaive_with(program, db, &EvalConfig::default())
+}
+
+/// [`eval_seminaive`] with an explicit parallel-evaluation configuration.
+pub fn eval_seminaive_with(
+    program: &Program,
+    db: &Database,
+    cfg: &EvalConfig,
+) -> Result<EvalOutput, DatalogError> {
     program.validate()?;
     let mut state = State::new(program, db)?;
     let mut rec = StatsRecorder::new();
@@ -59,27 +87,31 @@ pub fn eval_seminaive(program: &Program, db: &Database) -> Result<EvalOutput, Da
         .map(|(p, r)| (p.clone(), Relation::new(r.arity())))
         .collect();
     rec.iteration();
-    for rule in &program.rules {
-        let derived = state.eval_rule(rule, None, &mut rec)?;
-        let fresh = state.fresh_tuples(&rule.head.pred, &derived);
-        let slot = deltas.iter_mut().find(|(p, _)| *p == rule.head.pred).expect("idb");
-        slot.1 = slot.1.union(&fresh);
+    {
+        let items: Vec<RoundItem<'_>> = program.rules.iter().map(|r| (r, None)).collect();
+        let derived = eval_round(&state, &items, cfg, &mut rec)?;
+        for ((rule, _), d) in items.iter().zip(derived) {
+            let fresh = state.fresh_tuples(&rule.head.pred, &d);
+            let slot = deltas
+                .iter_mut()
+                .find(|(p, _)| *p == rule.head.pred)
+                .expect("idb");
+            slot.1 = slot.1.union(&fresh);
+        }
     }
     for (p, d) in &deltas {
         state.absorb(p, d.clone());
     }
     // Subsequent rounds: once per IDB body atom, with that atom bound to
-    // the delta.
+    // the delta. The (rule × delta-position) items of a round are
+    // independent — they read the pre-round IDB state — so they form the
+    // round's parallel work list.
     loop {
         if deltas.iter().all(|(_, d)| d.is_empty()) {
             break;
         }
         rec.iteration();
-        let mut new_deltas: Vec<(String, Relation)> = state
-            .idb
-            .iter()
-            .map(|(p, r)| (p.clone(), Relation::new(r.arity())))
-            .collect();
+        let mut items: Vec<RoundItem<'_>> = Vec::new();
         for rule in &program.rules {
             for (pos, atom) in rule.body.iter().enumerate() {
                 if !state.is_idb(&atom.pred) {
@@ -88,18 +120,28 @@ pub fn eval_seminaive(program: &Program, db: &Database) -> Result<EvalOutput, Da
                 let delta = deltas
                     .iter()
                     .find(|(p, _)| *p == atom.pred)
-                    .map(|(_, d)| d.clone())
-                    .expect("idb delta");
+                    .map(|(_, d)| d)
+                    .expect("idb");
                 if delta.is_empty() {
                     continue;
                 }
-                let derived = state.eval_rule(rule, Some((pos, &delta)), &mut rec)?;
-                let fresh = state.fresh_tuples(&rule.head.pred, &derived);
-                let slot =
-                    new_deltas.iter_mut().find(|(p, _)| *p == rule.head.pred).expect("idb");
-                slot.1 = slot.1.union(&fresh);
+                items.push((rule, Some((pos, delta))));
             }
             // Rules with no IDB body atoms contribute only in round 0.
+        }
+        let derived = eval_round(&state, &items, cfg, &mut rec)?;
+        let mut new_deltas: Vec<(String, Relation)> = state
+            .idb
+            .iter()
+            .map(|(p, r)| (p.clone(), Relation::new(r.arity())))
+            .collect();
+        for ((rule, _), d) in items.iter().zip(derived) {
+            let fresh = state.fresh_tuples(&rule.head.pred, &d);
+            let slot = new_deltas
+                .iter_mut()
+                .find(|(p, _)| *p == rule.head.pred)
+                .expect("idb");
+            slot.1 = slot.1.union(&fresh);
         }
         for (p, d) in &new_deltas {
             state.absorb(p, d.clone());
@@ -107,6 +149,43 @@ pub fn eval_seminaive(program: &Program, db: &Database) -> Result<EvalOutput, Da
         deltas = new_deltas;
     }
     Ok(state.finish(rec))
+}
+
+/// One independent unit of a round: a rule, optionally with one body
+/// position bound to a delta relation.
+type RoundItem<'a> = (&'a Rule, Option<(usize, &'a Relation)>);
+
+/// Evaluates a round's work items, on scoped worker threads when the
+/// config asks for more than one. Results come back in item order;
+/// worker-local statistics are merged into `rec` (`EvalStats::merge` is
+/// commutative up to the final value, so the totals match the sequential
+/// run).
+fn eval_round(
+    state: &State<'_>,
+    items: &[RoundItem<'_>],
+    cfg: &EvalConfig,
+    rec: &mut StatsRecorder,
+) -> Result<Vec<Relation>, DatalogError> {
+    if cfg.is_sequential() || items.len() <= 1 {
+        return items
+            .iter()
+            .map(|(r, d)| state.eval_rule(r, *d, cfg, rec))
+            .collect();
+    }
+    let chunks = parallel::map_chunks(cfg.threads(), items.len(), |range| {
+        let mut local = StatsRecorder::new();
+        let out: Result<Vec<Relation>, DatalogError> = items[range]
+            .iter()
+            .map(|(r, d)| state.eval_rule(r, *d, cfg, &mut local))
+            .collect();
+        (out, local.stats())
+    });
+    let mut derived = Vec::with_capacity(items.len());
+    for (out, stats) in chunks {
+        derived.extend(out?);
+        rec.absorb(&stats);
+    }
+    Ok(derived)
 }
 
 struct State<'d> {
@@ -157,7 +236,12 @@ impl<'d> State<'d> {
 
     /// Tuples of `derived` not already present in the IDB relation.
     fn fresh_tuples(&self, pred: &str, derived: &Relation) -> Relation {
-        let current = self.idb.iter().find(|(p, _)| p == pred).map(|(_, r)| r).expect("idb");
+        let current = self
+            .idb
+            .iter()
+            .find(|(p, _)| p == pred)
+            .map(|(_, r)| r)
+            .expect("idb");
         derived.difference(current)
     }
 
@@ -176,6 +260,7 @@ impl<'d> State<'d> {
         &self,
         rule: &Rule,
         delta_at: Option<(usize, &Relation)>,
+        cfg: &EvalConfig,
         rec: &mut StatsRecorder,
     ) -> Result<Relation, DatalogError> {
         // Running join state: columns = sorted rule variables bound so far.
@@ -194,7 +279,7 @@ impl<'d> State<'d> {
                     pairs.push((i, j));
                 }
             }
-            let joined = rel.join_on(&arel, &pairs);
+            let joined = parallel::join_on(&rel, &arel, &pairs, cfg);
             // Merge columns.
             let mut new_cols = cols.clone();
             for c in &acols {
@@ -210,7 +295,7 @@ impl<'d> State<'d> {
                     })
                 })
                 .collect();
-            rel = joined.project(&positions);
+            rel = parallel::project(&joined, &positions, cfg);
             cols = new_cols;
             rec.intermediate(rel.arity(), rel.len());
         }
@@ -221,7 +306,7 @@ impl<'d> State<'d> {
             .iter()
             .map(|v| cols.iter().position(|c| c == v).expect("range-restricted"))
             .collect();
-        Ok(rel.project(&positions))
+        Ok(parallel::project(&rel, &positions, cfg))
     }
 }
 
@@ -248,7 +333,10 @@ impl State<'_> {
     fn finish(self, rec: StatsRecorder) -> EvalOutput {
         let mut idb = self.idb;
         idb.sort_by(|a, b| a.0.cmp(&b.0));
-        EvalOutput { idb, stats: rec.stats() }
+        EvalOutput {
+            idb,
+            stats: rec.stats(),
+        }
     }
 }
 
@@ -261,7 +349,11 @@ mod tests {
     fn tc_program() -> Program {
         Program::new()
             .rule("T", &[0, 1], &[("E", &[Var(0), Var(1)])])
-            .rule("T", &[0, 1], &[("T", &[Var(0), Var(2)]), ("E", &[Var(2), Var(1)])])
+            .rule(
+                "T",
+                &[0, 1],
+                &[("T", &[Var(0), Var(2)]), ("E", &[Var(2), Var(1)])],
+            )
     }
 
     fn chain_db(n: u32) -> Database {
@@ -306,11 +398,18 @@ mod tests {
         // Reach(x) :- E(0, x);  Reach(x) :- Reach(y), E(y, x).
         let p = Program::new()
             .rule("Reach", &[0], &[("E", &[Const(0), Var(0)])])
-            .rule("Reach", &[0], &[("Reach", &[Var(1)]), ("E", &[Var(1), Var(0)])]);
+            .rule(
+                "Reach",
+                &[0],
+                &[("Reach", &[Var(1)]), ("E", &[Var(1), Var(0)])],
+            );
         let db = chain_db(4);
         let out = eval_seminaive(&p, &db).unwrap();
         let r = out.get("Reach").unwrap();
-        assert_eq!(r.sorted(), Relation::from_tuples(1, [[1u32], [2], [3]]).sorted());
+        assert_eq!(
+            r.sorted(),
+            Relation::from_tuples(1, [[1u32], [2], [3]]).sorted()
+        );
     }
 
     #[test]
@@ -318,8 +417,16 @@ mod tests {
         // Even/Odd distance from node 0 along the chain.
         let p = Program::new()
             .rule("Even", &[0], &[("Z", &[Var(0)])])
-            .rule("Even", &[0], &[("Odd", &[Var(1)]), ("E", &[Var(1), Var(0)])])
-            .rule("Odd", &[0], &[("Even", &[Var(1)]), ("E", &[Var(1), Var(0)])]);
+            .rule(
+                "Even",
+                &[0],
+                &[("Odd", &[Var(1)]), ("E", &[Var(1), Var(0)])],
+            )
+            .rule(
+                "Odd",
+                &[0],
+                &[("Even", &[Var(1)]), ("E", &[Var(1), Var(0)])],
+            );
         let db = Database::builder(5)
             .relation("E", 2, (0u32..4).map(|i| [i, i + 1]))
             .relation("Z", 1, [[0u32]])
@@ -341,16 +448,24 @@ mod tests {
     fn unknown_predicate_rejected() {
         let p = Program::new().rule("Q", &[0], &[("Nope", &[Var(0)])]);
         let db = chain_db(3);
-        assert!(matches!(eval_naive(&p, &db), Err(DatalogError::UnknownPredicate(_))));
+        assert!(matches!(
+            eval_naive(&p, &db),
+            Err(DatalogError::UnknownPredicate(_))
+        ));
     }
 
     #[test]
     fn repeated_variables_in_atom() {
         // Loop(x) :- E(x, x).
         let p = Program::new().rule("Loop", &[0], &[("E", &[Var(0), Var(0)])]);
-        let db = Database::builder(3).relation("E", 2, [[0u32, 1], [2, 2]]).build();
+        let db = Database::builder(3)
+            .relation("E", 2, [[0u32, 1], [2, 2]])
+            .build();
         let out = eval_seminaive(&p, &db).unwrap();
-        assert_eq!(out.get("Loop").unwrap().sorted(), Relation::from_tuples(1, [[2u32]]).sorted());
+        assert_eq!(
+            out.get("Loop").unwrap().sorted(),
+            Relation::from_tuples(1, [[2u32]]).sorted()
+        );
     }
 
     #[test]

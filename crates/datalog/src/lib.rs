@@ -20,5 +20,5 @@ pub mod eval;
 pub mod translate;
 
 pub use ast::{AtomTerm, BodyAtom, DatalogError, Head, Program, Rule};
-pub use eval::{eval_naive, eval_seminaive, EvalOutput};
+pub use eval::{eval_naive, eval_naive_with, eval_seminaive, eval_seminaive_with, EvalOutput};
 pub use translate::{to_fp_formula, to_fp_formula_multi};

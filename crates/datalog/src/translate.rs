@@ -89,9 +89,19 @@ fn expand(
             let fix = expand(program, idbs, p, *a, &inner_scope);
             // `fix` is [lfp p(x̄). …](x̄); re-apply to the atom's args.
             match fix {
-                Formula::Fix { kind, rel, bound, body, .. } => {
-                    Formula::Fix { kind, rel, bound, body, args }
-                }
+                Formula::Fix {
+                    kind,
+                    rel,
+                    bound,
+                    body,
+                    ..
+                } => Formula::Fix {
+                    kind,
+                    rel,
+                    bound,
+                    body,
+                    args,
+                },
                 _ => unreachable!("expand returns a fixpoint"),
             }
         } else {
@@ -140,8 +150,11 @@ fn fixpoint_for(
         };
         let mut conjuncts: Vec<Formula> = Vec::new();
         for atom in &rule.body {
-            let args: Vec<Term> =
-                atom.args.iter().map(|t| map_term(t, &mut mapping)).collect();
+            let args: Vec<Term> = atom
+                .args
+                .iter()
+                .map(|t| map_term(t, &mut mapping))
+                .collect();
             conjuncts.push(resolve(&atom.pred, args));
         }
         let mut body = Formula::and_all(conjuncts);
@@ -200,7 +213,9 @@ mod tests {
         let program = Program::new()
             .rule("Reach", &[0], &[("E", &[Const(0), V(0)])])
             .rule("Reach", &[0], &[("Reach", &[V(1)]), ("E", &[V(1), V(0)])]);
-        let db = Database::builder(4).relation("E", 2, [[0u32, 1], [1, 2]]).build();
+        let db = Database::builder(4)
+            .relation("E", 2, [[0u32, 1], [1, 2]])
+            .build();
         let datalog = eval_seminaive(&program, &db).unwrap();
         let f = to_fp_formula(&program).unwrap();
         assert_eq!(f.width(), 2);
@@ -261,7 +276,11 @@ mod tests {
             let f = to_fp_formula_multi(&program, target).unwrap();
             let q = Query::new(vec![bvq_logic::Var(0)], f);
             let (fp, _) = FpEvaluator::new(&db, 2).eval_query(&q).unwrap();
-            assert_eq!(datalog.get(target).unwrap().sorted(), fp.sorted(), "{target}");
+            assert_eq!(
+                datalog.get(target).unwrap().sorted(),
+                fp.sorted(),
+                "{target}"
+            );
         }
     }
 

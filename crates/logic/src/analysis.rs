@@ -105,7 +105,11 @@ impl Formula {
     pub fn is_fp(&self) -> bool {
         let mut ok = true;
         self.visit(&mut |f| {
-            if let Formula::Fix { kind: FixKind::Pfp | FixKind::Ifp, .. } = f {
+            if let Formula::Fix {
+                kind: FixKind::Pfp | FixKind::Ifp,
+                ..
+            } = f
+            {
                 ok = false;
             }
         });
@@ -139,7 +143,12 @@ impl Formula {
                     go(g, bound, out);
                     bound.pop();
                 }
-                Formula::Fix { bound: bvs, body, args, .. } => {
+                Formula::Fix {
+                    bound: bvs,
+                    body,
+                    args,
+                    ..
+                } => {
                     // The fixpoint's bound variables are bound in the body…
                     let depth = bound.len();
                     bound.extend(bvs.iter().copied());
@@ -161,7 +170,10 @@ impl Formula {
     pub fn free_rel_vars(&self) -> Vec<String> {
         fn go(f: &Formula, bound: &mut Vec<String>, out: &mut BTreeSet<String>) {
             match f {
-                Formula::Atom(Atom { rel: RelRef::Bound(name), .. }) => {
+                Formula::Atom(Atom {
+                    rel: RelRef::Bound(name),
+                    ..
+                }) => {
                     if !bound.iter().any(|b| b == name) {
                         out.insert(name.clone());
                     }
@@ -190,7 +202,11 @@ impl Formula {
     pub fn db_relations(&self) -> Vec<(String, usize)> {
         let mut out = BTreeSet::new();
         self.visit(&mut |f| {
-            if let Formula::Atom(Atom { rel: RelRef::Db(name), args }) = f {
+            if let Formula::Atom(Atom {
+                rel: RelRef::Db(name),
+                args,
+            }) = f
+            {
                 out.insert((name.clone(), args.len()));
             }
         });
@@ -207,7 +223,10 @@ impl Formula {
     pub fn is_positive_in(&self, name: &str) -> bool {
         fn go(f: &Formula, name: &str, positive: bool) -> bool {
             match f {
-                Formula::Atom(Atom { rel: RelRef::Bound(n), .. }) if n == name => positive,
+                Formula::Atom(Atom {
+                    rel: RelRef::Bound(n),
+                    ..
+                }) if n == name => positive,
                 Formula::Atom(_) | Formula::Const(_) | Formula::Eq(..) => true,
                 Formula::Not(g) => go(g, name, !positive),
                 Formula::And(a, b) | Formula::Or(a, b) => {
@@ -240,10 +259,11 @@ impl Formula {
     pub fn validate_fp(&self) -> Result<(), LogicError> {
         fn go(f: &Formula, arities: &mut Vec<(String, usize)>) -> Result<(), LogicError> {
             match f {
-                Formula::Atom(Atom { rel: RelRef::Bound(name), args }) => {
-                    if let Some((_, a)) =
-                        arities.iter().rev().find(|(n, _)| n == name)
-                    {
+                Formula::Atom(Atom {
+                    rel: RelRef::Bound(name),
+                    args,
+                }) => {
+                    if let Some((_, a)) = arities.iter().rev().find(|(n, _)| n == name) {
                         if *a != args.len() {
                             return Err(LogicError::RelArityMismatch {
                                 name: name.clone(),
@@ -260,7 +280,13 @@ impl Formula {
                     go(a, arities)?;
                     go(b, arities)
                 }
-                Formula::Fix { kind, rel, bound, body, args } => {
+                Formula::Fix {
+                    kind,
+                    rel,
+                    bound,
+                    body,
+                    args,
+                } => {
                     if args.len() != bound.len() {
                         return Err(LogicError::RelArityMismatch {
                             name: rel.clone(),
@@ -274,9 +300,7 @@ impl Formula {
                     if sorted.len() != bound.len() {
                         return Err(LogicError::DuplicateBoundVariable(rel.clone()));
                     }
-                    if matches!(kind, FixKind::Lfp | FixKind::Gfp)
-                        && !body.is_positive_in(rel)
-                    {
+                    if matches!(kind, FixKind::Lfp | FixKind::Gfp) && !body.is_positive_in(rel) {
                         return Err(LogicError::NotPositive(rel.clone()));
                     }
                     arities.push((rel.clone(), bound.len()));
@@ -304,7 +328,9 @@ impl Formula {
                 Formula::Const(_) | Formula::Atom(_) | Formula::Eq(..) => 0,
                 Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => ad(g),
                 Formula::And(a, b) | Formula::Or(a, b) => ad(a).max(ad(b)),
-                Formula::Fix { kind, rel, body, .. } => {
+                Formula::Fix {
+                    kind, rel, body, ..
+                } => {
                     let mut d = ad(body).max(1);
                     if let Some(m) = max_dependent_alt(body, *kind, rel) {
                         d = d.max(m + 1);
@@ -330,7 +356,9 @@ impl Formula {
                         (x, y) => x.or(y),
                     }
                 }
-                Formula::Fix { kind, rel, body, .. } => {
+                Formula::Fix {
+                    kind, rel, body, ..
+                } => {
                     if rel == outer_rel {
                         return None; // outer variable shadowed below here
                     }
@@ -349,13 +377,18 @@ impl Formula {
         }
         fn mentions(f: &Formula, name: &str) -> bool {
             match f {
-                Formula::Atom(Atom { rel: RelRef::Bound(n), .. }) => n == name,
+                Formula::Atom(Atom {
+                    rel: RelRef::Bound(n),
+                    ..
+                }) => n == name,
                 Formula::Atom(_) | Formula::Const(_) | Formula::Eq(..) => false,
                 Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => {
                     mentions(g, name)
                 }
                 Formula::And(a, b) | Formula::Or(a, b) => mentions(a, name) || mentions(b, name),
-                Formula::Fix { rel, body, args: _, .. } => rel != name && mentions(body, name),
+                Formula::Fix {
+                    rel, body, args: _, ..
+                } => rel != name && mentions(body, name),
             }
         }
         ad(self)
@@ -376,9 +409,7 @@ impl Formula {
     pub fn fixpoint_nesting(&self) -> usize {
         match self {
             Formula::Const(_) | Formula::Atom(_) | Formula::Eq(..) => 0,
-            Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => {
-                g.fixpoint_nesting()
-            }
+            Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => g.fixpoint_nesting(),
             Formula::And(a, b) | Formula::Or(a, b) => {
                 a.fixpoint_nesting().max(b.fixpoint_nesting())
             }
@@ -424,7 +455,11 @@ impl Eso {
             if err.is_some() {
                 return;
             }
-            if let Formula::Atom(Atom { rel: RelRef::Bound(name), args }) = f {
+            if let Formula::Atom(Atom {
+                rel: RelRef::Bound(name),
+                args,
+            }) = f
+            {
                 match self.rels.iter().find(|(n, _)| n == name) {
                     None => err = Some(LogicError::UnboundRelVar(name.clone())),
                     Some((_, a)) if *a != args.len() => {
@@ -531,19 +566,41 @@ mod tests {
 
     #[test]
     fn validate_fp_rejects_negative_recursion() {
-        let bad = Formula::lfp("S", vec![Var(0)], Formula::rel_var("S", [v(0)]).not(), vec![v(0)]);
+        let bad = Formula::lfp(
+            "S",
+            vec![Var(0)],
+            Formula::rel_var("S", [v(0)]).not(),
+            vec![v(0)],
+        );
         assert!(matches!(bad.validate_fp(), Err(LogicError::NotPositive(_))));
         // PFP is exempt.
-        let ok = Formula::pfp("S", vec![Var(0)], Formula::rel_var("S", [v(0)]).not(), vec![v(0)]);
+        let ok = Formula::pfp(
+            "S",
+            vec![Var(0)],
+            Formula::rel_var("S", [v(0)]).not(),
+            vec![v(0)],
+        );
         assert!(ok.validate_fp().is_ok());
     }
 
     #[test]
     fn validate_fp_checks_arities() {
-        let bad = Formula::lfp("S", vec![Var(0)], Formula::rel_var("S", [v(0), v(1)]), vec![v(0)]);
-        assert!(matches!(bad.validate_fp(), Err(LogicError::RelArityMismatch { .. })));
-        let bad2 =
-            Formula::lfp("S", vec![Var(0)], Formula::rel_var("S", [v(0)]), vec![v(0), v(1)]);
+        let bad = Formula::lfp(
+            "S",
+            vec![Var(0)],
+            Formula::rel_var("S", [v(0), v(1)]),
+            vec![v(0)],
+        );
+        assert!(matches!(
+            bad.validate_fp(),
+            Err(LogicError::RelArityMismatch { .. })
+        ));
+        let bad2 = Formula::lfp(
+            "S",
+            vec![Var(0)],
+            Formula::rel_var("S", [v(0)]),
+            vec![v(0), v(1)],
+        );
         assert!(bad2.validate_fp().is_err());
         let bad3 = Formula::lfp(
             "S",
@@ -551,7 +608,10 @@ mod tests {
             Formula::rel_var("S", [v(0), v(0)]),
             vec![v(0), v(1)],
         );
-        assert!(matches!(bad3.validate_fp(), Err(LogicError::DuplicateBoundVariable(_))));
+        assert!(matches!(
+            bad3.validate_fp(),
+            Err(LogicError::DuplicateBoundVariable(_))
+        ));
     }
 
     #[test]
@@ -574,8 +634,7 @@ mod tests {
     #[test]
     fn alternation_depth_ignores_independent_nesting() {
         // ν P. body containing μ Q that does NOT mention P: depth 1.
-        let inner =
-            Formula::lfp("Q", vec![Var(0)], Formula::rel_var("Q", [v(0)]), vec![v(0)]);
+        let inner = Formula::lfp("Q", vec![Var(0)], Formula::rel_var("Q", [v(0)]), vec![v(0)]);
         let nested = Formula::gfp("P", vec![Var(0)], inner, vec![v(0)]);
         assert_eq!(nested.alternation_depth(), 1);
         // Same-kind nesting also stays at 1.
@@ -598,7 +657,9 @@ mod tests {
             Formula::rel_var("Q", [v(0)]),
         ]);
         let nu_r = Formula::gfp("R", vec![Var(0)], theta, vec![v(0)]);
-        let psi = Formula::rel_var("Q", [v(0)]).or(Formula::rel_var("P", [v(0)])).or(nu_r);
+        let psi = Formula::rel_var("Q", [v(0)])
+            .or(Formula::rel_var("P", [v(0)]))
+            .or(nu_r);
         let mu_q = Formula::lfp("Q", vec![Var(0)], psi, vec![v(0)]);
         let phi = Formula::rel_var("P", [v(0)]).and(mu_q);
         let nu_p = Formula::gfp("P", vec![Var(0)], phi, vec![v(0)]);
@@ -627,20 +688,32 @@ mod tests {
         assert!(ok.validate().is_ok());
         assert_eq!(ok.max_rel_arity(), 1);
 
-        let unbound = Eso { rels: vec![], body: Formula::rel_var("S", [v(0)]) };
-        assert!(matches!(unbound.validate(), Err(LogicError::UnboundRelVar(_))));
+        let unbound = Eso {
+            rels: vec![],
+            body: Formula::rel_var("S", [v(0)]),
+        };
+        assert!(matches!(
+            unbound.validate(),
+            Err(LogicError::UnboundRelVar(_))
+        ));
 
         let wrong_arity = Eso {
             rels: vec![("S".into(), 2)],
             body: Formula::rel_var("S", [v(0)]),
         };
-        assert!(matches!(wrong_arity.validate(), Err(LogicError::RelArityMismatch { .. })));
+        assert!(matches!(
+            wrong_arity.validate(),
+            Err(LogicError::RelArityMismatch { .. })
+        ));
 
         let not_fo = Eso {
             rels: vec![("S".into(), 1)],
             body: Formula::lfp("T", vec![Var(0)], Formula::rel_var("T", [v(0)]), vec![v(0)]),
         };
-        assert!(matches!(not_fo.validate(), Err(LogicError::EsoBodyNotFirstOrder)));
+        assert!(matches!(
+            not_fo.validate(),
+            Err(LogicError::EsoBodyNotFirstOrder)
+        ));
     }
 
     #[test]

@@ -44,10 +44,20 @@ impl fmt::Display for LogicError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LogicError::NotPositive(name) => {
-                write!(f, "recursion variable `{name}` occurs negatively in a μ/ν body")
+                write!(
+                    f,
+                    "recursion variable `{name}` occurs negatively in a μ/ν body"
+                )
             }
-            LogicError::RelArityMismatch { name, expected, found } => {
-                write!(f, "relation `{name}` used with arity {found}, bound with arity {expected}")
+            LogicError::RelArityMismatch {
+                name,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "relation `{name}` used with arity {found}, bound with arity {expected}"
+                )
             }
             LogicError::DuplicateBoundVariable(name) => {
                 write!(f, "fixpoint `{name}` binds a variable twice")
@@ -78,10 +88,17 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = LogicError::RelArityMismatch { name: "S".into(), expected: 2, found: 3 };
+        let e = LogicError::RelArityMismatch {
+            name: "S".into(),
+            expected: 2,
+            found: 3,
+        };
         assert!(e.to_string().contains("arity 3"));
-        assert!(LogicError::Parse { position: 7, message: "expected `)`".into() }
-            .to_string()
-            .contains("byte 7"));
+        assert!(LogicError::Parse {
+            position: 7,
+            message: "expected `)`".into()
+        }
+        .to_string()
+        .contains("byte 7"));
     }
 }

@@ -179,7 +179,10 @@ impl Formula {
 
     /// An atom over a database relation.
     pub fn atom(name: &str, args: impl IntoIterator<Item = Term>) -> Formula {
-        Formula::Atom(Atom { rel: RelRef::Db(name.to_string()), args: args.into_iter().collect() })
+        Formula::Atom(Atom {
+            rel: RelRef::Db(name.to_string()),
+            args: args.into_iter().collect(),
+        })
     }
 
     /// An atom over a bound relation variable.
@@ -250,22 +253,46 @@ impl Formula {
 
     /// A least fixpoint `[lfp S(x̄). body](args)`.
     pub fn lfp(rel: &str, bound: Vec<Var>, body: Formula, args: Vec<Term>) -> Formula {
-        Formula::Fix { kind: FixKind::Lfp, rel: rel.to_string(), bound, body: Box::new(body), args }
+        Formula::Fix {
+            kind: FixKind::Lfp,
+            rel: rel.to_string(),
+            bound,
+            body: Box::new(body),
+            args,
+        }
     }
 
     /// A greatest fixpoint `[gfp S(x̄). body](args)`.
     pub fn gfp(rel: &str, bound: Vec<Var>, body: Formula, args: Vec<Term>) -> Formula {
-        Formula::Fix { kind: FixKind::Gfp, rel: rel.to_string(), bound, body: Box::new(body), args }
+        Formula::Fix {
+            kind: FixKind::Gfp,
+            rel: rel.to_string(),
+            bound,
+            body: Box::new(body),
+            args,
+        }
     }
 
     /// A partial fixpoint `[pfp S(x̄). body](args)`.
     pub fn pfp(rel: &str, bound: Vec<Var>, body: Formula, args: Vec<Term>) -> Formula {
-        Formula::Fix { kind: FixKind::Pfp, rel: rel.to_string(), bound, body: Box::new(body), args }
+        Formula::Fix {
+            kind: FixKind::Pfp,
+            rel: rel.to_string(),
+            bound,
+            body: Box::new(body),
+            args,
+        }
     }
 
     /// An inflationary fixpoint `[ifp S(x̄). body](args)`.
     pub fn ifp(rel: &str, bound: Vec<Var>, body: Formula, args: Vec<Term>) -> Formula {
-        Formula::Fix { kind: FixKind::Ifp, rel: rel.to_string(), bound, body: Box::new(body), args }
+        Formula::Fix {
+            kind: FixKind::Ifp,
+            rel: rel.to_string(),
+            bound,
+            body: Box::new(body),
+            args,
+        }
     }
 }
 
@@ -311,7 +338,10 @@ impl Query {
 
     /// A Boolean (sentence) query.
     pub fn sentence(formula: Formula) -> Query {
-        Query { output: Vec::new(), formula }
+        Query {
+            output: Vec::new(),
+            formula,
+        }
     }
 
     /// Checks that the free variables of the formula are among the output
@@ -373,9 +403,13 @@ mod tests {
     #[test]
     fn query_validate_catches_stray_free_vars() {
         let f = Formula::atom("E", [Term::Var(Var(0)), Term::Var(Var(1))]);
-        assert!(Query::new(vec![Var(0), Var(1)], f.clone()).validate().is_ok());
+        assert!(Query::new(vec![Var(0), Var(1)], f.clone())
+            .validate()
+            .is_ok());
         assert!(Query::new(vec![Var(0)], f.clone()).validate().is_err());
-        assert!(Query::sentence(f.clone().exists(Var(1)).exists(Var(0))).validate().is_ok());
+        assert!(Query::sentence(f.clone().exists(Var(1)).exists(Var(0)))
+            .validate()
+            .is_ok());
     }
 
     #[test]

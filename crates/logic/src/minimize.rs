@@ -58,7 +58,13 @@ impl Formula {
                 g if !g.free_vars().contains(v) => g,
                 g => g.forall(*v),
             },
-            Formula::Fix { kind, rel, bound, body, args } => {
+            Formula::Fix {
+                kind,
+                rel,
+                bound,
+                body,
+                args,
+            } => {
                 let body = body.simplify();
                 if let Formula::Const(b) = body {
                     // lfp/gfp/pfp/ifp of a constant operator is that
@@ -89,7 +95,13 @@ impl Formula {
             Formula::Or(a, b) => a.miniscope().or(b.miniscope()),
             Formula::Exists(v, g) => push_quantifier(*v, g.miniscope(), true),
             Formula::Forall(v, g) => push_quantifier(*v, g.miniscope(), false),
-            Formula::Fix { kind, rel, bound, body, args } => Formula::Fix {
+            Formula::Fix {
+                kind,
+                rel,
+                bound,
+                body,
+                args,
+            } => Formula::Fix {
                 kind: *kind,
                 rel: rel.clone(),
                 bound: bound.clone(),
@@ -247,8 +259,7 @@ fn go(f: &Formula, mapping: &mut Vec<(Var, Var)>) -> Formula {
             let is_exists = matches!(f, Formula::Exists(..));
             // The bound variable needs a slot distinct from those of the
             // *other* variables free in g.
-            let inner_free: Vec<Var> =
-                g.free_vars().into_iter().filter(|w| w != v).collect();
+            let inner_free: Vec<Var> = g.free_vars().into_iter().filter(|w| w != v).collect();
             let mut busy = Vec::new();
             for w in &inner_free {
                 if let Some((_, s)) = mapping.iter().rev().find(|(x, _)| x == w) {

@@ -99,11 +99,18 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str) -> Self {
-        Parser { src: input.as_bytes(), pos: 0, bound_rels: Vec::new() }
+        Parser {
+            src: input.as_bytes(),
+            pos: 0,
+            bound_rels: Vec::new(),
+        }
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, LogicError> {
-        Err(LogicError::Parse { position: self.pos, message: message.into() })
+        Err(LogicError::Parse {
+            position: self.pos,
+            message: message.into(),
+        })
     }
 
     fn skip_ws(&mut self) {
@@ -150,7 +157,9 @@ impl<'a> Parser<'a> {
         let start = self.pos;
         let mut end = start;
         while end < self.src.len()
-            && (self.src[end].is_ascii_alphanumeric() || self.src[end] == b'_' || self.src[end] == b'\'')
+            && (self.src[end].is_ascii_alphanumeric()
+                || self.src[end] == b'_'
+                || self.src[end] == b'\'')
         {
             end += 1;
         }
@@ -339,7 +348,7 @@ impl<'a> Parser<'a> {
                     }
                     self.expect_sym(')')?;
                 }
-                let rel = if self.bound_rels.iter().any(|r| *r == id) {
+                let rel = if self.bound_rels.contains(&id) {
                     RelRef::Bound(id)
                 } else {
                     RelRef::Db(id)
@@ -390,7 +399,13 @@ impl<'a> Parser<'a> {
             }
             self.expect_sym(')')?;
         }
-        let f = Formula::Fix { kind, rel, bound, body: Box::new(body), args };
+        let f = Formula::Fix {
+            kind,
+            rel,
+            bound,
+            body: Box::new(body),
+            args,
+        };
         // Validate the fixpoint we just closed (positivity, arities).
         f.validate_fp()?;
         Ok(f)
@@ -408,15 +423,28 @@ mod tests {
     #[test]
     fn parses_atoms_and_connectives() {
         let f = parse("P(x1) & ~Q(x2)").unwrap();
-        assert_eq!(f, Formula::atom("P", [v(0)]).and(Formula::atom("Q", [v(1)]).not()));
+        assert_eq!(
+            f,
+            Formula::atom("P", [v(0)]).and(Formula::atom("Q", [v(1)]).not())
+        );
     }
 
     #[test]
     fn parses_quantifiers_narrow_scope() {
         let f = parse("exists x1. P(x1) & Q(x2)").unwrap();
-        assert_eq!(f, Formula::atom("P", [v(0)]).exists(Var(0)).and(Formula::atom("Q", [v(1)])));
+        assert_eq!(
+            f,
+            Formula::atom("P", [v(0)])
+                .exists(Var(0))
+                .and(Formula::atom("Q", [v(1)]))
+        );
         let g = parse("exists x1. (P(x1) & Q(x2))").unwrap();
-        assert_eq!(g, Formula::atom("P", [v(0)]).and(Formula::atom("Q", [v(1)])).exists(Var(0)));
+        assert_eq!(
+            g,
+            Formula::atom("P", [v(0)])
+                .and(Formula::atom("Q", [v(1)]))
+                .exists(Var(0))
+        );
     }
 
     #[test]
@@ -443,27 +471,37 @@ mod tests {
     #[test]
     fn precedence_and_binds_tighter_than_or() {
         let f = parse("P() | Q() & R()").unwrap();
-        let expected = Formula::atom("P", []).or(Formula::atom("Q", []).and(Formula::atom("R", [])));
+        let expected =
+            Formula::atom("P", []).or(Formula::atom("Q", []).and(Formula::atom("R", [])));
         assert_eq!(f, expected);
     }
 
     #[test]
     fn parses_fixpoints_and_binds_rel() {
         let f = parse("[lfp S(x1). (P(x1) | S(x1))](x2)").unwrap();
-        if let Formula::Fix { kind, rel, bound, body, args } = &f {
+        if let Formula::Fix {
+            kind,
+            rel,
+            bound,
+            body,
+            args,
+        } = &f
+        {
             assert_eq!(*kind, FixKind::Lfp);
             assert_eq!(rel, "S");
             assert_eq!(bound, &vec![Var(0)]);
             assert_eq!(args, &vec![v(1)]);
             // The S atom inside must be Bound, the P atom Db.
-            let expected =
-                Formula::atom("P", [v(0)]).or(Formula::rel_var("S", [v(0)]));
+            let expected = Formula::atom("P", [v(0)]).or(Formula::rel_var("S", [v(0)]));
             assert_eq!(**body, expected);
         } else {
             panic!("not a fixpoint: {f:?}");
         }
         // mu/nu synonyms.
-        assert_eq!(parse("[mu S(x1). S(x1)](x1)").unwrap(), parse("[lfp S(x1). S(x1)](x1)").unwrap());
+        assert_eq!(
+            parse("[mu S(x1). S(x1)](x1)").unwrap(),
+            parse("[lfp S(x1). S(x1)](x1)").unwrap()
+        );
     }
 
     #[test]
@@ -488,7 +526,11 @@ mod tests {
         assert_eq!(e.rels, vec![("S".to_string(), 1)]);
         let mut found_bound = false;
         e.body.visit(&mut |f| {
-            if let Formula::Atom(Atom { rel: RelRef::Bound(n), .. }) = f {
+            if let Formula::Atom(Atom {
+                rel: RelRef::Bound(n),
+                ..
+            }) = f
+            {
                 assert_eq!(n, "S");
                 found_bound = true;
             }
@@ -505,7 +547,10 @@ mod tests {
             other => panic!("expected parse error, got {other:?}"),
         }
         assert!(parse("").is_err());
-        assert!(parse("P(x1) Q(x2)").is_err(), "trailing input must be rejected");
+        assert!(
+            parse("P(x1) Q(x2)").is_err(),
+            "trailing input must be rejected"
+        );
     }
 
     #[test]

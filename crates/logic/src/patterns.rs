@@ -107,9 +107,9 @@ pub fn fairness(u: Term) -> Formula {
 pub fn reach_from_const(c: u32) -> Formula {
     let x1 = Term::Var(Var(0));
     let x2 = Term::Var(Var(1));
-    let body = Formula::Eq(x1, Term::Const(c)).or(
-        Formula::rel_var("S", [x2]).and(Formula::atom("E", [x2, x1])).exists(Var(1)),
-    );
+    let body = Formula::Eq(x1, Term::Const(c)).or(Formula::rel_var("S", [x2])
+        .and(Formula::atom("E", [x2, x1]))
+        .exists(Var(1)));
     Formula::lfp("S", vec![Var(0)], body, vec![x1])
 }
 
@@ -122,10 +122,8 @@ pub fn reach_from_const(c: u32) -> Formula {
 pub fn three_coloring() -> Eso {
     let x1 = Term::Var(Var(0));
     let x2 = Term::Var(Var(1));
-    let cover = Formula::or_all(
-        (1..=3).map(|i| Formula::rel_var(&format!("C{i}"), [x1])),
-    )
-    .forall(Var(0));
+    let cover =
+        Formula::or_all((1..=3).map(|i| Formula::rel_var(&format!("C{i}"), [x1]))).forall(Var(0));
     let proper = Formula::atom("E", [x1, x2])
         .implies(Formula::and_all((1..=3).map(|i| {
             Formula::rel_var(&format!("C{i}"), [x1])
@@ -145,7 +143,12 @@ pub fn three_coloring() -> Eso {
 /// relation (paper §2.2 convention).
 pub fn pfp_parity_flip() -> Formula {
     let x1 = Term::Var(Var(0));
-    Formula::pfp("S", vec![Var(0)], Formula::rel_var("S", [x1]).not(), vec![x1])
+    Formula::pfp(
+        "S",
+        vec![Var(0)],
+        Formula::rel_var("S", [x1]).not(),
+        vec![x1],
+    )
 }
 
 /// Reachability from constant `c` written as a PFP query (the monotone
@@ -162,7 +165,9 @@ pub fn pfp_reach(c: u32) -> Formula {
     let x2 = Term::Var(Var(1));
     let body = Formula::Eq(x1, Term::Const(c))
         .or(Formula::rel_var("S", [x1]))
-        .or(Formula::rel_var("S", [x2]).and(Formula::atom("E", [x2, x1])).exists(Var(1)));
+        .or(Formula::rel_var("S", [x2])
+            .and(Formula::atom("E", [x2, x1]))
+            .exists(Var(1)));
     Formula::pfp("S", vec![Var(0)], body, vec![x1])
 }
 

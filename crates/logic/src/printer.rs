@@ -47,7 +47,13 @@ pub fn fmt_formula(f: &Formula, w: &mut fmt::Formatter<'_>) -> fmt::Result {
             write!(w, "forall {v}. ")?;
             fmt_atomic(g, w)
         }
-        Formula::Fix { kind, rel, bound, body, args } => {
+        Formula::Fix {
+            kind,
+            rel,
+            bound,
+            body,
+            args,
+        } => {
             let kw = match kind {
                 FixKind::Lfp => "lfp",
                 FixKind::Gfp => "gfp",
@@ -132,7 +138,9 @@ mod tests {
 
     #[test]
     fn prints_quantifiers_with_dot() {
-        let f = Formula::atom("E", [v(0), v(1)]).exists(Var(1)).forall(Var(0));
+        let f = Formula::atom("E", [v(0), v(1)])
+            .exists(Var(1))
+            .forall(Var(0));
         assert_eq!(f.to_string(), "forall x1. (exists x2. E(x1,x2))");
     }
 

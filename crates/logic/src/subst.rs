@@ -37,12 +37,12 @@ impl Formula {
             })),
             Formula::Eq(a, b) => Ok(Formula::Eq(sub_term(a), sub_term(b))),
             Formula::Not(g) => Ok(g.substitute_var(var, replacement)?.not()),
-            Formula::And(a, b) => {
-                Ok(a.substitute_var(var, replacement)?.and(b.substitute_var(var, replacement)?))
-            }
-            Formula::Or(a, b) => {
-                Ok(a.substitute_var(var, replacement)?.or(b.substitute_var(var, replacement)?))
-            }
+            Formula::And(a, b) => Ok(a
+                .substitute_var(var, replacement)?
+                .and(b.substitute_var(var, replacement)?)),
+            Formula::Or(a, b) => Ok(a
+                .substitute_var(var, replacement)?
+                .or(b.substitute_var(var, replacement)?)),
             Formula::Exists(v, g) | Formula::Forall(v, g) => {
                 let is_exists = matches!(self, Formula::Exists(..));
                 if *v == var {
@@ -53,9 +53,19 @@ impl Formula {
                     return Err(LogicError::WouldCapture(*v));
                 }
                 let inner = g.substitute_var(var, replacement)?;
-                Ok(if is_exists { inner.exists(*v) } else { inner.forall(*v) })
+                Ok(if is_exists {
+                    inner.exists(*v)
+                } else {
+                    inner.forall(*v)
+                })
             }
-            Formula::Fix { kind, rel, bound, body, args } => {
+            Formula::Fix {
+                kind,
+                rel,
+                bound,
+                body,
+                args,
+            } => {
                 let new_args: Vec<Term> = args.iter().map(sub_term).collect();
                 let new_body = if bound.contains(&var) {
                     // Shadowed inside the body.
@@ -95,8 +105,15 @@ impl Formula {
         template: &Formula,
     ) -> Result<Formula, LogicError> {
         match self {
-            Formula::Atom(Atom { rel: RelRef::Bound(n), args }) if n == name => {
-                assert_eq!(args.len(), params.len(), "template parameter count mismatch");
+            Formula::Atom(Atom {
+                rel: RelRef::Bound(n),
+                args,
+            }) if n == name => {
+                assert_eq!(
+                    args.len(),
+                    params.len(),
+                    "template parameter count mismatch"
+                );
                 // Simultaneous substitution via a two-phase rename is not
                 // needed: the paper's uses have args that are plain
                 // variables/constants and params that are the leading
@@ -126,13 +143,15 @@ impl Formula {
             Formula::Or(a, b) => Ok(a
                 .substitute_rel(name, params, template)?
                 .or(b.substitute_rel(name, params, template)?)),
-            Formula::Exists(v, g) => {
-                Ok(g.substitute_rel(name, params, template)?.exists(*v))
-            }
-            Formula::Forall(v, g) => {
-                Ok(g.substitute_rel(name, params, template)?.forall(*v))
-            }
-            Formula::Fix { kind, rel, bound, body, args } => {
+            Formula::Exists(v, g) => Ok(g.substitute_rel(name, params, template)?.exists(*v)),
+            Formula::Forall(v, g) => Ok(g.substitute_rel(name, params, template)?.forall(*v)),
+            Formula::Fix {
+                kind,
+                rel,
+                bound,
+                body,
+                args,
+            } => {
                 let new_body = if rel == name {
                     (**body).clone()
                 } else {
@@ -154,18 +173,31 @@ impl Formula {
     /// recursion-variable names.
     pub fn rename_rel(&self, from: &str, to: &str) -> Formula {
         match self {
-            Formula::Atom(Atom { rel: RelRef::Bound(n), args }) if n == from => {
-                Formula::Atom(Atom { rel: RelRef::Bound(to.to_string()), args: args.clone() })
-            }
+            Formula::Atom(Atom {
+                rel: RelRef::Bound(n),
+                args,
+            }) if n == from => Formula::Atom(Atom {
+                rel: RelRef::Bound(to.to_string()),
+                args: args.clone(),
+            }),
             Formula::Const(_) | Formula::Atom(_) | Formula::Eq(..) => self.clone(),
             Formula::Not(g) => g.rename_rel(from, to).not(),
             Formula::And(a, b) => a.rename_rel(from, to).and(b.rename_rel(from, to)),
             Formula::Or(a, b) => a.rename_rel(from, to).or(b.rename_rel(from, to)),
             Formula::Exists(v, g) => g.rename_rel(from, to).exists(*v),
             Formula::Forall(v, g) => g.rename_rel(from, to).forall(*v),
-            Formula::Fix { kind, rel, bound, body, args } => {
-                let new_body =
-                    if rel == from { (**body).clone() } else { body.rename_rel(from, to) };
+            Formula::Fix {
+                kind,
+                rel,
+                bound,
+                body,
+                args,
+            } => {
+                let new_body = if rel == from {
+                    (**body).clone()
+                } else {
+                    body.rename_rel(from, to)
+                };
                 Formula::Fix {
                     kind: *kind,
                     rel: rel.clone(),
@@ -206,7 +238,10 @@ mod tests {
     fn capture_detected() {
         // ∃x2 E(x1, x2): substituting x1 := x2 would capture.
         let f = Formula::atom("E", [v(0), v(1)]).exists(Var(1));
-        assert_eq!(f.substitute_var(Var(0), v(1)), Err(LogicError::WouldCapture(Var(1))));
+        assert_eq!(
+            f.substitute_var(Var(0), v(1)),
+            Err(LogicError::WouldCapture(Var(1)))
+        );
         // Substituting a constant is always fine.
         assert!(f.substitute_var(Var(0), Term::Const(0)).is_ok());
     }
@@ -216,7 +251,10 @@ mod tests {
         // [lfp S(x2). E(x1,x2) ∨ S(x2)](x3): substituting x1 := x2 captures.
         let body = Formula::atom("E", [v(0), v(1)]).or(Formula::rel_var("S", [v(1)]));
         let f = Formula::lfp("S", vec![Var(1)], body, vec![v(2)]);
-        assert_eq!(f.substitute_var(Var(0), v(1)), Err(LogicError::WouldCapture(Var(1))));
+        assert_eq!(
+            f.substitute_var(Var(0), v(1)),
+            Err(LogicError::WouldCapture(Var(1)))
+        );
         // But substituting into the args is fine.
         let g = f.substitute_var(Var(2), v(0)).unwrap();
         if let Formula::Fix { args, .. } = &g {
@@ -232,7 +270,10 @@ mod tests {
         let f = Formula::rel_var("P", [v(0)]).or(Formula::atom("E", [v(0), v(0)]));
         let template = Formula::atom("T", [v(0)]);
         let g = f.substitute_rel("P", &[Var(0)], &template).unwrap();
-        assert_eq!(g, Formula::atom("T", [v(0)]).or(Formula::atom("E", [v(0), v(0)])));
+        assert_eq!(
+            g,
+            Formula::atom("T", [v(0)]).or(Formula::atom("E", [v(0), v(0)]))
+        );
     }
 
     #[test]

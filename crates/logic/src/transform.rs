@@ -23,16 +23,28 @@ impl Formula {
     /// negation (the `S := ¬S` step of fixpoint dualization).
     fn negate_rel(&self, name: &str) -> Formula {
         match self {
-            Formula::Atom(Atom { rel: RelRef::Bound(n), .. }) if n == name => self.clone().not(),
+            Formula::Atom(Atom {
+                rel: RelRef::Bound(n),
+                ..
+            }) if n == name => self.clone().not(),
             Formula::Const(_) | Formula::Atom(_) | Formula::Eq(..) => self.clone(),
             Formula::Not(g) => Formula::Not(Box::new(g.negate_rel(name))),
             Formula::And(a, b) => a.negate_rel(name).and(b.negate_rel(name)),
             Formula::Or(a, b) => a.negate_rel(name).or(b.negate_rel(name)),
             Formula::Exists(v, g) => g.negate_rel(name).exists(*v),
             Formula::Forall(v, g) => g.negate_rel(name).forall(*v),
-            Formula::Fix { kind, rel, bound, body, args } => {
-                let new_body =
-                    if rel == name { (**body).clone() } else { body.negate_rel(name) };
+            Formula::Fix {
+                kind,
+                rel,
+                bound,
+                body,
+                args,
+            } => {
+                let new_body = if rel == name {
+                    (**body).clone()
+                } else {
+                    body.negate_rel(name)
+                };
                 Formula::Fix {
                     kind: *kind,
                     rel: rel.clone(),
@@ -57,9 +69,11 @@ impl Formula {
     fn nnf_signed(&self, negate: bool) -> Result<Formula, LogicError> {
         match self {
             Formula::Const(b) => Ok(Formula::Const(*b != negate)),
-            Formula::Atom(_) | Formula::Eq(..) => {
-                Ok(if negate { self.clone().not() } else { self.clone() })
-            }
+            Formula::Atom(_) | Formula::Eq(..) => Ok(if negate {
+                self.clone().not()
+            } else {
+                self.clone()
+            }),
             Formula::Not(g) => g.nnf_signed(!negate),
             Formula::And(a, b) => {
                 let (a, b) = (a.nnf_signed(negate)?, b.nnf_signed(negate)?);
@@ -77,7 +91,13 @@ impl Formula {
                 let g = g.nnf_signed(negate)?;
                 Ok(if negate { g.exists(*v) } else { g.forall(*v) })
             }
-            Formula::Fix { kind, rel, bound, body, args } => {
+            Formula::Fix {
+                kind,
+                rel,
+                bound,
+                body,
+                args,
+            } => {
                 if !negate {
                     let new_body = body.nnf_signed(false)?;
                     return Ok(Formula::Fix {
@@ -152,18 +172,18 @@ mod tests {
 
     #[test]
     fn nnf_of_nnf_is_identity() {
-        let f = Formula::atom("P", [v(0)]).not().or(Formula::atom("Q", [v(0)]));
+        let f = Formula::atom("P", [v(0)])
+            .not()
+            .or(Formula::atom("Q", [v(0)]));
         assert_eq!(f.nnf().unwrap(), f);
     }
 
     #[test]
     fn dual_of_lfp_is_gfp_and_positive() {
         // μS(x1). P(x1) ∨ ∃x2(E(x1,x2) ∧ S(x2)) — reachability into P.
-        let body = Formula::atom("P", [v(0)]).or(
-            Formula::atom("E", [v(0), v(1)])
-                .and(Formula::rel_var("S", [v(1)]))
-                .exists(Var(1)),
-        );
+        let body = Formula::atom("P", [v(0)]).or(Formula::atom("E", [v(0), v(1)])
+            .and(Formula::rel_var("S", [v(1)]))
+            .exists(Var(1)));
         let f = Formula::lfp("S", vec![Var(0)], body, vec![v(0)]);
         assert!(f.validate_fp().is_ok());
         let d = f.dual().unwrap();
@@ -196,7 +216,12 @@ mod tests {
 
     #[test]
     fn pfp_cannot_be_dualized() {
-        let f = Formula::pfp("S", vec![Var(0)], Formula::rel_var("S", [v(0)]).not(), vec![v(0)]);
+        let f = Formula::pfp(
+            "S",
+            vec![Var(0)],
+            Formula::rel_var("S", [v(0)]).not(),
+            vec![v(0)],
+        );
         assert_eq!(f.dual(), Err(LogicError::CannotDualizePfp));
         // But an un-negated PFP passes through nnf.
         assert!(f.nnf().is_ok());

@@ -1,103 +1,125 @@
-//! Property tests: random formulas round-trip through print → parse, and
-//! the analyses are consistent with each other and preserved by NNF.
+//! Seeded property tests: random formulas round-trip through print →
+//! parse, and the analyses are consistent with each other and preserved by
+//! NNF. Cases are generated with the in-tree deterministic PRNG.
 
 use bvq_logic::{parse, FixKind, Formula, Term, Var};
-use proptest::prelude::*;
+use bvq_prng::{for_each_case, Rng};
 
-/// Strategy for random FO/FP formulas of bounded width and depth.
+/// A random term over variables `x1..x{width}` and small constants.
+fn rand_term(width: u32, rng: &mut Rng) -> Term {
+    if rng.gen_bool(0.6) {
+        Term::Var(Var(rng.gen_range(0..width)))
+    } else {
+        Term::Const(rng.gen_range(0..4u32))
+    }
+}
+
+/// A random FO/FP formula of bounded width and depth.
 ///
-/// `rels` gives the pool of (db-relation, arity) symbols; recursion
-/// variables are introduced by generated fixpoints with positive bodies
-/// (we simply never generate a bound-rel atom under a Not).
-fn arb_term(width: u32) -> impl Strategy<Value = Term> {
-    prop_oneof![
-        (0..width).prop_map(|i| Term::Var(Var(i))),
-        (0u32..4).prop_map(Term::Const),
-    ]
+/// Recursion variables are introduced by generated fixpoints with positive
+/// bodies (we simply never generate a bound-rel atom under a Not), matching
+/// the invariants the analyses expect.
+fn rand_formula(width: u32, depth: u32, rng: &mut Rng) -> Formula {
+    if depth == 0 || rng.gen_ratio(1, 4) {
+        return match rng.gen_range(0..5u32) {
+            0 => Formula::tt(),
+            1 => Formula::ff(),
+            2 => Formula::Eq(rand_term(width, rng), rand_term(width, rng)),
+            3 => {
+                let n = rng.gen_range(0..3usize);
+                let args: Vec<Term> = (0..n).map(|_| rand_term(width, rng)).collect();
+                Formula::atom("R", args)
+            }
+            _ => Formula::atom("P", [rand_term(width, rng)]),
+        };
+    }
+    let inner = |rng: &mut Rng| rand_formula(width, depth - 1, rng);
+    match rng.gen_range(0..6u32) {
+        0 => inner(rng).not(),
+        1 => inner(rng).and(inner(rng)),
+        2 => inner(rng).or(inner(rng)),
+        3 => inner(rng).exists(Var(rng.gen_range(0..width))),
+        4 => inner(rng).forall(Var(rng.gen_range(0..width))),
+        // A μ-fixpoint over variable x1 whose body is `inner ∨ S(x1)`,
+        // positive by construction.
+        _ => {
+            let f = inner(rng);
+            let v = rng.gen_range(0..width);
+            Formula::lfp(
+                "S",
+                vec![Var(0)],
+                f.or(Formula::rel_var("S", [Term::Var(Var(0))])),
+                vec![Term::Var(Var(v))],
+            )
+        }
+    }
 }
 
-fn arb_formula(width: u32, depth: u32) -> BoxedStrategy<Formula> {
-    let leaf = prop_oneof![
-        Just(Formula::tt()),
-        Just(Formula::ff()),
-        (arb_term(width), arb_term(width)).prop_map(|(a, b)| Formula::Eq(a, b)),
-        prop::collection::vec(arb_term(width), 0..3)
-            .prop_map(|args| Formula::atom("R", args.clone())),
-        arb_term(width).prop_map(|t| Formula::atom("P", [t])),
-    ];
-    leaf.prop_recursive(depth, 64, 3, move |inner| {
-        prop_oneof![
-            inner.clone().prop_map(Formula::not),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            (inner.clone(), 0..width).prop_map(|(f, v)| f.exists(Var(v))),
-            (inner.clone(), 0..width).prop_map(|(f, v)| f.forall(Var(v))),
-            // A μ-fixpoint over variable x1 whose body is `inner ∨ S(x1)`,
-            // positive by construction.
-            (inner, 0..width).prop_map(|(f, v)| {
-                Formula::lfp(
-                    "S",
-                    vec![Var(0)],
-                    f.or(Formula::rel_var("S", [Term::Var(Var(0))])),
-                    vec![Term::Var(Var(v))],
-                )
-            }),
-        ]
-    })
-    .boxed()
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn print_parse_roundtrip(f in arb_formula(3, 4)) {
+#[test]
+fn print_parse_roundtrip() {
+    for_each_case(256, |_, rng| {
+        let f = rand_formula(3, 4, rng);
         let printed = f.to_string();
         let reparsed = parse(&printed);
-        prop_assert_eq!(reparsed.as_ref(), Ok(&f), "printed: {}", printed);
-    }
+        assert_eq!(reparsed.as_ref(), Ok(&f), "printed: {printed}");
+    });
+}
 
-    #[test]
-    fn nnf_is_nnf_and_preserves_width(f in arb_formula(3, 4)) {
+#[test]
+fn nnf_is_nnf_and_preserves_width() {
+    for_each_case(256, |_, rng| {
+        let f = rand_formula(3, 4, rng);
         let g = f.nnf().unwrap();
-        prop_assert!(g.is_nnf());
-        prop_assert!(g.width() <= f.width().max(1));
+        assert!(g.is_nnf());
+        assert!(g.width() <= f.width().max(1));
         // NNF of NNF is stable.
-        prop_assert_eq!(g.nnf().unwrap(), g.clone());
-    }
+        assert_eq!(g.nnf().unwrap(), g.clone());
+    });
+}
 
-    #[test]
-    fn dual_is_involutive_on_metrics(f in arb_formula(3, 4)) {
+#[test]
+fn dual_is_involutive_on_metrics() {
+    for_each_case(256, |_, rng| {
+        let f = rand_formula(3, 4, rng);
         let d = f.dual().unwrap();
-        prop_assert!(d.is_nnf());
+        assert!(d.is_nnf());
         // Duals validate whenever the original did.
         if f.validate_fp().is_ok() {
-            prop_assert!(d.validate_fp().is_ok());
-            prop_assert_eq!(d.alternation_depth(), f.alternation_depth());
+            assert!(d.validate_fp().is_ok());
+            assert_eq!(d.alternation_depth(), f.alternation_depth());
         }
         let dd = d.dual().unwrap();
-        prop_assert_eq!(dd.alternation_depth(), f.alternation_depth());
-        prop_assert_eq!(dd.free_vars(), f.free_vars());
-    }
+        assert_eq!(dd.alternation_depth(), f.alternation_depth());
+        assert_eq!(dd.free_vars(), f.free_vars());
+    });
+}
 
-    #[test]
-    fn distinct_vars_bounded_by_width(f in arb_formula(4, 4)) {
-        prop_assert!(f.distinct_vars() <= f.width());
-    }
+#[test]
+fn distinct_vars_bounded_by_width() {
+    for_each_case(256, |_, rng| {
+        let f = rand_formula(4, 4, rng);
+        assert!(f.distinct_vars() <= f.width());
+    });
+}
 
-    #[test]
-    fn substituting_var_for_itself_is_identity(f in arb_formula(3, 4)) {
-        let g = f.substitute_var(Var(0), Term::Var(Var(0))).unwrap();
-        prop_assert_eq!(g, f);
-    }
+#[test]
+fn substituting_var_for_itself_is_identity() {
+    for_each_case(256, |_, rng| {
+        let f = rand_formula(3, 4, rng);
+        let g = f.clone().substitute_var(Var(0), Term::Var(Var(0))).unwrap();
+        assert_eq!(g, f);
+    });
+}
 
-    #[test]
-    fn substituting_constant_never_captures(f in arb_formula(3, 4)) {
+#[test]
+fn substituting_constant_never_captures() {
+    for_each_case(256, |_, rng| {
         // Constants cannot be captured, so this must always succeed, and
         // the result must not have the substituted variable free.
+        let f = rand_formula(3, 4, rng);
         let g = f.substitute_var(Var(1), Term::Const(0)).unwrap();
-        prop_assert!(!g.free_vars().contains(&Var(1)));
-    }
+        assert!(!g.free_vars().contains(&Var(1)));
+    });
 }
 
 #[test]

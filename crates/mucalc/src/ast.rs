@@ -115,6 +115,7 @@ impl Mu {
     }
 
     /// `μz. self`.
+    #[allow(clippy::self_named_constructors)] // μ is the operator's name
     pub fn mu(z: &str, body: Mu) -> Mu {
         Mu::Mu(z.to_string(), Box::new(body))
     }
@@ -128,9 +129,7 @@ impl Mu {
     pub fn size(&self) -> usize {
         match self {
             Mu::Const(_) | Mu::Prop(_) | Mu::Var(_) => 1,
-            Mu::Not(g) | Mu::Diamond(g) | Mu::Box_(g) | Mu::Mu(_, g) | Mu::Nu(_, g) => {
-                1 + g.size()
-            }
+            Mu::Not(g) | Mu::Diamond(g) | Mu::Box_(g) | Mu::Mu(_, g) | Mu::Nu(_, g) => 1 + g.size(),
             Mu::And(a, b) | Mu::Or(a, b) => 1 + a.size() + b.size(),
         }
     }
@@ -342,11 +341,18 @@ impl fmt::Display for Mu {
 /// An identifier is a variable when a binder of that name is in scope,
 /// otherwise a proposition.
 pub fn parse_mu(input: &str) -> Result<Mu, MuError> {
-    let mut p = MuParser { src: input.as_bytes(), pos: 0, scope: Vec::new() };
+    let mut p = MuParser {
+        src: input.as_bytes(),
+        pos: 0,
+        scope: Vec::new(),
+    };
     let f = p.imp_level()?;
     p.skip_ws();
     if p.pos != p.src.len() {
-        return Err(MuError::Parse { position: p.pos, message: "trailing input".into() });
+        return Err(MuError::Parse {
+            position: p.pos,
+            message: "trailing input".into(),
+        });
     }
     f.validate()?;
     Ok(f)
@@ -360,7 +366,10 @@ struct MuParser<'a> {
 
 impl MuParser<'_> {
     fn err<T>(&self, message: &str) -> Result<T, MuError> {
-        Err(MuError::Parse { position: self.pos, message: message.to_string() })
+        Err(MuError::Parse {
+            position: self.pos,
+            message: message.to_string(),
+        })
     }
 
     fn skip_ws(&mut self) {
@@ -448,10 +457,14 @@ impl MuParser<'_> {
                 let body = self.unary();
                 self.scope.pop();
                 let body = body?;
-                Ok(if id == "mu" { Mu::mu(&z, body) } else { Mu::nu(&z, body) })
+                Ok(if id == "mu" {
+                    Mu::mu(&z, body)
+                } else {
+                    Mu::nu(&z, body)
+                })
             }
             _ => {
-                if self.scope.iter().any(|s| *s == id) {
+                if self.scope.contains(&id) {
                     Ok(Mu::var(&id))
                 } else {
                     Ok(Mu::prop(&id))

@@ -63,7 +63,10 @@ struct IterCounter {
 fn pre_diamond(k: &Kripke, target: &BitSet) -> BitSet {
     let mut out = BitSet::new(k.num_states());
     for s in 0..k.num_states() {
-        if k.successors(s as u32).iter().any(|&t| target.contains(t as usize)) {
+        if k.successors(s as u32)
+            .iter()
+            .any(|&t| target.contains(t as usize))
+        {
             out.insert(s);
         }
     }
@@ -73,7 +76,10 @@ fn pre_diamond(k: &Kripke, target: &BitSet) -> BitSet {
 fn pre_box(k: &Kripke, target: &BitSet) -> BitSet {
     let mut out = BitSet::new(k.num_states());
     for s in 0..k.num_states() {
-        if k.successors(s as u32).iter().all(|&t| target.contains(t as usize)) {
+        if k.successors(s as u32)
+            .iter()
+            .all(|&t| target.contains(t as usize))
+        {
             out.insert(s);
         }
     }
@@ -126,7 +132,13 @@ fn eval(
                     .iter()
                     .find(|(id, _)| *id == node_id)
                     .map(|(_, s)| s.clone())
-                    .unwrap_or_else(|| if least { BitSet::new(n) } else { BitSet::full(n) }),
+                    .unwrap_or_else(|| {
+                        if least {
+                            BitSet::new(n)
+                        } else {
+                            BitSet::full(n)
+                        }
+                    }),
                 CheckStrategy::Naive => {
                     if least {
                         BitSet::new(n)

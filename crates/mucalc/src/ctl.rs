@@ -27,14 +27,21 @@ pub fn ef(phi: Mu) -> Mu {
 /// unless they satisfy it, matching the total-path reading on structures
 /// with deadlocks.
 pub fn af(phi: Mu) -> Mu {
-    Mu::mu("Zaf", phi.or(Mu::tt().diamond().and(Mu::var("Zaf").boxed())))
+    Mu::mu(
+        "Zaf",
+        phi.or(Mu::tt().diamond().and(Mu::var("Zaf").boxed())),
+    )
 }
 
 /// `EG φ` — some path where φ always holds: `νZ. φ ∧ (◇Z ∨ ¬◇true)`.
 ///
 /// Dead ends count as (finite, maximal) paths.
 pub fn eg(phi: Mu) -> Mu {
-    Mu::nu("Zeg", phi.clone().and(Mu::var("Zeg").diamond().or(Mu::tt().diamond().not())))
+    Mu::nu(
+        "Zeg",
+        phi.clone()
+            .and(Mu::var("Zeg").diamond().or(Mu::tt().diamond().not())),
+    )
 }
 
 /// `AG φ` — φ holds on all reachable states: `νZ. φ ∧ □Z`.
@@ -49,7 +56,10 @@ pub fn eu(phi: Mu, psi: Mu) -> Mu {
 
 /// `A[φ U ψ]` — `μZ. ψ ∨ (φ ∧ ◇true ∧ □Z)`.
 pub fn au(phi: Mu, psi: Mu) -> Mu {
-    Mu::mu("Zau", psi.or(phi.and(Mu::tt().diamond()).and(Mu::var("Zau").boxed())))
+    Mu::mu(
+        "Zau",
+        psi.or(phi.and(Mu::tt().diamond()).and(Mu::var("Zau").boxed())),
+    )
 }
 
 #[cfg(test)]
@@ -70,7 +80,10 @@ mod tests {
     }
 
     fn sat(k: &Kripke, f: &Mu) -> Vec<usize> {
-        check_states(k, f, CheckStrategy::Naive).unwrap().iter().collect()
+        check_states(k, f, CheckStrategy::Naive)
+            .unwrap()
+            .iter()
+            .collect()
     }
 
     #[test]
@@ -106,7 +119,10 @@ mod tests {
     fn until_operators() {
         let k = model();
         // E[¬goal U goal] = EF goal here.
-        assert_eq!(sat(&k, &eu(Mu::prop("goal").not(), Mu::prop("goal"))), vec![0, 1, 2]);
+        assert_eq!(
+            sat(&k, &eu(Mu::prop("goal").not(), Mu::prop("goal"))),
+            vec![0, 1, 2]
+        );
         // A[true U goal] = AF goal.
         assert_eq!(sat(&k, &au(Mu::tt(), Mu::prop("goal"))), vec![1, 2]);
     }

@@ -25,7 +25,11 @@ impl Kripke {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "Kripke structures need at least one state");
-        Kripke { n, props: Vec::new(), succ: vec![Vec::new(); n] }
+        Kripke {
+            n,
+            props: Vec::new(),
+            succ: vec![Vec::new(); n],
+        }
     }
 
     /// Number of states.
@@ -77,7 +81,10 @@ impl Kripke {
 
     /// Adds a transition.
     pub fn add_transition(&mut self, from: u32, to: u32) {
-        assert!((from as usize) < self.n && (to as usize) < self.n, "state out of range");
+        assert!(
+            (from as usize) < self.n && (to as usize) < self.n,
+            "state out of range"
+        );
         if !self.succ[from as usize].contains(&to) {
             self.succ[from as usize].push(to);
         }

@@ -101,8 +101,7 @@ mod tests {
             let direct = check_states(&k, &f, CheckStrategy::Naive).unwrap();
             let q = Query::new(vec![bvq_logic::Var(0)], to_fp2(&f).unwrap());
             let (rel, _) = FpEvaluator::new(&db, 2).eval_query(&q).unwrap();
-            let via_fp: Vec<usize> =
-                rel.sorted().iter().map(|t| t[0] as usize).collect();
+            let via_fp: Vec<usize> = rel.sorted().iter().map(|t| t[0] as usize).collect();
             assert_eq!(direct.iter().collect::<Vec<_>>(), via_fp, "formula {src}");
         }
     }

@@ -1,80 +1,80 @@
-//! Property test: on random Kripke structures and random μ-calculus
-//! formulas, the direct model checker and the `FP²` translation agree —
-//! the executable content of the paper's claim that Lμ is a fragment of
-//! `FP²`.
+//! Seeded property test: on random Kripke structures and random
+//! μ-calculus formulas, the direct model checker and the `FP²` translation
+//! agree — the executable content of the paper's claim that Lμ is a
+//! fragment of `FP²`.
 
 use bvq_core::{CertifiedChecker, FpEvaluator};
 use bvq_logic::Query;
 use bvq_mucalc::{check_states, to_fp2, CheckStrategy, Kripke, Mu};
-use proptest::prelude::*;
+use bvq_prng::{for_each_case, Rng};
 
-fn arb_kripke(max_n: usize) -> impl Strategy<Value = Kripke> {
-    (2..=max_n).prop_flat_map(|n| {
-        let edges = prop::collection::vec((0..n, 0..n), 0..2 * n);
-        let labels = prop::collection::vec((0..n, 0..2usize), 0..n);
-        (Just(n), edges, labels).prop_map(|(n, edges, labels)| {
-            let mut k = Kripke::new(n);
-            // Always declare both props so the database schema is stable.
-            k.add_prop("p");
-            k.add_prop("q");
-            for (a, b) in edges {
-                k.add_transition(a as u32, b as u32);
-            }
-            for (s, which) in labels {
-                k.label(s as u32, if which == 0 { "p" } else { "q" });
-            }
-            k
-        })
-    })
+fn rand_kripke(rng: &mut Rng, max_n: usize) -> Kripke {
+    let n = rng.gen_range(2..max_n + 1);
+    let mut k = Kripke::new(n);
+    // Always declare both props so the database schema is stable.
+    k.add_prop("p");
+    k.add_prop("q");
+    for _ in 0..rng.gen_range(0..2 * n + 1) {
+        k.add_transition(rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32);
+    }
+    for _ in 0..rng.gen_range(0..n + 1) {
+        let s = rng.gen_range(0..n) as u32;
+        k.label(s, if rng.gen_bool(0.5) { "p" } else { "q" });
+    }
+    k
 }
 
-fn arb_mu(depth: u32) -> BoxedStrategy<Mu> {
-    let leaf = prop_oneof![
-        Just(Mu::tt()),
-        Just(Mu::ff()),
-        Just(Mu::prop("p")),
-        Just(Mu::prop("q")),
-    ];
-    leaf.prop_recursive(depth, 32, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(Mu::not),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            inner.clone().prop_map(Mu::diamond),
-            inner.clone().prop_map(Mu::boxed),
-            // Fixpoints: ensure the variable occurs positively by
-            // disjoining/conjoining it after a modality.
-            inner.clone().prop_map(|f| Mu::mu("Z", f.or(Mu::var("Z").diamond()))),
-            inner.prop_map(|f| Mu::nu("W", f.and(Mu::var("W").boxed()))),
-        ]
-    })
-    .boxed()
+fn rand_mu(rng: &mut Rng, depth: u32) -> Mu {
+    if depth == 0 || rng.gen_ratio(1, 3) {
+        return match rng.gen_range(0..4u32) {
+            0 => Mu::tt(),
+            1 => Mu::ff(),
+            2 => Mu::prop("p"),
+            _ => Mu::prop("q"),
+        };
+    }
+    let inner = rand_mu(rng, depth - 1);
+    match rng.gen_range(0..7u32) {
+        0 => inner.not(),
+        1 => inner.and(rand_mu(rng, depth - 1)),
+        2 => inner.or(rand_mu(rng, depth - 1)),
+        3 => inner.diamond(),
+        4 => inner.boxed(),
+        // Fixpoints: ensure the variable occurs positively by
+        // disjoining/conjoining it after a modality.
+        5 => Mu::mu("Z", inner.or(Mu::var("Z").diamond())),
+        _ => Mu::nu("W", inner.and(Mu::var("W").boxed())),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn direct_checker_matches_fp2(k in arb_kripke(5), f in arb_mu(3)) {
+#[test]
+fn direct_checker_matches_fp2() {
+    for_each_case(96, |_, rng| {
+        let k = rand_kripke(rng, 5);
+        let f = rand_mu(rng, 3);
         let direct = check_states(&k, &f, CheckStrategy::Naive).unwrap();
         let el = check_states(&k, &f, CheckStrategy::EmersonLei).unwrap();
-        prop_assert_eq!(&direct, &el, "strategies disagree on {}", f);
+        assert_eq!(&direct, &el, "strategies disagree on {f}");
         let db = k.to_database();
         let q = Query::new(vec![bvq_logic::Var(0)], to_fp2(&f).unwrap());
         let (rel, _) = FpEvaluator::new(&db, 2).eval_query(&q).unwrap();
         let via_fp: Vec<usize> = rel.sorted().iter().map(|t| t[0] as usize).collect();
-        prop_assert_eq!(direct.iter().collect::<Vec<_>>(), via_fp, "formula {}", f);
-    }
+        assert_eq!(direct.iter().collect::<Vec<_>>(), via_fp, "formula {f}");
+    });
+}
 
-    #[test]
-    fn certified_decisions_match(k in arb_kripke(4), f in arb_mu(2)) {
+#[test]
+fn certified_decisions_match() {
+    for_each_case(96, |_, rng| {
+        let k = rand_kripke(rng, 4);
+        let f = rand_mu(rng, 2);
         let direct = check_states(&k, &f, CheckStrategy::Naive).unwrap();
         let db = k.to_database();
         let q = Query::new(vec![bvq_logic::Var(0)], to_fp2(&f).unwrap());
         let checker = CertifiedChecker::new(&db, 2);
         for s in 0..k.num_states() as u32 {
             let (member, _, _) = checker.decide(&q, &[s]).unwrap();
-            prop_assert_eq!(member, direct.contains(s as usize), "formula {} state {}", f, s);
+            assert_eq!(member, direct.contains(s as usize), "formula {f} state {s}");
         }
-    }
+    });
 }

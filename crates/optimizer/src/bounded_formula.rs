@@ -86,9 +86,7 @@ pub fn to_bounded_query(cq: &ConjunctiveQuery) -> Result<(Query, usize), PlanErr
     let output: Vec<Var> = cq
         .head
         .iter()
-        .map(|v| {
-            Var(head_slots.iter().find(|(w, _)| w == v).expect("reserved").1)
-        })
+        .map(|v| Var(head_slots.iter().find(|(w, _)| w == v).expect("reserved").1))
         .collect();
     let q = Query::new(output, formula);
     debug_assert!(q.validate().is_ok());
@@ -125,9 +123,11 @@ fn compile(
     let term = |t: &CqTerm, slot_of: &Vec<(u32, u32)>| -> Term {
         match t {
             CqTerm::Const(c) => Term::Const(*c),
-            CqTerm::Var(v) => Term::Var(Var(
-                slot_of.iter().find(|(w, _)| w == v).expect("assigned").1,
-            )),
+            CqTerm::Var(v) => Term::Var(Var(slot_of
+                .iter()
+                .find(|(w, _)| w == v)
+                .expect("assigned")
+                .1)),
         }
     };
     let mut f = Formula::atom(&atom.rel, atom.args.iter().map(|t| term(t, &slot_of)));
@@ -139,7 +139,15 @@ fn compile(
             .copied()
             .filter(|(v, _)| subtree_vars[c].contains(v))
             .collect();
-        f = f.and(compile(cq, children, subtree_vars, c, child_env, reserved, max_slots));
+        f = f.and(compile(
+            cq,
+            children,
+            subtree_vars,
+            c,
+            child_env,
+            reserved,
+            max_slots,
+        ));
     }
     // Close this node's fresh non-head variables (head slots are
     // pre-reserved, so `newly` never contains head variables' slots…

@@ -51,13 +51,19 @@ pub type PlanStats = EvalStats;
 impl ConjunctiveQuery {
     /// Builder: creates a query with the given head variables.
     pub fn new(head: &[u32]) -> Self {
-        ConjunctiveQuery { head: head.to_vec(), atoms: Vec::new() }
+        ConjunctiveQuery {
+            head: head.to_vec(),
+            atoms: Vec::new(),
+        }
     }
 
     /// Builder: adds an atom.
     #[must_use]
     pub fn atom(mut self, rel: &str, args: &[CqTerm]) -> Self {
-        self.atoms.push(CqAtom { rel: rel.to_string(), args: args.to_vec() });
+        self.atoms.push(CqAtom {
+            rel: rel.to_string(),
+            args: args.to_vec(),
+        });
         self
     }
 
@@ -231,8 +237,15 @@ impl std::fmt::Display for PlanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PlanError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
-            PlanError::ArityMismatch { rel, expected, found } => {
-                write!(f, "`{rel}` has arity {expected}, atom has {found} arguments")
+            PlanError::ArityMismatch {
+                rel,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "`{rel}` has arity {expected}, atom has {found} arguments"
+                )
             }
             PlanError::HeadVariableNotInBody(v) => {
                 write!(f, "head variable V{v} does not occur in the body")
@@ -246,10 +259,7 @@ impl std::error::Error for PlanError {}
 
 /// Loads an atom: constant selections and repeated-variable equalities
 /// applied; returns (distinct variable columns, relation).
-pub(crate) fn load_atom(
-    db: &Database,
-    atom: &CqAtom,
-) -> Result<(Vec<u32>, Relation), PlanError> {
+pub(crate) fn load_atom(db: &Database, atom: &CqAtom) -> Result<(Vec<u32>, Relation), PlanError> {
     let rel = db
         .relation_by_name(&atom.rel)
         .ok_or_else(|| PlanError::UnknownRelation(atom.rel.clone()))?;
@@ -300,7 +310,10 @@ mod tests {
     fn naive_plan_computes_paths() {
         let db = db();
         let (r, stats) = path3().eval_naive_plan(&db).unwrap();
-        assert_eq!(r.sorted(), Relation::from_tuples(2, [[0u32, 3], [1, 4]]).sorted());
+        assert_eq!(
+            r.sorted(),
+            Relation::from_tuples(2, [[0u32, 3], [1, 4]]).sorted()
+        );
         assert_eq!(stats.max_arity, 4, "naive plan keeps all 4 variables");
     }
 
@@ -357,9 +370,15 @@ mod tests {
     fn errors_reported() {
         let db = db();
         let bad = ConjunctiveQuery::new(&[0]).atom("Nope", &[V(0)]);
-        assert!(matches!(bad.eval_naive_plan(&db), Err(PlanError::UnknownRelation(_))));
+        assert!(matches!(
+            bad.eval_naive_plan(&db),
+            Err(PlanError::UnknownRelation(_))
+        ));
         let wrong = ConjunctiveQuery::new(&[0]).atom("E", &[V(0)]);
-        assert!(matches!(wrong.eval_naive_plan(&db), Err(PlanError::ArityMismatch { .. })));
+        assert!(matches!(
+            wrong.eval_naive_plan(&db),
+            Err(PlanError::ArityMismatch { .. })
+        ));
         let unsafe_head = ConjunctiveQuery::new(&[7]).atom("P", &[V(0)]);
         assert!(matches!(
             unsafe_head.eval_naive_plan(&db),

@@ -20,11 +20,13 @@ use crate::cq::{load_atom, ConjunctiveQuery, PlanError, PlanStats};
 /// variables (head variables are never eliminated).
 pub fn greedy_order(cq: &ConjunctiveQuery) -> Vec<u32> {
     let vars = cq.variables();
-    let eliminable: Vec<u32> =
-        vars.iter().copied().filter(|v| !cq.head.contains(v)).collect();
+    let eliminable: Vec<u32> = vars
+        .iter()
+        .copied()
+        .filter(|v| !cq.head.contains(v))
+        .collect();
     // Primal graph: vertices = variables, edge when co-occurring in an atom.
-    let mut adj: Vec<(u32, Vec<u32>)> =
-        vars.iter().map(|&v| (v, Vec::new())).collect();
+    let mut adj: Vec<(u32, Vec<u32>)> = vars.iter().map(|&v| (v, Vec::new())).collect();
     let connect = |a: u32, b: u32, adj: &mut Vec<(u32, Vec<u32>)>| {
         if a == b {
             return;
@@ -136,8 +138,7 @@ pub fn eval_eliminated(
     }
     for &v in order {
         // Gather the bucket.
-        let (bucket, rest): (Vec<_>, Vec<_>) =
-            pool.into_iter().partition(|(c, _)| c.contains(&v));
+        let (bucket, rest): (Vec<_>, Vec<_>) = pool.into_iter().partition(|(c, _)| c.contains(&v));
         pool = rest;
         if bucket.is_empty() {
             continue;
@@ -171,8 +172,7 @@ pub fn eval_eliminated(
             rec.intermediate(rel.arity(), rel.len());
         }
         // Project out v — the "minimize variables early" step.
-        let keep: Vec<usize> =
-            (0..cols.len()).filter(|&i| cols[i] != v).collect();
+        let keep: Vec<usize> = (0..cols.len()).filter(|&i| cols[i] != v).collect();
         rel = rel.project(&keep);
         cols.retain(|&c| c != v);
         rec.intermediate(rel.arity(), rel.len());
@@ -210,7 +210,10 @@ pub fn eval_eliminated(
         .head
         .iter()
         .map(|v| {
-            acc_cols.iter().position(|c| c == v).ok_or(PlanError::HeadVariableNotInBody(*v))
+            acc_cols
+                .iter()
+                .position(|c| c == v)
+                .ok_or(PlanError::HeadVariableNotInBody(*v))
         })
         .collect::<Result<_, _>>()?;
     Ok((acc.project(&positions), rec.stats()))

@@ -26,12 +26,16 @@ pub struct JoinTree {
 impl JoinTree {
     /// The children of atom `i`.
     pub fn children(&self, i: usize) -> Vec<usize> {
-        (0..self.parent.len()).filter(|&j| self.parent[j] == Some(i)).collect()
+        (0..self.parent.len())
+            .filter(|&j| self.parent[j] == Some(i))
+            .collect()
     }
 
     /// The root atoms (one per connected component).
     pub fn roots(&self) -> Vec<usize> {
-        (0..self.parent.len()).filter(|&j| self.parent[j].is_none()).collect()
+        (0..self.parent.len())
+            .filter(|&j| self.parent[j].is_none())
+            .collect()
     }
 }
 
@@ -59,9 +63,7 @@ pub fn join_tree(cq: &ConjunctiveQuery) -> Option<JoinTree> {
             let shared: Vec<u32> = edges[e]
                 .iter()
                 .copied()
-                .filter(|v| {
-                    (0..m).any(|w| w != e && alive[w] && edges[w].contains(v))
-                })
+                .filter(|v| (0..m).any(|w| w != e && alive[w] && edges[w].contains(v)))
                 .collect();
             if shared.is_empty() {
                 // Isolated edge: an ear with no witness (a tree root).
@@ -72,8 +74,8 @@ pub fn join_tree(cq: &ConjunctiveQuery) -> Option<JoinTree> {
                 continue;
             }
             // A witness: a live edge containing all shared vertices.
-            let witness = (0..m)
-                .find(|&w| w != e && alive[w] && shared.iter().all(|v| edges[w].contains(v)));
+            let witness =
+                (0..m).find(|&w| w != e && alive[w] && shared.iter().all(|v| edges[w].contains(v)));
             if let Some(w) = witness {
                 alive[e] = false;
                 remaining -= 1;

@@ -31,7 +31,7 @@ pub mod gyo;
 pub mod yannakakis;
 
 pub use bounded_formula::to_bounded_query;
-pub use cq::{CqAtom, CqTerm, ConjunctiveQuery, PlanStats};
+pub use cq::{ConjunctiveQuery, CqAtom, CqTerm, PlanStats};
 pub use elimination::{eval_eliminated, greedy_order, induced_width};
 pub use gyo::{is_acyclic, join_tree, JoinTree};
 pub use yannakakis::eval_yannakakis;

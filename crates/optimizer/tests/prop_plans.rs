@@ -1,107 +1,118 @@
-//! Property tests: all conjunctive-query plans (cross product, join,
-//! elimination, Yannakakis where applicable, and the bounded-variable
-//! formula compilation) agree on random tree-shaped queries, and the
-//! compiled width never exceeds the variable count.
+//! Seeded property tests: all conjunctive-query plans (cross product,
+//! join, elimination, Yannakakis where applicable, and the
+//! bounded-variable formula compilation) agree on random tree-shaped
+//! queries, and the compiled width never exceeds the variable count.
 
 use bvq_core::BoundedEvaluator;
 use bvq_optimizer::{
-    eval_eliminated, eval_yannakakis, greedy_order, induced_width, is_acyclic,
-    to_bounded_query, ConjunctiveQuery, CqTerm,
+    eval_eliminated, eval_yannakakis, greedy_order, induced_width, is_acyclic, to_bounded_query,
+    ConjunctiveQuery, CqTerm,
 };
+use bvq_prng::{for_each_case, Rng};
 use bvq_relation::{Database, Tuple};
-use proptest::prelude::*;
 
-fn arb_db(n: u32) -> impl Strategy<Value = Database> {
-    (
-        prop::collection::vec((0..n, 0..n), 0..(2 * n) as usize),
-        prop::collection::vec(0..n, 0..n as usize),
-    )
-        .prop_map(move |(edges, nodes)| {
-            Database::builder(n as usize)
-                .relation("E", 2, edges.iter().map(|&(a, b)| Tuple::from_slice(&[a, b])))
-                .relation("P", 1, nodes.iter().map(|&a| Tuple::from_slice(&[a])))
-                .build()
-        })
+fn rand_db(rng: &mut Rng, n: u32) -> Database {
+    let ne = rng.gen_range(0..(2 * n) as usize + 1);
+    let np = rng.gen_range(0..n as usize + 1);
+    let edges: Vec<Tuple> = (0..ne)
+        .map(|_| Tuple::from_slice(&[rng.gen_range(0..n), rng.gen_range(0..n)]))
+        .collect();
+    let nodes: Vec<Tuple> = (0..np)
+        .map(|_| Tuple::from_slice(&[rng.gen_range(0..n)]))
+        .collect();
+    Database::builder(n as usize)
+        .relation("E", 2, edges)
+        .relation("P", 1, nodes)
+        .build()
 }
 
 /// Random tree-shaped CQ: atom i > 0 shares one variable with an earlier
 /// atom (always acyclic), occasionally with a unary P atom mixed in.
-fn arb_tree_cq() -> impl Strategy<Value = ConjunctiveQuery> {
+fn rand_tree_cq(rng: &mut Rng) -> ConjunctiveQuery {
     use CqTerm::Var as V;
-    (1usize..6).prop_flat_map(|m| {
-        let attach = prop::collection::vec((0usize..m.max(1), any::<bool>()), m - 1);
-        let head_pick = any::<bool>();
-        (Just(m), attach, head_pick).prop_map(|(m, attach, two_heads)| {
-            let mut head = vec![0u32];
-            if two_heads && m > 1 {
-                head.push(1);
-            }
-            let mut cq = ConjunctiveQuery::new(&head).atom("E", &[V(0), V(1)]);
-            let mut next_var = 2u32;
-            for (i, (a, unary)) in attach.into_iter().enumerate() {
-                // Attach to a variable introduced by an earlier atom.
-                let limit = (i as u32) + 2;
-                let shared = (a as u32) % limit;
-                if unary {
-                    cq = cq.atom("P", &[V(shared)]);
-                } else {
-                    cq = cq.atom("E", &[V(shared), V(next_var)]);
-                    next_var += 1;
-                }
-            }
-            let _ = m;
-            cq
-        })
-    })
+    let m = rng.gen_range(1..6usize);
+    let two_heads = rng.gen_bool(0.5);
+    let mut head = vec![0u32];
+    if two_heads && m > 1 {
+        head.push(1);
+    }
+    let mut cq = ConjunctiveQuery::new(&head).atom("E", &[V(0), V(1)]);
+    let mut next_var = 2u32;
+    for i in 0..m - 1 {
+        // Attach to a variable introduced by an earlier atom.
+        let limit = (i as u32) + 2;
+        let shared = rng.gen_range(0..m.max(1)) as u32 % limit;
+        if rng.gen_bool(0.5) {
+            cq = cq.atom("P", &[V(shared)]);
+        } else {
+            cq = cq.atom("E", &[V(shared), V(next_var)]);
+            next_var += 1;
+        }
+    }
+    cq
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn all_plans_agree(db in arb_db(5), cq in arb_tree_cq()) {
+#[test]
+fn all_plans_agree() {
+    for_each_case(96, |_, rng| {
+        let db = rand_db(rng, 5);
+        let cq = rand_tree_cq(rng);
         let (expected, naive_stats) = cq.eval_naive_plan(&db).unwrap();
 
         let order = greedy_order(&cq);
         let (elim, elim_stats) = eval_eliminated(&cq, &db, &order).unwrap();
-        prop_assert_eq!(elim.sorted(), expected.sorted(), "elimination");
-        prop_assert!(elim_stats.max_arity <= naive_stats.max_arity.max(1));
+        assert_eq!(elim.sorted(), expected.sorted(), "elimination");
+        assert!(elim_stats.max_arity <= naive_stats.max_arity.max(1));
 
         if is_acyclic(&cq) {
             let (yann, _) = eval_yannakakis(&cq, &db).unwrap();
-            prop_assert_eq!(yann.sorted(), expected.sorted(), "yannakakis");
+            assert_eq!(yann.sorted(), expected.sorted(), "yannakakis");
 
             let (q, k) = to_bounded_query(&cq).unwrap();
-            prop_assert_eq!(q.formula.width(), k);
-            prop_assert!(k <= cq.variables().len().max(1) + cq.head.len());
-            let (bounded, bstats) =
-                BoundedEvaluator::new(&db, k).eval_query(&q).unwrap();
-            prop_assert_eq!(bounded.sorted(), expected.sorted(), "bounded formula (k={})", k);
-            prop_assert!(bstats.max_arity <= k);
+            assert_eq!(q.formula.width(), k);
+            assert!(k <= cq.variables().len().max(1) + cq.head.len());
+            let (bounded, bstats) = BoundedEvaluator::new(&db, k).eval_query(&q).unwrap();
+            assert_eq!(
+                bounded.sorted(),
+                expected.sorted(),
+                "bounded formula (k={k})"
+            );
+            assert!(bstats.max_arity <= k);
         }
-    }
+    });
+}
 
-    #[test]
-    fn induced_width_bounds_elimination_arity(db in arb_db(4), cq in arb_tree_cq()) {
+#[test]
+fn induced_width_bounds_elimination_arity() {
+    for_each_case(96, |_, rng| {
+        let db = rand_db(rng, 4);
+        let cq = rand_tree_cq(rng);
         let order = greedy_order(&cq);
         let w = induced_width(&cq, &order);
         let (_, stats) = eval_eliminated(&cq, &db, &order).unwrap();
-        prop_assert!(
+        assert!(
             stats.max_arity <= w + 1,
             "arity {} exceeds width+1 = {}",
-            stats.max_arity, w + 1
+            stats.max_arity,
+            w + 1
         );
-    }
+    });
+}
 
-    #[test]
-    fn cross_product_plan_agrees_on_tiny_inputs(db in arb_db(3), cq in arb_tree_cq()) {
-        prop_assume!(cq.atoms.len() <= 3);
+#[test]
+fn cross_product_plan_agrees_on_tiny_inputs() {
+    for_each_case(96, |_, rng| {
+        let db = rand_db(rng, 3);
+        let cq = rand_tree_cq(rng);
+        if cq.atoms.len() > 3 {
+            return;
+        }
         let (expected, _) = cq.eval_naive_plan(&db).unwrap();
         let (cross, cstats) = cq.eval_cross_product_plan(&db).unwrap();
-        prop_assert_eq!(cross.sorted(), expected.sorted());
+        assert_eq!(cross.sorted(), expected.sorted());
         // Cross-product arity = total atom positions' variables… at least
         // the sum of atom arities.
         let total: usize = cq.atoms.iter().map(|a| a.args.len()).sum();
-        prop_assert!(cstats.max_arity <= total);
-    }
+        assert!(cstats.max_arity <= total);
+    });
 }

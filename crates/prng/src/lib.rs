@@ -1,0 +1,284 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! A small, dependency-free, deterministic pseudo-random number generator.
+//!
+//! The workload generators and the seeded property tests need reproducible
+//! randomness, but the build must stay hermetic (no registry access), so
+//! this crate replaces the external `rand` dependency with ~100 lines of
+//! code: [splitmix64] for seeding and [xoshiro256**] for the stream.
+//!
+//! # Determinism guarantee
+//!
+//! The output stream of [`Rng::seed_from_u64`] is a pure function of the
+//! seed: the same seed produces the same sequence of values on every
+//! platform, architecture, and build profile, forever. The algorithms are
+//! fixed (splitmix64 seed expansion, xoshiro256** state transition, widening
+//! multiply for range reduction, 53-bit mantissa for floats) and use only
+//! wrapping integer arithmetic, so there is no platform-dependent behaviour.
+//! Workload seeds recorded in benchmarks and tests therefore regenerate
+//! byte-identical instances.
+//!
+//! Changing any algorithm in this crate is a breaking change for every
+//! recorded seed; do not do it casually.
+//!
+//! [splitmix64]: https://prng.di.unimi.it/splitmix64.c
+//! [xoshiro256**]: https://prng.di.unimi.it/xoshiro256starstar.c
+
+use std::ops::Range;
+
+/// A deterministic xoshiro256** generator, seeded via splitmix64.
+///
+/// The API mirrors the subset of `rand` the repo used: `seed_from_u64`,
+/// `gen_range`, `gen_bool`, `gen_ratio`.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+/// One step of the splitmix64 stream, used to expand a 64-bit seed into
+/// the 256-bit xoshiro state.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// The next 64 uniformly random bits (xoshiro256** transition).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32 uniformly random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform value in `range`. Panics if the range is empty.
+    ///
+    /// Uses the widening-multiply reduction `⌊x·len / 2⁶⁴⌋`, which is
+    /// deterministic and consumes exactly one `next_u64` per call.
+    #[inline]
+    pub fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample(range, self)
+    }
+
+    /// `true` with probability `p` (to 53-bit precision).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.next_f64() < p
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    #[inline]
+    pub fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(
+            numerator <= denominator && denominator > 0,
+            "invalid ratio {numerator}/{denominator}"
+        );
+        self.bounded_u64(denominator as u64) < numerator as u64
+    }
+
+    /// A uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform value in `0..bound` via widening multiply. Panics on 0.
+    #[inline]
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Chooses a uniformly random element of a non-empty slice.
+    #[inline]
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.gen_range(0..items.len())]
+    }
+
+    /// Fisher–Yates shuffle, consuming one draw per element.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_range(0..i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+/// Types that [`Rng::gen_range`] can sample from a half-open range.
+pub trait SampleRange: Sized {
+    /// Draws a uniform value from `range`.
+    fn sample(range: Range<Self>, rng: &mut Rng) -> Self;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            #[inline]
+            fn sample(range: Range<Self>, rng: &mut Rng) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let len = (range.end - range.start) as u64;
+                range.start + rng.bounded_u64(len) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u32, u64, usize, u8, u16);
+
+impl SampleRange for i32 {
+    #[inline]
+    fn sample(range: Range<Self>, rng: &mut Rng) -> Self {
+        assert!(range.start < range.end, "empty range");
+        let len = (range.end as i64 - range.start as i64) as u64;
+        (range.start as i64 + rng.bounded_u64(len) as i64) as i32
+    }
+}
+
+/// Runs `f` once per test case with an independently seeded generator.
+///
+/// This is the seeded-loop replacement for `proptest!`: each case `c` gets
+/// `Rng::seed_from_u64(golden · (c + 1))`, so failures reproduce by case
+/// number and adding cases never perturbs earlier ones.
+pub fn for_each_case(cases: u64, mut f: impl FnMut(u64, &mut Rng)) {
+    for c in 0..cases {
+        let mut rng = Rng::seed_from_u64(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(c + 1));
+        f(c, &mut rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn golden_stream_is_stable() {
+        // Pins the exact output so accidental algorithm changes are caught:
+        // recorded workload seeds depend on these values never changing.
+        let mut r = Rng::seed_from_u64(0);
+        let got: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                11_091_344_671_253_066_420,
+                13_793_997_310_169_335_082,
+                1_900_383_378_846_508_768,
+                7_684_712_102_626_143_532,
+            ]
+        );
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3..17u32);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(0..5usize);
+            assert!(w < 5);
+            let s = r.gen_range(-4..9i32);
+            assert!((-4..9).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut r = Rng::seed_from_u64(11);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[r.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = Rng::seed_from_u64(5);
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_ratio_statistics() {
+        let mut r = Rng::seed_from_u64(13);
+        let hits = (0..10_000).filter(|_| r.gen_ratio(1, 3)).count();
+        assert!(
+            (2_800..3_900).contains(&hits),
+            "1/3 ratio wildly off: {hits}"
+        );
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::seed_from_u64(17);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
+    }
+
+    #[test]
+    fn for_each_case_runs_all() {
+        let mut n = 0;
+        for_each_case(10, |c, rng| {
+            n += 1;
+            assert!(c < 10);
+            let _ = rng.next_u64();
+        });
+        assert_eq!(n, 10);
+    }
+}

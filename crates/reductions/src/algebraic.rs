@@ -16,9 +16,7 @@
 
 use bvq_core::EvalError;
 use bvq_logic::{Atom, Formula, Query, RelRef, Term};
-use bvq_relation::{
-    BitSet, CylCtx, CylinderOps, Database, DenseCylinder, FxHashMap, Relation,
-};
+use bvq_relation::{BitSet, CylCtx, CylinderOps, Database, DenseCylinder, FxHashMap, Relation};
 
 /// An interned `k`-ary relation id (a "nonterminal" of Lemma 4.2).
 pub type ValueId = u32;
@@ -57,7 +55,10 @@ impl<'d> FiniteAlgebra<'d> {
     /// Panics if the dense space `n^k` is infeasible.
     pub fn new(db: &'d Database, k: usize) -> Self {
         let ctx = CylCtx::new(db.domain_size(), k.max(1));
-        assert!(ctx.dense_feasible(), "fixed-database algebra needs a dense value space");
+        assert!(
+            ctx.dense_feasible(),
+            "fixed-database algebra needs a dense value space"
+        );
         FiniteAlgebra {
             db,
             ctx,
@@ -112,7 +113,10 @@ impl<'d> FiniteAlgebra<'d> {
     pub fn eval(&mut self, f: &Formula) -> Result<ValueId, EvalError> {
         let width = f.width();
         if width > self.ctx.width() {
-            return Err(EvalError::WidthExceeded { k: self.ctx.width(), width });
+            return Err(EvalError::WidthExceeded {
+                k: self.ctx.width(),
+                width,
+            });
         }
         self.go(f)
     }
@@ -123,7 +127,10 @@ impl<'d> FiniteAlgebra<'d> {
         let coords: Vec<usize> = q.output.iter().map(|v| v.index()).collect();
         for &c in &coords {
             if c >= self.ctx.width() {
-                return Err(EvalError::WidthExceeded { k: self.ctx.width(), width: c + 1 });
+                return Err(EvalError::WidthExceeded {
+                    k: self.ctx.width(),
+                    width: c + 1,
+                });
             }
         }
         Ok(self.to_relation(id, &coords))
@@ -227,7 +234,11 @@ impl<'d> FiniteAlgebra<'d> {
                 let is_and = matches!(f, Formula::And(..));
                 let a = self.go(x)?;
                 let b = self.go(y)?;
-                let table = if is_and { &self.and_table } else { &self.or_table };
+                let table = if is_and {
+                    &self.and_table
+                } else {
+                    &self.or_table
+                };
                 if let Some(&id) = table.get(&(a, b)) {
                     self.hits += 1;
                     return Ok(id);
@@ -413,6 +424,9 @@ mod tests {
             Err(EvalError::UnsupportedConstruct(_))
         ));
         let wide = parse_query("(x1,x2,x3) (E(x1,x2) & E(x2,x3))").unwrap();
-        assert!(matches!(alg.eval_query(&wide), Err(EvalError::WidthExceeded { .. })));
+        assert!(matches!(
+            alg.eval_query(&wide),
+            Err(EvalError::WidthExceeded { .. })
+        ));
     }
 }

@@ -40,18 +40,23 @@ fn tr(e: &BoolExpr) -> Formula {
 mod tests {
     use super::*;
     use bvq_core::BoundedEvaluator;
-    use proptest::prelude::*;
+    use bvq_prng::{for_each_case, Rng};
 
-    fn closed_expr(depth: u32) -> BoxedStrategy<BoolExpr> {
-        let leaf = any::<bool>().prop_map(BoolExpr::Const);
-        leaf.prop_recursive(depth, 48, 3, |inner| {
-            prop_oneof![
-                inner.clone().prop_map(BoolExpr::not),
-                prop::collection::vec(inner.clone(), 0..3).prop_map(BoolExpr::And),
-                prop::collection::vec(inner, 0..3).prop_map(BoolExpr::Or),
-            ]
-        })
-        .boxed()
+    fn closed_expr(depth: u32, rng: &mut Rng) -> BoolExpr {
+        if depth == 0 || rng.gen_ratio(1, 4) {
+            return BoolExpr::Const(rng.gen_bool(0.5));
+        }
+        match rng.gen_range(0..3u32) {
+            0 => closed_expr(depth - 1, rng).not(),
+            1 => {
+                let n = rng.gen_range(0..3usize);
+                BoolExpr::And((0..n).map(|_| closed_expr(depth - 1, rng)).collect())
+            }
+            _ => {
+                let n = rng.gen_range(0..3usize);
+                BoolExpr::Or((0..n).map(|_| closed_expr(depth - 1, rng)).collect())
+            }
+        }
     }
 
     #[test]
@@ -73,23 +78,25 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(128))]
-
-        #[test]
-        fn reduction_matches_direct_evaluation(e in closed_expr(5)) {
+    #[test]
+    fn reduction_matches_direct_evaluation() {
+        for_each_case(128, |_, rng| {
+            let e = closed_expr(5, rng);
             let db = bool_database();
             let ev = BoundedEvaluator::new(&db, 1);
             let q = to_fo_sentence(&e);
-            prop_assert_eq!(ev.eval_query(&q).unwrap().0.as_boolean(), e.eval(&[]));
-        }
+            assert_eq!(ev.eval_query(&q).unwrap().0.as_boolean(), e.eval(&[]));
+        });
+    }
 
-        #[test]
-        fn reduction_size_is_linear(e in closed_expr(5)) {
+    #[test]
+    fn reduction_size_is_linear() {
+        for_each_case(128, |_, rng| {
+            let e = closed_expr(5, rng);
             let q = to_fo_sentence(&e);
-            prop_assert!(q.formula.size() <= 4 * e.size() + 2);
-            prop_assert_eq!(q.formula.width(), 0, "no individual variables needed");
-        }
+            assert!(q.formula.size() <= 4 * e.size() + 2);
+            assert_eq!(q.formula.width(), 0, "no individual variables needed");
+        });
     }
 
     #[test]

@@ -104,7 +104,11 @@ impl ParenGrammar {
     pub fn productions(&self) -> Vec<Production> {
         let mut out = Vec::new();
         for ((rel, args), &result) in &self.atom {
-            out.push(Production::Atom { result, rel: rel.clone(), args: args.clone() });
+            out.push(Production::Atom {
+                result,
+                rel: rel.clone(),
+                args: args.clone(),
+            });
         }
         for (&(a, b), &result) in &self.eq {
             out.push(Production::Eq { result, a, b });
@@ -113,13 +117,25 @@ impl ParenGrammar {
             out.push(Production::Not { result, child });
         }
         for (&(left, right), &result) in &self.and {
-            out.push(Production::And { result, left, right });
+            out.push(Production::And {
+                result,
+                left,
+                right,
+            });
         }
         for (&(left, right), &result) in &self.or {
-            out.push(Production::Or { result, left, right });
+            out.push(Production::Or {
+                result,
+                left,
+                right,
+            });
         }
         for (&(child, coord), &result) in &self.exists {
-            out.push(Production::Exists { result, coord, child });
+            out.push(Production::Exists {
+                result,
+                coord,
+                child,
+            });
         }
         out
     }
@@ -132,21 +148,16 @@ impl ParenGrammar {
     pub fn derives(&self, f: &Formula) -> Option<ValueId> {
         match f {
             Formula::Const(_) => None, // constants are not in the Lemma 4.2 grammar
-            Formula::Atom(Atom { rel: RelRef::Db(name), args }) => {
-                self.atom.get(&(name.clone(), args.clone())).copied()
-            }
+            Formula::Atom(Atom {
+                rel: RelRef::Db(name),
+                args,
+            }) => self.atom.get(&(name.clone(), args.clone())).copied(),
             Formula::Atom(_) => None,
             Formula::Eq(a, b) => self.eq.get(&(*a, *b)).copied(),
             Formula::Not(g) => self.not.get(&self.derives(g)?).copied(),
-            Formula::And(a, b) => {
-                self.and.get(&(self.derives(a)?, self.derives(b)?)).copied()
-            }
-            Formula::Or(a, b) => {
-                self.or.get(&(self.derives(a)?, self.derives(b)?)).copied()
-            }
-            Formula::Exists(v, g) => {
-                self.exists.get(&(self.derives(g)?, v.index())).copied()
-            }
+            Formula::And(a, b) => self.and.get(&(self.derives(a)?, self.derives(b)?)).copied(),
+            Formula::Or(a, b) => self.or.get(&(self.derives(a)?, self.derives(b)?)).copied(),
+            Formula::Exists(v, g) => self.exists.get(&(self.derives(g)?, v.index())).copied(),
             Formula::Forall(v, g) => {
                 // ¬∃v¬: three lookups.
                 let inner = self.not.get(&self.derives(g)?).copied()?;

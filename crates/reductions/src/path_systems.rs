@@ -68,7 +68,9 @@ impl PathSystem {
                 "Q",
                 Relation::from_tuples(
                     3,
-                    self.q.iter().map(|&(x, y, z)| Tuple::from_slice(&[x, y, z])),
+                    self.q
+                        .iter()
+                        .map(|&(x, y, z)| Tuple::from_slice(&[x, y, z])),
                 ),
             )
             .relation_from("S", Relation::from_tuples(1, self.s.iter().map(|&a| [a])))
@@ -79,13 +81,15 @@ impl PathSystem {
     /// The instance as the paper's Datalog program (IDB `Reach`).
     pub fn to_datalog(&self) -> Program {
         use AtomTerm::Var as V;
-        Program::new()
-            .rule("Reach", &[0], &[("S", &[V(0)])])
-            .rule(
-                "Reach",
-                &[0],
-                &[("Q", &[V(0), V(1), V(2)]), ("Reach", &[V(1)]), ("Reach", &[V(2)])],
-            )
+        Program::new().rule("Reach", &[0], &[("S", &[V(0)])]).rule(
+            "Reach",
+            &[0],
+            &[
+                ("Q", &[V(0), V(1), V(2)]),
+                ("Reach", &[V(1)]),
+                ("Reach", &[V(2)]),
+            ],
+        )
     }
 
     /// The one-step formula `φ(x₁)` with `P` a free relation variable.
@@ -97,8 +101,10 @@ impl PathSystem {
             .or(Formula::Eq(x, z))
             .implies(Formula::rel_var("P", [x]))
             .forall(Var(0));
-        Formula::atom("S", [x])
-            .or(Formula::atom("Q", [x, y, z]).and(guard).exists(Var(2)).exists(Var(1)))
+        Formula::atom("S", [x]).or(Formula::atom("Q", [x, y, z])
+            .and(guard)
+            .exists(Var(2))
+            .exists(Var(1)))
     }
 
     /// The unfolded formula `φ_n(x₁)` (no free relation variables).
@@ -120,7 +126,9 @@ impl PathSystem {
     /// is solvable.
     pub fn to_fo3_query(&self) -> Query {
         let x = Term::Var(Var(0));
-        let body = Formula::atom("T", [x]).and(Self::unfolded(self.n)).exists(Var(0));
+        let body = Formula::atom("T", [x])
+            .and(Self::unfolded(self.n))
+            .exists(Var(0));
         Query::sentence(body)
     }
 }
@@ -213,16 +221,25 @@ mod tests {
         let (ans, _) = BoundedEvaluator::new(&db, 3).eval_query(&shallow).unwrap();
         assert!(!ans.as_boolean(), "2 unfoldings cannot reach depth 5");
         // …while m = n suffices.
-        let (full, _) = BoundedEvaluator::new(&db, 3).eval_query(&ps.to_fo3_query()).unwrap();
+        let (full, _) = BoundedEvaluator::new(&db, 3)
+            .eval_query(&ps.to_fo3_query())
+            .unwrap();
         assert!(full.as_boolean());
     }
 
     #[test]
     fn empty_axioms_unsolvable() {
-        let ps = PathSystem { n: 3, q: vec![(1, 0, 0)], s: vec![], t: vec![1] };
+        let ps = PathSystem {
+            n: 3,
+            q: vec![(1, 0, 0)],
+            s: vec![],
+            t: vec![1],
+        };
         assert!(!ps.solve_direct());
         let db = ps.to_database();
-        let (ans, _) = BoundedEvaluator::new(&db, 3).eval_query(&ps.to_fo3_query()).unwrap();
+        let (ans, _) = BoundedEvaluator::new(&db, 3)
+            .eval_query(&ps.to_fo3_query())
+            .unwrap();
         assert!(!ans.as_boolean());
     }
 }

@@ -50,12 +50,17 @@ fn x2() -> Term {
 
 /// `∃x₂ (P(x₂) ∧ X(x₂))` — the state contains 0.
 fn has0(x: &str) -> Formula {
-    Formula::atom("P", [x2()]).and(Formula::rel_var(x, [x2()])).exists(Var(1))
+    Formula::atom("P", [x2()])
+        .and(Formula::rel_var(x, [x2()]))
+        .exists(Var(1))
 }
 
 /// `∃x₂ (¬P(x₂) ∧ X(x₂))` — the state contains 1. Doubles as "Yᵢ = true".
 fn has1(x: &str) -> Formula {
-    Formula::atom("P", [x2()]).not().and(Formula::rel_var(x, [x2()])).exists(Var(1))
+    Formula::atom("P", [x2()])
+        .not()
+        .and(Formula::rel_var(x, [x2()]))
+        .exists(Var(1))
 }
 
 /// Translates the quantifier-free matrix, reading variable `i` as
@@ -107,8 +112,8 @@ pub fn to_pfp_query(qbf: &Qbf) -> Query {
 mod tests {
     use super::*;
     use bvq_core::PfpEvaluator;
+    use bvq_prng::{for_each_case, Rng};
     use bvq_sat::qbf;
-    use proptest::prelude::*;
     use Quantifier::{Exists, Forall};
 
     fn decide(q: &Qbf) -> bool {
@@ -149,52 +154,61 @@ mod tests {
     fn deeper_prefixes() {
         // ∀y₁∃y₂∀y₃∃y₄ ((y₁↔y₂) ∧ (y₃↔y₄)).
         let m = v(0).iff(v(1)).and(v(2).iff(v(3)));
-        assert!(decide(&Qbf::new(vec![Forall, Exists, Forall, Exists], m.clone())));
+        assert!(decide(&Qbf::new(
+            vec![Forall, Exists, Forall, Exists],
+            m.clone()
+        )));
         // Swapping the inner pair breaks it.
         let m2 = v(0).iff(v(1)).and(v(3).iff(v(2)));
         assert!(!decide(&Qbf::new(vec![Forall, Exists, Exists, Forall], m2)));
     }
 
-    fn arb_qbf(max_vars: usize) -> impl Strategy<Value = Qbf> {
-        (1..=max_vars).prop_flat_map(|l| {
-            let prefix = prop::collection::vec(
-                prop_oneof![Just(Exists), Just(Forall)],
-                l..=l,
-            );
-            let matrix = arb_matrix(l as u32, 3);
-            (prefix, matrix).prop_map(|(p, m)| Qbf::new(p, m))
-        })
+    fn rand_qbf(max_vars: usize, rng: &mut Rng) -> Qbf {
+        let l = rng.gen_range(1..max_vars + 1);
+        let prefix: Vec<Quantifier> = (0..l)
+            .map(|_| if rng.gen_bool(0.5) { Exists } else { Forall })
+            .collect();
+        let matrix = rand_matrix(l as u32, 3, rng);
+        Qbf::new(prefix, matrix)
     }
 
-    fn arb_matrix(nv: u32, depth: u32) -> BoxedStrategy<BoolExpr> {
-        let leaf = prop_oneof![
-            (0..nv).prop_map(BoolExpr::Var),
-            any::<bool>().prop_map(BoolExpr::Const),
-        ];
-        leaf.prop_recursive(depth, 24, 2, |inner| {
-            prop_oneof![
-                inner.clone().prop_map(BoolExpr::not),
-                prop::collection::vec(inner.clone(), 0..3).prop_map(BoolExpr::And),
-                prop::collection::vec(inner, 0..3).prop_map(BoolExpr::Or),
-            ]
-        })
-        .boxed()
-    }
-
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        #[test]
-        fn reduction_agrees_with_qbf_solver(q in arb_qbf(4)) {
-            prop_assert_eq!(decide(&q), qbf::solve(&q));
+    fn rand_matrix(nv: u32, depth: u32, rng: &mut Rng) -> BoolExpr {
+        if depth == 0 || rng.gen_ratio(1, 3) {
+            return if rng.gen_bool(0.7) {
+                BoolExpr::Var(rng.gen_range(0..nv))
+            } else {
+                BoolExpr::Const(rng.gen_bool(0.5))
+            };
         }
+        match rng.gen_range(0..3u32) {
+            0 => rand_matrix(nv, depth - 1, rng).not(),
+            1 => {
+                let n = rng.gen_range(0..3usize);
+                BoolExpr::And((0..n).map(|_| rand_matrix(nv, depth - 1, rng)).collect())
+            }
+            _ => {
+                let n = rng.gen_range(0..3usize);
+                BoolExpr::Or((0..n).map(|_| rand_matrix(nv, depth - 1, rng)).collect())
+            }
+        }
+    }
 
-        #[test]
-        fn reduction_size_linear(q in arb_qbf(5)) {
+    #[test]
+    fn reduction_agrees_with_qbf_solver() {
+        for_each_case(48, |_, rng| {
+            let q = rand_qbf(4, rng);
+            assert_eq!(decide(&q), qbf::solve(&q));
+        });
+    }
+
+    #[test]
+    fn reduction_size_linear() {
+        for_each_case(48, |_, rng| {
+            let q = rand_qbf(5, rng);
             let query = to_pfp_query(&q);
             // Each quantifier contributes O(1) formula nodes; the matrix
             // contributes O(1) per node.
-            prop_assert!(query.formula.size() <= 60 * (q.num_vars() + q.matrix.size() + 1));
-        }
+            assert!(query.formula.size() <= 60 * (q.num_vars() + q.matrix.size() + 1));
+        });
     }
 }

@@ -27,7 +27,9 @@ pub fn to_eso_sentence(cnf: &Cnf) -> Eso {
         .map(|c| Formula::or_all(c.iter().map(|&l| prop(l))));
     let body = Formula::and_all(clauses);
     Eso {
-        rels: (0..cnf.num_vars as u32).map(|v| (format!("P{v}"), 0)).collect(),
+        rels: (0..cnf.num_vars as u32)
+            .map(|v| (format!("P{v}"), 0))
+            .collect(),
         body,
     }
 }
@@ -36,9 +38,9 @@ pub fn to_eso_sentence(cnf: &Cnf) -> Eso {
 mod tests {
     use super::*;
     use bvq_core::EsoEvaluator;
+    use bvq_prng::{for_each_case, Rng};
     use bvq_relation::Database;
     use bvq_sat::solver;
-    use proptest::prelude::*;
 
     fn dbs() -> Vec<Database> {
         vec![
@@ -48,18 +50,13 @@ mod tests {
         ]
     }
 
-    fn arb_cnf() -> impl Strategy<Value = Cnf> {
-        prop::collection::vec(
-            prop::collection::vec((0u32..5, any::<bool>()), 1..=3),
-            0..12,
-        )
-        .prop_map(|clauses| {
-            let mut cnf = Cnf::new(5);
-            for c in clauses {
-                cnf.add_clause(c.into_iter().map(|(v, s)| Lit::new(v, s)));
-            }
-            cnf
-        })
+    fn rand_cnf(rng: &mut Rng) -> Cnf {
+        let mut cnf = Cnf::new(5);
+        for _ in 0..rng.gen_range(0..12usize) {
+            let len = rng.gen_range(1..4usize);
+            cnf.add_clause((0..len).map(|_| Lit::new(rng.gen_range(0..5u32), rng.gen_bool(0.5))));
+        }
+        cnf
     }
 
     #[test]
@@ -77,25 +74,27 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        #[test]
-        fn reduction_agrees_with_sat_solver(cnf in arb_cnf()) {
+    #[test]
+    fn reduction_agrees_with_sat_solver() {
+        for_each_case(64, |_, rng| {
+            let cnf = rand_cnf(rng);
             let expected = solver::solve(&cnf).is_sat();
             // "regardless what B is":
             for db in dbs() {
                 let ev = EsoEvaluator::new(&db, 1);
                 let eso = to_eso_sentence(&cnf);
-                prop_assert_eq!(ev.check(&eso, &[], &[]).unwrap(), expected);
+                assert_eq!(ev.check(&eso, &[], &[]).unwrap(), expected);
             }
-        }
+        });
+    }
 
-        #[test]
-        fn reduction_size_linear(cnf in arb_cnf()) {
+    #[test]
+    fn reduction_size_linear() {
+        for_each_case(64, |_, rng| {
+            let cnf = rand_cnf(rng);
             let eso = to_eso_sentence(&cnf);
-            prop_assert!(eso.size() <= 3 * (cnf.num_literals() + cnf.num_vars + 2));
-            prop_assert_eq!(eso.width(), 0);
-        }
+            assert!(eso.size() <= 3 * (cnf.num_literals() + cnf.num_vars + 2));
+            assert_eq!(eso.width(), 0);
+        });
     }
 }

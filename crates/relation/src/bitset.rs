@@ -19,7 +19,10 @@ pub struct BitSet {
 impl BitSet {
     /// An empty set over `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        BitSet { capacity, words: vec![0; capacity.div_ceil(WORD_BITS)] }
+        BitSet {
+            capacity,
+            words: vec![0; capacity.div_ceil(WORD_BITS)],
+        }
     }
 
     /// The full set `0..capacity`.
@@ -35,6 +38,37 @@ impl BitSet {
     /// The number of representable elements.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Builds `{ i ∈ 0..capacity : pred(i) }`, evaluating `pred` on up to
+    /// `threads` scoped workers over word-aligned chunks. Word alignment
+    /// means no two workers ever touch the same word, so the result is
+    /// identical to the sequential construction for every thread count.
+    pub fn from_fn<P>(capacity: usize, threads: usize, pred: P) -> Self
+    where
+        P: Fn(usize) -> bool + Sync,
+    {
+        let n_words = capacity.div_ceil(WORD_BITS);
+        let chunks = crate::parallel::map_chunks(threads, n_words, |range| {
+            let mut words = Vec::with_capacity(range.len());
+            for w in range {
+                let base = w * WORD_BITS;
+                let hi = WORD_BITS.min(capacity - base);
+                let mut word = 0u64;
+                for bit in 0..hi {
+                    if pred(base + bit) {
+                        word |= 1 << bit;
+                    }
+                }
+                words.push(word);
+            }
+            words
+        });
+        let mut words = Vec::with_capacity(n_words);
+        for c in chunks {
+            words.extend(c);
+        }
+        BitSet { capacity, words }
     }
 
     /// Zeroes the bits beyond `capacity` in the last word, maintaining the
@@ -59,7 +93,11 @@ impl BitSet {
     /// Inserts `i`. Returns whether it was newly inserted.
     #[inline]
     pub fn insert(&mut self, i: usize) -> bool {
-        debug_assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        debug_assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         let w = &mut self.words[i / WORD_BITS];
         let mask = 1 << (i % WORD_BITS);
         let fresh = *w & mask == 0;
@@ -130,12 +168,19 @@ impl BitSet {
     /// Whether `self ⊆ other`. Panics if capacities differ.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over the elements in increasing order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { set: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 }
 
@@ -258,6 +303,20 @@ mod tests {
         assert_eq!(s.iter().count(), 0);
         let f = BitSet::full(0);
         assert!(f.is_empty());
+    }
+
+    #[test]
+    fn from_fn_matches_sequential_insert() {
+        for threads in [1usize, 2, 4, 7] {
+            for capacity in [0usize, 1, 63, 64, 65, 1000] {
+                let par = BitSet::from_fn(capacity, threads, |i| i % 3 == 0);
+                let mut seq = BitSet::new(capacity);
+                for i in (0..capacity).step_by(3) {
+                    seq.insert(i);
+                }
+                assert_eq!(par, seq, "threads {threads} capacity {capacity}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Evaluation configuration: the thread-count knob shared by every layer
+//! of the engine (relational kernels, cylinder backends, Datalog rounds).
+
+/// Configuration for parallel evaluation.
+///
+/// `threads = 1` selects the exact sequential code paths that predate the
+/// parallel engine; higher values enable the partitioned kernels. Results
+/// are tuple-for-tuple identical for every thread count — all kernels
+/// produce *sets*, and partitioned workers only ever merge disjoint or
+/// idempotent contributions (see DESIGN.md, "Parallel evaluation").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvalConfig {
+    threads: usize,
+}
+
+impl EvalConfig {
+    /// A config using exactly `threads` workers (clamped to ≥ 1).
+    pub fn with_threads(threads: usize) -> Self {
+        EvalConfig {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The sequential configuration (`threads = 1`): bit-for-bit the
+    /// pre-parallel evaluation paths.
+    pub fn sequential() -> Self {
+        EvalConfig { threads: 1 }
+    }
+
+    /// Reads the configuration from the environment: `BVQ_THREADS` if set
+    /// (and parseable), otherwise the machine's available parallelism.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("BVQ_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Self::with_threads(threads)
+    }
+
+    /// The number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether the sequential paths are selected.
+    pub fn is_sequential(&self) -> bool {
+        self.threads == 1
+    }
+}
+
+impl Default for EvalConfig {
+    /// Defaults to [`EvalConfig::from_env`].
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_clamps_to_one() {
+        assert_eq!(EvalConfig::with_threads(0).threads(), 1);
+        assert!(EvalConfig::with_threads(0).is_sequential());
+    }
+
+    #[test]
+    fn sequential_is_one() {
+        assert_eq!(EvalConfig::sequential().threads(), 1);
+    }
+
+    #[test]
+    fn from_env_is_positive() {
+        assert!(EvalConfig::from_env().threads() >= 1);
+    }
+}

@@ -39,6 +39,7 @@ pub struct CylCtx {
     n: usize,
     k: usize,
     index: Option<PointIndex>,
+    threads: usize,
 }
 
 impl CylCtx {
@@ -46,8 +47,29 @@ impl CylCtx {
     ///
     /// The dense point index is prepared when `n^k` is within
     /// [`PointIndex::MAX_SIZE`]; otherwise only sparse backends can be used.
+    /// The context starts sequential (`threads = 1`); see
+    /// [`CylCtx::with_threads`].
     pub fn new(n: usize, k: usize) -> Self {
-        CylCtx { n, k, index: PointIndex::new(n, k) }
+        CylCtx {
+            n,
+            k,
+            index: PointIndex::new(n, k),
+            threads: 1,
+        }
+    }
+
+    /// Returns the context with the given worker-thread count (clamped to
+    /// ≥ 1). Backends use this to select the partitioned construction
+    /// paths; `threads = 1` keeps the exact sequential code.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The worker-thread count for cylinder operations.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Domain size.
@@ -70,7 +92,9 @@ impl CylCtx {
     /// # Panics
     /// Panics if `n^k` exceeded the dense budget.
     pub fn index(&self) -> &PointIndex {
-        self.index.as_ref().expect("dense space too large; use the sparse backend")
+        self.index
+            .as_ref()
+            .expect("dense space too large; use the sparse backend")
     }
 }
 

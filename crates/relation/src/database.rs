@@ -95,12 +95,19 @@ impl Database {
     /// at least one element existing.
     pub fn new(domain_size: usize) -> Self {
         assert!(domain_size > 0, "domain must be nonempty");
-        Database { domain_size, schema: Schema::new(), relations: Vec::new(), labels: None }
+        Database {
+            domain_size,
+            schema: Schema::new(),
+            relations: Vec::new(),
+            labels: None,
+        }
     }
 
     /// The builder interface.
     pub fn builder(domain_size: usize) -> DatabaseBuilder {
-        DatabaseBuilder { db: Database::new(domain_size) }
+        DatabaseBuilder {
+            db: Database::new(domain_size),
+        }
     }
 
     /// Domain size `n`.
@@ -121,7 +128,10 @@ impl Database {
         for t in rel.iter() {
             for &e in t.as_slice() {
                 if e as usize >= self.domain_size {
-                    return Err(RelationError::OutOfDomain { element: e, domain_size: self.domain_size });
+                    return Err(RelationError::OutOfDomain {
+                        element: e,
+                        domain_size: self.domain_size,
+                    });
                 }
             }
         }
@@ -154,7 +164,10 @@ impl Database {
         for t in rel.iter() {
             for &e in t.as_slice() {
                 if e as usize >= self.domain_size {
-                    return Err(RelationError::OutOfDomain { element: e, domain_size: self.domain_size });
+                    return Err(RelationError::OutOfDomain {
+                        element: e,
+                        domain_size: self.domain_size,
+                    });
                 }
             }
         }
@@ -167,7 +180,11 @@ impl Database {
     /// # Panics
     /// Panics if the label count differs from the domain size.
     pub fn set_labels(&mut self, labels: Vec<String>) {
-        assert_eq!(labels.len(), self.domain_size, "one label per domain element");
+        assert_eq!(
+            labels.len(),
+            self.domain_size,
+            "one label per domain element"
+        );
         self.labels = Some(labels);
     }
 
@@ -228,21 +245,26 @@ impl DatabaseBuilder {
         T: Into<Tuple>,
     {
         let rel = Relation::from_tuples(arity, tuples);
-        self.db.add_relation(name, rel).unwrap_or_else(|e| panic!("builder: {e}"));
+        self.db
+            .add_relation(name, rel)
+            .unwrap_or_else(|e| panic!("builder: {e}"));
         self
     }
 
     /// Adds an already-built relation.
     #[must_use]
     pub fn relation_from(mut self, name: &str, rel: Relation) -> Self {
-        self.db.add_relation(name, rel).unwrap_or_else(|e| panic!("builder: {e}"));
+        self.db
+            .add_relation(name, rel)
+            .unwrap_or_else(|e| panic!("builder: {e}"));
         self
     }
 
     /// Attaches element labels.
     #[must_use]
     pub fn labels<S: Into<String>>(mut self, labels: impl IntoIterator<Item = S>) -> Self {
-        self.db.set_labels(labels.into_iter().map(Into::into).collect());
+        self.db
+            .set_labels(labels.into_iter().map(Into::into).collect());
         self
     }
 
@@ -272,7 +294,10 @@ mod tests {
     fn rejects_out_of_domain() {
         let mut db = Database::new(2);
         let r = Relation::from_tuples(1, [[5u32]]);
-        assert!(matches!(db.add_relation("P", r), Err(RelationError::OutOfDomain { .. })));
+        assert!(matches!(
+            db.add_relation("P", r),
+            Err(RelationError::OutOfDomain { .. })
+        ));
     }
 
     #[test]
@@ -289,7 +314,9 @@ mod tests {
     fn set_relation_checks_arity() {
         let mut db = Database::new(3);
         let id = db.add_relation("E", Relation::new(2)).unwrap();
-        assert!(db.set_relation(id, Relation::from_tuples(2, [[0u32, 1]])).is_ok());
+        assert!(db
+            .set_relation(id, Relation::from_tuples(2, [[0u32, 1]]))
+            .is_ok());
         assert!(matches!(
             db.set_relation(id, Relation::new(3)),
             Err(RelationError::ArityMismatch { .. })

@@ -4,10 +4,26 @@
 //! Boolean connectives are word-parallel, and `∃xᵢ` is two linear passes
 //! (collapse the coordinate-`i` fiber, then re-broadcast), i.e. `O(n^k)`
 //! regardless of how full the set is.
+//!
+//! When the context carries `threads > 1` (see [`CylCtx::with_threads`]),
+//! the point-loop constructions (`equality`, `const_eq`, `preimage`,
+//! `exists`, `from_atom`) run partitioned over word-aligned chunks of the
+//! ranked space via [`BitSet::from_fn`] — no two workers touch the same
+//! word, so the result is bit-for-bit the sequential one. The Boolean
+//! connectives stay sequential: they are already single word ops per 64
+//! points and memory-bound.
 
 use crate::bitset::BitSet;
 use crate::cylinder::{CoordSource, CylCtx, CylinderOps};
+use crate::parallel::map_chunks;
 use crate::{Elem, Relation, Tuple};
+
+/// Below this many points the partitioned dense constructions fall back to
+/// the sequential loops (thread spawn would dominate).
+const DENSE_PAR_POINTS: usize = 1 << 14;
+
+/// Below this many atom tuples `from_atom` stays sequential.
+const DENSE_PAR_TUPLES: usize = 1024;
 
 /// A subset of `D^k` stored as a bitset of size `n^k`.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -24,19 +40,26 @@ impl DenseCylinder {
 
 impl CylinderOps for DenseCylinder {
     fn empty(ctx: &CylCtx) -> Self {
-        DenseCylinder { bits: BitSet::new(ctx.index().size()) }
+        DenseCylinder {
+            bits: BitSet::new(ctx.index().size()),
+        }
     }
 
     fn full(ctx: &CylCtx) -> Self {
-        DenseCylinder { bits: BitSet::full(ctx.index().size()) }
+        DenseCylinder {
+            bits: BitSet::full(ctx.index().size()),
+        }
     }
 
     fn from_atom(ctx: &CylCtx, rel: &Relation, vars: &[usize]) -> Self {
-        assert_eq!(rel.arity(), vars.len(), "atom variable count ≠ relation arity");
+        assert_eq!(
+            rel.arity(),
+            vars.len(),
+            "atom variable count ≠ relation arity"
+        );
         let ix = ctx.index();
         let k = ctx.width();
         let n = ctx.domain_size();
-        let mut out = Self::empty(ctx);
         // Coordinates not mentioned by the atom are cylindrical: enumerate
         // the matching tuples and broadcast over the free coordinates.
         let mentioned: Vec<bool> = {
@@ -48,26 +71,20 @@ impl CylinderOps for DenseCylinder {
             m
         };
         let free: Vec<usize> = (0..k).filter(|&i| !mentioned[i]).collect();
-        for t in rel.iter() {
+        let add_tuple = |bits: &mut BitSet, t: &Tuple| {
             // Check internal consistency for repeated variables, and build
             // the partial point.
             let mut point = vec![0 as Elem; k];
-            let mut consistent = true;
             let mut assigned = vec![false; k];
             for (j, &v) in vars.iter().enumerate() {
                 if t[j] as usize >= n {
-                    consistent = false; // tuple outside the domain
-                    break;
+                    return; // tuple outside the domain
                 }
                 if assigned[v] && point[v] != t[j] {
-                    consistent = false;
-                    break;
+                    return;
                 }
                 point[v] = t[j];
                 assigned[v] = true;
-            }
-            if !consistent {
-                continue;
             }
             // Broadcast over free coordinates with an odometer.
             let mut digits = vec![0usize; free.len()];
@@ -75,7 +92,7 @@ impl CylinderOps for DenseCylinder {
                 for (d, &c) in digits.iter().zip(&free) {
                     point[c] = *d as Elem;
                 }
-                out.bits.insert(ix.rank(&point));
+                bits.insert(ix.rank(&point));
                 let mut i = free.len();
                 loop {
                     if i == 0 {
@@ -93,16 +110,44 @@ impl CylinderOps for DenseCylinder {
                     break;
                 }
             }
+        };
+        if ctx.threads() > 1 && rel.len() >= DENSE_PAR_TUPLES {
+            // Partition the atom's tuples; workers fill private bitsets
+            // that are OR-merged (idempotent, so order is irrelevant).
+            let tuples: Vec<&Tuple> = rel.iter().collect();
+            let locals = map_chunks(ctx.threads(), tuples.len(), |range| {
+                let mut bits = BitSet::new(ix.size());
+                for t in &tuples[range] {
+                    add_tuple(&mut bits, t);
+                }
+                bits
+            });
+            let mut out = Self::empty(ctx);
+            for local in locals {
+                out.bits.union_with(&local);
+            }
+            out
+        } else {
+            let mut out = Self::empty(ctx);
+            for t in rel.iter() {
+                add_tuple(&mut out.bits, t);
+            }
+            out
         }
-        out
     }
 
     fn equality(ctx: &CylCtx, i: usize, j: usize) -> Self {
         let ix = ctx.index();
-        let mut out = Self::empty(ctx);
         if i == j {
             return Self::full(ctx);
         }
+        if ctx.threads() > 1 && ix.size() >= DENSE_PAR_POINTS {
+            let bits = BitSet::from_fn(ix.size(), ctx.threads(), |idx| {
+                ix.digit(idx, i) == ix.digit(idx, j)
+            });
+            return DenseCylinder { bits };
+        }
+        let mut out = Self::empty(ctx);
         for idx in 0..ix.size() {
             if ix.digit(idx, i) == ix.digit(idx, j) {
                 out.bits.insert(idx);
@@ -113,10 +158,14 @@ impl CylinderOps for DenseCylinder {
 
     fn const_eq(ctx: &CylCtx, i: usize, c: Elem) -> Self {
         let ix = ctx.index();
-        let mut out = Self::empty(ctx);
         if (c as usize) >= ctx.domain_size() {
-            return out;
+            return Self::empty(ctx);
         }
+        if ctx.threads() > 1 && ix.size() >= DENSE_PAR_POINTS {
+            let bits = BitSet::from_fn(ix.size(), ctx.threads(), |idx| ix.digit(idx, i) == c);
+            return DenseCylinder { bits };
+        }
+        let mut out = Self::empty(ctx);
         for idx in 0..ix.size() {
             if ix.digit(idx, i) == c {
                 out.bits.insert(idx);
@@ -140,8 +189,20 @@ impl CylinderOps for DenseCylinder {
     fn exists(&self, ctx: &CylCtx, i: usize) -> Self {
         let ix = ctx.index();
         let n = ctx.domain_size();
+        let collapsed_size = ix.size().checked_div(n).unwrap_or(0);
+        if ctx.threads() > 1 && ix.size() >= DENSE_PAR_POINTS && n > 0 {
+            // Pass 1 (partitioned over the collapsed space): a fiber is
+            // kept iff some point of it is set.
+            let collapsed = BitSet::from_fn(collapsed_size, ctx.threads(), |c| {
+                (0..n).any(|b| self.bits.contains(ix.expand(c, i, b as Elem)))
+            });
+            // Pass 2 (partitioned over the full space): broadcast back.
+            let bits = BitSet::from_fn(ix.size(), ctx.threads(), |idx| {
+                collapsed.contains(ix.collapse(idx, i))
+            });
+            return DenseCylinder { bits };
+        }
         // Pass 1: collapse coordinate i.
-        let collapsed_size = if n == 0 { 0 } else { ix.size() / n };
         let mut collapsed = BitSet::new(collapsed_size);
         for idx in self.bits.iter() {
             collapsed.insert(ix.collapse(idx, i));
@@ -161,16 +222,15 @@ impl CylinderOps for DenseCylinder {
         let k = ctx.width();
         let n = ctx.domain_size();
         assert_eq!(map.len(), k, "preimage map must cover all {k} coordinates");
-        let mut out = Self::empty(ctx);
         // Reject out-of-domain constants up front.
         for m in map {
             if let CoordSource::Const(c) = m {
                 if *c as usize >= n {
-                    return out;
+                    return Self::empty(ctx);
                 }
             }
         }
-        for target in 0..ix.size() {
+        let source_of = |target: usize| {
             let mut source = 0usize;
             for (i, m) in map.iter().enumerate() {
                 let digit = match m {
@@ -179,7 +239,17 @@ impl CylinderOps for DenseCylinder {
                 };
                 source += digit as usize * ix.stride(i);
             }
-            if self.bits.contains(source) {
+            source
+        };
+        if ctx.threads() > 1 && ix.size() >= DENSE_PAR_POINTS {
+            let bits = BitSet::from_fn(ix.size(), ctx.threads(), |target| {
+                self.bits.contains(source_of(target))
+            });
+            return DenseCylinder { bits };
+        }
+        let mut out = Self::empty(ctx);
+        for target in 0..ix.size() {
+            if self.bits.contains(source_of(target)) {
                 out.bits.insert(target);
             }
         }

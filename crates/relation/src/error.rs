@@ -31,7 +31,10 @@ impl fmt::Display for RelationError {
             RelationError::DuplicateRelation(name) => {
                 write!(f, "relation `{name}` already exists in the schema")
             }
-            RelationError::OutOfDomain { element, domain_size } => {
+            RelationError::OutOfDomain {
+                element,
+                domain_size,
+            } => {
                 write!(f, "element {element} outside domain of size {domain_size}")
             }
             RelationError::ArityMismatch { expected, found } => {
@@ -57,13 +60,24 @@ mod tests {
             "relation `E` already exists in the schema"
         );
         assert_eq!(
-            RelationError::OutOfDomain { element: 9, domain_size: 4 }.to_string(),
+            RelationError::OutOfDomain {
+                element: 9,
+                domain_size: 4
+            }
+            .to_string(),
             "element 9 outside domain of size 4"
         );
         assert_eq!(
-            RelationError::ArityMismatch { expected: 2, found: 3 }.to_string(),
+            RelationError::ArityMismatch {
+                expected: 2,
+                found: 3
+            }
+            .to_string(),
             "arity mismatch: expected 2, found 3"
         );
-        assert_eq!(RelationError::UnknownRelation("X".into()).to_string(), "unknown relation `X`");
+        assert_eq!(
+            RelationError::UnknownRelation("X".into()).to_string(),
+            "unknown relation `X`"
+        );
     }
 }

@@ -102,7 +102,11 @@ mod tests {
         for i in 0u64..1000 {
             seen.insert(hash(&i) & 0xFFFF);
         }
-        assert!(seen.len() > 900, "too many low-bit collisions: {}", seen.len());
+        assert!(
+            seen.len() > 900,
+            "too many low-bit collisions: {}",
+            seen.len()
+        );
     }
 
     #[test]
@@ -119,6 +123,10 @@ mod tests {
         use crate::Tuple;
         let t = Tuple::from_slice(&[1, 2, 3]);
         let s: &[u32] = &[1, 2, 3];
-        assert_eq!(hash(&t), hash(&s), "Tuple must hash like its slice for Borrow lookups");
+        assert_eq!(
+            hash(&t),
+            hash(&s),
+            "Tuple must hash like its slice for Borrow lookups"
+        );
     }
 }

@@ -36,7 +36,12 @@ impl PointIndex {
                 return None;
             }
         }
-        Some(PointIndex { n, k, strides, size })
+        Some(PointIndex {
+            n,
+            k,
+            strides,
+            size,
+        })
     }
 
     /// Maximum dense space size (bits): 2^32 bits = 512 MiB.

@@ -22,7 +22,12 @@
 //! * [`Database`] — a named collection of relations over a common domain,
 //!   with the paper's string-encoding length as the input-size measure;
 //! * [`EvalStats`] — instrumentation recording maximum intermediate arity
-//!   and cardinality, operator applications, and fixpoint iterations.
+//!   and cardinality, operator applications, and fixpoint iterations;
+//! * [`EvalConfig`] and the [`parallel`] kernels — a thread-count knob and
+//!   partitioned (std-only, `std::thread::scope`) implementations of the
+//!   hot relational operators; `threads = 1` is exactly the sequential
+//!   engine, and every thread count yields tuple-for-tuple identical
+//!   results.
 //!
 //! All code is safe Rust (`#![forbid(unsafe_code)]`) and deterministic.
 
@@ -30,18 +35,21 @@
 #![warn(missing_docs)]
 
 pub mod bitset;
+pub mod config;
 pub mod cylinder;
 pub mod database;
 pub mod dense;
 pub mod error;
 pub mod hasher;
 pub mod index;
+pub mod parallel;
 pub mod relation;
 pub mod sparse;
 pub mod stats;
 pub mod tuple;
 
 pub use bitset::BitSet;
+pub use config::EvalConfig;
 pub use cylinder::{CoordSource, CylCtx, CylinderOps};
 pub use database::{Database, DatabaseBuilder, RelId, Schema};
 pub use dense::DenseCylinder;

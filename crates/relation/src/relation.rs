@@ -26,7 +26,10 @@ pub struct Relation {
 impl Relation {
     /// The empty relation of the given arity.
     pub fn new(arity: Arity) -> Self {
-        Relation { arity, tuples: FxHashSet::default() }
+        Relation {
+            arity,
+            tuples: FxHashSet::default(),
+        }
     }
 
     /// The arity-0 relation representing Boolean `value`.
@@ -102,7 +105,13 @@ impl Relation {
     /// # Panics
     /// Panics if the tuple arity differs from the relation arity.
     pub fn insert(&mut self, t: Tuple) -> bool {
-        assert_eq!(t.arity(), self.arity, "tuple arity {} ≠ relation arity {}", t.arity(), self.arity);
+        assert_eq!(
+            t.arity(),
+            self.arity,
+            "tuple arity {} ≠ relation arity {}",
+            t.arity(),
+            self.arity
+        );
         self.tuples.insert(t)
     }
 
@@ -145,7 +154,11 @@ impl Relation {
     #[must_use]
     pub fn union(&self, other: &Relation) -> Relation {
         assert_eq!(self.arity, other.arity, "union arity mismatch");
-        let (big, small) = if self.len() >= other.len() { (self, other) } else { (other, self) };
+        let (big, small) = if self.len() >= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
         let mut r = big.clone();
         for t in small.iter() {
             r.tuples.insert(t.clone());
@@ -157,7 +170,11 @@ impl Relation {
     #[must_use]
     pub fn intersect(&self, other: &Relation) -> Relation {
         assert_eq!(self.arity, other.arity, "intersect arity mismatch");
-        let (big, small) = if self.len() >= other.len() { (self, other) } else { (other, self) };
+        let (big, small) = if self.len() >= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
         let mut r = Relation::new(self.arity);
         for t in small.iter() {
             if big.tuples.contains(t) {
@@ -225,7 +242,11 @@ impl Relation {
     #[must_use]
     pub fn project(&self, positions: &[usize]) -> Relation {
         for &p in positions {
-            assert!(p < self.arity, "projection position {p} out of arity {}", self.arity);
+            assert!(
+                p < self.arity,
+                "projection position {p} out of arity {}",
+                self.arity
+            );
         }
         let mut r = Relation::new(positions.len());
         for t in self.iter() {

@@ -6,9 +6,25 @@
 //! up to `n^k` — that bound is inherent to the representation of Prop 3.1 —
 //! but positive connectives cost only the number of tuples present.
 
+//!
+//! With `threads > 1` in the context, the full-space scans (`full`,
+//! `equality`, `const_eq`, `not`, `preimage`) partition the `n^k` point
+//! space by the value of the *first* coordinate, so workers enumerate
+//! disjoint slabs and their private hash sets merge without overlap;
+//! `from_atom` and `exists` partition the tuple set instead and merge
+//! idempotently. Either way the result set is identical to the sequential
+//! one for every thread count.
+
 use crate::cylinder::{CoordSource, CylCtx, CylinderOps};
 use crate::hasher::FxHashSet;
+use crate::parallel::map_chunks;
 use crate::{Elem, Relation, Tuple};
+
+/// Below this many points (`n^k`) the full-space scans stay sequential.
+const SPARSE_PAR_POINTS: usize = 1 << 14;
+
+/// Below this many stored tuples `from_atom` / `exists` stay sequential.
+const SPARSE_PAR_TUPLES: usize = 4096;
 
 /// A subset of `D^k` stored as a hash set of `k`-tuples.
 #[derive(Clone, Debug)]
@@ -42,12 +58,90 @@ fn for_each_point(n: usize, k: usize, mut f: impl FnMut(&[Elem])) {
     }
 }
 
+/// Enumerates the `k`-tuples (`k ≥ 1`) whose first coordinate lies in
+/// `first`, calling `f` on each — one slab of the point space.
+fn for_each_point_in(
+    n: usize,
+    k: usize,
+    first: std::ops::Range<usize>,
+    mut f: impl FnMut(&[Elem]),
+) {
+    debug_assert!(k >= 1);
+    let mut t = vec![0 as Elem; k];
+    for a in first {
+        t[0] = a as Elem;
+        for c in t[1..].iter_mut() {
+            *c = 0;
+        }
+        loop {
+            f(&t);
+            let mut i = k;
+            let mut done = false;
+            loop {
+                if i == 1 {
+                    done = true;
+                    break;
+                }
+                i -= 1;
+                t[i] += 1;
+                if (t[i] as usize) < n {
+                    break;
+                }
+                t[i] = 0;
+            }
+            if done {
+                break;
+            }
+        }
+    }
+}
+
+/// Partitioned point-space filter: returns `Some(set)` of the points
+/// satisfying `pred` when the parallel path applies (`threads > 1`, `k ≥ 1`
+/// and at least [`SPARSE_PAR_POINTS`] points), `None` to signal the caller
+/// to run the sequential scan. Workers own disjoint first-coordinate slabs,
+/// so the merged set is exactly the sequential result.
+fn par_filter_points<P>(ctx: &CylCtx, pred: P) -> Option<FxHashSet<Tuple>>
+where
+    P: Fn(&[Elem]) -> bool + Sync,
+{
+    let n = ctx.domain_size();
+    let k = ctx.width();
+    if ctx.threads() <= 1 || k == 0 || n == 0 {
+        return None;
+    }
+    if n.checked_pow(k as u32)
+        .is_some_and(|total| total < SPARSE_PAR_POINTS)
+    {
+        return None;
+    }
+    let locals = map_chunks(ctx.threads(), n, |first| {
+        let mut set = FxHashSet::default();
+        for_each_point_in(n, k, first, |t| {
+            if pred(t) {
+                set.insert(Tuple::from_slice(t));
+            }
+        });
+        set
+    });
+    let mut out = FxHashSet::default();
+    for local in locals {
+        out.extend(local);
+    }
+    Some(out)
+}
+
 impl CylinderOps for SparseCylinder {
     fn empty(_ctx: &CylCtx) -> Self {
-        SparseCylinder { tuples: FxHashSet::default() }
+        SparseCylinder {
+            tuples: FxHashSet::default(),
+        }
     }
 
     fn full(ctx: &CylCtx) -> Self {
+        if let Some(tuples) = par_filter_points(ctx, |_| true) {
+            return SparseCylinder { tuples };
+        }
         let mut s = Self::empty(ctx);
         for_each_point(ctx.domain_size(), ctx.width(), |t| {
             s.tuples.insert(Tuple::from_slice(t));
@@ -56,36 +150,34 @@ impl CylinderOps for SparseCylinder {
     }
 
     fn from_atom(ctx: &CylCtx, rel: &Relation, vars: &[usize]) -> Self {
-        assert_eq!(rel.arity(), vars.len(), "atom variable count ≠ relation arity");
+        assert_eq!(
+            rel.arity(),
+            vars.len(),
+            "atom variable count ≠ relation arity"
+        );
         let k = ctx.width();
         let n = ctx.domain_size();
-        let mut out = Self::empty(ctx);
         let mut mentioned = vec![false; k];
         for &v in vars {
             assert!(v < k, "atom variable index {v} out of width {k}");
             mentioned[v] = true;
         }
         let free: Vec<usize> = (0..k).filter(|&i| !mentioned[i]).collect();
-        for t in rel.iter() {
+        let add_tuple = |set: &mut FxHashSet<Tuple>, t: &Tuple| {
             let mut point = vec![0 as Elem; k];
             let mut assigned = vec![false; k];
-            let mut consistent = true;
             for (j, &v) in vars.iter().enumerate() {
                 if t[j] as usize >= n || (assigned[v] && point[v] != t[j]) {
-                    consistent = false;
-                    break;
+                    return;
                 }
                 point[v] = t[j];
                 assigned[v] = true;
-            }
-            if !consistent {
-                continue;
             }
             // Broadcast over the free coordinates.
             let mut stack = vec![(0usize, point)];
             while let Some((fi, p)) = stack.pop() {
                 if fi == free.len() {
-                    out.tuples.insert(Tuple::from_slice(&p));
+                    set.insert(Tuple::from_slice(&p));
                     continue;
                 }
                 for b in 0..n {
@@ -94,6 +186,24 @@ impl CylinderOps for SparseCylinder {
                     stack.push((fi + 1, q));
                 }
             }
+        };
+        let mut out = Self::empty(ctx);
+        if ctx.threads() > 1 && rel.len() >= SPARSE_PAR_TUPLES {
+            let tuples: Vec<&Tuple> = rel.iter().collect();
+            let locals = map_chunks(ctx.threads(), tuples.len(), |range| {
+                let mut set = FxHashSet::default();
+                for t in &tuples[range] {
+                    add_tuple(&mut set, t);
+                }
+                set
+            });
+            for local in locals {
+                out.tuples.extend(local);
+            }
+        } else {
+            for t in rel.iter() {
+                add_tuple(&mut out.tuples, t);
+            }
         }
         out
     }
@@ -101,6 +211,9 @@ impl CylinderOps for SparseCylinder {
     fn equality(ctx: &CylCtx, i: usize, j: usize) -> Self {
         if i == j {
             return Self::full(ctx);
+        }
+        if let Some(tuples) = par_filter_points(ctx, |t| t[i] == t[j]) {
+            return SparseCylinder { tuples };
         }
         let mut out = Self::empty(ctx);
         for_each_point(ctx.domain_size(), ctx.width(), |t| {
@@ -112,10 +225,13 @@ impl CylinderOps for SparseCylinder {
     }
 
     fn const_eq(ctx: &CylCtx, i: usize, c: Elem) -> Self {
-        let mut out = Self::empty(ctx);
         if (c as usize) >= ctx.domain_size() {
-            return out;
+            return Self::empty(ctx);
         }
+        if let Some(tuples) = par_filter_points(ctx, |t| t[i] == c) {
+            return SparseCylinder { tuples };
+        }
+        let mut out = Self::empty(ctx);
         for_each_point(ctx.domain_size(), ctx.width(), |t| {
             if t[i] == c {
                 out.tuples.insert(Tuple::from_slice(t));
@@ -135,6 +251,10 @@ impl CylinderOps for SparseCylinder {
     }
 
     fn not(&mut self, ctx: &CylCtx) {
+        if let Some(tuples) = par_filter_points(ctx, |t| !self.tuples.contains(t)) {
+            self.tuples = tuples;
+            return;
+        }
         let mut out = FxHashSet::default();
         for_each_point(ctx.domain_size(), ctx.width(), |t| {
             if !self.tuples.contains(t) {
@@ -148,8 +268,21 @@ impl CylinderOps for SparseCylinder {
         let n = ctx.domain_size();
         // Collapse: the set of tuples with coordinate i zeroed.
         let mut collapsed: FxHashSet<Tuple> = FxHashSet::default();
-        for t in &self.tuples {
-            collapsed.insert(t.with(i, 0));
+        if ctx.threads() > 1 && self.tuples.len() >= SPARSE_PAR_TUPLES {
+            let tuples: Vec<&Tuple> = self.tuples.iter().collect();
+            let locals = map_chunks(ctx.threads(), tuples.len(), |range| {
+                tuples[range]
+                    .iter()
+                    .map(|t| t.with(i, 0))
+                    .collect::<FxHashSet<_>>()
+            });
+            for local in locals {
+                collapsed.extend(local);
+            }
+        } else {
+            for t in &self.tuples {
+                collapsed.insert(t.with(i, 0));
+            }
         }
         // Broadcast coordinate i back over the domain.
         let mut out = Self::empty(ctx);
@@ -172,6 +305,15 @@ impl CylinderOps for SparseCylinder {
                     return out;
                 }
             }
+        }
+        if let Some(tuples) = par_filter_points(ctx, |target| {
+            let source = Tuple::from_fn(k, |i| match map[i] {
+                CoordSource::Coord(j) => target[j],
+                CoordSource::Const(c) => c,
+            });
+            self.tuples.contains(source.as_slice())
+        }) {
+            return SparseCylinder { tuples };
         }
         let mut source = vec![0 as Elem; k];
         for_each_point(n, k, |target| {

@@ -92,12 +92,18 @@ impl Default for StatsRecorder {
 impl StatsRecorder {
     /// An enabled recorder.
     pub fn new() -> Self {
-        StatsRecorder { stats: EvalStats::new(), enabled: true }
+        StatsRecorder {
+            stats: EvalStats::new(),
+            enabled: true,
+        }
     }
 
     /// A disabled recorder (all records are no-ops).
     pub fn disabled() -> Self {
-        StatsRecorder { stats: EvalStats::new(), enabled: false }
+        StatsRecorder {
+            stats: EvalStats::new(),
+            enabled: false,
+        }
     }
 
     /// Records an intermediate relation.
@@ -113,6 +119,14 @@ impl StatsRecorder {
     pub fn iteration(&mut self) {
         if self.enabled {
             self.stats.record_iteration();
+        }
+    }
+
+    /// Merges statistics collected elsewhere (e.g. by a worker thread's
+    /// local recorder) into this one.
+    pub fn absorb(&mut self, other: &EvalStats) {
+        if self.enabled {
+            self.stats = self.stats.merge(other);
         }
     }
 
@@ -170,6 +184,9 @@ mod tests {
     fn display_is_stable() {
         let mut s = EvalStats::new();
         s.record_intermediate(2, 7);
-        assert_eq!(s.to_string(), "max_arity=2 max_card=7 total_tuples=7 ops=1 iters=0");
+        assert_eq!(
+            s.to_string(),
+            "max_arity=2 max_card=7 total_tuples=7 ops=1 iters=0"
+        );
     }
 }

@@ -46,7 +46,10 @@ impl Tuple {
     /// The empty (arity-0) tuple. Arity-0 relations are Boolean values:
     /// the empty relation is *false*, the relation `{()}` is *true*.
     pub fn unit() -> Self {
-        Tuple::Inline { len: 0, data: [0; Tuple::INLINE] }
+        Tuple::Inline {
+            len: 0,
+            data: [0; Tuple::INLINE],
+        }
     }
 
     /// Builds a tuple from a slice of elements.
@@ -54,7 +57,10 @@ impl Tuple {
         if elems.len() <= Tuple::INLINE {
             let mut data = [0; Tuple::INLINE];
             data[..elems.len()].copy_from_slice(elems);
-            Tuple::Inline { len: elems.len() as u8, data }
+            Tuple::Inline {
+                len: elems.len() as u8,
+                data,
+            }
         } else {
             Tuple::Heap(elems.to_vec().into_boxed_slice())
         }
@@ -67,7 +73,10 @@ impl Tuple {
             for (i, slot) in data[..arity].iter_mut().enumerate() {
                 *slot = f(i);
             }
-            Tuple::Inline { len: arity as u8, data }
+            Tuple::Inline {
+                len: arity as u8,
+                data,
+            }
         } else {
             Tuple::Heap((0..arity).map(f).collect())
         }

@@ -1,97 +1,138 @@
-//! Property-based tests for the relational substrate: algebraic laws of the
-//! relation operations and agreement of the dense and sparse cylinder
+//! Seeded property tests for the relational substrate: algebraic laws of
+//! the relation operations and agreement of the dense and sparse cylinder
 //! backends on random inputs.
+//!
+//! Each test loops over deterministic [`bvq_prng::for_each_case`] seeds, so
+//! failures reproduce by case number without any external test framework.
 
+use bvq_prng::{for_each_case, Rng};
 use bvq_relation::{
     BitSet, CylCtx, CylinderOps, DenseCylinder, PointIndex, Relation, SparseCylinder, Tuple,
 };
-use proptest::prelude::*;
 
-/// Strategy: a random relation of the given arity over `0..n`.
-fn arb_relation(arity: usize, n: u32, max_tuples: usize) -> impl Strategy<Value = Relation> {
-    prop::collection::vec(prop::collection::vec(0..n, arity), 0..=max_tuples).prop_map(
-        move |rows| {
-            Relation::from_tuples(arity, rows.into_iter().map(Tuple::from))
-        },
+/// A random relation of the given arity over `0..n` with at most
+/// `max_tuples` rows.
+fn rand_relation(rng: &mut Rng, arity: usize, n: u32, max_tuples: usize) -> Relation {
+    let rows = rng.gen_range(0..max_tuples + 1);
+    Relation::from_tuples(
+        arity,
+        (0..rows).map(|_| Tuple::from_fn(arity, |_| rng.gen_range(0..n))),
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn union_commutes() {
+    for_each_case(64, |_, rng| {
+        let a = rand_relation(rng, 2, 5, 20);
+        let b = rand_relation(rng, 2, 5, 20);
+        assert_eq!(a.union(&b).sorted(), b.union(&a).sorted());
+    });
+}
 
-    #[test]
-    fn union_commutes(a in arb_relation(2, 5, 20), b in arb_relation(2, 5, 20)) {
-        prop_assert_eq!(a.union(&b).sorted(), b.union(&a).sorted());
-    }
+#[test]
+fn intersect_commutes() {
+    for_each_case(64, |_, rng| {
+        let a = rand_relation(rng, 2, 5, 20);
+        let b = rand_relation(rng, 2, 5, 20);
+        assert_eq!(a.intersect(&b).sorted(), b.intersect(&a).sorted());
+    });
+}
 
-    #[test]
-    fn intersect_commutes(a in arb_relation(2, 5, 20), b in arb_relation(2, 5, 20)) {
-        prop_assert_eq!(a.intersect(&b).sorted(), b.intersect(&a).sorted());
-    }
-
-    #[test]
-    fn de_morgan(a in arb_relation(2, 4, 16), b in arb_relation(2, 4, 16)) {
+#[test]
+fn de_morgan() {
+    for_each_case(64, |_, rng| {
         // ¬(A ∪ B) = ¬A ∩ ¬B over D².
+        let a = rand_relation(rng, 2, 4, 16);
+        let b = rand_relation(rng, 2, 4, 16);
         let lhs = a.union(&b).complement(4);
         let rhs = a.complement(4).intersect(&b.complement(4));
-        prop_assert_eq!(lhs.sorted(), rhs.sorted());
-    }
+        assert_eq!(lhs.sorted(), rhs.sorted());
+    });
+}
 
-    #[test]
-    fn difference_via_complement(a in arb_relation(2, 4, 16), b in arb_relation(2, 4, 16)) {
+#[test]
+fn difference_via_complement() {
+    for_each_case(64, |_, rng| {
+        let a = rand_relation(rng, 2, 4, 16);
+        let b = rand_relation(rng, 2, 4, 16);
         let lhs = a.difference(&b);
         let rhs = a.intersect(&b.complement(4));
-        prop_assert_eq!(lhs.sorted(), rhs.sorted());
-    }
+        assert_eq!(lhs.sorted(), rhs.sorted());
+    });
+}
 
-    #[test]
-    fn join_subsumed_by_product(a in arb_relation(2, 4, 12), b in arb_relation(2, 4, 12)) {
+#[test]
+fn join_subsumed_by_product() {
+    for_each_case(64, |_, rng| {
+        let a = rand_relation(rng, 2, 4, 12);
+        let b = rand_relation(rng, 2, 4, 12);
         let j = a.join_on(&b, &[(1, 0)]);
         let p = a.product(&b).select_eq(1, 2);
-        prop_assert_eq!(j.sorted(), p.sorted());
-    }
+        assert_eq!(j.sorted(), p.sorted());
+    });
+}
 
-    #[test]
-    fn semijoin_is_join_projection(a in arb_relation(2, 4, 12), b in arb_relation(2, 4, 12)) {
+#[test]
+fn semijoin_is_join_projection() {
+    for_each_case(64, |_, rng| {
+        let a = rand_relation(rng, 2, 4, 12);
+        let b = rand_relation(rng, 2, 4, 12);
         let s = a.semijoin(&b, &[(0, 1)]);
         let via_join = a.join_on(&b, &[(0, 1)]).project(&[0, 1]);
-        prop_assert_eq!(s.sorted(), via_join.sorted());
-    }
+        assert_eq!(s.sorted(), via_join.sorted());
+    });
+}
 
-    #[test]
-    fn antijoin_complements_semijoin(a in arb_relation(2, 4, 12), b in arb_relation(2, 4, 12)) {
+#[test]
+fn antijoin_complements_semijoin() {
+    for_each_case(64, |_, rng| {
+        let a = rand_relation(rng, 2, 4, 12);
+        let b = rand_relation(rng, 2, 4, 12);
         let s = a.semijoin(&b, &[(0, 1)]);
         let t = a.antijoin(&b, &[(0, 1)]);
-        prop_assert_eq!(s.union(&t).sorted(), a.sorted());
-        prop_assert!(s.intersect(&t).is_empty());
-    }
+        assert_eq!(s.union(&t).sorted(), a.sorted());
+        assert!(s.intersect(&t).is_empty());
+    });
+}
 
-    #[test]
-    fn project_select_consistency(a in arb_relation(3, 4, 20)) {
+#[test]
+fn project_select_consistency() {
+    for_each_case(64, |_, rng| {
+        let a = rand_relation(rng, 3, 4, 20);
         // Projecting [0,1,2] is the identity.
-        prop_assert_eq!(a.project(&[0, 1, 2]).sorted(), a.sorted());
+        assert_eq!(a.project(&[0, 1, 2]).sorted(), a.sorted());
         // Double-permutation returns to the original.
-        prop_assert_eq!(a.project(&[2, 0, 1]).project(&[1, 2, 0]).sorted(), a.sorted());
-    }
+        assert_eq!(
+            a.project(&[2, 0, 1]).project(&[1, 2, 0]).sorted(),
+            a.sorted()
+        );
+    });
+}
 
-    #[test]
-    fn rank_unrank_random(n in 1usize..8, k in 0usize..4, seed in any::<u64>()) {
+#[test]
+fn rank_unrank_random() {
+    for_each_case(64, |_, rng| {
+        let n = rng.gen_range(1..8usize);
+        let k = rng.gen_range(0..4usize);
         let ix = PointIndex::new(n, k).unwrap();
-        let idx = (seed as usize) % ix.size();
-        prop_assert_eq!(ix.rank(&ix.unrank(idx)), idx);
-    }
+        let idx = rng.next_u64() as usize % ix.size();
+        assert_eq!(ix.rank(&ix.unrank(idx)), idx);
+    });
+}
 
-    #[test]
-    fn bitset_complement_count(cap in 1usize..300, bits in prop::collection::vec(any::<u64>(), 0..40)) {
+#[test]
+fn bitset_complement_count() {
+    for_each_case(64, |_, rng| {
+        let cap = rng.gen_range(1..300usize);
         let mut s = BitSet::new(cap);
-        for b in &bits {
-            s.insert((*b as usize) % cap);
+        for _ in 0..rng.gen_range(0..40usize) {
+            s.insert(rng.next_u64() as usize % cap);
         }
         let c = s.count();
         let mut t = s.clone();
         t.complement();
-        prop_assert_eq!(t.count(), cap - c);
-    }
+        assert_eq!(t.count(), cap - c);
+    });
 }
 
 /// Runs the same cylindrical pipeline on both backends and compares.
@@ -130,7 +171,13 @@ fn check_backends_agree(n: usize, k: usize, rel: &Relation, vars: &[usize]) {
     // Preimage under a rotation map with one pinned constant.
     use bvq_relation::CoordSource;
     let map: Vec<CoordSource> = (0..k)
-        .map(|i| if i == 0 { CoordSource::Const(1) } else { CoordSource::Coord((i + 1) % k) })
+        .map(|i| {
+            if i == 0 {
+                CoordSource::Const(1)
+            } else {
+                CoordSource::Coord((i + 1) % k)
+            }
+        })
         .collect();
     assert_eq!(
         d.preimage(&ctx, &map).to_relation(&ctx, &coords).sorted(),
@@ -139,41 +186,52 @@ fn check_backends_agree(n: usize, k: usize, rel: &Relation, vars: &[usize]) {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn dense_sparse_agree(
-        n in 2usize..5,
-        rel in arb_relation(2, 4, 10),
-        v0 in 0usize..3,
-        v1 in 0usize..3,
-    ) {
+#[test]
+fn dense_sparse_agree() {
+    for_each_case(48, |_, rng| {
         // Relation elements may exceed the domain; from_atom must drop them
         // identically in both backends.
+        let n = rng.gen_range(2..5usize);
+        let rel = rand_relation(rng, 2, 4, 10);
+        let v0 = rng.gen_range(0..3usize);
+        let v1 = rng.gen_range(0..3usize);
         check_backends_agree(n, 3, &rel, &[v0, v1]);
-    }
+    });
+}
 
-    #[test]
-    fn dense_sparse_agree_unary(n in 2usize..6, rel in arb_relation(1, 5, 6), v in 0usize..2) {
+#[test]
+fn dense_sparse_agree_unary() {
+    for_each_case(48, |_, rng| {
+        let n = rng.gen_range(2..6usize);
+        let rel = rand_relation(rng, 1, 5, 6);
+        let v = rng.gen_range(0..2usize);
         check_backends_agree(n, 2, &rel, &[v]);
-    }
+    });
+}
 
-    #[test]
-    fn exists_idempotent_dense(n in 2usize..5, rel in arb_relation(2, 4, 10)) {
+#[test]
+fn exists_idempotent_dense() {
+    for_each_case(48, |_, rng| {
+        let n = rng.gen_range(2..5usize);
+        let rel = rand_relation(rng, 2, 4, 10);
         let ctx = CylCtx::new(n, 2);
         let d = DenseCylinder::from_atom(&ctx, &rel, &[0, 1]);
         let e1 = d.exists(&ctx, 0);
         let e2 = e1.exists(&ctx, 0);
-        prop_assert!(e1 == e2, "∃x∃x φ must equal ∃x φ");
-    }
+        assert!(e1 == e2, "∃x∃x φ must equal ∃x φ");
+    });
+}
 
-    #[test]
-    fn exists_monotone_dense(n in 2usize..5, a in arb_relation(2, 4, 10), b in arb_relation(2, 4, 10)) {
+#[test]
+fn exists_monotone_dense() {
+    for_each_case(48, |_, rng| {
+        let n = rng.gen_range(2..5usize);
+        let a = rand_relation(rng, 2, 4, 10);
+        let b = rand_relation(rng, 2, 4, 10);
         let ctx = CylCtx::new(n, 2);
         let da = DenseCylinder::from_atom(&ctx, &a, &[0, 1]);
         let mut dab = da.clone();
         dab.or_with(&ctx, &DenseCylinder::from_atom(&ctx, &b, &[0, 1]));
-        prop_assert!(da.exists(&ctx, 1).is_subset(&ctx, &dab.exists(&ctx, 1)));
-    }
+        assert!(da.exists(&ctx, 1).is_subset(&ctx, &dab.exists(&ctx, 1)));
+    });
 }

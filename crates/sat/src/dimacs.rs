@@ -63,8 +63,9 @@ pub fn parse(input: &str) -> Result<Cnf, DimacsError> {
             continue;
         }
         for tok in line.split_whitespace() {
-            let v: i64 =
-                tok.parse().map_err(|_| DimacsError::BadLiteral(tok.to_string()))?;
+            let v: i64 = tok
+                .parse()
+                .map_err(|_| DimacsError::BadLiteral(tok.to_string()))?;
             if v == 0 {
                 cnf.clauses.push(std::mem::take(&mut current));
                 continue;
@@ -138,10 +139,22 @@ mod tests {
 
     #[test]
     fn errors() {
-        assert!(matches!(parse("p sat 3 1\n1 0"), Err(DimacsError::BadHeader(_))));
-        assert!(matches!(parse("p cnf 1 1\n2 0\n"), Err(DimacsError::VariableOutOfRange(2))));
-        assert!(matches!(parse("p cnf 2 1\n1 -2\n"), Err(DimacsError::UnterminatedClause)));
-        assert!(matches!(parse("p cnf 2 1\nx 0\n"), Err(DimacsError::BadLiteral(_))));
+        assert!(matches!(
+            parse("p sat 3 1\n1 0"),
+            Err(DimacsError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse("p cnf 1 1\n2 0\n"),
+            Err(DimacsError::VariableOutOfRange(2))
+        ));
+        assert!(matches!(
+            parse("p cnf 2 1\n1 -2\n"),
+            Err(DimacsError::UnterminatedClause)
+        ));
+        assert!(matches!(
+            parse("p cnf 2 1\nx 0\n"),
+            Err(DimacsError::BadLiteral(_))
+        ));
     }
 
     #[test]

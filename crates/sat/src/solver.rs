@@ -293,7 +293,11 @@ impl Solver {
             confl = self.reason[pv].expect("non-decision literal has a reason");
         }
         let uip = p.expect("first UIP").negated();
-        let bt = learned.iter().map(|l| self.level[l.var() as usize]).max().unwrap_or(0);
+        let bt = learned
+            .iter()
+            .map(|l| self.level[l.var() as usize])
+            .max()
+            .unwrap_or(0);
         let mut clause = vec![uip];
         learned.sort_by_key(|l| std::cmp::Reverse(self.level[l.var() as usize]));
         clause.extend(learned);

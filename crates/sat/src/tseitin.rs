@@ -202,6 +202,10 @@ mod tests {
             e = e.and(BoolExpr::Var(i));
         }
         let cnf = to_cnf(&e);
-        assert!(cnf.clauses.len() < 100 * 4, "got {} clauses", cnf.clauses.len());
+        assert!(
+            cnf.clauses.len() < 100 * 4,
+            "got {} clauses",
+            cnf.clauses.len()
+        );
     }
 }

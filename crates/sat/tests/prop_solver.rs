@@ -1,58 +1,62 @@
-//! Differential property tests: the CDCL solver must agree with the DPLL
-//! oracle on random instances, and every SAT model must actually satisfy
-//! the formula.
+//! Differential seeded property tests: the CDCL solver must agree with the
+//! DPLL oracle on random instances, and every SAT model must actually
+//! satisfy the formula.
 
+use bvq_prng::{for_each_case, Rng};
 use bvq_sat::{dpll, solver, tseitin, BoolExpr, Cnf, Lit};
-use proptest::prelude::*;
 
-/// Random CNF: `nv` variables, clauses of length 1–4.
-fn arb_cnf(nv: u32, max_clauses: usize) -> impl Strategy<Value = Cnf> {
-    prop::collection::vec(
-        prop::collection::vec((0..nv, any::<bool>()), 1..=4),
-        0..=max_clauses,
-    )
-    .prop_map(move |clauses| {
-        let mut cnf = Cnf::new(nv as usize);
-        for cl in clauses {
-            cnf.add_clause(cl.into_iter().map(|(v, s)| Lit::new(v, s)));
-        }
-        cnf
-    })
+/// Random CNF: `nv` variables, up to `max_clauses` clauses of length 1–4.
+fn rand_cnf(rng: &mut Rng, nv: u32, max_clauses: usize) -> Cnf {
+    let mut cnf = Cnf::new(nv as usize);
+    for _ in 0..rng.gen_range(0..max_clauses + 1) {
+        let len = rng.gen_range(1..5usize);
+        cnf.add_clause((0..len).map(|_| Lit::new(rng.gen_range(0..nv), rng.gen_bool(0.5))));
+    }
+    cnf
 }
 
-fn arb_bool_expr(nv: u32, depth: u32) -> BoxedStrategy<BoolExpr> {
-    let leaf = prop_oneof![
-        (0..nv).prop_map(BoolExpr::Var),
-        any::<bool>().prop_map(BoolExpr::Const),
-    ];
-    leaf.prop_recursive(depth, 32, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(BoolExpr::not),
-            prop::collection::vec(inner.clone(), 0..3).prop_map(BoolExpr::And),
-            prop::collection::vec(inner, 0..3).prop_map(BoolExpr::Or),
-        ]
-    })
-    .boxed()
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn cdcl_agrees_with_dpll(cnf in arb_cnf(8, 30)) {
-        let cdcl = solver::solve(&cnf);
-        let oracle = dpll::solve(&cnf);
-        prop_assert_eq!(cdcl.is_sat(), oracle.is_sat());
-        if let Some(m) = cdcl.model() {
-            prop_assert!(cnf.eval(m), "CDCL returned a non-model");
+/// Random Boolean expression of bounded depth over `nv` variables.
+fn rand_bool_expr(rng: &mut Rng, nv: u32, depth: u32) -> BoolExpr {
+    if depth == 0 || rng.gen_ratio(1, 3) {
+        return if rng.gen_bool(0.7) {
+            BoolExpr::Var(rng.gen_range(0..nv))
+        } else {
+            BoolExpr::Const(rng.gen_bool(0.5))
+        };
+    }
+    match rng.gen_range(0..3u32) {
+        0 => rand_bool_expr(rng, nv, depth - 1).not(),
+        1 => {
+            let n = rng.gen_range(0..3usize);
+            BoolExpr::And((0..n).map(|_| rand_bool_expr(rng, nv, depth - 1)).collect())
         }
-        if let Some(m) = oracle.model() {
-            prop_assert!(cnf.eval(m), "DPLL returned a non-model");
+        _ => {
+            let n = rng.gen_range(0..3usize);
+            BoolExpr::Or((0..n).map(|_| rand_bool_expr(rng, nv, depth - 1)).collect())
         }
     }
+}
 
-    #[test]
-    fn tseitin_sat_iff_expr_satisfiable(e in arb_bool_expr(4, 4)) {
+#[test]
+fn cdcl_agrees_with_dpll() {
+    for_each_case(256, |_, rng| {
+        let cnf = rand_cnf(rng, 8, 30);
+        let cdcl = solver::solve(&cnf);
+        let oracle = dpll::solve(&cnf);
+        assert_eq!(cdcl.is_sat(), oracle.is_sat());
+        if let Some(m) = cdcl.model() {
+            assert!(cnf.eval(m), "CDCL returned a non-model");
+        }
+        if let Some(m) = oracle.model() {
+            assert!(cnf.eval(m), "DPLL returned a non-model");
+        }
+    });
+}
+
+#[test]
+fn tseitin_sat_iff_expr_satisfiable() {
+    for_each_case(256, |_, rng| {
+        let e = rand_bool_expr(rng, 4, 4);
         // Brute-force satisfiability of the expression.
         let n = e.num_vars();
         let brute = (0..(1u32 << n)).any(|bits| {
@@ -60,15 +64,18 @@ proptest! {
             e.eval(&a)
         });
         let cnf = tseitin::to_cnf(&e);
-        prop_assert_eq!(solver::solve(&cnf).is_sat(), brute);
-    }
+        assert_eq!(solver::solve(&cnf).is_sat(), brute);
+    });
+}
 
-    #[test]
-    fn model_restriction_satisfies_expr(e in arb_bool_expr(4, 4)) {
+#[test]
+fn model_restriction_satisfies_expr() {
+    for_each_case(256, |_, rng| {
+        let e = rand_bool_expr(rng, 4, 4);
         let cnf = tseitin::to_cnf(&e);
         if let Some(m) = solver::solve(&cnf).model() {
             // Model positions 0..e.num_vars() are the original variables.
-            prop_assert!(e.eval(m));
+            assert!(e.eval(m));
         }
-    }
+    });
 }

@@ -15,9 +15,8 @@
 //! intermediates at arity ≤ 4 — the paper's own numbers.
 
 use bvq_optimizer::{ConjunctiveQuery, CqTerm};
+use bvq_prng::Rng;
 use bvq_relation::{Database, Relation, Tuple};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Shape parameters for the employee database.
 #[derive(Clone, Copy, Debug)]
@@ -32,7 +31,11 @@ pub struct EmployeeConfig {
 
 impl Default for EmployeeConfig {
     fn default() -> Self {
-        EmployeeConfig { employees: 60, departments: 6, salary_levels: 10 }
+        EmployeeConfig {
+            employees: 60,
+            departments: 6,
+            salary_levels: 10,
+        }
     }
 }
 
@@ -40,7 +43,7 @@ impl Default for EmployeeConfig {
 /// `0..employees` are people, the next `departments` are departments, the
 /// next `salary_levels` are salary values.
 pub fn employee_database(cfg: EmployeeConfig, seed: u64) -> Database {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let ne = cfg.employees.max(2);
     let nd = cfg.departments.max(1);
     let ns = cfg.salary_levels.max(2);
@@ -121,11 +124,17 @@ pub fn employee_scy_query() -> ConjunctiveQuery {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bvq_optimizer::{eval_eliminated, eval_yannakakis, greedy_order, induced_width, is_acyclic};
+    use bvq_optimizer::{
+        eval_eliminated, eval_yannakakis, greedy_order, induced_width, is_acyclic,
+    };
 
     #[test]
     fn database_is_consistent() {
-        let cfg = EmployeeConfig { employees: 20, departments: 3, salary_levels: 5 };
+        let cfg = EmployeeConfig {
+            employees: 20,
+            departments: 3,
+            salary_levels: 5,
+        };
         let db = employee_database(cfg, 1);
         assert_eq!(db.relation_by_name("EMP").unwrap().len(), 20);
         assert_eq!(db.relation_by_name("SAL").unwrap().len(), 20);
@@ -139,14 +148,21 @@ mod tests {
         assert!(!is_acyclic(&q), "LESS closes a 6-cycle in the primal graph");
         let order = greedy_order(&q);
         let w = induced_width(&q, &order);
-        assert!(w + 1 <= 4, "the paper's bounded plan uses arity ≤ 4, got width {w}");
+        assert!(
+            w <= 3,
+            "the paper's bounded plan uses arity (width+1) ≤ 4, got width {w}"
+        );
         // The comparison-free core is acyclic.
         assert!(is_acyclic(&employee_scy_query()));
     }
 
     #[test]
     fn plans_agree() {
-        let cfg = EmployeeConfig { employees: 25, departments: 4, salary_levels: 6 };
+        let cfg = EmployeeConfig {
+            employees: 25,
+            departments: 4,
+            salary_levels: 6,
+        };
         let db = employee_database(cfg, 7);
         let q = employee_query();
         let (naive, ns) = q.eval_naive_plan(&db).unwrap();
@@ -156,15 +172,17 @@ mod tests {
         // The paper's contrast: naive reaches arity 6 (all variables),
         // elimination stays ≤ 4.
         assert_eq!(ns.max_arity, 6);
-        assert!(es.max_arity <= 4, "bounded plan exceeded arity 4: {}", es.max_arity);
+        assert!(
+            es.max_arity <= 4,
+            "bounded plan exceeded arity 4: {}",
+            es.max_arity
+        );
         // Yannakakis on the acyclic core, LESS applied as a post-filter,
         // agrees too.
         let core = employee_scy_query();
         let (yann, _) = eval_yannakakis(&core, &db).unwrap();
         let less = db.relation_by_name("LESS").unwrap();
-        let filtered = yann
-            .semijoin(less, &[(1, 0), (2, 1)])
-            .project(&[0]);
+        let filtered = yann.semijoin(less, &[(1, 0), (2, 1)]).project(&[0]);
         assert_eq!(naive.sorted(), filtered.sorted());
     }
 
@@ -175,6 +193,9 @@ mod tests {
         // this stable).
         let db = employee_database(EmployeeConfig::default(), 3);
         let (ans, _) = employee_query().eval_naive_plan(&db).unwrap();
-        assert!(!ans.is_empty(), "seed 3 should produce at least one underpaid employee");
+        assert!(
+            !ans.is_empty(),
+            "seed 3 should produce at least one underpaid employee"
+        );
     }
 }

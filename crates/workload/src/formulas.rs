@@ -1,25 +1,24 @@
 //! Seeded random formula generators for the benchmark sweeps.
 //!
-//! Unlike the proptest strategies used in tests, these produce formulas of
+//! Unlike the seeded generators used in tests, these produce formulas of
 //! a *controlled size* from a `u64` seed, so benchmark points are
 //! comparable across runs.
 
 use bvq_logic::{Formula, Term, Var};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bvq_prng::Rng;
 
 /// A random `FO^k` formula over `E/2` and `P/1` with roughly `size`
 /// connective nodes. All variables are among `x₁,…,x_k`.
 pub fn random_fo(k: usize, size: usize, seed: u64) -> Formula {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     grow_fo(k, size, &mut rng)
 }
 
-fn rand_var(k: usize, rng: &mut StdRng) -> Term {
+fn rand_var(k: usize, rng: &mut Rng) -> Term {
     Term::Var(Var(rng.gen_range(0..k as u32)))
 }
 
-fn leaf(k: usize, rng: &mut StdRng) -> Formula {
+fn leaf(k: usize, rng: &mut Rng) -> Formula {
     match rng.gen_range(0..4) {
         0 => Formula::atom("P", [rand_var(k, rng)]),
         1 | 2 => Formula::atom("E", [rand_var(k, rng), rand_var(k, rng)]),
@@ -27,7 +26,7 @@ fn leaf(k: usize, rng: &mut StdRng) -> Formula {
     }
 }
 
-fn grow_fo(k: usize, size: usize, rng: &mut StdRng) -> Formula {
+fn grow_fo(k: usize, size: usize, rng: &mut Rng) -> Formula {
     if size <= 1 {
         return leaf(k, rng);
     }
@@ -50,7 +49,7 @@ fn grow_fo(k: usize, size: usize, rng: &mut StdRng) -> Formula {
 /// fixpoints (recursion variable occurring positively), `fixpoints` of
 /// them, nested.
 pub fn random_fp(k: usize, size: usize, fixpoints: usize, seed: u64) -> Formula {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut f = grow_fo(k, size, &mut rng);
     for i in 0..fixpoints {
         let name = format!("S{i}");
@@ -75,9 +74,7 @@ pub fn random_fp(k: usize, size: usize, fixpoints: usize, seed: u64) -> Formula 
 /// exhibition of the Table-1 exponential combined complexity.
 pub fn cross_product_family(m: usize) -> Formula {
     assert!(m >= 1);
-    let conj = Formula::and_all(
-        (0..m as u32).map(|i| Formula::atom("P", [Term::Var(Var(i))])),
-    );
+    let conj = Formula::and_all((0..m as u32).map(|i| Formula::atom("P", [Term::Var(Var(i))])));
     let mut f = conj;
     for i in (1..m as u32).rev() {
         f = f.exists(Var(i));

@@ -1,8 +1,7 @@
 //! Random and structured graph databases.
 
+use bvq_prng::Rng;
 use bvq_relation::{Database, Relation, Tuple};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Graph families used by the benchmarks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -22,7 +21,7 @@ pub enum GraphKind {
 /// Generates a graph of the given kind as an edge relation.
 pub fn edges(kind: GraphKind, n: usize, seed: u64) -> Relation {
     let mut rel = Relation::new(2);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     match kind {
         GraphKind::Path => {
             for i in 0..n.saturating_sub(1) {
@@ -76,12 +75,15 @@ pub fn edges(kind: GraphKind, n: usize, seed: u64) -> Relation {
 /// (each node labelled with probability 1/3).
 pub fn graph_db(kind: GraphKind, n: usize, seed: u64) -> Database {
     let e = edges(kind, n, seed);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     let p = Relation::from_tuples(
         1,
         (0..n as u32).filter(|_| rng.gen_ratio(1, 3)).map(|i| [i]),
     );
-    Database::builder(n).relation_from("E", e).relation_from("P", p).build()
+    Database::builder(n)
+        .relation_from("E", e)
+        .relation_from("P", p)
+        .build()
 }
 
 #[cfg(test)]

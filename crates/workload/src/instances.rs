@@ -1,18 +1,19 @@
 //! Random Path Systems, CNF, and QBF instances.
 
+use bvq_prng::Rng;
 use bvq_reductions::PathSystem;
 use bvq_sat::{BoolExpr, Cnf, Lit, Qbf, Quantifier};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A random Path Systems instance: `n` elements, `rules` random ternary
 /// implications, `axioms` axioms, one target.
 pub fn random_path_system(n: usize, rules: usize, axioms: usize, seed: u64) -> PathSystem {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let rnd = |rng: &mut StdRng| rng.gen_range(0..n as u32);
+    let mut rng = Rng::seed_from_u64(seed);
+    let rnd = |rng: &mut Rng| rng.gen_range(0..n as u32);
     PathSystem {
         n,
-        q: (0..rules).map(|_| (rnd(&mut rng), rnd(&mut rng), rnd(&mut rng))).collect(),
+        q: (0..rules)
+            .map(|_| (rnd(&mut rng), rnd(&mut rng), rnd(&mut rng)))
+            .collect(),
         s: (0..axioms.max(1)).map(|_| rnd(&mut rng)).collect(),
         t: vec![rnd(&mut rng)],
     }
@@ -20,7 +21,7 @@ pub fn random_path_system(n: usize, rules: usize, axioms: usize, seed: u64) -> P
 
 /// A random 3-CNF with the given clause/variable ratio characteristics.
 pub fn random_3cnf(vars: usize, clauses: usize, seed: u64) -> Cnf {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut cnf = Cnf::new(vars);
     for _ in 0..clauses {
         let mut clause = Vec::with_capacity(3);
@@ -36,15 +37,21 @@ pub fn random_3cnf(vars: usize, clauses: usize, seed: u64) -> Cnf {
 /// A random QBF: alternating `∀∃∀∃…` prefix over `vars` variables, with a
 /// random small matrix.
 pub fn random_qbf(vars: usize, matrix_size: usize, seed: u64) -> Qbf {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let prefix: Vec<Quantifier> = (0..vars)
-        .map(|i| if i % 2 == 0 { Quantifier::Forall } else { Quantifier::Exists })
+        .map(|i| {
+            if i % 2 == 0 {
+                Quantifier::Forall
+            } else {
+                Quantifier::Exists
+            }
+        })
         .collect();
     let matrix = random_matrix(vars as u32, matrix_size, &mut rng);
     Qbf::new(prefix, matrix)
 }
 
-fn random_matrix(nv: u32, size: usize, rng: &mut StdRng) -> BoolExpr {
+fn random_matrix(nv: u32, size: usize, rng: &mut Rng) -> BoolExpr {
     if size <= 1 || nv == 0 {
         return if nv == 0 {
             BoolExpr::Const(rng.gen_bool(0.5))
@@ -77,7 +84,10 @@ mod tests {
         assert_eq!(ps.n, 10);
         assert_eq!(ps.q.len(), 15);
         assert_eq!(ps.s.len(), 2);
-        assert!(ps.q.iter().all(|&(x, y, z)| (x as usize) < 10 && (y as usize) < 10 && (z as usize) < 10));
+        assert!(ps
+            .q
+            .iter()
+            .all(|&(x, y, z)| (x as usize) < 10 && (y as usize) < 10 && (z as usize) < 10));
     }
 
     #[test]

@@ -2,15 +2,14 @@
 //! parametric mutual-exclusion protocol.
 
 use bvq_mucalc::Kripke;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bvq_prng::Rng;
 
 /// A random Kripke structure: `n` states, expected out-degree `deg`,
 /// propositions `p` and `q` each labelling states with probability 1/3.
 /// Every state gets at least one successor (no accidental deadlocks), so
 /// liveness formulas behave uniformly.
 pub fn random_kripke(n: usize, deg: u32, seed: u64) -> Kripke {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut k = Kripke::new(n);
     k.add_prop("p");
     k.add_prop("q");
@@ -87,7 +86,10 @@ mod tests {
         let k = random_kripke(12, 2, 5);
         assert_eq!(k.num_states(), 12);
         for s in 0..12 {
-            assert!(!k.successors(s as u32).is_empty(), "state {s} has no successor");
+            assert!(
+                !k.successors(s as u32).is_empty(),
+                "state {s} has no successor"
+            );
         }
     }
 

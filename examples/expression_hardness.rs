@@ -37,8 +37,14 @@ fn main() {
     println!("\nTheorem 4.6 — QBF → PFP² over B₀ = ({{0,1}}, P = {{0}}):");
     let m = BoolExpr::Var(0).iff(BoolExpr::Var(1));
     for (prefix, desc) in [
-        (vec![Quantifier::Forall, Quantifier::Exists], "∀y1 ∃y2 (y1 ↔ y2)"),
-        (vec![Quantifier::Exists, Quantifier::Forall], "∃y1 ∀y2 (y1 ↔ y2)"),
+        (
+            vec![Quantifier::Forall, Quantifier::Exists],
+            "∀y1 ∃y2 (y1 ↔ y2)",
+        ),
+        (
+            vec![Quantifier::Exists, Quantifier::Forall],
+            "∃y1 ∀y2 (y1 ↔ y2)",
+        ),
     ] {
         let q = Qbf::new(prefix, m.clone());
         let query = to_pfp_query(&q);
@@ -64,9 +70,7 @@ fn main() {
     };
     let db = ps.to_database();
     let query = ps.to_fo3_query();
-    println!(
-        "  instance: axioms {{0,1}}, rules 0∧1→2, 2∧0→3, 3∧2→4, target 4"
-    );
+    println!("  instance: axioms {{0,1}}, rules 0∧1→2, 2∧0→3, 3∧2→4, target 4");
     println!(
         "  ψ_m size: {} nodes, width {} (stays in FO³ for any instance size)",
         query.formula.size(),

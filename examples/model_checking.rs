@@ -21,12 +21,21 @@ fn main() {
         k.num_transitions()
     );
     let db = k.to_database();
-    println!("as a database: {} unary relations + binary E", db.schema().len() - 1);
+    println!(
+        "as a database: {} unary relations + binary E",
+        db.schema().len() - 1
+    );
 
     let properties = [
-        ("safety: never both critical (AG ¬(c0∧c1))", "nu Z. (!(c0 & c1) & []Z)"),
+        (
+            "safety: never both critical (AG ¬(c0∧c1))",
+            "nu Z. (!(c0 & c1) & []Z)",
+        ),
         ("possibility: P0 can enter (EF c0)", "mu Z. (c0 | <>Z)"),
-        ("inevitability: P0 must enter (AF c0)", "mu Z. (c0 | (<>true & []Z))"),
+        (
+            "inevitability: P0 must enter (AF c0)",
+            "mu Z. (c0 | (<>true & []Z))",
+        ),
         (
             "reactivity: trying P0 can still enter (AG(t0 → EF c0))",
             "nu Z. ((t0 -> mu Y. (c0 | <>Y)) & []Z)",
@@ -47,7 +56,11 @@ fn main() {
         let q = Query::new(vec![bvq_logic::Var(0)], fp2);
         let (rel, _) = FpEvaluator::new(&db, 2).eval_query(&q).unwrap();
         let via_fp: Vec<usize> = rel.sorted().iter().map(|t| t[0] as usize).collect();
-        assert_eq!(direct.iter().collect::<Vec<_>>(), via_fp, "translation disagrees!");
+        assert_eq!(
+            direct.iter().collect::<Vec<_>>(),
+            via_fp,
+            "translation disagrees!"
+        );
         // 3. Certified decision at the initial state.
         let checker = CertifiedChecker::new(&db, 2);
         let (member, cert_size, _) = checker.decide(&q, &[0]).unwrap();

@@ -11,15 +11,17 @@
 //!
 //! Run with `cargo run --release -p bvq-bench --example query_optimization`.
 
-use bvq_optimizer::{
-    eval_eliminated, eval_yannakakis, greedy_order, induced_width, is_acyclic,
-};
+use bvq_optimizer::{eval_eliminated, eval_yannakakis, greedy_order, induced_width, is_acyclic};
 use bvq_workload::employee::{
     employee_database, employee_query, employee_scy_query, EmployeeConfig,
 };
 
 fn main() {
-    let cfg = EmployeeConfig { employees: 12, departments: 2, salary_levels: 4 };
+    let cfg = EmployeeConfig {
+        employees: 12,
+        departments: 2,
+        salary_levels: 4,
+    };
     let db = employee_database(cfg, 42);
     let q = employee_query();
 
@@ -27,7 +29,10 @@ fn main() {
     println!("acyclic: {} (LESS closes a cycle)", is_acyclic(&q));
     let order = greedy_order(&q);
     let width = induced_width(&q, &order);
-    println!("greedy elimination order: {order:?}, induced width {width} ⇒ k = {}", width + 1);
+    println!(
+        "greedy elimination order: {order:?}, induced width {width} ⇒ k = {}",
+        width + 1
+    );
 
     let (r1, s1) = q.eval_cross_product_plan(&db).unwrap();
     println!(
@@ -69,6 +74,9 @@ fn main() {
     println!("\nall four plans agree; the arity column is the paper's whole argument.");
     println!(
         "underpaid employees: {:?}",
-        r1.sorted().iter().map(|t| db.label(t[0])).collect::<Vec<_>>()
+        r1.sorted()
+            .iter()
+            .map(|t| db.label(t[0]))
+            .collect::<Vec<_>>()
     );
 }

@@ -15,13 +15,20 @@ fn main() {
         .relation("E", 2, [[0u32, 1], [1, 2], [2, 3], [3, 4], [1, 3]])
         .relation("P", 1, [[2u32], [4]])
         .build();
-    println!("database: n = {}, |E| = {}", db.domain_size(), db.relation_by_name("E").unwrap().len());
+    println!(
+        "database: n = {}, |E| = {}",
+        db.domain_size(),
+        db.relation_by_name("E").unwrap().len()
+    );
 
     // FO³: "x1 reaches x2 in exactly two steps".
     let q = parse_query("(x1,x2) exists x3. (E(x1,x3) & E(x3,x2))").unwrap();
     let (two_step, stats) = BoundedEvaluator::new(&db, 3).eval_query(&q).unwrap();
     println!("\nFO³  two-step pairs: {:?}", two_step.sorted());
-    println!("     intermediates never exceeded arity {} (k = 3)", stats.max_arity);
+    println!(
+        "     intermediates never exceeded arity {} (k = 3)",
+        stats.max_arity
+    );
 
     // The paper's §2.2 example: a path of length 4 using only 3 variables.
     let q = Query::new(vec![Var(0), Var(1)], patterns::path_bounded(4));
@@ -29,8 +36,7 @@ fn main() {
     println!("\nFO³  length-4 paths: {:?}", paths.sorted());
 
     // FP²: everything reachable from node 0.
-    let q = parse_query("(x1) [lfp S(x1). (x1 = 0 | exists x2. (S(x2) & E(x2,x1)))](x1)")
-        .unwrap();
+    let q = parse_query("(x1) [lfp S(x1). (x1 = 0 | exists x2. (S(x2) & E(x2,x1)))](x1)").unwrap();
     let (reach, stats) = FpEvaluator::new(&db, 2).eval_query(&q).unwrap();
     println!("\nFP²  reachable from 0: {:?}", reach.sorted());
     println!("     fixpoint iterations: {}", stats.fixpoint_iterations);
@@ -59,7 +65,10 @@ fn main() {
     // PFP¹: a divergent iteration denotes the empty relation.
     let q = Query::new(vec![Var(0)], patterns::pfp_parity_flip());
     let (flip, _) = PfpEvaluator::new(&db, 1).eval_query(&q).unwrap();
-    println!("\nPFP¹ divergent flip query: {} tuples (divergence ⇒ ∅)", flip.len());
+    println!(
+        "\nPFP¹ divergent flip query: {} tuples (divergence ⇒ ∅)",
+        flip.len()
+    );
 
     // Variable minimization, automated: the naive width-(n+1) path formula
     // is rewritten to width ≤ 3 mechanically.

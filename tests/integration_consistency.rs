@@ -96,11 +96,13 @@ fn lemma_3_6_transform_end_to_end() {
 #[test]
 fn naive_vs_bounded_gap_is_measurable() {
     // Not a timing assertion (CI-safe): compare materialised tuple counts.
-    let db = graph_db(GraphKind::DensePercent(30), 12, 5);
+    let db = graph_db(GraphKind::DensePercent(30), 12, 6);
     let naive_q = Query::new(vec![Var(0), Var(1)], patterns::path_naive(5));
     let bounded_q = Query::new(vec![Var(0), Var(1)], patterns::path_bounded(5));
     let (a1, s1) = NaiveEvaluator::new(&db).eval_query(&naive_q).unwrap();
-    let (a2, s2) = BoundedEvaluator::new(&db, 3).eval_query(&bounded_q).unwrap();
+    let (a2, s2) = BoundedEvaluator::new(&db, 3)
+        .eval_query(&bounded_q)
+        .unwrap();
     assert_eq!(a1.sorted(), a2.sorted());
     assert!(
         s1.max_cardinality > 4 * s2.max_cardinality,

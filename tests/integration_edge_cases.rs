@@ -2,10 +2,10 @@
 //! operators, and the degenerate corners every module must agree on.
 
 use bvq_core::{
-    fo_k_equivalent, BoundedEvaluator, CertifiedChecker, FpEvaluator, NaiveEvaluator,
-    PfpEvaluator, TraceChecker,
+    fo_k_equivalent, BoundedEvaluator, CertifiedChecker, FpEvaluator, NaiveEvaluator, PfpEvaluator,
+    TraceChecker,
 };
-use bvq_logic::parser::{parse_query, parse};
+use bvq_logic::parser::{parse, parse_query};
 use bvq_logic::{Formula, Query, Term, Var};
 use bvq_relation::{Database, Relation};
 
@@ -24,8 +24,7 @@ fn singleton_domain() {
         assert!(result.as_boolean());
     }
     // Reachability on the self-loop.
-    let r = parse_query("(x1) [lfp S(x1). (x1 = 0 | exists x2. (S(x2) & E(x2,x1)))](x1)")
-        .unwrap();
+    let r = parse_query("(x1) [lfp S(x1). (x1 = 0 | exists x2. (S(x2) & E(x2,x1)))](x1)").unwrap();
     assert_eq!(FpEvaluator::new(&db, 2).eval_query(&r).unwrap().0.len(), 1);
 }
 
@@ -38,11 +37,23 @@ fn empty_relations_everywhere() {
     // ∃ over an empty relation is false; ∀ is vacuously true.
     let q1 = parse_query("() exists x1. exists x2. E(x1,x2)").unwrap();
     let q2 = parse_query("() forall x1. forall x2. ~E(x1,x2)").unwrap();
-    assert!(!BoundedEvaluator::new(&db, 2).eval_query(&q1).unwrap().0.as_boolean());
-    assert!(BoundedEvaluator::new(&db, 2).eval_query(&q2).unwrap().0.as_boolean());
+    assert!(!BoundedEvaluator::new(&db, 2)
+        .eval_query(&q1)
+        .unwrap()
+        .0
+        .as_boolean());
+    assert!(BoundedEvaluator::new(&db, 2)
+        .eval_query(&q2)
+        .unwrap()
+        .0
+        .as_boolean());
     // gfp over an empty edge relation is empty.
     let g = parse_query("(x1) [gfp S(x1). exists x2. (E(x1,x2) & S(x2))](x1)").unwrap();
-    assert!(FpEvaluator::new(&db, 2).eval_query(&g).unwrap().0.is_empty());
+    assert!(FpEvaluator::new(&db, 2)
+        .eval_query(&g)
+        .unwrap()
+        .0
+        .is_empty());
 }
 
 #[test]
@@ -82,7 +93,9 @@ fn deep_fixpoint_nesting_stays_consistent() {
         let (out, _) = trace.verify(&q, &cert, &[t]).unwrap();
         assert_eq!(
             out,
-            bvq_core::VerifyOutcome::Valid { member: el.contains(&[t]) },
+            bvq_core::VerifyOutcome::Valid {
+                member: el.contains(&[t])
+            },
             "trace cert, t={t}"
         );
     }
@@ -91,10 +104,8 @@ fn deep_fixpoint_nesting_stays_consistent() {
 #[test]
 fn minimize_width_on_hand_written_wide_formulas() {
     // A hand-written formula with gratuitous distinct variables.
-    let f = parse(
-        "exists x4. exists x5. exists x6. ((E(x1,x4) & P(x4)) & (E(x5,x6) & P(x6)))",
-    )
-    .unwrap();
+    let f = parse("exists x4. exists x5. exists x6. ((E(x1,x4) & P(x4)) & (E(x5,x6) & P(x6)))")
+        .unwrap();
     let slim = f.minimize_width().unwrap();
     assert!(slim.width() <= 3, "width {}", slim.width());
     let db = Database::builder(5)
@@ -117,13 +128,19 @@ fn minimize_width_on_hand_written_wide_formulas() {
 fn pfp_with_nested_lfp_composes() {
     // PFP whose body contains an LFP: the engine recomputes the inner lfp
     // per PFP step.
-    let db = Database::builder(4).relation("E", 2, [[0u32, 1], [1, 2], [2, 3]]).build();
+    let db = Database::builder(4)
+        .relation("E", 2, [[0u32, 1], [1, 2], [2, 3]])
+        .build();
     let q = parse_query(
         "(x1) [pfp T(x1). (T(x1) | [lfp S(x1). (x1 = 0 | exists x2. (S(x2) & E(x2,x1)))](x1))](x1)",
     )
     .unwrap();
     let (r, _) = PfpEvaluator::new(&db, 2).eval_query(&q).unwrap();
-    assert_eq!(r.len(), 4, "inflationary wrapper of reachability = reachability");
+    assert_eq!(
+        r.len(),
+        4,
+        "inflationary wrapper of reachability = reachability"
+    );
 }
 
 #[test]
@@ -149,7 +166,9 @@ fn pebble_game_matches_evaluator_on_labelled_paths() {
 
 #[test]
 fn query_output_permutations_and_repeats() {
-    let db = Database::builder(3).relation("E", 2, [[0u32, 1], [1, 2]]).build();
+    let db = Database::builder(3)
+        .relation("E", 2, [[0u32, 1], [1, 2]])
+        .build();
     // Outputs (x2, x1): transposed edge relation.
     let q = parse_query("(x2,x1) E(x1,x2)").unwrap();
     let (r, _) = BoundedEvaluator::new(&db, 2).eval_query(&q).unwrap();

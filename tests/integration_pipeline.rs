@@ -37,8 +37,7 @@ fn four_languages_one_database() {
     );
 
     // FP²: nodes reaching node 3.
-    let fp = parse_query("(x1) [lfp S(x1). (x1 = 3 | exists x2. (E(x1,x2) & S(x2)))](x1)")
-        .unwrap();
+    let fp = parse_query("(x1) [lfp S(x1). (x1 = 3 | exists x2. (E(x1,x2) & S(x2)))](x1)").unwrap();
     let (fp_ans, _) = FpEvaluator::new(&db, 2).eval_query(&fp).unwrap();
     assert_eq!(
         fp_ans.sorted().iter().map(|t| t[0]).collect::<Vec<_>>(),
@@ -55,10 +54,8 @@ fn four_languages_one_database() {
     assert!(!EsoEvaluator::new(&db, 2).check(&eso, &[], &[]).unwrap());
 
     // PFP²: same reachability through a partial fixpoint.
-    let pfp = parse_query(
-        "(x1) [pfp S(x1). (S(x1) | x1 = 3 | exists x2. (E(x1,x2) & S(x2)))](x1)",
-    )
-    .unwrap();
+    let pfp = parse_query("(x1) [pfp S(x1). (S(x1) | x1 = 3 | exists x2. (E(x1,x2) & S(x2)))](x1)")
+        .unwrap();
     let (pfp_ans, _) = PfpEvaluator::new(&db, 2).eval_query(&pfp).unwrap();
     assert_eq!(pfp_ans.sorted(), fp_ans.sorted());
 
@@ -79,7 +76,10 @@ fn mucalc_fp2_certificates_roundtrip() {
     let (rel, _) = FpEvaluator::new(&db, 2).eval_query(&q).unwrap();
     assert_eq!(
         direct.iter().collect::<Vec<_>>(),
-        rel.sorted().iter().map(|t| t[0] as usize).collect::<Vec<_>>()
+        rel.sorted()
+            .iter()
+            .map(|t| t[0] as usize)
+            .collect::<Vec<_>>()
     );
     let checker = CertifiedChecker::new(&db, 2);
     for s in 0..7u32 {
@@ -93,9 +93,11 @@ fn datalog_translation_agrees_with_fp_engine() {
     use AtomTerm::Var as V;
     let db = shared_db();
     // Reachability to P-nodes: Good(x) :- P(x); Good(x) :- E(x,y), Good(y).
-    let prog = Program::new()
-        .rule("Good", &[0], &[("P", &[V(0)])])
-        .rule("Good", &[0], &[("E", &[V(0), V(1)]), ("Good", &[V(1)])]);
+    let prog = Program::new().rule("Good", &[0], &[("P", &[V(0)])]).rule(
+        "Good",
+        &[0],
+        &[("E", &[V(0), V(1)]), ("Good", &[V(1)])],
+    );
     let datalog = eval_seminaive(&prog, &db).unwrap();
     let f = to_fp_formula(&prog).unwrap();
     assert!(f.width() <= 2);
@@ -122,6 +124,8 @@ fn cq_plans_and_fo_evaluator_agree() {
     assert_eq!(naive.sorted(), elim.sorted());
     // And via the FO evaluator on the CQ's formula form.
     let q = cq.to_fo_query();
-    let (fo, _) = BoundedEvaluator::new(&db, q.formula.width()).eval_query(&q).unwrap();
+    let (fo, _) = BoundedEvaluator::new(&db, q.formula.width())
+        .eval_query(&q)
+        .unwrap();
     assert_eq!(naive.sorted(), fo.sorted());
 }

@@ -17,7 +17,9 @@ fn path_systems_reduction_on_random_instances() {
         let expected = ps.solve_direct();
         // Datalog route.
         let out = eval_seminaive(&ps.to_datalog(), &db).unwrap();
-        let datalog = ps.t.iter().any(|&t| out.get("Reach").unwrap().contains(&[t]));
+        let datalog =
+            ps.t.iter()
+                .any(|&t| out.get("Reach").unwrap().contains(&[t]));
         assert_eq!(datalog, expected, "datalog disagrees on seed {seed}");
         // FO³ route (Proposition 3.2).
         let q = ps.to_fo3_query();
@@ -34,7 +36,11 @@ fn sat_to_eso_on_random_instances() {
     for seed in 0..15 {
         let cnf = random_3cnf(6, 14 + (seed as usize % 12), seed);
         let expected = solver::solve(&cnf).is_sat();
-        assert_eq!(dpll::solve(&cnf).is_sat(), expected, "solvers disagree, seed {seed}");
+        assert_eq!(
+            dpll::solve(&cnf).is_sat(),
+            expected,
+            "solvers disagree, seed {seed}"
+        );
         let eso = to_eso_sentence(&cnf);
         let got = EsoEvaluator::new(&db, 1).check(&eso, &[], &[]).unwrap();
         assert_eq!(got, expected, "ESO reduction disagrees on seed {seed}");
@@ -50,7 +56,11 @@ fn qbf_to_pfp_on_random_instances() {
         let query = to_pfp_query(&instance);
         assert!(query.formula.width() <= 2, "reduction must stay in PFP²");
         let (ans, _) = PfpEvaluator::new(&db, 2).eval_query(&query).unwrap();
-        assert_eq!(ans.as_boolean(), expected, "PFP reduction disagrees on seed {seed}");
+        assert_eq!(
+            ans.as_boolean(),
+            expected,
+            "PFP reduction disagrees on seed {seed}"
+        );
     }
 }
 
