@@ -18,7 +18,24 @@ use bvq_workload::instances::random_path_system;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
+/// `" (overhead-only)"` for multi-thread rows on a single-core host,
+/// where extra threads can only add scheduling cost, never speedup.
+fn overhead_tag(threads: usize, cores: usize) -> &'static str {
+    if cores == 1 && threads > 1 {
+        " (overhead-only)"
+    } else {
+        ""
+    }
+}
+
 fn bench(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("ablation_parallel: detected cores = {cores}");
+    if cores == 1 {
+        println!("single-core host: rows with t > 1 measure thread overhead, not speedup");
+    }
     let mut g = c.benchmark_group("ablation_parallel");
     g.sample_size(10);
 
@@ -30,7 +47,7 @@ fn bench(c: &mut Criterion) {
         for t in THREADS {
             let cfg = EvalConfig::with_threads(t);
             g.bench_with_input(
-                BenchmarkId::new(format!("fp2_reach_t{t}"), n),
+                BenchmarkId::new(format!("fp2_reach_t{t}{}", overhead_tag(t, cores)), n),
                 &n,
                 |b, _| {
                     b.iter(|| {
@@ -53,17 +70,21 @@ fn bench(c: &mut Criterion) {
         let q = Query::new(vec![Var(0), Var(1)], patterns::path_bounded(12));
         for t in THREADS {
             let cfg = EvalConfig::with_threads(t);
-            g.bench_with_input(BenchmarkId::new(format!("fo3_path_t{t}"), n), &n, |b, _| {
-                b.iter(|| {
-                    BoundedEvaluator::new(&db, 3)
-                        .with_config(cfg)
-                        .without_stats()
-                        .eval_query(&q)
-                        .unwrap()
-                        .0
-                        .len()
-                })
-            });
+            g.bench_with_input(
+                BenchmarkId::new(format!("fo3_path_t{t}{}", overhead_tag(t, cores)), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        BoundedEvaluator::new(&db, 3)
+                            .with_config(cfg)
+                            .without_stats()
+                            .eval_query(&q)
+                            .unwrap()
+                            .0
+                            .len()
+                    })
+                },
+            );
         }
     }
 
@@ -75,7 +96,10 @@ fn bench(c: &mut Criterion) {
         for t in THREADS {
             let cfg = EvalConfig::with_threads(t);
             g.bench_with_input(
-                BenchmarkId::new(format!("datalog_seminaive_t{t}"), n),
+                BenchmarkId::new(
+                    format!("datalog_seminaive_t{t}{}", overhead_tag(t, cores)),
+                    n,
+                ),
                 &n,
                 |b, _| b.iter(|| eval_seminaive_with(&prog, &db, &cfg).unwrap().idb.len()),
             );

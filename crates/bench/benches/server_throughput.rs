@@ -1,0 +1,143 @@
+//! Server microbench: repeated-query throughput (warm plan+result
+//! caches vs the cold cache-disabled path), concurrent clients over
+//! loopback, and bounded-queue load shedding under a burst.
+//!
+//! The warm/cold comparison pins `workers = 1` so the measured ratio is
+//! pure cache effect, not parallelism. Acceptance target: warm ≥ 2×
+//! cold on the repeated FP² reachability query.
+//!
+//! Run with `cargo bench -p bvq-bench --bench server_throughput`.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use bvq_server::{Client, Json, Server, ServerConfig, ServerHandle};
+use bvq_workload::graphs::{graph_db, GraphKind};
+
+const FP_REACH: &str = "(x1) [lfp S(x1). (x1 = 0 | exists x2. (S(x2) & E(x2,x1)))](x1)";
+const FO_NEIGHBOUR: &str = "(x1) exists x2. (E(x1,x2) & E(x2,x1))";
+
+fn start(workers: usize, queue: usize, caches: usize, debug_ops: bool) -> ServerHandle {
+    let handle = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_capacity: queue,
+        plan_cache_capacity: caches,
+        result_cache_capacity: caches,
+        default_deadline_ms: None,
+        debug_ops,
+    })
+    .expect("bind loopback");
+    handle.load_db("g", graph_db(GraphKind::Sparse(3), 200, 17));
+    handle
+}
+
+/// Runs `query` `reps` times on one connection; returns queries/sec.
+fn qps(addr: SocketAddr, query: &str, reps: usize) -> f64 {
+    let mut c = Client::connect(addr).expect("connect");
+    // One untimed request so the timed loop measures steady state.
+    let warmup = c.eval("g", query).expect("warmup");
+    assert!(Client::is_ok(&warmup), "warmup failed: {warmup}");
+    let start = Instant::now();
+    for _ in 0..reps {
+        let resp = c.eval("g", query).expect("eval");
+        assert!(Client::is_ok(&resp), "eval failed: {resp}");
+    }
+    reps as f64 / start.elapsed().as_secs_f64()
+}
+
+fn warm_vs_cold() {
+    println!("-- repeated-query throughput, workers = 1 --");
+    let reps = 200;
+    let mut warm_srv = start(1, 64, 256, false);
+    let warm = qps(warm_srv.addr(), FP_REACH, reps);
+    warm_srv.shutdown();
+    let mut cold_srv = start(1, 64, 0, false);
+    let cold = qps(cold_srv.addr(), FP_REACH, reps);
+    cold_srv.shutdown();
+    let ratio = warm / cold;
+    println!("  warm (caches on):  {warm:>9.0} req/s");
+    println!("  cold (caches off): {cold:>9.0} req/s");
+    println!(
+        "  warm/cold ratio:   {ratio:>9.2}x  (target >= 2x) {}",
+        if ratio >= 2.0 { "ok" } else { "BELOW TARGET" }
+    );
+}
+
+fn concurrent_clients() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("-- concurrent clients over loopback ({cores} cores) --");
+    let handle = start(cores.clamp(1, 8), 64, 256, false);
+    let addr = handle.addr();
+    for clients in [1usize, 4, 8] {
+        let reps = 100;
+        let start_t = Instant::now();
+        std::thread::scope(|s| {
+            for i in 0..clients {
+                s.spawn(move || {
+                    let query = if i % 2 == 0 { FP_REACH } else { FO_NEIGHBOUR };
+                    let mut c = Client::connect(addr).expect("connect");
+                    for _ in 0..reps {
+                        let resp = c.eval("g", query).expect("eval");
+                        assert!(Client::is_ok(&resp), "eval failed: {resp}");
+                    }
+                });
+            }
+        });
+        let total = (clients * reps) as f64 / start_t.elapsed().as_secs_f64();
+        println!("  {clients} clients: {total:>9.0} req/s aggregate");
+    }
+    drop(handle);
+}
+
+fn burst_shedding() {
+    println!("-- bounded-queue load shedding --");
+    let queue = 4;
+    let handle = start(1, queue, 256, true);
+    let addr = handle.addr();
+    // Occupy the single worker so the queue can only drain slowly…
+    let mut sleeper = Client::connect(addr).expect("connect");
+    sleeper
+        .send(Client::request(
+            "debug_sleep",
+            vec![("millis", Json::num(500))],
+        ))
+        .expect("send sleep");
+    std::thread::sleep(Duration::from_millis(50));
+    // …then burst 10× the queue capacity at it.
+    let burst = 10 * queue;
+    let mut clients: Vec<Client> = (0..burst)
+        .map(|_| Client::connect(addr).expect("connect"))
+        .collect();
+    for c in &mut clients {
+        c.send(Client::request(
+            "eval",
+            vec![("db", Json::str("g")), ("query", Json::str(FO_NEIGHBOUR))],
+        ))
+        .expect("send eval");
+    }
+    let mut shed = 0;
+    let mut served = 0;
+    for c in &mut clients {
+        let resp = c.recv().expect("recv");
+        match Client::error_code(&resp) {
+            Some("overloaded") => shed += 1,
+            None if Client::is_ok(&resp) => served += 1,
+            other => panic!("unexpected burst response {other:?}: {resp}"),
+        }
+    }
+    assert!(sleeper.recv().is_ok(), "sleeper reply lost");
+    println!(
+        "  burst {burst} at queue {queue}: {served} served, {shed} shed with `overloaded` {}",
+        if shed > 0 { "ok" } else { "NO SHEDDING" }
+    );
+    drop(handle);
+}
+
+fn main() {
+    warm_vs_cold();
+    concurrent_clients();
+    burst_shedding();
+}

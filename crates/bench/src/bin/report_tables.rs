@@ -63,6 +63,13 @@ fn expect(table: &str, row: &str, points: &[SweepPoint], expected: Growth) {
 fn main() {
     println!("bvq — empirical reproduction of Vardi (PODS'95), Tables 1–3");
     println!("(times are means; 'poly'/'exp' classify the measured growth curve)");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("detected cores: {cores}");
+    if cores == 1 {
+        println!("(single-core host: any multi-thread configuration is overhead-only)");
+    }
     println!();
 
     // ---------------- Table 1: unrestricted languages ----------------

@@ -19,9 +19,11 @@
 //! Usage:
 //!
 //! ```text
-//! bvq eval <db-file> '<query>' [--k N] [--naive] [--certify t1,t2,…]
-//! bvq eso  <db-file> '<eso sentence>' [--k N]
-//! bvq repl <db-file>
+//! bvq eval   <db-file> '<query>' [--k N] [--naive] [--certify t1,t2,…]
+//! bvq eso    <db-file> '<eso sentence>' [--k N]
+//! bvq repl   <db-file>
+//! bvq serve  <db-file>… [--addr HOST:PORT] [--threads N] [--queue N]
+//! bvq client <addr> ping|stats|eval|eso|datalog|load-db|shutdown …
 //! ```
 
 #![forbid(unsafe_code)]
@@ -29,6 +31,8 @@
 
 pub mod dbtext;
 pub mod run;
+pub mod serve;
 
 pub use dbtext::{parse_database, DbTextError};
-pub use run::{run_eso, run_eval, EvalOptions};
+pub use run::{run_eso, run_eval, EvalOptions, RunError};
+pub use serve::{run_client, run_serve};

@@ -1,14 +1,16 @@
 //! The `bvq` command-line tool.
 //!
 //! ```text
-//! bvq eval <db-file> '<query>' [--k N] [--naive] [--threads N] [--certify t1,t2;u1,u2]
-//! bvq eso  <db-file> '<eso sentence>' [--k N]
-//! bvq repl <db-file>
+//! bvq eval   <db-file> '<query>' [--k N] [--naive] [--threads N] [--certify t1,t2;u1,u2]
+//! bvq eso    <db-file> '<eso sentence>' [--k N]
+//! bvq repl   <db-file>
+//! bvq serve  <db-file>… [--addr HOST:PORT] [--threads N] [--queue N] [--debug-ops]
+//! bvq client <addr> <ping|stats|list-dbs|eval|eso|datalog|load-db|sleep|shutdown> […]
 //! ```
 
 use std::io::{BufRead, Write};
 
-use bvq_cli::{parse_database, run_eso, run_eval, EvalOptions};
+use bvq_cli::{parse_database, run_client, run_eso, run_eval, run_serve, EvalOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,6 +25,8 @@ fn main() {
             );
             eprintln!("  bvq eso  <db-file> '<eso sentence>' [--k N]");
             eprintln!("  bvq repl <db-file>");
+            eprintln!("  bvq serve <db-file>... [--addr HOST:PORT] [--threads N] [--queue N]");
+            eprintln!("  bvq client <addr> <command> [args...]");
             std::process::exit(1);
         }
     }
@@ -30,6 +34,11 @@ fn main() {
 
 fn dispatch(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "serve" => return run_serve(&args[1..]),
+        "client" => return run_client(&args[1..]),
+        _ => {}
+    }
     let db_path = args.get(1).ok_or("missing database file")?;
     let text =
         std::fs::read_to_string(db_path).map_err(|e| format!("cannot read `{db_path}`: {e}"))?;

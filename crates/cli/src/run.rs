@@ -1,183 +1,19 @@
 //! Query execution for the CLI: pick an evaluator by the query's shape,
 //! run it, and render the results.
+//!
+//! The implementation lives in [`bvq_server::exec`] so the query server
+//! and the CLI share one front-end; this module re-exports it. Errors
+//! are the typed [`RunError`] (parse / invalid-option / eval /
+//! datalog), which `Display`s to the same messages the CLI always
+//! printed and converts into protocol error codes on the server side.
 
-use bvq_core::{
-    BoundedEvaluator, CertifiedChecker, EsoEvaluator, FpEvaluator, NaiveEvaluator, PfpEvaluator,
-};
-use bvq_logic::parser::{parse_eso, parse_query};
-use bvq_logic::Query;
-use bvq_relation::{Database, EvalConfig, Relation};
-
-/// Options for `bvq eval`.
-#[derive(Clone, Debug, Default)]
-pub struct EvalOptions {
-    /// Variable bound; default = the query's width.
-    pub k: Option<usize>,
-    /// Use the naive (unbounded, named-column) evaluator.
-    pub naive: bool,
-    /// Rewrite the formula to fewer variables first (FO only).
-    pub minimize: bool,
-    /// Tuples to certify via Theorem 3.5 (FP queries only).
-    pub certify: Vec<Vec<u32>>,
-    /// Worker threads (`--threads N`); default = `BVQ_THREADS` else the
-    /// machine's available parallelism. Results are identical either way.
-    pub threads: Option<usize>,
-}
-
-impl EvalOptions {
-    /// The parallel-evaluation configuration these options select.
-    pub fn config(&self) -> EvalConfig {
-        match self.threads {
-            Some(t) => EvalConfig::with_threads(t),
-            None => EvalConfig::from_env(),
-        }
-    }
-}
-
-/// Evaluates a query string against the database, returning the rendered
-/// report (also used by the REPL).
-pub fn run_eval(db: &Database, query: &str, opts: &EvalOptions) -> Result<String, String> {
-    let mut q: Query = parse_query(query).map_err(|e| e.to_string())?;
-    let mut minimized_note = None;
-    if opts.minimize {
-        let slim = q
-            .formula
-            .minimize_width()
-            .ok_or("--minimize applies to first-order queries only")?;
-        if slim.width() < q.formula.width() {
-            minimized_note = Some(format!(
-                "minimized width {} → {}",
-                q.formula.width(),
-                slim.width()
-            ));
-        }
-        q = Query::new(q.output, slim);
-    }
-    let width = q
-        .formula
-        .width()
-        .max(q.output.iter().map(|v| v.index() + 1).max().unwrap_or(0))
-        .max(1);
-    let k = opts.k.unwrap_or(width);
-    let mut out = String::new();
-    let push = |out: &mut String, s: String| {
-        out.push_str(&s);
-        out.push('\n');
-    };
-
-    let lang = if q.formula.is_first_order() {
-        "FO"
-    } else if q.formula.is_fp() {
-        "FP"
-    } else {
-        "PFP/IFP"
-    };
-    push(&mut out, format!("language: {lang}^{k} (width {width})"));
-    if let Some(note) = minimized_note {
-        push(&mut out, note);
-    }
-
-    let cfg = opts.config();
-    let (answer, stats) = if opts.naive {
-        if !q.formula.is_first_order() {
-            return Err("--naive applies to first-order queries only".into());
-        }
-        NaiveEvaluator::new(db)
-            .with_config(cfg)
-            .eval_query(&q)
-            .map_err(|e| e.to_string())?
-    } else if q.formula.is_first_order() {
-        BoundedEvaluator::new(db, k)
-            .with_config(cfg)
-            .eval_query(&q)
-            .map_err(|e| e.to_string())?
-    } else if q.formula.is_fp() {
-        FpEvaluator::new(db, k)
-            .with_config(cfg)
-            .eval_query(&q)
-            .map_err(|e| e.to_string())?
-    } else {
-        PfpEvaluator::new(db, k)
-            .with_config(cfg)
-            .eval_query(&q)
-            .map_err(|e| e.to_string())?
-    };
-
-    render_answer(&mut out, &q, &answer);
-    push(&mut out, format!("stats: {stats}"));
-
-    for t in &opts.certify {
-        if !q.formula.is_fp() || q.formula.is_first_order() {
-            return Err("--certify applies to FP (lfp/gfp) queries only".into());
-        }
-        let checker = CertifiedChecker::new(db, k);
-        let (member, size, vstats) = checker.decide(&q, t).map_err(|e| e.to_string())?;
-        push(
-            &mut out,
-            format!(
-                "certify {t:?}: member = {member} ({} certificate tuples, {} verify applications)",
-                size, vstats.fixpoint_iterations
-            ),
-        );
-    }
-    Ok(out)
-}
-
-/// Evaluates an ESO sentence/query string.
-pub fn run_eso(db: &Database, query: &str, k: Option<usize>) -> Result<String, String> {
-    let eso = parse_eso(query).map_err(|e| e.to_string())?;
-    let k = k.unwrap_or_else(|| eso.width().max(1));
-    let ev = EsoEvaluator::new(db, k);
-    let free = eso.body.free_vars();
-    let mut out = String::new();
-    if free.is_empty() {
-        let (sat, info) = ev
-            .check_with_info(&eso, &[], &[])
-            .map_err(|e| e.to_string())?;
-        out.push_str(&format!(
-            "ESO^{k} sentence: {sat}\ngrounding: {} vars, {} clauses, {} quantified tuples\n",
-            info.sat_vars, info.clauses, info.referenced_tuples
-        ));
-        if sat {
-            if let Some(env) = ev
-                .check_with_witness(&eso, &[], &[])
-                .map_err(|e| e.to_string())?
-            {
-                for (name, rel) in env.iter() {
-                    out.push_str(&format!("witness {name} = {:?}\n", rel.sorted()));
-                }
-            }
-        }
-    } else {
-        let answer = ev.eval_query(&eso, &free).map_err(|e| e.to_string())?;
-        out.push_str(&format!(
-            "ESO^{k} answers over {:?}: {:?}\n",
-            free,
-            answer.sorted()
-        ));
-    }
-    Ok(out)
-}
-
-fn render_answer(out: &mut String, q: &Query, answer: &Relation) {
-    if q.output.is_empty() {
-        out.push_str(&format!("answer: {}\n", answer.as_boolean()));
-    } else {
-        let rows = answer.sorted();
-        out.push_str(&format!("answer: {} tuples\n", rows.len()));
-        for t in rows.iter().take(50) {
-            out.push_str(&format!("  {t}\n"));
-        }
-        if rows.len() > 50 {
-            out.push_str(&format!("  … and {} more\n", rows.len() - 50));
-        }
-    }
-}
+pub use bvq_server::exec::{run_eso, run_eval, EvalOptions, Plan, RunError};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dbtext::parse_database;
+    use bvq_relation::Database;
 
     fn db() -> Database {
         parse_database("domain 4\nrel E/2\n0 1\n1 2\n2 3\nend\nrel P/1\n2\nend").unwrap()
@@ -238,12 +74,14 @@ mod tests {
             naive: true,
             ..Default::default()
         };
-        assert!(run_eval(&db(), "(x1) [pfp S(x1). ~S(x1)](x1)", &opts).is_err());
+        let err = run_eval(&db(), "(x1) [pfp S(x1). ~S(x1)](x1)", &opts).unwrap_err();
+        assert!(matches!(err, RunError::InvalidOption(_)));
         let opts = EvalOptions {
             certify: vec![vec![0]],
             ..Default::default()
         };
-        assert!(run_eval(&db(), "(x1) P(x1)", &opts).is_err());
+        let err = run_eval(&db(), "(x1) P(x1)", &opts).unwrap_err();
+        assert!(matches!(err, RunError::InvalidOption(_)));
     }
 
     #[test]
@@ -266,7 +104,8 @@ mod tests {
 
     #[test]
     fn parse_errors_are_reported() {
-        assert!(run_eval(&db(), "(x1) E(x1", &EvalOptions::default()).is_err());
+        let err = run_eval(&db(), "(x1) E(x1", &EvalOptions::default()).unwrap_err();
+        assert!(matches!(err, RunError::Parse(_)));
         assert!(run_eso(&db(), "exists2 S/1. T(x1)", None).is_err());
     }
 }

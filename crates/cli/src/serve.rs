@@ -1,0 +1,161 @@
+//! The `bvq serve` and `bvq client` subcommands.
+//!
+//! `serve` starts the [`bvq_server`] TCP server with databases loaded
+//! from db-text files (each named after its file stem) and blocks until
+//! a client sends the `shutdown` op. `client` is a thin command wrapper
+//! around [`bvq_server::Client`] that prints the response JSON and
+//! exits 1 on `ok:false` (without the usage dump reserved for flag
+//! errors) — which is what the CI smoke test keys off.
+
+use std::path::Path;
+use std::time::Duration;
+
+use bvq_relation::parse_database;
+use bvq_server::{Client, Json, Server, ServerConfig};
+
+/// Runs `bvq serve <db-file>... [--addr A] [--threads N] [--queue N]
+/// [--plan-cache N] [--result-cache N] [--deadline-ms N] [--debug-ops]`.
+pub fn run_serve(args: &[String]) -> Result<(), String> {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:4141".into(),
+        ..ServerConfig::default()
+    };
+    let mut db_paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |flag: &str| -> Result<usize, String> {
+            it.next()
+                .ok_or(format!("{flag} needs a value"))?
+                .parse()
+                .map_err(|_| format!("bad {flag} value"))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = it.next().ok_or("--addr needs a value")?.clone(),
+            "--threads" => cfg.workers = num("--threads")?.max(1),
+            "--queue" => cfg.queue_capacity = num("--queue")?.max(1),
+            "--plan-cache" => cfg.plan_cache_capacity = num("--plan-cache")?,
+            "--result-cache" => cfg.result_cache_capacity = num("--result-cache")?,
+            "--deadline-ms" => cfg.default_deadline_ms = Some(num("--deadline-ms")? as u64),
+            "--debug-ops" => cfg.debug_ops = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path => db_paths.push(path.to_string()),
+        }
+    }
+
+    // Parse every database before binding, so the listener never
+    // answers `unknown_db` for a database named on the command line.
+    let mut dbs = Vec::new();
+    for path in &db_paths {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let db = parse_database(&text).map_err(|e| format!("{path}: {e}"))?;
+        let name = Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(path)
+            .to_string();
+        dbs.push((name, db));
+    }
+
+    let workers = cfg.workers;
+    let queue = cfg.queue_capacity;
+    let handle = Server::start(cfg).map_err(|e| format!("cannot start server: {e}"))?;
+    for (name, db) in dbs {
+        println!(
+            "loaded `{name}` (n = {}, {} relations)",
+            db.domain_size(),
+            db.schema().len()
+        );
+        handle.load_db(&name, db);
+    }
+    println!(
+        "bvq-server listening on {} ({workers} workers, queue {queue})",
+        handle.addr()
+    );
+    handle.wait();
+    println!("bvq-server stopped");
+    Ok(())
+}
+
+/// Runs `bvq client <addr> <cmd> [...]`; prints the response JSON and
+/// fails (exit 1 via the caller) when the server answered `ok:false`.
+pub fn run_client(args: &[String]) -> Result<(), String> {
+    let addr = args.first().ok_or("client needs a server address")?;
+    let cmd = args.get(1).ok_or("client needs a command")?;
+    let mut client = Client::connect_retry(addr.as_str(), Duration::from_secs(5))
+        .map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+    let arg = |i: usize, what: &str| -> Result<&String, String> {
+        args.get(i).ok_or(format!("client {cmd} needs {what}"))
+    };
+    let resp = match cmd.as_str() {
+        "ping" => client.call_op("ping", vec![]),
+        "stats" => client.call_op("stats", vec![]),
+        "list-dbs" => client.list_dbs(),
+        "shutdown" => client.shutdown(),
+        "sleep" => {
+            let ms: u64 = arg(2, "milliseconds")?
+                .parse()
+                .map_err(|_| "bad milliseconds value".to_string())?;
+            client.debug_sleep(ms)
+        }
+        "load-db" => {
+            let name = arg(2, "a database name")?;
+            let path = arg(3, "a db-text file")?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            client.load_db(name, &text)
+        }
+        "eval" | "eso" | "datalog" => {
+            let db = arg(2, "a database name")?;
+            let query = arg(3, "a query")?;
+            let mut fields = vec![("db", Json::str(db.as_str()))];
+            match cmd.as_str() {
+                "datalog" => {
+                    fields.push(("program", Json::str(query.as_str())));
+                    fields.push(("output", Json::str(arg(4, "an output predicate")?.as_str())));
+                }
+                _ => fields.push(("query", Json::str(query.as_str()))),
+            }
+            let extra_from = if cmd == "datalog" { 5 } else { 4 };
+            let mut it = args[extra_from.min(args.len())..].iter();
+            while let Some(flag) = it.next() {
+                let mut num = |flag: &str| -> Result<u64, String> {
+                    it.next()
+                        .ok_or(format!("{flag} needs a value"))?
+                        .parse()
+                        .map_err(|_| format!("bad {flag} value"))
+                };
+                match flag.as_str() {
+                    "--k" => fields.push(("k", Json::num(num("--k")?))),
+                    "--threads" => fields.push(("threads", Json::num(num("--threads")?))),
+                    "--deadline-ms" => {
+                        fields.push(("deadline_ms", Json::num(num("--deadline-ms")?)))
+                    }
+                    "--naive" => fields.push(("naive", Json::Bool(true))),
+                    "--minimize" => fields.push(("minimize", Json::Bool(true))),
+                    "--no-cache" => fields.push(("no_cache", Json::Bool(true))),
+                    other => return Err(format!("unknown flag `{other}`")),
+                }
+            }
+            client.call_op(cmd, fields)
+        }
+        other => return Err(format!("unknown client command `{other}`")),
+    }
+    .map_err(|e| format!("request failed: {e}"))?;
+    println!("{}", resp.to_string_compact());
+    if Client::is_ok(&resp) {
+        Ok(())
+    } else {
+        // The request itself was well-formed, so a usage dump would
+        // mislead; report the server's verdict and exit nonzero.
+        eprintln!(
+            "error: server answered {}: {}",
+            Client::error_code(&resp).unwrap_or("error"),
+            resp.get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .unwrap_or("")
+        );
+        std::process::exit(1);
+    }
+}

@@ -101,6 +101,8 @@ pub(crate) struct Engine<'p, 'd, C: CylinderOps> {
     pub fix_values: Vec<Option<C>>,
     pub strategy: FpStrategy,
     pub rec: StatsRecorder,
+    /// Optional wall-clock deadline, checked between fixpoint rounds.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl<'p, 'd, C: CylinderOps> Engine<'p, 'd, C> {
@@ -124,6 +126,24 @@ impl<'p, 'd, C: CylinderOps> Engine<'p, 'd, C> {
             } else {
                 StatsRecorder::disabled()
             },
+            deadline: None,
+        }
+    }
+
+    /// Attaches a wall-clock deadline (builder style).
+    pub fn with_deadline(mut self, deadline: Option<std::time::Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Errors with [`EvalError::DeadlineExceeded`] once the deadline has
+    /// passed. Called at every fixpoint round boundary: a round is at most
+    /// one pass over an `n^k`-bounded cylinder, so the abort latency is
+    /// bounded by a single polynomially-small round.
+    fn check_deadline(&self) -> Result<(), EvalError> {
+        match self.deadline {
+            Some(d) if std::time::Instant::now() >= d => Err(EvalError::DeadlineExceeded),
+            _ => Ok(()),
         }
     }
 
@@ -243,6 +263,7 @@ impl<'p, 'd, C: CylinderOps> Engine<'p, 'd, C> {
             _ => self.fix_bottom(kind),
         };
         loop {
+            self.check_deadline()?;
             self.rec.iteration();
             self.fix_values[fix] = Some(cur.clone());
             let next = self.eval(body)?;
@@ -272,6 +293,7 @@ impl<'p, 'd, C: CylinderOps> Engine<'p, 'd, C> {
         let body = self.prog.fixes[fix].body;
         let mut cur = self.fix_bottom(FixKind::Ifp);
         loop {
+            self.check_deadline()?;
             self.rec.iteration();
             self.fix_values[fix] = Some(cur.clone());
             let step = self.eval(body)?;
@@ -296,6 +318,7 @@ impl<'p, 'd, C: CylinderOps> Engine<'p, 'd, C> {
     fn eval_pfp_fix(&mut self, fix: FixId) -> Result<C, EvalError> {
         let body = self.prog.fixes[fix].body;
         let step = |engine: &mut Self, x: &C| -> Result<C, EvalError> {
+            engine.check_deadline()?;
             engine.rec.iteration();
             engine.fix_values[fix] = Some(x.clone());
             let r = engine.eval(body);
@@ -482,7 +505,8 @@ impl<'d> FpEvaluator<'d> {
                 ext,
                 self.strategy,
                 self.collect_stats,
-            );
+            )
+            .with_deadline(self.config.deadline());
             let c = engine.eval(prog.root)?;
             Ok((c.to_relation(&ctx, &coords), engine.rec.stats()))
         } else {
@@ -493,7 +517,8 @@ impl<'d> FpEvaluator<'d> {
                 ext,
                 self.strategy,
                 self.collect_stats,
-            );
+            )
+            .with_deadline(self.config.deadline());
             let c = engine.eval(prog.root)?;
             Ok((c.to_relation(&ctx, &coords), engine.rec.stats()))
         }
@@ -679,6 +704,27 @@ mod tests {
             s_naive.fixpoint_iterations,
             s_el.fixpoint_iterations
         );
+    }
+
+    #[test]
+    fn deadline_aborts_between_rounds() {
+        let db = path_db();
+        let q = Query::new(vec![Var(0)], patterns::reach_from_const(0));
+        // An already-expired deadline aborts before the first round.
+        let expired = EvalConfig::sequential().with_deadline(std::time::Instant::now());
+        let err = FpEvaluator::new(&db, 2)
+            .with_config(expired)
+            .eval_query(&q)
+            .unwrap_err();
+        assert_eq!(err, EvalError::DeadlineExceeded);
+        // A generous deadline leaves the result untouched.
+        let far = EvalConfig::sequential()
+            .with_deadline(std::time::Instant::now() + std::time::Duration::from_secs(3600));
+        let (r, _) = FpEvaluator::new(&db, 2)
+            .with_config(far)
+            .eval_query(&q)
+            .unwrap();
+        assert_eq!(r.len(), 4);
     }
 
     #[test]

@@ -69,6 +69,10 @@ pub enum EvalError {
     UnsupportedConstruct(&'static str),
     /// A constant term lies outside the database domain.
     ConstOutOfDomain(u32),
+    /// The evaluation deadline passed between fixpoint rounds (see
+    /// [`bvq_relation::EvalConfig::with_deadline`]). The computation was
+    /// aborted cleanly at a round boundary; no partial fixpoint escapes.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for EvalError {
@@ -94,6 +98,9 @@ impl std::fmt::Display for EvalError {
             }
             EvalError::ConstOutOfDomain(c) => {
                 write!(f, "constant {c} outside the database domain")
+            }
+            EvalError::DeadlineExceeded => {
+                write!(f, "evaluation deadline exceeded between fixpoint rounds")
             }
         }
     }

@@ -129,6 +129,12 @@ pub enum DatalogError {
     /// A body predicate is neither an IDB of the program nor an EDB of the
     /// database.
     UnknownPredicate(String),
+    /// The program text could not be parsed (see [`crate::parser`]).
+    Parse(String),
+    /// The evaluation deadline passed between rounds (see
+    /// [`bvq_relation::EvalConfig::with_deadline`]); the least model was
+    /// not fully computed and no partial state escapes.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for DatalogError {
@@ -154,6 +160,10 @@ impl fmt::Display for DatalogError {
                 )
             }
             DatalogError::UnknownPredicate(p) => write!(f, "unknown predicate `{p}`"),
+            DatalogError::Parse(m) => write!(f, "datalog parse error: {m}"),
+            DatalogError::DeadlineExceeded => {
+                write!(f, "evaluation deadline exceeded between rounds")
+            }
         }
     }
 }

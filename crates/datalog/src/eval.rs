@@ -51,6 +51,7 @@ pub fn eval_naive_with(
     let mut state = State::new(program, db)?;
     let mut rec = StatsRecorder::new();
     loop {
+        check_deadline(cfg)?;
         rec.iteration();
         let items: Vec<RoundItem<'_>> = program.rules.iter().map(|r| (r, None)).collect();
         let derived = eval_round(&state, &items, cfg, &mut rec)?;
@@ -86,6 +87,7 @@ pub fn eval_seminaive_with(
         .iter()
         .map(|(p, r)| (p.clone(), Relation::new(r.arity())))
         .collect();
+    check_deadline(cfg)?;
     rec.iteration();
     {
         let items: Vec<RoundItem<'_>> = program.rules.iter().map(|r| (r, None)).collect();
@@ -110,6 +112,7 @@ pub fn eval_seminaive_with(
         if deltas.iter().all(|(_, d)| d.is_empty()) {
             break;
         }
+        check_deadline(cfg)?;
         rec.iteration();
         let mut items: Vec<RoundItem<'_>> = Vec::new();
         for rule in &program.rules {
@@ -154,6 +157,17 @@ pub fn eval_seminaive_with(
 /// One independent unit of a round: a rule, optionally with one body
 /// position bound to a delta relation.
 type RoundItem<'a> = (&'a Rule, Option<(usize, &'a Relation)>);
+
+/// Aborts with [`DatalogError::DeadlineExceeded`] once the config's
+/// deadline has passed. Checked at round boundaries only, so evaluation
+/// never exposes a half-absorbed round.
+fn check_deadline(cfg: &EvalConfig) -> Result<(), DatalogError> {
+    if cfg.deadline_exceeded() {
+        Err(DatalogError::DeadlineExceeded)
+    } else {
+        Ok(())
+    }
+}
 
 /// Evaluates a round's work items, on scoped worker threads when the
 /// config asks for more than one. Results come back in item order;
@@ -442,6 +456,20 @@ mod tests {
                 Relation::from_tuples(1, [[1u32], [3]]).sorted()
             );
         }
+    }
+
+    #[test]
+    fn deadline_aborts_between_rounds() {
+        let db = chain_db(6);
+        let cfg = EvalConfig::sequential().with_deadline(std::time::Instant::now());
+        assert!(matches!(
+            eval_seminaive_with(&tc_program(), &db, &cfg),
+            Err(DatalogError::DeadlineExceeded)
+        ));
+        assert!(matches!(
+            eval_naive_with(&tc_program(), &db, &cfg),
+            Err(DatalogError::DeadlineExceeded)
+        ));
     }
 
     #[test]

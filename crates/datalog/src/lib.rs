@@ -17,8 +17,10 @@
 
 pub mod ast;
 pub mod eval;
+pub mod parser;
 pub mod translate;
 
 pub use ast::{AtomTerm, BodyAtom, DatalogError, Head, Program, Rule};
 pub use eval::{eval_naive, eval_naive_with, eval_seminaive, eval_seminaive_with, EvalOutput};
+pub use parser::parse_program;
 pub use translate::{to_fp_formula, to_fp_formula_multi};

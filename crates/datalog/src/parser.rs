@@ -1,0 +1,321 @@
+//! A text syntax for Datalog programs.
+//!
+//! One rule per `.`-terminated statement; `%` and `#` start comments:
+//!
+//! ```text
+//! T(x, y) :- E(x, y).
+//! T(x, y) :- T(x, z), E(z, y).
+//! Reach(x) :- E(0, x).
+//! ```
+//!
+//! Predicate names start with an uppercase letter (matching the database
+//! text format's relation names); arguments are either variables
+//! (identifiers starting with a lowercase letter or `_`) or numeric
+//! constants. Variables are scoped to their rule. Facts (`P(0,1).`) are
+//! rules with an empty body.
+//!
+//! This front-end exists for the query server's `datalog` protocol
+//! command, which receives programs as text over the wire; the builder
+//! API ([`Program::rule`]) remains the programmatic route.
+
+use crate::ast::{AtomTerm, BodyAtom, DatalogError, Head, Program, Rule};
+
+/// Parses a program text into a [`Program`].
+///
+/// # Errors
+/// Returns [`DatalogError::Parse`] on malformed syntax, and
+/// [`DatalogError::InvalidHead`] (via [`Program::validate`]-style checks
+/// deferred to evaluation) is *not* raised here — structural validation
+/// stays with [`Program::validate`].
+pub fn parse_program(input: &str) -> Result<Program, DatalogError> {
+    let mut p = Parser {
+        chars: input.char_indices().peekable(),
+        input,
+    };
+    let mut program = Program::new();
+    loop {
+        p.skip_ws();
+        if p.peek().is_none() {
+            break;
+        }
+        program.rules.push(p.rule()?);
+    }
+    Ok(program)
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    input: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&mut self, msg: &str) -> DatalogError {
+        let at = match self.chars.peek() {
+            Some(&(i, _)) => {
+                let rest: String = self.input[i..].chars().take(20).collect();
+                format!("{msg} at `{rest}`")
+            }
+            None => format!("{msg} at end of input"),
+        };
+        DatalogError::Parse(at)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        self.chars.next().map(|(_, c)| c)
+    }
+
+    /// Skips whitespace and `%`/`#` line comments.
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('%') | Some('#') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), DatalogError> {
+        self.skip_ws();
+        if self.peek() == Some(want) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{want}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, DatalogError> {
+        self.skip_ws();
+        let mut s = String::new();
+        match self.peek() {
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                s.push(c);
+                self.bump();
+            }
+            _ => return Err(self.err("expected an identifier")),
+        }
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(s)
+    }
+
+    /// `Pred(arg, …, arg)` — returns the name and raw argument tokens.
+    fn atom(&mut self) -> Result<(String, Vec<ArgToken>), DatalogError> {
+        let name = self.ident()?;
+        self.expect('(')?;
+        let mut args = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(')') {
+            self.bump();
+            return Ok((name, args));
+        }
+        loop {
+            args.push(self.arg()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => {
+                    self.bump();
+                }
+                Some(')') => {
+                    self.bump();
+                    break;
+                }
+                _ => return Err(self.err("expected `,` or `)`")),
+            }
+        }
+        Ok((name, args))
+    }
+
+    fn arg(&mut self) -> Result<ArgToken, DatalogError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(c) if c.is_ascii_digit() => {
+                let mut n = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        n.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let v: u32 = n
+                    .parse()
+                    .map_err(|_| DatalogError::Parse(format!("constant `{n}` out of range")))?;
+                Ok(ArgToken::Const(v))
+            }
+            Some(c) if c.is_alphabetic() || c == '_' => Ok(ArgToken::Name(self.ident()?)),
+            _ => Err(self.err("expected a variable or constant")),
+        }
+    }
+
+    /// `Head(v,…) [:- Atom, …, Atom] .`
+    fn rule(&mut self) -> Result<Rule, DatalogError> {
+        let (head_pred, head_args) = self.atom()?;
+        // Variable names are interned per rule, in order of appearance.
+        let mut names: Vec<String> = Vec::new();
+        let mut intern = |tok: ArgToken| -> Result<AtomTerm, DatalogError> {
+            match tok {
+                ArgToken::Const(c) => Ok(AtomTerm::Const(c)),
+                ArgToken::Name(n) => {
+                    let idx = match names.iter().position(|m| *m == n) {
+                        Some(i) => i,
+                        None => {
+                            names.push(n);
+                            names.len() - 1
+                        }
+                    };
+                    Ok(AtomTerm::Var(idx as u32))
+                }
+            }
+        };
+        let mut head_vars = Vec::new();
+        for tok in head_args {
+            match intern(tok)? {
+                AtomTerm::Var(v) => head_vars.push(v),
+                AtomTerm::Const(c) => {
+                    return Err(DatalogError::Parse(format!(
+                        "head argument of `{head_pred}` must be a variable, got constant {c}"
+                    )))
+                }
+            }
+        }
+        let mut body = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(':') {
+            self.bump();
+            if self.peek() != Some('-') {
+                return Err(self.err("expected `:-`"));
+            }
+            self.bump();
+            loop {
+                let (pred, args) = self.atom()?;
+                let args = args
+                    .into_iter()
+                    .map(&mut intern)
+                    .collect::<Result<Vec<_>, _>>()?;
+                body.push(BodyAtom { pred, args });
+                self.skip_ws();
+                match self.peek() {
+                    Some(',') => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.expect('.')?;
+        Ok(Rule {
+            head: Head {
+                pred: head_pred,
+                vars: head_vars,
+            },
+            body,
+        })
+    }
+}
+
+enum ArgToken {
+    Name(String),
+    Const(u32),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_seminaive;
+    use bvq_relation::Database;
+
+    #[test]
+    fn parses_transitive_closure() {
+        let p = parse_program(
+            "% transitive closure\n\
+             T(x, y) :- E(x, y).\n\
+             T(x, y) :- T(x, z), E(z, y).\n",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert!(p.validate().is_ok());
+        assert_eq!(p.rules[1].to_string(), "T(V0,V1) :- T(V0,V2), E(V2,V1).");
+        let db = Database::builder(4)
+            .relation("E", 2, [[0u32, 1], [1, 2], [2, 3]])
+            .build();
+        let out = eval_seminaive(&p, &db).unwrap();
+        assert_eq!(out.get("T").unwrap().len(), 3 + 2 + 1);
+    }
+
+    #[test]
+    fn parses_constants_and_comments() {
+        let p = parse_program(
+            "# reachability from node 0\n\
+             Reach(x) :- E(0, x).\n\
+             Reach(x) :- Reach(y), E(y, x).",
+        )
+        .unwrap();
+        assert!(p.validate().is_ok());
+        let db = Database::builder(4)
+            .relation("E", 2, [[0u32, 1], [1, 2]])
+            .build();
+        let out = eval_seminaive(&p, &db).unwrap();
+        assert_eq!(out.get("Reach").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn variables_scoped_per_rule() {
+        // `x` in rule 1 and `x` in rule 2 are distinct variables.
+        let p = parse_program("A(x) :- E(x, x).\nB(x) :- E(x, x).").unwrap();
+        assert_eq!(p.rules[0].head.vars, p.rules[1].head.vars);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(
+            parse_program("T(x y) :- E(x, y)."),
+            Err(DatalogError::Parse(_))
+        ));
+        assert!(matches!(
+            parse_program("T(x) :- E(x)"), // missing final period
+            Err(DatalogError::Parse(_))
+        ));
+        assert!(matches!(
+            parse_program("T(3) :- E(3, 3)."),
+            Err(DatalogError::Parse(_))
+        ));
+        assert!(matches!(
+            parse_program("T(x) : E(x)."),
+            Err(DatalogError::Parse(_))
+        ));
+        assert!(parse_program("").unwrap().rules.is_empty());
+    }
+
+    #[test]
+    fn facts_have_empty_bodies_and_fail_range_restriction() {
+        // A "fact" with variables is not range-restricted; validate
+        // catches it downstream, not the parser.
+        let p = parse_program("P(x).").unwrap();
+        assert!(p.rules[0].body.is_empty());
+        assert!(matches!(
+            p.validate(),
+            Err(DatalogError::NotRangeRestricted(_))
+        ));
+    }
+}

@@ -1,5 +1,8 @@
 //! Evaluation configuration: the thread-count knob shared by every layer
-//! of the engine (relational kernels, cylinder backends, Datalog rounds).
+//! of the engine (relational kernels, cylinder backends, Datalog rounds),
+//! plus an optional per-evaluation deadline.
+
+use std::time::Instant;
 
 /// Configuration for parallel evaluation.
 ///
@@ -8,9 +11,18 @@
 /// are tuple-for-tuple identical for every thread count — all kernels
 /// produce *sets*, and partitioned workers only ever merge disjoint or
 /// idempotent contributions (see DESIGN.md, "Parallel evaluation").
+///
+/// An optional [`deadline`](EvalConfig::with_deadline) bounds wall-clock
+/// time: fixpoint engines (FP/IFP/PFP Kleene rounds, Datalog rounds) check
+/// it *between* rounds and abort cleanly with a deadline error, so a
+/// partially-computed fixpoint is never observable. The check is
+/// cooperative and between-rounds by design — a single round is at most
+/// one pass over an `n^k`-bounded cylinder, which is exactly the paper's
+/// guarantee that per-round work stays polynomially small.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EvalConfig {
     threads: usize,
+    deadline: Option<Instant>,
 }
 
 impl EvalConfig {
@@ -18,13 +30,31 @@ impl EvalConfig {
     pub fn with_threads(threads: usize) -> Self {
         EvalConfig {
             threads: threads.max(1),
+            deadline: None,
         }
     }
 
     /// The sequential configuration (`threads = 1`): bit-for-bit the
     /// pre-parallel evaluation paths.
     pub fn sequential() -> Self {
-        EvalConfig { threads: 1 }
+        Self::with_threads(1)
+    }
+
+    /// Returns this config with an absolute wall-clock deadline attached.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The attached deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Whether the attached deadline (if any) has already passed.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
     /// Reads the configuration from the environment: `BVQ_THREADS` if set
@@ -77,5 +107,21 @@ mod tests {
     #[test]
     fn from_env_is_positive() {
         assert!(EvalConfig::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn deadline_attaches_and_expires() {
+        let cfg = EvalConfig::sequential();
+        assert!(cfg.deadline().is_none());
+        assert!(!cfg.deadline_exceeded());
+        let past = cfg.with_deadline(
+            Instant::now()
+                .checked_sub(std::time::Duration::from_millis(1))
+                .unwrap_or_else(Instant::now),
+        );
+        assert!(past.deadline_exceeded());
+        let future = cfg.with_deadline(Instant::now() + std::time::Duration::from_secs(3600));
+        assert!(!future.deadline_exceeded());
+        assert!(future.deadline().is_some());
     }
 }

@@ -214,6 +214,32 @@ impl Database {
     pub fn total_tuples(&self) -> usize {
         self.relations.iter().map(Relation::len).sum()
     }
+
+    /// A deterministic structural fingerprint of the database: domain
+    /// size, schema (names and arities in declaration order), and the
+    /// *contents* of every relation (tuples hashed in sorted order, so
+    /// insertion order is irrelevant). Two databases have the same
+    /// fingerprint iff they are the same instance up to tuple insertion
+    /// order — the property the serving layer's result cache keys on.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = crate::hasher::FxHasher::default();
+        h.write_usize(self.domain_size);
+        h.write_usize(self.schema.len());
+        for (id, name, arity) in self.schema.iter() {
+            h.write(name.as_bytes());
+            h.write_u8(0xff); // name terminator: ("ab","c") ≠ ("a","bc")
+            h.write_usize(arity);
+            let rel = self.relation(id);
+            h.write_usize(rel.len());
+            for t in rel.sorted() {
+                for &e in t.as_slice() {
+                    h.write_u32(e);
+                }
+            }
+        }
+        h.finish()
+    }
 }
 
 impl fmt::Debug for Database {
@@ -347,5 +373,35 @@ mod tests {
     #[should_panic(expected = "nonempty")]
     fn empty_domain_rejected() {
         Database::new(0);
+    }
+
+    #[test]
+    fn fingerprint_ignores_insertion_order() {
+        let a = Database::builder(4)
+            .relation("E", 2, [[0u32, 1], [1, 2], [2, 3]])
+            .build();
+        let b = Database::builder(4)
+            .relation("E", 2, [[2u32, 3], [0, 1], [1, 2]])
+            .build();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_content_and_schema() {
+        let base = Database::builder(4)
+            .relation("E", 2, [[0u32, 1], [1, 2]])
+            .build();
+        let more = Database::builder(4)
+            .relation("E", 2, [[0u32, 1], [1, 2], [2, 3]])
+            .build();
+        let renamed = Database::builder(4)
+            .relation("F", 2, [[0u32, 1], [1, 2]])
+            .build();
+        let bigger_domain = Database::builder(5)
+            .relation("E", 2, [[0u32, 1], [1, 2]])
+            .build();
+        assert_ne!(base.fingerprint(), more.fingerprint());
+        assert_ne!(base.fingerprint(), renamed.fingerprint());
+        assert_ne!(base.fingerprint(), bigger_domain.fingerprint());
     }
 }

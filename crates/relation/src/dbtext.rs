@@ -1,0 +1,204 @@
+//! The plain-text database format.
+//!
+//! Lives in `bvq-relation` (rather than the CLI) so every front-end —
+//! the `bvq` binary, the query server's `load_db` protocol command, and
+//! tests — shares one parser. `# comment`, `domain <n>`, then
+//! `rel NAME/ARITY` … tuple rows … `end` blocks.
+
+use crate::{Database, Relation, Tuple};
+
+/// Errors parsing database text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DbTextError {
+    /// The `domain <n>` line is missing or malformed.
+    MissingDomain,
+    /// A malformed `rel NAME/ARITY` line.
+    BadRelHeader(String),
+    /// A tuple row with the wrong number of elements.
+    BadTuple {
+        /// Relation name.
+        rel: String,
+        /// The offending line.
+        line: String,
+    },
+    /// An element outside the domain or not a number.
+    BadElement(String),
+    /// `end` without an open relation, or a relation without `end`.
+    Structure(String),
+    /// Database-level error (duplicate relation, out-of-domain element).
+    Database(String),
+}
+
+impl std::fmt::Display for DbTextError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbTextError::MissingDomain => write!(f, "expected `domain <n>` first"),
+            DbTextError::BadRelHeader(l) => write!(f, "bad relation header: `{l}`"),
+            DbTextError::BadTuple { rel, line } => {
+                write!(f, "bad tuple for `{rel}`: `{line}`")
+            }
+            DbTextError::BadElement(t) => write!(f, "bad element: `{t}`"),
+            DbTextError::Structure(m) => write!(f, "{m}"),
+            DbTextError::Database(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbTextError {}
+
+/// Parses the text format into a [`Database`].
+pub fn parse_database(input: &str) -> Result<Database, DbTextError> {
+    let mut lines = input
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty());
+    let first = lines.next().ok_or(DbTextError::MissingDomain)?;
+    let n: usize = first
+        .strip_prefix("domain")
+        .map(str::trim)
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .ok_or(DbTextError::MissingDomain)?;
+    let mut db = Database::new(n);
+    let mut current: Option<(String, usize, Relation)> = None;
+    for line in lines {
+        if let Some(rest) = line.strip_prefix("rel ") {
+            if current.is_some() {
+                return Err(DbTextError::Structure(
+                    "`rel` inside an unterminated relation (missing `end`?)".into(),
+                ));
+            }
+            let (name, arity) = rest
+                .split_once('/')
+                .ok_or_else(|| DbTextError::BadRelHeader(line.to_string()))?;
+            let arity: usize = arity
+                .trim()
+                .parse()
+                .map_err(|_| DbTextError::BadRelHeader(line.to_string()))?;
+            current = Some((name.trim().to_string(), arity, Relation::new(arity)));
+        } else if line == "end" {
+            let (name, _, rel) = current
+                .take()
+                .ok_or_else(|| DbTextError::Structure("`end` without an open relation".into()))?;
+            db.add_relation(&name, rel)
+                .map_err(|e| DbTextError::Database(e.to_string()))?;
+        } else {
+            let (name, arity, rel) = current.as_mut().ok_or_else(|| {
+                DbTextError::Structure(format!("tuple `{line}` outside a relation"))
+            })?;
+            let elems: Vec<u32> = line
+                .split_whitespace()
+                .map(|t| {
+                    t.parse()
+                        .map_err(|_| DbTextError::BadElement(t.to_string()))
+                })
+                .collect::<Result<_, _>>()?;
+            if elems.len() != *arity {
+                return Err(DbTextError::BadTuple {
+                    rel: name.clone(),
+                    line: line.to_string(),
+                });
+            }
+            rel.insert(Tuple::from_slice(&elems));
+        }
+    }
+    if current.is_some() {
+        return Err(DbTextError::Structure(
+            "unterminated relation at EOF".into(),
+        ));
+    }
+    Ok(db)
+}
+
+/// Serialises a database back into the text format.
+pub fn write_database(db: &Database) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "domain {}", db.domain_size());
+    for (id, name, arity) in db.schema().iter() {
+        let _ = writeln!(out, "rel {name}/{arity}");
+        for t in db.relation(id).sorted() {
+            let row: Vec<String> = t.iter().map(u32::to_string).collect();
+            let _ = writeln!(out, "{}", row.join(" "));
+        }
+        let _ = writeln!(out, "end");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a path with a label
+domain 4
+rel E/2
+0 1
+1 2   # mid edge
+2 3
+end
+rel P/1
+2
+end
+";
+
+    #[test]
+    fn parses_sample() {
+        let db = parse_database(SAMPLE).unwrap();
+        assert_eq!(db.domain_size(), 4);
+        assert_eq!(db.relation_by_name("E").unwrap().len(), 3);
+        assert!(db.relation_by_name("P").unwrap().contains(&[2]));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let db = parse_database(SAMPLE).unwrap();
+        let text = write_database(&db);
+        let back = parse_database(&text).unwrap();
+        assert_eq!(back.domain_size(), db.domain_size());
+        assert_eq!(
+            back.relation_by_name("E").unwrap().sorted(),
+            db.relation_by_name("E").unwrap().sorted()
+        );
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            parse_database(""),
+            Err(DbTextError::MissingDomain)
+        ));
+        assert!(matches!(
+            parse_database("domain 0"),
+            Err(DbTextError::MissingDomain)
+        ));
+        assert!(matches!(
+            parse_database("domain 2\nrel E\n0 1\nend"),
+            Err(DbTextError::BadRelHeader(_))
+        ));
+        assert!(matches!(
+            parse_database("domain 2\nrel E/2\n0\nend"),
+            Err(DbTextError::BadTuple { .. })
+        ));
+        assert!(matches!(
+            parse_database("domain 2\nrel E/2\n0 1"),
+            Err(DbTextError::Structure(_))
+        ));
+        assert!(matches!(
+            parse_database("domain 2\nrel E/2\n0 5\nend"),
+            Err(DbTextError::Database(_))
+        ));
+        assert!(matches!(
+            parse_database("domain 2\n0 1\nend"),
+            Err(DbTextError::Structure(_))
+        ));
+    }
+
+    #[test]
+    fn arity_zero_relations() {
+        let db = parse_database("domain 1\nrel T/0\n\nend").unwrap();
+        // An empty line is skipped; T stays empty (false).
+        assert!(!db.relation_by_name("T").unwrap().as_boolean());
+    }
+}

@@ -38,6 +38,7 @@ pub mod bitset;
 pub mod config;
 pub mod cylinder;
 pub mod database;
+pub mod dbtext;
 pub mod dense;
 pub mod error;
 pub mod hasher;
@@ -52,6 +53,7 @@ pub use bitset::BitSet;
 pub use config::EvalConfig;
 pub use cylinder::{CoordSource, CylCtx, CylinderOps};
 pub use database::{Database, DatabaseBuilder, RelId, Schema};
+pub use dbtext::{parse_database, write_database, DbTextError};
 pub use dense::DenseCylinder;
 pub use error::RelationError;
 pub use hasher::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

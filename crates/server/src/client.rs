@@ -1,0 +1,221 @@
+//! A blocking client for the bvq wire protocol, used by the CLI's
+//! `client` subcommand, the integration tests, and the
+//! `server_throughput` bench.
+//!
+//! The client is deliberately low-level: requests are [`Json`] objects,
+//! responses come back as [`Json`] objects, and `send`/`recv` are
+//! exposed separately so callers can keep several requests in flight
+//! across *multiple* connections (each connection handles one compute
+//! request at a time — that is the server's admission control).
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            next_id: 0,
+        })
+    }
+
+    /// Connects, retrying until `timeout` elapses — for callers that
+    /// race server startup (the CI smoke test).
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs + Clone,
+        timeout: Duration,
+    ) -> io::Result<Client> {
+        let start = Instant::now();
+        loop {
+            match Client::connect(addr.clone()) {
+                Ok(c) => return Ok(c),
+                Err(e) if start.elapsed() >= timeout => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// Sends a raw line (not necessarily valid JSON — tests use this to
+    /// probe the server's malformed-input handling).
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()
+    }
+
+    /// Sends a request object, attaching a fresh numeric `id` if the
+    /// caller did not set one. Returns the id used.
+    pub fn send(&mut self, mut request: Json) -> io::Result<u64> {
+        self.next_id += 1;
+        let id = self.next_id;
+        if let Json::Obj(pairs) = &mut request {
+            if !pairs.iter().any(|(k, _)| k == "id") {
+                pairs.push(("id".to_string(), Json::num(id)));
+            }
+        }
+        self.send_line(&request.to_string_compact()).map(|()| id)
+    }
+
+    /// Reads one response line and parses it.
+    pub fn recv(&mut self) -> io::Result<Json> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Json::parse(line.trim_end())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Sends a request and waits for its response.
+    pub fn call(&mut self, request: Json) -> io::Result<Json> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Builds and sends an op with the given extra fields.
+    pub fn call_op(&mut self, op: &str, fields: Vec<(&str, Json)>) -> io::Result<Json> {
+        self.call(Self::request(op, fields))
+    }
+
+    /// Builds a request object for `op` with the given fields.
+    pub fn request(op: &str, fields: Vec<(&str, Json)>) -> Json {
+        let mut pairs = vec![("op".to_string(), Json::Str(op.to_string()))];
+        for (k, v) in fields {
+            pairs.push((k.to_string(), v));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Liveness probe; `Ok(true)` when the server answered the ping.
+    pub fn ping(&mut self) -> io::Result<bool> {
+        Ok(self.call_op("ping", vec![])?.get("pong").map(Json::is_true) == Some(true))
+    }
+
+    /// Evaluates an FO/FP/PFP query (no extra options).
+    pub fn eval(&mut self, db: &str, query: &str) -> io::Result<Json> {
+        self.call_op(
+            "eval",
+            vec![("db", Json::str(db)), ("query", Json::str(query))],
+        )
+    }
+
+    /// Evaluates a query with extra request fields (`k`, `naive`,
+    /// `deadline_ms`, `no_cache`, …).
+    pub fn eval_with(
+        &mut self,
+        db: &str,
+        query: &str,
+        extra: Vec<(&str, Json)>,
+    ) -> io::Result<Json> {
+        let mut fields = vec![("db", Json::str(db)), ("query", Json::str(query))];
+        fields.extend(extra);
+        self.call_op("eval", fields)
+    }
+
+    /// Evaluates a query in streaming mode; returns the header, the
+    /// decoded rows, and the footer.
+    pub fn eval_stream(
+        &mut self,
+        db: &str,
+        query: &str,
+    ) -> io::Result<(Json, Vec<Vec<u64>>, Json)> {
+        let header = self.eval_with(db, query, vec![("stream", Json::Bool(true))])?;
+        if !header.get("ok").map(Json::is_true).unwrap_or(false)
+            || !header.get("stream").map(Json::is_true).unwrap_or(false)
+        {
+            // Errors and boolean answers come back as a single object.
+            return Ok((header, Vec::new(), Json::Null));
+        }
+        let mut rows = Vec::new();
+        loop {
+            let line = self.recv()?;
+            if line.get("done").is_some() {
+                return Ok((header, rows, line));
+            }
+            let row = line
+                .get("row")
+                .and_then(Json::as_arr)
+                .map(|r| r.iter().filter_map(Json::as_u64).collect())
+                .unwrap_or_default();
+            rows.push(row);
+        }
+    }
+
+    /// Runs a Datalog program, returning the `output` predicate.
+    pub fn datalog(&mut self, db: &str, program: &str, output: &str) -> io::Result<Json> {
+        self.call_op(
+            "datalog",
+            vec![
+                ("db", Json::str(db)),
+                ("program", Json::str(program)),
+                ("output", Json::str(output)),
+            ],
+        )
+    }
+
+    /// Checks/evaluates an ESO sentence.
+    pub fn eso(&mut self, db: &str, query: &str) -> io::Result<Json> {
+        self.call_op(
+            "eso",
+            vec![("db", Json::str(db)), ("query", Json::str(query))],
+        )
+    }
+
+    /// Fetches the stats snapshot (the inner `stats` object).
+    pub fn stats(&mut self) -> io::Result<Json> {
+        let resp = self.call_op("stats", vec![])?;
+        Ok(resp.get("stats").cloned().unwrap_or(Json::Null))
+    }
+
+    /// Loads a database from db-text under `name`.
+    pub fn load_db(&mut self, name: &str, text: &str) -> io::Result<Json> {
+        self.call_op(
+            "load_db",
+            vec![("name", Json::str(name)), ("text", Json::str(text))],
+        )
+    }
+
+    /// Lists loaded databases.
+    pub fn list_dbs(&mut self) -> io::Result<Json> {
+        self.call_op("list_dbs", vec![])
+    }
+
+    /// Requests graceful shutdown; the response arrives after the
+    /// compute queue has drained.
+    pub fn shutdown(&mut self) -> io::Result<Json> {
+        self.call_op("shutdown", vec![])
+    }
+
+    /// Occupies a worker for `millis` ms (needs a `debug_ops` server).
+    pub fn debug_sleep(&mut self, millis: u64) -> io::Result<Json> {
+        self.call_op("debug_sleep", vec![("millis", Json::num(millis))])
+    }
+
+    /// The error code of an `ok:false` response, if any.
+    pub fn error_code(resp: &Json) -> Option<&str> {
+        resp.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+    }
+
+    /// Whether a response is `ok:true`.
+    pub fn is_ok(resp: &Json) -> bool {
+        resp.get("ok").map(Json::is_true).unwrap_or(false)
+    }
+}

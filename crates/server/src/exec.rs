@@ -1,0 +1,370 @@
+//! The execution front-end shared by the CLI and the server: parse a
+//! query text, pick an evaluator by the query's shape, run it.
+//!
+//! The CLI re-exports [`run_eval`]/[`run_eso`]/[`EvalOptions`] (so
+//! `bvq_cli::run` keeps its historical surface), while the server uses
+//! the split [`prepare`]/[`execute`] halves directly: `prepare` is what
+//! the plan cache stores, `execute` is what workers run against a
+//! cached plan, and [`RunError::code`] is the mapping from error kinds
+//! to protocol error codes that replaces string matching.
+
+use std::time::Instant;
+
+use bvq_core::{
+    BoundedEvaluator, CertifiedChecker, EsoEvaluator, EvalError, FpEvaluator, NaiveEvaluator,
+    PfpEvaluator,
+};
+use bvq_datalog::DatalogError;
+use bvq_logic::parser::{parse_eso, parse_query};
+use bvq_logic::Query;
+use bvq_relation::{Database, EvalConfig, EvalStats, Relation};
+
+use crate::stats::Language;
+
+/// Errors from running a query, by kind — so front-ends (the protocol
+/// layer, the CLI) can branch on *what* failed instead of matching
+/// strings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// The query text failed to parse.
+    Parse(String),
+    /// An option was used with a query it does not apply to (e.g.
+    /// `--naive` on a fixpoint query).
+    InvalidOption(String),
+    /// The evaluator rejected or aborted the query.
+    Eval(EvalError),
+    /// A Datalog program failed to parse, validate, or evaluate.
+    Datalog(DatalogError),
+}
+
+impl RunError {
+    /// The protocol error code for this error kind.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RunError::Parse(_) => "parse_error",
+            RunError::InvalidOption(_) => "invalid_option",
+            RunError::Eval(EvalError::DeadlineExceeded) => "deadline_exceeded",
+            RunError::Eval(_) => "eval_error",
+            RunError::Datalog(DatalogError::Parse(_)) => "parse_error",
+            RunError::Datalog(DatalogError::DeadlineExceeded) => "deadline_exceeded",
+            RunError::Datalog(_) => "eval_error",
+        }
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Parse(m) | RunError::InvalidOption(m) => write!(f, "{m}"),
+            RunError::Eval(e) => write!(f, "{e}"),
+            RunError::Datalog(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Eval(e) => Some(e),
+            RunError::Datalog(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EvalError> for RunError {
+    fn from(e: EvalError) -> Self {
+        RunError::Eval(e)
+    }
+}
+
+impl From<DatalogError> for RunError {
+    fn from(e: DatalogError) -> Self {
+        RunError::Datalog(e)
+    }
+}
+
+impl From<RunError> for String {
+    fn from(e: RunError) -> String {
+        e.to_string()
+    }
+}
+
+/// Options for `bvq eval` / the server's `eval` command.
+#[derive(Clone, Debug, Default)]
+pub struct EvalOptions {
+    /// Variable bound; default = the query's width.
+    pub k: Option<usize>,
+    /// Use the naive (unbounded, named-column) evaluator.
+    pub naive: bool,
+    /// Rewrite the formula to fewer variables first (FO only).
+    pub minimize: bool,
+    /// Tuples to certify via Theorem 3.5 (FP queries only).
+    pub certify: Vec<Vec<u32>>,
+    /// Worker threads (`--threads N`); default = `BVQ_THREADS` else the
+    /// machine's available parallelism. Results are identical either way.
+    pub threads: Option<usize>,
+    /// Absolute wall-clock deadline; fixpoint engines abort between
+    /// rounds once it passes.
+    pub deadline: Option<Instant>,
+}
+
+impl EvalOptions {
+    /// The parallel-evaluation configuration these options select.
+    pub fn config(&self) -> EvalConfig {
+        let cfg = match self.threads {
+            Some(t) => EvalConfig::with_threads(t),
+            None => EvalConfig::from_env(),
+        };
+        match self.deadline {
+            Some(d) => cfg.with_deadline(d),
+            None => cfg,
+        }
+    }
+}
+
+/// A prepared (parsed, classified, possibly width-minimized) query —
+/// the unit the server's plan cache stores.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// The parsed query (after optional minimization).
+    pub query: Query,
+    /// The query's language, as used for dispatch and stats.
+    pub language: Language,
+    /// The formula width (after minimization), including output vars.
+    pub width: usize,
+    /// The effective variable bound `k`.
+    pub k: usize,
+    /// A note when minimization reduced the width.
+    pub minimized: Option<String>,
+}
+
+impl Plan {
+    /// The display label for the plan's language row (`FO`, `FP`, …).
+    pub fn language_label(&self) -> &'static str {
+        match self.language {
+            Language::Fo => "FO",
+            Language::Fp => "FP",
+            _ => "PFP/IFP",
+        }
+    }
+}
+
+/// Parses and classifies a query, applying `--minimize` and resolving
+/// the effective `k`. Pure function of `(query text, options)` — which
+/// is exactly why the server can cache its output keyed by those.
+pub fn prepare(query: &str, opts: &EvalOptions) -> Result<Plan, RunError> {
+    let mut q: Query = parse_query(query).map_err(|e| RunError::Parse(e.to_string()))?;
+    let mut minimized = None;
+    if opts.minimize {
+        let slim = q.formula.minimize_width().ok_or_else(|| {
+            RunError::InvalidOption("--minimize applies to first-order queries only".into())
+        })?;
+        if slim.width() < q.formula.width() {
+            minimized = Some(format!(
+                "minimized width {} → {}",
+                q.formula.width(),
+                slim.width()
+            ));
+        }
+        q = Query::new(q.output, slim);
+    }
+    let width = q
+        .formula
+        .width()
+        .max(q.output.iter().map(|v| v.index() + 1).max().unwrap_or(0))
+        .max(1);
+    let k = opts.k.unwrap_or(width);
+    let language = if q.formula.is_first_order() {
+        Language::Fo
+    } else if q.formula.is_fp() {
+        Language::Fp
+    } else {
+        Language::Pfp
+    };
+    if opts.naive && language != Language::Fo {
+        return Err(RunError::InvalidOption(
+            "--naive applies to first-order queries only".into(),
+        ));
+    }
+    Ok(Plan {
+        query: q,
+        language,
+        width,
+        k,
+        minimized,
+    })
+}
+
+/// Evaluates a prepared plan against a database.
+pub fn execute(
+    db: &Database,
+    plan: &Plan,
+    opts: &EvalOptions,
+) -> Result<(Relation, EvalStats), RunError> {
+    let cfg = opts.config();
+    let q = &plan.query;
+    let k = plan.k;
+    let out = if opts.naive {
+        NaiveEvaluator::new(db).with_config(cfg).eval_query(q)?
+    } else {
+        match plan.language {
+            Language::Fo => BoundedEvaluator::new(db, k)
+                .with_config(cfg)
+                .eval_query(q)?,
+            Language::Fp => FpEvaluator::new(db, k).with_config(cfg).eval_query(q)?,
+            _ => PfpEvaluator::new(db, k).with_config(cfg).eval_query(q)?,
+        }
+    };
+    Ok(out)
+}
+
+/// Evaluates a query string against the database, returning the rendered
+/// report (also used by the REPL and `bvq eval`).
+pub fn run_eval(db: &Database, query: &str, opts: &EvalOptions) -> Result<String, RunError> {
+    let plan = prepare(query, opts)?;
+    let mut out = String::new();
+    let push = |out: &mut String, s: String| {
+        out.push_str(&s);
+        out.push('\n');
+    };
+    push(
+        &mut out,
+        format!(
+            "language: {}^{} (width {})",
+            plan.language_label(),
+            plan.k,
+            plan.width
+        ),
+    );
+    if let Some(note) = &plan.minimized {
+        push(&mut out, note.clone());
+    }
+    let (answer, stats) = execute(db, &plan, opts)?;
+    render_answer(&mut out, &plan.query, &answer);
+    push(&mut out, format!("stats: {stats}"));
+
+    for t in &opts.certify {
+        let q = &plan.query;
+        if !q.formula.is_fp() || q.formula.is_first_order() {
+            return Err(RunError::InvalidOption(
+                "--certify applies to FP (lfp/gfp) queries only".into(),
+            ));
+        }
+        let checker = CertifiedChecker::new(db, plan.k);
+        let (member, size, vstats) = checker.decide(q, t)?;
+        push(
+            &mut out,
+            format!(
+                "certify {t:?}: member = {member} ({} certificate tuples, {} verify applications)",
+                size, vstats.fixpoint_iterations
+            ),
+        );
+    }
+    Ok(out)
+}
+
+/// Evaluates an ESO sentence/query string.
+pub fn run_eso(db: &Database, query: &str, k: Option<usize>) -> Result<String, RunError> {
+    let eso = parse_eso(query).map_err(|e| RunError::Parse(e.to_string()))?;
+    let k = k.unwrap_or_else(|| eso.width().max(1));
+    let ev = EsoEvaluator::new(db, k);
+    let free = eso.body.free_vars();
+    let mut out = String::new();
+    if free.is_empty() {
+        let (sat, info) = ev.check_with_info(&eso, &[], &[])?;
+        out.push_str(&format!(
+            "ESO^{k} sentence: {sat}\ngrounding: {} vars, {} clauses, {} quantified tuples\n",
+            info.sat_vars, info.clauses, info.referenced_tuples
+        ));
+        if sat {
+            if let Some(env) = ev.check_with_witness(&eso, &[], &[])? {
+                for (name, rel) in env.iter() {
+                    out.push_str(&format!("witness {name} = {:?}\n", rel.sorted()));
+                }
+            }
+        }
+    } else {
+        let answer = ev.eval_query(&eso, &free)?;
+        out.push_str(&format!(
+            "ESO^{k} answers over {:?}: {:?}\n",
+            free,
+            answer.sorted()
+        ));
+    }
+    Ok(out)
+}
+
+fn render_answer(out: &mut String, q: &Query, answer: &Relation) {
+    if q.output.is_empty() {
+        out.push_str(&format!("answer: {}\n", answer.as_boolean()));
+    } else {
+        let rows = answer.sorted();
+        out.push_str(&format!("answer: {} tuples\n", rows.len()));
+        for t in rows.iter().take(50) {
+            out.push_str(&format!("  {t}\n"));
+        }
+        if rows.len() > 50 {
+            out.push_str(&format!("  … and {} more\n", rows.len() - 50));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvq_relation::parse_database;
+
+    fn db() -> Database {
+        parse_database("domain 4\nrel E/2\n0 1\n1 2\n2 3\nend\nrel P/1\n2\nend").unwrap()
+    }
+
+    #[test]
+    fn prepare_classifies_languages() {
+        let fo = prepare("(x1) P(x1)", &EvalOptions::default()).unwrap();
+        assert_eq!(fo.language, Language::Fo);
+        let fp = prepare("(x1) [lfp S(x1). S(x1)](x1)", &EvalOptions::default()).unwrap();
+        assert_eq!(fp.language, Language::Fp);
+        let pfp = prepare("(x1) [pfp S(x1). ~S(x1)](x1)", &EvalOptions::default()).unwrap();
+        assert_eq!(pfp.language, Language::Pfp);
+    }
+
+    #[test]
+    fn error_codes_by_kind() {
+        let parse = run_eval(&db(), "(x1) E(x1", &EvalOptions::default()).unwrap_err();
+        assert_eq!(parse.code(), "parse_error");
+        let opts = EvalOptions {
+            naive: true,
+            ..Default::default()
+        };
+        let invalid = run_eval(&db(), "(x1) [lfp S(x1). S(x1)](x1)", &opts).unwrap_err();
+        assert_eq!(invalid.code(), "invalid_option");
+        let unknown = run_eval(&db(), "(x1) Zap(x1)", &EvalOptions::default()).unwrap_err();
+        assert_eq!(unknown.code(), "eval_error");
+        let opts = EvalOptions {
+            deadline: Some(Instant::now()),
+            ..Default::default()
+        };
+        let deadline = run_eval(
+            &db(),
+            "(x1) [lfp S(x1). (x1 = 0 | exists x2. (S(x2) & E(x2,x1)))](x1)",
+            &opts,
+        )
+        .unwrap_err();
+        assert_eq!(deadline.code(), "deadline_exceeded");
+        assert_eq!(deadline, RunError::Eval(EvalError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn run_eval_renders_like_before() {
+        let out = run_eval(
+            &db(),
+            "(x1) exists x2. (E(x1,x2) & P(x2))",
+            &EvalOptions::default(),
+        )
+        .unwrap();
+        assert!(out.contains("language: FO^2"));
+        assert!(out.contains("answer: 1 tuples"));
+        assert!(out.contains("⟨1⟩"));
+    }
+}

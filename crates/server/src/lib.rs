@@ -1,0 +1,42 @@
+//! `bvq-server`: a concurrent query-serving subsystem for the
+//! bounded-variable evaluators.
+//!
+//! The complexity results this repository reproduces (Vardi, PODS 1995)
+//! say that *evaluating* a fixed bounded-variable query is cheap —
+//! polynomial with small exponent — which makes the interesting systems
+//! problem *serving* many such queries: amortising parsing and
+//! evaluation across repeated requests, bounding concurrent work, and
+//! degrading predictably under overload. This crate provides exactly
+//! that:
+//!
+//! - [`server::Server`] — a TCP server speaking line-delimited JSON
+//!   ([`protocol`]), with a fixed worker pool fed by a **bounded**
+//!   queue (load shedding via `overloaded`), per-request deadlines
+//!   enforced between fixpoint rounds, plan and result LRU caches
+//!   ([`lru`]), and a live [`stats`] registry.
+//! - [`client::Client`] — a blocking client used by the CLI, the
+//!   integration tests, and the `server_throughput` bench.
+//! - [`exec`] — the evaluator front-end shared with the CLI
+//!   (`RunError`, `run_eval`, `run_eso`), where protocol error codes
+//!   come from typed error kinds rather than string matching.
+//! - [`json`] — a minimal dependency-free JSON reader/writer (the
+//!   workspace is hermetic: no serde).
+//!
+//! Everything is `std`-only.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod exec;
+pub mod json;
+pub mod lru;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use client::Client;
+pub use exec::{run_eso, run_eval, EvalOptions, Plan, RunError};
+pub use json::Json;
+pub use protocol::{ProtoError, Request};
+pub use server::{ResultPayload, Server, ServerConfig, ServerHandle};
+pub use stats::{Language, StatsRegistry};

@@ -1,0 +1,129 @@
+//! A small LRU cache for plans and results.
+//!
+//! Backed by a hash map of `key → (value, last-use stamp)` with a
+//! monotonic counter; eviction scans for the smallest stamp. Insertion
+//! is O(capacity) in the worst case, which is irrelevant at the cache
+//! sizes the server uses (hundreds of entries) and keeps the
+//! implementation dependency-free and obviously correct. A capacity of
+//! zero disables the cache entirely (every lookup misses, inserts are
+//! dropped) — the cold path the `server_throughput` bench measures.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A least-recently-used cache.
+#[derive(Debug)]
+pub struct Lru<K, V> {
+    capacity: usize,
+    stamp: u64,
+    map: HashMap<K, (V, u64)>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Lru<K, V> {
+    /// A cache holding at most `capacity` entries (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        Lru {
+            capacity,
+            stamp: 0,
+            map: HashMap::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.map.get_mut(key).map(|(v, s)| {
+            *s = stamp;
+            v.clone()
+        })
+    }
+
+    /// Inserts `key → value`, evicting the least-recently-used entry if
+    /// the cache is full. No-op at capacity 0.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.stamp += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, s))| *s)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (value, self.stamp));
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops every entry (used when a database is reloaded).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Drops entries whose key fails the predicate.
+    pub fn retain(&mut self, mut keep: impl FnMut(&K) -> bool) {
+        self.map.retain(|k, _| keep(k));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = Lru::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(1)); // refresh `a`
+        c.insert("c", 3); // evicts `b`
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"a"), Some(1));
+        assert_eq!(c.get(&"c"), Some(3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_eviction() {
+        let mut c = Lru::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("a", 10);
+        assert_eq!(c.get(&"a"), Some(10));
+        assert_eq!(c.get(&"b"), Some(2));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = Lru::new(0);
+        c.insert("a", 1);
+        assert_eq!(c.get(&"a"), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn retain_and_clear() {
+        let mut c = Lru::new(8);
+        for i in 0..5 {
+            c.insert(i, i * 10);
+        }
+        c.retain(|k| k % 2 == 0);
+        assert_eq!(c.len(), 3);
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

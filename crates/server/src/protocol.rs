@@ -1,0 +1,366 @@
+//! The wire protocol: line-delimited JSON requests and responses.
+//!
+//! Every request is one JSON object on one line with an `"op"` field and
+//! an optional `"id"` echoed back verbatim. Responses carry `"ok":true`
+//! plus op-specific fields, or `"ok":false` with a structured
+//! `{"code","message"}` error — never a bare string, so clients (and the
+//! integration tests) branch on `code`, not on message text.
+//!
+//! ```text
+//! request   := { "op": <op>, "id"?: <any>, ...op fields }
+//! op        := "ping" | "list_dbs" | "load_db" | "stats" | "shutdown"
+//!            | "eval" | "eso" | "datalog" | "debug_sleep"
+//! response  := { "id": <echo>, "ok": true, ... }
+//!            | { "id": <echo>, "ok": false,
+//!                "error": { "code": <code>, "message": <string> } }
+//! stream    := header { ..., "stream": true, "count": N }
+//!              then N lines { "row": [e, ...] }
+//!              then { "done": true, "count": N }
+//! ```
+//!
+//! Error codes: `bad_request`, `unknown_op`, `unknown_db`, `parse_error`,
+//! `invalid_option`, `eval_error`, `deadline_exceeded`, `overloaded`,
+//! `shutting_down`, `db_error`, `internal`.
+
+use crate::json::Json;
+
+/// A parsed request: the echoed id plus the operation.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The request id, echoed back in the response (`Null` if absent).
+    pub id: Json,
+    /// The operation to perform.
+    pub op: Op,
+}
+
+/// The operations the server understands. Control-plane ops run inline
+/// on the connection thread; compute ops go through the bounded queue.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Liveness probe.
+    Ping,
+    /// List loaded databases.
+    ListDbs,
+    /// Load (or replace) a named database from db-text.
+    LoadDb {
+        /// Name the database will be addressed by.
+        name: String,
+        /// The database in db-text format.
+        text: String,
+    },
+    /// Snapshot the stats registry.
+    Stats,
+    /// Graceful shutdown: drain in-flight work, then stop.
+    Shutdown,
+    /// A compute request (queued, runs on a worker).
+    Compute(Compute),
+}
+
+/// A compute request: what to run, against which database, under which
+/// deadline.
+#[derive(Clone, Debug)]
+pub struct Compute {
+    /// Name of the target database (empty for `debug_sleep`).
+    pub db: String,
+    /// The work itself.
+    pub kind: ComputeKind,
+    /// Per-request deadline in milliseconds (overrides the server
+    /// default); measured from enqueue, so queue wait counts.
+    pub deadline_ms: Option<u64>,
+    /// Stream the answer tuple-by-tuple instead of one response object.
+    pub stream: bool,
+    /// Bypass the result cache (still records a miss).
+    pub no_cache: bool,
+}
+
+/// The kinds of compute work.
+#[derive(Clone, Debug)]
+pub enum ComputeKind {
+    /// An FO/FP/PFP query (the `eval` op).
+    Eval {
+        /// Query text.
+        query: String,
+        /// Variable bound override.
+        k: Option<usize>,
+        /// Use the naive evaluator (FO only).
+        naive: bool,
+        /// Width-minimize first (FO only).
+        minimize: bool,
+        /// Evaluator thread count.
+        threads: Option<usize>,
+    },
+    /// An ESO sentence/query (the `eso` op).
+    Eso {
+        /// ESO text.
+        query: String,
+        /// Variable bound override.
+        k: Option<usize>,
+    },
+    /// A Datalog program (the `datalog` op).
+    Datalog {
+        /// Program text.
+        program: String,
+        /// Output predicate to return.
+        output: String,
+        /// Use naive instead of semi-naive evaluation.
+        naive: bool,
+    },
+    /// Occupy a worker for `millis` ms (`debug_sleep`; only when the
+    /// server runs with `debug_ops` — used by backpressure tests).
+    Sleep {
+        /// How long to hold the worker.
+        millis: u64,
+    },
+}
+
+impl ComputeKind {
+    /// The plan/result-cache key for this request: every plan-affecting
+    /// input, concatenated. Two requests with equal keys have equal
+    /// answers on databases with equal fingerprints.
+    pub fn cache_key(&self) -> String {
+        match self {
+            ComputeKind::Eval {
+                query,
+                k,
+                naive,
+                minimize,
+                ..
+            } => format!("eval|k={k:?}|naive={naive}|min={minimize}|{query}"),
+            ComputeKind::Eso { query, k } => format!("eso|k={k:?}|{query}"),
+            ComputeKind::Datalog {
+                program,
+                output,
+                naive,
+            } => format!("datalog|out={output}|naive={naive}|{program}"),
+            ComputeKind::Sleep { millis } => format!("sleep|{millis}"),
+        }
+    }
+}
+
+/// A protocol-level error: the `code` a client branches on plus a
+/// human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Stable error code (see module docs for the full set).
+    pub code: String,
+    /// Diagnostic message.
+    pub message: String,
+}
+
+impl ProtoError {
+    /// Builds an error from a code and message.
+    pub fn new(code: &str, message: impl Into<String>) -> Self {
+        ProtoError {
+            code: code.into(),
+            message: message.into(),
+        }
+    }
+}
+
+/// Parses one request line. On failure returns the echoed id (if the
+/// line parsed as JSON at all) and the error to report — the connection
+/// stays open either way.
+pub fn parse_request(line: &str) -> Result<Request, (Json, ProtoError)> {
+    let json = Json::parse(line)
+        .map_err(|e| (Json::Null, ProtoError::new("bad_request", e.to_string())))?;
+    let id = json.get("id").cloned().unwrap_or(Json::Null);
+    let op = match json.get("op").and_then(Json::as_str) {
+        Some(op) => op,
+        None => {
+            return Err((
+                id,
+                ProtoError::new("bad_request", "missing string field `op`"),
+            ))
+        }
+    };
+    let need_str = |field: &str| -> Result<String, (Json, ProtoError)> {
+        json.get(field)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| {
+                (
+                    id.clone(),
+                    ProtoError::new(
+                        "bad_request",
+                        format!("`{op}` needs string field `{field}`"),
+                    ),
+                )
+            })
+    };
+    let opt_u64 = |field: &str| json.get(field).and_then(Json::as_u64);
+    let flag = |field: &str| json.get(field).map(Json::is_true).unwrap_or(false);
+
+    let parsed = match op {
+        "ping" => Op::Ping,
+        "list_dbs" => Op::ListDbs,
+        "stats" => Op::Stats,
+        "shutdown" => Op::Shutdown,
+        "load_db" => Op::LoadDb {
+            name: need_str("name")?,
+            text: need_str("text")?,
+        },
+        "eval" => Op::Compute(Compute {
+            db: need_str("db")?,
+            kind: ComputeKind::Eval {
+                query: need_str("query")?,
+                k: opt_u64("k").map(|v| v as usize),
+                naive: flag("naive"),
+                minimize: flag("minimize"),
+                threads: opt_u64("threads").map(|v| v as usize),
+            },
+            deadline_ms: opt_u64("deadline_ms"),
+            stream: flag("stream"),
+            no_cache: flag("no_cache"),
+        }),
+        "eso" => Op::Compute(Compute {
+            db: need_str("db")?,
+            kind: ComputeKind::Eso {
+                query: need_str("query")?,
+                k: opt_u64("k").map(|v| v as usize),
+            },
+            deadline_ms: opt_u64("deadline_ms"),
+            stream: false,
+            no_cache: flag("no_cache"),
+        }),
+        "datalog" => Op::Compute(Compute {
+            db: need_str("db")?,
+            kind: ComputeKind::Datalog {
+                program: need_str("program")?,
+                output: need_str("output")?,
+                naive: flag("naive"),
+            },
+            deadline_ms: opt_u64("deadline_ms"),
+            stream: flag("stream"),
+            no_cache: flag("no_cache"),
+        }),
+        "debug_sleep" => Op::Compute(Compute {
+            db: String::new(),
+            kind: ComputeKind::Sleep {
+                millis: opt_u64("millis").unwrap_or(100),
+            },
+            deadline_ms: opt_u64("deadline_ms"),
+            stream: false,
+            no_cache: true,
+        }),
+        other => {
+            return Err((
+                id,
+                ProtoError::new("unknown_op", format!("unknown op `{other}`")),
+            ))
+        }
+    };
+    Ok(Request { id, op: parsed })
+}
+
+/// Builds an `ok:true` response with the given extra fields.
+pub fn ok_response(id: &Json, fields: Vec<(String, Json)>) -> Json {
+    let mut obj = vec![
+        ("id".to_string(), id.clone()),
+        ("ok".to_string(), Json::Bool(true)),
+    ];
+    obj.extend(fields);
+    Json::Obj(obj)
+}
+
+/// Builds an `ok:false` response carrying a structured error.
+pub fn err_response(id: &Json, err: &ProtoError) -> Json {
+    Json::Obj(vec![
+        ("id".to_string(), id.clone()),
+        ("ok".to_string(), Json::Bool(false)),
+        (
+            "error".to_string(),
+            Json::obj([
+                ("code", Json::Str(err.code.clone())),
+                ("message", Json::Str(err.message.clone())),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_eval_request() {
+        let req = parse_request(
+            r#"{"op":"eval","id":7,"db":"g","query":"(x1) E(x1,x1)","k":3,"stream":true}"#,
+        )
+        .unwrap();
+        assert_eq!(req.id, Json::Num(7.0));
+        match req.op {
+            Op::Compute(c) => {
+                assert_eq!(c.db, "g");
+                assert!(c.stream);
+                match c.kind {
+                    ComputeKind::Eval { query, k, .. } => {
+                        assert_eq!(query, "(x1) E(x1,x1)");
+                        assert_eq!(k, Some(3));
+                    }
+                    other => panic!("wrong kind: {other:?}"),
+                }
+            }
+            other => panic!("wrong op: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_bad_request() {
+        let (id, err) = parse_request("{nope").unwrap_err();
+        assert_eq!(id, Json::Null);
+        assert_eq!(err.code, "bad_request");
+    }
+
+    #[test]
+    fn missing_fields_echo_id() {
+        let (id, err) = parse_request(r#"{"op":"eval","id":"a"}"#).unwrap_err();
+        assert_eq!(id, Json::Str("a".into()));
+        assert_eq!(err.code, "bad_request");
+        let (_, err) = parse_request(r#"{"op":"warp"}"#).unwrap_err();
+        assert_eq!(err.code, "unknown_op");
+    }
+
+    #[test]
+    fn cache_keys_distinguish_options() {
+        let a = ComputeKind::Eval {
+            query: "q".into(),
+            k: Some(2),
+            naive: false,
+            minimize: false,
+            threads: None,
+        };
+        let b = ComputeKind::Eval {
+            query: "q".into(),
+            k: Some(3),
+            naive: false,
+            minimize: false,
+            threads: Some(4),
+        };
+        assert_ne!(a.cache_key(), b.cache_key());
+        // Threads never affect answers, so they are not in the key.
+        let c = ComputeKind::Eval {
+            query: "q".into(),
+            k: Some(3),
+            naive: false,
+            minimize: false,
+            threads: None,
+        };
+        assert_eq!(b.cache_key(), c.cache_key());
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let ok = ok_response(&Json::Num(1.0), vec![("pong".into(), Json::Bool(true))]);
+        let parsed = Json::parse(&ok.to_string_compact()).unwrap();
+        assert!(parsed.get("ok").map(Json::is_true).unwrap());
+        let err = err_response(&Json::Null, &ProtoError::new("overloaded", "queue full"));
+        let parsed = Json::parse(&err.to_string_compact()).unwrap();
+        assert_eq!(
+            parsed
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("overloaded")
+        );
+    }
+}

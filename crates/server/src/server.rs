@@ -1,0 +1,972 @@
+//! The query server: acceptor, per-connection threads, and a fixed
+//! worker pool fed by a bounded queue.
+//!
+//! Concurrency model:
+//!
+//! - One **acceptor** thread; one thread per connection reading
+//!   line-delimited JSON requests.
+//! - Control-plane ops (`ping`, `stats`, `list_dbs`, `load_db`,
+//!   `shutdown`) run inline on the connection thread — they must stay
+//!   responsive even when every worker is busy.
+//! - Compute ops (`eval`, `eso`, `datalog`, `debug_sleep`) are pushed
+//!   onto a **bounded** `sync_channel` with `try_send`: a full queue
+//!   sheds the request with a structured `overloaded` error instead of
+//!   buffering unboundedly. The connection thread then blocks on the
+//!   job's private reply channel, so each connection has at most one
+//!   compute request in flight and the queue bound is the real
+//!   admission control.
+//! - Each job carries an absolute deadline (request `deadline_ms` or
+//!   the server default), measured **from enqueue** so queue wait
+//!   counts against it; workers pass it into [`EvalConfig`], where the
+//!   fixpoint engines check it between rounds.
+//!
+//! Caching: a plan LRU keyed by the full plan-affecting request text,
+//! and a result LRU keyed by `(plan key, database fingerprint)`.
+//! Because the fingerprint is a structural hash of the database
+//! content, reloading a database never needs explicit invalidation —
+//! a changed database changes the key, and an identical reload (or a
+//! second database with identical content) keeps hitting.
+//!
+//! Graceful shutdown: the flag flips first (new compute requests get
+//! `shutting_down`), then the already-admitted queue drains and
+//! in-flight jobs complete and deliver their responses, then worker
+//! threads stop via sentinel messages and are joined.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use bvq_datalog::{eval_naive_with, eval_seminaive_with, Program};
+use bvq_logic::parser::parse_eso;
+use bvq_relation::{Database, EvalConfig, Tuple};
+
+use crate::exec::{self, EvalOptions, RunError};
+use crate::json::Json;
+use crate::lru::Lru;
+use crate::protocol::{
+    err_response, ok_response, parse_request, Compute, ComputeKind, Op, ProtoError, Request,
+};
+use crate::stats::{dec, inc, Language, StatsRegistry};
+
+/// Server construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker threads executing compute jobs.
+    pub workers: usize,
+    /// Bounded-queue capacity; a full queue sheds with `overloaded`.
+    pub queue_capacity: usize,
+    /// Plan-cache entries (0 disables).
+    pub plan_cache_capacity: usize,
+    /// Result-cache entries (0 disables).
+    pub result_cache_capacity: usize,
+    /// Default per-request deadline when the request sets none.
+    pub default_deadline_ms: Option<u64>,
+    /// Enable `debug_sleep` (used by backpressure tests/benches).
+    pub debug_ops: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+            queue_capacity: 64,
+            plan_cache_capacity: 256,
+            result_cache_capacity: 256,
+            default_deadline_ms: None,
+            debug_ops: false,
+        }
+    }
+}
+
+/// A loaded database plus its structural fingerprint.
+pub struct DbEntry {
+    /// Name clients address it by.
+    pub name: String,
+    /// The database itself.
+    pub db: Database,
+    /// [`Database::fingerprint`], the result-cache key component.
+    pub fingerprint: u64,
+}
+
+/// A cached answer, shared between the cache and in-flight responses.
+pub struct ResultPayload {
+    /// Language the request was classified as.
+    pub language: Language,
+    /// Effective variable bound (0 where not applicable).
+    pub k: usize,
+    /// Formula width (0 where not applicable).
+    pub width: usize,
+    /// `Some(truth value)` for boolean (sentence) queries.
+    pub boolean: Option<bool>,
+    /// Sorted answer tuples (empty for boolean queries).
+    pub rows: Vec<Tuple>,
+    /// Rendered report, for ops whose answer is textual (ESO).
+    pub text: Option<String>,
+}
+
+#[derive(Clone)]
+enum PlanEntry {
+    Query(Arc<exec::Plan>),
+    Datalog(Arc<DatalogPlan>),
+}
+
+struct DatalogPlan {
+    program: Program,
+}
+
+enum Outcome {
+    Done {
+        payload: Arc<ResultPayload>,
+        cached: bool,
+    },
+    Slept {
+        millis: u64,
+    },
+    Failed {
+        error: ProtoError,
+        language: Language,
+    },
+}
+
+struct Job {
+    compute: Compute,
+    db: Option<Arc<DbEntry>>,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<Outcome>,
+}
+
+enum Msg {
+    Job(Box<Job>),
+    Stop,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    addr: SocketAddr,
+    dbs: RwLock<HashMap<String, Arc<DbEntry>>>,
+    plan_cache: Mutex<Lru<String, PlanEntry>>,
+    result_cache: Mutex<Lru<(String, u64), Arc<ResultPayload>>>,
+    stats: StatsRegistry,
+    shutting_down: AtomicBool,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        if !self.shutting_down.swap(true, Ordering::SeqCst) {
+            // Wake the acceptor out of its blocking accept().
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    fn drained(&self) -> bool {
+        self.stats.queue_depth.load(Ordering::SeqCst) == 0
+            && self.stats.inflight.load(Ordering::SeqCst) == 0
+    }
+
+    fn wait_drained(&self) {
+        while !self.drained() {
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+/// The server entry point.
+pub struct Server;
+
+impl Server {
+    /// Binds, spawns the worker pool and the acceptor, and returns a
+    /// handle. Databases are loaded via [`ServerHandle::load_db`] or
+    /// the `load_db` protocol op.
+    pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = cfg.workers.max(1);
+        let (tx, rx) = mpsc::sync_channel::<Msg>(cfg.queue_capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let shared = Arc::new(Shared {
+            plan_cache: Mutex::new(Lru::new(cfg.plan_cache_capacity)),
+            result_cache: Mutex::new(Lru::new(cfg.result_cache_capacity)),
+            cfg,
+            addr,
+            dbs: RwLock::new(HashMap::new()),
+            stats: StatsRegistry::new(),
+            shutting_down: AtomicBool::new(false),
+        });
+
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let shared = shared.clone();
+            let rx = rx.clone();
+            worker_handles.push(
+                thread::Builder::new()
+                    .name(format!("bvq-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))?,
+            );
+        }
+
+        let acceptor = {
+            let shared = shared.clone();
+            let tx = tx.clone();
+            thread::Builder::new()
+                .name("bvq-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &shared, &tx))?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            tx,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+}
+
+/// Owner handle for a running server: address, programmatic database
+/// loading, stats access, and shutdown/join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    tx: SyncSender<Msg>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with `addr: "127.0.0.1:0"`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live stats registry.
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.shared.stats
+    }
+
+    /// Loads (or replaces) a named database in-process.
+    pub fn load_db(&self, name: &str, db: Database) {
+        let entry = Arc::new(DbEntry {
+            name: name.to_string(),
+            fingerprint: db.fingerprint(),
+            db,
+        });
+        self.shared
+            .dbs
+            .write()
+            .unwrap()
+            .insert(name.to_string(), entry);
+    }
+
+    /// Whether a shutdown (client- or owner-initiated) has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Initiates graceful shutdown and joins all server threads.
+    /// In-flight compute jobs complete and deliver their responses.
+    pub fn shutdown(&mut self) {
+        self.shared.begin_shutdown();
+        self.finalize();
+    }
+
+    /// Blocks until a client-initiated `shutdown` op (or a concurrent
+    /// [`ServerHandle::shutdown`]) stops the server, then joins.
+    pub fn wait(mut self) {
+        while !self.is_shutting_down() {
+            thread::sleep(Duration::from_millis(10));
+        }
+        self.finalize();
+    }
+
+    fn finalize(&mut self) {
+        if self.acceptor.is_none() {
+            return;
+        }
+        self.shared.wait_drained();
+        for _ in 0..self.workers.len() {
+            // The queue is drained, so these cannot block for long.
+            let _ = self.tx.send(Msg::Stop);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.shared.begin_shutdown();
+            self.finalize();
+        }
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>, tx: &SyncSender<Msg>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break; // The wake-up connection (or a late client).
+                }
+                inc(&shared.stats.connections);
+                let shared = shared.clone();
+                let tx = tx.clone();
+                let _ = thread::Builder::new()
+                    .name("bvq-conn".into())
+                    .spawn(move || {
+                        let _ = handle_connection(stream, &shared, &tx);
+                    });
+            }
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    shared: &Arc<Shared>,
+    tx: &SyncSender<Msg>,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        inc(&shared.stats.requests);
+        process_line(&line, shared, tx, &mut writer)?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+fn write_json<W: Write + ?Sized>(writer: &mut W, json: &Json) -> io::Result<()> {
+    writeln!(writer, "{}", json.to_string_compact())
+}
+
+fn process_line(
+    line: &str,
+    shared: &Arc<Shared>,
+    tx: &SyncSender<Msg>,
+    writer: &mut impl Write,
+) -> io::Result<()> {
+    let Request { id, op } = match parse_request(line) {
+        Ok(req) => req,
+        Err((id, error)) => {
+            inc(&shared.stats.errors);
+            return write_json(writer, &err_response(&id, &error));
+        }
+    };
+    match op {
+        Op::Ping => {
+            inc(&shared.stats.ok);
+            write_json(
+                writer,
+                &ok_response(&id, vec![("pong".into(), Json::Bool(true))]),
+            )
+        }
+        Op::Stats => {
+            inc(&shared.stats.ok);
+            let snapshot = shared
+                .stats
+                .to_json(shared.cfg.queue_capacity, shared.cfg.workers.max(1));
+            write_json(writer, &ok_response(&id, vec![("stats".into(), snapshot)]))
+        }
+        Op::ListDbs => {
+            inc(&shared.stats.ok);
+            let dbs = shared.dbs.read().unwrap();
+            let mut entries: Vec<&Arc<DbEntry>> = dbs.values().collect();
+            entries.sort_by(|a, b| a.name.cmp(&b.name));
+            let list = entries
+                .iter()
+                .map(|e| {
+                    Json::obj([
+                        ("name", Json::Str(e.name.clone())),
+                        ("domain_size", Json::num(e.db.domain_size() as u64)),
+                        ("relations", Json::num(e.db.schema().len() as u64)),
+                        ("fingerprint", Json::Str(format!("{:016x}", e.fingerprint))),
+                    ])
+                })
+                .collect();
+            write_json(
+                writer,
+                &ok_response(&id, vec![("dbs".into(), Json::Arr(list))]),
+            )
+        }
+        Op::LoadDb { name, text } => match bvq_relation::parse_database(&text) {
+            Ok(db) => {
+                let entry = Arc::new(DbEntry {
+                    name: name.clone(),
+                    fingerprint: db.fingerprint(),
+                    db,
+                });
+                let fp = entry.fingerprint;
+                let n = entry.db.domain_size();
+                shared.dbs.write().unwrap().insert(name.clone(), entry);
+                inc(&shared.stats.ok);
+                write_json(
+                    writer,
+                    &ok_response(
+                        &id,
+                        vec![
+                            ("loaded".into(), Json::Str(name)),
+                            ("fingerprint".into(), Json::Str(format!("{fp:016x}"))),
+                            ("domain_size".into(), Json::num(n as u64)),
+                        ],
+                    ),
+                )
+            }
+            Err(e) => {
+                inc(&shared.stats.errors);
+                write_json(
+                    writer,
+                    &err_response(&id, &ProtoError::new("db_error", e.to_string())),
+                )
+            }
+        },
+        Op::Shutdown => {
+            shared.begin_shutdown();
+            shared.wait_drained();
+            inc(&shared.stats.ok);
+            write_json(
+                writer,
+                &ok_response(&id, vec![("stopped".into(), Json::Bool(true))]),
+            )
+        }
+        Op::Compute(compute) => handle_compute(compute, id, shared, tx, writer),
+    }
+}
+
+fn handle_compute(
+    compute: Compute,
+    id: Json,
+    shared: &Arc<Shared>,
+    tx: &SyncSender<Msg>,
+    writer: &mut impl Write,
+) -> io::Result<()> {
+    let fail = |shared: &Shared, writer: &mut dyn Write, error: &ProtoError| {
+        inc(&shared.stats.errors);
+        write_json(writer, &err_response(&id, error))
+    };
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return fail(
+            shared,
+            writer,
+            &ProtoError::new("shutting_down", "server is shutting down"),
+        );
+    }
+    if matches!(compute.kind, ComputeKind::Sleep { .. }) && !shared.cfg.debug_ops {
+        return fail(
+            shared,
+            writer,
+            &ProtoError::new("unknown_op", "debug ops are disabled on this server"),
+        );
+    }
+    let db = if matches!(compute.kind, ComputeKind::Sleep { .. }) {
+        None
+    } else {
+        match shared.dbs.read().unwrap().get(&compute.db) {
+            Some(entry) => Some(entry.clone()),
+            None => {
+                return fail(
+                    shared,
+                    writer,
+                    &ProtoError::new(
+                        "unknown_db",
+                        format!("no database named `{}` is loaded", compute.db),
+                    ),
+                )
+            }
+        }
+    };
+    let deadline = compute
+        .deadline_ms
+        .or(shared.cfg.default_deadline_ms)
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let stream = compute.stream;
+    let job = Box::new(Job {
+        compute,
+        db,
+        deadline,
+        reply: reply_tx,
+    });
+    // Gauge first so a drain never misses an admitted job.
+    inc(&shared.stats.queue_depth);
+    match tx.try_send(Msg::Job(job)) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            dec(&shared.stats.queue_depth);
+            inc(&shared.stats.overloaded);
+            return fail(
+                shared,
+                writer,
+                &ProtoError::new("overloaded", "compute queue is full, retry later"),
+            );
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            dec(&shared.stats.queue_depth);
+            return fail(
+                shared,
+                writer,
+                &ProtoError::new("shutting_down", "server is shutting down"),
+            );
+        }
+    }
+    let enqueued = Instant::now();
+    match reply_rx.recv() {
+        Ok(Outcome::Failed { error, language }) => {
+            if error.code == "deadline_exceeded" {
+                inc(&shared.stats.deadline_exceeded);
+            }
+            shared.stats.record_latency(language, enqueued.elapsed());
+            fail(shared, writer, &error)
+        }
+        Ok(Outcome::Slept { millis }) => {
+            inc(&shared.stats.ok);
+            shared
+                .stats
+                .record_latency(Language::Other, enqueued.elapsed());
+            write_json(
+                writer,
+                &ok_response(&id, vec![("slept_ms".into(), Json::num(millis))]),
+            )
+        }
+        Ok(Outcome::Done { payload, cached }) => {
+            inc(&shared.stats.ok);
+            shared
+                .stats
+                .record_latency(payload.language, enqueued.elapsed());
+            write_result(&id, &payload, cached, stream, writer)
+        }
+        Err(_) => fail(
+            shared,
+            writer,
+            &ProtoError::new("internal", "worker dropped the reply channel"),
+        ),
+    }
+}
+
+fn row_json(t: &Tuple) -> Json {
+    Json::Arr(t.as_slice().iter().map(|&e| Json::num(e as u64)).collect())
+}
+
+fn write_result(
+    id: &Json,
+    payload: &ResultPayload,
+    cached: bool,
+    stream: bool,
+    writer: &mut impl Write,
+) -> io::Result<()> {
+    let mut fields: Vec<(String, Json)> = vec![
+        (
+            "language".into(),
+            Json::Str(payload.language.label().into()),
+        ),
+        ("cached".into(), Json::Bool(cached)),
+    ];
+    if payload.k > 0 {
+        fields.push(("k".into(), Json::num(payload.k as u64)));
+    }
+    if payload.width > 0 {
+        fields.push(("width".into(), Json::num(payload.width as u64)));
+    }
+    if let Some(text) = &payload.text {
+        fields.push(("text".into(), Json::Str(text.clone())));
+        return write_json(writer, &ok_response(id, fields));
+    }
+    if let Some(b) = payload.boolean {
+        fields.push(("boolean".into(), Json::Bool(b)));
+        return write_json(writer, &ok_response(id, fields));
+    }
+    let count = payload.rows.len();
+    if stream {
+        // Header, then one line per tuple, then a footer — constant
+        // memory on the wire regardless of answer size.
+        fields.push(("stream".into(), Json::Bool(true)));
+        fields.push(("count".into(), Json::num(count as u64)));
+        write_json(writer, &ok_response(id, fields))?;
+        for t in &payload.rows {
+            write_json(writer, &Json::Obj(vec![("row".into(), row_json(t))]))?;
+        }
+        write_json(
+            writer,
+            &Json::obj([
+                ("done", Json::Bool(true)),
+                ("count", Json::num(count as u64)),
+            ]),
+        )
+    } else {
+        fields.push(("count".into(), Json::num(count as u64)));
+        fields.push((
+            "rows".into(),
+            Json::Arr(payload.rows.iter().map(row_json).collect()),
+        ));
+        write_json(writer, &ok_response(id, fields))
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Msg>>>) {
+    loop {
+        let msg = {
+            let rx = rx.lock().unwrap();
+            rx.recv()
+        };
+        match msg {
+            Err(_) | Ok(Msg::Stop) => break,
+            Ok(Msg::Job(job)) => {
+                // Inflight up before queue-depth down, so a drain check
+                // never sees the job in neither gauge.
+                inc(&shared.stats.inflight);
+                dec(&shared.stats.queue_depth);
+                let outcome = run_job(shared, &job);
+                let _ = job.reply.send(outcome);
+                dec(&shared.stats.inflight);
+            }
+        }
+    }
+}
+
+fn run_job(shared: &Shared, job: &Job) -> Outcome {
+    if let Some(d) = job.deadline {
+        if Instant::now() >= d {
+            return Outcome::Failed {
+                error: ProtoError::new(
+                    "deadline_exceeded",
+                    "deadline expired while the request was queued",
+                ),
+                language: Language::Other,
+            };
+        }
+    }
+    match &job.compute.kind {
+        ComputeKind::Sleep { millis } => {
+            thread::sleep(Duration::from_millis((*millis).min(10_000)));
+            Outcome::Slept { millis: *millis }
+        }
+        ComputeKind::Eval {
+            query,
+            k,
+            naive,
+            minimize,
+            threads,
+        } => run_eval_job(shared, job, query, *k, *naive, *minimize, *threads),
+        ComputeKind::Eso { query, k } => run_eso_job(shared, job, query, *k),
+        ComputeKind::Datalog {
+            program,
+            output,
+            naive,
+        } => run_datalog_job(shared, job, program, output, *naive),
+    }
+}
+
+fn run_error(e: RunError, language: Language) -> Outcome {
+    Outcome::Failed {
+        error: ProtoError::new(e.code(), e.to_string()),
+        language,
+    }
+}
+
+fn check_result_cache(
+    shared: &Shared,
+    job: &Job,
+    key: &str,
+) -> Result<Arc<ResultPayload>, (String, u64)> {
+    let entry = job.db.as_ref().expect("compute job carries a database");
+    let rkey = (key.to_string(), entry.fingerprint);
+    if !job.compute.no_cache {
+        if let Some(hit) = shared.result_cache.lock().unwrap().get(&rkey) {
+            inc(&shared.stats.result_hits);
+            return Ok(hit);
+        }
+    }
+    inc(&shared.stats.result_misses);
+    Err(rkey)
+}
+
+fn store_result(shared: &Shared, job: &Job, rkey: (String, u64), payload: &Arc<ResultPayload>) {
+    if !job.compute.no_cache {
+        shared
+            .result_cache
+            .lock()
+            .unwrap()
+            .insert(rkey, payload.clone());
+    }
+}
+
+fn run_eval_job(
+    shared: &Shared,
+    job: &Job,
+    query: &str,
+    k: Option<usize>,
+    naive: bool,
+    minimize: bool,
+    threads: Option<usize>,
+) -> Outcome {
+    let key = job.compute.kind.cache_key();
+    let opts = EvalOptions {
+        k,
+        naive,
+        minimize,
+        certify: Vec::new(),
+        threads,
+        deadline: job.deadline,
+    };
+    let cached_plan = match shared.plan_cache.lock().unwrap().get(&key) {
+        Some(PlanEntry::Query(p)) => Some(p),
+        _ => None,
+    };
+    let plan = match cached_plan {
+        Some(p) => {
+            inc(&shared.stats.plan_hits);
+            p
+        }
+        None => {
+            inc(&shared.stats.plan_misses);
+            match exec::prepare(query, &opts) {
+                Ok(p) => {
+                    let p = Arc::new(p);
+                    shared
+                        .plan_cache
+                        .lock()
+                        .unwrap()
+                        .insert(key.clone(), PlanEntry::Query(p.clone()));
+                    p
+                }
+                Err(e) => return run_error(e, Language::Other),
+            }
+        }
+    };
+    let rkey = match check_result_cache(shared, job, &key) {
+        Ok(hit) => {
+            return Outcome::Done {
+                payload: hit,
+                cached: true,
+            }
+        }
+        Err(rkey) => rkey,
+    };
+    let entry = job.db.as_ref().expect("eval job carries a database");
+    match exec::execute(&entry.db, &plan, &opts) {
+        Ok((answer, _stats)) => {
+            let boolean = plan.query.output.is_empty();
+            let payload = Arc::new(ResultPayload {
+                language: plan.language,
+                k: plan.k,
+                width: plan.width,
+                boolean: boolean.then(|| answer.as_boolean()),
+                rows: if boolean { Vec::new() } else { answer.sorted() },
+                text: None,
+            });
+            store_result(shared, job, rkey, &payload);
+            Outcome::Done {
+                payload,
+                cached: false,
+            }
+        }
+        Err(e) => run_error(e, plan.language),
+    }
+}
+
+fn run_eso_job(shared: &Shared, job: &Job, query: &str, k: Option<usize>) -> Outcome {
+    let key = job.compute.kind.cache_key();
+    let rkey = match check_result_cache(shared, job, &key) {
+        Ok(hit) => {
+            return Outcome::Done {
+                payload: hit,
+                cached: true,
+            }
+        }
+        Err(rkey) => rkey,
+    };
+    let entry = job.db.as_ref().expect("eso job carries a database");
+    let width = match parse_eso(query) {
+        Ok(eso) => eso.width().max(1),
+        Err(e) => return run_error(RunError::Parse(e.to_string()), Language::Eso),
+    };
+    match exec::run_eso(&entry.db, query, k) {
+        Ok(text) => {
+            let payload = Arc::new(ResultPayload {
+                language: Language::Eso,
+                k: k.unwrap_or(width),
+                width,
+                boolean: None,
+                rows: Vec::new(),
+                text: Some(text),
+            });
+            store_result(shared, job, rkey, &payload);
+            Outcome::Done {
+                payload,
+                cached: false,
+            }
+        }
+        Err(e) => run_error(e, Language::Eso),
+    }
+}
+
+fn run_datalog_job(
+    shared: &Shared,
+    job: &Job,
+    program: &str,
+    output: &str,
+    naive: bool,
+) -> Outcome {
+    let key = job.compute.kind.cache_key();
+    let cached_plan = match shared.plan_cache.lock().unwrap().get(&key) {
+        Some(PlanEntry::Datalog(p)) => Some(p),
+        _ => None,
+    };
+    let plan = match cached_plan {
+        Some(p) => {
+            inc(&shared.stats.plan_hits);
+            p
+        }
+        None => {
+            inc(&shared.stats.plan_misses);
+            match bvq_datalog::parse_program(program) {
+                Ok(parsed) => {
+                    let p = Arc::new(DatalogPlan { program: parsed });
+                    shared
+                        .plan_cache
+                        .lock()
+                        .unwrap()
+                        .insert(key.clone(), PlanEntry::Datalog(p.clone()));
+                    p
+                }
+                Err(e) => return run_error(RunError::Datalog(e), Language::Datalog),
+            }
+        }
+    };
+    let rkey = match check_result_cache(shared, job, &key) {
+        Ok(hit) => {
+            return Outcome::Done {
+                payload: hit,
+                cached: true,
+            }
+        }
+        Err(rkey) => rkey,
+    };
+    let entry = job.db.as_ref().expect("datalog job carries a database");
+    let mut cfg = EvalConfig::from_env();
+    if let Some(d) = job.deadline {
+        cfg = cfg.with_deadline(d);
+    }
+    let result = if naive {
+        eval_naive_with(&plan.program, &entry.db, &cfg)
+    } else {
+        eval_seminaive_with(&plan.program, &entry.db, &cfg)
+    };
+    match result {
+        Ok(out) => match out.get(output) {
+            Some(rel) => {
+                let payload = Arc::new(ResultPayload {
+                    language: Language::Datalog,
+                    k: 0,
+                    width: 0,
+                    boolean: None,
+                    rows: rel.sorted(),
+                    text: None,
+                });
+                store_result(shared, job, rkey, &payload);
+                Outcome::Done {
+                    payload,
+                    cached: false,
+                }
+            }
+            None => Outcome::Failed {
+                error: ProtoError::new(
+                    "eval_error",
+                    format!("program derives no predicate named `{output}`"),
+                ),
+                language: Language::Datalog,
+            },
+        },
+        Err(e) => run_error(RunError::Datalog(e), Language::Datalog),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    fn graph_db() -> Database {
+        bvq_relation::parse_database("domain 5\nrel E/2\n0 1\n1 2\n2 3\n3 4\nend").unwrap()
+    }
+
+    fn start_default() -> ServerHandle {
+        let handle = Server::start(ServerConfig::default()).unwrap();
+        handle.load_db("g", graph_db());
+        handle
+    }
+
+    #[test]
+    fn ping_eval_and_cache_hits() {
+        let mut handle = start_default();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        assert!(c.ping().unwrap());
+
+        let q = "(x1) exists x2. (E(x1,x2) & E(x2,x1))";
+        let first = c.eval("g", q).unwrap();
+        assert!(first.get("ok").map(Json::is_true).unwrap());
+        assert_eq!(first.get("cached"), Some(&Json::Bool(false)));
+        let second = c.eval("g", q).unwrap();
+        assert_eq!(second.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(first.get("rows"), second.get("rows"));
+        assert!(handle.stats().result_hits.load(Ordering::Relaxed) >= 1);
+        assert!(handle.stats().plan_hits.load(Ordering::Relaxed) >= 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn structured_errors_keep_connection_alive() {
+        let mut handle = start_default();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        c.send_line("this is not json").unwrap();
+        let resp = c.recv().unwrap();
+        assert_eq!(Client::error_code(&resp), Some("bad_request"));
+        let resp = c.eval("nope", "(x1) E(x1,x1)").unwrap();
+        assert_eq!(Client::error_code(&resp), Some("unknown_db"));
+        // The connection survived both errors.
+        assert!(c.ping().unwrap());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn client_shutdown_drains() {
+        let handle = start_default();
+        let addr = handle.addr();
+        let mut c = Client::connect(addr).unwrap();
+        let resp = c.shutdown().unwrap();
+        assert!(resp.get("ok").map(Json::is_true).unwrap());
+        handle.wait();
+        // New compute work is refused after shutdown.
+        let mut c2 = Client::connect(addr);
+        if let Ok(c2) = c2.as_mut() {
+            if let Ok(resp) = c2.eval("g", "(x1) E(x1,x1)") {
+                assert_eq!(Client::error_code(&resp), Some("shutting_down"));
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The in-process stats registry: request counters, cache hit/miss
+//! counters, queue depth, and per-language latency histograms.
+//!
+//! Everything is lock-free (`AtomicU64` with relaxed ordering — the
+//! numbers are monitoring data, not synchronisation), so recording a
+//! sample never contends with the worker pool. Latencies go into
+//! power-of-two microsecond buckets; quantiles reported by `snapshot`
+//! are bucket upper bounds, which is the usual monitoring trade-off.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// The query languages tracked by the per-language histograms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Language {
+    /// First-order (`FO^k`).
+    Fo,
+    /// Least/greatest fixpoint (`FP^k`).
+    Fp,
+    /// Partial/inflationary fixpoint (`PFP^k`/`IFP^k`).
+    Pfp,
+    /// Existential second-order (`ESO^k`).
+    Eso,
+    /// Datalog programs.
+    Datalog,
+    /// Anything else (control-plane ops, debug ops).
+    Other,
+}
+
+impl Language {
+    const ALL: [Language; 6] = [
+        Language::Fo,
+        Language::Fp,
+        Language::Pfp,
+        Language::Eso,
+        Language::Datalog,
+        Language::Other,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Language::Fo => 0,
+            Language::Fp => 1,
+            Language::Pfp => 2,
+            Language::Eso => 3,
+            Language::Datalog => 4,
+            Language::Other => 5,
+        }
+    }
+
+    /// The label used in stats output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Language::Fo => "FO",
+            Language::Fp => "FP",
+            Language::Pfp => "PFP",
+            Language::Eso => "ESO",
+            Language::Datalog => "DATALOG",
+            Language::Other => "OTHER",
+        }
+    }
+}
+
+const BUCKETS: usize = 32;
+
+/// A histogram of latencies in power-of-two microsecond buckets: bucket
+/// `i` counts samples in `[2^(i-1), 2^i)` µs (bucket 0: `< 1 µs`).
+#[derive(Default)]
+struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_micros: AtomicU64,
+}
+
+impl Histogram {
+    fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
+        let idx = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.total_micros.fetch_add(micros, Relaxed);
+    }
+
+    /// The bucket upper bound (µs) below which `q` of the samples fall.
+    fn quantile_upper_micros(&self, q: f64) -> u64 {
+        let total = self.count.load(Relaxed);
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Relaxed);
+            if seen >= target {
+                return if i == 0 { 1 } else { 1u64 << i };
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+
+    fn to_json(&self) -> Json {
+        let count = self.count.load(Relaxed);
+        let total = self.total_micros.load(Relaxed);
+        let mean = total.checked_div(count).unwrap_or(0);
+        Json::obj([
+            ("count", Json::num(count)),
+            ("total_micros", Json::num(total)),
+            ("mean_micros", Json::num(mean)),
+            ("p50_le_micros", Json::num(self.quantile_upper_micros(0.50))),
+            ("p95_le_micros", Json::num(self.quantile_upper_micros(0.95))),
+            ("p99_le_micros", Json::num(self.quantile_upper_micros(0.99))),
+        ])
+    }
+}
+
+/// The server's live statistics. All counters are monotonic except the
+/// `queue_depth`/`inflight` gauges.
+#[derive(Default)]
+pub struct StatsRegistry {
+    /// Requests received (including ones later rejected).
+    pub requests: AtomicU64,
+    /// Requests answered `ok:true`.
+    pub ok: AtomicU64,
+    /// Requests answered with a structured error.
+    pub errors: AtomicU64,
+    /// Plan-cache hits.
+    pub plan_hits: AtomicU64,
+    /// Plan-cache misses.
+    pub plan_misses: AtomicU64,
+    /// Result-cache hits.
+    pub result_hits: AtomicU64,
+    /// Result-cache misses.
+    pub result_misses: AtomicU64,
+    /// Requests shed with `overloaded` (bounded queue full).
+    pub overloaded: AtomicU64,
+    /// Requests aborted by their deadline.
+    pub deadline_exceeded: AtomicU64,
+    /// Compute jobs currently queued (gauge).
+    pub queue_depth: AtomicU64,
+    /// Compute jobs currently executing on a worker (gauge).
+    pub inflight: AtomicU64,
+    /// Connections accepted since startup.
+    pub connections: AtomicU64,
+    histograms: [Histogram; 6],
+}
+
+impl StatsRegistry {
+    /// A fresh registry with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed request of the given language.
+    pub fn record_latency(&self, lang: Language, latency: Duration) {
+        self.histograms[lang.index()].record(latency);
+    }
+
+    /// Relaxed load of a counter (test/bench convenience).
+    pub fn get(&self, counter: &AtomicU64) -> u64 {
+        counter.load(Relaxed)
+    }
+
+    /// Serialises the whole registry (the `stats` protocol command).
+    pub fn to_json(&self, queue_capacity: usize, workers: usize) -> Json {
+        let langs: Vec<(String, Json)> = Language::ALL
+            .iter()
+            .map(|l| (l.label().to_string(), self.histograms[l.index()].to_json()))
+            .collect();
+        Json::obj([
+            ("requests", Json::num(self.requests.load(Relaxed))),
+            ("ok", Json::num(self.ok.load(Relaxed))),
+            ("errors", Json::num(self.errors.load(Relaxed))),
+            ("plan_hits", Json::num(self.plan_hits.load(Relaxed))),
+            ("plan_misses", Json::num(self.plan_misses.load(Relaxed))),
+            ("result_hits", Json::num(self.result_hits.load(Relaxed))),
+            ("result_misses", Json::num(self.result_misses.load(Relaxed))),
+            ("overloaded", Json::num(self.overloaded.load(Relaxed))),
+            (
+                "deadline_exceeded",
+                Json::num(self.deadline_exceeded.load(Relaxed)),
+            ),
+            ("queue_depth", Json::num(self.queue_depth.load(Relaxed))),
+            ("queue_capacity", Json::num(queue_capacity as u64)),
+            ("inflight", Json::num(self.inflight.load(Relaxed))),
+            ("workers", Json::num(workers as u64)),
+            ("connections", Json::num(self.connections.load(Relaxed))),
+            ("latency_micros_by_language", Json::Obj(langs)),
+        ])
+    }
+}
+
+/// Bumps a counter by one (relaxed).
+pub fn inc(counter: &AtomicU64) {
+    counter.fetch_add(1, Relaxed);
+}
+
+/// Decrements a gauge by one (relaxed, saturating at zero).
+pub fn dec(counter: &AtomicU64) {
+    let mut cur = counter.load(Relaxed);
+    while cur > 0 {
+        match counter.compare_exchange_weak(cur, cur - 1, Relaxed, Relaxed) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.record(Duration::from_micros(3)); // bucket [2,4)
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(2)); // ~2048 µs
+        }
+        assert_eq!(h.count.load(Relaxed), 100);
+        assert_eq!(h.quantile_upper_micros(0.5), 4);
+        assert!(h.quantile_upper_micros(0.99) >= 2048);
+        let j = h.to_json();
+        assert_eq!(j.get("count").and_then(Json::as_u64), Some(100));
+    }
+
+    #[test]
+    fn registry_serialises() {
+        let reg = StatsRegistry::new();
+        inc(&reg.requests);
+        inc(&reg.plan_hits);
+        reg.record_latency(Language::Fo, Duration::from_micros(10));
+        let j = reg.to_json(64, 4);
+        assert_eq!(j.get("requests").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("queue_capacity").and_then(Json::as_u64), Some(64));
+        let fo = j
+            .get("latency_micros_by_language")
+            .and_then(|l| l.get("FO"))
+            .unwrap();
+        assert_eq!(fo.get("count").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn gauge_dec_saturates() {
+        let g = AtomicU64::new(1);
+        dec(&g);
+        dec(&g);
+        assert_eq!(g.load(Relaxed), 0);
+    }
+}
