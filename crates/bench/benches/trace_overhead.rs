@@ -1,0 +1,68 @@
+//! Overhead of the tracing subsystem on the `table2_fo` workload.
+//!
+//! Three configurations of the same FO^3 evaluation:
+//!
+//! - `trace_off` — the default: the [`bvq_relation::Tracer`] is
+//!   constructed disabled, so every `open`/`close` call is a branch on
+//!   a bool. The PR's budget is that this costs < 5% versus the seed
+//!   (`baseline`, which uses the untraced entry point).
+//! - `baseline` — `eval_query` exactly as `table2_fo` runs it.
+//! - `trace_on` — full span collection, for scale: this one is *allowed*
+//!   to be slower (it timestamps and allocates per operator).
+//!
+//! Compare `trace_off` against `baseline` in the report; they should be
+//! within noise of each other.
+
+use bvq_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_core::BoundedEvaluator;
+use bvq_logic::{Query, Var};
+use bvq_relation::EvalConfig;
+use bvq_workload::formulas::random_fo;
+use bvq_workload::graphs::{graph_db, GraphKind};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(10);
+    for scale in [2usize, 4, 8] {
+        let n = 12 * scale;
+        let size = 12 * scale;
+        let db = graph_db(GraphKind::Sparse(3), n, 11);
+        let q = Query::new(vec![Var(0), Var(1), Var(2)], random_fo(3, size, 5));
+        g.bench_with_input(BenchmarkId::new("baseline", scale), &scale, |b, _| {
+            b.iter(|| {
+                BoundedEvaluator::new(&db, 3)
+                    .without_stats()
+                    .eval_query(&q)
+                    .unwrap()
+                    .0
+                    .len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("trace_off", scale), &scale, |b, _| {
+            b.iter(|| {
+                BoundedEvaluator::new(&db, 3)
+                    .without_stats()
+                    .with_config(EvalConfig::sequential())
+                    .eval_query_traced(&q)
+                    .unwrap()
+                    .answer
+                    .len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("trace_on", scale), &scale, |b, _| {
+            b.iter(|| {
+                BoundedEvaluator::new(&db, 3)
+                    .without_stats()
+                    .with_config(EvalConfig::sequential().with_trace(true))
+                    .eval_query_traced(&q)
+                    .unwrap()
+                    .answer
+                    .len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -19,20 +19,24 @@
 //! Usage:
 //!
 //! ```text
-//! bvq eval   <db-file> '<query>' [--k N] [--naive] [--certify t1,t2,…]
-//! bvq eso    <db-file> '<eso sentence>' [--k N]
-//! bvq repl   <db-file>
-//! bvq serve  <db-file>… [--addr HOST:PORT] [--threads N] [--queue N]
-//! bvq client <addr> ping|stats|eval|eso|datalog|load-db|shutdown …
+//! bvq eval    <db-file> '<query>' [--k N] [--naive] [--trace] [--certify t1,t2,…]
+//! bvq eso     <db-file> '<eso sentence>' [--k N] [--trace]
+//! bvq explain <db-file> '<query>' [--analyze] [--eso] [--k N] [--naive]
+//! bvq repl    <db-file>
+//! bvq serve   <db-file>… [--addr HOST:PORT] [--threads N] [--queue N]
+//! bvq client  <addr> ping|stats|eval|eso|datalog|explain|load-db|shutdown …
 //! ```
+//!
+//! The db-text parser lives in [`bvq_relation::dbtext`]; import it from
+//! there.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod dbtext;
 pub mod run;
 pub mod serve;
 
-pub use dbtext::{parse_database, DbTextError};
-pub use run::{run_eso, run_eval, EvalOptions, RunError};
+pub use run::{
+    run_eso, run_eval, run_explain, run_request, EvalOptions, ExecKind, ExecRequest, RunError,
+};
 pub use serve::{run_client, run_serve};

@@ -1,16 +1,18 @@
 //! The `bvq` command-line tool.
 //!
 //! ```text
-//! bvq eval   <db-file> '<query>' [--k N] [--naive] [--threads N] [--certify t1,t2;u1,u2]
-//! bvq eso    <db-file> '<eso sentence>' [--k N]
-//! bvq repl   <db-file>
-//! bvq serve  <db-file>… [--addr HOST:PORT] [--threads N] [--queue N] [--debug-ops]
-//! bvq client <addr> <ping|stats|list-dbs|eval|eso|datalog|load-db|sleep|shutdown> […]
+//! bvq eval    <db-file> '<query>' [--k N] [--naive] [--threads N] [--trace] [--certify t1,t2;u1,u2]
+//! bvq eso     <db-file> '<eso sentence>' [--k N] [--trace]
+//! bvq explain <db-file> '<query>' [--analyze] [--eso] [--k N] [--naive]
+//! bvq repl    <db-file>
+//! bvq serve   <db-file>… [--addr HOST:PORT] [--threads N] [--queue N] [--debug-ops]
+//! bvq client  <addr> <ping|stats|list-dbs|eval|eso|datalog|explain|load-db|sleep|shutdown> […]
 //! ```
 
 use std::io::{BufRead, Write};
 
-use bvq_cli::{parse_database, run_client, run_eso, run_eval, run_serve, EvalOptions};
+use bvq_cli::{run_client, run_explain, run_request, run_serve, EvalOptions, ExecRequest};
+use bvq_relation::parse_database;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,9 +23,10 @@ fn main() {
             eprintln!();
             eprintln!("usage:");
             eprintln!(
-                "  bvq eval <db-file> '<query>' [--k N] [--naive] [--threads N] [--certify T]"
+                "  bvq eval <db-file> '<query>' [--k N] [--naive] [--threads N] [--trace] [--certify T]"
             );
-            eprintln!("  bvq eso  <db-file> '<eso sentence>' [--k N]");
+            eprintln!("  bvq eso  <db-file> '<eso sentence>' [--k N] [--trace]");
+            eprintln!("  bvq explain <db-file> '<query>' [--analyze] [--eso] [--k N] [--naive]");
             eprintln!("  bvq repl <db-file>");
             eprintln!("  bvq serve <db-file>... [--addr HOST:PORT] [--threads N] [--queue N]");
             eprintln!("  bvq client <addr> <command> [args...]");
@@ -47,19 +50,37 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     match cmd.as_str() {
         "eval" => {
             let query = args.get(2).ok_or("missing query")?;
-            let opts = parse_opts(&args[3..])?;
-            print!("{}", run_eval(&db, query, &opts)?);
+            let flags = parse_opts(&args[3..])?;
+            let req = ExecRequest::query(query.as_str())
+                .with_opts(flags.opts)
+                .with_trace(flags.trace);
+            print!("{}", run_request(&db, &req)?);
             Ok(())
         }
         "eso" => {
             let query = args.get(2).ok_or("missing query")?;
-            let opts = parse_opts(&args[3..])?;
-            print!("{}", run_eso(&db, query, opts.k)?);
+            let flags = parse_opts(&args[3..])?;
+            let req = ExecRequest::eso(query.as_str())
+                .with_opts(flags.opts)
+                .with_trace(flags.trace);
+            print!("{}", run_request(&db, &req)?);
+            Ok(())
+        }
+        "explain" => {
+            let query = args.get(2).ok_or("missing query")?;
+            let flags = parse_opts(&args[3..])?;
+            let req = if flags.eso {
+                ExecRequest::eso(query.as_str())
+            } else {
+                ExecRequest::query(query.as_str())
+            }
+            .with_opts(flags.opts);
+            print!("{}", run_explain(&db, &req, flags.analyze)?);
             Ok(())
         }
         "repl" => {
             println!(
-                "bvq repl — database `{db_path}` (n = {}); enter queries, `:eso <sentence>`, or `:quit`",
+                "bvq repl — database `{db_path}` (n = {}); enter queries, `:eso <sentence>`, `:explain <query>`, or `:quit`",
                 db.domain_size()
             );
             let stdin = std::io::stdin();
@@ -78,9 +99,11 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                     break;
                 }
                 let result = if let Some(eso) = line.strip_prefix(":eso ") {
-                    run_eso(&db, eso, None)
+                    run_request(&db, &ExecRequest::eso(eso))
+                } else if let Some(q) = line.strip_prefix(":explain ") {
+                    run_explain(&db, &ExecRequest::query(q), false)
                 } else {
-                    run_eval(&db, line, &EvalOptions::default())
+                    run_request(&db, &ExecRequest::query(line))
                 };
                 match result {
                     Ok(out) => print!("{out}"),
@@ -93,9 +116,21 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Parses `--k N`, `--naive`, `--threads N`, `--certify a,b;c,d`.
-fn parse_opts(rest: &[String]) -> Result<EvalOptions, String> {
+/// Options parsed from the flags of `eval`/`eso`/`explain`.
+struct Flags {
+    opts: EvalOptions,
+    trace: bool,
+    analyze: bool,
+    eso: bool,
+}
+
+/// Parses `--k N`, `--naive`, `--threads N`, `--trace`, `--analyze`,
+/// `--eso`, `--certify a,b;c,d`.
+fn parse_opts(rest: &[String]) -> Result<Flags, String> {
     let mut opts = EvalOptions::default();
+    let mut trace = false;
+    let mut analyze = false;
+    let mut eso = false;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -105,6 +140,9 @@ fn parse_opts(rest: &[String]) -> Result<EvalOptions, String> {
             }
             "--naive" => opts.naive = true,
             "--minimize" => opts.minimize = true,
+            "--trace" => trace = true,
+            "--analyze" => analyze = true,
+            "--eso" => eso = true,
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
                 let t: usize = v
@@ -132,5 +170,10 @@ fn parse_opts(rest: &[String]) -> Result<EvalOptions, String> {
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    Ok(opts)
+    Ok(Flags {
+        opts,
+        trace,
+        analyze,
+        eso,
+    })
 }

@@ -7,13 +7,14 @@
 //! datalog), which `Display`s to the same messages the CLI always
 //! printed and converts into protocol error codes on the server side.
 
-pub use bvq_server::exec::{run_eso, run_eval, EvalOptions, Plan, RunError};
+pub use bvq_server::exec::{
+    run_eso, run_eval, run_explain, run_request, EvalOptions, ExecKind, ExecRequest, Plan, RunError,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dbtext::parse_database;
-    use bvq_relation::Database;
+    use bvq_relation::{parse_database, Database};
 
     fn db() -> Database {
         parse_database("domain 4\nrel E/2\n0 1\n1 2\n2 3\nend\nrel P/1\n2\nend").unwrap()
@@ -107,5 +108,23 @@ mod tests {
         let err = run_eval(&db(), "(x1) E(x1", &EvalOptions::default()).unwrap_err();
         assert!(matches!(err, RunError::Parse(_)));
         assert!(run_eso(&db(), "exists2 S/1. T(x1)", None).is_err());
+    }
+
+    #[test]
+    fn traced_request_renders_span_tree() {
+        let req = ExecRequest::query("(x1) exists x2. (E(x1,x2) & P(x2))").with_trace(true);
+        let out = run_request(&db(), &req).unwrap();
+        assert!(out.contains("answer: 1 tuples"), "{out}");
+        assert!(out.contains("trace:"), "{out}");
+        assert!(out.contains("exists"), "{out}");
+    }
+
+    #[test]
+    fn explain_renders_a_plan() {
+        let req = ExecRequest::query("(x1) exists x2. E(x1,x2)");
+        let out = run_explain(&db(), &req, false).unwrap();
+        assert!(out.contains("language: FO^2"), "{out}");
+        assert!(out.contains("backend:"), "{out}");
+        assert!(out.contains("plan (estimated rows):"), "{out}");
     }
 }

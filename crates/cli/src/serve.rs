@@ -134,10 +134,50 @@ pub fn run_client(args: &[String]) -> Result<(), String> {
                     "--naive" => fields.push(("naive", Json::Bool(true))),
                     "--minimize" => fields.push(("minimize", Json::Bool(true))),
                     "--no-cache" => fields.push(("no_cache", Json::Bool(true))),
+                    "--trace" => fields.push(("trace", Json::Bool(true))),
                     other => return Err(format!("unknown flag `{other}`")),
                 }
             }
             client.call_op(cmd, fields)
+        }
+        "explain" => {
+            let db = arg(2, "a database name")?;
+            let query = arg(3, "a query")?;
+            let mut target = String::from("eval");
+            let mut extra: Vec<(&str, Json)> = Vec::new();
+            let mut it = args[4.min(args.len())..].iter();
+            while let Some(flag) = it.next() {
+                let mut val = |flag: &str| -> Result<&String, String> {
+                    it.next().ok_or(format!("{flag} needs a value"))
+                };
+                match flag.as_str() {
+                    "--target" => target = val("--target")?.clone(),
+                    "--analyze" => extra.push(("analyze", Json::Bool(true))),
+                    "--naive" => extra.push(("naive", Json::Bool(true))),
+                    "--minimize" => extra.push(("minimize", Json::Bool(true))),
+                    "--k" => {
+                        let v: u64 = val("--k")?
+                            .parse()
+                            .map_err(|_| "bad --k value".to_string())?;
+                        extra.push(("k", Json::num(v)));
+                    }
+                    "--output" => {
+                        extra.push(("output", Json::str(val("--output")?.as_str())));
+                    }
+                    other => return Err(format!("unknown flag `{other}`")),
+                }
+            }
+            let mut fields = vec![("db", Json::str(db.as_str()))];
+            if target == "datalog" {
+                fields.push(("program", Json::str(query.as_str())));
+            } else {
+                fields.push(("query", Json::str(query.as_str())));
+            }
+            if target != "eval" {
+                fields.push(("target", Json::str(target.as_str())));
+            }
+            fields.extend(extra);
+            client.call_op("explain", fields)
         }
         other => return Err(format!("unknown client command `{other}`")),
     }

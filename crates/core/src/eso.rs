@@ -24,11 +24,15 @@
 //! oracle used for differential testing and as the Table-2 baseline.
 
 use bvq_logic::{Atom, Eso, Formula, Query, RelRef, Term, Var};
-use bvq_relation::{Database, Elem, FxHashMap, PointIndex, Relation, Tuple};
+use bvq_relation::trace::truncate_detail;
+use bvq_relation::{
+    Database, Elem, EvalConfig, EvalStats, FxHashMap, PointIndex, Relation, Tracer, Tuple,
+};
 use bvq_sat::{Cnf, Lit, SatResult, Solver, VarId};
 
 use crate::env::RelEnv;
 use crate::fo::BoundedEvaluator;
+use crate::fp::Evaluated;
 use crate::EvalError;
 
 /// Information about one grounding, reported for the Table-2 measurements.
@@ -46,12 +50,25 @@ pub struct GroundingInfo {
 pub struct EsoEvaluator<'d> {
     db: &'d Database,
     k: usize,
+    config: EvalConfig,
 }
 
 impl<'d> EsoEvaluator<'d> {
     /// Creates an evaluator with variable bound `k`.
     pub fn new(db: &'d Database, k: usize) -> Self {
-        EsoEvaluator { db, k }
+        EsoEvaluator {
+            db,
+            k,
+            config: EvalConfig::default(),
+        }
+    }
+
+    /// Sets the evaluation configuration (the grounding itself is
+    /// single-threaded; the config carries the trace flag).
+    #[must_use]
+    pub fn with_config(mut self, config: EvalConfig) -> Self {
+        self.config = config;
+        self
     }
 
     /// Decides whether the (sentence or tuple-bound) query holds: is there
@@ -69,6 +86,18 @@ impl<'d> EsoEvaluator<'d> {
         eso: &Eso,
         output: &[Var],
         t: &[Elem],
+    ) -> Result<(bool, GroundingInfo), EvalError> {
+        self.check_traced(eso, output, t, &mut Tracer::disabled())
+    }
+
+    /// [`check_with_info`](Self::check_with_info), emitting `ground` and
+    /// `solve` phase spans into `tracer` when it is enabled.
+    pub fn check_traced(
+        &self,
+        eso: &Eso,
+        output: &[Var],
+        t: &[Elem],
+        tracer: &mut Tracer,
     ) -> Result<(bool, GroundingInfo), EvalError> {
         if t.len() != output.len() {
             return Ok((false, GroundingInfo::default()));
@@ -95,6 +124,10 @@ impl<'d> EsoEvaluator<'d> {
             }
             base[v.index()] = val;
         }
+        let traced = tracer.is_enabled();
+        if traced {
+            tracer.open();
+        }
         let mut g = Grounder {
             db: self.db,
             eso,
@@ -104,26 +137,58 @@ impl<'d> EsoEvaluator<'d> {
             tuple_vars: FxHashMap::default(),
         };
         let root = g.glit(&eso.body, g.index.rank(&base))?;
-        match root {
-            GLit::Const(b) => Ok((
-                b,
-                GroundingInfo {
-                    sat_vars: g.cnf.num_vars,
-                    clauses: g.cnf.clauses.len(),
-                    referenced_tuples: g.tuple_vars.len(),
-                },
-            )),
-            GLit::Lit(l) => {
-                g.cnf.add_clause([l]);
-                let info = GroundingInfo {
-                    sat_vars: g.cnf.num_vars,
-                    clauses: g.cnf.clauses.len(),
-                    referenced_tuples: g.tuple_vars.len(),
-                };
-                let sat = Solver::new(&g.cnf).solve().is_sat();
-                Ok((sat, info))
-            }
+        if let GLit::Lit(l) = root {
+            g.cnf.add_clause([l]);
         }
+        let info = GroundingInfo {
+            sat_vars: g.cnf.num_vars,
+            clauses: g.cnf.clauses.len(),
+            referenced_tuples: g.tuple_vars.len(),
+        };
+        if traced {
+            tracer.close(
+                "ground",
+                format!(
+                    "{} vars, {} clauses, {} tuples",
+                    info.sat_vars, info.clauses, info.referenced_tuples
+                ),
+                k,
+                info.referenced_tuples,
+                None,
+            );
+        }
+        let sat = match root {
+            GLit::Const(b) => {
+                if traced {
+                    tracer.open();
+                    tracer.close(
+                        "solve",
+                        if b { "sat (const)" } else { "unsat (const)" },
+                        k,
+                        b as usize,
+                        None,
+                    );
+                }
+                b
+            }
+            GLit::Lit(_) => {
+                if traced {
+                    tracer.open();
+                }
+                let sat = Solver::new(&g.cnf).solve().is_sat();
+                if traced {
+                    tracer.close(
+                        "solve",
+                        if sat { "sat" } else { "unsat" },
+                        k,
+                        sat as usize,
+                        None,
+                    );
+                }
+                sat
+            }
+        };
+        Ok((sat, info))
     }
 
     /// Evaluates the query `(output)(∃S̄)body` by deciding each candidate
@@ -139,6 +204,53 @@ impl<'d> EsoEvaluator<'d> {
             }
         }
         Ok(result)
+    }
+
+    /// [`eval_query`](Self::eval_query), also returning the span tree when
+    /// the configuration enables tracing ([`EvalConfig::with_trace`]): an
+    /// `eso` root with one `check` span per candidate output tuple, each
+    /// holding its `ground` and `solve` phases. The stats record one
+    /// intermediate per grounding (arity `k`, cardinality = referenced
+    /// ground tuples).
+    pub fn eval_query_traced(&self, eso: &Eso, output: &[Var]) -> Result<Evaluated, EvalError> {
+        let traced = self.config.trace();
+        let mut tracer = Tracer::new(traced);
+        let k = self.k.max(1);
+        let n = self.db.domain_size();
+        let arity = output.len();
+        let mut stats = EvalStats::new();
+        let mut result = Relation::new(arity);
+        if traced {
+            tracer.open(); // the `eso` root
+        }
+        let full = Relation::full(arity, n);
+        for t in full.iter() {
+            if traced {
+                tracer.open(); // one `check` per candidate
+            }
+            let (sat, info) = self.check_traced(eso, output, t.as_slice(), &mut tracer)?;
+            stats.record_intermediate(k, info.referenced_tuples);
+            if traced {
+                tracer.close("check", format!("{t}"), arity, sat as usize, None);
+            }
+            if sat {
+                result.insert(t.clone());
+            }
+        }
+        if traced {
+            tracer.close(
+                "eso",
+                truncate_detail(&eso.to_string(), 64),
+                arity,
+                result.len(),
+                None,
+            );
+        }
+        Ok(Evaluated {
+            answer: result,
+            stats,
+            trace: tracer.finish(),
+        })
     }
 
     /// Like [`check`](Self::check) but additionally returns witnessing
@@ -779,6 +891,36 @@ mod tests {
         let reduced_sat = reduce_arity(&sat_eso, 2).unwrap();
         assert!(ev.check(&sat_eso, &[], &[]).unwrap());
         assert!(ev.check(&reduced_sat, &[], &[]).unwrap());
+    }
+
+    #[test]
+    fn trace_spans_cover_ground_and_solve() {
+        // Holds exactly for P = {0, 2}.
+        let eso = parse_eso("exists2 S/1. (S(x1) & forall x2. (S(x2) -> P(x2)))").unwrap();
+        let db = Database::builder(3).relation("P", 1, [[0u32], [2]]).build();
+        let cfg = EvalConfig::default().with_trace(true);
+        let ev = EsoEvaluator::new(&db, 2).with_config(cfg);
+        let out = ev.eval_query_traced(&eso, &[Var(0)]).unwrap();
+        let root = out.trace.expect("trace enabled");
+        assert_eq!(root.kind, "eso");
+        assert_eq!(root.rows, 2);
+        assert_eq!(root.children.len(), 3, "one check per candidate");
+        for check in &root.children {
+            assert_eq!(check.kind, "check");
+            let phases: Vec<&str> = check.children.iter().map(|c| c.kind).collect();
+            assert_eq!(phases, ["ground", "solve"]);
+        }
+        assert_eq!(
+            out.answer.sorted(),
+            Relation::from_tuples(1, [[0u32], [2]]).sorted()
+        );
+        assert_eq!(out.stats.operator_applications, 3);
+        // Untraced runs return no tree and the same answer.
+        let plain = EsoEvaluator::new(&db, 2)
+            .eval_query_traced(&eso, &[Var(0)])
+            .unwrap();
+        assert!(plain.trace.is_none());
+        assert_eq!(plain.answer.sorted(), out.answer.sorted());
     }
 
     #[test]

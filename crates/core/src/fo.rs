@@ -3,10 +3,13 @@
 //! exhibit the exponential gap of Table 1.
 
 use bvq_logic::{Atom, Formula, Query, RelRef, Term, Var};
-use bvq_relation::{parallel, Database, EvalConfig, EvalStats, Relation, StatsRecorder, Tuple};
+use bvq_relation::trace::truncate_detail;
+use bvq_relation::{
+    parallel, Database, EvalConfig, EvalStats, Relation, StatsRecorder, Tracer, Tuple,
+};
 
 use crate::env::RelEnv;
-use crate::fp::FpEvaluator;
+use crate::fp::{Evaluated, FpEvaluator};
 use crate::EvalError;
 
 /// The `FO^k` evaluator of Proposition 3.1: bottom-up, every subformula a
@@ -69,6 +72,12 @@ impl<'d> BoundedEvaluator<'d> {
         self.inner.eval_query(q)
     }
 
+    /// Evaluates a query, also returning the span tree when tracing is
+    /// enabled ([`EvalConfig::with_trace`]).
+    pub fn eval_query_traced(&self, q: &Query) -> Result<Evaluated, EvalError> {
+        self.inner.eval_query_traced(q)
+    }
+
     /// Evaluates with external relation-variable bindings (used by the
     /// naive ESO enumeration).
     pub fn eval_query_with_env(
@@ -82,6 +91,21 @@ impl<'d> BoundedEvaluator<'d> {
     /// Decides `t ∈ Q(B)`.
     pub fn check(&self, q: &Query, t: &[u32]) -> Result<bool, EvalError> {
         self.inner.check(q, t)
+    }
+}
+
+/// The span kind for one surface-syntax operator (naive evaluator).
+fn naive_kind(f: &Formula) -> &'static str {
+    match f {
+        Formula::Const(_) => "const",
+        Formula::Eq(..) => "eq",
+        Formula::Atom(_) => "atom",
+        Formula::Not(_) => "not",
+        Formula::And(..) => "and",
+        Formula::Or(..) => "or",
+        Formula::Exists(..) => "exists",
+        Formula::Forall(..) => "forall",
+        Formula::Fix { .. } => "fix",
     }
 }
 
@@ -133,18 +157,37 @@ impl<'d> NaiveEvaluator<'d> {
         self.eval_query_with_env(q, &RelEnv::new())
     }
 
+    /// Evaluates a query, also returning the span tree when tracing is
+    /// enabled ([`EvalConfig::with_trace`]). Naive spans mirror the
+    /// surface formula; arities grow with the formula, which makes the
+    /// Table 1 blow-up directly visible in the trace.
+    pub fn eval_query_traced(&self, q: &Query) -> Result<Evaluated, EvalError> {
+        self.eval_query_with_env_traced(q, &RelEnv::new())
+    }
+
     /// Evaluates a query with external relation-variable bindings.
     pub fn eval_query_with_env(
         &self,
         q: &Query,
         env: &RelEnv,
     ) -> Result<(Relation, EvalStats), EvalError> {
+        self.eval_query_with_env_traced(q, env)
+            .map(|e| (e.answer, e.stats))
+    }
+
+    /// [`NaiveEvaluator::eval_query_traced`] with external bindings.
+    pub fn eval_query_with_env_traced(
+        &self,
+        q: &Query,
+        env: &RelEnv,
+    ) -> Result<Evaluated, EvalError> {
         let mut rec = if self.collect_stats {
             StatsRecorder::new()
         } else {
             StatsRecorder::disabled()
         };
-        let t = self.eval(&q.formula, env, &mut rec)?;
+        let mut tracer = Tracer::new(self.config.trace());
+        let t = self.eval(&q.formula, env, &mut rec, &mut tracer)?;
         // Adjust to the query's output columns. Free variables of the
         // formula must be among the outputs; outputs not free in the
         // formula range over the whole domain.
@@ -170,7 +213,11 @@ impl<'d> NaiveEvaluator<'d> {
             })
             .collect();
         let result = parallel::project(&extended.rel, &positions, &self.config);
-        Ok((result, rec.stats()))
+        Ok(Evaluated {
+            answer: result,
+            stats: rec.stats(),
+            trace: tracer.finish(),
+        })
     }
 
     /// Decides `t ∈ Q(B)`.
@@ -191,6 +238,32 @@ impl<'d> NaiveEvaluator<'d> {
         f: &Formula,
         env: &RelEnv,
         rec: &mut StatsRecorder,
+        tracer: &mut Tracer,
+    ) -> Result<Tagged, EvalError> {
+        let traced = tracer.is_enabled();
+        if traced {
+            tracer.open();
+        }
+        let out = self.eval_inner(f, env, rec, tracer)?;
+        self.record(rec, &out);
+        if traced {
+            tracer.close(
+                naive_kind(f),
+                truncate_detail(&f.to_string(), 64),
+                out.rel.arity(),
+                out.rel.len(),
+                None,
+            );
+        }
+        Ok(out)
+    }
+
+    fn eval_inner(
+        &self,
+        f: &Formula,
+        env: &RelEnv,
+        rec: &mut StatsRecorder,
+        tracer: &mut Tracer,
     ) -> Result<Tagged, EvalError> {
         let out = match f {
             Formula::Const(b) => Tagged {
@@ -218,7 +291,7 @@ impl<'d> NaiveEvaluator<'d> {
                 self.eval_atom(relation, args)?
             }
             Formula::Not(g) => {
-                let t = self.eval(g, env, rec)?;
+                let t = self.eval(g, env, rec, tracer)?;
                 // Complement w.r.t. D^{|cols|}: the exponential operation.
                 Tagged {
                     rel: t.rel.complement(self.db.domain_size()),
@@ -226,13 +299,13 @@ impl<'d> NaiveEvaluator<'d> {
                 }
             }
             Formula::And(a, b) => {
-                let ta = self.eval(a, env, rec)?;
-                let tb = self.eval(b, env, rec)?;
+                let ta = self.eval(a, env, rec, tracer)?;
+                let tb = self.eval(b, env, rec, tracer)?;
                 join_tagged(ta, tb, &self.config)
             }
             Formula::Or(a, b) => {
-                let ta = self.eval(a, env, rec)?;
-                let tb = self.eval(b, env, rec)?;
+                let ta = self.eval(a, env, rec, tracer)?;
+                let tb = self.eval(b, env, rec, tracer)?;
                 let n = self.db.domain_size();
                 let (ta, tb) = align_columns(ta, tb, n);
                 Tagged {
@@ -241,12 +314,12 @@ impl<'d> NaiveEvaluator<'d> {
                 }
             }
             Formula::Exists(v, g) => {
-                let t = self.eval(g, env, rec)?;
+                let t = self.eval(g, env, rec, tracer)?;
                 project_out(t, *v, &self.config)
             }
             Formula::Forall(v, g) => {
                 // ∀v φ = ¬∃v ¬φ over the columns of φ.
-                let t = self.eval(g, env, rec)?;
+                let t = self.eval(g, env, rec, tracer)?;
                 let n = self.db.domain_size();
                 let neg = Tagged {
                     rel: t.rel.complement(n),
@@ -265,7 +338,6 @@ impl<'d> NaiveEvaluator<'d> {
                 ))
             }
         };
-        self.record(rec, &out);
         Ok(out)
     }
 
@@ -473,6 +545,45 @@ mod tests {
             let bounded = BoundedEvaluator::new(&db, k).eval_query(&q).unwrap().0;
             assert_eq!(naive.sorted(), bounded.sorted(), "query {qs}");
         }
+    }
+
+    #[test]
+    fn trace_mirrors_surface_formula() {
+        let db = db();
+        let q = parse_query("(x1) exists x2. (E(x1,x2) & P(x2))").unwrap();
+        let cfg = EvalConfig::default().with_trace(true);
+
+        // Naive: spans mirror the surface syntax tree exactly.
+        let ev = NaiveEvaluator::new(&db).with_config(cfg);
+        let out = ev.eval_query_traced(&q).unwrap();
+        let root = out.trace.expect("trace enabled");
+        assert_eq!(root.kind, "exists");
+        assert_eq!(root.children.len(), 1);
+        let and = &root.children[0];
+        assert_eq!(and.kind, "and");
+        assert_eq!(and.children.len(), 2);
+        assert_eq!(and.children[0].kind, "atom");
+        assert_eq!(and.children[1].kind, "atom");
+        assert_eq!(and.children[0].detail, "E(x1,x2)");
+        // Answer/stats agree with the untraced run.
+        let (r, s) = NaiveEvaluator::new(&db).eval_query(&q).unwrap();
+        assert_eq!(out.answer.sorted(), r.sorted());
+        assert_eq!(out.stats, s);
+
+        // Bounded: spans mirror the compiled IR, root is the same operator.
+        let bv = BoundedEvaluator::new(&db, 2).with_config(cfg);
+        let bout = bv.eval_query_traced(&q).unwrap();
+        let broot = bout.trace.expect("trace enabled");
+        assert_eq!(broot.kind, "exists");
+        assert!(broot.total_spans() >= 4);
+        assert_eq!(bout.answer.sorted(), r.sorted());
+
+        // Trace off by default: no span tree is built.
+        assert!(NaiveEvaluator::new(&db)
+            .eval_query_traced(&q)
+            .unwrap()
+            .trace
+            .is_none());
     }
 
     #[test]

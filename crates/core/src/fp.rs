@@ -27,7 +27,7 @@
 use bvq_logic::{FixKind, Formula, Query, Term};
 use bvq_relation::{
     CoordSource, CylCtx, CylinderOps, Database, DenseCylinder, EvalConfig, EvalStats, Relation,
-    SparseCylinder, StatsRecorder,
+    Span, SparseCylinder, StatsRecorder, Tracer,
 };
 
 use crate::env::RelEnv;
@@ -101,6 +101,9 @@ pub(crate) struct Engine<'p, 'd, C: CylinderOps> {
     pub fix_values: Vec<Option<C>>,
     pub strategy: FpStrategy,
     pub rec: StatsRecorder,
+    /// Span collector ([`Tracer::disabled`] unless tracing was requested
+    /// via [`EvalConfig::with_trace`]).
+    pub tracer: Tracer,
     /// Optional wall-clock deadline, checked between fixpoint rounds.
     pub deadline: Option<std::time::Instant>,
 }
@@ -126,6 +129,7 @@ impl<'p, 'd, C: CylinderOps> Engine<'p, 'd, C> {
             } else {
                 StatsRecorder::disabled()
             },
+            tracer: Tracer::disabled(),
             deadline: None,
         }
     }
@@ -133,6 +137,12 @@ impl<'p, 'd, C: CylinderOps> Engine<'p, 'd, C> {
     /// Attaches a wall-clock deadline (builder style).
     pub fn with_deadline(mut self, deadline: Option<std::time::Instant>) -> Self {
         self.deadline = deadline;
+        self
+    }
+
+    /// Attaches a span tracer (builder style).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -154,8 +164,32 @@ impl<'p, 'd, C: CylinderOps> Engine<'p, 'd, C> {
         }
     }
 
-    /// Evaluates a node to a cylinder.
+    /// Evaluates a node to a cylinder. When tracing is enabled, every
+    /// node evaluation becomes one [`Span`](bvq_relation::Span) whose
+    /// children mirror the subformula structure; the engine recursion is
+    /// single-threaded (parallelism lives inside the cylinder kernels),
+    /// so the span tree is identical for every thread count.
     pub fn eval(&mut self, node: NodeRef) -> Result<C, EvalError> {
+        let traced = self.tracer.is_enabled();
+        if traced {
+            self.tracer.open();
+        }
+        let out = self.eval_node(node)?;
+        self.record(&out);
+        if traced {
+            let rows = out.count(&self.ctx);
+            self.tracer.close(
+                self.prog.node_kind(node),
+                self.prog.render_node(node, self.db),
+                self.ctx.width(),
+                rows,
+                None,
+            );
+        }
+        Ok(out)
+    }
+
+    fn eval_node(&mut self, node: NodeRef) -> Result<C, EvalError> {
         let out = match self.prog.nodes[node as usize].clone() {
             Node::Const(true) => C::full(&self.ctx),
             Node::Const(false) => C::empty(&self.ctx),
@@ -192,7 +226,6 @@ impl<'p, 'd, C: CylinderOps> Engine<'p, 'd, C> {
             Node::Forall(v, g) => self.eval(g)?.forall(&self.ctx, v),
             Node::Fix { fix } => self.eval_fix(fix)?,
         };
-        self.record(&out);
         Ok(out)
     }
 
@@ -258,6 +291,13 @@ impl<'p, 'd, C: CylinderOps> Engine<'p, 'd, C> {
         let info = &self.prog.fixes[fix];
         let kind = info.kind;
         let body = info.body;
+        let traced = self.tracer.is_enabled();
+        let name = if traced {
+            info.name.clone()
+        } else {
+            String::new()
+        };
+        let mut round: u64 = 0;
         let mut cur = match (self.strategy, self.fix_values[fix].take()) {
             (FpStrategy::EmersonLei, Some(warm)) => warm,
             _ => self.fix_bottom(kind),
@@ -265,8 +305,17 @@ impl<'p, 'd, C: CylinderOps> Engine<'p, 'd, C> {
         loop {
             self.check_deadline()?;
             self.rec.iteration();
+            round += 1;
             self.fix_values[fix] = Some(cur.clone());
+            if traced {
+                self.tracer.open();
+            }
             let next = self.eval(body)?;
+            if traced {
+                let rows = next.count(&self.ctx);
+                self.tracer
+                    .close("round", name.clone(), self.ctx.width(), rows, Some(round));
+            }
             if next == cur {
                 break;
             }
@@ -291,14 +340,30 @@ impl<'p, 'd, C: CylinderOps> Engine<'p, 'd, C> {
     /// realises the `PFP^k`-inherited PSPACE route — plain iteration.
     fn eval_ifp_fix(&mut self, fix: FixId) -> Result<C, EvalError> {
         let body = self.prog.fixes[fix].body;
+        let traced = self.tracer.is_enabled();
+        let name = if traced {
+            self.prog.fixes[fix].name.clone()
+        } else {
+            String::new()
+        };
+        let mut round: u64 = 0;
         let mut cur = self.fix_bottom(FixKind::Ifp);
         loop {
             self.check_deadline()?;
             self.rec.iteration();
+            round += 1;
             self.fix_values[fix] = Some(cur.clone());
+            if traced {
+                self.tracer.open();
+            }
             let step = self.eval(body)?;
             let mut next = cur.clone();
             next.or_with(&self.ctx, &step);
+            if traced {
+                let rows = next.count(&self.ctx);
+                self.tracer
+                    .close("round", name.clone(), self.ctx.width(), rows, Some(round));
+            }
             if next == cur {
                 break;
             }
@@ -317,12 +382,35 @@ impl<'p, 'd, C: CylinderOps> Engine<'p, 'd, C> {
     /// matching the PSPACE flavour of Theorem 3.8.
     fn eval_pfp_fix(&mut self, fix: FixId) -> Result<C, EvalError> {
         let body = self.prog.fixes[fix].body;
-        let step = |engine: &mut Self, x: &C| -> Result<C, EvalError> {
+        let name = if self.tracer.is_enabled() {
+            self.prog.fixes[fix].name.clone()
+        } else {
+            String::new()
+        };
+        let mut round: u64 = 0;
+        let mut step = |engine: &mut Self, x: &C| -> Result<C, EvalError> {
             engine.check_deadline()?;
             engine.rec.iteration();
+            round += 1;
             engine.fix_values[fix] = Some(x.clone());
+            let traced = engine.tracer.is_enabled();
+            if traced {
+                engine.tracer.open();
+            }
             let r = engine.eval(body);
             engine.fix_values[fix] = None;
+            if traced {
+                if let Ok(c) = &r {
+                    let rows = c.count(&engine.ctx);
+                    engine.tracer.close(
+                        "round",
+                        name.clone(),
+                        engine.ctx.width(),
+                        rows,
+                        Some(round),
+                    );
+                }
+            }
             r
         };
         // Brent: find the cycle length λ of the eventually-periodic
@@ -352,6 +440,19 @@ impl<'p, 'd, C: CylinderOps> Engine<'p, 'd, C> {
         };
         Ok(value)
     }
+}
+
+/// The result of a traced query evaluation: the answer relation, the
+/// aggregate statistics, and (when [`EvalConfig::with_trace`] asked for
+/// it) the span tree mirroring the formula's evaluation.
+#[derive(Clone, Debug)]
+pub struct Evaluated {
+    /// The answer relation (columns in output-variable order).
+    pub answer: Relation,
+    /// Aggregate evaluation statistics.
+    pub stats: EvalStats,
+    /// The recorded span tree; `None` unless tracing was enabled.
+    pub trace: Option<Span>,
 }
 
 /// The `FP^k` (and `FO^k`) query evaluator.
@@ -476,6 +577,23 @@ impl<'d> FpEvaluator<'d> {
         q: &Query,
         env: &RelEnv,
     ) -> Result<(Relation, EvalStats), EvalError> {
+        self.eval_query_with_env_traced(q, env)
+            .map(|e| (e.answer, e.stats))
+    }
+
+    /// Evaluates a query, also returning the span tree when tracing is
+    /// enabled on the configuration ([`EvalConfig::with_trace`]).
+    pub fn eval_query_traced(&self, q: &Query) -> Result<Evaluated, EvalError> {
+        self.eval_query_with_env_traced(q, &RelEnv::new())
+    }
+
+    /// [`FpEvaluator::eval_query_traced`] with external relation-variable
+    /// bindings.
+    pub fn eval_query_with_env_traced(
+        &self,
+        q: &Query,
+        env: &RelEnv,
+    ) -> Result<Evaluated, EvalError> {
         let externals: Vec<(String, usize)> = env
             .iter()
             .map(|(n, r)| (n.to_string(), r.arity()))
@@ -498,30 +616,36 @@ impl<'d> FpEvaluator<'d> {
         let ext: Vec<Relation> = env.iter().map(|(_, r)| r.clone()).collect();
         let coords: Vec<usize> = q.output.iter().map(|v| v.index()).collect();
         if ctx.dense_feasible() && !self.force_sparse {
-            let mut engine = Engine::<DenseCylinder>::new(
-                &prog,
-                self.db,
-                ctx.clone(),
-                ext,
-                self.strategy,
-                self.collect_stats,
-            )
-            .with_deadline(self.config.deadline());
-            let c = engine.eval(prog.root)?;
-            Ok((c.to_relation(&ctx, &coords), engine.rec.stats()))
+            self.run_engine::<DenseCylinder>(&prog, ctx, ext, &coords)
         } else {
-            let mut engine = Engine::<SparseCylinder>::new(
-                &prog,
-                self.db,
-                ctx.clone(),
-                ext,
-                self.strategy,
-                self.collect_stats,
-            )
-            .with_deadline(self.config.deadline());
-            let c = engine.eval(prog.root)?;
-            Ok((c.to_relation(&ctx, &coords), engine.rec.stats()))
+            self.run_engine::<SparseCylinder>(&prog, ctx, ext, &coords)
         }
+    }
+
+    /// Runs the engine over one cylinder backend and packages the result.
+    fn run_engine<C: CylinderOps>(
+        &self,
+        prog: &Program,
+        ctx: CylCtx,
+        ext: Vec<Relation>,
+        coords: &[usize],
+    ) -> Result<Evaluated, EvalError> {
+        let mut engine = Engine::<C>::new(
+            prog,
+            self.db,
+            ctx.clone(),
+            ext,
+            self.strategy,
+            self.collect_stats,
+        )
+        .with_deadline(self.config.deadline())
+        .with_tracer(Tracer::new(self.config.trace()));
+        let c = engine.eval(prog.root)?;
+        Ok(Evaluated {
+            answer: c.to_relation(&ctx, coords),
+            stats: engine.rec.stats(),
+            trace: std::mem::take(&mut engine.tracer).finish(),
+        })
     }
 
     /// Decides `t ∈ Q(B)` — the combined-complexity decision problem
@@ -725,6 +849,60 @@ mod tests {
             .eval_query(&q)
             .unwrap();
         assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn trace_mirrors_formula_and_rounds() {
+        let db = path_db();
+        let q =
+            parse_query("(x1) [lfp S(x1). (x1 = 0 | exists x2. (S(x2) & E(x2,x1)))](x1)").unwrap();
+        let cfg = EvalConfig::sequential().with_trace(true);
+        let ev = FpEvaluator::new(&db, 2).with_config(cfg);
+        let out = ev.eval_query_traced(&q).unwrap();
+        let trace = out.trace.expect("trace requested");
+        assert_eq!(trace.kind, "lfp");
+        // Rounds: 0,{0},{0,1},{0,1,2},{0,1,2,3} then one stable check.
+        let rounds: Vec<_> = trace
+            .children
+            .iter()
+            .filter(|c| c.kind == "round")
+            .collect();
+        assert_eq!(rounds.len(), 5);
+        assert_eq!(rounds[0].round, Some(1));
+        assert_eq!(rounds.last().unwrap().rows, 4 * 5); // cylinder over k=2
+                                                        // Inside a round: the or node over eq and exists.
+        assert_eq!(rounds[0].children.len(), 1);
+        assert_eq!(rounds[0].children[0].kind, "or");
+        // Without the flag, no trace and identical answers/stats.
+        let plain = FpEvaluator::new(&db, 2)
+            .with_config(EvalConfig::sequential())
+            .eval_query_traced(&q)
+            .unwrap();
+        assert!(plain.trace.is_none());
+        assert_eq!(plain.answer.sorted(), out.answer.sorted());
+        assert_eq!(plain.stats, out.stats);
+    }
+
+    #[test]
+    fn trace_structure_is_thread_independent() {
+        let db = path_db();
+        let q = parse_query("(x1,x2) [lfp S(x2). (x2 = x1 | exists x3. (S(x3) & E(x3,x2)))](x2)")
+            .unwrap();
+        let base = FpEvaluator::new(&db, 3)
+            .with_config(EvalConfig::sequential().with_trace(true))
+            .eval_query_traced(&q)
+            .unwrap()
+            .trace
+            .unwrap();
+        for t in [2usize, 4] {
+            let other = FpEvaluator::new(&db, 3)
+                .with_config(EvalConfig::with_threads(t).with_trace(true))
+                .eval_query_traced(&q)
+                .unwrap()
+                .trace
+                .unwrap();
+            assert_eq!(base.structure(), other.structure(), "threads={t}");
+        }
     }
 
     #[test]

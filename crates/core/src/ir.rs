@@ -54,8 +54,7 @@ pub(crate) enum Node {
 /// Metadata for one fixpoint operator.
 #[derive(Clone, Debug)]
 pub(crate) struct FixInfo {
-    /// The recursion variable's surface name (diagnostics).
-    #[allow(dead_code)]
+    /// The recursion variable's surface name (diagnostics, trace spans).
     pub name: String,
     pub kind: FixKind,
     /// Bound coordinates (variable indices).
@@ -79,10 +78,124 @@ pub(crate) struct Program {
     pub root: NodeRef,
     pub fixes: Vec<FixInfo>,
     /// External relation variables: `(name, arity)`, slot-indexed.
-    #[allow(dead_code)]
     pub externals: Vec<(String, usize)>,
     /// The formula width (≤ the evaluator's k).
     pub width: usize,
+}
+
+/// Longest rendered subformula in a trace-span detail.
+const DETAIL_MAX: usize = 64;
+
+impl Program {
+    /// The span kind for a node: the operator it applies.
+    pub(crate) fn node_kind(&self, r: NodeRef) -> &'static str {
+        match &self.nodes[r as usize] {
+            Node::Const(_) => "const",
+            Node::Eq(..) => "eq",
+            Node::Atom { source, .. } => match source {
+                AtomSource::Db(_) => "atom",
+                AtomSource::Fix(_) => "recvar",
+                AtomSource::External(_) => "extvar",
+            },
+            Node::Not(_) => "not",
+            Node::And(..) => "and",
+            Node::Or(..) => "or",
+            Node::Exists(..) => "exists",
+            Node::Forall(..) => "forall",
+            Node::Fix { fix } => match self.fixes[*fix].kind {
+                FixKind::Lfp => "lfp",
+                FixKind::Gfp => "gfp",
+                FixKind::Ifp => "ifp",
+                FixKind::Pfp => "pfp",
+            },
+        }
+    }
+
+    /// Renders the subformula rooted at `r` back to (truncated) surface
+    /// syntax, resolving relation ids to their database names. Used for
+    /// the `detail` field of trace spans, so the output depends only on
+    /// the compiled program and the schema — never on evaluation order.
+    pub(crate) fn render_node(&self, r: NodeRef, db: &Database) -> String {
+        let mut out = String::new();
+        self.write_node(r, db, &mut out);
+        bvq_relation::trace::truncate_detail(&out, DETAIL_MAX)
+    }
+
+    fn write_node(&self, r: NodeRef, db: &Database, out: &mut String) {
+        use std::fmt::Write;
+        // Truncation happens at the end; stop descending once the buffer
+        // is already over the limit so huge formulas stay cheap.
+        if out.chars().count() > DETAIL_MAX {
+            return;
+        }
+        match &self.nodes[r as usize] {
+            Node::Const(b) => out.push_str(if *b { "true" } else { "false" }),
+            Node::Eq(a, b) => {
+                let _ = write!(out, "{a} = {b}");
+            }
+            Node::Atom { source, args } => {
+                let name = match source {
+                    AtomSource::Db(id) => db.schema().name(*id),
+                    AtomSource::Fix(fix) => self.fixes[*fix].name.as_str(),
+                    AtomSource::External(slot) => self.externals[*slot].0.as_str(),
+                };
+                out.push_str(name);
+                out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{a}");
+                }
+                out.push(')');
+            }
+            Node::Not(g) => {
+                out.push('~');
+                self.write_node(*g, db, out);
+            }
+            Node::And(a, b) | Node::Or(a, b) => {
+                let sep = if matches!(self.nodes[r as usize], Node::And(..)) {
+                    " & "
+                } else {
+                    " | "
+                };
+                out.push('(');
+                self.write_node(*a, db, out);
+                out.push_str(sep);
+                self.write_node(*b, db, out);
+                out.push(')');
+            }
+            Node::Exists(v, g) | Node::Forall(v, g) => {
+                let q = if matches!(self.nodes[r as usize], Node::Exists(..)) {
+                    "exists"
+                } else {
+                    "forall"
+                };
+                let _ = write!(out, "{q} x{}. ", v + 1);
+                self.write_node(*g, db, out);
+            }
+            Node::Fix { fix } => {
+                let info = &self.fixes[*fix];
+                let _ = write!(out, "[{} {}(", self.node_kind(r), info.name);
+                for (i, v) in info.bound.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "x{}", v + 1);
+                }
+                out.push_str("). ");
+                self.write_node(info.body, db, out);
+                out.push_str("](");
+                for (i, a) in info.args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{a}");
+                }
+                out.push(')');
+            }
+        }
+    }
 }
 
 /// Compilation options.
@@ -425,6 +538,38 @@ mod tests {
             compile(&f, &db, &[], no_fix),
             Err(EvalError::UnsupportedConstruct(_))
         ));
+    }
+
+    #[test]
+    fn renders_nodes_for_trace_spans() {
+        let db = db();
+        let f = Formula::atom("E", [v(0), v(1)])
+            .and(Formula::atom("P", [v(0)]).not())
+            .exists(Var(1));
+        let p = compile(&f, &db, &[], opts(2)).unwrap();
+        assert_eq!(p.node_kind(p.root), "exists");
+        assert_eq!(p.render_node(p.root, &db), "exists x2. (E(x1,x2) & ~P(x1))");
+        let fixf = Formula::lfp(
+            "S",
+            vec![Var(0)],
+            Formula::rel_var("S", [v(0)]).or(Formula::atom("P", [v(0)])),
+            vec![v(0)],
+        );
+        let p = compile(&fixf, &db, &[], opts(2)).unwrap();
+        assert_eq!(p.node_kind(p.root), "lfp");
+        assert_eq!(
+            p.render_node(p.root, &db),
+            "[lfp S(x1). (S(x1) | P(x1))](x1)"
+        );
+        // Huge formulas truncate with an ellipsis instead of exploding.
+        let mut big = Formula::atom("P", [v(0)]);
+        for _ in 0..100 {
+            big = big.and(Formula::atom("P", [v(0)]));
+        }
+        let p = compile(&big, &db, &[], opts(2)).unwrap();
+        let detail = p.render_node(p.root, &db);
+        assert!(detail.chars().count() <= 64);
+        assert!(detail.ends_with('…'));
     }
 
     #[test]

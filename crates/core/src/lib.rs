@@ -35,7 +35,7 @@ pub use cert_trace::{TraceCertificate, TraceChecker, TraceEvent};
 pub use env::RelEnv;
 pub use eso::{reduce_arity, EsoEvaluator, GroundingInfo};
 pub use fo::{BoundedEvaluator, NaiveEvaluator};
-pub use fp::{FpEvaluator, FpStrategy};
+pub use fp::{Evaluated, FpEvaluator, FpStrategy};
 pub use games::fo_k_equivalent;
 pub use pfp::PfpEvaluator;
 

@@ -75,6 +75,13 @@ impl<'d> PfpEvaluator<'d> {
         self.inner.eval_query(q)
     }
 
+    /// Evaluates a query, also returning the span tree when tracing is
+    /// enabled ([`bvq_relation::EvalConfig::with_trace`]); PFP/IFP
+    /// iterations appear as `round`-kind spans.
+    pub fn eval_query_traced(&self, q: &Query) -> Result<crate::fp::Evaluated, EvalError> {
+        self.inner.eval_query_traced(q)
+    }
+
     /// Evaluates with external relation-variable bindings.
     pub fn eval_query_with_env(
         &self,

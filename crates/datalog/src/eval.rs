@@ -14,7 +14,10 @@
 //! set unions, so the computed least model — and the statistics — are
 //! identical for every thread count.
 
-use bvq_relation::{parallel, Database, Elem, EvalConfig, EvalStats, Relation, StatsRecorder};
+use bvq_relation::trace::truncate_detail;
+use bvq_relation::{
+    parallel, Database, Elem, EvalConfig, EvalStats, Relation, Span, StatsRecorder, Tracer,
+};
 
 use crate::ast::{AtomTerm, BodyAtom, DatalogError, Program, Rule};
 
@@ -25,6 +28,11 @@ pub struct EvalOutput {
     pub idb: Vec<(String, Relation)>,
     /// Rounds until fixpoint and intermediate-size statistics.
     pub stats: EvalStats,
+    /// The span tree, when the config enables tracing
+    /// ([`EvalConfig::with_trace`]): a `datalog` root with one `round`
+    /// span per iteration, each holding one `rule` span per work item in
+    /// item order — so the structure is identical for every thread count.
+    pub trace: Option<Span>,
 }
 
 impl EvalOutput {
@@ -50,20 +58,45 @@ pub fn eval_naive_with(
     program.validate()?;
     let mut state = State::new(program, db)?;
     let mut rec = StatsRecorder::new();
+    let mut tracer = Tracer::new(cfg.trace());
+    let traced = tracer.is_enabled();
+    if traced {
+        tracer.open(); // the `datalog` root
+    }
+    let mut round: u64 = 0;
     loop {
         check_deadline(cfg)?;
         rec.iteration();
+        round += 1;
+        if traced {
+            tracer.open();
+        }
         let items: Vec<RoundItem<'_>> = program.rules.iter().map(|r| (r, None)).collect();
         let derived = eval_round(&state, &items, cfg, &mut rec)?;
         let mut changed = false;
-        for ((rule, _), d) in items.iter().zip(derived) {
+        let mut round_rows = 0;
+        for ((rule, delta), (d, ns)) in items.iter().zip(derived) {
+            if traced {
+                round_rows += d.len();
+                tracer.attach(rule_span(rule, *delta, &d, ns));
+            }
             changed |= state.absorb(&rule.head.pred, d);
+        }
+        if traced {
+            tracer.close(
+                "round",
+                format!("{} rules", items.len()),
+                0,
+                round_rows,
+                Some(round),
+            );
         }
         if !changed {
             break;
         }
     }
-    Ok(state.finish(rec))
+    close_root(&mut tracer, "naive", &state);
+    Ok(state.finish(rec, tracer.finish()))
 }
 
 /// Evaluates `program` semi-naively, joining each rule against the deltas
@@ -81,6 +114,11 @@ pub fn eval_seminaive_with(
     program.validate()?;
     let mut state = State::new(program, db)?;
     let mut rec = StatsRecorder::new();
+    let mut tracer = Tracer::new(cfg.trace());
+    let traced = tracer.is_enabled();
+    if traced {
+        tracer.open(); // the `datalog` root
+    }
     // Round 0: rules evaluated in full (deltas = everything derived).
     let mut deltas: Vec<(String, Relation)> = state
         .idb
@@ -89,16 +127,34 @@ pub fn eval_seminaive_with(
         .collect();
     check_deadline(cfg)?;
     rec.iteration();
+    let mut round: u64 = 1;
     {
+        if traced {
+            tracer.open();
+        }
         let items: Vec<RoundItem<'_>> = program.rules.iter().map(|r| (r, None)).collect();
         let derived = eval_round(&state, &items, cfg, &mut rec)?;
-        for ((rule, _), d) in items.iter().zip(derived) {
+        let mut round_rows = 0;
+        for ((rule, delta), (d, ns)) in items.iter().zip(derived) {
+            if traced {
+                round_rows += d.len();
+                tracer.attach(rule_span(rule, *delta, &d, ns));
+            }
             let fresh = state.fresh_tuples(&rule.head.pred, &d);
             let slot = deltas
                 .iter_mut()
                 .find(|(p, _)| *p == rule.head.pred)
                 .expect("idb");
             slot.1 = slot.1.union(&fresh);
+        }
+        if traced {
+            tracer.close(
+                "round",
+                format!("{} rules", items.len()),
+                0,
+                round_rows,
+                Some(round),
+            );
         }
     }
     for (p, d) in &deltas {
@@ -114,6 +170,10 @@ pub fn eval_seminaive_with(
         }
         check_deadline(cfg)?;
         rec.iteration();
+        round += 1;
+        if traced {
+            tracer.open();
+        }
         let mut items: Vec<RoundItem<'_>> = Vec::new();
         for rule in &program.rules {
             for (pos, atom) in rule.body.iter().enumerate() {
@@ -138,7 +198,12 @@ pub fn eval_seminaive_with(
             .iter()
             .map(|(p, r)| (p.clone(), Relation::new(r.arity())))
             .collect();
-        for ((rule, _), d) in items.iter().zip(derived) {
+        let mut round_rows = 0;
+        for ((rule, delta), (d, ns)) in items.iter().zip(derived) {
+            if traced {
+                round_rows += d.len();
+                tracer.attach(rule_span(rule, *delta, &d, ns));
+            }
             let fresh = state.fresh_tuples(&rule.head.pred, &d);
             let slot = new_deltas
                 .iter_mut()
@@ -146,12 +211,49 @@ pub fn eval_seminaive_with(
                 .expect("idb");
             slot.1 = slot.1.union(&fresh);
         }
+        if traced {
+            tracer.close(
+                "round",
+                format!("{} items", items.len()),
+                0,
+                round_rows,
+                Some(round),
+            );
+        }
         for (p, d) in &new_deltas {
             state.absorb(p, d.clone());
         }
         deltas = new_deltas;
     }
-    Ok(state.finish(rec))
+    close_root(&mut tracer, "seminaive", &state);
+    Ok(state.finish(rec, tracer.finish()))
+}
+
+/// One completed rule evaluation as a span: the rule text (with the
+/// delta-bound body position for semi-naive items), head arity, derived
+/// tuple count, and the measured wall time.
+fn rule_span(
+    rule: &Rule,
+    delta: Option<(usize, &Relation)>,
+    derived: &Relation,
+    elapsed_ns: u64,
+) -> Span {
+    let mut detail = truncate_detail(&rule.to_string(), 64);
+    if let Some((pos, _)) = delta {
+        detail.push_str(&format!(" [Δ{pos}]"));
+    }
+    let mut s = Span::leaf("rule", detail, rule.head.vars.len(), derived.len());
+    s.elapsed_ns = elapsed_ns;
+    s
+}
+
+/// Closes the `datalog` root span over the final IDB state.
+fn close_root(tracer: &mut Tracer, strategy: &str, state: &State<'_>) {
+    if tracer.is_enabled() {
+        let arity = state.idb.iter().map(|(_, r)| r.arity()).max().unwrap_or(0);
+        let rows = state.idb.iter().map(|(_, r)| r.len()).sum();
+        tracer.close("datalog", strategy, arity, rows, None);
+    }
 }
 
 /// One independent unit of a round: a rule, optionally with one body
@@ -173,24 +275,35 @@ fn check_deadline(cfg: &EvalConfig) -> Result<(), DatalogError> {
 /// config asks for more than one. Results come back in item order;
 /// worker-local statistics are merged into `rec` (`EvalStats::merge` is
 /// commutative up to the final value, so the totals match the sequential
-/// run).
+/// run). Each relation is paired with the item's wall time in
+/// nanoseconds, measured only when the config enables tracing (0
+/// otherwise, keeping the untraced path free of clock reads).
 fn eval_round(
     state: &State<'_>,
     items: &[RoundItem<'_>],
     cfg: &EvalConfig,
     rec: &mut StatsRecorder,
-) -> Result<Vec<Relation>, DatalogError> {
+) -> Result<Vec<(Relation, u64)>, DatalogError> {
+    let timed = cfg.trace();
+    let run_item = |(r, d): &RoundItem<'_>,
+                    rec: &mut StatsRecorder|
+     -> Result<(Relation, u64), DatalogError> {
+        if timed {
+            let start = std::time::Instant::now();
+            let rel = state.eval_rule(r, *d, cfg, rec)?;
+            Ok((rel, start.elapsed().as_nanos() as u64))
+        } else {
+            Ok((state.eval_rule(r, *d, cfg, rec)?, 0))
+        }
+    };
     if cfg.is_sequential() || items.len() <= 1 {
-        return items
-            .iter()
-            .map(|(r, d)| state.eval_rule(r, *d, cfg, rec))
-            .collect();
+        return items.iter().map(|item| run_item(item, rec)).collect();
     }
     let chunks = parallel::map_chunks(cfg.threads(), items.len(), |range| {
         let mut local = StatsRecorder::new();
-        let out: Result<Vec<Relation>, DatalogError> = items[range]
+        let out: Result<Vec<(Relation, u64)>, DatalogError> = items[range]
             .iter()
-            .map(|(r, d)| state.eval_rule(r, *d, cfg, &mut local))
+            .map(|item| run_item(item, &mut local))
             .collect();
         (out, local.stats())
     });
@@ -344,12 +457,13 @@ fn normalise_atom(rel: &Relation, atom: &BodyAtom) -> (Vec<u32>, Relation) {
 }
 
 impl State<'_> {
-    fn finish(self, rec: StatsRecorder) -> EvalOutput {
+    fn finish(self, rec: StatsRecorder, trace: Option<Span>) -> EvalOutput {
         let mut idb = self.idb;
         idb.sort_by(|a, b| a.0.cmp(&b.0));
         EvalOutput {
             idb,
             stats: rec.stats(),
+            trace,
         }
     }
 }
@@ -456,6 +570,42 @@ mod tests {
                 Relation::from_tuples(1, [[1u32], [3]]).sorted()
             );
         }
+    }
+
+    #[test]
+    fn trace_has_round_and_rule_spans() {
+        let db = chain_db(5);
+        let cfg = EvalConfig::sequential().with_trace(true);
+        let out = eval_seminaive_with(&tc_program(), &db, &cfg).unwrap();
+        let root = out.trace.as_ref().expect("trace enabled");
+        assert_eq!(root.kind, "datalog");
+        assert_eq!(root.detail, "seminaive");
+        assert_eq!(root.rows, out.get("T").unwrap().len());
+        assert_eq!(
+            root.children.len() as u64,
+            out.stats.fixpoint_iterations,
+            "one round span per iteration"
+        );
+        for (i, r) in root.children.iter().enumerate() {
+            assert_eq!(r.kind, "round");
+            assert_eq!(r.round, Some(i as u64 + 1));
+            assert!(r.children.iter().all(|c| c.kind == "rule"));
+        }
+        // Round 0 evaluates both rules in full; later rounds only the
+        // recursive rule's delta item, marked with its body position.
+        assert_eq!(root.children[0].children.len(), 2);
+        assert!(root.children[1].children[0].detail.ends_with("[Δ0]"));
+        // The naive strategy labels its root accordingly, and tracing
+        // never changes answers or stats.
+        let plain = eval_seminaive_with(&tc_program(), &db, &EvalConfig::sequential()).unwrap();
+        assert!(plain.trace.is_none());
+        assert_eq!(plain.stats, out.stats);
+        assert_eq!(
+            plain.get("T").unwrap().sorted(),
+            out.get("T").unwrap().sorted()
+        );
+        let naive = eval_naive_with(&tc_program(), &db, &cfg).unwrap();
+        assert_eq!(naive.trace.unwrap().detail, "naive");
     }
 
     #[test]

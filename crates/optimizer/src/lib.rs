@@ -34,4 +34,4 @@ pub use bounded_formula::to_bounded_query;
 pub use cq::{ConjunctiveQuery, CqAtom, CqTerm, PlanStats};
 pub use elimination::{eval_eliminated, greedy_order, induced_width};
 pub use gyo::{is_acyclic, join_tree, JoinTree};
-pub use yannakakis::eval_yannakakis;
+pub use yannakakis::{eval_yannakakis, eval_yannakakis_traced};

@@ -14,7 +14,7 @@
 //! reason the paper cites for acyclic joins being easy, and the ancestor
 //! of its bounded-variable thesis.
 
-use bvq_relation::{Database, Relation, StatsRecorder};
+use bvq_relation::{Database, Relation, StatsRecorder, Tracer};
 
 use crate::cq::{load_atom, ConjunctiveQuery, PlanError, PlanStats};
 use crate::gyo::join_tree;
@@ -27,10 +27,29 @@ pub fn eval_yannakakis(
     cq: &ConjunctiveQuery,
     db: &Database,
 ) -> Result<(Relation, PlanStats), PlanError> {
+    eval_yannakakis_traced(cq, db, &mut Tracer::disabled())
+}
+
+/// [`eval_yannakakis`], emitting one span per pass into `tracer` when it
+/// is enabled: a `yannakakis` root with `load`, `semijoin-up`,
+/// `semijoin-down` and `join` children, each reporting the pass's
+/// operation count and the total tuples alive afterwards.
+pub fn eval_yannakakis_traced(
+    cq: &ConjunctiveQuery,
+    db: &Database,
+    tracer: &mut Tracer,
+) -> Result<(Relation, PlanStats), PlanError> {
+    let traced = tracer.is_enabled();
+    if traced {
+        tracer.open(); // the `yannakakis` root
+    }
     let tree = join_tree(cq).ok_or(PlanError::Cyclic)?;
     let mut rec = StatsRecorder::new();
 
     // Load the atoms.
+    if traced {
+        tracer.open();
+    }
     let mut cols: Vec<Vec<u32>> = Vec::with_capacity(cq.atoms.len());
     let mut rels: Vec<Relation> = Vec::with_capacity(cq.atoms.len());
     for atom in &cq.atoms {
@@ -38,6 +57,22 @@ pub fn eval_yannakakis(
         rec.intermediate(r.arity(), r.len());
         cols.push(c);
         rels.push(r);
+    }
+    let alive = |rels: &[Relation]| -> (usize, usize) {
+        (
+            rels.iter().map(Relation::arity).max().unwrap_or(0),
+            rels.iter().map(Relation::len).sum(),
+        )
+    };
+    if traced {
+        let (arity, rows) = alive(&rels);
+        tracer.close(
+            "load",
+            format!("{} atoms", cq.atoms.len()),
+            arity,
+            rows,
+            None,
+        );
     }
 
     let shared_pairs = |a: &[u32], b: &[u32]| -> Vec<(usize, usize)> {
@@ -48,12 +83,28 @@ pub fn eval_yannakakis(
     };
 
     // Phase 1: upward sweep — `order` lists children before parents.
+    if traced {
+        tracer.open();
+    }
+    let mut semijoins = 0usize;
     for &e in &tree.order {
         if let Some(p) = tree.parent[e] {
             let pairs = shared_pairs(&cols[p], &cols[e]);
             rels[p] = rels[p].semijoin(&rels[e], &pairs);
             rec.intermediate(rels[p].arity(), rels[p].len());
+            semijoins += 1;
         }
+    }
+    if traced {
+        let (arity, rows) = alive(&rels);
+        tracer.close(
+            "semijoin-up",
+            format!("{semijoins} semijoins"),
+            arity,
+            rows,
+            None,
+        );
+        tracer.open();
     }
     // Phase 2: downward sweep — parents before children.
     for &e in tree.order.iter().rev() {
@@ -62,6 +113,17 @@ pub fn eval_yannakakis(
             rels[e] = rels[e].semijoin(&rels[p], &pairs);
             rec.intermediate(rels[e].arity(), rels[e].len());
         }
+    }
+    if traced {
+        let (arity, rows) = alive(&rels);
+        tracer.close(
+            "semijoin-down",
+            format!("{semijoins} semijoins"),
+            arity,
+            rows,
+            None,
+        );
+        tracer.open();
     }
 
     // Phase 3: join children into parents (children before parents), at
@@ -123,7 +185,24 @@ pub fn eval_yannakakis(
                 .ok_or(PlanError::HeadVariableNotInBody(*v))
         })
         .collect::<Result<_, _>>()?;
-    Ok((acc.project(&positions), rec.stats()))
+    let answer = acc.project(&positions);
+    if traced {
+        tracer.close(
+            "join",
+            format!("{semijoins} joins"),
+            head.len(),
+            answer.len(),
+            None,
+        );
+        tracer.close(
+            "yannakakis",
+            format!("{} atoms", cq.atoms.len()),
+            head.len(),
+            answer.len(),
+            None,
+        );
+    }
+    Ok((answer, rec.stats()))
 }
 
 #[cfg(test)]
@@ -182,6 +261,28 @@ mod tests {
         assert_eq!(yann.sorted(), naive.sorted());
         assert!(yann.contains(&[2]));
         assert!(yann.contains(&[4]));
+    }
+
+    #[test]
+    fn trace_reports_the_three_sweeps() {
+        let db = db();
+        let cq = chain(3);
+        let mut tracer = Tracer::new(true);
+        let (rel, stats) = eval_yannakakis_traced(&cq, &db, &mut tracer).unwrap();
+        let root = tracer.finish().expect("trace enabled");
+        assert_eq!(root.kind, "yannakakis");
+        assert_eq!(root.rows, rel.len());
+        let kinds: Vec<&str> = root.children.iter().map(|c| c.kind).collect();
+        assert_eq!(kinds, ["load", "semijoin-up", "semijoin-down", "join"]);
+        assert_eq!(root.children[0].detail, "3 atoms");
+        // The full reducer can only shrink the alive-tuple total.
+        assert!(root.children[2].rows <= root.children[0].rows);
+        // A disabled tracer produces no spans and identical results.
+        let mut off = Tracer::disabled();
+        let (rel2, stats2) = eval_yannakakis_traced(&cq, &db, &mut off).unwrap();
+        assert!(off.finish().is_none());
+        assert_eq!(rel2.sorted(), rel.sorted());
+        assert_eq!(stats2, stats);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use std::time::Instant;
 pub struct EvalConfig {
     threads: usize,
     deadline: Option<Instant>,
+    trace: bool,
 }
 
 impl EvalConfig {
@@ -31,6 +32,7 @@ impl EvalConfig {
         EvalConfig {
             threads: threads.max(1),
             deadline: None,
+            trace: false,
         }
     }
 
@@ -55,6 +57,20 @@ impl EvalConfig {
     /// Whether the attached deadline (if any) has already passed.
     pub fn deadline_exceeded(&self) -> bool {
         self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Returns this config with span tracing enabled or disabled.
+    /// Tracing records one [`Span`](crate::Span) per operator
+    /// application; the default (off) keeps evaluation overhead-free.
+    #[must_use]
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Whether span tracing is enabled.
+    pub fn trace(&self) -> bool {
+        self.trace
     }
 
     /// Reads the configuration from the environment: `BVQ_THREADS` if set
@@ -107,6 +123,15 @@ mod tests {
     #[test]
     fn from_env_is_positive() {
         assert!(EvalConfig::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn trace_defaults_off_and_toggles() {
+        assert!(!EvalConfig::sequential().trace());
+        assert!(!EvalConfig::from_env().trace());
+        let cfg = EvalConfig::with_threads(2).with_trace(true);
+        assert!(cfg.trace());
+        assert!(!cfg.with_trace(false).trace());
     }
 
     #[test]

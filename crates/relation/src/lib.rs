@@ -23,6 +23,9 @@
 //!   with the paper's string-encoding length as the input-size measure;
 //! * [`EvalStats`] — instrumentation recording maximum intermediate arity
 //!   and cardinality, operator applications, and fixpoint iterations;
+//! * [`Span`] and [`Tracer`] — structured per-operator tracing (arity,
+//!   cardinality, wall time, fixpoint round) nested to mirror formula
+//!   structure, with thread-count-independent structural content;
 //! * [`EvalConfig`] and the [`parallel`] kernels — a thread-count knob and
 //!   partitioned (std-only, `std::thread::scope`) implementations of the
 //!   hot relational operators; `threads = 1` is exactly the sequential
@@ -47,6 +50,7 @@ pub mod parallel;
 pub mod relation;
 pub mod sparse;
 pub mod stats;
+pub mod trace;
 pub mod tuple;
 
 pub use bitset::BitSet;
@@ -61,6 +65,7 @@ pub use index::PointIndex;
 pub use relation::Relation;
 pub use sparse::SparseCylinder;
 pub use stats::{EvalStats, StatsRecorder};
+pub use trace::{Span, Tracer};
 pub use tuple::Tuple;
 
 /// A domain element. Domains are always `0..n` for some size `n`; examples

@@ -172,6 +172,81 @@ mod tests {
         assert_eq!(m.fixpoint_iterations, 1);
     }
 
+    /// Deterministic sample statistics for the algebraic-law tests.
+    fn sample(seed: u64) -> EvalStats {
+        let mut s = EvalStats::new();
+        let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for _ in 0..4 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s.record_intermediate((x >> 60) as usize, (x >> 48) as usize & 0xff);
+            if x & 1 == 0 {
+                s.record_iteration();
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn merge_identity_is_zero() {
+        // EvalStats::new() is a two-sided identity: maxima against 0 and
+        // sums with 0 both leave the operand unchanged.
+        for seed in 0..8 {
+            let s = sample(seed);
+            assert_eq!(s.merge(&EvalStats::new()), s);
+            assert_eq!(EvalStats::new().merge(&s), s);
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        // max and + are both commutative monoids, so worker-local stats
+        // can be combined in any grouping; the engine still fixes chunk
+        // order so even a non-commutative future field would stay
+        // deterministic.
+        for seed in 0..8 {
+            let (a, b, c) = (sample(seed), sample(seed + 100), sample(seed + 200));
+            assert_eq!(a.merge(&b), b.merge(&a));
+            assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        }
+    }
+
+    #[test]
+    fn absorb_equals_merge() {
+        // A recorder absorbing worker stats must agree exactly with the
+        // pure merge of the underlying EvalStats values.
+        let (a, b) = (sample(1), sample(2));
+        let mut rec = StatsRecorder::new();
+        rec.absorb(&a);
+        rec.absorb(&b);
+        assert_eq!(rec.stats(), a.merge(&b));
+        // Absorbing into a disabled recorder is a no-op.
+        let mut off = StatsRecorder::disabled();
+        off.absorb(&a);
+        assert_eq!(off.stats(), EvalStats::new());
+        assert!(!off.is_enabled());
+    }
+
+    #[test]
+    fn absorb_matches_interleaved_recording() {
+        // Recording everything on one recorder equals recording on two
+        // and absorbing: merge loses no information for these counters.
+        let mut one = StatsRecorder::new();
+        one.intermediate(2, 5);
+        one.intermediate(3, 1);
+        one.iteration();
+        let mut left = StatsRecorder::new();
+        left.intermediate(2, 5);
+        let mut right = StatsRecorder::new();
+        right.intermediate(3, 1);
+        right.iteration();
+        let mut combined = StatsRecorder::new();
+        combined.absorb(&left.stats());
+        combined.absorb(&right.stats());
+        assert_eq!(combined.stats(), one.stats());
+    }
+
     #[test]
     fn disabled_recorder_is_inert() {
         let mut r = StatsRecorder::disabled();

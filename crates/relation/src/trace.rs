@@ -1,0 +1,372 @@
+//! Structured query tracing: nested spans mirroring formula structure.
+//!
+//! A [`Span`] records one evaluation step — the operator kind, the
+//! subformula it evaluated (pretty-printed and truncated), the output
+//! arity and cardinality, an optional fixpoint round index, the wall
+//! time, and child spans for subcomputations. A [`Tracer`] collects
+//! spans during evaluation; it is threaded through
+//! [`EvalConfig`](crate::EvalConfig) exactly like
+//! [`StatsRecorder`](crate::StatsRecorder): a disabled tracer is a
+//! couple of branch instructions per operator, so the default
+//! (trace off) costs nothing measurable.
+//!
+//! **Determinism rule.** Everything in a span except `elapsed_ns` is
+//! *structural*: it depends only on the query, the database, and the
+//! evaluation strategy — never on the thread count. Parallel evaluators
+//! build child spans from per-chunk results merged in chunk order, so
+//! [`Span::structure`] is bit-identical across `threads = 1/2/4…`; the
+//! integration suite asserts this. Timings are the one field excluded
+//! from the structural view.
+
+use std::time::Instant;
+
+/// One node of a trace or plan tree.
+///
+/// In a *measured* trace (`explain analyze`, `--trace`), `rows` is the
+/// cardinality actually produced and `elapsed_ns` the wall time. In a
+/// *static* plan (`explain`), `rows` is the `n^arity` upper bound of
+/// Proposition 3.1 and `elapsed_ns` is zero.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Operator kind (`"and"`, `"exists"`, `"lfp"`, `"round"`, …).
+    pub kind: &'static str,
+    /// Pretty-printed subformula / rule / phase detail (truncated).
+    pub detail: String,
+    /// Arity of the produced (or estimated) relation.
+    pub arity: usize,
+    /// Output cardinality (measured) or `n^arity` bound (static plan).
+    pub rows: usize,
+    /// Fixpoint round index, for per-round spans.
+    pub round: Option<u64>,
+    /// Wall time in nanoseconds (zero in static plans; **not**
+    /// structural — excluded from [`Span::structure`]).
+    pub elapsed_ns: u64,
+    /// Subcomputations, in evaluation order.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// A childless span with zero elapsed time.
+    pub fn leaf(kind: &'static str, detail: impl Into<String>, arity: usize, rows: usize) -> Span {
+        Span {
+            kind,
+            detail: detail.into(),
+            arity,
+            rows,
+            round: None,
+            elapsed_ns: 0,
+            children: Vec::new(),
+        }
+    }
+
+    /// Total number of spans in this tree (including `self`).
+    pub fn total_spans(&self) -> usize {
+        1 + self.children.iter().map(Span::total_spans).sum::<usize>()
+    }
+
+    /// A canonical serialisation of the *structural* content — every
+    /// field except `elapsed_ns`, recursively. Two traces of the same
+    /// query at different thread counts must produce byte-identical
+    /// structure strings; this is what the determinism tests compare.
+    pub fn structure(&self) -> String {
+        let mut out = String::new();
+        self.write_structure(&mut out);
+        out
+    }
+
+    fn write_structure(&self, out: &mut String) {
+        out.push_str(self.kind);
+        out.push('|');
+        out.push_str(&self.detail);
+        out.push('|');
+        out.push_str(&self.arity.to_string());
+        out.push('|');
+        out.push_str(&self.rows.to_string());
+        if let Some(r) = self.round {
+            out.push('#');
+            out.push_str(&r.to_string());
+        }
+        out.push('{');
+        for (i, c) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(';');
+            }
+            c.write_structure(out);
+        }
+        out.push('}');
+    }
+
+    /// True when the structural content (everything but timings) of the
+    /// two trees is identical.
+    pub fn same_structure(&self, other: &Span) -> bool {
+        self.structure() == other.structure()
+    }
+
+    /// Renders the tree as indented text, one span per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(0, &mut out);
+        out
+    }
+
+    fn render_into(&self, depth: usize, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(self.kind);
+        if let Some(r) = self.round {
+            out.push('#');
+            out.push_str(&r.to_string());
+        }
+        if !self.detail.is_empty() {
+            out.push(' ');
+            out.push_str(&self.detail);
+        }
+        out.push_str(&format!("  [arity={} rows={}", self.arity, self.rows));
+        if self.elapsed_ns > 0 {
+            out.push_str(&format!(" t={}", format_ns(self.elapsed_ns)));
+        }
+        out.push_str("]\n");
+        for c in &self.children {
+            c.render_into(depth + 1, out);
+        }
+    }
+}
+
+/// Formats nanoseconds as a human-readable duration.
+fn format_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// A frame on the open-span stack: its start time and the child spans
+/// closed so far underneath it.
+#[derive(Debug)]
+struct Frame {
+    start: Instant,
+    children: Vec<Span>,
+}
+
+/// Collects [`Span`]s during evaluation.
+///
+/// Mirrors [`StatsRecorder`](crate::StatsRecorder): a disabled tracer
+/// makes every method a no-op behind one branch. Usage is
+/// [`open`](Tracer::open) before a subcomputation,
+/// [`close`](Tracer::close) after it (supplying the structural fields),
+/// and [`finish`](Tracer::finish) to extract the tree.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    enabled: bool,
+    frames: Vec<Frame>,
+    roots: Vec<Span>,
+}
+
+impl Tracer {
+    /// A tracer that records iff `enabled`.
+    pub fn new(enabled: bool) -> Tracer {
+        Tracer {
+            enabled,
+            frames: Vec::new(),
+            roots: Vec::new(),
+        }
+    }
+
+    /// A tracer that records nothing (the default).
+    pub fn disabled() -> Tracer {
+        Tracer::new(false)
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a span; pair with [`close`](Tracer::close). No-op when
+    /// disabled. On error paths the frame may be abandoned — `finish`
+    /// folds orphaned children upward rather than losing them.
+    pub fn open(&mut self) {
+        if self.enabled {
+            self.frames.push(Frame {
+                start: Instant::now(),
+                children: Vec::new(),
+            });
+        }
+    }
+
+    /// Closes the innermost open span, filling in its structural
+    /// fields; elapsed time is measured from the matching `open`.
+    pub fn close(
+        &mut self,
+        kind: &'static str,
+        detail: impl Into<String>,
+        arity: usize,
+        rows: usize,
+        round: Option<u64>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let Some(frame) = self.frames.pop() else {
+            return;
+        };
+        let span = Span {
+            kind,
+            detail: detail.into(),
+            arity,
+            rows,
+            round,
+            elapsed_ns: frame.start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            children: frame.children,
+        };
+        self.attach(span);
+    }
+
+    /// Attaches a pre-built span under the innermost open span (or as a
+    /// root). Used when child spans are built out-of-band — e.g. from
+    /// per-chunk worker results merged in chunk order.
+    pub fn attach(&mut self, span: Span) {
+        if !self.enabled {
+            return;
+        }
+        match self.frames.last_mut() {
+            Some(f) => f.children.push(span),
+            None => self.roots.push(span),
+        }
+    }
+
+    /// Extracts the recorded tree: `None` when disabled or empty, the
+    /// single root when there is one, a synthetic `"trace"` root when
+    /// several spans were recorded at top level.
+    pub fn finish(mut self) -> Option<Span> {
+        if !self.enabled {
+            return None;
+        }
+        // Fold children of abandoned frames (error paths) upward.
+        while let Some(f) = self.frames.pop() {
+            match self.frames.last_mut() {
+                Some(p) => p.children.extend(f.children),
+                None => self.roots.extend(f.children),
+            }
+        }
+        match self.roots.len() {
+            0 => None,
+            1 => self.roots.pop(),
+            _ => Some(Span {
+                kind: "trace",
+                detail: String::new(),
+                arity: 0,
+                rows: 0,
+                round: None,
+                elapsed_ns: self.roots.iter().map(|s| s.elapsed_ns).sum(),
+                children: std::mem::take(&mut self.roots),
+            }),
+        }
+    }
+}
+
+/// Truncates a rendered detail string to at most `max` characters,
+/// appending `…` when anything was cut (always cutting at a char
+/// boundary).
+pub fn truncate_detail(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        return s.to_string();
+    }
+    let mut out: String = s.chars().take(max.saturating_sub(1)).collect();
+    out.push('…');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_mirror_open_close_order() {
+        let mut t = Tracer::new(true);
+        t.open(); // root
+        t.open(); // child 1
+        t.close("atom", "E(x1,x2)", 2, 3, None);
+        t.open(); // child 2
+        t.open(); // grandchild
+        t.close("atom", "P(x1)", 1, 1, None);
+        t.close("exists", "exists x2. P(x2)", 1, 1, None);
+        t.close("and", "(E(x1,x2) & …)", 2, 2, None);
+        let root = t.finish().unwrap();
+        assert_eq!(root.kind, "and");
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].kind, "atom");
+        assert_eq!(root.children[1].children[0].detail, "P(x1)");
+        assert_eq!(root.total_spans(), 4);
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let mut t = Tracer::disabled();
+        t.open();
+        t.close("atom", "E", 2, 9, None);
+        t.attach(Span::leaf("x", "", 0, 0));
+        assert!(!t.is_enabled());
+        assert!(t.finish().is_none());
+    }
+
+    #[test]
+    fn structure_excludes_timings() {
+        let mut a = Span::leaf("and", "φ", 2, 4);
+        a.children.push(Span::leaf("atom", "E(x1,x2)", 2, 7));
+        let mut b = a.clone();
+        b.elapsed_ns = 123_456;
+        b.children[0].elapsed_ns = 789;
+        assert!(a.same_structure(&b));
+        let mut c = a.clone();
+        c.children[0].rows = 8;
+        assert!(!a.same_structure(&c));
+    }
+
+    #[test]
+    fn multiple_roots_get_a_synthetic_parent() {
+        let mut t = Tracer::new(true);
+        t.attach(Span::leaf("a", "", 0, 0));
+        t.attach(Span::leaf("b", "", 0, 0));
+        let root = t.finish().unwrap();
+        assert_eq!(root.kind, "trace");
+        assert_eq!(root.children.len(), 2);
+    }
+
+    #[test]
+    fn abandoned_frames_fold_upward() {
+        let mut t = Tracer::new(true);
+        t.open();
+        t.open();
+        t.close("atom", "E", 2, 1, None);
+        // Outer frame never closed (simulates an error path).
+        let root = t.finish().unwrap();
+        assert_eq!(root.kind, "atom");
+    }
+
+    #[test]
+    fn render_indents_and_marks_rounds() {
+        let mut root = Span::leaf("lfp", "S", 1, 3);
+        let mut r1 = Span::leaf("round", "S", 1, 1);
+        r1.round = Some(1);
+        r1.elapsed_ns = 1500;
+        root.children.push(r1);
+        let text = root.render();
+        assert!(text.contains("lfp S  [arity=1 rows=3]"));
+        assert!(text.contains("  round#1 S  [arity=1 rows=1 t=1.5µs]"));
+    }
+
+    #[test]
+    fn truncation_is_char_safe() {
+        assert_eq!(truncate_detail("short", 10), "short");
+        let t = truncate_detail("∀x∀y∀z long tail", 5);
+        assert_eq!(t.chars().count(), 5);
+        assert!(t.ends_with('…'));
+    }
+}

@@ -1,23 +1,31 @@
-//! The execution front-end shared by the CLI and the server: parse a
-//! query text, pick an evaluator by the query's shape, run it.
+//! The execution front-end shared by the CLI and the server: one typed
+//! entry point for every language the system evaluates.
 //!
-//! The CLI re-exports [`run_eval`]/[`run_eso`]/[`EvalOptions`] (so
-//! `bvq_cli::run` keeps its historical surface), while the server uses
-//! the split [`prepare`]/[`execute`] halves directly: `prepare` is what
-//! the plan cache stores, `execute` is what workers run against a
-//! cached plan, and [`RunError::code`] is the mapping from error kinds
-//! to protocol error codes that replaces string matching.
+//! An [`ExecRequest`] names *what* to run ([`ExecKind`]: an FO/FP/PFP
+//! query, an ESO sentence/query, or a Datalog program), *how* to run it
+//! ([`EvalOptions`]), and whether to record a trace. [`prepare_request`]
+//! parses and classifies it into a [`Prepared`] plan — the unit the
+//! server's plan cache stores — and [`execute_prepared`] is the **single
+//! dispatcher** that picks an evaluator and produces an [`ExecOutcome`]
+//! (answer + stats + optional span tree). [`execute`] composes the two.
+//!
+//! The CLI re-exports [`run_eval`]/[`run_eso`]/[`EvalOptions`] (thin
+//! rendering wrappers over the same path, byte-compatible with their
+//! historical output), and [`run_explain`] renders [`explain`]'s static
+//! or measured plan tree. [`RunError::code`] maps error kinds to
+//! protocol error codes so front-ends never match strings.
 
 use std::time::Instant;
 
 use bvq_core::{
-    BoundedEvaluator, CertifiedChecker, EsoEvaluator, EvalError, FpEvaluator, NaiveEvaluator,
-    PfpEvaluator,
+    BoundedEvaluator, CertifiedChecker, EsoEvaluator, EvalError, Evaluated, FpEvaluator,
+    NaiveEvaluator, PfpEvaluator,
 };
-use bvq_datalog::DatalogError;
+use bvq_datalog::{eval_naive_with, eval_seminaive_with, DatalogError, Program};
 use bvq_logic::parser::{parse_eso, parse_query};
-use bvq_logic::Query;
-use bvq_relation::{Database, EvalConfig, EvalStats, Relation};
+use bvq_logic::{Eso, FixKind, Formula, Query, Var};
+use bvq_relation::trace::truncate_detail;
+use bvq_relation::{CylCtx, Database, EvalConfig, EvalStats, Relation, Span, Tracer};
 
 use crate::stats::Language;
 
@@ -31,6 +39,9 @@ pub enum RunError {
     /// An option was used with a query it does not apply to (e.g.
     /// `--naive` on a fixpoint query).
     InvalidOption(String),
+    /// A Datalog request named an output predicate the program never
+    /// derives.
+    UnknownOutput(String),
     /// The evaluator rejected or aborted the query.
     Eval(EvalError),
     /// A Datalog program failed to parse, validate, or evaluate.
@@ -43,6 +54,7 @@ impl RunError {
         match self {
             RunError::Parse(_) => "parse_error",
             RunError::InvalidOption(_) => "invalid_option",
+            RunError::UnknownOutput(_) => "eval_error",
             RunError::Eval(EvalError::DeadlineExceeded) => "deadline_exceeded",
             RunError::Eval(_) => "eval_error",
             RunError::Datalog(DatalogError::Parse(_)) => "parse_error",
@@ -56,6 +68,9 @@ impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RunError::Parse(m) | RunError::InvalidOption(m) => write!(f, "{m}"),
+            RunError::UnknownOutput(p) => {
+                write!(f, "program derives no predicate named `{p}`")
+            }
             RunError::Eval(e) => write!(f, "{e}"),
             RunError::Datalog(e) => write!(f, "{e}"),
         }
@@ -123,8 +138,111 @@ impl EvalOptions {
     }
 }
 
-/// A prepared (parsed, classified, possibly width-minimized) query —
-/// the unit the server's plan cache stores.
+/// What to execute: the request body shared by the CLI subcommands, the
+/// server's compute ops, and `explain`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecKind {
+    /// An FO / FP / PFP / IFP query in the surface syntax.
+    Query {
+        /// The query text.
+        text: String,
+    },
+    /// An ESO sentence or query (Corollary 3.7 grounding).
+    Eso {
+        /// The sentence/query text.
+        text: String,
+    },
+    /// A Datalog program with a designated output predicate.
+    Datalog {
+        /// The program text.
+        program: String,
+        /// The IDB predicate whose relation is the answer.
+        output: String,
+    },
+}
+
+/// One execution request: what to run plus how to run it. The single
+/// argument of [`execute`]; constructed by the CLI's argument parser and
+/// by the server's protocol layer alike, so trace/explain flags ride in
+/// one place instead of per-op plumbing.
+#[derive(Clone, Debug)]
+pub struct ExecRequest {
+    /// What to run.
+    pub kind: ExecKind,
+    /// How to run it.
+    pub opts: EvalOptions,
+    /// Record a span tree ([`ExecOutcome::trace`]). Excluded from
+    /// [`cache_key`](ExecRequest::cache_key): tracing never changes the
+    /// answer, but traced requests bypass the server's result cache so
+    /// the spans are actually measured.
+    pub trace: bool,
+}
+
+impl ExecRequest {
+    /// A request for an FO/FP/PFP query with default options.
+    pub fn query(text: impl Into<String>) -> ExecRequest {
+        ExecRequest {
+            kind: ExecKind::Query { text: text.into() },
+            opts: EvalOptions::default(),
+            trace: false,
+        }
+    }
+
+    /// A request for an ESO sentence/query with default options.
+    pub fn eso(text: impl Into<String>) -> ExecRequest {
+        ExecRequest {
+            kind: ExecKind::Eso { text: text.into() },
+            opts: EvalOptions::default(),
+            trace: false,
+        }
+    }
+
+    /// A request for a Datalog program with default options.
+    pub fn datalog(program: impl Into<String>, output: impl Into<String>) -> ExecRequest {
+        ExecRequest {
+            kind: ExecKind::Datalog {
+                program: program.into(),
+                output: output.into(),
+            },
+            opts: EvalOptions::default(),
+            trace: false,
+        }
+    }
+
+    /// Replaces the evaluation options (builder style).
+    pub fn with_opts(mut self, opts: EvalOptions) -> ExecRequest {
+        self.opts = opts;
+        self
+    }
+
+    /// Enables or disables span tracing (builder style).
+    pub fn with_trace(mut self, trace: bool) -> ExecRequest {
+        self.trace = trace;
+        self
+    }
+
+    /// The plan/result cache key: every semantic input (query text and
+    /// the options that change the answer or the plan), nothing else —
+    /// `threads`, `deadline` and `trace` affect only *how fast* and what
+    /// gets measured, so they are deliberately excluded. Matches the
+    /// keys the wire protocol has always produced.
+    pub fn cache_key(&self) -> String {
+        match &self.kind {
+            ExecKind::Query { text } => format!(
+                "eval|k={:?}|naive={}|min={}|{}",
+                self.opts.k, self.opts.naive, self.opts.minimize, text
+            ),
+            ExecKind::Eso { text } => format!("eso|k={:?}|{}", self.opts.k, text),
+            ExecKind::Datalog { program, output } => {
+                format!("datalog|out={output}|naive={}|{program}", self.opts.naive)
+            }
+        }
+    }
+}
+
+/// A prepared (parsed, classified, possibly width-minimized) FO/FP/PFP
+/// query — one arm of [`Prepared`], the unit the server's plan cache
+/// stores.
 #[derive(Clone, Debug)]
 pub struct Plan {
     /// The parsed query (after optional minimization).
@@ -148,6 +266,84 @@ impl Plan {
             _ => "PFP/IFP",
         }
     }
+}
+
+/// A parsed ESO sentence/query plus its resolved bound and free
+/// variables.
+#[derive(Clone, Debug)]
+pub struct EsoPlan {
+    /// The parsed sentence/query.
+    pub eso: Eso,
+    /// The effective first-order variable bound `k`.
+    pub k: usize,
+    /// The body's first-order width.
+    pub width: usize,
+    /// Free individual variables (empty for a sentence).
+    pub free: Vec<Var>,
+}
+
+/// A parsed Datalog program.
+#[derive(Clone, Debug)]
+pub struct DatalogPlan {
+    /// The parsed program.
+    pub program: Program,
+}
+
+/// A prepared request of any kind: what the server's plan cache stores
+/// and [`execute_prepared`] dispatches on. Pure function of the
+/// request's semantic fields — which is exactly why it can be cached
+/// keyed by [`ExecRequest::cache_key`].
+#[derive(Clone, Debug)]
+pub enum Prepared {
+    /// An FO/FP/PFP query plan.
+    Query(Plan),
+    /// An ESO plan.
+    Eso(EsoPlan),
+    /// A Datalog plan.
+    Datalog(DatalogPlan),
+}
+
+impl Prepared {
+    /// The language this plan will be dispatched to.
+    pub fn language(&self) -> Language {
+        match self {
+            Prepared::Query(p) => p.language,
+            Prepared::Eso(_) => Language::Eso,
+            Prepared::Datalog(_) => Language::Datalog,
+        }
+    }
+}
+
+/// The shape of an answer, by query kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Answer {
+    /// A sentence's truth value.
+    Boolean(bool),
+    /// Answer tuples of a query with output variables.
+    Rows(Relation),
+    /// A rendered textual report (ESO sentences/queries, which also
+    /// report grounding sizes and witnesses).
+    Text(String),
+}
+
+/// What [`execute_prepared`] returns: the answer plus everything the
+/// front-ends render around it.
+#[derive(Clone, Debug)]
+pub struct ExecOutcome {
+    /// The language that was dispatched.
+    pub language: Language,
+    /// The effective variable bound.
+    pub k: usize,
+    /// The query width.
+    pub width: usize,
+    /// Minimization note, when `--minimize` reduced the width.
+    pub minimized: Option<String>,
+    /// The answer.
+    pub answer: Answer,
+    /// Evaluation statistics.
+    pub stats: EvalStats,
+    /// The measured span tree, when the request set `trace`.
+    pub trace: Option<Span>,
 }
 
 /// Parses and classifies a query, applying `--minimize` and resolving
@@ -196,118 +392,511 @@ pub fn prepare(query: &str, opts: &EvalOptions) -> Result<Plan, RunError> {
     })
 }
 
-/// Evaluates a prepared plan against a database.
-pub fn execute(
-    db: &Database,
-    plan: &Plan,
-    opts: &EvalOptions,
-) -> Result<(Relation, EvalStats), RunError> {
-    let cfg = opts.config();
-    let q = &plan.query;
-    let k = plan.k;
-    let out = if opts.naive {
-        NaiveEvaluator::new(db).with_config(cfg).eval_query(q)?
-    } else {
-        match plan.language {
-            Language::Fo => BoundedEvaluator::new(db, k)
-                .with_config(cfg)
-                .eval_query(q)?,
-            Language::Fp => FpEvaluator::new(db, k).with_config(cfg).eval_query(q)?,
-            _ => PfpEvaluator::new(db, k).with_config(cfg).eval_query(q)?,
+/// Parses and classifies a request of any kind into a cacheable
+/// [`Prepared`] plan.
+pub fn prepare_request(req: &ExecRequest) -> Result<Prepared, RunError> {
+    match &req.kind {
+        ExecKind::Query { text } => prepare(text, &req.opts).map(Prepared::Query),
+        ExecKind::Eso { text } => {
+            let eso = parse_eso(text).map_err(|e| RunError::Parse(e.to_string()))?;
+            let width = eso.width().max(1);
+            let k = req.opts.k.unwrap_or(width);
+            let free = eso.body.free_vars();
+            Ok(Prepared::Eso(EsoPlan {
+                eso,
+                k,
+                width,
+                free,
+            }))
         }
+        ExecKind::Datalog { program, .. } => {
+            let program = bvq_datalog::parse_program(program)?;
+            Ok(Prepared::Datalog(DatalogPlan { program }))
+        }
+    }
+}
+
+/// Runs a request end to end: [`prepare_request`] then
+/// [`execute_prepared`].
+pub fn execute(db: &Database, req: &ExecRequest) -> Result<ExecOutcome, RunError> {
+    let prepared = prepare_request(req)?;
+    execute_prepared(db, &prepared, req)
+}
+
+/// Evaluates a prepared plan against a database — **the** dispatcher
+/// every front-end funnels through: FO (bounded or naive), FP, PFP/IFP,
+/// ESO and Datalog all branch here and nowhere else. When `req.trace`
+/// is set, the outcome carries the evaluator's span tree.
+pub fn execute_prepared(
+    db: &Database,
+    prepared: &Prepared,
+    req: &ExecRequest,
+) -> Result<ExecOutcome, RunError> {
+    let cfg = req.opts.config().with_trace(req.trace);
+    match prepared {
+        Prepared::Query(plan) => {
+            let q = &plan.query;
+            let k = plan.k;
+            let out: Evaluated = if req.opts.naive {
+                NaiveEvaluator::new(db)
+                    .with_config(cfg)
+                    .eval_query_traced(q)?
+            } else {
+                match plan.language {
+                    Language::Fo => BoundedEvaluator::new(db, k)
+                        .with_config(cfg)
+                        .eval_query_traced(q)?,
+                    Language::Fp => FpEvaluator::new(db, k)
+                        .with_config(cfg)
+                        .eval_query_traced(q)?,
+                    _ => PfpEvaluator::new(db, k)
+                        .with_config(cfg)
+                        .eval_query_traced(q)?,
+                }
+            };
+            let answer = if q.output.is_empty() {
+                Answer::Boolean(out.answer.as_boolean())
+            } else {
+                Answer::Rows(out.answer)
+            };
+            Ok(ExecOutcome {
+                language: plan.language,
+                k: plan.k,
+                width: plan.width,
+                minimized: plan.minimized.clone(),
+                answer,
+                stats: out.stats,
+                trace: out.trace,
+            })
+        }
+        Prepared::Eso(plan) => execute_eso(db, plan, req),
+        Prepared::Datalog(plan) => {
+            let ExecKind::Datalog { output, .. } = &req.kind else {
+                return Err(RunError::InvalidOption(
+                    "a Datalog plan requires a Datalog request".into(),
+                ));
+            };
+            let out = if req.opts.naive {
+                eval_naive_with(&plan.program, db, &cfg)?
+            } else {
+                eval_seminaive_with(&plan.program, db, &cfg)?
+            };
+            let rel = out
+                .get(output)
+                .ok_or_else(|| RunError::UnknownOutput(output.clone()))?
+                .clone();
+            let width = datalog_width(&plan.program);
+            Ok(ExecOutcome {
+                language: Language::Datalog,
+                k: width,
+                width,
+                minimized: None,
+                answer: Answer::Rows(rel),
+                stats: out.stats,
+                trace: out.trace,
+            })
+        }
+    }
+}
+
+/// The maximum head arity of a program — the Datalog analogue of width.
+fn datalog_width(program: &Program) -> usize {
+    program
+        .rules
+        .iter()
+        .map(|r| r.head.vars.len())
+        .max()
+        .unwrap_or(0)
+}
+
+/// The ESO arm of [`execute_prepared`]: sentences go through the
+/// grounding checker (with witness extraction on satisfiable
+/// sentences), queries through per-tuple checks. Both render the same
+/// textual report `run_eso` has always produced.
+fn execute_eso(db: &Database, plan: &EsoPlan, req: &ExecRequest) -> Result<ExecOutcome, RunError> {
+    let cfg = req.opts.config().with_trace(req.trace);
+    let ev = EsoEvaluator::new(db, plan.k).with_config(cfg);
+    let k = plan.k;
+    let mut text = String::new();
+    let (stats, trace) = if plan.free.is_empty() {
+        let mut tracer = Tracer::new(req.trace);
+        if tracer.is_enabled() {
+            tracer.open();
+        }
+        let (sat, info) = ev.check_traced(&plan.eso, &[], &[], &mut tracer)?;
+        if tracer.is_enabled() {
+            tracer.close(
+                "eso",
+                truncate_detail(&plan.eso.to_string(), 64),
+                0,
+                sat as usize,
+                None,
+            );
+        }
+        text.push_str(&format!(
+            "ESO^{k} sentence: {sat}\ngrounding: {} vars, {} clauses, {} quantified tuples\n",
+            info.sat_vars, info.clauses, info.referenced_tuples
+        ));
+        if sat {
+            if let Some(env) = ev.check_with_witness(&plan.eso, &[], &[])? {
+                for (name, rel) in env.iter() {
+                    text.push_str(&format!("witness {name} = {:?}\n", rel.sorted()));
+                }
+            }
+        }
+        let mut stats = EvalStats::new();
+        stats.record_intermediate(k, info.referenced_tuples);
+        (stats, tracer.finish())
+    } else {
+        let out = ev.eval_query_traced(&plan.eso, &plan.free)?;
+        text.push_str(&format!(
+            "ESO^{k} answers over {:?}: {:?}\n",
+            plan.free,
+            out.answer.sorted()
+        ));
+        (out.stats, out.trace)
     };
+    Ok(ExecOutcome {
+        language: Language::Eso,
+        k,
+        width: plan.width,
+        minimized: None,
+        answer: Answer::Text(text),
+        stats,
+        trace,
+    })
+}
+
+/// Runs a request and renders the full CLI/REPL report: language line,
+/// answer, stats, certifications, and (when `req.trace` is set) the
+/// rendered span tree.
+pub fn run_request(db: &Database, req: &ExecRequest) -> Result<String, RunError> {
+    let prepared = prepare_request(req)?;
+    let outcome = execute_prepared(db, &prepared, req)?;
+    let mut out = String::new();
+    if let Prepared::Query(plan) = &prepared {
+        out.push_str(&format!(
+            "language: {}^{} (width {})\n",
+            plan.language_label(),
+            plan.k,
+            plan.width
+        ));
+        if let Some(note) = &plan.minimized {
+            out.push_str(note);
+            out.push('\n');
+        }
+    }
+    render_answer(&mut out, &outcome.answer);
+    if matches!(prepared, Prepared::Query(_) | Prepared::Datalog(_)) {
+        out.push_str(&format!("stats: {}\n", outcome.stats));
+    }
+    if let Prepared::Query(plan) = &prepared {
+        for t in &req.opts.certify {
+            let q = &plan.query;
+            if !q.formula.is_fp() || q.formula.is_first_order() {
+                return Err(RunError::InvalidOption(
+                    "--certify applies to FP (lfp/gfp) queries only".into(),
+                ));
+            }
+            let checker = CertifiedChecker::new(db, plan.k);
+            let (member, size, vstats) = checker.decide(q, t)?;
+            out.push_str(&format!(
+                "certify {t:?}: member = {member} ({} certificate tuples, {} verify applications)\n",
+                size, vstats.fixpoint_iterations
+            ));
+        }
+    }
+    if let Some(trace) = &outcome.trace {
+        out.push_str("trace:\n");
+        out.push_str(&trace.render());
+    }
     Ok(out)
 }
 
 /// Evaluates a query string against the database, returning the rendered
 /// report (also used by the REPL and `bvq eval`).
 pub fn run_eval(db: &Database, query: &str, opts: &EvalOptions) -> Result<String, RunError> {
-    let plan = prepare(query, opts)?;
-    let mut out = String::new();
-    let push = |out: &mut String, s: String| {
-        out.push_str(&s);
-        out.push('\n');
-    };
-    push(
-        &mut out,
-        format!(
-            "language: {}^{} (width {})",
-            plan.language_label(),
-            plan.k,
-            plan.width
-        ),
-    );
-    if let Some(note) = &plan.minimized {
-        push(&mut out, note.clone());
-    }
-    let (answer, stats) = execute(db, &plan, opts)?;
-    render_answer(&mut out, &plan.query, &answer);
-    push(&mut out, format!("stats: {stats}"));
-
-    for t in &opts.certify {
-        let q = &plan.query;
-        if !q.formula.is_fp() || q.formula.is_first_order() {
-            return Err(RunError::InvalidOption(
-                "--certify applies to FP (lfp/gfp) queries only".into(),
-            ));
-        }
-        let checker = CertifiedChecker::new(db, plan.k);
-        let (member, size, vstats) = checker.decide(q, t)?;
-        push(
-            &mut out,
-            format!(
-                "certify {t:?}: member = {member} ({} certificate tuples, {} verify applications)",
-                size, vstats.fixpoint_iterations
-            ),
-        );
-    }
-    Ok(out)
+    run_request(
+        db,
+        &ExecRequest {
+            kind: ExecKind::Query {
+                text: query.to_string(),
+            },
+            opts: opts.clone(),
+            trace: false,
+        },
+    )
 }
 
 /// Evaluates an ESO sentence/query string.
 pub fn run_eso(db: &Database, query: &str, k: Option<usize>) -> Result<String, RunError> {
-    let eso = parse_eso(query).map_err(|e| RunError::Parse(e.to_string()))?;
-    let k = k.unwrap_or_else(|| eso.width().max(1));
-    let ev = EsoEvaluator::new(db, k);
-    let free = eso.body.free_vars();
-    let mut out = String::new();
-    if free.is_empty() {
-        let (sat, info) = ev.check_with_info(&eso, &[], &[])?;
-        out.push_str(&format!(
-            "ESO^{k} sentence: {sat}\ngrounding: {} vars, {} clauses, {} quantified tuples\n",
-            info.sat_vars, info.clauses, info.referenced_tuples
-        ));
-        if sat {
-            if let Some(env) = ev.check_with_witness(&eso, &[], &[])? {
-                for (name, rel) in env.iter() {
-                    out.push_str(&format!("witness {name} = {:?}\n", rel.sorted()));
-                }
+    run_request(
+        db,
+        &ExecRequest {
+            kind: ExecKind::Eso {
+                text: query.to_string(),
+            },
+            opts: EvalOptions {
+                k,
+                ..Default::default()
+            },
+            trace: false,
+        },
+    )
+}
+
+fn render_answer(out: &mut String, answer: &Answer) {
+    match answer {
+        Answer::Boolean(b) => out.push_str(&format!("answer: {b}\n")),
+        Answer::Rows(rel) => {
+            let rows = rel.sorted();
+            out.push_str(&format!("answer: {} tuples\n", rows.len()));
+            for t in rows.iter().take(50) {
+                out.push_str(&format!("  {t}\n"));
+            }
+            if rows.len() > 50 {
+                out.push_str(&format!("  … and {} more\n", rows.len() - 50));
             }
         }
-    } else {
-        let answer = ev.eval_query(&eso, &free)?;
-        out.push_str(&format!(
-            "ESO^{k} answers over {:?}: {:?}\n",
-            free,
-            answer.sorted()
-        ));
+        Answer::Text(t) => out.push_str(t),
     }
+}
+
+/// What `explain` reports about a request: the width analysis, backend
+/// choice, the `n^k` intermediate-size bound of Proposition 3.1, the
+/// cache key, and a plan tree — static (estimated rows, zero timings)
+/// or measured (`analyze`).
+#[derive(Clone, Debug)]
+pub struct ExplainReport {
+    /// The language the request dispatches to.
+    pub language: Language,
+    /// Display label, e.g. `FO^2` or `DATALOG`.
+    pub label: String,
+    /// The effective variable bound.
+    pub k: usize,
+    /// The query width.
+    pub width: usize,
+    /// The evaluation backend: `dense`/`sparse` cylindrical, `naive`,
+    /// `sat-grounding`, or `seminaive`.
+    pub backend: &'static str,
+    /// The `n^k` intermediate-size bound, rendered.
+    pub bound: String,
+    /// The plan/result cache key for this request.
+    pub cache_key: String,
+    /// Minimization note, when `--minimize` reduced the width.
+    pub minimized: Option<String>,
+    /// The plan tree: static shape for `explain`, the measured span
+    /// tree for `explain analyze`.
+    pub plan: Span,
+    /// Measured statistics, present only under `analyze`.
+    pub analyzed: Option<EvalStats>,
+}
+
+/// Explains a request without (or, with `analyze`, after) running it.
+///
+/// The static plan mirrors what the trace of an actual run looks like:
+/// one node per operator, `rows` filled with the `n^arity` bound that
+/// Proposition 3.1 guarantees per subformula, timings zero. Under
+/// `analyze` the request is executed with tracing forced on and the
+/// measured tree replaces the estimate.
+pub fn explain(db: &Database, req: &ExecRequest, analyze: bool) -> Result<ExplainReport, RunError> {
+    let prepared = prepare_request(req)?;
+    explain_prepared(db, &prepared, req, analyze)
+}
+
+/// [`explain`] over an already-prepared plan — what the server calls so
+/// explain shares the plan cache with the op it explains.
+pub fn explain_prepared(
+    db: &Database,
+    prepared: &Prepared,
+    req: &ExecRequest,
+    analyze: bool,
+) -> Result<ExplainReport, RunError> {
+    let n = db.domain_size();
+    let (label, k, width, minimized, backend, plan) = match prepared {
+        Prepared::Query(p) => {
+            let backend = if req.opts.naive {
+                "naive"
+            } else if CylCtx::new(n.max(1), p.k).dense_feasible() {
+                "dense"
+            } else {
+                "sparse"
+            };
+            (
+                format!("{}^{}", p.language_label(), p.k),
+                p.k,
+                p.width,
+                p.minimized.clone(),
+                backend,
+                formula_plan(&p.query.formula, n),
+            )
+        }
+        Prepared::Eso(p) => (
+            format!("ESO^{}", p.k),
+            p.k,
+            p.width,
+            None,
+            "sat-grounding",
+            eso_plan(p, n),
+        ),
+        Prepared::Datalog(p) => {
+            let backend = if req.opts.naive { "naive" } else { "seminaive" };
+            let w = datalog_width(&p.program);
+            (
+                "DATALOG".to_string(),
+                w,
+                w,
+                None,
+                backend,
+                datalog_plan(&p.program, n),
+            )
+        }
+    };
+    let bound = bound_string(n, k);
+    let (plan, analyzed) = if analyze {
+        let mut traced = req.clone();
+        traced.trace = true;
+        let outcome = execute_prepared(db, prepared, &traced)?;
+        (outcome.trace.unwrap_or(plan), Some(outcome.stats))
+    } else {
+        (plan, None)
+    };
+    Ok(ExplainReport {
+        language: prepared.language(),
+        label,
+        k,
+        width,
+        backend,
+        bound,
+        cache_key: req.cache_key(),
+        minimized,
+        plan,
+        analyzed,
+    })
+}
+
+/// Renders an [`ExplainReport`] for the CLI / REPL.
+pub fn run_explain(db: &Database, req: &ExecRequest, analyze: bool) -> Result<String, RunError> {
+    let report = explain(db, req, analyze)?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "language: {} (width {})\n",
+        report.label, report.width
+    ));
+    if let Some(note) = &report.minimized {
+        out.push_str(note);
+        out.push('\n');
+    }
+    out.push_str(&format!("backend: {}\n", report.backend));
+    out.push_str(&format!("bound: {}\n", report.bound));
+    out.push_str(&format!("cache key: {}\n", report.cache_key));
+    if let Some(stats) = &report.analyzed {
+        out.push_str(&format!("measured: {stats}\n"));
+    }
+    out.push_str(if report.analyzed.is_some() {
+        "plan (measured):\n"
+    } else {
+        "plan (estimated rows):\n"
+    });
+    out.push_str(&report.plan.render());
     Ok(out)
 }
 
-fn render_answer(out: &mut String, q: &Query, answer: &Relation) {
-    if q.output.is_empty() {
-        out.push_str(&format!("answer: {}\n", answer.as_boolean()));
-    } else {
-        let rows = answer.sorted();
-        out.push_str(&format!("answer: {} tuples\n", rows.len()));
-        for t in rows.iter().take(50) {
-            out.push_str(&format!("  {t}\n"));
-        }
-        if rows.len() > 50 {
-            out.push_str(&format!("  … and {} more\n", rows.len() - 50));
-        }
+/// The rendered `n^k` bound, e.g. `n^2 = 4^2 = 16`.
+fn bound_string(n: usize, k: usize) -> String {
+    match (n as u128).checked_pow(k as u32) {
+        Some(v) => format!("n^{k} = {n}^{k} = {v}"),
+        None => format!("n^{k} = {n}^{k} (overflows)"),
     }
+}
+
+/// `n^arity`, saturating — the static row estimate for a plan node.
+fn est_rows(n: usize, arity: usize) -> usize {
+    (n as u128)
+        .checked_pow(arity as u32)
+        .map_or(usize::MAX, |v| v.min(usize::MAX as u128) as usize)
+}
+
+/// The static plan tree of a formula: node kinds match what the traced
+/// evaluators emit, so `explain` and `explain analyze` trees line up.
+fn formula_plan(f: &Formula, n: usize) -> Span {
+    let kind = match f {
+        Formula::Const(_) => "const",
+        Formula::Atom(_) => "atom",
+        Formula::Eq(..) => "eq",
+        Formula::Not(_) => "not",
+        Formula::And(..) => "and",
+        Formula::Or(..) => "or",
+        Formula::Exists(..) => "exists",
+        Formula::Forall(..) => "forall",
+        Formula::Fix { kind, .. } => match kind {
+            FixKind::Lfp => "lfp",
+            FixKind::Gfp => "gfp",
+            FixKind::Pfp => "pfp",
+            FixKind::Ifp => "ifp",
+        },
+    };
+    let arity = f.free_vars().len();
+    let mut span = Span::leaf(
+        kind,
+        truncate_detail(&f.to_string(), 64),
+        arity,
+        est_rows(n, arity),
+    );
+    span.children = match f {
+        Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => {
+            vec![formula_plan(g, n)]
+        }
+        Formula::And(a, b) | Formula::Or(a, b) => vec![formula_plan(a, n), formula_plan(b, n)],
+        Formula::Fix { body, .. } => vec![formula_plan(body, n)],
+        _ => Vec::new(),
+    };
+    span
+}
+
+/// The static plan of an ESO request: ground then solve.
+fn eso_plan(p: &EsoPlan, n: usize) -> Span {
+    let mut root = Span::leaf(
+        "eso",
+        truncate_detail(&p.eso.to_string(), 64),
+        p.free.len(),
+        est_rows(n, p.free.len()),
+    );
+    root.children = vec![
+        Span::leaf(
+            "ground",
+            format!("assignment space ≤ n^{}", p.k),
+            p.k,
+            est_rows(n, p.k),
+        ),
+        Span::leaf("solve", "cdcl", 0, 0),
+    ];
+    root
+}
+
+/// The static plan of a Datalog program: one node per rule.
+fn datalog_plan(program: &Program, n: usize) -> Span {
+    let arity = datalog_width(program);
+    let mut root = Span::leaf(
+        "datalog",
+        format!("{} rules", program.rules.len()),
+        arity,
+        est_rows(n, arity),
+    );
+    root.children = program
+        .rules
+        .iter()
+        .map(|r| {
+            let a = r.head.vars.len();
+            Span::leaf(
+                "rule",
+                truncate_detail(&r.to_string(), 64),
+                a,
+                est_rows(n, a),
+            )
+        })
+        .collect();
+    root
 }
 
 #[cfg(test)]
@@ -366,5 +955,156 @@ mod tests {
         assert!(out.contains("language: FO^2"));
         assert!(out.contains("answer: 1 tuples"));
         assert!(out.contains("⟨1⟩"));
+    }
+
+    #[test]
+    fn execute_dispatches_every_kind() {
+        let db = db();
+        // FO query → rows.
+        let q = ExecRequest::query("(x1) exists x2. (E(x1,x2) & P(x2))");
+        let out = execute(&db, &q).unwrap();
+        assert_eq!(out.language, Language::Fo);
+        let Answer::Rows(rows) = &out.answer else {
+            panic!("expected rows")
+        };
+        assert!(rows.contains(&[1]));
+        assert!(out.trace.is_none(), "trace off by default");
+        // Sentence → boolean.
+        let s = ExecRequest::query("() exists x1. P(x1)");
+        let out = execute(&db, &s).unwrap();
+        assert_eq!(out.answer, Answer::Boolean(true));
+        // ESO sentence → text.
+        let e = ExecRequest::eso("exists2 S/1. forall x1. (S(x1) -> P(x1))");
+        let out = execute(&db, &e).unwrap();
+        assert_eq!(out.language, Language::Eso);
+        let Answer::Text(t) = &out.answer else {
+            panic!("expected text")
+        };
+        assert!(t.contains("sentence: true"), "got: {t}");
+        // Datalog → rows.
+        let d = ExecRequest::datalog("T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).", "T");
+        let out = execute(&db, &d).unwrap();
+        assert_eq!(out.language, Language::Datalog);
+        let Answer::Rows(rows) = &out.answer else {
+            panic!("expected rows")
+        };
+        assert_eq!(rows.len(), 6); // transitive closure of a 4-path
+    }
+
+    #[test]
+    fn unknown_datalog_output_is_a_typed_error() {
+        let d = ExecRequest::datalog("T(x,y) :- E(x,y).", "Zap");
+        let err = execute(&db(), &d).unwrap_err();
+        assert_eq!(err, RunError::UnknownOutput("Zap".into()));
+        assert_eq!(err.code(), "eval_error");
+        assert!(err.to_string().contains("`Zap`"));
+    }
+
+    #[test]
+    fn traced_execute_returns_span_tree() {
+        let db = db();
+        let mut req = ExecRequest::query("(x1) exists x2. (E(x1,x2) & P(x2))");
+        req.trace = true;
+        let out = execute(&db, &req).unwrap();
+        let trace = out.trace.expect("trace requested");
+        assert_eq!(trace.kind, "exists");
+        assert!(trace.total_spans() >= 4);
+        // Datalog traces carry round spans.
+        let mut d = ExecRequest::datalog("T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).", "T");
+        d.trace = true;
+        let out = execute(&db, &d).unwrap();
+        let trace = out.trace.expect("trace requested");
+        assert_eq!(trace.kind, "datalog");
+        assert!(trace.children.iter().all(|c| c.kind == "round"));
+        // ESO sentence traces carry ground/solve phases.
+        let mut e = ExecRequest::eso("exists2 S/1. forall x1. (S(x1) -> P(x1))");
+        e.trace = true;
+        let out = execute(&db, &e).unwrap();
+        let trace = out.trace.expect("trace requested");
+        assert_eq!(trace.kind, "eso");
+        let kinds: Vec<&str> = trace.children.iter().map(|c| c.kind).collect();
+        assert_eq!(kinds, ["ground", "solve"]);
+        // ESO queries trace one check per candidate tuple.
+        let mut e = ExecRequest::eso("exists2 S/1. (S(x1) & forall x2. (S(x2) -> P(x2)))");
+        e.trace = true;
+        let out = execute(&db, &e).unwrap();
+        let trace = out.trace.expect("trace requested");
+        assert_eq!(trace.kind, "eso");
+        assert!(trace.children.iter().all(|c| c.kind == "check"));
+    }
+
+    #[test]
+    fn cache_key_covers_semantic_fields_only() {
+        let mut a = ExecRequest::query("(x1) P(x1)");
+        let mut b = a.clone();
+        b.trace = true;
+        b.opts.threads = Some(4);
+        assert_eq!(a.cache_key(), b.cache_key());
+        a.opts.naive = true;
+        assert_ne!(a.cache_key(), b.cache_key());
+        assert!(a.cache_key().starts_with("eval|"));
+        assert!(ExecRequest::eso("exists2 S/1. S(x1)")
+            .cache_key()
+            .starts_with("eso|"));
+        assert!(ExecRequest::datalog("T(x) :- P(x).", "T")
+            .cache_key()
+            .starts_with("datalog|out=T|"));
+    }
+
+    #[test]
+    fn explain_reports_plan_without_running() {
+        let db = db();
+        let req = ExecRequest::query("(x1) exists x2. (E(x1,x2) & P(x2))");
+        let report = explain(&db, &req, false).unwrap();
+        assert_eq!(report.label, "FO^2");
+        assert_eq!(report.backend, "dense");
+        assert_eq!(report.bound, "n^2 = 4^2 = 16");
+        assert!(report.cache_key.starts_with("eval|"));
+        assert!(report.analyzed.is_none());
+        // Static plan mirrors the formula: exists → and → atoms.
+        assert_eq!(report.plan.kind, "exists");
+        assert_eq!(report.plan.children[0].kind, "and");
+        assert_eq!(report.plan.children[0].children.len(), 2);
+        // Estimated rows are the n^arity bound; no timings.
+        assert_eq!(report.plan.rows, 4);
+        assert_eq!(report.plan.elapsed_ns, 0);
+        let rendered = run_explain(&db, &req, false).unwrap();
+        assert!(rendered.contains("backend: dense"));
+        assert!(rendered.contains("plan (estimated rows):"));
+    }
+
+    #[test]
+    fn explain_analyze_measures_the_plan() {
+        let db = db();
+        let req = ExecRequest::query("(x1) exists x2. (E(x1,x2) & P(x2))");
+        let report = explain(&db, &req, true).unwrap();
+        let stats = report.analyzed.expect("analyze ran the query");
+        assert!(stats.operator_applications > 0);
+        // Measured spans replace the static estimate: the root reports
+        // real (cylindrical) cardinalities and nonzero wall time.
+        assert_eq!(report.plan.kind, "exists");
+        assert!(report.plan.rows <= 4, "measured, not the n^2 bound");
+        assert!(report.plan.elapsed_ns > 0);
+        let rendered = run_explain(&db, &req, true).unwrap();
+        assert!(rendered.contains("plan (measured):"));
+        assert!(rendered.contains("measured: "));
+    }
+
+    #[test]
+    fn explain_covers_eso_and_datalog_backends() {
+        let db = db();
+        let e = ExecRequest::eso("exists2 S/1. (S(x1) & forall x1. (S(x1) -> P(x1)))");
+        let report = explain(&db, &e, false).unwrap();
+        assert_eq!(report.backend, "sat-grounding");
+        assert_eq!(report.plan.kind, "eso");
+        let d = ExecRequest::datalog("T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).", "T");
+        let report = explain(&db, &d, false).unwrap();
+        assert_eq!(report.backend, "seminaive");
+        assert_eq!(report.label, "DATALOG");
+        assert_eq!(report.plan.children.len(), 2);
+        assert!(report.plan.children.iter().all(|c| c.kind == "rule"));
+        let analyzed = explain(&db, &d, true).unwrap();
+        assert_eq!(analyzed.plan.kind, "datalog");
+        assert!(analyzed.plan.children.iter().all(|c| c.kind == "round"));
     }
 }

@@ -16,9 +16,11 @@
 //!   ([`lru`]), and a live [`stats`] registry.
 //! - [`client::Client`] — a blocking client used by the CLI, the
 //!   integration tests, and the `server_throughput` bench.
-//! - [`exec`] — the evaluator front-end shared with the CLI
-//!   (`RunError`, `run_eval`, `run_eso`), where protocol error codes
-//!   come from typed error kinds rather than string matching.
+//! - [`exec`] — the typed execution front-end shared with the CLI:
+//!   one [`exec::execute`] entry point dispatches FO/FP/PFP/ESO/Datalog
+//!   (with optional span tracing), [`exec::explain`] reports static or
+//!   measured plans, and protocol error codes come from typed error
+//!   kinds rather than string matching.
 //! - [`json`] — a minimal dependency-free JSON reader/writer (the
 //!   workspace is hermetic: no serde).
 //!
@@ -35,8 +37,11 @@ pub mod server;
 pub mod stats;
 
 pub use client::Client;
-pub use exec::{run_eso, run_eval, EvalOptions, Plan, RunError};
+pub use exec::{
+    execute, explain, run_eso, run_eval, run_explain, run_request, Answer, EvalOptions, ExecKind,
+    ExecOutcome, ExecRequest, ExplainReport, Plan, Prepared, RunError,
+};
 pub use json::Json;
-pub use protocol::{ProtoError, Request};
+pub use protocol::{ProtoError, Request, FEATURES, OPS, PROTOCOL_VERSION};
 pub use server::{ResultPayload, Server, ServerConfig, ServerHandle};
-pub use stats::{Language, StatsRegistry};
+pub use stats::{Language, Phase, StatsRegistry};

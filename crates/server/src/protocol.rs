@@ -9,7 +9,7 @@
 //! ```text
 //! request   := { "op": <op>, "id"?: <any>, ...op fields }
 //! op        := "ping" | "list_dbs" | "load_db" | "stats" | "shutdown"
-//!            | "eval" | "eso" | "datalog" | "debug_sleep"
+//!            | "eval" | "eso" | "datalog" | "explain" | "debug_sleep"
 //! response  := { "id": <echo>, "ok": true, ... }
 //!            | { "id": <echo>, "ok": false,
 //!                "error": { "code": <code>, "message": <string> } }
@@ -18,11 +18,36 @@
 //!              then { "done": true, "count": N }
 //! ```
 //!
+//! **Versioning & compatibility.** `ping` reports `"v"`:
+//! [`PROTOCOL_VERSION`] and a `"capabilities"` object listing the
+//! supported [`OPS`] and [`FEATURES`], so clients feature-detect instead
+//! of guessing. The compatibility rule is: *unknown fields in a request
+//! are ignored* (a `{"op":"ping","shiny":1}` is a valid ping), so old
+//! servers accept requests from newer clients; unknown **ops** are
+//! rejected with `unknown_op`, whose message lists the supported set.
+//!
+//! Compute ops accept `"trace": true` to attach a span tree to the
+//! response; traced requests bypass the result cache (the spans must be
+//! measured, not replayed), so `trace` implies `no_cache`.
+//!
 //! Error codes: `bad_request`, `unknown_op`, `unknown_db`, `parse_error`,
 //! `invalid_option`, `eval_error`, `deadline_exceeded`, `overloaded`,
 //! `shutting_down`, `db_error`, `internal`.
 
 use crate::json::Json;
+
+/// The protocol version reported by `ping`.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Every op the server understands, as reported in `ping`'s
+/// capabilities. (`debug_sleep` is excluded: it only exists when the
+/// server runs with debug ops enabled.)
+pub const OPS: &[&str] = &[
+    "ping", "list_dbs", "load_db", "stats", "shutdown", "eval", "eso", "datalog", "explain",
+];
+
+/// Optional features clients can detect from `ping`.
+pub const FEATURES: &[&str] = &["trace", "stream", "explain", "result_cache"];
 
 /// A parsed request: the echoed id plus the operation.
 #[derive(Clone, Debug)]
@@ -37,7 +62,7 @@ pub struct Request {
 /// on the connection thread; compute ops go through the bounded queue.
 #[derive(Clone, Debug)]
 pub enum Op {
-    /// Liveness probe.
+    /// Liveness probe; reports version and capabilities.
     Ping,
     /// List loaded databases.
     ListDbs,
@@ -69,8 +94,11 @@ pub struct Compute {
     pub deadline_ms: Option<u64>,
     /// Stream the answer tuple-by-tuple instead of one response object.
     pub stream: bool,
-    /// Bypass the result cache (still records a miss).
+    /// Bypass the result cache (still records a miss). Implied by
+    /// `trace` — cached results carry no measured spans.
     pub no_cache: bool,
+    /// Attach the evaluator's span tree to the response.
+    pub trace: bool,
 }
 
 /// The kinds of compute work.
@@ -105,6 +133,15 @@ pub enum ComputeKind {
         /// Use naive instead of semi-naive evaluation.
         naive: bool,
     },
+    /// Explain a request's plan (the `explain` op): width analysis,
+    /// backend choice, `n^k` bound, cache key, and a plan tree — static
+    /// by default, measured when `analyze` is set.
+    Explain {
+        /// The request being explained (`Eval`, `Eso` or `Datalog`).
+        inner: Box<ComputeKind>,
+        /// Execute (with tracing forced on) and report measured spans.
+        analyze: bool,
+    },
     /// Occupy a worker for `millis` ms (`debug_sleep`; only when the
     /// server runs with `debug_ops` — used by backpressure tests).
     Sleep {
@@ -116,7 +153,8 @@ pub enum ComputeKind {
 impl ComputeKind {
     /// The plan/result-cache key for this request: every plan-affecting
     /// input, concatenated. Two requests with equal keys have equal
-    /// answers on databases with equal fingerprints.
+    /// answers on databases with equal fingerprints. `threads` and
+    /// `trace` never affect answers, so they are not in the key.
     pub fn cache_key(&self) -> String {
         match self {
             ComputeKind::Eval {
@@ -132,6 +170,9 @@ impl ComputeKind {
                 output,
                 naive,
             } => format!("datalog|out={output}|naive={naive}|{program}"),
+            ComputeKind::Explain { inner, analyze } => {
+                format!("explain|analyze={analyze}|{}", inner.cache_key())
+            }
             ComputeKind::Sleep { millis } => format!("sleep|{millis}"),
         }
     }
@@ -160,6 +201,10 @@ impl ProtoError {
 /// Parses one request line. On failure returns the echoed id (if the
 /// line parsed as JSON at all) and the error to report — the connection
 /// stays open either way.
+///
+/// Unknown fields are ignored by construction (each op reads only the
+/// fields it knows), which is the protocol's forward-compatibility
+/// rule; see the module docs.
 pub fn parse_request(line: &str) -> Result<Request, (Json, ProtoError)> {
     let json = Json::parse(line)
         .map_err(|e| (Json::Null, ProtoError::new("bad_request", e.to_string())))?;
@@ -190,6 +235,40 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, ProtoError)> {
     let opt_u64 = |field: &str| json.get(field).and_then(Json::as_u64);
     let flag = |field: &str| json.get(field).map(Json::is_true).unwrap_or(false);
 
+    let eval_kind = || -> Result<ComputeKind, (Json, ProtoError)> {
+        Ok(ComputeKind::Eval {
+            query: need_str("query")?,
+            k: opt_u64("k").map(|v| v as usize),
+            naive: flag("naive"),
+            minimize: flag("minimize"),
+            threads: opt_u64("threads").map(|v| v as usize),
+        })
+    };
+    let eso_kind = || -> Result<ComputeKind, (Json, ProtoError)> {
+        Ok(ComputeKind::Eso {
+            query: need_str("query")?,
+            k: opt_u64("k").map(|v| v as usize),
+        })
+    };
+    let datalog_kind = || -> Result<ComputeKind, (Json, ProtoError)> {
+        Ok(ComputeKind::Datalog {
+            program: need_str("program")?,
+            output: need_str("output")?,
+            naive: flag("naive"),
+        })
+    };
+    let compute = |kind: ComputeKind, stream: bool, no_cache: bool, trace: bool| {
+        Op::Compute(Compute {
+            db: String::new(), // filled below
+            kind,
+            deadline_ms: opt_u64("deadline_ms"),
+            stream,
+            no_cache,
+            trace,
+        })
+    };
+
+    let trace = flag("trace");
     let parsed = match op {
         "ping" => Op::Ping,
         "list_dbs" => Op::ListDbs,
@@ -199,55 +278,72 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, ProtoError)> {
             name: need_str("name")?,
             text: need_str("text")?,
         },
-        "eval" => Op::Compute(Compute {
-            db: need_str("db")?,
-            kind: ComputeKind::Eval {
-                query: need_str("query")?,
-                k: opt_u64("k").map(|v| v as usize),
-                naive: flag("naive"),
-                minimize: flag("minimize"),
-                threads: opt_u64("threads").map(|v| v as usize),
-            },
-            deadline_ms: opt_u64("deadline_ms"),
-            stream: flag("stream"),
-            no_cache: flag("no_cache"),
-        }),
-        "eso" => Op::Compute(Compute {
-            db: need_str("db")?,
-            kind: ComputeKind::Eso {
-                query: need_str("query")?,
-                k: opt_u64("k").map(|v| v as usize),
-            },
-            deadline_ms: opt_u64("deadline_ms"),
-            stream: false,
-            no_cache: flag("no_cache"),
-        }),
-        "datalog" => Op::Compute(Compute {
-            db: need_str("db")?,
-            kind: ComputeKind::Datalog {
-                program: need_str("program")?,
-                output: need_str("output")?,
-                naive: flag("naive"),
-            },
-            deadline_ms: opt_u64("deadline_ms"),
-            stream: flag("stream"),
-            no_cache: flag("no_cache"),
-        }),
-        "debug_sleep" => Op::Compute(Compute {
-            db: String::new(),
-            kind: ComputeKind::Sleep {
+        "eval" => compute(
+            eval_kind()?,
+            flag("stream"),
+            flag("no_cache") || trace,
+            trace,
+        ),
+        "eso" => compute(eso_kind()?, false, flag("no_cache") || trace, trace),
+        "datalog" => compute(
+            datalog_kind()?,
+            flag("stream"),
+            flag("no_cache") || trace,
+            trace,
+        ),
+        "explain" => {
+            let inner = match json.get("target").and_then(Json::as_str).unwrap_or("eval") {
+                "eval" => eval_kind()?,
+                "eso" => eso_kind()?,
+                "datalog" => datalog_kind()?,
+                other => {
+                    return Err((
+                        id,
+                        ProtoError::new(
+                            "bad_request",
+                            format!("`explain` target must be eval|eso|datalog, got `{other}`"),
+                        ),
+                    ))
+                }
+            };
+            // Explain reports are never served from the result cache:
+            // static ones are cheap, analyzed ones must be measured.
+            compute(
+                ComputeKind::Explain {
+                    inner: Box::new(inner),
+                    analyze: flag("analyze"),
+                },
+                false,
+                true,
+                false,
+            )
+        }
+        "debug_sleep" => compute(
+            ComputeKind::Sleep {
                 millis: opt_u64("millis").unwrap_or(100),
             },
-            deadline_ms: opt_u64("deadline_ms"),
-            stream: false,
-            no_cache: true,
-        }),
+            false,
+            true,
+            false,
+        ),
         other => {
             return Err((
                 id,
-                ProtoError::new("unknown_op", format!("unknown op `{other}`")),
+                ProtoError::new(
+                    "unknown_op",
+                    format!("unknown op `{other}`; supported ops: {}", OPS.join(", ")),
+                ),
             ))
         }
+    };
+    let parsed = match parsed {
+        Op::Compute(mut c) => {
+            if !matches!(c.kind, ComputeKind::Sleep { .. }) {
+                c.db = need_str("db")?;
+            }
+            Op::Compute(c)
+        }
+        other => other,
     };
     Ok(Request { id, op: parsed })
 }
@@ -292,6 +388,7 @@ mod tests {
             Op::Compute(c) => {
                 assert_eq!(c.db, "g");
                 assert!(c.stream);
+                assert!(!c.trace);
                 match c.kind {
                     ComputeKind::Eval { query, k, .. } => {
                         assert_eq!(query, "(x1) E(x1,x1)");
@@ -302,6 +399,56 @@ mod tests {
             }
             other => panic!("wrong op: {other:?}"),
         }
+    }
+
+    #[test]
+    fn trace_flag_implies_no_cache() {
+        let req = parse_request(r#"{"op":"eval","db":"g","query":"(x1) E(x1,x1)","trace":true}"#)
+            .unwrap();
+        let Op::Compute(c) = req.op else {
+            panic!("wrong op")
+        };
+        assert!(c.trace);
+        assert!(c.no_cache, "traced requests must bypass the result cache");
+        let req = parse_request(
+            r#"{"op":"datalog","db":"g","program":"T(x) :- P(x).","output":"T","trace":true}"#,
+        )
+        .unwrap();
+        let Op::Compute(c) = req.op else {
+            panic!("wrong op")
+        };
+        assert!(c.trace && c.no_cache);
+    }
+
+    #[test]
+    fn parses_explain_requests() {
+        let req =
+            parse_request(r#"{"op":"explain","db":"g","query":"(x1) E(x1,x1)","analyze":true}"#)
+                .unwrap();
+        let Op::Compute(c) = req.op else {
+            panic!("wrong op")
+        };
+        assert!(c.no_cache);
+        let ComputeKind::Explain { inner, analyze } = c.kind else {
+            panic!("wrong kind")
+        };
+        assert!(analyze);
+        assert!(matches!(*inner, ComputeKind::Eval { .. }));
+        let req = parse_request(
+            r#"{"op":"explain","db":"g","target":"datalog","program":"T(x) :- P(x).","output":"T"}"#,
+        )
+        .unwrap();
+        let Op::Compute(c) = req.op else {
+            panic!("wrong op")
+        };
+        let ComputeKind::Explain { inner, analyze } = c.kind else {
+            panic!("wrong kind")
+        };
+        assert!(!analyze);
+        assert!(matches!(*inner, ComputeKind::Datalog { .. }));
+        let (_, err) =
+            parse_request(r#"{"op":"explain","db":"g","target":"warp","query":"q"}"#).unwrap_err();
+        assert_eq!(err.code, "bad_request");
     }
 
     #[test]
@@ -318,6 +465,24 @@ mod tests {
         assert_eq!(err.code, "bad_request");
         let (_, err) = parse_request(r#"{"op":"warp"}"#).unwrap_err();
         assert_eq!(err.code, "unknown_op");
+        assert!(
+            err.message.contains("supported ops:") && err.message.contains("explain"),
+            "unknown_op lists the supported set, got: {}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn unknown_request_fields_are_ignored() {
+        // The forward-compatibility rule: a request with fields this
+        // server has never heard of is still valid.
+        let req = parse_request(r#"{"op":"ping","shiny":1,"future_mode":"hyper"}"#).unwrap();
+        assert!(matches!(req.op, Op::Ping));
+        let req = parse_request(
+            r#"{"op":"eval","db":"g","query":"(x1) E(x1,x1)","wormhole":true,"priority":9}"#,
+        )
+        .unwrap();
+        assert!(matches!(req.op, Op::Compute(_)));
     }
 
     #[test]
@@ -346,6 +511,11 @@ mod tests {
             threads: None,
         };
         assert_eq!(b.cache_key(), c.cache_key());
+        let e = ComputeKind::Explain {
+            inner: Box::new(c),
+            analyze: true,
+        };
+        assert!(e.cache_key().starts_with("explain|analyze=true|eval|"));
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! - Control-plane ops (`ping`, `stats`, `list_dbs`, `load_db`,
 //!   `shutdown`) run inline on the connection thread — they must stay
 //!   responsive even when every worker is busy.
-//! - Compute ops (`eval`, `eso`, `datalog`, `debug_sleep`) are pushed
+//! - Compute ops (`eval`, `eso`, `datalog`, `explain`, `debug_sleep`)
+//!   are pushed
 //!   onto a **bounded** `sync_channel` with `try_send`: a full queue
 //!   sheds the request with a structured `overloaded` error instead of
 //!   buffering unboundedly. The connection thread then blocks on the
@@ -41,17 +42,16 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use bvq_datalog::{eval_naive_with, eval_seminaive_with, Program};
-use bvq_logic::parser::parse_eso;
-use bvq_relation::{Database, EvalConfig, Tuple};
+use bvq_relation::{Database, Span, Tuple};
 
 use crate::exec::{self, EvalOptions, RunError};
 use crate::json::Json;
 use crate::lru::Lru;
 use crate::protocol::{
     err_response, ok_response, parse_request, Compute, ComputeKind, Op, ProtoError, Request,
+    FEATURES, OPS, PROTOCOL_VERSION,
 };
-use crate::stats::{dec, inc, Language, StatsRegistry};
+use crate::stats::{dec, inc, Language, Phase, StatsRegistry};
 
 /// Server construction parameters.
 #[derive(Clone, Debug)]
@@ -113,16 +113,11 @@ pub struct ResultPayload {
     pub rows: Vec<Tuple>,
     /// Rendered report, for ops whose answer is textual (ESO).
     pub text: Option<String>,
-}
-
-#[derive(Clone)]
-enum PlanEntry {
-    Query(Arc<exec::Plan>),
-    Datalog(Arc<DatalogPlan>),
-}
-
-struct DatalogPlan {
-    program: Program,
+    /// The measured span tree, when the request set `"trace": true`.
+    /// Always `None` on cache hits: traced requests bypass the cache.
+    pub trace: Option<Span>,
+    /// The explain report (pre-rendered JSON), for the `explain` op.
+    pub explain: Option<Json>,
 }
 
 enum Outcome {
@@ -155,7 +150,7 @@ struct Shared {
     cfg: ServerConfig,
     addr: SocketAddr,
     dbs: RwLock<HashMap<String, Arc<DbEntry>>>,
-    plan_cache: Mutex<Lru<String, PlanEntry>>,
+    plan_cache: Mutex<Lru<String, Arc<exec::Prepared>>>,
     result_cache: Mutex<Lru<(String, u64), Arc<ResultPayload>>>,
     stats: StatsRegistry,
     shutting_down: AtomicBool,
@@ -381,9 +376,21 @@ fn process_line(
     match op {
         Op::Ping => {
             inc(&shared.stats.ok);
+            let str_arr =
+                |xs: &[&str]| Json::Arr(xs.iter().map(|s| Json::Str((*s).to_string())).collect());
             write_json(
                 writer,
-                &ok_response(&id, vec![("pong".into(), Json::Bool(true))]),
+                &ok_response(
+                    &id,
+                    vec![
+                        ("pong".into(), Json::Bool(true)),
+                        ("v".into(), Json::num(PROTOCOL_VERSION)),
+                        (
+                            "capabilities".into(),
+                            Json::obj([("ops", str_arr(OPS)), ("features", str_arr(FEATURES))]),
+                        ),
+                    ],
+                ),
             )
         }
         Op::Stats => {
@@ -592,6 +599,13 @@ fn write_result(
     if payload.width > 0 {
         fields.push(("width".into(), Json::num(payload.width as u64)));
     }
+    if let Some(explain) = &payload.explain {
+        fields.push(("explain".into(), explain.clone()));
+        return write_json(writer, &ok_response(id, fields));
+    }
+    if let Some(trace) = &payload.trace {
+        fields.push(("trace".into(), span_json(trace)));
+    }
     if let Some(text) = &payload.text {
         fields.push(("text".into(), Json::Str(text.clone())));
         return write_json(writer, &ok_response(id, fields));
@@ -665,20 +679,223 @@ fn run_job(shared: &Shared, job: &Job) -> Outcome {
             thread::sleep(Duration::from_millis((*millis).min(10_000)));
             Outcome::Slept { millis: *millis }
         }
+        ComputeKind::Explain { inner, analyze } => run_explain_job(shared, job, inner, *analyze),
+        _ => run_compute_job(shared, job),
+    }
+}
+
+/// Lowers a wire-level compute kind into the typed [`exec::ExecRequest`]
+/// that [`exec::execute_prepared`] dispatches on. `None` for kinds that
+/// are not executions (`Sleep`, `Explain` — the latter wraps one).
+fn exec_request(
+    kind: &ComputeKind,
+    deadline: Option<Instant>,
+    trace: bool,
+) -> Option<exec::ExecRequest> {
+    let (ekind, opts) = match kind {
         ComputeKind::Eval {
             query,
             k,
             naive,
             minimize,
             threads,
-        } => run_eval_job(shared, job, query, *k, *naive, *minimize, *threads),
-        ComputeKind::Eso { query, k } => run_eso_job(shared, job, query, *k),
+        } => (
+            exec::ExecKind::Query {
+                text: query.clone(),
+            },
+            EvalOptions {
+                k: *k,
+                naive: *naive,
+                minimize: *minimize,
+                certify: Vec::new(),
+                threads: *threads,
+                deadline,
+            },
+        ),
+        ComputeKind::Eso { query, k } => (
+            exec::ExecKind::Eso {
+                text: query.clone(),
+            },
+            EvalOptions {
+                k: *k,
+                deadline,
+                ..Default::default()
+            },
+        ),
         ComputeKind::Datalog {
             program,
             output,
             naive,
-        } => run_datalog_job(shared, job, program, output, *naive),
+        } => (
+            exec::ExecKind::Datalog {
+                program: program.clone(),
+                output: output.clone(),
+            },
+            EvalOptions {
+                naive: *naive,
+                deadline,
+                ..Default::default()
+            },
+        ),
+        ComputeKind::Explain { .. } | ComputeKind::Sleep { .. } => return None,
+    };
+    Some(exec::ExecRequest {
+        kind: ekind,
+        opts,
+        trace,
+    })
+}
+
+/// Looks up (or prepares and caches) the plan for a request. Prepare
+/// time is recorded in the phase histogram only on misses — a hit costs
+/// one LRU probe.
+fn cached_prepare(
+    shared: &Shared,
+    req: &exec::ExecRequest,
+    key: &str,
+) -> Result<Arc<exec::Prepared>, RunError> {
+    if let Some(p) = shared.plan_cache.lock().unwrap().get(&key.to_string()) {
+        inc(&shared.stats.plan_hits);
+        return Ok(p);
     }
+    inc(&shared.stats.plan_misses);
+    let start = Instant::now();
+    let p = Arc::new(exec::prepare_request(req)?);
+    shared.stats.record_phase(Phase::Prepare, start.elapsed());
+    shared
+        .plan_cache
+        .lock()
+        .unwrap()
+        .insert(key.to_string(), p.clone());
+    Ok(p)
+}
+
+/// The one compute path: every `eval`/`eso`/`datalog` job flows through
+/// here — plan cache, result cache, then [`exec::execute_prepared`].
+fn run_compute_job(shared: &Shared, job: &Job) -> Outcome {
+    let key = job.compute.kind.cache_key();
+    let req = exec_request(&job.compute.kind, job.deadline, job.compute.trace)
+        .expect("run_compute_job only sees executable kinds");
+    let prepared = match cached_prepare(shared, &req, &key) {
+        Ok(p) => p,
+        Err(e) => return run_error(e, Language::Other),
+    };
+    let rkey = match check_result_cache(shared, job, &key) {
+        Ok(hit) => {
+            return Outcome::Done {
+                payload: hit,
+                cached: true,
+            }
+        }
+        Err(rkey) => rkey,
+    };
+    let entry = job.db.as_ref().expect("compute job carries a database");
+    let start = Instant::now();
+    match exec::execute_prepared(&entry.db, &prepared, &req) {
+        Ok(out) => {
+            shared.stats.record_phase(Phase::Execute, start.elapsed());
+            let (boolean, rows, text) = match out.answer {
+                exec::Answer::Boolean(b) => (Some(b), Vec::new(), None),
+                exec::Answer::Rows(rel) => (None, rel.sorted(), None),
+                exec::Answer::Text(t) => (None, Vec::new(), Some(t)),
+            };
+            let payload = Arc::new(ResultPayload {
+                language: out.language,
+                k: out.k,
+                width: out.width,
+                boolean,
+                rows,
+                text,
+                trace: out.trace,
+                explain: None,
+            });
+            store_result(shared, job, rkey, &payload);
+            Outcome::Done {
+                payload,
+                cached: false,
+            }
+        }
+        Err(e) => run_error(e, prepared.language()),
+    }
+}
+
+/// The `explain` op: shares the plan cache with the op it explains
+/// (keyed by the *inner* request's cache key), never touches the result
+/// cache, and under `analyze` runs the request with tracing forced on.
+fn run_explain_job(shared: &Shared, job: &Job, inner: &ComputeKind, analyze: bool) -> Outcome {
+    let Some(req) = exec_request(inner, job.deadline, false) else {
+        return Outcome::Failed {
+            error: ProtoError::new("bad_request", "`explain` target must be eval|eso|datalog"),
+            language: Language::Other,
+        };
+    };
+    let prepared = match cached_prepare(shared, &req, &inner.cache_key()) {
+        Ok(p) => p,
+        Err(e) => return run_error(e, Language::Other),
+    };
+    let entry = job.db.as_ref().expect("explain job carries a database");
+    let start = Instant::now();
+    match exec::explain_prepared(&entry.db, &prepared, &req, analyze) {
+        Ok(report) => {
+            if analyze {
+                shared.stats.record_phase(Phase::Execute, start.elapsed());
+            }
+            let payload = Arc::new(ResultPayload {
+                language: report.language,
+                k: report.k,
+                width: report.width,
+                boolean: None,
+                rows: Vec::new(),
+                text: None,
+                trace: None,
+                explain: Some(explain_json(&report)),
+            });
+            Outcome::Done {
+                payload,
+                cached: false,
+            }
+        }
+        Err(e) => run_error(e, prepared.language()),
+    }
+}
+
+/// Serialises an explain report for the wire.
+fn explain_json(report: &exec::ExplainReport) -> Json {
+    let mut fields = vec![
+        ("label", Json::Str(report.label.clone())),
+        ("backend", Json::Str(report.backend.to_string())),
+        ("bound", Json::Str(report.bound.clone())),
+        ("cache_key", Json::Str(report.cache_key.clone())),
+        ("analyzed", Json::Bool(report.analyzed.is_some())),
+    ];
+    if let Some(note) = &report.minimized {
+        fields.push(("minimized", Json::Str(note.clone())));
+    }
+    fields.push(("plan", span_json(&report.plan)));
+    Json::obj(fields)
+}
+
+/// Serialises a span tree for the wire (omitting empty/zero fields).
+fn span_json(span: &Span) -> Json {
+    let mut fields = vec![
+        ("kind", Json::Str(span.kind.to_string())),
+        ("detail", Json::Str(span.detail.clone())),
+        ("arity", Json::num(span.arity as u64)),
+        ("rows", Json::num(span.rows as u64)),
+    ];
+    if let Some(r) = span.round {
+        fields.push(("round", Json::num(r)));
+    }
+    if span.elapsed_ns > 0 {
+        fields.push(("elapsed_ns", Json::num(span.elapsed_ns)));
+    }
+    if !span.children.is_empty() {
+        fields.push((
+            "children",
+            Json::Arr(span.children.iter().map(span_json).collect()),
+        ));
+    }
+    Json::obj(fields)
 }
 
 fn run_error(e: RunError, language: Language) -> Outcome {
@@ -715,197 +932,6 @@ fn store_result(shared: &Shared, job: &Job, rkey: (String, u64), payload: &Arc<R
     }
 }
 
-fn run_eval_job(
-    shared: &Shared,
-    job: &Job,
-    query: &str,
-    k: Option<usize>,
-    naive: bool,
-    minimize: bool,
-    threads: Option<usize>,
-) -> Outcome {
-    let key = job.compute.kind.cache_key();
-    let opts = EvalOptions {
-        k,
-        naive,
-        minimize,
-        certify: Vec::new(),
-        threads,
-        deadline: job.deadline,
-    };
-    let cached_plan = match shared.plan_cache.lock().unwrap().get(&key) {
-        Some(PlanEntry::Query(p)) => Some(p),
-        _ => None,
-    };
-    let plan = match cached_plan {
-        Some(p) => {
-            inc(&shared.stats.plan_hits);
-            p
-        }
-        None => {
-            inc(&shared.stats.plan_misses);
-            match exec::prepare(query, &opts) {
-                Ok(p) => {
-                    let p = Arc::new(p);
-                    shared
-                        .plan_cache
-                        .lock()
-                        .unwrap()
-                        .insert(key.clone(), PlanEntry::Query(p.clone()));
-                    p
-                }
-                Err(e) => return run_error(e, Language::Other),
-            }
-        }
-    };
-    let rkey = match check_result_cache(shared, job, &key) {
-        Ok(hit) => {
-            return Outcome::Done {
-                payload: hit,
-                cached: true,
-            }
-        }
-        Err(rkey) => rkey,
-    };
-    let entry = job.db.as_ref().expect("eval job carries a database");
-    match exec::execute(&entry.db, &plan, &opts) {
-        Ok((answer, _stats)) => {
-            let boolean = plan.query.output.is_empty();
-            let payload = Arc::new(ResultPayload {
-                language: plan.language,
-                k: plan.k,
-                width: plan.width,
-                boolean: boolean.then(|| answer.as_boolean()),
-                rows: if boolean { Vec::new() } else { answer.sorted() },
-                text: None,
-            });
-            store_result(shared, job, rkey, &payload);
-            Outcome::Done {
-                payload,
-                cached: false,
-            }
-        }
-        Err(e) => run_error(e, plan.language),
-    }
-}
-
-fn run_eso_job(shared: &Shared, job: &Job, query: &str, k: Option<usize>) -> Outcome {
-    let key = job.compute.kind.cache_key();
-    let rkey = match check_result_cache(shared, job, &key) {
-        Ok(hit) => {
-            return Outcome::Done {
-                payload: hit,
-                cached: true,
-            }
-        }
-        Err(rkey) => rkey,
-    };
-    let entry = job.db.as_ref().expect("eso job carries a database");
-    let width = match parse_eso(query) {
-        Ok(eso) => eso.width().max(1),
-        Err(e) => return run_error(RunError::Parse(e.to_string()), Language::Eso),
-    };
-    match exec::run_eso(&entry.db, query, k) {
-        Ok(text) => {
-            let payload = Arc::new(ResultPayload {
-                language: Language::Eso,
-                k: k.unwrap_or(width),
-                width,
-                boolean: None,
-                rows: Vec::new(),
-                text: Some(text),
-            });
-            store_result(shared, job, rkey, &payload);
-            Outcome::Done {
-                payload,
-                cached: false,
-            }
-        }
-        Err(e) => run_error(e, Language::Eso),
-    }
-}
-
-fn run_datalog_job(
-    shared: &Shared,
-    job: &Job,
-    program: &str,
-    output: &str,
-    naive: bool,
-) -> Outcome {
-    let key = job.compute.kind.cache_key();
-    let cached_plan = match shared.plan_cache.lock().unwrap().get(&key) {
-        Some(PlanEntry::Datalog(p)) => Some(p),
-        _ => None,
-    };
-    let plan = match cached_plan {
-        Some(p) => {
-            inc(&shared.stats.plan_hits);
-            p
-        }
-        None => {
-            inc(&shared.stats.plan_misses);
-            match bvq_datalog::parse_program(program) {
-                Ok(parsed) => {
-                    let p = Arc::new(DatalogPlan { program: parsed });
-                    shared
-                        .plan_cache
-                        .lock()
-                        .unwrap()
-                        .insert(key.clone(), PlanEntry::Datalog(p.clone()));
-                    p
-                }
-                Err(e) => return run_error(RunError::Datalog(e), Language::Datalog),
-            }
-        }
-    };
-    let rkey = match check_result_cache(shared, job, &key) {
-        Ok(hit) => {
-            return Outcome::Done {
-                payload: hit,
-                cached: true,
-            }
-        }
-        Err(rkey) => rkey,
-    };
-    let entry = job.db.as_ref().expect("datalog job carries a database");
-    let mut cfg = EvalConfig::from_env();
-    if let Some(d) = job.deadline {
-        cfg = cfg.with_deadline(d);
-    }
-    let result = if naive {
-        eval_naive_with(&plan.program, &entry.db, &cfg)
-    } else {
-        eval_seminaive_with(&plan.program, &entry.db, &cfg)
-    };
-    match result {
-        Ok(out) => match out.get(output) {
-            Some(rel) => {
-                let payload = Arc::new(ResultPayload {
-                    language: Language::Datalog,
-                    k: 0,
-                    width: 0,
-                    boolean: None,
-                    rows: rel.sorted(),
-                    text: None,
-                });
-                store_result(shared, job, rkey, &payload);
-                Outcome::Done {
-                    payload,
-                    cached: false,
-                }
-            }
-            None => Outcome::Failed {
-                error: ProtoError::new(
-                    "eval_error",
-                    format!("program derives no predicate named `{output}`"),
-                ),
-                language: Language::Datalog,
-            },
-        },
-        Err(e) => run_error(RunError::Datalog(e), Language::Datalog),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -936,6 +962,57 @@ mod tests {
         assert_eq!(first.get("rows"), second.get("rows"));
         assert!(handle.stats().result_hits.load(Ordering::Relaxed) >= 1);
         assert!(handle.stats().plan_hits.load(Ordering::Relaxed) >= 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn ping_reports_version_and_capabilities() {
+        let mut handle = start_default();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        c.send_line(r#"{"op":"ping"}"#).unwrap();
+        let resp = c.recv().unwrap();
+        assert_eq!(resp.get("v").and_then(Json::as_u64), Some(1));
+        let caps = resp.get("capabilities").expect("capabilities").clone();
+        let rendered = caps.to_string_compact();
+        for op in ["\"eval\"", "\"explain\"", "\"datalog\""] {
+            assert!(rendered.contains(op), "missing {op} in {rendered}");
+        }
+        assert!(rendered.contains("\"trace\""));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn explain_and_traced_eval_round_trip() {
+        let mut handle = start_default();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        // Static explain: a plan tree, no execution.
+        c.send_line(r#"{"op":"explain","db":"g","query":"(x1) exists x2. E(x1,x2)"}"#)
+            .unwrap();
+        let resp = c.recv().unwrap();
+        assert!(resp.get("ok").map(Json::is_true).unwrap(), "{resp:?}");
+        let explain = resp.get("explain").expect("explain payload");
+        assert_eq!(explain.get("backend").and_then(Json::as_str), Some("dense"));
+        let plan = explain.get("plan").expect("plan tree");
+        assert_eq!(plan.get("kind").and_then(Json::as_str), Some("exists"));
+        // Traced eval: span tree attached, result cache bypassed.
+        let traced = r#"{"op":"eval","db":"g","query":"(x1) exists x2. E(x1,x2)","trace":true}"#;
+        c.send_line(traced).unwrap();
+        let first = c.recv().unwrap();
+        let trace = first.get("trace").expect("span tree");
+        assert_eq!(trace.get("kind").and_then(Json::as_str), Some("exists"));
+        assert!(trace.get("children").is_some());
+        c.send_line(traced).unwrap();
+        let second = c.recv().unwrap();
+        assert_eq!(second.get("cached"), Some(&Json::Bool(false)));
+        assert!(second.get("trace").is_some());
+        // Traced datalog carries round spans.
+        c.send_line(
+            r#"{"op":"datalog","db":"g","program":"T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).","output":"T","trace":true}"#,
+        )
+        .unwrap();
+        let resp = c.recv().unwrap();
+        let trace = resp.get("trace").expect("datalog span tree");
+        assert_eq!(trace.get("kind").and_then(Json::as_str), Some("datalog"));
         handle.shutdown();
     }
 

@@ -144,6 +144,37 @@ pub struct StatsRegistry {
     /// Connections accepted since startup.
     pub connections: AtomicU64,
     histograms: [Histogram; 6],
+    phases: [Histogram; 2],
+}
+
+/// The execution phases tracked by the per-phase histograms: the split
+/// of compute time between planning and evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Parsing + classification ([`crate::exec::prepare_request`]);
+    /// near-zero on plan-cache hits.
+    Prepare,
+    /// Evaluation proper ([`crate::exec::execute_prepared`]).
+    Execute,
+}
+
+impl Phase {
+    const ALL: [Phase; 2] = [Phase::Prepare, Phase::Execute];
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Prepare => 0,
+            Phase::Execute => 1,
+        }
+    }
+
+    /// The label used in stats output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Prepare => "prepare",
+            Phase::Execute => "execute",
+        }
+    }
 }
 
 impl StatsRegistry {
@@ -155,6 +186,11 @@ impl StatsRegistry {
     /// Records one completed request of the given language.
     pub fn record_latency(&self, lang: Language, latency: Duration) {
         self.histograms[lang.index()].record(latency);
+    }
+
+    /// Records time spent in one execution phase of a compute request.
+    pub fn record_phase(&self, phase: Phase, latency: Duration) {
+        self.phases[phase.index()].record(latency);
     }
 
     /// Relaxed load of a counter (test/bench convenience).
@@ -187,6 +223,15 @@ impl StatsRegistry {
             ("workers", Json::num(workers as u64)),
             ("connections", Json::num(self.connections.load(Relaxed))),
             ("latency_micros_by_language", Json::Obj(langs)),
+            (
+                "latency_micros_by_phase",
+                Json::Obj(
+                    Phase::ALL
+                        .iter()
+                        .map(|p| (p.label().to_string(), self.phases[p.index()].to_json()))
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -241,6 +286,30 @@ mod tests {
             .and_then(|l| l.get("FO"))
             .unwrap();
         assert_eq!(fo.get("count").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn phase_histograms_serialise() {
+        let reg = StatsRegistry::new();
+        reg.record_phase(Phase::Prepare, Duration::from_micros(5));
+        reg.record_phase(Phase::Execute, Duration::from_micros(500));
+        reg.record_phase(Phase::Execute, Duration::from_micros(700));
+        let j = reg.to_json(64, 4);
+        let phases = j.get("latency_micros_by_phase").unwrap();
+        assert_eq!(
+            phases
+                .get("prepare")
+                .and_then(|p| p.get("count"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            phases
+                .get("execute")
+                .and_then(|p| p.get("count"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
     }
 
     #[test]

@@ -158,6 +158,98 @@ fn empty_relations_are_thread_safe() {
 }
 
 #[test]
+fn trace_structure_identical_across_thread_counts() {
+    // The span trees recorded by `--trace` must have bit-identical
+    // structural content (kinds, details, arities, cardinalities, round
+    // indices — everything except wall times) at every thread count:
+    // per-worker buffers merge in chunk order, never arrival order.
+    let db = graph_db(GraphKind::Sparse(3), 24, 7);
+
+    // FO^3 under the bounded evaluator.
+    let fo = Query::new(vec![Var(0), Var(1), Var(2)], random_fo(3, 25, 2));
+    let base = BoundedEvaluator::new(&db, 3)
+        .with_config(EvalConfig::sequential().with_trace(true))
+        .eval_query_traced(&fo)
+        .unwrap()
+        .trace
+        .expect("trace enabled");
+    for t in THREADS {
+        let trace = BoundedEvaluator::new(&db, 3)
+            .with_config(EvalConfig::with_threads(t).with_trace(true))
+            .eval_query_traced(&fo)
+            .unwrap()
+            .trace
+            .expect("trace enabled");
+        assert!(
+            trace.same_structure(&base),
+            "FO trace structure differs at {t} threads:\n{}\nvs\n{}",
+            trace.structure(),
+            base.structure()
+        );
+    }
+
+    // FP^2 reachability: fixpoint rounds carry round indices, which are
+    // part of the structural content and must also be stable.
+    let reach = Query::new(vec![Var(0)], patterns::reach_from_const(0));
+    let base = FpEvaluator::new(&db, 2)
+        .with_config(EvalConfig::sequential().with_trace(true))
+        .eval_query_traced(&reach)
+        .unwrap()
+        .trace
+        .expect("trace enabled");
+    for t in THREADS {
+        let trace = FpEvaluator::new(&db, 2)
+            .with_config(EvalConfig::with_threads(t).with_trace(true))
+            .eval_query_traced(&reach)
+            .unwrap()
+            .trace
+            .expect("trace enabled");
+        assert!(
+            trace.same_structure(&base),
+            "FP trace structure differs at {t} threads:\n{}\nvs\n{}",
+            trace.structure(),
+            base.structure()
+        );
+    }
+
+    // Datalog, both strategies: per-round per-rule spans.
+    let ps = random_path_system(40, 200, 3, 5);
+    let pdb = ps.to_database();
+    let prog = ps.to_datalog();
+    for eval in [eval_naive_with, eval_seminaive_with] {
+        let base = eval(&prog, &pdb, &EvalConfig::sequential().with_trace(true))
+            .unwrap()
+            .trace
+            .expect("trace enabled");
+        for t in THREADS {
+            let trace = eval(&prog, &pdb, &EvalConfig::with_threads(t).with_trace(true))
+                .unwrap()
+                .trace
+                .expect("trace enabled");
+            assert!(
+                trace.same_structure(&base),
+                "Datalog trace structure differs at {t} threads:\n{}\nvs\n{}",
+                trace.structure(),
+                base.structure()
+            );
+        }
+    }
+}
+
+#[test]
+fn untraced_runs_record_no_spans() {
+    // The disabled tracer is the common path; it must stay span-free so
+    // the overhead budget (see benches/trace_overhead.rs) holds.
+    let db = graph_db(GraphKind::Sparse(3), 16, 7);
+    let q = Query::new(vec![Var(0)], random_fo(2, 15, 1));
+    let out = BoundedEvaluator::new(&db, 2)
+        .with_config(EvalConfig::sequential())
+        .eval_query_traced(&q)
+        .unwrap();
+    assert!(out.trace.is_none());
+}
+
+#[test]
 fn domains_smaller_than_thread_count_are_thread_safe() {
     // More workers than domain elements: chunk_ranges must degrade to
     // fewer, non-empty chunks without dropping or duplicating points.
