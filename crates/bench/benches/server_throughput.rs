@@ -26,6 +26,7 @@ fn start(workers: usize, queue: usize, caches: usize, debug_ops: bool) -> Server
         result_cache_capacity: caches,
         default_deadline_ms: None,
         debug_ops,
+        admission: false,
     })
     .expect("bind loopback");
     handle.load_db("g", graph_db(GraphKind::Sparse(3), 200, 17));

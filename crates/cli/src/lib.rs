@@ -22,6 +22,7 @@
 //! bvq eval    <db-file> '<query>' [--k N] [--naive] [--trace] [--certify t1,t2,…]
 //! bvq eso     <db-file> '<eso sentence>' [--k N] [--trace]
 //! bvq explain <db-file> '<query>' [--analyze] [--eso] [--k N] [--naive]
+//! bvq lint    <db-file> <query|file|dir> [--eso] [--datalog] [--json] [--deny warnings]
 //! bvq repl    <db-file>
 //! bvq serve   <db-file>… [--addr HOST:PORT] [--threads N] [--queue N]
 //! bvq client  <addr> ping|stats|eval|eso|datalog|explain|load-db|shutdown …
@@ -33,9 +34,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod lint;
 pub mod run;
 pub mod serve;
 
+pub use lint::run_lint;
 pub use run::{
     run_eso, run_eval, run_explain, run_request, EvalOptions, ExecKind, ExecRequest, RunError,
 };

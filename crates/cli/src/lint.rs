@@ -1,0 +1,263 @@
+//! The `bvq lint` subcommand: static analysis without evaluation.
+//!
+//! ```text
+//! bvq lint <db-file> <query|file|dir> [--eso] [--datalog] [--output P]
+//!          [--budget N] [--json] [--deny warnings]
+//! ```
+//!
+//! The second positional argument is either a query literal, a file, or
+//! a directory: directories are linted recursively-flat over their
+//! `*.bvq` (relational query), `*.eso` and `*.dl` (Datalog) files in
+//! name order. `--deny warnings` turns warning-level findings into a
+//! nonzero exit, which is how CI keeps the example corpus clean.
+//!
+//! Linting reads only the database's schema and domain size — no query
+//! is ever evaluated — so it is safe to run against production inputs.
+
+use std::path::Path;
+
+use bvq_relation::Database;
+use bvq_server::{exec, ExecRequest, Json, LintReport};
+
+/// What language one input unit is linted as.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Target {
+    Query,
+    Eso,
+    Datalog,
+}
+
+impl Target {
+    fn from_path(path: &Path) -> Target {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("eso") => Target::Eso,
+            Some("dl") => Target::Datalog,
+            _ => Target::Query,
+        }
+    }
+}
+
+/// One input to lint: a display label, its text, and its language.
+struct Unit {
+    label: String,
+    text: String,
+    target: Target,
+}
+
+/// Parsed `bvq lint` flags.
+struct LintFlags {
+    target: Option<Target>,
+    output: Option<String>,
+    budget: Option<u128>,
+    json: bool,
+    deny_warnings: bool,
+}
+
+fn parse_flags(rest: &[String]) -> Result<LintFlags, String> {
+    let mut flags = LintFlags {
+        target: None,
+        output: None,
+        budget: None,
+        json: false,
+        deny_warnings: false,
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--eso" => flags.target = Some(Target::Eso),
+            "--datalog" => flags.target = Some(Target::Datalog),
+            "--output" => {
+                flags.output = Some(it.next().ok_or("--output needs a predicate")?.clone());
+            }
+            "--budget" => {
+                let v = it.next().ok_or("--budget needs a value")?;
+                flags.budget = Some(v.parse().map_err(|_| format!("bad --budget value `{v}`"))?);
+            }
+            "--json" => flags.json = true,
+            "--deny" => {
+                let what = it.next().ok_or("--deny needs a value")?;
+                if what != "warnings" {
+                    return Err(format!("unknown --deny class `{what}` (try `warnings`)"));
+                }
+                flags.deny_warnings = true;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(flags)
+}
+
+/// Collects the inputs named by the positional argument: a directory's
+/// corpus files, one file, or the argument itself as a query literal.
+fn collect_units(input: &str, flags: &LintFlags) -> Result<Vec<Unit>, String> {
+    let path = Path::new(input);
+    let read = |p: &Path| -> Result<String, String> {
+        std::fs::read_to_string(p).map_err(|e| format!("cannot read `{}`: {e}", p.display()))
+    };
+    if path.is_dir() {
+        let mut files: Vec<_> = std::fs::read_dir(path)
+            .map_err(|e| format!("cannot read `{input}`: {e}"))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                matches!(
+                    p.extension().and_then(|e| e.to_str()),
+                    Some("bvq" | "eso" | "dl")
+                )
+            })
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("`{input}` contains no .bvq/.eso/.dl files"));
+        }
+        files
+            .into_iter()
+            .map(|p| {
+                Ok(Unit {
+                    label: p.display().to_string(),
+                    text: read(&p)?,
+                    target: flags.target.unwrap_or_else(|| Target::from_path(&p)),
+                })
+            })
+            .collect()
+    } else if path.is_file() {
+        Ok(vec![Unit {
+            label: input.to_string(),
+            text: read(path)?,
+            target: flags.target.unwrap_or_else(|| Target::from_path(path)),
+        }])
+    } else {
+        Ok(vec![Unit {
+            label: "<query>".to_string(),
+            text: input.to_string(),
+            target: flags.target.unwrap_or(Target::Query),
+        }])
+    }
+}
+
+fn lint_unit(db: &Database, unit: &Unit, flags: &LintFlags) -> LintReport {
+    let req = match unit.target {
+        Target::Query => ExecRequest::query(unit.text.trim()),
+        Target::Eso => ExecRequest::eso(unit.text.trim()),
+        Target::Datalog => {
+            ExecRequest::datalog(unit.text.as_str(), flags.output.clone().unwrap_or_default())
+        }
+    };
+    exec::lint_with_db(db, &req, flags.budget)
+}
+
+/// Runs `bvq lint`. Exits nonzero (after printing every report) when
+/// any input has error-level findings, or warning-level findings under
+/// `--deny warnings`.
+pub fn run_lint(db: &Database, rest: &[String]) -> Result<(), String> {
+    let input = rest.first().ok_or("missing query, file, or directory")?;
+    let flags = parse_flags(&rest[1..])?;
+    let units = collect_units(input, &flags)?;
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut json_reports = Vec::new();
+    for unit in &units {
+        let report = lint_unit(db, unit, &flags);
+        let (e, w, _) = report.counts();
+        errors += e;
+        warnings += w;
+        if flags.json {
+            let mut j = exec::lint_json(&report);
+            if let Json::Obj(pairs) = &mut j {
+                pairs.insert(0, ("input".to_string(), Json::str(unit.label.clone())));
+            }
+            json_reports.push(j);
+        } else {
+            if units.len() > 1 {
+                println!("== {}", unit.label);
+            }
+            print!("{}", report.render());
+            if units.len() > 1 {
+                println!();
+            }
+        }
+    }
+    if flags.json {
+        let out = if json_reports.len() == 1 {
+            json_reports.pop().expect("one report")
+        } else {
+            Json::Arr(json_reports)
+        };
+        println!("{}", out.to_string_compact());
+    }
+
+    let denied = errors > 0 || (flags.deny_warnings && warnings > 0);
+    if denied {
+        eprintln!(
+            "error: lint found {errors} error(s), {warnings} warning(s){}",
+            if flags.deny_warnings {
+                " (warnings denied)"
+            } else {
+                ""
+            }
+        );
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvq_relation::parse_database;
+
+    fn db() -> Database {
+        parse_database("domain 4\nrel E/2\n0 1\n1 2\nend\nrel P/1\n0\nend").unwrap()
+    }
+
+    fn flags() -> LintFlags {
+        LintFlags {
+            target: None,
+            output: None,
+            budget: None,
+            json: false,
+            deny_warnings: false,
+        }
+    }
+
+    #[test]
+    fn literal_units_default_to_query_target() {
+        let units = collect_units("(x1) P(x1)", &flags()).unwrap();
+        assert_eq!(units.len(), 1);
+        assert!(units[0].target == Target::Query);
+        let report = lint_unit(&db(), &units[0], &flags());
+        assert!(!report.has_errors(), "{:?}", report.diagnostics);
+        assert_eq!(report.bound, Some(4));
+    }
+
+    #[test]
+    fn target_flags_override_extension_sniffing() {
+        let mut f = flags();
+        f.target = Some(Target::Datalog);
+        let units = collect_units("T(x) :- E(x,x).", &f).unwrap();
+        let report = lint_unit(&db(), &units[0], &f);
+        assert_eq!(report.language, "DATALOG^1");
+        assert!(!report.has_errors(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn budget_flag_flags_wide_queries() {
+        let mut f = flags();
+        f.budget = Some(3);
+        let units = collect_units("(x1) exists x2. E(x1,x2)", &f).unwrap();
+        let report = lint_unit(&db(), &units[0], &f);
+        // n^k = 4^2 = 16 > 3.
+        assert!(report.has_warnings(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn deny_parses_only_warnings() {
+        assert!(
+            parse_flags(&["--deny".into(), "warnings".into()])
+                .unwrap()
+                .deny_warnings
+        );
+        assert!(parse_flags(&["--deny".into(), "sushi".into()]).is_err());
+        assert!(parse_flags(&["--frobnicate".into()]).is_err());
+    }
+}

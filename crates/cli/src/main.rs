@@ -4,14 +4,18 @@
 //! bvq eval    <db-file> '<query>' [--k N] [--naive] [--threads N] [--trace] [--certify t1,t2;u1,u2]
 //! bvq eso     <db-file> '<eso sentence>' [--k N] [--trace]
 //! bvq explain <db-file> '<query>' [--analyze] [--eso] [--k N] [--naive]
+//! bvq lint    <db-file> <query|file|dir> [--eso] [--datalog] [--output P]
+//!             [--budget N] [--json] [--deny warnings]
 //! bvq repl    <db-file>
 //! bvq serve   <db-file>… [--addr HOST:PORT] [--threads N] [--queue N] [--debug-ops]
-//! bvq client  <addr> <ping|stats|list-dbs|eval|eso|datalog|explain|load-db|sleep|shutdown> […]
+//! bvq client  <addr> <ping|stats|list-dbs|eval|eso|datalog|explain|lint|load-db|sleep|shutdown> […]
 //! ```
 
 use std::io::{BufRead, Write};
 
-use bvq_cli::{run_client, run_explain, run_request, run_serve, EvalOptions, ExecRequest};
+use bvq_cli::{
+    run_client, run_explain, run_lint, run_request, run_serve, EvalOptions, ExecRequest,
+};
 use bvq_relation::parse_database;
 
 fn main() {
@@ -27,6 +31,9 @@ fn main() {
             );
             eprintln!("  bvq eso  <db-file> '<eso sentence>' [--k N] [--trace]");
             eprintln!("  bvq explain <db-file> '<query>' [--analyze] [--eso] [--k N] [--naive]");
+            eprintln!(
+                "  bvq lint <db-file> <query|file|dir> [--eso] [--datalog] [--output P] [--budget N] [--json] [--deny warnings]"
+            );
             eprintln!("  bvq repl <db-file>");
             eprintln!("  bvq serve <db-file>... [--addr HOST:PORT] [--threads N] [--queue N]");
             eprintln!("  bvq client <addr> <command> [args...]");
@@ -78,6 +85,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             print!("{}", run_explain(&db, &req, flags.analyze)?);
             Ok(())
         }
+        "lint" => run_lint(&db, &args[2..]),
         "repl" => {
             println!(
                 "bvq repl — database `{db_path}` (n = {}); enter queries, `:eso <sentence>`, `:explain <query>`, or `:quit`",

@@ -14,7 +14,8 @@ use bvq_relation::parse_database;
 use bvq_server::{Client, Json, Server, ServerConfig};
 
 /// Runs `bvq serve <db-file>... [--addr A] [--threads N] [--queue N]
-/// [--plan-cache N] [--result-cache N] [--deadline-ms N] [--debug-ops]`.
+/// [--plan-cache N] [--result-cache N] [--deadline-ms N] [--debug-ops]
+/// [--admission]`.
 pub fn run_serve(args: &[String]) -> Result<(), String> {
     let mut cfg = ServerConfig {
         addr: "127.0.0.1:4141".into(),
@@ -37,6 +38,7 @@ pub fn run_serve(args: &[String]) -> Result<(), String> {
             "--result-cache" => cfg.result_cache_capacity = num("--result-cache")?,
             "--deadline-ms" => cfg.default_deadline_ms = Some(num("--deadline-ms")? as u64),
             "--debug-ops" => cfg.debug_ops = true,
+            "--admission" => cfg.admission = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             path => db_paths.push(path.to_string()),
         }
@@ -140,7 +142,7 @@ pub fn run_client(args: &[String]) -> Result<(), String> {
             }
             client.call_op(cmd, fields)
         }
-        "explain" => {
+        "explain" | "lint" => {
             let db = arg(2, "a database name")?;
             let query = arg(3, "a query")?;
             let mut target = String::from("eval");
@@ -161,6 +163,12 @@ pub fn run_client(args: &[String]) -> Result<(), String> {
                             .map_err(|_| "bad --k value".to_string())?;
                         extra.push(("k", Json::num(v)));
                     }
+                    "--budget" => {
+                        let v: u64 = val("--budget")?
+                            .parse()
+                            .map_err(|_| "bad --budget value".to_string())?;
+                        extra.push(("budget", Json::num(v)));
+                    }
                     "--output" => {
                         extra.push(("output", Json::str(val("--output")?.as_str())));
                     }
@@ -177,7 +185,7 @@ pub fn run_client(args: &[String]) -> Result<(), String> {
                 fields.push(("target", Json::str(target.as_str())));
             }
             fields.extend(extra);
-            client.call_op("explain", fields)
+            client.call_op(cmd, fields)
         }
         other => return Err(format!("unknown client command `{other}`")),
     }

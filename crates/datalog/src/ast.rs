@@ -130,7 +130,12 @@ pub enum DatalogError {
     /// database.
     UnknownPredicate(String),
     /// The program text could not be parsed (see [`crate::parser`]).
-    Parse(String),
+    Parse {
+        /// Byte offset into the program text where parsing failed.
+        position: usize,
+        /// What went wrong.
+        message: String,
+    },
     /// The evaluation deadline passed between rounds (see
     /// [`bvq_relation::EvalConfig::with_deadline`]); the least model was
     /// not fully computed and no partial state escapes.
@@ -160,7 +165,9 @@ impl fmt::Display for DatalogError {
                 )
             }
             DatalogError::UnknownPredicate(p) => write!(f, "unknown predicate `{p}`"),
-            DatalogError::Parse(m) => write!(f, "datalog parse error: {m}"),
+            DatalogError::Parse { position, message } => {
+                write!(f, "datalog parse error at byte {position}: {message}")
+            }
             DatalogError::DeadlineExceeded => {
                 write!(f, "evaluation deadline exceeded between rounds")
             }

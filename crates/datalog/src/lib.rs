@@ -22,5 +22,5 @@ pub mod translate;
 
 pub use ast::{AtomTerm, BodyAtom, DatalogError, Head, Program, Rule};
 pub use eval::{eval_naive, eval_naive_with, eval_seminaive, eval_seminaive_with, EvalOutput};
-pub use parser::parse_program;
+pub use parser::{parse_program, parse_program_spanned};
 pub use translate::{to_fp_formula, to_fp_formula_multi};

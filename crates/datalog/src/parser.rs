@@ -28,19 +28,29 @@ use crate::ast::{AtomTerm, BodyAtom, DatalogError, Head, Program, Rule};
 /// deferred to evaluation) is *not* raised here — structural validation
 /// stays with [`Program::validate`].
 pub fn parse_program(input: &str) -> Result<Program, DatalogError> {
+    parse_program_spanned(input).map(|(p, _)| p)
+}
+
+/// Parses a program text, also returning each rule's byte range
+/// `[start, end)` in the input (one entry per rule, in order). Parse
+/// errors carry the byte offset where parsing failed.
+pub fn parse_program_spanned(input: &str) -> Result<(Program, Vec<(usize, usize)>), DatalogError> {
     let mut p = Parser {
         chars: input.char_indices().peekable(),
         input,
     };
     let mut program = Program::new();
+    let mut spans = Vec::new();
     loop {
         p.skip_ws();
         if p.peek().is_none() {
             break;
         }
+        let start = p.pos();
         program.rules.push(p.rule()?);
+        spans.push((start, p.pos()));
     }
-    Ok(program)
+    Ok((program, spans))
 }
 
 struct Parser<'a> {
@@ -49,15 +59,24 @@ struct Parser<'a> {
 }
 
 impl<'a> Parser<'a> {
+    /// Current byte offset into the input.
+    fn pos(&mut self) -> usize {
+        match self.chars.peek() {
+            Some(&(i, _)) => i,
+            None => self.input.len(),
+        }
+    }
+
     fn err(&mut self, msg: &str) -> DatalogError {
-        let at = match self.chars.peek() {
+        let position = self.pos();
+        let message = match self.chars.peek() {
             Some(&(i, _)) => {
                 let rest: String = self.input[i..].chars().take(20).collect();
                 format!("{msg} at `{rest}`")
             }
             None => format!("{msg} at end of input"),
         };
-        DatalogError::Parse(at)
+        DatalogError::Parse { position, message }
     }
 
     fn peek(&mut self) -> Option<char> {
@@ -149,6 +168,7 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         match self.peek() {
             Some(c) if c.is_ascii_digit() => {
+                let position = self.pos();
                 let mut n = String::new();
                 while let Some(c) = self.peek() {
                     if c.is_ascii_digit() {
@@ -158,9 +178,10 @@ impl<'a> Parser<'a> {
                         break;
                     }
                 }
-                let v: u32 = n
-                    .parse()
-                    .map_err(|_| DatalogError::Parse(format!("constant `{n}` out of range")))?;
+                let v: u32 = n.parse().map_err(|_| DatalogError::Parse {
+                    position,
+                    message: format!("constant `{n}` out of range"),
+                })?;
                 Ok(ArgToken::Const(v))
             }
             Some(c) if c.is_alphabetic() || c == '_' => Ok(ArgToken::Name(self.ident()?)),
@@ -170,6 +191,8 @@ impl<'a> Parser<'a> {
 
     /// `Head(v,…) [:- Atom, …, Atom] .`
     fn rule(&mut self) -> Result<Rule, DatalogError> {
+        self.skip_ws();
+        let head_start = self.pos();
         let (head_pred, head_args) = self.atom()?;
         // Variable names are interned per rule, in order of appearance.
         let mut names: Vec<String> = Vec::new();
@@ -193,9 +216,12 @@ impl<'a> Parser<'a> {
             match intern(tok)? {
                 AtomTerm::Var(v) => head_vars.push(v),
                 AtomTerm::Const(c) => {
-                    return Err(DatalogError::Parse(format!(
-                        "head argument of `{head_pred}` must be a variable, got constant {c}"
-                    )))
+                    return Err(DatalogError::Parse {
+                        position: head_start,
+                        message: format!(
+                            "head argument of `{head_pred}` must be a variable, got constant {c}"
+                        ),
+                    })
                 }
             }
         }
@@ -290,21 +316,46 @@ mod tests {
     fn rejects_malformed() {
         assert!(matches!(
             parse_program("T(x y) :- E(x, y)."),
-            Err(DatalogError::Parse(_))
+            Err(DatalogError::Parse { .. })
         ));
         assert!(matches!(
             parse_program("T(x) :- E(x)"), // missing final period
-            Err(DatalogError::Parse(_))
+            Err(DatalogError::Parse { .. })
         ));
         assert!(matches!(
             parse_program("T(3) :- E(3, 3)."),
-            Err(DatalogError::Parse(_))
+            Err(DatalogError::Parse { .. })
         ));
         assert!(matches!(
             parse_program("T(x) : E(x)."),
-            Err(DatalogError::Parse(_))
+            Err(DatalogError::Parse { .. })
         ));
         assert!(parse_program("").unwrap().rules.is_empty());
+    }
+
+    #[test]
+    fn parse_errors_carry_byte_positions() {
+        // `T(x y)` — error at the `y`, byte 4.
+        match parse_program("T(x y) :- E(x, y).") {
+            Err(DatalogError::Parse { position, .. }) => assert_eq!(position, 4),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Missing final period — error at end of input.
+        let src = "T(x) :- E(x)";
+        match parse_program(src) {
+            Err(DatalogError::Parse { position, .. }) => assert_eq!(position, src.len()),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spanned_parse_reports_rule_ranges() {
+        let src = "% tc\nT(x, y) :- E(x, y).\n T(x, y) :- T(x, z), E(z, y).";
+        let (p, spans) = parse_program_spanned(src).unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(&src[spans[0].0..spans[0].1], "T(x, y) :- E(x, y).");
+        assert_eq!(&src[spans[1].0..spans[1].1], "T(x, y) :- T(x, z), E(z, y).");
     }
 
     #[test]

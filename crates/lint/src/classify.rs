@@ -1,0 +1,219 @@
+//! Fragment classification and the paper's Tables 1–3 complexity cells.
+//!
+//! Every concrete query has a finite width `k`, so classification places
+//! it in the *bounded-variable* fragment it inhabits — FO^k, FP^k,
+//! PFP^k, ESO^k, Datalog — or, when the formula is an existential
+//! conjunction of atoms, in the conjunctive-query classes (CQ, and
+//! acyclic CQ via GYO ear removal, following Yannakakis and
+//! Durand–Grandjean).
+
+use bvq_logic::{Formula, Query, RelRef, Term};
+use bvq_optimizer::{is_acyclic, ConjunctiveQuery, CqTerm};
+
+/// The language fragment a query falls into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Fragment {
+    /// An acyclic conjunctive query (GYO-reducible).
+    AcyclicCq,
+    /// A conjunctive query (existential conjunction of atoms).
+    Cq,
+    /// First-order logic with k variables.
+    Fo,
+    /// Least/greatest-fixpoint logic with k variables.
+    Fp,
+    /// Partial/inflationary-fixpoint logic with k variables.
+    Pfp,
+    /// Existential second-order logic with k first-order variables.
+    Eso,
+    /// A Datalog program (k = max variables per rule).
+    Datalog,
+}
+
+impl Fragment {
+    /// The fragment's label with its width, e.g. `FO^3` or `acyclic CQ`.
+    pub fn label(self, k: usize) -> String {
+        match self {
+            Fragment::AcyclicCq => format!("acyclic CQ (⊆ FO^{k})"),
+            Fragment::Cq => format!("CQ (⊆ FO^{k})"),
+            Fragment::Fo => format!("FO^{k}"),
+            Fragment::Fp => format!("FP^{k}"),
+            Fragment::Pfp => format!("PFP^{k}"),
+            Fragment::Eso => format!("ESO^{k}"),
+            Fragment::Datalog => format!("DATALOG^{k}"),
+        }
+    }
+
+    /// Table 1: data complexity (fixed query, database as input).
+    pub fn data_complexity(self) -> &'static str {
+        match self {
+            Fragment::AcyclicCq | Fragment::Cq | Fragment::Fo => "AC0 (⊆ PTIME)",
+            Fragment::Fp | Fragment::Datalog => "PTIME-complete",
+            Fragment::Pfp => "PSPACE-complete",
+            Fragment::Eso => "NP-complete",
+        }
+    }
+
+    /// Table 2: combined complexity of the bounded-variable fragment
+    /// (query and database both input).
+    pub fn combined_complexity(self) -> &'static str {
+        match self {
+            Fragment::AcyclicCq => "PTIME (Yannakakis, acyclic joins)",
+            Fragment::Cq | Fragment::Fo => "PTIME-complete (Prop 3.1)",
+            Fragment::Fp | Fragment::Datalog => "NP ∩ co-NP (Thm 3.5)",
+            Fragment::Pfp => "PSPACE-complete (Thm 3.8)",
+            Fragment::Eso => "NP-complete (Cor 3.7)",
+        }
+    }
+
+    /// Table 3: expression complexity (fixed database, query as input).
+    pub fn expression_complexity(self) -> &'static str {
+        match self {
+            Fragment::AcyclicCq | Fragment::Cq | Fragment::Fo => "ALOGTIME (Cor 4.3)",
+            Fragment::Fp | Fragment::Datalog => "NP ∩ co-NP (Thm 3.5)",
+            Fragment::Pfp => "PSPACE-complete (Thm 4.6)",
+            Fragment::Eso => "NP-complete (Thm 4.5)",
+        }
+    }
+}
+
+/// Extracts the query as a conjunctive query, if it is one: an optional
+/// `exists` prefix over a conjunction of database atoms. Equalities,
+/// negation, disjunction and fixpoints all disqualify.
+pub fn as_cq(q: &Query) -> Option<ConjunctiveQuery> {
+    let mut body = &q.formula;
+    while let Formula::Exists(_, g) = body {
+        body = g;
+    }
+    let mut atoms = Vec::new();
+    if !collect_conjuncts(body, &mut atoms) {
+        return None;
+    }
+    let head: Vec<u32> = q.output.iter().map(|v| v.0).collect();
+    let mut cq = ConjunctiveQuery::new(&head);
+    for atom in atoms {
+        let args: Vec<CqTerm> = atom
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => CqTerm::Var(v.0),
+                Term::Const(c) => CqTerm::Const(*c),
+            })
+            .collect();
+        let RelRef::Db(name) = &atom.rel else {
+            return None;
+        };
+        cq = cq.atom(name, &args);
+    }
+    Some(cq)
+}
+
+/// Flattens a conjunction of database atoms; `false` if any leaf is not
+/// a plain atom.
+fn collect_conjuncts<'a>(f: &'a Formula, out: &mut Vec<&'a bvq_logic::Atom>) -> bool {
+    match f {
+        Formula::And(a, b) => collect_conjuncts(a, out) && collect_conjuncts(b, out),
+        Formula::Atom(a) => {
+            out.push(a);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Classifies a relational query into its fragment.
+pub fn classify_query(q: &Query) -> Fragment {
+    if let Some(cq) = as_cq(q) {
+        if is_acyclic(&cq) {
+            return Fragment::AcyclicCq;
+        }
+        return Fragment::Cq;
+    }
+    if q.formula.is_first_order() {
+        Fragment::Fo
+    } else if q.formula.is_fp() {
+        Fragment::Fp
+    } else {
+        Fragment::Pfp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvq_logic::parser::parse_query;
+    use bvq_logic::Var;
+
+    fn classify(src: &str) -> Fragment {
+        classify_query(&parse_query(src).unwrap())
+    }
+
+    #[test]
+    fn classifies_cq_and_acyclic_cq() {
+        assert_eq!(classify("(x1,x2) E(x1,x2)"), Fragment::AcyclicCq);
+        assert_eq!(
+            classify("(x1,x2) exists x3. (E(x1,x3) & E(x3,x2))"),
+            Fragment::AcyclicCq
+        );
+        // The triangle query is cyclic.
+        assert_eq!(
+            classify("() exists x1. exists x2. exists x3. (E(x1,x2) & E(x2,x3) & E(x3,x1))"),
+            Fragment::Cq
+        );
+        // Disjunction and equality leave the CQ classes.
+        assert_eq!(classify("(x1) (P(x1) | P(x1))"), Fragment::Fo);
+        assert_eq!(classify("(x1) (E(x1,x1) & x1 = 0)"), Fragment::Fo);
+    }
+
+    #[test]
+    fn classifies_fixpoint_fragments() {
+        assert_eq!(
+            classify("(x1) [lfp S(x1). (P(x1) | exists x2. (S(x2) & E(x2,x1)))](x1)"),
+            Fragment::Fp
+        );
+        assert_eq!(classify("(x1) [pfp S(x1). ~S(x1)](x1)"), Fragment::Pfp);
+        assert_eq!(classify("(x1) [ifp S(x1). P(x1)](x1)"), Fragment::Pfp);
+    }
+
+    #[test]
+    fn cq_head_preserves_output_order() {
+        let q = parse_query("(x2,x1) E(x1,x2)").unwrap();
+        let cq = as_cq(&q).unwrap();
+        assert_eq!(cq.head, vec![1, 0]);
+        assert_eq!(q.output, vec![Var(1), Var(0)]);
+    }
+
+    /// Tables 1–3, cell by cell, for every paper fragment.
+    #[test]
+    fn tables_1_2_3_cells() {
+        use Fragment::*;
+        // Table 1 — data complexity.
+        assert_eq!(Fo.data_complexity(), "AC0 (⊆ PTIME)");
+        assert_eq!(Fp.data_complexity(), "PTIME-complete");
+        assert_eq!(Datalog.data_complexity(), "PTIME-complete");
+        assert_eq!(Pfp.data_complexity(), "PSPACE-complete");
+        assert_eq!(Eso.data_complexity(), "NP-complete");
+        // Table 2 — combined complexity of the bounded fragments.
+        assert_eq!(Fo.combined_complexity(), "PTIME-complete (Prop 3.1)");
+        assert_eq!(Fp.combined_complexity(), "NP ∩ co-NP (Thm 3.5)");
+        assert_eq!(Eso.combined_complexity(), "NP-complete (Cor 3.7)");
+        assert_eq!(Pfp.combined_complexity(), "PSPACE-complete (Thm 3.8)");
+        // Table 3 — expression complexity.
+        assert_eq!(Fo.expression_complexity(), "ALOGTIME (Cor 4.3)");
+        assert_eq!(Eso.expression_complexity(), "NP-complete (Thm 4.5)");
+        assert_eq!(Pfp.expression_complexity(), "PSPACE-complete (Thm 4.6)");
+        // The CQ classes refine FO^k.
+        assert_eq!(
+            AcyclicCq.combined_complexity(),
+            "PTIME (Yannakakis, acyclic joins)"
+        );
+        assert_eq!(Cq.combined_complexity(), "PTIME-complete (Prop 3.1)");
+        assert_eq!(AcyclicCq.data_complexity(), Fo.data_complexity());
+    }
+
+    #[test]
+    fn labels_carry_width() {
+        assert_eq!(Fragment::Fo.label(3), "FO^3");
+        assert_eq!(Fragment::Pfp.label(2), "PFP^2");
+        assert_eq!(Fragment::AcyclicCq.label(3), "acyclic CQ (⊆ FO^3)");
+    }
+}

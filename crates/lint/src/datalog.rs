@@ -1,0 +1,294 @@
+//! Static passes over Datalog programs.
+//!
+//! Rule-level structural checks (heads, range restriction, arities),
+//! schema conformance of the EDB predicates, and a reachability pass
+//! flagging IDB predicates the output never depends on. Spans are the
+//! per-rule byte ranges returned by
+//! [`bvq_datalog::parse_program_spanned`].
+
+use std::collections::BTreeSet;
+
+use bvq_datalog::{AtomTerm, Program, Rule};
+use bvq_logic::SrcSpan;
+
+use crate::diag::{self, Diagnostic};
+
+/// The byte range of rule `i`, when rule spans are known.
+fn rule_span(spans: Option<&[(usize, usize)]>, i: usize) -> Option<SrcSpan> {
+    spans
+        .and_then(|s| s.get(i))
+        .map(|&(a, b)| SrcSpan::new(a, b))
+}
+
+/// All structural Datalog passes. `output` is the requested output
+/// predicate (defaults to the head of the last rule); `schema` is the
+/// database relation schema when known.
+pub fn check_program(
+    p: &Program,
+    output: Option<&str>,
+    spans: Option<&[(usize, usize)]>,
+    schema: Option<&[(String, usize)]>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let idb: Vec<(String, usize)> = p.idb_predicates();
+    check_rules(p, spans, out);
+    check_arities(p, spans, out);
+
+    // EDB predicates (body predicates that are not IDB) against the
+    // database schema.
+    if let Some(schema) = schema {
+        let mut seen = BTreeSet::new();
+        for (i, r) in p.rules.iter().enumerate() {
+            for a in &r.body {
+                if idb.iter().any(|(n, _)| *n == a.pred) || !seen.insert(a.pred.clone()) {
+                    continue;
+                }
+                match schema.iter().find(|(n, _)| *n == a.pred) {
+                    None => out.push(Diagnostic::error(
+                        diag::E008,
+                        rule_span(spans, i),
+                        format!(
+                            "predicate `{}` is neither derived by a rule nor a database relation",
+                            a.pred
+                        ),
+                    )),
+                    Some((_, arity)) if *arity != a.args.len() => out.push(Diagnostic::error(
+                        diag::E003,
+                        rule_span(spans, i),
+                        format!(
+                            "database relation `{}` has arity {arity} but is used with {} argument(s)",
+                            a.pred,
+                            a.args.len()
+                        ),
+                    )),
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+
+    // Output predicate and reachability.
+    let output_pred: Option<String> = match output {
+        Some(name) => {
+            if idb.iter().any(|(n, _)| n == name) {
+                Some(name.to_string())
+            } else {
+                out.push(
+                    Diagnostic::error(
+                        diag::E007,
+                        None,
+                        format!("output predicate `{name}` is never derived by any rule"),
+                    )
+                    .with_help(format!(
+                        "derived predicates: {}",
+                        idb.iter()
+                            .map(|(n, _)| n.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )),
+                );
+                None
+            }
+        }
+        None => p.rules.last().map(|r| r.head.pred.clone()),
+    };
+    if let Some(root) = output_pred {
+        let reachable = reachable_from(p, &root);
+        for (name, _) in &idb {
+            if !reachable.contains(name.as_str()) {
+                let i = p.rules.iter().position(|r| r.head.pred == *name);
+                out.push(
+                    Diagnostic::warning(
+                        diag::W104,
+                        i.and_then(|i| rule_span(spans, i)),
+                        format!(
+                            "predicate `{name}` is derived but the output `{root}` never \
+                             depends on it"
+                        ),
+                    )
+                    .with_help("remove the rule or query the predicate directly"),
+                );
+            }
+        }
+    }
+}
+
+/// Per-rule checks: duplicate head variables (E005) and range
+/// restriction (E004).
+fn check_rules(p: &Program, spans: Option<&[(usize, usize)]>, out: &mut Vec<Diagnostic>) {
+    for (i, r) in p.rules.iter().enumerate() {
+        let mut seen = r.head.vars.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        if seen.len() != r.head.vars.len() {
+            out.push(Diagnostic::error(
+                diag::E005,
+                rule_span(spans, i),
+                format!(
+                    "head of `{}` repeats a variable; head arguments must be distinct",
+                    r.head.pred
+                ),
+            ));
+        }
+        if !r.is_range_restricted() {
+            out.push(
+                Diagnostic::error(
+                    diag::E004,
+                    rule_span(spans, i),
+                    format!(
+                        "rule for `{}` is not range-restricted: a head variable never \
+                         occurs in the body",
+                        r.head.pred
+                    ),
+                )
+                .with_help("every head variable must appear in some body atom"),
+            );
+        }
+    }
+}
+
+/// Arity consistency across all uses of each predicate (E003), reported
+/// at the first conflicting rule.
+fn check_arities(p: &Program, spans: Option<&[(usize, usize)]>, out: &mut Vec<Diagnostic>) {
+    let mut arities: Vec<(String, usize)> = Vec::new();
+    for (i, r) in p.rules.iter().enumerate() {
+        let uses = std::iter::once((r.head.pred.as_str(), r.head.vars.len()))
+            .chain(r.body.iter().map(|a| (a.pred.as_str(), a.args.len())));
+        for (pred, arity) in uses {
+            match arities.iter().find(|(n, _)| n == pred) {
+                Some((_, a)) if *a != arity => out.push(Diagnostic::error(
+                    diag::E003,
+                    rule_span(spans, i),
+                    format!("predicate `{pred}` is used with arities {a} and {arity}"),
+                )),
+                Some(_) => {}
+                None => arities.push((pred.to_string(), arity)),
+            }
+        }
+    }
+}
+
+/// IDB predicates reachable from `root` through rule bodies.
+fn reachable_from<'a>(p: &'a Program, root: &'a str) -> BTreeSet<&'a str> {
+    let mut reach: BTreeSet<&str> = BTreeSet::new();
+    let mut work = vec![root];
+    while let Some(pred) = work.pop() {
+        if !reach.insert(pred) {
+            continue;
+        }
+        for r in p.rules.iter().filter(|r| r.head.pred == pred) {
+            for a in &r.body {
+                if !reach.contains(a.pred.as_str()) {
+                    work.push(a.pred.as_str());
+                }
+            }
+        }
+    }
+    reach
+}
+
+/// The program's width: the maximum number of distinct variables in any
+/// single rule (each round grounds one rule at a time, so intermediate
+/// work is bounded by `n^k` for this `k`).
+pub fn program_width(p: &Program) -> usize {
+    p.rules.iter().map(rule_width).max().unwrap_or(0).max(1)
+}
+
+fn rule_width(r: &Rule) -> usize {
+    let mut vs: BTreeSet<u32> = r.head.vars.iter().copied().collect();
+    for a in &r.body {
+        for t in &a.args {
+            if let AtomTerm::Var(v) = t {
+                vs.insert(*v);
+            }
+        }
+    }
+    vs.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvq_datalog::parse_program_spanned;
+
+    fn lint(
+        src: &str,
+        output: Option<&str>,
+        schema: Option<&[(String, usize)]>,
+    ) -> Vec<Diagnostic> {
+        let (p, spans) = parse_program_spanned(src).unwrap();
+        let mut out = Vec::new();
+        check_program(&p, output, Some(&spans), schema, &mut out);
+        out
+    }
+
+    const TC: &str = "T(x,y) :- E(x,y).\nT(x,y) :- T(x,z), E(z,y).";
+
+    fn schema() -> Vec<(String, usize)> {
+        vec![("E".to_string(), 2), ("P".to_string(), 1)]
+    }
+
+    #[test]
+    fn clean_program_is_clean() {
+        assert!(lint(TC, Some("T"), Some(&schema())).is_empty());
+        assert!(lint(TC, None, None).is_empty());
+    }
+
+    #[test]
+    fn flags_unrestricted_and_duplicate_heads() {
+        let out = lint("Q(x) :- E(y,y).", None, None);
+        assert!(out.iter().any(|d| d.code == diag::E004), "{out:?}");
+        assert!(out[0].span.is_some());
+        // Duplicate heads cannot be written in text (interning), so use
+        // the builder.
+        let p = Program::new().rule(
+            "Q",
+            &[0, 0],
+            &[("E", &[AtomTerm::Var(0), AtomTerm::Var(0)])],
+        );
+        let mut out = Vec::new();
+        check_program(&p, None, None, None, &mut out);
+        assert!(out.iter().any(|d| d.code == diag::E005), "{out:?}");
+    }
+
+    #[test]
+    fn flags_arity_conflicts_with_rule_span() {
+        let src = "Q(x) :- E(x,x).\nR(x) :- E(x).";
+        let out = lint(src, None, None);
+        let d = out.iter().find(|d| d.code == diag::E003).expect("E003");
+        assert_eq!(d.span.unwrap().slice(src), "R(x) :- E(x).");
+    }
+
+    #[test]
+    fn flags_unknown_edb_and_bad_output() {
+        let out = lint("Q(x) :- Zap(x).", None, Some(&schema()));
+        assert!(out.iter().any(|d| d.code == diag::E008), "{out:?}");
+        let out = lint(TC, Some("Missing"), Some(&schema()));
+        assert!(out.iter().any(|d| d.code == diag::E007), "{out:?}");
+        // Without a schema, unknown body predicates are assumed EDB.
+        assert!(lint("Q(x) :- Zap(x).", None, None).is_empty());
+    }
+
+    #[test]
+    fn flags_unreachable_idb() {
+        let src = "A(x) :- E(x,x).\nT(x,y) :- E(x,y).";
+        let out = lint(src, Some("T"), Some(&schema()));
+        let d = out.iter().find(|d| d.code == diag::W104).expect("W104");
+        assert_eq!(d.span.unwrap().slice(src), "A(x) :- E(x,x).");
+        // Both reachable → clean.
+        assert!(lint(
+            "A(x) :- E(x,x).\nT(x,y) :- E(x,y), A(x).",
+            Some("T"),
+            Some(&schema())
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn width_is_max_distinct_vars_per_rule() {
+        let (p, _) = parse_program_spanned(TC).unwrap();
+        assert_eq!(program_width(&p), 3);
+        let (p, _) = parse_program_spanned("P(x) :- E(x,x).").unwrap();
+        assert_eq!(program_width(&p), 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Structured diagnostics: codes, severities, spans, and the catalog.
+
+use std::fmt;
+
+use bvq_logic::SrcSpan;
+
+/// How serious a diagnostic is.
+///
+/// `Error`s mean the query is rejected (it is unsafe, ill-formed, or
+/// cannot be parsed); `Warning`s flag degenerate or suspicious
+/// constructs; `Suggestion`s point out beneficial rewrites and never
+/// fail a lint run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The query must be rejected.
+    Error,
+    /// The query is suspicious but evaluable.
+    Warning,
+    /// A beneficial rewrite is available.
+    Suggestion,
+}
+
+impl Severity {
+    /// The lower-case label used in rendered output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Suggestion => "suggestion",
+        }
+    }
+}
+
+/// One finding of a static pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable catalog code, e.g. `BVQ-E001`.
+    pub code: &'static str,
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Byte range into the query text, when the source is available
+    /// (programmatically built queries have no spans).
+    pub span: Option<SrcSpan>,
+    /// What was found.
+    pub message: String,
+    /// How to fix it, when a concrete fix is known.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// An error-severity diagnostic.
+    pub fn error(code: &'static str, span: Option<SrcSpan>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// A warning-severity diagnostic.
+    pub fn warning(code: &'static str, span: Option<SrcSpan>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, span, message)
+        }
+    }
+
+    /// A suggestion-severity diagnostic.
+    pub fn suggestion(
+        code: &'static str,
+        span: Option<SrcSpan>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity: Severity::Suggestion,
+            ..Diagnostic::error(code, span, message)
+        }
+    }
+
+    /// Attaches a help line.
+    #[must_use]
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity.label(), self.code)?;
+        if let Some(span) = self.span {
+            write!(f, " (bytes {span})")?;
+        }
+        write!(f, ": {}", self.message)?;
+        if let Some(help) = &self.help {
+            write!(f, "\n  help: {help}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Unsafe FO query: a free variable is range-restricted in no conjunct.
+pub const E001: &str = "BVQ-E001";
+/// Non-positive recursion under an lfp/gfp binder.
+pub const E002: &str = "BVQ-E002";
+/// A relation or predicate is used with conflicting arities.
+pub const E003: &str = "BVQ-E003";
+/// A Datalog rule is not range-restricted.
+pub const E004: &str = "BVQ-E004";
+/// An invalid binder or rule head (duplicate variables, non-FO body, …).
+pub const E005: &str = "BVQ-E005";
+/// The query text could not be parsed.
+pub const E006: &str = "BVQ-E006";
+/// The output specification is invalid (free variable not in the output
+/// list, or the requested Datalog output predicate is never derived).
+pub const E007: &str = "BVQ-E007";
+/// An unknown relation or predicate.
+pub const E008: &str = "BVQ-E008";
+/// A subformula is trivially constant (always true / always false).
+pub const W101: &str = "BVQ-W101";
+/// A contradictory conjunction or tautological disjunction.
+pub const W102: &str = "BVQ-W102";
+/// A quantifier binds a variable its body never uses.
+pub const W103: &str = "BVQ-W103";
+/// A Datalog IDB predicate is derived but unreachable from the output.
+pub const W104: &str = "BVQ-W104";
+/// The n^k intermediate-relation bound exceeds the configured budget.
+pub const W106: &str = "BVQ-W106";
+/// The query is rewritable into a smaller-width fragment.
+pub const S105: &str = "BVQ-S105";
+
+/// The full diagnostic catalog: `(code, severity, description)`.
+pub const CATALOG: &[(&str, Severity, &str)] = &[
+    (
+        E001,
+        Severity::Error,
+        "unsafe FO query: free variable not range-restricted (domain-dependent)",
+    ),
+    (
+        E002,
+        Severity::Error,
+        "non-positive occurrence of a fixpoint variable under lfp/gfp",
+    ),
+    (
+        E003,
+        Severity::Error,
+        "relation used with conflicting arities",
+    ),
+    (
+        E004,
+        Severity::Error,
+        "Datalog rule is not range-restricted",
+    ),
+    (E005, Severity::Error, "invalid binder or rule head"),
+    (E006, Severity::Error, "syntax error"),
+    (E007, Severity::Error, "invalid output specification"),
+    (E008, Severity::Error, "unknown relation or predicate"),
+    (
+        W101,
+        Severity::Warning,
+        "subformula is trivially constant (always true / always false)",
+    ),
+    (
+        W102,
+        Severity::Warning,
+        "contradictory conjunction or tautological disjunction",
+    ),
+    (W103, Severity::Warning, "vacuous quantifier"),
+    (
+        W104,
+        Severity::Warning,
+        "IDB predicate unreachable from the output predicate",
+    ),
+    (
+        W106,
+        Severity::Warning,
+        "n^k intermediate-relation bound exceeds the configured budget",
+    ),
+    (
+        S105,
+        Severity::Suggestion,
+        "query is rewritable into a smaller-width fragment",
+    ),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_codes_are_unique_and_well_formed() {
+        for (i, (code, sev, _)) in CATALOG.iter().enumerate() {
+            assert!(code.starts_with("BVQ-"), "{code}");
+            let class = code.as_bytes()[4];
+            match sev {
+                Severity::Error => assert_eq!(class, b'E', "{code}"),
+                Severity::Warning => assert_eq!(class, b'W', "{code}"),
+                Severity::Suggestion => assert_eq!(class, b'S', "{code}"),
+            }
+            for (other, _, _) in &CATALOG[i + 1..] {
+                assert_ne!(code, other);
+            }
+        }
+    }
+
+    #[test]
+    fn diagnostic_renders_code_span_and_help() {
+        let d = Diagnostic::error(
+            E001,
+            Some(SrcSpan::new(3, 9)),
+            "free variable `x1` is unsafe",
+        )
+        .with_help("restrict x1 with a positive atom");
+        let s = d.to_string();
+        assert!(s.contains("error[BVQ-E001]"), "{s}");
+        assert!(s.contains("bytes 3..9"), "{s}");
+        assert!(s.contains("help: restrict"), "{s}");
+        let d = Diagnostic::warning(W103, None, "m");
+        assert!(!d.to_string().contains("bytes"));
+    }
+}

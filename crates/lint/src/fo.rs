@@ -1,0 +1,418 @@
+//! Static passes over first-order / fixpoint formulas.
+//!
+//! All passes are purely syntactic — no database is consulted and no
+//! evaluation happens. Each pass walks the formula and (when the query
+//! came from text) a mirroring [`SpanNode`] tree in lockstep, so
+//! diagnostics can point at the byte range of the offending subformula.
+
+use std::collections::BTreeSet;
+
+use bvq_logic::{Formula, SpanNode, SrcSpan, Term, Var};
+
+use crate::diag::{self, Diagnostic};
+
+/// The subformulas of `f` in AST order (the order [`SpanNode`] children
+/// mirror).
+fn subformulas(f: &Formula) -> Vec<&Formula> {
+    match f {
+        Formula::Const(_) | Formula::Atom(_) | Formula::Eq(..) => Vec::new(),
+        Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => vec![g],
+        Formula::And(a, b) | Formula::Or(a, b) => vec![a, b],
+        Formula::Fix { body, .. } => vec![body],
+    }
+}
+
+fn span_of(spans: Option<&SpanNode>) -> Option<SrcSpan> {
+    spans.map(|n| n.span)
+}
+
+fn child(spans: Option<&SpanNode>, i: usize) -> Option<&SpanNode> {
+    spans.and_then(|n| n.children.get(i))
+}
+
+/// The *range-restricted* variables of `f`: variables guaranteed to be
+/// bound to values occurring in the database (or to constants), under
+/// the classic safe-range rules — positive atoms restrict their
+/// variables, conjunction unions, disjunction intersects, negation
+/// restricts nothing.
+fn range_restricted(f: &Formula) -> BTreeSet<Var> {
+    match f {
+        Formula::Const(_) | Formula::Not(_) => BTreeSet::new(),
+        Formula::Atom(a) => a
+            .args
+            .iter()
+            .filter_map(|t| match t {
+                Term::Var(v) => Some(*v),
+                Term::Const(_) => None,
+            })
+            .collect(),
+        Formula::Eq(Term::Var(v), Term::Const(_)) | Formula::Eq(Term::Const(_), Term::Var(v)) => {
+            std::iter::once(*v).collect()
+        }
+        Formula::Eq(..) => BTreeSet::new(),
+        Formula::And(a, b) => {
+            let mut s = range_restricted(a);
+            s.extend(range_restricted(b));
+            s
+        }
+        Formula::Or(a, b) => {
+            let sb = range_restricted(b);
+            range_restricted(a).intersection(&sb).copied().collect()
+        }
+        Formula::Exists(v, g) | Formula::Forall(v, g) => {
+            let mut s = range_restricted(g);
+            s.remove(v);
+            s
+        }
+        // A fixpoint application restricts its variable arguments like an
+        // atom (its result is a relation over the domain).
+        Formula::Fix { args, .. } => args
+            .iter()
+            .filter_map(|t| match t {
+                Term::Var(v) => Some(*v),
+                Term::Const(_) => None,
+            })
+            .collect(),
+    }
+}
+
+/// The deepest subformula in which `v` is still free but not
+/// range-restricted — the natural place to point the E001 diagnostic.
+fn unsafe_witness(f: &Formula, spans: Option<&SpanNode>, v: Var) -> Option<SrcSpan> {
+    let here = span_of(spans);
+    for (i, g) in subformulas(f).iter().enumerate() {
+        if g.free_vars().contains(&v) && !range_restricted(g).contains(&v) {
+            return unsafe_witness(g, child(spans, i), v).or(here);
+        }
+    }
+    here
+}
+
+/// Safety / range-restriction (BVQ-E001): every free variable of a plain
+/// FO query must be range-restricted, else the answer depends on the
+/// domain rather than the database. Fixpoint and second-order queries
+/// are not checked (a `gfp` legitimately ranges over the whole domain).
+pub fn check_safety(f: &Formula, spans: Option<&SpanNode>, out: &mut Vec<Diagnostic>) {
+    if !f.is_first_order() {
+        return;
+    }
+    let restricted = range_restricted(f);
+    for v in f.free_vars() {
+        if !restricted.contains(&v) {
+            let span = unsafe_witness(f, spans, v);
+            out.push(
+                Diagnostic::error(
+                    diag::E001,
+                    span,
+                    format!(
+                        "unsafe query: free variable `{v}` is not range-restricted \
+                         (it occurs only under negation or in one branch of a disjunction), \
+                         so the answer depends on the domain"
+                    ),
+                )
+                .with_help(format!(
+                    "conjoin a positive atom that mentions `{v}` in every branch"
+                )),
+            );
+        }
+    }
+}
+
+/// Dead / degenerate subformula detection (BVQ-W101/W102/W103).
+pub fn check_degenerate(f: &Formula, spans: Option<&SpanNode>, out: &mut Vec<Diagnostic>) {
+    go_degenerate(f, spans, None, out);
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ChainOp {
+    And,
+    Or,
+}
+
+fn go_degenerate(
+    f: &Formula,
+    spans: Option<&SpanNode>,
+    parent: Option<ChainOp>,
+    out: &mut Vec<Diagnostic>,
+) {
+    // W101: a non-trivial subformula that simplifies to a constant.
+    if !matches!(f, Formula::Const(_)) {
+        if let Formula::Const(b) = f.simplify() {
+            out.push(
+                Diagnostic::warning(
+                    diag::W101,
+                    span_of(spans),
+                    format!("subformula is trivially {b}: `{f}`"),
+                )
+                .with_help(format!("replace it with `{b}`")),
+            );
+            return; // Everything below is subsumed.
+        }
+    }
+    let op = match f {
+        Formula::And(..) => Some(ChainOp::And),
+        Formula::Or(..) => Some(ChainOp::Or),
+        _ => None,
+    };
+    // W102: at the head of an ∧/∨ chain, look for a complementary pair
+    // among the flattened operands.
+    if let Some(op) = op {
+        if parent != Some(op) {
+            let mut operands = Vec::new();
+            flatten(f, op, &mut operands);
+            if let Some(lit) = complementary_pair(&operands) {
+                let (what, always) = match op {
+                    ChainOp::And => ("contradictory conjunction", "false"),
+                    ChainOp::Or => ("tautological disjunction", "true"),
+                };
+                out.push(
+                    Diagnostic::warning(
+                        diag::W102,
+                        span_of(spans),
+                        format!("{what}: `{lit}` and its negation both occur, so this is always {always}"),
+                    )
+                    .with_help(format!("replace the whole {} with `{always}`", match op {
+                        ChainOp::And => "conjunction",
+                        ChainOp::Or => "disjunction",
+                    })),
+                );
+            }
+        }
+    }
+    // W103: vacuous quantifier.
+    if let Formula::Exists(v, g) | Formula::Forall(v, g) = f {
+        if !g.free_vars().contains(v) {
+            out.push(
+                Diagnostic::warning(
+                    diag::W103,
+                    span_of(spans),
+                    format!("quantifier binds `{v}` but its body never uses it"),
+                )
+                .with_help("drop the quantifier (the domain is nonempty)"),
+            );
+        }
+    }
+    for (i, g) in subformulas(f).iter().enumerate() {
+        go_degenerate(g, child(spans, i), op, out);
+    }
+}
+
+fn flatten<'a>(f: &'a Formula, op: ChainOp, out: &mut Vec<&'a Formula>) {
+    match (f, op) {
+        (Formula::And(a, b), ChainOp::And) | (Formula::Or(a, b), ChainOp::Or) => {
+            flatten(a, op, out);
+            flatten(b, op, out);
+        }
+        _ => out.push(f),
+    }
+}
+
+/// Finds an operand whose smart-constructor negation also occurs in the
+/// chain; returns the positive form.
+fn complementary_pair<'a>(operands: &[&'a Formula]) -> Option<&'a Formula> {
+    for a in operands {
+        let neg = (*a).clone().not();
+        if operands.iter().any(|b| **b == neg) {
+            match a {
+                Formula::Not(inner) => return Some(inner),
+                _ => return Some(a),
+            }
+        }
+    }
+    None
+}
+
+/// Width analysis (BVQ-S105): reports when [`Formula::minimize_width`]
+/// finds a strictly smaller width, with the paper's `n^k → n^k′` bound
+/// improvement. `k` is the query's effective width (formula width and
+/// output variables).
+pub fn check_width_reduction(
+    f: &Formula,
+    k: usize,
+    floor: usize,
+    spans: Option<&SpanNode>,
+    out: &mut Vec<Diagnostic>,
+) -> Option<(usize, Formula)> {
+    let minimized = f.minimize_width()?;
+    let k2 = minimized.width().max(floor).max(1);
+    if k2 < k {
+        out.push(
+            Diagnostic::suggestion(
+                diag::S105,
+                span_of(spans),
+                format!(
+                    "query is FO^{k2}-rewritable: the intermediate-relation bound \
+                     drops from n^{k} to n^{k2} (Prop 3.1)"
+                ),
+            )
+            .with_help(format!("equivalent width-{k2} formula: {minimized}")),
+        );
+        return Some((k2, minimized));
+    }
+    None
+}
+
+/// Schema conformance (BVQ-E008 unknown relation, BVQ-E003 arity
+/// mismatch): checks every database atom of the formula against the
+/// relation schema, when one is provided.
+pub fn check_schema(
+    f: &Formula,
+    schema: &[(String, usize)],
+    spans: Option<&SpanNode>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (name, arity) in f.db_relations() {
+        match schema.iter().find(|(n, _)| *n == name) {
+            None => out.push(
+                Diagnostic::error(
+                    diag::E008,
+                    atom_span(f, spans, &name),
+                    format!("unknown relation `{name}`: the database schema does not define it"),
+                )
+                .with_help(schema_help(schema)),
+            ),
+            Some((_, expected)) if *expected != arity => out.push(Diagnostic::error(
+                diag::E003,
+                atom_span(f, spans, &name),
+                format!(
+                    "relation `{name}` has arity {expected} in the database schema \
+                     but is used with {arity} argument(s)"
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+}
+
+fn schema_help(schema: &[(String, usize)]) -> String {
+    let names: Vec<String> = schema.iter().map(|(n, a)| format!("{n}/{a}")).collect();
+    format!("available relations: {}", names.join(", "))
+}
+
+/// The span of the first database atom named `name`.
+fn atom_span(f: &Formula, spans: Option<&SpanNode>, name: &str) -> Option<SrcSpan> {
+    if let Formula::Atom(a) = f {
+        if a.rel == bvq_logic::RelRef::Db(name.to_string()) {
+            return span_of(spans);
+        }
+    }
+    for (i, g) in subformulas(f).iter().enumerate() {
+        if let Some(s) = atom_span(g, child(spans, i), name) {
+            return Some(s);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvq_logic::parser::parse_spanned;
+
+    fn lint_degenerate(src: &str) -> Vec<Diagnostic> {
+        let (f, spans) = parse_spanned(src).unwrap();
+        let mut out = Vec::new();
+        check_degenerate(&f, Some(&spans), &mut out);
+        out
+    }
+
+    #[test]
+    fn safety_flags_negation_and_disjunction_only() {
+        for (src, safe) in [
+            ("~P(x1)", false),
+            ("P(x1) | E(x1,x2)", false), // x2 only in one branch
+            ("P(x1) & ~Q(x1)", true),
+            ("P(x1) | exists x2. E(x1,x2)", true),
+            ("x1 = 3", true),
+            ("x1 = x2", false),
+            ("forall x2. E(x1,x2)", true), // conservative: forall passes through
+        ] {
+            let (f, spans) = parse_spanned(src).unwrap();
+            let mut out = Vec::new();
+            check_safety(&f, Some(&spans), &mut out);
+            assert_eq!(out.is_empty(), safe, "{src}: {out:?}");
+            if !safe {
+                assert!(out.iter().all(|d| d.code == diag::E001));
+                assert!(out[0].span.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn unsafe_witness_points_at_the_negation() {
+        let src = "P(x2) & ~Q(x1)";
+        let (f, spans) = parse_spanned(src).unwrap();
+        let mut out = Vec::new();
+        check_safety(&f, Some(&spans), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].span.unwrap().slice(src), "~Q(x1)");
+    }
+
+    #[test]
+    fn degenerate_detects_constant_subformulas() {
+        let out = lint_degenerate("P(x1) & (Q(x1) | true)");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, diag::W101);
+        // Writing a literal constant is not flagged …
+        assert!(lint_degenerate("P(x1)").is_empty());
+        // … and neither is a plain conjunction.
+        assert!(lint_degenerate("P(x1) & Q(x1)").is_empty());
+    }
+
+    #[test]
+    fn degenerate_detects_complementary_literals() {
+        let out = lint_degenerate("P(x1) & ~P(x1) & E(x1,x1)");
+        assert!(out.iter().any(|d| d.code == diag::W102), "{out:?}");
+        let out = lint_degenerate("Q(x1) | ~Q(x1)");
+        assert!(out
+            .iter()
+            .any(|d| d.code == diag::W102 && d.message.contains("tautological")));
+        assert!(lint_degenerate("P(x1) & ~Q(x1)").is_empty());
+    }
+
+    #[test]
+    fn degenerate_detects_vacuous_quantifiers() {
+        let out = lint_degenerate("exists x2. P(x1)");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, diag::W103);
+        assert!(lint_degenerate("exists x2. P(x2)").is_empty());
+    }
+
+    #[test]
+    fn width_reduction_suggests_rewrite() {
+        // A 4-variable chain that renames down to width 2.
+        let (f, spans) =
+            parse_spanned("exists x2. exists x3. exists x4. (E(x1,x2) & E(x2,x3) & E(x3,x4))")
+                .unwrap();
+        let mut out = Vec::new();
+        let got = check_width_reduction(&f, 4, 1, Some(&spans), &mut out);
+        let (k2, g) = got.expect("must minimize");
+        assert!(k2 < 4);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, diag::S105);
+        assert!(out[0].message.contains(&format!("n^{k2}")), "{out:?}");
+        assert_eq!(g.free_vars(), f.free_vars());
+        // Already-minimal queries get no suggestion.
+        let (f, spans) = parse_spanned("E(x1,x2)").unwrap();
+        let mut out = Vec::new();
+        assert!(check_width_reduction(&f, 2, 2, Some(&spans), &mut out).is_none());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn schema_checks_names_and_arities() {
+        let schema = vec![("E".to_string(), 2), ("P".to_string(), 1)];
+        let (f, spans) = parse_spanned("E(x1,x2) & Zap(x1)").unwrap();
+        let mut out = Vec::new();
+        check_schema(&f, &schema, Some(&spans), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, diag::E008);
+        assert_eq!(out[0].span.unwrap().slice("E(x1,x2) & Zap(x1)"), "Zap(x1)");
+
+        let (f, spans) = parse_spanned("E(x1)").unwrap();
+        let mut out = Vec::new();
+        check_schema(&f, &schema, Some(&spans), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, diag::E003);
+    }
+}

@@ -1,0 +1,531 @@
+//! # bvq-lint
+//!
+//! Static query analysis for the `bvq` reproduction of Vardi,
+//! *On the Complexity of Bounded-Variable Queries* (PODS 1995).
+//!
+//! The paper's central observation is that a query's complexity is
+//! decidable *from its text alone*: the number of variables `k` bounds
+//! every intermediate relation to `n^k` (Prop 3.1), and Tables 1–3
+//! classify each fragment's data / combined / expression complexity.
+//! This crate runs that analysis before any evaluation:
+//!
+//! * **safety** — free variables of FO queries must be range-restricted
+//!   (`BVQ-E001`), else the answer is domain-dependent;
+//! * **positivity / well-formedness** — non-positive recursion, bad rule
+//!   heads, range restriction and arity conformance for Datalog;
+//! * **width analysis** — reports `k` and, via
+//!   [`Formula::minimize_width`](bvq_logic::Formula::minimize_width),
+//!   suggests an equivalent FO^k′ rewriting with the `n^k → n^k′` bound
+//!   improvement (`BVQ-S105`);
+//! * **complexity classification** — places the query in its fragment
+//!   (FO^k / FP^k / PFP^k / ESO^k / Datalog / CQ / acyclic CQ via GYO)
+//!   and reports the predicted Tables 1–3 cells, optionally flagging
+//!   queries whose `n^k` bound exceeds a budget (`BVQ-W106`);
+//! * **dead code** — trivially constant subformulas, complementary
+//!   literals, vacuous quantifiers, unreachable IDB predicates.
+//!
+//! Everything is purely static: no pass ever touches database tuples.
+//! Diagnostics carry byte spans produced by the spanned parsers
+//! ([`bvq_logic::parser::parse_query_spanned`],
+//! [`bvq_datalog::parse_program_spanned`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod datalog;
+pub mod diag;
+pub mod fo;
+
+pub use classify::Fragment;
+pub use diag::{Diagnostic, Severity, CATALOG};
+
+use bvq_datalog::{parse_program_spanned, DatalogError, Program};
+use bvq_logic::parser::{parse_eso_spanned, parse_query_spanned};
+use bvq_logic::{Eso, LogicError, Query, SpanNode, SrcSpan};
+
+/// Configuration for a lint run. Everything is optional: without a
+/// schema the relation checks are skipped, without a domain size the
+/// `n^k` bound is not computed, and without a budget nothing is flagged
+/// as over budget.
+#[derive(Clone, Debug, Default)]
+pub struct LintConfig {
+    /// Flag queries whose `n^k` bound exceeds this many tuples
+    /// (`BVQ-W106`). Requires `domain_size`.
+    pub budget: Option<u128>,
+    /// The database's domain size `n`, for the `n^k` bound.
+    pub domain_size: Option<usize>,
+    /// The database's relation schema (`name`, arity), for `BVQ-E008` /
+    /// `BVQ-E003` conformance checks.
+    pub schema: Option<Vec<(String, usize)>>,
+}
+
+/// The outcome of linting one query: classification plus diagnostics.
+#[derive(Clone, Debug)]
+pub struct LintReport {
+    /// Fragment label with width, e.g. `FO^3` (or `unparsed` when the
+    /// input failed to parse).
+    pub language: String,
+    /// The fragment, when the input parsed.
+    pub fragment: Option<Fragment>,
+    /// The query's effective width `k`.
+    pub width: usize,
+    /// The minimized width `k′`, when strictly smaller than `width`.
+    pub min_width: Option<usize>,
+    /// The equivalent width-`k′` formula, rendered.
+    pub rewritten: Option<String>,
+    /// Table 1 cell: data complexity.
+    pub data_complexity: String,
+    /// Table 2 cell: combined complexity of the bounded fragment.
+    pub combined_complexity: String,
+    /// Table 3 cell: expression complexity.
+    pub expression_complexity: String,
+    /// The `n^k` intermediate-relation bound, when the domain size is
+    /// known (saturating).
+    pub bound: Option<u128>,
+    /// All findings, errors first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    fn classified(fragment: Fragment, width: usize) -> LintReport {
+        LintReport {
+            language: fragment.label(width),
+            fragment: Some(fragment),
+            width,
+            min_width: None,
+            rewritten: None,
+            data_complexity: fragment.data_complexity().to_string(),
+            combined_complexity: fragment.combined_complexity().to_string(),
+            expression_complexity: fragment.expression_complexity().to_string(),
+            bound: None,
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// A report for input that failed to parse or validate: one error
+    /// diagnostic, no classification.
+    fn failed(d: Diagnostic) -> LintReport {
+        LintReport {
+            language: "unparsed".to_string(),
+            fragment: None,
+            width: 0,
+            min_width: None,
+            rewritten: None,
+            data_complexity: "n/a".to_string(),
+            combined_complexity: "n/a".to_string(),
+            expression_complexity: "n/a".to_string(),
+            bound: None,
+            diagnostics: vec![d],
+        }
+    }
+
+    /// Whether any diagnostic is error-severity (the query must be
+    /// rejected).
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Whether any diagnostic is a warning or worse.
+    pub fn has_warnings(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity <= Severity::Warning)
+    }
+
+    /// `(errors, warnings, suggestions)` counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for d in &self.diagnostics {
+            match d.severity {
+                Severity::Error => c.0 += 1,
+                Severity::Warning => c.1 += 1,
+                Severity::Suggestion => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Finishes a report: dedups identical findings, sorts errors first
+    /// (stable, so source order is preserved within a severity), and
+    /// computes the `n^k` bound.
+    fn finish(mut self, cfg: &LintConfig) -> LintReport {
+        let mut seen: Vec<(&'static str, Option<SrcSpan>, String)> = Vec::new();
+        self.diagnostics.retain(|d| {
+            let key = (d.code, d.span, d.message.clone());
+            if seen.contains(&key) {
+                false
+            } else {
+                seen.push(key);
+                true
+            }
+        });
+        self.diagnostics.sort_by_key(|d| d.severity);
+        if let Some(n) = cfg.domain_size {
+            let bound = (n as u128).saturating_pow(self.width as u32);
+            self.bound = Some(bound);
+            if let Some(budget) = cfg.budget {
+                if bound > budget {
+                    self.diagnostics.push(
+                        Diagnostic::warning(
+                            diag::W106,
+                            None,
+                            format!(
+                                "intermediate-relation bound n^k = {n}^{} = {bound} exceeds \
+                                 the budget of {budget} tuples",
+                                self.width
+                            ),
+                        )
+                        .with_help(match self.min_width {
+                            Some(k2) => {
+                                format!("the width-{k2} rewriting lowers the bound to {n}^{k2}")
+                            }
+                            None => "lower the query's width or raise the budget".to_string(),
+                        }),
+                    );
+                }
+            }
+        }
+        self
+    }
+
+    /// Renders the report as human-readable text, one finding per
+    /// paragraph, classification first.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("language: {}\n", self.language));
+        if self.fragment.is_some() {
+            out.push_str(&format!("width: {}", self.width));
+            if let Some(k2) = self.min_width {
+                out.push_str(&format!(" (minimizable to {k2})"));
+            }
+            out.push('\n');
+            out.push_str(&format!(
+                "data complexity: {} [Table 1]\n",
+                self.data_complexity
+            ));
+            out.push_str(&format!(
+                "combined complexity: {} [Table 2]\n",
+                self.combined_complexity
+            ));
+            out.push_str(&format!(
+                "expression complexity: {} [Table 3]\n",
+                self.expression_complexity
+            ));
+            if let Some(b) = self.bound {
+                out.push_str(&format!("bound: n^{} = {b}\n", self.width));
+            }
+        }
+        let (e, w, s) = self.counts();
+        if self.diagnostics.is_empty() {
+            out.push_str("clean: no findings\n");
+        } else {
+            out.push_str(&format!(
+                "findings: {e} error(s), {w} warning(s), {s} suggestion(s)\n"
+            ));
+            for d in &self.diagnostics {
+                out.push_str(&format!("{d}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Maps a front-end error into its diagnostic.
+fn logic_error_diag(e: &LogicError) -> Diagnostic {
+    match e {
+        LogicError::Parse { position, message } => Diagnostic::error(
+            diag::E006,
+            Some(SrcSpan::point(*position)),
+            format!("syntax error: {message}"),
+        ),
+        LogicError::NotPositive(name) => Diagnostic::error(
+            diag::E002,
+            None,
+            format!(
+                "fixpoint variable `{name}` occurs non-positively under an lfp/gfp binder; \
+                 the fixpoint is not monotone"
+            ),
+        )
+        .with_help("use `pfp`/`ifp` for non-monotone recursion"),
+        LogicError::RelArityMismatch {
+            name,
+            expected,
+            found,
+        } => Diagnostic::error(
+            diag::E003,
+            None,
+            format!("relation `{name}` is bound with arity {expected} but used with {found}"),
+        ),
+        LogicError::DuplicateBoundVariable(name) => Diagnostic::error(
+            diag::E005,
+            None,
+            format!("fixpoint `{name}` binds the same variable twice"),
+        ),
+        LogicError::UnboundRelVar(name) => Diagnostic::error(
+            diag::E008,
+            None,
+            format!("relation variable `{name}` has no binder"),
+        ),
+        LogicError::EsoBodyNotFirstOrder => Diagnostic::error(
+            diag::E005,
+            None,
+            "the body of an `exists2` sentence must be first-order".to_string(),
+        ),
+        LogicError::FreeVariableNotOutput(v) => Diagnostic::error(
+            diag::E007,
+            None,
+            format!("free variable `{v}` is not listed among the query outputs"),
+        ),
+        // Transformation-only errors; unreachable from parsing but mapped
+        // for completeness.
+        LogicError::WouldCapture(v) => Diagnostic::error(
+            diag::E005,
+            None,
+            format!("substitution would capture `{v}`"),
+        ),
+        LogicError::CannotDualizePfp => Diagnostic::error(
+            diag::E005,
+            None,
+            "partial fixpoints have no De Morgan dual".to_string(),
+        ),
+    }
+}
+
+fn datalog_error_diag(e: &DatalogError) -> Diagnostic {
+    match e {
+        DatalogError::Parse { position, message } => Diagnostic::error(
+            diag::E006,
+            Some(SrcSpan::point(*position)),
+            format!("syntax error: {message}"),
+        ),
+        other => Diagnostic::error(diag::E005, None, other.to_string()),
+    }
+}
+
+/// Lints a relational query AST. `spans` is the mirroring span tree when
+/// the query came from text (see
+/// [`parse_query_spanned`](bvq_logic::parser::parse_query_spanned)).
+pub fn lint_query(q: &Query, spans: Option<&SpanNode>, cfg: &LintConfig) -> LintReport {
+    let floor = q.output.iter().map(|v| v.index() + 1).max().unwrap_or(0);
+    let width = q.formula.width().max(floor).max(1);
+    let fragment = classify::classify_query(q);
+    let mut report = LintReport::classified(fragment, width);
+
+    // Well-formedness of programmatically built fixpoints (text input has
+    // already been validated by the parser, so this is a no-op there).
+    if let Err(e) = q.formula.validate_fp() {
+        report.diagnostics.push(logic_error_diag(&e));
+    }
+    fo::check_safety(&q.formula, spans, &mut report.diagnostics);
+    fo::check_degenerate(&q.formula, spans, &mut report.diagnostics);
+    if let Some(schema) = &cfg.schema {
+        fo::check_schema(&q.formula, schema, spans, &mut report.diagnostics);
+    }
+    if let Some((k2, g)) =
+        fo::check_width_reduction(&q.formula, width, floor, spans, &mut report.diagnostics)
+    {
+        report.min_width = Some(k2);
+        report.rewritten = Some(g.to_string());
+    }
+    report.finish(cfg)
+}
+
+/// Lints an ESO sentence AST.
+pub fn lint_eso(e: &Eso, spans: Option<&SpanNode>, cfg: &LintConfig) -> LintReport {
+    let width = e.width().max(1);
+    let mut report = LintReport::classified(Fragment::Eso, width);
+    if let Err(err) = e.validate() {
+        report.diagnostics.push(logic_error_diag(&err));
+    }
+    fo::check_degenerate(&e.body, spans, &mut report.diagnostics);
+    if let Some(schema) = &cfg.schema {
+        // Quantified relations appear as bound atoms, so only genuine
+        // database atoms are checked.
+        fo::check_schema(&e.body, schema, spans, &mut report.diagnostics);
+    }
+    report.finish(cfg)
+}
+
+/// Lints a Datalog program AST. `output` is the requested output
+/// predicate (defaults to the last rule's head); `rule_spans` are the
+/// per-rule byte ranges from [`parse_program_spanned`].
+pub fn lint_program(
+    p: &Program,
+    output: Option<&str>,
+    rule_spans: Option<&[(usize, usize)]>,
+    cfg: &LintConfig,
+) -> LintReport {
+    let width = datalog::program_width(p);
+    let mut report = LintReport::classified(Fragment::Datalog, width);
+    datalog::check_program(
+        p,
+        output,
+        rule_spans,
+        cfg.schema.as_deref(),
+        &mut report.diagnostics,
+    );
+    report.finish(cfg)
+}
+
+/// Lints a relational query from text. Parse and validation failures
+/// become `BVQ-E*` diagnostics rather than errors — linting never fails.
+pub fn lint_query_text(text: &str, cfg: &LintConfig) -> LintReport {
+    match parse_query_spanned(text) {
+        Ok((q, spans)) => lint_query(&q, Some(&spans), cfg),
+        Err(e) => LintReport::failed(logic_error_diag(&e)).finish(cfg),
+    }
+}
+
+/// Lints an ESO sentence from text.
+pub fn lint_eso_text(text: &str, cfg: &LintConfig) -> LintReport {
+    match parse_eso_spanned(text) {
+        Ok((e, spans)) => lint_eso(&e, Some(&spans), cfg),
+        Err(e) => LintReport::failed(logic_error_diag(&e)).finish(cfg),
+    }
+}
+
+/// Lints a Datalog program from text.
+pub fn lint_datalog_text(program: &str, output: Option<&str>, cfg: &LintConfig) -> LintReport {
+    match parse_program_spanned(program) {
+        Ok((p, spans)) => lint_program(&p, output, Some(&spans), cfg),
+        Err(e) => LintReport::failed(datalog_error_diag(&e)).finish(cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LintConfig {
+        LintConfig {
+            budget: None,
+            domain_size: Some(10),
+            schema: Some(vec![("E".to_string(), 2), ("P".to_string(), 1)]),
+        }
+    }
+
+    #[test]
+    fn clean_query_reports_classification_only() {
+        let r = lint_query_text("(x1) exists x2. (E(x1,x2) & P(x2))", &cfg());
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.fragment, Some(Fragment::AcyclicCq));
+        assert_eq!(r.width, 2);
+        assert_eq!(r.bound, Some(100));
+        assert!(r.render().contains("clean: no findings"));
+        assert!(r.render().contains("[Table 2]"));
+    }
+
+    #[test]
+    fn every_error_code_triggers() {
+        let schema = cfg();
+        // E001 — unsafe query.
+        let r = lint_query_text("(x1) ~P(x1)", &schema);
+        assert!(r.diagnostics.iter().any(|d| d.code == diag::E001), "{r:?}");
+        assert!(r.has_errors());
+        // E002 — non-positive lfp (builder route: the parser rejects it
+        // with the same code via the error mapping).
+        let r = lint_query_text("(x1) [lfp S(x1). ~S(x1)](x1)", &schema);
+        assert!(r.diagnostics.iter().any(|d| d.code == diag::E002), "{r:?}");
+        // E003 — arity mismatch against the schema.
+        let r = lint_query_text("(x1) E(x1)", &schema);
+        assert!(r.diagnostics.iter().any(|d| d.code == diag::E003), "{r:?}");
+        // E004 — unrestricted Datalog rule.
+        let r = lint_datalog_text("Q(x) :- E(y,y).", None, &schema);
+        assert!(r.diagnostics.iter().any(|d| d.code == diag::E004), "{r:?}");
+        // E005 — invalid head / binder.
+        let r = lint_datalog_text("Q(3) :- E(3,3).", None, &schema);
+        assert!(r.diagnostics.iter().any(|d| d.code == diag::E006), "{r:?}");
+        let r = lint_query_text("(x1) [lfp S(x1,x1). E(x1,x1)](x1,x1)", &schema);
+        assert!(r.diagnostics.iter().any(|d| d.code == diag::E005), "{r:?}");
+        // E006 — syntax error, span points at the failure offset.
+        let r = lint_query_text("(x1) E(x1", &schema);
+        let d = r.diagnostics.iter().find(|d| d.code == diag::E006).unwrap();
+        assert_eq!(d.span, Some(SrcSpan::point(9)));
+        // E007 — free variable not among outputs.
+        let r = lint_query_text("(x1) E(x1,x2)", &schema);
+        assert!(r.diagnostics.iter().any(|d| d.code == diag::E007), "{r:?}");
+        // E008 — unknown relation.
+        let r = lint_query_text("(x1) Zap(x1)", &schema);
+        assert!(r.diagnostics.iter().any(|d| d.code == diag::E008), "{r:?}");
+    }
+
+    #[test]
+    fn every_warning_and_suggestion_code_triggers() {
+        let schema = cfg();
+        // W101.
+        let r = lint_query_text("(x1) (P(x1) & (E(x1,x1) | true))", &schema);
+        assert!(r.diagnostics.iter().any(|d| d.code == diag::W101), "{r:?}");
+        assert!(!r.has_errors() && r.has_warnings());
+        // W102.
+        let r = lint_query_text("(x1) (P(x1) & ~P(x1))", &schema);
+        assert!(r.diagnostics.iter().any(|d| d.code == diag::W102), "{r:?}");
+        // W103.
+        let r = lint_query_text("(x1) (P(x1) & exists x2. P(x1))", &schema);
+        assert!(r.diagnostics.iter().any(|d| d.code == diag::W103), "{r:?}");
+        // W104.
+        let r = lint_datalog_text("A(x) :- E(x,x).\nT(x,y) :- E(x,y).", Some("T"), &schema);
+        assert!(r.diagnostics.iter().any(|d| d.code == diag::W104), "{r:?}");
+        // W106 — width 3 on n = 10 exceeds a budget of 100.
+        let over = LintConfig {
+            budget: Some(100),
+            ..cfg()
+        };
+        let r = lint_query_text(
+            "(x1) exists x2. exists x3. (E(x1,x2) & E(x2,x3) & E(x3,x1))",
+            &over,
+        );
+        assert!(r.diagnostics.iter().any(|d| d.code == diag::W106), "{r:?}");
+        // S105 — width-reducible chain.
+        let r = lint_query_text(
+            "(x1) exists x2. exists x3. exists x4. (E(x1,x2) & E(x2,x3) & E(x3,x4))",
+            &schema,
+        );
+        let d = r.diagnostics.iter().find(|d| d.code == diag::S105).unwrap();
+        assert_eq!(d.severity, Severity::Suggestion);
+        assert_eq!(r.min_width, Some(2));
+        assert!(r.rewritten.is_some());
+        assert!(!r.has_warnings(), "suggestions are not warnings");
+    }
+
+    #[test]
+    fn eso_and_datalog_classify() {
+        let r = lint_eso_text("exists2 C/1. forall x1. (C(x1) | P(x1))", &cfg());
+        assert_eq!(r.fragment, Some(Fragment::Eso));
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.data_complexity, "NP-complete");
+        let r = lint_datalog_text("T(x,y) :- E(x,y).\nT(x,y) :- T(x,z), E(z,y).", None, &cfg());
+        assert_eq!(r.fragment, Some(Fragment::Datalog));
+        assert_eq!(r.width, 3);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.data_complexity, "PTIME-complete");
+    }
+
+    #[test]
+    fn reports_dedup_and_sort_errors_first() {
+        // The iff desugaring duplicates subtrees; identical findings
+        // collapse, and errors precede warnings regardless of source
+        // order.
+        let r = lint_query_text("(x1) ((P(x1) | ~P(x1)) & Zap(x1))", &cfg());
+        let w102: Vec<_> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == diag::W102)
+            .collect();
+        assert_eq!(w102.len(), 1);
+        assert_eq!(r.diagnostics[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn parse_failure_never_panics_and_is_never_ok() {
+        for bad in ["", "(x1", "(x1) ", "(x1) E(", "(x1) E(x1,x2) extra"] {
+            let r = lint_query_text(bad, &LintConfig::default());
+            assert!(r.has_errors(), "{bad:?} must produce an error");
+            assert_eq!(r.language, "unparsed");
+        }
+        let r = lint_datalog_text("T(x ::", None, &LintConfig::default());
+        assert!(r.has_errors());
+    }
+}

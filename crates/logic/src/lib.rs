@@ -38,9 +38,11 @@ pub mod minimize;
 pub mod parser;
 pub mod patterns;
 pub mod printer;
+pub mod span;
 pub mod subst;
 pub mod transform;
 
 pub use error::LogicError;
 pub use formula::{Atom, Eso, FixKind, Formula, Query, RelRef, Term, Var};
 pub use parser::parse;
+pub use span::{SpanNode, SrcSpan};

@@ -30,20 +30,43 @@
 //! An atom's relation symbol is resolved as [`RelRef::Bound`] when a
 //! fixpoint binder or `exists2` quantifier of that name is in scope, and as
 //! [`RelRef::Db`] otherwise.
+//!
+//! Every production also tracks its byte range: the `_spanned` entry
+//! points ([`parse_spanned`], [`parse_query_spanned`],
+//! [`parse_eso_spanned`]) return a [`SpanNode`] tree mirroring the
+//! formula's AST, so diagnostics can point into the source text. The
+//! desugared connectives `->` and `<->` synthesize `¬`/`∨`/`∧` nodes;
+//! those all carry the span of the surface expression they came from.
 
 use crate::error::LogicError;
 use crate::formula::{Atom, Eso, FixKind, Formula, Query, RelRef, Term, Var};
+use crate::span::{SpanNode, SrcSpan};
+
+/// A parsed subformula paired with its mirroring span tree.
+type Sp = (Formula, SpanNode);
 
 /// Parses a formula.
 pub fn parse(input: &str) -> Result<Formula, LogicError> {
+    parse_spanned(input).map(|(f, _)| f)
+}
+
+/// Parses a formula, also returning its source-span tree.
+pub fn parse_spanned(input: &str) -> Result<(Formula, SpanNode), LogicError> {
     let mut p = Parser::new(input);
-    let f = p.formula()?;
+    let sp = p.formula()?;
     p.expect_eof()?;
-    Ok(f)
+    debug_assert!(sp.1.mirrors(&sp.0), "span tree must mirror the formula");
+    Ok(sp)
 }
 
 /// Parses a query `(x1,x2) φ`.
 pub fn parse_query(input: &str) -> Result<Query, LogicError> {
+    parse_query_spanned(input).map(|(q, _)| q)
+}
+
+/// Parses a query `(x1,x2) φ`, also returning the formula's source-span
+/// tree (the output-variable list itself has no node; spans cover `φ`).
+pub fn parse_query_spanned(input: &str) -> Result<(Query, SpanNode), LogicError> {
     let mut p = Parser::new(input);
     p.expect_sym('(')?;
     let mut output = Vec::new();
@@ -56,16 +79,22 @@ pub fn parse_query(input: &str) -> Result<Query, LogicError> {
         }
         p.expect_sym(')')?;
     }
-    let f = p.formula()?;
+    let (f, spans) = p.formula()?;
     p.expect_eof()?;
     let q = Query::new(output, f);
     q.validate()?;
-    Ok(q)
+    debug_assert!(spans.mirrors(&q.formula));
+    Ok((q, spans))
 }
 
 /// Parses an ESO formula `exists2 S/2. φ` (or a plain FO formula, giving an
 /// [`Eso`] with no quantified relations).
 pub fn parse_eso(input: &str) -> Result<Eso, LogicError> {
+    parse_eso_spanned(input).map(|(e, _)| e)
+}
+
+/// Parses an ESO formula, also returning the body's source-span tree.
+pub fn parse_eso_spanned(input: &str) -> Result<(Eso, SpanNode), LogicError> {
     let mut p = Parser::new(input);
     let mut rels = Vec::new();
     if p.try_keyword("exists2") {
@@ -83,11 +112,12 @@ pub fn parse_eso(input: &str) -> Result<Eso, LogicError> {
     for (name, _) in &rels {
         p.bound_rels.push(name.clone());
     }
-    let body = p.formula()?;
+    let (body, spans) = p.formula()?;
     p.expect_eof()?;
     let e = Eso { rels, body };
     e.validate()?;
-    Ok(e)
+    debug_assert!(spans.mirrors(&e.body));
+    Ok((e, spans))
 }
 
 struct Parser<'a> {
@@ -95,6 +125,46 @@ struct Parser<'a> {
     pos: usize,
     /// Relation names currently bound (fixpoint binders / exists2).
     bound_rels: Vec<String>,
+}
+
+/// Negation mirroring [`Formula::not`]'s double-negation/constant
+/// collapse: when the formula node collapses, so does the span node.
+fn sp_not(f: Sp, span: SrcSpan) -> Sp {
+    let (f, n) = f;
+    match f {
+        Formula::Not(inner) => {
+            let child = n
+                .children
+                .into_iter()
+                .next()
+                .unwrap_or_else(|| SpanNode::leaf(span));
+            (*inner, child)
+        }
+        Formula::Const(b) => (Formula::Const(!b), SpanNode::leaf(span)),
+        f => (Formula::Not(Box::new(f)), SpanNode::node(span, vec![n])),
+    }
+}
+
+fn sp_and(a: Sp, b: Sp, span: SrcSpan) -> Sp {
+    (a.0.and(b.0), SpanNode::node(span, vec![a.1, b.1]))
+}
+
+fn sp_or(a: Sp, b: Sp, span: SrcSpan) -> Sp {
+    (a.0.or(b.0), SpanNode::node(span, vec![a.1, b.1]))
+}
+
+/// `a -> b`, desugared exactly like [`Formula::implies`] (`¬a ∨ b`); the
+/// synthesized nodes carry the whole expression's span.
+fn sp_implies(a: Sp, b: Sp, span: SrcSpan) -> Sp {
+    let na = sp_not(a, span);
+    sp_or(na, b, span)
+}
+
+/// `a <-> b`, desugared exactly like [`Formula::iff`].
+fn sp_iff(a: Sp, b: Sp, span: SrcSpan) -> Sp {
+    let ab = sp_implies(a.clone(), b.clone(), span);
+    let ba = sp_implies(b, a, span);
+    sp_and(ab, ba, span)
 }
 
 impl<'a> Parser<'a> {
@@ -117,6 +187,18 @@ impl<'a> Parser<'a> {
         while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
             self.pos += 1;
         }
+    }
+
+    /// Skips whitespace and returns the position where the next token
+    /// starts — the `start` of the production about to be parsed.
+    fn mark(&mut self) -> usize {
+        self.skip_ws();
+        self.pos
+    }
+
+    /// The span from a [`mark`](Parser::mark) to the current position.
+    fn span_from(&self, start: usize) -> SrcSpan {
+        SrcSpan::new(start, self.pos)
     }
 
     fn peek(&mut self) -> Option<u8> {
@@ -245,96 +327,116 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn formula(&mut self) -> Result<Formula, LogicError> {
+    fn formula(&mut self) -> Result<Sp, LogicError> {
         self.iff()
     }
 
-    fn iff(&mut self) -> Result<Formula, LogicError> {
+    fn iff(&mut self) -> Result<Sp, LogicError> {
+        let start = self.mark();
         let mut f = self.imp()?;
         while self.try_op("<->") {
             let g = self.imp()?;
-            f = f.iff(g);
+            f = sp_iff(f, g, self.span_from(start));
         }
         Ok(f)
     }
 
-    fn imp(&mut self) -> Result<Formula, LogicError> {
+    fn imp(&mut self) -> Result<Sp, LogicError> {
+        let start = self.mark();
         let f = self.or()?;
         // `->` but not `<->` (or() has consumed everything before `->`).
         if self.try_op("->") {
             let g = self.imp()?;
-            return Ok(f.implies(g));
+            return Ok(sp_implies(f, g, self.span_from(start)));
         }
         Ok(f)
     }
 
-    fn or(&mut self) -> Result<Formula, LogicError> {
+    fn or(&mut self) -> Result<Sp, LogicError> {
+        let start = self.mark();
         let mut f = self.and()?;
         while self.peek() == Some(b'|') {
             self.pos += 1;
-            f = f.or(self.and()?);
+            let g = self.and()?;
+            f = sp_or(f, g, self.span_from(start));
         }
         Ok(f)
     }
 
-    fn and(&mut self) -> Result<Formula, LogicError> {
+    fn and(&mut self) -> Result<Sp, LogicError> {
+        let start = self.mark();
         let mut f = self.unary()?;
         while self.peek() == Some(b'&') {
             self.pos += 1;
-            f = f.and(self.unary()?);
+            let g = self.unary()?;
+            f = sp_and(f, g, self.span_from(start));
         }
         Ok(f)
     }
 
-    fn unary(&mut self) -> Result<Formula, LogicError> {
+    fn unary(&mut self) -> Result<Sp, LogicError> {
+        let start = self.mark();
         if self.try_sym('~') {
-            return Ok(Formula::Not(Box::new(self.unary()?)));
+            let (g, n) = self.unary()?;
+            // Surface `~` builds the Not node as written, no collapse.
+            return Ok((
+                Formula::Not(Box::new(g)),
+                SpanNode::node(self.span_from(start), vec![n]),
+            ));
         }
         if self.try_keyword("exists") {
             let v = self.variable()?;
             self.expect_sym('.')?;
-            return Ok(self.unary()?.exists(v));
+            let (g, n) = self.unary()?;
+            return Ok((g.exists(v), SpanNode::node(self.span_from(start), vec![n])));
         }
         if self.try_keyword("forall") {
             let v = self.variable()?;
             self.expect_sym('.')?;
-            return Ok(self.unary()?.forall(v));
+            let (g, n) = self.unary()?;
+            return Ok((g.forall(v), SpanNode::node(self.span_from(start), vec![n])));
         }
         self.primary()
     }
 
-    fn primary(&mut self) -> Result<Formula, LogicError> {
+    fn primary(&mut self) -> Result<Sp, LogicError> {
+        let start = self.mark();
         match self.peek() {
             Some(b'(') => {
                 self.pos += 1;
-                let f = self.formula()?;
+                let (f, mut n) = self.formula()?;
                 self.expect_sym(')')?;
-                Ok(f)
+                // Widen the node to include the parentheses.
+                n.span = self.span_from(start);
+                Ok((f, n))
             }
             Some(b'[') => {
                 self.pos += 1;
-                self.fixpoint()
+                self.fixpoint(start)
             }
             Some(c) if c.is_ascii_digit() => {
                 // Constant on the left of an equality.
                 let t = self.term()?;
                 self.expect_sym('=')?;
                 let u = self.term()?;
-                Ok(Formula::Eq(t, u))
+                Ok((Formula::Eq(t, u), SpanNode::leaf(self.span_from(start))))
             }
             _ => {
                 if self.try_keyword("true") {
-                    return Ok(Formula::tt());
+                    return Ok((Formula::tt(), SpanNode::leaf(self.span_from(start))));
                 }
                 if self.try_keyword("false") {
-                    return Ok(Formula::ff());
+                    return Ok((Formula::ff(), SpanNode::leaf(self.span_from(start))));
                 }
                 let id = self.ident()?;
                 if let Some(v) = Self::var_of_ident(&id) {
                     // A variable must begin an equality.
                     self.expect_sym('=')?;
                     let u = self.term()?;
-                    return Ok(Formula::Eq(Term::Var(v), u));
+                    return Ok((
+                        Formula::Eq(Term::Var(v), u),
+                        SpanNode::leaf(self.span_from(start)),
+                    ));
                 }
                 // An atom.
                 self.expect_sym('(')?;
@@ -353,12 +455,15 @@ impl<'a> Parser<'a> {
                 } else {
                     RelRef::Db(id)
                 };
-                Ok(Formula::Atom(Atom { rel, args }))
+                Ok((
+                    Formula::Atom(Atom { rel, args }),
+                    SpanNode::leaf(self.span_from(start)),
+                ))
             }
         }
     }
 
-    fn fixpoint(&mut self) -> Result<Formula, LogicError> {
+    fn fixpoint(&mut self, start: usize) -> Result<Sp, LogicError> {
         let kind = if self.try_keyword("lfp") || self.try_keyword("mu") {
             FixKind::Lfp
         } else if self.try_keyword("gfp") || self.try_keyword("nu") {
@@ -386,7 +491,7 @@ impl<'a> Parser<'a> {
         self.bound_rels.push(rel.clone());
         let body = self.formula();
         self.bound_rels.pop();
-        let body = body?;
+        let (body, body_spans) = body?;
         self.expect_sym(']')?;
         self.expect_sym('(')?;
         let mut args = Vec::new();
@@ -408,7 +513,7 @@ impl<'a> Parser<'a> {
         };
         // Validate the fixpoint we just closed (positivity, arities).
         f.validate_fp()?;
-        Ok(f)
+        Ok((f, SpanNode::node(self.span_from(start), vec![body_spans])))
     }
 }
 
@@ -566,5 +671,55 @@ mod tests {
         let a = parse("  P( x1 ,x2 )&Q(x1)  ").unwrap();
         let b = parse("P(x1,x2) & Q(x1)").unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn span_tree_mirrors_and_points_into_source() {
+        let src = "exists x2. (E(x1,x2) & P(x2))";
+        let (f, spans) = parse_spanned(src).unwrap();
+        assert!(spans.mirrors(&f));
+        assert_eq!(spans.span.slice(src), src);
+        // exists → (paren’d and) → two atoms.
+        let and = &spans.children[0];
+        assert_eq!(and.span.slice(src), "(E(x1,x2) & P(x2))");
+        assert_eq!(and.children[0].span.slice(src), "E(x1,x2)");
+        assert_eq!(and.children[1].span.slice(src), "P(x2)");
+    }
+
+    #[test]
+    fn span_tree_survives_desugaring() {
+        // `->` and `<->` synthesize nodes; `~P -> Q` also exercises the
+        // double-negation collapse inside the desugaring.
+        for src in [
+            "P(x1) -> Q(x1)",
+            "~P(x1) -> Q(x1)",
+            "P(x1) <-> (Q(x1) | R(x1))",
+            "true -> P(x1)",
+            "[lfp S(x1). (P(x1) | S(x1))](x1) & ~(x1 = 2)",
+        ] {
+            let (f, spans) = parse_spanned(src).unwrap();
+            assert!(spans.mirrors(&f), "span tree must mirror `{src}`");
+        }
+        // Operand spans survive the implication rewrite.
+        let src = "P(x1) -> Q(x1)";
+        let (f, spans) = parse_spanned(src).unwrap();
+        let Formula::Or(a, _) = &f else {
+            panic!("implication desugars to or")
+        };
+        assert!(matches!(**a, Formula::Not(_)));
+        assert_eq!(spans.children[0].children[0].span.slice(src), "P(x1)");
+        assert_eq!(spans.children[1].span.slice(src), "Q(x1)");
+    }
+
+    #[test]
+    fn spanned_query_and_eso_entry_points() {
+        let src = "(x1) P(x1) | exists x2. E(x1,x2)";
+        let (q, spans) = parse_query_spanned(src).unwrap();
+        assert!(spans.mirrors(&q.formula));
+        assert_eq!(spans.children[0].span.slice(src), "P(x1)");
+        let src = "exists2 S/1. forall x1. (S(x1) | P(x1))";
+        let (e, spans) = parse_eso_spanned(src).unwrap();
+        assert!(spans.mirrors(&e.body));
+        assert_eq!(spans.span.slice(src), "forall x1. (S(x1) | P(x1))");
     }
 }

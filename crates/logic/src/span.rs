@@ -1,0 +1,152 @@
+//! Byte-offset source spans for parsed formulas.
+//!
+//! The spanned parser entry points ([`parser::parse_query_spanned`] and
+//! friends) return, next to the formula, a [`SpanNode`] tree that mirrors
+//! the formula's AST *node for node*: the span tree's root covers the
+//! whole formula, and its `i`-th child mirrors the formula's `i`-th
+//! subformula. Static analyses (the `bvq-lint` crate) walk both trees in
+//! lockstep and can therefore point a diagnostic at the exact byte range
+//! of any subformula without the [`Formula`] type having to carry spans
+//! itself — programmatically built formulas simply have no span tree.
+//!
+//! Desugared connectives (`->`, `<->`) synthesize nodes: the synthesized
+//! `¬`/`∨`/`∧` nodes all carry the span of the surface operator
+//! expression they came from, while the operand subtrees keep their own
+//! spans.
+//!
+//! [`parser::parse_query_spanned`]: crate::parser::parse_query_spanned
+
+use crate::formula::Formula;
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SrcSpan {
+    /// First byte of the spanned text.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl SrcSpan {
+    /// A span from `start` to `end`.
+    pub fn new(start: usize, end: usize) -> SrcSpan {
+        SrcSpan {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// A single-position span (used for end-of-input parse errors).
+    pub fn point(at: usize) -> SrcSpan {
+        SrcSpan {
+            start: at,
+            end: at + 1,
+        }
+    }
+
+    /// The smallest span covering both.
+    pub fn join(self, other: SrcSpan) -> SrcSpan {
+        SrcSpan {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// The spanned slice of `src`, clamped to its bounds.
+    pub fn slice<'a>(&self, src: &'a str) -> &'a str {
+        let start = self.start.min(src.len());
+        let end = self.end.min(src.len()).max(start);
+        // Clamp to char boundaries so arbitrary input cannot panic.
+        let mut s = start;
+        while s > 0 && !src.is_char_boundary(s) {
+            s -= 1;
+        }
+        let mut e = end;
+        while e < src.len() && !src.is_char_boundary(e) {
+            e += 1;
+        }
+        &src[s..e]
+    }
+}
+
+impl std::fmt::Display for SrcSpan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A tree of source spans mirroring a [`Formula`]'s shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanNode {
+    /// The byte range of this subformula.
+    pub span: SrcSpan,
+    /// One child per subformula, in AST order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// A span node with no children.
+    pub fn leaf(span: SrcSpan) -> SpanNode {
+        SpanNode {
+            span,
+            children: Vec::new(),
+        }
+    }
+
+    /// A span node with children.
+    pub fn node(span: SrcSpan, children: Vec<SpanNode>) -> SpanNode {
+        SpanNode { span, children }
+    }
+
+    /// Whether this tree mirrors the formula's shape exactly (same child
+    /// count at every node) — the invariant the spanned parser maintains
+    /// and the lint passes rely on.
+    pub fn mirrors(&self, f: &Formula) -> bool {
+        let subs: Vec<&Formula> = match f {
+            Formula::Const(_) | Formula::Atom(_) | Formula::Eq(..) => Vec::new(),
+            Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => vec![g],
+            Formula::And(a, b) | Formula::Or(a, b) => vec![a, b],
+            Formula::Fix { body, .. } => vec![body],
+        };
+        self.children.len() == subs.len()
+            && self.children.iter().zip(subs).all(|(n, g)| n.mirrors(g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_basics() {
+        let a = SrcSpan::new(2, 5);
+        let b = SrcSpan::new(4, 9);
+        assert_eq!(a.join(b), SrcSpan::new(2, 9));
+        assert_eq!(a.to_string(), "2..5");
+        assert_eq!(a.slice("0123456789"), "234");
+        assert_eq!(SrcSpan::new(8, 99).slice("short"), "");
+        assert_eq!(SrcSpan::point(3), SrcSpan::new(3, 4));
+    }
+
+    #[test]
+    fn slice_clamps_to_char_boundaries() {
+        // é is two bytes; a span splitting it must not panic.
+        let s = "aé b";
+        let sliced = SrcSpan::new(0, 2).slice(s);
+        assert!(s.contains(sliced));
+    }
+
+    #[test]
+    fn mirrors_checks_shape() {
+        let f = Formula::atom("P", []).and(Formula::atom("Q", []));
+        let good = SpanNode::node(
+            SrcSpan::new(0, 9),
+            vec![
+                SpanNode::leaf(SrcSpan::new(0, 3)),
+                SpanNode::leaf(SrcSpan::new(6, 9)),
+            ],
+        );
+        assert!(good.mirrors(&f));
+        assert!(!SpanNode::leaf(SrcSpan::new(0, 9)).mirrors(&f));
+    }
+}

@@ -177,6 +177,15 @@ impl Client {
         )
     }
 
+    /// Statically lints an FO/FP/PFP query — diagnostics, fragment
+    /// classification, and complexity cells; no evaluation happens.
+    pub fn lint(&mut self, db: &str, query: &str) -> io::Result<Json> {
+        self.call_op(
+            "lint",
+            vec![("db", Json::str(db)), ("query", Json::str(query))],
+        )
+    }
+
     /// Fetches the stats snapshot (the inner `stats` object).
     pub fn stats(&mut self) -> io::Result<Json> {
         let resp = self.call_op("stats", vec![])?;

@@ -27,6 +27,7 @@ use bvq_logic::{Eso, FixKind, Formula, Query, Var};
 use bvq_relation::trace::truncate_detail;
 use bvq_relation::{CylCtx, Database, EvalConfig, EvalStats, Relation, Span, Tracer};
 
+use crate::json::Json;
 use crate::stats::Language;
 
 /// Errors from running a query, by kind — so front-ends (the protocol
@@ -46,6 +47,17 @@ pub enum RunError {
     Eval(EvalError),
     /// A Datalog program failed to parse, validate, or evaluate.
     Datalog(DatalogError),
+    /// The query references a relation that does not match the
+    /// database's schema (unknown name or wrong arity) — caught at
+    /// dispatch, before any evaluation starts.
+    Schema {
+        /// The offending relation name.
+        name: String,
+        /// The schema's arity, or `None` when the relation is unknown.
+        expected: Option<usize>,
+        /// The arity the query used.
+        found: usize,
+    },
 }
 
 impl RunError {
@@ -57,9 +69,10 @@ impl RunError {
             RunError::UnknownOutput(_) => "eval_error",
             RunError::Eval(EvalError::DeadlineExceeded) => "deadline_exceeded",
             RunError::Eval(_) => "eval_error",
-            RunError::Datalog(DatalogError::Parse(_)) => "parse_error",
+            RunError::Datalog(DatalogError::Parse { .. }) => "parse_error",
             RunError::Datalog(DatalogError::DeadlineExceeded) => "deadline_exceeded",
             RunError::Datalog(_) => "eval_error",
+            RunError::Schema { .. } => "schema_error",
         }
     }
 }
@@ -73,6 +86,17 @@ impl std::fmt::Display for RunError {
             }
             RunError::Eval(e) => write!(f, "{e}"),
             RunError::Datalog(e) => write!(f, "{e}"),
+            RunError::Schema {
+                name,
+                expected: Some(expected),
+                found,
+            } => write!(
+                f,
+                "relation `{name}` has arity {expected} in the database but the query uses {found} argument(s)"
+            ),
+            RunError::Schema { name, .. } => {
+                write!(f, "unknown relation `{name}`: the database does not define it")
+            }
         }
     }
 }
@@ -432,6 +456,7 @@ pub fn execute_prepared(
     prepared: &Prepared,
     req: &ExecRequest,
 ) -> Result<ExecOutcome, RunError> {
+    validate_schema(db, prepared)?;
     let cfg = req.opts.config().with_trace(req.trace);
     match prepared {
         Prepared::Query(plan) => {
@@ -497,6 +522,149 @@ pub fn execute_prepared(
             })
         }
     }
+}
+
+/// The database's relation schema as `(name, arity)` pairs.
+pub fn db_schema(db: &Database) -> Vec<(String, usize)> {
+    db.schema()
+        .iter()
+        .map(|(_, name, arity)| (name.to_string(), arity))
+        .collect()
+}
+
+/// Validates every database relation a plan references against the
+/// database's schema, so unknown names and arity mismatches fail with a
+/// structured [`RunError::Schema`] *before* evaluation instead of deep
+/// inside (or silently past) an evaluator.
+fn validate_schema(db: &Database, prepared: &Prepared) -> Result<(), RunError> {
+    let schema = db.schema();
+    let check = |name: &str, found: usize| -> Result<(), RunError> {
+        match schema.resolve(name) {
+            None => Err(RunError::Schema {
+                name: name.to_string(),
+                expected: None,
+                found,
+            }),
+            Some(id) if schema.arity(id) != found => Err(RunError::Schema {
+                name: name.to_string(),
+                expected: Some(schema.arity(id)),
+                found,
+            }),
+            Some(_) => Ok(()),
+        }
+    };
+    match prepared {
+        Prepared::Query(p) => {
+            for (name, arity) in p.query.formula.db_relations() {
+                check(&name, arity)?;
+            }
+        }
+        Prepared::Eso(p) => {
+            for (name, arity) in p.eso.body.db_relations() {
+                check(&name, arity)?;
+            }
+        }
+        Prepared::Datalog(p) => {
+            let idb = p.program.idb_predicates();
+            for r in &p.program.rules {
+                for a in &r.body {
+                    if idb.iter().any(|(n, _)| *n == a.pred) {
+                        continue;
+                    }
+                    check(&a.pred, a.args.len())?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lints a request with the database's schema and domain size filled in
+/// — the static-analysis twin of [`execute_prepared`]: zero evaluation.
+pub fn lint_with_db(
+    db: &Database,
+    req: &ExecRequest,
+    budget: Option<u128>,
+) -> bvq_lint::LintReport {
+    let cfg = bvq_lint::LintConfig {
+        budget,
+        domain_size: Some(db.domain_size()),
+        schema: Some(db_schema(db)),
+    };
+    lint_request(req, &cfg)
+}
+
+/// Lints a request against an explicit configuration (no database
+/// required — pure text analysis).
+pub fn lint_request(req: &ExecRequest, cfg: &bvq_lint::LintConfig) -> bvq_lint::LintReport {
+    match &req.kind {
+        ExecKind::Query { text } => bvq_lint::lint_query_text(text, cfg),
+        ExecKind::Eso { text } => bvq_lint::lint_eso_text(text, cfg),
+        ExecKind::Datalog { program, output } => {
+            // An empty output means "the program's default" (the last
+            // rule's head) — the CLI lints programs without naming one.
+            let output = (!output.is_empty()).then_some(output.as_str());
+            bvq_lint::lint_datalog_text(program, output, cfg)
+        }
+    }
+}
+
+/// Serializes a [`bvq_lint::LintReport`] for the wire protocol and the
+/// CLI's `--json` mode. The `bound` is a string (it may exceed JSON's
+/// exact integer range).
+pub fn lint_json(report: &bvq_lint::LintReport) -> Json {
+    let (errors, warnings, suggestions) = report.counts();
+    let mut fields = vec![
+        ("language", Json::str(report.language.clone())),
+        ("width", Json::num(report.width as u64)),
+        ("data_complexity", Json::str(report.data_complexity.clone())),
+        (
+            "combined_complexity",
+            Json::str(report.combined_complexity.clone()),
+        ),
+        (
+            "expression_complexity",
+            Json::str(report.expression_complexity.clone()),
+        ),
+        ("errors", Json::num(errors as u64)),
+        ("warnings", Json::num(warnings as u64)),
+        ("suggestions", Json::num(suggestions as u64)),
+    ];
+    if let Some(k2) = report.min_width {
+        fields.push(("min_width", Json::num(k2 as u64)));
+    }
+    if let Some(rw) = &report.rewritten {
+        fields.push(("rewritten", Json::str(rw.clone())));
+    }
+    if let Some(b) = report.bound {
+        fields.push(("bound", Json::str(b.to_string())));
+    }
+    let diags: Vec<Json> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            let mut obj = vec![
+                ("code", Json::str(d.code)),
+                ("severity", Json::str(d.severity.label())),
+                ("message", Json::str(d.message.clone())),
+            ];
+            if let Some(span) = d.span {
+                obj.push((
+                    "span",
+                    Json::obj([
+                        ("start", Json::num(span.start as u64)),
+                        ("end", Json::num(span.end as u64)),
+                    ]),
+                ));
+            }
+            if let Some(help) = &d.help {
+                obj.push(("help", Json::str(help.clone())));
+            }
+            Json::obj(obj)
+        })
+        .collect();
+    fields.push(("diagnostics", Json::Arr(diags)));
+    Json::obj(fields)
 }
 
 /// The maximum head arity of a program — the Datalog analogue of width.
@@ -690,6 +858,10 @@ pub struct ExplainReport {
     pub plan: Span,
     /// Measured statistics, present only under `analyze`.
     pub analyzed: Option<EvalStats>,
+    /// The static-analysis report for the same request: fragment
+    /// classification (Tables 1–3) and lint diagnostics, inlined so
+    /// `explain` surfaces problems before anyone runs the query.
+    pub lint: bvq_lint::LintReport,
 }
 
 /// Explains a request without (or, with `analyze`, after) running it.
@@ -772,6 +944,7 @@ pub fn explain_prepared(
         minimized,
         plan,
         analyzed,
+        lint: lint_with_db(db, req, None),
     })
 }
 
@@ -790,6 +963,13 @@ pub fn run_explain(db: &Database, req: &ExecRequest, analyze: bool) -> Result<St
     out.push_str(&format!("backend: {}\n", report.backend));
     out.push_str(&format!("bound: {}\n", report.bound));
     out.push_str(&format!("cache key: {}\n", report.cache_key));
+    out.push_str(&format!(
+        "complexity: data {} [Table 1], combined {} [Table 2]\n",
+        report.lint.data_complexity, report.lint.combined_complexity
+    ));
+    for d in &report.lint.diagnostics {
+        out.push_str(&format!("{d}\n"));
+    }
     if let Some(stats) = &report.analyzed {
         out.push_str(&format!("measured: {stats}\n"));
     }
@@ -929,7 +1109,7 @@ mod tests {
         let invalid = run_eval(&db(), "(x1) [lfp S(x1). S(x1)](x1)", &opts).unwrap_err();
         assert_eq!(invalid.code(), "invalid_option");
         let unknown = run_eval(&db(), "(x1) Zap(x1)", &EvalOptions::default()).unwrap_err();
-        assert_eq!(unknown.code(), "eval_error");
+        assert_eq!(unknown.code(), "schema_error");
         let opts = EvalOptions {
             deadline: Some(Instant::now()),
             ..Default::default()
@@ -989,6 +1169,80 @@ mod tests {
             panic!("expected rows")
         };
         assert_eq!(rows.len(), 6); // transitive closure of a 4-path
+    }
+
+    #[test]
+    fn schema_mismatches_fail_structured_before_evaluation() {
+        let db = db();
+        // Unknown relation in an FO query.
+        let err = execute(&db, &ExecRequest::query("(x1) Zap(x1)")).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::Schema {
+                name: "Zap".into(),
+                expected: None,
+                found: 1
+            }
+        );
+        assert_eq!(err.code(), "schema_error");
+        assert!(err.to_string().contains("unknown relation `Zap`"));
+        // Wrong arity in an FO query.
+        let err = execute(&db, &ExecRequest::query("(x1) E(x1)")).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::Schema {
+                name: "E".into(),
+                expected: Some(2),
+                found: 1
+            }
+        );
+        assert!(err.to_string().contains("arity 2"), "{err}");
+        // ESO bodies are checked too (quantified relations are exempt).
+        let err = execute(&db, &ExecRequest::eso("exists2 S/1. (S(x1) & Zap(x1))")).unwrap_err();
+        assert_eq!(err.code(), "schema_error");
+        assert!(execute(&db, &ExecRequest::eso("exists2 S/1. (S(x1) & P(x1))")).is_ok());
+        // Datalog EDB predicates are checked; IDB predicates are exempt.
+        let err = execute(&db, &ExecRequest::datalog("T(x) :- E(x,x), Zap(x).", "T")).unwrap_err();
+        assert_eq!(err.code(), "schema_error");
+        let err = execute(&db, &ExecRequest::datalog("T(x,y) :- E(x,y,y).", "T")).unwrap_err();
+        assert_eq!(err.code(), "schema_error");
+        assert!(execute(&db, &ExecRequest::datalog("T(x,y) :- E(x,y).", "T")).is_ok());
+    }
+
+    #[test]
+    fn lint_with_db_reports_without_evaluating() {
+        let db = db();
+        let r = lint_with_db(&db, &ExecRequest::query("(x1) ~P(x1)"), None);
+        assert!(r.has_errors());
+        assert!(r.diagnostics.iter().any(|d| d.code == "BVQ-E001"));
+        // The database schema feeds the relation checks.
+        let r = lint_with_db(&db, &ExecRequest::query("(x1) Zap(x1)"), None);
+        assert!(r.diagnostics.iter().any(|d| d.code == "BVQ-E008"), "{r:?}");
+        // And the domain size feeds the n^k budget.
+        let r = lint_with_db(
+            &db,
+            &ExecRequest::query("(x1) exists x2. exists x3. (E(x1,x2) & E(x2,x3) & E(x3,x1))"),
+            Some(10),
+        );
+        assert_eq!(r.bound, Some(64));
+        assert!(r.diagnostics.iter().any(|d| d.code == "BVQ-W106"), "{r:?}");
+        // JSON shape.
+        let j = lint_json(&r);
+        assert!(j.get("diagnostics").is_some());
+        assert_eq!(j.get("bound").and_then(Json::as_str), Some("64"));
+        let s = j.to_string_compact();
+        assert!(s.contains("BVQ-W106"), "{s}");
+    }
+
+    #[test]
+    fn explain_inlines_lint_diagnostics() {
+        let db = db();
+        let req = ExecRequest::query("(x1) (P(x1) & exists x2. P(x1))");
+        let report = explain(&db, &req, false).unwrap();
+        assert!(report.lint.diagnostics.iter().any(|d| d.code == "BVQ-W103"));
+        let rendered = run_explain(&db, &req, false).unwrap();
+        assert!(rendered.contains("complexity: data"), "{rendered}");
+        assert!(rendered.contains("warning[BVQ-W103]"), "{rendered}");
     }
 
     #[test]

@@ -36,10 +36,12 @@ pub mod protocol;
 pub mod server;
 pub mod stats;
 
+pub use bvq_lint::{Diagnostic, Fragment, LintConfig, LintReport, Severity};
 pub use client::Client;
 pub use exec::{
-    execute, explain, run_eso, run_eval, run_explain, run_request, Answer, EvalOptions, ExecKind,
-    ExecOutcome, ExecRequest, ExplainReport, Plan, Prepared, RunError,
+    execute, explain, lint_json, lint_request, lint_with_db, run_eso, run_eval, run_explain,
+    run_request, Answer, EvalOptions, ExecKind, ExecOutcome, ExecRequest, ExplainReport, Plan,
+    Prepared, RunError,
 };
 pub use json::Json;
 pub use protocol::{ProtoError, Request, FEATURES, OPS, PROTOCOL_VERSION};

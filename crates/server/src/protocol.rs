@@ -9,7 +9,8 @@
 //! ```text
 //! request   := { "op": <op>, "id"?: <any>, ...op fields }
 //! op        := "ping" | "list_dbs" | "load_db" | "stats" | "shutdown"
-//!            | "eval" | "eso" | "datalog" | "explain" | "debug_sleep"
+//!            | "eval" | "eso" | "datalog" | "explain" | "lint"
+//!            | "debug_sleep"
 //! response  := { "id": <echo>, "ok": true, ... }
 //!            | { "id": <echo>, "ok": false,
 //!                "error": { "code": <code>, "message": <string> } }
@@ -31,8 +32,9 @@
 //! measured, not replayed), so `trace` implies `no_cache`.
 //!
 //! Error codes: `bad_request`, `unknown_op`, `unknown_db`, `parse_error`,
-//! `invalid_option`, `eval_error`, `deadline_exceeded`, `overloaded`,
-//! `shutting_down`, `db_error`, `internal`.
+//! `invalid_option`, `eval_error`, `schema_error`, `admission_rejected`,
+//! `deadline_exceeded`, `overloaded`, `shutting_down`, `db_error`,
+//! `internal`.
 
 use crate::json::Json;
 
@@ -43,11 +45,18 @@ pub const PROTOCOL_VERSION: u64 = 1;
 /// capabilities. (`debug_sleep` is excluded: it only exists when the
 /// server runs with debug ops enabled.)
 pub const OPS: &[&str] = &[
-    "ping", "list_dbs", "load_db", "stats", "shutdown", "eval", "eso", "datalog", "explain",
+    "ping", "list_dbs", "load_db", "stats", "shutdown", "eval", "eso", "datalog", "explain", "lint",
 ];
 
 /// Optional features clients can detect from `ping`.
-pub const FEATURES: &[&str] = &["trace", "stream", "explain", "result_cache"];
+pub const FEATURES: &[&str] = &[
+    "trace",
+    "stream",
+    "explain",
+    "result_cache",
+    "lint",
+    "admission",
+];
 
 /// A parsed request: the echoed id plus the operation.
 #[derive(Clone, Debug)]
@@ -142,6 +151,15 @@ pub enum ComputeKind {
         /// Execute (with tracing forced on) and report measured spans.
         analyze: bool,
     },
+    /// Statically lint a request (the `lint` op): diagnostics, fragment
+    /// classification and Tables 1–3 complexity cells, with **zero
+    /// evaluation** — only the database schema and domain size are read.
+    Lint {
+        /// The request being linted (`Eval`, `Eso` or `Datalog`).
+        inner: Box<ComputeKind>,
+        /// Flag queries whose `n^k` bound exceeds this many tuples.
+        budget: Option<u64>,
+    },
     /// Occupy a worker for `millis` ms (`debug_sleep`; only when the
     /// server runs with `debug_ops` — used by backpressure tests).
     Sleep {
@@ -172,6 +190,9 @@ impl ComputeKind {
             } => format!("datalog|out={output}|naive={naive}|{program}"),
             ComputeKind::Explain { inner, analyze } => {
                 format!("explain|analyze={analyze}|{}", inner.cache_key())
+            }
+            ComputeKind::Lint { inner, budget } => {
+                format!("lint|budget={budget:?}|{}", inner.cache_key())
             }
             ComputeKind::Sleep { millis } => format!("sleep|{millis}"),
         }
@@ -318,6 +339,33 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, ProtoError)> {
                 false,
             )
         }
+        "lint" => {
+            let inner = match json.get("target").and_then(Json::as_str).unwrap_or("eval") {
+                "eval" => eval_kind()?,
+                "eso" => eso_kind()?,
+                "datalog" => datalog_kind()?,
+                other => {
+                    return Err((
+                        id,
+                        ProtoError::new(
+                            "bad_request",
+                            format!("`lint` target must be eval|eso|datalog, got `{other}`"),
+                        ),
+                    ))
+                }
+            };
+            // Lint reports are cheap and never evaluate, so they bypass
+            // the result cache entirely.
+            compute(
+                ComputeKind::Lint {
+                    inner: Box::new(inner),
+                    budget: opt_u64("budget"),
+                },
+                false,
+                true,
+                false,
+            )
+        }
         "debug_sleep" => compute(
             ComputeKind::Sleep {
                 millis: opt_u64("millis").unwrap_or(100),
@@ -448,6 +496,37 @@ mod tests {
         assert!(matches!(*inner, ComputeKind::Datalog { .. }));
         let (_, err) =
             parse_request(r#"{"op":"explain","db":"g","target":"warp","query":"q"}"#).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+    }
+
+    #[test]
+    fn parses_lint_requests() {
+        let req =
+            parse_request(r#"{"op":"lint","db":"g","query":"(x1) P(x1)","budget":1000}"#).unwrap();
+        let Op::Compute(c) = req.op else {
+            panic!("wrong op")
+        };
+        assert!(c.no_cache, "lint reports are never cached");
+        assert!(!c.trace && !c.stream);
+        let ComputeKind::Lint { inner, budget } = c.kind else {
+            panic!("wrong kind")
+        };
+        assert_eq!(budget, Some(1000));
+        assert!(matches!(*inner, ComputeKind::Eval { .. }));
+        let req = parse_request(
+            r#"{"op":"lint","db":"g","target":"datalog","program":"T(x) :- P(x).","output":"T"}"#,
+        )
+        .unwrap();
+        let Op::Compute(c) = req.op else {
+            panic!("wrong op")
+        };
+        let ComputeKind::Lint { inner, budget } = c.kind else {
+            panic!("wrong kind")
+        };
+        assert_eq!(budget, None);
+        assert!(matches!(*inner, ComputeKind::Datalog { .. }));
+        let (_, err) =
+            parse_request(r#"{"op":"lint","db":"g","target":"warp","query":"q"}"#).unwrap_err();
         assert_eq!(err.code, "bad_request");
     }
 

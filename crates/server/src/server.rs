@@ -8,8 +8,8 @@
 //! - Control-plane ops (`ping`, `stats`, `list_dbs`, `load_db`,
 //!   `shutdown`) run inline on the connection thread — they must stay
 //!   responsive even when every worker is busy.
-//! - Compute ops (`eval`, `eso`, `datalog`, `explain`, `debug_sleep`)
-//!   are pushed
+//! - Compute ops (`eval`, `eso`, `datalog`, `explain`, `lint`,
+//!   `debug_sleep`) are pushed
 //!   onto a **bounded** `sync_channel` with `try_send`: a full queue
 //!   sheds the request with a structured `overloaded` error instead of
 //!   buffering unboundedly. The connection thread then blocks on the
@@ -70,6 +70,11 @@ pub struct ServerConfig {
     pub default_deadline_ms: Option<u64>,
     /// Enable `debug_sleep` (used by backpressure tests/benches).
     pub debug_ops: bool,
+    /// Admission control: statically lint every compute request before
+    /// it reaches the worker pool and reject error-level queries with
+    /// `admission_rejected` — unsafe or ill-formed work never occupies
+    /// a worker.
+    pub admission: bool,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +90,7 @@ impl Default for ServerConfig {
             result_cache_capacity: 256,
             default_deadline_ms: None,
             debug_ops: false,
+            admission: false,
         }
     }
 }
@@ -118,6 +124,8 @@ pub struct ResultPayload {
     pub trace: Option<Span>,
     /// The explain report (pre-rendered JSON), for the `explain` op.
     pub explain: Option<Json>,
+    /// The lint report (pre-rendered JSON), for the `lint` op.
+    pub lint: Option<Json>,
 }
 
 enum Outcome {
@@ -507,6 +515,31 @@ fn handle_compute(
             }
         }
     };
+    // Admission control: lint executable requests before they occupy a
+    // queue slot; error-level findings (unsafe queries, arity/schema
+    // mismatches, non-positive recursion) are rejected here. Purely
+    // static — no evaluation happens on the connection thread.
+    if shared.cfg.admission {
+        if let (Some(entry), Some(req)) = (&db, exec_request(&compute.kind, None, false)) {
+            let report = exec::lint_with_db(&entry.db, &req, None);
+            if report.has_errors() {
+                let first = report
+                    .diagnostics
+                    .iter()
+                    .find(|d| d.severity == bvq_lint::Severity::Error)
+                    .expect("has_errors implies an error diagnostic");
+                inc(&shared.stats.admission_rejected);
+                return fail(
+                    shared,
+                    writer,
+                    &ProtoError::new(
+                        "admission_rejected",
+                        format!("[{}] {}", first.code, first.message),
+                    ),
+                );
+            }
+        }
+    }
     let deadline = compute
         .deadline_ms
         .or(shared.cfg.default_deadline_ms)
@@ -603,6 +636,10 @@ fn write_result(
         fields.push(("explain".into(), explain.clone()));
         return write_json(writer, &ok_response(id, fields));
     }
+    if let Some(lint) = &payload.lint {
+        fields.push(("lint".into(), lint.clone()));
+        return write_json(writer, &ok_response(id, fields));
+    }
     if let Some(trace) = &payload.trace {
         fields.push(("trace".into(), span_json(trace)));
     }
@@ -680,6 +717,7 @@ fn run_job(shared: &Shared, job: &Job) -> Outcome {
             Outcome::Slept { millis: *millis }
         }
         ComputeKind::Explain { inner, analyze } => run_explain_job(shared, job, inner, *analyze),
+        ComputeKind::Lint { inner, budget } => run_lint_job(shared, job, inner, *budget),
         _ => run_compute_job(shared, job),
     }
 }
@@ -737,7 +775,9 @@ fn exec_request(
                 ..Default::default()
             },
         ),
-        ComputeKind::Explain { .. } | ComputeKind::Sleep { .. } => return None,
+        ComputeKind::Explain { .. } | ComputeKind::Lint { .. } | ComputeKind::Sleep { .. } => {
+            return None
+        }
     };
     Some(exec::ExecRequest {
         kind: ekind,
@@ -808,6 +848,7 @@ fn run_compute_job(shared: &Shared, job: &Job) -> Outcome {
                 text,
                 trace: out.trace,
                 explain: None,
+                lint: None,
             });
             store_result(shared, job, rkey, &payload);
             Outcome::Done {
@@ -849,6 +890,7 @@ fn run_explain_job(shared: &Shared, job: &Job, inner: &ComputeKind, analyze: boo
                 text: None,
                 trace: None,
                 explain: Some(explain_json(&report)),
+                lint: None,
             });
             Outcome::Done {
                 payload,
@@ -856,6 +898,37 @@ fn run_explain_job(shared: &Shared, job: &Job, inner: &ComputeKind, analyze: boo
             }
         }
         Err(e) => run_error(e, prepared.language()),
+    }
+}
+
+/// The `lint` op: a purely static pass — the target request is parsed
+/// and analysed against the database's schema and domain size, but
+/// **never evaluated**. Reports are cheap and never cached.
+fn run_lint_job(shared: &Shared, job: &Job, inner: &ComputeKind, budget: Option<u64>) -> Outcome {
+    let Some(req) = exec_request(inner, None, false) else {
+        return Outcome::Failed {
+            error: ProtoError::new("bad_request", "`lint` target must be eval|eso|datalog"),
+            language: Language::Other,
+        };
+    };
+    let entry = job.db.as_ref().expect("lint job carries a database");
+    let start = Instant::now();
+    let report = exec::lint_with_db(&entry.db, &req, budget.map(u128::from));
+    shared.stats.record_phase(Phase::Prepare, start.elapsed());
+    let payload = Arc::new(ResultPayload {
+        language: Language::Other,
+        k: 0,
+        width: report.width,
+        boolean: None,
+        rows: Vec::new(),
+        text: None,
+        trace: None,
+        explain: None,
+        lint: Some(exec::lint_json(&report)),
+    });
+    Outcome::Done {
+        payload,
+        cached: false,
     }
 }
 
@@ -1013,6 +1086,86 @@ mod tests {
         let resp = c.recv().unwrap();
         let trace = resp.get("trace").expect("datalog span tree");
         assert_eq!(trace.get("kind").and_then(Json::as_str), Some("datalog"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn lint_op_round_trips_without_evaluating() {
+        let mut handle = start_default();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        let resp = c.lint("g", "(x1) exists x2. E(x1,x2)").unwrap();
+        assert!(Client::is_ok(&resp), "{resp:?}");
+        let lint = resp.get("lint").expect("lint payload");
+        assert_eq!(
+            lint.get("language").and_then(Json::as_str),
+            Some("acyclic CQ (⊆ FO^2)")
+        );
+        assert_eq!(
+            lint.get("errors").and_then(Json::as_u64),
+            Some(0),
+            "{lint:?}"
+        );
+        // An unsafe query lints with an error but still answers ok:true
+        // — the lint op reports, it does not reject.
+        let resp = c.lint("g", "(x1) ~E(x1,x1)").unwrap();
+        assert!(Client::is_ok(&resp), "{resp:?}");
+        let lint = resp.get("lint").expect("lint payload");
+        assert_eq!(lint.get("errors").and_then(Json::as_u64), Some(1));
+        let diags = lint
+            .get("diagnostics")
+            .and_then(Json::as_arr)
+            .expect("diagnostics array");
+        assert_eq!(
+            diags[0].get("code").and_then(Json::as_str),
+            Some("BVQ-E001")
+        );
+        // A datalog target with a budget.
+        c.send_line(
+            r#"{"op":"lint","db":"g","target":"datalog","program":"T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).","output":"T","budget":2}"#,
+        )
+        .unwrap();
+        let resp = c.recv().unwrap();
+        assert!(Client::is_ok(&resp), "{resp:?}");
+        let lint = resp.get("lint").expect("lint payload");
+        assert_eq!(
+            lint.get("language").and_then(Json::as_str),
+            Some("DATALOG^3")
+        );
+        // n^k = 5^3 = 125 > 2, so the budget warning fires.
+        assert!(lint.get("warnings").and_then(Json::as_u64) >= Some(1));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn admission_rejects_error_level_queries() {
+        let mut handle = Server::start(ServerConfig {
+            admission: true,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        handle.load_db("g", graph_db());
+        let mut c = Client::connect(handle.addr()).unwrap();
+        // Clean queries pass admission and evaluate normally.
+        let resp = c.eval("g", "(x1) E(x1,x1)").unwrap();
+        assert!(Client::is_ok(&resp), "{resp:?}");
+        // Unsafe FO: rejected before reaching a worker.
+        let resp = c.eval("g", "(x1) ~E(x1,x1)").unwrap();
+        assert_eq!(Client::error_code(&resp), Some("admission_rejected"));
+        let msg = resp
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap();
+        assert!(msg.contains("BVQ-E001"), "{msg}");
+        // Unknown relation: also rejected.
+        let resp = c.eval("g", "(x1) Zap(x1)").unwrap();
+        assert_eq!(Client::error_code(&resp), Some("admission_rejected"));
+        assert!(handle.stats().admission_rejected.load(Ordering::Relaxed) >= 2);
+        // The lint op itself is never admission-checked (it wraps the
+        // target rather than executing it), so clients can still ask
+        // *why* a query was rejected.
+        let resp = c.lint("g", "(x1) ~E(x1,x1)").unwrap();
+        assert!(Client::is_ok(&resp), "{resp:?}");
         handle.shutdown();
     }
 

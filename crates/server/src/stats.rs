@@ -135,6 +135,8 @@ pub struct StatsRegistry {
     pub result_misses: AtomicU64,
     /// Requests shed with `overloaded` (bounded queue full).
     pub overloaded: AtomicU64,
+    /// Requests rejected by admission control (error-level lint).
+    pub admission_rejected: AtomicU64,
     /// Requests aborted by their deadline.
     pub deadline_exceeded: AtomicU64,
     /// Compute jobs currently queued (gauge).
@@ -213,6 +215,10 @@ impl StatsRegistry {
             ("result_hits", Json::num(self.result_hits.load(Relaxed))),
             ("result_misses", Json::num(self.result_misses.load(Relaxed))),
             ("overloaded", Json::num(self.overloaded.load(Relaxed))),
+            (
+                "admission_rejected",
+                Json::num(self.admission_rejected.load(Relaxed)),
+            ),
             (
                 "deadline_exceeded",
                 Json::num(self.deadline_exceeded.load(Relaxed)),

@@ -282,6 +282,89 @@ fn streaming_matches_materialized_rows() {
     handle.shutdown();
 }
 
+/// The `lint` op round-trips over the wire: classification, Tables 1–3
+/// cells, and diagnostics — with zero evaluation (no result-cache
+/// traffic, no rows).
+#[test]
+fn lint_over_the_wire() {
+    let mut handle = default_server();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    // ping advertises the capability.
+    c.send_line(r#"{"op":"ping"}"#).unwrap();
+    let caps = c.recv().unwrap().to_string_compact();
+    assert!(caps.contains("\"lint\"") && caps.contains("\"admission\""));
+
+    let misses_before = handle.stats().result_misses.load(Relaxed);
+    let resp = c.lint("g", FP_QUERY).unwrap();
+    assert!(Client::is_ok(&resp), "{resp}");
+    let lint = resp.get("lint").expect("lint payload");
+    assert_eq!(lint.get("language").and_then(Json::as_str), Some("FP^2"));
+    assert_eq!(
+        lint.get("data_complexity").and_then(Json::as_str),
+        Some("PTIME-complete")
+    );
+    assert_eq!(lint.get("errors").and_then(Json::as_u64), Some(0));
+    assert!(resp.get("rows").is_none(), "lint never evaluates");
+    assert_eq!(
+        handle.stats().result_misses.load(Relaxed),
+        misses_before,
+        "lint must not touch the result cache"
+    );
+
+    // A broken query comes back ok:true with the diagnostic inline.
+    let resp = c.lint("g", "(x1) Zap(x1)").unwrap();
+    assert!(Client::is_ok(&resp), "{resp}");
+    let lint = resp.get("lint").expect("lint payload");
+    assert_eq!(lint.get("errors").and_then(Json::as_u64), Some(1));
+    let diags = lint.get("diagnostics").and_then(Json::as_arr).unwrap();
+    assert_eq!(
+        diags[0].get("code").and_then(Json::as_str),
+        Some("BVQ-E008")
+    );
+    handle.shutdown();
+}
+
+/// With `admission: true`, error-level queries are rejected before the
+/// worker pool; clean queries and the `lint` op itself still pass.
+#[test]
+fn admission_control_rejects_before_the_queue() {
+    let mut handle = start_server(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        admission: true,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let resp = c.eval("g", FO_QUERY).unwrap();
+    assert!(Client::is_ok(&resp), "{resp}");
+    let resp = c.eval("g", "(x1) ~P(x1)").unwrap();
+    assert_eq!(Client::error_code(&resp), Some("admission_rejected"));
+    // The lint op explains the rejection without tripping admission.
+    let resp = c.lint("g", "(x1) ~P(x1)").unwrap();
+    assert!(Client::is_ok(&resp), "{resp}");
+    assert!(handle.stats().admission_rejected.load(Relaxed) >= 1);
+    let stats = c.stats().unwrap();
+    assert!(stats.get("admission_rejected").and_then(Json::as_u64) >= Some(1));
+    handle.shutdown();
+}
+
+/// Schema mismatches fail with a structured `schema_error` at dispatch,
+/// before any evaluation.
+#[test]
+fn schema_errors_are_structured_over_the_wire() {
+    let mut handle = default_server();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let resp = c.eval("g", "(x1) Zap(x1)").unwrap();
+    assert_eq!(Client::error_code(&resp), Some("schema_error"));
+    let resp = c.eval("g", "(x1) E(x1)").unwrap();
+    assert_eq!(Client::error_code(&resp), Some("schema_error"));
+    let resp = c.datalog("g", "T(x) :- Zap(x).", "T").unwrap();
+    assert_eq!(Client::error_code(&resp), Some("schema_error"));
+    // The connection survives and valid work still runs.
+    let resp = c.eval("g", FO_QUERY).unwrap();
+    assert!(Client::is_ok(&resp));
+    handle.shutdown();
+}
+
 /// ESO sentences evaluate over the wire with witness output.
 #[test]
 fn eso_over_the_wire() {
