@@ -1,0 +1,82 @@
+//! Throughput of the fuzzing subsystem itself: generated cases per
+//! second (per language) and oracle checks per second on the direct
+//! (no-server) oracle set. A fuzzer only earns its CI budget if case
+//! generation is effectively free next to evaluation, so both rates are
+//! printed explicitly for the report.
+//!
+//! Run with `cargo bench -p bvq-bench --bench fuzz_throughput`.
+
+use std::time::Instant;
+
+use bvq_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bvq_fuzz::{case_rng, check_case, gen_case, Lang};
+
+/// Measured rates for the summary lines printed after the bench.
+fn report_rates() {
+    println!("-- fuzz throughput (single core, no server oracles) --");
+    for lang in Lang::all() {
+        // Generation only.
+        let gen_n = 2_000u64;
+        let start = Instant::now();
+        let mut tuples = 0usize;
+        for i in 0..gen_n {
+            tuples += gen_case(&mut case_rng(9, lang, i), lang).tuples();
+        }
+        let gen_rate = gen_n as f64 / start.elapsed().as_secs_f64();
+
+        // Generation + the full direct oracle set.
+        let check_n = 200u64;
+        let start = Instant::now();
+        let mut checks = 0usize;
+        for i in 0..check_n {
+            let case = gen_case(&mut case_rng(9, lang, i), lang);
+            let out = check_case(&case, None, None, i);
+            assert!(out.divergence.is_none(), "clean build must not diverge");
+            checks += out.checks;
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        println!(
+            "  {:8} {:>9.0} cases/s generated   {:>8.0} cases/s checked   {:>8.0} oracle-checks/s  ({} tuples avg)",
+            lang.label(),
+            gen_rate,
+            check_n as f64 / elapsed,
+            checks as f64 / elapsed,
+            tuples / gen_n as usize
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fuzz_throughput");
+    g.sample_size(10);
+    for lang in Lang::all() {
+        g.bench_with_input(
+            BenchmarkId::new("generate", lang.label()),
+            &lang,
+            |b, &lang| {
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    gen_case(&mut case_rng(9, lang, i), lang).tuples()
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("check", lang.label()),
+            &lang,
+            |b, &lang| {
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    let case = gen_case(&mut case_rng(9, lang, i), lang);
+                    check_case(&case, None, None, i).checks
+                })
+            },
+        );
+    }
+    g.finish();
+    report_rates();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! The `bvq fuzz` subcommand: differential and metamorphic fuzzing of
+//! the evaluators via `bvq-fuzz`.
+//!
+//! ```text
+//! bvq fuzz [--cases N] [--seed S] [--filter LANG] [--no-server]
+//!          [--deny-divergence] [--out FILE] [--faults N]
+//! bvq fuzz --repro FILE
+//! ```
+//!
+//! A clean run prints one summary line per language. On divergence the
+//! shrunk case is written as a repro file (default
+//! `bvq-fuzz-<lang>.repro`) that `--repro` replays; with
+//! `--deny-divergence` the process also exits non-zero, which is what
+//! CI runs.
+
+use bvq_fuzz::{driver::run_repro, parse_repro, run_fault_injection, run_fuzz, FuzzConfig, Lang};
+
+/// Runs `bvq fuzz` with everything after the subcommand name.
+///
+/// # Errors
+/// Returns usage errors, harness failures, and — under
+/// `--deny-divergence` — a summary of the divergences found.
+pub fn run_fuzz_cmd(args: &[String]) -> Result<(), String> {
+    let mut cfg = FuzzConfig::default();
+    let mut deny = false;
+    let mut out_prefix: Option<String> = None;
+    let mut repro_file: Option<String> = None;
+    let mut faults: usize = 1;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cases" => {
+                let v = flag_value(args, &mut i, "--cases")?;
+                cfg.cases = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--cases wants a number, got `{v}`"))?;
+            }
+            "--seed" => {
+                let v = flag_value(args, &mut i, "--seed")?;
+                cfg.seed = bvq_fuzz::parse_seed(&v);
+                cfg.seed_text = v;
+            }
+            "--filter" => {
+                let v = flag_value(args, &mut i, "--filter")?;
+                let lang = Lang::parse(&v)
+                    .ok_or_else(|| format!("--filter wants fo|fp|pfp|datalog, got `{v}`"))?;
+                cfg.langs = vec![lang];
+            }
+            "--repro" => repro_file = Some(flag_value(args, &mut i, "--repro")?),
+            "--out" => out_prefix = Some(flag_value(args, &mut i, "--out")?),
+            "--deny-divergence" => deny = true,
+            "--no-server" => cfg.with_server = false,
+            "--faults" => {
+                let v = flag_value(args, &mut i, "--faults")?;
+                faults = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--faults wants a number, got `{v}`"))?;
+            }
+            other => return Err(format!("unknown fuzz flag `{other}`")),
+        }
+        i += 1;
+    }
+
+    if let Some(path) = repro_file {
+        return replay(&path, cfg.with_server);
+    }
+
+    let outcome = run_fuzz(&cfg)?;
+    for s in &outcome.summaries {
+        println!(
+            "{:8} {:>6} cases  {:>8} oracle checks  {} divergence(s)",
+            s.lang.label(),
+            s.cases,
+            s.checks,
+            s.failures
+        );
+    }
+    for f in &outcome.failures {
+        let path = repro_path(out_prefix.as_deref(), f.repro.case.lang);
+        std::fs::write(&path, &f.repro_text)
+            .map_err(|e| format!("cannot write repro `{path}`: {e}"))?;
+        eprintln!(
+            "divergence in oracle `{}` (case {}): {}",
+            f.divergence.oracle, f.repro.index, f.divergence.detail
+        );
+        eprintln!("  shrunk repro written to {path} — replay with: bvq fuzz --repro {path}");
+    }
+
+    if faults > 0 {
+        let report = run_fault_injection(cfg.seed, faults)?;
+        println!(
+            "faults   {:>6} rounds  {} dropped streams, {} oversized, {} truncated, {} deadline races, pool healthy",
+            faults,
+            report.dropped_streams,
+            report.oversized_rejections,
+            report.truncated_frames,
+            report.deadline_races
+        );
+    }
+
+    if deny && !outcome.ok() {
+        return Err(format!(
+            "{} oracle divergence(s) found",
+            outcome.failures.len()
+        ));
+    }
+    Ok(())
+}
+
+fn replay(path: &str, with_server: bool) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let repro = parse_repro(&text)?;
+    println!(
+        "replaying {} case {} (seed {}, oracle `{}`)",
+        repro.case.lang, repro.index, repro.seed, repro.oracle
+    );
+    match run_repro(&repro, with_server)? {
+        Some(divergence) => Err(format!(
+            "still diverges in oracle `{}`: {}",
+            divergence.oracle, divergence.detail
+        )),
+        None => {
+            println!("no divergence — the repro passes on this build");
+            Ok(())
+        }
+    }
+}
+
+fn repro_path(prefix: Option<&str>, lang: Lang) -> String {
+    match prefix {
+        Some(p) => p.to_string(),
+        None => format!("bvq-fuzz-{}.repro", lang.label()),
+    }
+}
+
+fn flag_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}

@@ -26,6 +26,7 @@
 //! bvq repl    <db-file>
 //! bvq serve   <db-file>… [--addr HOST:PORT] [--threads N] [--queue N]
 //! bvq client  <addr> ping|stats|eval|eso|datalog|explain|load-db|shutdown …
+//! bvq fuzz    [--cases N] [--seed S] [--filter LANG] [--deny-divergence] [--repro FILE]
 //! ```
 //!
 //! The db-text parser lives in [`bvq_relation::dbtext`]; import it from
@@ -34,10 +35,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fuzz;
 pub mod lint;
 pub mod run;
 pub mod serve;
 
+pub use fuzz::run_fuzz_cmd;
 pub use lint::run_lint;
 pub use run::{
     run_eso, run_eval, run_explain, run_request, EvalOptions, ExecKind, ExecRequest, RunError,

@@ -9,12 +9,14 @@
 //! bvq repl    <db-file>
 //! bvq serve   <db-file>… [--addr HOST:PORT] [--threads N] [--queue N] [--debug-ops]
 //! bvq client  <addr> <ping|stats|list-dbs|eval|eso|datalog|explain|lint|load-db|sleep|shutdown> […]
+//! bvq fuzz    [--cases N] [--seed S] [--filter LANG] [--deny-divergence] [--repro FILE]
 //! ```
 
 use std::io::{BufRead, Write};
 
 use bvq_cli::{
-    run_client, run_explain, run_lint, run_request, run_serve, EvalOptions, ExecRequest,
+    run_client, run_explain, run_fuzz_cmd, run_lint, run_request, run_serve, EvalOptions,
+    ExecRequest,
 };
 use bvq_relation::parse_database;
 
@@ -37,6 +39,9 @@ fn main() {
             eprintln!("  bvq repl <db-file>");
             eprintln!("  bvq serve <db-file>... [--addr HOST:PORT] [--threads N] [--queue N]");
             eprintln!("  bvq client <addr> <command> [args...]");
+            eprintln!(
+                "  bvq fuzz [--cases N] [--seed S] [--filter LANG] [--deny-divergence] [--repro FILE]"
+            );
             std::process::exit(1);
         }
     }
@@ -47,6 +52,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     match cmd.as_str() {
         "serve" => return run_serve(&args[1..]),
         "client" => return run_client(&args[1..]),
+        "fuzz" => return run_fuzz_cmd(&args[1..]),
         _ => {}
     }
     let db_path = args.get(1).ok_or("missing database file")?;

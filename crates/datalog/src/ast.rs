@@ -180,7 +180,7 @@ impl std::error::Error for DatalogError {}
 /// A Datalog program: a list of rules. IDB predicates are those appearing
 /// in some head; every other predicate must resolve to a database (EDB)
 /// relation at evaluation time.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Program {
     /// The rules.
     pub rules: Vec<Rule>,
@@ -263,6 +263,42 @@ impl Program {
             }
         }
         Ok(())
+    }
+
+    /// Renders the program in the concrete syntax [`crate::parse_program`]
+    /// accepts, one rule per line with variables spelled `v0, v1, …`
+    /// (lowercase, so they lex as variables — the `Display` impls spell
+    /// variables `V0`, which re-parses as a *predicate*). This is the
+    /// form to use when a program crosses a text boundary: the server's
+    /// `datalog` op, repro files, corpus dumps.
+    pub fn to_text(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for r in &self.rules {
+            let _ = write!(out, "{}(", r.head.pred);
+            for (i, v) in r.head.vars.iter().enumerate() {
+                let sep = if i > 0 { "," } else { "" };
+                let _ = write!(out, "{sep}v{v}");
+            }
+            let _ = write!(out, ")");
+            for (i, a) in r.body.iter().enumerate() {
+                let _ = write!(out, "{} {}(", if i == 0 { " :-" } else { "," }, a.pred);
+                for (j, t) in a.args.iter().enumerate() {
+                    let sep = if j > 0 { "," } else { "" };
+                    match t {
+                        AtomTerm::Var(v) => {
+                            let _ = write!(out, "{sep}v{v}");
+                        }
+                        AtomTerm::Const(c) => {
+                            let _ = write!(out, "{sep}{c}");
+                        }
+                    }
+                }
+                let _ = write!(out, ")");
+            }
+            out.push_str(".\n");
+        }
+        out
     }
 }
 

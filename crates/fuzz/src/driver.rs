@@ -1,0 +1,284 @@
+//! The fuzz run driver: generate → lint-check → oracle → shrink →
+//! repro, per language, with a per-language summary at the end.
+
+use bvq_lint::{lint_program, lint_query, LintConfig};
+use bvq_server::exec::db_schema;
+
+use crate::gen::{gen_case, Case, CaseKind};
+use crate::oracle::{check_case, run_oracle, Divergence, Mutation, ServerOracle};
+use crate::repro::{render_repro, Repro};
+use crate::shrink::shrink_case;
+use crate::{case_rng, Lang};
+
+/// A fuzz run's knobs; [`FuzzConfig::default`] matches
+/// `bvq fuzz` with no flags.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Cases per language.
+    pub cases: u64,
+    /// The numeric run seed (see [`crate::parse_seed`]).
+    pub seed: u64,
+    /// The seed exactly as the user spelled it, for repro stamps.
+    pub seed_text: String,
+    /// The languages to cover.
+    pub langs: Vec<Lang>,
+    /// Whether to also run the server round-trip oracles (one loopback
+    /// server for the whole run).
+    pub with_server: bool,
+    /// A deliberate reference-side corruption — the harness's own
+    /// sanity check; every run with a mutation must fail.
+    pub mutation: Option<Mutation>,
+    /// Shrinker budget (candidate evaluations per failure).
+    pub shrink_attempts: usize,
+    /// Stop a language's run at its first divergence (the default);
+    /// `false` keeps scanning and collects every failure.
+    pub stop_on_failure: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            cases: 100,
+            seed: 0,
+            seed_text: "0".into(),
+            langs: Lang::all().to_vec(),
+            with_server: true,
+            mutation: None,
+            shrink_attempts: 600,
+            stop_on_failure: true,
+        }
+    }
+}
+
+/// Per-language tallies.
+#[derive(Clone, Debug)]
+pub struct LangSummary {
+    /// The language.
+    pub lang: Lang,
+    /// Cases generated and checked.
+    pub cases: u64,
+    /// Oracle comparisons performed.
+    pub checks: usize,
+    /// Divergences found.
+    pub failures: usize,
+}
+
+/// One divergence, shrunk and rendered.
+#[derive(Clone, Debug)]
+pub struct FailureReport {
+    /// The shrunk case plus provenance.
+    pub repro: Repro,
+    /// What disagreed.
+    pub divergence: Divergence,
+    /// The rendered repro file body.
+    pub repro_text: String,
+}
+
+/// Everything a fuzz run produced.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzOutcome {
+    /// One summary per language run.
+    pub summaries: Vec<LangSummary>,
+    /// Every divergence found (shrunk).
+    pub failures: Vec<FailureReport>,
+}
+
+impl FuzzOutcome {
+    /// `true` when no oracle diverged.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Asserts the generator's contract: every emitted case passes
+/// `bvq-lint` against its own database. A violation is a *generator*
+/// bug and aborts the run — fuzzing with ill-formed inputs would only
+/// produce noise.
+fn assert_lint_clean(case: &Case) -> Result<(), String> {
+    let cfg = LintConfig {
+        budget: None,
+        domain_size: Some(case.db.domain_size()),
+        schema: Some(db_schema(&case.db)),
+    };
+    let report = match &case.kind {
+        CaseKind::Query(q) => lint_query(q, None, &cfg),
+        CaseKind::Datalog(p, out) => lint_program(p, Some(out), None, &cfg),
+    };
+    if report.has_errors() {
+        return Err(format!(
+            "generator emitted a case bvq-lint rejects ({:?}):\n{}",
+            report
+                .diagnostics
+                .iter()
+                .map(|d| d.code)
+                .collect::<Vec<_>>(),
+            case.text()
+        ));
+    }
+    Ok(())
+}
+
+/// Runs the whole differential campaign described by `cfg`.
+///
+/// # Errors
+/// Returns an error only for harness problems (server refused to start,
+/// generator emitted an ill-formed case); *divergences* are data, in
+/// [`FuzzOutcome::failures`].
+pub fn run_fuzz(cfg: &FuzzConfig) -> Result<FuzzOutcome, String> {
+    let mut server = if cfg.with_server {
+        Some(ServerOracle::start().map_err(|e| format!("server oracle: {e}"))?)
+    } else {
+        None
+    };
+    let mut outcome = FuzzOutcome::default();
+
+    for &lang in &cfg.langs {
+        let mut summary = LangSummary {
+            lang,
+            cases: 0,
+            checks: 0,
+            failures: 0,
+        };
+        for index in 0..cfg.cases {
+            let case = gen_case(&mut case_rng(cfg.seed, lang, index), lang);
+            assert_lint_clean(&case)?;
+            summary.cases += 1;
+            let rewrite_seed = cfg.seed ^ index;
+            let checked = check_case(&case, server.as_mut(), cfg.mutation, rewrite_seed);
+            summary.checks += checked.checks;
+            let Some(divergence) = checked.divergence else {
+                continue;
+            };
+            summary.failures += 1;
+            let shrunk = shrink_divergence(
+                &case,
+                &divergence,
+                server.as_mut(),
+                cfg.mutation,
+                rewrite_seed,
+                cfg.shrink_attempts,
+            );
+            let repro = Repro {
+                case: shrunk,
+                seed: cfg.seed_text.clone(),
+                index,
+                oracle: divergence.oracle.clone(),
+            };
+            let repro_text = render_repro(&repro);
+            outcome.failures.push(FailureReport {
+                repro,
+                divergence,
+                repro_text,
+            });
+            if cfg.stop_on_failure {
+                break;
+            }
+        }
+        outcome.summaries.push(summary);
+    }
+
+    if let Some(s) = server.as_mut() {
+        s.shutdown();
+    }
+    Ok(outcome)
+}
+
+/// Minimizes a failing case by re-running just the divergent oracle.
+fn shrink_divergence(
+    case: &Case,
+    divergence: &Divergence,
+    mut server: Option<&mut ServerOracle>,
+    mutation: Option<Mutation>,
+    rewrite_seed: u64,
+    attempts: usize,
+) -> Case {
+    let oracle = divergence.oracle.clone();
+    let mut fails = |candidate: &Case| {
+        run_oracle(
+            candidate,
+            &oracle,
+            server.as_deref_mut(),
+            mutation,
+            rewrite_seed,
+        )
+        .is_err()
+    };
+    shrink_case(case, &mut fails, attempts)
+}
+
+/// Replays a parsed repro: re-runs its recorded oracle (or the full
+/// oracle set when the file names none).
+///
+/// # Errors
+/// Returns harness errors; a reproduced divergence is `Ok(Some(..))`.
+pub fn run_repro(repro: &Repro, with_server: bool) -> Result<Option<Divergence>, String> {
+    let mut server = if with_server {
+        Some(ServerOracle::start().map_err(|e| format!("server oracle: {e}"))?)
+    } else {
+        None
+    };
+    let seed = crate::parse_seed(&repro.seed) ^ repro.index;
+    let result = if repro.oracle.is_empty() {
+        check_case(&repro.case, server.as_mut(), None, seed).divergence
+    } else {
+        run_oracle(&repro.case, &repro.oracle, server.as_mut(), None, seed).err()
+    };
+    if let Some(s) = server.as_mut() {
+        s.shutdown();
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_small_clean_run_reports_no_failures() {
+        let cfg = FuzzConfig {
+            cases: 8,
+            seed: 11,
+            seed_text: "11".into(),
+            with_server: false,
+            ..FuzzConfig::default()
+        };
+        let out = run_fuzz(&cfg).expect("harness ok");
+        assert!(out.ok(), "unexpected failures: {:?}", out.failures);
+        assert_eq!(out.summaries.len(), 4);
+        for s in &out.summaries {
+            assert_eq!(s.cases, 8);
+            assert!(s.checks > 0, "{} ran no checks", s.lang);
+        }
+    }
+
+    #[test]
+    fn a_mutated_run_fails_and_produces_a_small_repro() {
+        let cfg = FuzzConfig {
+            cases: 20,
+            seed: 3,
+            seed_text: "3".into(),
+            langs: vec![Lang::Fo],
+            with_server: false,
+            mutation: Some(Mutation::DropRow),
+            ..FuzzConfig::default()
+        };
+        let out = run_fuzz(&cfg).expect("harness ok");
+        assert!(!out.ok(), "the mutation sanity check must fail");
+        let failure = &out.failures[0];
+        assert!(
+            failure.repro.case.tuples() <= 6,
+            "shrunk db still has {} tuples:\n{}",
+            failure.repro.case.tuples(),
+            failure.repro_text
+        );
+        assert!(
+            failure.repro.case.nodes() <= 5,
+            "shrunk formula still has {} nodes:\n{}",
+            failure.repro.case.nodes(),
+            failure.repro_text
+        );
+        // And the repro round-trips and still reproduces.
+        let parsed = crate::parse_repro(&failure.repro_text).expect("repro parses");
+        assert_eq!(parsed.oracle, failure.repro.oracle);
+    }
+}

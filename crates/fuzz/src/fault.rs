@@ -1,0 +1,221 @@
+//! Server fault injection.
+//!
+//! Starts a real loopback server with a deliberately small frame cap
+//! and throws misbehaving clients at it: connections dropped mid-stream,
+//! oversized and truncated (newline-less) frames, and deadline races on
+//! fixpoint queries. After every round the server must still answer a
+//! well-formed request — the worker pool must never wedge — and every
+//! rejection must be a structured error, never a hang or a crash.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use bvq_relation::write_database;
+use bvq_server::{Client, Json, Server, ServerConfig};
+
+use crate::gen::{gen_case, Case, CaseKind};
+use crate::{case_rng, Lang};
+
+/// The frame cap the fault server runs with — small enough that the
+/// oversized-frame scenario stays cheap.
+const FAULT_FRAME_CAP: usize = 4096;
+
+/// What a fault-injection run observed.
+#[derive(Clone, Debug, Default)]
+pub struct FaultReport {
+    /// Streams started and abandoned mid-flight.
+    pub dropped_streams: usize,
+    /// Oversized frames answered with a structured `bad_request`.
+    pub oversized_rejections: usize,
+    /// Truncated (EOF before newline) frames survived.
+    pub truncated_frames: usize,
+    /// Deadline-raced evaluations (each ended in `ok` or
+    /// `deadline_exceeded`).
+    pub deadline_races: usize,
+    /// Health probes that passed between scenarios.
+    pub health_checks: usize,
+}
+
+/// Runs `rounds` rounds of fault injection against a fresh server.
+///
+/// # Errors
+/// Returns a description of the first protocol violation: a missing or
+/// unstructured error, a wedged pool, or an unexpected hang.
+pub fn run_fault_injection(seed: u64, rounds: usize) -> Result<FaultReport, String> {
+    let mut handle = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        max_frame_bytes: FAULT_FRAME_CAP,
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("server start: {e}"))?;
+    let addr = handle.addr();
+
+    let connect =
+        || -> Result<Client, String> { Client::connect(addr).map_err(|e| format!("connect: {e}")) };
+
+    // One database and one query per language, generated like any other
+    // fuzz case so faults hit realistic traffic.
+    let fp_case: Case = gen_case(&mut case_rng(seed, Lang::Fp, 0), Lang::Fp);
+    let fo_case: Case = gen_case(&mut case_rng(seed, Lang::Fo, 0), Lang::Fo);
+    let fp_query = match &fp_case.kind {
+        CaseKind::Query(q) => q.to_string(),
+        CaseKind::Datalog(..) => unreachable!("fp cases are queries"),
+    };
+    let fo_query = match &fo_case.kind {
+        CaseKind::Query(q) => q.to_string(),
+        CaseKind::Datalog(..) => unreachable!("fo cases are queries"),
+    };
+
+    {
+        let mut setup = connect()?;
+        for (name, case) in [("fault_fp", &fp_case), ("fault_fo", &fo_case)] {
+            let resp = setup
+                .load_db(name, &write_database(&case.db))
+                .map_err(|e| format!("load_db: {e}"))?;
+            if !Client::is_ok(&resp) {
+                return Err(format!("load_db rejected: {resp:?}"));
+            }
+        }
+    }
+
+    let mut report = FaultReport::default();
+    for round in 0..rounds {
+        // 1. Start a streaming evaluation, read only the header, and
+        //    drop the connection. The worker must notice the dead
+        //    socket and move on.
+        {
+            let mut c = connect()?;
+            c.send(Client::request(
+                "eval",
+                vec![
+                    ("db", Json::str("fault_fo")),
+                    ("query", Json::str(&fo_query)),
+                    ("stream", Json::Bool(true)),
+                ],
+            ))
+            .map_err(|e| format!("round {round}: stream send: {e}"))?;
+            let header = c
+                .recv()
+                .map_err(|e| format!("round {round}: stream header: {e}"))?;
+            if !Client::is_ok(&header) && Client::error_code(&header).is_none() {
+                return Err(format!(
+                    "round {round}: unstructured stream header: {header:?}"
+                ));
+            }
+            report.dropped_streams += 1;
+            // `c` drops here with the stream unread.
+        }
+
+        // 2. An oversized frame must get a structured `bad_request` and
+        //    the *same connection* must keep serving.
+        {
+            let mut c = connect()?;
+            let huge = format!(
+                "{{\"op\":\"ping\",\"pad\":\"{}\"}}",
+                "x".repeat(FAULT_FRAME_CAP + 64)
+            );
+            c.send_line(&huge)
+                .map_err(|e| format!("round {round}: oversized send: {e}"))?;
+            let resp = c
+                .recv()
+                .map_err(|e| format!("round {round}: oversized recv: {e}"))?;
+            match Client::error_code(&resp) {
+                Some("bad_request") => report.oversized_rejections += 1,
+                other => {
+                    return Err(format!(
+                        "round {round}: oversized frame answered {other:?}, want bad_request"
+                    ))
+                }
+            }
+            if !c
+                .ping()
+                .map_err(|e| format!("round {round}: post-oversize ping: {e}"))?
+            {
+                return Err(format!(
+                    "round {round}: connection dead after oversized frame"
+                ));
+            }
+        }
+
+        // 3. A truncated frame — bytes, no newline, then EOF. The
+        //    server must just close its side without taking a worker
+        //    down.
+        {
+            let mut raw =
+                TcpStream::connect(addr).map_err(|e| format!("round {round}: raw connect: {e}"))?;
+            raw.write_all(b"{\"op\":\"ping\"")
+                .map_err(|e| format!("round {round}: truncated write: {e}"))?;
+            raw.shutdown(std::net::Shutdown::Write)
+                .map_err(|e| format!("round {round}: raw shutdown: {e}"))?;
+            report.truncated_frames += 1;
+        }
+
+        // 4. Deadline races: tiny budgets on a fixpoint query must end
+        //    in a clean answer or `deadline_exceeded`, nothing else.
+        {
+            let mut c = connect()?;
+            for deadline_ms in [0u64, 1, 2] {
+                let resp = c
+                    .eval_with(
+                        "fault_fp",
+                        &fp_query,
+                        vec![
+                            ("deadline_ms", Json::num(deadline_ms)),
+                            ("no_cache", Json::Bool(true)),
+                        ],
+                    )
+                    .map_err(|e| format!("round {round}: deadline eval: {e}"))?;
+                let ok = Client::is_ok(&resp);
+                let code = Client::error_code(&resp);
+                if !ok && code != Some("deadline_exceeded") {
+                    return Err(format!(
+                        "round {round}: deadline_ms={deadline_ms} answered {code:?}"
+                    ));
+                }
+                report.deadline_races += 1;
+            }
+        }
+
+        // Health probe: a fresh client must get a real answer promptly.
+        {
+            let mut c = connect()?;
+            if !c
+                .ping()
+                .map_err(|e| format!("round {round}: health ping: {e}"))?
+            {
+                return Err(format!("round {round}: health ping failed"));
+            }
+            let resp = c
+                .eval("fault_fo", &fo_query)
+                .map_err(|e| format!("round {round}: health eval: {e}"))?;
+            if !Client::is_ok(&resp) {
+                return Err(format!(
+                    "round {round}: pool wedged? health eval answered {:?}",
+                    Client::error_code(&resp)
+                ));
+            }
+            report.health_checks += 1;
+        }
+    }
+
+    // Give lingering half-closed sockets a beat, then shut down.
+    std::thread::sleep(Duration::from_millis(10));
+    handle.shutdown();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_injection_smoke() {
+        let report = run_fault_injection(7, 2).expect("no protocol violations");
+        assert_eq!(report.dropped_streams, 2);
+        assert_eq!(report.oversized_rejections, 2);
+        assert_eq!(report.deadline_races, 6);
+        assert_eq!(report.health_checks, 2);
+    }
+}

@@ -1,0 +1,462 @@
+//! Seeded case generators: databases, bounded-variable queries, and
+//! Datalog programs.
+//!
+//! Everything here is a pure function of the [`Rng`] it is handed, and
+//! everything it emits is well-formed *by construction*:
+//!
+//! - Databases always carry the fixed fuzz schema `E/2, P/1, Q/1, R/2`
+//!   (relations may be empty — empty relations are a coverage goal, not
+//!   an accident), with every element inside the domain.
+//! - `FO^k` formulas are built safe-range: every free variable is
+//!   range-restricted in the sense `bvq-lint`'s E001 pass checks, and
+//!   the query's output is exactly its free-variable set (E007).
+//! - `FP^k` bodies use the fixpoint variable positively only (E002).
+//! - Datalog rules have distinct-variable heads and are
+//!   range-restricted (E004), so `Program::validate` accepts them.
+
+use bvq_datalog::{AtomTerm, Program};
+use bvq_logic::{Formula, Query, Term, Var};
+use bvq_prng::Rng;
+use bvq_relation::{Database, Elem, Relation, Tuple};
+use bvq_workload::graphs::{edges, GraphKind};
+
+use crate::Lang;
+
+/// The unary relations of the fuzz schema.
+pub const UNARY_RELS: [&str; 2] = ["P", "Q"];
+/// The binary relations of the fuzz schema.
+pub const BINARY_RELS: [&str; 2] = ["E", "R"];
+
+/// What a generated case evaluates.
+#[derive(Clone, Debug)]
+pub enum CaseKind {
+    /// An FO/FP/PFP query (sent as text through the printer, which
+    /// guarantees parse/print round-trips).
+    Query(Query),
+    /// A Datalog program plus its output predicate.
+    Datalog(Program, String),
+}
+
+/// One generated differential-testing case.
+#[derive(Clone, Debug)]
+pub struct Case {
+    /// The language the case exercises.
+    pub lang: Lang,
+    /// The generated database.
+    pub db: Database,
+    /// The query or program.
+    pub kind: CaseKind,
+}
+
+impl Case {
+    /// The query/program as wire text (what the server receives).
+    pub fn text(&self) -> String {
+        match &self.kind {
+            CaseKind::Query(q) => q.to_string(),
+            CaseKind::Datalog(p, _) => p.to_text(),
+        }
+    }
+
+    /// Total tuple count of the database (shrinker metric).
+    pub fn tuples(&self) -> usize {
+        self.db.total_tuples()
+    }
+
+    /// Formula AST size, or rule-atom count for Datalog (shrinker
+    /// metric).
+    pub fn nodes(&self) -> usize {
+        match &self.kind {
+            CaseKind::Query(q) => q.formula.size(),
+            CaseKind::Datalog(p, _) => p.rules.iter().map(|r| 1 + r.body.len()).sum(),
+        }
+    }
+}
+
+/// Generates a database over the fuzz schema: an edge relation `E`
+/// shaped as a path, grid, sparse-random or scale-free graph; a second
+/// binary relation `R` (sparser); and unary relations `P` and `Q`
+/// (possibly empty). Domain size 2–7 keeps whole-run wall clock low
+/// while still exercising every evaluator path.
+pub fn gen_db(rng: &mut Rng) -> Database {
+    let n = rng.gen_range(2usize..8);
+    let e = match rng.gen_range(0u32..4) {
+        0 => edges(GraphKind::Path, n, rng.next_u64()),
+        1 => edges(GraphKind::Grid, n, rng.next_u64()),
+        2 => edges(GraphKind::Sparse(2), n, rng.next_u64()),
+        _ => scale_free(rng, n),
+    };
+    let mut r = Relation::new(2);
+    for _ in 0..rng.gen_range(0usize..n) {
+        r.insert(Tuple::from_slice(&[
+            rng.gen_range(0..n as Elem),
+            rng.gen_range(0..n as Elem),
+        ]));
+    }
+    let mut db = Database::new(n);
+    db.add_relation("E", e).expect("in-domain edges");
+    db.add_relation("R", r).expect("in-domain tuples");
+    for name in UNARY_RELS {
+        let mut rel = Relation::new(1);
+        // `p = 0` sometimes: empty unary relations are a coverage goal.
+        let p = *rng.choose(&[0.0, 0.2, 0.4, 0.6]);
+        for v in 0..n {
+            if rng.gen_bool(p) {
+                rel.insert(Tuple::from_slice(&[v as Elem]));
+            }
+        }
+        db.add_relation(name, rel).expect("in-domain labels");
+    }
+    db
+}
+
+/// A scale-free-ish edge shape by preferential attachment: each new
+/// node attaches to an endpoint drawn from the multiset of all previous
+/// endpoints, so high-degree nodes keep attracting edges.
+fn scale_free(rng: &mut Rng, n: usize) -> Relation {
+    let mut rel = Relation::new(2);
+    let mut endpoints: Vec<Elem> = vec![0];
+    for v in 1..n as Elem {
+        let m = 1 + usize::from(rng.gen_bool(0.3));
+        for _ in 0..m {
+            let target = *rng.choose(&endpoints);
+            rel.insert(Tuple::from_slice(&[v, target]));
+            endpoints.push(target);
+        }
+        endpoints.push(v);
+    }
+    rel
+}
+
+/// Generates one case for `lang`, seeded entirely from `rng`.
+pub fn gen_case(rng: &mut Rng, lang: Lang) -> Case {
+    let db = gen_db(rng);
+    let n = db.domain_size();
+    let kind = match lang {
+        Lang::Fo => CaseKind::Query(gen_fo_query(rng, n)),
+        Lang::Fp => CaseKind::Query(gen_fix_query(rng, n, false)),
+        Lang::Pfp => CaseKind::Query(gen_fix_query(rng, n, true)),
+        Lang::Datalog => {
+            let (p, out) = gen_datalog(rng, n);
+            CaseKind::Datalog(p, out)
+        }
+    };
+    Case { lang, db, kind }
+}
+
+/// A guard formula that range-restricts `v` (and only uses `v` free).
+fn guard(rng: &mut Rng, n: usize, v: Var, pool: &mut Vec<Var>) -> Formula {
+    match rng.gen_range(0u32..6) {
+        0 | 1 => {
+            let rel = *rng.choose(&UNARY_RELS);
+            Formula::atom(rel, [Term::Var(v)])
+        }
+        2 => Formula::Eq(Term::Var(v), Term::Const(rng.gen_range(0..n as Elem))),
+        _ => match pool.pop() {
+            Some(w) => {
+                let rel = *rng.choose(&BINARY_RELS);
+                let args = if rng.gen_bool(0.5) {
+                    [Term::Var(v), Term::Var(w)]
+                } else {
+                    [Term::Var(w), Term::Var(v)]
+                };
+                let g = Formula::atom(rel, args).exists(w);
+                pool.push(w);
+                g
+            }
+            None => {
+                let rel = *rng.choose(&BINARY_RELS);
+                Formula::atom(rel, [Term::Var(v), Term::Var(v)])
+            }
+        },
+    }
+}
+
+/// An arbitrary (possibly unsafe in isolation) subformula over exactly
+/// the variables in `avail` — it only ever appears conjoined with a
+/// safe skeleton, so overall safety is preserved.
+fn gen_extra(rng: &mut Rng, n: usize, depth: usize, avail: &[Var], pool: &mut Vec<Var>) -> Formula {
+    if depth == 0 || avail.is_empty() {
+        return match (rng.gen_range(0u32..5), avail.first()) {
+            (_, None) | (0, _) => Formula::Const(rng.gen_bool(0.5)),
+            (1, Some(&v)) => Formula::Eq(Term::Var(v), Term::Const(rng.gen_range(0..n as Elem))),
+            (2, Some(_)) => {
+                let a = *rng.choose(avail);
+                let b = *rng.choose(avail);
+                Formula::Eq(Term::Var(a), Term::Var(b))
+            }
+            (3, Some(_)) => {
+                let rel = *rng.choose(&UNARY_RELS);
+                Formula::atom(rel, [Term::Var(*rng.choose(avail))])
+            }
+            (_, Some(_)) => {
+                let a = *rng.choose(avail);
+                let b = *rng.choose(avail);
+                let rel = *rng.choose(&BINARY_RELS);
+                Formula::atom(rel, [Term::Var(a), Term::Var(b)])
+            }
+        };
+    }
+    match rng.gen_range(0u32..6) {
+        0 => Formula::Not(Box::new(gen_extra(rng, n, depth - 1, avail, pool))),
+        1 => {
+            gen_extra(rng, n, depth - 1, avail, pool).and(gen_extra(rng, n, depth - 1, avail, pool))
+        }
+        2 => {
+            gen_extra(rng, n, depth - 1, avail, pool).or(gen_extra(rng, n, depth - 1, avail, pool))
+        }
+        3 | 4 => match pool.pop() {
+            Some(w) => {
+                let mut inner: Vec<Var> = avail.to_vec();
+                inner.push(w);
+                let g = gen_extra(rng, n, depth - 1, &inner, pool);
+                pool.push(w);
+                if rng.gen_bool(0.5) {
+                    g.exists(w)
+                } else {
+                    g.forall(w)
+                }
+            }
+            None => gen_extra(rng, n, 0, avail, pool),
+        },
+        _ => gen_extra(rng, n, 0, avail, pool),
+    }
+}
+
+/// A safe-range formula whose free variables are exactly `must`, each
+/// range-restricted. `pool` holds the variable indices still available
+/// for quantification (all `< k`).
+fn gen_safe(rng: &mut Rng, n: usize, depth: usize, must: &[Var], pool: &mut Vec<Var>) -> Formula {
+    if must.is_empty() {
+        // Closed: quantify a fresh variable over a safe body.
+        return match pool.pop() {
+            Some(w) => {
+                let body = gen_safe(rng, n, depth.saturating_sub(1), &[w], pool);
+                pool.push(w);
+                if rng.gen_bool(0.8) {
+                    body.exists(w)
+                } else {
+                    body.forall(w)
+                }
+            }
+            None => Formula::Const(rng.gen_bool(0.5)),
+        };
+    }
+    if depth == 0 {
+        return Formula::and_all(must.iter().map(|&v| guard(rng, n, v, pool)));
+    }
+    match rng.gen_range(0u32..6) {
+        // Conjoin a safe skeleton with arbitrary extra structure.
+        0 | 1 => {
+            let skeleton = gen_safe(rng, n, depth - 1, must, pool);
+            let extra = gen_extra(rng, n, depth - 1, must, pool);
+            skeleton.and(extra)
+        }
+        // Disjunction: both branches restrict all of `must`.
+        2 => gen_safe(rng, n, depth - 1, must, pool).or(gen_safe(rng, n, depth - 1, must, pool)),
+        // Quantify a fresh variable that the body also restricts.
+        3 if !pool.is_empty() => {
+            let w = pool.pop().expect("checked nonempty");
+            let mut inner: Vec<Var> = must.to_vec();
+            inner.push(w);
+            let body = gen_safe(rng, n, depth - 1, &inner, pool);
+            pool.push(w);
+            body.exists(w)
+        }
+        _ => Formula::and_all(must.iter().map(|&v| guard(rng, n, v, pool))),
+    }
+}
+
+/// Generates a safe `FO^k` query, `k ≤ 3`; roughly one case in five is
+/// a sentence (0-ary boolean query).
+pub fn gen_fo_query(rng: &mut Rng, n: usize) -> Query {
+    let k = rng.gen_range(2usize..4);
+    let nout = if rng.gen_bool(0.2) {
+        0
+    } else {
+        rng.gen_range(1usize..k.min(3))
+    };
+    let out: Vec<Var> = (0..nout as u32).map(Var).collect();
+    let mut pool: Vec<Var> = (nout as u32..k as u32).map(Var).collect();
+    let depth = rng.gen_range(1usize..4);
+    let f = gen_safe(rng, n, depth, &out, &mut pool);
+    Query::new(out, f)
+}
+
+/// Generates an `FP^k` (or, with `pfp`, a `PFP^k`) query: a fixpoint
+/// whose body is `base ∨ step` where `step` applies the fixpoint
+/// relation through an edge — the reachability shape Proposition 3.2
+/// builds on — applied to output variables and/or constants. `PFP`
+/// bodies may additionally use the fixpoint relation negatively.
+pub fn gen_fix_query(rng: &mut Rng, n: usize, pfp: bool) -> Query {
+    // S/1 over variable x1; x2, x3 stay for quantifiers (width 3).
+    let bound = vec![Var(0)];
+    let mut pool = vec![Var(1), Var(2)];
+    let base_depth = rng.gen_range(0usize..2);
+    let base = gen_safe(rng, n, base_depth, &bound, &mut pool);
+    let w = Var(1);
+    let rel = *rng.choose(&BINARY_RELS);
+    let edge_args = if rng.gen_bool(0.7) {
+        [Term::Var(w), Term::Var(Var(0))]
+    } else {
+        [Term::Var(Var(0)), Term::Var(w)]
+    };
+    let step = Formula::rel_var("S", [Term::Var(w)])
+        .and(Formula::atom(rel, edge_args))
+        .exists(w);
+    let mut body = base.or(step);
+    if pfp && rng.gen_bool(0.6) {
+        // A non-monotone touch: only PFP may inspect S negatively.
+        let probe = Formula::Not(Box::new(Formula::rel_var("S", [Term::Var(Var(0))])));
+        body = body.and(probe.or(gen_extra(rng, n, 1, &bound, &mut pool)));
+    }
+    // Apply to an output variable or a constant; constants make the
+    // whole query a sentence.
+    let (args, out): (Vec<Term>, Vec<Var>) = if rng.gen_bool(0.25) {
+        (vec![Term::Const(rng.gen_range(0..n as Elem))], Vec::new())
+    } else {
+        (vec![Term::Var(Var(0))], vec![Var(0)])
+    };
+    let fix = if pfp {
+        Formula::pfp("S", bound, body, args)
+    } else {
+        Formula::lfp("S", bound, body, args)
+    };
+    Query::new(out, fix)
+}
+
+/// Generates a positive, range-restricted Datalog program over the fuzz
+/// EDBs with IDB predicates `T` (output) and sometimes `U`, mixing
+/// projection, join, closure and constant-seeded rules.
+pub fn gen_datalog(rng: &mut Rng, n: usize) -> (Program, String) {
+    let v = AtomTerm::Var;
+    let c = |rng: &mut Rng| AtomTerm::Const(rng.gen_range(0..n as Elem));
+    let t_arity = rng.gen_range(1usize..3);
+    let mut p = Program::new();
+    if t_arity == 1 {
+        // Base rule(s).
+        p = match rng.gen_range(0u32..3) {
+            0 => p.rule("T", &[0], &[("P", &[v(0)])]),
+            1 => p.rule("T", &[0], &[("E", &[v(0), v(1)])]),
+            _ => {
+                let k = c(rng);
+                p.rule("T", &[0], &[("E", &[k, v(0)])])
+            }
+        };
+        // Recursive step.
+        if rng.gen_bool(0.8) {
+            let rel = *rng.choose(&BINARY_RELS);
+            p = if rng.gen_bool(0.5) {
+                p.rule("T", &[0], &[("T", &[v(1)]), (rel, &[v(1), v(0)])])
+            } else {
+                p.rule("T", &[0], &[("T", &[v(1)]), (rel, &[v(0), v(1)])])
+            };
+        }
+        // A second base or a filtered variant.
+        if rng.gen_bool(0.4) {
+            p = p.rule("T", &[0], &[("Q", &[v(0)])]);
+        }
+    } else {
+        p = p.rule("T", &[0, 1], &[("E", &[v(0), v(1)])]);
+        if rng.gen_bool(0.85) {
+            p = p.rule("T", &[0, 1], &[("T", &[v(0), v(2)]), ("E", &[v(2), v(1)])]);
+        }
+        if rng.gen_bool(0.3) {
+            p = p.rule("T", &[0, 1], &[("R", &[v(0), v(1)]), ("P", &[v(0)])]);
+        }
+    }
+    // Optionally a dependent IDB; the output predicate stays `T` unless
+    // `U` is chosen as output.
+    let mut output = "T".to_string();
+    if rng.gen_bool(0.3) {
+        p = if t_arity == 1 {
+            p.rule("U", &[0], &[("T", &[v(0)]), ("P", &[v(0)])])
+        } else {
+            p.rule("U", &[0], &[("T", &[v(0), v(1)])])
+        };
+        if rng.gen_bool(0.5) {
+            output = "U".to_string();
+        }
+    }
+    debug_assert!(p.validate().is_ok(), "generated program must validate");
+    (p, output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvq_lint::LintConfig;
+    use bvq_server::exec::db_schema;
+
+    fn lint_cfg(db: &Database) -> LintConfig {
+        LintConfig {
+            domain_size: Some(db.domain_size()),
+            schema: Some(db_schema(db)),
+            ..LintConfig::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for lang in Lang::all() {
+            let a = gen_case(&mut Rng::seed_from_u64(7), lang);
+            let b = gen_case(&mut Rng::seed_from_u64(7), lang);
+            assert_eq!(a.text(), b.text());
+            assert_eq!(a.db.fingerprint(), b.db.fingerprint());
+        }
+    }
+
+    #[test]
+    fn generated_cases_are_lint_clean_by_construction() {
+        for lang in Lang::all() {
+            for i in 0..150u64 {
+                let mut rng = Rng::seed_from_u64(1000 + i);
+                let case = gen_case(&mut rng, lang);
+                let cfg = lint_cfg(&case.db);
+                let report = match &case.kind {
+                    CaseKind::Query(q) => {
+                        q.validate().expect("free vars are outputs");
+                        bvq_lint::lint_query(q, None, &cfg)
+                    }
+                    CaseKind::Datalog(p, out) => {
+                        p.validate().expect("program validates");
+                        bvq_lint::lint_program(p, Some(out.as_str()), None, &cfg)
+                    }
+                };
+                assert!(
+                    !report.has_errors(),
+                    "{lang} case {i} has lint errors:\n{}\ncase: {}",
+                    report.render(),
+                    case.text()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generated_query_text_round_trips_through_the_parser() {
+        for lang in [Lang::Fo, Lang::Fp, Lang::Pfp] {
+            for i in 0..50u64 {
+                let mut rng = Rng::seed_from_u64(i);
+                let case = gen_case(&mut rng, lang);
+                let text = case.text();
+                let parsed = bvq_logic::parser::parse_query(&text).expect("printer output parses");
+                assert_eq!(parsed.to_string(), text);
+            }
+        }
+    }
+
+    #[test]
+    fn generated_widths_stay_bounded() {
+        for i in 0..80u64 {
+            let mut rng = Rng::seed_from_u64(i);
+            let case = gen_case(&mut rng, Lang::Fo);
+            if let CaseKind::Query(q) = &case.kind {
+                assert!(
+                    q.formula.width() <= 3,
+                    "FO width blew past k: {}",
+                    case.text()
+                );
+            }
+        }
+    }
+}

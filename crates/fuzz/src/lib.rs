@@ -1,0 +1,164 @@
+//! # bvq-fuzz
+//!
+//! Differential and metamorphic testing for the bounded-variable query
+//! engines. The paper's results are *equivalence* claims — bottom-up
+//! `FO^k` evaluation agrees with the naive evaluator (Proposition 3.1),
+//! the Datalog engines agree with the `FP` translation (Proposition
+//! 3.2), parallel evaluation agrees with sequential, and the query
+//! server agrees with direct evaluation — so every theorem doubles as
+//! an executable oracle over *generated* inputs, in the spirit of
+//! Csmith/SQLancer-style engine testing.
+//!
+//! The pipeline:
+//!
+//! 1. [`gen`] — seeded generators ([`bvq_prng::Rng`]) for databases
+//!    (path / grid / random / scale-free edge shapes plus unary and
+//!    binary satellite relations) and for well-formed `FO^k` / `FP^k` /
+//!    `PFP^k` queries and positive range-restricted Datalog programs.
+//!    Everything generated passes `bvq-lint` *by construction*; the
+//!    driver asserts it.
+//! 2. [`oracle`] — each case runs through every applicable evaluator
+//!    pair (naive vs bounded, seminaive vs naive Datalog vs the FP
+//!    translation, `threads=1` vs `threads=N`, direct [`execute`] vs a
+//!    live server round-trip in materialized and streaming form, cold
+//!    vs cached) and the results must be set-equal.
+//! 3. [`metamorphic`] — result-preserving rewrites (double negation,
+//!    adjacent-∃ reorder, conjunct shuffle, `minimize_width`, domain
+//!    renaming) must not change the answer.
+//! 4. [`shrink`] — a greedy minimizer drops tuples, rules and formula
+//!    nodes and shrinks the domain while the divergence persists.
+//! 5. [`repro`] — failing cases render to a seed-stamped text file that
+//!    `bvq fuzz --repro FILE` replays.
+//! 6. [`fault`] — server fault injection: dropped connections
+//!    mid-stream, oversized and truncated frames, deadline races; the
+//!    pool must answer with structured errors and never wedge.
+//!
+//! [`execute`]: bvq_server::exec::execute
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod fault;
+pub mod gen;
+pub mod metamorphic;
+pub mod oracle;
+pub mod repro;
+pub mod shrink;
+
+pub use driver::{run_fuzz, FailureReport, FuzzConfig, FuzzOutcome, LangSummary};
+pub use fault::{run_fault_injection, FaultReport};
+pub use gen::{gen_case, gen_db, Case, CaseKind};
+pub use oracle::{check_case, Divergence, Mutation, ServerOracle};
+pub use repro::{parse_repro, render_repro, Repro};
+pub use shrink::shrink_case;
+
+use bvq_prng::Rng;
+
+/// The query languages the fuzzer covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lang {
+    /// First-order queries, `FO^k`.
+    Fo,
+    /// Least-fixpoint queries, `FP^k`.
+    Fp,
+    /// Partial-fixpoint queries, `PFP^k`.
+    Pfp,
+    /// Positive range-restricted Datalog programs.
+    Datalog,
+}
+
+impl Lang {
+    /// All languages, in the order reports print them.
+    pub fn all() -> [Lang; 4] {
+        [Lang::Fo, Lang::Fp, Lang::Pfp, Lang::Datalog]
+    }
+
+    /// The lowercase label used by `--filter`, repro files and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Lang::Fo => "fo",
+            Lang::Fp => "fp",
+            Lang::Pfp => "pfp",
+            Lang::Datalog => "datalog",
+        }
+    }
+
+    /// Parses a `--filter` / repro-file label.
+    pub fn parse(s: &str) -> Option<Lang> {
+        match s.to_ascii_lowercase().as_str() {
+            "fo" => Some(Lang::Fo),
+            "fp" => Some(Lang::Fp),
+            "pfp" => Some(Lang::Pfp),
+            "datalog" => Some(Lang::Datalog),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Lang {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Parses a `--seed` argument. Accepts decimal (`42`), hex (`0x2a`),
+/// and — so seeds like CI's `0xBVQ5` are usable verbatim — any other
+/// string, which is hashed (FNV-1a) to a deterministic 64-bit seed.
+pub fn parse_seed(s: &str) -> u64 {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        if let Ok(v) = u64::from_str_radix(hex, 16) {
+            return v;
+        }
+    }
+    if let Ok(v) = s.parse::<u64>() {
+        return v;
+    }
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The per-case RNG: a deterministic function of the run seed, the
+/// language, and the case index, so any single case can be regenerated
+/// without replaying the run up to it.
+pub fn case_rng(seed: u64, lang: Lang, index: u64) -> Rng {
+    let tag = match lang {
+        Lang::Fo => 0x01,
+        Lang::Fp => 0x02,
+        Lang::Pfp => 0x03,
+        Lang::Datalog => 0x04,
+    };
+    Rng::seed_from_u64(
+        seed ^ (tag as u64).wrapping_mul(0x9e3779b97f4a7c15)
+            ^ index.wrapping_mul(0xd1b54a32d192ed03),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_parsing_accepts_decimal_hex_and_arbitrary_strings() {
+        assert_eq!(parse_seed("42"), 42);
+        assert_eq!(parse_seed("0x2a"), 42);
+        assert_eq!(parse_seed("0X2A"), 42);
+        // Not valid hex (`V` is no hex digit) — hashed, but stable.
+        assert_eq!(parse_seed("0xBVQ5"), parse_seed("0xBVQ5"));
+        assert_ne!(parse_seed("0xBVQ5"), parse_seed("0xBVQ6"));
+    }
+
+    #[test]
+    fn case_rngs_are_independent_per_lang_and_index() {
+        let a = case_rng(1, Lang::Fo, 0).next_u64();
+        let b = case_rng(1, Lang::Fp, 0).next_u64();
+        let c = case_rng(1, Lang::Fo, 1).next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, case_rng(1, Lang::Fo, 0).next_u64());
+    }
+}

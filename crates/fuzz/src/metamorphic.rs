@@ -1,0 +1,246 @@
+//! Result-preserving rewrites for the metamorphic oracle layer.
+//!
+//! Each rewrite maps a query (or program) to one with provably the same
+//! answer on every database; the oracle evaluates both and asserts the
+//! answers are set-equal. A disagreement implicates the *evaluator*,
+//! not the case.
+
+use bvq_datalog::{AtomTerm, Program};
+use bvq_logic::{Formula, Query, Term};
+use bvq_prng::Rng;
+use bvq_relation::{Database, Elem, Relation, Tuple};
+
+/// `φ ↦ ¬¬φ`. Built with raw constructors: the [`Formula::not`] helper
+/// deliberately collapses double negations, which would turn this
+/// rewrite into the identity.
+pub fn double_negation(q: &Query) -> Query {
+    let f = Formula::Not(Box::new(Formula::Not(Box::new(q.formula.clone()))));
+    Query::new(q.output.clone(), f)
+}
+
+/// Flattens every conjunction chain and rebuilds it in a seeded random
+/// order (`∧` is associative and commutative).
+pub fn conjunct_shuffle(q: &Query, seed: u64) -> Query {
+    let mut rng = Rng::seed_from_u64(seed);
+    Query::new(q.output.clone(), shuffle(&q.formula, &mut rng))
+}
+
+fn shuffle(f: &Formula, rng: &mut Rng) -> Formula {
+    match f {
+        Formula::And(..) => {
+            let mut conjuncts = Vec::new();
+            flatten_and(f, rng, &mut conjuncts);
+            rng.shuffle(&mut conjuncts);
+            Formula::and_all(conjuncts)
+        }
+        Formula::Or(a, b) => shuffle(a, rng).or(shuffle(b, rng)),
+        Formula::Not(g) => Formula::Not(Box::new(shuffle(g, rng))),
+        Formula::Exists(v, g) => shuffle(g, rng).exists(*v),
+        Formula::Forall(v, g) => shuffle(g, rng).forall(*v),
+        Formula::Fix {
+            kind,
+            rel,
+            bound,
+            body,
+            args,
+        } => Formula::Fix {
+            kind: *kind,
+            rel: rel.clone(),
+            bound: bound.clone(),
+            body: Box::new(shuffle(body, rng)),
+            args: args.clone(),
+        },
+        leaf => leaf.clone(),
+    }
+}
+
+fn flatten_and(f: &Formula, rng: &mut Rng, out: &mut Vec<Formula>) {
+    match f {
+        Formula::And(a, b) => {
+            flatten_and(a, rng, out);
+            flatten_and(b, rng, out);
+        }
+        other => out.push(shuffle(other, rng)),
+    }
+}
+
+/// Swaps the first adjacent pair of distinct existential quantifiers
+/// (`∃v∃w.φ ↦ ∃w∃v.φ`); `None` when the formula has no such pair.
+pub fn exists_reorder(q: &Query) -> Option<Query> {
+    swap_exists(&q.formula).map(|f| Query::new(q.output.clone(), f))
+}
+
+fn swap_exists(f: &Formula) -> Option<Formula> {
+    if let Formula::Exists(v, g) = f {
+        if let Formula::Exists(w, h) = g.as_ref() {
+            if v != w {
+                return Some(h.as_ref().clone().exists(*v).exists(*w));
+            }
+        }
+    }
+    // Otherwise recurse into the first child that contains a pair.
+    match f {
+        Formula::Not(g) => swap_exists(g).map(|g| Formula::Not(Box::new(g))),
+        Formula::And(a, b) => match swap_exists(a) {
+            Some(a2) => Some(a2.and(b.as_ref().clone())),
+            None => swap_exists(b).map(|b2| a.as_ref().clone().and(b2)),
+        },
+        Formula::Or(a, b) => match swap_exists(a) {
+            Some(a2) => Some(a2.or(b.as_ref().clone())),
+            None => swap_exists(b).map(|b2| a.as_ref().clone().or(b2)),
+        },
+        Formula::Exists(v, g) => swap_exists(g).map(|g2| g2.exists(*v)),
+        Formula::Forall(v, g) => swap_exists(g).map(|g2| g2.forall(*v)),
+        Formula::Fix {
+            kind,
+            rel,
+            bound,
+            body,
+            args,
+        } => swap_exists(body).map(|b2| Formula::Fix {
+            kind: *kind,
+            rel: rel.clone(),
+            bound: bound.clone(),
+            body: Box::new(b2),
+            args: args.clone(),
+        }),
+        _ => None,
+    }
+}
+
+/// The `minimize_width` rewrite, when it applies and actually changes
+/// the formula.
+pub fn minimized(q: &Query) -> Option<Query> {
+    let slim = q.formula.minimize_width()?;
+    if slim == q.formula {
+        return None;
+    }
+    Some(Query::new(q.output.clone(), slim))
+}
+
+/// Applies a domain permutation to every tuple of every relation.
+pub fn rename_db(db: &Database, perm: &[Elem]) -> Database {
+    let mut out = Database::new(db.domain_size());
+    for (id, name, arity) in db.schema().iter() {
+        let mut rel = Relation::new(arity);
+        for t in db.relation(id).iter() {
+            let mapped: Vec<Elem> = t.as_slice().iter().map(|&e| perm[e as usize]).collect();
+            rel.insert(Tuple::from(mapped));
+        }
+        out.add_relation(name, rel)
+            .expect("permutation stays in domain");
+    }
+    out
+}
+
+/// Applies a domain permutation to every constant of a formula.
+pub fn rename_query(q: &Query, perm: &[Elem]) -> Query {
+    Query::new(q.output.clone(), rename_formula(&q.formula, perm))
+}
+
+fn rename_term(t: &Term, perm: &[Elem]) -> Term {
+    match t {
+        Term::Var(v) => Term::Var(*v),
+        Term::Const(c) => Term::Const(perm[*c as usize]),
+    }
+}
+
+fn rename_formula(f: &Formula, perm: &[Elem]) -> Formula {
+    match f {
+        Formula::Const(b) => Formula::Const(*b),
+        Formula::Atom(a) => {
+            let mut a2 = a.clone();
+            a2.args = a.args.iter().map(|t| rename_term(t, perm)).collect();
+            Formula::Atom(a2)
+        }
+        Formula::Eq(a, b) => Formula::Eq(rename_term(a, perm), rename_term(b, perm)),
+        Formula::Not(g) => Formula::Not(Box::new(rename_formula(g, perm))),
+        Formula::And(a, b) => rename_formula(a, perm).and(rename_formula(b, perm)),
+        Formula::Or(a, b) => rename_formula(a, perm).or(rename_formula(b, perm)),
+        Formula::Exists(v, g) => rename_formula(g, perm).exists(*v),
+        Formula::Forall(v, g) => rename_formula(g, perm).forall(*v),
+        Formula::Fix {
+            kind,
+            rel,
+            bound,
+            body,
+            args,
+        } => Formula::Fix {
+            kind: *kind,
+            rel: rel.clone(),
+            bound: bound.clone(),
+            body: Box::new(rename_formula(body, perm)),
+            args: args.iter().map(|t| rename_term(t, perm)).collect(),
+        },
+    }
+}
+
+/// Applies a domain permutation to every constant of a program.
+pub fn rename_program(p: &Program, perm: &[Elem]) -> Program {
+    let mut out = p.clone();
+    for r in &mut out.rules {
+        for a in &mut r.body {
+            for t in &mut a.args {
+                if let AtomTerm::Const(c) = t {
+                    *c = perm[*c as usize];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A seeded permutation of `0..n`.
+pub fn permutation(n: usize, seed: u64) -> Vec<Elem> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut perm: Vec<Elem> = (0..n as Elem).collect();
+    rng.shuffle(&mut perm);
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvq_logic::Var;
+
+    #[test]
+    fn double_negation_is_not_collapsed() {
+        let q = Query::new(vec![Var(0)], Formula::atom("P", [Term::Var(Var(0))]));
+        let dn = double_negation(&q);
+        assert!(matches!(dn.formula, Formula::Not(_)));
+        assert_eq!(dn.formula.size(), q.formula.size() + 2);
+    }
+
+    #[test]
+    fn exists_reorder_swaps_distinct_adjacent_quantifiers() {
+        let inner = Formula::atom("E", [Term::Var(Var(0)), Term::Var(Var(1))]);
+        let q = Query::sentence(inner.exists(Var(1)).exists(Var(0)));
+        let r = exists_reorder(&q).expect("has an adjacent pair");
+        let text = r.formula.to_string();
+        assert!(text.starts_with("exists x2"), "got {text}");
+    }
+
+    #[test]
+    fn conjunct_shuffle_preserves_the_multiset_of_conjuncts() {
+        let a = Formula::atom("P", [Term::Var(Var(0))]);
+        let b = Formula::atom("Q", [Term::Var(Var(0))]);
+        let c = Formula::Eq(Term::Var(Var(0)), Term::Const(1));
+        let q = Query::new(vec![Var(0)], a.clone().and(b.clone()).and(c.clone()));
+        let s = conjunct_shuffle(&q, 3);
+        let mut flat = Vec::new();
+        fn collect(f: &Formula, out: &mut Vec<String>) {
+            match f {
+                Formula::And(x, y) => {
+                    collect(x, out);
+                    collect(y, out);
+                }
+                other => out.push(other.to_string()),
+            }
+        }
+        collect(&s.formula, &mut flat);
+        flat.sort();
+        let mut want = vec![a.to_string(), b.to_string(), c.to_string()];
+        want.sort();
+        assert_eq!(flat, want);
+    }
+}

@@ -1,0 +1,547 @@
+//! The differential oracle layer: every applicable evaluator pair runs
+//! the same case and the answers must be set-equal.
+//!
+//! Answers normalize to [`Norm`] — a boolean, a sorted tuple set, or a
+//! structured error code. Two sides *agree* when their norms are equal;
+//! in particular both sides failing with the same error code is
+//! agreement (shrinking may drive a case into an error state, and the
+//! engines must at least fail consistently).
+
+use std::io;
+
+use bvq_datalog::to_fp_formula_multi;
+use bvq_logic::{Query, Var};
+use bvq_relation::{write_database, Database, Elem};
+use bvq_server::exec::{execute, Answer, EvalOptions, ExecRequest};
+use bvq_server::{Client, Json, Server, ServerConfig, ServerHandle};
+
+use crate::gen::{Case, CaseKind};
+use crate::metamorphic;
+use crate::Lang;
+
+/// A normalized answer: what every evaluator pair is compared on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Norm {
+    /// A sentence's truth value.
+    Bool(bool),
+    /// Sorted answer tuples.
+    Rows(Vec<Vec<Elem>>),
+    /// A structured error, by stable code.
+    Error(String),
+}
+
+impl Norm {
+    fn summary(&self) -> String {
+        match self {
+            Norm::Bool(b) => format!("boolean {b}"),
+            Norm::Rows(rows) => {
+                let head: Vec<String> = rows.iter().take(8).map(|r| format!("{r:?}")).collect();
+                format!(
+                    "{} rows: {}{}",
+                    rows.len(),
+                    head.join(" "),
+                    if rows.len() > 8 { " …" } else { "" }
+                )
+            }
+            Norm::Error(code) => format!("error `{code}`"),
+        }
+    }
+
+    /// Applies a domain permutation to row contents.
+    fn rename(&self, perm: &[Elem]) -> Norm {
+        match self {
+            Norm::Rows(rows) => {
+                let mut mapped: Vec<Vec<Elem>> = rows
+                    .iter()
+                    .map(|r| r.iter().map(|&e| perm[e as usize]).collect())
+                    .collect();
+                mapped.sort();
+                Norm::Rows(mapped)
+            }
+            other => other.clone(),
+        }
+    }
+}
+
+/// A deliberate result corruption, used by the harness's own mutation
+/// sanity tests: with a mutation installed, every oracle pair whose
+/// reference result is non-trivial must report a divergence, and the
+/// shrinker must minimize it. This stands in for "deliberately breaking
+/// one evaluator" without actually corrupting shipped evaluator code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Drop the first row of the reference answer (flip it, when
+    /// boolean).
+    DropRow,
+}
+
+fn mutate(norm: Norm, mutation: Option<Mutation>) -> Norm {
+    match (mutation, norm) {
+        (Some(Mutation::DropRow), Norm::Rows(mut rows)) if !rows.is_empty() => {
+            rows.remove(0);
+            Norm::Rows(rows)
+        }
+        (Some(Mutation::DropRow), Norm::Bool(b)) => Norm::Bool(!b),
+        (_, norm) => norm,
+    }
+}
+
+/// One oracle disagreement.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Which oracle pair disagreed (stable name, stored in repro files).
+    pub oracle: String,
+    /// Human-readable summary of both sides.
+    pub detail: String,
+}
+
+/// Runs a request directly through [`execute`] and normalizes.
+fn run_direct(db: &Database, req: &ExecRequest) -> Norm {
+    match execute(db, req) {
+        Ok(outcome) => match outcome.answer {
+            Answer::Boolean(b) => Norm::Bool(b),
+            Answer::Rows(rel) => Norm::Rows(
+                rel.sorted()
+                    .into_iter()
+                    .map(|t| t.as_slice().to_vec())
+                    .collect(),
+            ),
+            Answer::Text(t) => Norm::Error(format!("unexpected text answer: {t}")),
+        },
+        Err(e) => Norm::Error(e.code().to_string()),
+    }
+}
+
+fn base_request(case: &Case) -> ExecRequest {
+    match &case.kind {
+        CaseKind::Query(q) => ExecRequest::query(q.to_string()),
+        CaseKind::Datalog(p, out) => ExecRequest::datalog(p.to_text(), out.clone()),
+    }
+}
+
+/// The reference answer: the default engine for the case's language.
+pub fn reference(case: &Case) -> Norm {
+    run_direct(&case.db, &base_request(case))
+}
+
+/// A live server the round-trip oracles talk to. One instance serves a
+/// whole fuzz run; each case's database is loaded under the name
+/// `fuzz` (the result cache stays sound across reloads because its key
+/// includes the database fingerprint).
+pub struct ServerOracle {
+    handle: ServerHandle,
+    client: Client,
+    loaded: Option<u64>,
+}
+
+impl ServerOracle {
+    /// Starts a loopback server with a small worker pool.
+    pub fn start() -> io::Result<ServerOracle> {
+        let handle = Server::start(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            ..ServerConfig::default()
+        })?;
+        let client = Client::connect(handle.addr())?;
+        Ok(ServerOracle {
+            handle,
+            client,
+            loaded: None,
+        })
+    }
+
+    /// Graceful shutdown (also happens on drop of the handle).
+    pub fn shutdown(&mut self) {
+        let _ = self.client.shutdown();
+        self.handle.shutdown();
+    }
+
+    fn ensure_db(&mut self, db: &Database) -> Result<(), Norm> {
+        let fp = db.fingerprint();
+        if self.loaded == Some(fp) {
+            return Ok(());
+        }
+        let resp = self
+            .client
+            .load_db("fuzz", &write_database(db))
+            .map_err(|e| Norm::Error(format!("io: {e}")))?;
+        if !Client::is_ok(&resp) {
+            return Err(Norm::Error(
+                Client::error_code(&resp).unwrap_or("load_db failed").into(),
+            ));
+        }
+        self.loaded = Some(fp);
+        Ok(())
+    }
+
+    fn norm_response(resp: &Json) -> Norm {
+        if !Client::is_ok(resp) {
+            return Norm::Error(Client::error_code(resp).unwrap_or("unknown_error").into());
+        }
+        if let Some(b) = resp.get("boolean") {
+            return Norm::Bool(b.is_true());
+        }
+        let mut rows: Vec<Vec<Elem>> = resp
+            .get("rows")
+            .and_then(Json::as_arr)
+            .map(|rs| {
+                rs.iter()
+                    .map(|r| {
+                        r.as_arr()
+                            .map(|xs| {
+                                xs.iter()
+                                    .filter_map(Json::as_u64)
+                                    .map(|x| x as Elem)
+                                    .collect()
+                            })
+                            .unwrap_or_default()
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        rows.sort();
+        Norm::Rows(rows)
+    }
+
+    /// One materialized round trip.
+    fn eval(&mut self, case: &Case) -> Norm {
+        if let Err(e) = self.ensure_db(&case.db) {
+            return e;
+        }
+        let resp = match &case.kind {
+            CaseKind::Query(q) => self.client.eval("fuzz", &q.to_string()),
+            CaseKind::Datalog(p, out) => self.client.datalog("fuzz", &p.to_text(), out),
+        };
+        match resp {
+            Ok(r) => Self::norm_response(&r),
+            Err(e) => Norm::Error(format!("io: {e}")),
+        }
+    }
+
+    /// One streaming round trip (query cases only).
+    fn eval_streaming(&mut self, case: &Case) -> Option<Norm> {
+        let CaseKind::Query(q) = &case.kind else {
+            return None;
+        };
+        if let Err(e) = self.ensure_db(&case.db) {
+            return Some(e);
+        }
+        match self.client.eval_stream("fuzz", &q.to_string()) {
+            Ok((header, rows, _footer)) => {
+                if !Client::is_ok(&header) {
+                    return Some(Norm::Error(
+                        Client::error_code(&header)
+                            .unwrap_or("unknown_error")
+                            .into(),
+                    ));
+                }
+                if let Some(b) = header.get("boolean") {
+                    return Some(Norm::Bool(b.is_true()));
+                }
+                let mut rows: Vec<Vec<Elem>> = rows
+                    .into_iter()
+                    .map(|r| r.into_iter().map(|x| x as Elem).collect())
+                    .collect();
+                rows.sort();
+                Some(Norm::Rows(rows))
+            }
+            Err(e) => Some(Norm::Error(format!("io: {e}"))),
+        }
+    }
+}
+
+/// The stable oracle names applicable to a language, in execution
+/// order. Shrinking re-runs a single one of these by name.
+pub fn oracles(lang: Lang, with_server: bool) -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = Vec::new();
+    match lang {
+        Lang::Fo => names.extend([
+            "naive-vs-bounded",
+            "threads-1-vs-n",
+            "metamorphic-double-negation",
+            "metamorphic-conjunct-shuffle",
+            "metamorphic-exists-reorder",
+            "metamorphic-minimize-width",
+            "metamorphic-domain-rename",
+        ]),
+        Lang::Fp | Lang::Pfp => names.extend([
+            "threads-1-vs-n",
+            "metamorphic-double-negation",
+            "metamorphic-conjunct-shuffle",
+            "metamorphic-domain-rename",
+        ]),
+        Lang::Datalog => names.extend([
+            "datalog-naive-vs-seminaive",
+            "datalog-vs-fp-translation",
+            "threads-1-vs-n",
+            "metamorphic-domain-rename",
+        ]),
+    }
+    if with_server {
+        names.extend(["server-materialized", "server-streaming", "server-cached"]);
+    }
+    names
+}
+
+fn compare(
+    oracle: &str,
+    left_label: &str,
+    left: Norm,
+    right_label: &str,
+    right: Norm,
+) -> Option<Divergence> {
+    if left == right {
+        return None;
+    }
+    Some(Divergence {
+        oracle: oracle.to_string(),
+        detail: format!(
+            "{left_label}: {} ≠ {right_label}: {}",
+            left.summary(),
+            right.summary()
+        ),
+    })
+}
+
+/// Runs one named oracle pair on a case. `seed` drives the seeded
+/// rewrites (shuffle order, domain permutation) so a given
+/// `(case, oracle, seed)` triple is fully deterministic — the shrinker
+/// relies on that. Returns `Ok(checks_performed)` or the divergence.
+pub fn run_oracle(
+    case: &Case,
+    oracle: &str,
+    server: Option<&mut ServerOracle>,
+    mutation: Option<Mutation>,
+    seed: u64,
+) -> Result<usize, Divergence> {
+    let rf = || mutate(reference(case), mutation);
+    let against = |name: &str, other: Norm| -> Result<usize, Divergence> {
+        match compare(name, "reference", rf(), name, other) {
+            None => Ok(1),
+            Some(d) => Err(d),
+        }
+    };
+    match oracle {
+        "naive-vs-bounded" => {
+            let req = base_request(case).with_opts(EvalOptions {
+                naive: true,
+                ..EvalOptions::default()
+            });
+            against(oracle, run_direct(&case.db, &req))
+        }
+        "datalog-naive-vs-seminaive" => {
+            let req = base_request(case).with_opts(EvalOptions {
+                naive: true,
+                ..EvalOptions::default()
+            });
+            against(oracle, run_direct(&case.db, &req))
+        }
+        "datalog-vs-fp-translation" => {
+            let CaseKind::Datalog(p, out) = &case.kind else {
+                return Ok(0);
+            };
+            let arity = p
+                .idb_predicates()
+                .iter()
+                .find(|(name, _)| name == out)
+                .map(|(_, a)| *a)
+                .unwrap_or(0);
+            let formula = match to_fp_formula_multi(p, out) {
+                Ok(f) => f,
+                // The translation rejects what the engines reject;
+                // agreement-on-error keeps shrinking sound.
+                Err(_) => return Ok(0),
+            };
+            let q = Query::new((0..arity as u32).map(Var).collect(), formula);
+            let req = ExecRequest::query(q.to_string());
+            against(oracle, run_direct(&case.db, &req))
+        }
+        "threads-1-vs-n" => {
+            let one = base_request(case).with_opts(EvalOptions {
+                threads: Some(1),
+                ..EvalOptions::default()
+            });
+            let many = base_request(case).with_opts(EvalOptions {
+                threads: Some(3),
+                ..EvalOptions::default()
+            });
+            let left = mutate(run_direct(&case.db, &one), mutation);
+            match compare(
+                oracle,
+                "threads=1",
+                left,
+                "threads=3",
+                run_direct(&case.db, &many),
+            ) {
+                None => Ok(1),
+                Some(d) => Err(d),
+            }
+        }
+        "metamorphic-double-negation" => {
+            let CaseKind::Query(q) = &case.kind else {
+                return Ok(0);
+            };
+            let dn = metamorphic::double_negation(q);
+            against(
+                oracle,
+                run_direct(&case.db, &ExecRequest::query(dn.to_string())),
+            )
+        }
+        "metamorphic-conjunct-shuffle" => {
+            let CaseKind::Query(q) = &case.kind else {
+                return Ok(0);
+            };
+            let s = metamorphic::conjunct_shuffle(q, seed);
+            against(
+                oracle,
+                run_direct(&case.db, &ExecRequest::query(s.to_string())),
+            )
+        }
+        "metamorphic-exists-reorder" => {
+            let CaseKind::Query(q) = &case.kind else {
+                return Ok(0);
+            };
+            match metamorphic::exists_reorder(q) {
+                Some(r) => against(
+                    oracle,
+                    run_direct(&case.db, &ExecRequest::query(r.to_string())),
+                ),
+                None => Ok(0),
+            }
+        }
+        "metamorphic-minimize-width" => {
+            let CaseKind::Query(q) = &case.kind else {
+                return Ok(0);
+            };
+            match metamorphic::minimized(q) {
+                Some(m) => against(
+                    oracle,
+                    run_direct(&case.db, &ExecRequest::query(m.to_string())),
+                ),
+                None => Ok(0),
+            }
+        }
+        "metamorphic-domain-rename" => {
+            let perm = metamorphic::permutation(case.db.domain_size(), seed);
+            let db2 = metamorphic::rename_db(&case.db, &perm);
+            let renamed = match &case.kind {
+                CaseKind::Query(q) => {
+                    let q2 = metamorphic::rename_query(q, &perm);
+                    run_direct(&db2, &ExecRequest::query(q2.to_string()))
+                }
+                CaseKind::Datalog(p, out) => {
+                    let p2 = metamorphic::rename_program(p, &perm);
+                    run_direct(&db2, &ExecRequest::datalog(p2.to_text(), out.clone()))
+                }
+            };
+            let expected = rf().rename(&perm);
+            match compare(oracle, "π(reference)", expected, "eval∘π", renamed) {
+                None => Ok(1),
+                Some(d) => Err(d),
+            }
+        }
+        "server-materialized" => match server {
+            Some(s) => against(oracle, s.eval(case)),
+            None => Ok(0),
+        },
+        "server-streaming" => match server {
+            Some(s) => match s.eval_streaming(case) {
+                Some(norm) => against(oracle, norm),
+                None => Ok(0),
+            },
+            None => Ok(0),
+        },
+        "server-cached" => match server {
+            Some(s) => {
+                // Two round trips: the second is served from the result
+                // LRU when cacheable; both must match the reference.
+                let first = s.eval(case);
+                let second = s.eval(case);
+                if let Some(d) = compare(oracle, "cold", first.clone(), "cached", second) {
+                    return Err(d);
+                }
+                against(oracle, first).map(|c| c + 1)
+            }
+            None => Ok(0),
+        },
+        other => {
+            debug_assert!(false, "unknown oracle `{other}`");
+            Ok(0)
+        }
+    }
+}
+
+/// The outcome of pushing one case through every applicable oracle.
+#[derive(Clone, Debug)]
+pub struct CheckOutcome {
+    /// Comparisons performed.
+    pub checks: usize,
+    /// The first divergence, if any.
+    pub divergence: Option<Divergence>,
+}
+
+/// Runs every applicable oracle pair on a case, stopping at the first
+/// divergence.
+pub fn check_case(
+    case: &Case,
+    mut server: Option<&mut ServerOracle>,
+    mutation: Option<Mutation>,
+    seed: u64,
+) -> CheckOutcome {
+    let mut checks = 0;
+    for name in oracles(case.lang, server.is_some()) {
+        match run_oracle(case, name, server.as_deref_mut(), mutation, seed) {
+            Ok(c) => checks += c,
+            Err(d) => {
+                return CheckOutcome {
+                    checks,
+                    divergence: Some(d),
+                }
+            }
+        }
+    }
+    CheckOutcome {
+        checks,
+        divergence: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_case;
+    use bvq_prng::Rng;
+
+    #[test]
+    fn reference_agrees_with_itself_across_small_sweep() {
+        for lang in Lang::all() {
+            for i in 0..25u64 {
+                let case = gen_case(&mut Rng::seed_from_u64(500 + i), lang);
+                let out = check_case(&case, None, None, i);
+                assert!(
+                    out.divergence.is_none(),
+                    "{lang} case {i} diverged: {:?}\ncase: {}",
+                    out.divergence,
+                    case.text()
+                );
+                assert!(out.checks > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_forces_a_divergence_on_nonempty_results() {
+        let mut found = false;
+        for i in 0..30u64 {
+            let case = gen_case(&mut Rng::seed_from_u64(i), Lang::Fo);
+            if reference(&case) == Norm::Rows(Vec::new()) {
+                continue;
+            }
+            let out = check_case(&case, None, Some(Mutation::DropRow), i);
+            assert!(out.divergence.is_some(), "mutation must be caught");
+            found = true;
+            break;
+        }
+        assert!(found, "sweep produced no case with a non-trivial answer");
+    }
+}

@@ -1,0 +1,185 @@
+//! Seed-stamped repro files.
+//!
+//! When a fuzz run finds (and shrinks) a divergence, it writes a
+//! self-contained text file that `bvq fuzz --repro FILE` replays — the
+//! case itself, not just the seed, so a repro survives generator
+//! changes. Format (`#` lines are comments):
+//!
+//! ```text
+//! # bvq-fuzz repro — replay with: bvq fuzz --repro FILE
+//! seed 0xBVQ5
+//! case 17
+//! lang fo
+//! oracle naive-vs-bounded
+//! query (x1) P(x1) and exists x2 E(x1, x2)
+//! db
+//! domain 4
+//! rel E 2
+//! 0 1
+//! ...
+//! ```
+//!
+//! Datalog cases carry `program` (rules on one `.`-separated line) and
+//! `output` lines instead of `query`. Everything after the `db` marker
+//! is the database in the standard text format.
+
+use bvq_datalog::parse_program;
+use bvq_logic::parser::parse_query;
+use bvq_relation::{parse_database, write_database};
+
+use crate::gen::{Case, CaseKind};
+use crate::Lang;
+
+/// A parsed repro file: the case to replay plus its provenance.
+#[derive(Clone, Debug)]
+pub struct Repro {
+    /// The case, exactly as shrunk.
+    pub case: Case,
+    /// The original run's `--seed`, verbatim.
+    pub seed: String,
+    /// The case index within that run.
+    pub index: u64,
+    /// The oracle pair that diverged.
+    pub oracle: String,
+}
+
+/// Renders a repro file.
+pub fn render_repro(repro: &Repro) -> String {
+    let mut out = String::new();
+    out.push_str("# bvq-fuzz repro — replay with: bvq fuzz --repro FILE\n");
+    out.push_str(&format!("seed {}\n", repro.seed));
+    out.push_str(&format!("case {}\n", repro.index));
+    out.push_str(&format!("lang {}\n", repro.case.lang));
+    out.push_str(&format!("oracle {}\n", repro.oracle));
+    match &repro.case.kind {
+        CaseKind::Query(q) => out.push_str(&format!("query {q}\n")),
+        CaseKind::Datalog(p, target) => {
+            let one_line = p.to_text().replace('\n', " ");
+            out.push_str(&format!("program {}\n", one_line.trim_end()));
+            out.push_str(&format!("output {target}\n"));
+        }
+    }
+    out.push_str("db\n");
+    out.push_str(&write_database(&repro.case.db));
+    out
+}
+
+/// Parses a repro file back into a replayable case.
+///
+/// # Errors
+/// Returns a human-readable message naming the missing or malformed
+/// field.
+pub fn parse_repro(text: &str) -> Result<Repro, String> {
+    let mut seed = None;
+    let mut index = None;
+    let mut lang = None;
+    let mut oracle = None;
+    let mut query = None;
+    let mut program = None;
+    let mut output = None;
+    let mut db_text = None;
+
+    let mut lines = text.lines();
+    while let Some(line) = lines.next() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, rest) = match line.split_once(' ') {
+            Some((k, r)) => (k, r.trim().to_string()),
+            None => (line, String::new()),
+        };
+        match key {
+            "seed" => seed = Some(rest),
+            "case" => {
+                index = Some(
+                    rest.parse::<u64>()
+                        .map_err(|_| format!("bad case index `{rest}`"))?,
+                )
+            }
+            "lang" => {
+                lang = Some(Lang::parse(&rest).ok_or_else(|| format!("unknown lang `{rest}`"))?)
+            }
+            "oracle" => oracle = Some(rest),
+            "query" => query = Some(rest),
+            "program" => program = Some(rest),
+            "output" => output = Some(rest),
+            "db" => {
+                // Everything that remains is the database text.
+                let rest_text: Vec<&str> = lines.collect();
+                db_text = Some(rest_text.join("\n"));
+                break;
+            }
+            other => return Err(format!("unknown repro field `{other}`")),
+        }
+    }
+
+    let lang = lang.ok_or("repro file is missing the `lang` line")?;
+    let db_text = db_text.ok_or("repro file is missing the `db` section")?;
+    let db = parse_database(&db_text).map_err(|e| format!("bad db section: {e}"))?;
+    let kind = match (query, program) {
+        (Some(q), None) => CaseKind::Query(parse_query(&q).map_err(|e| format!("bad query: {e}"))?),
+        (None, Some(p)) => {
+            let prog = parse_program(&p).map_err(|e| format!("bad program: {e}"))?;
+            let target = output.ok_or("datalog repro is missing the `output` line")?;
+            CaseKind::Datalog(prog, target)
+        }
+        (Some(_), Some(_)) => return Err("repro has both `query` and `program`".into()),
+        (None, None) => return Err("repro has neither `query` nor `program`".into()),
+    };
+    Ok(Repro {
+        case: Case { lang, db, kind },
+        seed: seed.unwrap_or_else(|| "0".into()),
+        index: index.unwrap_or(0),
+        oracle: oracle.unwrap_or_default(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_case;
+    use bvq_prng::Rng;
+
+    #[test]
+    fn every_language_round_trips_through_the_repro_format() {
+        for lang in Lang::all() {
+            for i in 0..10u64 {
+                let case = gen_case(&mut Rng::seed_from_u64(900 + i), lang);
+                let repro = Repro {
+                    case: case.clone(),
+                    seed: "0xBVQ5".into(),
+                    index: i,
+                    oracle: "naive-vs-bounded".into(),
+                };
+                let text = render_repro(&repro);
+                let back =
+                    parse_repro(&text).unwrap_or_else(|e| panic!("{lang} case {i}: {e}\n{text}"));
+                assert_eq!(back.case.lang, lang);
+                assert_eq!(back.seed, "0xBVQ5");
+                assert_eq!(back.index, i);
+                assert_eq!(back.oracle, "naive-vs-bounded");
+                assert_eq!(back.case.text(), case.text(), "case text must survive");
+                assert_eq!(
+                    back.case.db.fingerprint(),
+                    case.db.fingerprint(),
+                    "database must survive"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_field() {
+        assert!(parse_repro("lang klingon\ndb\ndomain 1\n").is_err());
+        assert!(parse_repro("query (x1) P(x1)\n")
+            .unwrap_err()
+            .contains("lang"));
+        assert!(parse_repro("lang fo\nquery (x1) P(x1)\n")
+            .unwrap_err()
+            .contains("db"));
+        assert!(parse_repro("lang fo\ndb\ndomain 1\n")
+            .unwrap_err()
+            .contains("query"));
+    }
+}

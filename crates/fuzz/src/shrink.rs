@@ -1,0 +1,349 @@
+//! Greedy case minimization.
+//!
+//! Given a failing case and a `fails` predicate (re-running the
+//! divergent oracle), the shrinker repeatedly tries the smallest local
+//! reductions — drop a tuple, collapse a formula node, drop a Datalog
+//! rule or body atom, truncate the domain — and keeps any that still
+//! fail. It loops until a full pass makes no progress or the attempt
+//! budget runs out, so repro files stay small enough to read.
+
+use bvq_datalog::{AtomTerm, Program};
+use bvq_logic::{Formula, Query, Term, Var};
+use bvq_relation::{Database, Elem, Relation, Tuple};
+
+use crate::gen::{Case, CaseKind};
+
+/// Shrinks `case` while `fails` keeps returning `true`, spending at
+/// most `max_attempts` candidate evaluations. Returns the smallest
+/// failing case found (possibly the original).
+pub fn shrink_case(
+    case: &Case,
+    fails: &mut impl FnMut(&Case) -> bool,
+    max_attempts: usize,
+) -> Case {
+    let mut best = case.clone();
+    let mut attempts = 0usize;
+    loop {
+        let mut progressed = false;
+        for candidate in candidates(&best) {
+            if attempts >= max_attempts {
+                return best;
+            }
+            attempts += 1;
+            if fails(&candidate) {
+                best = candidate;
+                progressed = true;
+                break; // restart candidate enumeration from the smaller case
+            }
+        }
+        if !progressed {
+            return best;
+        }
+    }
+}
+
+/// All one-step reductions of a case, smallest-effect first: tuple
+/// drops, then structural reductions, then domain truncation.
+fn candidates(case: &Case) -> Vec<Case> {
+    let mut out = Vec::new();
+    // 1. Drop one tuple from one relation.
+    for (id, name, _) in case.db.schema().iter() {
+        let rel = case.db.relation(id);
+        for skip in 0..rel.len() {
+            if let Some(db) = without_tuple(&case.db, name, skip) {
+                out.push(Case { db, ..case.clone() });
+            }
+        }
+    }
+    // 2. Structural reductions of the query / program.
+    match &case.kind {
+        CaseKind::Query(q) => {
+            for f in reduce_formula(&q.formula) {
+                let mut output: Vec<Var> = f.free_vars();
+                output.sort_by_key(|v| v.0);
+                output.dedup();
+                let q2 = Query::new(output, f);
+                if q2.validate().is_err() {
+                    continue;
+                }
+                out.push(Case {
+                    kind: CaseKind::Query(q2),
+                    ..case.clone()
+                });
+            }
+        }
+        CaseKind::Datalog(p, target) => {
+            for p2 in reduce_program(p, target) {
+                out.push(Case {
+                    kind: CaseKind::Datalog(p2, target.clone()),
+                    ..case.clone()
+                });
+            }
+        }
+    }
+    // 3. Truncate the domain to the largest element actually used.
+    if let Some(db) = truncate_domain(case) {
+        out.push(Case { db, ..case.clone() });
+    }
+    out
+}
+
+/// Rebuilds the database with tuple number `skip` of `target` removed.
+fn without_tuple(db: &Database, target: &str, skip: usize) -> Option<Database> {
+    let mut out = Database::new(db.domain_size());
+    for (id, name, arity) in db.schema().iter() {
+        let mut rel = Relation::new(arity);
+        for (i, t) in db.relation(id).sorted().into_iter().enumerate() {
+            if name == target && i == skip {
+                continue;
+            }
+            rel.insert(t);
+        }
+        out.add_relation(name, rel).ok()?;
+    }
+    Some(out)
+}
+
+/// One-step reductions of a formula, applied at every position.
+fn reduce_formula(f: &Formula) -> Vec<Formula> {
+    let mut out = Vec::new();
+    step(f, &mut |g| out.push(g));
+    out
+}
+
+/// Calls `emit` with every formula obtained by reducing exactly one
+/// node of `f`. (`dyn` keeps the recursive wrapping closures from
+/// instantiating without bound.)
+fn step(f: &Formula, emit: &mut dyn FnMut(Formula)) {
+    // Reductions of the node itself.
+    match f {
+        Formula::And(a, b) | Formula::Or(a, b) => {
+            emit(a.as_ref().clone());
+            emit(b.as_ref().clone());
+        }
+        Formula::Not(g) => emit(g.as_ref().clone()),
+        Formula::Exists(v, g) | Formula::Forall(v, g) => {
+            if g.free_vars().contains(v) {
+                if let Ok(ground) = g.substitute_var(*v, Term::Const(0)) {
+                    emit(ground);
+                }
+            } else {
+                emit(g.as_ref().clone());
+            }
+        }
+        Formula::Fix { .. } => {
+            emit(Formula::Const(true));
+            emit(Formula::Const(false));
+        }
+        _ => {}
+    }
+    if !matches!(f, Formula::Const(_) | Formula::Atom(_) | Formula::Eq(..)) {
+        emit(Formula::Const(true));
+        emit(Formula::Const(false));
+    }
+    // Reductions inside one child, the rest untouched.
+    match f {
+        Formula::Not(g) => step(g, &mut |g2| emit(Formula::Not(Box::new(g2)))),
+        Formula::And(a, b) => {
+            step(a, &mut |a2| emit(a2.and(b.as_ref().clone())));
+            step(b, &mut |b2| emit(a.as_ref().clone().and(b2)));
+        }
+        Formula::Or(a, b) => {
+            step(a, &mut |a2| emit(a2.or(b.as_ref().clone())));
+            step(b, &mut |b2| emit(a.as_ref().clone().or(b2)));
+        }
+        Formula::Exists(v, g) => step(g, &mut |g2| emit(g2.exists(*v))),
+        Formula::Forall(v, g) => step(g, &mut |g2| emit(g2.forall(*v))),
+        Formula::Fix {
+            kind,
+            rel,
+            bound,
+            body,
+            args,
+        } => step(body, &mut |b2| {
+            emit(Formula::Fix {
+                kind: *kind,
+                rel: rel.clone(),
+                bound: bound.clone(),
+                body: Box::new(b2),
+                args: args.clone(),
+            })
+        }),
+        _ => {}
+    }
+}
+
+/// One-step reductions of a Datalog program: drop a whole rule, or one
+/// body atom of one rule. Only candidates that still validate (and
+/// still define the target) survive.
+fn reduce_program(p: &Program, target: &str) -> Vec<Program> {
+    let mut out = Vec::new();
+    for skip in 0..p.rules.len() {
+        let mut p2 = p.clone();
+        p2.rules.remove(skip);
+        push_if_valid(p2, target, &mut out);
+    }
+    for (ri, r) in p.rules.iter().enumerate() {
+        if r.body.len() <= 1 {
+            continue;
+        }
+        for ai in 0..r.body.len() {
+            let mut p2 = p.clone();
+            p2.rules[ri].body.remove(ai);
+            push_if_valid(p2, target, &mut out);
+        }
+    }
+    out
+}
+
+fn push_if_valid(p: Program, target: &str, out: &mut Vec<Program>) {
+    let defines_target = p.idb_predicates().iter().any(|(n, _)| n == target);
+    if defines_target && p.validate().is_ok() {
+        out.push(p);
+    }
+}
+
+/// Shrinks the domain to `max used element + 1` when that is smaller
+/// than the current domain. Constants in the query cap the floor too.
+fn truncate_domain(case: &Case) -> Option<Database> {
+    let mut max_used: Elem = 0;
+    let mut any = false;
+    for (id, _, _) in case.db.schema().iter() {
+        for t in case.db.relation(id).iter() {
+            for &e in t.as_slice() {
+                max_used = max_used.max(e);
+                any = true;
+            }
+        }
+    }
+    match &case.kind {
+        CaseKind::Query(q) => {
+            for c in formula_consts(&q.formula) {
+                max_used = max_used.max(c);
+                any = true;
+            }
+        }
+        CaseKind::Datalog(p, _) => {
+            for r in &p.rules {
+                for a in &r.body {
+                    for t in &a.args {
+                        if let AtomTerm::Const(c) = t {
+                            max_used = max_used.max(*c);
+                            any = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Keep at least a 1-element domain so guards like `x = 0` and the
+    // shrinker's `Const(0)` substitutions stay in range.
+    let want = if any { max_used as usize + 1 } else { 1 };
+    if want >= case.db.domain_size() {
+        return None;
+    }
+    let mut out = Database::new(want);
+    for (id, name, arity) in case.db.schema().iter() {
+        let mut rel = Relation::new(arity);
+        for t in case.db.relation(id).iter() {
+            rel.insert(Tuple::from(t.as_slice().to_vec()));
+        }
+        out.add_relation(name, rel).ok()?;
+    }
+    Some(out)
+}
+
+fn formula_consts(f: &Formula) -> Vec<Elem> {
+    let mut out = Vec::new();
+    collect_consts(f, &mut out);
+    out
+}
+
+fn collect_consts(f: &Formula, out: &mut Vec<Elem>) {
+    fn term(t: &Term, out: &mut Vec<Elem>) {
+        if let Term::Const(c) = t {
+            out.push(*c);
+        }
+    }
+    match f {
+        Formula::Const(_) => {}
+        Formula::Atom(a) => a.args.iter().for_each(|t| term(t, out)),
+        Formula::Eq(a, b) => {
+            term(a, out);
+            term(b, out);
+        }
+        Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => collect_consts(g, out),
+        Formula::And(a, b) | Formula::Or(a, b) => {
+            collect_consts(a, out);
+            collect_consts(b, out);
+        }
+        Formula::Fix { body, args, .. } => {
+            collect_consts(body, out);
+            args.iter().for_each(|t| term(t, out));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lang;
+    use bvq_relation::Database;
+
+    fn tiny_case() -> Case {
+        let db = Database::builder(4)
+            .relation("E", 2, [[0u32, 1], [1, 2], [2, 3]])
+            .relation("P", 1, [[1u32], [3]])
+            .build();
+        let q = Query::new(
+            vec![Var(0)],
+            Formula::atom("P", [Term::Var(Var(0))])
+                .and(Formula::atom("E", [Term::Var(Var(0)), Term::Var(Var(1))]).exists(Var(1))),
+        );
+        Case {
+            lang: Lang::Fo,
+            db,
+            kind: CaseKind::Query(q),
+        }
+    }
+
+    #[test]
+    fn shrinking_a_row_count_predicate_reaches_the_floor() {
+        let case = tiny_case();
+        // "Fails" whenever P is non-empty: minimal form is one P tuple,
+        // no E tuples, trivial formula.
+        let mut fails = |c: &Case| {
+            c.db.relation_by_name("P")
+                .map(|r| !r.is_empty())
+                .unwrap_or(false)
+        };
+        let small = shrink_case(&case, &mut fails, 500);
+        assert_eq!(
+            small.db.relation_by_name("P").map(|r| r.len()).unwrap_or(0),
+            1
+        );
+        assert_eq!(
+            small.db.relation_by_name("E").map(|r| r.len()).unwrap_or(0),
+            0
+        );
+        assert!(
+            small.nodes() <= 2,
+            "formula should collapse, got {}",
+            small.nodes()
+        );
+        assert!(small.db.domain_size() <= case.db.domain_size());
+    }
+
+    #[test]
+    fn shrinking_never_returns_a_passing_case() {
+        let case = tiny_case();
+        let mut calls = 0usize;
+        let mut fails = |c: &Case| {
+            calls += 1;
+            c.tuples() >= 3
+        };
+        let small = shrink_case(&case, &mut fails, 200);
+        assert!(small.tuples() >= 3);
+        assert!(calls <= 201);
+    }
+}

@@ -75,6 +75,12 @@ pub struct ServerConfig {
     /// `admission_rejected` — unsafe or ill-formed work never occupies
     /// a worker.
     pub admission: bool,
+    /// Maximum accepted request-frame length in bytes. A longer line is
+    /// drained (never buffered whole), answered with a structured
+    /// `bad_request`, and the connection keeps serving — a hostile or
+    /// buggy client cannot make a connection thread allocate
+    /// unboundedly.
+    pub max_frame_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +97,7 @@ impl Default for ServerConfig {
             default_deadline_ms: None,
             debug_ops: false,
             admission: false,
+            max_frame_bytes: 1 << 20,
         }
     }
 }
@@ -350,10 +357,28 @@ fn handle_connection(
     tx: &SyncSender<Msg>,
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
-    let reader = BufReader::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    let cap = shared.cfg.max_frame_bytes.max(1);
+    loop {
+        let line = match read_frame(&mut reader, cap)? {
+            Frame::Eof => return Ok(()),
+            Frame::Line(line) => line,
+            Frame::Oversized => {
+                inc(&shared.stats.requests);
+                inc(&shared.stats.errors);
+                let error = ProtoError::new(
+                    "bad_request",
+                    format!(
+                        "frame exceeds the {cap}-byte limit; split the request or \
+                         raise the server's max_frame_bytes"
+                    ),
+                );
+                write_json(&mut writer, &err_response(&Json::Null, &error))?;
+                writer.flush()?;
+                continue;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -361,7 +386,72 @@ fn handle_connection(
         process_line(&line, shared, tx, &mut writer)?;
         writer.flush()?;
     }
-    Ok(())
+}
+
+/// One read attempt from the request stream.
+enum Frame {
+    /// A complete newline-terminated (or EOF-terminated) frame.
+    Line(String),
+    /// The frame exceeded the byte cap; its remainder has been drained.
+    Oversized,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Reads one `\n`-terminated frame, holding at most `cap` bytes in
+/// memory. An over-long line is discarded chunk by chunk up to its
+/// terminating newline (or EOF), so the connection can keep serving
+/// subsequent well-formed requests.
+fn read_frame<R: BufRead>(reader: &mut R, cap: usize) -> io::Result<Frame> {
+    let mut buf = Vec::new();
+    let mut oversized = false;
+    let mut saw_any = false;
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(a) => a,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            if !saw_any {
+                return Ok(Frame::Eof);
+            }
+            break;
+        }
+        saw_any = true;
+        match available.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                if !oversized {
+                    buf.extend_from_slice(&available[..i]);
+                }
+                reader.consume(i + 1);
+                break;
+            }
+            None => {
+                let len = available.len();
+                if !oversized {
+                    buf.extend_from_slice(available);
+                }
+                reader.consume(len);
+            }
+        }
+        if buf.len() > cap {
+            // Cap hit mid-line: stop accumulating, keep draining to the
+            // terminating newline (or EOF).
+            oversized = true;
+            buf.clear();
+        }
+    }
+    if oversized || buf.len() > cap {
+        return Ok(Frame::Oversized);
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    match String::from_utf8(buf) {
+        Ok(s) => Ok(Frame::Line(s)),
+        Err(e) => Ok(Frame::Line(String::from_utf8_lossy(e.as_bytes()).into())),
+    }
 }
 
 fn write_json<W: Write + ?Sized>(writer: &mut W, json: &Json) -> io::Result<()> {

@@ -1,0 +1,150 @@
+//! Integration smoke tests for the `bvq-fuzz` subsystem: a clean
+//! differential run per language (server oracles included), the
+//! mutation sanity check with its shrink-quality floor, the
+//! intermediate-arity sweep backing Proposition 3.1, the
+//! database-fingerprint insertion-order regression, and a fault
+//! injection round.
+
+use bvq_fuzz::oracle::Mutation;
+use bvq_fuzz::{case_rng, gen_case, run_fault_injection, run_fuzz, Lang};
+use bvq_fuzz::{driver::FuzzConfig, gen::CaseKind};
+use bvq_relation::{Database, Relation, Tuple};
+use bvq_server::exec::{execute, ExecRequest};
+
+/// Every language fuzzes clean against the full oracle set — including
+/// the live-server round trips — on a fixed seed.
+#[test]
+fn fuzz_smoke_all_languages_clean() {
+    let cfg = FuzzConfig {
+        cases: 25,
+        seed: bvq_fuzz::parse_seed("0xBVQ5"),
+        seed_text: "0xBVQ5".into(),
+        with_server: true,
+        ..FuzzConfig::default()
+    };
+    let outcome = run_fuzz(&cfg).expect("harness runs");
+    assert!(
+        outcome.ok(),
+        "divergences on a clean build: {:#?}",
+        outcome.failures
+    );
+    for s in &outcome.summaries {
+        assert_eq!(s.cases, 25, "{} ran short", s.lang);
+        assert!(s.checks >= 25, "{} barely checked anything", s.lang);
+    }
+}
+
+/// The harness's own sanity check: corrupting the reference side must
+/// produce a failure, and the shrinker must deliver a *small* repro —
+/// at most 6 database tuples and 5 formula nodes.
+#[test]
+fn mutation_sanity_check_shrinks_to_a_tiny_repro() {
+    let cfg = FuzzConfig {
+        cases: 40,
+        seed: 2024,
+        seed_text: "2024".into(),
+        langs: vec![Lang::Fo],
+        with_server: false,
+        mutation: Some(Mutation::DropRow),
+        ..FuzzConfig::default()
+    };
+    let outcome = run_fuzz(&cfg).expect("harness runs");
+    assert!(!outcome.ok(), "a mutated reference must be caught");
+    let f = &outcome.failures[0];
+    assert!(
+        f.repro.case.tuples() <= 6,
+        "repro db has {} tuples (want <= 6):\n{}",
+        f.repro.case.tuples(),
+        f.repro_text
+    );
+    assert!(
+        f.repro.case.nodes() <= 5,
+        "repro formula has {} nodes (want <= 5):\n{}",
+        f.repro.case.nodes(),
+        f.repro_text
+    );
+    // The written artifact is replayable: it parses back to the same
+    // case and carries the provenance fields.
+    let parsed = bvq_fuzz::parse_repro(&f.repro_text).expect("repro parses");
+    assert_eq!(parsed.seed, "2024");
+    assert_eq!(parsed.oracle, f.divergence.oracle);
+    assert_eq!(parsed.case.text(), f.repro.case.text());
+}
+
+/// `Database::fingerprint` is a function of the database's *content*:
+/// inserting the same tuples in a different order must not change it.
+#[test]
+fn fingerprint_ignores_tuple_insertion_order() {
+    let tuples: &[[u32; 2]] = &[[0, 1], [1, 2], [2, 3], [3, 0], [1, 3]];
+    let build = |order: &[usize]| {
+        let mut rel = Relation::new(2);
+        for &i in order {
+            rel.insert(Tuple::from(tuples[i].to_vec()));
+        }
+        let mut db = Database::new(5);
+        db.add_relation("E", rel).unwrap();
+        let mut p = Relation::new(1);
+        for &i in order {
+            p.insert(Tuple::from(vec![tuples[i][0]]));
+        }
+        db.add_relation("P", p).unwrap();
+        db
+    };
+    let forward = build(&[0, 1, 2, 3, 4]);
+    let permuted = build(&[3, 1, 4, 0, 2]);
+    let reversed = build(&[4, 3, 2, 1, 0]);
+    assert_eq!(forward.fingerprint(), permuted.fingerprint());
+    assert_eq!(forward.fingerprint(), reversed.fingerprint());
+    // And it still distinguishes different content.
+    let mut other = build(&[0, 1, 2, 3, 4]);
+    other
+        .relation_by_name("E")
+        .map(|r| r.len())
+        .expect("E exists");
+    let mut extra = Relation::new(1);
+    extra.insert(Tuple::from(vec![4u32]));
+    other.add_relation("Q", extra).unwrap();
+    assert_ne!(forward.fingerprint(), other.fingerprint());
+}
+
+/// Proposition 3.1: bottom-up `FO^k` evaluation only ever materializes
+/// relations of arity at most `k`. Checked against the measured span
+/// tree of a sweep of generated `FO^k` cases.
+#[test]
+fn intermediate_arity_stays_within_k_on_generated_cases() {
+    fn walk(span: &bvq_relation::Span, k: usize, query: &str) {
+        assert!(
+            span.arity <= k,
+            "span `{}` ({}) has arity {} > k = {k} in {query}",
+            span.kind,
+            span.detail,
+            span.arity
+        );
+        for c in &span.children {
+            walk(c, k, query);
+        }
+    }
+    let mut traced = 0usize;
+    for index in 0..60u64 {
+        let case = gen_case(&mut case_rng(77, Lang::Fo, index), Lang::Fo);
+        let CaseKind::Query(q) = &case.kind else {
+            unreachable!("fo cases are queries")
+        };
+        let req = ExecRequest::query(q.to_string()).with_trace(true);
+        let outcome = execute(&case.db, &req).expect("generated cases evaluate");
+        let span = outcome.trace.expect("trace was requested");
+        walk(&span, outcome.k, &q.to_string());
+        traced += 1;
+    }
+    assert_eq!(traced, 60);
+}
+
+/// One full fault-injection round: dropped streams, oversized and
+/// truncated frames, deadline races — the pool must stay healthy.
+#[test]
+fn fault_injection_round_keeps_the_server_healthy() {
+    let report = run_fault_injection(41, 1).expect("no protocol violations");
+    assert_eq!(report.health_checks, 1);
+    assert_eq!(report.oversized_rejections, 1);
+    assert_eq!(report.deadline_races, 3);
+}

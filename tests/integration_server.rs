@@ -380,3 +380,106 @@ fn eso_over_the_wire() {
     assert_eq!(resp.get("language"), Some(&Json::str("ESO")));
     handle.shutdown();
 }
+
+/// An *empty* database — relations declared, zero tuples — answers
+/// every language with clean empty (or false) results, not errors.
+#[test]
+fn empty_database_answers_cleanly_in_every_language() {
+    let mut handle = default_server();
+    handle.load_db(
+        "empty",
+        parse_database("domain 4\nrel E/2\nend\nrel P/1\nend").unwrap(),
+    );
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    let resp = c.eval("empty", FO_QUERY).unwrap();
+    assert!(Client::is_ok(&resp), "{resp}");
+    assert!(rows_of(&resp).is_empty());
+
+    // The FP query still holds at the seeded constant 0.
+    let resp = c.eval("empty", FP_QUERY).unwrap();
+    assert!(Client::is_ok(&resp), "{resp}");
+    assert_eq!(rows_of(&resp), vec![vec![0]]);
+
+    let resp = c.datalog("empty", DATALOG_TC, "T").unwrap();
+    assert!(Client::is_ok(&resp), "{resp}");
+    assert!(rows_of(&resp).is_empty());
+    handle.shutdown();
+}
+
+/// 0-ary (boolean) queries come back as a structured `boolean` field in
+/// both materialized and streaming form — never a row set, never a hang.
+#[test]
+fn boolean_queries_answer_structurally_over_the_wire() {
+    let mut handle = default_server();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    for (sentence, want) in [
+        ("() exists x1. P(x1)", true),
+        ("() exists x1. (P(x1) & E(x1,x1))", false),
+    ] {
+        let resp = c.eval("g", sentence).unwrap();
+        assert!(Client::is_ok(&resp), "{resp}");
+        assert_eq!(resp.get("boolean"), Some(&Json::Bool(want)), "{resp}");
+        assert!(resp.get("rows").is_none(), "boolean answers carry no rows");
+
+        // Streaming a sentence degenerates to the same single object.
+        let (header, rows, _footer) = c.eval_stream("g", sentence).unwrap();
+        assert!(Client::is_ok(&header), "{header}");
+        assert_eq!(header.get("boolean"), Some(&Json::Bool(want)));
+        assert!(rows.is_empty());
+    }
+    handle.shutdown();
+}
+
+/// Deadlines expiring exactly on the between-rounds check (budget ≈ one
+/// fixpoint round) still produce a structured response — `ok` or
+/// `deadline_exceeded`, never a hang — and the connection keeps serving.
+#[test]
+fn deadline_on_the_round_boundary_stays_structured() {
+    let mut handle = default_server();
+    handle.load_db("big", graph_db(GraphKind::Sparse(2), 400, 23));
+    let mut c = Client::connect(handle.addr()).unwrap();
+    for deadline_ms in [0u64, 1, 2, 3] {
+        let resp = c
+            .eval_with(
+                "big",
+                FP_QUERY,
+                vec![
+                    ("deadline_ms", Json::num(deadline_ms)),
+                    ("no_cache", Json::Bool(true)),
+                ],
+            )
+            .unwrap();
+        let ok = Client::is_ok(&resp);
+        assert!(
+            ok || Client::error_code(&resp) == Some("deadline_exceeded"),
+            "deadline_ms={deadline_ms} answered {resp}"
+        );
+    }
+    // The worker survived every race.
+    assert!(c.ping().unwrap());
+    let resp = c.eval("g", FO_QUERY).unwrap();
+    assert!(Client::is_ok(&resp));
+    handle.shutdown();
+}
+
+/// Frames longer than `max_frame_bytes` are drained and rejected with
+/// a structured `bad_request`; the same connection keeps serving.
+#[test]
+fn oversized_frames_get_a_structured_rejection() {
+    let mut handle = start_server(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        max_frame_bytes: 1024,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let huge = format!("{{\"op\":\"ping\",\"pad\":\"{}\"}}", "y".repeat(4096));
+    c.send_line(&huge).unwrap();
+    let resp = c.recv().unwrap();
+    assert_eq!(Client::error_code(&resp), Some("bad_request"));
+    // Under the cap passes; the connection is still healthy.
+    assert!(c.ping().unwrap());
+    let resp = c.eval("g", FO_QUERY).unwrap();
+    assert!(Client::is_ok(&resp), "{resp}");
+    handle.shutdown();
+}
