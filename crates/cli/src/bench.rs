@@ -1,0 +1,528 @@
+//! `bvq bench` — the perf-trajectory harness behind the committed
+//! `BENCH_<n>.json` files and the CI regression gate.
+//!
+//! `bvq bench --json PATH` runs a fixed-seed suite of Table-2 workloads
+//! (FO/FP/PFP queries and a Datalog transitive closure, each timed on
+//! the interpreted and the compiled engine), an in-process server
+//! cold/warm round-trip, and a short fuzz sweep, and writes the
+//! measurements as integer metrics under a committed schema
+//! (`bvq-bench/v1`). `bvq bench --gate OLD NEW` compares two such files
+//! metric-by-metric and fails on regressions beyond a threshold —
+//! unless the two files were recorded on machines that are not
+//! comparable (different `nproc` / `overhead_only`), in which case
+//! regressions demote to warnings.
+//!
+//! Metric direction is encoded in the key suffix: `_ns` is
+//! lower-is-better; `_qps`, `_per_s` and `_pct` are higher-is-better.
+//! See EXPERIMENTS.md for how to read the files.
+
+use std::time::Instant;
+
+use bvq_fuzz::{run_fuzz, FuzzConfig, Lang};
+use bvq_logic::{patterns, Query, Term, Var};
+use bvq_relation::{write_database, Database, Tuple};
+use bvq_server::exec::{execute, CompileMode, EvalOptions, ExecRequest};
+use bvq_server::{Client, Json, Server, ServerConfig};
+
+/// The committed file-format identifier. Bump only with a migration
+/// note in EXPERIMENTS.md.
+pub const BENCH_SCHEMA: &str = "bvq-bench/v1";
+
+/// Entry point for `bvq bench …`.
+pub fn run_bench_cmd(args: &[String]) -> Result<(), String> {
+    let mut json_path: Option<String> = None;
+    let mut gate_paths: Option<(String, String)> = None;
+    let mut smoke = false;
+    let mut seed: u64 = 0xB0DE;
+    let mut threshold: u64 = 25;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" => json_path = Some(it.next().ok_or("--json needs a path")?.clone()),
+            "--gate" => {
+                let old = it.next().ok_or("--gate needs OLD and NEW paths")?.clone();
+                let new = it.next().ok_or("--gate needs OLD and NEW paths")?.clone();
+                gate_paths = Some((old, new));
+            }
+            "--smoke" => smoke = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad --seed value `{v}`"))?;
+            }
+            "--threshold" => {
+                let v = it.next().ok_or("--threshold needs a percentage")?;
+                threshold = v
+                    .parse()
+                    .map_err(|_| format!("bad --threshold value `{v}`"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if let Some((old, new)) = gate_paths {
+        let read = |p: &str| -> Result<Json, String> {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read `{p}`: {e}"))?;
+            Json::parse(&text).map_err(|e| format!("`{p}` is not valid bench JSON: {e:?}"))
+        };
+        let report = gate(&read(&old)?, &read(&new)?, threshold);
+        print!("{}", report.render());
+        return if report.failed() {
+            Err(format!(
+                "bench gate failed: {} metric(s) regressed more than {threshold}%",
+                report.failures.len()
+            ))
+        } else {
+            Ok(())
+        };
+    }
+    let report = run_suite(seed, smoke);
+    println!("{}", report.summary());
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json().to_string_compact())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// One finished suite run: environment stamps plus ordered metrics.
+pub struct BenchReport {
+    /// The run seed.
+    pub seed: u64,
+    /// Whether the reduced smoke configuration ran.
+    pub smoke: bool,
+    /// Worker threads available on the recording machine.
+    pub nproc: usize,
+    /// `true` on single-core machines, where parallel speedups cannot
+    /// manifest and timings measure overhead only — gates across
+    /// differing values of this flag never fail hard.
+    pub overhead_only: bool,
+    /// `(name, value)` metrics; direction by key suffix.
+    pub metrics: Vec<(String, u64)>,
+}
+
+impl BenchReport {
+    /// The committed JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str(BENCH_SCHEMA)),
+            ("seed", Json::num(self.seed)),
+            ("smoke", Json::Bool(self.smoke)),
+            ("nproc", Json::num(self.nproc as u64)),
+            ("overhead_only", Json::Bool(self.overhead_only)),
+            (
+                "metrics",
+                Json::Obj(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::num(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// A human-readable rendering of the metrics.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "bench: schema={BENCH_SCHEMA} seed={} smoke={} nproc={} overhead_only={}\n",
+            self.seed, self.smoke, self.nproc, self.overhead_only
+        );
+        for (k, v) in &self.metrics {
+            out.push_str(&format!("  {k} = {v}\n"));
+        }
+        out
+    }
+}
+
+/// Runs the full suite (or the reduced `--smoke` configuration) with a
+/// fixed seed and returns the report.
+pub fn run_suite(seed: u64, smoke: bool) -> BenchReport {
+    let nproc = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut metrics: Vec<(String, u64)> = Vec::new();
+    let (n_small, n_large, reps) = if smoke { (16, 32, 3) } else { (48, 96, 5) };
+
+    // Table-2 query workloads: each timed interpreted vs compiled.
+    let db_small = path_db(n_small);
+    let db_large = path_db(n_large);
+    let workloads: Vec<(&str, &Database, String)> = vec![
+        (
+            "fo_path",
+            &db_large,
+            "(x1,x2) exists x3. (E(x1,x3) & E(x3,x2) & ~P(x1))".to_string(),
+        ),
+        (
+            "fp_reach",
+            &db_large,
+            Query::new(vec![Var(0)], patterns::reach_from_const(0)).to_string(),
+        ),
+        (
+            "fp_fairness",
+            &db_small,
+            Query::sentence(patterns::fairness(Term::Const(0))).to_string(),
+        ),
+        (
+            "pfp_reach",
+            &db_small,
+            Query::new(vec![Var(0)], patterns::pfp_reach(0)).to_string(),
+        ),
+        (
+            "datalog_tc",
+            &db_large,
+            "T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).".to_string(),
+        ),
+    ];
+    for (name, db, text) in &workloads {
+        let request = |mode: CompileMode| -> ExecRequest {
+            let base = if *name == "datalog_tc" {
+                ExecRequest::datalog(text.clone(), "T")
+            } else {
+                ExecRequest::query(text.clone())
+            };
+            base.with_opts(EvalOptions {
+                compile: mode,
+                ..EvalOptions::default()
+            })
+        };
+        let interpreted = time_min(reps, || {
+            execute(db, &request(CompileMode::Off)).expect("bench workload evaluates");
+        });
+        let compiled = time_min(reps, || {
+            execute(db, &request(CompileMode::On)).expect("bench workload evaluates");
+        });
+        metrics.push((format!("{name}_interpreted_ns"), interpreted));
+        metrics.push((format!("{name}_compiled_ns"), compiled));
+        metrics.push((
+            format!("{name}_speedup_pct"),
+            interpreted.saturating_mul(100) / compiled.max(1),
+        ));
+    }
+
+    // Server round trips: one cold request, then warm repeats that hit
+    // the result cache.
+    let warm_reps: u64 = if smoke { 10 } else { 50 };
+    if let Some((cold_ns, warm_qps)) = server_round_trips(&db_small, warm_reps) {
+        metrics.push(("server_cold_ns".to_string(), cold_ns));
+        metrics.push(("server_warm_qps".to_string(), warm_qps));
+    }
+
+    // Fuzz throughput: generation + every applicable oracle, all four
+    // languages, no server.
+    let fuzz_cases: u64 = if smoke { 5 } else { 25 };
+    let start = Instant::now();
+    let outcome = run_fuzz(&FuzzConfig {
+        cases: fuzz_cases,
+        seed,
+        seed_text: seed.to_string(),
+        langs: Lang::all().to_vec(),
+        with_server: false,
+        mutation: None,
+        shrink_attempts: 100,
+        stop_on_failure: true,
+    })
+    .expect("fuzz sweep runs");
+    let elapsed = start.elapsed().as_nanos().max(1) as u64;
+    let total: u64 = outcome.summaries.iter().map(|s| s.cases).sum();
+    metrics.push((
+        "fuzz_cases_per_s".to_string(),
+        total.saturating_mul(1_000_000_000) / elapsed,
+    ));
+
+    BenchReport {
+        seed,
+        smoke,
+        nproc,
+        overhead_only: nproc == 1,
+        metrics,
+    }
+}
+
+/// Minimum wall time of `reps` runs, in nanoseconds (min discards
+/// scheduler noise better than the mean on loaded CI machines).
+fn time_min(reps: u64, mut f: impl FnMut()) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as u64);
+    }
+    best.max(1)
+}
+
+/// The path database the workloads run on: a directed path `E` with
+/// every third element marked `P`.
+fn path_db(n: u32) -> Database {
+    Database::builder(n as usize)
+        .relation(
+            "E",
+            2,
+            (0..n.saturating_sub(1)).map(|i| Tuple::from_slice(&[i, i + 1])),
+        )
+        .relation(
+            "P",
+            1,
+            (0..n)
+                .filter(|i| i % 3 == 1)
+                .map(|i| Tuple::from_slice(&[i])),
+        )
+        .build()
+}
+
+/// One cold and `warm_reps` warm server round trips; `None` when the
+/// loopback server cannot start (sandboxed environments).
+fn server_round_trips(db: &Database, warm_reps: u64) -> Option<(u64, u64)> {
+    let mut handle = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .ok()?;
+    let mut client = Client::connect(handle.addr()).ok()?;
+    let resp = client.load_db("bench", &write_database(db)).ok()?;
+    if !Client::is_ok(&resp) {
+        handle.shutdown();
+        return None;
+    }
+    let query = Query::new(vec![Var(0)], patterns::reach_from_const(0)).to_string();
+    let start = Instant::now();
+    let first = client.eval("bench", &query).ok()?;
+    let cold_ns = (start.elapsed().as_nanos() as u64).max(1);
+    if !Client::is_ok(&first) {
+        handle.shutdown();
+        return None;
+    }
+    let start = Instant::now();
+    for _ in 0..warm_reps {
+        let resp = client.eval("bench", &query).ok()?;
+        if !Client::is_ok(&resp) {
+            handle.shutdown();
+            return None;
+        }
+    }
+    let elapsed = (start.elapsed().as_nanos() as u64).max(1);
+    let _ = client.shutdown();
+    handle.shutdown();
+    Some((cold_ns, warm_reps.saturating_mul(1_000_000_000) / elapsed))
+}
+
+/// Whether a bigger value of this metric is better, by key suffix.
+fn higher_is_better(key: &str) -> bool {
+    key.ends_with("_qps") || key.ends_with("_per_s") || key.ends_with("_pct")
+}
+
+/// The gate's verdict on one metric pair.
+pub struct GateRow {
+    /// Metric key.
+    pub key: String,
+    /// Value in the baseline file.
+    pub old: u64,
+    /// Value in the fresh file.
+    pub new: u64,
+    /// Signed percentage change, positive = improvement.
+    pub delta_pct: i64,
+    /// Whether the change regressed past the threshold.
+    pub regressed: bool,
+}
+
+/// The regression gate's full output.
+pub struct GateReport {
+    /// One row per metric shared by both files.
+    pub rows: Vec<GateRow>,
+    /// Hard failures (regressions on comparable machines).
+    pub failures: Vec<String>,
+    /// Demoted or environmental warnings.
+    pub warnings: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether the gate should fail the build.
+    pub fn failed(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// A markdown delta table plus failure/warning lines — what CI
+    /// appends to the job summary.
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("| metric | old | new | delta | status |\n|---|---|---|---|---|\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "| {} | {} | {} | {:+}% | {} |\n",
+                r.key,
+                r.old,
+                r.new,
+                r.delta_pct,
+                if r.regressed { "REGRESSED" } else { "ok" }
+            ));
+        }
+        for w in &self.warnings {
+            out.push_str(&format!("warning: {w}\n"));
+        }
+        for f in &self.failures {
+            out.push_str(&format!("FAIL: {f}\n"));
+        }
+        if self.failures.is_empty() {
+            out.push_str("gate: ok\n");
+        }
+        out
+    }
+}
+
+/// Compares two `bvq-bench/v1` files: every metric present in both is
+/// diffed, and a change worse than `threshold_pct` percent fails the
+/// gate — demoted to a warning when the files come from machines that
+/// are not comparable (`nproc` or `overhead_only` differ) or from
+/// different schema versions.
+pub fn gate(old: &Json, new: &Json, threshold_pct: u64) -> GateReport {
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    let mut warnings = Vec::new();
+    let schema_of = |j: &Json| j.get("schema").and_then(Json::as_str).map(str::to_string);
+    let nproc_of = |j: &Json| j.get("nproc").and_then(Json::as_u64);
+    let overhead_of = |j: &Json| j.get("overhead_only").and_then(Json::as_bool);
+    let mut comparable = true;
+    if schema_of(old) != schema_of(new) {
+        warnings.push(format!(
+            "schema mismatch ({:?} vs {:?}) — comparisons are advisory",
+            schema_of(old),
+            schema_of(new)
+        ));
+        comparable = false;
+    }
+    if nproc_of(old) != nproc_of(new) || overhead_of(old) != overhead_of(new) {
+        warnings.push(format!(
+            "recorded on non-comparable machines (nproc {:?} → {:?}, overhead_only {:?} → {:?}) — regressions demoted to warnings",
+            nproc_of(old),
+            nproc_of(new),
+            overhead_of(old),
+            overhead_of(new)
+        ));
+        comparable = false;
+    }
+    let metric = |j: &Json, key: &str| -> Option<u64> {
+        j.get("metrics")
+            .and_then(|m| m.get(key))
+            .and_then(Json::as_u64)
+    };
+    let old_keys: Vec<String> = match old.get("metrics") {
+        Some(Json::Obj(pairs)) => pairs.iter().map(|(k, _)| k.clone()).collect(),
+        _ => Vec::new(),
+    };
+    for key in old_keys {
+        let (Some(a), Some(b)) = (metric(old, &key), metric(new, &key)) else {
+            continue;
+        };
+        // Positive delta = improvement, in the metric's own direction.
+        let delta_pct = if higher_is_better(&key) {
+            (b as i128 - a as i128) * 100 / (a.max(1) as i128)
+        } else {
+            (a as i128 - b as i128) * 100 / (a.max(1) as i128)
+        } as i64;
+        let regressed = delta_pct < -(threshold_pct as i64);
+        if regressed {
+            let msg = format!("{key}: {a} → {b} ({delta_pct:+}%, threshold -{threshold_pct}%)");
+            if comparable {
+                failures.push(msg);
+            } else {
+                warnings.push(msg);
+            }
+        }
+        rows.push(GateRow {
+            key,
+            old: a,
+            new: b,
+            delta_pct,
+            regressed,
+        });
+    }
+    if rows.is_empty() {
+        warnings.push("no shared metrics — nothing gated".to_string());
+    }
+    GateReport {
+        rows,
+        failures,
+        warnings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(nproc: u64, metrics: &[(&str, u64)]) -> Json {
+        Json::obj([
+            ("schema", Json::str(BENCH_SCHEMA)),
+            ("seed", Json::num(0)),
+            ("smoke", Json::Bool(true)),
+            ("nproc", Json::num(nproc)),
+            ("overhead_only", Json::Bool(nproc == 1)),
+            (
+                "metrics",
+                Json::Obj(
+                    metrics
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), Json::num(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn gate_passes_on_identical_reports() {
+        let r = report(
+            1,
+            &[("fp_reach_compiled_ns", 1000), ("server_warm_qps", 50)],
+        );
+        let g = gate(&r, &r, 25);
+        assert!(!g.failed(), "{}", g.render());
+        assert_eq!(g.rows.len(), 2);
+    }
+
+    #[test]
+    fn gate_fails_on_a_2x_slowdown() {
+        let old = report(1, &[("fp_reach_compiled_ns", 1000)]);
+        let new = report(1, &[("fp_reach_compiled_ns", 2000)]);
+        let g = gate(&old, &new, 25);
+        assert!(g.failed());
+        assert!(g.render().contains("REGRESSED"), "{}", g.render());
+        // Direction flips for higher-is-better metrics: halving QPS
+        // regresses, doubling latency-style `_ns` regresses.
+        let old = report(1, &[("server_warm_qps", 100)]);
+        let new = report(1, &[("server_warm_qps", 50)]);
+        assert!(gate(&old, &new, 25).failed());
+        let improved = report(1, &[("server_warm_qps", 200)]);
+        assert!(!gate(&old, &improved, 25).failed());
+    }
+
+    #[test]
+    fn gate_demotes_on_non_comparable_machines() {
+        let old = report(8, &[("fp_reach_compiled_ns", 1000)]);
+        let new = report(1, &[("fp_reach_compiled_ns", 5000)]);
+        let g = gate(&old, &new, 25);
+        assert!(!g.failed(), "{}", g.render());
+        assert!(!g.warnings.is_empty());
+        assert!(g.rows[0].regressed, "still reported in the table");
+    }
+
+    #[test]
+    fn smoke_suite_emits_the_tracked_metrics() {
+        let r = run_suite(7, true);
+        let has = |k: &str| r.metrics.iter().any(|(m, _)| m == k);
+        for key in [
+            "fo_path_interpreted_ns",
+            "fo_path_compiled_ns",
+            "fp_reach_speedup_pct",
+            "fp_fairness_compiled_ns",
+            "pfp_reach_compiled_ns",
+            "datalog_tc_compiled_ns",
+            "fuzz_cases_per_s",
+        ] {
+            assert!(has(key), "missing metric {key}\n{}", r.summary());
+        }
+        assert_eq!(r.overhead_only, r.nproc == 1);
+        // The JSON form round-trips through the parser.
+        let j = Json::parse(&r.to_json().to_string_compact()).unwrap();
+        assert_eq!(j.get("schema").and_then(Json::as_str), Some(BENCH_SCHEMA));
+        assert!(j.get("metrics").is_some());
+    }
+}

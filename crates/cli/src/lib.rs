@@ -27,6 +27,7 @@
 //! bvq serve   <db-file>… [--addr HOST:PORT] [--threads N] [--queue N]
 //! bvq client  <addr> ping|stats|eval|eso|datalog|explain|load-db|shutdown …
 //! bvq fuzz    [--cases N] [--seed S] [--filter LANG] [--deny-divergence] [--repro FILE]
+//! bvq bench   [--json PATH] [--smoke] [--seed S] | --gate OLD NEW [--threshold PCT]
 //! ```
 //!
 //! The db-text parser lives in [`bvq_relation::dbtext`]; import it from
@@ -35,14 +36,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod fuzz;
 pub mod lint;
 pub mod run;
 pub mod serve;
 
+pub use bench::{gate, run_bench_cmd, run_suite, BenchReport, GateReport, BENCH_SCHEMA};
 pub use fuzz::run_fuzz_cmd;
 pub use lint::run_lint;
 pub use run::{
-    run_eso, run_eval, run_explain, run_request, EvalOptions, ExecKind, ExecRequest, RunError,
+    run_eso, run_eval, run_explain, run_request, CompileMode, EvalOptions, ExecKind, ExecRequest,
+    RunError,
 };
 pub use serve::{run_client, run_serve};

@@ -10,13 +10,14 @@
 //! bvq serve   <db-file>… [--addr HOST:PORT] [--threads N] [--queue N] [--debug-ops]
 //! bvq client  <addr> <ping|stats|list-dbs|eval|eso|datalog|explain|lint|load-db|sleep|shutdown> […]
 //! bvq fuzz    [--cases N] [--seed S] [--filter LANG] [--deny-divergence] [--repro FILE]
+//! bvq bench   [--json PATH] [--smoke] [--seed S] | --gate OLD NEW [--threshold PCT]
 //! ```
 
 use std::io::{BufRead, Write};
 
 use bvq_cli::{
-    run_client, run_explain, run_fuzz_cmd, run_lint, run_request, run_serve, EvalOptions,
-    ExecRequest,
+    run_bench_cmd, run_client, run_explain, run_fuzz_cmd, run_lint, run_request, run_serve,
+    CompileMode, EvalOptions, ExecRequest,
 };
 use bvq_relation::parse_database;
 
@@ -42,6 +43,9 @@ fn main() {
             eprintln!(
                 "  bvq fuzz [--cases N] [--seed S] [--filter LANG] [--deny-divergence] [--repro FILE]"
             );
+            eprintln!(
+                "  bvq bench [--json PATH] [--smoke] [--seed S] | --gate OLD NEW [--threshold PCT]"
+            );
             std::process::exit(1);
         }
     }
@@ -53,6 +57,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "serve" => return run_serve(&args[1..]),
         "client" => return run_client(&args[1..]),
         "fuzz" => return run_fuzz_cmd(&args[1..]),
+        "bench" => return run_bench_cmd(&args[1..]),
         _ => {}
     }
     let db_path = args.get(1).ok_or("missing database file")?;
@@ -139,7 +144,7 @@ struct Flags {
 }
 
 /// Parses `--k N`, `--naive`, `--threads N`, `--trace`, `--analyze`,
-/// `--eso`, `--certify a,b;c,d`.
+/// `--eso`, `--compile auto|on|off`, `--certify a,b;c,d`.
 fn parse_opts(rest: &[String]) -> Result<Flags, String> {
     let mut opts = EvalOptions::default();
     let mut trace = false;
@@ -154,6 +159,11 @@ fn parse_opts(rest: &[String]) -> Result<Flags, String> {
             }
             "--naive" => opts.naive = true,
             "--minimize" => opts.minimize = true,
+            "--compile" => {
+                let v = it.next().ok_or("--compile needs auto|on|off")?;
+                opts.compile = CompileMode::parse(v)
+                    .ok_or_else(|| format!("bad --compile value `{v}` (auto|on|off)"))?;
+            }
             "--trace" => trace = true,
             "--analyze" => analyze = true,
             "--eso" => eso = true,

@@ -8,7 +8,8 @@
 //! printed and converts into protocol error codes on the server side.
 
 pub use bvq_server::exec::{
-    run_eso, run_eval, run_explain, run_request, EvalOptions, ExecKind, ExecRequest, Plan, RunError,
+    run_eso, run_eval, run_explain, run_request, CompileMode, EvalOptions, ExecKind, ExecRequest,
+    Plan, RunError,
 };
 
 #[cfg(test)]

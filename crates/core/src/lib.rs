@@ -22,6 +22,7 @@
 
 pub mod cert;
 pub mod cert_trace;
+pub mod compile;
 pub mod env;
 pub mod eso;
 pub mod fo;
@@ -32,6 +33,9 @@ pub mod pfp;
 
 pub use cert::{AppCert, Certificate, CertifiedChecker, LfpStep, VerifyOutcome};
 pub use cert_trace::{TraceCertificate, TraceChecker, TraceEvent};
+pub use compile::{
+    feedback_from, plan_query, CompileFeedback, CostReport, PlanChoice, QueryPlan, Variant,
+};
 pub use env::RelEnv;
 pub use eso::{reduce_arity, EsoEvaluator, GroundingInfo};
 pub use fo::{BoundedEvaluator, NaiveEvaluator};

@@ -1,0 +1,464 @@
+//! Compiled Datalog evaluation: per-rule kernels over the semi-naive
+//! driver.
+//!
+//! The interpreting evaluator re-derives, every round and for every
+//! (rule × delta-position) item, everything that is actually invariant
+//! across rounds: it clones each body atom's source relation (twice —
+//! once to own it, once inside normalisation), re-applies constant and
+//! repeated-variable selections, and re-computes join pairs and
+//! projection positions by scanning the running column list. A
+//! [`RuleKernel`] performs that analysis once, by *symbolically*
+//! simulating the join-state columns at compile time, leaving per-round
+//! work as: borrow source → (only if the atom needs normalisation)
+//! select/project → join on precomputed pairs → project to precomputed
+//! positions. One kernel serves the full-rule item and every
+//! delta-position item of its rule, so the driver mirrors
+//! [`eval_seminaive_with`](crate::eval::eval_seminaive_with)'s round
+//! structure exactly — same rounds, same absorption order, same
+//! deadline checks — and the compiled-vs-interpreted fuzz oracle holds
+//! the two equal on every generated program.
+
+use bvq_relation::{parallel, Database, Elem, EvalConfig, Relation, StatsRecorder};
+
+use crate::ast::{AtomTerm, DatalogError, Program};
+use crate::eval::EvalOutput;
+
+/// Where a body atom's tuples come from at run time.
+#[derive(Clone, Copy, Debug)]
+enum Source {
+    /// A database relation, resolved by schema id.
+    Edb(bvq_relation::RelId),
+    /// An IDB relation, by index into the compiled IDB list.
+    Idb(usize),
+}
+
+/// The precomputed evaluation plan for one body atom.
+#[derive(Clone, Debug)]
+struct AtomPlan {
+    source: Source,
+    /// No constants, no repeated variables, identity projection: the
+    /// source relation can be joined against directly, borrow-only.
+    identity: bool,
+    /// Constant selections `position = c`.
+    const_sel: Vec<(usize, Elem)>,
+    /// Repeated-variable selections `position j = position i`.
+    eq_sel: Vec<(usize, usize)>,
+    /// First-occurrence projection positions.
+    proj: Vec<usize>,
+    /// Join pairs against the running join state (left position, atom
+    /// column position).
+    pairs: Vec<(usize, usize)>,
+    /// Projection positions merging the joined columns back into the
+    /// running state.
+    merge: Vec<usize>,
+}
+
+/// The compiled form of one rule.
+#[derive(Clone, Debug)]
+struct RuleKernel {
+    /// Index of the head predicate in the IDB list.
+    head: usize,
+    atoms: Vec<AtomPlan>,
+    /// Projection from the final join state to the head variables.
+    head_positions: Vec<usize>,
+    /// Body positions holding IDB predicates, with their IDB indices —
+    /// the rule's semi-naive delta items.
+    idb_positions: Vec<(usize, usize)>,
+}
+
+/// A program compiled to rule kernels, ready to run many times.
+#[derive(Clone, Debug)]
+pub struct CompiledRules {
+    kernels: Vec<RuleKernel>,
+    /// IDB predicates `(name, arity)`, index-aligned with kernels' IDB
+    /// references.
+    idb: Vec<(String, usize)>,
+}
+
+/// Compiles a validated program against a database schema.
+///
+/// Performs the same validation as the interpreting evaluators
+/// (range restriction via [`Program::validate`], body predicates known,
+/// EDB arities match) and resolves every name once.
+pub fn compile_program(program: &Program, db: &Database) -> Result<CompiledRules, DatalogError> {
+    program.validate()?;
+    let idb: Vec<(String, usize)> = program.idb_predicates();
+    let mut kernels = Vec::with_capacity(program.rules.len());
+    for rule in &program.rules {
+        let head = idb
+            .iter()
+            .position(|(p, _)| *p == rule.head.pred)
+            .expect("head predicate is IDB by construction");
+        let mut atoms = Vec::with_capacity(rule.body.len());
+        let mut idb_positions = Vec::new();
+        // The running join-state columns, simulated symbolically.
+        let mut cols: Vec<u32> = Vec::new();
+        for (pos, atom) in rule.body.iter().enumerate() {
+            let source = match idb.iter().position(|(p, _)| *p == atom.pred) {
+                Some(i) => {
+                    idb_positions.push((pos, i));
+                    Source::Idb(i)
+                }
+                None => {
+                    let id = db
+                        .schema()
+                        .resolve(&atom.pred)
+                        .ok_or_else(|| DatalogError::UnknownPredicate(atom.pred.clone()))?;
+                    let arity = db.schema().arity(id);
+                    if arity != atom.args.len() {
+                        return Err(DatalogError::ArityMismatch {
+                            pred: atom.pred.clone(),
+                            expected: arity,
+                            found: atom.args.len(),
+                        });
+                    }
+                    Source::Edb(id)
+                }
+            };
+            // Normalisation plan: mirror `normalise_atom`.
+            let mut const_sel = Vec::new();
+            let mut eq_sel = Vec::new();
+            let mut first: Vec<(u32, usize)> = Vec::new();
+            for (i, t) in atom.args.iter().enumerate() {
+                match t {
+                    AtomTerm::Const(c) => const_sel.push((i, *c as Elem)),
+                    AtomTerm::Var(v) => match first.iter().find(|(w, _)| w == v) {
+                        Some(&(_, j)) => eq_sel.push((j, i)),
+                        None => first.push((*v, i)),
+                    },
+                }
+            }
+            let acols: Vec<u32> = first.iter().map(|(v, _)| *v).collect();
+            let proj: Vec<usize> = first.iter().map(|(_, p)| *p).collect();
+            let identity = const_sel.is_empty()
+                && eq_sel.is_empty()
+                && proj.iter().copied().eq(0..atom.args.len());
+            // Join pairs and column merge, against the simulated state.
+            let mut pairs = Vec::new();
+            for (i, c) in cols.iter().enumerate() {
+                if let Some(j) = acols.iter().position(|d| d == c) {
+                    pairs.push((i, j));
+                }
+            }
+            let mut new_cols = cols.clone();
+            for c in &acols {
+                if !new_cols.contains(c) {
+                    new_cols.push(*c);
+                }
+            }
+            let merge: Vec<usize> = new_cols
+                .iter()
+                .map(|c| {
+                    cols.iter().position(|d| d == c).unwrap_or_else(|| {
+                        cols.len() + acols.iter().position(|d| d == c).expect("col")
+                    })
+                })
+                .collect();
+            cols = new_cols;
+            atoms.push(AtomPlan {
+                source,
+                identity,
+                const_sel,
+                eq_sel,
+                proj,
+                pairs,
+                merge,
+            });
+        }
+        let head_positions: Vec<usize> = rule
+            .head
+            .vars
+            .iter()
+            .map(|v| cols.iter().position(|c| c == v).expect("range-restricted"))
+            .collect();
+        kernels.push(RuleKernel {
+            head,
+            atoms,
+            head_positions,
+            idb_positions,
+        });
+    }
+    Ok(CompiledRules { kernels, idb })
+}
+
+impl RuleKernel {
+    /// Runs the kernel; `delta` pins one body position to a delta
+    /// relation instead of the full predicate.
+    fn eval(
+        &self,
+        idb: &[(String, Relation)],
+        db: &Database,
+        delta: Option<(usize, &Relation)>,
+        cfg: &EvalConfig,
+        rec: &mut StatsRecorder,
+    ) -> Relation {
+        let mut rel = Relation::boolean(true);
+        for (pos, plan) in self.atoms.iter().enumerate() {
+            let source: &Relation = match delta {
+                Some((dpos, d)) if dpos == pos => d,
+                _ => match plan.source {
+                    Source::Edb(id) => db.relation(id),
+                    Source::Idb(i) => &idb[i].1,
+                },
+            };
+            let normed: Relation;
+            let arel: &Relation = if plan.identity {
+                source
+            } else {
+                let mut f = source.clone();
+                for &(i, c) in &plan.const_sel {
+                    f = f.select_const(i, c);
+                }
+                for &(j, i) in &plan.eq_sel {
+                    f = f.select_eq(j, i);
+                }
+                normed = f.project(&plan.proj);
+                &normed
+            };
+            let joined = parallel::join_on(&rel, arel, &plan.pairs, cfg);
+            rel = parallel::project(&joined, &plan.merge, cfg);
+            rec.intermediate(rel.arity(), rel.len());
+        }
+        parallel::project(&rel, &self.head_positions, cfg)
+    }
+}
+
+/// One unit of a round: a kernel, optionally with one body position
+/// bound to the delta of an IDB predicate.
+type Item = (usize, Option<(usize, usize)>);
+
+impl CompiledRules {
+    /// Evaluates the compiled program semi-naively. Round structure,
+    /// absorption order and deadline behaviour mirror the interpreting
+    /// [`eval_seminaive_with`](crate::eval::eval_seminaive_with); span
+    /// tracing is not supported here (traced requests take the
+    /// interpreted path).
+    pub fn eval(&self, db: &Database, cfg: &EvalConfig) -> Result<EvalOutput, DatalogError> {
+        let mut rec = StatsRecorder::new();
+        let mut idb: Vec<(String, Relation)> = self
+            .idb
+            .iter()
+            .map(|(p, a)| (p.clone(), Relation::new(*a)))
+            .collect();
+        let mut deltas: Vec<Relation> = self.idb.iter().map(|(_, a)| Relation::new(*a)).collect();
+        // Round 0: all kernels in full.
+        check_deadline(cfg)?;
+        rec.iteration();
+        {
+            let items: Vec<Item> = (0..self.kernels.len()).map(|k| (k, None)).collect();
+            let derived = self.eval_items(&idb, db, &deltas, &items, cfg, &mut rec);
+            for ((k, _), d) in items.iter().zip(derived) {
+                let head = self.kernels[*k].head;
+                let fresh = d.difference(&idb[head].1);
+                deltas[head] = deltas[head].union(&fresh);
+            }
+        }
+        for (i, d) in deltas.iter().enumerate() {
+            idb[i].1 = idb[i].1.union(d);
+        }
+        // Subsequent rounds: one item per (kernel × IDB body position)
+        // whose delta is non-empty.
+        loop {
+            if deltas.iter().all(|d| d.is_empty()) {
+                break;
+            }
+            check_deadline(cfg)?;
+            rec.iteration();
+            let mut items: Vec<Item> = Vec::new();
+            for (k, kernel) in self.kernels.iter().enumerate() {
+                for &(pos, i) in &kernel.idb_positions {
+                    if !deltas[i].is_empty() {
+                        items.push((k, Some((pos, i))));
+                    }
+                }
+            }
+            let derived = self.eval_items(&idb, db, &deltas, &items, cfg, &mut rec);
+            let mut new_deltas: Vec<Relation> =
+                self.idb.iter().map(|(_, a)| Relation::new(*a)).collect();
+            for ((k, _), d) in items.iter().zip(derived) {
+                let head = self.kernels[*k].head;
+                let fresh = d.difference(&idb[head].1);
+                new_deltas[head] = new_deltas[head].union(&fresh);
+            }
+            for (i, d) in new_deltas.iter().enumerate() {
+                idb[i].1 = idb[i].1.union(d);
+            }
+            deltas = new_deltas;
+        }
+        idb.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(EvalOutput {
+            idb,
+            stats: rec.stats(),
+            trace: None,
+        })
+    }
+
+    /// Evaluates a round's items, in parallel when configured — results
+    /// in item order, worker-local statistics merged in chunk order.
+    fn eval_items(
+        &self,
+        idb: &[(String, Relation)],
+        db: &Database,
+        deltas: &[Relation],
+        items: &[Item],
+        cfg: &EvalConfig,
+        rec: &mut StatsRecorder,
+    ) -> Vec<Relation> {
+        let run = |&(k, delta): &Item, rec: &mut StatsRecorder| -> Relation {
+            let kernel = &self.kernels[k];
+            let pinned = delta.map(|(pos, i)| (pos, &deltas[i]));
+            kernel.eval(idb, db, pinned, cfg, rec)
+        };
+        if cfg.is_sequential() || items.len() <= 1 {
+            return items.iter().map(|item| run(item, rec)).collect();
+        }
+        let chunks = parallel::map_chunks(cfg.threads(), items.len(), |range| {
+            let mut local = StatsRecorder::new();
+            let out: Vec<Relation> = items[range]
+                .iter()
+                .map(|item| run(item, &mut local))
+                .collect();
+            (out, local.stats())
+        });
+        let mut derived = Vec::with_capacity(items.len());
+        for (out, stats) in chunks {
+            derived.extend(out);
+            rec.absorb(&stats);
+        }
+        derived
+    }
+}
+
+fn check_deadline(cfg: &EvalConfig) -> Result<(), DatalogError> {
+    if cfg.deadline_exceeded() {
+        Err(DatalogError::DeadlineExceeded)
+    } else {
+        Ok(())
+    }
+}
+
+/// Compiles and evaluates in one call (thread count from
+/// [`EvalConfig::default`]).
+pub fn eval_compiled(program: &Program, db: &Database) -> Result<EvalOutput, DatalogError> {
+    eval_compiled_with(program, db, &EvalConfig::default())
+}
+
+/// [`eval_compiled`] with an explicit configuration.
+pub fn eval_compiled_with(
+    program: &Program,
+    db: &Database,
+    cfg: &EvalConfig,
+) -> Result<EvalOutput, DatalogError> {
+    compile_program(program, db)?.eval(db, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::AtomTerm::{Const, Var};
+    use crate::eval::{eval_naive, eval_seminaive};
+    use bvq_relation::Tuple;
+
+    fn tc_program() -> Program {
+        Program::new()
+            .rule("T", &[0, 1], &[("E", &[Var(0), Var(1)])])
+            .rule(
+                "T",
+                &[0, 1],
+                &[("T", &[Var(0), Var(2)]), ("E", &[Var(2), Var(1)])],
+            )
+    }
+
+    fn chain_db(n: u32) -> Database {
+        Database::builder(n as usize)
+            .relation("E", 2, (0..n - 1).map(|i| Tuple::from_slice(&[i, i + 1])))
+            .build()
+    }
+
+    #[test]
+    fn compiled_agrees_with_interpreters() {
+        let db = chain_db(9);
+        let a = eval_seminaive(&tc_program(), &db).unwrap();
+        let b = eval_compiled(&tc_program(), &db).unwrap();
+        assert_eq!(a.get("T").unwrap().sorted(), b.get("T").unwrap().sorted());
+        let c = eval_naive(&tc_program(), &db).unwrap();
+        assert_eq!(c.get("T").unwrap().sorted(), b.get("T").unwrap().sorted());
+        // Same round structure as the semi-naive interpreter.
+        assert_eq!(a.stats.fixpoint_iterations, b.stats.fixpoint_iterations);
+    }
+
+    #[test]
+    fn compiled_handles_constants_and_repeats() {
+        // Reach(x) :- E(0, x);  Reach(x) :- Reach(y), E(y, x);
+        // Loop(x) :- E(x, x).
+        let p = Program::new()
+            .rule("Reach", &[0], &[("E", &[Const(0), Var(0)])])
+            .rule(
+                "Reach",
+                &[0],
+                &[("Reach", &[Var(1)]), ("E", &[Var(1), Var(0)])],
+            )
+            .rule("Loop", &[0], &[("E", &[Var(0), Var(0)])]);
+        let db = Database::builder(5)
+            .relation(
+                "E",
+                2,
+                [[0, 1], [1, 2], [3, 3]]
+                    .iter()
+                    .map(|t| Tuple::from_slice(t)),
+            )
+            .build();
+        let a = eval_seminaive(&p, &db).unwrap();
+        let b = eval_compiled(&p, &db).unwrap();
+        for pred in ["Reach", "Loop"] {
+            assert_eq!(
+                a.get(pred).unwrap().sorted(),
+                b.get(pred).unwrap().sorted(),
+                "{pred}"
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_thread_count_independent() {
+        let db = chain_db(12);
+        let one = eval_compiled_with(&tc_program(), &db, &EvalConfig::with_threads(1)).unwrap();
+        let four = eval_compiled_with(&tc_program(), &db, &EvalConfig::with_threads(4)).unwrap();
+        assert_eq!(
+            one.get("T").unwrap().sorted(),
+            four.get("T").unwrap().sorted()
+        );
+        assert_eq!(one.stats, four.stats);
+    }
+
+    #[test]
+    fn compiled_deadline_aborts() {
+        let db = chain_db(6);
+        let cfg = EvalConfig::sequential().with_deadline(std::time::Instant::now());
+        assert!(matches!(
+            eval_compiled_with(&tc_program(), &db, &cfg),
+            Err(DatalogError::DeadlineExceeded)
+        ));
+    }
+
+    #[test]
+    fn compiled_rejects_unknown_predicates() {
+        let p = Program::new().rule("Q", &[0], &[("Nope", &[Var(0)])]);
+        let db = chain_db(3);
+        assert!(matches!(
+            eval_compiled(&p, &db),
+            Err(DatalogError::UnknownPredicate(_))
+        ));
+    }
+
+    #[test]
+    fn compile_once_run_many() {
+        let p = tc_program();
+        let db = chain_db(8);
+        let compiled = compile_program(&p, &db).unwrap();
+        let cfg = EvalConfig::sequential();
+        let a = compiled.eval(&db, &cfg).unwrap();
+        let b = compiled.eval(&db, &cfg).unwrap();
+        assert_eq!(a.get("T").unwrap().sorted(), b.get("T").unwrap().sorted());
+    }
+}

@@ -12,7 +12,7 @@ use std::io;
 use bvq_datalog::to_fp_formula_multi;
 use bvq_logic::{Query, Var};
 use bvq_relation::{write_database, Database, Elem};
-use bvq_server::exec::{execute, Answer, EvalOptions, ExecRequest};
+use bvq_server::exec::{execute, Answer, CompileMode, EvalOptions, ExecRequest};
 use bvq_server::{Client, Json, Server, ServerConfig, ServerHandle};
 
 use crate::gen::{Case, CaseKind};
@@ -257,6 +257,7 @@ pub fn oracles(lang: Lang, with_server: bool) -> Vec<&'static str> {
     match lang {
         Lang::Fo => names.extend([
             "naive-vs-bounded",
+            "compiled-vs-interpreted",
             "threads-1-vs-n",
             "metamorphic-double-negation",
             "metamorphic-conjunct-shuffle",
@@ -265,6 +266,7 @@ pub fn oracles(lang: Lang, with_server: bool) -> Vec<&'static str> {
             "metamorphic-domain-rename",
         ]),
         Lang::Fp | Lang::Pfp => names.extend([
+            "compiled-vs-interpreted",
             "threads-1-vs-n",
             "metamorphic-double-negation",
             "metamorphic-conjunct-shuffle",
@@ -273,6 +275,7 @@ pub fn oracles(lang: Lang, with_server: bool) -> Vec<&'static str> {
         Lang::Datalog => names.extend([
             "datalog-naive-vs-seminaive",
             "datalog-vs-fp-translation",
+            "compiled-vs-interpreted",
             "threads-1-vs-n",
             "metamorphic-domain-rename",
         ]),
@@ -355,6 +358,27 @@ pub fn run_oracle(
             let q = Query::new((0..arity as u32).map(Var).collect(), formula);
             let req = ExecRequest::query(q.to_string());
             against(oracle, run_direct(&case.db, &req))
+        }
+        "compiled-vs-interpreted" => {
+            let interpreted = base_request(case).with_opts(EvalOptions {
+                compile: CompileMode::Off,
+                ..EvalOptions::default()
+            });
+            let compiled = base_request(case).with_opts(EvalOptions {
+                compile: CompileMode::On,
+                ..EvalOptions::default()
+            });
+            let left = mutate(run_direct(&case.db, &interpreted), mutation);
+            match compare(
+                oracle,
+                "interpreted",
+                left,
+                "compiled",
+                run_direct(&case.db, &compiled),
+            ) {
+                None => Ok(1),
+                Some(d) => Err(d),
+            }
         }
         "threads-1-vs-n" => {
             let one = base_request(case).with_opts(EvalOptions {

@@ -39,6 +39,8 @@ impl DenseCylinder {
 }
 
 impl CylinderOps for DenseCylinder {
+    const TABLE_GATHER: bool = true;
+
     fn empty(ctx: &CylCtx) -> Self {
         DenseCylinder {
             bits: BitSet::new(ctx.index().size()),
@@ -186,6 +188,10 @@ impl CylinderOps for DenseCylinder {
         self.bits.complement();
     }
 
+    fn and_not_with(&mut self, _ctx: &CylCtx, other: &Self) {
+        self.bits.difference_with(&other.bits);
+    }
+
     fn exists(&self, ctx: &CylCtx, i: usize) -> Self {
         let ix = ctx.index();
         let n = ctx.domain_size();
@@ -256,6 +262,22 @@ impl CylinderOps for DenseCylinder {
         out
     }
 
+    fn preimage_with_table(&self, ctx: &CylCtx, table: &[u32]) -> Self {
+        if ctx.threads() > 1 && table.len() >= DENSE_PAR_POINTS {
+            let bits = BitSet::from_fn(table.len(), ctx.threads(), |target| {
+                self.bits.contains(table[target] as usize)
+            });
+            return DenseCylinder { bits };
+        }
+        let mut out = Self::empty(ctx);
+        for (target, &source) in table.iter().enumerate() {
+            if self.bits.contains(source as usize) {
+                out.bits.insert(target);
+            }
+        }
+        out
+    }
+
     fn contains(&self, ctx: &CylCtx, point: &[Elem]) -> bool {
         self.bits.contains(ctx.index().rank(point))
     }
@@ -295,6 +317,26 @@ mod tests {
         let c = ctx();
         assert_eq!(DenseCylinder::empty(&c).count(&c), 0);
         assert_eq!(DenseCylinder::full(&c).count(&c), 9);
+    }
+
+    #[test]
+    fn and_not_matches_unfused_definition() {
+        let c = ctx();
+        let e = Relation::from_tuples(2, [[0u32, 1], [1, 2], [2, 2]]);
+        let r = Relation::from_tuples(2, [[1u32, 2], [0, 0]]);
+        let a = DenseCylinder::from_atom(&c, &e, &[0, 1]);
+        let b = DenseCylinder::from_atom(&c, &r, &[0, 1]);
+        // Fused kernel.
+        let mut fused = a.clone();
+        fused.and_not_with(&c, &b);
+        // Unfused a ∧ ¬b.
+        let mut neg = b.clone();
+        neg.not(&c);
+        let mut plain = a.clone();
+        plain.and_with(&c, &neg);
+        assert_eq!(fused, plain);
+        assert!(fused.contains(&c, &[0, 1]));
+        assert!(!fused.contains(&c, &[1, 2]));
     }
 
     #[test]
@@ -413,6 +455,25 @@ mod tests {
         // Out-of-domain constant → empty.
         let oob = cyl.preimage(&c, &[CoordSource::Const(9), CoordSource::Coord(1)]);
         assert_eq!(oob.count(&c), 0);
+    }
+
+    #[test]
+    fn preimage_table_gather_agrees() {
+        let c = ctx();
+        let e = Relation::from_tuples(2, [[0u32, 1], [2, 0], [1, 1]]);
+        let cyl = DenseCylinder::from_atom(&c, &e, &[0, 1]);
+        for map in [
+            vec![CoordSource::Coord(0), CoordSource::Coord(1)],
+            vec![CoordSource::Coord(1), CoordSource::Coord(0)],
+            vec![CoordSource::Coord(0), CoordSource::Coord(0)],
+            vec![CoordSource::Const(2), CoordSource::Coord(1)],
+        ] {
+            let table = crate::cylinder::preimage_table(&c, &map).expect("in-domain map");
+            assert!(cyl.preimage_with_table(&c, &table) == cyl.preimage(&c, &map));
+        }
+        // Out-of-domain constants refuse a table (callers fall back).
+        let oob = [CoordSource::Const(9), CoordSource::Coord(1)];
+        assert!(crate::cylinder::preimage_table(&c, &oob).is_none());
     }
 
     #[test]

@@ -244,6 +244,10 @@ impl CylinderOps for SparseCylinder {
         self.tuples.retain(|t| other.tuples.contains(t));
     }
 
+    fn and_not_with(&mut self, _ctx: &CylCtx, other: &Self) {
+        self.tuples.retain(|t| !other.tuples.contains(t));
+    }
+
     fn or_with(&mut self, _ctx: &CylCtx, other: &Self) {
         for t in &other.tuples {
             self.tuples.insert(t.clone());
@@ -379,6 +383,22 @@ mod tests {
         assert_eq!(s.count(&c), 6);
         assert!(!s.contains(&c, &[1, 1]));
         assert!(s.contains(&c, &[1, 2]));
+    }
+
+    #[test]
+    fn and_not_matches_unfused_definition() {
+        let c = ctx();
+        let a = SparseCylinder::equality(&c, 0, 1);
+        let b = SparseCylinder::const_eq(&c, 0, 1);
+        let mut fused = a.clone();
+        fused.and_not_with(&c, &b);
+        let mut neg = b.clone();
+        neg.not(&c);
+        let mut plain = a.clone();
+        plain.and_with(&c, &neg);
+        assert_eq!(fused, plain);
+        assert!(fused.contains(&c, &[0, 0]));
+        assert!(!fused.contains(&c, &[1, 1]));
     }
 
     #[test]

@@ -15,11 +15,12 @@
 //! or measured plan tree. [`RunError::code`] maps error kinds to
 //! protocol error codes so front-ends never match strings.
 
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use bvq_core::{
-    BoundedEvaluator, CertifiedChecker, EsoEvaluator, EvalError, Evaluated, FpEvaluator,
-    NaiveEvaluator, PfpEvaluator,
+    feedback_from, plan_query, BoundedEvaluator, CertifiedChecker, CompileFeedback, EsoEvaluator,
+    EvalError, Evaluated, FpEvaluator, NaiveEvaluator, PfpEvaluator, PlanChoice,
 };
 use bvq_datalog::{eval_naive_with, eval_seminaive_with, DatalogError, Program};
 use bvq_logic::parser::{parse_eso, parse_query};
@@ -129,6 +130,31 @@ impl From<RunError> for String {
     }
 }
 
+/// Whether to run queries through the bytecode compiler
+/// (see [`bvq_core::plan_query`]) or the AST-walking interpreters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CompileMode {
+    /// Let the cost model decide per plan (the default).
+    #[default]
+    Auto,
+    /// Always run the compiled plan; planning errors are reported.
+    On,
+    /// Always interpret.
+    Off,
+}
+
+impl CompileMode {
+    /// Parses the `--compile` flag values.
+    pub fn parse(s: &str) -> Option<CompileMode> {
+        match s {
+            "auto" => Some(CompileMode::Auto),
+            "on" => Some(CompileMode::On),
+            "off" => Some(CompileMode::Off),
+            _ => None,
+        }
+    }
+}
+
 /// Options for `bvq eval` / the server's `eval` command.
 #[derive(Clone, Debug, Default)]
 pub struct EvalOptions {
@@ -146,6 +172,8 @@ pub struct EvalOptions {
     /// Absolute wall-clock deadline; fixpoint engines abort between
     /// rounds once it passes.
     pub deadline: Option<Instant>,
+    /// Bytecode compilation: cost-based (`Auto`), forced, or disabled.
+    pub compile: CompileMode,
 }
 
 impl EvalOptions {
@@ -251,16 +279,45 @@ impl ExecRequest {
     /// gets measured, so they are deliberately excluded. Matches the
     /// keys the wire protocol has always produced.
     pub fn cache_key(&self) -> String {
+        // `compile` only appears when it deviates from `Auto`, so keys
+        // produced before the compiler existed stay byte-identical.
+        let compile = match self.opts.compile {
+            CompileMode::Auto => "",
+            CompileMode::On => "compile=on|",
+            CompileMode::Off => "compile=off|",
+        };
         match &self.kind {
             ExecKind::Query { text } => format!(
-                "eval|k={:?}|naive={}|min={}|{}",
+                "eval|k={:?}|naive={}|min={}|{compile}{}",
                 self.opts.k, self.opts.naive, self.opts.minimize, text
             ),
             ExecKind::Eso { text } => format!("eso|k={:?}|{}", self.opts.k, text),
             ExecKind::Datalog { program, output } => {
-                format!("datalog|out={output}|naive={}|{program}", self.opts.naive)
+                format!(
+                    "datalog|out={output}|naive={}|{compile}{program}",
+                    self.opts.naive
+                )
             }
         }
+    }
+}
+
+/// Observed execution statistics shared across runs of one cached plan
+/// — the cost model's calibration input. Interior-mutable so the plan
+/// LRU's shared [`Prepared`] values accumulate feedback without
+/// reinsertion; clones share the same cell.
+#[derive(Clone, Debug, Default)]
+pub struct FeedbackCell(Arc<Mutex<Option<CompileFeedback>>>);
+
+impl FeedbackCell {
+    /// The last recorded observation, if any run has completed.
+    pub fn get(&self) -> Option<CompileFeedback> {
+        *self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records an observation (newest wins).
+    pub fn set(&self, fb: CompileFeedback) {
+        *self.0.lock().unwrap_or_else(|e| e.into_inner()) = Some(fb);
     }
 }
 
@@ -279,6 +336,9 @@ pub struct Plan {
     pub k: usize,
     /// A note when minimization reduced the width.
     pub minimized: Option<String>,
+    /// Round counts observed by earlier executions of this plan, used
+    /// to re-optimize the interpreted/compiled choice on later runs.
+    pub feedback: FeedbackCell,
 }
 
 impl Plan {
@@ -413,6 +473,7 @@ pub fn prepare(query: &str, opts: &EvalOptions) -> Result<Plan, RunError> {
         width,
         k,
         minimized,
+        feedback: FeedbackCell::default(),
     })
 }
 
@@ -466,8 +527,10 @@ pub fn execute_prepared(
                 NaiveEvaluator::new(db)
                     .with_config(cfg)
                     .eval_query_traced(q)?
+            } else if let Some(out) = try_compiled_query(db, plan, req, &cfg)? {
+                out
             } else {
-                match plan.language {
+                let out = match plan.language {
                     Language::Fo => BoundedEvaluator::new(db, k)
                         .with_config(cfg)
                         .eval_query_traced(q)?,
@@ -477,7 +540,12 @@ pub fn execute_prepared(
                     _ => PfpEvaluator::new(db, k)
                         .with_config(cfg)
                         .eval_query_traced(q)?,
-                }
+                };
+                // Interpreted runs calibrate the cost model too: the
+                // observed round count feeds the next planning pass for
+                // this cached plan.
+                plan.feedback.set(feedback_from(&out.stats));
+                out
             };
             let answer = if q.output.is_empty() {
                 Answer::Boolean(out.answer.as_boolean())
@@ -503,8 +571,12 @@ pub fn execute_prepared(
             };
             let out = if req.opts.naive {
                 eval_naive_with(&plan.program, db, &cfg)?
-            } else {
+            } else if req.trace || req.opts.compile == CompileMode::Off {
+                // Rule kernels carry no span tracing; traced requests
+                // keep the interpreter's round-by-round span tree.
                 eval_seminaive_with(&plan.program, db, &cfg)?
+            } else {
+                bvq_datalog::eval_compiled_with(&plan.program, db, &cfg)?
             };
             let rel = out
                 .get(output)
@@ -522,6 +594,36 @@ pub fn execute_prepared(
             })
         }
     }
+}
+
+/// The compiled arm of the query dispatch: plans the query with the
+/// cached feedback and runs the bytecode when the cost model (or a
+/// forced `--compile on`) selects it. Returns `Ok(None)` when the
+/// interpreted path should run instead — tracing requested, compilation
+/// disabled, the cost model preferring the interpreter, or (under
+/// `Auto`) the plan not lowering (e.g. ESO constructs).
+fn try_compiled_query(
+    db: &Database,
+    plan: &Plan,
+    req: &ExecRequest,
+    cfg: &EvalConfig,
+) -> Result<Option<Evaluated>, RunError> {
+    if req.trace || req.opts.compile == CompileMode::Off {
+        return Ok(None);
+    }
+    let allow_pfp = matches!(plan.language, Language::Pfp);
+    let feedback = plan.feedback.get();
+    let qp = match plan_query(db, &plan.query, plan.k, allow_pfp, feedback.as_ref()) {
+        Ok(qp) => qp,
+        Err(e) if req.opts.compile == CompileMode::On => return Err(e.into()),
+        Err(_) => return Ok(None),
+    };
+    if req.opts.compile != CompileMode::On && qp.choice() == PlanChoice::Interpreted {
+        return Ok(None);
+    }
+    let out = qp.eval_compiled(db, cfg)?;
+    plan.feedback.set(feedback_from(&out.stats));
+    Ok(Some(out))
 }
 
 /// The database's relation schema as `(name, arity)` pairs.
@@ -851,6 +953,15 @@ pub struct ExplainReport {
     pub bound: String,
     /// The plan/result cache key for this request.
     pub cache_key: String,
+    /// The execution engine a (non-traced) run of this request would
+    /// use: `interpreted`, `compiled (basic|optimized)`, `naive`, or
+    /// `compiled (rule kernels)` for Datalog.
+    pub engine: String,
+    /// The cost model's report lines (queries only; empty otherwise).
+    pub cost: Vec<String>,
+    /// The bytecode listing of the compiled candidate, when the request
+    /// lowers (queries only).
+    pub bytecode: Option<String>,
     /// Minimization note, when `--minimize` reduced the width.
     pub minimized: Option<String>,
     /// The plan tree: static shape for `explain`, the measured span
@@ -925,6 +1036,7 @@ pub fn explain_prepared(
         }
     };
     let bound = bound_string(n, k);
+    let (engine, cost, bytecode) = explain_engine(db, prepared, req);
     let (plan, analyzed) = if analyze {
         let mut traced = req.clone();
         traced.trace = true;
@@ -941,11 +1053,46 @@ pub fn explain_prepared(
         backend,
         bound,
         cache_key: req.cache_key(),
+        engine,
+        cost,
+        bytecode,
         minimized,
         plan,
         analyzed,
         lint: lint_with_db(db, req, None),
     })
+}
+
+/// The engine rows of an [`ExplainReport`]: what a non-traced run of
+/// this request would execute on, with the cost model's numbers and the
+/// bytecode listing when the request lowers.
+fn explain_engine(
+    db: &Database,
+    prepared: &Prepared,
+    req: &ExecRequest,
+) -> (String, Vec<String>, Option<String>) {
+    let interpreted = (String::from("interpreted"), Vec::new(), None);
+    match prepared {
+        Prepared::Query(_) if req.opts.naive => (String::from("naive"), Vec::new(), None),
+        Prepared::Query(p) if req.opts.compile != CompileMode::Off => {
+            let allow_pfp = matches!(p.language, Language::Pfp);
+            match plan_query(db, &p.query, p.k, allow_pfp, p.feedback.get().as_ref()) {
+                Ok(qp) => {
+                    let choice = if req.opts.compile == CompileMode::On {
+                        PlanChoice::Compiled(qp.compiled_variant())
+                    } else {
+                        qp.choice()
+                    };
+                    (choice.label(), qp.cost().render_lines(), Some(qp.listing()))
+                }
+                Err(_) => interpreted,
+            }
+        }
+        Prepared::Datalog(_) if !req.opts.naive && req.opts.compile != CompileMode::Off => {
+            (String::from("compiled (rule kernels)"), Vec::new(), None)
+        }
+        _ => interpreted,
+    }
 }
 
 /// Renders an [`ExplainReport`] for the CLI / REPL.
@@ -961,6 +1108,11 @@ pub fn run_explain(db: &Database, req: &ExecRequest, analyze: bool) -> Result<St
         out.push('\n');
     }
     out.push_str(&format!("backend: {}\n", report.backend));
+    out.push_str(&format!("engine: {}\n", report.engine));
+    for line in &report.cost {
+        out.push_str(line);
+        out.push('\n');
+    }
     out.push_str(&format!("bound: {}\n", report.bound));
     out.push_str(&format!("cache key: {}\n", report.cache_key));
     out.push_str(&format!(
@@ -979,6 +1131,9 @@ pub fn run_explain(db: &Database, req: &ExecRequest, analyze: bool) -> Result<St
         "plan (estimated rows):\n"
     });
     out.push_str(&report.plan.render());
+    if let Some(bc) = &report.bytecode {
+        out.push_str(bc);
+    }
     Ok(out)
 }
 
@@ -1342,6 +1497,107 @@ mod tests {
         let rendered = run_explain(&db, &req, true).unwrap();
         assert!(rendered.contains("plan (measured):"));
         assert!(rendered.contains("measured: "));
+    }
+
+    #[test]
+    fn compile_modes_agree_and_key_cache_only_when_forced() {
+        let db = db();
+        let text = "(x1) [lfp S(x1). (x1 = 0 | exists x2. (S(x2) & E(x2,x1)))](x1)";
+        let auto = ExecRequest::query(text);
+        let mut on = auto.clone();
+        on.opts.compile = CompileMode::On;
+        let mut off = auto.clone();
+        off.opts.compile = CompileMode::Off;
+        let rows = |req: &ExecRequest| -> Vec<_> {
+            let Answer::Rows(r) = execute(&db, req).unwrap().answer else {
+                panic!("expected rows")
+            };
+            r.sorted()
+        };
+        assert_eq!(rows(&on), rows(&off));
+        assert_eq!(rows(&auto), rows(&off));
+        // `Auto` keeps the historical key; forcing a mode changes it.
+        assert_eq!(auto.cache_key(), ExecRequest::query(text).cache_key());
+        assert!(!auto.cache_key().contains("compile="));
+        assert!(on.cache_key().contains("compile=on|"));
+        assert!(off.cache_key().contains("compile=off|"));
+        assert_ne!(on.cache_key(), off.cache_key());
+        // Datalog compiled kernels agree with the interpreter too.
+        let d = ExecRequest::datalog("T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).", "T");
+        let mut d_off = d.clone();
+        d_off.opts.compile = CompileMode::Off;
+        assert_eq!(rows(&d), rows(&d_off));
+    }
+
+    #[test]
+    fn execution_records_feedback_on_cached_plans() {
+        let db = db();
+        let req =
+            ExecRequest::query("(x1) [lfp S(x1). (x1 = 0 | exists x2. (S(x2) & E(x2,x1)))](x1)");
+        let prepared = prepare_request(&req).unwrap();
+        let Prepared::Query(plan) = &prepared else {
+            panic!("expected a query plan")
+        };
+        assert!(plan.feedback.get().is_none());
+        execute_prepared(&db, &prepared, &req).unwrap();
+        let fb = plan.feedback.get().expect("execution recorded feedback");
+        assert!(fb.fixpoint_iterations > 0);
+        // Clones share the cell — the plan-LRU's Arc'd values observe it.
+        let clone = plan.clone();
+        assert_eq!(clone.feedback.get(), Some(fb));
+    }
+
+    #[test]
+    fn compiled_dispatch_honors_trace_and_deadline() {
+        let db = db();
+        // Traced requests always interpret, so span trees keep their
+        // pinned shape even when the cost model would compile.
+        let mut req =
+            ExecRequest::query("(x1) [lfp S(x1). (x1 = 0 | exists x2. (S(x2) & E(x2,x1)))](x1)");
+        req.opts.compile = CompileMode::On;
+        req.trace = true;
+        let out = execute(&db, &req).unwrap();
+        assert!(out.trace.is_some());
+        // A compiled run under an expired deadline aborts cleanly.
+        let mut req =
+            ExecRequest::query("(x1) [lfp S(x1). (x1 = 0 | exists x2. (S(x2) & E(x2,x1)))](x1)");
+        req.opts.compile = CompileMode::On;
+        req.opts.deadline = Some(Instant::now());
+        let err = execute(&db, &req).unwrap_err();
+        assert_eq!(err.code(), "deadline_exceeded");
+    }
+
+    #[test]
+    fn explain_reports_engine_cost_and_bytecode() {
+        let db = db();
+        let req = ExecRequest::query("(x1) exists x2. (E(x1,x2) & P(x2))");
+        let report = explain(&db, &req, false).unwrap();
+        assert!(
+            report.engine == "interpreted" || report.engine.starts_with("compiled"),
+            "{}",
+            report.engine
+        );
+        assert!(report.cost.iter().any(|l| l.starts_with("cost:")));
+        let bc = report.bytecode.as_deref().expect("query lowers");
+        assert!(bc.starts_with(";; bytecode"), "{bc}");
+        let rendered = run_explain(&db, &req, false).unwrap();
+        assert!(rendered.contains("engine: "), "{rendered}");
+        assert!(rendered.contains("cost: "), "{rendered}");
+        assert!(rendered.contains(";; bytecode"), "{rendered}");
+        // Forcing compilation flips the engine row.
+        let mut forced = req.clone();
+        forced.opts.compile = CompileMode::On;
+        let report = explain(&db, &forced, false).unwrap();
+        assert!(report.engine.starts_with("compiled ("), "{}", report.engine);
+        // Datalog and naive requests label their engines too.
+        let d = ExecRequest::datalog("T(x,y) :- E(x,y).", "T");
+        assert_eq!(
+            explain(&db, &d, false).unwrap().engine,
+            "compiled (rule kernels)"
+        );
+        let mut naive = req.clone();
+        naive.opts.naive = true;
+        assert_eq!(explain(&db, &naive, false).unwrap().engine, "naive");
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub use bvq_lint::{Diagnostic, Fragment, LintConfig, LintReport, Severity};
 pub use client::Client;
 pub use exec::{
     execute, explain, lint_json, lint_request, lint_with_db, run_eso, run_eval, run_explain,
-    run_request, Answer, EvalOptions, ExecKind, ExecOutcome, ExecRequest, ExplainReport, Plan,
-    Prepared, RunError,
+    run_request, Answer, CompileMode, EvalOptions, ExecKind, ExecOutcome, ExecRequest,
+    ExplainReport, FeedbackCell, Plan, Prepared, RunError,
 };
 pub use json::Json;
 pub use protocol::{ProtoError, Request, FEATURES, OPS, PROTOCOL_VERSION};

@@ -838,6 +838,7 @@ fn exec_request(
                 certify: Vec::new(),
                 threads: *threads,
                 deadline,
+                compile: Default::default(),
             },
         ),
         ComputeKind::Eso { query, k } => (
@@ -1027,10 +1028,20 @@ fn explain_json(report: &exec::ExplainReport) -> Json {
     let mut fields = vec![
         ("label", Json::Str(report.label.clone())),
         ("backend", Json::Str(report.backend.to_string())),
+        ("engine", Json::Str(report.engine.clone())),
         ("bound", Json::Str(report.bound.clone())),
         ("cache_key", Json::Str(report.cache_key.clone())),
         ("analyzed", Json::Bool(report.analyzed.is_some())),
     ];
+    if !report.cost.is_empty() {
+        fields.push((
+            "cost",
+            Json::Arr(report.cost.iter().map(|l| Json::str(l.clone())).collect()),
+        ));
+    }
+    if let Some(bc) = &report.bytecode {
+        fields.push(("bytecode", Json::str(bc.clone())));
+    }
     if let Some(note) = &report.minimized {
         fields.push(("minimized", Json::Str(note.clone())));
     }
