@@ -8,7 +8,7 @@
 //!             [--budget N] [--json] [--deny warnings]
 //! bvq repl    <db-file>
 //! bvq serve   <db-file>… [--addr HOST:PORT] [--threads N] [--queue N] [--debug-ops]
-//! bvq client  <addr> <ping|stats|list-dbs|eval|eso|datalog|explain|lint|load-db|sleep|shutdown> […]
+//! bvq client  <addr> <ping|stats|list-dbs|eval|eso|datalog|explain|lint|load-db|insert|delete|subscribe|unsubscribe|subscriptions|sleep|shutdown> […]
 //! bvq fuzz    [--cases N] [--seed S] [--filter LANG] [--deny-divergence] [--repro FILE]
 //! bvq bench   [--json PATH] [--smoke] [--seed S] | --gate OLD NEW [--threshold PCT]
 //! ```

@@ -107,6 +107,78 @@ pub fn run_client(args: &[String]) -> Result<(), String> {
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
             client.load_db(name, &text)
         }
+        "insert" | "delete" => {
+            let db = arg(2, "a database name")?;
+            let rel = arg(3, "a relation name")?;
+            let tuple = parse_tuple(&args[4..])?;
+            if cmd == "insert" {
+                client.insert(db, rel, &tuple)
+            } else {
+                client.delete(db, rel, &tuple)
+            }
+        }
+        "subscribe" => {
+            // subscribe <db> <query> [--datalog OUTPUT] [--follow N]
+            let db = arg(2, "a database name")?;
+            let query = arg(3, "a query")?;
+            let mut output: Option<String> = None;
+            let mut follow = 0usize;
+            let mut it = args[4.min(args.len())..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--datalog" => {
+                        output = Some(
+                            it.next()
+                                .ok_or("--datalog needs an output predicate")?
+                                .clone(),
+                        )
+                    }
+                    "--follow" => {
+                        follow = it
+                            .next()
+                            .ok_or("--follow needs a count")?
+                            .parse()
+                            .map_err(|_| "bad --follow value".to_string())?
+                    }
+                    other => return Err(format!("unknown flag `{other}`")),
+                }
+            }
+            let ack = match &output {
+                Some(out) => client.subscribe_datalog(db, query, out),
+                None => client.subscribe_eval(db, query),
+            }
+            .map_err(|e| format!("request failed: {e}"))?;
+            println!("{}", ack.to_string_compact());
+            if !Client::is_ok(&ack) {
+                std::process::exit(1);
+            }
+            // Follow mode: block printing the next N delta frames — the
+            // nc-style way to watch a standing query live.
+            let sub = ack.get("sub").and_then(Json::as_u64).unwrap_or(0);
+            for _ in 0..follow {
+                let (epoch, add, del) = client
+                    .recv_delta(sub)
+                    .map_err(|e| format!("subscription stream failed: {e}"))?;
+                println!(
+                    "{}",
+                    Json::obj([
+                        ("sub", Json::num(sub)),
+                        ("epoch", Json::num(epoch)),
+                        ("add", rows_json(&add)),
+                        ("del", rows_json(&del)),
+                    ])
+                    .to_string_compact()
+                );
+            }
+            return Ok(());
+        }
+        "unsubscribe" => {
+            let sub: u64 = arg(2, "a subscription id")?
+                .parse()
+                .map_err(|_| "bad subscription id".to_string())?;
+            client.unsubscribe(sub)
+        }
+        "subscriptions" => client.subscriptions(),
         "eval" | "eso" | "datalog" => {
             let db = arg(2, "a database name")?;
             let query = arg(3, "a query")?;
@@ -190,15 +262,38 @@ pub fn run_client(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown client command `{other}`")),
     }
     .map_err(|e| format!("request failed: {e}"))?;
+    print_verdict(&resp)
+}
+
+/// Parses trailing command-line args as one tuple.
+fn parse_tuple(args: &[String]) -> Result<Vec<u32>, String> {
+    if args.is_empty() {
+        return Err("insert/delete need tuple elements".into());
+    }
+    args.iter()
+        .map(|a| a.parse().map_err(|_| format!("bad tuple element `{a}`")))
+        .collect()
+}
+
+fn rows_json(rows: &[Vec<u64>]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| Json::Arr(r.iter().map(|&e| Json::num(e)).collect()))
+            .collect(),
+    )
+}
+
+/// Prints the response and exits 1 on `ok:false`.
+fn print_verdict(resp: &Json) -> Result<(), String> {
     println!("{}", resp.to_string_compact());
-    if Client::is_ok(&resp) {
+    if Client::is_ok(resp) {
         Ok(())
     } else {
         // The request itself was well-formed, so a usage dump would
         // mislead; report the server's verdict and exit nonzero.
         eprintln!(
             "error: server answered {}: {}",
-            Client::error_code(&resp).unwrap_or("error"),
+            Client::error_code(resp).unwrap_or("error"),
             resp.get("error")
                 .and_then(|e| e.get("message"))
                 .and_then(Json::as_str)

@@ -1,0 +1,140 @@
+//! Incrementalizability classification for standing queries.
+//!
+//! When the server maintains a registered query over a mutating database
+//! (the IVM subsystem), it must pick a maintenance strategy per query.
+//! This module is the single place that knows the fallback matrix: which
+//! language constructs admit differential maintenance and which force a
+//! full re-evaluation on the new epoch. The paper's own machinery motivates
+//! the split — seminaive Datalog evaluation (§3) already computes per-round
+//! deltas, so positive Datalog is differentiable, while PFP's non-monotone
+//! iteration (Theorem 3.8) has no delta semantics at all.
+
+use bvq_logic::{FixKind, Formula};
+
+/// How a standing query's materialized answer is kept up to date.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Exact per-tuple derivation counts, maintained under both inserts
+    /// and deletes. Sound only for non-recursive (stratifiable-by-layers)
+    /// positive programs, where every derivation is witnessed by a finite
+    /// product of body matches.
+    Counting,
+    /// Delete-and-rederive: overdelete the downward closure of removed
+    /// tuples, then rederive survivors from the remaining state; inserts
+    /// propagate seminaively. Sound for recursive positive Datalog.
+    DRed,
+    /// Re-evaluate on the new epoch's snapshot and diff against the
+    /// previous materialized answer. Always sound; the fallback for every
+    /// construct without a delta semantics.
+    Rediff,
+}
+
+impl Strategy {
+    /// The wire/display label (`counting` / `dred` / `rediff`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::Counting => "counting",
+            Strategy::DRed => "dred",
+            Strategy::Rediff => "rediff",
+        }
+    }
+}
+
+/// A maintenance decision: the strategy plus the construct that forced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IncrPlan {
+    /// The chosen maintenance strategy.
+    pub strategy: Strategy,
+    /// Why — the deciding construct, surfaced in `explain` and
+    /// subscription stats.
+    pub reason: &'static str,
+}
+
+/// Classifies a logic-language standing query (`FO^k`/`FP^k`/`PFP^k`).
+///
+/// Formulas always fall back to [`Strategy::Rediff`]: first-order negation
+/// and quantification have no counting semantics, and the fixpoint
+/// evaluators iterate over cylinders rather than tuples-with-derivations.
+/// The reason string records *which* construct decided the fallback, from
+/// most to least severe: PFP/IFP (non-monotone or inflationary iteration),
+/// LFP/GFP (fixpoint over first-order bodies), plain FO.
+pub fn classify_formula(f: &Formula) -> IncrPlan {
+    let mut has_pfp = false;
+    let mut has_ifp = false;
+    f.visit(&mut |g| {
+        if let Formula::Fix { kind, .. } = g {
+            match kind {
+                FixKind::Pfp => has_pfp = true,
+                FixKind::Ifp => has_ifp = true,
+                FixKind::Lfp | FixKind::Gfp => {}
+            }
+        }
+    });
+    let reason = if has_pfp {
+        "pfp: non-monotone iteration has no delta semantics"
+    } else if has_ifp {
+        "ifp: inflationary iteration is not differential"
+    } else if !f.is_first_order() {
+        "fixpoint over first-order bodies: no tuple-level derivations to count"
+    } else {
+        "first-order: negation/quantification has no counting semantics"
+    };
+    IncrPlan {
+        strategy: Strategy::Rediff,
+        reason,
+    }
+}
+
+/// Classifies a (positive) Datalog standing query given whether its
+/// predicate dependency graph is recursive
+/// (`bvq_datalog::Program::is_recursive`, passed in to keep this crate
+/// free of a datalog dependency).
+pub fn classify_datalog(recursive: bool) -> IncrPlan {
+    if recursive {
+        IncrPlan {
+            strategy: Strategy::DRed,
+            reason: "recursive positive datalog: delete-and-rederive",
+        }
+    } else {
+        IncrPlan {
+            strategy: Strategy::Counting,
+            reason: "non-recursive positive datalog: exact derivation counts",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvq_logic::parse;
+
+    fn classify(text: &str) -> IncrPlan {
+        classify_formula(&parse(text).unwrap())
+    }
+
+    #[test]
+    fn formulas_always_rediff_with_construct_reasons() {
+        let fo = classify("E(x1,x2) & ~P(x1)");
+        assert_eq!(fo.strategy, Strategy::Rediff);
+        assert!(fo.reason.starts_with("first-order"));
+
+        let fp = classify("[lfp T(x1,x2). (E(x1,x2) | exists x3. (E(x1,x3) & T(x3,x2)))](x1,x2)");
+        assert_eq!(fp.strategy, Strategy::Rediff);
+        assert!(fp.reason.starts_with("fixpoint"));
+
+        let pfp = classify("[pfp S(x1). (P(x1) | ~S(x1))](x1)");
+        assert_eq!(pfp.strategy, Strategy::Rediff);
+        assert!(pfp.reason.starts_with("pfp"));
+
+        let ifp = classify("[ifp S(x1). P(x1)](x1)");
+        assert_eq!(ifp.strategy, Strategy::Rediff);
+        assert!(ifp.reason.starts_with("ifp"));
+    }
+
+    #[test]
+    fn datalog_splits_on_recursion() {
+        assert_eq!(classify_datalog(true).strategy, Strategy::DRed);
+        assert_eq!(classify_datalog(false).strategy, Strategy::Counting);
+        assert_eq!(classify_datalog(true).strategy.label(), "dred");
+    }
+}

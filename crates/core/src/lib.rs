@@ -28,6 +28,7 @@ pub mod eso;
 pub mod fo;
 pub mod fp;
 pub mod games;
+pub mod incr;
 mod ir;
 pub mod pfp;
 
@@ -41,6 +42,7 @@ pub use eso::{reduce_arity, EsoEvaluator, GroundingInfo};
 pub use fo::{BoundedEvaluator, NaiveEvaluator};
 pub use fp::{Evaluated, FpEvaluator, FpStrategy};
 pub use games::fo_k_equivalent;
+pub use incr::{classify_datalog, classify_formula, IncrPlan, Strategy};
 pub use pfp::PfpEvaluator;
 
 /// Errors shared by the evaluators.

@@ -229,6 +229,62 @@ impl Program {
         out
     }
 
+    /// The EDB predicate names with their arities, sorted by name: body
+    /// predicates that never appear in a head, i.e. those resolved
+    /// against the database at evaluation time.
+    pub fn edb_predicates(&self) -> Vec<(String, Arity)> {
+        let idb = self.idb_predicates();
+        let mut out: Vec<(String, Arity)> = Vec::new();
+        for r in &self.rules {
+            for a in &r.body {
+                let entry = (a.pred.clone(), a.args.len());
+                if idb.iter().any(|(p, _)| *p == a.pred) || out.contains(&entry) {
+                    continue;
+                }
+                out.push(entry);
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Whether any IDB predicate (transitively) depends on itself, i.e.
+    /// the predicate dependency graph has a cycle. Non-recursive programs
+    /// admit exact counting-based incremental maintenance; recursive ones
+    /// need DRed-style overdelete/rederive.
+    pub fn is_recursive(&self) -> bool {
+        let idb = self.idb_predicates();
+        let n = idb.len();
+        let index = |p: &str| idb.iter().position(|(q, _)| q == p);
+        // edges[i] holds j when IDB i's rules mention IDB j in a body.
+        let mut edges = vec![Vec::new(); n];
+        for r in &self.rules {
+            let Some(i) = index(&r.head.pred) else {
+                continue;
+            };
+            for a in &r.body {
+                if let Some(j) = index(&a.pred) {
+                    if !edges[i].contains(&j) {
+                        edges[i].push(j);
+                    }
+                }
+            }
+        }
+        // DFS cycle detection: 0 = unvisited, 1 = on stack, 2 = done.
+        let mut state = vec![0u8; n];
+        fn dfs(v: usize, edges: &[Vec<usize>], state: &mut [u8]) -> bool {
+            state[v] = 1;
+            for &w in &edges[v] {
+                if state[w] == 1 || (state[w] == 0 && dfs(w, edges, state)) {
+                    return true;
+                }
+            }
+            state[v] = 2;
+            false
+        }
+        (0..n).any(|v| state[v] == 0 && dfs(v, &edges, &mut state))
+    }
+
     /// Structural validation: distinct-variable heads, range restriction,
     /// consistent arities across all uses.
     pub fn validate(&self) -> Result<(), DatalogError> {
@@ -351,5 +407,35 @@ mod tests {
     fn rule_variables_sorted() {
         let p = Program::new().rule("T", &[3], &[("E", &[v(3), v(1)]), ("E", &[v(1), v(2)])]);
         assert_eq!(p.rules[0].variables(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn edb_predicates_excludes_heads() {
+        let p = Program::new()
+            .rule("T", &[0, 1], &[("E", &[v(0), v(1)])])
+            .rule("T", &[0, 1], &[("T", &[v(0), v(2)]), ("E", &[v(2), v(1)])])
+            .rule("Q", &[0], &[("T", &[v(0), v(0)]), ("P", &[v(0)])]);
+        assert_eq!(
+            p.edb_predicates(),
+            vec![("E".to_string(), 2), ("P".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn recursion_detection() {
+        let direct = Program::new()
+            .rule("T", &[0, 1], &[("E", &[v(0), v(1)])])
+            .rule("T", &[0, 1], &[("T", &[v(0), v(2)]), ("E", &[v(2), v(1)])]);
+        assert!(direct.is_recursive());
+        let mutual =
+            Program::new()
+                .rule("A", &[0], &[("B", &[v(0)])])
+                .rule("B", &[0], &[("A", &[v(0)])]);
+        assert!(mutual.is_recursive());
+        let layered = Program::new()
+            .rule("T", &[0, 1], &[("E", &[v(0), v(1)])])
+            .rule("Q", &[0], &[("T", &[v(0), v(0)])]);
+        assert!(!layered.is_recursive());
+        assert!(!Program::new().is_recursive());
     }
 }

@@ -16,10 +16,11 @@
 
 use bvq_relation::trace::truncate_detail;
 use bvq_relation::{
-    parallel, Database, Elem, EvalConfig, EvalStats, Relation, Span, StatsRecorder, Tracer,
+    parallel, Database, EvalConfig, EvalStats, Relation, Span, StatsRecorder, Tracer,
 };
 
-use crate::ast::{AtomTerm, BodyAtom, DatalogError, Program, Rule};
+use crate::ast::{DatalogError, Program, Rule};
+use crate::delta::{project_head, rule_bindings, RelSource};
 
 /// The result of evaluating a program.
 #[derive(Clone, Debug)]
@@ -382,7 +383,8 @@ impl<'d> State<'d> {
 
     /// Evaluates one rule body as a conjunctive query; `delta_at` pins one
     /// body position to a delta relation instead of the full predicate.
-    /// Returns the derived head relation.
+    /// Returns the derived head relation. The join pipeline itself lives
+    /// in [`crate::delta`], shared with the IVM maintenance engine.
     fn eval_rule(
         &self,
         rule: &Rule,
@@ -390,70 +392,20 @@ impl<'d> State<'d> {
         cfg: &EvalConfig,
         rec: &mut StatsRecorder,
     ) -> Result<Relation, DatalogError> {
-        // Running join state: columns = sorted rule variables bound so far.
-        let mut cols: Vec<u32> = Vec::new();
-        let mut rel = Relation::boolean(true); // unit: the empty join
-        for (pos, atom) in rule.body.iter().enumerate() {
-            let source: Relation = match delta_at {
-                Some((dpos, delta)) if dpos == pos => (*delta).clone(),
-                _ => self.relation_of(&atom.pred).clone(),
-            };
-            let (acols, arel) = normalise_atom(&source, atom);
-            // Natural join on shared variables.
-            let mut pairs = Vec::new();
-            for (i, c) in cols.iter().enumerate() {
-                if let Some(j) = acols.iter().position(|d| d == c) {
-                    pairs.push((i, j));
-                }
-            }
-            let joined = parallel::join_on(&rel, &arel, &pairs, cfg);
-            // Merge columns.
-            let mut new_cols = cols.clone();
-            for c in &acols {
-                if !new_cols.contains(c) {
-                    new_cols.push(*c);
-                }
-            }
-            let positions: Vec<usize> = new_cols
-                .iter()
-                .map(|c| {
-                    cols.iter().position(|d| d == c).unwrap_or_else(|| {
-                        cols.len() + acols.iter().position(|d| d == c).expect("col")
-                    })
-                })
-                .collect();
-            rel = parallel::project(&joined, &positions, cfg);
-            cols = new_cols;
-            rec.intermediate(rel.arity(), rel.len());
+        let mut sources: Vec<Option<&Relation>> = Vec::new();
+        if let Some((dpos, delta)) = delta_at {
+            sources.resize(dpos + 1, None);
+            sources[dpos] = Some(delta);
         }
-        // Project to head variables.
-        let positions: Vec<usize> = rule
-            .head
-            .vars
-            .iter()
-            .map(|v| cols.iter().position(|c| c == v).expect("range-restricted"))
-            .collect();
-        Ok(parallel::project(&rel, &positions, cfg))
+        let bindings = rule_bindings(rule, &sources, self, cfg, rec)?;
+        Ok(project_head(rule, &bindings, cfg))
     }
 }
 
-/// Normalises one atom: applies constant selections and repeated-variable
-/// equalities, returning (distinct variable columns, relation).
-fn normalise_atom(rel: &Relation, atom: &BodyAtom) -> (Vec<u32>, Relation) {
-    let mut filtered = rel.clone();
-    let mut first: Vec<(u32, usize)> = Vec::new();
-    for (i, t) in atom.args.iter().enumerate() {
-        match t {
-            AtomTerm::Const(c) => filtered = filtered.select_const(i, *c as Elem),
-            AtomTerm::Var(v) => match first.iter().find(|(w, _)| w == v) {
-                Some(&(_, j)) => filtered = filtered.select_eq(j, i),
-                None => first.push((*v, i)),
-            },
-        }
+impl RelSource for State<'_> {
+    fn rel(&self, pred: &str) -> Option<&Relation> {
+        Some(self.relation_of(pred))
     }
-    let cols: Vec<u32> = first.iter().map(|(v, _)| *v).collect();
-    let positions: Vec<usize> = first.iter().map(|(_, p)| *p).collect();
-    (cols, filtered.project(&positions))
 }
 
 impl State<'_> {

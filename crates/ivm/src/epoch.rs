@@ -1,0 +1,315 @@
+//! Epoch-snapshotted mutable databases.
+//!
+//! A [`MutableDb`] owns the current [`bvq_relation::Database`] and an
+//! epoch counter. Readers call [`MutableDb::snapshot`] to pin the current
+//! epoch — an `Arc`'d copy-on-write clone, O(#relations) — and evaluate
+//! against it without ever blocking writers; a mutation batch advances
+//! the epoch and reports the **net** per-relation delta (an insert undone
+//! by a delete in the same batch cancels out), which is what maintenance
+//! and cache invalidation consume.
+
+use std::hash::Hasher;
+use std::sync::Arc;
+
+use bvq_relation::{Database, Elem, FxHasher, RelId, Relation};
+
+use crate::IvmError;
+
+/// An immutable view of one epoch of a mutable database.
+#[derive(Clone)]
+pub struct Snapshot {
+    /// The database as of this epoch.
+    pub db: Arc<Database>,
+    /// The epoch counter (0 = as loaded; +1 per mutation batch).
+    pub epoch: u64,
+}
+
+impl Snapshot {
+    /// A fingerprint of only the named relations (plus the domain size):
+    /// the dependency key for cached results. Results of a plan that reads
+    /// relations `rels` stay valid across mutations of *other* relations,
+    /// because this hash — unlike [`Database::fingerprint`] — does not see
+    /// them. Unknown names hash as absent (the plan will fail elsewhere).
+    pub fn dep_fingerprint(&self, rels: &[String]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_usize(self.db.domain_size());
+        for name in rels {
+            match self.db.schema().resolve(name) {
+                Some(id) => h.write_u64(self.db.relation_fingerprint(id)),
+                None => h.write_u8(0),
+            }
+        }
+        h.finish()
+    }
+}
+
+/// One point mutation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Insert `tuple` into relation `rel` (no-op if present).
+    Insert {
+        /// Relation name.
+        rel: String,
+        /// The tuple.
+        tuple: Vec<Elem>,
+    },
+    /// Delete `tuple` from relation `rel` (no-op if absent).
+    Delete {
+        /// Relation name.
+        rel: String,
+        /// The tuple.
+        tuple: Vec<Elem>,
+    },
+}
+
+/// The net added/removed tuples of one relation across a batch.
+#[derive(Clone, Debug)]
+pub struct RelDelta {
+    /// Tuples present after the batch but not before.
+    pub added: Relation,
+    /// Tuples present before the batch but not after.
+    pub removed: Relation,
+}
+
+impl RelDelta {
+    fn new(arity: usize) -> Self {
+        RelDelta {
+            added: Relation::new(arity),
+            removed: Relation::new(arity),
+        }
+    }
+
+    /// Whether the batch left this relation unchanged.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// The net effect of one mutation batch, by relation name. Relations the
+/// batch did not change are absent.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaSet {
+    /// Changed relations with their net deltas.
+    pub rels: Vec<(String, RelDelta)>,
+}
+
+impl DeltaSet {
+    /// The delta for `rel`, if it changed.
+    pub fn get(&self, rel: &str) -> Option<&RelDelta> {
+        self.rels.iter().find(|(n, _)| n == rel).map(|(_, d)| d)
+    }
+
+    /// Total tuples added (net) across all relations.
+    pub fn total_added(&self) -> usize {
+        self.rels.iter().map(|(_, d)| d.added.len()).sum()
+    }
+
+    /// Total tuples removed (net) across all relations.
+    pub fn total_removed(&self) -> usize {
+        self.rels.iter().map(|(_, d)| d.removed.len()).sum()
+    }
+
+    /// Whether the batch was a no-op.
+    pub fn is_empty(&self) -> bool {
+        self.rels.iter().all(|(_, d)| d.is_empty())
+    }
+
+    /// Whether any relation has removed tuples.
+    pub fn has_removals(&self) -> bool {
+        self.rels.iter().any(|(_, d)| !d.removed.is_empty())
+    }
+}
+
+/// A mutable database: the writer side of the epoch machinery.
+pub struct MutableDb {
+    db: Database,
+    epoch: u64,
+}
+
+impl MutableDb {
+    /// Wraps a loaded database as epoch 0.
+    pub fn new(db: Database) -> Self {
+        MutableDb { db, epoch: 0 }
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The current database (for direct reads by the writer thread).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Pins the current epoch: an O(#relations) copy-on-write clone.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            db: Arc::new(self.db.clone()),
+            epoch: self.epoch,
+        }
+    }
+
+    /// Replaces the database wholesale (a `load_db` over an existing
+    /// name), advancing the epoch.
+    pub fn replace(&mut self, db: Database) -> Snapshot {
+        self.db = db;
+        self.epoch += 1;
+        self.snapshot()
+    }
+
+    /// Applies a mutation batch atomically (all-or-nothing: the first
+    /// invalid mutation aborts with the database unchanged), advances the
+    /// epoch if anything changed, and returns the net [`DeltaSet`].
+    ///
+    /// # Errors
+    /// Fails on unknown relation names, arity mismatches, or
+    /// out-of-domain elements; the database is left exactly as it was.
+    pub fn apply(&mut self, muts: &[Mutation]) -> Result<DeltaSet, IvmError> {
+        // Validate the whole batch against the schema first so failures
+        // cannot leave a half-applied batch behind.
+        let resolved: Vec<(RelId, &Mutation)> = muts
+            .iter()
+            .map(|m| {
+                let name = match m {
+                    Mutation::Insert { rel, .. } | Mutation::Delete { rel, .. } => rel,
+                };
+                self.db
+                    .schema()
+                    .resolve(name)
+                    .ok_or_else(|| IvmError::UnknownRelation(name.clone()))
+                    .map(|id| (id, m))
+            })
+            .collect::<Result<_, _>>()?;
+        let mut staged = self.db.clone(); // O(#relations); CoW below
+        let mut delta = DeltaSet::default();
+        for (id, m) in resolved {
+            let (name, arity) = (
+                self.db.schema().name(id).to_string(),
+                self.db.schema().arity(id),
+            );
+            let slot = match delta.rels.iter().position(|(n, _)| *n == name) {
+                Some(i) => i,
+                None => {
+                    delta.rels.push((name, RelDelta::new(arity)));
+                    delta.rels.len() - 1
+                }
+            };
+            let d = &mut delta.rels[slot].1;
+            match m {
+                Mutation::Insert { tuple, .. } => {
+                    if staged.insert_tuple(id, tuple)? && !d.removed.remove(tuple) {
+                        d.added.insert(bvq_relation::Tuple::from_slice(tuple));
+                    }
+                }
+                Mutation::Delete { tuple, .. } => {
+                    if staged.delete_tuple(id, tuple)? && !d.added.remove(tuple) {
+                        d.removed.insert(bvq_relation::Tuple::from_slice(tuple));
+                    }
+                }
+            }
+        }
+        delta.rels.retain(|(_, d)| !d.is_empty());
+        if !delta.is_empty() {
+            self.db = staged;
+            self.epoch += 1;
+        }
+        Ok(delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        Database::builder(5)
+            .relation("E", 2, [[0u32, 1], [1, 2]])
+            .relation("P", 1, [[0u32]])
+            .build()
+    }
+
+    fn ins(rel: &str, t: &[Elem]) -> Mutation {
+        Mutation::Insert {
+            rel: rel.into(),
+            tuple: t.to_vec(),
+        }
+    }
+
+    fn del(rel: &str, t: &[Elem]) -> Mutation {
+        Mutation::Delete {
+            rel: rel.into(),
+            tuple: t.to_vec(),
+        }
+    }
+
+    #[test]
+    fn apply_advances_epoch_and_reports_net_delta() {
+        let mut m = MutableDb::new(db());
+        assert_eq!(m.epoch(), 0);
+        let d = m
+            .apply(&[ins("E", &[2, 3]), del("E", &[0, 1]), ins("P", &[4])])
+            .unwrap();
+        assert_eq!(m.epoch(), 1);
+        let e = d.get("E").unwrap();
+        assert!(e.added.contains(&[2, 3]));
+        assert!(e.removed.contains(&[0, 1]));
+        assert_eq!(d.get("P").unwrap().added.len(), 1);
+        assert!(d.has_removals());
+    }
+
+    #[test]
+    fn insert_then_delete_cancels() {
+        let mut m = MutableDb::new(db());
+        let d = m.apply(&[ins("E", &[3, 4]), del("E", &[3, 4])]).unwrap();
+        assert!(d.is_empty(), "net no-op batch");
+        assert_eq!(m.epoch(), 0, "no-op batches do not advance the epoch");
+        // And the symmetric delete-then-reinsert of an existing tuple.
+        let d = m.apply(&[del("E", &[0, 1]), ins("E", &[0, 1])]).unwrap();
+        assert!(d.is_empty());
+        // Duplicate inserts and absent deletes are no-ops, not deltas.
+        let d = m.apply(&[ins("E", &[0, 1]), del("E", &[4, 4])]).unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn invalid_batch_leaves_db_untouched() {
+        let mut m = MutableDb::new(db());
+        let before = m.db().fingerprint();
+        assert!(matches!(
+            m.apply(&[ins("E", &[2, 3]), ins("Nope", &[0])]),
+            Err(IvmError::UnknownRelation(_))
+        ));
+        assert!(m.apply(&[ins("E", &[2, 3]), ins("E", &[9, 9])]).is_err());
+        assert!(m.apply(&[ins("E", &[1])]).is_err(), "arity");
+        assert_eq!(m.db().fingerprint(), before);
+        assert_eq!(m.epoch(), 0);
+    }
+
+    #[test]
+    fn snapshots_pin_epochs() {
+        let mut m = MutableDb::new(db());
+        let s0 = m.snapshot();
+        m.apply(&[ins("E", &[2, 3])]).unwrap();
+        let s1 = m.snapshot();
+        assert_eq!(s0.epoch, 0);
+        assert_eq!(s1.epoch, 1);
+        assert!(!s0.db.relation_by_name("E").unwrap().contains(&[2, 3]));
+        assert!(s1.db.relation_by_name("E").unwrap().contains(&[2, 3]));
+    }
+
+    #[test]
+    fn dep_fingerprint_ignores_unrelated_relations() {
+        let mut m = MutableDb::new(db());
+        let deps = vec!["P".to_string()];
+        let before = m.snapshot().dep_fingerprint(&deps);
+        m.apply(&[ins("E", &[2, 3])]).unwrap();
+        assert_eq!(
+            m.snapshot().dep_fingerprint(&deps),
+            before,
+            "mutating E leaves P-only dependency keys intact"
+        );
+        m.apply(&[ins("P", &[1])]).unwrap();
+        assert_ne!(m.snapshot().dep_fingerprint(&deps), before);
+    }
+}

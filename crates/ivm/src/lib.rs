@@ -1,0 +1,71 @@
+//! # bvq-ivm
+//!
+//! Incremental view maintenance over mutable databases.
+//!
+//! The paper's evaluators are batch: given a database, compute the full
+//! answer. This crate makes the database a *sequence of epochs* — each
+//! mutation batch produces a new immutable snapshot, cheap because
+//! relations are copy-on-write ([`bvq_relation::Database`] clones in
+//! O(#relations)) — and keeps registered **standing queries** up to date
+//! differentially instead of re-evaluating per epoch:
+//!
+//! * [`epoch`] — [`MutableDb`]: apply [`Mutation`] batches, advance the
+//!   epoch counter, hand out pinned [`Snapshot`]s, and report the net
+//!   per-relation [`DeltaSet`];
+//! * [`maintain`] — [`StandingQuery`]: a registered Datalog view
+//!   maintained by exact derivation **counting** (non-recursive programs)
+//!   or **DRed** delete-and-rederive (recursive programs), both built on
+//!   the rule×delta engine extracted into [`bvq_datalog::delta`]. The
+//!   strategy choice is [`bvq_core::incr`]'s classification; languages
+//!   with no delta semantics (FO/FP/PFP formulas) fall back to
+//!   re-evaluate-and-diff, for which [`AnswerDelta::diff`] is the helper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod epoch;
+pub mod maintain;
+
+pub use epoch::{DeltaSet, MutableDb, Mutation, RelDelta, Snapshot};
+pub use maintain::{AnswerDelta, StandingQuery};
+
+use bvq_datalog::DatalogError;
+use bvq_relation::RelationError;
+
+/// Errors from mutations and maintenance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IvmError {
+    /// A mutation names a relation the database lacks.
+    UnknownRelation(String),
+    /// A mutation's tuple is malformed (arity/domain).
+    Relation(RelationError),
+    /// Standing-query installation or propagation failed.
+    Datalog(DatalogError),
+    /// The subscribed output predicate is not defined by the program.
+    UnknownOutput(String),
+}
+
+impl std::fmt::Display for IvmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IvmError::UnknownRelation(n) => write!(f, "unknown relation `{n}`"),
+            IvmError::Relation(e) => write!(f, "{e}"),
+            IvmError::Datalog(e) => write!(f, "{e}"),
+            IvmError::UnknownOutput(n) => write!(f, "output predicate `{n}` not defined"),
+        }
+    }
+}
+
+impl std::error::Error for IvmError {}
+
+impl From<RelationError> for IvmError {
+    fn from(e: RelationError) -> Self {
+        IvmError::Relation(e)
+    }
+}
+
+impl From<DatalogError> for IvmError {
+    fn from(e: DatalogError) -> Self {
+        IvmError::Datalog(e)
+    }
+}

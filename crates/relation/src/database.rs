@@ -8,9 +8,10 @@
 //! data and combined complexity.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::hasher::FxHashMap;
-use crate::{Arity, Relation, RelationError, Tuple};
+use crate::{Arity, Elem, Relation, RelationError, Tuple};
 
 /// Identifier of a relation within a database schema.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -77,11 +78,17 @@ impl Schema {
 }
 
 /// A relational database: a domain `{0,…,n-1}` plus relations per schema.
+///
+/// Relations are stored behind [`Arc`], so cloning a database is O(ℓ) in
+/// the number of relations, not the number of tuples — the property the
+/// serving layer's epoch snapshots rely on. Mutating one relation
+/// (`insert_tuple` / `delete_tuple` / `set_relation`) copies only that
+/// relation when it is shared with an older snapshot (copy-on-write).
 #[derive(Clone)]
 pub struct Database {
     domain_size: usize,
     schema: Schema,
-    relations: Vec<Relation>,
+    relations: Vec<Arc<Relation>>,
     /// Optional human-readable labels for domain elements (examples only).
     labels: Option<Vec<String>>,
 }
@@ -136,13 +143,55 @@ impl Database {
             }
         }
         let id = self.schema.add(name, rel.arity())?;
-        self.relations.push(rel);
+        self.relations.push(Arc::new(rel));
         Ok(id)
     }
 
     /// The relation with the given id.
     pub fn relation(&self, id: RelId) -> &Relation {
         &self.relations[id.0 as usize]
+    }
+
+    /// Inserts one tuple into relation `id`; returns whether it was new.
+    /// Copy-on-write: when the relation is shared with a snapshot, only
+    /// this relation is copied — every other relation stays shared.
+    ///
+    /// # Errors
+    /// Fails on arity mismatch or out-of-domain elements.
+    pub fn insert_tuple(&mut self, id: RelId, t: &[Elem]) -> Result<bool, RelationError> {
+        self.check_tuple(id, t)?;
+        Ok(Arc::make_mut(&mut self.relations[id.0 as usize]).insert(Tuple::from_slice(t)))
+    }
+
+    /// Deletes one tuple from relation `id`; returns whether it was
+    /// present. Copy-on-write, like [`Database::insert_tuple`].
+    ///
+    /// # Errors
+    /// Fails on arity mismatch or out-of-domain elements.
+    pub fn delete_tuple(&mut self, id: RelId, t: &[Elem]) -> Result<bool, RelationError> {
+        self.check_tuple(id, t)?;
+        if !self.relations[id.0 as usize].contains(t) {
+            return Ok(false);
+        }
+        Ok(Arc::make_mut(&mut self.relations[id.0 as usize]).remove(t))
+    }
+
+    fn check_tuple(&self, id: RelId, t: &[Elem]) -> Result<(), RelationError> {
+        if t.len() != self.schema.arity(id) {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.arity(id),
+                found: t.len(),
+            });
+        }
+        for &e in t {
+            if e as usize >= self.domain_size {
+                return Err(RelationError::OutOfDomain {
+                    element: e,
+                    domain_size: self.domain_size,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The relation with the given name, if any.
@@ -171,7 +220,7 @@ impl Database {
                 }
             }
         }
-        self.relations[id.0 as usize] = rel;
+        self.relations[id.0 as usize] = Arc::new(rel);
         Ok(())
     }
 
@@ -212,31 +261,52 @@ impl Database {
 
     /// Total number of tuples across all relations.
     pub fn total_tuples(&self) -> usize {
-        self.relations.iter().map(Relation::len).sum()
+        self.relations.iter().map(|r| r.len()).sum()
+    }
+
+    /// A deterministic structural fingerprint of one relation's
+    /// *contents* (tuples hashed in sorted order, so insertion order is
+    /// irrelevant) together with its name and arity. Mutating one
+    /// relation changes only that relation's fingerprint — the property
+    /// the serving layer's per-relation cache keys rely on.
+    pub fn relation_fingerprint(&self, id: RelId) -> u64 {
+        use std::hash::Hasher;
+        let mut h = crate::hasher::FxHasher::default();
+        h.write(self.schema.name(id).as_bytes());
+        h.write_u8(0xff); // name terminator: ("ab","c") ≠ ("a","bc")
+        h.write_usize(self.schema.arity(id));
+        let rel = self.relation(id);
+        h.write_usize(rel.len());
+        for t in rel.sorted() {
+            for &e in t.as_slice() {
+                h.write_u32(e);
+            }
+        }
+        h.finish()
+    }
+
+    /// Per-relation fingerprints in schema declaration order.
+    pub fn relation_fingerprints(&self) -> Vec<(String, u64)> {
+        self.schema
+            .iter()
+            .map(|(id, name, _)| (name.to_string(), self.relation_fingerprint(id)))
+            .collect()
     }
 
     /// A deterministic structural fingerprint of the database: domain
     /// size, schema (names and arities in declaration order), and the
-    /// *contents* of every relation (tuples hashed in sorted order, so
-    /// insertion order is irrelevant). Two databases have the same
-    /// fingerprint iff they are the same instance up to tuple insertion
-    /// order — the property the serving layer's result cache keys on.
+    /// *contents* of every relation, combined from the per-relation
+    /// fingerprints of [`Database::relation_fingerprint`]. Two databases
+    /// have the same fingerprint iff they are the same instance up to
+    /// tuple insertion order — the property the serving layer's result
+    /// cache keys on.
     pub fn fingerprint(&self) -> u64 {
         use std::hash::Hasher;
         let mut h = crate::hasher::FxHasher::default();
         h.write_usize(self.domain_size);
         h.write_usize(self.schema.len());
-        for (id, name, arity) in self.schema.iter() {
-            h.write(name.as_bytes());
-            h.write_u8(0xff); // name terminator: ("ab","c") ≠ ("a","bc")
-            h.write_usize(arity);
-            let rel = self.relation(id);
-            h.write_usize(rel.len());
-            for t in rel.sorted() {
-                for &e in t.as_slice() {
-                    h.write_u32(e);
-                }
-            }
+        for (id, _, _) in self.schema.iter() {
+            h.write_u64(self.relation_fingerprint(id));
         }
         h.finish()
     }
@@ -384,6 +454,76 @@ mod tests {
             .relation("E", 2, [[2u32, 3], [0, 1], [1, 2]])
             .build();
         assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn insert_and_delete_tuples() {
+        let mut db = Database::builder(4)
+            .relation("E", 2, [[0u32, 1], [1, 2]])
+            .build();
+        let e = db.schema().resolve("E").unwrap();
+        assert!(db.insert_tuple(e, &[2, 3]).unwrap());
+        assert!(!db.insert_tuple(e, &[2, 3]).unwrap(), "already present");
+        assert_eq!(db.relation(e).len(), 3);
+        assert!(db.delete_tuple(e, &[0, 1]).unwrap());
+        assert!(!db.delete_tuple(e, &[0, 1]).unwrap(), "already gone");
+        assert_eq!(db.relation(e).len(), 2);
+        assert!(matches!(
+            db.insert_tuple(e, &[0]),
+            Err(RelationError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            db.insert_tuple(e, &[0, 9]),
+            Err(RelationError::OutOfDomain { .. })
+        ));
+        assert!(matches!(
+            db.delete_tuple(e, &[9, 0]),
+            Err(RelationError::OutOfDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn mutating_one_relation_leaves_other_fingerprints_unchanged() {
+        let mut db = Database::builder(6)
+            .relation("E", 2, [[0u32, 1], [1, 2], [2, 3]])
+            .relation("P", 1, [[0u32], [3]])
+            .relation("Q", 1, [[5u32]])
+            .build();
+        let before = db.relation_fingerprints();
+        let whole_before = db.fingerprint();
+        let e = db.schema().resolve("E").unwrap();
+        db.insert_tuple(e, &[3, 4]).unwrap();
+        let after = db.relation_fingerprints();
+        assert_eq!(before.len(), after.len());
+        assert_ne!(before[0], after[0], "mutated relation changes");
+        assert_eq!(before[1], after[1], "untouched P unchanged");
+        assert_eq!(before[2], after[2], "untouched Q unchanged");
+        assert_ne!(db.fingerprint(), whole_before);
+        // Deleting the tuple restores every fingerprint.
+        db.delete_tuple(e, &[3, 4]).unwrap();
+        assert_eq!(db.relation_fingerprints(), before);
+        assert_eq!(db.fingerprint(), whole_before);
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let mut db = Database::builder(4)
+            .relation("E", 2, [[0u32, 1], [1, 2]])
+            .relation("P", 1, [[0u32]])
+            .build();
+        let snapshot = db.clone();
+        let e = db.schema().resolve("E").unwrap();
+        let p = db.schema().resolve("P").unwrap();
+        // Both relations are shared with the snapshot until mutated.
+        assert!(Arc::ptr_eq(&db.relations[0], &snapshot.relations[0]));
+        assert!(Arc::ptr_eq(&db.relations[1], &snapshot.relations[1]));
+        db.insert_tuple(e, &[2, 3]).unwrap();
+        // Only the mutated relation was copied; the snapshot is unchanged.
+        assert!(!Arc::ptr_eq(&db.relations[0], &snapshot.relations[0]));
+        assert!(Arc::ptr_eq(&db.relations[1], &snapshot.relations[1]));
+        assert_eq!(snapshot.relation(e).len(), 2);
+        assert_eq!(db.relation(e).len(), 3);
+        assert_eq!(snapshot.relation(p).len(), 1);
     }
 
     #[test]

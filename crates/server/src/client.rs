@@ -14,11 +14,18 @@ use std::time::{Duration, Instant};
 
 use crate::json::Json;
 
+/// One decoded delta frame: `(epoch, added rows, removed rows)`.
+pub type DeltaFrame = (u64, Vec<Vec<u64>>, Vec<Vec<u64>>);
+
 /// A connected protocol client.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: u64,
+    /// Unsolicited subscription delta frames that arrived while waiting
+    /// for a request's response (the two interleave at line
+    /// granularity); drained by [`Client::recv_delta`].
+    frames: Vec<Json>,
 }
 
 impl Client {
@@ -30,6 +37,7 @@ impl Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
             next_id: 0,
+            frames: Vec::new(),
         })
     }
 
@@ -82,10 +90,23 @@ impl Client {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
     }
 
+    /// Reads the next *response* line, stashing any subscription delta
+    /// frames (which carry `sub` but no `ok`) that arrive first.
+    pub fn recv_response(&mut self) -> io::Result<Json> {
+        loop {
+            let line = self.recv()?;
+            if line.get("sub").is_some() && line.get("ok").is_none() {
+                self.frames.push(line);
+                continue;
+            }
+            return Ok(line);
+        }
+    }
+
     /// Sends a request and waits for its response.
     pub fn call(&mut self, request: Json) -> io::Result<Json> {
         self.send(request)?;
-        self.recv()
+        self.recv_response()
     }
 
     /// Builds and sends an op with the given extra fields.
@@ -203,6 +224,129 @@ impl Client {
     /// Lists loaded databases.
     pub fn list_dbs(&mut self) -> io::Result<Json> {
         self.call_op("list_dbs", vec![])
+    }
+
+    /// Inserts one tuple into a relation of a named database.
+    pub fn insert(&mut self, db: &str, rel: &str, tuple: &[u32]) -> io::Result<Json> {
+        self.call_op(
+            "insert",
+            vec![
+                ("db", Json::str(db)),
+                ("rel", Json::str(rel)),
+                ("tuple", Self::tuple_json(tuple)),
+            ],
+        )
+    }
+
+    /// Deletes one tuple from a relation of a named database.
+    pub fn delete(&mut self, db: &str, rel: &str, tuple: &[u32]) -> io::Result<Json> {
+        self.call_op(
+            "delete",
+            vec![
+                ("db", Json::str(db)),
+                ("rel", Json::str(rel)),
+                ("tuple", Self::tuple_json(tuple)),
+            ],
+        )
+    }
+
+    /// Applies an atomic mutation batch: `(rel, tuple, delete?)` items.
+    pub fn batch(&mut self, db: &str, muts: &[(&str, &[u32], bool)]) -> io::Result<Json> {
+        let items = muts
+            .iter()
+            .map(|(rel, tuple, delete)| {
+                let mut fields = vec![
+                    ("rel".to_string(), Json::str(*rel)),
+                    ("tuple".to_string(), Self::tuple_json(tuple)),
+                ];
+                if *delete {
+                    fields.push(("delete".to_string(), Json::Bool(true)));
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        self.call_op(
+            "batch",
+            vec![("db", Json::str(db)), ("muts", Json::Arr(items))],
+        )
+    }
+
+    /// Subscribes to a standing Datalog query; the ack carries the
+    /// subscription id and the initial materialized answer.
+    pub fn subscribe_datalog(&mut self, db: &str, program: &str, output: &str) -> io::Result<Json> {
+        self.call_op(
+            "subscribe",
+            vec![
+                ("db", Json::str(db)),
+                ("target", Json::str("datalog")),
+                ("program", Json::str(program)),
+                ("output", Json::str(output)),
+            ],
+        )
+    }
+
+    /// Subscribes to a standing FO/FP/PFP query (re-evaluate-and-diff).
+    pub fn subscribe_eval(&mut self, db: &str, query: &str) -> io::Result<Json> {
+        self.call_op(
+            "subscribe",
+            vec![("db", Json::str(db)), ("query", Json::str(query))],
+        )
+    }
+
+    /// Cancels a subscription by id.
+    pub fn unsubscribe(&mut self, sub: u64) -> io::Result<Json> {
+        self.call_op("unsubscribe", vec![("sub", Json::num(sub))])
+    }
+
+    /// Lists active subscriptions with their maintenance stats.
+    pub fn subscriptions(&mut self) -> io::Result<Json> {
+        self.call_op("subscriptions", vec![])
+    }
+
+    /// Returns the next delta frame for `sub` — stashed or read off the
+    /// wire — as decoded `(epoch, added, removed)` rows. Frames for
+    /// other subscriptions are skipped; any non-frame line is an error
+    /// (use this only between requests).
+    pub fn recv_delta(&mut self, sub: u64) -> io::Result<DeltaFrame> {
+        loop {
+            let line = match self
+                .frames
+                .iter()
+                .position(|f| f.get("sub").and_then(Json::as_u64) == Some(sub))
+            {
+                Some(i) => self.frames.remove(i),
+                None => self.recv()?,
+            };
+            let Some(got) = line.get("sub").and_then(Json::as_u64) else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected a delta frame, got: {}", line.to_string_compact()),
+                ));
+            };
+            if got != sub {
+                continue;
+            }
+            let rows = |key: &str| -> Vec<Vec<u64>> {
+                line.get(key)
+                    .and_then(Json::as_arr)
+                    .map(|rs| {
+                        rs.iter()
+                            .map(|r| {
+                                r.as_arr()
+                                    .map(|t| t.iter().filter_map(Json::as_u64).collect())
+                                    .unwrap_or_default()
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            };
+            let epoch = line.get("epoch").and_then(Json::as_u64).unwrap_or(0);
+            return Ok((epoch, rows("add"), rows("del")));
+        }
+    }
+
+    fn tuple_json(tuple: &[u32]) -> Json {
+        Json::Arr(tuple.iter().map(|&e| Json::num(e as u64)).collect())
     }
 
     /// Requests graceful shutdown; the response arrives after the

@@ -396,6 +396,54 @@ impl Prepared {
             Prepared::Datalog(_) => Language::Datalog,
         }
     }
+
+    /// The database relations this plan reads, sorted and deduplicated —
+    /// the dependency set for delta-keyed result caching: a cached answer
+    /// stays valid across mutations of every relation *not* in this list.
+    /// Quantified ESO relations and Datalog IDB predicates are excluded
+    /// (they are derived, not stored).
+    pub fn referenced_relations(&self) -> Vec<String> {
+        let mut names: Vec<String> = match self {
+            Prepared::Query(p) => p
+                .query
+                .formula
+                .db_relations()
+                .into_iter()
+                .map(|(n, _)| n)
+                .collect(),
+            Prepared::Eso(p) => p
+                .eso
+                .body
+                .db_relations()
+                .into_iter()
+                .map(|(n, _)| n)
+                .collect(),
+            Prepared::Datalog(p) => p
+                .program
+                .edb_predicates()
+                .into_iter()
+                .map(|(n, _)| n)
+                .collect(),
+        };
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// How a standing query over this plan would be maintained under
+    /// mutations ([`bvq_core::incr`]'s fallback matrix): counting or DRed
+    /// for Datalog, re-evaluate-and-diff for everything else, with the
+    /// deciding construct as the reason.
+    pub fn incr_plan(&self) -> bvq_core::IncrPlan {
+        match self {
+            Prepared::Query(p) => bvq_core::classify_formula(&p.query.formula),
+            Prepared::Eso(_) => bvq_core::IncrPlan {
+                strategy: bvq_core::Strategy::Rediff,
+                reason: "second-order quantification has no delta semantics",
+            },
+            Prepared::Datalog(p) => bvq_core::classify_datalog(p.program.is_recursive()),
+        }
+    }
 }
 
 /// The shape of an answer, by query kind.
@@ -964,6 +1012,10 @@ pub struct ExplainReport {
     pub bytecode: Option<String>,
     /// Minimization note, when `--minimize` reduced the width.
     pub minimized: Option<String>,
+    /// How a standing query over this plan would be maintained under
+    /// mutations: `counting`/`dred`/`rediff` plus the deciding construct
+    /// (the IVM fallback matrix, [`bvq_core::incr`]).
+    pub maintenance: String,
     /// The plan tree: static shape for `explain`, the measured span
     /// tree for `explain analyze`.
     pub plan: Span,
@@ -1057,6 +1109,10 @@ pub fn explain_prepared(
         cost,
         bytecode,
         minimized,
+        maintenance: {
+            let ip = prepared.incr_plan();
+            format!("{} — {}", ip.strategy.label(), ip.reason)
+        },
         plan,
         analyzed,
         lint: lint_with_db(db, req, None),
@@ -1115,6 +1171,7 @@ pub fn run_explain(db: &Database, req: &ExecRequest, analyze: bool) -> Result<St
     }
     out.push_str(&format!("bound: {}\n", report.bound));
     out.push_str(&format!("cache key: {}\n", report.cache_key));
+    out.push_str(&format!("maintenance: {}\n", report.maintenance));
     out.push_str(&format!(
         "complexity: data {} [Table 1], combined {} [Table 2]\n",
         report.lint.data_complexity, report.lint.combined_complexity
@@ -1598,6 +1655,61 @@ mod tests {
         let mut naive = req.clone();
         naive.opts.naive = true;
         assert_eq!(explain(&db, &naive, false).unwrap().engine, "naive");
+    }
+
+    #[test]
+    fn referenced_relations_cover_every_kind() {
+        let q = prepare_request(&ExecRequest::query("(x1) (E(x1,x1) & exists x2. P(x2))")).unwrap();
+        assert_eq!(q.referenced_relations(), ["E", "P"]);
+        // Quantified ESO relations are derived, not stored.
+        let e = prepare_request(&ExecRequest::eso("exists2 S/1. (S(x1) & P(x1))")).unwrap();
+        assert_eq!(e.referenced_relations(), ["P"]);
+        // Datalog IDB predicates are excluded; EDB names dedupe.
+        let d = prepare_request(&ExecRequest::datalog(
+            "T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).",
+            "T",
+        ))
+        .unwrap();
+        assert_eq!(d.referenced_relations(), ["E"]);
+    }
+
+    #[test]
+    fn incr_plans_follow_the_fallback_matrix() {
+        use bvq_core::Strategy;
+        let plan = |req: &ExecRequest| prepare_request(req).unwrap().incr_plan();
+        let d = plan(&ExecRequest::datalog("T(x) :- P(x).", "T"));
+        assert_eq!(d.strategy, Strategy::Counting);
+        let d = plan(&ExecRequest::datalog(
+            "T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).",
+            "T",
+        ));
+        assert_eq!(d.strategy, Strategy::DRed);
+        let q = plan(&ExecRequest::query("(x1) [pfp S(x1). ~S(x1)](x1)"));
+        assert_eq!(q.strategy, Strategy::Rediff);
+        assert!(q.reason.starts_with("pfp"), "{}", q.reason);
+        let e = plan(&ExecRequest::eso("exists2 S/1. (S(x1) & P(x1))"));
+        assert_eq!(e.strategy, Strategy::Rediff);
+    }
+
+    #[test]
+    fn explain_reports_maintenance_strategy() {
+        let db = db();
+        let d = ExecRequest::datalog("T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).", "T");
+        let report = explain(&db, &d, false).unwrap();
+        assert!(
+            report.maintenance.starts_with("dred — "),
+            "{}",
+            report.maintenance
+        );
+        let rendered = run_explain(&db, &d, false).unwrap();
+        assert!(rendered.contains("maintenance: dred"), "{rendered}");
+        let q = ExecRequest::query("(x1) P(x1)");
+        let report = explain(&db, &q, false).unwrap();
+        assert!(
+            report.maintenance.starts_with("rediff — "),
+            "{}",
+            report.maintenance
+        );
     }
 
     #[test]

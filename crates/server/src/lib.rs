@@ -24,6 +24,14 @@
 //! - [`json`] — a minimal dependency-free JSON reader/writer (the
 //!   workspace is hermetic: no serde).
 //!
+//! Databases are **mutable**: `insert`/`delete`/`batch` ops apply
+//! atomic mutation batches through [`bvq_ivm::MutableDb`] behind a
+//! writer mutex, compute jobs pin an epoch [`bvq_ivm::Snapshot`] at
+//! admission, and `subscribe` registers standing queries whose answers
+//! the server maintains incrementally (counting/DRed via
+//! [`bvq_ivm::StandingQuery`], re-evaluate-and-diff otherwise), pushing
+//! unsolicited delta frames to subscribers.
+//!
 //! Everything is `std`-only.
 
 #![warn(missing_docs)]
@@ -36,6 +44,7 @@ pub mod protocol;
 pub mod server;
 pub mod stats;
 
+pub use bvq_ivm::{Mutation, Snapshot};
 pub use bvq_lint::{Diagnostic, Fragment, LintConfig, LintReport, Severity};
 pub use client::Client;
 pub use exec::{
@@ -45,5 +54,5 @@ pub use exec::{
 };
 pub use json::Json;
 pub use protocol::{ProtoError, Request, FEATURES, OPS, PROTOCOL_VERSION};
-pub use server::{ResultPayload, Server, ServerConfig, ServerHandle};
+pub use server::{DbHandle, ResultPayload, Server, ServerConfig, ServerHandle};
 pub use stats::{Language, Phase, StatsRegistry};

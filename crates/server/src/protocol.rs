@@ -10,6 +10,8 @@
 //! request   := { "op": <op>, "id"?: <any>, ...op fields }
 //! op        := "ping" | "list_dbs" | "load_db" | "stats" | "shutdown"
 //!            | "eval" | "eso" | "datalog" | "explain" | "lint"
+//!            | "insert" | "delete" | "batch"
+//!            | "subscribe" | "unsubscribe" | "subscriptions"
 //!            | "debug_sleep"
 //! response  := { "id": <echo>, "ok": true, ... }
 //!            | { "id": <echo>, "ok": false,
@@ -17,7 +19,22 @@
 //! stream    := header { ..., "stream": true, "count": N }
 //!              then N lines { "row": [e, ...] }
 //!              then { "done": true, "count": N }
+//! delta     := { "sub": <id>, "epoch": <E>,
+//!                "add": [[e, ...], ...], "del": [[e, ...], ...] }
 //! ```
+//!
+//! **Mutations & subscriptions (v2).** `insert`/`delete` mutate one
+//! tuple of a named database; `batch` applies a list of `"muts"`
+//! atomically (each `{"rel": R, "tuple": [...], "delete"?: bool}`).
+//! Every mutation batch advances the database's *epoch*; in-flight
+//! queries keep reading the snapshot they pinned at admission.
+//! `subscribe` registers a standing `eval` or `datalog` query: the ack
+//! carries the subscription id, the chosen maintenance strategy
+//! (`counting`/`dred`/`rediff`), and the initial answer, and every
+//! later mutation that changes the answer pushes one unsolicited
+//! `delta` frame (above) on the subscribing connection. `unsubscribe`
+//! drops a subscription; `subscriptions` lists them with maintenance
+//! statistics.
 //!
 //! **Versioning & compatibility.** `ping` reports `"v"`:
 //! [`PROTOCOL_VERSION`] and a `"capabilities"` object listing the
@@ -33,19 +50,37 @@
 //!
 //! Error codes: `bad_request`, `unknown_op`, `unknown_db`, `parse_error`,
 //! `invalid_option`, `eval_error`, `schema_error`, `admission_rejected`,
-//! `deadline_exceeded`, `overloaded`, `shutting_down`, `db_error`,
-//! `internal`.
+//! `lint_error`, `deadline_exceeded`, `overloaded`, `shutting_down`,
+//! `db_error`, `mutation_error`, `unknown_sub`, `internal`.
+
+use bvq_ivm::Mutation;
 
 use crate::json::Json;
 
-/// The protocol version reported by `ping`.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// The protocol version reported by `ping`. Version 2 added mutations,
+/// epochs, and standing-query subscriptions.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Every op the server understands, as reported in `ping`'s
 /// capabilities. (`debug_sleep` is excluded: it only exists when the
 /// server runs with debug ops enabled.)
 pub const OPS: &[&str] = &[
-    "ping", "list_dbs", "load_db", "stats", "shutdown", "eval", "eso", "datalog", "explain", "lint",
+    "ping",
+    "list_dbs",
+    "load_db",
+    "stats",
+    "shutdown",
+    "eval",
+    "eso",
+    "datalog",
+    "explain",
+    "lint",
+    "insert",
+    "delete",
+    "batch",
+    "subscribe",
+    "unsubscribe",
+    "subscriptions",
 ];
 
 /// Optional features clients can detect from `ping`.
@@ -56,6 +91,8 @@ pub const FEATURES: &[&str] = &[
     "result_cache",
     "lint",
     "admission",
+    "mutations",
+    "subscriptions",
 ];
 
 /// A parsed request: the echoed id plus the operation.
@@ -86,6 +123,31 @@ pub enum Op {
     Stats,
     /// Graceful shutdown: drain in-flight work, then stop.
     Shutdown,
+    /// Mutate a named database: one atomic batch of tuple
+    /// inserts/deletes (the `insert`, `delete` and `batch` ops all
+    /// lower to this). Advances the epoch and propagates deltas to
+    /// standing queries.
+    Mutate {
+        /// Target database.
+        db: String,
+        /// The batch (a singleton for `insert`/`delete`).
+        muts: Vec<Mutation>,
+    },
+    /// Register a standing query (the `subscribe` op). The ack carries
+    /// the initial answer; later mutations push delta frames.
+    Subscribe {
+        /// Target database.
+        db: String,
+        /// The subscribed request (`Eval` or `Datalog` kinds only).
+        inner: Box<ComputeKind>,
+    },
+    /// Drop a subscription by id (the `unsubscribe` op).
+    Unsubscribe {
+        /// The id from the `subscribe` ack.
+        sub: u64,
+    },
+    /// List active subscriptions with maintenance statistics.
+    Subscriptions,
     /// A compute request (queued, runs on a worker).
     Compute(Compute),
 }
@@ -289,6 +351,37 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, ProtoError)> {
         })
     };
 
+    // One wire mutation: `{"rel": R, "tuple": [e, ...], "delete"?: b}`.
+    // `insert`/`delete` read the fields off the request itself; `batch`
+    // reads a list of such objects from `muts`.
+    let mutation = |obj: &Json, force_delete: bool| -> Result<Mutation, (Json, ProtoError)> {
+        let bad = |msg: &str| {
+            (
+                id.clone(),
+                ProtoError::new("bad_request", format!("`{op}`: {msg}")),
+            )
+        };
+        let rel = obj
+            .get("rel")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("each mutation needs string field `rel`"))?
+            .to_string();
+        let tuple = obj
+            .get("tuple")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("each mutation needs array field `tuple`"))?
+            .iter()
+            .map(|e| e.as_u64().map(|v| v as u32))
+            .collect::<Option<Vec<u32>>>()
+            .ok_or_else(|| bad("`tuple` elements must be non-negative integers"))?;
+        let delete = force_delete || obj.get("delete").map(Json::is_true).unwrap_or(false);
+        Ok(if delete {
+            Mutation::Delete { rel, tuple }
+        } else {
+            Mutation::Insert { rel, tuple }
+        })
+    };
+
     let trace = flag("trace");
     let parsed = match op {
         "ping" => Op::Ping,
@@ -299,6 +392,56 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, ProtoError)> {
             name: need_str("name")?,
             text: need_str("text")?,
         },
+        "insert" | "delete" => Op::Mutate {
+            db: need_str("db")?,
+            muts: vec![mutation(&json, op == "delete")?],
+        },
+        "batch" => {
+            let muts = json
+                .get("muts")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| {
+                    (
+                        id.clone(),
+                        ProtoError::new("bad_request", "`batch` needs array field `muts`"),
+                    )
+                })?
+                .iter()
+                .map(|m| mutation(m, false))
+                .collect::<Result<Vec<_>, _>>()?;
+            Op::Mutate {
+                db: need_str("db")?,
+                muts,
+            }
+        }
+        "subscribe" => {
+            let inner = match json.get("target").and_then(Json::as_str).unwrap_or("eval") {
+                "eval" => eval_kind()?,
+                "datalog" => datalog_kind()?,
+                other => {
+                    return Err((
+                        id,
+                        ProtoError::new(
+                            "bad_request",
+                            format!("`subscribe` target must be eval|datalog, got `{other}`"),
+                        ),
+                    ))
+                }
+            };
+            Op::Subscribe {
+                db: need_str("db")?,
+                inner: Box::new(inner),
+            }
+        }
+        "unsubscribe" => Op::Unsubscribe {
+            sub: opt_u64("sub").ok_or_else(|| {
+                (
+                    id.clone(),
+                    ProtoError::new("bad_request", "`unsubscribe` needs integer field `sub`"),
+                )
+            })?,
+        },
+        "subscriptions" => Op::Subscriptions,
         "eval" => compute(
             eval_kind()?,
             flag("stream"),
@@ -528,6 +671,74 @@ mod tests {
         let (_, err) =
             parse_request(r#"{"op":"lint","db":"g","target":"warp","query":"q"}"#).unwrap_err();
         assert_eq!(err.code, "bad_request");
+    }
+
+    #[test]
+    fn parses_mutation_requests() {
+        let req = parse_request(r#"{"op":"insert","db":"g","rel":"E","tuple":[0,4]}"#).unwrap();
+        let Op::Mutate { db, muts } = req.op else {
+            panic!("wrong op")
+        };
+        assert_eq!(db, "g");
+        assert_eq!(
+            muts,
+            vec![Mutation::Insert {
+                rel: "E".into(),
+                tuple: vec![0, 4]
+            }]
+        );
+        let req = parse_request(r#"{"op":"delete","db":"g","rel":"E","tuple":[0,4]}"#).unwrap();
+        let Op::Mutate { muts, .. } = req.op else {
+            panic!("wrong op")
+        };
+        assert!(matches!(muts[0], Mutation::Delete { .. }));
+        let req = parse_request(
+            r#"{"op":"batch","db":"g","muts":[{"rel":"E","tuple":[0,4]},{"rel":"E","tuple":[1,2],"delete":true}]}"#,
+        )
+        .unwrap();
+        let Op::Mutate { muts, .. } = req.op else {
+            panic!("wrong op")
+        };
+        assert_eq!(muts.len(), 2);
+        assert!(matches!(muts[0], Mutation::Insert { .. }));
+        assert!(matches!(muts[1], Mutation::Delete { .. }));
+        // Malformed tuples are structured bad_request errors.
+        let (_, err) =
+            parse_request(r#"{"op":"insert","db":"g","rel":"E","tuple":[0,-1]}"#).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        let (_, err) = parse_request(r#"{"op":"insert","db":"g","rel":"E"}"#).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        let (_, err) = parse_request(r#"{"op":"batch","db":"g"}"#).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+    }
+
+    #[test]
+    fn parses_subscription_requests() {
+        let req = parse_request(
+            r#"{"op":"subscribe","db":"g","target":"datalog","program":"T(x) :- P(x).","output":"T"}"#,
+        )
+        .unwrap();
+        let Op::Subscribe { db, inner } = req.op else {
+            panic!("wrong op")
+        };
+        assert_eq!(db, "g");
+        assert!(matches!(*inner, ComputeKind::Datalog { .. }));
+        // `eval` is the default target.
+        let req = parse_request(r#"{"op":"subscribe","db":"g","query":"(x1) P(x1)"}"#).unwrap();
+        let Op::Subscribe { inner, .. } = req.op else {
+            panic!("wrong op")
+        };
+        assert!(matches!(*inner, ComputeKind::Eval { .. }));
+        // ESO has no standing-query semantics on the wire.
+        let (_, err) =
+            parse_request(r#"{"op":"subscribe","db":"g","target":"eso","query":"q"}"#).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        let req = parse_request(r#"{"op":"unsubscribe","sub":3}"#).unwrap();
+        assert!(matches!(req.op, Op::Unsubscribe { sub: 3 }));
+        let (_, err) = parse_request(r#"{"op":"unsubscribe"}"#).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        let req = parse_request(r#"{"op":"subscriptions"}"#).unwrap();
+        assert!(matches!(req.op, Op::Subscriptions));
     }
 
     #[test]

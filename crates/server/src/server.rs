@@ -22,11 +22,22 @@
 //!   fixpoint engines check it between rounds.
 //!
 //! Caching: a plan LRU keyed by the full plan-affecting request text,
-//! and a result LRU keyed by `(plan key, database fingerprint)`.
-//! Because the fingerprint is a structural hash of the database
-//! content, reloading a database never needs explicit invalidation —
-//! a changed database changes the key, and an identical reload (or a
-//! second database with identical content) keeps hitting.
+//! and a result LRU keyed by `(plan key, dependency fingerprint)`. The
+//! dependency fingerprint is a structural hash of **only the relations
+//! the plan reads** (plus the domain size), so a mutation invalidates
+//! exactly the cached results that depend on the mutated relations —
+//! answers over untouched relations keep hitting across epochs, and an
+//! identical reload (or a second database with identical content)
+//! keeps hitting too, because the hash sees content, not versions.
+//!
+//! Mutations & epochs: each database is a [`bvq_ivm::MutableDb`] behind
+//! a writer mutex plus a current-epoch [`Snapshot`] behind an `RwLock`.
+//! Compute jobs pin the snapshot at admission and never observe a
+//! concurrent mutation; a mutation batch applies under the writer
+//! mutex, swaps the snapshot, and — still under the mutex, so
+//! maintenance is serialized with writes — propagates the net delta to
+//! every standing query subscribed to that database, pushing one
+//! unsolicited delta frame per changed answer.
 //!
 //! Graceful shutdown: the flag flips first (new compute requests get
 //! `shutting_down`), then the already-admitted queue drains and
@@ -36,13 +47,16 @@
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use bvq_relation::{Database, Span, Tuple};
+use bvq_core::IncrPlan;
+use bvq_ivm::{AnswerDelta, DeltaSet, MutableDb, Mutation, Snapshot, StandingQuery};
+use bvq_relation::trace::truncate_detail;
+use bvq_relation::{Database, EvalConfig, Relation, Span, Tuple};
 
 use crate::exec::{self, EvalOptions, RunError};
 use crate::json::Json;
@@ -102,14 +116,116 @@ impl Default for ServerConfig {
     }
 }
 
-/// A loaded database plus its structural fingerprint.
-pub struct DbEntry {
+/// A loaded database: the writer side of the epoch machinery plus the
+/// current snapshot readers pin.
+pub struct DbHandle {
     /// Name clients address it by.
     pub name: String,
-    /// The database itself.
-    pub db: Database,
-    /// [`Database::fingerprint`], the result-cache key component.
-    pub fingerprint: u64,
+    /// The single-writer mutable database; mutation batches serialize
+    /// here, and standing-query maintenance runs under the same lock.
+    writer: Mutex<MutableDb>,
+    /// The current epoch's snapshot, swapped after every batch. Readers
+    /// clone it (O(#relations), copy-on-write) and never block writers.
+    current: RwLock<Snapshot>,
+}
+
+impl DbHandle {
+    fn new(name: &str, db: Database) -> DbHandle {
+        let writer = MutableDb::new(db);
+        let current = RwLock::new(writer.snapshot());
+        DbHandle {
+            name: name.to_string(),
+            writer: Mutex::new(writer),
+            current,
+        }
+    }
+
+    /// Pins the current epoch.
+    pub fn snapshot(&self) -> Snapshot {
+        self.current.read().unwrap().clone()
+    }
+}
+
+/// Maintenance statistics of one subscription.
+#[derive(Default)]
+struct SubStats {
+    /// Maintenance passes that ran (including ones with empty deltas).
+    evaluations: u64,
+    /// Passes that pushed a non-empty delta frame.
+    updates: u64,
+    /// Passes that fell back to re-evaluate-and-diff.
+    fallbacks: u64,
+    /// Answer tuples added / removed across all frames.
+    added: u64,
+    removed: u64,
+    /// Per-pass maintenance latencies (ns), capped; quantiles on demand.
+    latencies_ns: Vec<u64>,
+}
+
+const SUB_LATENCY_SAMPLES: usize = 4096;
+
+impl SubStats {
+    fn record(&mut self, ns: u64) {
+        if self.latencies_ns.len() < SUB_LATENCY_SAMPLES {
+            self.latencies_ns.push(ns);
+        } else {
+            let i = (self.evaluations as usize) % SUB_LATENCY_SAMPLES;
+            self.latencies_ns[i] = ns;
+        }
+        self.evaluations += 1;
+    }
+
+    fn quantile_ns(&self, q: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+}
+
+/// How one subscription's answer is kept current.
+enum SubKind {
+    /// Differential maintenance (counting or DRed) via [`StandingQuery`].
+    Datalog(Box<StandingQuery>),
+    /// Re-evaluate-and-diff (Rediff): languages without delta semantics.
+    Query {
+        prepared: Arc<exec::Prepared>,
+        req: exec::ExecRequest,
+        /// The materialized answer (booleans as 0-ary relations).
+        answer: Relation,
+        /// Relations the plan reads; deltas elsewhere are skipped.
+        deps: Vec<String>,
+    },
+}
+
+/// One registered standing query.
+struct SubEntry {
+    id: u64,
+    db: String,
+    label: String,
+    plan: IncrPlan,
+    epoch: u64,
+    kind: SubKind,
+    /// Pre-rendered delta frames go here; a per-connection forwarder
+    /// thread drains them onto the subscriber's socket.
+    sender: mpsc::Sender<String>,
+    stats: SubStats,
+}
+
+impl SubEntry {
+    fn answer(&self) -> &Relation {
+        match &self.kind {
+            SubKind::Datalog(sq) => sq.answer(),
+            SubKind::Query { answer, .. } => answer,
+        }
+    }
+
+    fn answer_len(&self) -> usize {
+        self.answer().len()
+    }
 }
 
 /// A cached answer, shared between the cache and in-flight responses.
@@ -151,7 +267,9 @@ enum Outcome {
 
 struct Job {
     compute: Compute,
-    db: Option<Arc<DbEntry>>,
+    /// The epoch snapshot pinned at admission: concurrent mutations
+    /// never change what this job reads.
+    snapshot: Option<Snapshot>,
     deadline: Option<Instant>,
     reply: mpsc::Sender<Outcome>,
 }
@@ -164,9 +282,11 @@ enum Msg {
 struct Shared {
     cfg: ServerConfig,
     addr: SocketAddr,
-    dbs: RwLock<HashMap<String, Arc<DbEntry>>>,
+    dbs: RwLock<HashMap<String, Arc<DbHandle>>>,
     plan_cache: Mutex<Lru<String, Arc<exec::Prepared>>>,
     result_cache: Mutex<Lru<(String, u64), Arc<ResultPayload>>>,
+    subs: Mutex<Vec<SubEntry>>,
+    next_sub: AtomicU64,
     stats: StatsRegistry,
     shutting_down: AtomicBool,
 }
@@ -210,6 +330,8 @@ impl Server {
             cfg,
             addr,
             dbs: RwLock::new(HashMap::new()),
+            subs: Mutex::new(Vec::new()),
+            next_sub: AtomicU64::new(0),
             stats: StatsRegistry::new(),
             shutting_down: AtomicBool::new(false),
         });
@@ -264,18 +386,22 @@ impl ServerHandle {
         &self.shared.stats
     }
 
-    /// Loads (or replaces) a named database in-process.
+    /// Loads (or replaces) a named database in-process. Replacing an
+    /// existing name advances its epoch and rebases standing queries,
+    /// pushing the resulting answer diffs to their subscribers.
     pub fn load_db(&self, name: &str, db: Database) {
-        let entry = Arc::new(DbEntry {
-            name: name.to_string(),
-            fingerprint: db.fingerprint(),
-            db,
-        });
+        load_database(&self.shared, name, db);
+    }
+
+    /// Pins the current epoch snapshot of a loaded database (tests and
+    /// benches observe epochs through this).
+    pub fn db_snapshot(&self, name: &str) -> Option<Snapshot> {
         self.shared
             .dbs
-            .write()
+            .read()
             .unwrap()
-            .insert(name.to_string(), entry);
+            .get(name)
+            .map(|h| h.snapshot())
     }
 
     /// Whether a shutdown (client- or owner-initiated) has begun.
@@ -351,6 +477,18 @@ fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>, tx: &SyncSender<M
     }
 }
 
+/// The connection's response channel: shared with per-subscription
+/// forwarder threads, so delta frames and request responses interleave
+/// only at line granularity.
+type ConnWriter = Arc<Mutex<BufWriter<TcpStream>>>;
+
+/// Writes one response line and flushes, under the connection lock.
+fn send(writer: &ConnWriter, json: &Json) -> io::Result<()> {
+    let mut w = writer.lock().unwrap();
+    write_json(&mut *w, json)?;
+    w.flush()
+}
+
 fn handle_connection(
     stream: TcpStream,
     shared: &Arc<Shared>,
@@ -358,13 +496,16 @@ fn handle_connection(
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    let writer: ConnWriter = Arc::new(Mutex::new(BufWriter::new(stream)));
     let cap = shared.cfg.max_frame_bytes.max(1);
-    loop {
-        let line = match read_frame(&mut reader, cap)? {
-            Frame::Eof => return Ok(()),
-            Frame::Line(line) => line,
-            Frame::Oversized => {
+    // Subscriptions registered on this connection; dropped with it.
+    let mut my_subs: Vec<u64> = Vec::new();
+    let result = loop {
+        let line = match read_frame(&mut reader, cap) {
+            Err(e) => break Err(e),
+            Ok(Frame::Eof) => break Ok(()),
+            Ok(Frame::Line(line)) => line,
+            Ok(Frame::Oversized) => {
                 inc(&shared.stats.requests);
                 inc(&shared.stats.errors);
                 let error = ProtoError::new(
@@ -374,8 +515,9 @@ fn handle_connection(
                          raise the server's max_frame_bytes"
                     ),
                 );
-                write_json(&mut writer, &err_response(&Json::Null, &error))?;
-                writer.flush()?;
+                if let Err(e) = send(&writer, &err_response(&Json::Null, &error)) {
+                    break Err(e);
+                }
                 continue;
             }
         };
@@ -383,9 +525,29 @@ fn handle_connection(
             continue;
         }
         inc(&shared.stats.requests);
-        process_line(&line, shared, tx, &mut writer)?;
-        writer.flush()?;
+        if let Err(e) = process_line(&line, shared, tx, &writer, &mut my_subs) {
+            break Err(e);
+        }
+    };
+    // The connection is gone: its subscriptions have nowhere to push.
+    remove_subs(shared, &my_subs);
+    result
+}
+
+/// Unregisters subscriptions by id, ending their forwarder threads.
+fn remove_subs(shared: &Shared, ids: &[u64]) {
+    if ids.is_empty() {
+        return;
     }
+    let mut subs = shared.subs.lock().unwrap();
+    subs.retain(|s| {
+        if ids.contains(&s.id) {
+            dec(&shared.stats.subscriptions_active);
+            false
+        } else {
+            true
+        }
+    });
 }
 
 /// One read attempt from the request stream.
@@ -462,13 +624,14 @@ fn process_line(
     line: &str,
     shared: &Arc<Shared>,
     tx: &SyncSender<Msg>,
-    writer: &mut impl Write,
+    writer: &ConnWriter,
+    my_subs: &mut Vec<u64>,
 ) -> io::Result<()> {
     let Request { id, op } = match parse_request(line) {
         Ok(req) => req,
         Err((id, error)) => {
             inc(&shared.stats.errors);
-            return write_json(writer, &err_response(&id, &error));
+            return send(writer, &err_response(&id, &error));
         }
     };
     match op {
@@ -476,7 +639,7 @@ fn process_line(
             inc(&shared.stats.ok);
             let str_arr =
                 |xs: &[&str]| Json::Arr(xs.iter().map(|s| Json::Str((*s).to_string())).collect());
-            write_json(
+            send(
                 writer,
                 &ok_response(
                     &id,
@@ -496,41 +659,44 @@ fn process_line(
             let snapshot = shared
                 .stats
                 .to_json(shared.cfg.queue_capacity, shared.cfg.workers.max(1));
-            write_json(writer, &ok_response(&id, vec![("stats".into(), snapshot)]))
+            send(writer, &ok_response(&id, vec![("stats".into(), snapshot)]))
         }
         Op::ListDbs => {
             inc(&shared.stats.ok);
-            let dbs = shared.dbs.read().unwrap();
-            let mut entries: Vec<&Arc<DbEntry>> = dbs.values().collect();
-            entries.sort_by(|a, b| a.name.cmp(&b.name));
-            let list = entries
+            let handles: Vec<Arc<DbHandle>> = {
+                let dbs = shared.dbs.read().unwrap();
+                let mut hs: Vec<Arc<DbHandle>> = dbs.values().cloned().collect();
+                hs.sort_by(|a, b| a.name.cmp(&b.name));
+                hs
+            };
+            let list = handles
                 .iter()
-                .map(|e| {
+                .map(|h| {
+                    let snap = h.snapshot();
                     Json::obj([
-                        ("name", Json::Str(e.name.clone())),
-                        ("domain_size", Json::num(e.db.domain_size() as u64)),
-                        ("relations", Json::num(e.db.schema().len() as u64)),
-                        ("fingerprint", Json::Str(format!("{:016x}", e.fingerprint))),
+                        ("name", Json::Str(h.name.clone())),
+                        ("domain_size", Json::num(snap.db.domain_size() as u64)),
+                        ("relations", Json::num(snap.db.schema().len() as u64)),
+                        (
+                            "fingerprint",
+                            Json::Str(format!("{:016x}", snap.db.fingerprint())),
+                        ),
+                        ("epoch", Json::num(snap.epoch)),
                     ])
                 })
                 .collect();
-            write_json(
+            send(
                 writer,
                 &ok_response(&id, vec![("dbs".into(), Json::Arr(list))]),
             )
         }
         Op::LoadDb { name, text } => match bvq_relation::parse_database(&text) {
             Ok(db) => {
-                let entry = Arc::new(DbEntry {
-                    name: name.clone(),
-                    fingerprint: db.fingerprint(),
-                    db,
-                });
-                let fp = entry.fingerprint;
-                let n = entry.db.domain_size();
-                shared.dbs.write().unwrap().insert(name.clone(), entry);
+                let fp = db.fingerprint();
+                let n = db.domain_size();
+                let (epoch, rebased) = load_database(shared, &name, db);
                 inc(&shared.stats.ok);
-                write_json(
+                send(
                     writer,
                     &ok_response(
                         &id,
@@ -538,13 +704,15 @@ fn process_line(
                             ("loaded".into(), Json::Str(name)),
                             ("fingerprint".into(), Json::Str(format!("{fp:016x}"))),
                             ("domain_size".into(), Json::num(n as u64)),
+                            ("epoch".into(), Json::num(epoch)),
+                            ("resubscribed".into(), Json::num(rebased as u64)),
                         ],
                     ),
                 )
             }
             Err(e) => {
                 inc(&shared.stats.errors);
-                write_json(
+                send(
                     writer,
                     &err_response(&id, &ProtoError::new("db_error", e.to_string())),
                 )
@@ -554,13 +722,454 @@ fn process_line(
             shared.begin_shutdown();
             shared.wait_drained();
             inc(&shared.stats.ok);
-            write_json(
+            send(
                 writer,
                 &ok_response(&id, vec![("stopped".into(), Json::Bool(true))]),
             )
         }
+        Op::Mutate { db, muts } => handle_mutate(shared, &id, &db, &muts, writer),
+        Op::Subscribe { db, inner } => handle_subscribe(shared, &id, &db, &inner, writer, my_subs),
+        Op::Unsubscribe { sub } => {
+            let removed = {
+                let mut subs = shared.subs.lock().unwrap();
+                let before = subs.len();
+                subs.retain(|s| s.id != sub);
+                before != subs.len()
+            };
+            if removed {
+                dec(&shared.stats.subscriptions_active);
+                my_subs.retain(|&s| s != sub);
+                inc(&shared.stats.ok);
+                send(
+                    writer,
+                    &ok_response(
+                        &id,
+                        vec![
+                            ("sub".into(), Json::num(sub)),
+                            ("removed".into(), Json::Bool(true)),
+                        ],
+                    ),
+                )
+            } else {
+                inc(&shared.stats.errors);
+                send(
+                    writer,
+                    &err_response(
+                        &id,
+                        &ProtoError::new("unknown_sub", format!("no subscription with id {sub}")),
+                    ),
+                )
+            }
+        }
+        Op::Subscriptions => {
+            inc(&shared.stats.ok);
+            let subs = shared.subs.lock().unwrap();
+            let list = subs
+                .iter()
+                .map(|s| {
+                    Json::obj([
+                        ("sub", Json::num(s.id)),
+                        ("db", Json::Str(s.db.clone())),
+                        ("label", Json::Str(s.label.clone())),
+                        ("strategy", Json::str(s.plan.strategy.label())),
+                        ("reason", Json::str(s.plan.reason)),
+                        ("epoch", Json::num(s.epoch)),
+                        ("rows", Json::num(s.answer_len() as u64)),
+                        ("evaluations", Json::num(s.stats.evaluations)),
+                        ("updates", Json::num(s.stats.updates)),
+                        ("fallbacks", Json::num(s.stats.fallbacks)),
+                        ("added", Json::num(s.stats.added)),
+                        ("removed", Json::num(s.stats.removed)),
+                        ("update_p50_ns", Json::num(s.stats.quantile_ns(0.50))),
+                        ("update_p99_ns", Json::num(s.stats.quantile_ns(0.99))),
+                    ])
+                })
+                .collect();
+            drop(subs);
+            send(
+                writer,
+                &ok_response(&id, vec![("subscriptions".into(), Json::Arr(list))]),
+            )
+        }
         Op::Compute(compute) => handle_compute(compute, id, shared, tx, writer),
     }
+}
+
+/// Loads (or replaces) a named database. Replacing advances the epoch
+/// and rebases the name's standing queries; the returned pair is the
+/// new epoch and how many subscriptions were rebased.
+fn load_database(shared: &Shared, name: &str, db: Database) -> (u64, usize) {
+    let handle = {
+        let mut dbs = shared.dbs.write().unwrap();
+        if let Some(h) = dbs.get(name) {
+            h.clone()
+        } else {
+            dbs.insert(name.to_string(), Arc::new(DbHandle::new(name, db)));
+            return (0, 0);
+        }
+    };
+    // Replacement: swap under the writer mutex so maintenance stays
+    // serialized with mutation batches, then rebase standing queries.
+    let mut w = handle.writer.lock().unwrap();
+    let snap = w.replace(db);
+    *handle.current.write().unwrap() = snap.clone();
+    let rebased = rebase_subs(shared, name, &snap);
+    drop(w);
+    (snap.epoch, rebased)
+}
+
+/// Rebuilds every standing query on `db_name` against a wholesale
+/// replacement (no meaningful delta exists), pushing answer diffs.
+fn rebase_subs(shared: &Shared, db_name: &str, snap: &Snapshot) -> usize {
+    let cfg = EvalConfig::from_env();
+    let mut subs = shared.subs.lock().unwrap();
+    let mut rebased = 0;
+    for sub in subs.iter_mut().filter(|s| s.db == db_name) {
+        let start = Instant::now();
+        let adelta = match &mut sub.kind {
+            SubKind::Datalog(sq) => match sq.rebase(&snap.db, &cfg) {
+                Ok(d) => d,
+                // The new database no longer fits the program (e.g. a
+                // dropped EDB relation): the answer goes stale.
+                Err(_) => continue,
+            },
+            SubKind::Query {
+                prepared,
+                req,
+                answer,
+                ..
+            } => match exec::execute_prepared(&snap.db, prepared, req) {
+                Ok(out) => {
+                    let new = answer_relation(out.answer);
+                    let d = AnswerDelta::diff(answer, &new);
+                    *answer = new;
+                    d
+                }
+                Err(_) => continue,
+            },
+        };
+        sub.epoch = snap.epoch;
+        sub.stats.record(start.elapsed().as_nanos() as u64);
+        sub.stats.fallbacks += 1;
+        inc(&shared.stats.sub_fallbacks);
+        rebased += 1;
+        push_delta(shared, sub, snap.epoch, &adelta);
+    }
+    rebased
+}
+
+/// Materializes an execution answer as a relation (booleans at arity 0).
+fn answer_relation(ans: exec::Answer) -> Relation {
+    match ans {
+        exec::Answer::Boolean(b) => Relation::boolean(b),
+        exec::Answer::Rows(rel) => rel,
+        exec::Answer::Text(_) => Relation::new(0),
+    }
+}
+
+/// Renders one unsolicited delta frame.
+fn delta_frame(sub: u64, epoch: u64, d: &AnswerDelta) -> String {
+    let rows = |r: &Relation| Json::Arr(r.sorted().iter().map(row_json).collect());
+    Json::obj([
+        ("sub", Json::num(sub)),
+        ("epoch", Json::num(epoch)),
+        ("add", rows(&d.added)),
+        ("del", rows(&d.removed)),
+    ])
+    .to_string_compact()
+}
+
+/// Records a maintenance pass's outcome and, when the answer changed,
+/// enqueues the delta frame for the subscriber's forwarder.
+fn push_delta(shared: &Shared, sub: &mut SubEntry, epoch: u64, d: &AnswerDelta) {
+    if d.is_empty() {
+        return;
+    }
+    sub.stats.updates += 1;
+    sub.stats.added += d.added.len() as u64;
+    sub.stats.removed += d.removed.len() as u64;
+    inc(&shared.stats.sub_updates);
+    let _ = sub.sender.send(delta_frame(sub.id, epoch, d));
+}
+
+/// Pushes one mutation batch's net delta through every standing query
+/// on `db_name`. Runs under the database's writer mutex, so maintenance
+/// is serialized with mutations and no epoch is skipped or reordered.
+/// Returns how many subscribers received a frame.
+fn propagate(
+    shared: &Shared,
+    db_name: &str,
+    old_db: &Database,
+    snap: &Snapshot,
+    delta: &DeltaSet,
+) -> usize {
+    let cfg = EvalConfig::from_env();
+    let mut notified = 0;
+    let mut subs = shared.subs.lock().unwrap();
+    for sub in subs.iter_mut().filter(|s| s.db == db_name) {
+        let start = Instant::now();
+        let adelta = match &mut sub.kind {
+            SubKind::Datalog(sq) => match sq.apply(old_db, &snap.db, delta, &cfg) {
+                Ok(d) => d,
+                // Propagation failure leaves the state stale; a rebase
+                // from the new epoch repairs it (counted as a fallback).
+                Err(_) => {
+                    sub.stats.fallbacks += 1;
+                    inc(&shared.stats.sub_fallbacks);
+                    match sq.rebase(&snap.db, &cfg) {
+                        Ok(d) => d,
+                        Err(_) => continue,
+                    }
+                }
+            },
+            SubKind::Query {
+                prepared,
+                req,
+                answer,
+                deps,
+            } => {
+                if !delta.rels.iter().any(|(n, _)| deps.contains(n)) {
+                    // The batch missed every relation this plan reads.
+                    sub.epoch = snap.epoch;
+                    continue;
+                }
+                sub.stats.fallbacks += 1;
+                inc(&shared.stats.sub_fallbacks);
+                match exec::execute_prepared(&snap.db, prepared, req) {
+                    Ok(out) => {
+                        let new = answer_relation(out.answer);
+                        let d = AnswerDelta::diff(answer, &new);
+                        *answer = new;
+                        d
+                    }
+                    Err(_) => continue,
+                }
+            }
+        };
+        sub.epoch = snap.epoch;
+        sub.stats.record(start.elapsed().as_nanos() as u64);
+        if !adelta.is_empty() {
+            notified += 1;
+        }
+        push_delta(shared, sub, snap.epoch, &adelta);
+    }
+    notified
+}
+
+/// The `insert`/`delete`/`batch` ops: applies the batch atomically,
+/// swaps the epoch snapshot, and maintains standing queries inline.
+fn handle_mutate(
+    shared: &Arc<Shared>,
+    id: &Json,
+    db: &str,
+    muts: &[Mutation],
+    writer: &ConnWriter,
+) -> io::Result<()> {
+    let Some(handle) = shared.dbs.read().unwrap().get(db).cloned() else {
+        inc(&shared.stats.errors);
+        return send(
+            writer,
+            &err_response(
+                id,
+                &ProtoError::new("unknown_db", format!("no database named `{db}` is loaded")),
+            ),
+        );
+    };
+    let mut w = handle.writer.lock().unwrap();
+    let old_db = w.db().clone();
+    let delta = match w.apply(muts) {
+        Ok(d) => d,
+        Err(e) => {
+            drop(w);
+            inc(&shared.stats.errors);
+            return send(
+                writer,
+                &err_response(id, &ProtoError::new("mutation_error", e.to_string())),
+            );
+        }
+    };
+    let snap = w.snapshot();
+    *handle.current.write().unwrap() = snap.clone();
+    let notified = if delta.is_empty() {
+        0
+    } else {
+        inc(&shared.stats.mutations);
+        propagate(shared, &handle.name, &old_db, &snap, &delta)
+    };
+    drop(w);
+    inc(&shared.stats.ok);
+    send(
+        writer,
+        &ok_response(
+            id,
+            vec![
+                ("db".into(), Json::Str(handle.name.clone())),
+                ("epoch".into(), Json::num(snap.epoch)),
+                ("added".into(), Json::num(delta.total_added() as u64)),
+                ("removed".into(), Json::num(delta.total_removed() as u64)),
+                ("notified".into(), Json::num(notified as u64)),
+            ],
+        ),
+    )
+}
+
+/// Spawns the forwarder draining one subscription's pre-rendered delta
+/// frames onto the connection. Ends when the sender is dropped
+/// (unsubscribe or connection close) or the socket dies.
+fn spawn_forwarder(writer: ConnWriter, rx: mpsc::Receiver<String>) {
+    let _ = thread::Builder::new()
+        .name("bvq-sub".into())
+        .spawn(move || {
+            for frame in rx {
+                let mut w = writer.lock().unwrap();
+                if writeln!(w, "{frame}").and_then(|()| w.flush()).is_err() {
+                    break;
+                }
+            }
+        });
+}
+
+/// The `subscribe` op: registers a standing query over the current
+/// epoch and answers with the initial materialization. Holds the writer
+/// mutex across install + registration so no mutation slips between the
+/// snapshot the answer reflects and the first delta the query sees.
+fn handle_subscribe(
+    shared: &Arc<Shared>,
+    id: &Json,
+    db: &str,
+    inner: &ComputeKind,
+    writer: &ConnWriter,
+    my_subs: &mut Vec<u64>,
+) -> io::Result<()> {
+    let refuse = |error: ProtoError| {
+        inc(&shared.stats.errors);
+        err_response(id, &error)
+    };
+    let Some(handle) = shared.dbs.read().unwrap().get(db).cloned() else {
+        return send(
+            writer,
+            &refuse(ProtoError::new(
+                "unknown_db",
+                format!("no database named `{db}` is loaded"),
+            )),
+        );
+    };
+    let Some(req) = exec_request(inner, None, false) else {
+        return send(
+            writer,
+            &refuse(ProtoError::new(
+                "bad_request",
+                "`subscribe` target must be eval|datalog",
+            )),
+        );
+    };
+    let w = handle.writer.lock().unwrap();
+    let snap = handle.snapshot();
+    // Admission: standing queries are linted with the same rules as
+    // one-shot `eval` — a query the server would refuse to run once is
+    // also refused as a subscription, with a distinguishable code.
+    if shared.cfg.admission {
+        let report = exec::lint_with_db(&snap.db, &req, None);
+        if report.has_errors() {
+            let first = report
+                .diagnostics
+                .iter()
+                .find(|d| d.severity == bvq_lint::Severity::Error)
+                .expect("has_errors implies an error diagnostic");
+            inc(&shared.stats.admission_rejected);
+            drop(w);
+            return send(
+                writer,
+                &refuse(ProtoError::new(
+                    "lint_error",
+                    format!("[{}] {}", first.code, first.message),
+                )),
+            );
+        }
+    }
+    let prepared = match cached_prepare(shared, &req, &inner.cache_key()) {
+        Ok(p) => p,
+        Err(e) => {
+            drop(w);
+            return send(writer, &refuse(ProtoError::new(e.code(), e.to_string())));
+        }
+    };
+    let plan = prepared.incr_plan();
+    let cfg = EvalConfig::from_env();
+    let (kind, label) = match (&*prepared, inner) {
+        (exec::Prepared::Datalog(p), ComputeKind::Datalog { output, .. }) => {
+            match StandingQuery::install(p.program.clone(), output, &snap.db, &cfg) {
+                Ok(sq) => (
+                    SubKind::Datalog(Box::new(sq)),
+                    format!("datalog → {output}"),
+                ),
+                Err(e) => {
+                    drop(w);
+                    return send(
+                        writer,
+                        &refuse(ProtoError::new("bad_request", e.to_string())),
+                    );
+                }
+            }
+        }
+        _ => {
+            // Rediff: no delta semantics — materialize by evaluation now,
+            // re-evaluate-and-diff on every dependent mutation.
+            let label = match inner {
+                ComputeKind::Eval { query, .. } => truncate_detail(query, 60),
+                other => truncate_detail(&other.cache_key(), 60),
+            };
+            match exec::execute_prepared(&snap.db, &prepared, &req) {
+                Ok(out) => (
+                    SubKind::Query {
+                        deps: prepared.referenced_relations(),
+                        prepared: prepared.clone(),
+                        req,
+                        answer: answer_relation(out.answer),
+                    },
+                    label,
+                ),
+                Err(e) => {
+                    drop(w);
+                    return send(writer, &refuse(ProtoError::new(e.code(), e.to_string())));
+                }
+            }
+        }
+    };
+    let sub_id = shared.next_sub.fetch_add(1, Ordering::SeqCst) + 1;
+    let (frames_tx, frames_rx) = mpsc::channel::<String>();
+    spawn_forwarder(writer.clone(), frames_rx);
+    let entry = SubEntry {
+        id: sub_id,
+        db: handle.name.clone(),
+        label,
+        plan,
+        epoch: snap.epoch,
+        kind,
+        sender: frames_tx,
+        stats: SubStats::default(),
+    };
+    let count = entry.answer_len();
+    let rows = Json::Arr(entry.answer().sorted().iter().map(row_json).collect());
+    shared.subs.lock().unwrap().push(entry);
+    drop(w);
+    inc(&shared.stats.subscriptions_active);
+    my_subs.push(sub_id);
+    inc(&shared.stats.ok);
+    send(
+        writer,
+        &ok_response(
+            id,
+            vec![
+                ("sub".into(), Json::num(sub_id)),
+                ("strategy".into(), Json::str(plan.strategy.label())),
+                ("reason".into(), Json::str(plan.reason)),
+                ("epoch".into(), Json::num(snap.epoch)),
+                ("count".into(), Json::num(count as u64)),
+                ("rows".into(), rows),
+            ],
+        ),
+    )
 }
 
 fn handle_compute(
@@ -568,40 +1177,33 @@ fn handle_compute(
     id: Json,
     shared: &Arc<Shared>,
     tx: &SyncSender<Msg>,
-    writer: &mut impl Write,
+    writer: &ConnWriter,
 ) -> io::Result<()> {
-    let fail = |shared: &Shared, writer: &mut dyn Write, error: &ProtoError| {
+    let fail = |error: &ProtoError| {
         inc(&shared.stats.errors);
-        write_json(writer, &err_response(&id, error))
+        send(writer, &err_response(&id, error))
     };
     if shared.shutting_down.load(Ordering::SeqCst) {
-        return fail(
-            shared,
-            writer,
-            &ProtoError::new("shutting_down", "server is shutting down"),
-        );
+        return fail(&ProtoError::new("shutting_down", "server is shutting down"));
     }
     if matches!(compute.kind, ComputeKind::Sleep { .. }) && !shared.cfg.debug_ops {
-        return fail(
-            shared,
-            writer,
-            &ProtoError::new("unknown_op", "debug ops are disabled on this server"),
-        );
+        return fail(&ProtoError::new(
+            "unknown_op",
+            "debug ops are disabled on this server",
+        ));
     }
-    let db = if matches!(compute.kind, ComputeKind::Sleep { .. }) {
+    // Pin the epoch at admission: concurrent mutations never change what
+    // this job reads.
+    let snapshot = if matches!(compute.kind, ComputeKind::Sleep { .. }) {
         None
     } else {
         match shared.dbs.read().unwrap().get(&compute.db) {
-            Some(entry) => Some(entry.clone()),
+            Some(handle) => Some(handle.snapshot()),
             None => {
-                return fail(
-                    shared,
-                    writer,
-                    &ProtoError::new(
-                        "unknown_db",
-                        format!("no database named `{}` is loaded", compute.db),
-                    ),
-                )
+                return fail(&ProtoError::new(
+                    "unknown_db",
+                    format!("no database named `{}` is loaded", compute.db),
+                ))
             }
         }
     };
@@ -610,8 +1212,8 @@ fn handle_compute(
     // mismatches, non-positive recursion) are rejected here. Purely
     // static — no evaluation happens on the connection thread.
     if shared.cfg.admission {
-        if let (Some(entry), Some(req)) = (&db, exec_request(&compute.kind, None, false)) {
-            let report = exec::lint_with_db(&entry.db, &req, None);
+        if let (Some(snap), Some(req)) = (&snapshot, exec_request(&compute.kind, None, false)) {
+            let report = exec::lint_with_db(&snap.db, &req, None);
             if report.has_errors() {
                 let first = report
                     .diagnostics
@@ -619,14 +1221,10 @@ fn handle_compute(
                     .find(|d| d.severity == bvq_lint::Severity::Error)
                     .expect("has_errors implies an error diagnostic");
                 inc(&shared.stats.admission_rejected);
-                return fail(
-                    shared,
-                    writer,
-                    &ProtoError::new(
-                        "admission_rejected",
-                        format!("[{}] {}", first.code, first.message),
-                    ),
-                );
+                return fail(&ProtoError::new(
+                    "admission_rejected",
+                    format!("[{}] {}", first.code, first.message),
+                ));
             }
         }
     }
@@ -638,7 +1236,7 @@ fn handle_compute(
     let stream = compute.stream;
     let job = Box::new(Job {
         compute,
-        db,
+        snapshot,
         deadline,
         reply: reply_tx,
     });
@@ -649,19 +1247,14 @@ fn handle_compute(
         Err(TrySendError::Full(_)) => {
             dec(&shared.stats.queue_depth);
             inc(&shared.stats.overloaded);
-            return fail(
-                shared,
-                writer,
-                &ProtoError::new("overloaded", "compute queue is full, retry later"),
-            );
+            return fail(&ProtoError::new(
+                "overloaded",
+                "compute queue is full, retry later",
+            ));
         }
         Err(TrySendError::Disconnected(_)) => {
             dec(&shared.stats.queue_depth);
-            return fail(
-                shared,
-                writer,
-                &ProtoError::new("shutting_down", "server is shutting down"),
-            );
+            return fail(&ProtoError::new("shutting_down", "server is shutting down"));
         }
     }
     let enqueued = Instant::now();
@@ -671,14 +1264,14 @@ fn handle_compute(
                 inc(&shared.stats.deadline_exceeded);
             }
             shared.stats.record_latency(language, enqueued.elapsed());
-            fail(shared, writer, &error)
+            fail(&error)
         }
         Ok(Outcome::Slept { millis }) => {
             inc(&shared.stats.ok);
             shared
                 .stats
                 .record_latency(Language::Other, enqueued.elapsed());
-            write_json(
+            send(
                 writer,
                 &ok_response(&id, vec![("slept_ms".into(), Json::num(millis))]),
             )
@@ -688,13 +1281,16 @@ fn handle_compute(
             shared
                 .stats
                 .record_latency(payload.language, enqueued.elapsed());
-            write_result(&id, &payload, cached, stream, writer)
+            // One lock for the whole (possibly streamed) result, so
+            // delta frames never interleave inside it.
+            let mut w = writer.lock().unwrap();
+            write_result(&id, &payload, cached, stream, &mut *w)?;
+            w.flush()
         }
-        Err(_) => fail(
-            shared,
-            writer,
-            &ProtoError::new("internal", "worker dropped the reply channel"),
-        ),
+        Err(_) => fail(&ProtoError::new(
+            "internal",
+            "worker dropped the reply channel",
+        )),
     }
 }
 
@@ -911,18 +1507,28 @@ fn run_compute_job(shared: &Shared, job: &Job) -> Outcome {
         Ok(p) => p,
         Err(e) => return run_error(e, Language::Other),
     };
-    let rkey = match check_result_cache(shared, job, &key) {
-        Ok(hit) => {
+    let snapshot = job
+        .snapshot
+        .as_ref()
+        .expect("compute job carries a snapshot");
+    // Delta-keyed caching: the dependency fingerprint sees only the
+    // relations this plan reads, so mutations elsewhere never evict it.
+    let rkey = (
+        key,
+        snapshot.dep_fingerprint(&prepared.referenced_relations()),
+    );
+    if !job.compute.no_cache {
+        if let Some(hit) = shared.result_cache.lock().unwrap().get(&rkey) {
+            inc(&shared.stats.result_hits);
             return Outcome::Done {
                 payload: hit,
                 cached: true,
-            }
+            };
         }
-        Err(rkey) => rkey,
-    };
-    let entry = job.db.as_ref().expect("compute job carries a database");
+    }
+    inc(&shared.stats.result_misses);
     let start = Instant::now();
-    match exec::execute_prepared(&entry.db, &prepared, &req) {
+    match exec::execute_prepared(&snapshot.db, &prepared, &req) {
         Ok(out) => {
             shared.stats.record_phase(Phase::Execute, start.elapsed());
             let (boolean, rows, text) = match out.answer {
@@ -965,9 +1571,12 @@ fn run_explain_job(shared: &Shared, job: &Job, inner: &ComputeKind, analyze: boo
         Ok(p) => p,
         Err(e) => return run_error(e, Language::Other),
     };
-    let entry = job.db.as_ref().expect("explain job carries a database");
+    let snap = job
+        .snapshot
+        .as_ref()
+        .expect("explain job carries a snapshot");
     let start = Instant::now();
-    match exec::explain_prepared(&entry.db, &prepared, &req, analyze) {
+    match exec::explain_prepared(&snap.db, &prepared, &req, analyze) {
         Ok(report) => {
             if analyze {
                 shared.stats.record_phase(Phase::Execute, start.elapsed());
@@ -1002,9 +1611,9 @@ fn run_lint_job(shared: &Shared, job: &Job, inner: &ComputeKind, budget: Option<
             language: Language::Other,
         };
     };
-    let entry = job.db.as_ref().expect("lint job carries a database");
+    let snap = job.snapshot.as_ref().expect("lint job carries a snapshot");
     let start = Instant::now();
-    let report = exec::lint_with_db(&entry.db, &req, budget.map(u128::from));
+    let report = exec::lint_with_db(&snap.db, &req, budget.map(u128::from));
     shared.stats.record_phase(Phase::Prepare, start.elapsed());
     let payload = Arc::new(ResultPayload {
         language: Language::Other,
@@ -1031,6 +1640,7 @@ fn explain_json(report: &exec::ExplainReport) -> Json {
         ("engine", Json::Str(report.engine.clone())),
         ("bound", Json::Str(report.bound.clone())),
         ("cache_key", Json::Str(report.cache_key.clone())),
+        ("maintenance", Json::Str(report.maintenance.clone())),
         ("analyzed", Json::Bool(report.analyzed.is_some())),
     ];
     if !report.cost.is_empty() {
@@ -1077,23 +1687,6 @@ fn run_error(e: RunError, language: Language) -> Outcome {
         error: ProtoError::new(e.code(), e.to_string()),
         language,
     }
-}
-
-fn check_result_cache(
-    shared: &Shared,
-    job: &Job,
-    key: &str,
-) -> Result<Arc<ResultPayload>, (String, u64)> {
-    let entry = job.db.as_ref().expect("compute job carries a database");
-    let rkey = (key.to_string(), entry.fingerprint);
-    if !job.compute.no_cache {
-        if let Some(hit) = shared.result_cache.lock().unwrap().get(&rkey) {
-            inc(&shared.stats.result_hits);
-            return Ok(hit);
-        }
-    }
-    inc(&shared.stats.result_misses);
-    Err(rkey)
 }
 
 fn store_result(shared: &Shared, job: &Job, rkey: (String, u64), payload: &Arc<ResultPayload>) {
@@ -1145,7 +1738,7 @@ mod tests {
         let mut c = Client::connect(handle.addr()).unwrap();
         c.send_line(r#"{"op":"ping"}"#).unwrap();
         let resp = c.recv().unwrap();
-        assert_eq!(resp.get("v").and_then(Json::as_u64), Some(1));
+        assert_eq!(resp.get("v").and_then(Json::as_u64), Some(2));
         let caps = resp.get("capabilities").expect("capabilities").clone();
         let rendered = caps.to_string_compact();
         for op in ["\"eval\"", "\"explain\"", "\"datalog\""] {
@@ -1267,6 +1860,85 @@ mod tests {
         // *why* a query was rejected.
         let resp = c.lint("g", "(x1) ~E(x1,x1)").unwrap();
         assert!(Client::is_ok(&resp), "{resp:?}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn mutations_advance_epochs_and_deltas_reach_subscribers() {
+        let mut handle = start_default();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        // Subscribe to transitive closure: recursive → DRed.
+        let ack = c
+            .subscribe_datalog("g", "T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).", "T")
+            .unwrap();
+        assert!(Client::is_ok(&ack), "{ack:?}");
+        assert_eq!(ack.get("strategy").and_then(Json::as_str), Some("dred"));
+        let sub = ack.get("sub").and_then(Json::as_u64).unwrap();
+        assert_eq!(ack.get("count").and_then(Json::as_u64), Some(10));
+        // Epoch pinning: a snapshot taken now must not see the insert.
+        let pinned = handle.db_snapshot("g").unwrap();
+        assert_eq!(pinned.epoch, 0);
+        // Insert a closing edge 4→0: the closure becomes all 25 pairs.
+        let resp = c.insert("g", "E", &[4, 0]).unwrap();
+        assert!(Client::is_ok(&resp), "{resp:?}");
+        assert_eq!(resp.get("epoch").and_then(Json::as_u64), Some(1));
+        assert_eq!(resp.get("notified").and_then(Json::as_u64), Some(1));
+        let (epoch, add, del) = c.recv_delta(sub).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(add.len(), 15, "10 → 25 closure tuples");
+        assert!(del.is_empty());
+        assert!(!pinned.db.relation_by_name("E").unwrap().contains(&[4, 0]));
+        assert_eq!(handle.db_snapshot("g").unwrap().epoch, 1);
+        // A no-op batch does not advance the epoch or notify.
+        let resp = c.insert("g", "E", &[4, 0]).unwrap();
+        assert_eq!(resp.get("epoch").and_then(Json::as_u64), Some(1));
+        assert_eq!(resp.get("notified").and_then(Json::as_u64), Some(0));
+        // Subscription stats are live.
+        let resp = c.subscriptions().unwrap();
+        let subs = resp.get("subscriptions").and_then(Json::as_arr).unwrap();
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].get("rows").and_then(Json::as_u64), Some(25));
+        assert_eq!(subs[0].get("updates").and_then(Json::as_u64), Some(1));
+        // Unsubscribe; a second unsubscribe is unknown_sub.
+        assert!(Client::is_ok(&c.unsubscribe(sub).unwrap()));
+        assert_eq!(
+            Client::error_code(&c.unsubscribe(sub).unwrap()),
+            Some("unknown_sub")
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn result_cache_is_delta_keyed() {
+        let mut handle = Server::start(ServerConfig::default()).unwrap();
+        handle.load_db(
+            "g",
+            bvq_relation::parse_database("domain 5\nrel E/2\n0 1\n1 2\nend\nrel P/1\n3\nend")
+                .unwrap(),
+        );
+        let mut c = Client::connect(handle.addr()).unwrap();
+        let p_query = "(x1) P(x1)";
+        assert_eq!(
+            c.eval("g", p_query).unwrap().get("cached"),
+            Some(&Json::Bool(false))
+        );
+        // Mutating E must not evict the P-only cached answer...
+        assert!(Client::is_ok(&c.insert("g", "E", &[2, 3]).unwrap()));
+        assert_eq!(
+            c.eval("g", p_query).unwrap().get("cached"),
+            Some(&Json::Bool(true))
+        );
+        // ...but mutating P must.
+        assert!(Client::is_ok(&c.insert("g", "P", &[4]).unwrap()));
+        let resp = c.eval("g", p_query).unwrap();
+        assert_eq!(resp.get("cached"), Some(&Json::Bool(false)));
+        assert_eq!(resp.get("count").and_then(Json::as_u64), Some(2));
+        // Invalid mutations are structured errors, database untouched.
+        let resp = c.insert("g", "Zap", &[0]).unwrap();
+        assert_eq!(Client::error_code(&resp), Some("mutation_error"));
+        let resp = c.insert("g", "E", &[9, 9]).unwrap();
+        assert_eq!(Client::error_code(&resp), Some("mutation_error"));
+        assert_eq!(handle.db_snapshot("g").unwrap().epoch, 2);
         handle.shutdown();
     }
 

@@ -145,6 +145,14 @@ pub struct StatsRegistry {
     pub inflight: AtomicU64,
     /// Connections accepted since startup.
     pub connections: AtomicU64,
+    /// Mutation batches applied (epoch advances).
+    pub mutations: AtomicU64,
+    /// Standing-query subscriptions currently registered (gauge).
+    pub subscriptions_active: AtomicU64,
+    /// Standing-query maintenance passes that pushed a non-empty delta.
+    pub sub_updates: AtomicU64,
+    /// Maintenance passes that fell back to re-evaluate-and-diff.
+    pub sub_fallbacks: AtomicU64,
     histograms: [Histogram; 6],
     phases: [Histogram; 2],
 }
@@ -228,6 +236,13 @@ impl StatsRegistry {
             ("inflight", Json::num(self.inflight.load(Relaxed))),
             ("workers", Json::num(workers as u64)),
             ("connections", Json::num(self.connections.load(Relaxed))),
+            ("mutations", Json::num(self.mutations.load(Relaxed))),
+            (
+                "subscriptions_active",
+                Json::num(self.subscriptions_active.load(Relaxed)),
+            ),
+            ("sub_updates", Json::num(self.sub_updates.load(Relaxed))),
+            ("sub_fallbacks", Json::num(self.sub_fallbacks.load(Relaxed))),
             ("latency_micros_by_language", Json::Obj(langs)),
             (
                 "latency_micros_by_phase",

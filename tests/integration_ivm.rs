@@ -1,0 +1,223 @@
+//! End-to-end tests for mutable databases and standing queries over
+//! loopback TCP: mutations advance epochs and push delta frames to
+//! subscribers, pinned snapshots stay immutable, the result cache is
+//! delta-keyed on referenced relations, admission control lints
+//! subscriptions, and FO subscriptions fall back to re-evaluate-and-diff.
+
+use std::sync::atomic::Ordering::Relaxed;
+
+use bvq_relation::parse_database;
+use bvq_server::{Client, Json, Server, ServerConfig, ServerHandle};
+
+const DB_TEXT: &str = "domain 6\nrel E/2\n0 1\n1 2\n2 3\n3 4\n4 5\nend\nrel P/1\n3\nend";
+
+const DATALOG_TC: &str = "T(x,y) :- E(x,y). T(x,z) :- T(x,y), E(y,z).";
+const FO_QUERY: &str = "(x1) exists x2. (E(x1,x2) & P(x2))";
+
+fn start_server(cfg: ServerConfig) -> ServerHandle {
+    let handle = Server::start(cfg).expect("bind loopback");
+    handle.load_db("g", parse_database(DB_TEXT).expect("parse db"));
+    handle
+}
+
+fn default_server() -> ServerHandle {
+    start_server(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    })
+}
+
+/// The full write path over one connection: subscribe to a transitive
+/// closure, mutate, observe the pushed delta frame — while a snapshot
+/// pinned before the mutation keeps reading the old epoch.
+#[test]
+fn mutations_push_delta_frames_while_snapshots_stay_pinned() {
+    let mut handle = default_server();
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    let ack = c.subscribe_datalog("g", DATALOG_TC, "T").unwrap();
+    assert!(Client::is_ok(&ack), "{ack}");
+    assert_eq!(ack.get("strategy").and_then(Json::as_str), Some("dred"));
+    // TC of the 6-path: 5+4+3+2+1.
+    assert_eq!(ack.get("count").and_then(Json::as_u64), Some(15));
+    let sub = ack.get("sub").and_then(Json::as_u64).unwrap();
+
+    // Pin the pre-mutation epoch, the way an admitted job does.
+    let pin = handle.db_snapshot("g").expect("snapshot");
+    assert_eq!(pin.epoch, 0);
+
+    // Closing the cycle makes every pair reachable: 36 tuples, +21.
+    let resp = c.insert("g", "E", &[5, 0]).unwrap();
+    assert!(Client::is_ok(&resp), "{resp}");
+    assert_eq!(resp.get("epoch").and_then(Json::as_u64), Some(1));
+    assert_eq!(resp.get("added").and_then(Json::as_u64), Some(1));
+    assert_eq!(resp.get("notified").and_then(Json::as_u64), Some(1));
+
+    let (epoch, add, del) = c.recv_delta(sub).unwrap();
+    assert_eq!(epoch, 1);
+    assert_eq!(add.len(), 21);
+    assert!(del.is_empty());
+
+    // The pinned snapshot still reads the old epoch's relations.
+    assert_eq!(pin.epoch, 0);
+    assert_eq!(pin.db.relation_by_name("E").unwrap().len(), 5);
+    assert_eq!(handle.db_snapshot("g").unwrap().epoch, 1);
+
+    // Re-inserting an existing tuple nets to nothing: no epoch, no frame.
+    let resp = c.insert("g", "E", &[5, 0]).unwrap();
+    assert!(Client::is_ok(&resp), "{resp}");
+    assert_eq!(resp.get("epoch").and_then(Json::as_u64), Some(1));
+    assert_eq!(resp.get("notified").and_then(Json::as_u64), Some(0));
+
+    // Deleting the cycle edge removes exactly what the insert added.
+    let resp = c.delete("g", "E", &[5, 0]).unwrap();
+    assert_eq!(resp.get("epoch").and_then(Json::as_u64), Some(2));
+    let (epoch, add, del) = c.recv_delta(sub).unwrap();
+    assert_eq!(epoch, 2);
+    assert!(add.is_empty());
+    assert_eq!(del.len(), 21);
+
+    let resp = c.subscriptions().unwrap();
+    let subs = resp.get("subscriptions").and_then(Json::as_arr).unwrap();
+    assert_eq!(subs.len(), 1);
+    assert_eq!(subs[0].get("updates").and_then(Json::as_u64), Some(2));
+    assert_eq!(subs[0].get("rows").and_then(Json::as_u64), Some(15));
+    assert_eq!(subs[0].get("added").and_then(Json::as_u64), Some(21));
+    assert_eq!(subs[0].get("removed").and_then(Json::as_u64), Some(21));
+    handle.shutdown();
+}
+
+/// The result cache is keyed on per-relation dependency fingerprints:
+/// mutating a relation a cached query never reads keeps the entry warm;
+/// mutating a referenced relation evicts it.
+#[test]
+fn result_cache_survives_unrelated_mutations() {
+    let mut handle = default_server();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let q = "(x1) P(x1)";
+
+    let first = c.eval("g", q).unwrap();
+    assert_eq!(first.get("cached"), Some(&Json::Bool(false)));
+    assert_eq!(first.get("count").and_then(Json::as_u64), Some(1));
+
+    // E is not referenced by the query — the cache entry stays valid.
+    assert!(Client::is_ok(&c.insert("g", "E", &[5, 0]).unwrap()));
+    let hits_before = handle.stats().result_hits.load(Relaxed);
+    let second = c.eval("g", q).unwrap();
+    assert_eq!(second.get("cached"), Some(&Json::Bool(true)), "{second}");
+    assert!(handle.stats().result_hits.load(Relaxed) > hits_before);
+
+    // P is referenced — the same query misses and sees the new tuple.
+    assert!(Client::is_ok(&c.insert("g", "P", &[0]).unwrap()));
+    let third = c.eval("g", q).unwrap();
+    assert_eq!(third.get("cached"), Some(&Json::Bool(false)), "{third}");
+    assert_eq!(third.get("count").and_then(Json::as_u64), Some(2));
+    handle.shutdown();
+}
+
+/// With `admission: true`, subscribing an error-level query is rejected
+/// with a structured `lint_error` before anything is installed; a clean
+/// subscription on the same connection still goes through.
+#[test]
+fn admission_lints_subscriptions() {
+    let mut handle = start_server(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        admission: true,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    let resp = c.subscribe_eval("g", "(x1) ~P(x1)").unwrap();
+    assert_eq!(Client::error_code(&resp), Some("lint_error"));
+    assert!(handle.stats().admission_rejected.load(Relaxed) >= 1);
+    let resp = c.subscriptions().unwrap();
+    assert!(resp
+        .get("subscriptions")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .is_empty());
+
+    let ack = c.subscribe_eval("g", FO_QUERY).unwrap();
+    assert!(Client::is_ok(&ack), "{ack}");
+    handle.shutdown();
+}
+
+/// FO subscriptions have no delta semantics and maintain by
+/// re-evaluate-and-diff: the ack says so, relevant mutations produce
+/// diffs (counted as fallbacks), and mutations to relations the query
+/// never reads skip the re-evaluation entirely.
+#[test]
+fn fo_subscriptions_fall_back_to_rediff() {
+    let mut handle = default_server();
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    let ack = c.subscribe_eval("g", FO_QUERY).unwrap();
+    assert!(Client::is_ok(&ack), "{ack}");
+    assert_eq!(ack.get("strategy").and_then(Json::as_str), Some("rediff"));
+    // Only 1 has an edge into P = {3}... the 6-path gives exactly ⟨2⟩.
+    assert_eq!(ack.get("count").and_then(Json::as_u64), Some(1));
+    let sub = ack.get("sub").and_then(Json::as_u64).unwrap();
+
+    // Marking 1 as P makes 0 an answer: E(0,1) & P(1).
+    let resp = c.insert("g", "P", &[1]).unwrap();
+    assert_eq!(resp.get("notified").and_then(Json::as_u64), Some(1));
+    let (epoch, add, del) = c.recv_delta(sub).unwrap();
+    assert_eq!(epoch, 1);
+    assert_eq!(add, vec![vec![0]]);
+    assert!(del.is_empty());
+
+    let resp = c.subscriptions().unwrap();
+    let subs = resp.get("subscriptions").and_then(Json::as_arr).unwrap();
+    assert_eq!(subs[0].get("fallbacks").and_then(Json::as_u64), Some(1));
+    assert_eq!(subs[0].get("updates").and_then(Json::as_u64), Some(1));
+    handle.shutdown();
+}
+
+/// A batch whose mutations cancel out is a no-op: no epoch advance, no
+/// frames. A mixed batch nets into one frame. Unsubscribing stops the
+/// stream, and unknown ids answer `unknown_sub`.
+#[test]
+fn batches_net_out_and_unsubscribe_stops_the_stream() {
+    let mut handle = default_server();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let ack = c.subscribe_datalog("g", DATALOG_TC, "T").unwrap();
+    let sub = ack.get("sub").and_then(Json::as_u64).unwrap();
+
+    // Insert and delete of the same tuple cancel inside one batch.
+    let resp = c
+        .batch("g", &[("E", &[5, 0], false), ("E", &[5, 0], true)])
+        .unwrap();
+    assert!(Client::is_ok(&resp), "{resp}");
+    assert_eq!(resp.get("epoch").and_then(Json::as_u64), Some(0));
+    assert_eq!(resp.get("added").and_then(Json::as_u64), Some(0));
+    assert_eq!(resp.get("notified").and_then(Json::as_u64), Some(0));
+
+    // An invalid mutation rejects the whole batch atomically.
+    let resp = c
+        .batch("g", &[("E", &[0, 5], false), ("Zap", &[0], false)])
+        .unwrap();
+    assert_eq!(Client::error_code(&resp), Some("mutation_error"));
+    assert_eq!(
+        handle.db_snapshot("g").unwrap().epoch,
+        0,
+        "rejected batches must not advance the epoch"
+    );
+
+    // A real batch lands as one epoch and one frame.
+    let resp = c
+        .batch("g", &[("E", &[5, 0], false), ("E", &[0, 1], true)])
+        .unwrap();
+    assert_eq!(resp.get("epoch").and_then(Json::as_u64), Some(1));
+    let (epoch, _add, del) = c.recv_delta(sub).unwrap();
+    assert_eq!(epoch, 1);
+    // Dropping E(0,1) loses at minimum T(0,1) itself.
+    assert!(del.iter().any(|t| t == &vec![0, 1]));
+
+    assert!(Client::is_ok(&c.unsubscribe(sub).unwrap()));
+    let resp = c.unsubscribe(sub).unwrap();
+    assert_eq!(Client::error_code(&resp), Some("unknown_sub"));
+    // Further mutations notify nobody.
+    let resp = c.insert("g", "E", &[0, 1]).unwrap();
+    assert_eq!(resp.get("notified").and_then(Json::as_u64), Some(0));
+    handle.shutdown();
+}
