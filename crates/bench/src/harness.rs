@@ -156,8 +156,15 @@ mod tests {
 
     #[test]
     fn time_mean_returns_positive() {
+        // Black-box every addend: a foldable sum optimizes to sub-ns
+        // work, the rep cap trips before the budget, and the
+        // truncating mean rounds to zero.
         let d = time_mean(Duration::from_millis(1), || {
-            std::hint::black_box((0..100).sum::<u64>());
+            let mut acc: u64 = 0;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(std::hint::black_box(i));
+            }
+            std::hint::black_box(acc);
         });
         assert!(d > Duration::ZERO);
     }

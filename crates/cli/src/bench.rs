@@ -3,8 +3,9 @@
 //!
 //! `bvq bench --json PATH` runs a fixed-seed suite of Table-2 workloads
 //! (FO/FP/PFP queries and a Datalog transitive closure, each timed on
-//! the interpreted and the compiled engine), an in-process server
-//! cold/warm round-trip, and a short fuzz sweep, and writes the
+//! the interpreted and the compiled engine), a symbolic-backend
+//! comparison (BDD vs dense wall time and peak bytes), an in-process
+//! server cold/warm round-trip, and a short fuzz sweep, and writes the
 //! measurements as integer metrics under a committed schema
 //! (`bvq-bench/v1`). `bvq bench --gate OLD NEW` compares two such files
 //! metric-by-metric and fails on regressions beyond a threshold —
@@ -12,9 +13,9 @@
 //! comparable (different `nproc` / `overhead_only`), in which case
 //! regressions demote to warnings.
 //!
-//! Metric direction is encoded in the key suffix: `_ns` is
-//! lower-is-better; `_qps`, `_per_s` and `_pct` are higher-is-better.
-//! See EXPERIMENTS.md for how to read the files.
+//! Metric direction is encoded in the key suffix: `_ns` and `_bytes`
+//! are lower-is-better; `_qps`, `_per_s` and `_pct` are
+//! higher-is-better. See EXPERIMENTS.md for how to read the files.
 
 use std::time::Instant;
 
@@ -22,7 +23,7 @@ use bvq_datalog::{eval_seminaive, parse_program};
 use bvq_fuzz::{run_fuzz, FuzzConfig, Lang};
 use bvq_ivm::{MutableDb, Mutation, StandingQuery};
 use bvq_logic::{patterns, Query, Term, Var};
-use bvq_relation::{write_database, Database, EvalConfig, Tuple};
+use bvq_relation::{write_database, BackendMode, Database, EvalConfig, Tuple};
 use bvq_server::exec::{execute, CompileMode, EvalOptions, ExecRequest};
 use bvq_server::{Client, Json, Server, ServerConfig};
 
@@ -196,6 +197,55 @@ pub fn run_suite(seed: u64, smoke: bool) -> BenchReport {
         metrics.push((
             format!("{name}_speedup_pct"),
             interpreted.saturating_mul(100) / compiled.max(1),
+        ));
+    }
+
+    // Symbolic backend: structured Table-2 workloads forced onto the
+    // BDD and the dense backend — wall time plus peak working-set bytes
+    // (`EvalStats::peak_bytes`: reachable node-store bytes vs bitset
+    // bytes). On these regular graphs the symbolic representation is
+    // the memory story; the `_ns` pair keeps its time honest.
+    let (bdd_reach_n, bdd_fair_n) = if smoke { (384, 64) } else { (512, 80) };
+    let db_bdd_reach = path_db(bdd_reach_n);
+    let db_bdd_fair = path_db(bdd_fair_n);
+    let bdd_workloads: Vec<(&str, &Database, String)> = vec![
+        (
+            "bdd_reach",
+            &db_bdd_reach,
+            Query::new(vec![Var(0)], patterns::reach_from_const(0)).to_string(),
+        ),
+        (
+            "bdd_fairness",
+            &db_bdd_fair,
+            Query::sentence(patterns::fairness(Term::Const(0))).to_string(),
+        ),
+    ];
+    for (name, db, text) in &bdd_workloads {
+        let request = |backend: BackendMode| -> ExecRequest {
+            ExecRequest::query(text.clone()).with_opts(EvalOptions {
+                backend,
+                ..EvalOptions::default()
+            })
+        };
+        let peak = |backend: BackendMode| -> u64 {
+            let out = execute(db, &request(backend)).expect("bench workload evaluates");
+            (out.stats.peak_bytes as u64).max(1)
+        };
+        let bdd_peak = peak(BackendMode::Bdd);
+        let dense_peak = peak(BackendMode::Dense);
+        let bdd_ns = time_min(reps, || {
+            execute(db, &request(BackendMode::Bdd)).expect("bench workload evaluates");
+        });
+        let dense_ns = time_min(reps, || {
+            execute(db, &request(BackendMode::Dense)).expect("bench workload evaluates");
+        });
+        metrics.push((format!("{name}_bdd_ns"), bdd_ns));
+        metrics.push((format!("{name}_dense_ns"), dense_ns));
+        metrics.push((format!("{name}_bdd_peak_bytes"), bdd_peak));
+        metrics.push((format!("{name}_dense_peak_bytes"), dense_peak));
+        metrics.push((
+            format!("{name}_mem_ratio_pct"),
+            dense_peak.saturating_mul(100) / bdd_peak,
         ));
     }
 
@@ -600,6 +650,14 @@ mod tests {
             "fp_fairness_compiled_ns",
             "pfp_reach_compiled_ns",
             "datalog_tc_compiled_ns",
+            "bdd_reach_bdd_ns",
+            "bdd_reach_dense_ns",
+            "bdd_reach_bdd_peak_bytes",
+            "bdd_reach_dense_peak_bytes",
+            "bdd_fairness_bdd_ns",
+            "bdd_fairness_dense_ns",
+            "bdd_fairness_bdd_peak_bytes",
+            "bdd_fairness_dense_peak_bytes",
             "ivm_insert_update_ns",
             "ivm_delete_update_ns",
             "ivm_cold_recompute_ns",
@@ -625,6 +683,22 @@ mod tests {
             "ivm_speedup_pct = {speedup} (< 1000)\n{}",
             r.summary()
         );
+        // The acceptance bar for the symbolic backend: on both
+        // structured workloads the BDD peak working set is ≥10× under
+        // the dense bitset, even in the reduced smoke configuration.
+        for name in ["bdd_reach", "bdd_fairness"] {
+            let ratio = r
+                .metrics
+                .iter()
+                .find(|(k, _)| *k == format!("{name}_mem_ratio_pct"))
+                .map(|(_, v)| *v)
+                .unwrap();
+            assert!(
+                ratio >= 1000,
+                "{name}_mem_ratio_pct = {ratio} (< 1000)\n{}",
+                r.summary()
+            );
+        }
         assert_eq!(r.overhead_only, r.nproc == 1);
         // The JSON form round-trips through the parser.
         let j = Json::parse(&r.to_json().to_string_compact()).unwrap();

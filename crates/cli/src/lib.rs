@@ -46,7 +46,7 @@ pub use bench::{gate, run_bench_cmd, run_suite, BenchReport, GateReport, BENCH_S
 pub use fuzz::run_fuzz_cmd;
 pub use lint::run_lint;
 pub use run::{
-    run_eso, run_eval, run_explain, run_request, CompileMode, EvalOptions, ExecKind, ExecRequest,
-    RunError,
+    run_eso, run_eval, run_explain, run_request, BackendMode, CompileMode, EvalOptions, ExecKind,
+    ExecRequest, RunError,
 };
 pub use serve::{run_client, run_serve};

@@ -1,9 +1,9 @@
 //! The `bvq` command-line tool.
 //!
 //! ```text
-//! bvq eval    <db-file> '<query>' [--k N] [--naive] [--threads N] [--trace] [--certify t1,t2;u1,u2]
+//! bvq eval    <db-file> '<query>' [--k N] [--naive] [--threads N] [--trace] [--backend B] [--certify t1,t2;u1,u2]
 //! bvq eso     <db-file> '<eso sentence>' [--k N] [--trace]
-//! bvq explain <db-file> '<query>' [--analyze] [--eso] [--k N] [--naive]
+//! bvq explain <db-file> '<query>' [--analyze] [--eso] [--k N] [--naive] [--backend B]
 //! bvq lint    <db-file> <query|file|dir> [--eso] [--datalog] [--output P]
 //!             [--budget N] [--json] [--deny warnings]
 //! bvq repl    <db-file>
@@ -17,7 +17,7 @@ use std::io::{BufRead, Write};
 
 use bvq_cli::{
     run_bench_cmd, run_client, run_explain, run_fuzz_cmd, run_lint, run_request, run_serve,
-    CompileMode, EvalOptions, ExecRequest,
+    BackendMode, CompileMode, EvalOptions, ExecRequest,
 };
 use bvq_relation::parse_database;
 
@@ -30,10 +30,12 @@ fn main() {
             eprintln!();
             eprintln!("usage:");
             eprintln!(
-                "  bvq eval <db-file> '<query>' [--k N] [--naive] [--threads N] [--trace] [--certify T]"
+                "  bvq eval <db-file> '<query>' [--k N] [--naive] [--threads N] [--trace] [--backend auto|dense|sparse|bdd] [--certify T]"
             );
             eprintln!("  bvq eso  <db-file> '<eso sentence>' [--k N] [--trace]");
-            eprintln!("  bvq explain <db-file> '<query>' [--analyze] [--eso] [--k N] [--naive]");
+            eprintln!(
+                "  bvq explain <db-file> '<query>' [--analyze] [--eso] [--k N] [--naive] [--backend B]"
+            );
             eprintln!(
                 "  bvq lint <db-file> <query|file|dir> [--eso] [--datalog] [--output P] [--budget N] [--json] [--deny warnings]"
             );
@@ -144,7 +146,8 @@ struct Flags {
 }
 
 /// Parses `--k N`, `--naive`, `--threads N`, `--trace`, `--analyze`,
-/// `--eso`, `--compile auto|on|off`, `--certify a,b;c,d`.
+/// `--eso`, `--compile auto|on|off`, `--backend auto|dense|sparse|bdd`,
+/// `--certify a,b;c,d`.
 fn parse_opts(rest: &[String]) -> Result<Flags, String> {
     let mut opts = EvalOptions::default();
     let mut trace = false;
@@ -163,6 +166,11 @@ fn parse_opts(rest: &[String]) -> Result<Flags, String> {
                 let v = it.next().ok_or("--compile needs auto|on|off")?;
                 opts.compile = CompileMode::parse(v)
                     .ok_or_else(|| format!("bad --compile value `{v}` (auto|on|off)"))?;
+            }
+            "--backend" => {
+                let v = it.next().ok_or("--backend needs auto|dense|sparse|bdd")?;
+                opts.backend = BackendMode::parse(v)
+                    .ok_or_else(|| format!("bad --backend value `{v}` (auto|dense|sparse|bdd)"))?;
             }
             "--trace" => trace = true,
             "--analyze" => analyze = true,

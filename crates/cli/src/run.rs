@@ -7,6 +7,7 @@
 //! datalog), which `Display`s to the same messages the CLI always
 //! printed and converts into protocol error codes on the server side.
 
+pub use bvq_relation::BackendMode;
 pub use bvq_server::exec::{
     run_eso, run_eval, run_explain, run_request, CompileMode, EvalOptions, ExecKind, ExecRequest,
     Plan, RunError,

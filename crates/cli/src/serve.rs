@@ -207,6 +207,10 @@ pub fn run_client(args: &[String]) -> Result<(), String> {
                     }
                     "--naive" => fields.push(("naive", Json::Bool(true))),
                     "--minimize" => fields.push(("minimize", Json::Bool(true))),
+                    "--backend" => {
+                        let v = it.next().ok_or("--backend needs a value")?;
+                        fields.push(("backend", Json::str(v.as_str())));
+                    }
                     "--no-cache" => fields.push(("no_cache", Json::Bool(true))),
                     "--trace" => fields.push(("trace", Json::Bool(true))),
                     other => return Err(format!("unknown flag `{other}`")),
@@ -229,6 +233,9 @@ pub fn run_client(args: &[String]) -> Result<(), String> {
                     "--analyze" => extra.push(("analyze", Json::Bool(true))),
                     "--naive" => extra.push(("naive", Json::Bool(true))),
                     "--minimize" => extra.push(("minimize", Json::Bool(true))),
+                    "--backend" => {
+                        extra.push(("backend", Json::str(val("--backend")?.as_str())));
+                    }
                     "--k" => {
                         let v: u64 = val("--k")?
                             .parse()

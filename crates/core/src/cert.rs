@@ -29,10 +29,8 @@
 //! such fixpoints away.
 
 use bvq_logic::{FixKind, Formula, Query, Term};
-use bvq_relation::{
-    CylCtx, CylinderOps, Database, DenseCylinder, EvalStats, Relation, SparseCylinder,
-    StatsRecorder,
-};
+use bvq_relation::backend::{DenseCylinder, SparseCylinder};
+use bvq_relation::{CylCtx, CylinderOps, Database, EvalStats, Relation, StatsRecorder};
 
 use crate::fp::{fix_read_map, load_atom};
 use crate::ir::{self, AtomSource, CompileOpts, Node, NodeRef, Program};

@@ -30,10 +30,8 @@
 //! run whose environment is monotone by construction.
 
 use bvq_logic::{FixKind, Query, Term};
-use bvq_relation::{
-    CylCtx, CylinderOps, Database, DenseCylinder, EvalStats, Relation, SparseCylinder,
-    StatsRecorder,
-};
+use bvq_relation::backend::{DenseCylinder, SparseCylinder};
+use bvq_relation::{CylCtx, CylinderOps, Database, EvalStats, Relation, StatsRecorder};
 
 use crate::cert::VerifyOutcome;
 use crate::fp::{fix_read_map, load_atom, Engine, FpStrategy};

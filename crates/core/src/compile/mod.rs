@@ -18,7 +18,8 @@
 //! same plan (the server's plan LRU records them; see DESIGN.md §10).
 
 use bvq_logic::{FixKind, Query};
-use bvq_relation::{CylCtx, DenseCylinder, EvalConfig, SparseCylinder};
+use bvq_relation::backend::{DenseCylinder, SparseCylinder};
+use bvq_relation::{CylCtx, EvalConfig};
 
 use crate::fp::Evaluated;
 use crate::ir::{self, CompileOpts, Program};

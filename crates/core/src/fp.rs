@@ -25,9 +25,12 @@
 //! [`cert`](crate::cert) and reuses this engine's IR.
 
 use bvq_logic::{FixKind, Formula, Query, Term};
+use bvq_relation::backend::{
+    choose, BackendKind, BackendMode, BddCylinder, ChoiceHints, DenseCylinder, SparseCylinder,
+};
 use bvq_relation::{
-    CoordSource, CylCtx, CylinderOps, Database, DenseCylinder, EvalConfig, EvalStats, Relation,
-    Span, SparseCylinder, StatsRecorder, Tracer,
+    CoordSource, CylCtx, CylinderOps, Database, EvalConfig, EvalStats, Relation, Span,
+    StatsRecorder, Tracer,
 };
 
 use crate::env::RelEnv;
@@ -161,6 +164,7 @@ impl<'p, 'd, C: CylinderOps> Engine<'p, 'd, C> {
         if self.rec.is_enabled() {
             let count = c.count(&self.ctx);
             self.rec.intermediate(self.ctx.width(), count);
+            self.rec.bytes(c.size_bytes(&self.ctx));
         }
     }
 
@@ -478,7 +482,7 @@ pub struct FpEvaluator<'d> {
     k: usize,
     strategy: FpStrategy,
     collect_stats: bool,
-    force_sparse: bool,
+    backend: BackendMode,
     allow_pfp: bool,
     allow_fix: bool,
     config: EvalConfig,
@@ -497,7 +501,7 @@ impl<'d> FpEvaluator<'d> {
             k,
             strategy: FpStrategy::EmersonLei,
             collect_stats: true,
-            force_sparse: false,
+            backend: BackendMode::Auto,
             allow_pfp: false,
             allow_fix: true,
             config: EvalConfig::default(),
@@ -525,11 +529,22 @@ impl<'d> FpEvaluator<'d> {
         self
     }
 
-    /// Forces the sparse cylinder backend even when `n^k` is small (used by
-    /// the backend ablation).
+    /// Forces the sparse cylinder backend even when `n^k` is small
+    /// (shorthand for [`FpEvaluator::with_backend`] with
+    /// [`BackendMode::Sparse`]; used by the backend ablation).
     #[must_use]
-    pub fn force_sparse(mut self) -> Self {
-        self.force_sparse = true;
+    pub fn force_sparse(self) -> Self {
+        self.with_backend(BackendMode::Sparse)
+    }
+
+    /// Selects the cylinder backend: `Auto` (the default) picks per query
+    /// via the cost model in [`bvq_relation::backend::choose`]; the other
+    /// modes force one implementation. Forcing `Dense` on a domain where
+    /// `n^k` exceeds the dense budget fails with
+    /// [`EvalError::UnsupportedConstruct`].
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendMode) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -615,10 +630,20 @@ impl<'d> FpEvaluator<'d> {
             CylCtx::new(self.db.domain_size(), self.k.max(1)).with_threads(self.config.threads());
         let ext: Vec<Relation> = env.iter().map(|(_, r)| r.clone()).collect();
         let coords: Vec<usize> = q.output.iter().map(|v| v.index()).collect();
-        if ctx.dense_feasible() && !self.force_sparse {
-            self.run_engine::<DenseCylinder>(&prog, ctx, ext, &coords)
-        } else {
-            self.run_engine::<SparseCylinder>(&prog, ctx, ext, &coords)
+        let hints = ChoiceHints {
+            needs_complement: prog.needs_complement(),
+        };
+        match choose(&ctx, self.backend, hints) {
+            BackendKind::Dense => {
+                if !ctx.dense_feasible() {
+                    return Err(EvalError::UnsupportedConstruct(
+                        "dense backend forced but n^k exceeds the dense budget",
+                    ));
+                }
+                self.run_engine::<DenseCylinder>(&prog, ctx, ext, &coords)
+            }
+            BackendKind::Sparse => self.run_engine::<SparseCylinder>(&prog, ctx, ext, &coords),
+            BackendKind::Bdd => self.run_engine::<BddCylinder>(&prog, ctx, ext, &coords),
         }
     }
 
@@ -804,6 +829,57 @@ mod tests {
             dense.eval_query(&q).unwrap().0.sorted(),
             sparse.eval_query(&q).unwrap().0.sorted()
         );
+    }
+
+    #[test]
+    fn all_backends_agree_and_dense_guard_fires() {
+        let db = path_db();
+        let queries = [
+            "(x1,x2) [lfp S(x2). (x2 = x1 | exists x3. (S(x3) & E(x3,x2)))](x2)",
+            "(x1) [gfp S(x1). exists x2. (E(x1,x2) & S(x2))](x1)",
+            "(x1) forall x2. (E(x1,x2) -> P(x2))",
+        ];
+        for src in queries {
+            let q = parse_query(src).unwrap();
+            let reference = FpEvaluator::new(&db, 3).eval_query(&q).unwrap().0.sorted();
+            for mode in [BackendMode::Dense, BackendMode::Sparse, BackendMode::Bdd] {
+                let got = FpEvaluator::new(&db, 3)
+                    .with_backend(mode)
+                    .eval_query(&q)
+                    .unwrap()
+                    .0
+                    .sorted();
+                assert_eq!(got, reference, "{mode} on {src}");
+            }
+        }
+        // Forcing dense past the budget is a structured error, not a panic.
+        let huge = Database::builder(1 << 20)
+            .relation("E", 2, [[0u32, 1]])
+            .build();
+        let q = parse_query("(x1) exists x2. E(x1,x2)").unwrap();
+        let err = FpEvaluator::new(&huge, 4)
+            .with_backend(BackendMode::Dense)
+            .eval_query(&q)
+            .unwrap_err();
+        assert!(matches!(err, EvalError::UnsupportedConstruct(_)));
+    }
+
+    #[test]
+    fn stats_report_backend_dependent_peak_bytes() {
+        let db = path_db();
+        let q = parse_query("(x1) forall x2. (E(x1,x2) -> P(x2))").unwrap();
+        let (_, dense) = FpEvaluator::new(&db, 2)
+            .with_backend(BackendMode::Dense)
+            .eval_query(&q)
+            .unwrap();
+        let (_, bdd) = FpEvaluator::new(&db, 2)
+            .with_backend(BackendMode::Bdd)
+            .eval_query(&q)
+            .unwrap();
+        // Dense always pays ⌈n^k/64⌉ words; the BDD footprint is
+        // structural. Both are recorded, nonzero, and backend-dependent.
+        assert_eq!(dense.peak_bytes, 8);
+        assert!(bdd.peak_bytes > 0);
     }
 
     #[test]

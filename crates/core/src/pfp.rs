@@ -63,6 +63,14 @@ impl<'d> PfpEvaluator<'d> {
         self
     }
 
+    /// Selects the cylinder backend (see
+    /// [`FpEvaluator::with_backend`](crate::FpEvaluator::with_backend)).
+    #[must_use]
+    pub fn with_backend(mut self, backend: bvq_relation::BackendMode) -> Self {
+        self.inner = self.inner.with_backend(backend);
+        self
+    }
+
     /// Sets the parallel-evaluation configuration (thread count).
     #[must_use]
     pub fn with_config(mut self, config: bvq_relation::EvalConfig) -> Self {

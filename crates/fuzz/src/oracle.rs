@@ -12,7 +12,7 @@ use std::io;
 use bvq_datalog::{eval_seminaive, to_fp_formula_multi};
 use bvq_ivm::{MutableDb, Mutation as IvmMutation, StandingQuery};
 use bvq_logic::{Query, Var};
-use bvq_relation::{write_database, Database, Elem, EvalConfig, Relation};
+use bvq_relation::{write_database, BackendMode, Database, Elem, EvalConfig, Relation};
 use bvq_server::exec::{execute, Answer, CompileMode, EvalOptions, ExecRequest};
 use bvq_server::{Client, Json, Server, ServerConfig, ServerHandle};
 
@@ -259,6 +259,8 @@ pub fn oracles(lang: Lang, with_server: bool) -> Vec<&'static str> {
         Lang::Fo => names.extend([
             "naive-vs-bounded",
             "compiled-vs-interpreted",
+            "bdd-vs-dense",
+            "bdd-vs-sparse",
             "threads-1-vs-n",
             "metamorphic-double-negation",
             "metamorphic-conjunct-shuffle",
@@ -268,6 +270,8 @@ pub fn oracles(lang: Lang, with_server: bool) -> Vec<&'static str> {
         ]),
         Lang::Fp | Lang::Pfp => names.extend([
             "compiled-vs-interpreted",
+            "bdd-vs-dense",
+            "bdd-vs-sparse",
             "threads-1-vs-n",
             "metamorphic-double-negation",
             "metamorphic-conjunct-shuffle",
@@ -277,6 +281,8 @@ pub fn oracles(lang: Lang, with_server: bool) -> Vec<&'static str> {
             "datalog-naive-vs-seminaive",
             "datalog-vs-fp-translation",
             "compiled-vs-interpreted",
+            "bdd-vs-dense",
+            "bdd-vs-sparse",
             "threads-1-vs-n",
             "metamorphic-domain-rename",
             "incremental-vs-recompute",
@@ -377,6 +383,36 @@ pub fn run_oracle(
                 left,
                 "compiled",
                 run_direct(&case.db, &compiled),
+            ) {
+                None => Ok(1),
+                Some(d) => Err(d),
+            }
+        }
+        "bdd-vs-dense" | "bdd-vs-sparse" => {
+            // The symbolic backend against an explicit concrete one;
+            // Datalog cases exercise the FP-translation route both
+            // forced dispatches take. Fuzz domains stay far inside the
+            // dense budget, so forcing dense never trips its guard.
+            let peer = if oracle == "bdd-vs-dense" {
+                BackendMode::Dense
+            } else {
+                BackendMode::Sparse
+            };
+            let bdd = base_request(case).with_opts(EvalOptions {
+                backend: BackendMode::Bdd,
+                ..EvalOptions::default()
+            });
+            let concrete = base_request(case).with_opts(EvalOptions {
+                backend: peer,
+                ..EvalOptions::default()
+            });
+            let left = mutate(run_direct(&case.db, &bdd), mutation);
+            match compare(
+                oracle,
+                "bdd",
+                left,
+                peer.label(),
+                run_direct(&case.db, &concrete),
             ) {
                 None => Ok(1),
                 Some(d) => Err(d),

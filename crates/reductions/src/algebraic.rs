@@ -16,7 +16,8 @@
 
 use bvq_core::EvalError;
 use bvq_logic::{Atom, Formula, Query, RelRef, Term};
-use bvq_relation::{BitSet, CylCtx, CylinderOps, Database, DenseCylinder, FxHashMap, Relation};
+use bvq_relation::backend::DenseCylinder;
+use bvq_relation::{BitSet, CylCtx, CylinderOps, Database, FxHashMap, Relation};
 
 /// An interned `k`-ary relation id (a "nonterminal" of Lemma 4.2).
 pub type ValueId = u32;

@@ -1,0 +1,1130 @@
+//! Symbolic cylinder backend: a reduced ordered BDD over `k·⌈log₂ n⌉` bits.
+//!
+//! A subset of `D^k` is a boolean function of the `k` coordinates, and each
+//! coordinate is `⌈log₂ n⌉` bits, so every cylinder is a boolean function
+//! over `k·⌈log₂ n⌉` variables — representable as a reduced ordered binary
+//! decision diagram whose size tracks the *structure* of the set rather
+//! than its cardinality. Structured intermediate results (diagonals,
+//! reachability frontiers, fairness regions) stay polynomial in `log n`
+//! where the dense bitset always pays `n^k` bits.
+//!
+//! Design (DESIGN.md §12):
+//!
+//! * **Node store.** An arena of `(level, lo, hi)` nodes with two sentinel
+//!   ids for the terminals ([`NID_FALSE`], [`NID_TRUE`]) and a unique table
+//!   keyed on `(level, lo, hi)` — hash-consing, so equal functions have
+//!   equal node ids and cylinder equality (the fixpoint convergence test)
+//!   is O(1). Ids are plain `u32`s in the spirit of `bex`'s universal NIDs.
+//! * **Variable order.** Interleaved bit order, most significant bits on
+//!   top: level `ℓ` holds bit `⌈log₂ n⌉ - 1 - ℓ/k` of coordinate `ℓ mod k`.
+//!   Interleaving keeps the equality diagonal `xᵢ = xⱼ` linear-size.
+//! * **Memo policy.** Global memo tables for the binary apply kernels
+//!   (`∧`, `∨`, `∖`), if-then-else, per-coordinate `∃`, and model counting,
+//!   all living as long as the owning [`CylCtx`]; `preimage` keeps a
+//!   per-call substitution memo on top of the shared ITE memo.
+//! * **Domain constraint.** `n` need not be a power of two, so the space
+//!   carries a `valid` BDD (every coordinate's encoding `< n`) and every
+//!   cylinder maintains the invariant `self ⊆ valid`. Complement is
+//!   `valid ∖ self`, `full` *is* `valid`, and `∃` re-cylindrifies by
+//!   conjoining `valid` — which also makes [`satcount`](BddSpace) exact.
+//! * **Enumeration.** [`BddCursor`] walks satisfying assignments with an
+//!   explicit register/stack pair (the `bex` `Reg` + `Cursor` shape), so
+//!   conversion to sparse tuples streams instead of materialising.
+//!
+//! The store sits behind a mutex inside [`BddSpace`], shared by every
+//! clone of the owning context; operations are sequential (the evaluator's
+//! thread knob does not partition symbolic kernels).
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::cylinder::{CoordSource, CylCtx, CylinderOps};
+use crate::hasher::{FxHashMap, FxHashSet};
+use crate::{Elem, Relation, Tuple};
+
+/// A node id: an index into the arena offset by the two terminals.
+pub type Nid = u32;
+
+/// The `false` terminal.
+pub const NID_FALSE: Nid = 0;
+
+/// The `true` terminal.
+pub const NID_TRUE: Nid = 1;
+
+/// Pseudo-level of the terminals: below every decision level.
+const LEVEL_TERMINAL: u32 = u32::MAX;
+
+/// One decision node: branch on the variable at `level`, following `lo`
+/// when the bit is 0 and `hi` when it is 1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Node {
+    level: u32,
+    lo: Nid,
+    hi: Nid,
+}
+
+/// The binary apply kernels.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum BinOp {
+    And,
+    Or,
+    /// Fused difference `a ∧ ¬b`; with `a = ⊤` this is plain negation.
+    Diff,
+}
+
+/// The mutable node store: arena, unique table and operation memos.
+#[derive(Default)]
+struct BddStore {
+    nodes: Vec<Node>,
+    unique: FxHashMap<(u32, Nid, Nid), Nid>,
+    bin_memo: FxHashMap<(BinOp, Nid, Nid), Nid>,
+    ite_memo: FxHashMap<(Nid, Nid, Nid), Nid>,
+    /// `∃`-collapse memo, keyed `(node, coordinate)`.
+    exists_memo: FxHashMap<(Nid, u32), Nid>,
+    /// Model-count memo, relative to the node's own level.
+    count_memo: FxHashMap<Nid, u128>,
+    peak_nodes: usize,
+}
+
+impl BddStore {
+    fn level(&self, x: Nid) -> u32 {
+        if x <= NID_TRUE {
+            LEVEL_TERMINAL
+        } else {
+            self.nodes[(x - 2) as usize].level
+        }
+    }
+
+    fn node(&self, x: Nid) -> Node {
+        self.nodes[(x - 2) as usize]
+    }
+
+    /// Cofactors of `x` with respect to the variable at `level`.
+    fn cof(&self, x: Nid, level: u32) -> (Nid, Nid) {
+        if self.level(x) == level {
+            let n = self.node(x);
+            (n.lo, n.hi)
+        } else {
+            (x, x)
+        }
+    }
+
+    /// Hash-consing constructor: the only way nodes enter the arena.
+    fn mk(&mut self, level: u32, lo: Nid, hi: Nid) -> Nid {
+        if lo == hi {
+            return lo;
+        }
+        if let Some(&id) = self.unique.get(&(level, lo, hi)) {
+            return id;
+        }
+        let id = (self.nodes.len() + 2) as Nid;
+        self.nodes.push(Node { level, lo, hi });
+        self.unique.insert((level, lo, hi), id);
+        self.peak_nodes = self.peak_nodes.max(self.nodes.len());
+        id
+    }
+
+    fn apply(&mut self, op: BinOp, a: Nid, b: Nid) -> Nid {
+        match op {
+            BinOp::And => {
+                if a == NID_FALSE || b == NID_FALSE {
+                    return NID_FALSE;
+                }
+                if a == NID_TRUE || a == b {
+                    return b;
+                }
+                if b == NID_TRUE {
+                    return a;
+                }
+            }
+            BinOp::Or => {
+                if a == NID_TRUE || b == NID_TRUE {
+                    return NID_TRUE;
+                }
+                if a == NID_FALSE || a == b {
+                    return b;
+                }
+                if b == NID_FALSE {
+                    return a;
+                }
+            }
+            BinOp::Diff => {
+                if a == NID_FALSE || b == NID_TRUE || a == b {
+                    return NID_FALSE;
+                }
+                if b == NID_FALSE {
+                    return a;
+                }
+                // a == ⊤ continues: the recursion computes ¬b.
+            }
+        }
+        // ∧ and ∨ are commutative: normalise the memo key.
+        let key = match op {
+            BinOp::And | BinOp::Or if a > b => (op, b, a),
+            _ => (op, a, b),
+        };
+        if let Some(&r) = self.bin_memo.get(&key) {
+            return r;
+        }
+        let level = self.level(a).min(self.level(b));
+        let (a0, a1) = self.cof(a, level);
+        let (b0, b1) = self.cof(b, level);
+        let lo = self.apply(op, a0, b0);
+        let hi = self.apply(op, a1, b1);
+        let r = self.mk(level, lo, hi);
+        self.bin_memo.insert(key, r);
+        r
+    }
+
+    /// If-then-else: `(f ∧ g) ∨ (¬f ∧ h)`.
+    fn ite(&mut self, f: Nid, g: Nid, h: Nid) -> Nid {
+        if f == NID_TRUE {
+            return g;
+        }
+        if f == NID_FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == NID_TRUE && h == NID_FALSE {
+            return f;
+        }
+        if let Some(&r) = self.ite_memo.get(&(f, g, h)) {
+            return r;
+        }
+        let level = self.level(f).min(self.level(g)).min(self.level(h));
+        let (f0, f1) = self.cof(f, level);
+        let (g0, g1) = self.cof(g, level);
+        let (h0, h1) = self.cof(h, level);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(level, lo, hi);
+        self.ite_memo.insert((f, g, h), r);
+        r
+    }
+
+    /// Existentially quantifies every level belonging to `coord`
+    /// (`level mod k == coord`).
+    fn exists_coord(&mut self, x: Nid, coord: u32, k: u32) -> Nid {
+        if x <= NID_TRUE {
+            return x;
+        }
+        if let Some(&r) = self.exists_memo.get(&(x, coord)) {
+            return r;
+        }
+        let n = self.node(x);
+        let lo = self.exists_coord(n.lo, coord, k);
+        let hi = self.exists_coord(n.hi, coord, k);
+        let r = if n.level % k == coord {
+            self.apply(BinOp::Or, lo, hi)
+        } else {
+            self.mk(n.level, lo, hi)
+        };
+        self.exists_memo.insert((x, coord), r);
+        r
+    }
+
+    /// Vector composition for [`CylinderOps::preimage`]: substitutes the
+    /// variable at each level by the mapped target variable (same bit
+    /// significance, mapped coordinate) or the constant's bit.
+    fn compose(
+        &mut self,
+        x: Nid,
+        map: &[CoordSource],
+        k: u32,
+        bits: u32,
+        memo: &mut FxHashMap<Nid, Nid>,
+    ) -> Nid {
+        if x <= NID_TRUE {
+            return x;
+        }
+        if let Some(&r) = memo.get(&x) {
+            return r;
+        }
+        let n = self.node(x);
+        let coord = n.level % k;
+        let row = n.level / k;
+        let lo = self.compose(n.lo, map, k, bits, memo);
+        let hi = self.compose(n.hi, map, k, bits, memo);
+        let r = match map[coord as usize] {
+            CoordSource::Coord(j) => {
+                let var = self.mk(row * k + j as u32, NID_FALSE, NID_TRUE);
+                self.ite(var, hi, lo)
+            }
+            CoordSource::Const(c) => {
+                let significance = bits - 1 - row;
+                if (c >> significance) & 1 == 1 {
+                    hi
+                } else {
+                    lo
+                }
+            }
+        };
+        memo.insert(x, r);
+        r
+    }
+
+    /// Saturating model count over the levels `[level(x), num_vars)`.
+    fn satcount(&mut self, x: Nid, num_vars: u32) -> u128 {
+        if x == NID_FALSE {
+            return 0;
+        }
+        if x == NID_TRUE {
+            return 1;
+        }
+        if let Some(&c) = self.count_memo.get(&x) {
+            return c;
+        }
+        let n = self.node(x);
+        let scale = |count: u128, child: Nid, this: &mut Self| -> u128 {
+            let child_level = if child <= NID_TRUE {
+                num_vars
+            } else {
+                this.level(child)
+            };
+            let shift = child_level - n.level - 1;
+            count.checked_shl(shift).unwrap_or(u128::MAX)
+        };
+        let lo = self.satcount(n.lo, num_vars);
+        let lo = scale(lo, n.lo, self);
+        let hi = self.satcount(n.hi, num_vars);
+        let hi = scale(hi, n.hi, self);
+        let c = lo.saturating_add(hi);
+        self.count_memo.insert(x, c);
+        c
+    }
+
+    /// Number of nodes reachable from `root` (terminals excluded).
+    fn reachable(&self, root: Nid) -> usize {
+        let mut seen: FxHashSet<Nid> = FxHashSet::default();
+        let mut stack = vec![root];
+        while let Some(x) = stack.pop() {
+            if x <= NID_TRUE || !seen.insert(x) {
+                continue;
+            }
+            let n = self.node(x);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        seen.len()
+    }
+}
+
+/// The shared symbolic space for one [`CylCtx`]: encoding parameters plus
+/// the mutex-guarded node store. Created empty (no allocation beyond the
+/// struct) by every context; nodes only appear once a [`BddCylinder`] is
+/// actually built.
+pub struct BddSpace {
+    n: usize,
+    k: usize,
+    /// Bits per coordinate, `⌈log₂ n⌉` (0 when `n ≤ 1`).
+    bits: usize,
+    store: Mutex<BddStore>,
+    /// The domain constraint `∧ᵢ (xᵢ < n)`, built on first use.
+    valid: OnceLock<Nid>,
+}
+
+impl std::fmt::Debug for BddSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BddSpace")
+            .field("n", &self.n)
+            .field("k", &self.k)
+            .field("bits", &self.bits)
+            .field("nodes", &self.node_count())
+            .finish()
+    }
+}
+
+impl BddSpace {
+    /// Creates the (empty) space for width `k` over a domain of size `n`.
+    pub fn new(n: usize, k: usize) -> Self {
+        let bits = if n <= 1 {
+            0
+        } else {
+            (usize::BITS - (n - 1).leading_zeros()) as usize
+        };
+        BddSpace {
+            n,
+            k,
+            bits,
+            store: Mutex::new(BddStore::default()),
+            valid: OnceLock::new(),
+        }
+    }
+
+    /// Bits per coordinate (`⌈log₂ n⌉`).
+    pub fn bits_per_coord(&self) -> usize {
+        self.bits
+    }
+
+    /// Total decision variables, `k·⌈log₂ n⌉`.
+    pub fn num_vars(&self) -> usize {
+        self.k * self.bits
+    }
+
+    /// Nodes currently in the arena (shared across all cylinders).
+    pub fn node_count(&self) -> usize {
+        self.store.lock().unwrap().nodes.len()
+    }
+
+    /// High-water mark of the arena size.
+    pub fn peak_nodes(&self) -> usize {
+        self.store.lock().unwrap().peak_nodes
+    }
+
+    /// Estimated bytes per stored node: the arena slot plus the amortised
+    /// unique-table entry.
+    pub fn bytes_per_node() -> usize {
+        std::mem::size_of::<Node>() + std::mem::size_of::<(u32, Nid, Nid)>() + 4
+    }
+
+    /// Peak node-store footprint in bytes.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_nodes() * Self::bytes_per_node()
+    }
+
+    /// The level holding bit `significance` of coordinate `coord`
+    /// (interleaved, most significant bits on top).
+    fn level_of(&self, coord: usize, significance: usize) -> u32 {
+        ((self.bits - 1 - significance) * self.k + coord) as u32
+    }
+
+    /// The domain-constraint root `∧ᵢ (xᵢ < n)`, built once.
+    fn valid_root(&self) -> Nid {
+        *self.valid.get_or_init(|| {
+            if self.n >= (1usize << self.bits) || self.k == 0 {
+                return NID_TRUE;
+            }
+            let st = &mut *self.store.lock().unwrap();
+            let mut acc = NID_TRUE;
+            for coord in 0..self.k {
+                let lt = self.coord_lt_n(st, coord);
+                acc = st.apply(BinOp::And, acc, lt);
+            }
+            acc
+        })
+    }
+
+    /// Builds `x_coord < n` bottom-up from the least significant bit:
+    /// `x < n` at bits `s..0` iff `x_s < n_s`, or `x_s = n_s` and the
+    /// suffix is already less.
+    fn coord_lt_n(&self, st: &mut BddStore, coord: usize) -> Nid {
+        let mut acc = NID_FALSE; // empty suffix: not strictly less
+        for s in 0..self.bits {
+            let level = self.level_of(coord, s);
+            acc = if (self.n >> s) & 1 == 1 {
+                st.mk(level, NID_TRUE, acc)
+            } else {
+                st.mk(level, acc, NID_FALSE)
+            };
+        }
+        acc
+    }
+
+    /// The conjunction of bit literals pinning `coord` to `value`
+    /// (assumed `< n`), threaded onto `below` from the bottom up.
+    fn pin_coord(&self, st: &mut BddStore, acc: Nid, coord: usize, value: Elem) -> Nid {
+        let mut acc = acc;
+        for s in 0..self.bits {
+            let level = self.level_of(coord, s);
+            acc = if (value >> s) & 1 == 1 {
+                st.mk(level, NID_FALSE, acc)
+            } else {
+                st.mk(level, acc, NID_FALSE)
+            };
+        }
+        acc
+    }
+}
+
+/// A subset of `D^k` as a shared-node BDD: the third [`CylinderOps`]
+/// backend. Clones share the space; equality compares hash-consed roots,
+/// so the fixpoint convergence test is O(1).
+#[derive(Clone, Debug)]
+pub struct BddCylinder {
+    space: Arc<BddSpace>,
+    root: Nid,
+}
+
+impl BddCylinder {
+    fn wrap(ctx: &CylCtx, root: Nid) -> Self {
+        BddCylinder {
+            space: Arc::clone(ctx.bdd()),
+            root,
+        }
+    }
+
+    /// The root node id (diagnostics).
+    pub fn root(&self) -> Nid {
+        self.root
+    }
+
+    /// Nodes reachable from the root — the cylinder's own footprint.
+    pub fn node_count(&self) -> usize {
+        self.space.store.lock().unwrap().reachable(self.root)
+    }
+
+    /// A streaming cursor over the satisfying `k`-tuples.
+    pub fn cursor(&self) -> BddCursor {
+        BddCursor::new(Arc::clone(&self.space), self.root)
+    }
+}
+
+impl PartialEq for BddCylinder {
+    fn eq(&self, other: &Self) -> bool {
+        // Hash-consing makes roots canonical within one space; cylinders
+        // from different spaces are never compared by the evaluator.
+        Arc::ptr_eq(&self.space, &other.space) && self.root == other.root
+    }
+}
+
+impl CylinderOps for BddCylinder {
+    fn empty(ctx: &CylCtx) -> Self {
+        Self::wrap(ctx, NID_FALSE)
+    }
+
+    fn full(ctx: &CylCtx) -> Self {
+        let root = ctx.bdd().valid_root();
+        Self::wrap(ctx, root)
+    }
+
+    fn from_atom(ctx: &CylCtx, rel: &Relation, vars: &[usize]) -> Self {
+        assert_eq!(
+            rel.arity(),
+            vars.len(),
+            "atom variable count ≠ relation arity"
+        );
+        let sp = ctx.bdd();
+        let k = ctx.width();
+        let n = ctx.domain_size();
+        for &v in vars {
+            assert!(v < k, "atom variable index {v} out of width {k}");
+        }
+        let valid = sp.valid_root();
+        let st = &mut *sp.store.lock().unwrap();
+        // One cube per tuple (repeated variables select the diagonal, as
+        // in the dense backend), built bottom-up over the mentioned
+        // coordinates in descending level order, then OR-folded.
+        let mut point = vec![0 as Elem; k];
+        let mut assigned = vec![false; k];
+        let mut root = NID_FALSE;
+        'tuples: for t in rel.iter() {
+            for a in assigned.iter_mut() {
+                *a = false;
+            }
+            for (j, &v) in vars.iter().enumerate() {
+                if t[j] as usize >= n || (assigned[v] && point[v] != t[j]) {
+                    continue 'tuples;
+                }
+                point[v] = t[j];
+                assigned[v] = true;
+            }
+            let mut cube = NID_TRUE;
+            // Bottom-up by *global* level: the interleaved order puts
+            // every coordinate's low bits below every coordinate's high
+            // bits, so coordinate-at-a-time construction would invert
+            // levels mid-cube.
+            for level in (0..sp.num_vars()).rev() {
+                let coord = level % k;
+                if !assigned[coord] {
+                    continue;
+                }
+                let significance = sp.bits - 1 - level / k;
+                cube = if (point[coord] >> significance) & 1 == 1 {
+                    st.mk(level as u32, NID_FALSE, cube)
+                } else {
+                    st.mk(level as u32, cube, NID_FALSE)
+                };
+            }
+            root = st.apply(BinOp::Or, root, cube);
+        }
+        let root = st.apply(BinOp::And, root, valid);
+        Self::wrap(ctx, root)
+    }
+
+    fn equality(ctx: &CylCtx, i: usize, j: usize) -> Self {
+        if i == j {
+            return Self::full(ctx);
+        }
+        let sp = ctx.bdd();
+        let valid = sp.valid_root();
+        let st = &mut *sp.store.lock().unwrap();
+        let (lo_coord, hi_coord) = if i < j { (i, j) } else { (j, i) };
+        // Bottom-up chain of per-significance bit equalities: linear size
+        // thanks to the interleaved order.
+        let mut acc = NID_TRUE;
+        for s in 0..sp.bits {
+            let a = sp.level_of(lo_coord, s); // shallower of the pair
+            let b = sp.level_of(hi_coord, s);
+            let both_zero = st.mk(b, acc, NID_FALSE);
+            let both_one = st.mk(b, NID_FALSE, acc);
+            acc = st.mk(a, both_zero, both_one);
+        }
+        let root = st.apply(BinOp::And, acc, valid);
+        Self::wrap(ctx, root)
+    }
+
+    fn const_eq(ctx: &CylCtx, i: usize, c: Elem) -> Self {
+        if (c as usize) >= ctx.domain_size() {
+            return Self::empty(ctx);
+        }
+        let sp = ctx.bdd();
+        let valid = sp.valid_root();
+        let st = &mut *sp.store.lock().unwrap();
+        let cube = sp.pin_coord(st, NID_TRUE, i, c);
+        let root = st.apply(BinOp::And, cube, valid);
+        Self::wrap(ctx, root)
+    }
+
+    fn and_with(&mut self, ctx: &CylCtx, other: &Self) {
+        let st = &mut *ctx.bdd().store.lock().unwrap();
+        self.root = st.apply(BinOp::And, self.root, other.root);
+    }
+
+    fn or_with(&mut self, ctx: &CylCtx, other: &Self) {
+        let st = &mut *ctx.bdd().store.lock().unwrap();
+        self.root = st.apply(BinOp::Or, self.root, other.root);
+    }
+
+    fn not(&mut self, ctx: &CylCtx) {
+        // Complement relative to the domain constraint, preserving the
+        // `self ⊆ valid` invariant.
+        let valid = ctx.bdd().valid_root();
+        let st = &mut *ctx.bdd().store.lock().unwrap();
+        self.root = st.apply(BinOp::Diff, valid, self.root);
+    }
+
+    fn and_not_with(&mut self, ctx: &CylCtx, other: &Self) {
+        let st = &mut *ctx.bdd().store.lock().unwrap();
+        self.root = st.apply(BinOp::Diff, self.root, other.root);
+    }
+
+    fn exists(&self, ctx: &CylCtx, i: usize) -> Self {
+        let sp = ctx.bdd();
+        let valid = sp.valid_root();
+        let st = &mut *sp.store.lock().unwrap();
+        let projected = st.exists_coord(self.root, i as u32, sp.k.max(1) as u32);
+        // Re-cylindrify over the *domain* values of coordinate i.
+        let root = st.apply(BinOp::And, projected, valid);
+        Self::wrap(ctx, root)
+    }
+
+    fn preimage(&self, ctx: &CylCtx, map: &[CoordSource]) -> Self {
+        let sp = ctx.bdd();
+        let k = ctx.width();
+        assert_eq!(map.len(), k, "preimage map must cover all {k} coordinates");
+        for m in map {
+            if let CoordSource::Const(c) = m {
+                if *c as usize >= ctx.domain_size() {
+                    return Self::empty(ctx);
+                }
+            }
+        }
+        let valid = sp.valid_root();
+        let st = &mut *sp.store.lock().unwrap();
+        let mut memo = FxHashMap::default();
+        let composed = st.compose(
+            self.root,
+            map,
+            sp.k.max(1) as u32,
+            sp.bits as u32,
+            &mut memo,
+        );
+        // Coordinates the map never reads are cylindrical: constrain them
+        // back to the domain.
+        let root = st.apply(BinOp::And, composed, valid);
+        Self::wrap(ctx, root)
+    }
+
+    fn contains(&self, ctx: &CylCtx, point: &[Elem]) -> bool {
+        let sp = ctx.bdd();
+        if point.iter().any(|&c| c as usize >= sp.n) {
+            return false;
+        }
+        let st = self.space.store.lock().unwrap();
+        let _ = ctx;
+        let mut cur = self.root;
+        while cur > NID_TRUE {
+            let node = st.node(cur);
+            let coord = node.level as usize % sp.k.max(1);
+            let significance = sp.bits - 1 - node.level as usize / sp.k.max(1);
+            cur = if (point[coord] >> significance) & 1 == 1 {
+                node.hi
+            } else {
+                node.lo
+            };
+        }
+        cur == NID_TRUE
+    }
+
+    fn count(&self, ctx: &CylCtx) -> usize {
+        let sp = ctx.bdd();
+        let st = &mut *sp.store.lock().unwrap();
+        let num_vars = sp.num_vars() as u32;
+        let total = if self.root <= NID_TRUE {
+            if self.root == NID_TRUE {
+                1u128 << num_vars.min(127)
+            } else {
+                0
+            }
+        } else {
+            let below = st.satcount(self.root, num_vars);
+            below.checked_shl(st.level(self.root)).unwrap_or(u128::MAX)
+        };
+        // A full `⊤` root only happens when every bit pattern is a valid
+        // tuple; in general the ⊆-valid invariant makes the count exact.
+        usize::try_from(total).unwrap_or(usize::MAX)
+    }
+
+    fn is_empty(&self, _ctx: &CylCtx) -> bool {
+        self.root == NID_FALSE
+    }
+
+    fn is_subset(&self, ctx: &CylCtx, other: &Self) -> bool {
+        let st = &mut *ctx.bdd().store.lock().unwrap();
+        st.apply(BinOp::Diff, self.root, other.root) == NID_FALSE
+    }
+
+    fn to_relation(&self, ctx: &CylCtx, coords: &[usize]) -> Relation {
+        let mut r = Relation::new(coords.len());
+        let mut cursor = self.cursor();
+        while let Some(point) = cursor.next_point() {
+            r.insert(Tuple::from_fn(coords.len(), |j| point[coords[j]]));
+        }
+        let _ = ctx;
+        r
+    }
+
+    fn points(&self, ctx: &CylCtx) -> Vec<Tuple> {
+        let _ = ctx;
+        let mut out = Vec::new();
+        let mut cursor = self.cursor();
+        while let Some(point) = cursor.next_point() {
+            out.push(Tuple::from_slice(point));
+        }
+        out
+    }
+
+    fn size_bytes(&self, _ctx: &CylCtx) -> usize {
+        self.node_count() * BddSpace::bytes_per_node()
+    }
+}
+
+/// One pending branch of the cursor's depth-first walk.
+struct CursorFrame {
+    /// Node governing the subtree (may sit below `level` when levels in
+    /// between are skipped — those bits are free).
+    node: Nid,
+    /// The level whose 1-branch is still unexplored.
+    level: u32,
+}
+
+/// A streaming enumerator of satisfying assignments: a register holding
+/// the current partial point plus a stack of unexplored 1-branches (the
+/// `bex` `Reg`/`Cursor` shape). Each [`next_point`](BddCursor::next_point)
+/// yields one `k`-tuple without materialising the set; the `⊆ valid`
+/// invariant guarantees every emitted tuple is in-domain.
+pub struct BddCursor {
+    space: Arc<BddSpace>,
+    /// Unexplored 1-branches, deepest last.
+    stack: Vec<CursorFrame>,
+    /// The current point's coordinates (the register).
+    point: Vec<Elem>,
+    /// Next branch to explore on start-up, `None` once exhausted.
+    start: Option<Nid>,
+    done: bool,
+}
+
+impl BddCursor {
+    fn new(space: Arc<BddSpace>, root: Nid) -> Self {
+        let k = space.k;
+        BddCursor {
+            space,
+            stack: Vec::new(),
+            point: vec![0; k],
+            start: Some(root),
+            done: false,
+        }
+    }
+
+    fn set_bit(&mut self, level: u32, value: bool) {
+        let k = self.space.k.max(1);
+        let coord = level as usize % k;
+        let significance = self.space.bits - 1 - level as usize / k;
+        if value {
+            self.point[coord] |= 1 << significance;
+        } else {
+            self.point[coord] &= !(1 << significance);
+        }
+    }
+
+    /// Descends from `(node, level)` along all-0 branches to the next
+    /// satisfying assignment, pushing every untaken 1-branch. Returns
+    /// whether a satisfying point was reached.
+    fn descend(&mut self, mut node: Nid, mut level: u32) -> bool {
+        let num_vars = self.space.num_vars() as u32;
+        loop {
+            if level == num_vars {
+                return node == NID_TRUE;
+            }
+            let (lo, node_level) = {
+                let st = self.space.store.lock().unwrap();
+                if node <= NID_TRUE {
+                    (node, LEVEL_TERMINAL)
+                } else {
+                    let n = st.node(node);
+                    (n.lo, n.level)
+                }
+            };
+            if level < node_level {
+                // Skipped level: the bit is free; try 0 first, keep 1.
+                self.set_bit(level, false);
+                self.stack.push(CursorFrame { node, level });
+                level += 1;
+                if node == NID_FALSE {
+                    return false;
+                }
+            } else {
+                self.set_bit(level, false);
+                self.stack.push(CursorFrame { node, level });
+                node = lo;
+                level += 1;
+                if node == NID_FALSE {
+                    // Dead 0-branch: backtrack via the caller's loop.
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Advances to the next satisfying `k`-tuple, or `None` when the walk
+    /// is exhausted. The returned slice is valid until the next call.
+    pub fn next_point(&mut self) -> Option<&[Elem]> {
+        if self.done {
+            return None;
+        }
+        // Initial descent from the root.
+        if let Some(root) = self.start.take() {
+            if self.descend(root, 0) {
+                return Some(&self.point);
+            }
+        }
+        // Backtrack: pop frames, taking each pending 1-branch.
+        while let Some(frame) = self.stack.pop() {
+            let (next, level) = {
+                let st = self.space.store.lock().unwrap();
+                let node_level = if frame.node <= NID_TRUE {
+                    LEVEL_TERMINAL
+                } else {
+                    st.level(frame.node)
+                };
+                if frame.level < node_level {
+                    // Free bit: flipping to 1 keeps the same subtree.
+                    (frame.node, frame.level)
+                } else {
+                    (st.node(frame.node).hi, frame.level)
+                }
+            };
+            if next == NID_FALSE {
+                continue;
+            }
+            self.set_bit(level, true);
+            if self.descend(next, level + 1) {
+                return Some(&self.point);
+            }
+        }
+        self.done = true;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseCylinder;
+    use bvq_prng::Rng;
+
+    fn ctx(n: usize, k: usize) -> CylCtx {
+        CylCtx::new(n, k)
+    }
+
+    fn rel_of(c: &BddCylinder, ctx: &CylCtx) -> Vec<Tuple> {
+        let coords: Vec<usize> = (0..ctx.width()).collect();
+        let mut v: Vec<Tuple> = c.to_relation(ctx, &coords).iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn empty_full_and_count_on_non_power_of_two_domain() {
+        for (n, k) in [(3usize, 2usize), (5, 2), (7, 3), (1, 2), (4, 1), (6, 2)] {
+            let c = ctx(n, k);
+            assert_eq!(BddCylinder::empty(&c).count(&c), 0);
+            assert_eq!(BddCylinder::full(&c).count(&c), n.pow(k as u32));
+            assert!(BddCylinder::empty(&c).is_empty(&c));
+        }
+    }
+
+    #[test]
+    fn hash_consing_is_canonical() {
+        // Structurally equal functions built along different routes share
+        // one root: the O(1) equality the fixpoint test relies on.
+        let c = ctx(5, 2);
+        let e = Relation::from_tuples(2, [[0u32, 1], [1, 2], [3, 4]]);
+        let a = BddCylinder::from_atom(&c, &e, &[0, 1]);
+        let b = BddCylinder::from_atom(&c, &e, &[0, 1]);
+        assert_eq!(a.root(), b.root());
+        // (A ∪ B) ∖ B with disjoint B returns A's exact root.
+        let f = Relation::from_tuples(2, [[2u32, 2]]);
+        let bf = BddCylinder::from_atom(&c, &f, &[0, 1]);
+        let mut u = a.clone();
+        u.or_with(&c, &bf);
+        u.and_not_with(&c, &bf);
+        assert_eq!(u.root(), a.root());
+        assert!(u == a);
+        // Double negation is the identity on roots.
+        let mut nn = a.clone();
+        nn.not(&c);
+        nn.not(&c);
+        assert_eq!(nn.root(), a.root());
+    }
+
+    #[test]
+    fn apply_and_exists_idempotence() {
+        let c = ctx(6, 2);
+        let e = Relation::from_tuples(2, [[0u32, 1], [1, 2], [4, 5], [5, 0]]);
+        let a = BddCylinder::from_atom(&c, &e, &[0, 1]);
+        let mut aa = a.clone();
+        aa.and_with(&c, &a);
+        assert_eq!(aa.root(), a.root(), "x ∧ x = x");
+        let mut ao = a.clone();
+        ao.or_with(&c, &a);
+        assert_eq!(ao.root(), a.root(), "x ∨ x = x");
+        let ex = a.exists(&c, 1);
+        let exex = ex.exists(&c, 1);
+        assert_eq!(ex.root(), exex.root(), "∃ is idempotent per coordinate");
+    }
+
+    #[test]
+    fn equality_and_const_eq_match_dense() {
+        for n in [3usize, 4, 5, 8] {
+            let c = ctx(n, 3);
+            for (i, j) in [(0usize, 1usize), (1, 2), (0, 2), (2, 2)] {
+                let b = BddCylinder::equality(&c, i, j);
+                let d = DenseCylinder::equality(&c, i, j);
+                assert_eq!(b.count(&c), d.count(&c), "eq({i},{j}) over n={n}");
+            }
+            for v in 0..n as Elem {
+                let b = BddCylinder::const_eq(&c, 1, v);
+                assert_eq!(b.count(&c), n * n, "x1={v} over n={n}");
+            }
+            assert_eq!(BddCylinder::const_eq(&c, 0, n as Elem).count(&c), 0);
+        }
+    }
+
+    #[test]
+    fn equality_diagonal_is_linear_sized() {
+        // The interleaved order keeps x0 = x1 at O(bits) nodes; a
+        // non-interleaved order would pay 2^bits.
+        for n in [16usize, 64, 256, 1024] {
+            let c = ctx(n, 2);
+            let eq = BddCylinder::equality(&c, 0, 1);
+            let bits = c.bdd().bits_per_coord();
+            assert!(
+                eq.node_count() <= 4 * bits + 4,
+                "diagonal over n={n} took {} nodes",
+                eq.node_count()
+            );
+        }
+    }
+
+    #[test]
+    fn enumeration_round_trips_through_cursor() {
+        let mut rng = Rng::seed_from_u64(0xbdd0);
+        for case in 0..40 {
+            let n = 2 + (rng.next_u64() % 7) as usize;
+            let k = 1 + (rng.next_u64() % 3) as usize;
+            let c = ctx(n, k);
+            let arity = 1 + (rng.next_u64() % k as u64) as usize;
+            let tuples: Vec<Vec<Elem>> = (0..(rng.next_u64() % 12))
+                .map(|_| {
+                    (0..arity)
+                        .map(|_| (rng.next_u64() % n as u64) as Elem)
+                        .collect()
+                })
+                .collect();
+            let rel = Relation::from_tuples(arity, tuples.iter().map(|t| Tuple::from_slice(t)));
+            let vars: Vec<usize> = (0..arity).collect();
+            let b = BddCylinder::from_atom(&c, &rel, &vars);
+            // from_atom → cursor → from_atom is the identity.
+            let coords: Vec<usize> = (0..k).collect();
+            let back = b.to_relation(&c, &coords);
+            let again = BddCylinder::from_atom(&c, &back, &coords);
+            assert_eq!(b.root(), again.root(), "case {case}: round trip");
+            assert_eq!(b.count(&c), back.len(), "case {case}: cursor count");
+            // Every streamed point is in-domain and contained.
+            let mut cursor = b.cursor();
+            let mut streamed = 0usize;
+            while let Some(p) = cursor.next_point() {
+                assert!(p.iter().all(|&e| (e as usize) < n), "case {case}");
+                let owned: Vec<Elem> = p.to_vec();
+                assert!(b.contains(&c, &owned), "case {case}");
+                streamed += 1;
+            }
+            assert_eq!(streamed, b.count(&c), "case {case}: stream length");
+        }
+    }
+
+    #[test]
+    fn random_algebra_agrees_with_dense() {
+        let mut rng = Rng::seed_from_u64(0xbdd1);
+        for case in 0..30 {
+            let n = 2 + (rng.next_u64() % 6) as usize;
+            let k = 2 + (rng.next_u64() % 2) as usize;
+            let c = ctx(n, k);
+            let mut tuples = Vec::new();
+            for _ in 0..(rng.next_u64() % 10) {
+                tuples.push(Tuple::from_fn(2, |_| (rng.next_u64() % n as u64) as Elem));
+            }
+            let r = Relation::from_tuples(2, tuples);
+            let vars = [
+                (rng.next_u64() % k as u64) as usize,
+                (rng.next_u64() % k as u64) as usize,
+            ];
+            let b = BddCylinder::from_atom(&c, &r, &vars);
+            let d = DenseCylinder::from_atom(&c, &r, &vars);
+            let coords: Vec<usize> = (0..k).collect();
+            assert_eq!(
+                rel_of(&b, &c),
+                {
+                    let mut v: Vec<Tuple> = d.to_relation(&c, &coords).iter().cloned().collect();
+                    v.sort();
+                    v
+                },
+                "case {case}: atom load"
+            );
+            // ¬, ∃, ∀ agree with the dense backend point-for-point.
+            for i in 0..k {
+                assert_eq!(
+                    b.exists(&c, i).count(&c),
+                    d.exists(&c, i).count(&c),
+                    "case {case}: exists {i}"
+                );
+                assert_eq!(
+                    b.forall(&c, i).count(&c),
+                    d.forall(&c, i).count(&c),
+                    "case {case}: forall {i}"
+                );
+            }
+            let mut bn = b.clone();
+            bn.not(&c);
+            let mut dn = d.clone();
+            dn.not(&c);
+            assert_eq!(bn.count(&c), dn.count(&c), "case {case}: complement");
+            assert!(b.is_subset(&c, &BddCylinder::full(&c)), "case {case}");
+        }
+    }
+
+    #[test]
+    fn preimage_matches_dense_on_swaps_constants_and_duplicates() {
+        let c = ctx(5, 2);
+        let e = Relation::from_tuples(2, [[0u32, 1], [2, 0], [4, 4], [1, 3]]);
+        let b = BddCylinder::from_atom(&c, &e, &[0, 1]);
+        let d = DenseCylinder::from_atom(&c, &e, &[0, 1]);
+        let maps = [
+            vec![CoordSource::Coord(0), CoordSource::Coord(1)],
+            vec![CoordSource::Coord(1), CoordSource::Coord(0)],
+            vec![CoordSource::Coord(0), CoordSource::Coord(0)],
+            vec![CoordSource::Const(2), CoordSource::Coord(1)],
+            vec![CoordSource::Const(4), CoordSource::Const(4)],
+            vec![CoordSource::Const(9), CoordSource::Coord(0)],
+        ];
+        for map in &maps {
+            let bp = b.preimage(&c, map);
+            let dp = d.preimage(&c, map);
+            let coords = [0usize, 1];
+            assert_eq!(
+                bp.to_relation(&c, &coords).sorted(),
+                dp.to_relation(&c, &coords).sorted(),
+                "map {map:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn symbolic_reachability_stays_small() {
+        // Transitive closure of a path by iterative squaring, entirely
+        // symbolic: reach ← reach ∪ ∃z (reach(x₀,z) ∧ reach(z,x₁)), the
+        // 3-variable FP^k shape from the paper's Example 1.3 run on k = 3.
+        let n = 256usize;
+        let c = ctx(n, 3);
+        let edges = Relation::from_tuples(
+            2,
+            (0..n as Elem - 1).map(|i| Tuple::from_slice(&[i, i + 1])),
+        );
+        let e = BddCylinder::from_atom(&c, &edges, &[0, 1]);
+        let mut reach = e.clone();
+        let mut rounds = 0usize;
+        loop {
+            // left(ā) = reach(ā[0], ā[2]); right(ā) = reach(ā[2], ā[1]).
+            let left = reach.preimage(
+                &c,
+                &[
+                    CoordSource::Coord(0),
+                    CoordSource::Coord(2),
+                    CoordSource::Coord(2),
+                ],
+            );
+            let mut step = reach.preimage(
+                &c,
+                &[
+                    CoordSource::Coord(2),
+                    CoordSource::Coord(1),
+                    CoordSource::Coord(2),
+                ],
+            );
+            step.and_with(&c, &left);
+            let step = step.exists(&c, 2);
+            let mut grown = reach.clone();
+            grown.or_with(&c, &step);
+            rounds += 1;
+            if grown == reach {
+                break;
+            }
+            reach = grown;
+        }
+        // Squaring converges in O(log n) rounds, and the closure of an
+        // n-path is the strict order: n(n-1)/2 pairs per free-z slice.
+        assert!(rounds <= 10, "took {rounds} squaring rounds");
+        assert_eq!(reach.count(&c), n * (n - 1) / 2 * n);
+        // Pin the free coordinate before enumerating the pair projection.
+        let mut pinned = reach.clone();
+        pinned.and_with(&c, &BddCylinder::const_eq(&c, 2, 0));
+        let pairs = pinned.to_relation(&c, &[0, 1]);
+        assert_eq!(pairs.len(), n * (n - 1) / 2);
+        assert!(pairs.iter().all(|t| t[0] < t[1]), "path closure is <");
+        // The symbolic closure is far below even the k = 2 dense bitset
+        // (n²/8 = 8192 bytes at n = 256), let alone the n³ this context
+        // would pay densely.
+        let dense_pair_bytes = (n * n).div_ceil(64) * 8;
+        assert!(
+            reach.size_bytes(&c) < dense_pair_bytes,
+            "closure took {} bytes vs dense {dense_pair_bytes}",
+            reach.size_bytes(&c)
+        );
+    }
+
+    #[test]
+    fn count_is_exact_on_wide_spaces() {
+        // k·bits near the usize boundary still count correctly for small
+        // actual sets.
+        let c = ctx(1000, 2);
+        assert!(!c.dense_feasible() || c.dense_feasible()); // context builds fine
+        let r = Relation::from_tuples(2, [[999u32, 0], [0, 999], [500, 500]]);
+        let b = BddCylinder::from_atom(&c, &r, &[0, 1]);
+        assert_eq!(b.count(&c), 3);
+        assert_eq!(BddCylinder::full(&c).count(&c), 1_000_000);
+        assert!(b.contains(&c, &[999, 0]));
+        assert!(!b.contains(&c, &[999, 1]));
+    }
+}

@@ -1,6 +1,6 @@
 //! A fixed-capacity bit set.
 //!
-//! [`BitSet`] is the storage backing [`DenseCylinder`](crate::DenseCylinder):
+//! [`BitSet`] is the storage backing [`DenseCylinder`](crate::dense::DenseCylinder):
 //! a subset of `D^k` is a subset of `{0, …, n^k - 1}` under the mixed-radix
 //! point index, and the Boolean connectives of `FO^k` become word-parallel
 //! bit operations.

@@ -16,10 +16,15 @@
 //! Every operation maps `D^k → D^k`, so intermediate results never exceed
 //! `n^k` — the paper's polynomial bound, made structural. [`CylinderOps`]
 //! abstracts the backend so the evaluator can run on a dense bitset
-//! ([`DenseCylinder`](crate::DenseCylinder)) or a sparse tuple set
-//! ([`SparseCylinder`](crate::SparseCylinder)); agreement between the two is
-//! property-tested in `bvq-core`.
+//! ([`DenseCylinder`](crate::dense::DenseCylinder)), a sparse tuple set
+//! ([`SparseCylinder`](crate::sparse::SparseCylinder)), or a shared-node
+//! BDD ([`BddCylinder`](crate::bdd::BddCylinder)); see
+//! [`backend`](crate::backend) for the selection policy. Agreement between
+//! the backends is property-tested here and in `bvq-core`.
 
+use std::sync::Arc;
+
+use crate::bdd::BddSpace;
 use crate::{Elem, PointIndex, Relation, Tuple};
 
 /// Where a source-point coordinate comes from in a [`CylinderOps::preimage`]
@@ -40,6 +45,7 @@ pub struct CylCtx {
     k: usize,
     index: Option<PointIndex>,
     threads: usize,
+    bdd: Arc<BddSpace>,
 }
 
 impl CylCtx {
@@ -55,6 +61,7 @@ impl CylCtx {
             k,
             index: PointIndex::new(n, k),
             threads: 1,
+            bdd: Arc::new(BddSpace::new(n, k)),
         }
     }
 
@@ -95,6 +102,13 @@ impl CylCtx {
         self.index
             .as_ref()
             .expect("dense space too large; use the sparse backend")
+    }
+
+    /// The shared symbolic node space for the BDD backend. Created lazily
+    /// empty by [`CylCtx::new`]; clones of the context share one store so
+    /// cylinders built anywhere in an evaluation hash-cons together.
+    pub fn bdd(&self) -> &Arc<BddSpace> {
+        &self.bdd
     }
 }
 
@@ -222,6 +236,14 @@ pub trait CylinderOps: Sized + Clone + PartialEq {
     fn points(&self, ctx: &CylCtx) -> Vec<Tuple> {
         let coords: Vec<usize> = (0..ctx.width()).collect();
         self.to_relation(ctx, &coords).iter().cloned().collect()
+    }
+
+    /// Estimated heap footprint of this cylinder's representation, in
+    /// bytes. Backends override with their actual storage cost (bitset
+    /// words, tuple-set entries, reachable BDD nodes); the default counts
+    /// one tuple per point, matching the sparse layout.
+    fn size_bytes(&self, ctx: &CylCtx) -> usize {
+        self.count(ctx) * (ctx.width() * std::mem::size_of::<Elem>() + 32)
     }
 }
 

@@ -302,6 +302,11 @@ impl CylinderOps for DenseCylinder {
         }
         r
     }
+
+    fn size_bytes(&self, _ctx: &CylCtx) -> usize {
+        // The bitset always holds n^k bits regardless of cardinality.
+        self.bits.capacity().div_ceil(64) * 8
+    }
 }
 
 #[cfg(test)]

@@ -16,9 +16,11 @@
 //! * [`Relation`] — a sparse (hash-set backed) finite relation with a full
 //!   relational algebra (selection, projection, permutation, joins,
 //!   semijoins, set operations, complement);
-//! * [`DenseCylinder`] and [`SparseCylinder`] — two implementations of the
-//!   [`CylinderOps`] interface used by the cylindrical `FO^k` evaluator, in
-//!   which every subformula denotes a subset of `D^k`;
+//! * the [`backend`] module — the [`CylinderOps`] interface used by the
+//!   cylindrical `FO^k` evaluator (every subformula denotes a subset of
+//!   `D^k`) together with its three implementations: a dense bitset, a
+//!   sparse tuple set, and a shared-node BDD over `k·⌈log₂ n⌉` bits, plus
+//!   the cost model choosing between them;
 //! * [`Database`] — a named collection of relations over a common domain,
 //!   with the paper's string-encoding length as the input-size measure;
 //! * [`EvalStats`] — instrumentation recording maximum intermediate arity
@@ -37,6 +39,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod bdd;
 pub mod bitset;
 pub mod config;
 pub mod cylinder;
@@ -53,17 +57,16 @@ pub mod stats;
 pub mod trace;
 pub mod tuple;
 
+pub use backend::{choose, BackendKind, BackendMode, ChoiceHints};
 pub use bitset::BitSet;
 pub use config::EvalConfig;
 pub use cylinder::{preimage_table, CoordSource, CylCtx, CylinderOps};
 pub use database::{Database, DatabaseBuilder, RelId, Schema};
 pub use dbtext::{parse_database, write_database, DbTextError};
-pub use dense::DenseCylinder;
 pub use error::RelationError;
 pub use hasher::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use index::PointIndex;
 pub use relation::Relation;
-pub use sparse::SparseCylinder;
 pub use stats::{EvalStats, StatsRecorder};
 pub use trace::{Span, Tracer};
 pub use tuple::Tuple;

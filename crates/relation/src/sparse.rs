@@ -357,6 +357,11 @@ impl CylinderOps for SparseCylinder {
         }
         r
     }
+
+    fn size_bytes(&self, ctx: &CylCtx) -> usize {
+        // Per-tuple payload plus the hash-set entry overhead.
+        self.tuples.len() * (ctx.width() * std::mem::size_of::<Elem>() + 32)
+    }
 }
 
 #[cfg(test)]
@@ -413,7 +418,7 @@ mod tests {
 
     #[test]
     fn sparse_agrees_with_dense_on_random_ops() {
-        use crate::DenseCylinder;
+        use crate::dense::DenseCylinder;
         // A miniature differential test; the full property-based version
         // lives in bvq-core where the evaluator drives both backends.
         let c = CylCtx::new(4, 3);

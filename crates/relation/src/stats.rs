@@ -23,6 +23,11 @@ pub struct EvalStats {
     pub operator_applications: u64,
     /// Fixpoint iterations performed (FP/PFP evaluators).
     pub fixpoint_iterations: u64,
+    /// Largest estimated representation footprint of any intermediate
+    /// relation, in bytes — backend-dependent (`n^k` bits for dense,
+    /// cardinality for sparse, reachable nodes for the BDD); the space
+    /// measure Chen–Elberfeld's parameterized analysis makes first-class.
+    pub peak_bytes: usize,
 }
 
 impl EvalStats {
@@ -44,6 +49,11 @@ impl EvalStats {
         self.fixpoint_iterations += 1;
     }
 
+    /// Records the representation footprint of an intermediate relation.
+    pub fn record_bytes(&mut self, bytes: usize) {
+        self.peak_bytes = self.peak_bytes.max(bytes);
+    }
+
     /// Pointwise maximum / sum combination of two runs.
     #[must_use]
     pub fn merge(&self, other: &EvalStats) -> EvalStats {
@@ -53,6 +63,7 @@ impl EvalStats {
             total_tuples: self.total_tuples + other.total_tuples,
             operator_applications: self.operator_applications + other.operator_applications,
             fixpoint_iterations: self.fixpoint_iterations + other.fixpoint_iterations,
+            peak_bytes: self.peak_bytes.max(other.peak_bytes),
         }
     }
 }
@@ -61,12 +72,13 @@ impl fmt::Display for EvalStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "max_arity={} max_card={} total_tuples={} ops={} iters={}",
+            "max_arity={} max_card={} total_tuples={} ops={} iters={} peak_bytes={}",
             self.max_arity,
             self.max_cardinality,
             self.total_tuples,
             self.operator_applications,
-            self.fixpoint_iterations
+            self.fixpoint_iterations,
+            self.peak_bytes
         )
     }
 }
@@ -119,6 +131,14 @@ impl StatsRecorder {
     pub fn iteration(&mut self) {
         if self.enabled {
             self.stats.record_iteration();
+        }
+    }
+
+    /// Records an intermediate relation's representation footprint.
+    #[inline]
+    pub fn bytes(&mut self, bytes: usize) {
+        if self.enabled {
+            self.stats.record_bytes(bytes);
         }
     }
 
@@ -259,9 +279,10 @@ mod tests {
     fn display_is_stable() {
         let mut s = EvalStats::new();
         s.record_intermediate(2, 7);
+        s.record_bytes(96);
         assert_eq!(
             s.to_string(),
-            "max_arity=2 max_card=7 total_tuples=7 ops=1 iters=0"
+            "max_arity=2 max_card=7 total_tuples=7 ops=1 iters=0 peak_bytes=96"
         );
     }
 }

@@ -5,10 +5,9 @@
 //! sequential fallback).
 
 use bvq_prng::Rng;
+use bvq_relation::backend::{DenseCylinder, SparseCylinder};
 use bvq_relation::parallel;
-use bvq_relation::{
-    CoordSource, CylCtx, CylinderOps, DenseCylinder, EvalConfig, Relation, SparseCylinder, Tuple,
-};
+use bvq_relation::{CoordSource, CylCtx, CylinderOps, EvalConfig, Relation, Tuple};
 
 fn rand_relation(arity: usize, n: u32, tuples: usize, seed: u64) -> Relation {
     let mut rng = Rng::seed_from_u64(seed);

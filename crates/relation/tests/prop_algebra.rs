@@ -6,9 +6,8 @@
 //! failures reproduce by case number without any external test framework.
 
 use bvq_prng::{for_each_case, Rng};
-use bvq_relation::{
-    BitSet, CylCtx, CylinderOps, DenseCylinder, PointIndex, Relation, SparseCylinder, Tuple,
-};
+use bvq_relation::backend::{DenseCylinder, SparseCylinder};
+use bvq_relation::{BitSet, CylCtx, CylinderOps, PointIndex, Relation, Tuple};
 
 /// A random relation of the given arity over `0..n` with at most
 /// `max_tuples` rows.

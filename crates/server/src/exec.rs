@@ -26,7 +26,10 @@ use bvq_datalog::{eval_naive_with, eval_seminaive_with, DatalogError, Program};
 use bvq_logic::parser::{parse_eso, parse_query};
 use bvq_logic::{Eso, FixKind, Formula, Query, Var};
 use bvq_relation::trace::truncate_detail;
-use bvq_relation::{CylCtx, Database, EvalConfig, EvalStats, Relation, Span, Tracer};
+use bvq_relation::{
+    choose, BackendMode, ChoiceHints, CylCtx, Database, EvalConfig, EvalStats, Relation, Span,
+    Tracer,
+};
 
 use crate::json::Json;
 use crate::stats::Language;
@@ -174,6 +177,11 @@ pub struct EvalOptions {
     pub deadline: Option<Instant>,
     /// Bytecode compilation: cost-based (`Auto`), forced, or disabled.
     pub compile: CompileMode,
+    /// Cylinder backend: cost-based (`Auto`) or forced to one of
+    /// `dense`/`sparse`/`bdd` (see [`bvq_relation::backend`]). Forced
+    /// backends always interpret — the bytecode engine picks its own
+    /// representation.
+    pub backend: BackendMode,
 }
 
 impl EvalOptions {
@@ -286,15 +294,21 @@ impl ExecRequest {
             CompileMode::On => "compile=on|",
             CompileMode::Off => "compile=off|",
         };
+        // Like `compile`, the backend only appears when forced, so
+        // `auto` keys stay byte-identical to the pre-backend era.
+        let backend = match self.opts.backend.forced() {
+            Some(kind) => format!("backend={kind}|"),
+            None => String::new(),
+        };
         match &self.kind {
             ExecKind::Query { text } => format!(
-                "eval|k={:?}|naive={}|min={}|{compile}{}",
+                "eval|k={:?}|naive={}|min={}|{compile}{backend}{}",
                 self.opts.k, self.opts.naive, self.opts.minimize, text
             ),
             ExecKind::Eso { text } => format!("eso|k={:?}|{}", self.opts.k, text),
             ExecKind::Datalog { program, output } => {
                 format!(
-                    "datalog|out={output}|naive={}|{compile}{program}",
+                    "datalog|out={output}|naive={}|{compile}{backend}{program}",
                     self.opts.naive
                 )
             }
@@ -515,6 +529,12 @@ pub fn prepare(query: &str, opts: &EvalOptions) -> Result<Plan, RunError> {
             "--naive applies to first-order queries only".into(),
         ));
     }
+    if opts.naive && opts.backend != BackendMode::Auto {
+        return Err(RunError::InvalidOption(
+            "--backend applies to the cylindrical evaluators; it cannot be combined with --naive"
+                .into(),
+        ));
+    }
     Ok(Plan {
         query: q,
         language,
@@ -531,6 +551,11 @@ pub fn prepare_request(req: &ExecRequest) -> Result<Prepared, RunError> {
     match &req.kind {
         ExecKind::Query { text } => prepare(text, &req.opts).map(Prepared::Query),
         ExecKind::Eso { text } => {
+            if req.opts.backend != BackendMode::Auto {
+                return Err(RunError::InvalidOption(
+                    "--backend applies to FO/FP/PFP and Datalog requests only".into(),
+                ));
+            }
             let eso = parse_eso(text).map_err(|e| RunError::Parse(e.to_string()))?;
             let width = eso.width().max(1);
             let k = req.opts.k.unwrap_or(width);
@@ -543,6 +568,12 @@ pub fn prepare_request(req: &ExecRequest) -> Result<Prepared, RunError> {
             }))
         }
         ExecKind::Datalog { program, .. } => {
+            if req.opts.naive && req.opts.backend != BackendMode::Auto {
+                return Err(RunError::InvalidOption(
+                    "--backend applies to the cylindrical evaluators; it cannot be combined with --naive"
+                        .into(),
+                ));
+            }
             let program = bvq_datalog::parse_program(program)?;
             Ok(Prepared::Datalog(DatalogPlan { program }))
         }
@@ -578,15 +609,19 @@ pub fn execute_prepared(
             } else if let Some(out) = try_compiled_query(db, plan, req, &cfg)? {
                 out
             } else {
+                let backend = req.opts.backend;
                 let out = match plan.language {
                     Language::Fo => BoundedEvaluator::new(db, k)
                         .with_config(cfg)
+                        .with_backend(backend)
                         .eval_query_traced(q)?,
                     Language::Fp => FpEvaluator::new(db, k)
                         .with_config(cfg)
+                        .with_backend(backend)
                         .eval_query_traced(q)?,
                     _ => PfpEvaluator::new(db, k)
                         .with_config(cfg)
+                        .with_backend(backend)
                         .eval_query_traced(q)?,
                 };
                 // Interpreted runs calibrate the cost model too: the
@@ -617,6 +652,12 @@ pub fn execute_prepared(
                     "a Datalog plan requires a Datalog request".into(),
                 ));
             };
+            if req.opts.backend != BackendMode::Auto {
+                // The rule engine has its own tuple representation; a
+                // forced backend routes through the FP translation so
+                // the cylindrical evaluator honors the choice.
+                return execute_datalog_backend(db, plan, req, output, &cfg);
+            }
             let out = if req.opts.naive {
                 eval_naive_with(&plan.program, db, &cfg)?
             } else if req.trace || req.opts.compile == CompileMode::Off {
@@ -656,7 +697,10 @@ fn try_compiled_query(
     req: &ExecRequest,
     cfg: &EvalConfig,
 ) -> Result<Option<Evaluated>, RunError> {
-    if req.trace || req.opts.compile == CompileMode::Off {
+    // Forced backends interpret: the bytecode kernels are written
+    // against the dense/sparse representations the cost model picks,
+    // so an explicit `--backend` pins the interpreted dispatch instead.
+    if req.trace || req.opts.compile == CompileMode::Off || req.opts.backend != BackendMode::Auto {
         return Ok(None);
     }
     let allow_pfp = matches!(plan.language, Language::Pfp);
@@ -672,6 +716,47 @@ fn try_compiled_query(
     let out = qp.eval_compiled(db, cfg)?;
     plan.feedback.set(feedback_from(&out.stats));
     Ok(Some(out))
+}
+
+/// The Datalog arm of a forced `--backend`: translates the program to
+/// an FP least fixpoint ([`bvq_datalog::to_fp_formula_multi`]) and runs
+/// the cylindrical fixpoint evaluator on the requested backend. The
+/// translation is the same bridge the differential fuzz oracle crosses,
+/// so answers match the rule engine's.
+fn execute_datalog_backend(
+    db: &Database,
+    plan: &DatalogPlan,
+    req: &ExecRequest,
+    output: &str,
+    cfg: &EvalConfig,
+) -> Result<ExecOutcome, RunError> {
+    let formula = bvq_datalog::to_fp_formula_multi(&plan.program, output).map_err(|e| match e {
+        DatalogError::UnknownPredicate(p) => RunError::UnknownOutput(p),
+        e => RunError::Datalog(e),
+    })?;
+    let arity = plan
+        .program
+        .idb_predicates()
+        .iter()
+        .find(|(p, _)| p == output)
+        .map(|(_, a)| *a)
+        .unwrap_or(0);
+    let q = Query::new((0..arity as u32).map(Var).collect(), formula);
+    let k = q.formula.width().max(arity).max(1);
+    let out = FpEvaluator::new(db, k)
+        .with_config(*cfg)
+        .with_backend(req.opts.backend)
+        .eval_query_traced(&q)?;
+    let width = datalog_width(&plan.program);
+    Ok(ExecOutcome {
+        language: Language::Datalog,
+        k: width,
+        width,
+        minimized: None,
+        answer: Answer::Rows(out.answer),
+        stats: out.stats,
+        trace: out.trace,
+    })
 }
 
 /// The database's relation schema as `(name, arity)` pairs.
@@ -994,8 +1079,9 @@ pub struct ExplainReport {
     pub k: usize,
     /// The query width.
     pub width: usize,
-    /// The evaluation backend: `dense`/`sparse` cylindrical, `naive`,
-    /// `sat-grounding`, or `seminaive`.
+    /// The evaluation backend: `dense`/`sparse`/`bdd` cylindrical
+    /// (chosen or forced — see [`bvq_relation::backend::choose`]),
+    /// `naive`, `sat-grounding`, or `seminaive`.
     pub backend: &'static str,
     /// The `n^k` intermediate-size bound, rendered.
     pub bound: String,
@@ -1052,10 +1138,14 @@ pub fn explain_prepared(
         Prepared::Query(p) => {
             let backend = if req.opts.naive {
                 "naive"
-            } else if CylCtx::new(n.max(1), p.k).dense_feasible() {
-                "dense"
             } else {
-                "sparse"
+                // The same per-operation choice the evaluator makes:
+                // forced mode wins, otherwise the cost model weighs the
+                // dense budget against the complement hint.
+                let hints = ChoiceHints {
+                    needs_complement: formula_needs_complement(&p.query.formula),
+                };
+                choose(&CylCtx::new(n.max(1), p.k), req.opts.backend, hints).label()
             };
             (
                 format!("{}^{}", p.language_label(), p.k),
@@ -1075,7 +1165,13 @@ pub fn explain_prepared(
             eso_plan(p, n),
         ),
         Prepared::Datalog(p) => {
-            let backend = if req.opts.naive { "naive" } else { "seminaive" };
+            let backend = if req.opts.naive {
+                "naive"
+            } else if let Some(forced) = req.opts.backend.forced() {
+                forced.label()
+            } else {
+                "seminaive"
+            };
             let w = datalog_width(&p.program);
             (
                 "DATALOG".to_string(),
@@ -1130,6 +1226,12 @@ fn explain_engine(
     let interpreted = (String::from("interpreted"), Vec::new(), None);
     match prepared {
         Prepared::Query(_) if req.opts.naive => (String::from("naive"), Vec::new(), None),
+        Prepared::Query(_) | Prepared::Datalog(_) if req.opts.backend.forced().is_some() => {
+            // Forced backends pin the interpreted dispatch (see
+            // `try_compiled_query`); Datalog routes via the FP
+            // translation.
+            interpreted
+        }
         Prepared::Query(p) if req.opts.compile != CompileMode::Off => {
             let allow_pfp = matches!(p.language, Language::Pfp);
             match plan_query(db, &p.query, p.k, allow_pfp, p.feedback.get().as_ref()) {
@@ -1207,6 +1309,25 @@ fn est_rows(n: usize, arity: usize) -> usize {
     (n as u128)
         .checked_pow(arity as u32)
         .map_or(usize::MAX, |v| v.min(usize::MAX as u128) as usize)
+}
+
+/// Whether evaluating `f` cylindrically takes complements (`~`,
+/// `forall`, or a gfp/pfp fixpoint seeded from the full space) — the
+/// hint [`choose`] weighs when the dense bitset space is infeasible:
+/// complements stay cheap symbolically but explode sparse tuple sets.
+/// The surface-syntax twin of the IR-level hint the evaluators compute.
+fn formula_needs_complement(f: &Formula) -> bool {
+    match f {
+        Formula::Not(_) | Formula::Forall(..) => true,
+        Formula::Fix { kind, body, .. } => {
+            matches!(kind, FixKind::Gfp | FixKind::Pfp) || formula_needs_complement(body)
+        }
+        Formula::And(a, b) | Formula::Or(a, b) => {
+            formula_needs_complement(a) || formula_needs_complement(b)
+        }
+        Formula::Exists(_, g) => formula_needs_complement(g),
+        _ => false,
+    }
 }
 
 /// The static plan tree of a formula: node kinds match what the traced
@@ -1710,6 +1831,83 @@ mod tests {
             "{}",
             report.maintenance
         );
+    }
+
+    #[test]
+    fn forced_backends_agree_and_key_the_cache() {
+        let db = db();
+        let text = "(x1) [lfp S(x1). (x1 = 0 | exists x2. (S(x2) & E(x2,x1)))](x1)";
+        let auto = ExecRequest::query(text);
+        let forced = |m: BackendMode| {
+            let mut r = auto.clone();
+            r.opts.backend = m;
+            r
+        };
+        let rows = |req: &ExecRequest| -> Vec<_> {
+            let Answer::Rows(r) = execute(&db, req).unwrap().answer else {
+                panic!("expected rows")
+            };
+            r.sorted()
+        };
+        let base = rows(&auto);
+        for m in [BackendMode::Dense, BackendMode::Sparse, BackendMode::Bdd] {
+            assert_eq!(rows(&forced(m)), base, "{m}");
+            let key = forced(m).cache_key();
+            assert!(key.contains(&format!("backend={m}|")), "{key}");
+        }
+        // `auto` keeps the historical key.
+        assert!(!auto.cache_key().contains("backend="));
+        assert_eq!(auto.cache_key(), ExecRequest::query(text).cache_key());
+        // Datalog routes through the FP translation under a forced
+        // backend and still matches the rule engine.
+        let d = ExecRequest::datalog("T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).", "T");
+        let mut d_bdd = d.clone();
+        d_bdd.opts.backend = BackendMode::Bdd;
+        assert_eq!(rows(&d_bdd), rows(&d));
+        assert!(d_bdd.cache_key().contains("backend=bdd|"));
+        // Unknown outputs stay a typed error on the translated path.
+        let mut bad = ExecRequest::datalog("T(x) :- P(x).", "Zap");
+        bad.opts.backend = BackendMode::Bdd;
+        let err = execute(&db, &bad).unwrap_err();
+        assert_eq!(err, RunError::UnknownOutput("Zap".into()));
+    }
+
+    #[test]
+    fn backend_option_conflicts_are_invalid_options() {
+        let db = db();
+        let mut naive = ExecRequest::query("(x1) P(x1)");
+        naive.opts.naive = true;
+        naive.opts.backend = BackendMode::Bdd;
+        assert_eq!(execute(&db, &naive).unwrap_err().code(), "invalid_option");
+        let mut eso = ExecRequest::eso("exists2 S/1. (S(x1) & P(x1))");
+        eso.opts.backend = BackendMode::Dense;
+        assert_eq!(execute(&db, &eso).unwrap_err().code(), "invalid_option");
+        let mut d = ExecRequest::datalog("T(x) :- P(x).", "T");
+        d.opts.naive = true;
+        d.opts.backend = BackendMode::Sparse;
+        assert_eq!(execute(&db, &d).unwrap_err().code(), "invalid_option");
+    }
+
+    #[test]
+    fn explain_reports_forced_and_chosen_backends() {
+        let db = db();
+        let req = ExecRequest::query("(x1) exists x2. (E(x1,x2) & P(x2))");
+        let mut bdd = req.clone();
+        bdd.opts.backend = BackendMode::Bdd;
+        let report = explain(&db, &bdd, false).unwrap();
+        assert_eq!(report.backend, "bdd");
+        assert_eq!(report.engine, "interpreted", "forced backends interpret");
+        assert!(report.cache_key.contains("backend=bdd|"));
+        let rendered = run_explain(&db, &bdd, false).unwrap();
+        assert!(rendered.contains("backend: bdd"), "{rendered}");
+        // `explain analyze` actually runs on the forced backend.
+        let report = explain(&db, &bdd, true).unwrap();
+        assert!(report.analyzed.is_some());
+        // Datalog reports the forced backend too.
+        let mut d = ExecRequest::datalog("T(x,y) :- E(x,y).", "T");
+        d.opts.backend = BackendMode::Sparse;
+        assert_eq!(explain(&db, &d, false).unwrap().backend, "sparse");
+        assert_eq!(explain(&db, &d, false).unwrap().engine, "interpreted");
     }
 
     #[test]

@@ -54,6 +54,7 @@
 //! `db_error`, `mutation_error`, `unknown_sub`, `internal`.
 
 use bvq_ivm::Mutation;
+use bvq_relation::BackendMode;
 
 use crate::json::Json;
 
@@ -187,6 +188,9 @@ pub enum ComputeKind {
         minimize: bool,
         /// Evaluator thread count.
         threads: Option<usize>,
+        /// Cylinder backend (the `"backend"` field): cost-based when
+        /// absent, else forced to `dense`/`sparse`/`bdd`.
+        backend: BackendMode,
     },
     /// An ESO sentence/query (the `eso` op).
     Eso {
@@ -203,6 +207,9 @@ pub enum ComputeKind {
         output: String,
         /// Use naive instead of semi-naive evaluation.
         naive: bool,
+        /// Cylinder backend (the `"backend"` field): cost-based when
+        /// absent, else forced — routed through the FP translation.
+        backend: BackendMode,
     },
     /// Explain a request's plan (the `explain` op): width analysis,
     /// backend choice, `n^k` bound, cache key, and a plan tree — static
@@ -236,20 +243,31 @@ impl ComputeKind {
     /// answers on databases with equal fingerprints. `threads` and
     /// `trace` never affect answers, so they are not in the key.
     pub fn cache_key(&self) -> String {
+        // The backend only appears when forced, so default-`auto` keys
+        // stay byte-identical to what older clients produced.
+        let backend = |mode: &BackendMode| match mode.forced() {
+            Some(kind) => format!("backend={kind}|"),
+            None => String::new(),
+        };
         match self {
             ComputeKind::Eval {
                 query,
                 k,
                 naive,
                 minimize,
+                backend: b,
                 ..
-            } => format!("eval|k={k:?}|naive={naive}|min={minimize}|{query}"),
+            } => format!(
+                "eval|k={k:?}|naive={naive}|min={minimize}|{}{query}",
+                backend(b)
+            ),
             ComputeKind::Eso { query, k } => format!("eso|k={k:?}|{query}"),
             ComputeKind::Datalog {
                 program,
                 output,
                 naive,
-            } => format!("datalog|out={output}|naive={naive}|{program}"),
+                backend: b,
+            } => format!("datalog|out={output}|naive={naive}|{}{program}", backend(b)),
             ComputeKind::Explain { inner, analyze } => {
                 format!("explain|analyze={analyze}|{}", inner.cache_key())
             }
@@ -317,6 +335,22 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, ProtoError)> {
     };
     let opt_u64 = |field: &str| json.get(field).and_then(Json::as_u64);
     let flag = |field: &str| json.get(field).map(Json::is_true).unwrap_or(false);
+    // `"backend"` is optional; a present-but-unknown value is a
+    // structured `invalid_option`, not a silent fall-back to `auto`.
+    let backend = || -> Result<BackendMode, (Json, ProtoError)> {
+        match json.get("backend").and_then(Json::as_str) {
+            None => Ok(BackendMode::Auto),
+            Some(s) => BackendMode::parse(s).ok_or_else(|| {
+                (
+                    id.clone(),
+                    ProtoError::new(
+                        "invalid_option",
+                        format!("`backend` must be auto|dense|sparse|bdd, got `{s}`"),
+                    ),
+                )
+            }),
+        }
+    };
 
     let eval_kind = || -> Result<ComputeKind, (Json, ProtoError)> {
         Ok(ComputeKind::Eval {
@@ -325,6 +359,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, ProtoError)> {
             naive: flag("naive"),
             minimize: flag("minimize"),
             threads: opt_u64("threads").map(|v| v as usize),
+            backend: backend()?,
         })
     };
     let eso_kind = || -> Result<ComputeKind, (Json, ProtoError)> {
@@ -338,6 +373,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, ProtoError)> {
             program: need_str("program")?,
             output: need_str("output")?,
             naive: flag("naive"),
+            backend: backend()?,
         })
     };
     let compute = |kind: ComputeKind, stream: bool, no_cache: bool, trace: bool| {
@@ -783,6 +819,7 @@ mod tests {
             naive: false,
             minimize: false,
             threads: None,
+            backend: BackendMode::Auto,
         };
         let b = ComputeKind::Eval {
             query: "q".into(),
@@ -790,6 +827,7 @@ mod tests {
             naive: false,
             minimize: false,
             threads: Some(4),
+            backend: BackendMode::Auto,
         };
         assert_ne!(a.cache_key(), b.cache_key());
         // Threads never affect answers, so they are not in the key.
@@ -799,13 +837,62 @@ mod tests {
             naive: false,
             minimize: false,
             threads: None,
+            backend: BackendMode::Auto,
         };
         assert_eq!(b.cache_key(), c.cache_key());
+        // `auto` keeps the historical key; a forced backend joins it.
+        assert!(!c.cache_key().contains("backend="));
+        let forced = ComputeKind::Eval {
+            query: "q".into(),
+            k: Some(3),
+            naive: false,
+            minimize: false,
+            threads: None,
+            backend: BackendMode::Bdd,
+        };
+        assert_ne!(forced.cache_key(), c.cache_key());
+        assert!(forced.cache_key().contains("backend=bdd|"));
         let e = ComputeKind::Explain {
             inner: Box::new(c),
             analyze: true,
         };
         assert!(e.cache_key().starts_with("explain|analyze=true|eval|"));
+    }
+
+    #[test]
+    fn parses_backend_field() {
+        let req =
+            parse_request(r#"{"op":"eval","db":"g","query":"(x1) E(x1,x1)","backend":"bdd"}"#)
+                .unwrap();
+        let Op::Compute(c) = req.op else {
+            panic!("wrong op")
+        };
+        let ComputeKind::Eval { backend, .. } = c.kind else {
+            panic!("wrong kind")
+        };
+        assert_eq!(backend, BackendMode::Bdd);
+        // Absent means auto; Datalog accepts the field too.
+        let req = parse_request(
+            r#"{"op":"datalog","db":"g","program":"T(x) :- P(x).","output":"T","backend":"sparse"}"#,
+        )
+        .unwrap();
+        let Op::Compute(c) = req.op else {
+            panic!("wrong op")
+        };
+        let ComputeKind::Datalog { backend, .. } = c.kind else {
+            panic!("wrong kind")
+        };
+        assert_eq!(backend, BackendMode::Sparse);
+        // An unknown value is a structured invalid_option, not a silent
+        // fall-back to auto.
+        let (_, err) =
+            parse_request(r#"{"op":"eval","db":"g","query":"q","backend":"warp"}"#).unwrap_err();
+        assert_eq!(err.code, "invalid_option");
+        assert!(
+            err.message.contains("auto|dense|sparse|bdd"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]

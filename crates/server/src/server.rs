@@ -1423,6 +1423,7 @@ fn exec_request(
             naive,
             minimize,
             threads,
+            backend,
         } => (
             exec::ExecKind::Query {
                 text: query.clone(),
@@ -1435,6 +1436,7 @@ fn exec_request(
                 threads: *threads,
                 deadline,
                 compile: Default::default(),
+                backend: *backend,
             },
         ),
         ComputeKind::Eso { query, k } => (
@@ -1451,6 +1453,7 @@ fn exec_request(
             program,
             output,
             naive,
+            backend,
         } => (
             exec::ExecKind::Datalog {
                 program: program.clone(),
@@ -1458,6 +1461,7 @@ fn exec_request(
             },
             EvalOptions {
                 naive: *naive,
+                backend: *backend,
                 deadline,
                 ..Default::default()
             },
