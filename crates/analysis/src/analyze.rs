@@ -1,0 +1,213 @@
+//! One-call analysis front end: verdicts plus the certificate.
+
+use bvq_logic::{Formula, Query};
+
+use crate::certificate::{validate, WidthCertificate};
+use crate::hypergraph::conjunctive_core;
+
+/// The static-analysis verdict for one query.
+///
+/// Produced by [`analyze_query`]/[`analyze_formula`]; consumed by lint,
+/// the compile-time cost model, `explain`, and the server's admission
+/// control.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryAnalysis {
+    /// Effective syntactic width of the original query (slots used,
+    /// floored by the output arity, at least 1).
+    pub width: usize,
+    /// The certified minimum width: the width of the validated rewrite
+    /// when one exists, otherwise equal to [`width`](Self::width).
+    pub k_min: usize,
+    /// `Some(true)` when the query has a conjunctive core whose
+    /// hypergraph is α-acyclic (GYO reduces it), `Some(false)` when the
+    /// core is cyclic, `None` when no conjunctive core exists (the
+    /// formula uses `∨`, `¬`, `∀`, `=`, or fixpoints at the top).
+    pub acyclic: Option<bool>,
+    /// Number of atoms in the conjunctive core (0 when none).
+    pub core_atoms: usize,
+    /// The elimination order chosen over the core's bound variables
+    /// (empty when no core).
+    pub order: Vec<u32>,
+    /// The largest elimination bag along [`order`](Self::order) — the
+    /// maximum number of simultaneously live variables, i.e. the
+    /// operational `n^max_bag` bound for bucket elimination over the
+    /// core.
+    pub max_bag: Option<usize>,
+    /// `Some(true)` when a width-reducing rewrite exists and its
+    /// certificate validated; `Some(false)` when a rewrite was produced
+    /// but its certificate was *rejected* (a bug — the rewrite must not
+    /// be used); `None` when the query is already width-minimal or not
+    /// first-order.
+    pub certified: Option<bool>,
+    /// The validated certificate, present iff `certified == Some(true)`.
+    pub certificate: Option<WidthCertificate>,
+}
+
+impl QueryAnalysis {
+    /// Human-readable verdict lines for `explain` output.
+    pub fn verdict_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        let acyclic = match self.acyclic {
+            Some(true) => format!("acyclic ({} atoms)", self.core_atoms),
+            Some(false) => format!("cyclic ({} atoms)", self.core_atoms),
+            None => "no conjunctive core".to_string(),
+        };
+        let kmin = if self.k_min < self.width {
+            format!("{} (certified rewrite)", self.k_min)
+        } else {
+            format!("{} (minimal)", self.k_min)
+        };
+        lines.push(format!(
+            "analysis: width {}, k_min {}, core {}",
+            self.width, kmin, acyclic
+        ));
+        if !self.order.is_empty() {
+            let order: Vec<String> = self.order.iter().map(|v| format!("x{}", v + 1)).collect();
+            let bag = self
+                .max_bag
+                .map(|b| format!(" (max bag {b})"))
+                .unwrap_or_default();
+            lines.push(format!("analysis order: {}{}", order.join(", "), bag));
+        }
+        if self.certified == Some(false) {
+            lines.push("analysis: rewrite certificate REJECTED; rewrite unusable".to_string());
+        }
+        lines
+    }
+}
+
+/// Analyzes a query: the floor is the largest output slot, so the
+/// rewrite can never rename an output variable away.
+pub fn analyze_query(q: &Query) -> QueryAnalysis {
+    let floor = q.output.iter().map(|v| v.index() + 1).max().unwrap_or(0);
+    analyze_formula(&q.formula, floor)
+}
+
+/// Analyzes a bare formula with an externally imposed width floor
+/// (use 0 when all free variables may be renamed).
+pub fn analyze_formula(f: &Formula, floor: usize) -> QueryAnalysis {
+    let width = f.width().max(floor).max(1);
+    let core = conjunctive_core(f);
+    let (acyclic, core_atoms) = match &core {
+        Some(c) => (Some(c.hypergraph().is_acyclic()), c.atoms.len()),
+        None => (None, 0),
+    };
+    // Elimination order and bags over the core of the *rewrite* when
+    // one exists (its variable names are what the certificate speaks
+    // about), otherwise over the original's core.
+    let rewrite = f.minimize_width();
+    let order_source = match &rewrite {
+        Some(rw) => conjunctive_core(rw),
+        None => core,
+    };
+    let (order, bags, max_bag) = match &order_source {
+        Some(c) => {
+            let g = c.hypergraph();
+            let (o, mb) = g.best_order(&c.free);
+            let (bags, _) = g.elimination_bags(&o);
+            (o, bags, Some(mb))
+        }
+        None => (Vec::new(), Vec::new(), None),
+    };
+    let mut analysis = QueryAnalysis {
+        width,
+        k_min: width,
+        acyclic,
+        core_atoms,
+        order,
+        max_bag,
+        certified: None,
+        certificate: None,
+    };
+    if let Some(rw) = rewrite {
+        let k2 = rw.width().max(floor).max(1);
+        if k2 < width {
+            let cert = WidthCertificate {
+                k_min: k2,
+                order: analysis.order.clone(),
+                bags,
+                rewritten: rw,
+            };
+            if validate(f, &cert).is_ok() {
+                analysis.k_min = k2;
+                analysis.certified = Some(true);
+                analysis.certificate = Some(cert);
+            } else {
+                analysis.certified = Some(false);
+            }
+        }
+    }
+    analysis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvq_logic::parser::parse_query;
+
+    fn analyze(src: &str) -> QueryAnalysis {
+        analyze_query(&parse_query(src).unwrap())
+    }
+
+    #[test]
+    fn wasteful_chain_is_certified_down() {
+        let a = analyze("(x1) exists x2. exists x3. exists x4. (E(x1,x2) & E(x2,x3) & E(x3,x4))");
+        assert_eq!(a.width, 4);
+        assert_eq!(a.k_min, 2);
+        assert_eq!(a.acyclic, Some(true));
+        assert_eq!(a.certified, Some(true));
+        let cert = a.certificate.expect("certificate");
+        assert_eq!(cert.k_min, 2);
+        assert!(crate::certificate::validate(
+            &parse_query("(x1) exists x2. exists x3. exists x4. (E(x1,x2) & E(x2,x3) & E(x3,x4))")
+                .unwrap()
+                .formula,
+            &cert
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn triangle_is_cyclic_and_not_reducible_below_three() {
+        let a = analyze("() exists x1. exists x2. exists x3. (E(x1,x2) & E(x2,x3) & E(x3,x1))");
+        assert_eq!(a.acyclic, Some(false));
+        assert_eq!(a.k_min, 3);
+        assert_eq!(a.max_bag, Some(3));
+    }
+
+    #[test]
+    fn minimal_queries_report_no_certificate() {
+        let a = analyze("(x1,x2) E(x1,x2)");
+        assert_eq!(a.width, 2);
+        assert_eq!(a.k_min, 2);
+        assert_eq!(a.acyclic, Some(true));
+        assert_eq!(a.certified, None);
+        assert!(a.certificate.is_none());
+    }
+
+    #[test]
+    fn fixpoints_have_no_core_and_no_rewrite() {
+        let a = analyze("(x1) [lfp S(x1). (P(x1) | exists x2. (S(x2) & E(x2,x1)))](x1)");
+        assert_eq!(a.acyclic, None);
+        assert_eq!(a.certified, None);
+        assert_eq!(a.k_min, a.width);
+    }
+
+    #[test]
+    fn output_floor_pins_k_min() {
+        // All three variables are outputs: nothing to reduce.
+        let a = analyze("(x1,x2,x3) (E(x1,x2) & E(x2,x3))");
+        assert_eq!(a.width, 3);
+        assert_eq!(a.k_min, 3);
+        assert_eq!(a.certified, None);
+    }
+
+    #[test]
+    fn verdict_lines_render() {
+        let a = analyze("(x1) exists x2. exists x3. (E(x1,x2) & E(x2,x3))");
+        let lines = a.verdict_lines();
+        assert!(lines[0].contains("width 3"));
+        assert!(lines[0].contains("k_min 2 (certified rewrite)"));
+        assert!(lines[0].contains("acyclic"));
+    }
+}

@@ -1,0 +1,363 @@
+//! Certified variable-minimizing rewrites.
+//!
+//! A [`WidthCertificate`] packages a rewrite *with the evidence that it
+//! is correct*: the rewritten formula, the claimed width `k_min`, and an
+//! elimination order with its per-step bags over the rewritten
+//! conjunctive core. [`validate`] replays that evidence independently of
+//! whatever heuristic produced it:
+//!
+//! 1. **width** — the rewritten formula syntactically uses at most
+//!    `k_min` variable slots (Prop 3.1 then bounds every intermediate
+//!    relation by `n^k_min`);
+//! 2. **interface** — the rewrite introduces no new free variables
+//!    (normalization may *erase* free occurrences by constant folding,
+//!    which preserves equivalence, but a fresh free variable would
+//!    change the query's interface);
+//! 3. **equivalence** — the rewritten formula is α-equivalent to the
+//!    normalized original (`simplify` + `miniscope`, both
+//!    semantics-preserving normalizations of `bvq-logic`); α-equivalence
+//!    is checked with binder stacks, so any renaming that captured a
+//!    variable is rejected;
+//! 4. **bags** — for conjunctive cores, replaying the elimination order
+//!    reproduces the recorded bags, every bag fits in `k_min`, and the
+//!    order eliminates exactly the non-free variables — the operational
+//!    witness that evaluation needs only `k_min` simultaneous variables.
+//!
+//! The validator never calls the slot-allocation heuristic
+//! (`minimize_width`): a bogus rewrite cannot certify itself.
+
+use bvq_logic::{Formula, Term, Var};
+
+use crate::hypergraph::conjunctive_core;
+
+/// A variable-minimizing rewrite with its checkable evidence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WidthCertificate {
+    /// The claimed width of the rewrite (`k_min ≤` original width).
+    pub k_min: usize,
+    /// Elimination order over the rewritten conjunctive core's bound
+    /// variables (empty when the formula has no conjunctive core).
+    pub order: Vec<u32>,
+    /// The bag produced at each elimination step (sorted), parallel to
+    /// `order`.
+    pub bags: Vec<Vec<u32>>,
+    /// The rewritten formula, claimed equivalent to the original.
+    pub rewritten: Formula,
+}
+
+/// Why a certificate failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertError {
+    /// The rewritten formula uses more slots than claimed.
+    WidthClaim {
+        /// The certificate's claim.
+        claimed: usize,
+        /// The rewrite's actual syntactic width.
+        actual: usize,
+    },
+    /// The rewrite introduced a free variable the original lacks.
+    FreeVarsChanged,
+    /// The rewrite is not α-equivalent to the normalized original.
+    NotEquivalent,
+    /// The elimination order does not cover exactly the core's bound
+    /// variables.
+    OrderMismatch,
+    /// A replayed bag disagrees with the recorded one or exceeds
+    /// `k_min`.
+    BadBag {
+        /// Index into `order`/`bags` of the offending step.
+        step: usize,
+    },
+}
+
+impl std::fmt::Display for CertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertError::WidthClaim { claimed, actual } => {
+                write!(f, "rewrite claims width {claimed} but uses {actual} slots")
+            }
+            CertError::FreeVarsChanged => {
+                write!(f, "rewrite introduced a free variable the original lacks")
+            }
+            CertError::NotEquivalent => {
+                write!(f, "rewrite is not α-equivalent to the normalized original")
+            }
+            CertError::OrderMismatch => {
+                write!(
+                    f,
+                    "elimination order does not cover the core's bound variables"
+                )
+            }
+            CertError::BadBag { step } => {
+                write!(f, "elimination bag at step {step} fails containment")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CertError {}
+
+/// Validates `cert` against the `original` formula. See the module docs
+/// for the four checks.
+pub fn validate(original: &Formula, cert: &WidthCertificate) -> Result<(), CertError> {
+    let actual = cert.rewritten.width();
+    if actual > cert.k_min {
+        return Err(CertError::WidthClaim {
+            claimed: cert.k_min,
+            actual,
+        });
+    }
+    let original_free = original.free_vars();
+    if !cert
+        .rewritten
+        .free_vars()
+        .iter()
+        .all(|v| original_free.contains(v))
+    {
+        return Err(CertError::FreeVarsChanged);
+    }
+    let normalized = original.simplify().miniscope();
+    if !alpha_equivalent(&normalized, &cert.rewritten) {
+        return Err(CertError::NotEquivalent);
+    }
+    if let Some(core) = conjunctive_core(&cert.rewritten) {
+        let g = core.hypergraph();
+        // The order must eliminate exactly the non-free vertices.
+        let mut bound: Vec<u32> = g
+            .vertices()
+            .into_iter()
+            .filter(|v| !core.free.contains(v))
+            .collect();
+        let mut claimed: Vec<u32> = cert.order.clone();
+        bound.sort_unstable();
+        claimed.sort_unstable();
+        claimed.dedup();
+        if bound != claimed || cert.order.len() != bound.len() {
+            return Err(CertError::OrderMismatch);
+        }
+        let (bags, residual) = g.elimination_bags(&cert.order);
+        if bags.len() != cert.bags.len() {
+            return Err(CertError::OrderMismatch);
+        }
+        for (step, bag) in bags.iter().enumerate() {
+            if bag.len() > cert.k_min || *bag != cert.bags[step] {
+                return Err(CertError::BadBag { step });
+            }
+        }
+        if let Some(step) = residual.iter().position(|s| s.len() > cert.k_min) {
+            return Err(CertError::BadBag {
+                step: cert.order.len() + step,
+            });
+        }
+    } else if !cert.order.is_empty() || !cert.bags.is_empty() {
+        return Err(CertError::OrderMismatch);
+    }
+    Ok(())
+}
+
+/// Whether `f` and `g` are α-equivalent: identical up to a capture-free
+/// renaming of bound (individual and relation) variables. Free
+/// variables must match exactly.
+pub fn alpha_equivalent(f: &Formula, g: &Formula) -> bool {
+    let mut vars: Vec<(Var, Var)> = Vec::new();
+    let mut rels: Vec<(String, String)> = Vec::new();
+    alpha_eq(f, g, &mut vars, &mut rels)
+}
+
+/// Two bound-variable stacks make the comparison capture-aware: a
+/// variable pair matches iff both sides resolve to the *same* binder
+/// frame (or both are free and identical).
+fn term_eq(a: &Term, b: &Term, vars: &[(Var, Var)]) -> bool {
+    match (a, b) {
+        (Term::Const(c), Term::Const(d)) => c == d,
+        (Term::Var(v), Term::Var(w)) => {
+            let li = vars.iter().rposition(|(x, _)| x == v);
+            let ri = vars.iter().rposition(|(_, y)| y == w);
+            match (li, ri) {
+                (Some(i), Some(j)) => i == j,
+                (None, None) => v == w,
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+fn rel_eq(a: &str, b: &str, rels: &[(String, String)]) -> bool {
+    let li = rels.iter().rposition(|(x, _)| x == a);
+    let ri = rels.iter().rposition(|(_, y)| y == b);
+    match (li, ri) {
+        (Some(i), Some(j)) => i == j,
+        (None, None) => a == b,
+        _ => false,
+    }
+}
+
+fn alpha_eq(
+    f: &Formula,
+    g: &Formula,
+    vars: &mut Vec<(Var, Var)>,
+    rels: &mut Vec<(String, String)>,
+) -> bool {
+    match (f, g) {
+        (Formula::Const(a), Formula::Const(b)) => a == b,
+        (Formula::Eq(a1, a2), Formula::Eq(b1, b2)) => {
+            term_eq(a1, b1, vars) && term_eq(a2, b2, vars)
+        }
+        (Formula::Atom(a), Formula::Atom(b)) => {
+            let rel_ok = match (&a.rel, &b.rel) {
+                (bvq_logic::RelRef::Db(x), bvq_logic::RelRef::Db(y)) => x == y,
+                (bvq_logic::RelRef::Bound(x), bvq_logic::RelRef::Bound(y)) => rel_eq(x, y, rels),
+                _ => false,
+            };
+            rel_ok
+                && a.args.len() == b.args.len()
+                && a.args.iter().zip(&b.args).all(|(x, y)| term_eq(x, y, vars))
+        }
+        (Formula::Not(a), Formula::Not(b)) => alpha_eq(a, b, vars, rels),
+        (Formula::And(a1, a2), Formula::And(b1, b2))
+        | (Formula::Or(a1, a2), Formula::Or(b1, b2)) => {
+            alpha_eq(a1, b1, vars, rels) && alpha_eq(a2, b2, vars, rels)
+        }
+        (Formula::Exists(v, a), Formula::Exists(w, b))
+        | (Formula::Forall(v, a), Formula::Forall(w, b)) => {
+            vars.push((*v, *w));
+            let ok = alpha_eq(a, b, vars, rels);
+            vars.pop();
+            ok
+        }
+        (
+            Formula::Fix {
+                kind: ka,
+                rel: ra,
+                bound: ba,
+                body: fa,
+                args: aa,
+            },
+            Formula::Fix {
+                kind: kb,
+                rel: rb,
+                bound: bb,
+                body: fb,
+                args: ab,
+            },
+        ) => {
+            if ka != kb || ba.len() != bb.len() || aa.len() != ab.len() {
+                return false;
+            }
+            if !aa.iter().zip(ab).all(|(x, y)| term_eq(x, y, vars)) {
+                return false;
+            }
+            rels.push((ra.clone(), rb.clone()));
+            for (x, y) in ba.iter().zip(bb) {
+                vars.push((*x, *y));
+            }
+            let ok = alpha_eq(fa, fb, vars, rels);
+            for _ in ba {
+                vars.pop();
+            }
+            rels.pop();
+            ok
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvq_logic::parser::parse;
+
+    #[test]
+    fn alpha_equivalence_respects_binders() {
+        let a = parse("exists x2. E(x1,x2)").unwrap();
+        let b = parse("exists x5. E(x1,x5)").unwrap();
+        assert!(alpha_equivalent(&a, &b));
+        // Free variables must match exactly.
+        let c = parse("exists x2. E(x3,x2)").unwrap();
+        assert!(!alpha_equivalent(&a, &c));
+        // Capture: the bound slot collides with the free variable.
+        let d = parse("exists x1. E(x1,x1)").unwrap();
+        assert!(!alpha_equivalent(&a, &d));
+    }
+
+    #[test]
+    fn alpha_equivalence_handles_fixpoints_and_shadowing() {
+        let a = parse("[lfp S(x1). (x1 = 0 | exists x2. (S(x2) & E(x2,x1)))](x1)").unwrap();
+        let b = parse("[lfp R(x1). (x1 = 0 | exists x3. (R(x3) & E(x3,x1)))](x1)").unwrap();
+        assert!(alpha_equivalent(&a, &b));
+        let c = parse("[gfp S(x1). (x1 = 0 | exists x2. (S(x2) & E(x2,x1)))](x1)").unwrap();
+        assert!(!alpha_equivalent(&a, &c));
+        // Nested shadowing of the same slot on one side only.
+        let d = parse("exists x2. (E(x1,x2) & exists x2. P(x2))").unwrap();
+        let e = parse("exists x2. (E(x1,x2) & exists x3. P(x3))").unwrap();
+        assert!(alpha_equivalent(&d, &e));
+    }
+
+    #[test]
+    fn validate_accepts_an_honest_certificate() {
+        let f = parse("exists x2. exists x3. exists x4. (E(x1,x2) & E(x2,x3) & E(x3,x4))").unwrap();
+        let rw = f.minimize_width().unwrap();
+        let core = conjunctive_core(&rw).unwrap();
+        let g = core.hypergraph();
+        let (order, _) = g.best_order(&core.free);
+        let (bags, _) = g.elimination_bags(&order);
+        let cert = WidthCertificate {
+            k_min: rw.width().max(1),
+            order,
+            bags,
+            rewritten: rw,
+        };
+        assert_eq!(validate(&f, &cert), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_forged_certificates() {
+        let f = parse("exists x2. exists x3. exists x4. (E(x1,x2) & E(x2,x3) & E(x3,x4))").unwrap();
+        let rw = f.minimize_width().unwrap();
+        let core = conjunctive_core(&rw).unwrap();
+        let g = core.hypergraph();
+        let (order, _) = g.best_order(&core.free);
+        let (bags, _) = g.elimination_bags(&order);
+        let honest = WidthCertificate {
+            k_min: rw.width().max(1),
+            order,
+            bags,
+            rewritten: rw,
+        };
+        // Under-claimed width.
+        let mut forged = honest.clone();
+        forged.k_min = 1;
+        assert!(matches!(
+            validate(&f, &forged),
+            Err(CertError::WidthClaim { .. }) | Err(CertError::BadBag { .. })
+        ));
+        // A different formula entirely.
+        let mut wrong = honest.clone();
+        wrong.rewritten = parse("E(x1,x1)").unwrap();
+        assert!(validate(&f, &wrong).is_err());
+        // Tampered bag.
+        let mut tampered = honest.clone();
+        if let Some(bag) = tampered.bags.first_mut() {
+            bag.push(99);
+        }
+        assert_eq!(validate(&f, &tampered), Err(CertError::BadBag { step: 0 }));
+        // Truncated order.
+        let mut short = honest.clone();
+        short.order.pop();
+        short.bags.pop();
+        assert_eq!(validate(&f, &short), Err(CertError::OrderMismatch));
+    }
+
+    #[test]
+    fn validate_rejects_free_variable_changes() {
+        let f = parse("exists x2. E(x1,x2)").unwrap();
+        let cert = WidthCertificate {
+            k_min: 2,
+            order: vec![],
+            bags: vec![],
+            rewritten: parse("exists x1. E(x2,x1)").unwrap(),
+        };
+        assert_eq!(validate(&f, &cert), Err(CertError::FreeVarsChanged));
+    }
+}

@@ -1,0 +1,424 @@
+//! Query hypergraphs, GYO acyclicity, and elimination orderings.
+//!
+//! The hypergraph of a conjunctive query has the query's variables as
+//! vertices and one hyperedge per atom (the set of variables the atom
+//! mentions). Two classic analyses run on it:
+//!
+//! * the **GYO reduction** [BFMY83]: repeatedly remove *ears* (edges
+//!   whose shared vertices are covered by a single witness edge); the
+//!   hypergraph empties iff the query is α-acyclic, and the removal
+//!   order is a join forest;
+//! * **elimination orderings**: eliminating a variable merges the edges
+//!   containing it into a *bag*; the largest bag over the run is the
+//!   number of variables that must be simultaneously live — exactly the
+//!   `k` for which the query evaluates `FO^k`-style (the induced width
+//!   is `max bag − 1`). Min-degree and min-fill are the standard greedy
+//!   heuristics for choosing the order.
+
+use bvq_logic::{Formula, RelRef, Term, Var};
+
+/// One atom of a conjunctive core: the relation name and the distinct
+/// variable ids it mentions (core-scoped, renamed apart).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoreAtom {
+    /// The database relation the atom refers to.
+    pub rel: String,
+    /// Distinct variable ids, in order of first occurrence.
+    pub vars: Vec<u32>,
+}
+
+/// The conjunctive core of a formula: a flat bag of database atoms
+/// equivalent (after prenexing) to an `∃`-prefixed conjunction.
+///
+/// Variable ids are *core-scoped*: free variables keep their formula
+/// slots, and every `∃`-bound variable gets a fresh id, so slot reuse in
+/// the source formula (sibling scopes sharing `x2`, say) never merges
+/// distinct variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Core {
+    /// The atoms.
+    pub atoms: Vec<CoreAtom>,
+    /// Core-scoped ids of the formula's free variables.
+    pub free: Vec<u32>,
+    /// Total number of distinct variable ids.
+    pub nvars: u32,
+}
+
+impl Core {
+    /// The hypergraph of the core: one edge per atom.
+    pub fn hypergraph(&self) -> Hypergraph {
+        Hypergraph {
+            edges: self.atoms.iter().map(|a| a.vars.clone()).collect(),
+        }
+    }
+}
+
+/// Extracts the conjunctive core of `f`: the formula must be built from
+/// database atoms, `∧`, and `∃` only (`true` conjuncts are dropped).
+/// Returns `None` for anything else — disjunction, negation, equality,
+/// universal quantifiers, fixpoints, and bound-relation atoms all take
+/// the formula outside the conjunctive fragment.
+///
+/// `∃` is allowed *anywhere inside the conjunction*, not just as a
+/// prefix: miniscoped conjunctive queries nest their quantifiers, and
+/// pulling them back out (renaming apart) is exactly prenexing, which
+/// preserves semantics for `∃`/`∧` formulas.
+pub fn conjunctive_core(f: &Formula) -> Option<Core> {
+    // Free variables keep their slots; bound variables rename to fresh
+    // ids starting above every free slot.
+    let free: Vec<Var> = f.free_vars().into_iter().collect();
+    let mut next = free.iter().map(|v| v.0 + 1).max().unwrap_or(0);
+    let mut atoms = Vec::new();
+    let mut env: Vec<(Var, u32)> = free.iter().map(|v| (*v, v.0)).collect();
+    if !gather(f, &mut env, &mut next, &mut atoms) {
+        return None;
+    }
+    Some(Core {
+        atoms,
+        free: free.iter().map(|v| v.0).collect(),
+        nvars: next,
+    })
+}
+
+fn gather(f: &Formula, env: &mut Vec<(Var, u32)>, next: &mut u32, out: &mut Vec<CoreAtom>) -> bool {
+    match f {
+        Formula::Const(true) => true,
+        Formula::And(a, b) => gather(a, env, next, out) && gather(b, env, next, out),
+        Formula::Exists(v, g) => {
+            let id = *next;
+            *next += 1;
+            env.push((*v, id));
+            let ok = gather(g, env, next, out);
+            env.pop();
+            ok
+        }
+        Formula::Atom(a) => match &a.rel {
+            RelRef::Db(name) => {
+                let mut vars = Vec::new();
+                for t in &a.args {
+                    if let Term::Var(v) = t {
+                        // Innermost binding wins (shadowing).
+                        let Some((_, id)) = env.iter().rev().find(|(w, _)| w == v) else {
+                            return false;
+                        };
+                        if !vars.contains(id) {
+                            vars.push(*id);
+                        }
+                    }
+                }
+                out.push(CoreAtom {
+                    rel: name.clone(),
+                    vars,
+                });
+                true
+            }
+            RelRef::Bound(_) => false,
+        },
+        _ => false,
+    }
+}
+
+/// A query hypergraph: one edge per atom, vertices are variable ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hypergraph {
+    /// The hyperedges (each a set of distinct variable ids).
+    pub edges: Vec<Vec<u32>>,
+}
+
+impl Hypergraph {
+    /// The distinct vertices, sorted.
+    pub fn vertices(&self) -> Vec<u32> {
+        let mut vs: Vec<u32> = self.edges.iter().flatten().copied().collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// Whether the hypergraph is α-acyclic, by the GYO reduction.
+    pub fn is_acyclic(&self) -> bool {
+        self.gyo_order().is_some()
+    }
+
+    /// Runs the GYO ear-removal reduction. Returns the edge removal
+    /// order when the hypergraph is α-acyclic (a join forest: each ear's
+    /// witness, removed later, is its parent), else `None`.
+    pub fn gyo_order(&self) -> Option<Vec<usize>> {
+        let m = self.edges.len();
+        let mut alive = vec![true; m];
+        let mut order = Vec::new();
+        let mut remaining = m;
+        while remaining > 0 {
+            let mut progressed = false;
+            for e in 0..m {
+                if !alive[e] {
+                    continue;
+                }
+                // Vertices of e shared with some other live edge.
+                let shared: Vec<u32> = self.edges[e]
+                    .iter()
+                    .copied()
+                    .filter(|v| (0..m).any(|w| w != e && alive[w] && self.edges[w].contains(v)))
+                    .collect();
+                let is_ear = shared.is_empty()
+                    || (0..m).any(|w| {
+                        w != e && alive[w] && shared.iter().all(|v| self.edges[w].contains(v))
+                    });
+                if is_ear {
+                    alive[e] = false;
+                    remaining -= 1;
+                    order.push(e);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return None; // stuck: cyclic
+            }
+        }
+        Some(order)
+    }
+
+    /// The primal-graph neighbours of every vertex (vertices co-occurring
+    /// in some edge), as `(vertex, neighbours)` pairs.
+    fn adjacency(&self) -> Vec<(u32, Vec<u32>)> {
+        let mut adj: Vec<(u32, Vec<u32>)> = self
+            .vertices()
+            .into_iter()
+            .map(|v| (v, Vec::new()))
+            .collect();
+        let connect = |a: u32, b: u32, adj: &mut Vec<(u32, Vec<u32>)>| {
+            if a == b {
+                return;
+            }
+            for (v, ns) in adj.iter_mut() {
+                if (*v == a && !ns.contains(&b)) || (*v == b && !ns.contains(&a)) {
+                    ns.push(if *v == a { b } else { a });
+                }
+            }
+        };
+        for e in &self.edges {
+            for (i, &a) in e.iter().enumerate() {
+                for &b in &e[i + 1..] {
+                    connect(a, b, &mut adj);
+                }
+            }
+        }
+        adj
+    }
+
+    /// A greedy elimination ordering over the non-`pinned` vertices.
+    /// `fill` selects the min-fill heuristic (fewest fill-in edges added)
+    /// instead of min-degree. Ties break on the smaller vertex id, so
+    /// orders are deterministic.
+    fn greedy_order(&self, pinned: &[u32], fill: bool) -> Vec<u32> {
+        let mut adj = self.adjacency();
+        let mut remaining: Vec<u32> = self
+            .vertices()
+            .into_iter()
+            .filter(|v| !pinned.contains(v))
+            .collect();
+        let mut order = Vec::new();
+        let neighbours = |v: u32, adj: &[(u32, Vec<u32>)], dead: &[u32]| -> Vec<u32> {
+            adj.iter()
+                .find(|(w, _)| *w == v)
+                .map(|(_, ns)| ns.iter().copied().filter(|n| !dead.contains(n)).collect())
+                .unwrap_or_default()
+        };
+        while !remaining.is_empty() {
+            let score = |v: u32| -> usize {
+                let ns = neighbours(v, &adj, &order);
+                if fill {
+                    // Fill-in: pairs of live neighbours not yet adjacent.
+                    let mut missing = 0;
+                    for (i, &a) in ns.iter().enumerate() {
+                        for &b in &ns[i + 1..] {
+                            let a_ns = neighbours(a, &adj, &order);
+                            if !a_ns.contains(&b) {
+                                missing += 1;
+                            }
+                        }
+                    }
+                    missing
+                } else {
+                    ns.len()
+                }
+            };
+            let (idx, &best) = remaining
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &v)| (score(v), v))
+                .expect("nonempty");
+            // Connect best's live neighbours pairwise (the fill-in).
+            let ns = neighbours(best, &adj, &order);
+            for (i, &a) in ns.iter().enumerate() {
+                for &b in &ns[i + 1..] {
+                    for (v, vns) in adj.iter_mut() {
+                        if (*v == a && !vns.contains(&b)) || (*v == b && !vns.contains(&a)) {
+                            vns.push(if *v == a { b } else { a });
+                        }
+                    }
+                }
+            }
+            order.push(best);
+            remaining.remove(idx);
+        }
+        order
+    }
+
+    /// Min-degree elimination ordering over the non-`pinned` vertices.
+    pub fn min_degree_order(&self, pinned: &[u32]) -> Vec<u32> {
+        self.greedy_order(pinned, false)
+    }
+
+    /// Min-fill elimination ordering over the non-`pinned` vertices.
+    pub fn min_fill_order(&self, pinned: &[u32]) -> Vec<u32> {
+        self.greedy_order(pinned, true)
+    }
+
+    /// Replays bucket elimination along `order`: eliminating `v` merges
+    /// every live scope containing `v` into one *bag* (recorded), then
+    /// replaces them by the bag minus `v`. Returns the per-step bags and
+    /// the residual scopes (over un-eliminated — pinned — vertices).
+    pub fn elimination_bags(&self, order: &[u32]) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+        let mut scopes: Vec<Vec<u32>> = self.edges.clone();
+        let mut bags = Vec::new();
+        for &v in order {
+            let mut merged: Vec<u32> = vec![v];
+            let mut rest: Vec<Vec<u32>> = Vec::new();
+            for s in scopes {
+                if s.contains(&v) {
+                    for w in s {
+                        if !merged.contains(&w) {
+                            merged.push(w);
+                        }
+                    }
+                } else {
+                    rest.push(s);
+                }
+            }
+            let mut bag = merged.clone();
+            bag.sort_unstable();
+            bags.push(bag);
+            merged.retain(|&w| w != v);
+            if !merged.is_empty() {
+                rest.push(merged);
+            }
+            scopes = rest;
+        }
+        (bags, scopes)
+    }
+
+    /// The number of simultaneously-live variables along `order`: the
+    /// largest bag, or residual scope, over the run. This is the `k` for
+    /// which the query evaluates `FO^k`-style along the order (the
+    /// classic induced width is this minus one).
+    pub fn max_bag(&self, order: &[u32]) -> usize {
+        let (bags, residual) = self.elimination_bags(order);
+        bags.iter()
+            .map(Vec::len)
+            .chain(residual.iter().map(Vec::len))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The better of the min-degree and min-fill orderings (smaller max
+    /// bag; min-fill wins ties): `(order, max_bag)`.
+    pub fn best_order(&self, pinned: &[u32]) -> (Vec<u32>, usize) {
+        let fill = self.min_fill_order(pinned);
+        let degree = self.min_degree_order(pinned);
+        let (fb, db) = (self.max_bag(&fill), self.max_bag(&degree));
+        if fb <= db {
+            (fill, fb)
+        } else {
+            (degree, db)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvq_logic::parser::parse;
+
+    fn hg(edges: &[&[u32]]) -> Hypergraph {
+        Hypergraph {
+            edges: edges.iter().map(|e| e.to_vec()).collect(),
+        }
+    }
+
+    #[test]
+    fn gyo_accepts_chains_and_stars_rejects_cycles() {
+        assert!(hg(&[&[0, 1], &[1, 2], &[2, 3]]).is_acyclic());
+        assert!(hg(&[&[0, 1], &[0, 2], &[0, 3]]).is_acyclic());
+        assert!(!hg(&[&[0, 1], &[1, 2], &[2, 0]]).is_acyclic());
+        // A covering ternary edge restores α-acyclicity.
+        assert!(hg(&[&[0, 1], &[1, 2], &[2, 0], &[0, 1, 2]]).is_acyclic());
+        // Disconnected components are fine.
+        assert!(hg(&[&[0, 1], &[2, 3]]).is_acyclic());
+    }
+
+    #[test]
+    fn elimination_bags_bound_chain_width() {
+        let g = hg(&[&[0, 1], &[1, 2], &[2, 3]]);
+        // Free endpoints pinned: eliminating the middle keeps ≤3 live.
+        let (order, k) = g.best_order(&[0, 3]);
+        assert_eq!(order.len(), 2);
+        assert!(k <= 3, "chain max bag {k}");
+        // Only vertex 0 pinned: a width-2 sweep exists.
+        let (_, k) = g.best_order(&[0]);
+        assert_eq!(k, 2);
+    }
+
+    #[test]
+    fn triangle_needs_three_live_variables() {
+        let g = hg(&[&[0, 1], &[1, 2], &[2, 0]]);
+        let (_, k) = g.best_order(&[]);
+        assert_eq!(k, 3);
+    }
+
+    #[test]
+    fn core_extraction_renames_reused_slots_apart() {
+        // Sibling scopes both bind x2; the core must keep them distinct.
+        let f = parse("(exists x2. E(x1,x2) & exists x2. P(x2))").unwrap();
+        let core = conjunctive_core(&f).unwrap();
+        assert_eq!(core.atoms.len(), 2);
+        let e = &core.atoms[0];
+        let p = &core.atoms[1];
+        assert_eq!(e.rel, "E");
+        assert_eq!(p.rel, "P");
+        assert_ne!(e.vars[1], p.vars[0], "reused slot wrongly merged");
+        assert_eq!(core.free, vec![0]);
+    }
+
+    #[test]
+    fn core_rejects_non_conjunctive_shapes() {
+        for src in [
+            "(P(x1) | P(x1))",
+            "~P(x1)",
+            "x1 = 3",
+            "forall x2. E(x1,x2)",
+            "[lfp S(x1). (x1 = 0 | exists x2. (S(x2) & E(x2,x1)))](x1)",
+        ] {
+            let f = parse(src).unwrap();
+            assert!(conjunctive_core(&f).is_none(), "{src}");
+        }
+    }
+
+    #[test]
+    fn core_handles_nested_quantifiers_and_shadowing() {
+        let f = parse("exists x2. (E(x1,x2) & exists x3. (E(x2,x3) & P(x3)))").unwrap();
+        let core = conjunctive_core(&f).unwrap();
+        assert_eq!(core.atoms.len(), 3);
+        assert!(core.hypergraph().is_acyclic());
+        // Repeated variables within an atom dedup.
+        let g = parse("E(x1,x1)").unwrap();
+        let core = conjunctive_core(&g).unwrap();
+        assert_eq!(core.atoms[0].vars, vec![0]);
+    }
+
+    #[test]
+    fn orders_are_deterministic() {
+        let g = hg(&[&[0, 1], &[1, 2], &[2, 3], &[3, 0]]);
+        assert_eq!(g.min_degree_order(&[]), g.min_degree_order(&[]));
+        assert_eq!(g.min_fill_order(&[]), g.min_fill_order(&[]));
+    }
+}

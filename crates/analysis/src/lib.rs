@@ -1,0 +1,41 @@
+//! # bvq-analysis
+//!
+//! Hypergraph static analysis for the `bvq` reproduction of Vardi,
+//! *On the Complexity of Bounded-Variable Queries* (PODS 1995).
+//!
+//! The paper's complexity story is governed by the variable width `k`
+//! (evaluation in `n^k`, Prop 3.1). This crate computes that structure
+//! instead of pattern-matching for it:
+//!
+//! * [`hypergraph`] — the query hypergraph of the conjunctive core of an
+//!   FO formula (atoms as hyperedges over their variables, nested
+//!   `∃`/`∧` structure renamed apart), the GYO ear-removal reduction
+//!   deciding α-acyclicity [BFMY83], and elimination orderings
+//!   (min-degree and min-fill) with their induced widths and per-step
+//!   bags;
+//! * [`certificate`] — [`WidthCertificate`]: a variable-minimizing
+//!   rewrite *together with the evidence that it is correct* — the
+//!   rewritten formula, its claimed width `k_min`, and the elimination
+//!   order with per-step bags. [`certificate::validate`] replays the
+//!   evidence with no reference to the heuristics that produced it:
+//!   syntactic width, free-variable preservation, α-equivalence against
+//!   the normalized original, and bag containment along the order;
+//! * [`analyze`] — [`QueryAnalysis`], the one-call front end: verdicts
+//!   (acyclic? width? `k_min`?) plus the certificate when the query is
+//!   width-reducible.
+//!
+//! Everything is purely syntactic; no database is ever consulted. The
+//! crate depends only on `bvq-logic`, so every layer of the stack (lint,
+//! the compile-time cost model, the optimizer, the server's admission
+//! control) can consume the same facts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod certificate;
+pub mod hypergraph;
+
+pub use analyze::{analyze_formula, analyze_query, QueryAnalysis};
+pub use certificate::{validate, CertError, WidthCertificate};
+pub use hypergraph::{conjunctive_core, Core, Hypergraph};

@@ -27,6 +27,7 @@ fn start(workers: usize, queue: usize, caches: usize, debug_ops: bool) -> Server
         default_deadline_ms: None,
         debug_ops,
         admission: false,
+        max_width: None,
         max_frame_bytes: 1 << 20,
     })
     .expect("bind loopback");

@@ -158,7 +158,7 @@ pub fn run_lint(db: &Database, rest: &[String]) -> Result<(), String> {
     let mut json_reports = Vec::new();
     for unit in &units {
         let report = lint_unit(db, unit, &flags);
-        let (e, w, _) = report.counts();
+        let (e, w, _, _) = report.counts();
         errors += e;
         warnings += w;
         if flags.json {

@@ -15,7 +15,12 @@ use bvq_server::{Client, Json, Server, ServerConfig};
 
 /// Runs `bvq serve <db-file>... [--addr A] [--threads N] [--queue N]
 /// [--plan-cache N] [--result-cache N] [--deadline-ms N] [--debug-ops]
-/// [--admission]`.
+/// [--admission] [--max-width K]`.
+///
+/// `--max-width K` (implies `--admission`) rejects compute requests
+/// wider than `K` variables unless the static analyzer emits a
+/// certified rewrite fitting the budget, in which case the request is
+/// evaluated as the rewrite.
 pub fn run_serve(args: &[String]) -> Result<(), String> {
     let mut cfg = ServerConfig {
         addr: "127.0.0.1:4141".into(),
@@ -39,6 +44,10 @@ pub fn run_serve(args: &[String]) -> Result<(), String> {
             "--deadline-ms" => cfg.default_deadline_ms = Some(num("--deadline-ms")? as u64),
             "--debug-ops" => cfg.debug_ops = true,
             "--admission" => cfg.admission = true,
+            "--max-width" => {
+                cfg.max_width = Some(num("--max-width")?.max(1));
+                cfg.admission = true;
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             path => db_paths.push(path.to_string()),
         }

@@ -678,7 +678,7 @@ fn insert_drops(ops: &mut Vec<Op>, result: Reg) {
     *ops = out;
 }
 
-fn op_dst(op: &Op) -> Option<Reg> {
+pub(crate) fn op_dst(op: &Op) -> Option<Reg> {
     match op {
         Op::LoadConst { dst, .. }
         | Op::LoadAtom { dst, .. }
@@ -697,7 +697,7 @@ fn op_dst(op: &Op) -> Option<Reg> {
     }
 }
 
-fn op_regs(op: &Op) -> Vec<Reg> {
+pub(crate) fn op_regs(op: &Op) -> Vec<Reg> {
     match op {
         Op::LoadConst { dst, .. }
         | Op::LoadAtom { dst, .. }

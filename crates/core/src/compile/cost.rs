@@ -37,7 +37,11 @@ const MAX_DEFAULT_ROUNDS: f64 = 48.0;
 pub struct CostReport {
     /// Backend the plan will run on: `"dense"` or `"sparse"`.
     pub backend: &'static str,
-    /// Points per pass (`n^k`).
+    /// The width used for the pass unit: the *certified* minimum width
+    /// from the hypergraph analysis, which bounds the achievable
+    /// intermediate relations more tightly than the syntactic width.
+    pub k_min: usize,
+    /// Points per pass (`n^k_min`).
     pub unit: f64,
     /// Estimated rounds per fixpoint operator.
     pub est_rounds: f64,
@@ -63,7 +67,8 @@ impl CostReport {
                 self.interpreted, self.basic, self.optimized
             ),
             format!(
-                "cost inputs: unit=n^k={:.0} backend={} est_rounds={:.0} ({})",
+                "cost inputs: unit=n^k_min=n^{}={:.0} backend={} est_rounds={:.0} ({})",
+                self.k_min,
                 self.unit,
                 self.backend,
                 self.est_rounds,
@@ -121,7 +126,11 @@ fn compiled_passes(bc: &Bytecode, rounds: f64) -> f64 {
     block_passes(bc, &bc.prelude, rounds) + block_passes(bc, &bc.entry, rounds)
 }
 
-/// Builds the cost report and picks the engine.
+/// Builds the cost report and picks the engine. `k_min` is the
+/// certified minimum width from the hypergraph analysis (equal to the
+/// syntactic width when no certified rewrite exists): it, not the
+/// syntactic width, sets the `n^k` pass unit, because the certificate
+/// proves evaluation fits within `n^k_min` intermediate relations.
 pub(crate) fn choose(
     prog: &Program,
     basic: &Bytecode,
@@ -129,8 +138,9 @@ pub(crate) fn choose(
     n: usize,
     dense: bool,
     feedback: Option<&CompileFeedback>,
+    k_min: usize,
 ) -> CostReport {
-    let k = prog.width.max(1);
+    let k = k_min.max(1).min(prog.width.max(1));
     let unit = (n.max(1) as f64).powi(k as i32);
     let fix_count = prog.fixes.len();
     let (est_rounds, calibrated) = match feedback {
@@ -157,6 +167,7 @@ pub(crate) fn choose(
     };
     CostReport {
         backend: if dense { "dense" } else { "sparse" },
+        k_min: k,
         unit,
         est_rounds,
         calibrated,

@@ -29,6 +29,10 @@ use bvq_relation::Database;
 mod bytecode;
 mod cost;
 mod exec;
+// Only called under `debug_assertions` (and from the test suite), but
+// kept compiling in release so the invariants can't rot silently.
+#[cfg_attr(not(debug_assertions), allow(dead_code))]
+mod verify;
 
 pub use bytecode::Variant;
 pub use cost::CostReport;
@@ -64,8 +68,8 @@ pub struct CompileFeedback {
     pub max_cardinality: usize,
 }
 
-/// A planned query: both compiled variants, the cost report, and
-/// everything needed to run the chosen plan.
+/// A planned query: both compiled variants, the cost report, the static
+/// hypergraph analysis, and everything needed to run the chosen plan.
 pub struct QueryPlan {
     prog: Program,
     coords: Vec<usize>,
@@ -74,6 +78,7 @@ pub struct QueryPlan {
     basic: bytecode::Bytecode,
     optimized: bytecode::Bytecode,
     cost: CostReport,
+    analysis: bvq_analysis::QueryAnalysis,
 }
 
 /// Plans a query: compiles the IR, lowers both bytecode variants, and
@@ -114,8 +119,31 @@ pub fn plan_query(
     }
     let basic = bytecode::lower(&prog, db, k.max(1), Variant::Basic)?;
     let optimized = bytecode::lower(&prog, db, k.max(1), Variant::Optimized)?;
+    // Debug builds verify every lowering before anything can run it;
+    // the test suite additionally calls the verifier unconditionally.
+    #[cfg(debug_assertions)]
+    for bc in [&basic, &optimized] {
+        if let Err(e) = verify::verify(bc, db, k.max(1)) {
+            panic!(
+                "bytecode verifier rejected the {} lowering of `{q}`: {e}",
+                bc.variant.label()
+            );
+        }
+    }
     let dense = CylCtx::new(db.domain_size(), k.max(1)).dense_feasible();
-    let cost = cost::choose(&prog, &basic, &optimized, db.domain_size(), dense, feedback);
+    // The certified minimum width bounds the *achievable* intermediate
+    // relations (the rewrite proves evaluation fits in n^k_min), so the
+    // cost model's pass unit uses k_min, not the syntactic width.
+    let analysis = bvq_analysis::analyze_query(q);
+    let cost = cost::choose(
+        &prog,
+        &basic,
+        &optimized,
+        db.domain_size(),
+        dense,
+        feedback,
+        analysis.k_min.min(width),
+    );
     // The PFP evaluator's strategy: any non-monotone fixpoint in the
     // program forces naive restarts (Emerson–Lei warm starts are unsound
     // under non-monotone outer updates).
@@ -131,6 +159,7 @@ pub fn plan_query(
         basic,
         optimized,
         cost,
+        analysis,
     })
 }
 
@@ -143,6 +172,12 @@ impl QueryPlan {
     /// The cost report (`explain` renders it).
     pub fn cost(&self) -> &CostReport {
         &self.cost
+    }
+
+    /// The static hypergraph analysis computed at plan time
+    /// (acyclicity verdict, certified `k_min`, elimination order).
+    pub fn analysis(&self) -> &bvq_analysis::QueryAnalysis {
+        &self.analysis
     }
 
     /// The variant `eval_compiled` will run: the chosen one, else the

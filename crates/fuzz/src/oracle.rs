@@ -266,6 +266,7 @@ pub fn oracles(lang: Lang, with_server: bool) -> Vec<&'static str> {
             "metamorphic-conjunct-shuffle",
             "metamorphic-exists-reorder",
             "metamorphic-minimize-width",
+            "rewritten-vs-original",
             "metamorphic-domain-rename",
         ]),
         Lang::Fp | Lang::Pfp => names.extend([
@@ -275,6 +276,7 @@ pub fn oracles(lang: Lang, with_server: bool) -> Vec<&'static str> {
             "threads-1-vs-n",
             "metamorphic-double-negation",
             "metamorphic-conjunct-shuffle",
+            "rewritten-vs-original",
             "metamorphic-domain-rename",
         ]),
         Lang::Datalog => names.extend([
@@ -480,6 +482,36 @@ pub fn run_oracle(
                     oracle,
                     run_direct(&case.db, &ExecRequest::query(m.to_string())),
                 ),
+                None => Ok(0),
+            }
+        }
+        "rewritten-vs-original" => {
+            // The certified width-minimizing rewrite must evaluate
+            // identically to the original. A rejected certificate
+            // (`certified == Some(false)`) is itself a bug: the
+            // analyzer emitted a rewrite its own validator refused.
+            let CaseKind::Query(q) = &case.kind else {
+                return Ok(0);
+            };
+            let analysis = bvq_analysis::analyze_query(q);
+            if analysis.certified == Some(false) {
+                return Err(Divergence {
+                    oracle: oracle.to_string(),
+                    detail: format!(
+                        "analyzer emitted a width certificate its validator rejected \
+                         (width {} claimed {})",
+                        analysis.width, analysis.k_min
+                    ),
+                });
+            }
+            match analysis.certificate {
+                Some(cert) => {
+                    let rq = Query::new(q.output.clone(), cert.rewritten);
+                    against(
+                        oracle,
+                        run_direct(&case.db, &ExecRequest::query(rq.to_string())),
+                    )
+                }
                 None => Ok(0),
             }
         }

@@ -187,6 +187,49 @@ fn reachable_from<'a>(p: &'a Program, root: &'a str) -> BTreeSet<&'a str> {
     reach
 }
 
+/// Rule-body hypergraph acyclicity (BVQ-I111): builds one hypergraph
+/// per rule body (one hyperedge per atom, over its variables) and runs
+/// the GYO reduction. Returns `Some(true)` (and reports the info
+/// diagnostic) when every body is α-acyclic, `Some(false)` when some
+/// body is cyclic, `None` for empty programs.
+pub fn check_rule_acyclicity(p: &Program, out: &mut Vec<Diagnostic>) -> Option<bool> {
+    if p.rules.is_empty() {
+        return None;
+    }
+    let all = p.rules.iter().all(|r| {
+        let edges: Vec<Vec<u32>> = r
+            .body
+            .iter()
+            .map(|a| {
+                let mut vs: Vec<u32> = a
+                    .args
+                    .iter()
+                    .filter_map(|t| match t {
+                        AtomTerm::Var(v) => Some(*v),
+                        AtomTerm::Const(_) => None,
+                    })
+                    .collect();
+                vs.sort_unstable();
+                vs.dedup();
+                vs
+            })
+            .collect();
+        bvq_analysis::Hypergraph { edges }.is_acyclic()
+    });
+    if all {
+        out.push(Diagnostic::info(
+            diag::I111,
+            None,
+            format!(
+                "all {} rule body hypergraph(s) are α-acyclic (GYO-reducible): each \
+                 round can evaluate by semijoins",
+                p.rules.len()
+            ),
+        ));
+    }
+    Some(all)
+}
+
 /// The program's width: the maximum number of distinct variables in any
 /// single rule (each round grounds one rule at a time, so intermediate
 /// work is bounded by `n^k` for this `k`).

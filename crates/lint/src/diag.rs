@@ -9,7 +9,8 @@ use bvq_logic::SrcSpan;
 /// `Error`s mean the query is rejected (it is unsafe, ill-formed, or
 /// cannot be parsed); `Warning`s flag degenerate or suspicious
 /// constructs; `Suggestion`s point out beneficial rewrites and never
-/// fail a lint run.
+/// fail a lint run; `Info`s report neutral structural facts (such as a
+/// proven-acyclic conjunctive core) that fail nothing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
     /// The query must be rejected.
@@ -18,6 +19,8 @@ pub enum Severity {
     Warning,
     /// A beneficial rewrite is available.
     Suggestion,
+    /// A neutral structural fact.
+    Info,
 }
 
 impl Severity {
@@ -27,6 +30,7 @@ impl Severity {
             Severity::Error => "error",
             Severity::Warning => "warning",
             Severity::Suggestion => "suggestion",
+            Severity::Info => "info",
         }
     }
 }
@@ -75,6 +79,14 @@ impl Diagnostic {
     ) -> Self {
         Diagnostic {
             severity: Severity::Suggestion,
+            ..Diagnostic::error(code, span, message)
+        }
+    }
+
+    /// An info-severity diagnostic.
+    pub fn info(code: &'static str, span: Option<SrcSpan>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Info,
             ..Diagnostic::error(code, span, message)
         }
     }
@@ -128,8 +140,14 @@ pub const W103: &str = "BVQ-W103";
 pub const W104: &str = "BVQ-W104";
 /// The n^k intermediate-relation bound exceeds the configured budget.
 pub const W106: &str = "BVQ-W106";
-/// The query is rewritable into a smaller-width fragment.
-pub const S105: &str = "BVQ-S105";
+/// A width-reducing rewrite was produced but its certificate failed
+/// validation; the rewrite must not be used.
+pub const E109: &str = "BVQ-E109";
+/// The query provably evaluates within a smaller width: a certified
+/// variable-minimizing rewrite k → k_min exists.
+pub const W110: &str = "BVQ-W110";
+/// The conjunctive core is α-acyclic (GYO-reducible).
+pub const I111: &str = "BVQ-I111";
 
 /// The full diagnostic catalog: `(code, severity, description)`.
 pub const CATALOG: &[(&str, Severity, &str)] = &[
@@ -179,9 +197,19 @@ pub const CATALOG: &[(&str, Severity, &str)] = &[
         "n^k intermediate-relation bound exceeds the configured budget",
     ),
     (
-        S105,
-        Severity::Suggestion,
-        "query is rewritable into a smaller-width fragment",
+        E109,
+        Severity::Error,
+        "width rewrite certificate rejected by the validator",
+    ),
+    (
+        W110,
+        Severity::Warning,
+        "width reducible: a certified rewrite uses k_min < k variables",
+    ),
+    (
+        I111,
+        Severity::Info,
+        "conjunctive core is α-acyclic (GYO-reducible)",
     ),
 ];
 
@@ -198,6 +226,7 @@ mod tests {
                 Severity::Error => assert_eq!(class, b'E', "{code}"),
                 Severity::Warning => assert_eq!(class, b'W', "{code}"),
                 Severity::Suggestion => assert_eq!(class, b'S', "{code}"),
+                Severity::Info => assert_eq!(class, b'I', "{code}"),
             }
             for (other, _, _) in &CATALOG[i + 1..] {
                 assert_ne!(code, other);

@@ -222,34 +222,57 @@ fn complementary_pair<'a>(operands: &[&'a Formula]) -> Option<&'a Formula> {
     None
 }
 
-/// Width analysis (BVQ-S105): reports when [`Formula::minimize_width`]
-/// finds a strictly smaller width, with the paper's `n^k → n^k′` bound
-/// improvement. `k` is the query's effective width (formula width and
-/// output variables).
-pub fn check_width_reduction(
+/// Hypergraph width/acyclicity analysis (BVQ-I111 acyclic core,
+/// BVQ-W110 certified width reduction, BVQ-E109 rejected certificate):
+/// runs [`bvq_analysis::analyze_formula`] and turns its verdicts into
+/// diagnostics. Every reported rewrite carries a certificate already
+/// accepted by [`bvq_analysis::certificate::validate`]; a rewrite whose
+/// certificate was rejected is an error, never a suggestion.
+pub fn check_analysis(
     f: &Formula,
-    k: usize,
     floor: usize,
     spans: Option<&SpanNode>,
     out: &mut Vec<Diagnostic>,
-) -> Option<(usize, Formula)> {
-    let minimized = f.minimize_width()?;
-    let k2 = minimized.width().max(floor).max(1);
-    if k2 < k {
-        out.push(
-            Diagnostic::suggestion(
-                diag::S105,
-                span_of(spans),
-                format!(
-                    "query is FO^{k2}-rewritable: the intermediate-relation bound \
-                     drops from n^{k} to n^{k2} (Prop 3.1)"
-                ),
-            )
-            .with_help(format!("equivalent width-{k2} formula: {minimized}")),
-        );
-        return Some((k2, minimized));
+) -> bvq_analysis::QueryAnalysis {
+    let analysis = bvq_analysis::analyze_formula(f, floor);
+    if analysis.acyclic == Some(true) {
+        out.push(Diagnostic::info(
+            diag::I111,
+            span_of(spans),
+            format!(
+                "conjunctive core ({} atom(s)) is α-acyclic: GYO reduction succeeds, \
+                 so a semijoin (Yannakakis) plan is available",
+                analysis.core_atoms
+            ),
+        ));
     }
-    None
+    match analysis.certified {
+        Some(true) => {
+            let cert = analysis.certificate.as_ref().expect("certified analysis");
+            let (k, k2) = (analysis.width, analysis.k_min);
+            out.push(
+                Diagnostic::warning(
+                    diag::W110,
+                    span_of(spans),
+                    format!(
+                        "width reducible {k} → {k2}: a certified rewrite lowers the \
+                         intermediate-relation bound from n^{k} to n^{k2} (Prop 3.1)"
+                    ),
+                )
+                .with_help(format!("certified width-{k2} formula: {}", cert.rewritten)),
+            );
+        }
+        Some(false) => {
+            out.push(Diagnostic::error(
+                diag::E109,
+                span_of(spans),
+                "a width-reducing rewrite was produced but its certificate failed \
+                 validation; the rewrite must not be used",
+            ));
+        }
+        None => {}
+    }
+    analysis
 }
 
 /// Schema conformance (BVQ-E008 unknown relation, BVQ-E003 arity
@@ -379,24 +402,34 @@ mod tests {
     }
 
     #[test]
-    fn width_reduction_suggests_rewrite() {
+    fn analysis_certifies_width_reduction_and_acyclicity() {
         // A 4-variable chain that renames down to width 2.
         let (f, spans) =
             parse_spanned("exists x2. exists x3. exists x4. (E(x1,x2) & E(x2,x3) & E(x3,x4))")
                 .unwrap();
         let mut out = Vec::new();
-        let got = check_width_reduction(&f, 4, 1, Some(&spans), &mut out);
-        let (k2, g) = got.expect("must minimize");
-        assert!(k2 < 4);
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].code, diag::S105);
-        assert!(out[0].message.contains(&format!("n^{k2}")), "{out:?}");
-        assert_eq!(g.free_vars(), f.free_vars());
-        // Already-minimal queries get no suggestion.
+        let analysis = check_analysis(&f, 1, Some(&spans), &mut out);
+        assert_eq!(analysis.k_min, 2);
+        assert_eq!(analysis.certified, Some(true));
+        assert_eq!(analysis.acyclic, Some(true));
+        let w = out.iter().find(|d| d.code == diag::W110).expect("W110");
+        assert!(w.message.contains("n^2"), "{out:?}");
+        assert!(out.iter().any(|d| d.code == diag::I111), "{out:?}");
+        let cert = analysis.certificate.expect("certificate");
+        assert_eq!(cert.rewritten.free_vars(), f.free_vars());
+        assert!(bvq_analysis::validate(&f, &cert).is_ok());
+        // Already-minimal queries get no W110 (just the acyclicity fact).
         let (f, spans) = parse_spanned("E(x1,x2)").unwrap();
         let mut out = Vec::new();
-        assert!(check_width_reduction(&f, 2, 2, Some(&spans), &mut out).is_none());
-        assert!(out.is_empty());
+        let analysis = check_analysis(&f, 2, Some(&spans), &mut out);
+        assert_eq!(analysis.certified, None);
+        assert!(out.iter().all(|d| d.code == diag::I111), "{out:?}");
+        // A cyclic triangle is never claimed acyclic.
+        let (f, spans) = parse_spanned("E(x1,x2) & E(x2,x3) & E(x3,x1)").unwrap();
+        let mut out = Vec::new();
+        let analysis = check_analysis(&f, 3, Some(&spans), &mut out);
+        assert_eq!(analysis.acyclic, Some(false));
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

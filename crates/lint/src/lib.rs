@@ -13,10 +13,13 @@
 //!   (`BVQ-E001`), else the answer is domain-dependent;
 //! * **positivity / well-formedness** — non-positive recursion, bad rule
 //!   heads, range restriction and arity conformance for Datalog;
-//! * **width analysis** — reports `k` and, via
-//!   [`Formula::minimize_width`](bvq_logic::Formula::minimize_width),
-//!   suggests an equivalent FO^k′ rewriting with the `n^k → n^k′` bound
-//!   improvement (`BVQ-S105`);
+//! * **width analysis** — runs the `bvq-analysis` hypergraph pass:
+//!   reports a *certified* variable-minimizing rewrite `k → k_min`
+//!   (`BVQ-W110`, the certificate is replayed by
+//!   [`bvq_analysis::validate`] before it is ever reported), flags
+//!   rewrites whose certificate fails validation (`BVQ-E109`), and
+//!   reports α-acyclic conjunctive cores (`BVQ-I111`) — for Datalog,
+//!   per-rule-body hypergraphs;
 //! * **complexity classification** — places the query in its fragment
 //!   (FO^k / FP^k / PFP^k / ESO^k / Datalog / CQ / acyclic CQ via GYO)
 //!   and reports the predicted Tables 1–3 cells, optionally flagging
@@ -83,6 +86,15 @@ pub struct LintReport {
     /// The `n^k` intermediate-relation bound, when the domain size is
     /// known (saturating).
     pub bound: Option<u128>,
+    /// `Some(true)` when the conjunctive core (FO) or every rule body
+    /// (Datalog) is α-acyclic; `Some(false)` when cyclic; `None` when
+    /// no core exists or the check does not apply.
+    pub acyclic: Option<bool>,
+    /// `Some(true)` when a width-reducing rewrite exists and its
+    /// certificate validated; `Some(false)` when the certificate was
+    /// rejected (`BVQ-E109`); `None` when the query is already
+    /// width-minimal.
+    pub certified: Option<bool>,
     /// All findings, errors first.
     pub diagnostics: Vec<Diagnostic>,
 }
@@ -99,6 +111,8 @@ impl LintReport {
             combined_complexity: fragment.combined_complexity().to_string(),
             expression_complexity: fragment.expression_complexity().to_string(),
             bound: None,
+            acyclic: None,
+            certified: None,
             diagnostics: Vec::new(),
         }
     }
@@ -116,6 +130,8 @@ impl LintReport {
             combined_complexity: "n/a".to_string(),
             expression_complexity: "n/a".to_string(),
             bound: None,
+            acyclic: None,
+            certified: None,
             diagnostics: vec![d],
         }
     }
@@ -135,14 +151,15 @@ impl LintReport {
             .any(|d| d.severity <= Severity::Warning)
     }
 
-    /// `(errors, warnings, suggestions)` counts.
-    pub fn counts(&self) -> (usize, usize, usize) {
-        let mut c = (0, 0, 0);
+    /// `(errors, warnings, suggestions, infos)` counts.
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
         for d in &self.diagnostics {
             match d.severity {
                 Severity::Error => c.0 += 1,
                 Severity::Warning => c.1 += 1,
                 Severity::Suggestion => c.2 += 1,
+                Severity::Info => c.3 += 1,
             }
         }
         c
@@ -217,13 +234,19 @@ impl LintReport {
             if let Some(b) = self.bound {
                 out.push_str(&format!("bound: n^{} = {b}\n", self.width));
             }
+            if let Some(acyclic) = self.acyclic {
+                out.push_str(&format!(
+                    "acyclic: {}\n",
+                    if acyclic { "yes (GYO)" } else { "no" }
+                ));
+            }
         }
-        let (e, w, s) = self.counts();
+        let (e, w, s, i) = self.counts();
         if self.diagnostics.is_empty() {
             out.push_str("clean: no findings\n");
         } else {
             out.push_str(&format!(
-                "findings: {e} error(s), {w} warning(s), {s} suggestion(s)\n"
+                "findings: {e} error(s), {w} warning(s), {s} suggestion(s), {i} info(s)\n"
             ));
             for d in &self.diagnostics {
                 out.push_str(&format!("{d}\n"));
@@ -324,11 +347,12 @@ pub fn lint_query(q: &Query, spans: Option<&SpanNode>, cfg: &LintConfig) -> Lint
     if let Some(schema) = &cfg.schema {
         fo::check_schema(&q.formula, schema, spans, &mut report.diagnostics);
     }
-    if let Some((k2, g)) =
-        fo::check_width_reduction(&q.formula, width, floor, spans, &mut report.diagnostics)
-    {
-        report.min_width = Some(k2);
-        report.rewritten = Some(g.to_string());
+    let analysis = fo::check_analysis(&q.formula, floor, spans, &mut report.diagnostics);
+    report.acyclic = analysis.acyclic;
+    report.certified = analysis.certified;
+    if analysis.certified == Some(true) {
+        report.min_width = Some(analysis.k_min);
+        report.rewritten = analysis.certificate.map(|c| c.rewritten.to_string());
     }
     report.finish(cfg)
 }
@@ -367,6 +391,7 @@ pub fn lint_program(
         cfg.schema.as_deref(),
         &mut report.diagnostics,
     );
+    report.acyclic = datalog::check_rule_acyclicity(p, &mut report.diagnostics);
     report.finish(cfg)
 }
 
@@ -410,12 +435,22 @@ mod tests {
     #[test]
     fn clean_query_reports_classification_only() {
         let r = lint_query_text("(x1) exists x2. (E(x1,x2) & P(x2))", &cfg());
-        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        // The only finding is the I111 acyclicity fact — no errors,
+        // warnings, or suggestions.
+        assert_eq!(r.counts(), (0, 0, 0, 1), "{:?}", r.diagnostics);
         assert_eq!(r.fragment, Some(Fragment::AcyclicCq));
         assert_eq!(r.width, 2);
         assert_eq!(r.bound, Some(100));
-        assert!(r.render().contains("clean: no findings"));
+        assert_eq!(r.acyclic, Some(true));
+        assert_eq!(r.certified, None);
+        assert!(!r.has_warnings());
+        assert!(r.render().contains("acyclic: yes (GYO)"));
         assert!(r.render().contains("[Table 2]"));
+        // A query with no conjunctive core really is clean.
+        let r = lint_query_text("(x1) (P(x1) | E(x1,x1))", &cfg());
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.acyclic, None);
+        assert!(r.render().contains("clean: no findings"));
     }
 
     #[test]
@@ -478,16 +513,22 @@ mod tests {
             &over,
         );
         assert!(r.diagnostics.iter().any(|d| d.code == diag::W106), "{r:?}");
-        // S105 — width-reducible chain.
+        // W110 — certified width-reducible chain (and I111: the chain's
+        // core is acyclic).
         let r = lint_query_text(
             "(x1) exists x2. exists x3. exists x4. (E(x1,x2) & E(x2,x3) & E(x3,x4))",
             &schema,
         );
-        let d = r.diagnostics.iter().find(|d| d.code == diag::S105).unwrap();
-        assert_eq!(d.severity, Severity::Suggestion);
+        let d = r.diagnostics.iter().find(|d| d.code == diag::W110).unwrap();
+        assert_eq!(d.severity, Severity::Warning);
         assert_eq!(r.min_width, Some(2));
+        assert_eq!(r.certified, Some(true));
         assert!(r.rewritten.is_some());
-        assert!(!r.has_warnings(), "suggestions are not warnings");
+        assert!(r.has_warnings(), "a certified reduction is a warning");
+        // I111 — acyclic conjunctive core is an info, not a warning.
+        let d = r.diagnostics.iter().find(|d| d.code == diag::I111).unwrap();
+        assert_eq!(d.severity, Severity::Info);
+        assert_eq!(r.acyclic, Some(true));
     }
 
     #[test]
@@ -499,7 +540,9 @@ mod tests {
         let r = lint_datalog_text("T(x,y) :- E(x,y).\nT(x,y) :- T(x,z), E(z,y).", None, &cfg());
         assert_eq!(r.fragment, Some(Fragment::Datalog));
         assert_eq!(r.width, 3);
-        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        // Both transitive-closure rule bodies are acyclic: I111 only.
+        assert_eq!(r.counts(), (0, 0, 0, 1), "{:?}", r.diagnostics);
+        assert_eq!(r.acyclic, Some(true));
         assert_eq!(r.data_complexity, "PTIME-complete");
     }
 

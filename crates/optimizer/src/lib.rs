@@ -15,7 +15,10 @@
 //!   of *live* variables along the ordering is exactly the `k` for which
 //!   the query evaluates in `FO^k` fashion, and
 //!   [`elimination::eval_eliminated`] evaluates with early projection so
-//!   intermediate arity is bounded by that `k`.
+//!   intermediate arity is bounded by that `k`;
+//! * [`route`] — analysis-gated plan routing: the semijoin path runs
+//!   only when `bvq-analysis`'s independent GYO reduction *proves*
+//!   α-acyclicity; cyclic queries fall back to bucket elimination.
 //!
 //! The introduction's employee/manager/secretary query is the worked
 //! example throughout (`bvq-workload` generates the database; the
@@ -28,10 +31,12 @@ pub mod bounded_formula;
 pub mod cq;
 pub mod elimination;
 pub mod gyo;
+pub mod route;
 pub mod yannakakis;
 
 pub use bounded_formula::to_bounded_query;
 pub use cq::{ConjunctiveQuery, CqAtom, CqTerm, PlanStats};
 pub use elimination::{eval_eliminated, greedy_order, induced_width};
 pub use gyo::{is_acyclic, join_tree, JoinTree};
+pub use route::{analyze_cq, cq_hypergraph, eval_routed, CqStructure, Route};
 pub use yannakakis::{eval_yannakakis, eval_yannakakis_traced};

@@ -1,0 +1,198 @@
+//! Analysis-gated plan routing: Yannakakis only on *proven* acyclicity.
+//!
+//! [`eval_yannakakis`] discovers cyclicity by failing mid-plan; this
+//! module decides the route *before* touching the database, from the
+//! static analysis crate's independent GYO reduction. Acyclic queries
+//! take the semijoin path (intermediates bounded by input + output);
+//! cyclic queries fall back to bucket elimination along a greedy
+//! ordering, whose intermediates are bounded by `n^{max bag}` — the
+//! same `k` the analyzer's width report quotes.
+//!
+//! Running *two* GYO implementations (this crate's join-tree builder and
+//! `bvq-analysis`'s reduction) on every routed query is deliberate:
+//! the verdicts must agree, and [`eval_routed`] returns an error rather
+//! than a wrong plan if they ever diverge.
+
+use bvq_analysis::Hypergraph;
+use bvq_relation::{Database, Relation};
+
+use crate::cq::{ConjunctiveQuery, PlanError, PlanStats};
+use crate::elimination::{eval_eliminated, greedy_order};
+use crate::yannakakis::eval_yannakakis;
+
+/// The structural facts the router derives from the query hypergraph
+/// before choosing a plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CqStructure {
+    /// Whether the GYO reduction proves the hypergraph α-acyclic.
+    pub acyclic: bool,
+    /// Elimination order over the non-head variables (the better of the
+    /// min-degree and min-fill heuristics).
+    pub order: Vec<u32>,
+    /// Largest bag along `order`: the `k` of the `n^k` intermediate
+    /// bound when the query is evaluated by elimination.
+    pub max_bag: usize,
+}
+
+/// The plan the router chose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// Proven acyclic: Yannakakis's semijoin algorithm.
+    Yannakakis,
+    /// Cyclic (or unproven): bucket elimination along a greedy ordering.
+    Elimination,
+}
+
+impl Route {
+    /// A short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Route::Yannakakis => "yannakakis",
+            Route::Elimination => "elimination",
+        }
+    }
+}
+
+/// Builds the analysis-crate hypergraph of a conjunctive query: one
+/// hyperedge per atom, over the atom's distinct variables.
+pub fn cq_hypergraph(cq: &ConjunctiveQuery) -> Hypergraph {
+    let edges = cq
+        .atoms
+        .iter()
+        .map(|a| {
+            let mut vs = a.vars();
+            vs.sort_unstable();
+            vs
+        })
+        .collect();
+    Hypergraph { edges }
+}
+
+/// Runs the structural analysis for a conjunctive query.
+pub fn analyze_cq(cq: &ConjunctiveQuery) -> CqStructure {
+    let hg = cq_hypergraph(cq);
+    let acyclic = hg.is_acyclic();
+    let (order, max_bag) = hg.best_order(&cq.head);
+    CqStructure {
+        acyclic,
+        order,
+        max_bag,
+    }
+}
+
+/// Evaluates `cq` by the best structurally-justified plan: Yannakakis
+/// when the analysis proves α-acyclicity, else bucket elimination.
+///
+/// # Errors
+/// Plan errors from the chosen evaluator; [`PlanError::Cyclic`] if the
+/// analyzer claimed acyclicity but the join-tree builder disagrees (a
+/// bug in one of the two GYO implementations — never a user error).
+pub fn eval_routed(
+    cq: &ConjunctiveQuery,
+    db: &Database,
+) -> Result<(Relation, PlanStats, Route), PlanError> {
+    let structure = analyze_cq(cq);
+    if structure.acyclic {
+        let (rel, stats) = eval_yannakakis(cq, db)?;
+        Ok((rel, stats, Route::Yannakakis))
+    } else {
+        let order = greedy_order(cq);
+        let (rel, stats) = eval_eliminated(cq, db, &order)?;
+        Ok((rel, stats, Route::Elimination))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::CqTerm::Var as V;
+    use crate::gyo;
+    use bvq_prng::{for_each_case, Rng};
+
+    fn db() -> Database {
+        Database::builder(6)
+            .relation("E", 2, [[0u32, 1], [1, 2], [2, 3], [3, 4], [1, 4], [4, 5]])
+            .relation("P", 1, [[2u32], [4]])
+            .build()
+    }
+
+    fn chain(len: usize) -> ConjunctiveQuery {
+        let mut cq = ConjunctiveQuery::new(&[0, len as u32]);
+        for i in 0..len {
+            cq = cq.atom("E", &[V(i as u32), V(i as u32 + 1)]);
+        }
+        cq
+    }
+
+    fn triangle() -> ConjunctiveQuery {
+        ConjunctiveQuery::new(&[0])
+            .atom("E", &[V(0), V(1)])
+            .atom("E", &[V(1), V(2)])
+            .atom("E", &[V(2), V(0)])
+    }
+
+    #[test]
+    fn acyclic_queries_take_the_yannakakis_route() {
+        let db = db();
+        let cq = chain(3);
+        let s = analyze_cq(&cq);
+        assert!(s.acyclic);
+        let (rel, _, route) = eval_routed(&cq, &db).unwrap();
+        assert_eq!(route, Route::Yannakakis);
+        let (naive, _) = cq.eval_naive_plan(&db).unwrap();
+        assert_eq!(rel.sorted(), naive.sorted());
+    }
+
+    #[test]
+    fn cyclic_queries_fall_back_to_elimination() {
+        let db = db();
+        let cq = triangle();
+        let s = analyze_cq(&cq);
+        assert!(!s.acyclic);
+        assert_eq!(s.max_bag, 3, "a triangle needs all three variables live");
+        let (rel, stats, route) = eval_routed(&cq, &db).unwrap();
+        assert_eq!(route, Route::Elimination);
+        let (naive, _) = cq.eval_naive_plan(&db).unwrap();
+        assert_eq!(rel.sorted(), naive.sorted());
+        assert!(stats.max_arity <= s.max_bag);
+    }
+
+    #[test]
+    fn analysis_verdict_agrees_with_the_join_tree_builder() {
+        // The independent GYO implementations must decide acyclicity
+        // identically on random tree-shaped and random dense queries.
+        for_each_case(128, |_, rng| {
+            let cq = rand_cq(rng);
+            assert_eq!(
+                analyze_cq(&cq).acyclic,
+                gyo::is_acyclic(&cq),
+                "GYO implementations disagree on {cq:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn routed_agrees_with_naive_on_random_queries() {
+        let db = db();
+        for_each_case(64, |_, rng| {
+            let cq = rand_cq(rng);
+            let (routed, _, _) = eval_routed(&cq, &db).unwrap();
+            let (naive, _) = cq.eval_naive_plan(&db).unwrap();
+            assert_eq!(routed.sorted(), naive.sorted(), "{cq:?}");
+        });
+    }
+
+    /// Random query over ≤5 variables and 2..5 binary atoms; about half
+    /// the draws contain a cycle.
+    fn rand_cq(rng: &mut Rng) -> ConjunctiveQuery {
+        let m = rng.gen_range(2..5usize);
+        let nv = 5u32;
+        let mut cq = ConjunctiveQuery::new(&[0]).atom("E", &[V(0), V(1)]);
+        for _ in 0..m {
+            let a = rng.gen_range(0..nv);
+            let b = (a + 1 + rng.gen_range(0..nv - 1)) % nv;
+            cq = cq.atom("E", &[V(a), V(b)]);
+        }
+        cq
+    }
+}

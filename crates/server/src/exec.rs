@@ -844,11 +844,73 @@ pub fn lint_request(req: &ExecRequest, cfg: &bvq_lint::LintConfig) -> bvq_lint::
     }
 }
 
+/// The verdict of the `--max-width` admission gate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WidthAdmission {
+    /// Width within budget (or the request does not parse — parse
+    /// errors surface later with their own error code).
+    Admit,
+    /// Over budget as written, but the analyzer certified an equivalent
+    /// rewrite that fits: `text` is the replacement query.
+    Rewrite {
+        /// The full replacement query text, `(outputs) formula`.
+        text: String,
+        /// The request's syntactic width.
+        width: usize,
+        /// The certified width of the rewrite.
+        k_min: usize,
+    },
+    /// Over budget even with the best certified rewrite.
+    Reject {
+        /// The request's width.
+        width: usize,
+        /// The budget it exceeds.
+        budget: usize,
+    },
+}
+
+/// Applies a `--max-width` admission budget to a request.
+///
+/// FO/FP/PFP queries over budget are auto-rewritten when the hypergraph
+/// analyzer emits a **certified** variable-minimizing rewrite fitting
+/// the budget — the validator must have accepted the certificate; a
+/// claimed `k_min` alone is never trusted. Otherwise they are rejected,
+/// as are over-budget ESO and Datalog requests (no rewriter exists for
+/// those fragments).
+pub fn admit_width(req: &ExecRequest, budget: usize) -> WidthAdmission {
+    let Ok(prepared) = prepare_request(req) else {
+        return WidthAdmission::Admit;
+    };
+    let width = match &prepared {
+        Prepared::Query(p) => p.width,
+        Prepared::Eso(p) => p.width,
+        Prepared::Datalog(p) => datalog_width(&p.program),
+    };
+    if width <= budget {
+        return WidthAdmission::Admit;
+    }
+    if let Prepared::Query(p) = &prepared {
+        let analysis = bvq_analysis::analyze_query(&p.query);
+        if analysis.certified == Some(true) && analysis.k_min <= budget {
+            let cert = analysis
+                .certificate
+                .expect("certified implies a certificate");
+            let text = Query::new(p.query.output.clone(), cert.rewritten).to_string();
+            return WidthAdmission::Rewrite {
+                text,
+                width,
+                k_min: analysis.k_min,
+            };
+        }
+    }
+    WidthAdmission::Reject { width, budget }
+}
+
 /// Serializes a [`bvq_lint::LintReport`] for the wire protocol and the
 /// CLI's `--json` mode. The `bound` is a string (it may exceed JSON's
 /// exact integer range).
 pub fn lint_json(report: &bvq_lint::LintReport) -> Json {
-    let (errors, warnings, suggestions) = report.counts();
+    let (errors, warnings, suggestions, infos) = report.counts();
     let mut fields = vec![
         ("language", Json::str(report.language.clone())),
         ("width", Json::num(report.width as u64)),
@@ -864,6 +926,7 @@ pub fn lint_json(report: &bvq_lint::LintReport) -> Json {
         ("errors", Json::num(errors as u64)),
         ("warnings", Json::num(warnings as u64)),
         ("suggestions", Json::num(suggestions as u64)),
+        ("infos", Json::num(infos as u64)),
     ];
     if let Some(k2) = report.min_width {
         fields.push(("min_width", Json::num(k2 as u64)));
@@ -873,6 +936,12 @@ pub fn lint_json(report: &bvq_lint::LintReport) -> Json {
     }
     if let Some(b) = report.bound {
         fields.push(("bound", Json::str(b.to_string())));
+    }
+    if let Some(acyclic) = report.acyclic {
+        fields.push(("acyclic", Json::Bool(acyclic)));
+    }
+    if let Some(certified) = report.certified {
+        fields.push(("certified", Json::Bool(certified)));
     }
     let diags: Vec<Json> = report
         .diagnostics
@@ -1102,6 +1171,10 @@ pub struct ExplainReport {
     /// mutations: `counting`/`dred`/`rediff` plus the deciding construct
     /// (the IVM fallback matrix, [`bvq_core::incr`]).
     pub maintenance: String,
+    /// The hypergraph analyzer's verdict lines (queries only; empty
+    /// otherwise): syntactic width vs certified minimum width, whether
+    /// the conjunctive core is α-acyclic, and the elimination order.
+    pub analysis: Vec<String>,
     /// The plan tree: static shape for `explain`, the measured span
     /// tree for `explain analyze`.
     pub plan: Span,
@@ -1184,6 +1257,10 @@ pub fn explain_prepared(
         }
     };
     let bound = bound_string(n, k);
+    let analysis = match prepared {
+        Prepared::Query(p) => bvq_analysis::analyze_query(&p.query).verdict_lines(),
+        _ => Vec::new(),
+    };
     let (engine, cost, bytecode) = explain_engine(db, prepared, req);
     let (plan, analyzed) = if analyze {
         let mut traced = req.clone();
@@ -1205,6 +1282,7 @@ pub fn explain_prepared(
         cost,
         bytecode,
         minimized,
+        analysis,
         maintenance: {
             let ip = prepared.incr_plan();
             format!("{} — {}", ip.strategy.label(), ip.reason)
@@ -1272,6 +1350,10 @@ pub fn run_explain(db: &Database, req: &ExecRequest, analyze: bool) -> Result<St
         out.push('\n');
     }
     out.push_str(&format!("bound: {}\n", report.bound));
+    for line in &report.analysis {
+        out.push_str(line);
+        out.push('\n');
+    }
     out.push_str(&format!("cache key: {}\n", report.cache_key));
     out.push_str(&format!("maintenance: {}\n", report.maintenance));
     out.push_str(&format!(

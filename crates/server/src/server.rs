@@ -95,6 +95,11 @@ pub struct ServerConfig {
     /// buggy client cannot make a connection thread allocate
     /// unboundedly.
     pub max_frame_bytes: usize,
+    /// Width budget for admission: compute requests wider than this are
+    /// swapped for their certified variable-minimizing rewrite when one
+    /// fits the budget, and rejected with `admission_rejected`
+    /// otherwise. `None` disables the gate.
+    pub max_width: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -112,6 +117,7 @@ impl Default for ServerConfig {
             debug_ops: false,
             admission: false,
             max_frame_bytes: 1 << 20,
+            max_width: None,
         }
     }
 }
@@ -1087,6 +1093,43 @@ fn handle_subscribe(
             );
         }
     }
+    // Width budget: a standing query's registered text is what its
+    // deltas are computed against, so it is never rewritten silently —
+    // over-budget subscriptions are refused, quoting the certified
+    // rewrite (when one exists) for the client to resubmit.
+    if let Some(budget) = shared.cfg.max_width {
+        match exec::admit_width(&req, budget) {
+            exec::WidthAdmission::Admit => {}
+            exec::WidthAdmission::Rewrite { text, width, k_min } => {
+                inc(&shared.stats.admission_rejected);
+                drop(w);
+                return send(
+                    writer,
+                    &refuse(ProtoError::new(
+                        "admission_rejected",
+                        format!(
+                            "width {width} exceeds the server's --max-width {budget}; \
+                             subscribe to the certified width-{k_min} rewrite instead: {text}"
+                        ),
+                    )),
+                );
+            }
+            exec::WidthAdmission::Reject { width, budget } => {
+                inc(&shared.stats.admission_rejected);
+                drop(w);
+                return send(
+                    writer,
+                    &refuse(ProtoError::new(
+                        "admission_rejected",
+                        format!(
+                            "width {width} exceeds the server's --max-width {budget} \
+                             and no certified rewrite fits the budget"
+                        ),
+                    )),
+                );
+            }
+        }
+    }
     let prepared = match cached_prepare(shared, &req, &inner.cache_key()) {
         Ok(p) => p,
         Err(e) => {
@@ -1173,7 +1216,7 @@ fn handle_subscribe(
 }
 
 fn handle_compute(
-    compute: Compute,
+    mut compute: Compute,
     id: Json,
     shared: &Arc<Shared>,
     tx: &SyncSender<Msg>,
@@ -1225,6 +1268,33 @@ fn handle_compute(
                     "admission_rejected",
                     format!("[{}] {}", first.code, first.message),
                 ));
+            }
+        }
+    }
+    // Width budget: requests wider than `--max-width` are swapped for
+    // their certified variable-minimizing rewrite when one fits, and
+    // rejected otherwise. The rewrite is only trusted because the
+    // analyzer's certificate validator accepted it.
+    if let Some(budget) = shared.cfg.max_width {
+        if let Some(req) = exec_request(&compute.kind, None, false) {
+            match exec::admit_width(&req, budget) {
+                exec::WidthAdmission::Admit => {}
+                exec::WidthAdmission::Rewrite { text, .. } => {
+                    if let ComputeKind::Eval { query, .. } = &mut compute.kind {
+                        *query = text;
+                        inc(&shared.stats.admission_rewritten);
+                    }
+                }
+                exec::WidthAdmission::Reject { width, budget } => {
+                    inc(&shared.stats.admission_rejected);
+                    return fail(&ProtoError::new(
+                        "admission_rejected",
+                        format!(
+                            "width {width} exceeds the server's --max-width {budget} \
+                             and no certified rewrite fits the budget"
+                        ),
+                    ));
+                }
             }
         }
     }
@@ -1659,6 +1729,18 @@ fn explain_json(report: &exec::ExplainReport) -> Json {
     if let Some(note) = &report.minimized {
         fields.push(("minimized", Json::Str(note.clone())));
     }
+    if !report.analysis.is_empty() {
+        fields.push((
+            "analysis",
+            Json::Arr(
+                report
+                    .analysis
+                    .iter()
+                    .map(|l| Json::str(l.clone()))
+                    .collect(),
+            ),
+        ));
+    }
     fields.push(("plan", span_json(&report.plan)));
     Json::obj(fields)
 }
@@ -1863,6 +1945,51 @@ mod tests {
         // target rather than executing it), so clients can still ask
         // *why* a query was rejected.
         let resp = c.lint("g", "(x1) ~E(x1,x1)").unwrap();
+        assert!(Client::is_ok(&resp), "{resp:?}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn max_width_gate_rewrites_or_rejects() {
+        let mut handle = Server::start(ServerConfig {
+            admission: true,
+            max_width: Some(2),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        handle.load_db("g", graph_db());
+        let mut c = Client::connect(handle.addr()).unwrap();
+        // Width 4 as written, but the analyzer certifies a width-2
+        // rewrite: admitted, evaluated as the rewrite, same answer.
+        let chain = "(x1) exists x2. exists x3. exists x4. ((E(x1,x2) & E(x2,x3)) & E(x3,x4))";
+        let resp = c.eval("g", chain).unwrap();
+        assert!(Client::is_ok(&resp), "{resp:?}");
+        let rows = resp.get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows.len(), 2, "path of length 3 starts at 0 and 1");
+        assert!(handle.stats().admission_rewritten.load(Ordering::Relaxed) >= 1);
+        // A genuinely width-3 query (cyclic core, no rewrite fits):
+        // rejected before reaching a worker.
+        let tri = "(x1) exists x2. exists x3. ((E(x1,x2) & E(x2,x3)) & E(x3,x1))";
+        let resp = c.eval("g", tri).unwrap();
+        assert_eq!(Client::error_code(&resp), Some("admission_rejected"));
+        let msg = resp
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap();
+        assert!(msg.contains("--max-width 2"), "{msg}");
+        // Subscriptions are never rewritten silently: the refusal quotes
+        // the certified rewrite for the client to resubmit.
+        let ack = c.subscribe_eval("g", chain).unwrap();
+        assert_eq!(Client::error_code(&ack), Some("admission_rejected"));
+        let msg = ack
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap();
+        assert!(msg.contains("width-2 rewrite"), "{msg}");
+        // Queries already within budget pass untouched.
+        let resp = c.eval("g", "(x1) exists x2. E(x1,x2)").unwrap();
         assert!(Client::is_ok(&resp), "{resp:?}");
         handle.shutdown();
     }

@@ -135,8 +135,12 @@ pub struct StatsRegistry {
     pub result_misses: AtomicU64,
     /// Requests shed with `overloaded` (bounded queue full).
     pub overloaded: AtomicU64,
-    /// Requests rejected by admission control (error-level lint).
+    /// Requests rejected by admission control (error-level lint, or a
+    /// width over `--max-width` with no certified rewrite fitting it).
     pub admission_rejected: AtomicU64,
+    /// Requests auto-rewritten at admission: over the `--max-width`
+    /// budget as written, swapped for their certified rewrite.
+    pub admission_rewritten: AtomicU64,
     /// Requests aborted by their deadline.
     pub deadline_exceeded: AtomicU64,
     /// Compute jobs currently queued (gauge).
@@ -226,6 +230,10 @@ impl StatsRegistry {
             (
                 "admission_rejected",
                 Json::num(self.admission_rejected.load(Relaxed)),
+            ),
+            (
+                "admission_rewritten",
+                Json::num(self.admission_rewritten.load(Relaxed)),
             ),
             (
                 "deadline_exceeded",

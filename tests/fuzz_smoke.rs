@@ -139,6 +139,38 @@ fn intermediate_arity_stays_within_k_on_generated_cases() {
     assert_eq!(traced, 60);
 }
 
+/// Acceptance gate for the width rewriter: 200+ generated queries per
+/// query language pushed through the `rewritten-vs-original` oracle —
+/// every certified rewrite must evaluate identically to its original,
+/// and the analyzer must never emit a certificate its own validator
+/// rejects. The sweep must actually exercise certificates (generated
+/// formulas with reusable quantifier scopes are common enough that a
+/// dry run means the oracle is wired wrong).
+#[test]
+fn rewritten_vs_original_holds_across_generated_sweep() {
+    let mut cases = 0usize;
+    let mut certified = 0usize;
+    for lang in [Lang::Fo, Lang::Fp, Lang::Pfp] {
+        for index in 0..75u64 {
+            let case = gen_case(&mut case_rng(31_337, lang, index), lang);
+            match bvq_fuzz::oracle::run_oracle(&case, "rewritten-vs-original", None, None, index) {
+                Ok(c) => certified += c,
+                Err(d) => panic!(
+                    "{lang} case {index} diverged: {}\ncase: {}",
+                    d.detail,
+                    case.text()
+                ),
+            }
+            cases += 1;
+        }
+    }
+    assert!(cases >= 200, "sweep ran only {cases} cases");
+    assert!(
+        certified >= 1,
+        "sweep never produced a certified rewrite — oracle is vacuous"
+    );
+}
+
 /// One full fault-injection round: dropped streams, oversized and
 /// truncated frames, deadline races — the pool must stay healthy.
 #[test]

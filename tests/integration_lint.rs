@@ -20,11 +20,11 @@ fn workload_cfg(n: usize) -> LintConfig {
     }
 }
 
-/// Every `BVQ-S105` suggestion must be sound: the rewritten width-k′
-/// formula is logically equivalent, so it computes the same answer as
-/// the original on every database. Checked by evaluating both on a
-/// seeded spread of graph shapes — and the rewritten text must itself
-/// parse back to a formula of the promised width.
+/// Every `BVQ-W110` certified rewrite must be sound: the rewritten
+/// width-k′ formula is logically equivalent, so it computes the same
+/// answer as the original on every database. Checked by evaluating both
+/// on a seeded spread of graph shapes — and the rewritten text must
+/// itself parse back to a formula of the promised width.
 #[test]
 fn width_minimization_suggestions_are_sound() {
     let dbs = [
