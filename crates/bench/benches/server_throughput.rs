@@ -29,6 +29,8 @@ fn start(workers: usize, queue: usize, caches: usize, debug_ops: bool) -> Server
         admission: false,
         max_width: None,
         max_frame_bytes: 1 << 20,
+        replica_of: None,
+        replica_timeout_ms: 2000,
     })
     .expect("bind loopback");
     handle.load_db("g", graph_db(GraphKind::Sparse(3), 200, 17));

@@ -1,0 +1,524 @@
+//! The self-contained membership evaluator shared by the checker and the
+//! producers.
+//!
+//! This is deliberately *not* the engine from `bvq-core`: the whole point
+//! of the trusted checker is that it replays certificates with zero
+//! reference to the code that produced the answer. Everything here is a
+//! direct transcription of the §2.2 semantics — a recursive truth test
+//! `member(φ, ᾱ)` over a fixed database, a fixpoint-value store, and (for
+//! ESO) a witness environment.
+//!
+//! Per-tuple membership is the checker's unit of work, so `∃` is the hot
+//! path: instead of scanning the whole domain, the evaluator harvests
+//! candidate values from a positive conjunct atom that mentions the
+//! quantified variable — via a lazily built hash index for database
+//! relations (immutable for the life of the check, so indexes are built
+//! once), or a filtered scan for in-progress fixpoint relations (which
+//! mutate between rounds and must not be cached).
+
+use bvq_logic::{Atom, Formula, RelRef, Term, Var};
+use bvq_relation::{Database, Elem, FxHashMap, Relation, Tuple};
+
+use crate::check::Reject;
+use crate::fixes::FixIndex;
+
+/// Cap on `n^arity` enumeration work (seeds, sweeps, applications):
+/// beyond this the certificate is refused/rejected as [`Reject::TooLarge`]
+/// rather than letting a hostile certificate buy unbounded checker time.
+pub const MAX_SWEEP: usize = 1 << 22;
+
+/// Odometer over `domain^arity`, yielding tuples in lexicographic order.
+pub(crate) struct DomainProduct {
+    cur: Vec<Elem>,
+    n: Elem,
+    done: bool,
+}
+
+/// `domain^arity` enumeration, guarded by [`MAX_SWEEP`].
+pub(crate) fn domain_product(arity: usize, n: usize) -> Result<DomainProduct, Reject> {
+    let count = (n as u128).checked_pow(arity as u32);
+    match count {
+        Some(c) if c <= MAX_SWEEP as u128 => Ok(DomainProduct {
+            cur: vec![0; arity],
+            n: n as Elem,
+            done: n == 0 && arity > 0,
+        }),
+        _ => Err(Reject::TooLarge),
+    }
+}
+
+impl Iterator for DomainProduct {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.done {
+            return None;
+        }
+        let out = Tuple::from_slice(&self.cur);
+        // Advance the odometer; carry past the last digit ends the walk.
+        let mut i = self.cur.len();
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            self.cur[i] += 1;
+            if self.cur[i] < self.n {
+                break;
+            }
+            self.cur[i] = 0;
+        }
+        Some(out)
+    }
+}
+
+type PointIndexMap = FxHashMap<Vec<Elem>, Vec<Elem>>;
+
+/// Evaluation state: the trusted database, the per-fixpoint value store
+/// with freshness flags, the ESO witness environment, and the current
+/// variable assignment.
+pub(crate) struct Ctx<'a, 'd> {
+    pub db: &'d Database,
+    pub n: usize,
+    pub idx: &'a FixIndex<'a>,
+    /// Current value of each fixpoint (chain value while iterating,
+    /// final value once converged), `None` until begun.
+    pub val: Vec<Option<Relation>>,
+    /// Whether a fixpoint's value is converged *under the current values
+    /// of everything it reads*. Reading a `Fix` node requires freshness;
+    /// reading a chain value through a bound atom does not.
+    pub fresh: Vec<bool>,
+    /// ESO witness relations, by name.
+    pub witness: Vec<(String, Relation)>,
+    asg: Vec<Option<Elem>>,
+    /// Lazy `(relation address, candidate position, bound-position mask)`
+    /// → point index, for immutable database relations only.
+    indexes: FxHashMap<(usize, usize, u64), PointIndexMap>,
+}
+
+impl<'a, 'd> Ctx<'a, 'd> {
+    pub fn new(db: &'d Database, idx: &'a FixIndex<'a>) -> Ctx<'a, 'd> {
+        let fixes = idx.len();
+        Ctx {
+            db,
+            n: db.domain_size(),
+            idx,
+            val: vec![None; fixes],
+            fresh: vec![false; fixes],
+            witness: Vec::new(),
+            asg: vec![None; idx.var_space],
+            indexes: FxHashMap::default(),
+        }
+    }
+
+    /// Marks every fixpoint whose subtree reads `fix` as stale. Call
+    /// after any change to `val[fix]`.
+    pub fn invalidate_readers_of(&mut self, fix: usize) {
+        for &r in &self.idx.rdeps[fix] {
+            self.fresh[r] = false;
+        }
+    }
+
+    /// Binds variable `v`, returning the previous binding for restore.
+    pub fn bind(&mut self, v: Var, e: Elem) -> Option<Elem> {
+        self.asg[v.index()].replace(e)
+    }
+
+    /// Restores a binding saved by [`Ctx::bind`].
+    pub fn unbind(&mut self, v: Var, prev: Option<Elem>) {
+        self.asg[v.index()] = prev;
+    }
+
+    /// Binds the tuple `t` to the variables `vars` pairwise, returning
+    /// the previous bindings.
+    pub fn bind_tuple(&mut self, vars: &[Var], t: &Tuple) -> Vec<Option<Elem>> {
+        vars.iter()
+            .zip(t.as_slice())
+            .map(|(&v, &e)| self.bind(v, e))
+            .collect()
+    }
+
+    /// Restores bindings saved by [`Ctx::bind_tuple`].
+    pub fn unbind_tuple(&mut self, vars: &[Var], saved: Vec<Option<Elem>>) {
+        for (&v, prev) in vars.iter().zip(saved) {
+            self.unbind(v, prev);
+        }
+    }
+
+    fn term(&self, t: &Term) -> Result<Elem, Reject> {
+        match t {
+            Term::Const(c) => Ok(*c),
+            Term::Var(v) => self.asg[v.index()]
+                .ok_or_else(|| Reject::Unsupported(format!("unbound variable x{}", v.0 + 1))),
+        }
+    }
+
+    fn atom_tuple(&self, args: &[Term]) -> Result<Tuple, Reject> {
+        let mut elems = Vec::with_capacity(args.len());
+        for a in args {
+            elems.push(self.term(a)?);
+        }
+        Ok(Tuple::from_slice(&elems))
+    }
+
+    /// The §2.2 truth test: does the current assignment satisfy `f`?
+    pub fn member(&mut self, f: &'a Formula) -> Result<bool, Reject> {
+        match f {
+            Formula::Const(b) => Ok(*b),
+            Formula::Eq(a, b) => Ok(self.term(a)? == self.term(b)?),
+            Formula::Atom(atom) => {
+                let t = self.atom_tuple(&atom.args)?;
+                match &atom.rel {
+                    RelRef::Db(name) => {
+                        let rel = self
+                            .db
+                            .relation_by_name(name)
+                            .ok_or_else(|| Reject::UnknownRelation(name.clone()))?;
+                        if rel.arity() != t.arity() {
+                            return Err(Reject::ArityMismatch(format!(
+                                "atom `{name}` has arity {}, relation has {}",
+                                t.arity(),
+                                rel.arity()
+                            )));
+                        }
+                        Ok(rel.contains(&t))
+                    }
+                    RelRef::Bound(name) => match self.idx.fix_of_atom(atom) {
+                        // In-progress chain value: `Some` required,
+                        // freshness not — this *is* the recursive read.
+                        Some(fix) => match &self.val[fix] {
+                            Some(rel) => Ok(rel.contains(&t)),
+                            None => Err(Reject::MissingFix(fix)),
+                        },
+                        None => {
+                            let rel = self
+                                .witness
+                                .iter()
+                                .find(|(n, _)| n == name)
+                                .map(|(_, r)| r)
+                                .ok_or_else(|| Reject::UnknownRelation(name.clone()))?;
+                            if rel.arity() != t.arity() {
+                                return Err(Reject::ArityMismatch(format!(
+                                    "witness `{name}` has arity {}, atom has {}",
+                                    rel.arity(),
+                                    t.arity()
+                                )));
+                            }
+                            Ok(rel.contains(&t))
+                        }
+                    },
+                }
+            }
+            Formula::Not(g) => Ok(!self.member(g)?),
+            Formula::And(a, b) => Ok(self.member(a)? && self.member(b)?),
+            Formula::Or(a, b) => Ok(self.member(a)? || self.member(b)?),
+            Formula::Exists(v, g) => {
+                let cands = self.candidates(*v, g)?;
+                let prev = self.asg[v.index()].take();
+                let mut found = false;
+                match cands {
+                    Some(cs) => {
+                        for c in cs {
+                            self.asg[v.index()] = Some(c);
+                            if self.member(g)? {
+                                found = true;
+                                break;
+                            }
+                        }
+                    }
+                    None => {
+                        for c in 0..self.n as Elem {
+                            self.asg[v.index()] = Some(c);
+                            if self.member(g)? {
+                                found = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                self.asg[v.index()] = prev;
+                Ok(found)
+            }
+            Formula::Forall(v, g) => {
+                let prev = self.asg[v.index()].take();
+                let mut holds = true;
+                for c in 0..self.n as Elem {
+                    self.asg[v.index()] = Some(c);
+                    if !self.member(g)? {
+                        holds = false;
+                        break;
+                    }
+                }
+                self.asg[v.index()] = prev;
+                Ok(holds)
+            }
+            Formula::Fix { args, .. } => {
+                // Converged-value read: `Some` *and* fresh required —
+                // a stale inner value here is exactly the staleness
+                // attack the freshness discipline exists to reject.
+                let fix = self
+                    .idx
+                    .fix_of_node(f)
+                    .ok_or_else(|| Reject::Unsupported("unindexed fixpoint node".into()))?;
+                let t = self.atom_tuple(args)?;
+                match &self.val[fix] {
+                    Some(_) if !self.fresh[fix] => Err(Reject::StaleFix(fix)),
+                    Some(rel) => Ok(rel.contains(&t)),
+                    None => Err(Reject::MissingFix(fix)),
+                }
+            }
+        }
+    }
+
+    /// One full application of fixpoint `fix`'s body under the current
+    /// store: `{ t̄ ∈ domainᵃ : member(body, t̄) }`.
+    pub fn apply_body(&mut self, fix: usize) -> Result<Relation, Reject> {
+        let idx = self.idx;
+        let info = &idx.fixes[fix];
+        let mut out = Relation::new(info.arity);
+        for t in domain_product(info.arity, self.n)? {
+            let saved = self.bind_tuple(&info.bound, &t);
+            let sat = self.member(info.body);
+            self.unbind_tuple(&info.bound, saved);
+            if sat? {
+                out.insert(t);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Does the current assignment for `fix`'s bound tuple satisfy its
+    /// body? (The per-tuple unit of chain justification.)
+    pub fn body_holds_at(&mut self, fix: usize, t: &Tuple) -> Result<bool, Reject> {
+        let idx = self.idx;
+        let info = &idx.fixes[fix];
+        let saved = self.bind_tuple(&info.bound, t);
+        let sat = self.member(info.body);
+        self.unbind_tuple(&info.bound, saved);
+        sat
+    }
+
+    /// Candidate values for `∃v` harvested from a positive conjunct atom
+    /// of `g` that mentions `v` and whose other arguments are all fixed.
+    /// Returns a *superset* of the satisfying values (the caller re-tests
+    /// each candidate against the full body), or `None` when no conjunct
+    /// constrains `v`.
+    fn candidates(&mut self, v: Var, g: &'a Formula) -> Result<Option<Vec<Elem>>, Reject> {
+        // First pass: database atoms only (index lookup, cheap).
+        // Fixpoint/witness scans are a fallback — they cannot be cached
+        // across rounds, so only pay for one when no index applies.
+        let mut best: Option<Vec<Elem>> = None;
+        let mut stack = vec![g];
+        let mut bound_atoms: Vec<&'a Atom> = Vec::new();
+        while let Some(f) = stack.pop() {
+            match f {
+                Formula::And(a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                Formula::Atom(atom) => match self.atom_shape(v, atom) {
+                    None => {}
+                    Some(_) if matches!(atom.rel, RelRef::Bound(_)) => bound_atoms.push(atom),
+                    Some((pos, mask, key)) => {
+                        let cs = self.db_candidates(atom, pos, mask, key)?;
+                        best = match best {
+                            Some(b) if b.len() <= cs.len() => Some(b),
+                            _ => Some(cs),
+                        };
+                    }
+                },
+                _ => {}
+            }
+        }
+        if best.is_some() {
+            return Ok(best);
+        }
+        if let Some(atom) = bound_atoms.first() {
+            return Ok(Some(self.scan_candidates(v, atom)?));
+        }
+        Ok(None)
+    }
+
+    /// Classifies an atom for candidate harvesting: `v` occurs, and every
+    /// other argument is a constant or an already-bound variable. Returns
+    /// the first `v` position, the fixed-position mask, and the fixed
+    /// values in position order.
+    #[allow(clippy::type_complexity)]
+    fn atom_shape(&self, v: Var, atom: &Atom) -> Option<(usize, u64, Vec<Elem>)> {
+        if atom.args.len() > 64 {
+            return None;
+        }
+        let mut pos = None;
+        let mut mask = 0u64;
+        let mut key = Vec::new();
+        for (i, a) in atom.args.iter().enumerate() {
+            match a {
+                Term::Var(u) if *u == v => {
+                    if pos.is_none() {
+                        pos = Some(i);
+                    }
+                }
+                Term::Const(c) => {
+                    mask |= 1 << i;
+                    key.push(*c);
+                }
+                Term::Var(u) => match self.asg[u.index()] {
+                    Some(e) => {
+                        mask |= 1 << i;
+                        key.push(e);
+                    }
+                    None => return None,
+                },
+            }
+        }
+        pos.map(|p| (p, mask, key))
+    }
+
+    fn db_candidates(
+        &mut self,
+        atom: &Atom,
+        pos: usize,
+        mask: u64,
+        key: Vec<Elem>,
+    ) -> Result<Vec<Elem>, Reject> {
+        let RelRef::Db(name) = &atom.rel else {
+            unreachable!("db_candidates on a bound atom");
+        };
+        let rel = self
+            .db
+            .relation_by_name(name)
+            .ok_or_else(|| Reject::UnknownRelation(name.clone()))?;
+        let addr = rel as *const Relation as usize;
+        let index = self.indexes.entry((addr, pos, mask)).or_insert_with(|| {
+            let mut map: PointIndexMap = FxHashMap::default();
+            for t in rel.iter() {
+                if t.arity() <= pos {
+                    continue;
+                }
+                let k: Vec<Elem> = (0..t.arity())
+                    .filter(|i| mask >> i & 1 == 1)
+                    .map(|i| t[i])
+                    .collect();
+                map.entry(k).or_default().push(t[pos]);
+            }
+            for v in map.values_mut() {
+                v.sort_unstable();
+                v.dedup();
+            }
+            map
+        });
+        Ok(index.get(&key).cloned().unwrap_or_default())
+    }
+
+    fn scan_candidates(&mut self, v: Var, atom: &'a Atom) -> Result<Vec<Elem>, Reject> {
+        let RelRef::Bound(name) = &atom.rel else {
+            unreachable!("scan_candidates on a db atom");
+        };
+        let rel: &Relation = match self.idx.fix_of_atom(atom) {
+            Some(fix) => self.val[fix].as_ref().ok_or(Reject::MissingFix(fix))?,
+            None => self
+                .witness
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, r)| r)
+                .ok_or_else(|| Reject::UnknownRelation(name.clone()))?,
+        };
+        let mut out = Vec::new();
+        'tuples: for t in rel.iter() {
+            if t.arity() != atom.args.len() {
+                continue;
+            }
+            let mut cand = None;
+            for (i, a) in atom.args.iter().enumerate() {
+                match a {
+                    Term::Var(u) if *u == v => match cand {
+                        None => cand = Some(t[i]),
+                        Some(c) if c == t[i] => {}
+                        Some(_) => continue 'tuples,
+                    },
+                    Term::Const(c) => {
+                        if t[i] != *c {
+                            continue 'tuples;
+                        }
+                    }
+                    Term::Var(u) => {
+                        if self.asg[u.index()] != Some(t[i]) {
+                            continue 'tuples;
+                        }
+                    }
+                }
+            }
+            if let Some(c) = cand {
+                out.push(c);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvq_logic::Query;
+
+    fn v(i: u32) -> Term {
+        Term::Var(Var(i))
+    }
+
+    fn path_db(n: usize) -> Database {
+        Database::builder(n)
+            .relation("E", 2, (0..n as u32 - 1).map(|i| [i, i + 1]))
+            .build()
+    }
+
+    #[test]
+    fn domain_product_enumerates_lexicographically() {
+        let all: Vec<Tuple> = domain_product(2, 2).unwrap().collect();
+        let want: Vec<Tuple> = [[0, 0], [0, 1], [1, 0], [1, 1]]
+            .iter()
+            .map(|t| Tuple::from_slice(&t[..]))
+            .collect();
+        assert_eq!(all, want);
+        assert_eq!(domain_product(0, 5).unwrap().count(), 1);
+        assert_eq!(domain_product(3, 0).unwrap().count(), 0);
+        assert!(domain_product(64, 100).is_err());
+    }
+
+    #[test]
+    fn fo_membership_with_indexed_exists() {
+        // ∃x2. E(x1, x2) — "x1 has a successor".
+        let f = Formula::atom("E", [v(0), v(1)]).exists(Var(1));
+        let q = Query::new(vec![Var(0)], f);
+        let db = path_db(4);
+        let idx = FixIndex::build(&q.formula, &[]).unwrap();
+        let mut ctx = Ctx::new(&db, &idx);
+        for (e, want) in [(0, true), (1, true), (2, true), (3, false)] {
+            let prev = ctx.bind(Var(0), e);
+            assert_eq!(ctx.member(&q.formula).unwrap(), want, "x1 = {e}");
+            ctx.unbind(Var(0), prev);
+        }
+    }
+
+    #[test]
+    fn chain_read_needs_value_but_not_freshness() {
+        // [lfp S(x1). S(x1)](x1) read through the bound atom vs the node.
+        let fixf = Formula::lfp("S", vec![Var(0)], Formula::rel_var("S", [v(0)]), vec![v(0)]);
+        let db = path_db(2);
+        let idx = FixIndex::build(&fixf, &[]).unwrap();
+        let mut ctx = Ctx::new(&db, &idx);
+        let prev = ctx.bind(Var(0), 0);
+        // No value at all: both reads fail.
+        assert!(matches!(ctx.member(&fixf), Err(Reject::MissingFix(0))));
+        ctx.val[0] = Some(Relation::from_tuples(1, [[0u32]]));
+        // Node read while stale: rejected.
+        assert!(matches!(ctx.member(&fixf), Err(Reject::StaleFix(0))));
+        // Chain read (the body's bound atom) is fine while stale.
+        assert!(ctx.body_holds_at(0, &Tuple::from_slice(&[0])).unwrap());
+        ctx.fresh[0] = true;
+        assert!(ctx.member(&fixf).unwrap());
+        ctx.unbind(Var(0), prev);
+    }
+}

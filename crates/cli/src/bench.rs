@@ -19,9 +19,11 @@
 
 use std::time::Instant;
 
+use bvq_cert::{check_text, CheckRequest};
 use bvq_datalog::{eval_seminaive, parse_program};
 use bvq_fuzz::{run_fuzz, FuzzConfig, Lang};
 use bvq_ivm::{MutableDb, Mutation, StandingQuery};
+use bvq_logic::parser::parse_query;
 use bvq_logic::{patterns, Formula, Query, Term, Var};
 use bvq_relation::{write_database, BackendMode, Database, EvalConfig, Tuple};
 use bvq_server::exec::{execute, CompileMode, EvalOptions, ExecRequest};
@@ -272,6 +274,15 @@ pub fn run_suite(seed: u64, smoke: bool) -> BenchReport {
     let (ivm_n, ivm_cycles) = if smoke { (128, 12) } else { (192, 24) };
     metrics.extend(ivm_throughput(&path_db(ivm_n), ivm_cycles, reps));
 
+    // Certificate checking (Theorem 3.5): the trusted checker replays an
+    // `FP²` iteration-trace certificate for the path transitive closure
+    // in `l·n²` membership tests, against the `n^{2l}`-flavored direct
+    // re-evaluation the coordinator would otherwise pay per replica
+    // answer. The `_pct` metric is the acceptance bar for fan-out being
+    // worth it at all.
+    let cert_n = if smoke { 192 } else { 256 };
+    metrics.extend(cert_check_workload(&path_db(cert_n), reps));
+
     // Fuzz throughput: generation + every applicable oracle, all four
     // languages, no server.
     let fuzz_cases: u64 = if smoke { 5 } else { 25 };
@@ -347,6 +358,38 @@ fn width_rewrite_workload(db: &Database, reps: u64) -> Vec<(String, u64)> {
         (
             "width_rewrite_speedup_pct".to_string(),
             original_ns.saturating_mul(100) / rewritten_ns.max(1),
+        ),
+    ]
+}
+
+/// Times the three legs of certified fan-out on the path transitive
+/// closure: producing an iteration-trace certificate (replica-side),
+/// checking it with the trusted checker (coordinator-side), and the
+/// direct re-evaluation the check replaces. `cert_check_speedup_pct`
+/// is `direct / check × 100`; the smoke floor is 1000 (≥10×).
+fn cert_check_workload(db: &Database, reps: u64) -> Vec<(String, u64)> {
+    let text = "(x1, x2) [lfp T(x1, x2) . E(x1, x2) | exists x3. (E(x1, x3) & T(x3, x2))](x1, x2)";
+    let query = parse_query(text).expect("bench TC query parses");
+    let emit_ns = time_min(reps, || {
+        bvq_core::certgen::certify_query(db, &query).expect("bench TC certifies");
+    });
+    let encoded = bvq_core::certgen::certify_query(db, &query)
+        .expect("bench TC certifies")
+        .encode();
+    let check_ns = time_min(reps, || {
+        check_text(db, &CheckRequest::Query(&query), &encoded).expect("bench cert checks");
+    });
+    let request = ExecRequest::query(text.to_string());
+    let direct_ns = time_min(reps, || {
+        execute(db, &request).expect("bench workload evaluates");
+    });
+    vec![
+        ("cert_emit_ns".to_string(), emit_ns),
+        ("cert_check_ns".to_string(), check_ns),
+        ("cert_direct_eval_ns".to_string(), direct_ns),
+        (
+            "cert_check_speedup_pct".to_string(),
+            direct_ns.saturating_mul(100) / check_ns.max(1),
         ),
     ]
 }
@@ -711,6 +754,10 @@ mod tests {
             "ivm_mutations_per_s",
             "ivm_update_p50_ns",
             "ivm_update_p99_ns",
+            "cert_emit_ns",
+            "cert_check_ns",
+            "cert_direct_eval_ns",
+            "cert_check_speedup_pct",
             "fuzz_cases_per_s",
         ] {
             assert!(has(key), "missing metric {key}\n{}", r.summary());
@@ -727,6 +774,21 @@ mod tests {
         assert!(
             speedup >= 1000,
             "ivm_speedup_pct = {speedup} (< 1000)\n{}",
+            r.summary()
+        );
+        // The acceptance bar for certified fan-out: the trusted checker
+        // validates a correct FP iteration-trace certificate for the
+        // n=192 path transitive closure ≥10× faster than re-evaluating
+        // the query, even in the reduced smoke configuration.
+        let cert = r
+            .metrics
+            .iter()
+            .find(|(k, _)| k == "cert_check_speedup_pct")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(
+            cert >= 1000,
+            "cert_check_speedup_pct = {cert} (< 1000)\n{}",
             r.summary()
         );
         // The acceptance bar for the symbolic backend: on both

@@ -1,0 +1,250 @@
+//! The `bvq cert` subcommand: emit and check portable certificates.
+//!
+//! `emit` runs the engine-side producers ([`bvq_core::certgen`]) and
+//! prints the encoded certificate; `check` replays one through the
+//! trusted [`bvq_cert`] checker with **zero reference to any
+//! evaluator** and reports `ACCEPTED`/`REJECTED`. `--tamper MODE`
+//! applies a deterministic forgery to the emitted certificate — the CI
+//! smoke step pipes a tampered certificate into `check` and greps for
+//! `REJECTED`, proving end to end that the checker is not a rubber
+//! stamp.
+
+use std::io::Read;
+
+use bvq_cert::{check_text, CheckRequest, CheckedAnswer};
+use bvq_datalog::parse_program;
+use bvq_logic::parser::{parse_eso, parse_query};
+use bvq_relation::{parse_database, Database};
+
+/// What kind of request a certificate is being emitted/checked for.
+enum Target {
+    Query(String),
+    Datalog { program: String, output: String },
+    Eso { text: String, k: usize },
+}
+
+/// Runs `bvq cert <emit|check> <db-file> <query> [--datalog OUTPUT]
+/// [--eso [--k N]] [--tamper MODE] [--cert FILE]`.
+///
+/// `check` reads the certificate from `--cert FILE` (or stdin when
+/// absent), prints `ACCEPTED …` or `REJECTED <code>: …`, and exits 1 on
+/// rejection. Tamper modes: `truncate` (drop the last evidence line),
+/// `round` (off-by-one derivation round count), `delta` (corrupt the
+/// first iteration-trace delta tuple), `flip` (negate a boolean claim /
+/// overstate a row-count claim).
+pub fn run_cert_cmd(args: &[String]) -> Result<(), String> {
+    let verb = args.first().ok_or("cert needs `emit` or `check`")?;
+    let db_path = args.get(1).ok_or("cert needs a database file")?;
+    let query = args.get(2).ok_or("cert needs a query")?;
+    let mut output: Option<String> = None;
+    let mut eso = false;
+    let mut k: usize = 2;
+    let mut tamper: Option<String> = None;
+    let mut cert_file: Option<String> = None;
+    let mut it = args[3..].iter();
+    while let Some(flag) = it.next() {
+        let mut val = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--datalog" => output = Some(val("--datalog")?.clone()),
+            "--eso" => eso = true,
+            "--k" => {
+                k = val("--k")?
+                    .parse()
+                    .map_err(|_| "bad --k value".to_string())?
+            }
+            "--tamper" => tamper = Some(val("--tamper")?.clone()),
+            "--cert" => cert_file = Some(val("--cert")?.clone()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let text =
+        std::fs::read_to_string(db_path).map_err(|e| format!("cannot read `{db_path}`: {e}"))?;
+    let db = parse_database(&text).map_err(|e| e.to_string())?;
+    let target = match (output, eso) {
+        (Some(_), true) => return Err("--datalog and --eso are mutually exclusive".into()),
+        (Some(out), false) => Target::Datalog {
+            program: query.clone(),
+            output: out,
+        },
+        (None, true) => Target::Eso {
+            text: query.clone(),
+            k,
+        },
+        (None, false) => Target::Query(query.clone()),
+    };
+    match verb.as_str() {
+        "emit" => emit(&db, &target, tamper.as_deref()),
+        "check" => {
+            if tamper.is_some() {
+                return Err("--tamper only applies to `emit`".into());
+            }
+            check(&db, &target, cert_file.as_deref())
+        }
+        other => Err(format!("unknown cert verb `{other}` (emit|check)")),
+    }
+}
+
+fn emit(db: &Database, target: &Target, tamper: Option<&str>) -> Result<(), String> {
+    let cert = match target {
+        Target::Query(q) => {
+            let q = parse_query(q).map_err(|e| e.to_string())?;
+            bvq_core::certgen::certify_query(db, &q)
+        }
+        Target::Datalog { program, output } => {
+            let p = parse_program(program).map_err(|e| e.to_string())?;
+            bvq_core::certgen::certify_datalog(db, &p, output)
+        }
+        Target::Eso { text, k } => {
+            let e = parse_eso(text).map_err(|e| e.to_string())?;
+            bvq_core::certgen::certify_eso(db, &e, *k)
+        }
+    }
+    .map_err(|e| format!("not certifiable: {e}"))?;
+    let mut encoded = cert.encode();
+    if let Some(mode) = tamper {
+        encoded = apply_tamper(&encoded, mode)?;
+    }
+    print!("{encoded}");
+    Ok(())
+}
+
+fn check(db: &Database, target: &Target, cert_file: Option<&str>) -> Result<(), String> {
+    let cert_text = match cert_file {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?
+        }
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            buf
+        }
+    };
+    // Parse the request fresh — the checker trusts only the query text
+    // and the database, never the process that produced the cert.
+    let (q, p, e);
+    let req = match target {
+        Target::Query(text) => {
+            q = parse_query(text).map_err(|e| e.to_string())?;
+            CheckRequest::Query(&q)
+        }
+        Target::Datalog { program, output } => {
+            p = parse_program(program).map_err(|e| e.to_string())?;
+            CheckRequest::Datalog {
+                program: &p,
+                output,
+            }
+        }
+        Target::Eso { text, .. } => {
+            e = parse_eso(text).map_err(|e| e.to_string())?;
+            CheckRequest::Eso(&e)
+        }
+    };
+    match check_text(db, &req, &cert_text) {
+        Ok(CheckedAnswer::Boolean(b)) => {
+            println!("ACCEPTED: boolean {b}");
+            Ok(())
+        }
+        Ok(CheckedAnswer::Rows(rel)) => {
+            println!("ACCEPTED: {} rows (arity {})", rel.len(), rel.arity());
+            Ok(())
+        }
+        Err(reject) => {
+            println!("REJECTED {}: {reject}", reject.code());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Deterministic text-level forgeries, for CI and adversarial tests.
+fn apply_tamper(encoded: &str, mode: &str) -> Result<String, String> {
+    let lines: Vec<&str> = encoded.lines().collect();
+    let rebuilt = |ls: Vec<String>| ls.join("\n") + "\n";
+    match mode {
+        // Drop the last evidence line before `end`: an unfinished trace
+        // or an incomplete derivation tree.
+        "truncate" => {
+            if lines.len() < 3 {
+                return Err("certificate too short to truncate".into());
+            }
+            let mut ls: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+            ls.remove(ls.len() - 2);
+            Ok(rebuilt(ls))
+        }
+        // Off-by-one round count on a Datalog derivation certificate.
+        "round" => {
+            let ls: Vec<String> = lines
+                .iter()
+                .map(|l| match l.strip_prefix("rounds ") {
+                    Some(n) => {
+                        let n: u64 = n.trim().parse().unwrap_or(0);
+                        format!("rounds {}", n + 1)
+                    }
+                    None => l.to_string(),
+                })
+                .collect();
+            if ls.iter().zip(lines.iter()).all(|(a, b)| a == b) {
+                return Err("no `rounds` line to tamper (not a datalog certificate)".into());
+            }
+            Ok(rebuilt(ls))
+        }
+        // Corrupt the first added tuple of the first iteration-trace
+        // step: the delta no longer matches the recomputed one.
+        "delta" => {
+            let mut done = false;
+            let ls: Vec<String> = lines
+                .iter()
+                .map(|l| {
+                    if done || !l.starts_with("step ") || !l.contains(" +") {
+                        return l.to_string();
+                    }
+                    done = true;
+                    // `step N +a,b …` → bump the first element of the
+                    // first added tuple.
+                    let i = l.find(" +").unwrap() + 2;
+                    let digits: String = l[i..].chars().take_while(char::is_ascii_digit).collect();
+                    let bumped = digits.parse::<u64>().unwrap_or(0) + 1;
+                    format!("{}{}{}", &l[..i], bumped, &l[i + digits.len()..])
+                })
+                .collect();
+            if !done {
+                return Err("no trace step with an added tuple to tamper".into());
+            }
+            Ok(rebuilt(ls))
+        }
+        // Lie about the claim itself: negate a boolean, overstate rows.
+        "flip" => {
+            let mut done = false;
+            let ls: Vec<String> = lines
+                .iter()
+                .map(|l| {
+                    if l.trim() == "claim bool true" {
+                        done = true;
+                        "claim bool false".to_string()
+                    } else if l.trim() == "claim bool false" {
+                        done = true;
+                        "claim bool true".to_string()
+                    } else if let Some(rest) = l.strip_prefix("claim rows ") {
+                        done = true;
+                        let mut parts = rest.split_whitespace();
+                        let arity = parts.next().unwrap_or("0");
+                        let count: u64 = parts.next().and_then(|c| c.parse().ok()).unwrap_or(0);
+                        format!("claim rows {arity} {}", count + 1)
+                    } else {
+                        l.to_string()
+                    }
+                })
+                .collect();
+            if !done {
+                return Err("no claim line to tamper".into());
+            }
+            Ok(rebuilt(ls))
+        }
+        other => Err(format!(
+            "unknown tamper mode `{other}` (truncate|round|delta|flip)"
+        )),
+    }
+}

@@ -24,8 +24,9 @@
 //! bvq explain <db-file> '<query>' [--analyze] [--eso] [--k N] [--naive]
 //! bvq lint    <db-file> <query|file|dir> [--eso] [--datalog] [--json] [--deny warnings]
 //! bvq repl    <db-file>
-//! bvq serve   <db-file>… [--addr HOST:PORT] [--threads N] [--queue N]
-//! bvq client  <addr> ping|stats|eval|eso|datalog|explain|load-db|shutdown …
+//! bvq serve   <db-file>… [--addr HOST:PORT] [--threads N] [--queue N] [--replica-of ADDR]
+//! bvq client  <addr> ping|stats|eval|eval-certified|eso|datalog|explain|load-db|register-replica|shutdown …
+//! bvq cert    emit|check <db-file> '<query>' [--datalog OUT] [--eso] [--tamper MODE] [--cert FILE]
 //! bvq fuzz    [--cases N] [--seed S] [--filter LANG] [--deny-divergence] [--repro FILE]
 //! bvq bench   [--json PATH] [--smoke] [--seed S] | --gate OLD NEW [--threshold PCT]
 //! ```
@@ -37,12 +38,14 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod cert;
 pub mod fuzz;
 pub mod lint;
 pub mod run;
 pub mod serve;
 
 pub use bench::{gate, run_bench_cmd, run_suite, BenchReport, GateReport, BENCH_SCHEMA};
+pub use cert::run_cert_cmd;
 pub use fuzz::run_fuzz_cmd;
 pub use lint::run_lint;
 pub use run::{

@@ -7,8 +7,9 @@
 //! bvq lint    <db-file> <query|file|dir> [--eso] [--datalog] [--output P]
 //!             [--budget N] [--json] [--deny warnings]
 //! bvq repl    <db-file>
-//! bvq serve   <db-file>… [--addr HOST:PORT] [--threads N] [--queue N] [--debug-ops]
-//! bvq client  <addr> <ping|stats|list-dbs|eval|eso|datalog|explain|lint|load-db|insert|delete|subscribe|unsubscribe|subscriptions|sleep|shutdown> […]
+//! bvq serve   <db-file>… [--addr HOST:PORT] [--threads N] [--queue N] [--debug-ops] [--replica-of ADDR]
+//! bvq client  <addr> <ping|stats|list-dbs|eval|eval-certified|eso|datalog|explain|lint|load-db|insert|delete|subscribe|unsubscribe|subscriptions|register-replica|sleep|shutdown> […]
+//! bvq cert    <emit|check> <db-file> '<query>' [--datalog OUT] [--eso [--k N]] [--tamper MODE] [--cert FILE]
 //! bvq fuzz    [--cases N] [--seed S] [--filter LANG] [--deny-divergence] [--repro FILE]
 //! bvq bench   [--json PATH] [--smoke] [--seed S] | --gate OLD NEW [--threshold PCT]
 //! ```
@@ -16,8 +17,8 @@
 use std::io::{BufRead, Write};
 
 use bvq_cli::{
-    run_bench_cmd, run_client, run_explain, run_fuzz_cmd, run_lint, run_request, run_serve,
-    BackendMode, CompileMode, EvalOptions, ExecRequest,
+    run_bench_cmd, run_cert_cmd, run_client, run_explain, run_fuzz_cmd, run_lint, run_request,
+    run_serve, BackendMode, CompileMode, EvalOptions, ExecRequest,
 };
 use bvq_relation::parse_database;
 
@@ -48,6 +49,9 @@ fn main() {
             eprintln!(
                 "  bvq bench [--json PATH] [--smoke] [--seed S] | --gate OLD NEW [--threshold PCT]"
             );
+            eprintln!(
+                "  bvq cert <emit|check> <db-file> '<query>' [--datalog OUT] [--eso [--k N]] [--tamper MODE] [--cert FILE]"
+            );
             std::process::exit(1);
         }
     }
@@ -60,6 +64,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "client" => return run_client(&args[1..]),
         "fuzz" => return run_fuzz_cmd(&args[1..]),
         "bench" => return run_bench_cmd(&args[1..]),
+        "cert" => return run_cert_cmd(&args[1..]),
         _ => {}
     }
     let db_path = args.get(1).ok_or("missing database file")?;

@@ -15,12 +15,20 @@ use bvq_server::{Client, Json, Server, ServerConfig};
 
 /// Runs `bvq serve <db-file>... [--addr A] [--threads N] [--queue N]
 /// [--plan-cache N] [--result-cache N] [--deadline-ms N] [--debug-ops]
-/// [--admission] [--max-width K]`.
+/// [--admission] [--max-width K] [--replica-of ADDR]
+/// [--replica-timeout-ms N]`.
 ///
 /// `--max-width K` (implies `--admission`) rejects compute requests
 /// wider than `K` variables unless the static analyzer emits a
 /// certified rewrite fitting the budget, in which case the request is
 /// evaluated as the rewrite.
+///
+/// `--replica-of ADDR` makes this server an untrusted worker: it
+/// registers its own bound address at the coordinator on `ADDR`, which
+/// then fans eligible requests out here via `eval_certified` and
+/// accepts answers only after its trusted checker validates the
+/// returned certificate. Databases are *not* synchronized — load the
+/// same files on both sides.
 pub fn run_serve(args: &[String]) -> Result<(), String> {
     let mut cfg = ServerConfig {
         addr: "127.0.0.1:4141".into(),
@@ -44,6 +52,12 @@ pub fn run_serve(args: &[String]) -> Result<(), String> {
             "--deadline-ms" => cfg.default_deadline_ms = Some(num("--deadline-ms")? as u64),
             "--debug-ops" => cfg.debug_ops = true,
             "--admission" => cfg.admission = true,
+            "--replica-of" => {
+                cfg.replica_of = Some(it.next().ok_or("--replica-of needs a value")?.clone())
+            }
+            "--replica-timeout-ms" => {
+                cfg.replica_timeout_ms = num("--replica-timeout-ms")?.max(1) as u64
+            }
             "--max-width" => {
                 cfg.max_width = Some(num("--max-width")?.max(1));
                 cfg.admission = true;
@@ -188,7 +202,14 @@ pub fn run_client(args: &[String]) -> Result<(), String> {
             client.unsubscribe(sub)
         }
         "subscriptions" => client.subscriptions(),
-        "eval" | "eso" | "datalog" => {
+        "register-replica" => {
+            let replica = arg(2, "a replica address")?;
+            client.register_replica(replica)
+        }
+        // `eval-certified <db> <query>` asks for a certificate-carrying
+        // answer (`--datalog OUTPUT` switches the target); the response
+        // embeds the portable certificate the trusted checker accepted.
+        "eval" | "eso" | "datalog" | "eval-certified" => {
             let db = arg(2, "a database name")?;
             let query = arg(3, "a query")?;
             let mut fields = vec![("db", Json::str(db.as_str()))];
@@ -222,10 +243,24 @@ pub fn run_client(args: &[String]) -> Result<(), String> {
                     }
                     "--no-cache" => fields.push(("no_cache", Json::Bool(true))),
                     "--trace" => fields.push(("trace", Json::Bool(true))),
+                    "--datalog" if cmd == "eval-certified" => {
+                        // Re-shape the positional query as a Datalog
+                        // program: the wire op keys off `target`.
+                        let out = it.next().ok_or("--datalog needs an output predicate")?;
+                        fields.retain(|(name, _)| *name != "query");
+                        fields.push(("program", Json::str(query.as_str())));
+                        fields.push(("output", Json::str(out.as_str())));
+                        fields.push(("target", Json::str("datalog")));
+                    }
                     other => return Err(format!("unknown flag `{other}`")),
                 }
             }
-            client.call_op(cmd, fields)
+            let op = if cmd == "eval-certified" {
+                "eval_certified"
+            } else {
+                cmd
+            };
+            client.call_op(op, fields)
         }
         "explain" | "lint" => {
             let db = arg(2, "a database name")?;

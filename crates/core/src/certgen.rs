@@ -1,0 +1,122 @@
+//! Engine-side producers for the portable [`bvq_cert`] certificates.
+//!
+//! [`bvq_cert`] keeps its checker self-contained — it re-derives
+//! everything from the database and query text and never calls back into
+//! the engine. Production, on the other hand, *should* lean on the
+//! engine: this module is the one place where the evaluators in this
+//! crate are wired to certificate emission, so callers (exec, server,
+//! CLI) get one entry point per query class:
+//!
+//! * FO/FP/PFP queries → [`certify_query`] (iteration-trace evidence);
+//! * ESO sentences → [`certify_eso`] (existential-witness evidence,
+//!   extracted from the SAT model of the grounding).
+//!
+//! Datalog production lives in [`bvq_cert::certify_datalog`] directly
+//! (the recording evaluator is part of `bvq-datalog`); it is re-exported
+//! here so integrators depend on a single module.
+
+use bvq_cert::{witness_certificate, CertError, Certificate};
+use bvq_logic::Eso;
+use bvq_relation::{Database, Relation};
+
+pub use bvq_cert::{certify_datalog, certify_query};
+
+use crate::eso::EsoEvaluator;
+use crate::EvalError;
+
+/// Certifies a *true* ESO sentence by extracting a witness environment
+/// from the SAT model of its grounding (the NP half of Theorem 4.2-style
+/// membership; false sentences have no short witness on this side and
+/// come back [`CertError::Unsupported`]).
+///
+/// `k` bounds the variable width exactly as in [`EsoEvaluator::new`].
+pub fn certify_eso(db: &Database, eso: &Eso, k: usize) -> Result<Certificate, CertError> {
+    let eval = EsoEvaluator::new(db, k);
+    let env = eval
+        .check_with_witness(eso, &[], &[])
+        .map_err(|e| match e {
+            EvalError::WidthExceeded { k, width } => {
+                CertError::Unsupported(format!("ESO body width {width} exceeds the k={k} bound"))
+            }
+            other => CertError::Unsupported(format!("ESO grounding failed: {other}")),
+        })?;
+    let Some(env) = env else {
+        return Err(CertError::Unsupported(
+            "false ESO sentence: the witness format only certifies satisfiability".to_string(),
+        ));
+    };
+    let rels: Vec<(String, Relation)> = env
+        .iter()
+        .map(|(name, rel)| (name.to_string(), rel.clone()))
+        .collect();
+    Ok(witness_certificate(rels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvq_cert::{check, CheckRequest, CheckedAnswer, Claim};
+    use bvq_logic::{Formula, Query, Term, Var};
+
+    fn v(i: u32) -> Term {
+        Term::Var(Var(i))
+    }
+
+    /// ∃C. ∀x. C(x) ∨ E(x,x) over a db where E is reflexive nowhere:
+    /// satisfiable with C = full domain.
+    #[test]
+    fn true_eso_sentence_round_trips_through_the_checker() {
+        let db = Database::builder(3)
+            .relation("E", 2, [[0u32, 1], [1, 2]])
+            .build();
+        let eso = Eso {
+            rels: vec![("C".to_string(), 1)],
+            body: Formula::rel_var("C", [v(0)])
+                .or(Formula::atom("E", [v(0), v(0)]))
+                .forall(Var(0)),
+        };
+        let cert = certify_eso(&db, &eso, 2).unwrap();
+        assert_eq!(cert.claim, Claim::Boolean(true));
+        let reparsed = Certificate::parse(&cert.encode()).unwrap();
+        let ans = check(&db, &CheckRequest::Eso(&eso), &reparsed).unwrap();
+        assert_eq!(ans, CheckedAnswer::Boolean(true));
+    }
+
+    /// ∃P (nullary). P ∧ ¬P is unsatisfiable — no witness exists, so the
+    /// producer refuses rather than emitting a bogus certificate.
+    #[test]
+    fn false_eso_sentence_is_uncertifiable() {
+        let db = Database::builder(2).relation("E", 2, [[0u32, 1]]).build();
+        let p = || Formula::rel_var("P", Vec::<Term>::new());
+        let eso = Eso {
+            rels: vec![("P".to_string(), 0)],
+            body: p().and(p().not()),
+        };
+        let err = certify_eso(&db, &eso, 2).unwrap_err();
+        assert!(matches!(err, CertError::Unsupported(_)));
+    }
+
+    /// The fixpoint producer re-exported here agrees with the checker on
+    /// a transitive-closure query — exercised end to end from bvq-core.
+    #[test]
+    fn reexported_fp_producer_checks_out() {
+        let db = Database::builder(4)
+            .relation("E", 2, [[0u32, 1], [1, 2], [2, 3]])
+            .build();
+        let reach = Formula::lfp(
+            "S",
+            vec![Var(0)],
+            Formula::Eq(v(0), Term::Const(0)).or(Formula::rel_var("S", [v(1)])
+                .and(Formula::atom("E", [v(1), v(0)]))
+                .exists(Var(1))),
+            vec![v(0)],
+        );
+        let q = Query::new(vec![Var(0)], reach);
+        let cert = certify_query(&db, &q).unwrap();
+        let ans = check(&db, &CheckRequest::Query(&q), &cert).unwrap();
+        match ans {
+            CheckedAnswer::Rows(rel) => assert_eq!(rel.len(), 4),
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+}

@@ -22,6 +22,7 @@
 
 pub mod cert;
 pub mod cert_trace;
+pub mod certgen;
 pub mod compile;
 pub mod env;
 pub mod eso;
@@ -35,6 +36,7 @@ pub mod pfp;
 pub use bvq_relation::{BackendKind, BackendMode, ChoiceHints};
 pub use cert::{AppCert, Certificate, CertifiedChecker, LfpStep, VerifyOutcome};
 pub use cert_trace::{TraceCertificate, TraceChecker, TraceEvent};
+pub use certgen::certify_eso;
 pub use compile::{
     feedback_from, plan_query, CompileFeedback, CostReport, PlanChoice, QueryPlan, Variant,
 };

@@ -20,6 +20,7 @@ pub mod compile;
 pub mod delta;
 pub mod eval;
 pub mod parser;
+pub mod record;
 pub mod translate;
 
 pub use ast::{AtomTerm, BodyAtom, DatalogError, Head, Program, Rule};
@@ -27,4 +28,5 @@ pub use compile::{compile_program, eval_compiled, eval_compiled_with, CompiledRu
 pub use delta::{normalise_atom, project_head, rule_bindings, Bindings, RelSource};
 pub use eval::{eval_naive, eval_naive_with, eval_seminaive, eval_seminaive_with, EvalOutput};
 pub use parser::{parse_program, parse_program_spanned};
+pub use record::{eval_recorded, Derivations, RecordedStep};
 pub use translate::{to_fp_formula, to_fp_formula_multi};

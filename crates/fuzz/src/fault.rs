@@ -7,12 +7,12 @@
 //! well-formed request — the worker pool must never wedge — and every
 //! rejection must be a structured error, never a hang or a crash.
 
-use std::io::Write as _;
-use std::net::TcpStream;
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::{TcpListener, TcpStream};
 use std::time::Duration;
 
-use bvq_relation::write_database;
-use bvq_server::{Client, Json, Server, ServerConfig};
+use bvq_relation::{write_database, Database, Tuple};
+use bvq_server::{Client, Json, Server, ServerConfig, ServerHandle};
 
 use crate::gen::{gen_case, Case, CaseKind};
 use crate::{case_rng, Lang};
@@ -206,6 +206,280 @@ pub fn run_fault_injection(seed: u64, rounds: usize) -> Result<FaultReport, Stri
     Ok(report)
 }
 
+/// What a Byzantine-replica fault-injection run observed.
+#[derive(Clone, Debug, Default)]
+pub struct ByzantineReport {
+    /// Forged certificates the trusted checker rejected.
+    pub corrupted_rejections: usize,
+    /// Stale-epoch certificates (replica data diverged from the
+    /// coordinator) the checker rejected.
+    pub stale_rejections: usize,
+    /// Fan-out attempts that hit a connection-dropping replica and fell
+    /// back locally.
+    pub dropped_fallbacks: usize,
+    /// Requests that were answered correctly despite the faults.
+    pub health_checks: usize,
+}
+
+/// A fake replica: a raw TCP listener that answers every connection
+/// with `response` (one line) — or drops the connection immediately
+/// when `response` is `None`. Returns its address; the listener thread
+/// exits after `conns` connections.
+fn byzantine_replica(response: Option<String>, conns: usize) -> Result<String, String> {
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("byzantine bind: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("byzantine addr: {e}"))?
+        .to_string();
+    std::thread::spawn(move || {
+        for _ in 0..conns {
+            let Ok((mut stream, _)) = listener.accept() else {
+                return;
+            };
+            let Some(line) = &response else {
+                continue; // drop without reading or writing
+            };
+            let mut buf = String::new();
+            let _ = BufReader::new(stream.try_clone().expect("clone")).read_line(&mut buf);
+            let _ = stream.write_all(line.as_bytes());
+            let _ = stream.write_all(b"\n");
+        }
+    });
+    Ok(addr)
+}
+
+/// The path database the Byzantine scenarios evaluate on.
+fn byzantine_db(n: u32) -> Database {
+    Database::builder(n as usize)
+        .relation(
+            "E",
+            2,
+            (0..n.saturating_sub(1)).map(|i| Tuple::from_slice(&[i, i + 1])),
+        )
+        .build()
+}
+
+/// A transitive-closure probe, textually distinct per round (result
+/// cache keys hash the raw query text, so leading spaces are enough to
+/// make every round a cache miss that genuinely exercises fan-out).
+fn probe_query(round: usize) -> String {
+    format!(
+        "{}(x1, x2) [lfp T(x1, x2) . E(x1, x2) | exists x3. (E(x1, x3) & T(x3, x2))](x1, x2)",
+        " ".repeat(round)
+    )
+}
+
+/// Reads a counter out of a `stats` response.
+fn stat(resp: &Json, key: &str) -> u64 {
+    resp.get("stats")
+        .and_then(|s| s.get(key))
+        .and_then(Json::as_u64)
+        .unwrap_or(u64::MAX)
+}
+
+/// Runs the three Byzantine-replica scenarios against fresh
+/// coordinators: a replica returning forged certificates, a replica
+/// whose database silently diverged from the coordinator (stale epoch),
+/// and a replica dropping every connection mid-stream. In every case
+/// the coordinator must reject or fall back, keep `cert_rejected` /
+/// `replica_fallback` honest, never serve an unvalidated answer, and
+/// keep answering correctly.
+///
+/// # Errors
+/// Returns a description of the first violation.
+pub fn run_byzantine_replicas(rounds: usize) -> Result<ByzantineReport, String> {
+    let mut report = ByzantineReport::default();
+    let db = byzantine_db(6);
+    let correct = 15; // TC of a 6-node path: 5+4+3+2+1 edges
+
+    let start_coordinator = |cfg: ServerConfig| -> Result<(ServerHandle, Client), String> {
+        let handle = Server::start(cfg).map_err(|e| format!("coordinator start: {e}"))?;
+        let mut client =
+            Client::connect(handle.addr()).map_err(|e| format!("coordinator connect: {e}"))?;
+        let resp = client
+            .load_db("byz", &write_database(&db))
+            .map_err(|e| format!("load_db: {e}"))?;
+        if !Client::is_ok(&resp) {
+            return Err(format!("load_db rejected: {resp:?}"));
+        }
+        Ok((handle, client))
+    };
+    let eval_count = |client: &mut Client, query: &str| -> Result<u64, String> {
+        let resp = client
+            .eval("byz", query)
+            .map_err(|e| format!("eval: {e}"))?;
+        if !Client::is_ok(&resp) {
+            return Err(format!("eval rejected: {:?}", Client::error_code(&resp)));
+        }
+        Ok(resp.get("count").and_then(Json::as_u64).unwrap_or(0))
+    };
+
+    // Scenario 1: a replica that answers every request with a forged
+    // certificate. Every round must be rejected by the trusted checker
+    // and answered by local fallback — and the forgery takes no strikes
+    // (the transport behaved), so the pool stays nominally healthy.
+    {
+        let forged = Json::obj([
+            ("ok", Json::Bool(true)),
+            (
+                "certificate",
+                Json::str("bvqcert 1 fp\nclaim bool true\nend\n"),
+            ),
+        ])
+        .to_string_compact();
+        let (mut handle, mut client) = start_coordinator(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            replica_timeout_ms: 2000,
+            ..ServerConfig::default()
+        })?;
+        let fake = byzantine_replica(Some(forged), rounds + 1)?;
+        let resp = client
+            .register_replica(&fake)
+            .map_err(|e| format!("register: {e}"))?;
+        if !Client::is_ok(&resp) {
+            return Err(format!("register rejected: {resp:?}"));
+        }
+        for round in 0..rounds {
+            let count = eval_count(&mut client, &probe_query(round))?;
+            if count != correct {
+                return Err(format!(
+                    "corrupted round {round}: served {count} rows, want {correct} — \
+                     an unvalidated replica answer leaked"
+                ));
+            }
+            report.health_checks += 1;
+        }
+        let stats = client.call_op("stats", vec![]).map_err(|e| e.to_string())?;
+        let rejected = stat(&stats, "cert_rejected");
+        if rejected != rounds as u64 {
+            return Err(format!(
+                "corrupted: cert_rejected = {rejected}, want {rounds}"
+            ));
+        }
+        if stat(&stats, "replica_fallback") != rounds as u64 {
+            return Err("corrupted: fallback count drifted".into());
+        }
+        if stat(&stats, "result_cache_certified") != 0 {
+            return Err("corrupted: a rejected certificate was cached".into());
+        }
+        report.corrupted_rejections += rejected as usize;
+        handle.shutdown();
+    }
+
+    // Scenario 2: a *real* replica whose database silently diverged
+    // (stale epoch): the coordinator mutates its copy, the replica
+    // keeps serving certificates for the old data. The checker replays
+    // against the coordinator's own snapshot, so every stale answer is
+    // rejected and recomputed locally.
+    {
+        let (mut coord, mut client) = start_coordinator(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            ..ServerConfig::default()
+        })?;
+        let mut replica = Server::start(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            replica_of: Some(coord.addr().to_string()),
+            ..ServerConfig::default()
+        })
+        .map_err(|e| format!("replica start: {e}"))?;
+        // The replica loads the same database, then the coordinator
+        // moves ahead by one edge: epochs and answers diverge.
+        {
+            let mut rc =
+                Client::connect(replica.addr()).map_err(|e| format!("replica connect: {e}"))?;
+            let resp = rc
+                .load_db("byz", &write_database(&db))
+                .map_err(|e| format!("replica load_db: {e}"))?;
+            if !Client::is_ok(&resp) {
+                return Err(format!("replica load_db rejected: {resp:?}"));
+            }
+        }
+        for _ in 0..200 {
+            let stats = client.call_op("stats", vec![]).map_err(|e| e.to_string())?;
+            if stat(&stats, "replicas_healthy") == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let resp = client
+            .insert("byz", "E", &[5, 0])
+            .map_err(|e| format!("insert: {e}"))?;
+        if !Client::is_ok(&resp) {
+            return Err(format!("insert rejected: {resp:?}"));
+        }
+        // With the cycle edge 5→0 the closure is total: 36 rows.
+        for round in 0..rounds {
+            let count = eval_count(&mut client, &probe_query(round))?;
+            if count != 36 {
+                return Err(format!(
+                    "stale round {round}: served {count} rows, want 36 — \
+                     a stale-epoch replica answer leaked"
+                ));
+            }
+            report.health_checks += 1;
+        }
+        let stats = client.call_op("stats", vec![]).map_err(|e| e.to_string())?;
+        let rejected = stat(&stats, "cert_rejected");
+        if rejected != rounds as u64 {
+            return Err(format!("stale: cert_rejected = {rejected}, want {rounds}"));
+        }
+        report.stale_rejections += rejected as usize;
+        let mut rc =
+            Client::connect(replica.addr()).map_err(|e| format!("replica connect: {e}"))?;
+        let _ = rc.shutdown();
+        replica.shutdown();
+        coord.shutdown();
+    }
+
+    // Scenario 3: a replica that accepts and immediately drops every
+    // connection. Each failed exchange takes a strike; after the third
+    // the replica is quarantined and fan-out stops, but the coordinator
+    // answers every request locally throughout.
+    {
+        let (mut handle, mut client) = start_coordinator(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            replica_timeout_ms: 200,
+            ..ServerConfig::default()
+        })?;
+        let fake = byzantine_replica(None, rounds + 4)?;
+        let resp = client
+            .register_replica(&fake)
+            .map_err(|e| format!("register: {e}"))?;
+        if !Client::is_ok(&resp) {
+            return Err(format!("register rejected: {resp:?}"));
+        }
+        for round in 0..rounds.max(4) {
+            let count = eval_count(&mut client, &probe_query(round))?;
+            if count != correct {
+                return Err(format!("dropped round {round}: served {count} rows"));
+            }
+            report.health_checks += 1;
+        }
+        let stats = client.call_op("stats", vec![]).map_err(|e| e.to_string())?;
+        let fallbacks = stat(&stats, "replica_fallback");
+        // Quarantine caps the damage at MAX_FAILURES strikes.
+        if fallbacks != 3 {
+            return Err(format!(
+                "dropped: replica_fallback = {fallbacks}, want 3 (quarantine)"
+            ));
+        }
+        if stat(&stats, "replicas_healthy") != 0 {
+            return Err("dropped: replica not quarantined".into());
+        }
+        if stat(&stats, "cert_checked") != 0 {
+            return Err("dropped: phantom certificate checks".into());
+        }
+        report.dropped_fallbacks += fallbacks as usize;
+        handle.shutdown();
+    }
+
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,5 +491,14 @@ mod tests {
         assert_eq!(report.oversized_rejections, 2);
         assert_eq!(report.deadline_races, 6);
         assert_eq!(report.health_checks, 2);
+    }
+
+    #[test]
+    fn byzantine_replicas_never_corrupt_an_answer() {
+        let report = run_byzantine_replicas(3).expect("no trust violations");
+        assert_eq!(report.corrupted_rejections, 3);
+        assert_eq!(report.stale_rejections, 3);
+        assert_eq!(report.dropped_fallbacks, 3);
+        assert_eq!(report.health_checks, 3 + 3 + 4);
     }
 }

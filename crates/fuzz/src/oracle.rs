@@ -9,6 +9,7 @@
 
 use std::io;
 
+use bvq_cert::{check_text, CertError, CheckRequest, CheckedAnswer};
 use bvq_datalog::{eval_seminaive, to_fp_formula_multi};
 use bvq_ivm::{MutableDb, Mutation as IvmMutation, StandingQuery};
 use bvq_logic::{Query, Var};
@@ -278,6 +279,7 @@ pub fn oracles(lang: Lang, with_server: bool) -> Vec<&'static str> {
             "metamorphic-conjunct-shuffle",
             "rewritten-vs-original",
             "metamorphic-domain-rename",
+            "certified-vs-direct",
         ]),
         Lang::Datalog => names.extend([
             "datalog-naive-vs-seminaive",
@@ -288,6 +290,7 @@ pub fn oracles(lang: Lang, with_server: bool) -> Vec<&'static str> {
             "threads-1-vs-n",
             "metamorphic-domain-rename",
             "incremental-vs-recompute",
+            "certified-vs-direct",
         ]),
     }
     if with_server {
@@ -535,6 +538,7 @@ pub fn run_oracle(
             }
         }
         "incremental-vs-recompute" => incremental_vs_recompute(case, mutation, seed),
+        "certified-vs-direct" => certified_vs_direct(case, mutation),
         "server-materialized" => match server {
             Some(s) => against(oracle, s.eval(case)),
             None => Ok(0),
@@ -656,6 +660,68 @@ fn incremental_vs_recompute(
     Ok(checks)
 }
 
+/// The certificate oracle: emits a certificate with the engine-side
+/// producer, replays it through the trusted [`bvq_cert`] checker, and
+/// compares the *checked* answer against the reference. Both failure
+/// directions are bugs this oracle exists to catch: the checker
+/// rejecting an honestly produced certificate (the coordinator would
+/// burn the replica and re-evaluate locally), and — under the harness
+/// mutation, which corrupts the reference side — the checker accepting
+/// an answer that disagrees with direct evaluation. Cases outside the
+/// certifiable fragment (`CertError::Unsupported`, e.g. IFP) or past
+/// the production work caps are skipped, matching the server's own
+/// `not_certifiable` refusal.
+fn certified_vs_direct(case: &Case, mutation: Option<Mutation>) -> Result<usize, Divergence> {
+    let oracle = "certified-vs-direct";
+    let produced = match &case.kind {
+        CaseKind::Query(q) => bvq_core::certgen::certify_query(&case.db, q),
+        CaseKind::Datalog(p, out) => bvq_core::certgen::certify_datalog(&case.db, p, out),
+    };
+    let cert = match produced {
+        Ok(c) => c,
+        Err(CertError::Unsupported(_)) | Err(CertError::TooLarge) => return Ok(0),
+    };
+    let encoded = cert.encode();
+    let (q_held, p_held);
+    let req = match &case.kind {
+        CaseKind::Query(q) => {
+            q_held = q.clone();
+            CheckRequest::Query(&q_held)
+        }
+        CaseKind::Datalog(p, out) => {
+            p_held = p.clone();
+            CheckRequest::Datalog {
+                program: &p_held,
+                output: out,
+            }
+        }
+    };
+    let checked = match check_text(&case.db, &req, &encoded) {
+        Ok(CheckedAnswer::Boolean(b)) => Norm::Bool(b),
+        Ok(CheckedAnswer::Rows(rel)) => Norm::Rows(rel_rows(&rel)),
+        Err(reject) => {
+            return Err(Divergence {
+                oracle: oracle.to_string(),
+                detail: format!(
+                    "trusted checker rejected an honestly produced certificate: \
+                     {} ({reject})",
+                    reject.code()
+                ),
+            })
+        }
+    };
+    match compare(
+        oracle,
+        "direct",
+        mutate(reference(case), mutation),
+        "certified",
+        checked,
+    ) {
+        None => Ok(1),
+        Some(d) => Err(d),
+    }
+}
+
 /// The outcome of pushing one case through every applicable oracle.
 #[derive(Clone, Debug)]
 pub struct CheckOutcome {
@@ -730,6 +796,67 @@ mod tests {
         assert!(
             checks >= 200,
             "sweep performed only {checks} incremental checks"
+        );
+    }
+
+    #[test]
+    fn certified_vs_direct_agrees_across_seeded_sweep() {
+        // Acceptance gate: seeded FP/PFP/Datalog cases, each certified
+        // by the engine-side producer and replayed through the trusted
+        // checker, with zero divergences against direct evaluation.
+        let mut checks = 0;
+        for lang in [Lang::Fp, Lang::Pfp, Lang::Datalog] {
+            for i in 0..60u64 {
+                let case = gen_case(&mut Rng::seed_from_u64(12_000 + i), lang);
+                match run_oracle(&case, "certified-vs-direct", None, None, i) {
+                    Ok(c) => checks += c,
+                    Err(d) => panic!(
+                        "{lang} case {i} diverged: {}\ncase: {}",
+                        d.detail,
+                        case.text()
+                    ),
+                }
+            }
+        }
+        assert!(
+            checks >= 60,
+            "sweep performed only {checks} certificate checks"
+        );
+    }
+
+    #[test]
+    fn certified_vs_direct_catches_a_wrong_accepted_answer() {
+        // The mutation hook stands in for "the checker accepted a wrong
+        // answer": with the reference side corrupted, any case with a
+        // non-trivial certified answer must report a divergence.
+        let mut found = false;
+        for i in 0..60u64 {
+            let case = gen_case(&mut Rng::seed_from_u64(13_000 + i), Lang::Fp);
+            if matches!(reference(&case), Norm::Rows(ref r) if r.is_empty()) {
+                continue;
+            }
+            match run_oracle(
+                &case,
+                "certified-vs-direct",
+                None,
+                Some(Mutation::DropRow),
+                i,
+            ) {
+                Ok(0) => continue, // outside the certifiable fragment
+                Ok(_) => panic!(
+                    "checker accepted a corrupted answer silently\ncase: {}",
+                    case.text()
+                ),
+                Err(d) => {
+                    assert_eq!(d.oracle, "certified-vs-direct");
+                    found = true;
+                    break;
+                }
+            }
+        }
+        assert!(
+            found,
+            "sweep produced no certifiable case with a non-trivial answer"
         );
     }
 

@@ -114,10 +114,24 @@ impl Cnf {
     /// # Panics
     /// Panics if the assignment is shorter than `num_vars`.
     pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.violating_clause(assignment).is_none()
+    }
+
+    /// The index of the first clause the assignment falsifies, or `None`
+    /// when the assignment is a model.
+    ///
+    /// This is the checker-grade form of [`eval`](Self::eval): a SAT
+    /// claim is audited by replaying the model, and on failure the
+    /// *specific* violated clause is the structured rejection evidence —
+    /// the same discipline `bvq-cert` applies to iteration traces.
+    ///
+    /// # Panics
+    /// Panics if the assignment is shorter than `num_vars`.
+    pub fn violating_clause(&self, assignment: &[bool]) -> Option<usize> {
         assert!(assignment.len() >= self.num_vars, "assignment too short");
         self.clauses
             .iter()
-            .all(|c| c.iter().any(|l| l.eval(assignment[l.var() as usize])))
+            .position(|c| !c.iter().any(|l| l.eval(assignment[l.var() as usize])))
     }
 
     /// Total number of literal occurrences.
@@ -159,6 +173,16 @@ mod tests {
         assert!(cnf.eval(&[false, true]));
         assert!(!cnf.eval(&[true, true])); // second clause violated
         assert!(!cnf.eval(&[false, false])); // first clause violated
+    }
+
+    #[test]
+    fn violating_clause_pinpoints_the_rejection() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([Lit::pos(0), Lit::pos(1)]);
+        cnf.add_clause([Lit::neg(0)]);
+        assert_eq!(cnf.violating_clause(&[false, true]), None);
+        assert_eq!(cnf.violating_clause(&[true, true]), Some(1));
+        assert_eq!(cnf.violating_clause(&[false, false]), Some(0));
     }
 
     #[test]

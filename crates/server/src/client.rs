@@ -178,6 +178,33 @@ impl Client {
         }
     }
 
+    /// Evaluates an FO/FP/PFP query *certified*: the response carries a
+    /// `bvq-cert` certificate alongside the answer.
+    pub fn eval_certified(&mut self, db: &str, query: &str) -> io::Result<Json> {
+        self.call_op(
+            "eval_certified",
+            vec![("db", Json::str(db)), ("query", Json::str(query))],
+        )
+    }
+
+    /// Runs a Datalog program *certified* (`target: datalog`).
+    pub fn datalog_certified(&mut self, db: &str, program: &str, output: &str) -> io::Result<Json> {
+        self.call_op(
+            "eval_certified",
+            vec![
+                ("db", Json::str(db)),
+                ("target", Json::str("datalog")),
+                ("program", Json::str(program)),
+                ("output", Json::str(output)),
+            ],
+        )
+    }
+
+    /// Registers an untrusted replica at `addr` with a coordinator.
+    pub fn register_replica(&mut self, addr: &str) -> io::Result<Json> {
+        self.call_op("register_replica", vec![("addr", Json::str(addr))])
+    }
+
     /// Runs a Datalog program, returning the `output` predicate.
     pub fn datalog(&mut self, db: &str, program: &str, output: &str) -> io::Result<Json> {
         self.call_op(

@@ -51,6 +51,11 @@ pub enum RunError {
     Eval(EvalError),
     /// A Datalog program failed to parse, validate, or evaluate.
     Datalog(DatalogError),
+    /// A certificate was requested but the request is outside the
+    /// certifiable fragment (or production hit its work caps). The
+    /// *answer* is still computable — callers fall back to plain
+    /// uncertified evaluation.
+    NotCertifiable(String),
     /// The query references a relation that does not match the
     /// database's schema (unknown name or wrong arity) — caught at
     /// dispatch, before any evaluation starts.
@@ -76,6 +81,7 @@ impl RunError {
             RunError::Datalog(DatalogError::Parse { .. }) => "parse_error",
             RunError::Datalog(DatalogError::DeadlineExceeded) => "deadline_exceeded",
             RunError::Datalog(_) => "eval_error",
+            RunError::NotCertifiable(_) => "not_certifiable",
             RunError::Schema { .. } => "schema_error",
         }
     }
@@ -88,6 +94,7 @@ impl std::fmt::Display for RunError {
             RunError::UnknownOutput(p) => {
                 write!(f, "program derives no predicate named `{p}`")
             }
+            RunError::NotCertifiable(m) => write!(f, "not certifiable: {m}"),
             RunError::Eval(e) => write!(f, "{e}"),
             RunError::Datalog(e) => write!(f, "{e}"),
             RunError::Schema {
@@ -182,6 +189,12 @@ pub struct EvalOptions {
     /// backends always interpret — the bytecode engine picks its own
     /// representation.
     pub backend: BackendMode,
+    /// Emit a portable [`bvq_cert`] certificate alongside the answer
+    /// ([`ExecOutcome::certificate`]). Requests outside the certifiable
+    /// fragment fail with [`RunError::NotCertifiable`] — the answer is
+    /// unchanged either way, so this flag is deliberately **excluded**
+    /// from [`ExecRequest::cache_key`].
+    pub certificate: bool,
 }
 
 impl EvalOptions {
@@ -490,6 +503,12 @@ pub struct ExecOutcome {
     pub stats: EvalStats,
     /// The measured span tree, when the request set `trace`.
     pub trace: Option<Span>,
+    /// The encoded certificate, when the request set
+    /// [`EvalOptions::certificate`] and production succeeded. Always
+    /// cross-checked against [`answer`](Self::answer) before being
+    /// attached — a divergent claim is a producer bug and surfaces as
+    /// [`RunError::NotCertifiable`] instead of a lying certificate.
+    pub certificate: Option<String>,
 }
 
 /// Parses and classifies a query, applying `--minimize` and resolving
@@ -596,6 +615,20 @@ pub fn execute_prepared(
     prepared: &Prepared,
     req: &ExecRequest,
 ) -> Result<ExecOutcome, RunError> {
+    let mut outcome = execute_plain(db, prepared, req)?;
+    if req.opts.certificate {
+        outcome.certificate = Some(produce_certificate(db, prepared, req, &outcome)?);
+    }
+    Ok(outcome)
+}
+
+/// The certificate-free evaluation path: everything
+/// [`execute_prepared`] does except certificate production.
+fn execute_plain(
+    db: &Database,
+    prepared: &Prepared,
+    req: &ExecRequest,
+) -> Result<ExecOutcome, RunError> {
     validate_schema(db, prepared)?;
     let cfg = req.opts.config().with_trace(req.trace);
     match prepared {
@@ -643,6 +676,7 @@ pub fn execute_prepared(
                 answer,
                 stats: out.stats,
                 trace: out.trace,
+                certificate: None,
             })
         }
         Prepared::Eso(plan) => execute_eso(db, plan, req),
@@ -680,6 +714,7 @@ pub fn execute_prepared(
                 answer: Answer::Rows(rel),
                 stats: out.stats,
                 trace: out.trace,
+                certificate: None,
             })
         }
     }
@@ -756,7 +791,104 @@ fn execute_datalog_backend(
         answer: Answer::Rows(out.answer),
         stats: out.stats,
         trace: out.trace,
+        certificate: None,
     })
+}
+
+/// Produces the encoded certificate for an executed request, then
+/// cross-checks the certificate's claim against the answer the engine
+/// itself computed — the two come from *independent* code paths, so a
+/// divergence means one of them is wrong and no certificate is emitted.
+fn produce_certificate(
+    db: &Database,
+    prepared: &Prepared,
+    req: &ExecRequest,
+    outcome: &ExecOutcome,
+) -> Result<String, RunError> {
+    use bvq_cert::Claim;
+    let not = |m: String| RunError::NotCertifiable(m);
+    let cert = match prepared {
+        Prepared::Query(plan) => {
+            bvq_core::certgen::certify_query(db, &plan.query).map_err(|e| not(e.to_string()))?
+        }
+        Prepared::Datalog(plan) => {
+            let ExecKind::Datalog { output, .. } = &req.kind else {
+                return Err(RunError::InvalidOption(
+                    "a Datalog plan requires a Datalog request".into(),
+                ));
+            };
+            bvq_core::certgen::certify_datalog(db, &plan.program, output)
+                .map_err(|e| not(e.to_string()))?
+        }
+        Prepared::Eso(plan) => {
+            if !plan.free.is_empty() {
+                return Err(not(
+                    "ESO queries with free variables have no witness certificate".into(),
+                ));
+            }
+            bvq_core::certify_eso(db, &plan.eso, plan.k).map_err(|e| not(e.to_string()))?
+        }
+    };
+    let claim_matches = match (&cert.claim, &outcome.answer) {
+        (Claim::Boolean(b), Answer::Boolean(a)) => a == b,
+        (Claim::Rows { rows, .. }, Answer::Rows(rel)) => {
+            rel.len() == rows.len() && rows.iter().all(|t| rel.contains(t))
+        }
+        // The ESO arm renders a textual report; a witness certificate
+        // exists only for satisfiable sentences.
+        (Claim::Boolean(true), Answer::Text(t)) => t.contains("sentence: true"),
+        _ => false,
+    };
+    if !claim_matches {
+        return Err(not(
+            "certificate claim diverged from the engine's own answer".into(),
+        ));
+    }
+    Ok(cert.encode())
+}
+
+/// Validates a certificate (e.g. one returned by an untrusted replica)
+/// against a prepared request using the trusted [`bvq_cert`] checker,
+/// with **zero reference to any evaluator**. `Ok` is the now-verified
+/// answer, safe to serve and cache; `Err` carries the structured
+/// rejection (`reject.code()` is the stable stats/wire token).
+pub fn check_certificate(
+    db: &Database,
+    prepared: &Prepared,
+    req: &ExecRequest,
+    cert_text: &str,
+) -> Result<Answer, bvq_cert::Reject> {
+    let creq = match prepared {
+        Prepared::Query(p) => bvq_cert::CheckRequest::Query(&p.query),
+        Prepared::Datalog(p) => {
+            let ExecKind::Datalog { output, .. } = &req.kind else {
+                return Err(bvq_cert::Reject::Unsupported(
+                    "a Datalog plan requires a Datalog request".into(),
+                ));
+            };
+            bvq_cert::CheckRequest::Datalog {
+                program: &p.program,
+                output,
+            }
+        }
+        Prepared::Eso(p) => bvq_cert::CheckRequest::Eso(&p.eso),
+    };
+    Ok(match bvq_cert::check_text(db, &creq, cert_text)? {
+        bvq_cert::CheckedAnswer::Boolean(b) => Answer::Boolean(b),
+        bvq_cert::CheckedAnswer::Rows(rel) => Answer::Rows(rel),
+    })
+}
+
+/// `(k, width)` of a prepared plan, for rendering a payload built from
+/// a checked certificate — no execution happened, so there is no
+/// [`ExecOutcome`] to read the dimensions from. Datalog plans report
+/// `(0, 0)`, matching what the wire omits for them anyway.
+pub fn plan_dims(prepared: &Prepared) -> (usize, usize) {
+    match prepared {
+        Prepared::Query(p) => (p.k, p.width),
+        Prepared::Eso(p) => (p.k, p.width),
+        Prepared::Datalog(_) => (0, 0),
+    }
 }
 
 /// The database's relation schema as `(name, arity)` pairs.
@@ -1036,6 +1168,7 @@ fn execute_eso(db: &Database, plan: &EsoPlan, req: &ExecRequest) -> Result<ExecO
         answer: Answer::Text(text),
         stats,
         trace,
+        certificate: None,
     })
 }
 

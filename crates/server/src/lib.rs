@@ -32,6 +32,14 @@
 //! [`bvq_ivm::StandingQuery`], re-evaluate-and-diff otherwise), pushing
 //! unsolicited delta frames to subscribers.
 //!
+//! Evaluation can be **certified**: the `eval_certified` op attaches a
+//! portable [`bvq_cert`] certificate to the answer, and a coordinator
+//! whose [`replica::ReplicaPool`] is non-empty fans eligible requests
+//! out to untrusted replicas, accepting a replica's answer only after
+//! the trusted checker replays its certificate against the
+//! coordinator's own snapshot (rejection falls back to local
+//! evaluation).
+//!
 //! Everything is `std`-only.
 
 #![warn(missing_docs)]
@@ -41,6 +49,7 @@ pub mod exec;
 pub mod json;
 pub mod lru;
 pub mod protocol;
+pub mod replica;
 pub mod server;
 pub mod stats;
 
@@ -54,5 +63,6 @@ pub use exec::{
 };
 pub use json::Json;
 pub use protocol::{ProtoError, Request, FEATURES, OPS, PROTOCOL_VERSION};
+pub use replica::ReplicaPool;
 pub use server::{DbHandle, ResultPayload, Server, ServerConfig, ServerHandle};
 pub use stats::{Language, Phase, StatsRegistry};

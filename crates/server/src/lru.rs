@@ -78,6 +78,13 @@ impl<K: Eq + Hash + Clone, V: Clone> Lru<K, V> {
     pub fn retain(&mut self, mut keep: impl FnMut(&K) -> bool) {
         self.map.retain(|k, _| keep(k));
     }
+
+    /// Iterates over the cached values (no recency effect). Used by the
+    /// `stats` op to report how many result-cache entries carry a
+    /// validated certificate.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.map.values().map(|(v, _)| v)
+    }
 }
 
 #[cfg(test)]

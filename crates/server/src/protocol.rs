@@ -10,6 +10,7 @@
 //! request   := { "op": <op>, "id"?: <any>, ...op fields }
 //! op        := "ping" | "list_dbs" | "load_db" | "stats" | "shutdown"
 //!            | "eval" | "eso" | "datalog" | "explain" | "lint"
+//!            | "eval_certified" | "register_replica"
 //!            | "insert" | "delete" | "batch"
 //!            | "subscribe" | "unsubscribe" | "subscriptions"
 //!            | "debug_sleep"
@@ -36,6 +37,20 @@
 //! drops a subscription; `subscriptions` lists them with maintenance
 //! statistics.
 //!
+//! **Certified evaluation & replicas (v3).** `eval_certified` evaluates
+//! like `eval`/`datalog`/`eso` (pick with `"target"`, default `eval`)
+//! but additionally returns `"certificate"`: a portable `bvq-cert`
+//! text certificate for the answer, and `"certified": true`. Requests
+//! outside the certifiable fragment fail with `not_certifiable`. A
+//! server started with `--replica-of ADDR` registers itself at the
+//! coordinator with `register_replica`; the coordinator then fans
+//! eligible compute requests out to registered replicas as
+//! `eval_certified` ops and **validates every returned certificate
+//! with its own trusted checker** against its own epoch snapshot
+//! before caching or answering — a lying replica is rejected
+//! (`cert_rejected` in stats) and the request falls back to local
+//! evaluation.
+//!
 //! **Versioning & compatibility.** `ping` reports `"v"`:
 //! [`PROTOCOL_VERSION`] and a `"capabilities"` object listing the
 //! supported [`OPS`] and [`FEATURES`], so clients feature-detect instead
@@ -59,8 +74,10 @@ use bvq_relation::BackendMode;
 use crate::json::Json;
 
 /// The protocol version reported by `ping`. Version 2 added mutations,
-/// epochs, and standing-query subscriptions.
-pub const PROTOCOL_VERSION: u64 = 2;
+/// epochs, and standing-query subscriptions; version 3 added certified
+/// evaluation (`eval_certified`) and replica registration
+/// (`register_replica`).
+pub const PROTOCOL_VERSION: u64 = 3;
 
 /// Every op the server understands, as reported in `ping`'s
 /// capabilities. (`debug_sleep` is excluded: it only exists when the
@@ -76,6 +93,8 @@ pub const OPS: &[&str] = &[
     "datalog",
     "explain",
     "lint",
+    "eval_certified",
+    "register_replica",
     "insert",
     "delete",
     "batch",
@@ -94,6 +113,8 @@ pub const FEATURES: &[&str] = &[
     "admission",
     "mutations",
     "subscriptions",
+    "certificates",
+    "replicas",
 ];
 
 /// A parsed request: the echoed id plus the operation.
@@ -149,6 +170,14 @@ pub enum Op {
     },
     /// List active subscriptions with maintenance statistics.
     Subscriptions,
+    /// Register an untrusted replica (the `register_replica` op): the
+    /// coordinator adds `addr` to its fan-out pool. Certificates are
+    /// what make this safe — nothing a replica returns is trusted until
+    /// the coordinator's own checker validates it.
+    RegisterReplica {
+        /// The replica's listening address (`host:port`).
+        addr: String,
+    },
     /// A compute request (queued, runs on a worker).
     Compute(Compute),
 }
@@ -171,6 +200,11 @@ pub struct Compute {
     pub no_cache: bool,
     /// Attach the evaluator's span tree to the response.
     pub trace: bool,
+    /// Return a validated `bvq-cert` certificate with the answer (the
+    /// `eval_certified` op). Not part of the cache key — a certified
+    /// answer equals the uncertified one — but a cache hit only counts
+    /// if the cached entry actually carries a certificate.
+    pub certificate: bool,
 }
 
 /// The kinds of compute work.
@@ -279,6 +313,64 @@ impl ComputeKind {
     }
 }
 
+/// Renders the one-line `eval_certified` request a coordinator sends to
+/// a replica when fanning out an eligible compute request, or `None`
+/// when the kind is not fanned out: ESO answers are textual reports
+/// with no row/boolean claim to check, and explain/lint/sleep are not
+/// certifiable executions at all.
+pub fn certified_wire_line(db: &str, kind: &ComputeKind) -> Option<String> {
+    let mut fields: Vec<(String, Json)> = vec![
+        ("op".into(), Json::str("eval_certified")),
+        ("db".into(), Json::Str(db.to_string())),
+    ];
+    match kind {
+        ComputeKind::Eval {
+            query,
+            k,
+            naive,
+            minimize,
+            threads: _,
+            backend,
+        } => {
+            fields.push(("target".into(), Json::str("eval")));
+            fields.push(("query".into(), Json::Str(query.clone())));
+            if let Some(k) = k {
+                fields.push(("k".into(), Json::num(*k as u64)));
+            }
+            if *naive {
+                fields.push(("naive".into(), Json::Bool(true)));
+            }
+            if *minimize {
+                fields.push(("minimize".into(), Json::Bool(true)));
+            }
+            if let Some(forced) = backend.forced() {
+                fields.push(("backend".into(), Json::Str(forced.to_string())));
+            }
+        }
+        ComputeKind::Datalog {
+            program,
+            output,
+            naive,
+            backend,
+        } => {
+            fields.push(("target".into(), Json::str("datalog")));
+            fields.push(("program".into(), Json::Str(program.clone())));
+            fields.push(("output".into(), Json::Str(output.clone())));
+            if *naive {
+                fields.push(("naive".into(), Json::Bool(true)));
+            }
+            if let Some(forced) = backend.forced() {
+                fields.push(("backend".into(), Json::Str(forced.to_string())));
+            }
+        }
+        ComputeKind::Eso { .. }
+        | ComputeKind::Explain { .. }
+        | ComputeKind::Lint { .. }
+        | ComputeKind::Sleep { .. } => return None,
+    }
+    Some(Json::Obj(fields).to_string_compact())
+}
+
 /// A protocol-level error: the `code` a client branches on plus a
 /// human-readable message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -384,6 +476,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, ProtoError)> {
             stream,
             no_cache,
             trace,
+            certificate: false,
         })
     };
 
@@ -478,6 +571,35 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, ProtoError)> {
             })?,
         },
         "subscriptions" => Op::Subscriptions,
+        "register_replica" => Op::RegisterReplica {
+            addr: need_str("addr")?,
+        },
+        "eval_certified" => {
+            let inner = match json.get("target").and_then(Json::as_str).unwrap_or("eval") {
+                "eval" => eval_kind()?,
+                "eso" => eso_kind()?,
+                "datalog" => datalog_kind()?,
+                other => {
+                    return Err((
+                        id,
+                        ProtoError::new(
+                            "bad_request",
+                            format!(
+                                "`eval_certified` target must be eval|eso|datalog, got `{other}`"
+                            ),
+                        ),
+                    ))
+                }
+            };
+            // Certified requests never trace (the certificate is the
+            // evidence) and may stream rows like a plain eval.
+            let mut c = match compute(inner, flag("stream"), flag("no_cache"), false) {
+                Op::Compute(c) => c,
+                _ => unreachable!(),
+            };
+            c.certificate = true;
+            Op::Compute(c)
+        }
         "eval" => compute(
             eval_kind()?,
             flag("stream"),
@@ -775,6 +897,102 @@ mod tests {
         assert_eq!(err.code, "bad_request");
         let req = parse_request(r#"{"op":"subscriptions"}"#).unwrap();
         assert!(matches!(req.op, Op::Subscriptions));
+    }
+
+    #[test]
+    fn parses_certified_and_replica_requests() {
+        let req =
+            parse_request(r#"{"op":"eval_certified","db":"g","query":"(x1) E(x1,x1)"}"#).unwrap();
+        let Op::Compute(c) = req.op else {
+            panic!("wrong op")
+        };
+        assert!(c.certificate);
+        assert!(!c.trace, "certified requests never trace");
+        assert!(matches!(c.kind, ComputeKind::Eval { .. }));
+        let req = parse_request(
+            r#"{"op":"eval_certified","db":"g","target":"datalog","program":"T(x) :- P(x).","output":"T"}"#,
+        )
+        .unwrap();
+        let Op::Compute(c) = req.op else {
+            panic!("wrong op")
+        };
+        assert!(c.certificate);
+        assert!(matches!(c.kind, ComputeKind::Datalog { .. }));
+        let (_, err) =
+            parse_request(r#"{"op":"eval_certified","db":"g","target":"warp","query":"q"}"#)
+                .unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        // Plain ops never set the certificate flag.
+        let req = parse_request(r#"{"op":"eval","db":"g","query":"q"}"#).unwrap();
+        let Op::Compute(c) = req.op else {
+            panic!("wrong op")
+        };
+        assert!(!c.certificate);
+
+        let req = parse_request(r#"{"op":"register_replica","addr":"127.0.0.1:9"}"#).unwrap();
+        let Op::RegisterReplica { addr } = req.op else {
+            panic!("wrong op")
+        };
+        assert_eq!(addr, "127.0.0.1:9");
+        let (_, err) = parse_request(r#"{"op":"register_replica"}"#).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+    }
+
+    #[test]
+    fn certified_wire_line_round_trips_through_the_parser() {
+        let kind = ComputeKind::Eval {
+            query: "(x1) \"quoted\" E(x1,x1)".into(),
+            k: Some(3),
+            naive: true,
+            minimize: false,
+            threads: Some(4),
+            backend: BackendMode::Bdd,
+        };
+        let line = certified_wire_line("g", &kind).unwrap();
+        let req = parse_request(&line).unwrap();
+        let Op::Compute(c) = req.op else {
+            panic!("wrong op")
+        };
+        assert!(c.certificate);
+        assert_eq!(c.db, "g");
+        let ComputeKind::Eval {
+            query,
+            k,
+            naive,
+            backend,
+            ..
+        } = c.kind
+        else {
+            panic!("wrong kind")
+        };
+        assert_eq!(query, "(x1) \"quoted\" E(x1,x1)");
+        assert_eq!(k, Some(3));
+        assert!(naive);
+        assert_eq!(backend, BackendMode::Bdd);
+
+        let kind = ComputeKind::Datalog {
+            program: "T(x) :- P(x).".into(),
+            output: "T".into(),
+            naive: false,
+            backend: BackendMode::Auto,
+        };
+        let line = certified_wire_line("db2", &kind).unwrap();
+        let req = parse_request(&line).unwrap();
+        let Op::Compute(c) = req.op else {
+            panic!("wrong op")
+        };
+        assert!(matches!(c.kind, ComputeKind::Datalog { .. }));
+
+        // ESO (textual answers) and non-executions are never fanned out.
+        assert!(certified_wire_line(
+            "g",
+            &ComputeKind::Eso {
+                query: "q".into(),
+                k: None
+            }
+        )
+        .is_none());
+        assert!(certified_wire_line("g", &ComputeKind::Sleep { millis: 1 }).is_none());
     }
 
     #[test]

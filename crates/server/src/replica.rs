@@ -1,0 +1,198 @@
+//! Untrusted-replica fan-out.
+//!
+//! A coordinator started with replicas (or that received
+//! `register_replica` ops) keeps them in a [`ReplicaPool`]. Replicas are
+//! **untrusted**: the coordinator never believes a replica's answer —
+//! it only believes its own trusted checker (`bvq-cert`), run against
+//! its *own* snapshot of the database. The pool therefore only deals in
+//! transport: round-robin selection, per-call timeouts, and a
+//! three-strikes quarantine for replicas that stop responding. Whether
+//! a returned certificate is *valid* is decided entirely by the caller.
+//!
+//! The exchange itself is one line of the ordinary wire protocol: the
+//! coordinator connects, sends a single `eval_certified` request, and
+//! reads a single response line. Replicas are plain `bvq serve`
+//! processes — there is no separate replica protocol to audit.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Consecutive failures after which a replica is quarantined.
+const MAX_FAILURES: u32 = 3;
+
+#[derive(Debug)]
+struct Replica {
+    addr: String,
+    /// Consecutive failures; reset on any success. At [`MAX_FAILURES`]
+    /// the replica stops being picked.
+    failures: u32,
+}
+
+/// A round-robin pool of untrusted replica addresses.
+#[derive(Debug, Default)]
+pub struct ReplicaPool {
+    replicas: Mutex<Vec<Replica>>,
+    cursor: AtomicUsize,
+}
+
+impl ReplicaPool {
+    /// An empty pool (fan-out disabled until a replica registers).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `addr` to the pool (idempotent; re-registering clears any
+    /// quarantine, so a restarted replica heals itself by registering
+    /// again). Returns the pool size after registration.
+    pub fn register(&self, addr: &str) -> usize {
+        let mut reps = self.replicas.lock().unwrap();
+        match reps.iter_mut().find(|r| r.addr == addr) {
+            Some(r) => r.failures = 0,
+            None => reps.push(Replica {
+                addr: addr.to_string(),
+                failures: 0,
+            }),
+        }
+        reps.len()
+    }
+
+    /// Picks the next healthy replica address round-robin, or `None`
+    /// when every replica is quarantined (or the pool is empty).
+    pub fn pick(&self) -> Option<String> {
+        let reps = self.replicas.lock().unwrap();
+        if reps.is_empty() {
+            return None;
+        }
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+        (0..reps.len())
+            .map(|i| &reps[(start + i) % reps.len()])
+            .find(|r| r.failures < MAX_FAILURES)
+            .map(|r| r.addr.clone())
+    }
+
+    /// Records a successful exchange with `addr` (clears its strikes).
+    pub fn report_success(&self, addr: &str) {
+        let mut reps = self.replicas.lock().unwrap();
+        if let Some(r) = reps.iter_mut().find(|r| r.addr == addr) {
+            r.failures = 0;
+        }
+    }
+
+    /// Records a failed exchange with `addr`. Three in a row quarantine
+    /// the replica until it re-registers or succeeds via another path.
+    pub fn report_failure(&self, addr: &str) {
+        let mut reps = self.replicas.lock().unwrap();
+        if let Some(r) = reps.iter_mut().find(|r| r.addr == addr) {
+            r.failures = r.failures.saturating_add(1);
+        }
+    }
+
+    /// `(total, healthy)` pool occupancy, for the `stats` op.
+    pub fn occupancy(&self) -> (usize, usize) {
+        let reps = self.replicas.lock().unwrap();
+        let healthy = reps.iter().filter(|r| r.failures < MAX_FAILURES).count();
+        (reps.len(), healthy)
+    }
+}
+
+/// Sends one request line to `addr` and reads one response line, all
+/// under `timeout` (applied separately to connect, write, and read).
+///
+/// Returns `Err` on any transport problem — connection refused, timeout,
+/// a dropped connection mid-line, or an empty response. Protocol-level
+/// errors (`"ok": false`) are *successful* exchanges at this layer; the
+/// caller inspects the payload.
+pub fn exchange(addr: &str, line: &str, timeout: Duration) -> std::io::Result<String> {
+    let sock_addr = addr
+        .parse()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{e}")))?;
+    let stream = TcpStream::connect_timeout(&sock_addr, timeout)?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.set_read_timeout(Some(timeout))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(line.as_bytes())?;
+    if !line.ends_with('\n') {
+        writer.write_all(b"\n")?;
+    }
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    let n = reader.read_line(&mut response)?;
+    if n == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "replica closed the connection without responding",
+        ));
+    }
+    Ok(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_healthy_replicas() {
+        let pool = ReplicaPool::new();
+        assert_eq!(pool.pick(), None);
+        pool.register("a:1");
+        pool.register("b:2");
+        let picks: Vec<_> = (0..4).filter_map(|_| pool.pick()).collect();
+        assert_eq!(picks, ["a:1", "b:2", "a:1", "b:2"]);
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let pool = ReplicaPool::new();
+        assert_eq!(pool.register("a:1"), 1);
+        assert_eq!(pool.register("a:1"), 1);
+        assert_eq!(pool.register("b:2"), 2);
+    }
+
+    #[test]
+    fn three_strikes_quarantines_and_reregistration_heals() {
+        let pool = ReplicaPool::new();
+        pool.register("a:1");
+        for _ in 0..MAX_FAILURES {
+            pool.report_failure("a:1");
+        }
+        assert_eq!(pool.pick(), None);
+        assert_eq!(pool.occupancy(), (1, 0));
+        pool.register("a:1");
+        assert_eq!(pool.pick(), Some("a:1".to_string()));
+        assert_eq!(pool.occupancy(), (1, 1));
+    }
+
+    #[test]
+    fn success_resets_strikes() {
+        let pool = ReplicaPool::new();
+        pool.register("a:1");
+        pool.report_failure("a:1");
+        pool.report_failure("a:1");
+        pool.report_success("a:1");
+        pool.report_failure("a:1");
+        assert_eq!(pool.pick(), Some("a:1".to_string()));
+    }
+
+    #[test]
+    fn quarantined_replica_is_skipped_not_fatal() {
+        let pool = ReplicaPool::new();
+        pool.register("dead:1");
+        pool.register("live:2");
+        for _ in 0..MAX_FAILURES {
+            pool.report_failure("dead:1");
+        }
+        for _ in 0..4 {
+            assert_eq!(pool.pick(), Some("live:2".to_string()));
+        }
+    }
+
+    #[test]
+    fn exchange_rejects_unparseable_addr() {
+        let err = exchange("not an addr", "{}", Duration::from_millis(100)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+}

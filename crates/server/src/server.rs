@@ -62,9 +62,10 @@ use crate::exec::{self, EvalOptions, RunError};
 use crate::json::Json;
 use crate::lru::Lru;
 use crate::protocol::{
-    err_response, ok_response, parse_request, Compute, ComputeKind, Op, ProtoError, Request,
-    FEATURES, OPS, PROTOCOL_VERSION,
+    certified_wire_line, err_response, ok_response, parse_request, Compute, ComputeKind, Op,
+    ProtoError, Request, FEATURES, OPS, PROTOCOL_VERSION,
 };
+use crate::replica::{self, ReplicaPool};
 use crate::stats::{dec, inc, Language, Phase, StatsRegistry};
 
 /// Server construction parameters.
@@ -100,6 +101,17 @@ pub struct ServerConfig {
     /// fits the budget, and rejected with `admission_rejected`
     /// otherwise. `None` disables the gate.
     pub max_width: Option<usize>,
+    /// Run as an untrusted replica of the coordinator at this address:
+    /// on startup the server registers its own bound address there with
+    /// `register_replica` (retrying while the coordinator comes up).
+    /// Databases are **not** synchronized — a replica serves the
+    /// databases it was given, and a stale or divergent replica is
+    /// harmless because the coordinator's checker validates every
+    /// certificate against its *own* snapshot.
+    pub replica_of: Option<String>,
+    /// Per-exchange timeout (connect, write, and read each) for replica
+    /// fan-out and registration.
+    pub replica_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -118,6 +130,8 @@ impl Default for ServerConfig {
             admission: false,
             max_frame_bytes: 1 << 20,
             max_width: None,
+            replica_of: None,
+            replica_timeout_ms: 2000,
         }
     }
 }
@@ -255,6 +269,11 @@ pub struct ResultPayload {
     pub explain: Option<Json>,
     /// The lint report (pre-rendered JSON), for the `lint` op.
     pub lint: Option<Json>,
+    /// The encoded `bvq-cert` certificate backing this answer, when one
+    /// was produced locally or validated from a replica. Cached entries
+    /// keep it, so a certified request can be served from the cache —
+    /// but only from an entry that actually carries one.
+    pub certificate: Option<String>,
 }
 
 enum Outcome {
@@ -295,6 +314,8 @@ struct Shared {
     next_sub: AtomicU64,
     stats: StatsRegistry,
     shutting_down: AtomicBool,
+    /// Registered untrusted replicas; empty means no fan-out.
+    replicas: ReplicaPool,
 }
 
 impl Shared {
@@ -340,6 +361,7 @@ impl Server {
             next_sub: AtomicU64::new(0),
             stats: StatsRegistry::new(),
             shutting_down: AtomicBool::new(false),
+            replicas: ReplicaPool::new(),
         });
 
         let mut worker_handles = Vec::with_capacity(workers);
@@ -360,6 +382,35 @@ impl Server {
                 .name("bvq-acceptor".into())
                 .spawn(move || acceptor_loop(&listener, &shared, &tx))?
         };
+
+        // Replica mode: announce ourselves to the coordinator, retrying
+        // briefly so start order doesn't matter. Registration failing is
+        // non-fatal — the server still serves direct clients.
+        if let Some(coordinator) = shared.cfg.replica_of.clone() {
+            let my_addr = addr.to_string();
+            let timeout = Duration::from_millis(shared.cfg.replica_timeout_ms.max(1));
+            thread::Builder::new()
+                .name("bvq-replica-reg".into())
+                .spawn(move || {
+                    let line = Json::obj([
+                        ("op", Json::str("register_replica")),
+                        ("addr", Json::Str(my_addr)),
+                    ])
+                    .to_string_compact();
+                    for _ in 0..10 {
+                        if let Ok(resp) = replica::exchange(&coordinator, &line, timeout) {
+                            let accepted = Json::parse(&resp)
+                                .ok()
+                                .and_then(|j| j.get("ok").map(Json::is_true))
+                                .unwrap_or(false);
+                            if accepted {
+                                return;
+                            }
+                        }
+                        thread::sleep(Duration::from_millis(200));
+                    }
+                })?;
+        }
 
         Ok(ServerHandle {
             addr,
@@ -662,9 +713,22 @@ fn process_line(
         }
         Op::Stats => {
             inc(&shared.stats.ok);
-            let snapshot = shared
+            let mut snapshot = shared
                 .stats
                 .to_json(shared.cfg.queue_capacity, shared.cfg.workers.max(1));
+            if let Json::Obj(fields) = &mut snapshot {
+                let (total, healthy) = shared.replicas.occupancy();
+                let certified = shared
+                    .result_cache
+                    .lock()
+                    .unwrap()
+                    .values()
+                    .filter(|p| p.certificate.is_some())
+                    .count();
+                fields.push(("replicas".into(), Json::num(total as u64)));
+                fields.push(("replicas_healthy".into(), Json::num(healthy as u64)));
+                fields.push(("result_cache_certified".into(), Json::num(certified as u64)));
+            }
             send(writer, &ok_response(&id, vec![("stats".into(), snapshot)]))
         }
         Op::ListDbs => {
@@ -795,6 +859,32 @@ fn process_line(
             send(
                 writer,
                 &ok_response(&id, vec![("subscriptions".into(), Json::Arr(list))]),
+            )
+        }
+        Op::RegisterReplica { addr } => {
+            // A server fanning out to itself would recurse until the
+            // connection pool starves — refuse self-registration.
+            if addr == shared.addr.to_string() {
+                inc(&shared.stats.errors);
+                return send(
+                    writer,
+                    &err_response(
+                        &id,
+                        &ProtoError::new("bad_request", "a server cannot be its own replica"),
+                    ),
+                );
+            }
+            let n = shared.replicas.register(&addr);
+            inc(&shared.stats.ok);
+            send(
+                writer,
+                &ok_response(
+                    &id,
+                    vec![
+                        ("registered".into(), Json::Str(addr)),
+                        ("replicas".into(), Json::num(n as u64)),
+                    ],
+                ),
             )
         }
         Op::Compute(compute) => handle_compute(compute, id, shared, tx, writer),
@@ -1060,7 +1150,7 @@ fn handle_subscribe(
             )),
         );
     };
-    let Some(req) = exec_request(inner, None, false) else {
+    let Some(req) = exec_request(inner, None, false, false) else {
         return send(
             writer,
             &refuse(ProtoError::new(
@@ -1255,7 +1345,9 @@ fn handle_compute(
     // mismatches, non-positive recursion) are rejected here. Purely
     // static — no evaluation happens on the connection thread.
     if shared.cfg.admission {
-        if let (Some(snap), Some(req)) = (&snapshot, exec_request(&compute.kind, None, false)) {
+        if let (Some(snap), Some(req)) =
+            (&snapshot, exec_request(&compute.kind, None, false, false))
+        {
             let report = exec::lint_with_db(&snap.db, &req, None);
             if report.has_errors() {
                 let first = report
@@ -1276,7 +1368,7 @@ fn handle_compute(
     // rejected otherwise. The rewrite is only trusted because the
     // analyzer's certificate validator accepted it.
     if let Some(budget) = shared.cfg.max_width {
-        if let Some(req) = exec_request(&compute.kind, None, false) {
+        if let Some(req) = exec_request(&compute.kind, None, false, false) {
             match exec::admit_width(&req, budget) {
                 exec::WidthAdmission::Admit => {}
                 exec::WidthAdmission::Rewrite { text, .. } => {
@@ -1304,6 +1396,7 @@ fn handle_compute(
         .map(|ms| Instant::now() + Duration::from_millis(ms));
     let (reply_tx, reply_rx) = mpsc::channel();
     let stream = compute.stream;
+    let want_cert = compute.certificate;
     let job = Box::new(Job {
         compute,
         snapshot,
@@ -1354,7 +1447,7 @@ fn handle_compute(
             // One lock for the whole (possibly streamed) result, so
             // delta frames never interleave inside it.
             let mut w = writer.lock().unwrap();
-            write_result(&id, &payload, cached, stream, &mut *w)?;
+            write_result(&id, &payload, cached, stream, want_cert, &mut *w)?;
             w.flush()
         }
         Err(_) => fail(&ProtoError::new(
@@ -1373,6 +1466,7 @@ fn write_result(
     payload: &ResultPayload,
     cached: bool,
     stream: bool,
+    want_cert: bool,
     writer: &mut impl Write,
 ) -> io::Result<()> {
     let mut fields: Vec<(String, Json)> = vec![
@@ -1398,6 +1492,15 @@ fn write_result(
     }
     if let Some(trace) = &payload.trace {
         fields.push(("trace".into(), span_json(trace)));
+    }
+    // Only `eval_certified` requests see the certificate on the wire;
+    // plain requests served from a certificate-backed cache entry get
+    // the ordinary response shape.
+    if want_cert {
+        if let Some(cert) = &payload.certificate {
+            fields.push(("certified".into(), Json::Bool(true)));
+            fields.push(("certificate".into(), Json::Str(cert.clone())));
+        }
     }
     if let Some(text) = &payload.text {
         fields.push(("text".into(), Json::Str(text.clone())));
@@ -1485,8 +1588,9 @@ fn exec_request(
     kind: &ComputeKind,
     deadline: Option<Instant>,
     trace: bool,
+    certificate: bool,
 ) -> Option<exec::ExecRequest> {
-    let (ekind, opts) = match kind {
+    let (ekind, mut opts) = match kind {
         ComputeKind::Eval {
             query,
             k,
@@ -1502,11 +1606,10 @@ fn exec_request(
                 k: *k,
                 naive: *naive,
                 minimize: *minimize,
-                certify: Vec::new(),
                 threads: *threads,
                 deadline,
-                compile: Default::default(),
                 backend: *backend,
+                ..Default::default()
             },
         ),
         ComputeKind::Eso { query, k } => (
@@ -1540,6 +1643,7 @@ fn exec_request(
             return None
         }
     };
+    opts.certificate = certificate;
     Some(exec::ExecRequest {
         kind: ekind,
         opts,
@@ -1572,11 +1676,17 @@ fn cached_prepare(
 }
 
 /// The one compute path: every `eval`/`eso`/`datalog` job flows through
-/// here — plan cache, result cache, then [`exec::execute_prepared`].
+/// here — plan cache, result cache, certified replica fan-out, then
+/// [`exec::execute_prepared`].
 fn run_compute_job(shared: &Shared, job: &Job) -> Outcome {
     let key = job.compute.kind.cache_key();
-    let req = exec_request(&job.compute.kind, job.deadline, job.compute.trace)
-        .expect("run_compute_job only sees executable kinds");
+    let req = exec_request(
+        &job.compute.kind,
+        job.deadline,
+        job.compute.trace,
+        job.compute.certificate,
+    )
+    .expect("run_compute_job only sees executable kinds");
     let prepared = match cached_prepare(shared, &req, &key) {
         Ok(p) => p,
         Err(e) => return run_error(e, Language::Other),
@@ -1593,18 +1703,34 @@ fn run_compute_job(shared: &Shared, job: &Job) -> Outcome {
     );
     if !job.compute.no_cache {
         if let Some(hit) = shared.result_cache.lock().unwrap().get(&rkey) {
-            inc(&shared.stats.result_hits);
-            return Outcome::Done {
-                payload: hit,
-                cached: true,
-            };
+            // A certified request may only be served from a cache entry
+            // that actually carries a certificate — the certificate flag
+            // is not in the cache key, so plain `eval` answers share
+            // entries with `eval_certified` but never satisfy one bare.
+            if !job.compute.certificate || hit.certificate.is_some() {
+                inc(&shared.stats.result_hits);
+                return Outcome::Done {
+                    payload: hit,
+                    cached: true,
+                };
+            }
         }
     }
     inc(&shared.stats.result_misses);
+    if let Some(payload) = try_replica(shared, job, &prepared, &req, snapshot) {
+        store_result(shared, job, rkey, &payload);
+        return Outcome::Done {
+            payload,
+            cached: false,
+        };
+    }
     let start = Instant::now();
     match exec::execute_prepared(&snapshot.db, &prepared, &req) {
         Ok(out) => {
             shared.stats.record_phase(Phase::Execute, start.elapsed());
+            if out.certificate.is_some() {
+                inc(&shared.stats.cert_emitted);
+            }
             let (boolean, rows, text) = match out.answer {
                 exec::Answer::Boolean(b) => (Some(b), Vec::new(), None),
                 exec::Answer::Rows(rel) => (None, rel.sorted(), None),
@@ -1620,6 +1746,7 @@ fn run_compute_job(shared: &Shared, job: &Job) -> Outcome {
                 trace: out.trace,
                 explain: None,
                 lint: None,
+                certificate: out.certificate,
             });
             store_result(shared, job, rkey, &payload);
             Outcome::Done {
@@ -1631,11 +1758,88 @@ fn run_compute_job(shared: &Shared, job: &Job) -> Outcome {
     }
 }
 
+/// Certified replica fan-out. `Some(payload)` means a replica answered
+/// **and** the coordinator's trusted checker validated the returned
+/// certificate against this job's own epoch snapshot — the payload's
+/// answer is the *checked claim*, never anything the replica asserted
+/// outside the certificate. `None` means "evaluate locally": no
+/// replicas, an ineligible kind (ESO reports are textual; traced
+/// requests must be measured here), a transport failure, a replica-side
+/// error, or a rejected certificate. Every fall-back after a fan-out
+/// attempt bumps `replica_fallback`; rejections additionally bump
+/// `cert_rejected` and are never served or cached.
+fn try_replica(
+    shared: &Shared,
+    job: &Job,
+    prepared: &exec::Prepared,
+    req: &exec::ExecRequest,
+    snapshot: &Snapshot,
+) -> Option<Arc<ResultPayload>> {
+    if job.compute.trace {
+        return None;
+    }
+    let line = certified_wire_line(&job.compute.db, &job.compute.kind)?;
+    let addr = shared.replicas.pick()?;
+    let timeout = Duration::from_millis(shared.cfg.replica_timeout_ms.max(1));
+    let fall = || {
+        inc(&shared.stats.replica_fallback);
+        None
+    };
+    let resp = match replica::exchange(&addr, &line, timeout) {
+        Ok(r) => r,
+        Err(_) => {
+            shared.replicas.report_failure(&addr);
+            return fall();
+        }
+    };
+    shared.replicas.report_success(&addr);
+    let Ok(parsed) = Json::parse(&resp) else {
+        shared.replicas.report_failure(&addr);
+        return fall();
+    };
+    // `ok:false` is a healthy replica that couldn't serve the request
+    // (unknown db, not_certifiable, ...) — fall back, no strikes.
+    if !parsed.get("ok").map(Json::is_true).unwrap_or(false) {
+        return fall();
+    }
+    let Some(cert_text) = parsed.get("certificate").and_then(Json::as_str) else {
+        return fall();
+    };
+    inc(&shared.stats.cert_checked);
+    match exec::check_certificate(&snapshot.db, prepared, req, cert_text) {
+        Ok(answer) => {
+            let (k, width) = exec::plan_dims(prepared);
+            let (boolean, rows) = match answer {
+                exec::Answer::Boolean(b) => (Some(b), Vec::new()),
+                exec::Answer::Rows(rel) => (None, rel.sorted()),
+                // The checker only ever produces booleans or rows.
+                exec::Answer::Text(_) => return fall(),
+            };
+            Some(Arc::new(ResultPayload {
+                language: prepared.language(),
+                k,
+                width,
+                boolean,
+                rows,
+                text: None,
+                trace: None,
+                explain: None,
+                lint: None,
+                certificate: Some(cert_text.to_string()),
+            }))
+        }
+        Err(_reject) => {
+            inc(&shared.stats.cert_rejected);
+            fall()
+        }
+    }
+}
+
 /// The `explain` op: shares the plan cache with the op it explains
 /// (keyed by the *inner* request's cache key), never touches the result
 /// cache, and under `analyze` runs the request with tracing forced on.
 fn run_explain_job(shared: &Shared, job: &Job, inner: &ComputeKind, analyze: bool) -> Outcome {
-    let Some(req) = exec_request(inner, job.deadline, false) else {
+    let Some(req) = exec_request(inner, job.deadline, false, false) else {
         return Outcome::Failed {
             error: ProtoError::new("bad_request", "`explain` target must be eval|eso|datalog"),
             language: Language::Other,
@@ -1665,6 +1869,7 @@ fn run_explain_job(shared: &Shared, job: &Job, inner: &ComputeKind, analyze: boo
                 trace: None,
                 explain: Some(explain_json(&report)),
                 lint: None,
+                certificate: None,
             });
             Outcome::Done {
                 payload,
@@ -1679,7 +1884,7 @@ fn run_explain_job(shared: &Shared, job: &Job, inner: &ComputeKind, analyze: boo
 /// and analysed against the database's schema and domain size, but
 /// **never evaluated**. Reports are cheap and never cached.
 fn run_lint_job(shared: &Shared, job: &Job, inner: &ComputeKind, budget: Option<u64>) -> Outcome {
-    let Some(req) = exec_request(inner, None, false) else {
+    let Some(req) = exec_request(inner, None, false, false) else {
         return Outcome::Failed {
             error: ProtoError::new("bad_request", "`lint` target must be eval|eso|datalog"),
             language: Language::Other,
@@ -1699,6 +1904,7 @@ fn run_lint_job(shared: &Shared, job: &Job, inner: &ComputeKind, budget: Option<
         trace: None,
         explain: None,
         lint: Some(exec::lint_json(&report)),
+        certificate: None,
     });
     Outcome::Done {
         payload,
@@ -1824,13 +2030,20 @@ mod tests {
         let mut c = Client::connect(handle.addr()).unwrap();
         c.send_line(r#"{"op":"ping"}"#).unwrap();
         let resp = c.recv().unwrap();
-        assert_eq!(resp.get("v").and_then(Json::as_u64), Some(2));
+        assert_eq!(resp.get("v").and_then(Json::as_u64), Some(3));
         let caps = resp.get("capabilities").expect("capabilities").clone();
         let rendered = caps.to_string_compact();
-        for op in ["\"eval\"", "\"explain\"", "\"datalog\""] {
+        for op in [
+            "\"eval\"",
+            "\"explain\"",
+            "\"datalog\"",
+            "\"eval_certified\"",
+            "\"register_replica\"",
+        ] {
             assert!(rendered.contains(op), "missing {op} in {rendered}");
         }
         assert!(rendered.contains("\"trace\""));
+        assert!(rendered.contains("\"certificates\"") && rendered.contains("\"replicas\""));
         handle.shutdown();
     }
 
@@ -2102,5 +2315,279 @@ mod tests {
                 assert_eq!(Client::error_code(&resp), Some("shutting_down"));
             }
         }
+    }
+
+    // ---- certified evaluation & replicas -------------------------------
+
+    /// Transitive closure of the 5-node path in `graph_db` (an FP query,
+    /// so the certificate is an iteration trace).
+    const TC_QUERY: &str =
+        "(x1, x2) [lfp T(x1, x2) . E(x1, x2) | exists x3. (E(x1, x3) & T(x3, x2))](x1, x2)";
+
+    #[test]
+    fn eval_certified_returns_a_checkable_certificate() {
+        let mut handle = start_default();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        let resp = c.eval_certified("g", TC_QUERY).unwrap();
+        assert!(Client::is_ok(&resp), "{resp:?}");
+        assert_eq!(resp.get("certified"), Some(&Json::Bool(true)));
+        assert_eq!(resp.get("count").and_then(Json::as_u64), Some(10));
+        let cert = resp
+            .get("certificate")
+            .and_then(Json::as_str)
+            .expect("certificate text");
+        // The certificate is independently checkable by the trusted
+        // checker, straight off the wire.
+        let q = bvq_logic::parser::parse_query(TC_QUERY).unwrap();
+        let ans =
+            bvq_cert::check_text(&graph_db(), &bvq_cert::CheckRequest::Query(&q), cert).unwrap();
+        match ans {
+            bvq_cert::CheckedAnswer::Rows(rel) => assert_eq!(rel.len(), 10),
+            other => panic!("expected rows, got {other:?}"),
+        }
+        assert_eq!(handle.stats().cert_emitted.load(Ordering::Relaxed), 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn certified_datalog_and_plain_eval_share_cache_entries_one_way() {
+        let mut handle = start_default();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        let prog = "T(x,y) :- E(x,y). T(x,y) :- E(x,z), T(z,y).";
+        // A plain answer is cached without a certificate...
+        let plain = c.datalog("g", prog, "T").unwrap();
+        assert!(Client::is_ok(&plain));
+        assert_eq!(plain.get("cached"), Some(&Json::Bool(false)));
+        // ...so a certified request must NOT be served from it bare.
+        let certified = c.datalog_certified("g", prog, "T").unwrap();
+        assert!(Client::is_ok(&certified), "{certified:?}");
+        assert_eq!(certified.get("cached"), Some(&Json::Bool(false)));
+        assert!(certified.get("certificate").is_some());
+        assert_eq!(plain.get("rows"), certified.get("rows"));
+        // The certified entry replaced the bare one; both request shapes
+        // now hit it (the plain response just omits the certificate).
+        let again = c.datalog_certified("g", prog, "T").unwrap();
+        assert_eq!(again.get("cached"), Some(&Json::Bool(true)));
+        assert!(again.get("certificate").is_some());
+        let plain_again = c.datalog("g", prog, "T").unwrap();
+        assert_eq!(plain_again.get("cached"), Some(&Json::Bool(true)));
+        assert!(plain_again.get("certificate").is_none());
+        // The stats op reports the certificate-backed cache entry.
+        let stats = c.stats().unwrap();
+        assert_eq!(
+            stats.get("result_cache_certified").and_then(Json::as_u64),
+            Some(1)
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn uncertifiable_requests_fail_structurally() {
+        let mut handle = start_default();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        // IFP is outside the certificate fragment (Theorem 3.5 covers
+        // FP; inflationary traces are refused, not faked).
+        let resp = c
+            .call_op(
+                "eval_certified",
+                vec![
+                    ("db", Json::str("g")),
+                    (
+                        "query",
+                        Json::str("(x1) [ifp S(x1) . E(x1, x1) | S(x1)](x1)"),
+                    ),
+                ],
+            )
+            .unwrap();
+        assert_eq!(Client::error_code(&resp), Some("not_certifiable"));
+        // The failure is not cached: a plain eval still works.
+        let resp = c
+            .eval("g", "(x1) [ifp S(x1) . E(x1, x1) | S(x1)](x1)")
+            .unwrap();
+        assert!(Client::is_ok(&resp));
+        handle.shutdown();
+    }
+
+    fn start_replica_of(coordinator: SocketAddr) -> ServerHandle {
+        let handle = Server::start(ServerConfig {
+            replica_of: Some(coordinator.to_string()),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        handle.load_db("g", graph_db());
+        handle
+    }
+
+    fn wait_for_replicas(handle: &ServerHandle, n: usize) {
+        for _ in 0..200 {
+            if handle.shared.replicas.occupancy().0 >= n {
+                return;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        panic!("replica never registered");
+    }
+
+    #[test]
+    fn replica_fan_out_validates_certificates_before_answering() {
+        let mut coord = start_default();
+        let mut replica = start_replica_of(coord.addr());
+        wait_for_replicas(&coord, 1);
+
+        let mut c = Client::connect(coord.addr()).unwrap();
+        let resp = c.eval("g", TC_QUERY).unwrap();
+        assert!(Client::is_ok(&resp), "{resp:?}");
+        assert_eq!(resp.get("count").and_then(Json::as_u64), Some(10));
+        // The work ran on the replica; the coordinator only checked.
+        assert_eq!(coord.stats().cert_checked.load(Ordering::Relaxed), 1);
+        assert_eq!(coord.stats().cert_rejected.load(Ordering::Relaxed), 0);
+        assert_eq!(coord.stats().replica_fallback.load(Ordering::Relaxed), 0);
+        assert_eq!(replica.stats().cert_emitted.load(Ordering::Relaxed), 1);
+        // The checked answer was cached (with its certificate), so a
+        // certified request is a cache hit that does not touch the
+        // replica again.
+        let again = c.eval_certified("g", TC_QUERY).unwrap();
+        assert_eq!(again.get("cached"), Some(&Json::Bool(true)));
+        assert!(again.get("certificate").is_some());
+        assert_eq!(coord.stats().cert_checked.load(Ordering::Relaxed), 1);
+        replica.shutdown();
+        coord.shutdown();
+    }
+
+    #[test]
+    fn divergent_replica_data_is_rejected_by_the_checker() {
+        let mut coord = start_default();
+        // The replica serves the same db *name* with different edges —
+        // a stale or lying worker. Its certificates are honest for its
+        // own data, which is exactly what the coordinator must reject.
+        let mut replica = Server::start(ServerConfig {
+            replica_of: Some(coord.addr().to_string()),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        replica.load_db(
+            "g",
+            bvq_relation::parse_database("domain 5\nrel E/2\n0 1\nend").unwrap(),
+        );
+        wait_for_replicas(&coord, 1);
+
+        let mut c = Client::connect(coord.addr()).unwrap();
+        let resp = c.eval("g", TC_QUERY).unwrap();
+        // The client still gets the *correct* answer — local fallback.
+        assert!(Client::is_ok(&resp), "{resp:?}");
+        assert_eq!(resp.get("count").and_then(Json::as_u64), Some(10));
+        assert_eq!(coord.stats().cert_rejected.load(Ordering::Relaxed), 1);
+        assert_eq!(coord.stats().replica_fallback.load(Ordering::Relaxed), 1);
+        // A rejected certificate is never cached: the cached entry is
+        // the locally-computed one.
+        let stats = Client::connect(coord.addr()).unwrap().stats().unwrap();
+        assert_eq!(
+            stats.get("result_cache_certified").and_then(Json::as_u64),
+            Some(0)
+        );
+        replica.shutdown();
+        coord.shutdown();
+    }
+
+    /// A fake replica: answers every connection with `response` (or
+    /// drops it immediately when `None`), `conns` times.
+    fn byzantine_replica(response: Option<String>, conns: usize) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        thread::spawn(move || {
+            for _ in 0..conns {
+                let Ok((stream, _)) = listener.accept() else {
+                    return;
+                };
+                let mut reader = io::BufReader::new(stream.try_clone().unwrap());
+                let mut line = String::new();
+                let _ = reader.read_line(&mut line);
+                if let Some(resp) = &response {
+                    let mut w = stream;
+                    let _ = writeln!(w, "{resp}");
+                }
+                // `None`: drop the connection mid-exchange.
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn corrupted_replica_certificates_are_rejected_with_local_fallback() {
+        let mut coord = start_default();
+        // An actively lying replica: protocol-shaped response, garbage
+        // certificate (a boolean claim for a rows query).
+        let forged = Json::obj([
+            ("ok", Json::Bool(true)),
+            (
+                "certificate",
+                Json::str("bvqcert 1 fp\nclaim bool true\nend\n"),
+            ),
+        ])
+        .to_string_compact();
+        let addr = byzantine_replica(Some(forged), 1);
+        let mut c = Client::connect(coord.addr()).unwrap();
+        assert!(Client::is_ok(
+            &c.register_replica(&addr.to_string()).unwrap()
+        ));
+
+        let resp = c.eval("g", "(x1) exists x2. E(x1,x2)").unwrap();
+        assert!(Client::is_ok(&resp), "{resp:?}");
+        assert_eq!(resp.get("count").and_then(Json::as_u64), Some(4));
+        assert_eq!(coord.stats().cert_checked.load(Ordering::Relaxed), 1);
+        assert_eq!(coord.stats().cert_rejected.load(Ordering::Relaxed), 1);
+        assert_eq!(coord.stats().replica_fallback.load(Ordering::Relaxed), 1);
+        coord.shutdown();
+    }
+
+    #[test]
+    fn dropped_replica_connections_fall_back_and_quarantine() {
+        let mut coord = Server::start(ServerConfig {
+            replica_timeout_ms: 200,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        coord.load_db("g", graph_db());
+        let addr = byzantine_replica(None, 8); // drops every exchange
+        let mut c = Client::connect(coord.addr()).unwrap();
+        assert!(Client::is_ok(
+            &c.register_replica(&addr.to_string()).unwrap()
+        ));
+
+        // Distinct queries so the result cache never short-circuits the
+        // fan-out path; three transport failures quarantine the pool.
+        for (i, q) in [
+            "(x1) E(x1, x1)",
+            "(x1) exists x2. E(x1,x2)",
+            "(x1) exists x2. E(x2,x1)",
+            "(x1, x2) E(x1, x2)",
+        ]
+        .iter()
+        .enumerate()
+        {
+            let resp = c.eval("g", q).unwrap();
+            assert!(Client::is_ok(&resp), "query {i} failed: {resp:?}");
+        }
+        // Never more than MAX_FAILURES fan-out attempts reached the
+        // dead replica; the tail ran purely locally.
+        assert_eq!(coord.stats().replica_fallback.load(Ordering::Relaxed), 3);
+        assert_eq!(coord.stats().cert_checked.load(Ordering::Relaxed), 0);
+        let stats = c.stats().unwrap();
+        assert_eq!(stats.get("replicas").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            stats.get("replicas_healthy").and_then(Json::as_u64),
+            Some(0)
+        );
+        coord.shutdown();
+    }
+
+    #[test]
+    fn self_registration_is_refused() {
+        let mut handle = start_default();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        let resp = c.register_replica(&handle.addr().to_string()).unwrap();
+        assert_eq!(Client::error_code(&resp), Some("bad_request"));
+        assert_eq!(handle.shared.replicas.occupancy(), (0, 0));
+        handle.shutdown();
     }
 }

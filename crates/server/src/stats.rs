@@ -157,6 +157,19 @@ pub struct StatsRegistry {
     pub sub_updates: AtomicU64,
     /// Maintenance passes that fell back to re-evaluate-and-diff.
     pub sub_fallbacks: AtomicU64,
+    /// Certificates produced by local evaluation (`eval_certified` and
+    /// replica-serving runs).
+    pub cert_emitted: AtomicU64,
+    /// Certificates validated by the trusted checker (local emissions
+    /// are cross-checked at production; this counts *checker* runs on
+    /// replica-returned certificates).
+    pub cert_checked: AtomicU64,
+    /// Replica certificates the checker rejected — each one is an
+    /// answer that was *not* served or cached.
+    pub cert_rejected: AtomicU64,
+    /// Fan-out attempts that fell back to local evaluation (transport
+    /// failure, replica error, or a rejected certificate).
+    pub replica_fallback: AtomicU64,
     histograms: [Histogram; 6],
     phases: [Histogram; 2],
 }
@@ -251,6 +264,13 @@ impl StatsRegistry {
             ),
             ("sub_updates", Json::num(self.sub_updates.load(Relaxed))),
             ("sub_fallbacks", Json::num(self.sub_fallbacks.load(Relaxed))),
+            ("cert_emitted", Json::num(self.cert_emitted.load(Relaxed))),
+            ("cert_checked", Json::num(self.cert_checked.load(Relaxed))),
+            ("cert_rejected", Json::num(self.cert_rejected.load(Relaxed))),
+            (
+                "replica_fallback",
+                Json::num(self.replica_fallback.load(Relaxed)),
+            ),
             ("latency_micros_by_language", Json::Obj(langs)),
             (
                 "latency_micros_by_phase",
